@@ -1,0 +1,129 @@
+// Ablation A3 (DESIGN.md §5): decode-path costs in the PBIO receiver.
+//
+// PBIO is "reader makes right": the decode cost depends on how wrong the
+// record is for the receiver. Four rungs, same logical record:
+//   in-place    identical layout, pointers patched into the buffer
+//   identity    identical layout, copied out (fixed memcpy + var copies)
+//   byte-swap   foreign byte order, same layout shape (per-field convert)
+//   relayout    foreign pointer size AND byte order (full conversion)
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/arena.hpp"
+#include "pbio/decode.hpp"
+#include "pbio/dynrecord.hpp"
+#include "pbio/encode.hpp"
+#include "pbio/registry.hpp"
+#include "xmit/layout.hpp"
+#include "xsd/parse.hpp"
+
+namespace {
+
+using namespace xmit;
+using bench::check;
+using bench::expect;
+
+struct Sample {
+  std::int32_t id;
+  double value;
+  char* label;
+  std::int32_t n;
+  float* series;
+};
+
+constexpr const char* kSchema = R"(
+<xsd:complexType name="Sample">
+  <xsd:element name="id" type="xsd:integer" />
+  <xsd:element name="value" type="xsd:double" />
+  <xsd:element name="label" type="xsd:string" />
+  <xsd:element name="series" type="xsd:float" maxOccurs="*"
+               dimensionName="n" dimensionPlacement="before" />
+</xsd:complexType>)";
+
+// Lay the schema out for `arch` and register the result.
+pbio::FormatPtr format_for(pbio::FormatRegistry& registry,
+                           const pbio::ArchInfo& arch) {
+  auto schema = expect(xsd::parse_schema_text(kSchema), "schema");
+  auto layouts = expect(toolkit::layout_schema(schema, arch), "layout");
+  auto format = expect(pbio::Format::make(layouts[0].name, layouts[0].fields,
+                                          layouts[0].struct_size, arch),
+                       "format");
+  return expect(registry.adopt(format), "adopt");
+}
+
+// Builds a wire record under `arch` with a payload of `n` floats.
+std::vector<std::uint8_t> forge_record(const pbio::FormatPtr& format, int n) {
+  pbio::RecordBuilder builder(format);
+  check(builder.set_int("id", 42), "set");
+  check(builder.set_float("value", 0.5), "set");
+  check(builder.set_string("label", "sensor-alpha"), "set");
+  std::vector<double> series(n);
+  for (int i = 0; i < n; ++i) series[i] = i * 0.25;
+  check(builder.set_float_array("series", series), "set");
+  return expect(builder.build(), "build");
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Ablation A3 — receiver decode paths (reader makes right)",
+      "per-decode wall time (ms) by conversion rung and payload size");
+
+  pbio::FormatRegistry registry;
+  auto host = format_for(registry, pbio::ArchInfo::host());
+  // Foreign profiles. Note big_endian_64 shares layout *shape* with the
+  // host but flips byte order; little_endian_32 changes pointer size too.
+  auto swapped = format_for(registry, pbio::ArchInfo::big_endian_64());
+  auto relayout = format_for(registry, pbio::ArchInfo::little_endian_32());
+
+  pbio::Decoder decoder(registry);
+
+  std::printf("\n%-10s %12s %12s %12s %12s\n", "payload", "in-place",
+              "identity", "byte-swap", "relayout");
+
+  for (int n : {16, 256, 4096, 65536}) {
+    auto native_record = forge_record(host, n);
+    auto swapped_record = forge_record(swapped, n);
+    auto relaid_record = forge_record(relayout, n);
+
+    Sample out{};
+    Arena arena;
+
+    // in-place needs a mutable copy each run; measure patch time over a
+    // reused buffer (re-patching is idempotent byte-wise: slots get
+    // absolute pointers; so refresh the buffer each iteration).
+    std::vector<std::uint8_t> scratch = native_record;
+    double in_place_ms = bench::encode_ms([&] {
+      std::copy(native_record.begin(), native_record.end(), scratch.begin());
+      (void)expect(decoder.decode_in_place(scratch, *host), "in-place");
+    });
+
+    double identity_ms = bench::encode_ms([&] {
+      arena.reset();
+      check(decoder.decode(native_record, *host, &out, arena), "identity");
+    });
+
+    double swap_ms = bench::encode_ms([&] {
+      arena.reset();
+      check(decoder.decode(swapped_record, *host, &out, arena), "swap");
+    });
+
+    double relayout_ms = bench::encode_ms([&] {
+      arena.reset();
+      check(decoder.decode(relaid_record, *host, &out, arena), "relayout");
+    });
+
+    char label[32];
+    std::snprintf(label, sizeof(label), "%d floats", n);
+    std::printf("%-10s %12.6f %12.6f %12.6f %12.6f\n", label, in_place_ms,
+                identity_ms, swap_ms, relayout_ms);
+  }
+
+  std::printf(
+      "\ninterpretation: the homogeneous fast paths stay flat-ish (memcpy\n"
+      "bound; in-place excludes even that for the payload), while the\n"
+      "conversion rungs grow with element count — the cost a homogeneous\n"
+      "cluster never pays, which is why PBIO wins Figure 8.\n");
+  return 0;
+}

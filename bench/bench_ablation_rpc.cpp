@@ -1,0 +1,161 @@
+// Ablation A4 (extension): what does a text control plane cost?
+//
+// The same logical request/response exchanged three ways on one machine:
+//   XML-RPC           HTTP POST + XML envelopes (connection per call,
+//                     as the protocol prescribes)
+//   PBIO / channel    binary records over a persistent TCP channel
+//   PBIO / pipe       binary records over a socketpair (co-resident)
+// This quantifies the paper's position: fine to spend text-protocol costs
+// on low-rate control traffic, never on the data path.
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/arena.hpp"
+#include "net/channel.hpp"
+#include "net/http.hpp"
+#include "pbio/decode.hpp"
+#include "pbio/encode.hpp"
+#include "pbio/registry.hpp"
+#include "rpc/xmlrpc.hpp"
+
+namespace {
+
+using namespace xmit;
+using bench::check;
+using bench::expect;
+
+// The request/response pair: "give me stats for sensor <id>" -> 4 numbers.
+struct StatsRequest {
+  std::int32_t sensor;
+};
+struct StatsReply {
+  std::int32_t sensor;
+  double minimum, maximum, mean;
+};
+
+StatsReply compute_reply(std::int32_t sensor) {
+  return {sensor, sensor * 0.5, sensor * 2.0, sensor * 1.1};
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Ablation A4 — control-plane exchange cost: XML-RPC vs PBIO",
+      "round-trip time for one request/reply pair, same machine");
+
+  // --- XML-RPC arm ------------------------------------------------------
+  auto http = expect(net::HttpServer::start(), "http");
+  rpc::XmlRpcServer rpc_server(*http);
+  rpc_server.register_method(
+      "stats.get", [](const std::vector<rpc::Value>& params) -> Result<rpc::Value> {
+        XMIT_ASSIGN_OR_RETURN(auto sensor, params[0].as_int());
+        StatsReply reply = compute_reply(sensor);
+        return rpc::Value::structure({
+            {"sensor", rpc::Value::from_int(reply.sensor)},
+            {"min", rpc::Value::from_double(reply.minimum)},
+            {"max", rpc::Value::from_double(reply.maximum)},
+            {"mean", rpc::Value::from_double(reply.mean)},
+        });
+      });
+  rpc::XmlRpcClient rpc_client("127.0.0.1", http->port());
+
+  double rpc_ms = bench::encode_ms(
+      [&] {
+        auto reply = rpc_client.call("stats.get", {rpc::Value::from_int(7)});
+        check(reply.status(), "rpc call");
+      },
+      32);
+
+  // --- PBIO arms ---------------------------------------------------------
+  pbio::FormatRegistry registry;
+  auto request_format = expect(
+      registry.register_format(
+          "StatsRequest",
+          {{"sensor", "integer", 4, offsetof(StatsRequest, sensor)}},
+          sizeof(StatsRequest)),
+      "request format");
+  auto reply_format = expect(
+      registry.register_format(
+          "StatsReply",
+          {{"sensor", "integer", 4, offsetof(StatsReply, sensor)},
+           {"minimum", "float", 8, offsetof(StatsReply, minimum)},
+           {"maximum", "float", 8, offsetof(StatsReply, maximum)},
+           {"mean", "float", 8, offsetof(StatsReply, mean)}},
+          sizeof(StatsReply)),
+      "reply format");
+  auto request_encoder = expect(pbio::Encoder::make(request_format), "enc");
+  auto reply_encoder = expect(pbio::Encoder::make(reply_format), "enc");
+
+  auto serve_channel = [&](net::Channel channel) {
+    pbio::Decoder decoder(registry);
+    Arena arena;
+    for (;;) {
+      auto bytes = channel.receive(2000);
+      if (!bytes.is_ok()) return;
+      StatsRequest request{};
+      arena.reset();
+      if (!decoder.decode(bytes.value(), *request_format, &request, arena)
+               .is_ok())
+        return;
+      StatsReply reply = compute_reply(request.sensor);
+      auto encoded = reply_encoder.encode_to_vector(&reply);
+      if (!encoded.is_ok() || !channel.send(encoded.value()).is_ok()) return;
+    }
+  };
+
+  auto measure_channel = [&](net::Channel& client) {
+    pbio::Decoder decoder(registry);
+    Arena arena;
+    return bench::encode_ms(
+        [&] {
+          StatsRequest request{7};
+          auto bytes = expect(request_encoder.encode_to_vector(&request), "enc");
+          check(client.send(bytes), "send");
+          auto reply_bytes = client.receive(2000);
+          check(reply_bytes.status(), "recv");
+          StatsReply reply{};
+          arena.reset();
+          check(decoder.decode(reply_bytes.value(), *reply_format, &reply,
+                               arena),
+                "decode");
+        },
+        128);
+  };
+
+  // TCP channel arm.
+  auto listener = expect(net::ChannelListener::listen(), "listen");
+  net::Channel tcp_client;
+  std::thread tcp_connect([&] {
+    auto connected = net::Channel::connect(listener.port());
+    if (connected.is_ok()) tcp_client = std::move(connected).value();
+  });
+  auto tcp_served = expect(listener.accept(), "accept");
+  tcp_connect.join();
+  std::thread tcp_server(serve_channel, std::move(tcp_served));
+  double tcp_ms = measure_channel(tcp_client);
+  tcp_client.close();
+  tcp_server.join();
+
+  // Socketpair arm.
+  auto [pipe_client, pipe_served] = expect(net::Channel::pipe(), "pipe");
+  std::thread pipe_server(serve_channel, std::move(pipe_served));
+  double pipe_ms = measure_channel(pipe_client);
+  pipe_client.close();
+  pipe_server.join();
+
+  std::printf("\n%-24s %12s %10s\n", "mechanism", "ms/exchange", "vs pipe");
+  std::printf("%-24s %12.4f %10.1fx\n", "XML-RPC over HTTP", rpc_ms,
+              rpc_ms / pipe_ms);
+  std::printf("%-24s %12.4f %10.1fx\n", "PBIO over TCP channel", tcp_ms,
+              tcp_ms / pipe_ms);
+  std::printf("%-24s %12.4f %10.1fx\n", "PBIO over socketpair", pipe_ms, 1.0);
+  std::printf(
+      "\ninterpretation: per-call connection setup + XML envelopes cost\n"
+      "several times a persistent binary channel even on loopback; on a\n"
+      "real network the handshakes and 3-8x message expansion widen the\n"
+      "gap further. Acceptable at control rates, ruinous on the data path\n"
+      "(Figure 8).\n");
+  return 0;
+}

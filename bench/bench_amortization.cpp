@@ -1,0 +1,180 @@
+// §4.2's cost model, measured: "the increased cost of discovery and
+// registration [is] amortized across the entire set of messages sent
+// using a particular metadata format. As the number of messages sent in a
+// particular format can reasonably be expected to dominate the number of
+// format discoveries and changes, the overall effect on performance
+// should be tolerable."
+//
+// Three arms send N messages of one format end-to-end over a session:
+//   compiled   formats registered from compiled-in tables; metadata still
+//              travels in-band once (classic PBIO connection)
+//   xmit       formats discovered via XMIT from a live HTTP schema URL at
+//              startup, then identical marshaling (the paper's system)
+//   xml-wire   every message is XML text (no setup, per-message cost)
+// The table shows total time and per-message time as N grows: the XMIT
+// and compiled arms converge (startup amortized to nothing) while the XML
+// arm's per-message cost never improves.
+#include <thread>
+#include <vector>
+
+#include "baseline/xmlwire.hpp"
+#include "bench_common.hpp"
+#include "common/arena.hpp"
+#include "common/clock.hpp"
+#include "net/http.hpp"
+#include "pbio/decode.hpp"
+#include "session/session.hpp"
+#include "xmit/xmit.hpp"
+
+namespace {
+
+using namespace xmit;
+using bench::check;
+using bench::expect;
+
+struct Frame {
+  std::int32_t timestep;
+  std::int32_t size;
+  float* data;
+};
+
+constexpr const char* kSchema = R"(
+<xsd:complexType name="Frame">
+  <xsd:element name="timestep" type="xsd:integer" />
+  <xsd:element name="data" type="xsd:float" maxOccurs="*"
+               dimensionName="size" dimensionPlacement="before" />
+</xsd:complexType>)";
+
+std::vector<pbio::IOField> compiled_fields() {
+  return {{"timestep", "integer", 4, offsetof(Frame, timestep)},
+          {"size", "integer", 4, offsetof(Frame, size)},
+          {"data", "float[size]", 4, offsetof(Frame, data)}};
+}
+
+// Receiver thread: drains n records from a session and decodes each.
+void drain_session(session::MessageSession& session,
+                   pbio::FormatRegistry& registry, int n) {
+  pbio::Decoder decoder(registry);
+  Arena arena;
+  Frame out{};
+  for (int i = 0; i < n; ++i) {
+    auto incoming = session.receive(10000);
+    if (!incoming.is_ok()) return;
+    arena.reset();
+    if (!decoder
+             .decode(incoming.value().bytes, *incoming.value().sender_format,
+                     &out, arena)
+             .is_ok())
+      return;
+  }
+}
+
+// One run of the binary arm: returns total ms including all setup.
+double run_binary(int messages, bool use_xmit, const std::string& schema_url) {
+  Stopwatch watch;
+  pbio::FormatRegistry sender_registry, receiver_registry;
+
+  pbio::FormatPtr format;
+  if (use_xmit) {
+    toolkit::Xmit xmit(sender_registry);
+    check(xmit.load(schema_url), "xmit load");
+    format = expect(xmit.bind("Frame"), "bind").format;
+  } else {
+    format = expect(sender_registry.register_format("Frame", compiled_fields(),
+                                                    sizeof(Frame)),
+                    "register");
+  }
+  auto encoder = expect(pbio::Encoder::make(format), "encoder");
+
+  auto pair = expect(
+      session::make_session_pipe(sender_registry, receiver_registry), "pipe");
+  std::thread receiver(
+      [&] { drain_session(pair.b, receiver_registry, messages); });
+
+  std::vector<float> payload(64);
+  for (std::size_t i = 0; i < payload.size(); ++i)
+    payload[i] = static_cast<float>(i);
+  Frame frame{0, 64, payload.data()};
+  for (int i = 0; i < messages; ++i) {
+    frame.timestep = i;
+    check(pair.a.send(encoder, &frame), "send");
+  }
+  receiver.join();
+  return watch.elapsed_ms();
+}
+
+double run_xml(int messages) {
+  Stopwatch watch;
+  pbio::FormatRegistry registry;
+  auto format = expect(
+      registry.register_format("Frame", compiled_fields(), sizeof(Frame)),
+      "register");
+  auto codec = expect(baseline::XmlWireCodec::make(format), "codec");
+
+  auto [tx, rx] = expect(net::Channel::pipe(), "pipe");
+  std::thread receiver([&, rx = std::move(rx)]() mutable {
+    Arena arena;
+    Frame out{};
+    for (int i = 0; i < messages; ++i) {
+      auto bytes = rx.receive(10000);
+      if (!bytes.is_ok()) return;
+      std::string_view text(reinterpret_cast<const char*>(bytes.value().data()),
+                            bytes.value().size());
+      arena.reset();
+      if (!codec.decode(text, &out, arena).is_ok()) return;
+    }
+  });
+
+  std::vector<float> payload(64);
+  Frame frame{0, 64, payload.data()};
+  std::string text;
+  for (int i = 0; i < messages; ++i) {
+    frame.timestep = i;
+    check(codec.encode(&frame, text), "encode");
+    check(tx.send(std::span<const std::uint8_t>(
+              reinterpret_cast<const std::uint8_t*>(text.data()), text.size())),
+          "send");
+  }
+  receiver.join();
+  return watch.elapsed_ms();
+}
+
+double best_of(int repeats, const std::function<double()>& run) {
+  double best = 1e300;
+  for (int i = 0; i < repeats; ++i) best = std::min(best, run());
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "§4.2 — amortization of discovery and registration cost",
+      "total end-to-end ms (and us/message) for N messages of one format;\n"
+      "setup (registration / HTTP discovery / in-band announcement) included");
+
+  auto server = expect(net::HttpServer::start(), "http");
+  server->put_document("/frame.xsd", kSchema);
+  std::string url = server->url_for("/frame.xsd");
+
+  std::printf("\n%8s %15s %15s %15s | %9s %9s\n", "N", "compiled (ms)",
+              "XMIT (ms)", "XML (ms)", "XMIT/cmp", "XML/XMIT");
+  for (int n : {1, 10, 100, 1000, 10000}) {
+    int repeats = n >= 10000 ? 3 : 5;
+    double compiled_ms =
+        best_of(repeats, [&] { return run_binary(n, false, url); });
+    double xmit_ms = best_of(repeats, [&] { return run_binary(n, true, url); });
+    double xml_ms = best_of(repeats, [&] { return run_xml(n); });
+    std::printf("%8d %9.3f (%4.1f) %9.3f (%4.1f) %9.3f (%4.1f) | %9.2f %9.1f\n",
+                n, compiled_ms, 1000 * compiled_ms / n, xmit_ms,
+                1000 * xmit_ms / n, xml_ms, 1000 * xml_ms / n,
+                xmit_ms / compiled_ms, xml_ms / xmit_ms);
+  }
+
+  std::printf(
+      "\ninterpretation (paper §4.2): the XMIT/compiled ratio decays to ~1\n"
+      "as N grows — remote discovery is a one-time cost per format, not a\n"
+      "per-message one — while XML's per-message cost is structural and\n"
+      "never amortizes.\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Shared helpers for the figure-reproduction harnesses.
+//
+// Each bench binary regenerates one figure of the paper as a plain-text
+// table: same rows/series, our hardware's absolute numbers. Timing is
+// best-of-R mean-of-N (time_call_ms_best) so sub-millisecond registration
+// costs are stable across runs.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "common/error.hpp"
+
+namespace xmit::bench {
+
+// Abort the bench with a diagnostic on any setup failure — benches have no
+// error channel worth threading.
+inline void check(const Status& status, const char* what) {
+  if (!status.is_ok()) {
+    std::fprintf(stderr, "FATAL %s: %s\n", what, status.to_string().c_str());
+    std::abort();
+  }
+}
+
+template <typename T>
+inline T expect(Result<T> result, const char* what) {
+  if (!result.is_ok()) {
+    std::fprintf(stderr, "FATAL %s: %s\n", what,
+                 result.status().to_string().c_str());
+    std::abort();
+  }
+  return std::move(result).value();
+}
+
+inline void print_header(const char* figure, const char* caption) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", figure);
+  std::printf("%s\n", caption);
+  std::printf("==============================================================\n");
+}
+
+inline void print_note(const char* note) { std::printf("note: %s\n", note); }
+
+// Registration timing: many repetitions of a setup+teardown operation.
+// Registration includes allocation; we time the full user-visible call.
+template <typename Fn>
+double registration_ms(Fn&& fn) {
+  // Warm up allocators and caches.
+  for (int i = 0; i < 16; ++i) fn();
+  return time_call_ms_best(fn, /*iters=*/64, /*repeats=*/16);
+}
+
+// Encode timing: tight loop over a hot marshal path.
+template <typename Fn>
+double encode_ms(Fn&& fn, int iters = 256) {
+  for (int i = 0; i < 16; ++i) fn();
+  return time_call_ms_best(fn, iters, /*repeats=*/12);
+}
+
+}  // namespace xmit::bench

@@ -1,0 +1,131 @@
+// Figure 7: structure encoding times using native PBIO metadata vs
+// XMIT-generated metadata, Hydrology application.
+//
+// Paper series: encoded buffer sizes of 48, 70, 204 and 262176 bytes; the
+// two curves coincide — "the XMIT translation process results in native
+// metadata that is just as efficient as compiled-in metadata". Here both
+// arms marshal the same records; the table reports both times and their
+// ratio (expected ~1.00), plus a byte-identity check of the outputs.
+#include <cstring>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "hydrology/messages.hpp"
+#include "pbio/encode.hpp"
+#include "pbio/registry.hpp"
+#include "xmit/xmit.hpp"
+
+namespace {
+
+using namespace xmit;
+using bench::check;
+using bench::expect;
+
+std::vector<pbio::IOField> fields_of(const hydrology::CompiledFormat& format) {
+  std::vector<pbio::IOField> fields;
+  for (std::size_t f = 0; f < format.row_count; ++f)
+    fields.push_back({format.rows[f].name, format.rows[f].type,
+                      format.rows[f].size, format.rows[f].offset});
+  return fields;
+}
+
+struct Arm {
+  pbio::FormatRegistry registry;
+  std::map<std::string, pbio::Encoder> encoders;
+};
+
+void measure(const char* label, const void* record, Arm& native, Arm& xmit_arm,
+             const std::string& type) {
+  auto& native_encoder = native.encoders.at(type);
+  auto& xmit_encoder = xmit_arm.encoders.at(type);
+
+  // Outputs must be byte-identical (same format id, same bytes).
+  auto via_native = expect(native_encoder.encode_to_vector(record), "encode");
+  auto via_xmit = expect(xmit_encoder.encode_to_vector(record), "encode");
+  bool identical = via_native == via_xmit;
+
+  ByteBuffer buffer;
+  buffer.reserve(via_native.size());
+  double native_ms = bench::encode_ms([&] {
+    buffer.clear();
+    check(native_encoder.encode(record, buffer), "native encode");
+  });
+  double xmit_ms = bench::encode_ms([&] {
+    buffer.clear();
+    check(xmit_encoder.encode(record, buffer), "xmit encode");
+  });
+
+  std::printf("%-14s %14zu %14.6f %14.6f %8.3f %10s\n", label,
+              via_native.size(), native_ms, xmit_ms, xmit_ms / native_ms,
+              identical ? "identical" : "DIFFER!");
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Figure 7 — Structure encoding times, PBIO vs XMIT metadata",
+      "per-encode wall time (ms); the two metadata sources must coincide");
+
+  // Native arm: compiled-in IOField tables.
+  Arm native;
+  std::size_t count = 0;
+  const auto* compiled = hydrology::compiled_formats(&count);
+  for (std::size_t i = 0; i < count; ++i) {
+    auto format = expect(
+        native.registry.register_format(compiled[i].name, fields_of(compiled[i]),
+                                        compiled[i].struct_size),
+        "native register");
+    native.encoders.emplace(compiled[i].name,
+                            expect(pbio::Encoder::make(format), "encoder"));
+  }
+
+  // XMIT arm: metadata translated from the schema document at run time.
+  Arm xmit_arm;
+  {
+    toolkit::Xmit xmit(xmit_arm.registry);
+    check(xmit.load_text(hydrology::hydrology_schema_xml(), "hydrology"),
+          "xmit load");
+    for (std::size_t i = 0; i < count; ++i) {
+      auto token = expect(xmit.bind(compiled[i].name), "bind");
+      xmit_arm.encoders.emplace(
+          compiled[i].name, expect(pbio::Encoder::make(token.format), "encoder"));
+    }
+  }
+
+  std::printf("\n%-14s %14s %14s %14s %8s %10s\n", "record",
+              "encoded (B)", "native (ms)", "XMIT (ms)", "ratio", "outputs");
+
+  // Row 1: small control event (paper's 48-byte point).
+  hydrology::ControlEvent control{3, 0.5f, 1};
+  measure("ControlEvent", &control, native, xmit_arm, "ControlEvent");
+
+  // Row 2: statistics record (~70-byte point).
+  hydrology::StatSummary stats{};
+  stats.timestep = 9;
+  stats.cells = 768;
+  stats.mean = 1.25f;
+  measure("StatSummary", &stats, native, xmit_arm, "StatSummary");
+
+  // Row 3: frame header (~200-byte point).
+  hydrology::Vis5dFrame frame{};
+  frame.timestep = 9;
+  frame.levels_used = 36;
+  for (int i = 0; i < 36; ++i) frame.levels[i] = static_cast<float>(i);
+  measure("Vis5dFrame", &frame, native, xmit_arm, "Vis5dFrame");
+
+  // Row 4: the big one — SimpleData with a 256 KiB float payload
+  // (matches the paper's 262176-byte encoded buffer).
+  std::vector<float> payload(65536);
+  for (std::size_t i = 0; i < payload.size(); ++i)
+    payload[i] = static_cast<float>(i) * 0.001f;
+  hydrology::SimpleData data{117, static_cast<std::int32_t>(payload.size()),
+                             payload.data()};
+  measure("SimpleData64k", &data, native, xmit_arm, "SimpleData");
+
+  std::printf(
+      "\npaper reference: the PBIO and XMIT curves are indistinguishable at\n"
+      "every encoded size (48 B ... 262176 B); expect ratio ~1.00 and\n"
+      "byte-identical outputs above.\n");
+  return 0;
+}

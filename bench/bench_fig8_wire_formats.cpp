@@ -1,0 +1,204 @@
+// Figure 8: send-side encoding times for various message sizes and binary
+// communication mechanisms — XML (text wire format), MPICH-style packing,
+// CORBA/CDR, and PBIO.
+//
+// Paper series: binary data sizes of 100 b, 1 Kb, 10 Kb, 100 Kb on a log
+// scale; expected ordering XML >> MPICH > CORBA > PBIO, with XML 2-4
+// orders of magnitude above PBIO (string conversion costs) and MPI ~10x
+// PBIO for ~100-byte structures (per-element typemap walk vs memcpy).
+#include <vector>
+
+#include "baseline/cdr.hpp"
+#include "baseline/mpilite.hpp"
+#include "pbio/decode.hpp"
+#include "baseline/xmlwire.hpp"
+#include "bench_common.hpp"
+#include "pbio/encode.hpp"
+#include "pbio/registry.hpp"
+
+namespace {
+
+using namespace xmit;
+using bench::check;
+using bench::expect;
+
+struct Message {
+  std::int32_t timestep;
+  std::int32_t size;
+  float* data;
+};
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Figure 8 — Send-side encode times across wire formats",
+      "per-encode wall time (ms, log-scale in the paper); ratios vs PBIO");
+
+  pbio::FormatRegistry registry;
+  auto format = expect(
+      registry.register_format(
+          "Message",
+          {{"timestep", "integer", 4, offsetof(Message, timestep)},
+           {"size", "integer", 4, offsetof(Message, size)},
+           {"data", "float[size]", 4, offsetof(Message, data)}},
+          sizeof(Message)),
+      "register");
+
+  auto pbio_encoder = expect(pbio::Encoder::make(format), "pbio");
+  auto xml_codec = expect(baseline::XmlWireCodec::make(format), "xml");
+  auto cdr_codec = expect(baseline::CdrCodec::make(format), "cdr");
+
+  // MPI arm: MPICH-1 usage for this message is a struct datatype for the
+  // header plus a contiguous datatype for the payload, packed in sequence.
+  auto header_type = expect(
+      baseline::mpi::Datatype::create_struct(
+          {{1, offsetof(Message, timestep),
+            baseline::mpi::Datatype::basic(baseline::mpi::BasicType::kInt)},
+           {1, offsetof(Message, size),
+            baseline::mpi::Datatype::basic(baseline::mpi::BasicType::kInt)}}),
+      "mpi header type");
+  header_type.commit();
+
+  std::printf("\n%-10s %12s %12s %12s %12s | %9s %9s %9s\n", "payload",
+              "XML (ms)", "MPI (ms)", "CDR (ms)", "PBIO (ms)", "XML/PBIO",
+              "MPI/PBIO", "CDR/PBIO");
+
+  const struct {
+    const char* label;
+    std::size_t bytes;  // "binary data size" of the paper's x axis
+  } kSizes[] = {{"100b", 100}, {"1Kb", 1000}, {"10Kb", 10000}, {"100Kb", 100000}};
+
+  for (const auto& size : kSizes) {
+    std::size_t n = (size.bytes - 8) / sizeof(float);
+    std::vector<float> payload(n);
+    for (std::size_t i = 0; i < n; ++i)
+      payload[i] = 12.345f + static_cast<float>(i % 1000) * 0.001f;
+    Message message{9999, static_cast<std::int32_t>(n), payload.data()};
+
+    int iters = size.bytes >= 100000 ? 32 : 256;
+
+    // XML text encode.
+    std::string xml_out;
+    double xml_ms = bench::encode_ms(
+        [&] { check(xml_codec.encode(&message, xml_out), "xml encode"); },
+        iters / 4 + 1);
+
+    // MPI pack: header + payload into a preallocated pack buffer.
+    auto float_type = baseline::mpi::Datatype::contiguous(
+        n, baseline::mpi::Datatype::basic(baseline::mpi::BasicType::kFloat));
+    float_type.commit();
+    std::vector<std::uint8_t> pack_buffer(header_type.size() +
+                                          float_type.size());
+    double mpi_ms = bench::encode_ms(
+        [&] {
+          std::size_t position = 0;
+          check(baseline::mpi::pack(&message, 1, header_type,
+                                    pack_buffer.data(), pack_buffer.size(),
+                                    position),
+                "mpi pack header");
+          check(baseline::mpi::pack(payload.data(), 1, float_type,
+                                    pack_buffer.data(), pack_buffer.size(),
+                                    position),
+                "mpi pack data");
+        },
+        iters);
+
+    // CDR encode.
+    double cdr_ms = bench::encode_ms(
+        [&] { (void)expect(cdr_codec.encode(&message), "cdr encode"); }, iters);
+
+    // PBIO encode.
+    ByteBuffer buffer;
+    double pbio_ms = bench::encode_ms(
+        [&] {
+          buffer.clear();
+          check(pbio_encoder.encode(&message, buffer), "pbio encode");
+        },
+        iters);
+
+    std::printf("%-10s %12.6f %12.6f %12.6f %12.6f | %9.1f %9.2f %9.2f\n",
+                size.label, xml_ms, mpi_ms, cdr_ms, pbio_ms, xml_ms / pbio_ms,
+                mpi_ms / pbio_ms, cdr_ms / pbio_ms);
+  }
+
+  // Receive side (§4.1: "XML suffers from the necessity of performing
+  // string conversions on BOTH sending and receiving ends").
+  std::printf("\n%-10s %12s %12s %12s %12s | %9s\n", "payload",
+              "XML (ms)", "MPI (ms)", "CDR (ms)", "PBIO (ms)", "XML/PBIO");
+  pbio::Decoder decoder(registry);
+  for (const auto& size : kSizes) {
+    std::size_t n = (size.bytes - 8) / sizeof(float);
+    std::vector<float> payload(n, 12.345f);
+    Message message{9999, static_cast<std::int32_t>(n), payload.data()};
+    int iters = size.bytes >= 100000 ? 32 : 256;
+
+    auto xml_text = expect(xml_codec.encode(&message), "xml");
+    auto cdr_bytes = expect(cdr_codec.encode(&message), "cdr");
+    auto pbio_bytes = expect(pbio_encoder.encode_to_vector(&message), "pbio");
+    auto float_type = baseline::mpi::Datatype::contiguous(
+        n, baseline::mpi::Datatype::basic(baseline::mpi::BasicType::kFloat));
+    float_type.commit();
+    std::vector<std::uint8_t> pack_buffer(header_type.size() +
+                                          float_type.size());
+    {
+      std::size_t position = 0;
+      check(baseline::mpi::pack(&message, 1, header_type, pack_buffer.data(),
+                                pack_buffer.size(), position),
+            "pack");
+      check(baseline::mpi::pack(payload.data(), 1, float_type,
+                                pack_buffer.data(), pack_buffer.size(),
+                                position),
+            "pack");
+    }
+
+    Arena arena;
+    Message out{};
+    std::vector<float> sink(n);
+    double xml_ms = bench::encode_ms(
+        [&] {
+          arena.reset();
+          check(xml_codec.decode(xml_text, &out, arena), "xml decode");
+        },
+        iters / 4 + 1);
+    double mpi_ms = bench::encode_ms(
+        [&] {
+          std::size_t position = 0;
+          Message header{};
+          check(baseline::mpi::unpack(pack_buffer.data(), pack_buffer.size(),
+                                      position, &header, 1, header_type),
+                "unpack");
+          check(baseline::mpi::unpack(pack_buffer.data(), pack_buffer.size(),
+                                      position, sink.data(), 1, float_type),
+                "unpack");
+        },
+        iters);
+    double cdr_ms = bench::encode_ms(
+        [&] {
+          arena.reset();
+          check(cdr_codec.decode(cdr_bytes, &out, arena), "cdr decode");
+        },
+        iters);
+    double pbio_ms = bench::encode_ms(
+        [&] {
+          arena.reset();
+          check(decoder.decode(pbio_bytes, *format, &out, arena), "pbio decode");
+        },
+        iters);
+    std::printf("%-10s %12.6f %12.6f %12.6f %12.6f | %9.1f\n", size.label,
+                xml_ms, mpi_ms, cdr_ms, pbio_ms, xml_ms / pbio_ms);
+  }
+  std::printf("(receive side; PBIO decode here copies out — in-place decode"
+              " is cheaper still, see bench_ablation_decode)\n");
+
+  std::printf(
+      "\npaper reference: XML sits 2-4 orders of magnitude above the binary\n"
+      "mechanisms at every size; MPICH is ~10x PBIO near 100 bytes; the\n"
+      "binary mechanisms converge at large sizes where memcpy dominates.\n"
+      "known deviation: our mpilite baseline implements MPICH's dataloop\n"
+      "*algorithm* but not its layering/interpreter constant overhead, so\n"
+      "its small-message penalty vs PBIO is much smaller than the paper's\n"
+      "~10x; the XML-vs-binary gap (the paper's headline claim) and the\n"
+      "large-size convergence of the binary mechanisms are reproduced.\n");
+  return 0;
+}

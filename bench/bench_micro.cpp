@@ -1,0 +1,261 @@
+// Library micro-benchmarks on the hot paths (google-benchmark). These are
+// engineering benchmarks rather than figure reproductions: throughput of
+// the XML parser, PBIO encode/decode by payload size, conversion decode,
+// XML wire codec, MPI packing, registration.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "baseline/mpilite.hpp"
+#include "baseline/xmlwire.hpp"
+#include "common/arena.hpp"
+#include "hydrology/messages.hpp"
+#include "pbio/decode.hpp"
+#include "pbio/dynrecord.hpp"
+#include "pbio/format_wire.hpp"
+#include "pbio/encode.hpp"
+#include "pbio/registry.hpp"
+#include "xmit/layout.hpp"
+#include "xmit/xmit.hpp"
+#include "rpc/xmlrpc.hpp"
+#include "session/session.hpp"
+#include "xml/parser.hpp"
+#include "xsd/parse.hpp"
+
+namespace {
+
+using namespace xmit;
+
+struct Message {
+  std::int32_t timestep;
+  std::int32_t size;
+  float* data;
+};
+
+pbio::FormatPtr message_format(pbio::FormatRegistry& registry) {
+  return registry
+      .register_format("Message",
+                       {{"timestep", "integer", 4, offsetof(Message, timestep)},
+                        {"size", "integer", 4, offsetof(Message, size)},
+                        {"data", "float[size]", 4, offsetof(Message, data)}},
+                       sizeof(Message))
+      .value();
+}
+
+void BM_XmlParseSchema(benchmark::State& state) {
+  std::string text = hydrology::hydrology_schema_xml();
+  for (auto _ : state) {
+    auto doc = xml::parse_document(text);
+    benchmark::DoNotOptimize(doc);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(text.size()));
+}
+BENCHMARK(BM_XmlParseSchema);
+
+void BM_SchemaModelParse(benchmark::State& state) {
+  std::string text = hydrology::hydrology_schema_xml();
+  for (auto _ : state) {
+    auto schema = xsd::parse_schema_text(text);
+    benchmark::DoNotOptimize(schema);
+  }
+}
+BENCHMARK(BM_SchemaModelParse);
+
+void BM_LayoutSchema(benchmark::State& state) {
+  auto schema =
+      xsd::parse_schema_text(hydrology::hydrology_schema_xml()).value();
+  for (auto _ : state) {
+    auto layouts = toolkit::layout_schema(schema, pbio::ArchInfo::host());
+    benchmark::DoNotOptimize(layouts);
+  }
+}
+BENCHMARK(BM_LayoutSchema);
+
+void BM_PbioRegister(benchmark::State& state) {
+  for (auto _ : state) {
+    pbio::FormatRegistry registry;
+    auto format = message_format(registry);
+    benchmark::DoNotOptimize(format);
+  }
+}
+BENCHMARK(BM_PbioRegister);
+
+void BM_XmitLoadText(benchmark::State& state) {
+  std::string text = hydrology::hydrology_schema_xml();
+  for (auto _ : state) {
+    pbio::FormatRegistry registry;
+    toolkit::Xmit xmit(registry);
+    benchmark::DoNotOptimize(xmit.load_text(text, "bench"));
+  }
+}
+BENCHMARK(BM_XmitLoadText);
+
+void BM_PbioEncode(benchmark::State& state) {
+  pbio::FormatRegistry registry;
+  auto format = message_format(registry);
+  auto encoder = pbio::Encoder::make(format).value();
+  std::vector<float> payload(static_cast<std::size_t>(state.range(0)));
+  Message message{1, static_cast<std::int32_t>(payload.size()), payload.data()};
+  ByteBuffer buffer;
+  for (auto _ : state) {
+    buffer.clear();
+    benchmark::DoNotOptimize(encoder.encode(&message, buffer));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(buffer.size()));
+}
+BENCHMARK(BM_PbioEncode)->Arg(16)->Arg(256)->Arg(4096)->Arg(65536);
+
+void BM_PbioDecodeIdentity(benchmark::State& state) {
+  pbio::FormatRegistry registry;
+  auto format = message_format(registry);
+  auto encoder = pbio::Encoder::make(format).value();
+  std::vector<float> payload(static_cast<std::size_t>(state.range(0)));
+  Message message{1, static_cast<std::int32_t>(payload.size()), payload.data()};
+  auto bytes = encoder.encode_to_vector(&message).value();
+  pbio::Decoder decoder(registry);
+  Arena arena;
+  Message out{};
+  for (auto _ : state) {
+    arena.reset();
+    benchmark::DoNotOptimize(decoder.decode(bytes, *format, &out, arena));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes.size()));
+}
+BENCHMARK(BM_PbioDecodeIdentity)->Arg(16)->Arg(4096)->Arg(65536);
+
+void BM_PbioDecodeInPlace(benchmark::State& state) {
+  pbio::FormatRegistry registry;
+  auto format = message_format(registry);
+  auto encoder = pbio::Encoder::make(format).value();
+  std::vector<float> payload(static_cast<std::size_t>(state.range(0)));
+  Message message{1, static_cast<std::int32_t>(payload.size()), payload.data()};
+  auto bytes = encoder.encode_to_vector(&message).value();
+  pbio::Decoder decoder(registry);
+  auto scratch = bytes;
+  for (auto _ : state) {
+    std::copy(bytes.begin(), bytes.end(), scratch.begin());
+    benchmark::DoNotOptimize(decoder.decode_in_place(scratch, *format));
+  }
+}
+BENCHMARK(BM_PbioDecodeInPlace)->Arg(16)->Arg(4096)->Arg(65536);
+
+void BM_PbioDecodeByteSwap(benchmark::State& state) {
+  pbio::FormatRegistry registry;
+  auto host = message_format(registry);
+  // Big-endian sender with the same layout shape.
+  auto foreign =
+      pbio::Format::make("Message",
+                         {{"timestep", "integer", 4, 0},
+                          {"size", "integer", 4, 4},
+                          {"data", "float[size]", 4, 8}},
+                         16, pbio::ArchInfo::big_endian_64())
+          .value();
+  (void)registry.adopt(foreign);
+  pbio::RecordBuilder builder(foreign);
+  (void)builder.set_int("timestep", 1);
+  std::vector<double> values(static_cast<std::size_t>(state.range(0)), 1.5);
+  (void)builder.set_float_array("data", values);
+  auto bytes = builder.build().value();
+  pbio::Decoder decoder(registry);
+  Arena arena;
+  Message out{};
+  for (auto _ : state) {
+    arena.reset();
+    benchmark::DoNotOptimize(decoder.decode(bytes, *host, &out, arena));
+  }
+}
+BENCHMARK(BM_PbioDecodeByteSwap)->Arg(16)->Arg(4096);
+
+void BM_XmlWireEncode(benchmark::State& state) {
+  pbio::FormatRegistry registry;
+  auto format = message_format(registry);
+  auto codec = baseline::XmlWireCodec::make(format).value();
+  std::vector<float> payload(static_cast<std::size_t>(state.range(0)), 12.345f);
+  Message message{1, static_cast<std::int32_t>(payload.size()), payload.data()};
+  std::string out;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(codec.encode(&message, out));
+  }
+}
+BENCHMARK(BM_XmlWireEncode)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_XmlWireDecode(benchmark::State& state) {
+  pbio::FormatRegistry registry;
+  auto format = message_format(registry);
+  auto codec = baseline::XmlWireCodec::make(format).value();
+  std::vector<float> payload(static_cast<std::size_t>(state.range(0)), 12.345f);
+  Message message{1, static_cast<std::int32_t>(payload.size()), payload.data()};
+  auto text = codec.encode(&message).value();
+  Arena arena;
+  Message out{};
+  for (auto _ : state) {
+    arena.reset();
+    benchmark::DoNotOptimize(codec.decode(text, &out, arena));
+  }
+}
+BENCHMARK(BM_XmlWireDecode)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_MpiPack(benchmark::State& state) {
+  auto type = baseline::mpi::Datatype::contiguous(
+      static_cast<std::size_t>(state.range(0)),
+      baseline::mpi::Datatype::basic(baseline::mpi::BasicType::kFloat));
+  type.commit();
+  std::vector<float> payload(static_cast<std::size_t>(state.range(0)), 1.0f);
+  std::vector<std::uint8_t> buffer(baseline::mpi::pack_size(1, type));
+  for (auto _ : state) {
+    std::size_t position = 0;
+    benchmark::DoNotOptimize(baseline::mpi::pack(
+        payload.data(), 1, type, buffer.data(), buffer.size(), position));
+  }
+}
+BENCHMARK(BM_MpiPack)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_SessionSendReceive(benchmark::State& state) {
+  pbio::FormatRegistry sender_registry, receiver_registry;
+  auto pair =
+      session::make_session_pipe(sender_registry, receiver_registry).value();
+  auto format = message_format(sender_registry);
+  auto encoder = pbio::Encoder::make(format).value();
+  std::vector<float> payload(static_cast<std::size_t>(state.range(0)), 1.0f);
+  Message message{1, static_cast<std::int32_t>(payload.size()), payload.data()};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pair.a.send(encoder, &message));
+    auto incoming = pair.b.receive(2000);
+    benchmark::DoNotOptimize(incoming);
+  }
+}
+BENCHMARK(BM_SessionSendReceive)->Arg(16)->Arg(4096);
+
+void BM_XmlRpcValueRoundTrip(benchmark::State& state) {
+  rpc::MethodCall call;
+  call.method = "stats.get";
+  call.params = {rpc::Value::from_int(7),
+                 rpc::Value::structure({
+                     {"min", rpc::Value::from_double(0.5)},
+                     {"max", rpc::Value::from_double(9.5)},
+                 })};
+  for (auto _ : state) {
+    auto text = rpc::write_method_call(call);
+    auto parsed = rpc::parse_method_call(text);
+    benchmark::DoNotOptimize(parsed);
+  }
+}
+BENCHMARK(BM_XmlRpcValueRoundTrip);
+
+void BM_FormatMetadataSerialize(benchmark::State& state) {
+  pbio::FormatRegistry registry;
+  auto format = message_format(registry);
+  for (auto _ : state) {
+    auto blob = pbio::serialize_format(*format);
+    auto restored = pbio::deserialize_format(blob);
+    benchmark::DoNotOptimize(restored);
+  }
+}
+BENCHMARK(BM_FormatMetadataSerialize);
+
+}  // namespace
+
+BENCHMARK_MAIN();

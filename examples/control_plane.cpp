@@ -1,0 +1,155 @@
+// Mixed-protocol service: an XML-RPC *control plane* steering a PBIO
+// *data plane* — the deployment style the paper argues for. Text-based
+// protocols are fine where flexibility matters and traffic is light
+// (discovery, subscription, status); bulk data stays binary.
+//
+// The server exposes three XML-RPC methods:
+//   catalog.list()              -> array of format descriptors
+//   stream.open(name, frames)   -> TCP port carrying PBIO records
+//   stats.get()                 -> calls served / records streamed
+// and streams SimpleData frames over a Channel once a client subscribes.
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "common/arena.hpp"
+#include "hydrology/messages.hpp"
+#include "hydrology/solver.hpp"
+#include "net/channel.hpp"
+#include "net/http.hpp"
+#include "pbio/decode.hpp"
+#include "rpc/xmlrpc.hpp"
+#include "xmit/xmit.hpp"
+
+using namespace xmit;
+
+int main() {
+  // --- server setup ----------------------------------------------------
+  auto http = net::HttpServer::start().value();
+  http->put_document("/formats/hydrology.xsd",
+                     hydrology::hydrology_schema_xml());
+
+  pbio::FormatRegistry registry;
+  toolkit::Xmit xmit_toolkit(registry);
+  if (!xmit_toolkit.load(http->url_for("/formats/hydrology.xsd")).is_ok())
+    return 1;
+
+  rpc::XmlRpcServer control(*http);
+  std::atomic<int> records_streamed{0};
+
+  control.register_method(
+      "catalog.list",
+      [&](const std::vector<rpc::Value>&) -> Result<rpc::Value> {
+        std::vector<rpc::Value> formats;
+        for (const auto& name : xmit_toolkit.loaded_types()) {
+          auto token = xmit_toolkit.bind(name);
+          if (!token.is_ok()) continue;
+          formats.push_back(rpc::Value::structure({
+              {"name", rpc::Value::from_string(name)},
+              {"bytes", rpc::Value::from_int(
+                            static_cast<std::int32_t>(token.value().format->struct_size()))},
+              {"fields", rpc::Value::from_int(static_cast<std::int32_t>(
+                             token.value().format->fields().size()))},
+          }));
+        }
+        return rpc::Value::array(std::move(formats));
+      });
+
+  // stream.open spins up a one-shot TCP data stream and returns its port.
+  std::vector<std::thread> streams;
+  control.register_method(
+      "stream.open",
+      [&](const std::vector<rpc::Value>& params) -> Result<rpc::Value> {
+        if (params.size() != 2)
+          return Status(ErrorCode::kInvalidArgument,
+                        "stream.open(name, frames)");
+        XMIT_ASSIGN_OR_RETURN(auto name, params[0].as_string());
+        XMIT_ASSIGN_OR_RETURN(auto frames, params[1].as_int());
+        if (name != "SimpleData")
+          return Status(ErrorCode::kNotFound, "only SimpleData streams here");
+        XMIT_ASSIGN_OR_RETURN(auto token, xmit_toolkit.bind(name));
+        XMIT_ASSIGN_OR_RETURN(auto listener, net::ChannelListener::listen());
+        std::uint16_t port = listener.port();
+        streams.emplace_back([listener = std::move(listener), token, frames,
+                              &records_streamed]() mutable {
+          auto channel = listener.accept(5000);
+          if (!channel.is_ok()) return;
+          hydrology::ShallowWaterModel model(24, 18, 7);
+          for (int t = 0; t < frames; ++t) {
+            model.step();
+            hydrology::SimpleData frame{};
+            frame.timestep = model.timestep();
+            frame.size = static_cast<std::int32_t>(model.depth().size());
+            frame.data = const_cast<float*>(model.depth().data());
+            auto bytes = token.encoder->encode_to_vector(&frame);
+            if (!bytes.is_ok() || !channel.value().send(bytes.value()).is_ok())
+              return;
+            records_streamed.fetch_add(1);
+          }
+          channel.value().close();
+        });
+        return rpc::Value::from_int(port);
+      });
+
+  control.register_method(
+      "stats.get", [&](const std::vector<rpc::Value>&) -> Result<rpc::Value> {
+        return rpc::Value::structure({
+            {"records_streamed",
+             rpc::Value::from_int(records_streamed.load())},
+        });
+      });
+
+  // --- client side -------------------------------------------------------
+  rpc::XmlRpcClient client("127.0.0.1", http->port());
+
+  auto catalog = client.call("catalog.list", {}).value();
+  std::printf("catalog (%zu formats):\n", catalog.items().size());
+  for (const auto& entry : catalog.items())
+    std::printf("  %-14s %3d bytes, %d fields\n",
+                entry.member("name").value()->as_string().value().c_str(),
+                entry.member("bytes").value()->as_int().value(),
+                entry.member("fields").value()->as_int().value());
+
+  auto port = client
+                  .call("stream.open", {rpc::Value::from_string("SimpleData"),
+                                        rpc::Value::from_int(5)})
+                  .value()
+                  .as_int()
+                  .value();
+  std::printf("control plane granted a data stream on port %d\n", port);
+
+  // Client needs the formats too (its own discovery) to decode the stream.
+  pbio::FormatRegistry client_registry;
+  toolkit::Xmit client_xmit(client_registry);
+  if (!client_xmit.load(http->url_for("/formats/hydrology.xsd")).is_ok())
+    return 1;
+  auto binding = client_xmit.bind("SimpleData").value();
+  pbio::Decoder decoder(client_registry);
+
+  auto channel = net::Channel::connect(static_cast<std::uint16_t>(port)).value();
+  Arena arena;
+  int received = 0;
+  double last_sum = 0;
+  for (;;) {
+    auto bytes = channel.receive(5000);
+    if (!bytes.is_ok()) break;
+    hydrology::SimpleData frame{};
+    arena.reset();
+    if (!decoder.decode(bytes.value(), *binding.format, &frame, arena).is_ok())
+      break;
+    double sum = 0;
+    for (int i = 0; i < frame.size; ++i) sum += frame.data[i];
+    last_sum = sum;
+    ++received;
+  }
+  std::printf("data plane: received %d binary frames (last depth sum %.2f)\n",
+              received, last_sum);
+
+  auto stats = client.call("stats.get", {}).value();
+  std::printf("server stats: %d records streamed, %zu control calls\n",
+              stats.member("records_streamed").value()->as_int().value(),
+              control.calls_served());
+
+  for (auto& stream : streams) stream.join();
+  return received == 5 ? 0 : 1;
+}

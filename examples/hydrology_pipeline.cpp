@@ -1,0 +1,53 @@
+// The paper's §4.5 application: the NCSA Hydrology component pipeline
+// (Figure 5) running end-to-end with every message format discovered over
+// HTTP at startup — data file reader -> presend -> flow2d -> coupler ->
+// two Vis5D sinks with feedback channels.
+//
+// Usage: hydrology_pipeline [nx ny timesteps stride]
+#include <cstdio>
+#include <cstdlib>
+
+#include "hydrology/pipeline.hpp"
+
+int main(int argc, char** argv) {
+  xmit::hydrology::PipelineConfig config;
+  config.nx = 48;
+  config.ny = 36;
+  config.timesteps = 12;
+  config.presend_stride = 2;
+  if (argc >= 3) {
+    config.nx = std::atoi(argv[1]);
+    config.ny = std::atoi(argv[2]);
+  }
+  if (argc >= 4) config.timesteps = std::atoi(argv[3]);
+  if (argc >= 5) config.presend_stride = std::atoi(argv[4]);
+
+  std::printf("hydrology pipeline: %dx%d grid, %d timesteps, presend 1/%d, "
+              "%d Vis5D sink(s)\n",
+              config.nx, config.ny, config.timesteps, config.presend_stride,
+              config.sink_count);
+
+  auto report = xmit::hydrology::run_pipeline(config);
+  if (!report.is_ok()) {
+    std::fprintf(stderr, "pipeline failed: %s\n",
+                 report.status().to_string().c_str());
+    return 1;
+  }
+  const auto& r = report.value();
+  std::printf("schema fetches served over HTTP : %zu (one per component)\n",
+              r.schema_requests);
+  std::printf("frames read from data source   : %d\n", r.frames_sent);
+  std::printf("frames after presend subsample : %d\n", r.frames_forwarded);
+  std::printf("velocity fields from flow2d    : %d\n", r.fields_produced);
+  std::printf("fields routed by coupler       : %d\n", r.fields_routed);
+  for (std::size_t s = 0; s < r.final_summaries.size(); ++s) {
+    const auto& summary = r.final_summaries[s];
+    std::printf(
+        "vis5d[%zu] rendered %d frames; final t=%d: %d cells, speed "
+        "min/mean/max = %.4f / %.4f / %.4f (stddev %.4f)\n",
+        s, r.frames_rendered[s], summary.timestep, summary.cells, summary.min,
+        summary.mean, summary.max, summary.stddev);
+  }
+  std::printf("source field checksum          : %.6f\n", r.source_checksum);
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Quickstart: the complete XMIT workflow in one file.
+//
+//   1. Host an XML Schema message definition on the built-in HTTP server
+//      (in production this is any web server — the paper used Apache).
+//   2. Discover it at run time with the XMIT toolkit (no compiled-in
+//      metadata).
+//   3. Bind the format and marshal a C struct to PBIO's binary wire form.
+//   4. Unmarshal on the "receiving" side, looking the format up by the
+//      id carried in the record header.
+//
+// Build: cmake --build build --target quickstart && ./build/examples/quickstart
+#include <cstdio>
+#include <vector>
+
+#include "common/arena.hpp"
+#include "net/http.hpp"
+#include "pbio/decode.hpp"
+#include "xmit/xmit.hpp"
+
+namespace {
+
+// The structure we want to ship — note there is no IOField table anywhere
+// in this program; the layout comes from the schema document.
+struct SensorReading {
+  std::int32_t sensor_id;
+  std::int32_t count;
+  float* samples;
+  char* site;
+};
+
+constexpr const char* kSchema = R"(
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:complexType name="SensorReading">
+    <xsd:element name="sensor_id" type="xsd:integer" />
+    <xsd:element name="samples" type="xsd:float" maxOccurs="*"
+                 dimensionName="count" dimensionPlacement="before" />
+    <xsd:element name="site" type="xsd:string" />
+  </xsd:complexType>
+</xsd:schema>
+)";
+
+}  // namespace
+
+int main() {
+  // --- 1. Publish the metadata --------------------------------------
+  auto server = xmit::net::HttpServer::start();
+  if (!server.is_ok()) {
+    std::fprintf(stderr, "server: %s\n", server.status().to_string().c_str());
+    return 1;
+  }
+  server.value()->put_document("/formats/sensor.xsd", kSchema);
+  std::string url = server.value()->url_for("/formats/sensor.xsd");
+  std::printf("schema hosted at %s\n", url.c_str());
+
+  // --- 2. Discover --------------------------------------------------
+  xmit::pbio::FormatRegistry registry;
+  xmit::toolkit::Xmit xmit(registry);
+  if (auto status = xmit.load(url); !status.is_ok()) {
+    std::fprintf(stderr, "load: %s\n", status.to_string().c_str());
+    return 1;
+  }
+  const auto& stats = xmit.last_load_stats();
+  std::printf("loaded %zu type(s): fetch %.3f ms, parse %.3f ms, "
+              "translate %.3f ms, register %.3f ms\n",
+              stats.types_loaded, stats.fetch_ms, stats.parse_ms,
+              stats.translate_ms, stats.register_ms);
+
+  // --- 3. Bind and marshal ------------------------------------------
+  auto token = xmit.bind("SensorReading");
+  if (!token.is_ok()) {
+    std::fprintf(stderr, "bind: %s\n", token.status().to_string().c_str());
+    return 1;
+  }
+  std::vector<float> samples = {0.5f, 1.5f, 2.5f, 3.5f};
+  char site[] = "gauge-12";
+  SensorReading reading{42, static_cast<std::int32_t>(samples.size()),
+                        samples.data(), site};
+  auto record = token.value().encoder->encode_to_vector(&reading);
+  if (!record.is_ok()) {
+    std::fprintf(stderr, "encode: %s\n", record.status().to_string().c_str());
+    return 1;
+  }
+  std::printf("encoded %zu-byte binary record (format id %016llx)\n",
+              record.value().size(),
+              static_cast<unsigned long long>(token.value().format->id()));
+
+  // --- 4. Unmarshal --------------------------------------------------
+  xmit::pbio::Decoder decoder(registry);
+  xmit::Arena arena;
+  SensorReading decoded{};
+  auto status = decoder.decode(record.value(), *token.value().format,
+                               &decoded, arena);
+  if (!status.is_ok()) {
+    std::fprintf(stderr, "decode: %s\n", status.to_string().c_str());
+    return 1;
+  }
+  std::printf("decoded: sensor %d at '%s', %d samples:", decoded.sensor_id,
+              decoded.site, decoded.count);
+  for (int i = 0; i < decoded.count; ++i)
+    std::printf(" %.1f", decoded.samples[i]);
+  std::printf("\n");
+
+  // Zero-copy alternative: point into the record buffer directly.
+  auto view = decoder.decode_in_place(record.value(), *token.value().format);
+  if (view.is_ok()) {
+    const auto* in_place = static_cast<const SensorReading*>(view.value());
+    std::printf("in-place view: sensor %d, first sample %.1f (zero copies)\n",
+                in_place->sensor_id, in_place->samples[0]);
+  }
+  return 0;
+}

@@ -1,0 +1,178 @@
+#include "baseline/cdr.hpp"
+
+#include <cstring>
+
+#include "common/bytes.hpp"
+#include "pbio/scalar.hpp"
+
+namespace xmit::baseline {
+namespace {
+
+using pbio::ArrayMode;
+using pbio::FieldKind;
+using pbio::FlatField;
+using pbio::FormatPtr;
+
+// CDR alignment restarts at the message body origin; kSize covers the
+// endian flag + padding.
+constexpr std::size_t kBodyOrigin = 4;
+
+std::size_t cdr_alignment(const FlatField& field) {
+  std::size_t align = field.size;
+  return align > 8 ? 8 : align;
+}
+
+Result<std::int64_t> host_count(const std::uint8_t* record,
+                                const FlatField& field) {
+  XMIT_ASSIGN_OR_RETURN(
+      auto scalar, pbio::load_scalar(record + field.count_offset,
+                                     field.count_kind, field.count_size,
+                                     host_byte_order()));
+  std::int64_t count = scalar.as_signed();
+  if (count < 0)
+    return Status(ErrorCode::kInvalidArgument,
+                  "negative count for '" + field.path + "'");
+  return count;
+}
+
+}  // namespace
+
+Result<CdrCodec> CdrCodec::make(FormatPtr format) {
+  if (!format) return Status(ErrorCode::kInvalidArgument, "null format");
+  if (!(format->arch() == pbio::ArchInfo::host()))
+    return Status(ErrorCode::kInvalidArgument,
+                  "CDR codec requires host-architecture formats");
+  return CdrCodec(std::move(format));
+}
+
+Result<std::vector<std::uint8_t>> CdrCodec::encode(const void* record) const {
+  const auto* bytes = static_cast<const std::uint8_t*>(record);
+  ByteBuffer out;
+  out.append_byte(host_byte_order() == ByteOrder::kLittle ? 1 : 0);
+  out.append_zeros(kBodyOrigin - 1);
+  const ByteOrder order = host_byte_order();
+
+  auto align_stream = [&](std::size_t alignment) {
+    // Alignment is computed relative to the body origin.
+    std::size_t body = out.size() - kBodyOrigin;
+    out.append_zeros(align_up(body, alignment) - body);
+  };
+
+  for (const auto& field : format_->flat_fields()) {
+    if (field.kind == FieldKind::kString) {
+      const std::uint32_t elems =
+          field.array_mode == ArrayMode::kFixed ? field.fixed_count : 1;
+      for (std::uint32_t i = 0; i < elems; ++i) {
+        const char* str = load_raw<const char*>(
+            bytes + field.offset + std::size_t(i) * sizeof(void*));
+        std::size_t len = str == nullptr ? 0 : std::strlen(str);
+        align_stream(4);
+        out.append_u32(static_cast<std::uint32_t>(len + 1), order);
+        if (str != nullptr) out.append(str, len);
+        out.append_byte(0);
+      }
+      continue;
+    }
+
+    if (field.array_mode == ArrayMode::kDynamic) {
+      XMIT_ASSIGN_OR_RETURN(auto count, host_count(bytes, field));
+      const auto* data = load_raw<const std::uint8_t*>(bytes + field.offset);
+      if (data == nullptr && count > 0)
+        return Status(ErrorCode::kInvalidArgument,
+                      "null array '" + field.path + "'");
+      align_stream(4);
+      out.append_u32(static_cast<std::uint32_t>(count), order);
+      align_stream(cdr_alignment(field));
+      // CDR sequences of primitives are contiguous in both stream and
+      // memory, but an ORB still copies through its marshal buffer.
+      if (count > 0) out.append(data, std::size_t(count) * field.size);
+      continue;
+    }
+
+    const std::uint32_t elems =
+        field.array_mode == ArrayMode::kFixed ? field.fixed_count : 1;
+    align_stream(cdr_alignment(field));
+    // Within a fixed array all elements share alignment; copy per element
+    // (alignment in the struct and the stream agree element-to-element).
+    out.append(bytes + field.offset, std::size_t(elems) * field.size);
+  }
+  return out.take();
+}
+
+Result<std::size_t> CdrCodec::encoded_size(const void* record) const {
+  XMIT_ASSIGN_OR_RETURN(auto encoded, encode(record));
+  return encoded.size();
+}
+
+Status CdrCodec::decode(std::span<const std::uint8_t> bytes, void* out,
+                        Arena& arena) const {
+  if (bytes.size() < kBodyOrigin)
+    return make_error(ErrorCode::kOutOfRange, "CDR stream too short");
+  const ByteOrder order =
+      bytes[0] == 1 ? ByteOrder::kLittle : ByteOrder::kBig;
+  ByteReader reader(bytes.data(), bytes.size());
+  XMIT_RETURN_IF_ERROR(reader.skip(kBodyOrigin));
+  auto* dst = static_cast<std::uint8_t*>(out);
+  std::memset(dst, 0, format_->struct_size());
+
+  auto align_stream = [&](std::size_t alignment) -> Status {
+    std::size_t body = reader.position() - kBodyOrigin;
+    return reader.seek(kBodyOrigin + align_up(body, alignment));
+  };
+
+  for (const auto& field : format_->flat_fields()) {
+    if (field.kind == FieldKind::kString) {
+      const std::uint32_t elems =
+          field.array_mode == ArrayMode::kFixed ? field.fixed_count : 1;
+      for (std::uint32_t i = 0; i < elems; ++i) {
+        XMIT_RETURN_IF_ERROR(align_stream(4));
+        XMIT_ASSIGN_OR_RETURN(auto len, reader.read_u32(order));
+        if (len == 0)
+          return make_error(ErrorCode::kParseError,
+                            "CDR string with zero length");
+        XMIT_ASSIGN_OR_RETURN(auto text, reader.read_string(len));
+        if (text.back() != '\0')
+          return make_error(ErrorCode::kParseError,
+                            "CDR string missing terminator");
+        char* copy = arena.duplicate_string(text.data(), text.size() - 1);
+        store_raw(dst + field.offset + std::size_t(i) * sizeof(void*), copy);
+      }
+      continue;
+    }
+
+    if (field.array_mode == ArrayMode::kDynamic) {
+      XMIT_RETURN_IF_ERROR(align_stream(4));
+      XMIT_ASSIGN_OR_RETURN(auto count, reader.read_u32(order));
+      XMIT_RETURN_IF_ERROR(align_stream(cdr_alignment(field)));
+      std::size_t payload = std::size_t(count) * field.size;
+      if (payload > reader.remaining())
+        return make_error(ErrorCode::kOutOfRange,
+                          "CDR sequence extends past stream end");
+      auto* data = static_cast<std::uint8_t*>(
+          arena.allocate(payload == 0 ? 1 : payload, cdr_alignment(field)));
+      XMIT_RETURN_IF_ERROR(reader.read_bytes(data, payload));
+      if (order != host_byte_order() && field.size > 1)
+        for (std::uint32_t i = 0; i < count; ++i)
+          bswap_inplace(data + std::size_t(i) * field.size, field.size);
+      store_raw(dst + field.offset, count == 0 ? nullptr : data);
+      pbio::store_scalar(dst + field.count_offset, field.count_kind,
+                         field.count_size,
+                         pbio::ScalarValue::from_unsigned(count),
+                         host_byte_order());
+      continue;
+    }
+
+    const std::uint32_t elems =
+        field.array_mode == ArrayMode::kFixed ? field.fixed_count : 1;
+    XMIT_RETURN_IF_ERROR(align_stream(cdr_alignment(field)));
+    XMIT_RETURN_IF_ERROR(reader.read_bytes(
+        dst + field.offset, std::size_t(elems) * field.size));
+    if (order != host_byte_order() && field.size > 1)
+      for (std::uint32_t i = 0; i < elems; ++i)
+        bswap_inplace(dst + field.offset + std::size_t(i) * field.size,
+                      field.size);
+  }
+  return Status::ok();
+}
+
+}  // namespace xmit::baseline

@@ -1,0 +1,43 @@
+// CORBA CDR / IIOP-flavoured codec — the CORBA baseline of Figure 8.
+//
+// GIOP message bodies use Common Data Representation: primitives aligned
+// to their natural boundary within the stream, strings as u32 length +
+// bytes + NUL, sequences as u32 count + elements, and a leading byte-order
+// flag so the *reader* makes right. Unlike PBIO, the layout of the stream
+// never matches the in-memory struct (alignment restarts at the stream
+// origin), so encode and decode both walk field-by-field and always copy —
+// the property the paper's §5 calls out for IIOP.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/arena.hpp"
+#include "common/error.hpp"
+#include "pbio/format.hpp"
+
+namespace xmit::baseline {
+
+class CdrCodec {
+ public:
+  // `format` must describe host-architecture structures.
+  static Result<CdrCodec> make(pbio::FormatPtr format);
+
+  const pbio::Format& format() const { return *format_; }
+
+  // Struct -> CDR stream (1-byte endian flag + 3 pad bytes + body).
+  Result<std::vector<std::uint8_t>> encode(const void* record) const;
+
+  // CDR stream -> struct; honours the sender's byte-order flag.
+  Status decode(std::span<const std::uint8_t> bytes, void* out,
+                Arena& arena) const;
+
+  Result<std::size_t> encoded_size(const void* record) const;
+
+ private:
+  explicit CdrCodec(pbio::FormatPtr format) : format_(std::move(format)) {}
+
+  pbio::FormatPtr format_;
+};
+
+}  // namespace xmit::baseline

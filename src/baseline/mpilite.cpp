@@ -1,0 +1,156 @@
+#include "baseline/mpilite.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace xmit::baseline::mpi {
+
+std::size_t basic_size(BasicType type) {
+  switch (type) {
+    case BasicType::kChar:
+    case BasicType::kByte:
+      return 1;
+    case BasicType::kShort:
+      return 2;
+    case BasicType::kInt:
+    case BasicType::kUnsigned:
+    case BasicType::kFloat:
+      return 4;
+    case BasicType::kLong:
+    case BasicType::kUnsignedLong:
+    case BasicType::kDouble:
+      return 8;
+  }
+  return 0;
+}
+
+Datatype Datatype::basic(BasicType type) {
+  Datatype out;
+  out.typemap_.push_back({type, 0});
+  out.packed_size_ = basic_size(type);
+  out.extent_ = basic_size(type);
+  return out;
+}
+
+Datatype Datatype::contiguous(std::size_t count, const Datatype& element) {
+  Datatype out;
+  out.typemap_.reserve(count * element.typemap_.size());
+  for (std::size_t i = 0; i < count; ++i)
+    for (const auto& entry : element.typemap_)
+      out.typemap_.push_back(
+          {entry.basic, i * element.extent_ + entry.displacement});
+  out.packed_size_ = count * element.packed_size_;
+  out.extent_ = count * element.extent_;
+  return out;
+}
+
+Datatype Datatype::vector(std::size_t count, std::size_t block_length,
+                          std::size_t stride, const Datatype& element) {
+  Datatype out;
+  for (std::size_t block = 0; block < count; ++block) {
+    std::size_t block_base = block * stride * element.extent_;
+    for (std::size_t i = 0; i < block_length; ++i)
+      for (const auto& entry : element.typemap_)
+        out.typemap_.push_back(
+            {entry.basic,
+             block_base + i * element.extent_ + entry.displacement});
+  }
+  out.packed_size_ = count * block_length * element.packed_size_;
+  std::size_t max_extent = 0;
+  for (const auto& entry : out.typemap_)
+    max_extent = std::max(max_extent,
+                          entry.displacement + basic_size(entry.basic));
+  out.extent_ = max_extent;
+  return out;
+}
+
+Result<Datatype> Datatype::create_struct(
+    const std::vector<StructBlock>& blocks) {
+  if (blocks.empty())
+    return Status(ErrorCode::kInvalidArgument, "empty struct datatype");
+  Datatype out;
+  for (const auto& block : blocks) {
+    for (std::size_t i = 0; i < block.count; ++i) {
+      std::size_t element_base =
+          block.displacement + i * block.type.extent_;
+      for (const auto& entry : block.type.typemap_)
+        out.typemap_.push_back(
+            {entry.basic, element_base + entry.displacement});
+    }
+    out.packed_size_ += block.count * block.type.packed_size_;
+  }
+  std::size_t max_extent = 0;
+  for (const auto& entry : out.typemap_)
+    max_extent = std::max(max_extent,
+                          entry.displacement + basic_size(entry.basic));
+  out.extent_ = max_extent;
+  return out;
+}
+
+void Datatype::commit() {
+  if (committed_) return;
+  // Dataloop optimization: merge typemap entries that are byte-adjacent in
+  // the origin buffer into single segments (typemaps are emitted in
+  // monotonically non-decreasing displacement order by the constructors;
+  // guard anyway so hand-ordered struct blocks stay correct).
+  segments_.clear();
+  for (const auto& entry : typemap_) {
+    std::size_t length = basic_size(entry.basic);
+    if (!segments_.empty() &&
+        segments_.back().displacement + segments_.back().length ==
+            entry.displacement) {
+      segments_.back().length += length;
+    } else {
+      segments_.push_back({entry.displacement, length});
+    }
+  }
+  committed_ = true;
+}
+
+namespace {
+
+// The segment walk MPICH's dataloop interpreter runs per instance: one
+// dispatch + memcpy per contiguous segment.
+template <bool kPacking>
+void walk_segments(const Datatype& type, const std::uint8_t* in,
+                   std::uint8_t* out, std::size_t& packed_cursor) {
+  for (const auto& segment : type.segments()) {
+    if constexpr (kPacking)
+      std::memcpy(out + packed_cursor, in + segment.displacement,
+                  segment.length);
+    else
+      std::memcpy(out + segment.displacement, in + packed_cursor,
+                  segment.length);
+    packed_cursor += segment.length;
+  }
+}
+
+}  // namespace
+
+Status pack(const void* inbuf, std::size_t count, const Datatype& type,
+            void* outbuf, std::size_t outbuf_size, std::size_t& position) {
+  if (!type.committed())
+    return make_error(ErrorCode::kInvalidArgument, "datatype not committed");
+  if (position + count * type.size() > outbuf_size)
+    return make_error(ErrorCode::kOutOfRange, "pack buffer too small");
+  const auto* in = static_cast<const std::uint8_t*>(inbuf);
+  auto* out = static_cast<std::uint8_t*>(outbuf);
+  for (std::size_t i = 0; i < count; ++i)
+    walk_segments<true>(type, in + i * type.extent(), out, position);
+  return Status::ok();
+}
+
+Status unpack(const void* inbuf, std::size_t inbuf_size, std::size_t& position,
+              void* outbuf, std::size_t count, const Datatype& type) {
+  if (!type.committed())
+    return make_error(ErrorCode::kInvalidArgument, "datatype not committed");
+  if (position + count * type.size() > inbuf_size)
+    return make_error(ErrorCode::kOutOfRange, "unpack past end of buffer");
+  const auto* in = static_cast<const std::uint8_t*>(inbuf);
+  auto* out = static_cast<std::uint8_t*>(outbuf);
+  for (std::size_t i = 0; i < count; ++i)
+    walk_segments<false>(type, in, out + i * type.extent(), position);
+  return Status::ok();
+}
+
+}  // namespace xmit::baseline::mpi

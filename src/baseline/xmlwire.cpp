@@ -1,0 +1,329 @@
+#include "baseline/xmlwire.hpp"
+
+#include <cstring>
+
+#include "common/strings.hpp"
+#include "pbio/scalar.hpp"
+#include "xml/parser.hpp"
+#include "xml/writer.hpp"
+
+namespace xmit::baseline {
+namespace {
+
+using pbio::ArrayMode;
+using pbio::FieldKind;
+using pbio::FieldType;
+using pbio::Format;
+using pbio::FormatPtr;
+using pbio::IOField;
+
+std::string scalar_to_text(const std::uint8_t* at, FieldKind kind,
+                           std::uint32_t size) {
+  auto value = pbio::load_scalar(at, kind, size, host_byte_order());
+  // load_scalar only fails on malformed metadata, which make() prevents.
+  const pbio::ScalarValue& v = value.value();
+  switch (kind) {
+    case FieldKind::kFloat:
+      return size == 4 ? format_float(static_cast<float>(v.as_real()))
+                       : format_double(v.as_real());
+    case FieldKind::kInteger:
+      return format_int(v.as_signed());
+    case FieldKind::kUnsigned:
+      return format_uint(v.as_unsigned());
+    case FieldKind::kBoolean:
+      return v.as_unsigned() ? "true" : "false";
+    case FieldKind::kChar:
+      return std::string(1, static_cast<char>(v.as_unsigned()));
+    default:
+      return "";
+  }
+}
+
+Status text_to_scalar(std::string_view text, FieldKind kind,
+                      std::uint32_t size, std::uint8_t* at) {
+  pbio::ScalarValue value;
+  switch (kind) {
+    case FieldKind::kFloat: {
+      XMIT_ASSIGN_OR_RETURN(auto real, parse_double(text));
+      value = pbio::ScalarValue::from_real(real);
+      break;
+    }
+    case FieldKind::kInteger: {
+      XMIT_ASSIGN_OR_RETURN(auto integer, parse_int(text));
+      value = pbio::ScalarValue::from_signed(integer);
+      break;
+    }
+    case FieldKind::kUnsigned: {
+      XMIT_ASSIGN_OR_RETURN(auto unsigned_value, parse_uint(text));
+      value = pbio::ScalarValue::from_unsigned(unsigned_value);
+      break;
+    }
+    case FieldKind::kBoolean:
+      if (text == "true" || text == "1")
+        value = pbio::ScalarValue::from_unsigned(1);
+      else if (text == "false" || text == "0")
+        value = pbio::ScalarValue::from_unsigned(0);
+      else
+        return make_error(ErrorCode::kParseError,
+                          "bad boolean '" + std::string(text) + "'");
+      break;
+    case FieldKind::kChar:
+      if (text.size() != 1)
+        return make_error(ErrorCode::kParseError,
+                          "bad char '" + std::string(text) + "'");
+      value = pbio::ScalarValue::from_unsigned(
+          static_cast<unsigned char>(text[0]));
+      break;
+    default:
+      return make_error(ErrorCode::kInternal, "non-scalar kind");
+  }
+  pbio::store_scalar(at, kind, size, value, host_byte_order());
+  return Status::ok();
+}
+
+const FormatPtr* nested_named(const Format& format, std::string_view name) {
+  for (const auto& nested : format.nested_formats())
+    if (nested->name() == name) return &nested;
+  return nullptr;
+}
+
+// Runtime element count of a dynamic array, read from the host struct.
+Result<std::int64_t> dynamic_count(const Format& format, const IOField& field,
+                                   const FieldType& type,
+                                   const std::uint8_t* record) {
+  const IOField* count_field = format.field_named(type.array.size_field);
+  if (count_field == nullptr)
+    return Status(ErrorCode::kNotFound,
+                  "missing size field '" + type.array.size_field + "'");
+  XMIT_ASSIGN_OR_RETURN(auto count_type,
+                        pbio::parse_field_type(count_field->type_name));
+  XMIT_ASSIGN_OR_RETURN(
+      auto scalar, pbio::load_scalar(record + count_field->offset,
+                                     count_type.kind, count_field->size,
+                                     host_byte_order()));
+  std::int64_t count = scalar.as_signed();
+  if (count < 0)
+    return Status(ErrorCode::kInvalidArgument,
+                  "negative count for '" + field.name + "'");
+  return count;
+}
+
+}  // namespace
+
+Result<XmlWireCodec> XmlWireCodec::make(FormatPtr format) {
+  if (!format) return Status(ErrorCode::kInvalidArgument, "null format");
+  if (!(format->arch() == pbio::ArchInfo::host()))
+    return Status(ErrorCode::kInvalidArgument,
+                  "XML codec requires host-architecture formats");
+  return XmlWireCodec(std::move(format));
+}
+
+Status XmlWireCodec::encode_fields(const Format& format, const void* record,
+                                   std::string& out) const {
+  const auto* bytes = static_cast<const std::uint8_t*>(record);
+  xml::StreamWriter writer(out);
+
+  for (const auto& field : format.fields()) {
+    XMIT_ASSIGN_OR_RETURN(auto type, pbio::parse_field_type(field.type_name));
+
+    if (type.kind == FieldKind::kNested) {
+      const FormatPtr* nested = nested_named(format, type.nested_format);
+      if (nested == nullptr)
+        return make_error(ErrorCode::kNotFound,
+                          "unresolved nested type in '" + field.name + "'");
+      const std::uint32_t count =
+          type.array.mode == ArrayMode::kFixed ? type.array.fixed_count : 1;
+      for (std::uint32_t i = 0; i < count; ++i) {
+        writer.open(field.name);
+        XMIT_RETURN_IF_ERROR(encode_fields(
+            **nested, bytes + field.offset + std::size_t(i) * field.size, out));
+        writer.close(field.name);
+      }
+      continue;
+    }
+
+    if (type.kind == FieldKind::kString) {
+      const char* str = load_raw<const char*>(bytes + field.offset);
+      writer.text_element(field.name, str == nullptr ? "" : str);
+      continue;
+    }
+
+    switch (type.array.mode) {
+      case ArrayMode::kNone:
+        writer.text_element(field.name,
+                            scalar_to_text(bytes + field.offset, type.kind,
+                                           field.size));
+        break;
+      case ArrayMode::kFixed:
+        for (std::uint32_t i = 0; i < type.array.fixed_count; ++i)
+          writer.text_element(
+              field.name,
+              scalar_to_text(bytes + field.offset + std::size_t(i) * field.size,
+                             type.kind, field.size));
+        break;
+      case ArrayMode::kDynamic: {
+        XMIT_ASSIGN_OR_RETURN(auto count,
+                              dynamic_count(format, field, type, bytes));
+        const auto* data =
+            load_raw<const std::uint8_t*>(bytes + field.offset);
+        if (data == nullptr && count > 0)
+          return make_error(ErrorCode::kInvalidArgument,
+                            "null array '" + field.name + "' with count " +
+                                std::to_string(count));
+        for (std::int64_t i = 0; i < count; ++i)
+          writer.text_element(
+              field.name,
+              scalar_to_text(data + std::size_t(i) * field.size, type.kind,
+                             field.size));
+        break;
+      }
+    }
+  }
+  return Status::ok();
+}
+
+Status XmlWireCodec::encode(const void* record, std::string& out) const {
+  out.clear();
+  xml::StreamWriter writer(out);
+  writer.open(format_->name());
+  XMIT_RETURN_IF_ERROR(encode_fields(*format_, record, out));
+  writer.close(format_->name());
+  return Status::ok();
+}
+
+Result<std::string> XmlWireCodec::encode(const void* record) const {
+  std::string out;
+  XMIT_RETURN_IF_ERROR(encode(record, out));
+  return out;
+}
+
+Result<std::size_t> XmlWireCodec::encoded_size(const void* record) const {
+  std::string out;
+  XMIT_RETURN_IF_ERROR(encode(record, out));
+  return out.size();
+}
+
+namespace {
+
+// Decodes element children of `node` into the struct at `out` per
+// `format`. Declared as a free function so it can recurse over nested
+// formats.
+Status decode_fields(const Format& format, const xml::Element& node,
+                     std::uint8_t* out, Arena& arena) {
+  auto children = node.child_elements();
+  std::size_t cursor = 0;
+
+  for (const auto& field : format.fields()) {
+    XMIT_ASSIGN_OR_RETURN(auto type, pbio::parse_field_type(field.type_name));
+
+    // Gather the consecutive run of children with this field's name.
+    std::size_t first = cursor;
+    while (cursor < children.size() &&
+           children[cursor]->local_name() == field.name)
+      ++cursor;
+    std::size_t count = cursor - first;
+
+    if (type.kind == FieldKind::kNested) {
+      const FormatPtr* nested = nested_named(format, type.nested_format);
+      if (nested == nullptr)
+        return make_error(ErrorCode::kNotFound,
+                          "unresolved nested type in '" + field.name + "'");
+      const std::uint32_t expected =
+          type.array.mode == ArrayMode::kFixed ? type.array.fixed_count : 1;
+      if (count != expected)
+        return make_error(ErrorCode::kParseError,
+                          "element '" + field.name + "' occurs " +
+                              std::to_string(count) + " times, expected " +
+                              std::to_string(expected));
+      for (std::size_t i = 0; i < count; ++i)
+        XMIT_RETURN_IF_ERROR(decode_fields(
+            **nested, *children[first + i],
+            out + field.offset + i * field.size, arena));
+      continue;
+    }
+
+    if (type.kind == FieldKind::kString) {
+      if (count != 1)
+        return make_error(ErrorCode::kParseError,
+                          "string element '" + field.name + "' occurs " +
+                              std::to_string(count) + " times");
+      std::string text = children[first]->text();
+      char* copy = arena.duplicate_string(text.data(), text.size());
+      store_raw(out + field.offset, copy);
+      continue;
+    }
+
+    switch (type.array.mode) {
+      case ArrayMode::kNone: {
+        if (count != 1)
+          return make_error(ErrorCode::kParseError,
+                            "element '" + field.name + "' occurs " +
+                                std::to_string(count) + " times");
+        std::string text = children[first]->text();
+        XMIT_RETURN_IF_ERROR(text_to_scalar(trim(text), type.kind, field.size,
+                                            out + field.offset));
+        break;
+      }
+      case ArrayMode::kFixed: {
+        if (count != type.array.fixed_count)
+          return make_error(ErrorCode::kParseError,
+                            "array '" + field.name + "' has " +
+                                std::to_string(count) + " elements, expected " +
+                                std::to_string(type.array.fixed_count));
+        for (std::size_t i = 0; i < count; ++i) {
+          std::string text = children[first + i]->text();
+          XMIT_RETURN_IF_ERROR(
+              text_to_scalar(trim(text), type.kind, field.size,
+                             out + field.offset + i * field.size));
+        }
+        break;
+      }
+      case ArrayMode::kDynamic: {
+        auto* data = static_cast<std::uint8_t*>(arena.allocate(
+            count * field.size == 0 ? 1 : count * field.size,
+            field.size > 8 ? 8 : field.size));
+        for (std::size_t i = 0; i < count; ++i) {
+          std::string text = children[first + i]->text();
+          XMIT_RETURN_IF_ERROR(text_to_scalar(trim(text), type.kind, field.size,
+                                              data + i * field.size));
+        }
+        store_raw(out + field.offset, count == 0 ? nullptr : data);
+        // The observed repetition count wins over whatever the size-field
+        // element said; keep them consistent.
+        const IOField* count_field = format.field_named(type.array.size_field);
+        if (count_field != nullptr) {
+          XMIT_ASSIGN_OR_RETURN(auto count_type,
+                                pbio::parse_field_type(count_field->type_name));
+          pbio::store_scalar(out + count_field->offset, count_type.kind,
+                             count_field->size,
+                             pbio::ScalarValue::from_unsigned(count),
+                             host_byte_order());
+        }
+        break;
+      }
+    }
+  }
+
+  if (cursor != children.size())
+    return make_error(ErrorCode::kParseError,
+                      "unexpected element '" +
+                          std::string(children[cursor]->name()) + "' in '" +
+                          format.name() + "'");
+  return Status::ok();
+}
+
+}  // namespace
+
+Status XmlWireCodec::decode(std::string_view text, void* out,
+                            Arena& arena) const {
+  XMIT_ASSIGN_OR_RETURN(auto document, xml::parse_document_strict(text));
+  if (document.root->local_name() != format_->name())
+    return make_error(ErrorCode::kParseError,
+                      "root element '" + document.root->name() +
+                          "' does not match format '" + format_->name() + "'");
+  std::memset(out, 0, format_->struct_size());
+  return decode_fields(*format_, *document.root,
+                       static_cast<std::uint8_t*>(out), arena);
+}
+
+}  // namespace xmit::baseline

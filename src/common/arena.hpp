@@ -1,0 +1,88 @@
+// Bump allocator backing decoded variable-length data (strings, dynamic
+// arrays). A decode that converts layouts needs somewhere to put the
+// out-of-line bytes; the arena keeps them alive as long as the decoded
+// struct is in use and frees them all at once.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "common/endian.hpp"
+
+namespace xmit {
+
+class Arena {
+ public:
+  explicit Arena(std::size_t chunk_size = 16 * 1024)
+      : chunk_size_(chunk_size) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  void* allocate(std::size_t size, std::size_t alignment = alignof(std::max_align_t)) {
+    if (size == 0) size = 1;
+    std::size_t aligned = align_up(used_, alignment);
+    if (current_ == nullptr || aligned + size > capacity_) {
+      grow(size + alignment);
+      aligned = align_up(used_, alignment);
+    }
+    used_ = aligned + size;
+    ++allocation_count_;
+    return current_ + aligned;
+  }
+
+  char* duplicate(const void* data, std::size_t size, std::size_t alignment = 1) {
+    auto* out = static_cast<char*>(allocate(size, alignment));
+    std::memcpy(out, data, size);
+    return out;
+  }
+
+  // Copy `size` bytes and NUL-terminate — the decoded-string helper.
+  char* duplicate_string(const char* data, std::size_t size) {
+    auto* out = static_cast<char*>(allocate(size + 1));
+    std::memcpy(out, data, size);
+    out[size] = '\0';
+    return out;
+  }
+
+  void reset() {
+    chunks_.clear();
+    current_ = nullptr;
+    capacity_ = used_ = 0;
+    allocation_count_ = 0;
+  }
+
+  std::size_t allocation_count() const { return allocation_count_; }
+  std::size_t bytes_in_use() const {
+    std::size_t total = 0;
+    for (const auto& chunk : chunks_) total += chunk.capacity;
+    return total;
+  }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<char[]> data;
+    std::size_t capacity;
+  };
+
+  void grow(std::size_t at_least) {
+    std::size_t capacity = chunk_size_;
+    while (capacity < at_least) capacity *= 2;
+    chunks_.push_back({std::make_unique<char[]>(capacity), capacity});
+    current_ = chunks_.back().data.get();
+    capacity_ = capacity;
+    used_ = 0;
+  }
+
+  std::size_t chunk_size_;
+  std::vector<Chunk> chunks_;
+  char* current_ = nullptr;
+  std::size_t capacity_ = 0;
+  std::size_t used_ = 0;
+  std::size_t allocation_count_ = 0;
+};
+
+}  // namespace xmit

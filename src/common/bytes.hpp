@@ -1,0 +1,161 @@
+// Growable write buffer and bounds-checked reader for wire records.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/endian.hpp"
+#include "common/error.hpp"
+
+namespace xmit {
+
+// ByteBuffer: append-only builder for encoded records. Encoders write
+// primitives in a chosen byte order; positions can be reserved and patched
+// later (e.g. the record-length slot in a PBIO header).
+class ByteBuffer {
+ public:
+  ByteBuffer() = default;
+  explicit ByteBuffer(std::size_t reserve_bytes) { data_.reserve(reserve_bytes); }
+
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+  const std::uint8_t* data() const { return data_.data(); }
+  std::uint8_t* data() { return data_.data(); }
+  std::span<const std::uint8_t> span() const { return {data_.data(), data_.size()}; }
+
+  void clear() { data_.clear(); }
+  void reserve(std::size_t n) { data_.reserve(n); }
+
+  void append(const void* src, std::size_t n) {
+    const auto* p = static_cast<const std::uint8_t*>(src);
+    data_.insert(data_.end(), p, p + n);
+  }
+  void append(std::string_view sv) { append(sv.data(), sv.size()); }
+  void append_byte(std::uint8_t b) { data_.push_back(b); }
+
+  void append_zeros(std::size_t n) { data_.insert(data_.end(), n, 0); }
+
+  // Pad with zero bytes so size() becomes a multiple of `alignment`.
+  void align_to(std::size_t alignment) {
+    std::size_t target = align_up(data_.size(), alignment);
+    append_zeros(target - data_.size());
+  }
+
+  template <typename T>
+  void append_uint(T v, ByteOrder order) {
+    static_assert(std::is_unsigned_v<T>);
+    if (order != host_byte_order()) v = bswap(v);
+    append(&v, sizeof(T));
+  }
+
+  void append_u8(std::uint8_t v) { append_byte(v); }
+  void append_u16(std::uint16_t v, ByteOrder o) { append_uint(v, o); }
+  void append_u32(std::uint32_t v, ByteOrder o) { append_uint(v, o); }
+  void append_u64(std::uint64_t v, ByteOrder o) { append_uint(v, o); }
+  void append_f32(float v, ByteOrder o) { append_uint(float_bits(v), o); }
+  void append_f64(double v, ByteOrder o) { append_uint(double_bits(v), o); }
+
+  // Reserve `n` bytes, returning their offset for a later patch_*().
+  std::size_t reserve_slot(std::size_t n) {
+    std::size_t at = data_.size();
+    append_zeros(n);
+    return at;
+  }
+
+  template <typename T>
+  void patch_uint(std::size_t offset, T v, ByteOrder order) {
+    static_assert(std::is_unsigned_v<T>);
+    if (order != host_byte_order()) v = bswap(v);
+    std::memcpy(data_.data() + offset, &v, sizeof(T));
+  }
+
+  std::vector<std::uint8_t> take() { return std::move(data_); }
+
+ private:
+  std::vector<std::uint8_t> data_;
+};
+
+// ByteReader: bounds-checked cursor over an encoded record. All reads
+// return Result/Status rather than asserting, because wire input is
+// untrusted (truncated records are a tested failure mode).
+class ByteReader {
+ public:
+  ByteReader(const void* data, std::size_t size)
+      : base_(static_cast<const std::uint8_t*>(data)), size_(size) {}
+  explicit ByteReader(std::span<const std::uint8_t> s)
+      : ByteReader(s.data(), s.size()) {}
+
+  std::size_t position() const { return pos_; }
+  std::size_t remaining() const { return size_ - pos_; }
+  bool at_end() const { return pos_ == size_; }
+  const std::uint8_t* cursor() const { return base_ + pos_; }
+
+  Status seek(std::size_t pos) {
+    if (pos > size_)
+      return make_error(ErrorCode::kOutOfRange, "seek past end of record");
+    pos_ = pos;
+    return Status::ok();
+  }
+
+  Status skip(std::size_t n) {
+    if (n > remaining())
+      return make_error(ErrorCode::kOutOfRange, "skip past end of record");
+    pos_ += n;
+    return Status::ok();
+  }
+
+  Status align_to(std::size_t alignment) {
+    return seek(align_up(pos_, alignment));
+  }
+
+  Status read_bytes(void* dst, std::size_t n) {
+    if (n > remaining())
+      return make_error(ErrorCode::kOutOfRange, "truncated record");
+    std::memcpy(dst, base_ + pos_, n);
+    pos_ += n;
+    return Status::ok();
+  }
+
+  template <typename T>
+  Result<T> read_uint(ByteOrder order) {
+    static_assert(std::is_unsigned_v<T>);
+    T v = 0;  // initialized to quiet GCC's maybe-uninitialized on inlining
+    XMIT_RETURN_IF_ERROR(read_bytes(&v, sizeof(T)));
+    if (order != host_byte_order()) v = bswap(v);
+    return v;
+  }
+
+  Result<std::uint8_t> read_u8() { return read_uint<std::uint8_t>(host_byte_order()); }
+  Result<std::uint16_t> read_u16(ByteOrder o) { return read_uint<std::uint16_t>(o); }
+  Result<std::uint32_t> read_u32(ByteOrder o) { return read_uint<std::uint32_t>(o); }
+  Result<std::uint64_t> read_u64(ByteOrder o) { return read_uint<std::uint64_t>(o); }
+
+  Result<float> read_f32(ByteOrder o) {
+    XMIT_ASSIGN_OR_RETURN(auto bits, read_u32(o));
+    return bits_to_float(bits);
+  }
+  Result<double> read_f64(ByteOrder o) {
+    XMIT_ASSIGN_OR_RETURN(auto bits, read_u64(o));
+    return bits_to_double(bits);
+  }
+
+  Result<std::string> read_string(std::size_t n) {
+    if (n > remaining())
+      return Status(ErrorCode::kOutOfRange, "truncated string");
+    std::string s(reinterpret_cast<const char*>(base_ + pos_), n);
+    pos_ += n;
+    return s;
+  }
+
+ private:
+  const std::uint8_t* base_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace xmit

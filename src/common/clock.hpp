@@ -1,0 +1,51 @@
+// Monotonic timing helpers shared by benches and the RDM instrumentation.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <utility>
+
+namespace xmit {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  double elapsed_ns() const {
+    return std::chrono::duration<double, std::nano>(clock::now() - start_)
+        .count();
+  }
+  double elapsed_us() const { return elapsed_ns() / 1e3; }
+  double elapsed_ms() const { return elapsed_ns() / 1e6; }
+  double elapsed_s() const { return elapsed_ns() / 1e9; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+// Run `fn` `iters` times and return the mean wall time per call in
+// milliseconds. Used by the figure harnesses, which report the same
+// "registration time (ms)" rows the paper plots.
+template <typename Fn>
+double time_call_ms(Fn&& fn, int iters = 1) {
+  Stopwatch sw;
+  for (int i = 0; i < iters; ++i) fn();
+  return sw.elapsed_ms() / iters;
+}
+
+// Best-of-N timing: repeats the measurement `repeats` times and keeps the
+// minimum mean, which discards scheduler noise for sub-millisecond work.
+template <typename Fn>
+double time_call_ms_best(Fn&& fn, int iters, int repeats) {
+  double best = 1e300;
+  for (int r = 0; r < repeats; ++r) {
+    double ms = time_call_ms(fn, iters);
+    if (ms < best) best = ms;
+  }
+  return best;
+}
+
+}  // namespace xmit

@@ -1,0 +1,101 @@
+// Byte-order primitives for the PBIO wire format.
+//
+// PBIO is "sender writes native, receiver makes right": records carry an
+// architecture descriptor and the receiver converts only when needed, so
+// these helpers must support both directions for every primitive width.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+namespace xmit {
+
+enum class ByteOrder : std::uint8_t { kLittle = 0, kBig = 1 };
+
+constexpr ByteOrder host_byte_order() {
+  return std::endian::native == std::endian::little ? ByteOrder::kLittle
+                                                    : ByteOrder::kBig;
+}
+
+constexpr std::uint16_t bswap16(std::uint16_t v) {
+  return static_cast<std::uint16_t>((v << 8) | (v >> 8));
+}
+
+constexpr std::uint32_t bswap32(std::uint32_t v) {
+  return ((v & 0x000000FFu) << 24) | ((v & 0x0000FF00u) << 8) |
+         ((v & 0x00FF0000u) >> 8) | ((v & 0xFF000000u) >> 24);
+}
+
+constexpr std::uint64_t bswap64(std::uint64_t v) {
+  return (static_cast<std::uint64_t>(bswap32(static_cast<std::uint32_t>(v)))
+          << 32) |
+         bswap32(static_cast<std::uint32_t>(v >> 32));
+}
+
+// Generic byte swap for 1/2/4/8-byte unsigned integers.
+template <typename T>
+constexpr T bswap(T v) {
+  static_assert(std::is_unsigned_v<T>);
+  if constexpr (sizeof(T) == 1) return v;
+  if constexpr (sizeof(T) == 2) return bswap16(v);
+  if constexpr (sizeof(T) == 4) return bswap32(v);
+  if constexpr (sizeof(T) == 8) return bswap64(v);
+}
+
+// Swap a value of arbitrary primitive width in place (used by the PBIO
+// conversion path where widths are runtime values).
+inline void bswap_inplace(void* data, std::size_t size) {
+  auto* bytes = static_cast<unsigned char*>(data);
+  for (std::size_t i = 0, j = size - 1; i < j; ++i, --j) {
+    unsigned char tmp = bytes[i];
+    bytes[i] = bytes[j];
+    bytes[j] = tmp;
+  }
+}
+
+// Unaligned load/store with explicit byte order.
+template <typename T>
+inline T load_raw(const void* p) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  T v;
+  std::memcpy(&v, p, sizeof(T));
+  return v;
+}
+
+template <typename T>
+inline void store_raw(void* p, T v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  std::memcpy(p, &v, sizeof(T));
+}
+
+template <typename T>
+inline T load_with_order(const void* p, ByteOrder order) {
+  static_assert(std::is_unsigned_v<T>);
+  T v = load_raw<T>(p);
+  if (order != host_byte_order()) v = bswap(v);
+  return v;
+}
+
+template <typename T>
+inline void store_with_order(void* p, T v, ByteOrder order) {
+  static_assert(std::is_unsigned_v<T>);
+  if (order != host_byte_order()) v = bswap(v);
+  store_raw(p, v);
+}
+
+// Floats travel as their IEEE-754 bit patterns.
+inline std::uint32_t float_bits(float f) { return std::bit_cast<std::uint32_t>(f); }
+inline float bits_to_float(std::uint32_t b) { return std::bit_cast<float>(b); }
+inline std::uint64_t double_bits(double d) { return std::bit_cast<std::uint64_t>(d); }
+inline double bits_to_double(std::uint64_t b) { return std::bit_cast<double>(b); }
+
+// Round `offset` up to the next multiple of `alignment` (a power of two or
+// any positive integer; PBIO uses natural alignment so both appear).
+constexpr std::size_t align_up(std::size_t offset, std::size_t alignment) {
+  if (alignment <= 1) return offset;
+  return ((offset + alignment - 1) / alignment) * alignment;
+}
+
+}  // namespace xmit

@@ -1,0 +1,108 @@
+// Lightweight status / result types used across all xmit libraries.
+//
+// Library code does not throw across public API boundaries: parsers and
+// codecs report failure through Status / Result<T> so that callers on hot
+// paths (marshaling loops) pay nothing for the error channel when things
+// succeed.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace xmit {
+
+enum class ErrorCode : std::uint8_t {
+  kOk = 0,
+  kInvalidArgument,   // caller passed something unusable
+  kParseError,        // malformed XML / schema / URL / wire record
+  kNotFound,          // unknown type, format id, field, path, host
+  kOutOfRange,        // truncated buffer, index past end
+  kAlreadyExists,     // duplicate registration
+  kUnsupported,       // feature outside the implemented dialect
+  kIoError,           // socket / file failure
+  kInternal,          // invariant violation (bug)
+};
+
+const char* error_code_name(ErrorCode code);
+
+// Status: cheap success, allocating only on failure.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;  // OK
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() { return Status(); }
+
+  bool is_ok() const { return code_ == ErrorCode::kOk; }
+  explicit operator bool() const { return is_ok(); }
+
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "parse_error: unexpected '<' at line 3" style rendering.
+  std::string to_string() const;
+
+ private:
+  ErrorCode code_ = ErrorCode::kOk;
+  std::string message_;
+};
+
+inline Status make_error(ErrorCode code, std::string message) {
+  return Status(code, std::move(message));
+}
+
+// Result<T>: value or Status. Accessors check in debug builds only;
+// callers are expected to test is_ok() first.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}         // NOLINT(implicit)
+  Result(Status status) : data_(std::move(status)) {}  // NOLINT(implicit)
+
+  bool is_ok() const { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const { return is_ok(); }
+
+  T& value() & { return std::get<T>(data_); }
+  const T& value() const& { return std::get<T>(data_); }
+  T&& value() && { return std::get<T>(std::move(data_)); }
+
+  T value_or(T fallback) const& {
+    return is_ok() ? std::get<T>(data_) : std::move(fallback);
+  }
+
+  // Status of a success result is OK.
+  Status status() const {
+    if (is_ok()) return Status::ok();
+    return std::get<Status>(data_);
+  }
+
+  const std::string& message() const { return std::get<Status>(data_).message(); }
+  ErrorCode code() const { return status().code(); }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+// Propagate-on-error helpers. Usage:
+//   XMIT_RETURN_IF_ERROR(do_thing());
+//   XMIT_ASSIGN_OR_RETURN(auto v, parse(x));
+#define XMIT_RETURN_IF_ERROR(expr)                   \
+  do {                                               \
+    ::xmit::Status xmit_status_ = (expr);            \
+    if (!xmit_status_.is_ok()) return xmit_status_;  \
+  } while (0)
+
+#define XMIT_CONCAT_INNER(a, b) a##b
+#define XMIT_CONCAT(a, b) XMIT_CONCAT_INNER(a, b)
+
+#define XMIT_ASSIGN_OR_RETURN(decl, expr)                              \
+  auto XMIT_CONCAT(xmit_result_, __LINE__) = (expr);                   \
+  if (!XMIT_CONCAT(xmit_result_, __LINE__).is_ok())                    \
+    return XMIT_CONCAT(xmit_result_, __LINE__).status();               \
+  decl = std::move(XMIT_CONCAT(xmit_result_, __LINE__)).value()
+
+}  // namespace xmit

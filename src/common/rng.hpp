@@ -1,0 +1,72 @@
+// Deterministic PRNG for property tests and workload generators.
+//
+// xoshiro256** seeded via SplitMix64: fast, reproducible across platforms,
+// no <random> engine-distribution variability between standard libraries.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace xmit {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) {
+    // SplitMix64 expansion of the seed into xoshiro state.
+    std::uint64_t x = seed;
+    for (auto& slot : state_) {
+      x += 0x9E3779B97F4A7C15ull;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      slot = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  std::uint32_t next_u32() { return static_cast<std::uint32_t>(next_u64() >> 32); }
+
+  // Uniform in [0, bound) without modulo bias worth caring about in tests.
+  std::uint64_t below(std::uint64_t bound) { return bound ? next_u64() % bound : 0; }
+
+  // Uniform in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  double uniform() {  // [0,1)
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  float uniform_f() { return static_cast<float>(uniform()); }
+
+  bool chance(double p) { return uniform() < p; }
+
+  // Random lowercase identifier, handy for fuzzing schema names.
+  std::string identifier(std::size_t length) {
+    std::string s;
+    s.reserve(length);
+    for (std::size_t i = 0; i < length; ++i)
+      s.push_back(static_cast<char>('a' + below(26)));
+    return s;
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4];
+};
+
+}  // namespace xmit

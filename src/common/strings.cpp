@@ -1,0 +1,157 @@
+#include "common/strings.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace xmit {
+
+bool is_ascii_space(char c) {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f' ||
+         c == '\v';
+}
+
+bool is_ascii_digit(char c) { return c >= '0' && c <= '9'; }
+
+bool is_ascii_alpha(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z');
+}
+
+std::string_view trim(std::string_view sv) {
+  std::size_t b = 0;
+  while (b < sv.size() && is_ascii_space(sv[b])) ++b;
+  std::size_t e = sv.size();
+  while (e > b && is_ascii_space(sv[e - 1])) --e;
+  return sv.substr(b, e - b);
+}
+
+std::string to_lower(std::string_view sv) {
+  std::string out(sv);
+  for (char& c : out)
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  return out;
+}
+
+bool starts_with(std::string_view sv, std::string_view prefix) {
+  return sv.size() >= prefix.size() && sv.substr(0, prefix.size()) == prefix;
+}
+
+bool ends_with(std::string_view sv, std::string_view suffix) {
+  return sv.size() >= suffix.size() &&
+         sv.substr(sv.size() - suffix.size()) == suffix;
+}
+
+std::vector<std::string_view> split(std::string_view sv, char sep) {
+  std::vector<std::string_view> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= sv.size(); ++i) {
+    if (i == sv.size() || sv[i] == sep) {
+      out.push_back(sv.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+Result<std::int64_t> parse_int(std::string_view sv) {
+  sv = trim(sv);
+  if (sv.empty())
+    return Status(ErrorCode::kParseError, "empty integer");
+  // strtoll needs NUL termination; views into documents are not terminated.
+  char buf[32];
+  if (sv.size() >= sizeof(buf))
+    return Status(ErrorCode::kParseError, "integer too long: " + std::string(sv));
+  std::memcpy(buf, sv.data(), sv.size());
+  buf[sv.size()] = '\0';
+  errno = 0;
+  char* end = nullptr;
+  long long v = std::strtoll(buf, &end, 10);
+  if (errno == ERANGE)
+    return Status(ErrorCode::kOutOfRange, "integer overflow: " + std::string(sv));
+  if (end != buf + sv.size())
+    return Status(ErrorCode::kParseError, "bad integer: " + std::string(sv));
+  return static_cast<std::int64_t>(v);
+}
+
+Result<std::uint64_t> parse_uint(std::string_view sv) {
+  sv = trim(sv);
+  if (sv.empty() || sv[0] == '-')
+    return Status(ErrorCode::kParseError, "bad unsigned: " + std::string(sv));
+  char buf[32];
+  if (sv.size() >= sizeof(buf))
+    return Status(ErrorCode::kParseError, "unsigned too long: " + std::string(sv));
+  std::memcpy(buf, sv.data(), sv.size());
+  buf[sv.size()] = '\0';
+  errno = 0;
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(buf, &end, 10);
+  if (errno == ERANGE)
+    return Status(ErrorCode::kOutOfRange, "unsigned overflow: " + std::string(sv));
+  if (end != buf + sv.size())
+    return Status(ErrorCode::kParseError, "bad unsigned: " + std::string(sv));
+  return static_cast<std::uint64_t>(v);
+}
+
+Result<double> parse_double(std::string_view sv) {
+  sv = trim(sv);
+  if (sv.empty())
+    return Status(ErrorCode::kParseError, "empty number");
+  char buf[64];
+  if (sv.size() >= sizeof(buf))
+    return Status(ErrorCode::kParseError, "number too long: " + std::string(sv));
+  std::memcpy(buf, sv.data(), sv.size());
+  buf[sv.size()] = '\0';
+  errno = 0;
+  char* end = nullptr;
+  double v = std::strtod(buf, &end);
+  if (end != buf + sv.size())
+    return Status(ErrorCode::kParseError, "bad number: " + std::string(sv));
+  return v;
+}
+
+std::string format_int(std::int64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
+  return buf;
+}
+
+std::string format_uint(std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::string format_float(float v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.9g", static_cast<double>(v));
+  return buf;
+}
+
+std::string format_double(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string replace_all(std::string text, std::string_view from,
+                        std::string_view to) {
+  if (from.empty()) return text;
+  std::size_t pos = 0;
+  while ((pos = text.find(from, pos)) != std::string::npos) {
+    text.replace(pos, from.size(), to);
+    pos += to.size();
+  }
+  return text;
+}
+
+}  // namespace xmit

@@ -1,0 +1,46 @@
+// Small string utilities shared by the XML parser, URL parser and codecs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace xmit {
+
+bool is_ascii_space(char c);
+bool is_ascii_digit(char c);
+bool is_ascii_alpha(char c);
+
+std::string_view trim(std::string_view sv);
+std::string to_lower(std::string_view sv);
+
+bool starts_with(std::string_view sv, std::string_view prefix);
+bool ends_with(std::string_view sv, std::string_view suffix);
+
+// Split on a single character; empty tokens are kept (URL paths need them).
+std::vector<std::string_view> split(std::string_view sv, char sep);
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+// Strict numeric parsing: whole string must be consumed, no locale.
+Result<std::int64_t> parse_int(std::string_view sv);
+Result<std::uint64_t> parse_uint(std::string_view sv);
+Result<double> parse_double(std::string_view sv);
+
+// Number formatting used by the XML wire codec. `format_float` produces a
+// round-trippable shortest-ish representation (printf %.9g / %.17g), which
+// is where XML-as-wire-format burns its CPU time — intentionally faithful
+// to what text encodings must pay.
+std::string format_int(std::int64_t v);
+std::string format_uint(std::uint64_t v);
+std::string format_float(float v);
+std::string format_double(double v);
+
+// Case-sensitive replace-all, used by the code generators.
+std::string replace_all(std::string text, std::string_view from,
+                        std::string_view to);
+
+}  // namespace xmit

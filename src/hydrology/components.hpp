@@ -1,0 +1,179 @@
+// The processing/visualization components of Figure 5. Each component is
+// its own "address space" in miniature: it owns a FormatRegistry, loads
+// the shared message formats from the schema URL through XMIT (no
+// compiled-in metadata — exactly the modification §4.5 describes), and
+// exchanges PBIO records over Channels. Records on a channel are
+// self-identifying by format id, so a receiver dispatches on the format
+// name the Decoder reports.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baseline/xmlwire.hpp"
+#include "common/arena.hpp"
+#include "common/error.hpp"
+#include "hydrology/messages.hpp"
+#include "hydrology/solver.hpp"
+#include "net/channel.hpp"
+#include "pbio/decode.hpp"
+#include "pbio/registry.hpp"
+#include "xmit/xmit.hpp"
+
+namespace xmit::hydrology {
+
+// How records travel between components: PBIO binary (the XMIT way) or
+// XML text (the §4 comparison arm — same metadata, text wire format).
+enum class WireMode : std::uint8_t { kBinary, kXmlText };
+
+// Shared per-component scaffolding: registry + XMIT + decoder, bound to
+// the schema document at `schema_url`.
+class Component {
+ public:
+  explicit Component(std::string name);
+  virtual ~Component() = default;
+
+  // Discovery: fetch and translate the shared schema.
+  Status attach(const std::string& schema_url);
+
+  void set_wire_mode(WireMode mode) { wire_mode_ = mode; }
+  WireMode wire_mode() const { return wire_mode_; }
+
+  const std::string& name() const { return name_; }
+  pbio::FormatRegistry& registry() { return *registry_; }
+  toolkit::Xmit& xmit() { return *xmit_; }
+  pbio::Decoder& decoder() { return *decoder_; }
+
+  // Encode helper: marshal `record` with the bound format for `type_name`
+  // and send it on `channel`.
+  Status send_record(net::Channel& channel, const std::string& type_name,
+                     const void* record);
+
+  // Receive helper: next record + the name of its format. kNotFound means
+  // the peer closed cleanly.
+  struct Incoming {
+    std::vector<std::uint8_t> bytes;
+    pbio::FormatPtr sender_format;
+  };
+  Result<Incoming> receive_record(net::Channel& channel,
+                                  int timeout_ms = 10000);
+
+  // Decode `incoming` into a struct bound as `type_name`.
+  Status decode_as(const Incoming& incoming, const std::string& type_name,
+                   void* out, Arena& arena);
+
+ private:
+  Result<const baseline::XmlWireCodec*> codec_for(const std::string& type_name);
+
+  std::string name_;
+  WireMode wire_mode_ = WireMode::kBinary;
+  std::unique_ptr<pbio::FormatRegistry> registry_;
+  std::unique_ptr<toolkit::Xmit> xmit_;
+  std::unique_ptr<pbio::Decoder> decoder_;
+  std::map<std::string, baseline::XmlWireCodec> codecs_;  // XML mode only
+};
+
+// Writes a hydrology dataset — one GridSpec record followed by one
+// SimpleData depth frame per timestep — to a self-describing PBIO file
+// (the "data file" of Figure 5). Returns the final field checksum.
+Result<double> write_dataset_file(const std::string& path, int nx, int ny,
+                                  int timesteps, std::uint64_t seed);
+
+// data file -> pipeline: synthesizes depth frames in-process, or replays
+// them from a PBIO dataset file, and emits GridSpec + SimpleData records.
+class DataFileReader : public Component {
+ public:
+  // Synthesizing reader (runs the solver directly).
+  DataFileReader(int nx, int ny, int timesteps, std::uint64_t seed);
+  // Replaying reader (streams a file produced by write_dataset_file).
+  explicit DataFileReader(std::string dataset_path);
+
+  Status run(net::Channel& out);
+
+  double final_checksum() const { return final_checksum_; }
+  int frames_sent() const { return frames_sent_; }
+
+ private:
+  Status run_synthetic(net::Channel& out);
+  Status run_replay(net::Channel& out);
+
+  int nx_ = 0, ny_ = 0, timesteps_ = 0;
+  std::uint64_t seed_ = 0;
+  std::string dataset_path_;  // empty = synthesize
+  double final_checksum_ = 0;
+  int frames_sent_ = 0;
+};
+
+// presend: subsamples frames by `stride` before further processing (the
+// bandwidth-reduction stage in front of the visualization path).
+class Presend : public Component {
+ public:
+  explicit Presend(int stride);
+
+  Status run(net::Channel& in, net::Channel& out);
+
+  int frames_forwarded() const { return frames_forwarded_; }
+
+ private:
+  int stride_;
+  int frames_forwarded_ = 0;
+};
+
+// flow2d: derives velocity fields from depth frames.
+class Flow2d : public Component {
+ public:
+  Flow2d();
+
+  Status run(net::Channel& in, net::Channel& out);
+
+  int fields_produced() const { return fields_produced_; }
+
+ private:
+  GridSpec grid_{};
+  bool have_grid_ = false;
+  int fields_produced_ = 0;
+};
+
+// coupler: fans flow fields out to every sink, gathers StatSummary
+// feedback, and keeps the most recent summary per sink.
+class Coupler : public Component {
+ public:
+  Coupler();
+
+  // `sinks` are data channels to Vis5D components; `feedback` their
+  // control/feedback channels (paper Figure 5's dashed arrows).
+  Status run(net::Channel& in, std::vector<net::Channel*> sinks,
+             std::vector<net::Channel*> feedback);
+
+  const std::vector<StatSummary>& last_summaries() const {
+    return last_summaries_;
+  }
+  int fields_routed() const { return fields_routed_; }
+
+ private:
+  std::vector<StatSummary> last_summaries_;
+  int fields_routed_ = 0;
+};
+
+// Vis5D sink: consumes GridSpec + FlowField frames, renders (computes
+// magnitude statistics standing in for the actual rendering) and reports
+// a StatSummary per frame on the feedback channel.
+class Vis5dSink : public Component {
+ public:
+  explicit Vis5dSink(std::string name);
+
+  Status run(net::Channel& in, net::Channel& feedback);
+
+  int frames_rendered() const { return frames_rendered_; }
+  const StatSummary& last_summary() const { return last_summary_; }
+
+ private:
+  GridSpec grid_{};
+  bool have_grid_ = false;
+  int frames_rendered_ = 0;
+  StatSummary last_summary_{};
+};
+
+}  // namespace xmit::hydrology

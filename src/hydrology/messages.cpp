@@ -1,0 +1,161 @@
+#include "hydrology/messages.hpp"
+
+#include <cstddef>
+
+namespace xmit::hydrology {
+
+std::string hydrology_schema_xml() {
+  return R"(<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:complexType name="SimpleData">
+    <xsd:element name="timestep" type="xsd:integer" />
+    <xsd:element name="data" type="xsd:float"
+                 minOccurs="0" maxOccurs="*"
+                 dimensionPlacement="before" dimensionName="size" />
+  </xsd:complexType>
+
+  <xsd:complexType name="JoinRequest">
+    <xsd:element name="name" type="xsd:string" />
+    <xsd:element name="server" type="xsd:unsignedInt" />
+    <xsd:element name="ip_addr" type="xsd:unsignedLong" />
+    <xsd:element name="pid" type="xsd:unsignedLong" />
+    <xsd:element name="ds_addr" type="xsd:unsignedLong" />
+  </xsd:complexType>
+
+  <xsd:complexType name="ASDOffEvent">
+    <xsd:element name="centerID" type="xsd:string" />
+    <xsd:element name="airline" type="xsd:string" />
+    <xsd:element name="flightNum" type="xsd:integer" />
+    <xsd:element name="off" type="xsd:unsignedLong" />
+  </xsd:complexType>
+
+  <xsd:complexType name="ControlEvent">
+    <xsd:element name="command" type="xsd:integer" />
+    <xsd:element name="value" type="xsd:float" />
+    <xsd:element name="flag" type="xsd:integer" />
+  </xsd:complexType>
+
+  <xsd:complexType name="GridSpec">
+    <xsd:element name="nx" type="xsd:integer" />
+    <xsd:element name="ny" type="xsd:integer" />
+    <xsd:element name="dx" type="xsd:float" />
+    <xsd:element name="dy" type="xsd:float" />
+    <xsd:element name="halo" type="xsd:integer" />
+  </xsd:complexType>
+
+  <xsd:complexType name="StatSummary">
+    <xsd:element name="timestep" type="xsd:integer" />
+    <xsd:element name="cells" type="xsd:integer" />
+    <xsd:element name="min" type="xsd:float" />
+    <xsd:element name="max" type="xsd:float" />
+    <xsd:element name="mean" type="xsd:float" />
+    <xsd:element name="stddev" type="xsd:float" />
+    <xsd:element name="total" type="xsd:float" />
+    <xsd:element name="corners" type="xsd:float" maxOccurs="4" />
+  </xsd:complexType>
+
+  <xsd:complexType name="Vis5dFrame">
+    <xsd:element name="timestep" type="xsd:integer" />
+    <xsd:element name="levels_used" type="xsd:integer" />
+    <xsd:element name="levels" type="xsd:float" maxOccurs="36" />
+  </xsd:complexType>
+
+  <xsd:complexType name="FlowField">
+    <xsd:element name="timestep" type="xsd:integer" />
+    <xsd:element name="u" type="xsd:float"
+                 minOccurs="0" maxOccurs="*"
+                 dimensionPlacement="before" dimensionName="nu" />
+    <xsd:element name="v" type="xsd:float"
+                 minOccurs="0" maxOccurs="*"
+                 dimensionPlacement="before" dimensionName="nv" />
+  </xsd:complexType>
+</xsd:schema>
+)";
+}
+
+namespace {
+
+#define XMIT_OFF(type, member) \
+  static_cast<std::uint32_t>(offsetof(type, member))
+
+const CompiledFormat::Row kSimpleDataRows[] = {
+    {"timestep", "integer", sizeof(std::int32_t), XMIT_OFF(SimpleData, timestep)},
+    {"size", "integer", sizeof(std::int32_t), XMIT_OFF(SimpleData, size)},
+    {"data", "float[size]", sizeof(float), XMIT_OFF(SimpleData, data)},
+};
+
+const CompiledFormat::Row kJoinRequestRows[] = {
+    {"name", "string", sizeof(char*), XMIT_OFF(JoinRequest, name)},
+    {"server", "unsigned integer", sizeof(std::uint32_t), XMIT_OFF(JoinRequest, server)},
+    {"ip_addr", "unsigned integer", sizeof(std::uint64_t), XMIT_OFF(JoinRequest, ip_addr)},
+    {"pid", "unsigned integer", sizeof(std::uint64_t), XMIT_OFF(JoinRequest, pid)},
+    {"ds_addr", "unsigned integer", sizeof(std::uint64_t), XMIT_OFF(JoinRequest, ds_addr)},
+};
+
+const CompiledFormat::Row kASDOffEventRows[] = {
+    {"centerID", "string", sizeof(char*), XMIT_OFF(ASDOffEvent, centerID)},
+    {"airline", "string", sizeof(char*), XMIT_OFF(ASDOffEvent, airline)},
+    {"flightNum", "integer", sizeof(std::int32_t), XMIT_OFF(ASDOffEvent, flightNum)},
+    {"off", "unsigned integer", sizeof(std::uint64_t), XMIT_OFF(ASDOffEvent, off)},
+};
+
+const CompiledFormat::Row kControlEventRows[] = {
+    {"command", "integer", sizeof(std::int32_t), XMIT_OFF(ControlEvent, command)},
+    {"value", "float", sizeof(float), XMIT_OFF(ControlEvent, value)},
+    {"flag", "integer", sizeof(std::int32_t), XMIT_OFF(ControlEvent, flag)},
+};
+
+const CompiledFormat::Row kGridSpecRows[] = {
+    {"nx", "integer", sizeof(std::int32_t), XMIT_OFF(GridSpec, nx)},
+    {"ny", "integer", sizeof(std::int32_t), XMIT_OFF(GridSpec, ny)},
+    {"dx", "float", sizeof(float), XMIT_OFF(GridSpec, dx)},
+    {"dy", "float", sizeof(float), XMIT_OFF(GridSpec, dy)},
+    {"halo", "integer", sizeof(std::int32_t), XMIT_OFF(GridSpec, halo)},
+};
+
+const CompiledFormat::Row kStatSummaryRows[] = {
+    {"timestep", "integer", sizeof(std::int32_t), XMIT_OFF(StatSummary, timestep)},
+    {"cells", "integer", sizeof(std::int32_t), XMIT_OFF(StatSummary, cells)},
+    {"min", "float", sizeof(float), XMIT_OFF(StatSummary, min)},
+    {"max", "float", sizeof(float), XMIT_OFF(StatSummary, max)},
+    {"mean", "float", sizeof(float), XMIT_OFF(StatSummary, mean)},
+    {"stddev", "float", sizeof(float), XMIT_OFF(StatSummary, stddev)},
+    {"total", "float", sizeof(float), XMIT_OFF(StatSummary, total)},
+    {"corners", "float[4]", sizeof(float), XMIT_OFF(StatSummary, corners)},
+};
+
+const CompiledFormat::Row kVis5dFrameRows[] = {
+    {"timestep", "integer", sizeof(std::int32_t), XMIT_OFF(Vis5dFrame, timestep)},
+    {"levels_used", "integer", sizeof(std::int32_t), XMIT_OFF(Vis5dFrame, levels_used)},
+    {"levels", "float[36]", sizeof(float), XMIT_OFF(Vis5dFrame, levels)},
+};
+
+const CompiledFormat::Row kFlowFieldRows[] = {
+    {"timestep", "integer", sizeof(std::int32_t), XMIT_OFF(FlowField, timestep)},
+    {"nu", "integer", sizeof(std::int32_t), XMIT_OFF(FlowField, nu)},
+    {"u", "float[nu]", sizeof(float), XMIT_OFF(FlowField, u)},
+    {"nv", "integer", sizeof(std::int32_t), XMIT_OFF(FlowField, nv)},
+    {"v", "float[nv]", sizeof(float), XMIT_OFF(FlowField, v)},
+};
+
+#undef XMIT_OFF
+
+constexpr CompiledFormat kFormats[] = {
+    {"SimpleData", kSimpleDataRows, 3, sizeof(SimpleData)},
+    {"JoinRequest", kJoinRequestRows, 5, sizeof(JoinRequest)},
+    {"ASDOffEvent", kASDOffEventRows, 4, sizeof(ASDOffEvent)},
+    {"ControlEvent", kControlEventRows, 3, sizeof(ControlEvent)},
+    {"GridSpec", kGridSpecRows, 5, sizeof(GridSpec)},
+    {"StatSummary", kStatSummaryRows, 8, sizeof(StatSummary)},
+    {"Vis5dFrame", kVis5dFrameRows, 3, sizeof(Vis5dFrame)},
+    {"FlowField", kFlowFieldRows, 5, sizeof(FlowField)},
+};
+
+}  // namespace
+
+const CompiledFormat* compiled_formats(std::size_t* count) {
+  *count = sizeof(kFormats) / sizeof(kFormats[0]);
+  return kFormats;
+}
+
+}  // namespace xmit::hydrology

@@ -1,0 +1,112 @@
+// Message formats of the Hydrology application (paper §4.5, Figures 4-6).
+//
+// The C structures below are the compiled-in view; hydrology_schema_xml()
+// is the XML Schema document the components actually fetch at run time
+// (XMIT lays it out to byte-identical offsets — asserted by tests). Sizes
+// were chosen so the benchmark rows mirror the paper's Figure 6 structure
+// sizes where LP64 allows; the paper measured on 32-bit Solaris, so
+// pointer-bearing structs are larger here.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace xmit::hydrology {
+
+// Figure 1 / Figure 4: the timestep data frame flowing down the pipeline.
+// Layout: timestep, size (the run-time dimension, placed "before"), data.
+struct SimpleData {
+  std::int32_t timestep;
+  std::int32_t size;  // element count of `data`
+  float* data;        // water depth grid, row-major
+};
+
+// Figure 4: component join/handshake record (control channel).
+struct JoinRequest {
+  char* name;
+  std::uint32_t server;
+  std::uint64_t ip_addr;
+  std::uint64_t pid;
+  std::uint64_t ds_addr;
+};
+
+// Figure 2: the hypothetical flight-event record (used by the flight
+// events example and the proof-of-concept benches).
+struct ASDOffEvent {
+  char* centerID;
+  char* airline;
+  std::int32_t flightNum;
+  std::uint64_t off;
+};
+
+// 12-byte control event (Figure 6's smallest row).
+struct ControlEvent {
+  std::int32_t command;
+  float value;
+  std::int32_t flag;
+};
+
+// 20-byte grid description (Figure 6's 20-byte row).
+struct GridSpec {
+  std::int32_t nx;
+  std::int32_t ny;
+  float dx;
+  float dy;
+  std::int32_t halo;
+};
+
+// 44-byte per-frame statistics (Figure 6's 44-byte row).
+struct StatSummary {
+  std::int32_t timestep;
+  std::int32_t cells;
+  float min;
+  float max;
+  float mean;
+  float stddev;
+  float total;
+  float corners[4];
+};
+
+// 152-byte primitive-heavy visualization frame header (Figure 6's 152-byte
+// row — the one whose many primitive fields push the RDM to ~4).
+struct Vis5dFrame {
+  std::int32_t timestep;
+  std::int32_t levels_used;
+  float levels[36];
+};
+
+// Velocity field produced by flow2d: two dynamic arrays with their own
+// dimension fields.
+struct FlowField {
+  std::int32_t timestep;
+  std::int32_t nu;
+  float* u;
+  std::int32_t nv;
+  float* v;
+};
+
+// The complete schema document the pipeline serves over HTTP — every type
+// above expressed in the paper's XML Schema dialect.
+std::string hydrology_schema_xml();
+
+// The compiled-in PBIO metadata for the same formats (what the paper's
+// "native PBIO" arm registers); used by benches to measure the RDM and by
+// tests to check XMIT reproduces identical layouts.
+struct CompiledFormat {
+  const char* name;
+  // IOField-style rows: name, type, size, offset.
+  struct Row {
+    const char* name;
+    const char* type;
+    std::uint32_t size;
+    std::uint32_t offset;
+  };
+  const Row* rows;
+  std::size_t row_count;
+  std::uint32_t struct_size;
+};
+
+// All compiled formats, in registration (dependency) order.
+const CompiledFormat* compiled_formats(std::size_t* count);
+
+}  // namespace xmit::hydrology

@@ -1,0 +1,106 @@
+#include "hydrology/pipeline.hpp"
+
+#include <thread>
+
+#include "hydrology/components.hpp"
+#include "net/http.hpp"
+
+namespace xmit::hydrology {
+
+Result<PipelineReport> run_pipeline(const PipelineConfig& config) {
+  if (config.sink_count < 1)
+    return Status(ErrorCode::kInvalidArgument, "need at least one sink");
+
+  // Host the shared schema: the single point of format definition.
+  XMIT_ASSIGN_OR_RETURN(auto server, net::HttpServer::start());
+  server->put_document("/formats/hydrology.xsd", hydrology_schema_xml());
+  const std::string schema_url = server->url_for("/formats/hydrology.xsd");
+
+  // Data path channels.
+  XMIT_ASSIGN_OR_RETURN(auto reader_to_presend, net::Channel::pipe());
+  XMIT_ASSIGN_OR_RETURN(auto presend_to_flow, net::Channel::pipe());
+  XMIT_ASSIGN_OR_RETURN(auto flow_to_coupler, net::Channel::pipe());
+
+  struct SinkWiring {
+    net::Channel data_tx, data_rx;      // coupler -> sink
+    net::Channel feedback_tx, feedback_rx;  // sink -> coupler
+  };
+  std::vector<SinkWiring> wiring(config.sink_count);
+  for (auto& w : wiring) {
+    XMIT_ASSIGN_OR_RETURN(auto data, net::Channel::pipe());
+    XMIT_ASSIGN_OR_RETURN(auto feedback, net::Channel::pipe());
+    w.data_tx = std::move(data.first);
+    w.data_rx = std::move(data.second);
+    w.feedback_tx = std::move(feedback.first);
+    w.feedback_rx = std::move(feedback.second);
+  }
+
+  // Components.
+  DataFileReader reader =
+      config.dataset_path.empty()
+          ? DataFileReader(config.nx, config.ny, config.timesteps, config.seed)
+          : DataFileReader(config.dataset_path);
+  Presend presend(config.presend_stride);
+  Flow2d flow2d;
+  Coupler coupler;
+  std::vector<std::unique_ptr<Vis5dSink>> sinks;
+  for (int s = 0; s < config.sink_count; ++s)
+    sinks.push_back(std::make_unique<Vis5dSink>("vis5d-" + std::to_string(s)));
+
+  // Discovery happens per component, before any data flows.
+  XMIT_RETURN_IF_ERROR(reader.attach(schema_url));
+  XMIT_RETURN_IF_ERROR(presend.attach(schema_url));
+  XMIT_RETURN_IF_ERROR(flow2d.attach(schema_url));
+  XMIT_RETURN_IF_ERROR(coupler.attach(schema_url));
+  for (auto& sink : sinks) XMIT_RETURN_IF_ERROR(sink->attach(schema_url));
+  reader.set_wire_mode(config.wire_mode);
+  presend.set_wire_mode(config.wire_mode);
+  flow2d.set_wire_mode(config.wire_mode);
+  coupler.set_wire_mode(config.wire_mode);
+  for (auto& sink : sinks) sink->set_wire_mode(config.wire_mode);
+
+  std::vector<net::Channel*> sink_channels;
+  std::vector<net::Channel*> feedback_channels;
+  for (auto& w : wiring) {
+    sink_channels.push_back(&w.data_tx);
+    feedback_channels.push_back(&w.feedback_rx);
+  }
+
+  // Run every component on its own thread, collecting statuses.
+  std::vector<Status> statuses(4 + sinks.size());
+  std::vector<std::thread> threads;
+  threads.emplace_back([&] { statuses[0] = reader.run(reader_to_presend.first); });
+  threads.emplace_back([&] {
+    statuses[1] = presend.run(reader_to_presend.second, presend_to_flow.first);
+  });
+  threads.emplace_back([&] {
+    statuses[2] = flow2d.run(presend_to_flow.second, flow_to_coupler.first);
+  });
+  threads.emplace_back([&] {
+    statuses[3] = coupler.run(flow_to_coupler.second, sink_channels,
+                              feedback_channels);
+  });
+  for (std::size_t s = 0; s < sinks.size(); ++s) {
+    threads.emplace_back([&, s] {
+      statuses[4 + s] = sinks[s]->run(wiring[s].data_rx, wiring[s].feedback_tx);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  for (const auto& status : statuses)
+    if (!status.is_ok()) return status;
+
+  PipelineReport report;
+  report.frames_sent = reader.frames_sent();
+  report.frames_forwarded = presend.frames_forwarded();
+  report.fields_produced = flow2d.fields_produced();
+  report.fields_routed = coupler.fields_routed();
+  for (auto& sink : sinks) {
+    report.frames_rendered.push_back(sink->frames_rendered());
+    report.final_summaries.push_back(sink->last_summary());
+  }
+  report.source_checksum = reader.final_checksum();
+  report.schema_requests = server->request_count();
+  return report;
+}
+
+}  // namespace xmit::hydrology

@@ -1,0 +1,48 @@
+// End-to-end assembly of Figure 5: data file -> presend -> flow2d ->
+// coupler -> two Vis5D sinks, with feedback channels from the sinks back
+// to the coupler. The schema document is hosted on a built-in HTTP server
+// and every component discovers its message formats through XMIT at
+// startup — no compiled-in metadata anywhere on the data path.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "hydrology/components.hpp"
+#include "hydrology/messages.hpp"
+
+namespace xmit::hydrology {
+
+struct PipelineConfig {
+  int nx = 32;
+  int ny = 24;
+  int timesteps = 8;
+  int presend_stride = 2;  // subsampling factor in the presend stage
+  std::uint64_t seed = 2001;
+  int sink_count = 2;      // Vis5D instances (Figure 5 shows two)
+  // When set, the reader replays this PBIO dataset file instead of
+  // running the solver (nx/ny/timesteps/seed are then ignored).
+  std::string dataset_path;
+  // Wire format between components: PBIO binary (default) or XML text
+  // (the paper's §4 comparison arm; same metadata, text on the wire).
+  WireMode wire_mode = WireMode::kBinary;
+};
+
+struct PipelineReport {
+  int frames_sent = 0;        // reader
+  int frames_forwarded = 0;   // presend
+  int fields_produced = 0;    // flow2d
+  int fields_routed = 0;      // coupler
+  std::vector<int> frames_rendered;        // per sink
+  std::vector<StatSummary> final_summaries;  // per sink, last frame
+  double source_checksum = 0;  // reader-side field checksum (oracle)
+  std::size_t schema_requests = 0;  // HTTP fetches served (one per component)
+};
+
+// Runs the whole pipeline on background threads and returns the combined
+// report. Any component failure surfaces as the overall status.
+Result<PipelineReport> run_pipeline(const PipelineConfig& config);
+
+}  // namespace xmit::hydrology

@@ -1,0 +1,89 @@
+#include "hydrology/solver.hpp"
+
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace xmit::hydrology {
+
+ShallowWaterModel::ShallowWaterModel(int nx, int ny, std::uint64_t seed)
+    : nx_(nx), ny_(ny),
+      depth_(static_cast<std::size_t>(nx) * ny, 1.0f),
+      previous_(static_cast<std::size_t>(nx) * ny, 1.0f) {
+  // Seed a handful of gaussian disturbances ("rainfall events").
+  Rng rng(seed);
+  int drops = 3 + static_cast<int>(rng.below(4));
+  for (int d = 0; d < drops; ++d) {
+    double cx = rng.uniform() * nx_;
+    double cy = rng.uniform() * ny_;
+    double amplitude = 0.2 + rng.uniform() * 0.6;
+    double radius = 1.5 + rng.uniform() * (std::min(nx_, ny_) / 4.0);
+    for (int y = 0; y < ny_; ++y) {
+      for (int x = 0; x < nx_; ++x) {
+        double dx = x - cx;
+        double dy = y - cy;
+        double r2 = (dx * dx + dy * dy) / (radius * radius);
+        at(depth_, x, y) +=
+            static_cast<float>(amplitude * std::exp(-r2));
+      }
+    }
+  }
+  previous_ = depth_;
+}
+
+void ShallowWaterModel::step() {
+  // Damped discrete wave equation:
+  //   h' = 2h - h_prev + c^2 * laplacian(h), then slight damping.
+  constexpr float kCourant2 = 0.20f;  // (c*dt/dx)^2, stable for 2-D
+  constexpr float kDamping = 0.998f;
+  std::vector<float> next(depth_.size());
+  for (int y = 0; y < ny_; ++y) {
+    for (int x = 0; x < nx_; ++x) {
+      // Reflective boundaries via clamped neighbour lookups.
+      auto clamped = [&](int cx, int cy) {
+        if (cx < 0) cx = 0;
+        if (cx >= nx_) cx = nx_ - 1;
+        if (cy < 0) cy = 0;
+        if (cy >= ny_) cy = ny_ - 1;
+        return get(depth_, cx, cy);
+      };
+      float laplacian = clamped(x - 1, y) + clamped(x + 1, y) +
+                        clamped(x, y - 1) + clamped(x, y + 1) -
+                        4.0f * get(depth_, x, y);
+      float value = 2.0f * get(depth_, x, y) - get(previous_, x, y) +
+                    kCourant2 * laplacian;
+      at(next, x, y) = 1.0f + (value - 1.0f) * kDamping;
+    }
+  }
+  previous_ = std::move(depth_);
+  depth_ = std::move(next);
+  ++timestep_;
+}
+
+void ShallowWaterModel::velocities(std::vector<float>& u,
+                                   std::vector<float>& v) const {
+  u.assign(depth_.size(), 0.0f);
+  v.assign(depth_.size(), 0.0f);
+  for (int y = 0; y < ny_; ++y) {
+    for (int x = 0; x < nx_; ++x) {
+      int xl = x > 0 ? x - 1 : 0;
+      int xr = x < nx_ - 1 ? x + 1 : nx_ - 1;
+      int yd = y > 0 ? y - 1 : 0;
+      int yu = y < ny_ - 1 ? y + 1 : ny_ - 1;
+      // Geostrophic-ish: velocity proportional to the depth gradient.
+      u[static_cast<std::size_t>(y) * nx_ + x] =
+          -(get(depth_, xr, y) - get(depth_, xl, y)) * 0.5f;
+      v[static_cast<std::size_t>(y) * nx_ + x] =
+          -(get(depth_, x, yu) - get(depth_, x, yd)) * 0.5f;
+    }
+  }
+}
+
+double ShallowWaterModel::checksum() const {
+  double sum = 0;
+  for (std::size_t i = 0; i < depth_.size(); ++i)
+    sum += static_cast<double>(depth_[i]) * static_cast<double>((i % 97) + 1);
+  return sum;
+}
+
+}  // namespace xmit::hydrology

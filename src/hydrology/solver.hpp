@@ -1,0 +1,49 @@
+// The numerical substrate behind the Hydrology demo: a small 2-D
+// shallow-water-style relaxation model that produces the depth grids the
+// pipeline visualizes. The paper's demo visualized precomputed hydrology
+// data files; we synthesize equivalent fields deterministically (seeded)
+// so experiments are reproducible without the original NCSA data.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace xmit::hydrology {
+
+class ShallowWaterModel {
+ public:
+  // nx * ny cells; `seed` controls the initial disturbance pattern.
+  ShallowWaterModel(int nx, int ny, std::uint64_t seed);
+
+  // Advance one timestep: damped wave equation on the depth field.
+  void step();
+
+  int nx() const { return nx_; }
+  int ny() const { return ny_; }
+  int timestep() const { return timestep_; }
+
+  // Row-major depth field, nx*ny floats.
+  const std::vector<float>& depth() const { return depth_; }
+
+  // Central-difference velocity components of the current field.
+  void velocities(std::vector<float>& u, std::vector<float>& v) const;
+
+  // Deterministic checksum of the current field (test oracle).
+  double checksum() const;
+
+ private:
+  float& at(std::vector<float>& grid, int x, int y) const {
+    return grid[static_cast<std::size_t>(y) * nx_ + x];
+  }
+  float get(const std::vector<float>& grid, int x, int y) const {
+    return grid[static_cast<std::size_t>(y) * nx_ + x];
+  }
+
+  int nx_;
+  int ny_;
+  int timestep_ = 0;
+  std::vector<float> depth_;
+  std::vector<float> previous_;
+};
+
+}  // namespace xmit::hydrology

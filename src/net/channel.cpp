@@ -1,0 +1,191 @@
+#include "net/channel.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "common/endian.hpp"
+
+namespace xmit::net {
+namespace {
+
+constexpr std::uint32_t kMaxFrameBytes = 1u << 30;
+
+Status send_all(int fd, const void* data, std::size_t size) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::size_t sent = 0;
+  while (sent < size) {
+    ssize_t n = ::send(fd, p + sent, size - sent, MSG_NOSIGNAL);
+    if (n <= 0) return make_error(ErrorCode::kIoError, "channel send failed");
+    sent += static_cast<std::size_t>(n);
+  }
+  return Status::ok();
+}
+
+// Reads exactly `size` bytes or reports why it could not.
+Status recv_exact(int fd, void* data, std::size_t size, int timeout_ms,
+                  bool& clean_eof) {
+  auto* p = static_cast<std::uint8_t*>(data);
+  std::size_t got = 0;
+  clean_eof = false;
+  while (got < size) {
+    struct pollfd pfd = {fd, POLLIN, 0};
+    int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready == 0)
+      return make_error(ErrorCode::kIoError, "channel receive timeout");
+    if (ready < 0)
+      return make_error(ErrorCode::kIoError, "channel poll failed");
+    ssize_t n = ::recv(fd, p + got, size - got, 0);
+    if (n == 0) {
+      clean_eof = got == 0;
+      return make_error(clean_eof ? ErrorCode::kNotFound : ErrorCode::kIoError,
+                        clean_eof ? "end of stream" : "peer closed mid-frame");
+    }
+    if (n < 0) return make_error(ErrorCode::kIoError, "channel recv failed");
+    got += static_cast<std::size_t>(n);
+  }
+  return Status::ok();
+}
+
+}  // namespace
+
+Channel::~Channel() { close(); }
+
+Channel::Channel(Channel&& other) noexcept
+    : fd_(other.fd_), sent_(other.sent_), bytes_sent_(other.bytes_sent_) {
+  other.fd_ = -1;
+}
+
+Channel& Channel::operator=(Channel&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    sent_ = other.sent_;
+    bytes_sent_ = other.bytes_sent_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Channel::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<std::pair<Channel, Channel>> Channel::pipe() {
+  int fds[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0)
+    return Status(ErrorCode::kIoError, "socketpair() failed");
+  return std::make_pair(Channel(fds[0]), Channel(fds[1]));
+}
+
+Result<Channel> Channel::connect(std::uint16_t port, int timeout_ms) {
+  (void)timeout_ms;  // loopback connects complete immediately or fail
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status(ErrorCode::kIoError, "socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return Status(ErrorCode::kIoError,
+                  "connect to 127.0.0.1:" + std::to_string(port) + " failed");
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return Channel(fd);
+}
+
+Status Channel::send(std::span<const std::uint8_t> message) {
+  if (fd_ < 0) return make_error(ErrorCode::kIoError, "channel is closed");
+  if (message.size() > kMaxFrameBytes)
+    return make_error(ErrorCode::kInvalidArgument, "message too large");
+  std::uint8_t frame[4];
+  store_with_order<std::uint32_t>(frame,
+                                  static_cast<std::uint32_t>(message.size()),
+                                  ByteOrder::kLittle);
+  XMIT_RETURN_IF_ERROR(send_all(fd_, frame, sizeof(frame)));
+  XMIT_RETURN_IF_ERROR(send_all(fd_, message.data(), message.size()));
+  ++sent_;
+  bytes_sent_ += message.size() + sizeof(frame);
+  return Status::ok();
+}
+
+Result<std::vector<std::uint8_t>> Channel::receive(int timeout_ms) {
+  if (fd_ < 0) return Status(ErrorCode::kIoError, "channel is closed");
+  std::uint8_t frame[4];
+  bool clean_eof = false;
+  XMIT_RETURN_IF_ERROR(recv_exact(fd_, frame, sizeof(frame), timeout_ms,
+                                  clean_eof));
+  std::uint32_t length = load_with_order<std::uint32_t>(frame, ByteOrder::kLittle);
+  if (length > kMaxFrameBytes)
+    return Status(ErrorCode::kParseError, "frame length is implausible");
+  std::vector<std::uint8_t> message(length);
+  if (length > 0)
+    XMIT_RETURN_IF_ERROR(
+        recv_exact(fd_, message.data(), length, timeout_ms, clean_eof));
+  return message;
+}
+
+ChannelListener::~ChannelListener() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+ChannelListener::ChannelListener(ChannelListener&& other) noexcept
+    : fd_(other.fd_), port_(other.port_) {
+  other.fd_ = -1;
+}
+
+ChannelListener& ChannelListener::operator=(ChannelListener&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = other.fd_;
+    port_ = other.port_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Result<ChannelListener> ChannelListener::listen(std::uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status(ErrorCode::kIoError, "socket() failed");
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return Status(ErrorCode::kIoError, "bind failed");
+  }
+  if (::listen(fd, 16) != 0) {
+    ::close(fd);
+    return Status(ErrorCode::kIoError, "listen failed");
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+  return ChannelListener(fd, ntohs(addr.sin_port));
+}
+
+Result<Channel> ChannelListener::accept(int timeout_ms) {
+  struct pollfd pfd = {fd_, POLLIN, 0};
+  int ready = ::poll(&pfd, 1, timeout_ms);
+  if (ready <= 0)
+    return Status(ErrorCode::kIoError, "accept timeout");
+  int client = ::accept(fd_, nullptr, nullptr);
+  if (client < 0) return Status(ErrorCode::kIoError, "accept failed");
+  int one = 1;
+  ::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return Channel(client);
+}
+
+}  // namespace xmit::net

@@ -1,0 +1,84 @@
+// Channel: the message transport the application components talk over.
+//
+// Length-prefixed byte messages (u32 little-endian frame header) over a
+// stream socket. Two flavours share the class: connected TCP channels
+// (Hydrology components across processes, latency benches) and socketpair
+// pipes (components co-resident in one process). PBIO records pass
+// through whole — the channel is payload-agnostic, exactly like the
+// transport layer beneath a BCM.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace xmit::net {
+
+class Channel {
+ public:
+  Channel() = default;
+  ~Channel();
+  Channel(Channel&& other) noexcept;
+  Channel& operator=(Channel&& other) noexcept;
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  // Bidirectional in-process pair (AF_UNIX socketpair).
+  static Result<std::pair<Channel, Channel>> pipe();
+
+  // TCP client connection to 127.0.0.1:`port`.
+  static Result<Channel> connect(std::uint16_t port, int timeout_ms = 5000);
+
+  bool is_open() const { return fd_ >= 0; }
+
+  Status send(std::span<const std::uint8_t> message);
+  Status send(const std::vector<std::uint8_t>& message) {
+    return send(std::span<const std::uint8_t>(message));
+  }
+
+  // Blocks up to timeout_ms for the next complete frame. A cleanly closed
+  // peer yields kNotFound ("end of stream"), distinguishable from timeout
+  // (kIoError).
+  Result<std::vector<std::uint8_t>> receive(int timeout_ms = 5000);
+
+  void close();
+
+  std::size_t messages_sent() const { return sent_; }
+  std::size_t bytes_sent() const { return bytes_sent_; }
+
+ private:
+  explicit Channel(int fd) : fd_(fd) {}
+  friend class ChannelListener;
+
+  int fd_ = -1;
+  std::size_t sent_ = 0;
+  std::size_t bytes_sent_ = 0;
+};
+
+class ChannelListener {
+ public:
+  ~ChannelListener();
+  ChannelListener(ChannelListener&& other) noexcept;
+  ChannelListener& operator=(ChannelListener&& other) noexcept;
+  ChannelListener(const ChannelListener&) = delete;
+  ChannelListener& operator=(const ChannelListener&) = delete;
+
+  // Listens on 127.0.0.1:`port` (0 picks a free port).
+  static Result<ChannelListener> listen(std::uint16_t port = 0);
+
+  std::uint16_t port() const { return port_; }
+
+  Result<Channel> accept(int timeout_ms = 5000);
+
+ private:
+  explicit ChannelListener(int fd, std::uint16_t port)
+      : fd_(fd), port_(port) {}
+
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace xmit::net

@@ -1,0 +1,53 @@
+#include "net/fetch.hpp"
+
+#include <cstdio>
+#include <memory>
+
+#include "net/http.hpp"
+#include "net/url.hpp"
+
+namespace xmit::net {
+
+Result<std::string> read_file(const std::string& path) {
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> file(
+      std::fopen(path.c_str(), "rb"), &std::fclose);
+  if (!file)
+    return Status(ErrorCode::kNotFound, "cannot open '" + path + "'");
+  std::string out;
+  char buf[8192];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), file.get())) > 0)
+    out.append(buf, n);
+  if (std::ferror(file.get()))
+    return Status(ErrorCode::kIoError, "read error on '" + path + "'");
+  return out;
+}
+
+Status write_file(const std::string& path, std::string_view contents) {
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> file(
+      std::fopen(path.c_str(), "wb"), &std::fclose);
+  if (!file)
+    return make_error(ErrorCode::kIoError, "cannot create '" + path + "'");
+  if (std::fwrite(contents.data(), 1, contents.size(), file.get()) !=
+      contents.size())
+    return make_error(ErrorCode::kIoError, "short write to '" + path + "'");
+  return Status::ok();
+}
+
+Result<std::string> fetch(std::string_view url_text, int timeout_ms) {
+  XMIT_ASSIGN_OR_RETURN(auto url, parse_url(url_text));
+  if (url.scheme == "file") return read_file(url.path);
+
+  XMIT_ASSIGN_OR_RETURN(
+      auto response, HttpClient::get(url.host, url.port, url.path, timeout_ms));
+  if (response.status_code == 404)
+    return Status(ErrorCode::kNotFound,
+                  "document not found: " + std::string(url_text));
+  if (response.status_code != 200)
+    return Status(ErrorCode::kIoError,
+                  "HTTP " + std::to_string(response.status_code) + " fetching " +
+                      std::string(url_text));
+  return std::move(response.body);
+}
+
+}  // namespace xmit::net

@@ -1,0 +1,19 @@
+// Scheme-dispatching document fetch: how XMIT "loads" metadata from URLs.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/error.hpp"
+
+namespace xmit::net {
+
+// Fetch the document at `url` (http:// via HttpClient, file:// from the
+// local filesystem). HTTP non-200 responses are kNotFound/kIoError.
+Result<std::string> fetch(std::string_view url, int timeout_ms = 5000);
+
+// Read a whole local file (also used by examples and the bench harness).
+Result<std::string> read_file(const std::string& path);
+Status write_file(const std::string& path, std::string_view contents);
+
+}  // namespace xmit::net

@@ -1,0 +1,314 @@
+#include "net/http.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "common/strings.hpp"
+
+namespace xmit::net {
+namespace {
+
+// Writes the whole buffer, retrying short writes.
+bool write_all(int fd, std::string_view data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    ssize_t n = ::send(fd, data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+// Reads until the header terminator, then content-length body bytes.
+Result<std::string> read_http_message(int fd, int timeout_ms) {
+  std::string data;
+  char buf[4096];
+  std::size_t header_end = std::string::npos;
+  std::size_t content_length = 0;
+  for (;;) {
+    struct pollfd pfd = {fd, POLLIN, 0};
+    int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready <= 0)
+      return Status(ErrorCode::kIoError, "HTTP read timeout");
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n < 0) return Status(ErrorCode::kIoError, "HTTP recv failed");
+    if (n == 0) {
+      if (header_end != std::string::npos &&
+          data.size() >= header_end + 4 + content_length)
+        break;
+      return Status(ErrorCode::kIoError, "connection closed mid-message");
+    }
+    data.append(buf, static_cast<std::size_t>(n));
+    if (header_end == std::string::npos) {
+      header_end = data.find("\r\n\r\n");
+      if (header_end != std::string::npos) {
+        // Scan headers for Content-Length.
+        std::string lower = to_lower(data.substr(0, header_end));
+        std::size_t at = lower.find("content-length:");
+        if (at != std::string::npos) {
+          std::size_t value_start = at + 15;
+          std::size_t line_end = lower.find("\r\n", value_start);
+          auto value = parse_uint(trim(std::string_view(lower).substr(
+              value_start, line_end - value_start)));
+          if (!value.is_ok())
+            return Status(ErrorCode::kParseError, "bad Content-Length");
+          content_length = static_cast<std::size_t>(value.value());
+        }
+      }
+    }
+    if (header_end != std::string::npos &&
+        data.size() >= header_end + 4 + content_length)
+      break;
+    if (data.size() > 64 * 1024 * 1024)
+      return Status(ErrorCode::kOutOfRange, "HTTP message too large");
+  }
+  return data;
+}
+
+std::string status_text(int code) {
+  switch (code) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    default: return "Unknown";
+  }
+}
+
+}  // namespace
+
+Result<std::unique_ptr<HttpServer>> HttpServer::start(std::uint16_t port) {
+  auto server = std::unique_ptr<HttpServer>(new HttpServer());
+  server->listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (server->listen_fd_ < 0)
+    return Status(ErrorCode::kIoError, "socket() failed");
+  int one = 1;
+  ::setsockopt(server->listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(server->listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0)
+    return Status(ErrorCode::kIoError,
+                  "bind to 127.0.0.1:" + std::to_string(port) + " failed");
+  if (::listen(server->listen_fd_, 16) != 0)
+    return Status(ErrorCode::kIoError, "listen() failed");
+
+  socklen_t len = sizeof(addr);
+  ::getsockname(server->listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  server->port_ = ntohs(addr.sin_port);
+
+  server->thread_ = std::thread([raw = server.get()] { raw->accept_loop(); });
+  return server;
+}
+
+HttpServer::~HttpServer() { stop(); }
+
+void HttpServer::stop() {
+  if (stopping_.exchange(true)) return;
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+  }
+  if (thread_.joinable()) thread_.join();
+  listen_fd_ = -1;
+}
+
+std::string HttpServer::url_for(std::string_view path) const {
+  std::string out = "http://127.0.0.1:" + std::to_string(port_);
+  if (path.empty() || path[0] != '/') out += '/';
+  out += path;
+  return out;
+}
+
+void HttpServer::put_document(std::string path, std::string body,
+                              std::string content_type) {
+  HttpResponse response;
+  response.status_code = 200;
+  response.content_type = std::move(content_type);
+  response.body = std::move(body);
+  std::lock_guard<std::mutex> lock(mutex_);
+  documents_[std::move(path)] = std::move(response);
+}
+
+void HttpServer::remove_document(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  documents_.erase(path);
+}
+
+void HttpServer::set_post_handler(std::string path, PostHandler handler) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  post_handlers_[std::move(path)] = std::move(handler);
+}
+
+void HttpServer::accept_loop() {
+  for (;;) {
+    int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) {
+      if (stopping_.load()) return;
+      continue;
+    }
+    // Requests are tiny and loopback-local; serving inline keeps the
+    // server deterministic for benchmarking registration cost.
+    handle_connection(client);
+    ::close(client);
+  }
+}
+
+void HttpServer::handle_connection(int client_fd) {
+  auto message = read_http_message(client_fd, 5000);
+  if (!message.is_ok()) return;
+  request_count_.fetch_add(1);
+
+  const std::string& text = message.value();
+  std::size_t line_end = text.find("\r\n");
+  std::string_view request_line =
+      std::string_view(text).substr(0, line_end);
+  auto parts = split(request_line, ' ');
+
+  HttpResponse response;
+  if (parts.size() != 3 || (parts[2] != "HTTP/1.1" && parts[2] != "HTTP/1.0")) {
+    response.status_code = 400;
+    response.body = "malformed request line";
+  } else if (parts[0] == "GET") {
+    std::string path(parts[1]);
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = documents_.find(path);
+    if (it == documents_.end()) {
+      response.status_code = 404;
+      response.body = "no such document: " + path;
+    } else {
+      response = it->second;
+    }
+  } else if (parts[0] == "POST") {
+    std::string path(parts[1]);
+    PostHandler handler;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      auto it = post_handlers_.find(path);
+      if (it != post_handlers_.end()) handler = it->second;
+    }
+    if (!handler) {
+      response.status_code = 404;
+      response.body = "no POST endpoint at: " + path;
+    } else {
+      std::size_t header_end = text.find("\r\n\r\n");
+      std::string body =
+          header_end == std::string::npos ? "" : text.substr(header_end + 4);
+      response = handler(body);
+    }
+  } else {
+    response.status_code = 405;
+    response.body = "only GET and POST are supported";
+  }
+  if (response.content_type.empty()) response.content_type = "text/plain";
+
+  std::string out = "HTTP/1.1 " + std::to_string(response.status_code) + " " +
+                    status_text(response.status_code) + "\r\n";
+  out += "Content-Type: " + response.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += response.body;
+  write_all(client_fd, out);
+}
+
+namespace {
+
+// Connects, sends `request`, reads one full response; shared by GET/POST.
+Result<std::string> exchange(const std::string& host, std::uint16_t port,
+                             const std::string& request, int timeout_ms) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status(ErrorCode::kIoError, "socket() failed");
+  struct FdGuard {
+    int fd;
+    ~FdGuard() { ::close(fd); }
+  } guard{fd};
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    // Only dotted-quad and localhost are needed offline.
+    if (host == "localhost")
+      addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    else
+      return Status(ErrorCode::kNotFound, "cannot resolve host '" + host + "'");
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0)
+    return Status(ErrorCode::kIoError,
+                  "connect to " + host + ":" + std::to_string(port) + " failed");
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+  if (!write_all(fd, request))
+    return Status(ErrorCode::kIoError, "request write failed");
+  return read_http_message(fd, timeout_ms);
+}
+
+// Parses a raw HTTP response into status/content-type/body.
+Result<HttpResponse> parse_response(const std::string& text);
+
+}  // namespace
+
+Result<HttpResponse> HttpClient::get(const std::string& host,
+                                     std::uint16_t port,
+                                     const std::string& path,
+                                     int timeout_ms) {
+  std::string request = "GET " + path + " HTTP/1.1\r\nHost: " + host +
+                        "\r\nConnection: close\r\n\r\n";
+  XMIT_ASSIGN_OR_RETURN(auto text, exchange(host, port, request, timeout_ms));
+  return parse_response(text);
+}
+
+Result<HttpResponse> HttpClient::post(const std::string& host,
+                                      std::uint16_t port,
+                                      const std::string& path,
+                                      const std::string& body,
+                                      const std::string& content_type,
+                                      int timeout_ms) {
+  std::string request = "POST " + path + " HTTP/1.1\r\nHost: " + host +
+                        "\r\nContent-Type: " + content_type +
+                        "\r\nContent-Length: " + std::to_string(body.size()) +
+                        "\r\nConnection: close\r\n\r\n" + body;
+  XMIT_ASSIGN_OR_RETURN(auto text, exchange(host, port, request, timeout_ms));
+  return parse_response(text);
+}
+
+namespace {
+
+Result<HttpResponse> parse_response(const std::string& text) {
+  std::size_t header_end = text.find("\r\n\r\n");
+  if (header_end == std::string::npos)
+    return Status(ErrorCode::kParseError, "malformed HTTP response");
+
+  HttpResponse response;
+  std::size_t line_end = text.find("\r\n");
+  auto status_parts = split(std::string_view(text).substr(0, line_end), ' ');
+  if (status_parts.size() < 2)
+    return Status(ErrorCode::kParseError, "malformed status line");
+  XMIT_ASSIGN_OR_RETURN(auto code, parse_uint(status_parts[1]));
+  response.status_code = static_cast<int>(code);
+
+  std::string lower = to_lower(text.substr(0, header_end));
+  std::size_t ct = lower.find("content-type:");
+  if (ct != std::string::npos) {
+    std::size_t value_start = ct + 13;
+    std::size_t value_end = lower.find("\r\n", value_start);
+    response.content_type = std::string(
+        trim(std::string_view(text).substr(value_start, value_end - value_start)));
+  }
+  response.body = text.substr(header_end + 4);
+  return response;
+}
+
+}  // namespace
+
+}  // namespace xmit::net

@@ -1,0 +1,90 @@
+// Minimal HTTP/1.1 server and client — the discovery substrate.
+//
+// The paper hosts XML schema documents on an Apache server and XMIT
+// retrieves them over "(nearly) ubiquitous HTTP transport services".
+// HttpServer serves an in-memory document map on a loopback port from a
+// background thread; HttpClient issues one-shot GETs. GET is the only
+// method either side needs.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+
+#include "common/error.hpp"
+
+namespace xmit::net {
+
+struct HttpResponse {
+  int status_code = 0;
+  std::string content_type;
+  std::string body;
+};
+
+// POST handler: request body in, response out. Runs on the server thread.
+using PostHandler = std::function<HttpResponse(const std::string& body)>;
+
+class HttpServer {
+ public:
+  // Binds 127.0.0.1:`port` (0 picks a free port) and starts the accept
+  // loop on a background thread.
+  static Result<std::unique_ptr<HttpServer>> start(std::uint16_t port = 0);
+
+  ~HttpServer();
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  std::uint16_t port() const { return port_; }
+  std::string url_for(std::string_view path) const;
+
+  // Publish / replace a document. Thread-safe; a re-publish is how the
+  // "centralized format change" scenario is driven.
+  void put_document(std::string path, std::string body,
+                    std::string content_type = "text/xml");
+  void remove_document(const std::string& path);
+
+  // Install a POST endpoint (e.g. an XML-RPC dispatcher at "/RPC2").
+  void set_post_handler(std::string path, PostHandler handler);
+
+  std::size_t request_count() const { return request_count_.load(); }
+
+  void stop();
+
+ private:
+  HttpServer() = default;
+
+  void accept_loop();
+  void handle_connection(int client_fd);
+
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::thread thread_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::size_t> request_count_{0};
+
+  mutable std::mutex mutex_;
+  std::map<std::string, HttpResponse> documents_;
+  std::map<std::string, PostHandler> post_handlers_;
+};
+
+class HttpClient {
+ public:
+  // One-shot GET http://host:port/path with a bounded timeout.
+  static Result<HttpResponse> get(const std::string& host, std::uint16_t port,
+                                  const std::string& path,
+                                  int timeout_ms = 5000);
+
+  // One-shot POST with a request body.
+  static Result<HttpResponse> post(const std::string& host, std::uint16_t port,
+                                   const std::string& path,
+                                   const std::string& body,
+                                   const std::string& content_type = "text/xml",
+                                   int timeout_ms = 5000);
+};
+
+}  // namespace xmit::net

@@ -1,0 +1,64 @@
+#include "net/url.hpp"
+
+#include "common/strings.hpp"
+
+namespace xmit::net {
+
+std::string Url::to_string() const {
+  std::string out = scheme + "://";
+  if (scheme == "file") return out + path;
+  out += host;
+  if (!(scheme == "http" && port == 80)) {
+    out += ":";
+    out += std::to_string(port);
+  }
+  out += path;
+  return out;
+}
+
+Result<Url> parse_url(std::string_view text) {
+  std::size_t scheme_end = text.find("://");
+  if (scheme_end == std::string_view::npos)
+    return Status(ErrorCode::kParseError,
+                  "URL '" + std::string(text) + "' has no scheme");
+  Url url;
+  url.scheme = to_lower(text.substr(0, scheme_end));
+  std::string_view rest = text.substr(scheme_end + 3);
+
+  if (url.scheme == "file") {
+    if (rest.empty() || rest[0] != '/')
+      return Status(ErrorCode::kParseError,
+                    "file URL must use an absolute path: " + std::string(text));
+    url.path = std::string(rest);
+    return url;
+  }
+  if (url.scheme != "http")
+    return Status(ErrorCode::kUnsupported,
+                  "unsupported URL scheme '" + url.scheme + "'");
+
+  std::size_t path_start = rest.find('/');
+  std::string_view authority =
+      path_start == std::string_view::npos ? rest : rest.substr(0, path_start);
+  url.path = path_start == std::string_view::npos
+                 ? "/"
+                 : std::string(rest.substr(path_start));
+
+  std::size_t colon = authority.rfind(':');
+  if (colon == std::string_view::npos) {
+    url.host = std::string(authority);
+    url.port = 80;
+  } else {
+    url.host = std::string(authority.substr(0, colon));
+    XMIT_ASSIGN_OR_RETURN(auto port, parse_uint(authority.substr(colon + 1)));
+    if (port == 0 || port > 65535)
+      return Status(ErrorCode::kParseError,
+                    "bad port in URL '" + std::string(text) + "'");
+    url.port = static_cast<std::uint16_t>(port);
+  }
+  if (url.host.empty())
+    return Status(ErrorCode::kParseError,
+                  "URL '" + std::string(text) + "' has no host");
+  return url;
+}
+
+}  // namespace xmit::net

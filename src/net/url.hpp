@@ -1,0 +1,24 @@
+// URL parsing for metadata discovery: http://host:port/path and
+// file:///path are the schemes XMIT fetches schema documents from.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/error.hpp"
+
+namespace xmit::net {
+
+struct Url {
+  std::string scheme;  // "http" | "file"
+  std::string host;    // empty for file URLs
+  std::uint16_t port = 0;  // 80 default for http
+  std::string path;    // always begins with '/'
+
+  std::string to_string() const;
+};
+
+Result<Url> parse_url(std::string_view text);
+
+}  // namespace xmit::net

@@ -1,0 +1,33 @@
+#include "pbio/arch.hpp"
+
+namespace xmit::pbio {
+
+const ArchInfo& ArchInfo::host() {
+  static const ArchInfo info = {};
+  return info;
+}
+
+std::string ArchInfo::to_string() const {
+  std::string out = byte_order == ByteOrder::kLittle ? "le" : "be";
+  out += "/p";
+  out += std::to_string(pointer_size);
+  out += "/l";
+  out += std::to_string(long_size);
+  out += "/a";
+  out += std::to_string(max_align);
+  return out;
+}
+
+ArchInfo ArchInfo::big_endian_64() {
+  return {ByteOrder::kBig, 8, 8, 8};
+}
+
+ArchInfo ArchInfo::big_endian_32() {
+  return {ByteOrder::kBig, 4, 4, 8};
+}
+
+ArchInfo ArchInfo::little_endian_32() {
+  return {ByteOrder::kLittle, 4, 4, 4};
+}
+
+}  // namespace xmit::pbio

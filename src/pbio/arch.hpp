@@ -1,0 +1,36 @@
+// Architecture descriptor attached to every PBIO format.
+//
+// PBIO is "sender writes native, reader makes right": wire records mirror
+// the sender's in-memory layout, and the receiver converts only when its
+// own ArchInfo or structure layout differs. ArchInfo captures exactly the
+// properties that layout and conversion depend on.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/endian.hpp"
+
+namespace xmit::pbio {
+
+struct ArchInfo {
+  ByteOrder byte_order = host_byte_order();
+  std::uint8_t pointer_size = sizeof(void*);  // 4 or 8
+  std::uint8_t long_size = sizeof(long);      // 4 or 8 (ILP32 vs LP64)
+  // Natural alignment is capped at this (some ABIs align 8-byte scalars
+  // to 4; x86-64 SysV aligns to 8).
+  std::uint8_t max_align = 8;
+
+  static const ArchInfo& host();
+
+  bool operator==(const ArchInfo& other) const = default;
+
+  std::string to_string() const;
+
+  // Known foreign profiles used by tests and heterogeneity benches.
+  static ArchInfo big_endian_64();   // e.g. SPARC V9 — the paper's testbed
+  static ArchInfo big_endian_32();   // e.g. SPARC V8 / classic RISC
+  static ArchInfo little_endian_32();// e.g. IA-32
+};
+
+}  // namespace xmit::pbio

@@ -1,0 +1,355 @@
+#include "pbio/decode.hpp"
+
+#include <cstring>
+
+#include "pbio/scalar.hpp"
+
+namespace xmit::pbio {
+namespace {
+
+bool flat_fields_identical(const std::vector<FlatField>& a,
+                           const std::vector<FlatField>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const FlatField& x = a[i];
+    const FlatField& y = b[i];
+    if (x.path != y.path || x.kind != y.kind || x.size != y.size ||
+        x.offset != y.offset || x.array_mode != y.array_mode ||
+        x.fixed_count != y.fixed_count || x.count_offset != y.count_offset ||
+        x.count_size != y.count_size)
+      return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+// One field-to-field transfer in a conversion plan.
+struct Decoder::Move {
+  FlatField src;
+  FlatField dst;
+  // Fast criteria precomputed at plan build: a scalar/fixed-array move
+  // whose kind, size and (after header check) byte order all match can be
+  // memcpy'd.
+  bool bitwise_compatible = false;
+};
+
+struct Decoder::Plan {
+  bool identity = false;
+  std::vector<Move> moves;
+  std::vector<FlatField> zero_fills;  // receiver fields absent on the wire
+  std::uint32_t receiver_struct_size = 0;
+};
+
+Result<RecordInfo> Decoder::inspect(
+    std::span<const std::uint8_t> bytes) const {
+  XMIT_ASSIGN_OR_RETURN(auto header, parse_record(bytes));
+  XMIT_ASSIGN_OR_RETURN(auto format, registry_.by_id(header.format_id));
+  if (format->struct_size() != header.fixed_length)
+    return Status(ErrorCode::kParseError,
+                  "record fixed length " + std::to_string(header.fixed_length) +
+                      " does not match format '" + format->name() + "' (" +
+                      std::to_string(format->struct_size()) + " bytes)");
+  return RecordInfo{header, std::move(format)};
+}
+
+Result<bool> Decoder::layouts_identical(const Format& sender,
+                                        const Format& receiver) const {
+  if (!(sender.arch() == receiver.arch())) return false;
+  if (sender.struct_size() != receiver.struct_size()) return false;
+  return flat_fields_identical(sender.flat_fields(), receiver.flat_fields());
+}
+
+Result<std::shared_ptr<const Decoder::Plan>> Decoder::build_plan(
+    const Format& sender, const Format& receiver) {
+  auto plan = std::make_shared<Plan>();
+  plan->receiver_struct_size = receiver.struct_size();
+  plan->identity = sender.arch() == receiver.arch() &&
+                   sender.struct_size() == receiver.struct_size() &&
+                   flat_fields_identical(sender.flat_fields(),
+                                         receiver.flat_fields());
+  if (plan->identity) return std::shared_ptr<const Plan>(plan);
+
+  const bool same_order = sender.arch().byte_order == receiver.arch().byte_order;
+  for (const auto& dst : receiver.flat_fields()) {
+    const FlatField* src = sender.flat_field(dst.path);
+    if (src == nullptr) {
+      // Restricted evolution: the sender predates this field.
+      plan->zero_fills.push_back(dst);
+      continue;
+    }
+    // Shape changes (scalar <-> array, string <-> numeric) are not part of
+    // PBIO's evolution contract; surface them at bind time, not mid-stream.
+    const bool src_is_string = src->kind == FieldKind::kString;
+    const bool dst_is_string = dst.kind == FieldKind::kString;
+    if (src_is_string != dst_is_string)
+      return Status(ErrorCode::kUnsupported,
+                    "field '" + dst.path + "' changed between string and non-string");
+    if (src->array_mode != dst.array_mode &&
+        !(src->array_mode == ArrayMode::kFixed &&
+          dst.array_mode == ArrayMode::kFixed))
+      return Status(ErrorCode::kUnsupported,
+                    "field '" + dst.path + "' changed array shape");
+    Move move;
+    move.src = *src;
+    move.dst = dst;
+    move.bitwise_compatible = same_order && src->kind == dst.kind &&
+                              src->size == dst.size &&
+                              src->kind != FieldKind::kString &&
+                              src->array_mode != ArrayMode::kDynamic;
+    plan->moves.push_back(std::move(move));
+  }
+  return std::shared_ptr<const Plan>(plan);
+}
+
+Result<std::shared_ptr<const Decoder::Plan>> Decoder::plan_for(
+    const FormatPtr& sender, const Format& receiver) const {
+  std::pair<FormatId, FormatId> key{sender->id(), receiver.id()};
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = plans_.find(key);
+    if (it != plans_.end()) return it->second;
+  }
+  XMIT_ASSIGN_OR_RETURN(auto plan, build_plan(*sender, receiver));
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = plans_.emplace(key, std::move(plan));
+  return it->second;
+}
+
+std::size_t Decoder::plan_cache_size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return plans_.size();
+}
+
+Status Decoder::decode(std::span<const std::uint8_t> bytes,
+                       const Format& receiver, void* out, Arena& arena) const {
+  XMIT_ASSIGN_OR_RETURN(auto info, inspect(bytes));
+  if (!(receiver.arch() == ArchInfo::host()))
+    return Status(ErrorCode::kInvalidArgument,
+                  "receiver format must describe the host architecture");
+  XMIT_ASSIGN_OR_RETURN(auto plan, plan_for(info.sender_format, receiver));
+  if (plan->identity)
+    return run_identity(info.header, bytes, receiver, out, arena);
+  return run_conversion(*plan, info.header, bytes, out, arena);
+}
+
+Status Decoder::run_identity(const WireHeader& header,
+                             std::span<const std::uint8_t> bytes,
+                             const Format& receiver, void* out,
+                             Arena& arena) const {
+  const std::uint8_t* fixed = bytes.data() + WireHeader::kSize;
+  const std::uint8_t* var = fixed + header.fixed_length;
+  auto* dst = static_cast<std::uint8_t*>(out);
+  std::memcpy(dst, fixed, header.fixed_length);
+
+  if (receiver.is_contiguous()) return Status::ok();
+  for (const auto& field : receiver.flat_fields()) {
+    if (field.kind == FieldKind::kString) {
+      const std::uint32_t elems =
+          field.array_mode == ArrayMode::kFixed ? field.fixed_count : 1;
+      for (std::uint32_t i = 0; i < elems; ++i) {
+        std::size_t slot_offset = field.offset + std::size_t(i) * sizeof(void*);
+        std::uint64_t slot = read_slot_value(
+            fixed, slot_offset, header.pointer_size, header.byte_order);
+        char* value = nullptr;
+        if (slot != 0) {
+          std::uint64_t at = slot - 1;
+          if (at >= header.var_length)
+            return make_error(ErrorCode::kOutOfRange,
+                              "string offset out of range in '" + field.path + "'");
+          const void* nul = std::memchr(var + at, 0, header.var_length - at);
+          if (nul == nullptr)
+            return make_error(ErrorCode::kParseError,
+                              "unterminated string in '" + field.path + "'");
+          std::size_t len = static_cast<const std::uint8_t*>(nul) - (var + at);
+          value = arena.duplicate_string(
+              reinterpret_cast<const char*>(var + at), len);
+        }
+        store_raw(dst + slot_offset, value);
+      }
+      continue;
+    }
+    if (field.array_mode != ArrayMode::kDynamic) continue;
+    std::uint64_t slot = read_slot_value(fixed, field.offset,
+                                         header.pointer_size,
+                                         header.byte_order);
+    std::uint8_t* value = nullptr;
+    if (slot != 0) {
+      // Identity plan: count field layout matches, read from our own copy.
+      std::int64_t count = 0;
+      switch (field.count_size) {
+        case 1: count = *reinterpret_cast<const std::int8_t*>(dst + field.count_offset); break;
+        case 2: count = load_raw<std::int16_t>(dst + field.count_offset); break;
+        case 4: count = load_raw<std::int32_t>(dst + field.count_offset); break;
+        case 8: count = load_raw<std::int64_t>(dst + field.count_offset); break;
+        default: return make_error(ErrorCode::kInternal, "bad count size");
+      }
+      if (count < 0)
+        return make_error(ErrorCode::kParseError,
+                          "negative array count in '" + field.path + "'");
+      std::uint64_t at = slot - 1;
+      std::uint64_t payload = static_cast<std::uint64_t>(count) * field.size;
+      if (at + payload > header.var_length)
+        return make_error(ErrorCode::kOutOfRange,
+                          "array payload out of range in '" + field.path + "'");
+      value = reinterpret_cast<std::uint8_t*>(
+          arena.duplicate(var + at, payload, field.size > 8 ? 8 : field.size));
+    }
+    store_raw(dst + field.offset, value);
+  }
+  return Status::ok();
+}
+
+Status Decoder::run_conversion(const Plan& plan, const WireHeader& header,
+                               std::span<const std::uint8_t> bytes, void* out,
+                               Arena& arena) const {
+  const std::uint8_t* fixed = bytes.data() + WireHeader::kSize;
+  const std::uint8_t* var = fixed + header.fixed_length;
+  auto* dst_base = static_cast<std::uint8_t*>(out);
+  std::memset(dst_base, 0, plan.receiver_struct_size);
+  const ByteOrder src_order = header.byte_order;
+
+  for (const auto& move : plan.moves) {
+    const FlatField& src = move.src;
+    const FlatField& dst = move.dst;
+
+    if (src.offset + src.size > header.fixed_length)
+      return make_error(ErrorCode::kOutOfRange,
+                        "source field '" + src.path + "' outside fixed section");
+
+    if (src.kind == FieldKind::kString) {
+      const std::uint32_t src_elems =
+          src.array_mode == ArrayMode::kFixed ? src.fixed_count : 1;
+      const std::uint32_t dst_elems =
+          dst.array_mode == ArrayMode::kFixed ? dst.fixed_count : 1;
+      const std::uint32_t elems = src_elems < dst_elems ? src_elems : dst_elems;
+      for (std::uint32_t i = 0; i < elems; ++i) {
+        std::size_t src_slot = src.offset + std::size_t(i) * header.pointer_size;
+        std::size_t dst_slot = dst.offset + std::size_t(i) * sizeof(void*);
+        std::uint64_t slot =
+            read_slot_value(fixed, src_slot, header.pointer_size, src_order);
+        char* value = nullptr;
+        if (slot != 0) {
+          std::uint64_t at = slot - 1;
+          if (at >= header.var_length)
+            return make_error(ErrorCode::kOutOfRange,
+                              "string offset out of range in '" + src.path + "'");
+          const void* nul = std::memchr(var + at, 0, header.var_length - at);
+          if (nul == nullptr)
+            return make_error(ErrorCode::kParseError,
+                              "unterminated string in '" + src.path + "'");
+          std::size_t len = static_cast<const std::uint8_t*>(nul) - (var + at);
+          value = arena.duplicate_string(
+              reinterpret_cast<const char*>(var + at), len);
+        }
+        store_raw(dst_base + dst_slot, value);
+      }
+      continue;
+    }
+
+    if (src.array_mode == ArrayMode::kDynamic) {
+      // Element count lives in the sender's fixed section.
+      if (src.count_offset + src.count_size > header.fixed_length)
+        return make_error(ErrorCode::kOutOfRange,
+                          "count field outside fixed section for '" +
+                              src.path + "'");
+      XMIT_ASSIGN_OR_RETURN(
+          auto count_value,
+          load_scalar(fixed + src.count_offset, src.count_kind, src.count_size,
+                      src_order));
+      std::int64_t count = count_value.cls == ScalarValue::Class::kUnsigned
+                               ? static_cast<std::int64_t>(count_value.u)
+                               : count_value.i;
+      if (count < 0)
+        return make_error(ErrorCode::kParseError,
+                          "negative array count in '" + src.path + "'");
+      std::uint64_t slot =
+          read_slot_value(fixed, src.offset, header.pointer_size, src_order);
+      std::uint8_t* value = nullptr;
+      if (slot != 0 && count > 0) {
+        std::uint64_t at = slot - 1;
+        std::uint64_t payload = static_cast<std::uint64_t>(count) * src.size;
+        if (at + payload > header.var_length)
+          return make_error(ErrorCode::kOutOfRange,
+                            "array payload out of range in '" + src.path + "'");
+        value = static_cast<std::uint8_t*>(arena.allocate(
+            static_cast<std::size_t>(count) * dst.size,
+            dst.size > 8 ? 8 : dst.size));
+        for (std::int64_t i = 0; i < count; ++i) {
+          XMIT_ASSIGN_OR_RETURN(
+              auto scalar, load_scalar(var + at + std::uint64_t(i) * src.size,
+                                       src.kind, src.size, src_order));
+          store_scalar(value + std::uint64_t(i) * dst.size, dst.kind, dst.size,
+                       scalar, host_byte_order());
+        }
+      } else if (slot != 0 && count == 0) {
+        value = static_cast<std::uint8_t*>(arena.allocate(1));
+      }
+      store_raw(dst_base + dst.offset, value);
+      continue;
+    }
+
+    // Scalars and fixed arrays.
+    const std::uint32_t src_count =
+        src.array_mode == ArrayMode::kFixed ? src.fixed_count : 1;
+    const std::uint32_t dst_count =
+        dst.array_mode == ArrayMode::kFixed ? dst.fixed_count : 1;
+    const std::uint32_t count = src_count < dst_count ? src_count : dst_count;
+    if (src.offset + std::uint64_t(src_count) * src.size > header.fixed_length)
+      return make_error(ErrorCode::kOutOfRange,
+                        "source array '" + src.path + "' outside fixed section");
+    if (move.bitwise_compatible) {
+      std::memcpy(dst_base + dst.offset, fixed + src.offset,
+                  std::size_t(count) * src.size);
+      continue;
+    }
+    for (std::uint32_t i = 0; i < count; ++i) {
+      XMIT_ASSIGN_OR_RETURN(
+          auto scalar, load_scalar(fixed + src.offset + std::size_t(i) * src.size,
+                                   src.kind, src.size, src_order));
+      store_scalar(dst_base + dst.offset + std::size_t(i) * dst.size, dst.kind,
+                   dst.size, scalar, host_byte_order());
+    }
+  }
+  // zero_fills are already covered by the upfront memset.
+  return Status::ok();
+}
+
+Result<const void*> Decoder::decode_in_place(std::span<std::uint8_t> bytes,
+                                             const Format& receiver) const {
+  XMIT_ASSIGN_OR_RETURN(auto info, inspect(bytes));
+  XMIT_ASSIGN_OR_RETURN(auto plan, plan_for(info.sender_format, receiver));
+  if (!plan->identity)
+    return Status(ErrorCode::kUnsupported,
+                  "in-place decode needs identical sender/receiver layouts");
+  const WireHeader& header = info.header;
+  std::uint8_t* fixed = bytes.data() + WireHeader::kSize;
+  std::uint8_t* var = fixed + header.fixed_length;
+
+  for (const auto& field : receiver.flat_fields()) {
+    const bool is_string = field.kind == FieldKind::kString;
+    const bool is_dynamic = field.array_mode == ArrayMode::kDynamic;
+    if (!is_string && !is_dynamic) continue;
+    const std::uint32_t elems =
+        (is_string && field.array_mode == ArrayMode::kFixed) ? field.fixed_count
+                                                             : 1;
+    for (std::uint32_t i = 0; i < elems; ++i) {
+      std::size_t slot_offset = field.offset + std::size_t(i) * sizeof(void*);
+      std::uint64_t slot = read_slot_value(fixed, slot_offset,
+                                           header.pointer_size,
+                                           header.byte_order);
+      void* value = nullptr;
+      if (slot != 0) {
+        std::uint64_t at = slot - 1;
+        if (at >= header.var_length)
+          return Status(ErrorCode::kOutOfRange,
+                        "pointer slot out of range in '" + field.path + "'");
+        value = var + at;
+      }
+      store_raw(fixed + slot_offset, value);
+    }
+  }
+  return static_cast<const void*>(fixed);
+}
+
+}  // namespace xmit::pbio

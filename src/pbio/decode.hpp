@@ -1,0 +1,91 @@
+// Decoder: PBIO wire record -> receiver-native struct.
+//
+// Three paths, selected per (sender format, receiver format) pair and
+// cached:
+//   1. in-place   — identical layout & architecture: pointer slots are
+//                   patched to point into the record buffer; zero copies.
+//   2. identity   — identical layout & architecture but the caller wants
+//                   an owned struct: one memcpy + variable-data copies.
+//   3. conversion — anything else (foreign byte order, foreign pointer
+//                   size, evolved field list): per-field moves with
+//                   byte-swapping, width changes, and name matching;
+//                   receiver fields missing from the wire are zero-filled
+//                   (PBIO's "restricted evolution"), sender fields unknown
+//                   to the receiver are skipped.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+#include "common/arena.hpp"
+#include "common/error.hpp"
+#include "pbio/format.hpp"
+#include "pbio/registry.hpp"
+#include "pbio/wire.hpp"
+
+namespace xmit::pbio {
+
+// What a record claims to be, before any decoding.
+struct RecordInfo {
+  WireHeader header;
+  FormatPtr sender_format;  // looked up in the registry by id
+};
+
+class Decoder {
+ public:
+  explicit Decoder(const FormatRegistry& registry) : registry_(registry) {}
+
+  Decoder(const Decoder&) = delete;
+  Decoder& operator=(const Decoder&) = delete;
+
+  // Parse the header and resolve the sender's format metadata.
+  Result<RecordInfo> inspect(std::span<const std::uint8_t> bytes) const;
+
+  // Decode into the caller's struct described by `receiver` (a host-arch
+  // format). Out-of-line data (strings, dynamic arrays) is allocated from
+  // `arena`; the decoded struct is valid for the arena's lifetime.
+  Status decode(std::span<const std::uint8_t> bytes, const Format& receiver,
+                void* out, Arena& arena) const;
+
+  // Zero-copy decode: patches pointer slots inside `bytes` and returns a
+  // pointer to the fixed section, valid for the buffer's lifetime. Fails
+  // with kUnsupported when sender and receiver layouts differ (callers
+  // fall back to decode()).
+  Result<const void*> decode_in_place(std::span<std::uint8_t> bytes,
+                                      const Format& receiver) const;
+
+  // True if records from `sender` decode to `receiver` without
+  // conversion; what decode_in_place requires.
+  Result<bool> layouts_identical(const Format& sender,
+                                 const Format& receiver) const;
+
+  // Diagnostics: conversion plans built so far (cache size).
+  std::size_t plan_cache_size() const;
+
+ private:
+  struct Move;
+  struct Plan;
+
+  Result<std::shared_ptr<const Plan>> plan_for(const FormatPtr& sender,
+                                               const Format& receiver) const;
+  static Result<std::shared_ptr<const Plan>> build_plan(
+      const Format& sender, const Format& receiver);
+
+  Status run_identity(const WireHeader& header,
+                      std::span<const std::uint8_t> bytes,
+                      const Format& receiver, void* out, Arena& arena) const;
+  Status run_conversion(const Plan& plan, const WireHeader& header,
+                        std::span<const std::uint8_t> bytes, void* out,
+                        Arena& arena) const;
+
+  const FormatRegistry& registry_;
+  mutable std::mutex mutex_;
+  mutable std::map<std::pair<FormatId, FormatId>, std::shared_ptr<const Plan>>
+      plans_;
+};
+
+}  // namespace xmit::pbio

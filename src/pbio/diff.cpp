@@ -1,0 +1,120 @@
+#include "pbio/diff.hpp"
+
+namespace xmit::pbio {
+namespace {
+
+bool same_flat_layout(const FlatField& a, const FlatField& b) {
+  return a.kind == b.kind && a.size == b.size && a.offset == b.offset &&
+         a.array_mode == b.array_mode && a.fixed_count == b.fixed_count;
+}
+
+std::string describe(const FlatField& field) {
+  std::string out = field_kind_name(field.kind);
+  out += ":" + std::to_string(field.size);
+  switch (field.array_mode) {
+    case ArrayMode::kNone: break;
+    case ArrayMode::kFixed:
+      out += "[" + std::to_string(field.fixed_count) + "]";
+      break;
+    case ArrayMode::kDynamic:
+      out += "[dyn]";
+      break;
+  }
+  out += "@" + std::to_string(field.offset);
+  return out;
+}
+
+}  // namespace
+
+const char* field_change_kind_name(FieldChange::Kind kind) {
+  switch (kind) {
+    case FieldChange::Kind::kAdded: return "added";
+    case FieldChange::Kind::kRemoved: return "removed";
+    case FieldChange::Kind::kRetyped: return "retyped";
+    case FieldChange::Kind::kResized: return "resized";
+    case FieldChange::Kind::kMoved: return "moved";
+    case FieldChange::Kind::kShapeChanged: return "shape-changed";
+  }
+  return "unknown";
+}
+
+FormatDiff diff_formats(const Format& from, const Format& to) {
+  FormatDiff diff;
+  diff.convertible = true;
+
+  // Same structural layout and architecture => identity decode.
+  diff.identical_layout =
+      from.arch() == to.arch() && from.struct_size() == to.struct_size() &&
+      from.flat_fields().size() == to.flat_fields().size();
+  if (diff.identical_layout) {
+    for (std::size_t i = 0; i < from.flat_fields().size(); ++i) {
+      const FlatField& a = from.flat_fields()[i];
+      const FlatField& b = to.flat_fields()[i];
+      if (a.path != b.path || !same_flat_layout(a, b)) {
+        diff.identical_layout = false;
+        break;
+      }
+    }
+  }
+
+  for (const auto& target : to.flat_fields()) {
+    const FlatField* source = from.flat_field(target.path);
+    if (source == nullptr) {
+      diff.changes.push_back({FieldChange::Kind::kAdded, target.path,
+                              "-> " + describe(target) + " (zero-filled)"});
+      continue;
+    }
+    // Shape changes break the evolution contract (mirrors the planner).
+    const bool source_string = source->kind == FieldKind::kString;
+    const bool target_string = target.kind == FieldKind::kString;
+    const bool shape_broken =
+        source_string != target_string ||
+        (source->array_mode != target.array_mode &&
+         !(source->array_mode == ArrayMode::kFixed &&
+           target.array_mode == ArrayMode::kFixed));
+    if (shape_broken) {
+      diff.changes.push_back({FieldChange::Kind::kShapeChanged, target.path,
+                              describe(*source) + " -> " + describe(target)});
+      diff.convertible = false;
+      continue;
+    }
+    if (source->kind != target.kind) {
+      diff.changes.push_back({FieldChange::Kind::kRetyped, target.path,
+                              describe(*source) + " -> " + describe(target)});
+    } else if (source->size != target.size ||
+               source->fixed_count != target.fixed_count) {
+      diff.changes.push_back({FieldChange::Kind::kResized, target.path,
+                              describe(*source) + " -> " + describe(target)});
+    } else if (source->offset != target.offset) {
+      diff.changes.push_back({FieldChange::Kind::kMoved, target.path,
+                              describe(*source) + " -> " + describe(target)});
+    }
+  }
+  for (const auto& source : from.flat_fields()) {
+    if (to.flat_field(source.path) == nullptr)
+      diff.changes.push_back({FieldChange::Kind::kRemoved, source.path,
+                              describe(source) + " -> (skipped)"});
+  }
+  return diff;
+}
+
+std::string FormatDiff::to_string() const {
+  std::string out;
+  if (changes.empty()) {
+    out = identical_layout ? "identical layouts\n"
+                           : "no field changes (architecture or padding "
+                             "differences only)\n";
+  }
+  for (const auto& change : changes) {
+    out += "  ";
+    out += field_change_kind_name(change.kind);
+    out += "  " + change.path + "  " + change.detail + "\n";
+  }
+  out += convertible ? "=> convertible: records of the old format decode "
+                       "into the new one\n"
+                     : "=> NOT convertible: shape changes break the "
+                       "evolution contract\n";
+  return out;
+}
+
+}  // namespace xmit::pbio

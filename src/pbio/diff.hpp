@@ -1,0 +1,48 @@
+// Format diffing: what changed between two versions of a format, and
+// will the receiver's evolution contract cope?
+//
+// The paper's centralized-evolution story ("changes to the message
+// formats used by distributed programs can be centralized") needs an
+// operator answer to "what does this schema edit do to deployed
+// components?". diff_formats() compares two formats field-by-field using
+// the same criteria as the Decoder's conversion planner, so `convertible`
+// is authoritative: records of `from` decode into `to` exactly when it is
+// true.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pbio/format.hpp"
+
+namespace xmit::pbio {
+
+struct FieldChange {
+  enum class Kind : std::uint8_t {
+    kAdded,         // in `to` only: zero-filled on decode (legal evolution)
+    kRemoved,       // in `from` only: skipped on decode (legal evolution)
+    kRetyped,       // kind changed within scalar kinds (converted)
+    kResized,       // width changed (converted)
+    kMoved,         // offset changed (handled by name matching)
+    kShapeChanged,  // scalar <-> array or string <-> non-string (NOT legal)
+  };
+
+  Kind kind;
+  std::string path;
+  std::string detail;  // human-readable, e.g. "integer:4 -> integer:8"
+};
+
+const char* field_change_kind_name(FieldChange::Kind kind);
+
+struct FormatDiff {
+  std::vector<FieldChange> changes;
+  bool identical_layout = false;  // byte-for-byte same (fast decode path)
+  bool convertible = false;       // records of `from` decode into `to`
+
+  // Multi-line human-readable report (empty-change diffs say so).
+  std::string to_string() const;
+};
+
+FormatDiff diff_formats(const Format& from, const Format& to);
+
+}  // namespace xmit::pbio

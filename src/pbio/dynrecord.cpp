@@ -1,0 +1,396 @@
+#include "pbio/dynrecord.hpp"
+
+#include <cstring>
+
+#include "common/bytes.hpp"
+#include "pbio/scalar.hpp"
+
+namespace xmit::pbio {
+namespace {
+
+bool is_numeric_kind(FieldKind kind) {
+  return kind == FieldKind::kInteger || kind == FieldKind::kUnsigned ||
+         kind == FieldKind::kFloat || kind == FieldKind::kBoolean ||
+         kind == FieldKind::kChar;
+}
+
+ScalarValue to_scalar(const std::int64_t& v) { return ScalarValue::from_signed(v); }
+ScalarValue to_scalar(const double& v) { return ScalarValue::from_real(v); }
+
+}  // namespace
+
+RecordBuilder::RecordBuilder(FormatPtr format) : format_(std::move(format)) {}
+
+Result<const FlatField*> RecordBuilder::lookup(std::string_view path) const {
+  const FlatField* field = format_->flat_field(path);
+  if (field == nullptr)
+    return Status(ErrorCode::kNotFound, "no field '" + std::string(path) +
+                                            "' in format '" + format_->name() +
+                                            "'");
+  return field;
+}
+
+Status RecordBuilder::set_scalar(std::string_view path, Value value) {
+  XMIT_ASSIGN_OR_RETURN(const FlatField* field, lookup(path));
+  if (field->array_mode != ArrayMode::kNone)
+    return make_error(ErrorCode::kInvalidArgument,
+                      "field '" + std::string(path) + "' is an array");
+  if (!is_numeric_kind(field->kind))
+    return make_error(ErrorCode::kInvalidArgument,
+                      "field '" + std::string(path) + "' is not a scalar");
+  values_.insert_or_assign(std::string(path), std::move(value));
+  return Status::ok();
+}
+
+Status RecordBuilder::set_int(std::string_view path, std::int64_t value) {
+  return set_scalar(path, value);
+}
+
+Status RecordBuilder::set_uint(std::string_view path, std::uint64_t value) {
+  return set_scalar(path, value);
+}
+
+Status RecordBuilder::set_float(std::string_view path, double value) {
+  return set_scalar(path, value);
+}
+
+Status RecordBuilder::set_bool(std::string_view path, bool value) {
+  return set_scalar(path, static_cast<std::uint64_t>(value ? 1 : 0));
+}
+
+Status RecordBuilder::set_char(std::string_view path, char value) {
+  return set_scalar(path,
+                    static_cast<std::uint64_t>(static_cast<unsigned char>(value)));
+}
+
+Status RecordBuilder::set_string(std::string_view path, std::string_view value) {
+  XMIT_ASSIGN_OR_RETURN(const FlatField* field, lookup(path));
+  if (field->kind != FieldKind::kString || field->array_mode != ArrayMode::kNone)
+    return make_error(ErrorCode::kInvalidArgument,
+                      "field '" + std::string(path) + "' is not a scalar string");
+  values_.insert_or_assign(std::string(path), std::string(value));
+  return Status::ok();
+}
+
+Status RecordBuilder::set_int_array(std::string_view path,
+                                    std::span<const std::int64_t> values) {
+  XMIT_ASSIGN_OR_RETURN(const FlatField* field, lookup(path));
+  if (field->array_mode == ArrayMode::kNone)
+    return make_error(ErrorCode::kInvalidArgument,
+                      "field '" + std::string(path) + "' is not an array");
+  if (field->kind == FieldKind::kFloat || field->kind == FieldKind::kString)
+    return make_error(ErrorCode::kInvalidArgument,
+                      "field '" + std::string(path) + "' is not integral");
+  if (field->array_mode == ArrayMode::kFixed &&
+      values.size() != field->fixed_count)
+    return make_error(ErrorCode::kInvalidArgument,
+                      "fixed array '" + std::string(path) + "' expects " +
+                          std::to_string(field->fixed_count) + " elements");
+  values_.insert_or_assign(
+      std::string(path), std::vector<std::int64_t>(values.begin(), values.end()));
+  return Status::ok();
+}
+
+Status RecordBuilder::set_float_array(std::string_view path,
+                                      std::span<const double> values) {
+  XMIT_ASSIGN_OR_RETURN(const FlatField* field, lookup(path));
+  if (field->array_mode == ArrayMode::kNone)
+    return make_error(ErrorCode::kInvalidArgument,
+                      "field '" + std::string(path) + "' is not an array");
+  if (field->kind != FieldKind::kFloat)
+    return make_error(ErrorCode::kInvalidArgument,
+                      "field '" + std::string(path) + "' is not a float array");
+  if (field->array_mode == ArrayMode::kFixed &&
+      values.size() != field->fixed_count)
+    return make_error(ErrorCode::kInvalidArgument,
+                      "fixed array '" + std::string(path) + "' expects " +
+                          std::to_string(field->fixed_count) + " elements");
+  values_.insert_or_assign(std::string(path),
+                           std::vector<double>(values.begin(), values.end()));
+  return Status::ok();
+}
+
+Result<std::vector<std::uint8_t>> RecordBuilder::build() const {
+  const ArchInfo& arch = format_->arch();
+  const ByteOrder order = arch.byte_order;
+  const std::uint8_t ptr_size = arch.pointer_size;
+  const std::uint32_t fixed_size = format_->struct_size();
+
+  std::vector<std::uint8_t> fixed(fixed_size, 0);
+  ByteBuffer var;
+
+  // The run-time counts of dynamic arrays come from the supplied value
+  // lengths; they are written into their size fields here, before the main
+  // field walk, so explicit user-set counts would conflict visibly.
+  for (const auto& field : format_->flat_fields()) {
+    if (field.array_mode != ArrayMode::kDynamic) continue;
+    auto it = values_.find(field.path);
+    std::uint64_t count = 0;
+    if (it != values_.end()) {
+      if (const auto* ints = std::get_if<std::vector<std::int64_t>>(&it->second))
+        count = ints->size();
+      else if (const auto* reals = std::get_if<std::vector<double>>(&it->second))
+        count = reals->size();
+    }
+    store_scalar(fixed.data() + field.count_offset, field.count_kind,
+                 field.count_size, ScalarValue::from_unsigned(count), order);
+  }
+
+  for (const auto& field : format_->flat_fields()) {
+    auto it = values_.find(field.path);
+
+    if (field.kind == FieldKind::kString) {
+      const std::uint32_t elems =
+          field.array_mode == ArrayMode::kFixed ? field.fixed_count : 1;
+      for (std::uint32_t i = 0; i < elems; ++i) {
+        std::size_t slot_offset = field.offset + std::size_t(i) * ptr_size;
+        // Fixed string arrays are not settable element-wise yet; only the
+        // scalar case carries data.
+        if (i == 0 && it != values_.end()) {
+          const auto& str = std::get<std::string>(it->second);
+          write_slot_value(fixed.data(), slot_offset, ptr_size, order,
+                           var.size() + 1);
+          var.append(str);
+          var.append_byte(0);
+        } else {
+          write_slot_value(fixed.data(), slot_offset, ptr_size, order, 0);
+        }
+      }
+      continue;
+    }
+
+    if (field.array_mode == ArrayMode::kDynamic) {
+      if (it == values_.end()) {
+        write_slot_value(fixed.data(), field.offset, ptr_size, order, 0);
+        continue;
+      }
+      // Align the payload exactly like Encoder does.
+      std::size_t align = field.size > 8 ? 8 : field.size;
+      std::size_t var_off = align_up(WireHeader::kSize + fixed_size + var.size(),
+                                     align) -
+                            (WireHeader::kSize + fixed_size);
+      var.append_zeros(var_off - var.size());
+      write_slot_value(fixed.data(), field.offset, ptr_size, order,
+                       var.size() + 1);
+      auto append_elements = [&](const auto& vec) {
+        for (const auto& element : vec) {
+          std::uint8_t scratch[8];
+          store_scalar(scratch, field.kind, field.size, to_scalar(element),
+                       order);
+          var.append(scratch, field.size);
+        }
+      };
+      if (const auto* ints = std::get_if<std::vector<std::int64_t>>(&it->second))
+        append_elements(*ints);
+      else if (const auto* reals = std::get_if<std::vector<double>>(&it->second))
+        append_elements(*reals);
+      continue;
+    }
+
+    if (it == values_.end()) continue;  // zero-initialized already
+
+    if (field.array_mode == ArrayMode::kFixed) {
+      auto store_all = [&](const auto& vec) {
+        for (std::size_t i = 0; i < vec.size(); ++i)
+          store_scalar(fixed.data() + field.offset + i * field.size, field.kind,
+                       field.size, to_scalar(vec[i]), order);
+      };
+      if (const auto* ints = std::get_if<std::vector<std::int64_t>>(&it->second))
+        store_all(*ints);
+      else if (const auto* reals = std::get_if<std::vector<double>>(&it->second))
+        store_all(*reals);
+      continue;
+    }
+
+    // Scalar.
+    ScalarValue scalar;
+    if (const auto* i64 = std::get_if<std::int64_t>(&it->second))
+      scalar = ScalarValue::from_signed(*i64);
+    else if (const auto* u64 = std::get_if<std::uint64_t>(&it->second))
+      scalar = ScalarValue::from_unsigned(*u64);
+    else if (const auto* real = std::get_if<double>(&it->second))
+      scalar = ScalarValue::from_real(*real);
+    else
+      return Status(ErrorCode::kInternal,
+                    "non-scalar value stored for '" + field.path + "'");
+    store_scalar(fixed.data() + field.offset, field.kind, field.size, scalar,
+                 order);
+  }
+
+  ByteBuffer out;
+  WireHeader header;
+  header.format_id = format_->id();
+  header.byte_order = order;
+  header.pointer_size = ptr_size;
+  header.fixed_length = fixed_size;
+  header.var_length = static_cast<std::uint32_t>(var.size());
+  append_header(out, header);
+  out.append(fixed.data(), fixed.size());
+  out.append(var.data(), var.size());
+  return out.take();
+}
+
+// ---------------------------------------------------------------------------
+
+Result<RecordReader> RecordReader::make(std::span<const std::uint8_t> bytes,
+                                        FormatPtr format) {
+  if (!format) return Status(ErrorCode::kInvalidArgument, "null format");
+  XMIT_ASSIGN_OR_RETURN(auto header, parse_record(bytes));
+  if (header.format_id != format->id())
+    return Status(ErrorCode::kInvalidArgument,
+                  "record format id does not match '" + format->name() + "'");
+  if (header.fixed_length != format->struct_size())
+    return Status(ErrorCode::kParseError, "fixed section length mismatch");
+  return RecordReader(bytes, std::move(format), header);
+}
+
+Result<const FlatField*> RecordReader::lookup(std::string_view path) const {
+  const FlatField* field = format_->flat_field(path);
+  if (field == nullptr)
+    return Status(ErrorCode::kNotFound, "no field '" + std::string(path) +
+                                            "' in format '" + format_->name() +
+                                            "'");
+  return field;
+}
+
+Result<std::uint64_t> RecordReader::dynamic_count(const FlatField& field) const {
+  XMIT_ASSIGN_OR_RETURN(
+      auto scalar, load_scalar(fixed() + field.count_offset, field.count_kind,
+                               field.count_size, header_.byte_order));
+  std::int64_t count = scalar.as_signed();
+  if (count < 0)
+    return Status(ErrorCode::kParseError,
+                  "negative array count in '" + field.path + "'");
+  return static_cast<std::uint64_t>(count);
+}
+
+Result<std::uint64_t> RecordReader::payload_offset(
+    const FlatField& field, std::uint64_t payload_size) const {
+  std::uint64_t slot = read_slot_value(fixed(), field.offset,
+                                       header_.pointer_size, header_.byte_order);
+  if (slot == 0)
+    return Status(ErrorCode::kNotFound, "field '" + field.path + "' is null");
+  std::uint64_t at = slot - 1;
+  if (at + payload_size > header_.var_length)
+    return Status(ErrorCode::kOutOfRange,
+                  "payload out of range in '" + field.path + "'");
+  return at;
+}
+
+Result<std::int64_t> RecordReader::get_int(std::string_view path) const {
+  XMIT_ASSIGN_OR_RETURN(const FlatField* field, lookup(path));
+  if (field->array_mode != ArrayMode::kNone || !is_numeric_kind(field->kind))
+    return Status(ErrorCode::kInvalidArgument,
+                  "field '" + std::string(path) + "' is not a scalar");
+  XMIT_ASSIGN_OR_RETURN(auto scalar,
+                        load_scalar(fixed() + field->offset, field->kind,
+                                    field->size, header_.byte_order));
+  return scalar.as_signed();
+}
+
+Result<std::uint64_t> RecordReader::get_uint(std::string_view path) const {
+  XMIT_ASSIGN_OR_RETURN(const FlatField* field, lookup(path));
+  if (field->array_mode != ArrayMode::kNone || !is_numeric_kind(field->kind))
+    return Status(ErrorCode::kInvalidArgument,
+                  "field '" + std::string(path) + "' is not a scalar");
+  XMIT_ASSIGN_OR_RETURN(auto scalar,
+                        load_scalar(fixed() + field->offset, field->kind,
+                                    field->size, header_.byte_order));
+  return scalar.as_unsigned();
+}
+
+Result<double> RecordReader::get_float(std::string_view path) const {
+  XMIT_ASSIGN_OR_RETURN(const FlatField* field, lookup(path));
+  if (field->array_mode != ArrayMode::kNone || !is_numeric_kind(field->kind))
+    return Status(ErrorCode::kInvalidArgument,
+                  "field '" + std::string(path) + "' is not a scalar");
+  XMIT_ASSIGN_OR_RETURN(auto scalar,
+                        load_scalar(fixed() + field->offset, field->kind,
+                                    field->size, header_.byte_order));
+  return scalar.as_real();
+}
+
+Result<std::string> RecordReader::get_string(std::string_view path) const {
+  XMIT_ASSIGN_OR_RETURN(const FlatField* field, lookup(path));
+  if (field->kind != FieldKind::kString || field->array_mode != ArrayMode::kNone)
+    return Status(ErrorCode::kInvalidArgument,
+                  "field '" + std::string(path) + "' is not a scalar string");
+  std::uint64_t slot = read_slot_value(fixed(), field->offset,
+                                       header_.pointer_size, header_.byte_order);
+  if (slot == 0) return std::string();
+  std::uint64_t at = slot - 1;
+  if (at >= header_.var_length)
+    return Status(ErrorCode::kOutOfRange,
+                  "string offset out of range in '" + field->path + "'");
+  const void* nul = std::memchr(var() + at, 0, header_.var_length - at);
+  if (nul == nullptr)
+    return Status(ErrorCode::kParseError,
+                  "unterminated string in '" + field->path + "'");
+  return std::string(reinterpret_cast<const char*>(var() + at));
+}
+
+Result<std::uint64_t> RecordReader::array_length(std::string_view path) const {
+  XMIT_ASSIGN_OR_RETURN(const FlatField* field, lookup(path));
+  switch (field->array_mode) {
+    case ArrayMode::kFixed: return std::uint64_t{field->fixed_count};
+    case ArrayMode::kDynamic: return dynamic_count(*field);
+    case ArrayMode::kNone:
+      return Status(ErrorCode::kInvalidArgument,
+                    "field '" + std::string(path) + "' is not an array");
+  }
+  return Status(ErrorCode::kInternal, "bad array mode");
+}
+
+Result<std::vector<std::int64_t>> RecordReader::get_int_array(
+    std::string_view path) const {
+  XMIT_ASSIGN_OR_RETURN(const FlatField* field, lookup(path));
+  if (field->array_mode == ArrayMode::kNone || !is_numeric_kind(field->kind))
+    return Status(ErrorCode::kInvalidArgument,
+                  "field '" + std::string(path) + "' is not a numeric array");
+  XMIT_ASSIGN_OR_RETURN(auto count, array_length(path));
+  const std::uint8_t* base;
+  if (field->array_mode == ArrayMode::kFixed) {
+    base = fixed() + field->offset;
+  } else {
+    if (count == 0) return std::vector<std::int64_t>{};
+    XMIT_ASSIGN_OR_RETURN(auto at, payload_offset(*field, count * field->size));
+    base = var() + at;
+  }
+  std::vector<std::int64_t> out;
+  out.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    XMIT_ASSIGN_OR_RETURN(auto scalar,
+                          load_scalar(base + i * field->size, field->kind,
+                                      field->size, header_.byte_order));
+    out.push_back(scalar.as_signed());
+  }
+  return out;
+}
+
+Result<std::vector<double>> RecordReader::get_float_array(
+    std::string_view path) const {
+  XMIT_ASSIGN_OR_RETURN(const FlatField* field, lookup(path));
+  if (field->array_mode == ArrayMode::kNone || !is_numeric_kind(field->kind))
+    return Status(ErrorCode::kInvalidArgument,
+                  "field '" + std::string(path) + "' is not a numeric array");
+  XMIT_ASSIGN_OR_RETURN(auto count, array_length(path));
+  const std::uint8_t* base;
+  if (field->array_mode == ArrayMode::kFixed) {
+    base = fixed() + field->offset;
+  } else {
+    if (count == 0) return std::vector<double>{};
+    XMIT_ASSIGN_OR_RETURN(auto at, payload_offset(*field, count * field->size));
+    base = var() + at;
+  }
+  std::vector<double> out;
+  out.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    XMIT_ASSIGN_OR_RETURN(auto scalar,
+                          load_scalar(base + i * field->size, field->kind,
+                                      field->size, header_.byte_order));
+    out.push_back(scalar.as_real());
+  }
+  return out;
+}
+
+}  // namespace xmit::pbio

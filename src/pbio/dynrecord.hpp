@@ -1,0 +1,99 @@
+// Dynamic (value-level) record access.
+//
+// RecordBuilder writes a complete wire record for *any* format — including
+// formats describing foreign architectures (big-endian, 4-byte pointers,
+// different layouts). That makes it both a convenient schema-driven API
+// for callers that have no compiled struct, and the test rig that stands
+// in for a real heterogeneous sender: a record built against a SPARC-style
+// format is byte-identical to what a SPARC sender would emit.
+//
+// RecordReader is the inverse: field-by-path access to a wire record using
+// the sender's format metadata, no receiver struct required. This is the
+// paper's "schema-checking tools may be applied to live messages" hook.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "common/error.hpp"
+#include "pbio/format.hpp"
+#include "pbio/wire.hpp"
+
+namespace xmit::pbio {
+
+class RecordBuilder {
+ public:
+  explicit RecordBuilder(FormatPtr format);
+
+  // Scalar setters. `path` addresses a flattened field ("coords.x").
+  Status set_int(std::string_view path, std::int64_t value);
+  Status set_uint(std::string_view path, std::uint64_t value);
+  Status set_float(std::string_view path, double value);
+  Status set_bool(std::string_view path, bool value);
+  Status set_char(std::string_view path, char value);
+  Status set_string(std::string_view path, std::string_view value);
+
+  // Array setters work for both fixed arrays (length must match the
+  // declared bound) and dynamic arrays (length becomes the run-time count;
+  // the size field is filled in automatically).
+  Status set_int_array(std::string_view path, std::span<const std::int64_t> values);
+  Status set_float_array(std::string_view path, std::span<const double> values);
+
+  // Produce the wire record. Unset scalar fields encode as zero; unset
+  // strings/dynamic arrays encode as null.
+  Result<std::vector<std::uint8_t>> build() const;
+
+ private:
+  using Value = std::variant<std::int64_t, std::uint64_t, double, std::string,
+                             std::vector<std::int64_t>, std::vector<double>>;
+
+  Result<const FlatField*> lookup(std::string_view path) const;
+  Status set_scalar(std::string_view path, Value value);
+
+  FormatPtr format_;
+  std::map<std::string, Value, std::less<>> values_;
+};
+
+class RecordReader {
+ public:
+  // `bytes` must be a complete record whose header matches `format`'s id.
+  static Result<RecordReader> make(std::span<const std::uint8_t> bytes,
+                                   FormatPtr format);
+
+  const Format& format() const { return *format_; }
+
+  Result<std::int64_t> get_int(std::string_view path) const;
+  Result<std::uint64_t> get_uint(std::string_view path) const;
+  Result<double> get_float(std::string_view path) const;
+  Result<std::string> get_string(std::string_view path) const;
+
+  // Dynamic or fixed arrays, converted element-wise.
+  Result<std::vector<std::int64_t>> get_int_array(std::string_view path) const;
+  Result<std::vector<double>> get_float_array(std::string_view path) const;
+
+  // Run-time element count of an array field (fixed bound for kFixed).
+  Result<std::uint64_t> array_length(std::string_view path) const;
+
+ private:
+  RecordReader(std::span<const std::uint8_t> bytes, FormatPtr format,
+               WireHeader header)
+      : bytes_(bytes), format_(std::move(format)), header_(header) {}
+
+  Result<const FlatField*> lookup(std::string_view path) const;
+  const std::uint8_t* fixed() const { return bytes_.data() + WireHeader::kSize; }
+  const std::uint8_t* var() const { return fixed() + header_.fixed_length; }
+  Result<std::uint64_t> dynamic_count(const FlatField& field) const;
+  Result<std::uint64_t> payload_offset(const FlatField& field,
+                                       std::uint64_t payload_size) const;
+
+  std::span<const std::uint8_t> bytes_;
+  FormatPtr format_;
+  WireHeader header_;
+};
+
+}  // namespace xmit::pbio

@@ -1,0 +1,171 @@
+#include "pbio/encode.hpp"
+
+#include <cstring>
+
+namespace xmit::pbio {
+namespace {
+
+// Variable-section payloads are aligned so that in-place decode hands out
+// naturally-aligned array pointers (record buffers are allocated with
+// at-least-8 alignment by vector/new).
+std::size_t var_alignment(const FlatField& field) {
+  std::size_t align = field.size;
+  if (align > 8) align = 8;
+  if (align == 0) align = 1;
+  return align;
+}
+
+}  // namespace
+
+Encoder::Encoder(FormatPtr format) : format_(std::move(format)) {
+  for (const auto& flat : format_->flat_fields())
+    if (flat.kind == FieldKind::kString ||
+        flat.array_mode == ArrayMode::kDynamic)
+      var_fields_.push_back(flat);
+}
+
+Result<Encoder> Encoder::make(FormatPtr format) {
+  if (!format) return Status(ErrorCode::kInvalidArgument, "null format");
+  if (!(format->arch() == ArchInfo::host()))
+    return Status(ErrorCode::kInvalidArgument,
+                  "encoder requires a host-architecture format, got " +
+                      format->arch().to_string());
+  return Encoder(std::move(format));
+}
+
+Result<std::uint64_t> Encoder::read_count(const std::uint8_t* record,
+                                          const FlatField& field) {
+  std::int64_t count = 0;
+  switch (field.count_size) {
+    case 1: count = *reinterpret_cast<const std::int8_t*>(record + field.count_offset); break;
+    case 2: count = load_raw<std::int16_t>(record + field.count_offset); break;
+    case 4: count = load_raw<std::int32_t>(record + field.count_offset); break;
+    case 8: count = load_raw<std::int64_t>(record + field.count_offset); break;
+    default:
+      return Status(ErrorCode::kInternal, "bad count field size");
+  }
+  if (field.count_kind == FieldKind::kUnsigned) {
+    // Reinterpret the loaded bits as unsigned of the same width.
+    std::uint64_t mask = field.count_size == 8
+                             ? ~0ull
+                             : ((1ull << (field.count_size * 8)) - 1);
+    return static_cast<std::uint64_t>(count) & mask;
+  }
+  if (count < 0)
+    return Status(ErrorCode::kInvalidArgument,
+                  "negative element count in field '" + field.path + "'");
+  return static_cast<std::uint64_t>(count);
+}
+
+Status Encoder::encode(const void* record, ByteBuffer& out) const {
+  const auto* bytes = static_cast<const std::uint8_t*>(record);
+  const std::size_t record_start = out.size();
+  const std::size_t fixed_size = format_->struct_size();
+
+  out.reserve_slot(WireHeader::kSize);
+  const std::size_t fixed_start = out.size();
+  out.append(bytes, fixed_size);
+
+  // Variable section. Slots hold var-relative offset + 1; 0 means null.
+  std::size_t var_size = 0;
+  const std::size_t var_start = out.size();
+  const std::size_t ptr_size = sizeof(void*);
+
+  auto patch_slot = [&](std::size_t slot_offset, std::uint64_t value) {
+    // Wire slots are sender-native, and we are the sender: plain stores.
+    if (ptr_size == 8)
+      store_raw<std::uint64_t>(out.data() + fixed_start + slot_offset, value);
+    else
+      store_raw<std::uint32_t>(out.data() + fixed_start + slot_offset,
+                               static_cast<std::uint32_t>(value));
+  };
+
+  for (const auto& field : var_fields_) {
+    const std::uint32_t elem_count =
+        field.array_mode == ArrayMode::kFixed ? field.fixed_count : 1;
+
+    if (field.kind == FieldKind::kString) {
+      // Scalar string or fixed array of strings: one slot per element.
+      for (std::uint32_t i = 0; i < elem_count; ++i) {
+        std::size_t slot_offset = field.offset + std::size_t(i) * ptr_size;
+        const char* str = load_raw<const char*>(bytes + slot_offset);
+        if (str == nullptr) {
+          patch_slot(slot_offset, 0);
+          continue;
+        }
+        std::size_t len = std::strlen(str);
+        patch_slot(slot_offset, var_size + 1);
+        out.append(str, len + 1);  // keep the NUL: receiver re-points at it
+        var_size += len + 1;
+      }
+      continue;
+    }
+
+    // Dynamic primitive array.
+    XMIT_ASSIGN_OR_RETURN(auto count, read_count(bytes, field));
+    const std::uint8_t* data = load_raw<const std::uint8_t*>(bytes + field.offset);
+    if (data == nullptr) {
+      if (count != 0)
+        return make_error(ErrorCode::kInvalidArgument,
+                          "field '" + field.path + "' is null but its count is " +
+                              std::to_string(count));
+      patch_slot(field.offset, 0);
+      continue;
+    }
+    // Pad so the payload lands naturally aligned in the record.
+    std::size_t align = var_alignment(field);
+    std::size_t aligned = align_up(WireHeader::kSize + fixed_size + var_size,
+                                   align) -
+                          (WireHeader::kSize + fixed_size);
+    out.append_zeros(aligned - var_size);
+    var_size = aligned;
+    std::size_t payload = std::size_t(count) * field.size;
+    patch_slot(field.offset, var_size + 1);
+    out.append(data, payload);
+    var_size += payload;
+  }
+  (void)var_start;
+
+  WireHeader header;
+  header.format_id = format_->id();
+  header.byte_order = host_byte_order();
+  header.pointer_size = static_cast<std::uint8_t>(ptr_size);
+  header.fixed_length = static_cast<std::uint32_t>(fixed_size);
+  header.var_length = static_cast<std::uint32_t>(var_size);
+  patch_header(out, record_start, header);
+  return Status::ok();
+}
+
+Result<std::vector<std::uint8_t>> Encoder::encode_to_vector(
+    const void* record) const {
+  ByteBuffer out;
+  XMIT_RETURN_IF_ERROR(encode(record, out));
+  return out.take();
+}
+
+Result<std::size_t> Encoder::encoded_size(const void* record) const {
+  const auto* bytes = static_cast<const std::uint8_t*>(record);
+  std::size_t var_size = 0;
+  const std::size_t fixed_size = format_->struct_size();
+  for (const auto& field : var_fields_) {
+    if (field.kind == FieldKind::kString) {
+      const std::uint32_t elems =
+          field.array_mode == ArrayMode::kFixed ? field.fixed_count : 1;
+      for (std::uint32_t i = 0; i < elems; ++i) {
+        const char* str = load_raw<const char*>(
+            bytes + field.offset + std::size_t(i) * sizeof(void*));
+        if (str != nullptr) var_size += std::strlen(str) + 1;
+      }
+      continue;
+    }
+    XMIT_ASSIGN_OR_RETURN(auto count, read_count(bytes, field));
+    if (count == 0) continue;
+    std::size_t align = var_alignment(field);
+    var_size = align_up(WireHeader::kSize + fixed_size + var_size, align) -
+               (WireHeader::kSize + fixed_size);
+    var_size += std::size_t(count) * field.size;
+  }
+  return WireHeader::kSize + fixed_size + var_size;
+}
+
+}  // namespace xmit::pbio

@@ -1,0 +1,51 @@
+// Encoder: in-memory struct -> PBIO wire record.
+//
+// Construction compiles the format into a plan once; encode() is then a
+// header write, one memcpy of the fixed section, and one append + slot
+// patch per out-of-line field. Contiguous formats (no strings, no dynamic
+// arrays) encode as a single memcpy — the property Figure 7/8 depend on.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/error.hpp"
+#include "pbio/format.hpp"
+#include "pbio/wire.hpp"
+
+namespace xmit::pbio {
+
+class Encoder {
+ public:
+  // `format` must describe the host architecture — encode reads live host
+  // memory, so foreign-layout formats cannot drive it. (Foreign records
+  // are produced by RecordBuilder, which writes wire bytes directly.)
+  static Result<Encoder> make(FormatPtr format);
+
+  const Format& format() const { return *format_; }
+
+  // Appends one complete wire record for the struct at `record` to `out`.
+  Status encode(const void* record, ByteBuffer& out) const;
+
+  // Convenience: encode into a fresh buffer.
+  Result<std::vector<std::uint8_t>> encode_to_vector(const void* record) const;
+
+  // Exact encoded size for this record (header + fixed + variable),
+  // matching what encode() will produce. Used by benches to report the
+  // paper's "Encoded Size" column.
+  Result<std::size_t> encoded_size(const void* record) const;
+
+ private:
+  explicit Encoder(FormatPtr format);
+
+  // Reads the runtime element count of a dynamic array field from the
+  // struct image; negative counts are rejected.
+  static Result<std::uint64_t> read_count(const std::uint8_t* record,
+                                          const FlatField& field);
+
+  FormatPtr format_;
+  std::vector<FlatField> var_fields_;  // strings + dynamic arrays only
+};
+
+}  // namespace xmit::pbio

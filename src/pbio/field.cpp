@@ -1,0 +1,113 @@
+#include "pbio/field.hpp"
+
+#include "common/strings.hpp"
+
+namespace xmit::pbio {
+
+const char* field_kind_name(FieldKind kind) {
+  switch (kind) {
+    case FieldKind::kInteger: return "integer";
+    case FieldKind::kUnsigned: return "unsigned integer";
+    case FieldKind::kFloat: return "float";
+    case FieldKind::kChar: return "char";
+    case FieldKind::kBoolean: return "boolean";
+    case FieldKind::kString: return "string";
+    case FieldKind::kNested: return "nested";
+  }
+  return "unknown";
+}
+
+Result<FieldType> parse_field_type(std::string_view type_name) {
+  std::string_view base = trim(type_name);
+  ArraySpec array;
+
+  // Peel one array suffix, if present.
+  if (!base.empty() && base.back() == ']') {
+    std::size_t open = base.rfind('[');
+    if (open == std::string_view::npos)
+      return Status(ErrorCode::kParseError,
+                    "unbalanced ']' in type '" + std::string(type_name) + "'");
+    std::string_view inside = trim(base.substr(open + 1, base.size() - open - 2));
+    base = trim(base.substr(0, open));
+    if (inside.empty())
+      return Status(ErrorCode::kUnsupported,
+                    "dynamic array '" + std::string(type_name) +
+                        "' needs a size field name in brackets");
+    bool numeric = true;
+    for (char c : inside)
+      if (!is_ascii_digit(c)) numeric = false;
+    if (numeric) {
+      auto count = parse_uint(inside);
+      if (!count.is_ok() || count.value() == 0)
+        return Status(ErrorCode::kParseError,
+                      "bad array bound in '" + std::string(type_name) + "'");
+      array.mode = ArrayMode::kFixed;
+      array.fixed_count = static_cast<std::uint32_t>(count.value());
+    } else {
+      array.mode = ArrayMode::kDynamic;
+      array.size_field = std::string(inside);
+    }
+  }
+  if (base.empty())
+    return Status(ErrorCode::kParseError,
+                  "empty type name in '" + std::string(type_name) + "'");
+
+  FieldType type;
+  type.array = std::move(array);
+  if (base == "integer" || base == "int") {
+    type.kind = FieldKind::kInteger;
+  } else if (base == "unsigned integer" || base == "unsigned") {
+    type.kind = FieldKind::kUnsigned;
+  } else if (base == "float" || base == "double") {
+    // PBIO distinguishes float widths by the field's size, not its name.
+    type.kind = FieldKind::kFloat;
+  } else if (base == "char") {
+    type.kind = FieldKind::kChar;
+  } else if (base == "boolean") {
+    type.kind = FieldKind::kBoolean;
+  } else if (base == "string") {
+    type.kind = FieldKind::kString;
+  } else {
+    type.kind = FieldKind::kNested;
+    type.nested_format = std::string(base);
+  }
+  return type;
+}
+
+std::string format_field_type(const FieldType& type) {
+  std::string out;
+  switch (type.kind) {
+    case FieldKind::kNested: out = type.nested_format; break;
+    default: out = field_kind_name(type.kind); break;
+  }
+  switch (type.array.mode) {
+    case ArrayMode::kNone: break;
+    case ArrayMode::kFixed:
+      out += "[" + std::to_string(type.array.fixed_count) + "]";
+      break;
+    case ArrayMode::kDynamic:
+      out += "[" + type.array.size_field + "]";
+      break;
+  }
+  return out;
+}
+
+bool valid_size_for_kind(FieldKind kind, std::uint32_t size) {
+  switch (kind) {
+    case FieldKind::kInteger:
+    case FieldKind::kUnsigned:
+    case FieldKind::kBoolean:
+      return size == 1 || size == 2 || size == 4 || size == 8;
+    case FieldKind::kFloat:
+      return size == 4 || size == 8;
+    case FieldKind::kChar:
+      return size == 1;
+    case FieldKind::kString:
+      return size == 4 || size == 8;  // sizeof(char*) on the field's arch
+    case FieldKind::kNested:
+      return size > 0;
+  }
+  return false;
+}
+
+}  // namespace xmit::pbio

@@ -1,0 +1,80 @@
+// IOField: one entry of a PBIO field list, mirroring the paper's
+//
+//   IOField asdOffFields[] = {
+//     { "flight", "integer", sizeof(int), IOOffset(asdOffptr, flightNum) },
+//     ...
+//   };
+//
+// Type strings follow PBIO's dialect:
+//   "integer" | "unsigned integer" | "float" | "char" | "string" |
+//   "boolean" | "<FormatName>"                 (nested structure by value)
+// optionally suffixed with an array specifier:
+//   "[N]"        fixed-size array of N elements, stored inline
+//   "[field]"    dynamically-allocated array; the named sibling integer
+//                field holds the element count at run time
+// The element size of the field (for arrays: one element; for strings:
+// sizeof(char*)) is carried in `size`, its structure offset in `offset`.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/error.hpp"
+
+namespace xmit::pbio {
+
+enum class FieldKind : std::uint8_t {
+  kInteger,   // signed two's-complement, size 1/2/4/8
+  kUnsigned,  // size 1/2/4/8
+  kFloat,     // IEEE-754, size 4/8
+  kChar,      // single byte, no conversion
+  kBoolean,   // normalized to 0/1 on conversion, size 1/2/4/8
+  kString,    // char*, NUL-terminated, out-of-line on the wire
+  kNested,    // embedded structure described by another format
+};
+
+const char* field_kind_name(FieldKind kind);
+
+enum class ArrayMode : std::uint8_t {
+  kNone,     // scalar
+  kFixed,    // inline array of fixed_count elements
+  kDynamic,  // pointer in memory; count in the sibling field `size_field`
+};
+
+struct ArraySpec {
+  ArrayMode mode = ArrayMode::kNone;
+  std::uint32_t fixed_count = 0;  // when kFixed
+  std::string size_field;         // when kDynamic
+
+  bool operator==(const ArraySpec&) const = default;
+};
+
+struct IOField {
+  std::string name;
+  std::string type_name;  // canonical type string, array suffix included
+  std::uint32_t size = 0;    // in-memory element size
+  std::uint32_t offset = 0;  // in-memory structure offset
+
+  bool operator==(const IOField&) const = default;
+};
+
+// Parsed view of a type string.
+struct FieldType {
+  FieldKind kind = FieldKind::kInteger;
+  std::string nested_format;  // when kind == kNested
+  ArraySpec array;
+};
+
+// Parse PBIO type strings ("unsigned integer[count]", "float[3]",
+// "SimpleData", ...). Unknown base names are treated as nested format
+// references; validity of the reference is checked at registration.
+Result<FieldType> parse_field_type(std::string_view type_name);
+
+// Render a FieldType back to its canonical string form.
+std::string format_field_type(const FieldType& type);
+
+// True if `size` is legal for the kind (e.g. floats must be 4 or 8).
+bool valid_size_for_kind(FieldKind kind, std::uint32_t size);
+
+}  // namespace xmit::pbio

@@ -1,0 +1,128 @@
+#include "pbio/file.hpp"
+
+#include <cstring>
+
+#include "common/bytes.hpp"
+#include "pbio/format_wire.hpp"
+
+namespace xmit::pbio {
+namespace {
+
+constexpr char kFileMagic[8] = {'P', 'B', 'I', 'O', 'F', 'I', 'L', 'E'};
+constexpr std::uint32_t kFileVersion = 1;
+constexpr std::uint8_t kBlockFormat = 1;
+constexpr std::uint8_t kBlockRecord = 2;
+// Hard cap on a single block so a corrupt length field cannot trigger a
+// multi-gigabyte allocation.
+constexpr std::uint32_t kMaxBlockBytes = 1u << 30;
+
+}  // namespace
+
+Result<FileSink> FileSink::create(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr)
+    return Status(ErrorCode::kIoError, "cannot create '" + path + "'");
+  FileSink sink(file);
+  std::uint8_t header[12];
+  std::memcpy(header, kFileMagic, 8);
+  store_with_order<std::uint32_t>(header + 8, kFileVersion, ByteOrder::kLittle);
+  if (std::fwrite(header, 1, sizeof(header), file) != sizeof(header))
+    return Status(ErrorCode::kIoError, "cannot write file header");
+  return sink;
+}
+
+Status FileSink::write_block(std::uint8_t type,
+                             std::span<const std::uint8_t> payload) {
+  std::uint8_t frame[5];
+  frame[0] = type;
+  store_with_order<std::uint32_t>(frame + 1,
+                                  static_cast<std::uint32_t>(payload.size()),
+                                  ByteOrder::kLittle);
+  if (std::fwrite(frame, 1, sizeof(frame), file_.get()) != sizeof(frame) ||
+      std::fwrite(payload.data(), 1, payload.size(), file_.get()) !=
+          payload.size())
+    return make_error(ErrorCode::kIoError, "short write to PBIO file");
+  return Status::ok();
+}
+
+Status FileSink::ensure_format_written(const Format& format) {
+  if (written_formats_.contains(format.id())) return Status::ok();
+  auto blob = serialize_format(format);
+  XMIT_RETURN_IF_ERROR(write_block(kBlockFormat, blob));
+  written_formats_.insert(format.id());
+  return Status::ok();
+}
+
+Status FileSink::write(const Encoder& encoder, const void* record) {
+  XMIT_RETURN_IF_ERROR(ensure_format_written(encoder.format()));
+  XMIT_ASSIGN_OR_RETURN(auto bytes, encoder.encode_to_vector(record));
+  return write_block(kBlockRecord, bytes);
+}
+
+Status FileSink::write_encoded(const Format& format,
+                               std::span<const std::uint8_t> record) {
+  XMIT_RETURN_IF_ERROR(ensure_format_written(format));
+  return write_block(kBlockRecord, record);
+}
+
+Status FileSink::flush() {
+  if (std::fflush(file_.get()) != 0)
+    return make_error(ErrorCode::kIoError, "flush failed");
+  return Status::ok();
+}
+
+Result<FileSource> FileSource::open(const std::string& path,
+                                    FormatRegistry& registry) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr)
+    return Status(ErrorCode::kIoError, "cannot open '" + path + "'");
+  FileSource source(file, registry);
+  std::uint8_t header[12];
+  if (std::fread(header, 1, sizeof(header), file) != sizeof(header))
+    return Status(ErrorCode::kParseError, "'" + path + "' is not a PBIO file");
+  if (std::memcmp(header, kFileMagic, 8) != 0)
+    return Status(ErrorCode::kParseError, "bad PBIO file magic in '" + path + "'");
+  std::uint32_t version =
+      load_with_order<std::uint32_t>(header + 8, ByteOrder::kLittle);
+  if (version != kFileVersion)
+    return Status(ErrorCode::kUnsupported,
+                  "PBIO file version " + std::to_string(version));
+  return source;
+}
+
+Result<std::optional<std::vector<std::uint8_t>>> FileSource::next_record() {
+  for (;;) {
+    std::uint8_t frame[5];
+    std::size_t got = std::fread(frame, 1, sizeof(frame), file_.get());
+    if (got == 0 && std::feof(file_.get()))
+      return std::optional<std::vector<std::uint8_t>>{};
+    if (got != sizeof(frame))
+      return Status(ErrorCode::kParseError, "truncated block frame");
+    std::uint32_t length =
+        load_with_order<std::uint32_t>(frame + 1, ByteOrder::kLittle);
+    if (length > kMaxBlockBytes)
+      return Status(ErrorCode::kParseError, "block length is implausible");
+    std::vector<std::uint8_t> payload(length);
+    if (length > 0 &&
+        std::fread(payload.data(), 1, length, file_.get()) != length)
+      return Status(ErrorCode::kParseError, "truncated block payload");
+
+    switch (frame[0]) {
+      case kBlockFormat: {
+        XMIT_ASSIGN_OR_RETURN(auto format, deserialize_format(payload));
+        XMIT_ASSIGN_OR_RETURN(auto adopted, registry_->adopt(std::move(format)));
+        (void)adopted;
+        ++formats_read_;
+        continue;  // keep scanning for the next data record
+      }
+      case kBlockRecord:
+        ++records_read_;
+        return std::optional<std::vector<std::uint8_t>>(std::move(payload));
+      default:
+        return Status(ErrorCode::kParseError,
+                      "unknown block type " + std::to_string(frame[0]));
+    }
+  }
+}
+
+}  // namespace xmit::pbio

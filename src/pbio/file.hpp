@@ -1,0 +1,80 @@
+// PBIO data files: "encoding application data structures ... so that they
+// may be ... written to data files in a heterogeneous computing
+// environment" (paper §3.2).
+//
+// Layout:  'PBIOFILE' magic, u32 version, then self-framing blocks:
+//   [u8 block-type | u32 LE payload-length | payload]
+// Block type 1 carries serialized format metadata; type 2 carries one
+// complete wire record. Every format appears before the first record that
+// uses it, so a reader can stream the file on any architecture and decode
+// with full metadata — the file is self-describing.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "pbio/encode.hpp"
+#include "pbio/registry.hpp"
+
+namespace xmit::pbio {
+
+class FileSink {
+ public:
+  static Result<FileSink> create(const std::string& path);
+
+  FileSink(FileSink&&) = default;
+  FileSink& operator=(FileSink&&) = default;
+
+  // Encodes `record` with `encoder` and appends it, emitting the format
+  // metadata block first if this format has not been written yet.
+  Status write(const Encoder& encoder, const void* record);
+
+  // Appends an already-encoded wire record belonging to `format`.
+  Status write_encoded(const Format& format,
+                       std::span<const std::uint8_t> record);
+
+  Status flush();
+
+ private:
+  explicit FileSink(std::FILE* file) : file_(file, &std::fclose) {}
+
+  Status ensure_format_written(const Format& format);
+  Status write_block(std::uint8_t type, std::span<const std::uint8_t> payload);
+
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> file_;
+  std::set<FormatId> written_formats_;
+};
+
+class FileSource {
+ public:
+  // Opens the file and registers every format block it encounters into
+  // `registry` as it streams (formats precede their records).
+  static Result<FileSource> open(const std::string& path,
+                                 FormatRegistry& registry);
+
+  FileSource(FileSource&&) = default;
+  FileSource& operator=(FileSource&&) = default;
+
+  // Next data record (raw wire bytes, decodable via Decoder), or nullopt
+  // at end of file.
+  Result<std::optional<std::vector<std::uint8_t>>> next_record();
+
+  std::size_t records_read() const { return records_read_; }
+  std::size_t formats_read() const { return formats_read_; }
+
+ private:
+  FileSource(std::FILE* file, FormatRegistry& registry)
+      : file_(file, &std::fclose), registry_(&registry) {}
+
+  std::unique_ptr<std::FILE, int (*)(std::FILE*)> file_;
+  FormatRegistry* registry_;
+  std::size_t records_read_ = 0;
+  std::size_t formats_read_ = 0;
+};
+
+}  // namespace xmit::pbio

@@ -1,0 +1,228 @@
+#include "pbio/format.hpp"
+
+#include <algorithm>
+
+namespace xmit::pbio {
+
+namespace {
+constexpr int kMaxNestingDepth = 16;
+}
+
+FormatId hash_format_description(std::string_view description) {
+  std::uint64_t hash = 0xCBF29CE484222325ull;
+  for (char c : description) {
+    hash ^= static_cast<std::uint8_t>(c);
+    hash *= 0x100000001B3ull;
+  }
+  // Never hand out 0: it is the "no format" sentinel in wire headers.
+  return hash == 0 ? 1 : hash;
+}
+
+std::string Format::canonical_description() const {
+  std::string out = name_;
+  out += '{';
+  for (const auto& field : fields_) {
+    out += field.name;
+    out += ':';
+    out += field.type_name;
+    out += ':';
+    out += std::to_string(field.size);
+    out += ':';
+    out += std::to_string(field.offset);
+    out += ';';
+  }
+  out += '}';
+  // Nested layouts contribute through their own canonical descriptions, so
+  // a change in a subformat changes the outer id too.
+  for (const auto& nested : nested_) {
+    out += '<';
+    out += nested->canonical_description();
+    out += '>';
+  }
+  out += arch_.to_string();
+  out += '/';
+  out += std::to_string(struct_size_);
+  return out;
+}
+
+const IOField* Format::field_named(std::string_view name) const {
+  for (const auto& field : fields_)
+    if (field.name == name) return &field;
+  return nullptr;
+}
+
+const FlatField* Format::flat_field(std::string_view path) const {
+  for (const auto& field : flat_)
+    if (field.path == path) return &field;
+  return nullptr;
+}
+
+const FormatPtr* Format::nested_named(std::string_view name) const {
+  for (const auto& nested : nested_)
+    if (nested->name() == name) return &nested;
+  return nullptr;
+}
+
+Result<FormatPtr> Format::make(std::string name, std::vector<IOField> fields,
+                               std::uint32_t struct_size, ArchInfo arch,
+                               std::vector<FormatPtr> nested) {
+  auto format = std::shared_ptr<Format>(new Format());
+  format->name_ = std::move(name);
+  format->fields_ = std::move(fields);
+  format->struct_size_ = struct_size;
+  format->arch_ = arch;
+  format->nested_ = std::move(nested);
+  XMIT_RETURN_IF_ERROR(format->validate_and_flatten());
+  format->id_ = hash_format_description(format->canonical_description());
+  return FormatPtr(format);
+}
+
+Status Format::validate_and_flatten() {
+  if (name_.empty())
+    return make_error(ErrorCode::kInvalidArgument, "format needs a name");
+  if (fields_.empty())
+    return make_error(ErrorCode::kInvalidArgument,
+                      "format '" + name_ + "' has no fields");
+  if (struct_size_ == 0)
+    return make_error(ErrorCode::kInvalidArgument,
+                      "format '" + name_ + "' has zero struct size");
+  for (const auto& nested : nested_) {
+    if (!(nested->arch() == arch_))
+      return make_error(ErrorCode::kInvalidArgument,
+                        "nested format '" + nested->name() +
+                            "' has a different architecture than '" + name_ +
+                            "'");
+  }
+  // Duplicate field names would make evolution matching ambiguous.
+  for (std::size_t i = 0; i < fields_.size(); ++i)
+    for (std::size_t j = i + 1; j < fields_.size(); ++j)
+      if (fields_[i].name == fields_[j].name)
+        return make_error(ErrorCode::kInvalidArgument,
+                          "duplicate field '" + fields_[i].name +
+                              "' in format '" + name_ + "'");
+  XMIT_RETURN_IF_ERROR(flatten_into("", 0, *this, 0));
+  // Deterministic plan order regardless of declaration order tweaks.
+  std::stable_sort(flat_.begin(), flat_.end(),
+                   [](const FlatField& a, const FlatField& b) {
+                     return a.offset < b.offset;
+                   });
+  for (const auto& flat : flat_) {
+    if (flat.kind == FieldKind::kString || flat.array_mode == ArrayMode::kDynamic)
+      contiguous_ = false;
+    if (flat.kind == FieldKind::kString && flat.size != arch_.pointer_size)
+      return make_error(ErrorCode::kInvalidArgument,
+                        "string field '" + flat.path + "' size " +
+                            std::to_string(flat.size) +
+                            " != pointer size of " + arch_.to_string());
+    // In-memory footprint: pointer slots for strings and dynamic arrays,
+    // element-count multiples for inline fixed arrays.
+    std::uint64_t footprint;
+    if (flat.kind == FieldKind::kString)
+      footprint = std::uint64_t(arch_.pointer_size) *
+                  (flat.array_mode == ArrayMode::kFixed ? flat.fixed_count : 1);
+    else if (flat.array_mode == ArrayMode::kDynamic)
+      footprint = arch_.pointer_size;
+    else if (flat.array_mode == ArrayMode::kFixed)
+      footprint = std::uint64_t(flat.size) * flat.fixed_count;
+    else
+      footprint = flat.size;
+    std::uint64_t extent = flat.offset + footprint;
+    if (extent > struct_size_)
+      return make_error(ErrorCode::kOutOfRange,
+                        "field '" + flat.path + "' extends past struct size in '" +
+                            name_ + "'");
+  }
+  return Status::ok();
+}
+
+// Expands `format`'s fields (recursing through nested formats) into flat_,
+// with offsets rebased by `base_offset` and names prefixed by `prefix`.
+Status Format::flatten_into(const std::string& prefix,
+                            std::uint32_t base_offset, const Format& format,
+                            int depth) {
+  if (depth > kMaxNestingDepth)
+    return make_error(ErrorCode::kInvalidArgument,
+                      "format nesting too deep in '" + name_ + "'");
+  for (const auto& field : format.fields_) {
+    XMIT_ASSIGN_OR_RETURN(auto type, parse_field_type(field.type_name));
+    std::string path = prefix.empty() ? field.name : prefix + "." + field.name;
+
+    if (type.kind == FieldKind::kNested) {
+      const FormatPtr* nested = format.nested_named(type.nested_format);
+      if (nested == nullptr)
+        return make_error(ErrorCode::kNotFound,
+                          "unresolved nested type '" + type.nested_format +
+                              "' for field '" + path + "'");
+      switch (type.array.mode) {
+        case ArrayMode::kNone:
+          XMIT_RETURN_IF_ERROR(flatten_into(path, base_offset + field.offset,
+                                            **nested, depth + 1));
+          break;
+        case ArrayMode::kFixed:
+          // Unroll: rows[0].x, rows[1].x, ... Element stride is the
+          // nested struct size (the field's `size` must agree).
+          if (field.size != (*nested)->struct_size())
+            return make_error(ErrorCode::kInvalidArgument,
+                              "field '" + path + "' element size " +
+                                  std::to_string(field.size) +
+                                  " != nested struct size " +
+                                  std::to_string((*nested)->struct_size()));
+          for (std::uint32_t i = 0; i < type.array.fixed_count; ++i) {
+            XMIT_RETURN_IF_ERROR(flatten_into(
+                path + "[" + std::to_string(i) + "]",
+                base_offset + field.offset + i * field.size, **nested,
+                depth + 1));
+          }
+          break;
+        case ArrayMode::kDynamic:
+          // Dynamic arrays carry primitive elements only in this dialect
+          // (matches the paper: array base types come from the XML Schema
+          // primitive set).
+          return make_error(ErrorCode::kUnsupported,
+                            "dynamic array of nested type at '" + path + "'");
+      }
+      continue;
+    }
+
+    if (!valid_size_for_kind(type.kind, field.size))
+      return make_error(ErrorCode::kInvalidArgument,
+                        "bad size " + std::to_string(field.size) +
+                            " for field '" + path + "' of type '" +
+                            field.type_name + "'");
+
+    FlatField flat;
+    flat.path = std::move(path);
+    flat.kind = type.kind;
+    flat.size = field.size;
+    flat.offset = base_offset + field.offset;
+    flat.array_mode = type.array.mode;
+    flat.fixed_count = type.array.fixed_count;
+
+    if (type.array.mode == ArrayMode::kDynamic) {
+      if (type.kind == FieldKind::kString)
+        return make_error(ErrorCode::kUnsupported,
+                          "dynamic array of strings at '" + flat.path + "'");
+      // Resolve the count field among the *same* format's fields.
+      const IOField* count = format.field_named(type.array.size_field);
+      if (count == nullptr)
+        return make_error(ErrorCode::kNotFound,
+                          "size field '" + type.array.size_field +
+                              "' for array '" + flat.path + "' not found");
+      XMIT_ASSIGN_OR_RETURN(auto count_type, parse_field_type(count->type_name));
+      if ((count_type.kind != FieldKind::kInteger &&
+           count_type.kind != FieldKind::kUnsigned) ||
+          count_type.array.mode != ArrayMode::kNone)
+        return make_error(ErrorCode::kInvalidArgument,
+                          "size field '" + type.array.size_field +
+                              "' for array '" + flat.path +
+                              "' must be a scalar integer");
+      flat.count_offset = base_offset + count->offset;
+      flat.count_size = count->size;
+      flat.count_kind = count_type.kind;
+    }
+    flat_.push_back(std::move(flat));
+  }
+  return Status::ok();
+}
+
+}  // namespace xmit::pbio

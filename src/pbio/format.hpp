@@ -1,0 +1,96 @@
+// Format: a registered message format — name, field list, structure size,
+// architecture — plus the flattened field view that the encoder and the
+// conversion planner operate on.
+//
+// Formats are immutable once registered. A FormatId is a stable 64-bit
+// fingerprint of the canonical format description; it is what travels in
+// wire record headers so receivers can look the metadata up on demand
+// (the paper's "format identifiers are generated which allow component
+// programs to retrieve the metadata").
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "pbio/arch.hpp"
+#include "pbio/field.hpp"
+
+namespace xmit::pbio {
+
+class Format;
+using FormatPtr = std::shared_ptr<const Format>;
+
+using FormatId = std::uint64_t;
+
+// One leaf of the flattened structure: nested formats expanded, fixed
+// arrays of nested types unrolled per element, names joined with '.'.
+// Primitive fixed arrays stay as a single entry with a count.
+struct FlatField {
+  std::string path;           // "coords.x" / "rows[2].label"
+  FieldKind kind = FieldKind::kInteger;
+  std::uint32_t size = 0;     // element size
+  std::uint32_t offset = 0;   // absolute offset from struct start
+  ArrayMode array_mode = ArrayMode::kNone;
+  std::uint32_t fixed_count = 0;
+  // Dynamic arrays: location/shape of the run-time count field, resolved
+  // to an absolute offset at flatten time.
+  std::uint32_t count_offset = 0;
+  std::uint32_t count_size = 0;
+  FieldKind count_kind = FieldKind::kInteger;
+};
+
+class Format {
+ public:
+  const std::string& name() const { return name_; }
+  FormatId id() const { return id_; }
+  const std::vector<IOField>& fields() const { return fields_; }
+  std::uint32_t struct_size() const { return struct_size_; }
+  const ArchInfo& arch() const { return arch_; }
+  const std::vector<FlatField>& flat_fields() const { return flat_; }
+  const std::vector<FormatPtr>& nested_formats() const { return nested_; }
+
+  // True when the flattened layout contains no out-of-line data — encode
+  // and same-arch decode degenerate to single memcpys.
+  bool is_contiguous() const { return contiguous_; }
+
+  // Canonical one-line description (also the FormatId hash input):
+  //   name{field:type:size:offset;...}arch/size
+  std::string canonical_description() const;
+
+  // Field lookup by (top-level) name; nullptr when absent.
+  const IOField* field_named(std::string_view name) const;
+  const FlatField* flat_field(std::string_view path) const;
+
+  // Construction goes through make() so every Format is validated and
+  // flattened exactly once. `nested` must contain a format (of the same
+  // arch) for every nested type reference in `fields`.
+  static Result<FormatPtr> make(std::string name, std::vector<IOField> fields,
+                                std::uint32_t struct_size, ArchInfo arch,
+                                std::vector<FormatPtr> nested = {});
+
+ private:
+  Format() = default;
+
+  Status validate_and_flatten();
+  Status flatten_into(const std::string& prefix, std::uint32_t base_offset,
+                      const Format& format, int depth);
+  const FormatPtr* nested_named(std::string_view name) const;
+
+  std::string name_;
+  std::vector<IOField> fields_;
+  std::uint32_t struct_size_ = 0;
+  ArchInfo arch_;
+  std::vector<FormatPtr> nested_;
+  std::vector<FlatField> flat_;
+  bool contiguous_ = true;
+  FormatId id_ = 0;
+};
+
+// FNV-1a 64 over the canonical description — stable across processes and
+// platforms, so both ends of a connection derive identical ids.
+FormatId hash_format_description(std::string_view description);
+
+}  // namespace xmit::pbio

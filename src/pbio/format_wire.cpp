@@ -1,0 +1,100 @@
+#include "pbio/format_wire.hpp"
+
+namespace xmit::pbio {
+namespace {
+
+constexpr ByteOrder kMetaOrder = ByteOrder::kLittle;
+constexpr std::uint8_t kMetaVersion = 1;
+constexpr int kMaxMetaNesting = 16;
+
+void put_string(ByteBuffer& out, std::string_view s) {
+  out.append_u16(static_cast<std::uint16_t>(s.size()), kMetaOrder);
+  out.append(s);
+}
+
+Result<std::string> get_string(ByteReader& reader) {
+  XMIT_ASSIGN_OR_RETURN(auto length, reader.read_u16(kMetaOrder));
+  return reader.read_string(length);
+}
+
+void serialize_into(const Format& format, ByteBuffer& out) {
+  out.append_byte(kMetaVersion);
+  const ArchInfo& arch = format.arch();
+  out.append_byte(arch.byte_order == ByteOrder::kBig ? 1 : 0);
+  out.append_byte(arch.pointer_size);
+  out.append_byte(arch.long_size);
+  out.append_byte(arch.max_align);
+  put_string(out, format.name());
+  out.append_u32(format.struct_size(), kMetaOrder);
+  out.append_u16(static_cast<std::uint16_t>(format.fields().size()), kMetaOrder);
+  for (const auto& field : format.fields()) {
+    put_string(out, field.name);
+    put_string(out, field.type_name);
+    out.append_u32(field.size, kMetaOrder);
+    out.append_u32(field.offset, kMetaOrder);
+  }
+  out.append_u16(static_cast<std::uint16_t>(format.nested_formats().size()),
+                 kMetaOrder);
+  for (const auto& nested : format.nested_formats())
+    serialize_into(*nested, out);
+}
+
+Result<FormatPtr> deserialize_from(ByteReader& reader, int depth) {
+  if (depth > kMaxMetaNesting)
+    return Status(ErrorCode::kParseError, "format metadata nesting too deep");
+  XMIT_ASSIGN_OR_RETURN(auto version, reader.read_u8());
+  if (version != kMetaVersion)
+    return Status(ErrorCode::kUnsupported,
+                  "unknown format metadata version " + std::to_string(version));
+  ArchInfo arch;
+  XMIT_ASSIGN_OR_RETURN(auto order_byte, reader.read_u8());
+  arch.byte_order = order_byte ? ByteOrder::kBig : ByteOrder::kLittle;
+  XMIT_ASSIGN_OR_RETURN(arch.pointer_size, reader.read_u8());
+  XMIT_ASSIGN_OR_RETURN(arch.long_size, reader.read_u8());
+  XMIT_ASSIGN_OR_RETURN(arch.max_align, reader.read_u8());
+  XMIT_ASSIGN_OR_RETURN(auto name, get_string(reader));
+  XMIT_ASSIGN_OR_RETURN(auto struct_size, reader.read_u32(kMetaOrder));
+  XMIT_ASSIGN_OR_RETURN(auto field_count, reader.read_u16(kMetaOrder));
+  std::vector<IOField> fields;
+  fields.reserve(field_count);
+  for (std::uint16_t i = 0; i < field_count; ++i) {
+    IOField field;
+    XMIT_ASSIGN_OR_RETURN(field.name, get_string(reader));
+    XMIT_ASSIGN_OR_RETURN(field.type_name, get_string(reader));
+    XMIT_ASSIGN_OR_RETURN(field.size, reader.read_u32(kMetaOrder));
+    XMIT_ASSIGN_OR_RETURN(field.offset, reader.read_u32(kMetaOrder));
+    fields.push_back(std::move(field));
+  }
+  XMIT_ASSIGN_OR_RETURN(auto nested_count, reader.read_u16(kMetaOrder));
+  std::vector<FormatPtr> nested;
+  nested.reserve(nested_count);
+  for (std::uint16_t i = 0; i < nested_count; ++i) {
+    XMIT_ASSIGN_OR_RETURN(auto sub, deserialize_from(reader, depth + 1));
+    nested.push_back(std::move(sub));
+  }
+  return Format::make(std::move(name), std::move(fields), struct_size, arch,
+                      std::move(nested));
+}
+
+}  // namespace
+
+void serialize_format(const Format& format, ByteBuffer& out) {
+  serialize_into(format, out);
+}
+
+std::vector<std::uint8_t> serialize_format(const Format& format) {
+  ByteBuffer out;
+  serialize_into(format, out);
+  return out.take();
+}
+
+Result<FormatPtr> deserialize_format(ByteReader& reader) {
+  return deserialize_from(reader, 0);
+}
+
+Result<FormatPtr> deserialize_format(std::span<const std::uint8_t> bytes) {
+  ByteReader reader(bytes);
+  return deserialize_from(reader, 0);
+}
+
+}  // namespace xmit::pbio

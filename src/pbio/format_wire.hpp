@@ -1,0 +1,32 @@
+// Serialization of format *metadata* itself.
+//
+// Formats travel out-of-band: embedded in PBIO data files so a reader can
+// reconstruct the registry, or served by a format server keyed by format
+// id (the paper: "format identifiers are generated which allow component
+// programs to retrieve the metadata on demand"). The encoding is
+// canonical little-endian regardless of the described architecture — the
+// ArchInfo being *described* is payload, not container.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/error.hpp"
+#include "pbio/format.hpp"
+
+namespace xmit::pbio {
+
+// Appends the serialized form of `format` (nested formats included, so the
+// blob is self-contained) to `out`.
+void serialize_format(const Format& format, ByteBuffer& out);
+
+std::vector<std::uint8_t> serialize_format(const Format& format);
+
+// Reconstructs a Format (validated and flattened) from `reader`.
+// Round-trips exactly: the deserialized format has the same FormatId.
+Result<FormatPtr> deserialize_format(ByteReader& reader);
+
+Result<FormatPtr> deserialize_format(std::span<const std::uint8_t> bytes);
+
+}  // namespace xmit::pbio

@@ -1,0 +1,71 @@
+#include "pbio/registry.hpp"
+
+namespace xmit::pbio {
+
+Result<FormatPtr> FormatRegistry::register_format(std::string name,
+                                                  std::vector<IOField> fields,
+                                                  std::uint32_t struct_size,
+                                                  const ArchInfo& arch) {
+  // Resolve nested references against already-registered formats.
+  std::vector<FormatPtr> nested;
+  for (const auto& field : fields) {
+    XMIT_ASSIGN_OR_RETURN(auto type, parse_field_type(field.type_name));
+    if (type.kind != FieldKind::kNested) continue;
+    bool have = false;
+    for (const auto& existing : nested)
+      if (existing->name() == type.nested_format) have = true;
+    if (have) continue;
+    XMIT_ASSIGN_OR_RETURN(auto sub, by_name(type.nested_format));
+    nested.push_back(std::move(sub));
+  }
+  XMIT_ASSIGN_OR_RETURN(
+      auto format, Format::make(std::move(name), std::move(fields),
+                                struct_size, arch, std::move(nested)));
+  return adopt(std::move(format));
+}
+
+Result<FormatPtr> FormatRegistry::adopt(FormatPtr format) {
+  if (!format)
+    return Status(ErrorCode::kInvalidArgument, "null format");
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = by_id_.try_emplace(format->id(), format);
+  if (!inserted) {
+    // Same id means same canonical description: idempotent re-register.
+    return it->second;
+  }
+  by_name_[format->name()] = format;
+  return format;
+}
+
+Result<FormatPtr> FormatRegistry::by_id(FormatId id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = by_id_.find(id);
+  if (it == by_id_.end())
+    return Status(ErrorCode::kNotFound,
+                  "no format with id " + std::to_string(id));
+  return it->second;
+}
+
+Result<FormatPtr> FormatRegistry::by_name(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = by_name_.find(std::string(name));
+  if (it == by_name_.end())
+    return Status(ErrorCode::kNotFound,
+                  "no format named '" + std::string(name) + "'");
+  return it->second;
+}
+
+std::size_t FormatRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return by_id_.size();
+}
+
+std::vector<FormatPtr> FormatRegistry::all() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<FormatPtr> out;
+  out.reserve(by_id_.size());
+  for (const auto& [id, format] : by_id_) out.push_back(format);
+  return out;
+}
+
+}  // namespace xmit::pbio

@@ -1,0 +1,55 @@
+// FormatRegistry: the per-process table of registered formats.
+//
+// register_format() is the operation whose cost the paper measures
+// (Figures 3 and 6 compare it against the full XMIT path). Lookup by id
+// serves incoming records; lookup by name serves binding and evolution
+// (a receiver binds its *own* format by name, then converts records whose
+// id differs). Thread-safe: registration is rare, lookup is hot.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/error.hpp"
+#include "pbio/format.hpp"
+
+namespace xmit::pbio {
+
+class FormatRegistry {
+ public:
+  FormatRegistry() = default;
+  FormatRegistry(const FormatRegistry&) = delete;
+  FormatRegistry& operator=(const FormatRegistry&) = delete;
+
+  // Registers a format whose nested type references (if any) resolve to
+  // formats already registered here — subformats first, exactly like PBIO.
+  // Registering the identical description again returns the existing
+  // format (idempotent); a *different* description under the same name
+  // becomes the new "current" format for that name, and the old one stays
+  // reachable by id (how evolution coexists with in-flight records).
+  Result<FormatPtr> register_format(std::string name,
+                                    std::vector<IOField> fields,
+                                    std::uint32_t struct_size,
+                                    const ArchInfo& arch = ArchInfo::host());
+
+  // Registers an externally constructed format (e.g. deserialized from a
+  // file header or received from a format server).
+  Result<FormatPtr> adopt(FormatPtr format);
+
+  Result<FormatPtr> by_id(FormatId id) const;
+  Result<FormatPtr> by_name(std::string_view name) const;  // current version
+
+  std::size_t size() const;
+  std::vector<FormatPtr> all() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<FormatId, FormatPtr> by_id_;
+  std::unordered_map<std::string, FormatPtr> by_name_;
+};
+
+}  // namespace xmit::pbio

@@ -1,0 +1,131 @@
+#include "pbio/scalar.hpp"
+
+#include <cstring>
+
+namespace xmit::pbio {
+
+std::int64_t ScalarValue::as_signed() const {
+  switch (cls) {
+    case Class::kSigned: return i;
+    case Class::kUnsigned: return static_cast<std::int64_t>(u);
+    case Class::kReal: return static_cast<std::int64_t>(d);
+  }
+  return 0;
+}
+
+std::uint64_t ScalarValue::as_unsigned() const {
+  switch (cls) {
+    case Class::kSigned: return static_cast<std::uint64_t>(i);
+    case Class::kUnsigned: return u;
+    case Class::kReal: return static_cast<std::uint64_t>(d);
+  }
+  return 0;
+}
+
+double ScalarValue::as_real() const {
+  switch (cls) {
+    case Class::kSigned: return static_cast<double>(i);
+    case Class::kUnsigned: return static_cast<double>(u);
+    case Class::kReal: return d;
+  }
+  return 0;
+}
+
+Result<ScalarValue> load_scalar(const std::uint8_t* src, FieldKind kind,
+                                std::uint32_t size, ByteOrder order) {
+  switch (kind) {
+    case FieldKind::kFloat:
+      if (size == 4)
+        return ScalarValue::from_real(
+            bits_to_float(load_with_order<std::uint32_t>(src, order)));
+      return ScalarValue::from_real(
+          bits_to_double(load_with_order<std::uint64_t>(src, order)));
+    case FieldKind::kInteger:
+      switch (size) {
+        case 1: return ScalarValue::from_signed(static_cast<std::int8_t>(src[0]));
+        case 2: return ScalarValue::from_signed(static_cast<std::int16_t>(
+            load_with_order<std::uint16_t>(src, order)));
+        case 4: return ScalarValue::from_signed(static_cast<std::int32_t>(
+            load_with_order<std::uint32_t>(src, order)));
+        case 8: return ScalarValue::from_signed(static_cast<std::int64_t>(
+            load_with_order<std::uint64_t>(src, order)));
+        default: return Status(ErrorCode::kInternal, "bad integer size");
+      }
+    case FieldKind::kUnsigned:
+    case FieldKind::kBoolean: {
+      std::uint64_t v;
+      switch (size) {
+        case 1: v = src[0]; break;
+        case 2: v = load_with_order<std::uint16_t>(src, order); break;
+        case 4: v = load_with_order<std::uint32_t>(src, order); break;
+        case 8: v = load_with_order<std::uint64_t>(src, order); break;
+        default: return Status(ErrorCode::kInternal, "bad unsigned size");
+      }
+      if (kind == FieldKind::kBoolean) v = v ? 1 : 0;
+      return ScalarValue::from_unsigned(v);
+    }
+    case FieldKind::kChar:
+      return ScalarValue::from_unsigned(src[0]);
+    default:
+      return Status(ErrorCode::kInternal, "load_scalar on non-scalar kind");
+  }
+}
+
+void store_scalar(std::uint8_t* dst, FieldKind kind, std::uint32_t size,
+                  const ScalarValue& value, ByteOrder order) {
+  switch (kind) {
+    case FieldKind::kFloat:
+      if (size == 4)
+        store_with_order(dst, float_bits(static_cast<float>(value.as_real())),
+                         order);
+      else
+        store_with_order(dst, double_bits(value.as_real()), order);
+      return;
+    case FieldKind::kInteger: {
+      std::uint64_t bits = static_cast<std::uint64_t>(value.as_signed());
+      switch (size) {
+        case 1: dst[0] = static_cast<std::uint8_t>(bits); return;
+        case 2: store_with_order(dst, static_cast<std::uint16_t>(bits), order); return;
+        case 4: store_with_order(dst, static_cast<std::uint32_t>(bits), order); return;
+        case 8: store_with_order(dst, bits, order); return;
+      }
+      return;
+    }
+    case FieldKind::kUnsigned:
+    case FieldKind::kBoolean: {
+      std::uint64_t bits = value.as_unsigned();
+      if (kind == FieldKind::kBoolean) bits = bits ? 1 : 0;
+      switch (size) {
+        case 1: dst[0] = static_cast<std::uint8_t>(bits); return;
+        case 2: store_with_order(dst, static_cast<std::uint16_t>(bits), order); return;
+        case 4: store_with_order(dst, static_cast<std::uint32_t>(bits), order); return;
+        case 8: store_with_order(dst, bits, order); return;
+      }
+      return;
+    }
+    case FieldKind::kChar:
+      dst[0] = static_cast<std::uint8_t>(value.as_unsigned());
+      return;
+    default:
+      return;  // strings / nested never reach scalar stores
+  }
+}
+
+std::uint64_t read_slot_value(const std::uint8_t* fixed, std::size_t offset,
+                              std::uint8_t pointer_size, ByteOrder order) {
+  if (pointer_size == 8)
+    return load_with_order<std::uint64_t>(fixed + offset, order);
+  return load_with_order<std::uint32_t>(fixed + offset, order);
+}
+
+void write_slot_value(std::uint8_t* fixed, std::size_t offset,
+                      std::uint8_t pointer_size, ByteOrder order,
+                      std::uint64_t value) {
+  if (pointer_size == 8)
+    store_with_order<std::uint64_t>(fixed + offset, value, order);
+  else
+    store_with_order<std::uint32_t>(fixed + offset,
+                                    static_cast<std::uint32_t>(value), order);
+}
+
+}  // namespace xmit::pbio

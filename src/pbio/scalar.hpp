@@ -1,0 +1,68 @@
+// Order-aware scalar load/store shared by the decoder's conversion path,
+// the dynamic RecordBuilder/RecordReader, and the file reader. A scalar in
+// transit is normalized to 64-bit signed / 64-bit unsigned / double and
+// re-materialized at any legal kind/width, which is how cross-architecture
+// and evolved-width conversions stay a single code path.
+#pragma once
+
+#include <cstdint>
+
+#include "common/endian.hpp"
+#include "common/error.hpp"
+#include "pbio/field.hpp"
+
+namespace xmit::pbio {
+
+struct ScalarValue {
+  enum class Class : std::uint8_t { kSigned, kUnsigned, kReal };
+  Class cls = Class::kSigned;
+  union {
+    std::int64_t i;
+    std::uint64_t u;
+    double d;
+  };
+
+  static ScalarValue from_signed(std::int64_t v) {
+    ScalarValue s;
+    s.cls = Class::kSigned;
+    s.i = v;
+    return s;
+  }
+  static ScalarValue from_unsigned(std::uint64_t v) {
+    ScalarValue s;
+    s.cls = Class::kUnsigned;
+    s.u = v;
+    return s;
+  }
+  static ScalarValue from_real(double v) {
+    ScalarValue s;
+    s.cls = Class::kReal;
+    s.d = v;
+    return s;
+  }
+
+  std::int64_t as_signed() const;
+  std::uint64_t as_unsigned() const;
+  double as_real() const;
+};
+
+// Reads a scalar of (kind, size) stored in `order` from `src`.
+Result<ScalarValue> load_scalar(const std::uint8_t* src, FieldKind kind,
+                                std::uint32_t size, ByteOrder order);
+
+// Writes `value` as a scalar of (kind, size) in `order` to `dst`.
+// Booleans are normalized to 0/1.
+void store_scalar(std::uint8_t* dst, FieldKind kind, std::uint32_t size,
+                  const ScalarValue& value, ByteOrder order);
+
+// Reads a pointer slot of the wire's pointer width; returned value is the
+// raw slot content (variable-section offset + 1, or 0 for null).
+std::uint64_t read_slot_value(const std::uint8_t* fixed, std::size_t offset,
+                              std::uint8_t pointer_size, ByteOrder order);
+
+// Writes a pointer slot of the given width/order.
+void write_slot_value(std::uint8_t* fixed, std::size_t offset,
+                      std::uint8_t pointer_size, ByteOrder order,
+                      std::uint64_t value);
+
+}  // namespace xmit::pbio

@@ -1,0 +1,80 @@
+#include "pbio/wire.hpp"
+
+#include <cstring>
+
+namespace xmit::pbio {
+namespace {
+
+constexpr std::uint8_t kFlagBigEndian = 0x01;
+constexpr std::uint8_t kFlagPointer8 = 0x02;
+
+void render_header(std::uint8_t out[WireHeader::kSize],
+                   const WireHeader& header) {
+  std::memset(out, 0, WireHeader::kSize);
+  std::memcpy(out, WireHeader::kMagic, 4);
+  out[4] = WireHeader::kVersion;
+  std::uint8_t flags = 0;
+  if (header.byte_order == ByteOrder::kBig) flags |= kFlagBigEndian;
+  if (header.pointer_size == 8) flags |= kFlagPointer8;
+  out[5] = flags;
+  ByteOrder order = header.byte_order;
+  store_with_order<std::uint16_t>(out + 6, WireHeader::kSize, order);
+  store_with_order<std::uint64_t>(out + 8, header.format_id, order);
+  store_with_order<std::uint32_t>(out + 16, header.fixed_length, order);
+  store_with_order<std::uint32_t>(out + 20, header.var_length, order);
+}
+
+}  // namespace
+
+void append_header(ByteBuffer& out, const WireHeader& header) {
+  std::uint8_t raw[WireHeader::kSize];
+  render_header(raw, header);
+  out.append(raw, sizeof(raw));
+}
+
+void patch_header(ByteBuffer& out, std::size_t offset,
+                  const WireHeader& header) {
+  std::uint8_t raw[WireHeader::kSize];
+  render_header(raw, header);
+  std::memcpy(out.data() + offset, raw, sizeof(raw));
+}
+
+Result<WireHeader> parse_header(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < WireHeader::kSize)
+    return Status(ErrorCode::kOutOfRange, "record shorter than header");
+  if (std::memcmp(bytes.data(), WireHeader::kMagic, 4) != 0)
+    return Status(ErrorCode::kParseError, "bad record magic");
+  if (bytes[4] != WireHeader::kVersion)
+    return Status(ErrorCode::kUnsupported,
+                  "unsupported wire version " + std::to_string(bytes[4]));
+  WireHeader header;
+  std::uint8_t flags = bytes[5];
+  header.byte_order =
+      (flags & kFlagBigEndian) ? ByteOrder::kBig : ByteOrder::kLittle;
+  header.pointer_size = (flags & kFlagPointer8) ? 8 : 4;
+  ByteOrder order = header.byte_order;
+  std::uint16_t header_size =
+      load_with_order<std::uint16_t>(bytes.data() + 6, order);
+  if (header_size != WireHeader::kSize)
+    return Status(ErrorCode::kUnsupported,
+                  "unexpected header size " + std::to_string(header_size));
+  header.format_id = load_with_order<std::uint64_t>(bytes.data() + 8, order);
+  header.fixed_length =
+      load_with_order<std::uint32_t>(bytes.data() + 16, order);
+  header.var_length = load_with_order<std::uint32_t>(bytes.data() + 20, order);
+  if (header.format_id == 0)
+    return Status(ErrorCode::kParseError, "record has null format id");
+  return header;
+}
+
+Result<WireHeader> parse_record(std::span<const std::uint8_t> bytes) {
+  XMIT_ASSIGN_OR_RETURN(auto header, parse_header(bytes));
+  if (bytes.size() != header.record_length())
+    return Status(ErrorCode::kOutOfRange,
+                  "record length mismatch: have " +
+                      std::to_string(bytes.size()) + " bytes, header claims " +
+                      std::to_string(header.record_length()));
+  return header;
+}
+
+}  // namespace xmit::pbio

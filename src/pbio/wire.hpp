@@ -1,0 +1,65 @@
+// PBIO wire record layout.
+//
+// A record is:   [ 32-byte header | fixed section | variable section ]
+//
+// The fixed section is a byte-for-byte image of the sender's in-memory
+// structure with every pointer slot (strings, dynamic arrays) replaced by
+// a variable-section offset + 1 (0 encodes a null pointer). The variable
+// section holds string bytes (NUL-terminated) and dynamic array elements,
+// in sender byte order. Nothing is converted on the sending side — that
+// is PBIO's "sender writes native, receiver makes right" discipline, and
+// the reason encode cost is dominated by memory copies (Figure 8).
+//
+// Header bytes (multi-byte header integers use the *sender's* byte order;
+// the flags byte says which that is):
+//   0..3   magic 'P' 'B' '1' '0'
+//   4      wire version (currently 1)
+//   5      flags: bit0 = big-endian sender, bit1 = 8-byte pointers
+//   6..7   header size (u16) — room for extension
+//   8..15  format id (u64)
+//   16..19 fixed-section length (u32)
+//   20..23 variable-section length (u32)
+//   24..31 reserved, zero
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/bytes.hpp"
+#include "common/error.hpp"
+#include "pbio/format.hpp"
+
+namespace xmit::pbio {
+
+struct WireHeader {
+  static constexpr std::size_t kSize = 32;
+  static constexpr std::uint8_t kVersion = 1;
+  static constexpr std::uint8_t kMagic[4] = {'P', 'B', '1', '0'};
+
+  FormatId format_id = 0;
+  ByteOrder byte_order = ByteOrder::kLittle;
+  std::uint8_t pointer_size = 8;
+  std::uint32_t fixed_length = 0;
+  std::uint32_t var_length = 0;
+
+  std::size_t record_length() const {
+    return kSize + fixed_length + var_length;
+  }
+};
+
+// Appends a fully-populated header to `out`.
+void append_header(ByteBuffer& out, const WireHeader& header);
+
+// Writes a header into an already-reserved 32-byte region at `offset`.
+void patch_header(ByteBuffer& out, std::size_t offset,
+                  const WireHeader& header);
+
+// Parses and sanity-checks the header of `bytes`; the record may extend
+// beyond the header (callers check record_length() against bytes.size()).
+Result<WireHeader> parse_header(std::span<const std::uint8_t> bytes);
+
+// Full consistency check: header parses and the record byte count matches
+// the advertised section lengths exactly.
+Result<WireHeader> parse_record(std::span<const std::uint8_t> bytes);
+
+}  // namespace xmit::pbio

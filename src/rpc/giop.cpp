@@ -1,0 +1,294 @@
+#include "rpc/giop.hpp"
+
+#include <cstring>
+
+namespace xmit::rpc {
+namespace {
+
+constexpr std::uint8_t kMagic[4] = {'G', 'I', 'O', 'P'};
+constexpr std::uint8_t kVersionMajor = 1;
+constexpr std::uint8_t kVersionMinor = 0;
+constexpr std::size_t kHeaderSize = 12;
+
+// CDR primitives within a GIOP message body: aligned relative to the
+// start of the message body (offset kHeaderSize), per the GIOP spec.
+class CdrWriter {
+ public:
+  CdrWriter(ByteBuffer& out, ByteOrder order) : out_(out), order_(order) {}
+
+  void align(std::size_t alignment) {
+    std::size_t body = out_.size() - kHeaderSize;
+    out_.append_zeros(align_up(body, alignment) - body);
+  }
+
+  void put_u8(std::uint8_t v) { out_.append_byte(v); }
+
+  void put_u32(std::uint32_t v) {
+    align(4);
+    out_.append_u32(v, order_);
+  }
+
+  // CORBA string: u32 length (including NUL) + bytes + NUL.
+  void put_string(std::string_view s) {
+    put_u32(static_cast<std::uint32_t>(s.size() + 1));
+    out_.append(s);
+    out_.append_byte(0);
+  }
+
+  // sequence<octet>: u32 count + bytes.
+  void put_octets(std::span<const std::uint8_t> bytes) {
+    put_u32(static_cast<std::uint32_t>(bytes.size()));
+    if (!bytes.empty()) out_.append(bytes.data(), bytes.size());
+  }
+
+ private:
+  ByteBuffer& out_;
+  ByteOrder order_;
+};
+
+class CdrParser {
+ public:
+  CdrParser(ByteReader& reader, ByteOrder order)
+      : reader_(reader), order_(order) {}
+
+  Status align(std::size_t alignment) {
+    std::size_t body = reader_.position() - kHeaderSize;
+    return reader_.seek(kHeaderSize + align_up(body, alignment));
+  }
+
+  Result<std::uint8_t> get_u8() { return reader_.read_u8(); }
+
+  Result<std::uint32_t> get_u32() {
+    XMIT_RETURN_IF_ERROR(align(4));
+    return reader_.read_u32(order_);
+  }
+
+  Result<std::string> get_string() {
+    XMIT_ASSIGN_OR_RETURN(auto length, get_u32());
+    if (length == 0)
+      return Status(ErrorCode::kParseError, "CORBA string with zero length");
+    XMIT_ASSIGN_OR_RETURN(auto raw, reader_.read_string(length));
+    if (raw.back() != '\0')
+      return Status(ErrorCode::kParseError, "CORBA string missing NUL");
+    raw.pop_back();
+    return raw;
+  }
+
+  Result<std::vector<std::uint8_t>> get_octets() {
+    XMIT_ASSIGN_OR_RETURN(auto count, get_u32());
+    if (count > reader_.remaining())
+      return Status(ErrorCode::kOutOfRange, "octet sequence truncated");
+    std::vector<std::uint8_t> out(count);
+    XMIT_RETURN_IF_ERROR(reader_.read_bytes(out.data(), count));
+    return out;
+  }
+
+ private:
+  ByteReader& reader_;
+  ByteOrder order_;
+};
+
+void write_header(ByteBuffer& out, GiopMessageType type, ByteOrder order) {
+  out.append(kMagic, 4);
+  out.append_byte(kVersionMajor);
+  out.append_byte(kVersionMinor);
+  out.append_byte(order == ByteOrder::kLittle ? 1 : 0);
+  out.append_byte(static_cast<std::uint8_t>(type));
+  out.reserve_slot(4);  // message_size, patched once the body is known
+}
+
+void finish_header(ByteBuffer& out, ByteOrder order) {
+  out.patch_uint<std::uint32_t>(
+      8, static_cast<std::uint32_t>(out.size() - kHeaderSize), order);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_giop_request(const GiopRequest& request,
+                                              ByteOrder order) {
+  ByteBuffer out;
+  write_header(out, GiopMessageType::kRequest, order);
+  CdrWriter writer(out, order);
+  writer.put_u32(0);  // empty service context list
+  writer.put_u32(request.request_id);
+  writer.put_u8(request.response_expected ? 1 : 0);
+  writer.put_octets(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(request.object_key.data()),
+      request.object_key.size()));
+  writer.put_string(request.operation);
+  writer.put_u32(0);  // empty requesting principal
+  // Parameter body: an encapsulation, 8-aligned like any CDR composite.
+  writer.align(8);
+  if (!request.body.empty()) out.append(request.body.data(), request.body.size());
+  finish_header(out, order);
+  return out.take();
+}
+
+std::vector<std::uint8_t> encode_giop_reply(const GiopReply& reply,
+                                            ByteOrder order) {
+  ByteBuffer out;
+  write_header(out, GiopMessageType::kReply, order);
+  CdrWriter writer(out, order);
+  writer.put_u32(0);  // empty service context list
+  writer.put_u32(reply.request_id);
+  writer.put_u32(static_cast<std::uint32_t>(reply.status));
+  writer.align(8);
+  if (!reply.body.empty()) out.append(reply.body.data(), reply.body.size());
+  finish_header(out, order);
+  return out.take();
+}
+
+Result<GiopMessage> parse_giop_message(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < kHeaderSize)
+    return Status(ErrorCode::kOutOfRange, "GIOP message shorter than header");
+  if (std::memcmp(bytes.data(), kMagic, 4) != 0)
+    return Status(ErrorCode::kParseError, "bad GIOP magic");
+  if (bytes[4] != kVersionMajor || bytes[5] != kVersionMinor)
+    return Status(ErrorCode::kUnsupported,
+                  "unsupported GIOP version " + std::to_string(bytes[4]) + "." +
+                      std::to_string(bytes[5]));
+  ByteOrder order = bytes[6] ? ByteOrder::kLittle : ByteOrder::kBig;
+  auto type = static_cast<GiopMessageType>(bytes[7]);
+  std::uint32_t size = load_with_order<std::uint32_t>(bytes.data() + 8, order);
+  if (bytes.size() != kHeaderSize + size)
+    return Status(ErrorCode::kOutOfRange,
+                  "GIOP message size mismatch: header says " +
+                      std::to_string(size) + ", have " +
+                      std::to_string(bytes.size() - kHeaderSize));
+
+  ByteReader reader(bytes.data(), bytes.size());
+  XMIT_RETURN_IF_ERROR(reader.skip(kHeaderSize));
+  CdrParser parser(reader, order);
+
+  GiopMessage message;
+  message.type = type;
+  switch (type) {
+    case GiopMessageType::kRequest: {
+      XMIT_ASSIGN_OR_RETURN(auto contexts, parser.get_u32());
+      if (contexts != 0)
+        return Status(ErrorCode::kUnsupported, "service contexts unsupported");
+      XMIT_ASSIGN_OR_RETURN(message.request.request_id, parser.get_u32());
+      XMIT_ASSIGN_OR_RETURN(auto expected, parser.get_u8());
+      message.request.response_expected = expected != 0;
+      XMIT_ASSIGN_OR_RETURN(auto key, parser.get_octets());
+      message.request.object_key.assign(key.begin(), key.end());
+      XMIT_ASSIGN_OR_RETURN(message.request.operation, parser.get_string());
+      XMIT_ASSIGN_OR_RETURN(auto principal, parser.get_u32());
+      if (principal != 0)
+        return Status(ErrorCode::kUnsupported, "principals unsupported");
+      XMIT_RETURN_IF_ERROR(parser.align(8));
+      message.request.body.assign(reader.cursor(),
+                                  reader.cursor() + reader.remaining());
+      return message;
+    }
+    case GiopMessageType::kReply: {
+      XMIT_ASSIGN_OR_RETURN(auto contexts, parser.get_u32());
+      if (contexts != 0)
+        return Status(ErrorCode::kUnsupported, "service contexts unsupported");
+      XMIT_ASSIGN_OR_RETURN(message.reply.request_id, parser.get_u32());
+      XMIT_ASSIGN_OR_RETURN(auto status, parser.get_u32());
+      if (status > 2)
+        return Status(ErrorCode::kParseError,
+                      "bad reply status " + std::to_string(status));
+      message.reply.status = static_cast<GiopReplyStatus>(status);
+      XMIT_RETURN_IF_ERROR(parser.align(8));
+      message.reply.body.assign(reader.cursor(),
+                                reader.cursor() + reader.remaining());
+      return message;
+    }
+    case GiopMessageType::kCloseConnection:
+      return message;
+  }
+  return Status(ErrorCode::kUnsupported,
+                "unsupported GIOP message type " +
+                    std::to_string(static_cast<int>(type)));
+}
+
+Result<std::vector<std::uint8_t>> GiopClient::invoke(
+    const std::string& object_key, const std::string& operation,
+    std::span<const std::uint8_t> body, int timeout_ms) {
+  GiopRequest request;
+  request.request_id = next_request_id_++;
+  request.response_expected = true;
+  request.object_key = object_key;
+  request.operation = operation;
+  request.body.assign(body.begin(), body.end());
+  XMIT_RETURN_IF_ERROR(channel_.send(encode_giop_request(request)));
+
+  XMIT_ASSIGN_OR_RETURN(auto raw, channel_.receive(timeout_ms));
+  XMIT_ASSIGN_OR_RETURN(auto message, parse_giop_message(raw));
+  if (message.type != GiopMessageType::kReply)
+    return Status(ErrorCode::kParseError, "expected a Reply message");
+  if (message.reply.request_id != request.request_id)
+    return Status(ErrorCode::kParseError,
+                  "reply correlates to request " +
+                      std::to_string(message.reply.request_id) + ", expected " +
+                      std::to_string(request.request_id));
+  if (message.reply.status != GiopReplyStatus::kNoException) {
+    std::string text(message.reply.body.begin(), message.reply.body.end());
+    return Status(ErrorCode::kInternal,
+                  (message.reply.status == GiopReplyStatus::kUserException
+                       ? "user exception: "
+                       : "system exception: ") +
+                      text);
+  }
+  return std::move(message.reply.body);
+}
+
+Status GiopClient::send_oneway(const std::string& object_key,
+                               const std::string& operation,
+                               std::span<const std::uint8_t> body) {
+  GiopRequest request;
+  request.request_id = next_request_id_++;
+  request.response_expected = false;
+  request.object_key = object_key;
+  request.operation = operation;
+  request.body.assign(body.begin(), body.end());
+  return channel_.send(encode_giop_request(request));
+}
+
+void GiopServer::register_operation(const std::string& object_key,
+                                    const std::string& operation,
+                                    Handler handler) {
+  handlers_[{object_key, operation}] = std::move(handler);
+}
+
+Status GiopServer::serve(net::Channel& channel) {
+  for (;;) {
+    auto raw = channel.receive(10000);
+    if (!raw.is_ok()) {
+      if (raw.code() == ErrorCode::kNotFound) return Status::ok();  // EOF
+      return raw.status();
+    }
+    XMIT_ASSIGN_OR_RETURN(auto message, parse_giop_message(raw.value()));
+    if (message.type == GiopMessageType::kCloseConnection) return Status::ok();
+    if (message.type != GiopMessageType::kRequest)
+      return make_error(ErrorCode::kParseError, "expected a Request message");
+
+    const GiopRequest& request = message.request;
+    ++served_;
+    GiopReply reply;
+    reply.request_id = request.request_id;
+
+    auto it = handlers_.find({request.object_key, request.operation});
+    if (it == handlers_.end()) {
+      reply.status = GiopReplyStatus::kSystemException;
+      std::string text = "no such operation: " + request.object_key + "::" +
+                         request.operation;
+      reply.body.assign(text.begin(), text.end());
+    } else {
+      auto result = it->second(request.body);
+      if (result.is_ok()) {
+        reply.body = std::move(result).value();
+      } else {
+        reply.status = GiopReplyStatus::kUserException;
+        std::string text = result.status().to_string();
+        reply.body.assign(text.begin(), text.end());
+      }
+    }
+    if (request.response_expected)
+      XMIT_RETURN_IF_ERROR(channel.send(encode_giop_reply(reply)));
+  }
+}
+
+}  // namespace xmit::rpc

@@ -1,0 +1,365 @@
+#include "rpc/xmlrpc.hpp"
+
+#include "common/strings.hpp"
+#include "xml/dom.hpp"
+#include "xml/parser.hpp"
+#include "xml/writer.hpp"
+
+namespace xmit::rpc {
+
+// --- value model -----------------------------------------------------------
+
+Value Value::from_int(std::int32_t v) {
+  Value out;
+  out.kind_ = Kind::kInt;
+  out.scalar_ = v;
+  return out;
+}
+
+Value Value::from_bool(bool v) {
+  Value out;
+  out.kind_ = Kind::kBool;
+  out.scalar_ = v ? 1 : 0;
+  return out;
+}
+
+Value Value::from_double(double v) {
+  Value out;
+  out.kind_ = Kind::kDouble;
+  out.real_ = v;
+  return out;
+}
+
+Value Value::from_string(std::string v) {
+  Value out;
+  out.kind_ = Kind::kString;
+  out.text_ = std::move(v);
+  return out;
+}
+
+Value Value::array(std::vector<Value> items) {
+  Value out;
+  out.kind_ = Kind::kArray;
+  out.array_ = std::move(items);
+  return out;
+}
+
+Value Value::structure(std::map<std::string, Value> members) {
+  Value out;
+  out.kind_ = Kind::kStruct;
+  out.struct_ = std::move(members);
+  return out;
+}
+
+Result<std::int32_t> Value::as_int() const {
+  if (kind_ != Kind::kInt)
+    return Status(ErrorCode::kInvalidArgument, "value is not an int");
+  return static_cast<std::int32_t>(scalar_);
+}
+
+Result<bool> Value::as_bool() const {
+  if (kind_ != Kind::kBool)
+    return Status(ErrorCode::kInvalidArgument, "value is not a boolean");
+  return scalar_ != 0;
+}
+
+Result<double> Value::as_double() const {
+  if (kind_ == Kind::kDouble) return real_;
+  if (kind_ == Kind::kInt) return static_cast<double>(scalar_);
+  return Status(ErrorCode::kInvalidArgument, "value is not a double");
+}
+
+Result<std::string> Value::as_string() const {
+  if (kind_ != Kind::kString)
+    return Status(ErrorCode::kInvalidArgument, "value is not a string");
+  return text_;
+}
+
+Result<const std::vector<Value>*> Value::as_array() const {
+  if (kind_ != Kind::kArray)
+    return Status(ErrorCode::kInvalidArgument, "value is not an array");
+  return &array_;
+}
+
+Result<const Value*> Value::member(const std::string& name) const {
+  if (kind_ != Kind::kStruct)
+    return Status(ErrorCode::kInvalidArgument, "value is not a struct");
+  auto it = struct_.find(name);
+  if (it == struct_.end())
+    return Status(ErrorCode::kNotFound, "struct has no member '" + name + "'");
+  return &it->second;
+}
+
+bool Value::operator==(const Value& other) const {
+  if (kind_ != other.kind_) return false;
+  switch (kind_) {
+    case Kind::kInt:
+    case Kind::kBool:
+      return scalar_ == other.scalar_;
+    case Kind::kDouble:
+      return real_ == other.real_;
+    case Kind::kString:
+      return text_ == other.text_;
+    case Kind::kArray:
+      return array_ == other.array_;
+    case Kind::kStruct:
+      return struct_ == other.struct_;
+  }
+  return false;
+}
+
+// --- serialization ---------------------------------------------------------
+
+namespace {
+
+void write_value(std::string& out, const Value& value) {
+  out += "<value>";
+  switch (value.kind()) {
+    case Value::Kind::kInt:
+      out += "<i4>" + format_int(value.as_int().value()) + "</i4>";
+      break;
+    case Value::Kind::kBool:
+      out += std::string("<boolean>") + (value.as_bool().value() ? "1" : "0") +
+             "</boolean>";
+      break;
+    case Value::Kind::kDouble:
+      out += "<double>" + format_double(value.as_double().value()) + "</double>";
+      break;
+    case Value::Kind::kString:
+      out += "<string>" + xml::escape_text(value.as_string().value()) +
+             "</string>";
+      break;
+    case Value::Kind::kArray:
+      out += "<array><data>";
+      for (const Value& item : value.items()) write_value(out, item);
+      out += "</data></array>";
+      break;
+    case Value::Kind::kStruct:
+      out += "<struct>";
+      for (const auto& [name, member] : value.members()) {
+        out += "<member><name>" + xml::escape_text(name) + "</name>";
+        write_value(out, member);
+        out += "</member>";
+      }
+      out += "</struct>";
+      break;
+  }
+  out += "</value>";
+}
+
+Result<Value> parse_value(const xml::Element& value_node);
+
+Result<Value> parse_typed(const xml::Element& node) {
+  std::string_view tag = node.local_name();
+  std::string text = node.text();
+  if (tag == "i4" || tag == "int") {
+    XMIT_ASSIGN_OR_RETURN(auto v, parse_int(trim(text)));
+    return Value::from_int(static_cast<std::int32_t>(v));
+  }
+  if (tag == "boolean") {
+    std::string_view t = trim(text);
+    if (t == "1" || t == "true") return Value::from_bool(true);
+    if (t == "0" || t == "false") return Value::from_bool(false);
+    return Status(ErrorCode::kParseError, "bad boolean '" + text + "'");
+  }
+  if (tag == "double") {
+    XMIT_ASSIGN_OR_RETURN(auto v, parse_double(trim(text)));
+    return Value::from_double(v);
+  }
+  if (tag == "string") return Value::from_string(std::move(text));
+  if (tag == "array") {
+    const xml::Element* data = node.first_child("data");
+    if (data == nullptr)
+      return Status(ErrorCode::kParseError, "<array> without <data>");
+    std::vector<Value> items;
+    for (const auto* child : data->children_named("value")) {
+      XMIT_ASSIGN_OR_RETURN(auto item, parse_value(*child));
+      items.push_back(std::move(item));
+    }
+    return Value::array(std::move(items));
+  }
+  if (tag == "struct") {
+    std::map<std::string, Value> members;
+    for (const auto* member : node.children_named("member")) {
+      const xml::Element* name = member->first_child("name");
+      const xml::Element* value = member->first_child("value");
+      if (name == nullptr || value == nullptr)
+        return Status(ErrorCode::kParseError, "malformed <member>");
+      XMIT_ASSIGN_OR_RETURN(auto parsed, parse_value(*value));
+      members.emplace(name->text(), std::move(parsed));
+    }
+    return Value::structure(std::move(members));
+  }
+  return Status(ErrorCode::kUnsupported,
+                "unsupported XML-RPC type <" + std::string(tag) + ">");
+}
+
+Result<Value> parse_value(const xml::Element& value_node) {
+  auto children = value_node.child_elements();
+  if (children.empty()) {
+    // Untyped content is a string per the spec.
+    return Value::from_string(value_node.text());
+  }
+  if (children.size() != 1)
+    return Status(ErrorCode::kParseError, "<value> with multiple children");
+  return parse_typed(*children.front());
+}
+
+constexpr const char* kPrologue = "<?xml version=\"1.0\"?>";
+
+}  // namespace
+
+std::string write_method_call(const MethodCall& call) {
+  std::string out = kPrologue;
+  out += "<methodCall><methodName>" + xml::escape_text(call.method) +
+         "</methodName><params>";
+  for (const Value& param : call.params) {
+    out += "<param>";
+    write_value(out, param);
+    out += "</param>";
+  }
+  out += "</params></methodCall>";
+  return out;
+}
+
+std::string write_method_response(const Value& value) {
+  std::string out = kPrologue;
+  out += "<methodResponse><params><param>";
+  write_value(out, value);
+  out += "</param></params></methodResponse>";
+  return out;
+}
+
+std::string write_fault(int code, const std::string& message) {
+  Value fault = Value::structure({
+      {"faultCode", Value::from_int(code)},
+      {"faultString", Value::from_string(message)},
+  });
+  std::string out = kPrologue;
+  out += "<methodResponse><fault>";
+  write_value(out, fault);
+  out += "</fault></methodResponse>";
+  return out;
+}
+
+Result<MethodCall> parse_method_call(std::string_view text) {
+  XMIT_ASSIGN_OR_RETURN(auto document, xml::parse_document_strict(text));
+  const xml::Element& root = document.root_element();
+  if (root.local_name() != "methodCall")
+    return Status(ErrorCode::kParseError, "not a <methodCall> document");
+  const xml::Element* name = root.first_child("methodName");
+  if (name == nullptr)
+    return Status(ErrorCode::kParseError, "<methodCall> without <methodName>");
+  MethodCall call;
+  call.method = std::string(trim(name->text()));
+  if (call.method.empty())
+    return Status(ErrorCode::kParseError, "empty method name");
+  if (const xml::Element* params = root.first_child("params")) {
+    for (const auto* param : params->children_named("param")) {
+      const xml::Element* value = param->first_child("value");
+      if (value == nullptr)
+        return Status(ErrorCode::kParseError, "<param> without <value>");
+      XMIT_ASSIGN_OR_RETURN(auto parsed, parse_value(*value));
+      call.params.push_back(std::move(parsed));
+    }
+  }
+  return call;
+}
+
+Result<MethodResponse> parse_method_response(std::string_view text) {
+  XMIT_ASSIGN_OR_RETURN(auto document, xml::parse_document_strict(text));
+  const xml::Element& root = document.root_element();
+  if (root.local_name() != "methodResponse")
+    return Status(ErrorCode::kParseError, "not a <methodResponse> document");
+
+  MethodResponse response;
+  if (const xml::Element* fault = root.first_child("fault")) {
+    const xml::Element* value = fault->first_child("value");
+    if (value == nullptr)
+      return Status(ErrorCode::kParseError, "<fault> without <value>");
+    XMIT_ASSIGN_OR_RETURN(auto parsed, parse_value(*value));
+    response.faulted = true;
+    XMIT_ASSIGN_OR_RETURN(auto code, parsed.member("faultCode"));
+    XMIT_ASSIGN_OR_RETURN(response.fault.code, code->as_int());
+    XMIT_ASSIGN_OR_RETURN(auto message, parsed.member("faultString"));
+    XMIT_ASSIGN_OR_RETURN(response.fault.message, message->as_string());
+    return response;
+  }
+  const xml::Element* params = root.first_child("params");
+  if (params == nullptr)
+    return Status(ErrorCode::kParseError, "response without <params>/<fault>");
+  auto param_list = params->children_named("param");
+  if (param_list.size() != 1)
+    return Status(ErrorCode::kParseError, "response must carry one <param>");
+  const xml::Element* value = param_list.front()->first_child("value");
+  if (value == nullptr)
+    return Status(ErrorCode::kParseError, "<param> without <value>");
+  XMIT_ASSIGN_OR_RETURN(response.value, parse_value(*value));
+  return response;
+}
+
+// --- server ----------------------------------------------------------------
+
+XmlRpcServer::XmlRpcServer(net::HttpServer& server, std::string endpoint)
+    : state_(std::make_shared<State>()), endpoint_(std::move(endpoint)) {
+  server.set_post_handler(endpoint_, [state = state_](const std::string& body) {
+    net::HttpResponse http;
+    http.status_code = 200;  // XML-RPC signals faults in-band
+    http.content_type = "text/xml";
+
+    auto call = parse_method_call(body);
+    if (!call.is_ok()) {
+      http.body = write_fault(-32700, "parse error: " + call.message());
+      return http;
+    }
+    Handler handler;
+    {
+      std::lock_guard<std::mutex> lock(state->mutex);
+      ++state->calls;
+      auto it = state->methods.find(call.value().method);
+      if (it != state->methods.end()) handler = it->second;
+    }
+    if (!handler) {
+      http.body = write_fault(
+          -32601, "method not found: " + call.value().method);
+      return http;
+    }
+    auto result = handler(call.value().params);
+    http.body = result.is_ok() ? write_method_response(result.value())
+                               : write_fault(-32500, result.message());
+    return http;
+  });
+}
+
+void XmlRpcServer::register_method(std::string name, Handler handler) {
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  state_->methods[std::move(name)] = std::move(handler);
+}
+
+std::size_t XmlRpcServer::calls_served() const {
+  std::lock_guard<std::mutex> lock(state_->mutex);
+  return state_->calls;
+}
+
+// --- client ----------------------------------------------------------------
+
+Result<Value> XmlRpcClient::call(const std::string& method,
+                                 const std::vector<Value>& params,
+                                 int timeout_ms) {
+  MethodCall request{method, params};
+  XMIT_ASSIGN_OR_RETURN(
+      auto http, net::HttpClient::post(host_, port_, endpoint_,
+                                       write_method_call(request), "text/xml",
+                                       timeout_ms));
+  if (http.status_code != 200)
+    return Status(ErrorCode::kIoError,
+                  "HTTP " + std::to_string(http.status_code));
+  XMIT_ASSIGN_OR_RETURN(auto response, parse_method_response(http.body));
+  if (response.faulted)
+    return Status(ErrorCode::kInternal,
+                  "fault " + std::to_string(response.fault.code) + ": " +
+                      response.fault.message);
+  return response.value;
+}
+
+}  // namespace xmit::rpc

@@ -1,0 +1,138 @@
+// XML-RPC style interface (paper §3.2: "We plan to implement SOAP/XML-RPC
+// style interfaces").
+//
+// Implements the XML-RPC wire protocol [http://www.xmlrpc.com/spec]:
+// <methodCall>/<methodResponse> envelopes over HTTP POST, the scalar types
+// i4/boolean/double/string plus <array> and <struct>, and <fault>
+// responses. This is the "XML as a wire format" world the paper contrasts
+// XMIT against — having it in-tree lets applications interoperate with
+// text-based peers on control paths while keeping bulk data on PBIO, and
+// lets the benches quantify exactly what that convenience costs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "net/http.hpp"
+
+namespace xmit::rpc {
+
+// The XML-RPC value model.
+class Value {
+ public:
+  enum class Kind : std::uint8_t {
+    kInt,      // <i4>/<int>
+    kBool,     // <boolean>
+    kDouble,   // <double>
+    kString,   // <string> (also bare text content)
+    kArray,    // <array><data>...
+    kStruct,   // <struct><member>...
+  };
+
+  Value() : kind_(Kind::kString) {}
+
+  static Value from_int(std::int32_t v);
+  static Value from_bool(bool v);
+  static Value from_double(double v);
+  static Value from_string(std::string v);
+  static Value array(std::vector<Value> items);
+  static Value structure(std::map<std::string, Value> members);
+
+  Kind kind() const { return kind_; }
+  bool is(Kind kind) const { return kind_ == kind; }
+
+  // Typed accessors; wrong-kind access returns an error, never UB.
+  Result<std::int32_t> as_int() const;
+  Result<bool> as_bool() const;
+  Result<double> as_double() const;
+  Result<std::string> as_string() const;
+  Result<const std::vector<Value>*> as_array() const;
+  Result<const Value*> member(const std::string& name) const;
+  const std::map<std::string, Value>& members() const { return struct_; }
+  const std::vector<Value>& items() const { return array_; }
+
+  bool operator==(const Value& other) const;
+
+ private:
+  Kind kind_;
+  std::int64_t scalar_ = 0;    // int / bool
+  double real_ = 0;
+  std::string text_;
+  std::vector<Value> array_;
+  std::map<std::string, Value> struct_;
+};
+
+struct MethodCall {
+  std::string method;
+  std::vector<Value> params;
+};
+
+struct Fault {
+  int code = 0;
+  std::string message;
+};
+
+struct MethodResponse {
+  // Exactly one of value / fault is meaningful; `faulted` selects.
+  bool faulted = false;
+  Value value;
+  Fault fault;
+};
+
+// Wire form (spec-conformant documents with the <?xml?> prologue).
+std::string write_method_call(const MethodCall& call);
+std::string write_method_response(const Value& value);
+std::string write_fault(int code, const std::string& message);
+
+Result<MethodCall> parse_method_call(std::string_view text);
+Result<MethodResponse> parse_method_response(std::string_view text);
+
+// Server: dispatches POSTs on an HttpServer endpoint to named handlers.
+class XmlRpcServer {
+ public:
+  using Handler = std::function<Result<Value>(const std::vector<Value>&)>;
+
+  // Installs the dispatcher at `endpoint` on `server`.
+  XmlRpcServer(net::HttpServer& server, std::string endpoint = "/RPC2");
+
+  // Register a method (replaces any previous handler of that name).
+  void register_method(std::string name, Handler handler);
+
+  const std::string& endpoint() const { return endpoint_; }
+  std::size_t calls_served() const;
+
+ private:
+  net::HttpResponse dispatch(const std::string& body);
+
+  struct State {
+    std::mutex mutex;
+    std::map<std::string, Handler> methods;
+    std::size_t calls = 0;
+  };
+  std::shared_ptr<State> state_;  // shared with the server thread's lambda
+  std::string endpoint_;
+};
+
+// Client: one call per invocation, faults surfaced as kInternal errors
+// with "fault <code>: <message>".
+class XmlRpcClient {
+ public:
+  XmlRpcClient(std::string host, std::uint16_t port,
+               std::string endpoint = "/RPC2")
+      : host_(std::move(host)), port_(port), endpoint_(std::move(endpoint)) {}
+
+  Result<Value> call(const std::string& method,
+                     const std::vector<Value>& params, int timeout_ms = 5000);
+
+ private:
+  std::string host_;
+  std::uint16_t port_;
+  std::string endpoint_;
+};
+
+}  // namespace xmit::rpc

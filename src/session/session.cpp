@@ -1,0 +1,91 @@
+#include "session/session.hpp"
+
+#include "pbio/format_wire.hpp"
+
+namespace xmit::session {
+namespace {
+
+constexpr std::uint8_t kTagFormat = 0x01;
+constexpr std::uint8_t kTagRecord = 0x02;
+
+}  // namespace
+
+MessageSession::MessageSession(net::Channel channel,
+                               pbio::FormatRegistry& registry)
+    : channel_(std::move(channel)),
+      registry_(&registry),
+      decoder_(std::make_unique<pbio::Decoder>(registry)) {}
+
+Status MessageSession::announce(const pbio::Format& format) {
+  if (announced_.contains(format.id())) return Status::ok();
+  // Announce nested formats first so the peer can resolve references on
+  // adoption (serialize_format embeds them, but separate announcements
+  // keep the per-frame parsing simple and idempotent).
+  ByteBuffer frame;
+  frame.append_byte(kTagFormat);
+  serialize_format(format, frame);
+  XMIT_RETURN_IF_ERROR(channel_.send(frame.span()));
+  announced_.insert(format.id());
+  ++announcements_sent_;
+  metadata_bytes_sent_ += frame.size();
+  return Status::ok();
+}
+
+Status MessageSession::send(const pbio::Encoder& encoder, const void* record) {
+  XMIT_RETURN_IF_ERROR(announce(encoder.format()));
+  ByteBuffer frame;
+  frame.append_byte(kTagRecord);
+  XMIT_RETURN_IF_ERROR(encoder.encode(record, frame));
+  XMIT_RETURN_IF_ERROR(channel_.send(frame.span()));
+  ++records_sent_;
+  return Status::ok();
+}
+
+Status MessageSession::send_encoded(const pbio::Format& format,
+                                    std::span<const std::uint8_t> record) {
+  XMIT_RETURN_IF_ERROR(announce(format));
+  ByteBuffer frame;
+  frame.append_byte(kTagRecord);
+  frame.append(record.data(), record.size());
+  XMIT_RETURN_IF_ERROR(channel_.send(frame.span()));
+  ++records_sent_;
+  return Status::ok();
+}
+
+Result<MessageSession::Incoming> MessageSession::receive(int timeout_ms) {
+  for (;;) {
+    XMIT_ASSIGN_OR_RETURN(auto frame, channel_.receive(timeout_ms));
+    if (frame.empty())
+      return Status(ErrorCode::kParseError, "empty session frame");
+    std::span<const std::uint8_t> payload(frame.data() + 1, frame.size() - 1);
+    switch (frame[0]) {
+      case kTagFormat: {
+        XMIT_ASSIGN_OR_RETURN(auto format, pbio::deserialize_format(payload));
+        XMIT_ASSIGN_OR_RETURN(auto adopted, registry_->adopt(std::move(format)));
+        // What the peer announced, we need not re-announce to them.
+        announced_.insert(adopted->id());
+        ++announcements_received_;
+        continue;
+      }
+      case kTagRecord: {
+        Incoming incoming;
+        incoming.bytes.assign(payload.begin(), payload.end());
+        XMIT_ASSIGN_OR_RETURN(auto info, decoder_->inspect(incoming.bytes));
+        incoming.sender_format = std::move(info.sender_format);
+        return incoming;
+      }
+      default:
+        return Status(ErrorCode::kParseError,
+                      "unknown session frame tag " + std::to_string(frame[0]));
+    }
+  }
+}
+
+Result<SessionPair> make_session_pipe(pbio::FormatRegistry& registry_a,
+                                      pbio::FormatRegistry& registry_b) {
+  XMIT_ASSIGN_OR_RETURN(auto pipe, net::Channel::pipe());
+  return SessionPair{MessageSession(std::move(pipe.first), registry_a),
+                     MessageSession(std::move(pipe.second), registry_b)};
+}
+
+}  // namespace xmit::session

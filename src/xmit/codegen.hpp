@@ -1,0 +1,55 @@
+// Language-level code generation backends (§3.2 "Java" and the paper's
+// conclusion: "generation of language-level message object representations
+// in both C++ and Java").
+//
+//  * Java source: one class per complexType, fields per element,
+//    java.io.Serializable + RMI-ready boilerplate, nested types as object
+//    composition.
+//  * C header: typedef struct + the matching PBIO IOField table — exactly
+//    the round trip Figure 2 illustrates (XMIT metadata in, IOField table
+//    out).
+#pragma once
+
+#include <string>
+
+#include "common/error.hpp"
+#include "pbio/arch.hpp"
+#include "xsd/types.hpp"
+
+namespace xmit::toolkit {
+
+struct JavaCodegenOptions {
+  std::string package;       // empty = default package
+  bool implement_remote = true;  // extend java.rmi interfaces in comments/imports
+};
+
+// Generates one .java compilation unit containing a class per type in the
+// schema, dependency-ordered.
+Result<std::string> generate_java_source(const xsd::Schema& schema,
+                                         const JavaCodegenOptions& options = {});
+
+struct CCodegenOptions {
+  std::string guard_macro;  // empty = derived from the schema's first type
+  bool emit_field_tables = true;  // the PBIO IOField arrays
+};
+
+// Generates a C header with typedef structs (offsets valid for `arch`)
+// and, optionally, IOField tables mirroring Figure 2.
+Result<std::string> generate_c_header(const xsd::Schema& schema,
+                                      const pbio::ArchInfo& arch,
+                                      const CCodegenOptions& options = {});
+
+struct CppCodegenOptions {
+  std::string namespace_name = "xmit_generated";
+};
+
+// Generates a C++ header for use *with this library*: one struct per
+// type (std::intN_t scalars, pointer-bearing strings/dynamic arrays —
+// the exact memory layout the schema describes for the host) plus a
+// register_<Type>() helper that builds the IOField table with offsetof,
+// so layouts are compiler-verified rather than hard-coded, and a
+// register_all() that registers everything in dependency order.
+Result<std::string> generate_cpp_header(const xsd::Schema& schema,
+                                        const CppCodegenOptions& options = {});
+
+}  // namespace xmit::toolkit

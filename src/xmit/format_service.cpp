@@ -1,0 +1,69 @@
+#include "xmit/format_service.hpp"
+
+#include <cstdio>
+
+#include "net/fetch.hpp"
+#include "pbio/format_wire.hpp"
+
+namespace xmit::toolkit {
+
+std::string FormatPublisher::id_to_path_component(pbio::FormatId id) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(id));
+  return buf;
+}
+
+std::string FormatPublisher::publish(const pbio::Format& format) {
+  auto blob = pbio::serialize_format(format);
+  std::string path = prefix_ + id_to_path_component(format.id());
+  server_.put_document(path,
+                       std::string(reinterpret_cast<const char*>(blob.data()),
+                                   blob.size()),
+                       "application/x-pbio-format");
+  return path;
+}
+
+void FormatPublisher::publish_all(const pbio::FormatRegistry& registry) {
+  for (const auto& format : registry.all()) publish(*format);
+}
+
+Result<pbio::FormatPtr> RemoteFormatResolver::resolve(pbio::FormatId id) {
+  if (auto known = registry_.by_id(id); known.is_ok()) return known;
+
+  std::string url = base_url_ + FormatPublisher::id_to_path_component(id);
+  XMIT_ASSIGN_OR_RETURN(auto body, net::fetch(url));
+  ++fetches_;
+  XMIT_ASSIGN_OR_RETURN(
+      auto format,
+      pbio::deserialize_format(std::span<const std::uint8_t>(
+          reinterpret_cast<const std::uint8_t*>(body.data()), body.size())));
+  if (format->id() != id)
+    return Status(ErrorCode::kParseError,
+                  "format service returned metadata with id " +
+                      FormatPublisher::id_to_path_component(format->id()) +
+                      " for requested id " +
+                      FormatPublisher::id_to_path_component(id));
+  return registry_.adopt(std::move(format));
+}
+
+Result<pbio::RecordInfo> ResolvingDecoder::inspect(
+    std::span<const std::uint8_t> bytes) {
+  auto info = decoder_.inspect(bytes);
+  if (info.is_ok() || info.code() != ErrorCode::kNotFound) return info;
+  // Unknown format id: pull the metadata and retry once.
+  XMIT_ASSIGN_OR_RETURN(auto header, pbio::parse_record(bytes));
+  XMIT_ASSIGN_OR_RETURN(auto format, resolver_.resolve(header.format_id));
+  (void)format;
+  return decoder_.inspect(bytes);
+}
+
+Status ResolvingDecoder::decode(std::span<const std::uint8_t> bytes,
+                                const pbio::Format& receiver, void* out,
+                                Arena& arena) {
+  XMIT_ASSIGN_OR_RETURN(auto info, inspect(bytes));
+  (void)info;
+  return decoder_.decode(bytes, receiver, out, arena);
+}
+
+}  // namespace xmit::toolkit

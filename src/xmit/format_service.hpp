@@ -1,0 +1,91 @@
+// Format service: metadata retrieval *by format id*.
+//
+// PBIO records carry a 64-bit format id, "which allow[s] component
+// programs to retrieve the metadata on demand" (paper, Figure 2 caption).
+// FormatPublisher exposes a registry's formats over HTTP at
+// /formats/by-id/<16-hex-digits>; RemoteFormatResolver fetches and adopts
+// unknown ids on the receiving side; ResolvingDecoder wires that into the
+// decode path so a receiver can handle records whose format it has never
+// seen — the mechanism behind the flight_events example's "old client
+// meets evolved sender" scenario, without re-fetching whole schema
+// documents.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/arena.hpp"
+#include "common/error.hpp"
+#include "net/http.hpp"
+#include "pbio/decode.hpp"
+#include "pbio/registry.hpp"
+
+namespace xmit::toolkit {
+
+// Publishes serialized format metadata onto an HttpServer. The documents
+// are the canonical binary serialization (pbio/format_wire.hpp) wrapped in
+// no envelope; content type application/x-pbio-format.
+class FormatPublisher {
+ public:
+  FormatPublisher(net::HttpServer& server, std::string path_prefix = "/formats/by-id/")
+      : server_(server), prefix_(std::move(path_prefix)) {}
+
+  // Publish one format (idempotent). Returns the document path.
+  std::string publish(const pbio::Format& format);
+
+  // Publish every format currently in `registry`.
+  void publish_all(const pbio::FormatRegistry& registry);
+
+  // URL prefix clients should resolve against.
+  std::string base_url() const { return server_.url_for(prefix_); }
+
+  static std::string id_to_path_component(pbio::FormatId id);
+
+ private:
+  net::HttpServer& server_;
+  std::string prefix_;
+};
+
+// Fetches format metadata by id from a publisher's base URL and adopts it
+// into a registry.
+class RemoteFormatResolver {
+ public:
+  RemoteFormatResolver(std::string base_url, pbio::FormatRegistry& registry)
+      : base_url_(std::move(base_url)), registry_(registry) {}
+
+  // Registry lookup first; on miss, fetch + deserialize + adopt. The
+  // fetched blob's recomputed id must equal the requested id (integrity
+  // check against a confused or malicious server).
+  Result<pbio::FormatPtr> resolve(pbio::FormatId id);
+
+  std::size_t fetches_performed() const { return fetches_; }
+
+ private:
+  std::string base_url_;
+  pbio::FormatRegistry& registry_;
+  std::size_t fetches_ = 0;
+};
+
+// Decoder wrapper that resolves unknown sender formats on demand.
+class ResolvingDecoder {
+ public:
+  ResolvingDecoder(const pbio::FormatRegistry& registry,
+                   RemoteFormatResolver resolver)
+      : decoder_(registry), resolver_(std::move(resolver)) {}
+
+  // Like Decoder::decode, but an unknown format id triggers one remote
+  // resolution before failing.
+  Status decode(std::span<const std::uint8_t> bytes,
+                const pbio::Format& receiver, void* out, Arena& arena);
+
+  Result<pbio::RecordInfo> inspect(std::span<const std::uint8_t> bytes);
+
+  const pbio::Decoder& decoder() const { return decoder_; }
+  RemoteFormatResolver& resolver() { return resolver_; }
+
+ private:
+  pbio::Decoder decoder_;
+  RemoteFormatResolver resolver_;
+};
+
+}  // namespace xmit::toolkit

@@ -1,0 +1,217 @@
+#include "xmit/layout.hpp"
+
+#include <algorithm>
+
+namespace xmit::toolkit {
+namespace {
+
+using pbio::ArchInfo;
+using pbio::FieldKind;
+using pbio::IOField;
+
+std::uint32_t capped_alignment(std::uint32_t natural, const ArchInfo& arch) {
+  return std::min<std::uint32_t>(natural, arch.max_align);
+}
+
+const TypeLayout* layout_named(const std::vector<TypeLayout>& done,
+                               std::string_view name) {
+  for (const auto& layout : done)
+    if (layout.name == name) return &layout;
+  return nullptr;
+}
+
+// PBIO type-name for a primitive of the given kind.
+std::string pbio_base_name(FieldKind kind) {
+  switch (kind) {
+    case FieldKind::kInteger: return "integer";
+    case FieldKind::kUnsigned: return "unsigned integer";
+    case FieldKind::kFloat: return "float";
+    case FieldKind::kBoolean: return "boolean";
+    case FieldKind::kChar: return "char";
+    case FieldKind::kString: return "string";
+    case FieldKind::kNested: return "";  // handled by caller
+  }
+  return "";
+}
+
+}  // namespace
+
+PrimitiveLayout primitive_layout(xsd::Primitive primitive,
+                                 const ArchInfo& arch) {
+  switch (primitive) {
+    case xsd::Primitive::kString:
+      return {FieldKind::kString, arch.pointer_size,
+              capped_alignment(arch.pointer_size, arch)};
+    case xsd::Primitive::kBoolean:
+      return {FieldKind::kBoolean, 1, 1};
+    case xsd::Primitive::kFloat:
+      return {FieldKind::kFloat, 4, capped_alignment(4, arch)};
+    case xsd::Primitive::kDouble:
+      return {FieldKind::kFloat, 8, capped_alignment(8, arch)};
+    case xsd::Primitive::kByte:
+      return {FieldKind::kInteger, 1, 1};
+    case xsd::Primitive::kUnsignedByte:
+      return {FieldKind::kUnsigned, 1, 1};
+    case xsd::Primitive::kShort:
+      return {FieldKind::kInteger, 2, capped_alignment(2, arch)};
+    case xsd::Primitive::kUnsignedShort:
+      return {FieldKind::kUnsigned, 2, capped_alignment(2, arch)};
+    case xsd::Primitive::kInt:
+      return {FieldKind::kInteger, 4, capped_alignment(4, arch)};
+    case xsd::Primitive::kUnsignedInt:
+      return {FieldKind::kUnsigned, 4, capped_alignment(4, arch)};
+    case xsd::Primitive::kLong:
+      return {FieldKind::kInteger, arch.long_size,
+              capped_alignment(arch.long_size, arch)};
+    case xsd::Primitive::kUnsignedLong:
+      return {FieldKind::kUnsigned, arch.long_size,
+              capped_alignment(arch.long_size, arch)};
+  }
+  return {FieldKind::kInteger, 4, 4};
+}
+
+Result<TypeLayout> layout_type(const xsd::ComplexType& type,
+                               const xsd::Schema& schema,
+                               const std::vector<TypeLayout>& done,
+                               const ArchInfo& arch) {
+  TypeLayout layout;
+  layout.name = type.name;
+  std::uint32_t offset = 0;
+
+  auto place = [&](IOField field, std::uint32_t footprint,
+                   std::uint32_t alignment) {
+    offset = static_cast<std::uint32_t>(align_up(offset, alignment));
+    field.offset = offset;
+    offset += footprint;
+    layout.alignment = std::max(layout.alignment, alignment);
+    layout.fields.push_back(std::move(field));
+  };
+
+  auto place_count_field = [&](const std::string& name) {
+    // Synthesized run-time dimension: plain C int (paper: "an element of
+    // type integer ... the value of this variable will be used at
+    // run-time to indicate the size of the array").
+    PrimitiveLayout prim = primitive_layout(xsd::Primitive::kInt, arch);
+    IOField field;
+    field.name = name;
+    field.type_name = pbio_base_name(prim.kind);
+    field.size = prim.size;
+    place(std::move(field), prim.size, prim.alignment);
+  };
+
+  for (const auto& decl : type.elements) {
+    // Synthesized count fields, "before" placement.
+    if (decl.occurs == xsd::OccursMode::kDynamic &&
+        type.element_named(decl.dimension_name) == nullptr &&
+        decl.dimension_placement == xsd::DimensionPlacement::kBefore) {
+      place_count_field(decl.dimension_name);
+    }
+
+    if (decl.is_complex()) {
+      // Enumeration reference: lowered to a 32-bit integer ordinal.
+      if (schema.enum_named(decl.type_name) != nullptr) {
+        PrimitiveLayout prim = primitive_layout(xsd::Primitive::kInt, arch);
+        IOField field;
+        field.name = decl.name;
+        field.size = prim.size;
+        switch (decl.occurs) {
+          case xsd::OccursMode::kOne:
+            field.type_name = "integer";
+            place(std::move(field), prim.size, prim.alignment);
+            break;
+          case xsd::OccursMode::kFixed:
+            field.type_name =
+                "integer[" + std::to_string(decl.fixed_count) + "]";
+            place(std::move(field), prim.size * decl.fixed_count,
+                  prim.alignment);
+            break;
+          case xsd::OccursMode::kDynamic:
+            return Status(ErrorCode::kUnsupported,
+                          "dynamic array of enumeration type (element '" +
+                              decl.name + "')");
+        }
+        continue;
+      }
+      const TypeLayout* nested = layout_named(done, decl.type_name);
+      if (nested == nullptr)
+        return Status(ErrorCode::kNotFound,
+                      "layout for nested type '" + decl.type_name +
+                          "' not computed yet (element '" + decl.name + "')");
+      IOField field;
+      field.name = decl.name;
+      field.type_name = decl.type_name;
+      field.size = nested->struct_size;
+      switch (decl.occurs) {
+        case xsd::OccursMode::kOne:
+          place(std::move(field), nested->struct_size, nested->alignment);
+          break;
+        case xsd::OccursMode::kFixed:
+          field.type_name += "[" + std::to_string(decl.fixed_count) + "]";
+          place(std::move(field), nested->struct_size * decl.fixed_count,
+                nested->alignment);
+          break;
+        case xsd::OccursMode::kDynamic:
+          return Status(ErrorCode::kUnsupported,
+                        "dynamic array of complex type '" + decl.type_name +
+                            "' (element '" + decl.name + "')");
+      }
+    } else {
+      PrimitiveLayout prim = primitive_layout(*decl.primitive, arch);
+      IOField field;
+      field.name = decl.name;
+      switch (decl.occurs) {
+        case xsd::OccursMode::kOne:
+          field.type_name = pbio_base_name(prim.kind);
+          field.size = prim.size;
+          place(std::move(field), prim.size, prim.alignment);
+          break;
+        case xsd::OccursMode::kFixed:
+          field.type_name = pbio_base_name(prim.kind) + "[" +
+                            std::to_string(decl.fixed_count) + "]";
+          field.size = prim.size;
+          place(std::move(field), prim.size * decl.fixed_count, prim.alignment);
+          break;
+        case xsd::OccursMode::kDynamic: {
+          if (*decl.primitive == xsd::Primitive::kString)
+            return Status(ErrorCode::kUnsupported,
+                          "dynamic array of strings (element '" + decl.name +
+                              "')");
+          field.type_name = pbio_base_name(prim.kind) + "[" +
+                            decl.dimension_name + "]";
+          field.size = prim.size;
+          // In memory the field is a pointer.
+          place(std::move(field), arch.pointer_size,
+                capped_alignment(arch.pointer_size, arch));
+          break;
+        }
+      }
+    }
+
+    if (decl.occurs == xsd::OccursMode::kDynamic &&
+        type.element_named(decl.dimension_name) == nullptr &&
+        decl.dimension_placement == xsd::DimensionPlacement::kAfter) {
+      place_count_field(decl.dimension_name);
+    }
+  }
+
+  layout.struct_size =
+      static_cast<std::uint32_t>(align_up(offset, layout.alignment));
+  if (layout.struct_size == 0)
+    return Status(ErrorCode::kInvalidArgument,
+                  "type '" + type.name + "' laid out to zero size");
+  return layout;
+}
+
+Result<std::vector<TypeLayout>> layout_schema(const xsd::Schema& schema,
+                                              const ArchInfo& arch) {
+  XMIT_ASSIGN_OR_RETURN(auto order, schema.topological_order());
+  std::vector<TypeLayout> done;
+  done.reserve(order.size());
+  for (const auto* type : order) {
+    XMIT_ASSIGN_OR_RETURN(auto layout, layout_type(*type, schema, done, arch));
+    done.push_back(std::move(layout));
+  }
+  return done;
+}
+
+}  // namespace xmit::toolkit

@@ -1,0 +1,55 @@
+// LayoutEngine: XML Schema types -> C structure layouts -> PBIO metadata.
+//
+// This is the translation step at the heart of XMIT (§3.1 "the selection
+// of a native metadata system implicitly selects a mapping from the
+// supported set of XML Schema data types to those supported by the native
+// system. The mapping also includes information such as structure offsets
+// and data type sizes"). Offsets follow the C ABI rules of the *target*
+// ArchInfo — natural alignment capped at max_align, struct size rounded
+// up to struct alignment — so the same schema yields the correct layout
+// for the host or for a simulated foreign machine.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "pbio/arch.hpp"
+#include "pbio/field.hpp"
+#include "xsd/types.hpp"
+
+namespace xmit::toolkit {
+
+// The laid-out form of one complexType.
+struct TypeLayout {
+  std::string name;
+  std::vector<pbio::IOField> fields;
+  std::uint32_t struct_size = 0;
+  std::uint32_t alignment = 1;
+};
+
+// Primitive mapping for a target architecture.
+struct PrimitiveLayout {
+  pbio::FieldKind kind;
+  std::uint32_t size;
+  std::uint32_t alignment;
+};
+
+PrimitiveLayout primitive_layout(xsd::Primitive primitive,
+                                 const pbio::ArchInfo& arch);
+
+// Lays out every type in the schema, returned in dependency order (nested
+// types first — the order they must be registered with PBIO). Dynamic
+// arrays whose dimension element is not declared get a synthesized
+// "integer" count field placed per dimensionPlacement.
+Result<std::vector<TypeLayout>> layout_schema(const xsd::Schema& schema,
+                                              const pbio::ArchInfo& arch);
+
+// Lays out a single type (dependencies must be in `done` already).
+Result<TypeLayout> layout_type(const xsd::ComplexType& type,
+                               const xsd::Schema& schema,
+                               const std::vector<TypeLayout>& done,
+                               const pbio::ArchInfo& arch);
+
+}  // namespace xmit::toolkit

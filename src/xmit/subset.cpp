@@ -1,0 +1,83 @@
+#include "xmit/subset.hpp"
+
+#include <set>
+
+namespace xmit::toolkit {
+
+Result<xsd::ComplexType> subset_type(const xsd::ComplexType& original,
+                                     std::span<const std::string> keep) {
+  std::set<std::string> wanted(keep.begin(), keep.end());
+  for (const auto& name : wanted)
+    if (original.element_named(name) == nullptr)
+      return Status(ErrorCode::kNotFound,
+                    "type '" + original.name + "' has no element '" + name + "'");
+
+  // Kept dynamic arrays need their declared dimension elements too.
+  std::set<std::string> closure = wanted;
+  for (const auto& element : original.elements) {
+    if (!wanted.contains(element.name)) continue;
+    if (element.occurs == xsd::OccursMode::kDynamic &&
+        original.element_named(element.dimension_name) != nullptr)
+      closure.insert(element.dimension_name);
+  }
+
+  xsd::ComplexType out;
+  out.name = original.name;  // same name: conversion matches by field name
+  for (const auto& element : original.elements)
+    if (closure.contains(element.name)) out.elements.push_back(element);
+  if (out.elements.empty())
+    return Status(ErrorCode::kInvalidArgument,
+                  "subset of '" + original.name + "' keeps no elements");
+  return out;
+}
+
+Result<xsd::Schema> subset_schema(const xsd::Schema& schema,
+                                  std::string_view type_name,
+                                  std::span<const std::string> keep) {
+  const xsd::ComplexType* original = schema.type_named(type_name);
+  if (original == nullptr)
+    return Status(ErrorCode::kNotFound,
+                  "schema has no type '" + std::string(type_name) + "'");
+  XMIT_ASSIGN_OR_RETURN(auto reduced, subset_type(*original, keep));
+
+  xsd::Schema out;
+  // Carry over complex types referenced (transitively) by kept elements.
+  // Simple fixed point over the small type set.
+  std::set<std::string> needed;
+  std::set<std::string> needed_enums;
+  auto classify = [&](const std::string& name) -> Status {
+    if (schema.enum_named(name) != nullptr) {
+      needed_enums.insert(name);
+      return Status::ok();
+    }
+    if (schema.type_named(name) == nullptr)
+      return Status(ErrorCode::kNotFound, "unresolved type '" + name + "'");
+    needed.insert(name);
+    return Status::ok();
+  };
+  for (const auto& element : reduced.elements)
+    if (element.is_complex()) XMIT_RETURN_IF_ERROR(classify(element.type_name));
+  for (bool changed = true; changed;) {
+    changed = false;
+    for (const auto& name : std::set<std::string>(needed)) {
+      const xsd::ComplexType* type = schema.type_named(name);
+      for (const auto& element : type->elements) {
+        if (!element.is_complex()) continue;
+        std::size_t before = needed.size() + needed_enums.size();
+        XMIT_RETURN_IF_ERROR(classify(element.type_name));
+        if (needed.size() + needed_enums.size() != before) changed = true;
+      }
+    }
+  }
+  // Add dependencies in the original schema's order (dependency-safe).
+  for (const auto& type : schema.enums())
+    if (needed_enums.contains(type.name))
+      XMIT_RETURN_IF_ERROR(out.add_enum(type));
+  for (const auto& type : schema.types())
+    if (needed.contains(type.name)) XMIT_RETURN_IF_ERROR(out.add_type(type));
+  XMIT_RETURN_IF_ERROR(out.add_type(std::move(reduced)));
+  XMIT_RETURN_IF_ERROR(out.validate_references());
+  return out;
+}
+
+}  // namespace xmit::toolkit

@@ -1,0 +1,35 @@
+// Run-time type customization — the paper's future-work scenario:
+// "when less capable visualization engines such as handhelds can
+// customize remote metadata for their own needs" (§1).
+//
+// A receiver derives a *subset view* of a remote type: the same type
+// name, a chosen subset of its elements. Because PBIO conversion matches
+// fields by name and skips sender fields the receiver lacks, full records
+// from the original producers decode straight into the reduced structure
+// — no sender-side changes, no intermediate full-size decode. The
+// handheld pays memory and conversion cost only for the fields it keeps.
+#pragma once
+
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "common/error.hpp"
+#include "xsd/types.hpp"
+
+namespace xmit::toolkit {
+
+// Derives a ComplexType keeping only `keep` elements (declaration order is
+// preserved from the original; `keep` order does not matter). Dimension
+// elements of kept dynamic arrays are pulled in automatically. Fails if a
+// requested field does not exist or nothing is kept.
+Result<xsd::ComplexType> subset_type(const xsd::ComplexType& original,
+                                     std::span<const std::string> keep);
+
+// Convenience: build a one-type Schema around the subset, carrying over
+// any complex types the kept elements reference from `schema`.
+Result<xsd::Schema> subset_schema(const xsd::Schema& schema,
+                                  std::string_view type_name,
+                                  std::span<const std::string> keep);
+
+}  // namespace xmit::toolkit

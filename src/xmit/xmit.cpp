@@ -1,0 +1,115 @@
+#include "xmit/xmit.hpp"
+
+#include "common/clock.hpp"
+#include "net/fetch.hpp"
+#include "xsd/parse.hpp"
+
+namespace xmit::toolkit {
+
+Xmit::Xmit(pbio::FormatRegistry& registry, pbio::ArchInfo target)
+    : registry_(registry), target_(target) {}
+
+Status Xmit::load(std::string_view url) {
+  Stopwatch fetch_watch;
+  XMIT_ASSIGN_OR_RETURN(auto text, net::fetch(url));
+  double fetch_ms = fetch_watch.elapsed_ms();
+  return install(text, std::string(url), /*is_url=*/true, fetch_ms);
+}
+
+Status Xmit::load_text(std::string_view xml_text, std::string source_name) {
+  return install(xml_text, std::move(source_name), /*is_url=*/false, 0.0);
+}
+
+Status Xmit::install(std::string_view xml_text, std::string source,
+                     bool is_url, double fetch_ms) {
+  LoadStats stats;
+  stats.fetch_ms = fetch_ms;
+
+  Stopwatch parse_watch;
+  XMIT_ASSIGN_OR_RETURN(auto schema, xsd::parse_schema_text(xml_text));
+  stats.parse_ms = parse_watch.elapsed_ms();
+
+  Stopwatch translate_watch;
+  XMIT_ASSIGN_OR_RETURN(auto layouts, layout_schema(schema, target_));
+  stats.translate_ms = translate_watch.elapsed_ms();
+
+  // Replace any earlier load from the same source.
+  std::size_t doc_index = documents_.size();
+  for (std::size_t i = 0; i < documents_.size(); ++i)
+    if (documents_[i].source == source) doc_index = i;
+
+  Stopwatch register_watch;
+  std::vector<std::pair<std::string, pbio::FormatPtr>> registered;
+  for (const auto& layout : layouts) {
+    XMIT_ASSIGN_OR_RETURN(
+        auto format, registry_.register_format(layout.name, layout.fields,
+                                               layout.struct_size, target_));
+    registered.emplace_back(layout.name, std::move(format));
+  }
+  stats.register_ms = register_watch.elapsed_ms();
+  stats.types_loaded = registered.size();
+
+  LoadedDocument document;
+  document.source = std::move(source);
+  document.is_url = is_url;
+  document.text = std::string(xml_text);
+  document.schema = std::move(schema);
+  if (doc_index == documents_.size())
+    documents_.push_back(std::move(document));
+  else
+    documents_[doc_index] = std::move(document);
+
+  for (auto& [name, format] : registered)
+    bound_types_[name] = {doc_index, std::move(format)};
+
+  last_stats_ = stats;
+  return Status::ok();
+}
+
+Result<BindingToken> Xmit::bind(std::string_view type_name) {
+  auto it = bound_types_.find(type_name);
+  if (it == bound_types_.end())
+    return Status(ErrorCode::kNotFound,
+                  "type '" + std::string(type_name) +
+                      "' has not been loaded; call load() first");
+  BindingToken token;
+  token.format = it->second.second;
+  if (target_ == pbio::ArchInfo::host()) {
+    XMIT_ASSIGN_OR_RETURN(auto encoder, pbio::Encoder::make(token.format));
+    token.encoder = std::make_shared<const pbio::Encoder>(std::move(encoder));
+  }
+  return token;
+}
+
+Result<bool> Xmit::refresh() {
+  bool any_changed = false;
+  // Snapshot sources first: install() mutates documents_.
+  std::vector<std::pair<std::string, std::string>> to_check;  // source, old text
+  for (const auto& document : documents_)
+    if (document.is_url) to_check.emplace_back(document.source, document.text);
+
+  for (auto& [source, old_text] : to_check) {
+    Stopwatch fetch_watch;
+    XMIT_ASSIGN_OR_RETURN(auto text, net::fetch(source));
+    if (text == old_text) continue;
+    XMIT_RETURN_IF_ERROR(
+        install(text, source, /*is_url=*/true, fetch_watch.elapsed_ms()));
+    any_changed = true;
+  }
+  return any_changed;
+}
+
+std::vector<std::string> Xmit::loaded_types() const {
+  std::vector<std::string> names;
+  names.reserve(bound_types_.size());
+  for (const auto& [name, entry] : bound_types_) names.push_back(name);
+  return names;
+}
+
+const xsd::Schema* Xmit::schema_for(std::string_view type_name) const {
+  auto it = bound_types_.find(type_name);
+  if (it == bound_types_.end()) return nullptr;
+  return &documents_[it->second.first].schema;
+}
+
+}  // namespace xmit::toolkit

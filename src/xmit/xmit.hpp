@@ -1,0 +1,107 @@
+// The XMIT toolkit: run-time metadata discovery, binding and marshaling
+// setup — the paper's primary contribution.
+//
+// Usage mirrors §3.1 "Constructing native metadata":
+//
+//   pbio::FormatRegistry registry;
+//   toolkit::Xmit xmit(registry);
+//   xmit.load(server.url_for("/formats/hydrology.xsd"));   // discovery
+//   auto token = xmit.bind("SimpleData");                  // binding
+//   token.value().encoder->encode(&message, buffer);       // marshaling
+//
+// load() fetches the XML Schema document, parses it to a DOM, extracts the
+// complexType subtrees, lays each out for the target architecture and
+// registers the resulting PBIO formats. bind() returns a BindingToken: the
+// registered format plus a ready Encoder. Because the token wraps ordinary
+// PBIO metadata, marshaling cost is *identical* to compiled-in metadata —
+// the invariant Figure 7 checks. Phase timings for every load are kept in
+// LoadStats, which is what the Remote Discovery Multiplier benches report.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/error.hpp"
+#include "pbio/encode.hpp"
+#include "pbio/registry.hpp"
+#include "xmit/layout.hpp"
+#include "xsd/types.hpp"
+
+namespace xmit::toolkit {
+
+// The paper's "binding token ... used directly with the chosen BCM to
+// perform marshaling and unmarshaling".
+struct BindingToken {
+  pbio::FormatPtr format;
+  std::shared_ptr<const pbio::Encoder> encoder;  // null for non-host archs
+};
+
+// Where the time went during one load() — fetch / parse / translate /
+// register, the decomposition the registration ablation bench reports.
+struct LoadStats {
+  double fetch_ms = 0;
+  double parse_ms = 0;      // XML text -> DOM -> schema model
+  double translate_ms = 0;  // schema model -> layouts
+  double register_ms = 0;   // layouts -> PBIO formats
+  std::size_t types_loaded = 0;
+
+  double total_ms() const {
+    return fetch_ms + parse_ms + translate_ms + register_ms;
+  }
+};
+
+class Xmit {
+ public:
+  // Formats are registered into `registry`; `target` selects the
+  // architecture layouts are computed for (host by default; a foreign
+  // ArchInfo builds sender-side metadata for heterogeneity tests).
+  explicit Xmit(pbio::FormatRegistry& registry,
+                pbio::ArchInfo target = pbio::ArchInfo::host());
+
+  // Discovery: fetch the document at `url` (http:// or file://), parse,
+  // translate, register. Idempotent for unchanged documents.
+  Status load(std::string_view url);
+
+  // Same pipeline minus the fetch, for documents already in hand;
+  // `source_name` labels errors and refresh bookkeeping.
+  Status load_text(std::string_view xml_text, std::string source_name);
+
+  // Binding: token for a loaded complexType.
+  Result<BindingToken> bind(std::string_view type_name);
+
+  // Re-fetch every URL loaded so far; returns true if any document changed
+  // (changed types are re-laid-out and re-registered — the paper's
+  // centralized format-change propagation).
+  Result<bool> refresh();
+
+  // All loaded types, in dependency order.
+  std::vector<std::string> loaded_types() const;
+  const xsd::Schema* schema_for(std::string_view type_name) const;
+
+  const LoadStats& last_load_stats() const { return last_stats_; }
+  const pbio::ArchInfo& target_arch() const { return target_; }
+
+ private:
+  struct LoadedDocument {
+    std::string source;  // URL or caller-supplied name
+    bool is_url = false;
+    std::string text;    // for change detection on refresh
+    xsd::Schema schema;
+  };
+
+  Status install(std::string_view xml_text, std::string source, bool is_url,
+                 double fetch_ms);
+
+  pbio::FormatRegistry& registry_;
+  pbio::ArchInfo target_;
+  std::vector<LoadedDocument> documents_;
+  // type name -> (document index, registered format)
+  std::map<std::string, std::pair<std::size_t, pbio::FormatPtr>, std::less<>>
+      bound_types_;
+  LoadStats last_stats_;
+};
+
+}  // namespace xmit::toolkit

@@ -1,0 +1,81 @@
+#include "xml/dom.hpp"
+
+namespace xmit::xml {
+
+std::pair<std::string_view, std::string_view> split_qname(std::string_view q) {
+  std::size_t colon = q.find(':');
+  if (colon == std::string_view::npos) return {std::string_view{}, q};
+  return {q.substr(0, colon), q.substr(colon + 1)};
+}
+
+std::string_view Element::local_name() const {
+  return split_qname(name_).second;
+}
+
+std::string_view Element::prefix() const { return split_qname(name_).first; }
+
+const std::string* Element::attribute(std::string_view name) const {
+  for (const auto& attr : attributes_)
+    if (attr.name == name) return &attr.value;
+  return nullptr;
+}
+
+const std::string* Element::attribute_local(std::string_view local) const {
+  for (const auto& attr : attributes_)
+    if (split_qname(attr.name).second == local) return &attr.value;
+  return nullptr;
+}
+
+void Element::set_attribute(std::string name, std::string value) {
+  for (auto& attr : attributes_) {
+    if (attr.name == name) {
+      attr.value = std::move(value);
+      return;
+    }
+  }
+  attributes_.push_back({std::move(name), std::move(value)});
+}
+
+Element& Element::add_element(std::string name) {
+  auto child = std::make_unique<Element>(std::move(name));
+  Element& ref = *child;
+  children_.emplace_back(std::move(child));
+  return ref;
+}
+
+void Element::add_text(std::string text) {
+  children_.emplace_back(std::move(text));
+}
+
+std::vector<const Element*> Element::child_elements() const {
+  std::vector<const Element*> out;
+  for (const auto& node : children_)
+    if (const auto* el = std::get_if<std::unique_ptr<Element>>(&node))
+      out.push_back(el->get());
+  return out;
+}
+
+std::vector<const Element*> Element::children_named(
+    std::string_view local) const {
+  std::vector<const Element*> out;
+  for (const auto& node : children_)
+    if (const auto* el = std::get_if<std::unique_ptr<Element>>(&node))
+      if ((*el)->local_name() == local) out.push_back(el->get());
+  return out;
+}
+
+const Element* Element::first_child(std::string_view local) const {
+  for (const auto& node : children_)
+    if (const auto* el = std::get_if<std::unique_ptr<Element>>(&node))
+      if ((*el)->local_name() == local) return el->get();
+  return nullptr;
+}
+
+std::string Element::text() const {
+  std::string out;
+  for (const auto& node : children_)
+    if (const auto* s = std::get_if<std::string>(&node)) out += *s;
+  return out;
+}
+
+}  // namespace xmit::xml

@@ -1,0 +1,83 @@
+// Minimal DOM for the XMIT toolchain.
+//
+// The paper builds XMIT on a DOM produced by Xerces-C; offline we implement
+// our own. The tree is ownership-simple: every Element owns its children,
+// mixed content is preserved in document order, attributes keep their
+// source order (serialization is deterministic, which the tests rely on).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+namespace xmit::xml {
+
+struct Attribute {
+  std::string name;   // qualified name as written, e.g. "xsd:element"
+  std::string value;  // entity-decoded
+};
+
+class Element;
+
+// Mixed content: an element child or a run of character data (entity-decoded,
+// CDATA merged in).
+using Node = std::variant<std::unique_ptr<Element>, std::string>;
+
+class Element {
+ public:
+  Element() = default;
+  explicit Element(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  // Namespace-syntax helpers: "xsd:complexType" -> local "complexType",
+  // prefix "xsd". We track prefixes syntactically (sufficient for the
+  // schema dialect; full URI resolution lives in xsd::SchemaParser).
+  std::string_view local_name() const;
+  std::string_view prefix() const;
+
+  const std::vector<Attribute>& attributes() const { return attributes_; }
+  // Lookup by exact qualified name; nullptr when absent.
+  const std::string* attribute(std::string_view name) const;
+  // Lookup ignoring any namespace prefix ("type" matches "xsd:type").
+  const std::string* attribute_local(std::string_view local) const;
+  void set_attribute(std::string name, std::string value);
+
+  const std::vector<Node>& children() const { return children_; }
+  std::vector<Node>& children() { return children_; }
+
+  Element& add_element(std::string name);
+  void add_text(std::string text);
+
+  // All element children (skipping text nodes), optionally filtered by
+  // local name.
+  std::vector<const Element*> child_elements() const;
+  std::vector<const Element*> children_named(std::string_view local) const;
+  const Element* first_child(std::string_view local) const;
+
+  // Concatenated character data of direct text children, whitespace kept.
+  std::string text() const;
+
+  std::size_t child_count() const { return children_.size(); }
+
+ private:
+  std::string name_;
+  std::vector<Attribute> attributes_;
+  std::vector<Node> children_;
+};
+
+struct Document {
+  std::string version = "1.0";  // from the <?xml?> declaration if present
+  std::string encoding;         // empty when unspecified
+  std::unique_ptr<Element> root;
+
+  const Element& root_element() const { return *root; }
+};
+
+// Split "pfx:local" into its parts; prefix empty when there is no colon.
+std::pair<std::string_view, std::string_view> split_qname(std::string_view q);
+
+}  // namespace xmit::xml

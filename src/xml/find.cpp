@@ -1,0 +1,64 @@
+#include "xml/find.hpp"
+
+#include "common/strings.hpp"
+
+namespace xmit::xml {
+namespace {
+
+bool walk_impl(const Element& node,
+               const std::function<bool(const Element&)>& visit) {
+  if (!visit(node)) return false;
+  for (const auto* child : node.child_elements())
+    if (!walk_impl(*child, visit)) return false;
+  return true;
+}
+
+}  // namespace
+
+void walk_elements(const Element& root,
+                   const std::function<bool(const Element&)>& visit) {
+  walk_impl(root, visit);
+}
+
+std::vector<const Element*> descendants_named(const Element& root,
+                                              std::string_view local) {
+  std::vector<const Element*> out;
+  walk_elements(root, [&](const Element& el) {
+    if (el.local_name() == local) out.push_back(&el);
+    return true;
+  });
+  return out;
+}
+
+const Element* find_first(const Element& root, std::string_view local) {
+  const Element* found = nullptr;
+  walk_elements(root, [&](const Element& el) {
+    if (el.local_name() == local) {
+      found = &el;
+      return false;
+    }
+    return true;
+  });
+  return found;
+}
+
+std::size_t element_count(const Element& root) {
+  std::size_t n = 0;
+  walk_elements(root, [&](const Element&) {
+    ++n;
+    return true;
+  });
+  return n;
+}
+
+const Element* find_path(const Element& root, std::string_view path) {
+  const Element* node = &root;
+  for (std::string_view step : split(path, '/')) {
+    if (step.empty()) continue;
+    node = node->first_child(step);
+    if (node == nullptr) return nullptr;
+  }
+  return node;
+}
+
+}  // namespace xmit::xml

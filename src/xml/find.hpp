@@ -1,0 +1,34 @@
+// Query helpers over the DOM — the "selective traversal" the paper
+// describes when XMIT extracts complexType subtrees from a schema document.
+#pragma once
+
+#include <functional>
+#include <string_view>
+#include <vector>
+
+#include "xml/dom.hpp"
+
+namespace xmit::xml {
+
+// Depth-first, document-order walk over every element in the subtree,
+// including `root` itself. Return false from the visitor to stop early.
+void walk_elements(const Element& root,
+                   const std::function<bool(const Element&)>& visit);
+
+// All descendants (plus root if it matches) with the given local name.
+std::vector<const Element*> descendants_named(const Element& root,
+                                              std::string_view local);
+
+// First descendant in document order matching the local name; nullptr if
+// absent.
+const Element* find_first(const Element& root, std::string_view local);
+
+// Count of elements in the subtree (root included) — used by benches to
+// report the "complexity of the message" the paper correlates RDM with.
+std::size_t element_count(const Element& root);
+
+// Simple slash path lookup relative to root: "sequence/element" returns the
+// first match walking one local-name step per component.
+const Element* find_path(const Element& root, std::string_view path);
+
+}  // namespace xmit::xml

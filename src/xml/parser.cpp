@@ -1,0 +1,390 @@
+#include "xml/parser.hpp"
+
+#include <cstdint>
+#include <string>
+
+#include "common/strings.hpp"
+
+namespace xmit::xml {
+namespace {
+
+bool is_name_start(char c) {
+  return is_ascii_alpha(c) || c == '_' || c == ':' ||
+         static_cast<unsigned char>(c) >= 0x80;
+}
+
+bool is_name_char(char c) {
+  return is_name_start(c) || is_ascii_digit(c) || c == '-' || c == '.';
+}
+
+// Cursor with line/column tracking for error messages.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view text) : text_(text) {}
+
+  bool at_end() const { return pos_ >= text_.size(); }
+  char peek() const { return text_[pos_]; }
+  char peek_at(std::size_t ahead) const {
+    return pos_ + ahead < text_.size() ? text_[pos_ + ahead] : '\0';
+  }
+
+  char advance() {
+    char c = text_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    return c;
+  }
+
+  bool consume(char c) {
+    if (at_end() || peek() != c) return false;
+    advance();
+    return true;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    for (std::size_t i = 0; i < lit.size(); ++i) advance();
+    return true;
+  }
+
+  bool lookahead(std::string_view lit) const {
+    return text_.substr(pos_, lit.size()) == lit;
+  }
+
+  void skip_whitespace() {
+    while (!at_end() && is_ascii_space(peek())) advance();
+  }
+
+  std::size_t position() const { return pos_; }
+  std::string_view slice(std::size_t from, std::size_t to) const {
+    return text_.substr(from, to - from);
+  }
+
+  Status error(std::string what) const {
+    return make_error(ErrorCode::kParseError,
+                      what + " at line " + std::to_string(line_) + ", column " +
+                          std::to_string(column_));
+  }
+
+ private:
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+};
+
+class Parser {
+ public:
+  Parser(std::string_view text, const ParseOptions& options)
+      : cursor_(text), options_(options) {}
+
+  Result<Document> parse() {
+    Document doc;
+    XMIT_RETURN_IF_ERROR(parse_prolog(doc));
+    cursor_.skip_whitespace();
+    if (cursor_.at_end())
+      return cursor_.error("document has no root element");
+    if (!cursor_.lookahead("<"))
+      return cursor_.error("text outside of root element");
+    auto root = std::make_unique<Element>();
+    XMIT_RETURN_IF_ERROR(parse_element(*root, 0));
+    doc.root = std::move(root);
+    // Trailing misc: whitespace and comments only.
+    for (;;) {
+      cursor_.skip_whitespace();
+      if (cursor_.at_end()) break;
+      if (cursor_.lookahead("<!--")) {
+        XMIT_RETURN_IF_ERROR(skip_comment());
+      } else if (cursor_.lookahead("<?")) {
+        XMIT_RETURN_IF_ERROR(skip_processing_instruction());
+      } else {
+        return cursor_.error("content after root element");
+      }
+    }
+    return doc;
+  }
+
+ private:
+  Status parse_prolog(Document& doc) {
+    cursor_.skip_whitespace();
+    if (cursor_.lookahead("<?xml")) {
+      XMIT_RETURN_IF_ERROR(parse_xml_declaration(doc));
+    }
+    // Misc before root: comments, PIs, DOCTYPE.
+    for (;;) {
+      cursor_.skip_whitespace();
+      if (cursor_.lookahead("<!--")) {
+        XMIT_RETURN_IF_ERROR(skip_comment());
+      } else if (cursor_.lookahead("<!DOCTYPE")) {
+        XMIT_RETURN_IF_ERROR(skip_doctype());
+      } else if (cursor_.lookahead("<?")) {
+        XMIT_RETURN_IF_ERROR(skip_processing_instruction());
+      } else {
+        return Status::ok();
+      }
+    }
+  }
+
+  Status parse_xml_declaration(Document& doc) {
+    cursor_.consume_literal("<?xml");
+    // Attribute-like pseudo-attrs until "?>".
+    for (;;) {
+      cursor_.skip_whitespace();
+      if (cursor_.consume_literal("?>")) return Status::ok();
+      if (cursor_.at_end()) return cursor_.error("unterminated XML declaration");
+      XMIT_ASSIGN_OR_RETURN(auto name, parse_name());
+      cursor_.skip_whitespace();
+      if (!cursor_.consume('='))
+        return cursor_.error("expected '=' in XML declaration");
+      cursor_.skip_whitespace();
+      XMIT_ASSIGN_OR_RETURN(auto value, parse_quoted_value());
+      if (name == "version") doc.version = value;
+      if (name == "encoding") doc.encoding = value;
+    }
+  }
+
+  Status skip_comment() {
+    cursor_.consume_literal("<!--");
+    while (!cursor_.at_end()) {
+      if (cursor_.consume_literal("-->")) return Status::ok();
+      cursor_.advance();
+    }
+    return cursor_.error("unterminated comment");
+  }
+
+  Status skip_processing_instruction() {
+    cursor_.consume_literal("<?");
+    while (!cursor_.at_end()) {
+      if (cursor_.consume_literal("?>")) return Status::ok();
+      cursor_.advance();
+    }
+    return cursor_.error("unterminated processing instruction");
+  }
+
+  Status skip_doctype() {
+    cursor_.consume_literal("<!DOCTYPE");
+    int bracket_depth = 0;
+    while (!cursor_.at_end()) {
+      char c = cursor_.advance();
+      if (c == '[') ++bracket_depth;
+      if (c == ']') --bracket_depth;
+      if (c == '>' && bracket_depth <= 0) return Status::ok();
+    }
+    return cursor_.error("unterminated DOCTYPE");
+  }
+
+  Result<std::string> parse_name() {
+    if (cursor_.at_end() || !is_name_start(cursor_.peek()))
+      return cursor_.error("expected a name");
+    std::size_t start = cursor_.position();
+    while (!cursor_.at_end() && is_name_char(cursor_.peek())) cursor_.advance();
+    return std::string(cursor_.slice(start, cursor_.position()));
+  }
+
+  Result<std::string> parse_quoted_value() {
+    if (cursor_.at_end() || (cursor_.peek() != '"' && cursor_.peek() != '\''))
+      return cursor_.error("expected a quoted value");
+    char quote = cursor_.advance();
+    std::string out;
+    while (!cursor_.at_end()) {
+      char c = cursor_.peek();
+      if (c == quote) {
+        cursor_.advance();
+        return out;
+      }
+      if (c == '<') return cursor_.error("'<' in attribute value");
+      if (c == '&') {
+        XMIT_ASSIGN_OR_RETURN(auto decoded, parse_entity());
+        out += decoded;
+      } else {
+        out.push_back(cursor_.advance());
+      }
+    }
+    return cursor_.error("unterminated attribute value");
+  }
+
+  // Decodes one &...; reference, cursor at '&'. Returns a UTF-8 string
+  // because numeric references can encode any code point.
+  Result<std::string> parse_entity() {
+    cursor_.advance();  // '&'
+    std::size_t start = cursor_.position();
+    while (!cursor_.at_end() && cursor_.peek() != ';' &&
+           cursor_.position() - start < 12)
+      cursor_.advance();
+    if (cursor_.at_end() || cursor_.peek() != ';')
+      return cursor_.error("unterminated entity reference");
+    std::string_view name = cursor_.slice(start, cursor_.position());
+    cursor_.advance();  // ';'
+    if (name == "amp") return std::string("&");
+    if (name == "lt") return std::string("<");
+    if (name == "gt") return std::string(">");
+    if (name == "quot") return std::string("\"");
+    if (name == "apos") return std::string("'");
+    if (!name.empty() && name[0] == '#') {
+      std::uint32_t code = 0;
+      bool ok = false;
+      if (name.size() > 2 && (name[1] == 'x' || name[1] == 'X')) {
+        for (char c : name.substr(2)) {
+          int digit;
+          if (c >= '0' && c <= '9') digit = c - '0';
+          else if (c >= 'a' && c <= 'f') digit = c - 'a' + 10;
+          else if (c >= 'A' && c <= 'F') digit = c - 'A' + 10;
+          else return cursor_.error("bad hex character reference");
+          code = code * 16 + static_cast<std::uint32_t>(digit);
+          ok = true;
+        }
+      } else {
+        for (char c : name.substr(1)) {
+          if (!is_ascii_digit(c))
+            return cursor_.error("bad character reference");
+          code = code * 10 + static_cast<std::uint32_t>(c - '0');
+          ok = true;
+        }
+      }
+      if (!ok || code > 0x10FFFF)
+        return cursor_.error("character reference out of range");
+      return encode_utf8(code);
+    }
+    return cursor_.error("unknown entity '&" + std::string(name) + ";'");
+  }
+
+  static std::string encode_utf8(std::uint32_t code) {
+    std::string out;
+    if (code < 0x80) {
+      out.push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else if (code < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (code >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+    return out;
+  }
+
+  // Cursor sits at '<' of a start tag. Fills `element` in place.
+  Status parse_element(Element& element, int depth) {
+    if (depth > options_.max_depth)
+      return cursor_.error("element nesting too deep");
+    cursor_.advance();  // '<'
+    XMIT_ASSIGN_OR_RETURN(auto name, parse_name());
+    element.set_name(std::move(name));
+    // Attributes.
+    for (;;) {
+      bool had_space = !cursor_.at_end() && is_ascii_space(cursor_.peek());
+      cursor_.skip_whitespace();
+      if (cursor_.at_end()) return cursor_.error("unterminated start tag");
+      if (cursor_.consume_literal("/>")) return Status::ok();
+      if (cursor_.consume('>')) break;
+      if (!had_space) return cursor_.error("expected whitespace before attribute");
+      XMIT_ASSIGN_OR_RETURN(auto attr_name, parse_name());
+      if (element.attribute(attr_name) != nullptr)
+        return cursor_.error("duplicate attribute '" + attr_name + "'");
+      cursor_.skip_whitespace();
+      if (!cursor_.consume('='))
+        return cursor_.error("expected '=' after attribute name");
+      cursor_.skip_whitespace();
+      XMIT_ASSIGN_OR_RETURN(auto attr_value, parse_quoted_value());
+      element.set_attribute(std::move(attr_name), std::move(attr_value));
+    }
+    return parse_content(element, depth);
+  }
+
+  Status parse_content(Element& element, int depth) {
+    std::string text_run;
+    bool text_run_all_space = true;
+    auto flush_text = [&] {
+      if (text_run.empty()) return;
+      if (!(options_.strip_inter_element_whitespace && text_run_all_space))
+        element.add_text(std::move(text_run));
+      text_run.clear();
+      text_run_all_space = true;
+    };
+
+    while (!cursor_.at_end()) {
+      char c = cursor_.peek();
+      if (c == '<') {
+        if (cursor_.lookahead("</")) {
+          flush_text();
+          cursor_.consume_literal("</");
+          XMIT_ASSIGN_OR_RETURN(auto closing, parse_name());
+          cursor_.skip_whitespace();
+          if (!cursor_.consume('>'))
+            return cursor_.error("malformed end tag");
+          if (closing != element.name())
+            return cursor_.error("mismatched end tag '" + closing +
+                                 "' (expected '" + element.name() + "')");
+          return Status::ok();
+        }
+        if (cursor_.lookahead("<!--")) {
+          XMIT_RETURN_IF_ERROR(skip_comment());
+          continue;
+        }
+        if (cursor_.lookahead("<![CDATA[")) {
+          cursor_.consume_literal("<![CDATA[");
+          std::size_t start = cursor_.position();
+          for (;;) {
+            if (cursor_.at_end()) return cursor_.error("unterminated CDATA");
+            if (cursor_.lookahead("]]>")) break;
+            cursor_.advance();
+          }
+          std::string_view cdata = cursor_.slice(start, cursor_.position());
+          cursor_.consume_literal("]]>");
+          text_run.append(cdata);
+          text_run_all_space = false;  // CDATA is significant even if blank
+          continue;
+        }
+        if (cursor_.lookahead("<?")) {
+          XMIT_RETURN_IF_ERROR(skip_processing_instruction());
+          continue;
+        }
+        // Child element.
+        flush_text();
+        auto child = std::make_unique<Element>();
+        Element& ref = *child;
+        element.children().emplace_back(std::move(child));
+        XMIT_RETURN_IF_ERROR(parse_element(ref, depth + 1));
+        continue;
+      }
+      if (c == '&') {
+        XMIT_ASSIGN_OR_RETURN(auto decoded, parse_entity());
+        text_run += decoded;
+        text_run_all_space = false;
+        continue;
+      }
+      if (!is_ascii_space(c)) text_run_all_space = false;
+      text_run.push_back(cursor_.advance());
+    }
+    return cursor_.error("unexpected end of input inside <" + element.name() +
+                         ">");
+  }
+
+  Cursor cursor_;
+  ParseOptions options_;
+};
+
+}  // namespace
+
+Result<Document> parse_document(std::string_view text,
+                                const ParseOptions& options) {
+  return Parser(text, options).parse();
+}
+
+Result<Document> parse_document_strict(std::string_view text) {
+  XMIT_ASSIGN_OR_RETURN(auto doc, parse_document(text));
+  if (!doc.root)
+    return Status(ErrorCode::kParseError, "document has no root element");
+  return doc;
+}
+
+}  // namespace xmit::xml

@@ -1,0 +1,33 @@
+// Non-validating XML 1.0 parser producing the xmit::xml DOM.
+//
+// Dialect: everything the XMIT schema documents and the XML wire codec
+// need — declaration, comments, CDATA, predefined + numeric character
+// entities, attributes, empty-element tags, UTF-8 pass-through. DOCTYPE
+// declarations are skipped without external entity resolution (none are
+// ever fetched; schema documents travel whole). Errors carry line:column.
+#pragma once
+
+#include <string_view>
+
+#include "common/error.hpp"
+#include "xml/dom.hpp"
+
+namespace xmit::xml {
+
+struct ParseOptions {
+  // Discard text nodes that are pure whitespace between elements. Schema
+  // documents are element-structured, so this is the default; the wire
+  // codec parses with it too since field values are never all-whitespace.
+  bool strip_inter_element_whitespace = true;
+  // Maximum element nesting depth (stack guard against hostile input).
+  int max_depth = 256;
+};
+
+Result<Document> parse_document(std::string_view text,
+                                const ParseOptions& options = {});
+
+// Convenience: parse and hand back just the root element's document.
+// Fails if the document has no root (empty input).
+Result<Document> parse_document_strict(std::string_view text);
+
+}  // namespace xmit::xml

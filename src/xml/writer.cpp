@@ -1,0 +1,146 @@
+#include "xml/writer.hpp"
+
+#include <variant>
+
+namespace xmit::xml {
+namespace {
+
+void append_escaped_text(std::string& out, std::string_view text) {
+  for (char c : text) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      default: out.push_back(c);
+    }
+  }
+}
+
+void append_escaped_attribute(std::string& out, std::string_view text) {
+  for (char c : text) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      case '\'': out += "&apos;"; break;
+      default: out.push_back(c);
+    }
+  }
+}
+
+// Element-only content may be re-indented; any text child makes the
+// content "mixed" and pretty mode must leave it byte-for-byte alone.
+bool is_element_only_content(const Element& element) {
+  bool any_elements = false;
+  for (const auto& node : element.children()) {
+    if (std::holds_alternative<std::unique_ptr<Element>>(node))
+      any_elements = true;
+    else
+      return false;
+  }
+  return any_elements;
+}
+
+void write_element_to(std::string& out, const Element& element,
+                      const WriteOptions& options, int depth) {
+  auto indent = [&](int d) {
+    if (!options.pretty) return;
+    out.push_back('\n');
+    out.append(static_cast<std::size_t>(d) *
+                   static_cast<std::size_t>(options.indent_width),
+               ' ');
+  };
+
+  out.push_back('<');
+  out += element.name();
+  for (const auto& attr : element.attributes()) {
+    out.push_back(' ');
+    out += attr.name;
+    out += "=\"";
+    append_escaped_attribute(out, attr.value);
+    out.push_back('"');
+  }
+  if (element.children().empty()) {
+    out += " />";
+    return;
+  }
+  out.push_back('>');
+
+  // Pretty mode only indents element-only content; mixed content keeps
+  // its exact text layout so round-trips stay lossless.
+  bool indent_children = options.pretty && is_element_only_content(element);
+  for (const auto& node : element.children()) {
+    if (const auto* child = std::get_if<std::unique_ptr<Element>>(&node)) {
+      if (indent_children) indent(depth + 1);
+      write_element_to(out, **child, options, depth + 1);
+    } else {
+      append_escaped_text(out, std::get<std::string>(node));
+    }
+  }
+  if (indent_children) indent(depth);
+  out += "</";
+  out += element.name();
+  out.push_back('>');
+}
+
+}  // namespace
+
+std::string escape_text(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  append_escaped_text(out, text);
+  return out;
+}
+
+std::string escape_attribute(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  append_escaped_attribute(out, text);
+  return out;
+}
+
+std::string write_element(const Element& element, const WriteOptions& options) {
+  std::string out;
+  write_element_to(out, element, options, 0);
+  return out;
+}
+
+std::string write_document(const Document& document,
+                           const WriteOptions& options) {
+  std::string out;
+  if (options.declaration) {
+    out += "<?xml version=\"";
+    out += document.version.empty() ? "1.0" : document.version;
+    out += "\"";
+    if (!document.encoding.empty()) {
+      out += " encoding=\"";
+      out += document.encoding;
+      out += "\"";
+    }
+    out += "?>";
+    if (options.pretty) out.push_back('\n');
+  }
+  if (document.root) write_element_to(out, *document.root, options, 0);
+  return out;
+}
+
+void StreamWriter::open(std::string_view tag) {
+  out_.push_back('<');
+  out_ += tag;
+  out_.push_back('>');
+}
+
+void StreamWriter::close(std::string_view tag) {
+  out_ += "</";
+  out_ += tag;
+  out_.push_back('>');
+}
+
+void StreamWriter::text_element(std::string_view tag, std::string_view text) {
+  open(tag);
+  append_escaped_text(out_, text);
+  close(tag);
+}
+
+}  // namespace xmit::xml

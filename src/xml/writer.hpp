@@ -1,0 +1,43 @@
+// DOM serialization: canonical single-line form (stable for tests and for
+// the wire codec) and an indented pretty form (for code generators and
+// human-facing schema dumps).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "xml/dom.hpp"
+
+namespace xmit::xml {
+
+struct WriteOptions {
+  bool pretty = false;       // newline + indent per nesting level
+  int indent_width = 2;      // spaces per level when pretty
+  bool declaration = false;  // emit <?xml version="1.0"?> prologue
+};
+
+// Escape character data (& < >) for element content.
+std::string escape_text(std::string_view text);
+// Escape an attribute value (& < > " ').
+std::string escape_attribute(std::string_view text);
+
+std::string write_element(const Element& element, const WriteOptions& options = {});
+std::string write_document(const Document& document, const WriteOptions& options = {});
+
+// A streaming writer used by the XML wire-format codec: appends directly
+// into a caller-owned string to avoid building a DOM for every message.
+class StreamWriter {
+ public:
+  explicit StreamWriter(std::string& out) : out_(out) {}
+
+  void open(std::string_view tag);
+  void close(std::string_view tag);
+  // <tag>escaped-text</tag> in one call — the codec hot path.
+  void text_element(std::string_view tag, std::string_view text);
+  void raw(std::string_view text) { out_ += text; }
+
+ private:
+  std::string& out_;
+};
+
+}  // namespace xmit::xml

@@ -1,0 +1,195 @@
+#include "xsd/parse.hpp"
+
+#include "common/strings.hpp"
+#include "xml/find.hpp"
+#include "xml/parser.hpp"
+
+namespace xmit::xsd {
+namespace {
+
+// Text of <xsd:annotation><xsd:documentation> under `node`, if present.
+std::string documentation_of(const xml::Element& node) {
+  const xml::Element* annotation = node.first_child("annotation");
+  if (annotation == nullptr) return {};
+  const xml::Element* documentation = annotation->first_child("documentation");
+  if (documentation == nullptr) return {};
+  return std::string(trim(documentation->text()));
+}
+
+Result<ElementDecl> parse_element_decl(const xml::Element& node,
+                                       const std::string& owner) {
+  ElementDecl decl;
+  decl.documentation = documentation_of(node);
+  const std::string* name = node.attribute_local("name");
+  if (name == nullptr || name->empty())
+    return Status(ErrorCode::kParseError,
+                  "element without a name in complexType '" + owner + "'");
+  decl.name = *name;
+
+  const std::string* type = node.attribute_local("type");
+  if (type == nullptr || type->empty())
+    return Status(ErrorCode::kParseError,
+                  "element '" + decl.name + "' in '" + owner +
+                      "' has no type attribute");
+  // "xsd:unsignedLong" -> "unsignedLong"; bare names pass through.
+  decl.type_name = std::string(xml::split_qname(*type).second);
+  decl.primitive = primitive_from_name(decl.type_name);
+
+  if (const std::string* min_occurs = node.attribute_local("minOccurs")) {
+    if (*min_occurs == "0")
+      decl.min_occurs_zero = true;
+    else if (*min_occurs != "1")
+      return Status(ErrorCode::kUnsupported,
+                    "minOccurs='" + *min_occurs + "' on '" + decl.name +
+                        "' (only 0 and 1 are supported)");
+  }
+
+  if (const std::string* placement = node.attribute_local("dimensionPlacement")) {
+    if (*placement == "before")
+      decl.dimension_placement = DimensionPlacement::kBefore;
+    else if (*placement == "after")
+      decl.dimension_placement = DimensionPlacement::kAfter;
+    else
+      return Status(ErrorCode::kParseError,
+                    "bad dimensionPlacement '" + *placement + "' on '" +
+                        decl.name + "'");
+  }
+
+  const std::string* dimension = node.attribute_local("dimensionName");
+  const std::string* max_occurs = node.attribute_local("maxOccurs");
+  if (max_occurs == nullptr || *max_occurs == "1") {
+    decl.occurs = OccursMode::kOne;
+    if (dimension != nullptr)
+      return Status(ErrorCode::kParseError,
+                    "dimensionName on non-array element '" + decl.name + "'");
+    return decl;
+  }
+
+  std::string_view bound = trim(*max_occurs);
+  if (bound == "*" || bound == "unbounded") {
+    // Paper §3.1: '*' means dynamically allocated; the count field comes
+    // from dimensionName (Figure 4 style).
+    decl.occurs = OccursMode::kDynamic;
+    if (dimension == nullptr || dimension->empty())
+      return Status(ErrorCode::kParseError,
+                    "dynamic element '" + decl.name + "' in '" + owner +
+                        "' needs a dimensionName attribute");
+    decl.dimension_name = *dimension;
+    return decl;
+  }
+
+  bool numeric = !bound.empty();
+  for (char c : bound)
+    if (!is_ascii_digit(c)) numeric = false;
+  if (numeric) {
+    XMIT_ASSIGN_OR_RETURN(auto count, parse_uint(bound));
+    decl.occurs = OccursMode::kFixed;
+    decl.fixed_count = static_cast<std::uint32_t>(count);
+    if (dimension != nullptr)
+      return Status(ErrorCode::kParseError,
+                    "dimensionName on fixed-size array '" + decl.name + "'");
+    return decl;
+  }
+
+  // §3.1: a string value names the integer element that carries the
+  // run-time size.
+  decl.occurs = OccursMode::kDynamic;
+  decl.dimension_name = std::string(bound);
+  if (dimension != nullptr && *dimension != decl.dimension_name)
+    return Status(ErrorCode::kParseError,
+                  "conflicting dimension names on '" + decl.name + "'");
+  return decl;
+}
+
+// Collects <element> declarations from a complexType body, looking through
+// the optional <sequence>/<all> compositor level.
+Status collect_elements(const xml::Element& node, const std::string& owner,
+                        std::vector<ElementDecl>& out) {
+  for (const auto* child : node.child_elements()) {
+    std::string_view local = child->local_name();
+    if (local == "element") {
+      XMIT_ASSIGN_OR_RETURN(auto decl, parse_element_decl(*child, owner));
+      out.push_back(std::move(decl));
+    } else if (local == "sequence" || local == "all") {
+      XMIT_RETURN_IF_ERROR(collect_elements(*child, owner, out));
+    } else if (local == "annotation" || local == "documentation") {
+      continue;  // handled by documentation_of() on the owning node
+    } else {
+      return make_error(ErrorCode::kUnsupported,
+                        "unsupported schema construct <" +
+                            std::string(child->name()) + "> in complexType '" +
+                            owner + "'");
+    }
+  }
+  return Status::ok();
+}
+
+}  // namespace
+
+Result<ComplexType> parse_complex_type(const xml::Element& element) {
+  const std::string* name = element.attribute_local("name");
+  if (name == nullptr || name->empty())
+    return Status(ErrorCode::kParseError, "complexType without a name");
+  ComplexType type;
+  type.name = *name;
+  type.documentation = documentation_of(element);
+  XMIT_RETURN_IF_ERROR(collect_elements(element, type.name, type.elements));
+  if (type.elements.empty())
+    return Status(ErrorCode::kParseError,
+                  "complexType '" + type.name + "' declares no elements");
+  return type;
+}
+
+Result<EnumType> parse_simple_type(const xml::Element& element) {
+  const std::string* name = element.attribute_local("name");
+  if (name == nullptr || name->empty())
+    return Status(ErrorCode::kParseError, "simpleType without a name");
+  EnumType type;
+  type.name = *name;
+  const xml::Element* restriction = element.first_child("restriction");
+  if (restriction == nullptr)
+    return Status(ErrorCode::kUnsupported,
+                  "simpleType '" + type.name +
+                      "' without an enumeration restriction");
+  for (const auto* facet : restriction->children_named("enumeration")) {
+    const std::string* value = facet->attribute_local("value");
+    if (value == nullptr)
+      return Status(ErrorCode::kParseError,
+                    "enumeration facet without a value in '" + type.name + "'");
+    type.values.push_back(*value);
+  }
+  if (type.values.empty())
+    return Status(ErrorCode::kUnsupported,
+                  "simpleType '" + type.name +
+                      "' restriction carries no enumeration facets");
+  return type;
+}
+
+Result<Schema> parse_schema(const xml::Document& document) {
+  if (!document.root)
+    return Status(ErrorCode::kParseError, "empty schema document");
+  Schema schema;
+  // Enumerations first so complexType element references resolve.
+  for (const auto* node : xml::descendants_named(*document.root, "simpleType")) {
+    XMIT_ASSIGN_OR_RETURN(auto type, parse_simple_type(*node));
+    XMIT_RETURN_IF_ERROR(schema.add_enum(std::move(type)));
+  }
+  for (const auto* node :
+       xml::descendants_named(*document.root, "complexType")) {
+    XMIT_ASSIGN_OR_RETURN(auto type, parse_complex_type(*node));
+    XMIT_RETURN_IF_ERROR(schema.add_type(std::move(type)));
+  }
+  if (schema.types().empty())
+    return Status(ErrorCode::kParseError,
+                  "schema document contains no complexType definitions");
+  return schema;
+}
+
+Result<Schema> parse_schema_text(std::string_view text) {
+  XMIT_ASSIGN_OR_RETURN(auto document, xml::parse_document_strict(text));
+  XMIT_ASSIGN_OR_RETURN(auto schema, parse_schema(document));
+  XMIT_RETURN_IF_ERROR(schema.validate_references());
+  return schema;
+}
+
+}  // namespace xmit::xsd

@@ -1,0 +1,30 @@
+// Schema document parsing: DOM -> Schema model.
+//
+// Mirrors the paper's §3.1 pipeline: "subtrees of the document tree
+// corresponding to the set of all complexType element tags are extracted;
+// each one ... defines a separate message format; each subtree is then
+// traversed to pick up its element nodes".
+#pragma once
+
+#include <string_view>
+
+#include "common/error.hpp"
+#include "xml/dom.hpp"
+#include "xsd/types.hpp"
+
+namespace xmit::xsd {
+
+// Parses a schema document: the root may be an <xsd:schema> wrapper or a
+// bare <xsd:complexType>; every complexType in the tree becomes a type.
+Result<Schema> parse_schema(const xml::Document& document);
+
+// Convenience: XML text -> Schema (parse + extract + validate_references).
+Result<Schema> parse_schema_text(std::string_view text);
+
+// Parses a single complexType element into the model (exposed for tools).
+Result<ComplexType> parse_complex_type(const xml::Element& element);
+
+// Parses a single simpleType enumeration element.
+Result<EnumType> parse_simple_type(const xml::Element& element);
+
+}  // namespace xmit::xsd

@@ -1,0 +1,191 @@
+#include "xsd/types.hpp"
+
+#include <map>
+
+namespace xmit::xsd {
+
+std::optional<Primitive> primitive_from_name(std::string_view local_name) {
+  if (local_name == "string") return Primitive::kString;
+  if (local_name == "boolean") return Primitive::kBoolean;
+  if (local_name == "float") return Primitive::kFloat;
+  if (local_name == "double") return Primitive::kDouble;
+  if (local_name == "byte") return Primitive::kByte;
+  if (local_name == "unsignedByte") return Primitive::kUnsignedByte;
+  if (local_name == "short") return Primitive::kShort;
+  if (local_name == "unsignedShort") return Primitive::kUnsignedShort;
+  if (local_name == "int" || local_name == "integer") return Primitive::kInt;
+  if (local_name == "unsignedInt") return Primitive::kUnsignedInt;
+  if (local_name == "long") return Primitive::kLong;
+  if (local_name == "unsignedLong") return Primitive::kUnsignedLong;
+  return std::nullopt;
+}
+
+const char* primitive_name(Primitive primitive) {
+  switch (primitive) {
+    case Primitive::kString: return "string";
+    case Primitive::kBoolean: return "boolean";
+    case Primitive::kFloat: return "float";
+    case Primitive::kDouble: return "double";
+    case Primitive::kByte: return "byte";
+    case Primitive::kUnsignedByte: return "unsignedByte";
+    case Primitive::kShort: return "short";
+    case Primitive::kUnsignedShort: return "unsignedShort";
+    case Primitive::kInt: return "integer";
+    case Primitive::kUnsignedInt: return "unsignedInt";
+    case Primitive::kLong: return "long";
+    case Primitive::kUnsignedLong: return "unsignedLong";
+  }
+  return "unknown";
+}
+
+const ElementDecl* ComplexType::element_named(std::string_view name) const {
+  for (const auto& element : elements)
+    if (element.name == name) return &element;
+  return nullptr;
+}
+
+int EnumType::index_of(std::string_view value) const {
+  for (std::size_t i = 0; i < values.size(); ++i)
+    if (values[i] == value) return static_cast<int>(i);
+  return -1;
+}
+
+const ComplexType* Schema::type_named(std::string_view name) const {
+  for (const auto& type : types_)
+    if (type.name == name) return &type;
+  return nullptr;
+}
+
+const EnumType* Schema::enum_named(std::string_view name) const {
+  for (const auto& type : enums_)
+    if (type.name == name) return &type;
+  return nullptr;
+}
+
+Status Schema::add_type(ComplexType type) {
+  if (type.name.empty())
+    return make_error(ErrorCode::kInvalidArgument, "complexType needs a name");
+  if (type_named(type.name) != nullptr || enum_named(type.name) != nullptr)
+    return make_error(ErrorCode::kAlreadyExists,
+                      "duplicate type '" + type.name + "'");
+  types_.push_back(std::move(type));
+  return Status::ok();
+}
+
+Status Schema::add_enum(EnumType type) {
+  if (type.name.empty())
+    return make_error(ErrorCode::kInvalidArgument, "simpleType needs a name");
+  if (type_named(type.name) != nullptr || enum_named(type.name) != nullptr)
+    return make_error(ErrorCode::kAlreadyExists,
+                      "duplicate type '" + type.name + "'");
+  if (type.values.empty())
+    return make_error(ErrorCode::kInvalidArgument,
+                      "enumeration '" + type.name + "' has no values");
+  for (std::size_t i = 0; i < type.values.size(); ++i)
+    for (std::size_t j = i + 1; j < type.values.size(); ++j)
+      if (type.values[i] == type.values[j])
+        return make_error(ErrorCode::kInvalidArgument,
+                          "duplicate enumeration value '" + type.values[i] +
+                              "' in '" + type.name + "'");
+  enums_.push_back(std::move(type));
+  return Status::ok();
+}
+
+Status Schema::validate_references() const {
+  for (const auto& type : types_) {
+    if (type.elements.empty())
+      return make_error(ErrorCode::kInvalidArgument,
+                        "complexType '" + type.name + "' has no elements");
+    for (std::size_t i = 0; i < type.elements.size(); ++i) {
+      const ElementDecl& element = type.elements[i];
+      for (std::size_t j = i + 1; j < type.elements.size(); ++j)
+        if (type.elements[j].name == element.name)
+          return make_error(ErrorCode::kInvalidArgument,
+                            "duplicate element '" + element.name + "' in '" +
+                                type.name + "'");
+      if (element.is_complex() && type_named(element.type_name) == nullptr &&
+          enum_named(element.type_name) == nullptr)
+        return make_error(ErrorCode::kNotFound,
+                          "element '" + element.name + "' of '" + type.name +
+                              "' references unknown type '" +
+                              element.type_name + "'");
+      if (element.occurs == OccursMode::kFixed && element.fixed_count == 0)
+        return make_error(ErrorCode::kInvalidArgument,
+                          "element '" + element.name + "' of '" + type.name +
+                              "' has a zero array bound");
+      if (element.occurs == OccursMode::kDynamic) {
+        if (element.dimension_name.empty())
+          return make_error(ErrorCode::kInvalidArgument,
+                            "dynamic element '" + element.name + "' of '" +
+                                type.name + "' has no dimension name");
+        if (element.is_complex())
+          return make_error(ErrorCode::kUnsupported,
+                            "dynamic element '" + element.name + "' of '" +
+                                type.name + "' must have a primitive type");
+        // A declared dimension element must be a scalar integer; an
+        // undeclared one is synthesized by the layout engine.
+        const ElementDecl* dim = type.element_named(element.dimension_name);
+        if (dim != nullptr) {
+          bool integral =
+              dim->primitive.has_value() &&
+              (dim->primitive == Primitive::kInt ||
+               dim->primitive == Primitive::kUnsignedInt ||
+               dim->primitive == Primitive::kLong ||
+               dim->primitive == Primitive::kUnsignedLong ||
+               dim->primitive == Primitive::kShort ||
+               dim->primitive == Primitive::kUnsignedShort);
+          if (!integral || dim->occurs != OccursMode::kOne)
+            return make_error(ErrorCode::kInvalidArgument,
+                              "dimension field '" + element.dimension_name +
+                                  "' of '" + type.name +
+                                  "' must be a scalar integer");
+        }
+      }
+    }
+  }
+  XMIT_ASSIGN_OR_RETURN(auto order, topological_order());
+  (void)order;  // cycle check
+  return Status::ok();
+}
+
+Result<std::vector<const ComplexType*>> Schema::topological_order() const {
+  // Tiny DFS; schemas are small. State: 0 unvisited, 1 on stack, 2 done.
+  std::map<const ComplexType*, int> state;
+  std::vector<const ComplexType*> order;
+
+  // Recursive lambda via explicit stack-free helper.
+  struct Visitor {
+    const Schema& schema;
+    std::map<const ComplexType*, int>& state;
+    std::vector<const ComplexType*>& order;
+
+    Status visit(const ComplexType* type) {
+      int& mark = state[type];
+      if (mark == 2) return Status::ok();
+      if (mark == 1)
+        return make_error(ErrorCode::kInvalidArgument,
+                          "type reference cycle involving '" + type->name + "'");
+      mark = 1;
+      for (const auto& element : type->elements) {
+        if (!element.is_complex()) continue;
+        const ComplexType* ref = schema.type_named(element.type_name);
+        if (ref == nullptr) {
+          // Enumerations are leaves: no ordering constraint.
+          if (schema.enum_named(element.type_name) != nullptr) continue;
+          return make_error(ErrorCode::kNotFound,
+                            "unknown type '" + element.type_name + "'");
+        }
+        XMIT_RETURN_IF_ERROR(visit(ref));
+      }
+      state[type] = 2;
+      order.push_back(type);
+      return Status::ok();
+    }
+  } visitor{*this, state, order};
+
+  for (const auto& type : types_)
+    XMIT_RETURN_IF_ERROR(visitor.visit(&type));
+  return order;
+}
+
+}  // namespace xmit::xsd

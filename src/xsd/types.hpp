@@ -1,0 +1,119 @@
+// Schema model for the paper's XML Schema dialect.
+//
+// Message formats are sets of named complexTypes whose elements are either
+// XML Schema primitives or references to other complexTypes. Arrays use
+// the paper's conventions:
+//   maxOccurs="7"      fixed-size array, inline
+//   maxOccurs="*"      dynamically-allocated; element count in the field
+//                      named by dimensionName (synthesized into the layout
+//                      when not declared explicitly, placed according to
+//                      dimensionPlacement)
+//   maxOccurs="size"   dynamically-allocated; count in the sibling integer
+//                      element called "size"
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace xmit::xsd {
+
+// The primitive catalog (paper §3.1: "XML Schema provides primitive types
+// such as integer, string, and enumeration types").
+enum class Primitive : std::uint8_t {
+  kString,
+  kBoolean,
+  kFloat,
+  kDouble,
+  kByte,
+  kUnsignedByte,
+  kShort,
+  kUnsignedShort,
+  kInt,            // xsd:int and xsd:integer both map here
+  kUnsignedInt,
+  kLong,
+  kUnsignedLong,
+};
+
+// Maps an "xsd:"-local type name to a primitive; nullopt for complex-type
+// references.
+std::optional<Primitive> primitive_from_name(std::string_view local_name);
+const char* primitive_name(Primitive primitive);  // canonical xsd local name
+
+enum class OccursMode : std::uint8_t {
+  kOne,      // scalar
+  kFixed,    // maxOccurs = N
+  kDynamic,  // maxOccurs = "*" or a size-field name
+};
+
+enum class DimensionPlacement : std::uint8_t { kBefore, kAfter };
+
+struct ElementDecl {
+  std::string name;
+  std::string documentation;  // from <xsd:annotation><xsd:documentation>
+  std::string type_name;  // local name: "unsignedLong" or a complexType name
+  std::optional<Primitive> primitive;  // engaged when type_name is primitive
+
+  OccursMode occurs = OccursMode::kOne;
+  std::uint32_t fixed_count = 0;      // when kFixed
+  std::string dimension_name;         // when kDynamic: count field name
+  DimensionPlacement dimension_placement = DimensionPlacement::kBefore;
+  bool min_occurs_zero = false;       // minOccurs="0" (validation only)
+
+  bool is_complex() const { return !primitive.has_value(); }
+};
+
+struct ComplexType {
+  std::string name;
+  std::string documentation;  // from <xsd:annotation><xsd:documentation>
+  std::vector<ElementDecl> elements;
+
+  const ElementDecl* element_named(std::string_view name) const;
+};
+
+// Enumeration type (paper §3.1: "primitive types such as integer, string,
+// and enumeration types"). Declared as
+//   <xsd:simpleType name="Color">
+//     <xsd:restriction base="xsd:string">
+//       <xsd:enumeration value="red" /> ...
+// and lowered to a 32-bit integer ordinal in native metadata; instance
+// documents carry the symbolic value.
+struct EnumType {
+  std::string name;
+  std::vector<std::string> values;  // ordinal = index
+
+  // Ordinal of `value`, or -1 when it is not a member.
+  int index_of(std::string_view value) const;
+};
+
+class Schema {
+ public:
+  const std::vector<ComplexType>& types() const { return types_; }
+  const ComplexType* type_named(std::string_view name) const;
+
+  const std::vector<EnumType>& enums() const { return enums_; }
+  const EnumType* enum_named(std::string_view name) const;
+
+  // Appends a type; duplicate names (across both kinds) are rejected.
+  Status add_type(ComplexType type);
+  Status add_enum(EnumType type);
+
+  // Cross-checks the whole schema: every complex reference resolves, no
+  // reference cycles, dynamic dimension fields (when declared) are scalar
+  // integers, fixed bounds are positive.
+  Status validate_references() const;
+
+  // Types listed so that every complexType appears after the types it
+  // references — the order native metadata must be registered in.
+  Result<std::vector<const ComplexType*>> topological_order() const;
+
+ private:
+  std::vector<ComplexType> types_;
+  std::vector<EnumType> enums_;
+};
+
+}  // namespace xmit::xsd

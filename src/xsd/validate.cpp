@@ -1,0 +1,164 @@
+#include "xsd/validate.hpp"
+
+#include <limits>
+
+#include "common/strings.hpp"
+
+namespace xmit::xsd {
+namespace {
+
+Status check_signed_range(std::string_view text, std::int64_t lo,
+                          std::int64_t hi) {
+  XMIT_ASSIGN_OR_RETURN(auto value, parse_int(text));
+  if (value < lo || value > hi)
+    return Status(ErrorCode::kOutOfRange,
+                  "value " + std::string(text) + " out of range");
+  return Status::ok();
+}
+
+Status check_unsigned_range(std::string_view text, std::uint64_t hi) {
+  XMIT_ASSIGN_OR_RETURN(auto value, parse_uint(text));
+  if (value > hi)
+    return Status(ErrorCode::kOutOfRange,
+                  "value " + std::string(text) + " out of range");
+  return Status::ok();
+}
+
+}  // namespace
+
+Status validate_primitive_text(Primitive primitive, std::string_view text) {
+  switch (primitive) {
+    case Primitive::kString:
+      return Status::ok();
+    case Primitive::kBoolean:
+      if (text == "true" || text == "false" || text == "0" || text == "1")
+        return Status::ok();
+      return Status(ErrorCode::kParseError,
+                    "bad boolean '" + std::string(text) + "'");
+    case Primitive::kFloat:
+    case Primitive::kDouble: {
+      XMIT_ASSIGN_OR_RETURN(auto value, parse_double(text));
+      (void)value;
+      return Status::ok();
+    }
+    case Primitive::kByte:
+      return check_signed_range(text, -128, 127);
+    case Primitive::kUnsignedByte:
+      return check_unsigned_range(text, 255);
+    case Primitive::kShort:
+      return check_signed_range(text, -32768, 32767);
+    case Primitive::kUnsignedShort:
+      return check_unsigned_range(text, 65535);
+    case Primitive::kInt:
+      return check_signed_range(text, std::numeric_limits<std::int32_t>::min(),
+                                std::numeric_limits<std::int32_t>::max());
+    case Primitive::kUnsignedInt:
+      return check_unsigned_range(text,
+                                  std::numeric_limits<std::uint32_t>::max());
+    case Primitive::kLong:
+      return check_signed_range(text, std::numeric_limits<std::int64_t>::min(),
+                                std::numeric_limits<std::int64_t>::max());
+    case Primitive::kUnsignedLong:
+      return check_unsigned_range(text,
+                                  std::numeric_limits<std::uint64_t>::max());
+  }
+  return Status(ErrorCode::kInternal, "unknown primitive");
+}
+
+Status validate_instance(const Schema& schema, const ComplexType& type,
+                         const xml::Element& instance) {
+  auto children = instance.child_elements();
+  std::size_t cursor = 0;
+
+  for (const auto& decl : type.elements) {
+    std::size_t count = 0;
+    while (cursor < children.size() &&
+           children[cursor]->local_name() == decl.name) {
+      const xml::Element& child = *children[cursor];
+      if (decl.primitive.has_value()) {
+        Status ok = validate_primitive_text(*decl.primitive,
+                                            trim(child.text()));
+        if (!ok.is_ok())
+          return make_error(ok.code(), "element '" + decl.name + "' of '" +
+                                           type.name + "': " + ok.message());
+      } else if (const EnumType* enumeration =
+                     schema.enum_named(decl.type_name)) {
+        std::string value(trim(child.text()));
+        if (enumeration->index_of(value) < 0)
+          return make_error(ErrorCode::kInvalidArgument,
+                            "'" + value + "' is not a value of enumeration '" +
+                                enumeration->name + "' (element '" + decl.name +
+                                "')");
+      } else {
+        const ComplexType* nested = schema.type_named(decl.type_name);
+        if (nested == nullptr)
+          return make_error(ErrorCode::kNotFound,
+                            "unknown type '" + decl.type_name + "'");
+        XMIT_RETURN_IF_ERROR(validate_instance(schema, *nested, child));
+      }
+      ++count;
+      ++cursor;
+    }
+
+    switch (decl.occurs) {
+      case OccursMode::kOne:
+        if (count > 1)
+          return make_error(ErrorCode::kInvalidArgument,
+                            "element '" + decl.name + "' of '" + type.name +
+                                "' repeats " + std::to_string(count) + " times");
+        if (count == 0 && !decl.min_occurs_zero)
+          return make_error(ErrorCode::kInvalidArgument,
+                            "missing element '" + decl.name + "' in '" +
+                                type.name + "'");
+        break;
+      case OccursMode::kFixed:
+        if (count != decl.fixed_count && !(count == 0 && decl.min_occurs_zero))
+          return make_error(ErrorCode::kInvalidArgument,
+                            "element '" + decl.name + "' of '" + type.name +
+                                "' occurs " + std::to_string(count) +
+                                " times, expected " +
+                                std::to_string(decl.fixed_count));
+        break;
+      case OccursMode::kDynamic: {
+        // When the dimension element is declared, its value must agree
+        // with the observed repetition count.
+        const ElementDecl* dim = type.element_named(decl.dimension_name);
+        if (dim != nullptr) {
+          // Find it among the already-consumed children.
+          for (const auto* sibling : children) {
+            if (sibling->local_name() != decl.dimension_name) continue;
+            auto declared = parse_int(trim(sibling->text()));
+            if (declared.is_ok() &&
+                declared.value() != static_cast<std::int64_t>(count))
+              return make_error(
+                  ErrorCode::kInvalidArgument,
+                  "element '" + decl.name + "' of '" + type.name + "' occurs " +
+                      std::to_string(count) + " times but '" +
+                      decl.dimension_name + "' says " +
+                      std::to_string(declared.value()));
+            break;
+          }
+        }
+        break;
+      }
+    }
+  }
+
+  if (cursor != children.size())
+    return make_error(ErrorCode::kInvalidArgument,
+                      "unexpected element '" +
+                          std::string(children[cursor]->name()) + "' in '" +
+                          type.name + "'");
+  return Status::ok();
+}
+
+std::vector<std::string> matching_types(const Schema& schema,
+                                        const xml::Element& instance) {
+  std::vector<std::string> matches;
+  for (const auto& type : schema.types())
+    if (validate_instance(schema, type, instance).is_ok())
+      matches.push_back(type.name);
+  return matches;
+}
+
+}  // namespace xmit::xsd

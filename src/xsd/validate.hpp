@@ -1,0 +1,33 @@
+// Instance-document validation against a complexType — the paper's
+// "schema-checking tools may be applied to live messages received from
+// other parties to determine which of several structure definitions a
+// message best matches".
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "common/error.hpp"
+#include "xml/dom.hpp"
+#include "xsd/types.hpp"
+
+namespace xmit::xsd {
+
+// Checks that `instance` (e.g. <SimpleData>...</SimpleData>) conforms to
+// `type`: every child element is declared, occurrence constraints hold,
+// primitive values parse as their declared type, nested structures
+// validate recursively. Element order must follow declaration order
+// (sequence semantics), except that repeated elements group together.
+Status validate_instance(const Schema& schema, const ComplexType& type,
+                         const xml::Element& instance);
+
+// The matching use-case from the paper: score `instance` against every
+// type in the schema and return the names of all types it validates
+// against (usually zero or one).
+std::vector<std::string> matching_types(const Schema& schema,
+                                        const xml::Element& instance);
+
+// Validates one primitive text value ("12.5" as float, etc.).
+Status validate_primitive_text(Primitive primitive, std::string_view text);
+
+}  // namespace xmit::xsd

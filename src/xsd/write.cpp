@@ -1,0 +1,110 @@
+#include "xsd/write.hpp"
+
+#include "xml/dom.hpp"
+#include "xml/writer.hpp"
+
+namespace xmit::xsd {
+namespace {
+
+void build_enum_element(xml::Element& parent, const EnumType& type,
+                        const std::string& prefix) {
+  auto qualified = [&](const char* local) {
+    return prefix.empty() ? std::string(local) : prefix + ":" + local;
+  };
+  xml::Element& node = parent.add_element(qualified("simpleType"));
+  node.set_attribute("name", type.name);
+  xml::Element& restriction = node.add_element(qualified("restriction"));
+  restriction.set_attribute("base", qualified("string"));
+  for (const auto& value : type.values) {
+    xml::Element& facet = restriction.add_element(qualified("enumeration"));
+    facet.set_attribute("value", value);
+  }
+}
+
+void build_type_element(xml::Element& parent, const ComplexType& type,
+                        const std::string& prefix) {
+  auto qualified = [&](const char* local) {
+    return prefix.empty() ? std::string(local) : prefix + ":" + local;
+  };
+
+  xml::Element& node = parent.add_element(qualified("complexType"));
+  node.set_attribute("name", type.name);
+  auto add_documentation = [&](xml::Element& owner, const std::string& text) {
+    if (text.empty()) return;
+    owner.add_element(qualified("annotation"))
+        .add_element(qualified("documentation"))
+        .add_text(text);
+  };
+  add_documentation(node, type.documentation);
+  for (const auto& decl : type.elements) {
+    xml::Element& element = node.add_element(qualified("element"));
+    element.set_attribute("name", decl.name);
+    add_documentation(element, decl.documentation);
+    std::string type_name = decl.primitive.has_value()
+                                ? qualified(primitive_name(*decl.primitive))
+                                : decl.type_name;
+    element.set_attribute("type", type_name);
+    if (decl.min_occurs_zero) element.set_attribute("minOccurs", "0");
+    switch (decl.occurs) {
+      case OccursMode::kOne:
+        break;
+      case OccursMode::kFixed:
+        element.set_attribute("maxOccurs", std::to_string(decl.fixed_count));
+        break;
+      case OccursMode::kDynamic:
+        element.set_attribute("maxOccurs", "*");
+        element.set_attribute("dimensionName", decl.dimension_name);
+        element.set_attribute(
+            "dimensionPlacement",
+            decl.dimension_placement == DimensionPlacement::kBefore ? "before"
+                                                                    : "after");
+        break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string write_complex_type(const ComplexType& type,
+                               const SchemaWriteOptions& options) {
+  xml::Element holder("holder");
+  build_type_element(holder, type, options.prefix);
+  xml::WriteOptions write_options;
+  write_options.pretty = options.pretty;
+  return xml::write_element(*holder.child_elements().front(), write_options);
+}
+
+std::string write_schema(const Schema& schema,
+                         const SchemaWriteOptions& options) {
+  xml::WriteOptions write_options;
+  write_options.pretty = options.pretty;
+
+  if (!options.wrap_in_schema_element) {
+    std::string out;
+    for (const auto& type : schema.enums()) {
+      xml::Element holder("holder");
+      build_enum_element(holder, type, options.prefix);
+      if (!out.empty()) out += options.pretty ? "\n" : "";
+      out += xml::write_element(*holder.child_elements().front(), write_options);
+    }
+    for (const auto& type : schema.types()) {
+      if (!out.empty()) out += options.pretty ? "\n" : "";
+      out += write_complex_type(type, options);
+    }
+    return out;
+  }
+
+  std::string root_name =
+      options.prefix.empty() ? "schema" : options.prefix + ":schema";
+  xml::Element root(root_name);
+  if (!options.prefix.empty())
+    root.set_attribute("xmlns:" + options.prefix,
+                       "http://www.w3.org/2001/XMLSchema");
+  for (const auto& type : schema.enums())
+    build_enum_element(root, type, options.prefix);
+  for (const auto& type : schema.types())
+    build_type_element(root, type, options.prefix);
+  return xml::write_element(root, write_options);
+}
+
+}  // namespace xmit::xsd

@@ -1,0 +1,24 @@
+// Schema model -> XML Schema document text. The inverse of parse.cpp;
+// used by components that define formats programmatically and then host
+// them (the Hydrology coupler does this), and by round-trip tests.
+#pragma once
+
+#include <string>
+
+#include "xsd/types.hpp"
+
+namespace xmit::xsd {
+
+struct SchemaWriteOptions {
+  std::string prefix = "xsd";  // namespace prefix on schema elements
+  bool wrap_in_schema_element = true;
+  bool pretty = true;
+};
+
+std::string write_schema(const Schema& schema,
+                         const SchemaWriteOptions& options = {});
+
+std::string write_complex_type(const ComplexType& type,
+                               const SchemaWriteOptions& options = {});
+
+}  // namespace xmit::xsd

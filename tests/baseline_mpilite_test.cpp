@@ -1,0 +1,189 @@
+// MPI-style datatype/pack baseline tests.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "baseline/mpilite.hpp"
+
+namespace xmit::baseline::mpi {
+namespace {
+
+TEST(Datatype, BasicSizes) {
+  EXPECT_EQ(basic_size(BasicType::kChar), 1u);
+  EXPECT_EQ(basic_size(BasicType::kShort), 2u);
+  EXPECT_EQ(basic_size(BasicType::kInt), 4u);
+  EXPECT_EQ(basic_size(BasicType::kFloat), 4u);
+  EXPECT_EQ(basic_size(BasicType::kDouble), 8u);
+  EXPECT_EQ(basic_size(BasicType::kUnsignedLong), 8u);
+}
+
+TEST(Datatype, ContiguousTypemap) {
+  auto type = Datatype::contiguous(4, Datatype::basic(BasicType::kFloat));
+  EXPECT_EQ(type.typemap().size(), 4u);
+  EXPECT_EQ(type.size(), 16u);
+  EXPECT_EQ(type.extent(), 16u);
+  EXPECT_EQ(type.typemap()[3].displacement, 12u);
+}
+
+TEST(Datatype, VectorWithStride) {
+  // 3 blocks of 2 ints, stride 4 elements: column access pattern.
+  auto type = Datatype::vector(3, 2, 4, Datatype::basic(BasicType::kInt));
+  EXPECT_EQ(type.typemap().size(), 6u);
+  EXPECT_EQ(type.size(), 24u);
+  EXPECT_EQ(type.typemap()[2].displacement, 16u);  // second block start
+  EXPECT_EQ(type.extent(), 40u);                   // 2*16 + 8
+}
+
+TEST(Datatype, StructOfMixedBasics) {
+  // struct { int a; double b; char c[4]; } with natural padding.
+  auto type = Datatype::create_struct({
+                                          {1, 0, Datatype::basic(BasicType::kInt)},
+                                          {1, 8, Datatype::basic(BasicType::kDouble)},
+                                          {4, 16, Datatype::basic(BasicType::kChar)},
+                                      })
+                  .value();
+  EXPECT_EQ(type.typemap().size(), 6u);
+  EXPECT_EQ(type.size(), 16u);   // packed: 4 + 8 + 4, no padding
+  EXPECT_EQ(type.extent(), 20u);
+}
+
+TEST(Datatype, EmptyStructRejected) {
+  EXPECT_FALSE(Datatype::create_struct({}).is_ok());
+}
+
+TEST(Pack, RequiresCommit) {
+  auto type = Datatype::basic(BasicType::kInt);
+  int value = 5;
+  std::uint8_t buffer[16];
+  std::size_t position = 0;
+  EXPECT_FALSE(pack(&value, 1, type, buffer, sizeof(buffer), position).is_ok());
+  type.commit();
+  EXPECT_TRUE(pack(&value, 1, type, buffer, sizeof(buffer), position).is_ok());
+  EXPECT_EQ(position, 4u);
+}
+
+TEST(Pack, StructRoundTrip) {
+  struct Record {
+    std::int32_t a;
+    double b;
+    char tag[4];
+  };
+  auto type = Datatype::create_struct({
+                                          {1, offsetof(Record, a), Datatype::basic(BasicType::kInt)},
+                                          {1, offsetof(Record, b), Datatype::basic(BasicType::kDouble)},
+                                          {4, offsetof(Record, tag), Datatype::basic(BasicType::kChar)},
+                                      })
+                  .value();
+  type.commit();
+
+  Record in{7, 2.5, {'a', 'b', 'c', 'd'}};
+  std::vector<std::uint8_t> buffer(pack_size(1, type));
+  std::size_t position = 0;
+  ASSERT_TRUE(pack(&in, 1, type, buffer.data(), buffer.size(), position).is_ok());
+  EXPECT_EQ(position, type.size());
+
+  Record out{};
+  position = 0;
+  ASSERT_TRUE(
+      unpack(buffer.data(), buffer.size(), position, &out, 1, type).is_ok());
+  EXPECT_EQ(out.a, 7);
+  EXPECT_EQ(out.b, 2.5);
+  EXPECT_EQ(std::memcmp(out.tag, in.tag, 4), 0);
+}
+
+TEST(Pack, PackingElidesHoles) {
+  // Gaps in the struct do not appear in the pack buffer.
+  struct Holey {
+    char c;          // 1 byte + 7 padding
+    double d;
+  };
+  auto type = Datatype::create_struct({
+                                          {1, offsetof(Holey, c), Datatype::basic(BasicType::kChar)},
+                                          {1, offsetof(Holey, d), Datatype::basic(BasicType::kDouble)},
+                                      })
+                  .value();
+  type.commit();
+  EXPECT_EQ(type.size(), 9u);
+  EXPECT_EQ(type.extent(), 16u);
+
+  Holey in{'x', 3.5};
+  std::vector<std::uint8_t> buffer(pack_size(1, type));
+  std::size_t position = 0;
+  ASSERT_TRUE(pack(&in, 1, type, buffer.data(), buffer.size(), position).is_ok());
+  EXPECT_EQ(buffer[0], 'x');
+  double d;
+  std::memcpy(&d, buffer.data() + 1, 8);
+  EXPECT_EQ(d, 3.5);
+}
+
+TEST(Pack, MultipleCountsUseExtentStride) {
+  auto type = Datatype::contiguous(2, Datatype::basic(BasicType::kInt));
+  type.commit();
+  std::int32_t values[6] = {1, 2, 3, 4, 5, 6};
+  std::vector<std::uint8_t> buffer(pack_size(3, type));
+  std::size_t position = 0;
+  ASSERT_TRUE(pack(values, 3, type, buffer.data(), buffer.size(), position).is_ok());
+  std::int32_t out[6] = {};
+  position = 0;
+  ASSERT_TRUE(unpack(buffer.data(), buffer.size(), position, out, 3, type).is_ok());
+  for (int i = 0; i < 6; ++i) EXPECT_EQ(out[i], values[i]);
+}
+
+TEST(Pack, BufferTooSmallFails) {
+  auto type = Datatype::basic(BasicType::kDouble);
+  type.commit();
+  double value = 1.0;
+  std::uint8_t buffer[4];
+  std::size_t position = 0;
+  EXPECT_FALSE(pack(&value, 1, type, buffer, sizeof(buffer), position).is_ok());
+}
+
+TEST(Pack, UnpackPastEndFails) {
+  auto type = Datatype::basic(BasicType::kInt);
+  type.commit();
+  std::uint8_t buffer[4] = {};
+  std::size_t position = 0;
+  int out[2];
+  EXPECT_FALSE(unpack(buffer, sizeof(buffer), position, out, 2, type).is_ok());
+}
+
+TEST(Pack, IncrementalPackingAppends) {
+  auto type = Datatype::basic(BasicType::kInt);
+  type.commit();
+  std::uint8_t buffer[12];
+  std::size_t position = 0;
+  for (int i = 0; i < 3; ++i)
+    ASSERT_TRUE(pack(&i, 1, type, buffer, sizeof(buffer), position).is_ok());
+  EXPECT_EQ(position, 12u);
+  int out;
+  std::memcpy(&out, buffer + 8, 4);
+  EXPECT_EQ(out, 2);
+}
+
+
+TEST(Datatype, CommitCoalescesContiguousRuns) {
+  // 4 adjacent floats collapse to one segment; a strided vector keeps one
+  // segment per block.
+  auto contiguous = Datatype::contiguous(4, Datatype::basic(BasicType::kFloat));
+  contiguous.commit();
+  ASSERT_EQ(contiguous.segments().size(), 1u);
+  EXPECT_EQ(contiguous.segments()[0].length, 16u);
+
+  auto strided = Datatype::vector(3, 2, 4, Datatype::basic(BasicType::kInt));
+  strided.commit();
+  ASSERT_EQ(strided.segments().size(), 3u);
+  EXPECT_EQ(strided.segments()[1].displacement, 16u);
+  EXPECT_EQ(strided.segments()[1].length, 8u);
+
+  // Struct with a hole: the two sides of the hole stay separate segments.
+  auto holey = Datatype::create_struct({
+                                           {1, 0, Datatype::basic(BasicType::kChar)},
+                                           {1, 8, Datatype::basic(BasicType::kDouble)},
+                                       })
+                   .value();
+  holey.commit();
+  EXPECT_EQ(holey.segments().size(), 2u);
+}
+
+}  // namespace
+}  // namespace xmit::baseline::mpi

@@ -1,0 +1,212 @@
+// Unit tests for the common substrate: buffers, endian helpers, strings,
+// arena, RNG determinism.
+#include <gtest/gtest.h>
+
+#include "common/arena.hpp"
+#include "common/bytes.hpp"
+#include "common/endian.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/strings.hpp"
+
+namespace xmit {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.is_ok());
+  EXPECT_EQ(status.to_string(), "ok");
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  Status status = make_error(ErrorCode::kParseError, "bad thing");
+  EXPECT_FALSE(status.is_ok());
+  EXPECT_EQ(status.code(), ErrorCode::kParseError);
+  EXPECT_EQ(status.to_string(), "parse_error: bad thing");
+}
+
+TEST(Result, ValueAndError) {
+  Result<int> ok = 42;
+  ASSERT_TRUE(ok.is_ok());
+  EXPECT_EQ(ok.value(), 42);
+  Result<int> bad = Status(ErrorCode::kNotFound, "nope");
+  EXPECT_FALSE(bad.is_ok());
+  EXPECT_EQ(bad.code(), ErrorCode::kNotFound);
+  EXPECT_EQ(bad.value_or(7), 7);
+}
+
+TEST(Endian, Bswap) {
+  EXPECT_EQ(bswap16(0x1234), 0x3412);
+  EXPECT_EQ(bswap32(0x12345678u), 0x78563412u);
+  EXPECT_EQ(bswap64(0x0102030405060708ull), 0x0807060504030201ull);
+}
+
+TEST(Endian, BswapInplaceOddSizes) {
+  unsigned char data[3] = {1, 2, 3};
+  bswap_inplace(data, 3);
+  EXPECT_EQ(data[0], 3);
+  EXPECT_EQ(data[1], 2);
+  EXPECT_EQ(data[2], 1);
+}
+
+TEST(Endian, LoadStoreWithOrderRoundTrips) {
+  std::uint8_t buf[8];
+  store_with_order<std::uint32_t>(buf, 0xDEADBEEF, ByteOrder::kBig);
+  EXPECT_EQ(buf[0], 0xDE);
+  EXPECT_EQ(buf[3], 0xEF);
+  EXPECT_EQ(load_with_order<std::uint32_t>(buf, ByteOrder::kBig), 0xDEADBEEFu);
+  store_with_order<std::uint64_t>(buf, 0x0102030405060708ull, ByteOrder::kLittle);
+  EXPECT_EQ(buf[0], 0x08);
+  EXPECT_EQ(load_with_order<std::uint64_t>(buf, ByteOrder::kLittle),
+            0x0102030405060708ull);
+}
+
+TEST(Endian, FloatBitsRoundTrip) {
+  EXPECT_EQ(bits_to_float(float_bits(3.14f)), 3.14f);
+  EXPECT_EQ(bits_to_double(double_bits(-2.718281828)), -2.718281828);
+}
+
+TEST(Endian, AlignUp) {
+  EXPECT_EQ(align_up(0, 8), 0u);
+  EXPECT_EQ(align_up(1, 8), 8u);
+  EXPECT_EQ(align_up(8, 8), 8u);
+  EXPECT_EQ(align_up(9, 4), 12u);
+  EXPECT_EQ(align_up(5, 1), 5u);
+  EXPECT_EQ(align_up(5, 0), 5u);
+}
+
+TEST(ByteBuffer, AppendAndPatch) {
+  ByteBuffer buffer;
+  buffer.append_u32(7, ByteOrder::kLittle);
+  std::size_t slot = buffer.reserve_slot(4);
+  buffer.append_u16(9, ByteOrder::kLittle);
+  buffer.patch_uint<std::uint32_t>(slot, 0xCAFEBABE, ByteOrder::kLittle);
+  ASSERT_EQ(buffer.size(), 10u);
+  ByteReader reader(buffer.span());
+  EXPECT_EQ(reader.read_u32(ByteOrder::kLittle).value(), 7u);
+  EXPECT_EQ(reader.read_u32(ByteOrder::kLittle).value(), 0xCAFEBABEu);
+  EXPECT_EQ(reader.read_u16(ByteOrder::kLittle).value(), 9u);
+  EXPECT_TRUE(reader.at_end());
+}
+
+TEST(ByteBuffer, AlignTo) {
+  ByteBuffer buffer;
+  buffer.append_byte(1);
+  buffer.align_to(8);
+  EXPECT_EQ(buffer.size(), 8u);
+  buffer.align_to(8);
+  EXPECT_EQ(buffer.size(), 8u);
+}
+
+TEST(ByteReader, TruncationIsDetected) {
+  std::uint8_t data[3] = {1, 2, 3};
+  ByteReader reader(data, sizeof(data));
+  auto value = reader.read_u32(ByteOrder::kLittle);
+  EXPECT_FALSE(value.is_ok());
+  EXPECT_EQ(value.code(), ErrorCode::kOutOfRange);
+}
+
+TEST(ByteReader, SeekAndSkipBounds) {
+  std::uint8_t data[4] = {};
+  ByteReader reader(data, sizeof(data));
+  EXPECT_TRUE(reader.seek(4).is_ok());
+  EXPECT_FALSE(reader.seek(5).is_ok());
+  EXPECT_TRUE(reader.seek(0).is_ok());
+  EXPECT_TRUE(reader.skip(4).is_ok());
+  EXPECT_FALSE(reader.skip(1).is_ok());
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  hello \t\n"), "hello");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(Strings, Split) {
+  auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+  EXPECT_EQ(split("", ',').size(), 1u);
+}
+
+TEST(Strings, ParseIntStrict) {
+  EXPECT_EQ(parse_int("42").value(), 42);
+  EXPECT_EQ(parse_int("-17").value(), -17);
+  EXPECT_EQ(parse_int(" 7 ").value(), 7);
+  EXPECT_FALSE(parse_int("12x").is_ok());
+  EXPECT_FALSE(parse_int("").is_ok());
+  EXPECT_FALSE(parse_int("99999999999999999999999").is_ok());
+}
+
+TEST(Strings, ParseUintRejectsNegative) {
+  EXPECT_EQ(parse_uint("18446744073709551615").value(),
+            18446744073709551615ull);
+  EXPECT_FALSE(parse_uint("-1").is_ok());
+}
+
+TEST(Strings, ParseDouble) {
+  EXPECT_DOUBLE_EQ(parse_double("3.5e2").value(), 350.0);
+  EXPECT_FALSE(parse_double("abc").is_ok());
+}
+
+TEST(Strings, FloatFormattingRoundTrips) {
+  float f = 0.1f;
+  EXPECT_EQ(static_cast<float>(parse_double(format_float(f)).value()), f);
+  double d = 1.0 / 3.0;
+  EXPECT_EQ(parse_double(format_double(d)).value(), d);
+}
+
+TEST(Strings, ReplaceAll) {
+  EXPECT_EQ(replace_all("aaa", "a", "bb"), "bbbbbb");
+  EXPECT_EQ(replace_all("xyz", "q", "r"), "xyz");
+}
+
+TEST(Arena, AllocationsAreAlignedAndDisjoint) {
+  Arena arena(64);
+  void* a = arena.allocate(10, 8);
+  void* b = arena.allocate(100, 8);  // forces a new chunk
+  void* c = arena.allocate(1, 1);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(a) % 8, 0u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b) % 8, 0u);
+  EXPECT_NE(c, nullptr);
+  EXPECT_EQ(arena.allocation_count(), 3u);
+}
+
+TEST(Arena, DuplicateString) {
+  Arena arena;
+  const char* src = "hello";
+  char* copy = arena.duplicate_string(src, 5);
+  EXPECT_STREQ(copy, "hello");
+  EXPECT_NE(static_cast<const void*>(copy), static_cast<const void*>(src));
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123), c(124);
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+  EXPECT_NE(a.next_u64(), c.next_u64());
+}
+
+TEST(Rng, RangeBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    auto v = rng.range(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+    double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, IdentifierShape) {
+  Rng rng(9);
+  auto id = rng.identifier(12);
+  EXPECT_EQ(id.size(), 12u);
+  for (char ch : id) EXPECT_TRUE(ch >= 'a' && ch <= 'z');
+}
+
+}  // namespace
+}  // namespace xmit

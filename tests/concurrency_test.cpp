@@ -1,0 +1,205 @@
+// Thread-safety tests: the registry and the decoder's plan cache are the
+// shared mutable state in a multi-threaded component; encoders and formats
+// are immutable after construction and shared freely.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/arena.hpp"
+#include "net/http.hpp"
+#include "pbio/decode.hpp"
+#include "pbio/encode.hpp"
+#include "pbio/registry.hpp"
+#include "xmit/xmit.hpp"
+
+namespace xmit {
+namespace {
+
+struct Record {
+  std::int32_t id;
+  std::int32_t n;
+  float* data;
+};
+
+std::vector<pbio::IOField> record_fields() {
+  return {{"id", "integer", 4, offsetof(Record, id)},
+          {"n", "integer", 4, offsetof(Record, n)},
+          {"data", "float[n]", 4, offsetof(Record, data)}};
+}
+
+TEST(Concurrency, ParallelRegistrationAndLookup) {
+  pbio::FormatRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kFormatsPerThread = 50;
+  std::atomic<int> failures{0};
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kFormatsPerThread; ++i) {
+        std::string name = "F" + std::to_string(t) + "_" + std::to_string(i);
+        auto format = registry.register_format(
+            name, {{"x", "integer", 4, 0}, {"y", "float", 4, 4}}, 8);
+        if (!format.is_ok()) failures.fetch_add(1);
+        // Interleave lookups of everyone's formats.
+        (void)registry.by_name("F0_0");
+        if (format.is_ok() && !registry.by_id(format.value()->id()).is_ok())
+          failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(registry.size(),
+            static_cast<std::size_t>(kThreads) * kFormatsPerThread);
+}
+
+TEST(Concurrency, SameFormatRegisteredByManyThreads) {
+  pbio::FormatRegistry registry;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 200; ++i) {
+        auto format = registry.register_format("Shared", record_fields(),
+                                               sizeof(Record));
+        if (!format.is_ok()) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(registry.size(), 1u);  // idempotent across all threads
+}
+
+TEST(Concurrency, SharedDecoderAcrossThreads) {
+  pbio::FormatRegistry registry;
+  auto format =
+      registry.register_format("Record", record_fields(), sizeof(Record))
+          .value();
+  auto encoder = pbio::Encoder::make(format).value();
+  std::vector<float> payload = {1, 2, 3, 4, 5};
+  Record in{9, 5, payload.data()};
+  auto bytes = encoder.encode_to_vector(&in).value();
+
+  pbio::Decoder decoder(registry);
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      Arena arena;
+      Record out{};
+      for (int i = 0; i < 500; ++i) {
+        arena.reset();
+        if (!decoder.decode(bytes, *format, &out, arena).is_ok() ||
+            out.id != 9 || out.n != 5 || out.data[4] != 5.0f)
+          failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(decoder.plan_cache_size(), 1u);
+}
+
+TEST(Concurrency, SharedEncoderAcrossThreads) {
+  pbio::FormatRegistry registry;
+  auto format =
+      registry.register_format("Record", record_fields(), sizeof(Record))
+          .value();
+  auto encoder = pbio::Encoder::make(format).value();
+  auto reference = [&] {
+    std::vector<float> payload = {1, 2, 3};
+    Record in{1, 3, payload.data()};
+    return encoder.encode_to_vector(&in).value();
+  }();
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      std::vector<float> payload = {1, 2, 3};
+      Record in{1, 3, payload.data()};
+      for (int i = 0; i < 500; ++i) {
+        auto bytes = encoder.encode_to_vector(&in);
+        if (!bytes.is_ok() || bytes.value() != reference) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(Concurrency, ManyComponentsLoadTheSameSchemaDocument) {
+  auto server = net::HttpServer::start().value();
+  server->put_document("/f.xsd", R"(
+    <xsd:complexType name="Msg">
+      <xsd:element name="a" type="xsd:integer" />
+      <xsd:element name="b" type="xsd:double" />
+    </xsd:complexType>)");
+  std::string url = server->url_for("/f.xsd");
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 6; ++t) {
+    threads.emplace_back([&] {
+      // Each "component" owns its registry + toolkit, like the pipeline.
+      pbio::FormatRegistry registry;
+      toolkit::Xmit xmit(registry);
+      if (!xmit.load(url).is_ok() || !xmit.bind("Msg").is_ok())
+        failures.fetch_add(1);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(server->request_count(), 6u);
+}
+
+TEST(Concurrency, MixedConversionPlansUnderContention) {
+  // Several sender variants (evolution) decoded concurrently: the plan
+  // cache must build each plan exactly once and serve all threads.
+  pbio::FormatRegistry registry;
+  auto receiver =
+      registry.register_format("Record", record_fields(), sizeof(Record))
+          .value();
+
+  struct OldRecord {
+    std::int32_t id;
+  };
+  auto old_format =
+      registry.register_format("Record", {{"id", "integer", 4, 0}},
+                               sizeof(OldRecord))
+          .value();
+  auto old_encoder = pbio::Encoder::make(old_format).value();
+  OldRecord old_in{42};
+  auto old_bytes = old_encoder.encode_to_vector(&old_in).value();
+
+  auto new_encoder = pbio::Encoder::make(receiver).value();
+  std::vector<float> payload = {7};
+  Record new_in{1, 1, payload.data()};
+  auto new_bytes = new_encoder.encode_to_vector(&new_in).value();
+
+  pbio::Decoder decoder(registry);
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      Arena arena;
+      Record out{};
+      for (int i = 0; i < 300; ++i) {
+        arena.reset();
+        const auto& bytes = (t + i) % 2 == 0 ? old_bytes : new_bytes;
+        if (!decoder.decode(bytes, *receiver, &out, arena).is_ok())
+          failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(decoder.plan_cache_size(), 2u);
+}
+
+}  // namespace
+}  // namespace xmit

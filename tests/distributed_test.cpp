@@ -1,0 +1,185 @@
+// Distribution tests: the component machinery over real TCP connections
+// (separate "address spaces" with their own registries), and HTTP server
+// robustness against hostile clients.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <netinet/in.h>
+#include <unistd.h>
+
+#include <thread>
+
+#include "common/arena.hpp"
+#include "hydrology/components.hpp"
+#include "net/http.hpp"
+#include "session/session.hpp"
+
+namespace xmit {
+namespace {
+
+TEST(Distributed, ComponentsExchangeOverTcp) {
+  // Reader -> flow2d over a real TCP connection, each component owning
+  // its registry and discovering formats via HTTP, as two processes on
+  // two machines would.
+  auto server = net::HttpServer::start().value();
+  server->put_document("/h.xsd", hydrology::hydrology_schema_xml());
+  std::string url = server->url_for("/h.xsd");
+
+  auto listener = net::ChannelListener::listen().value();
+  std::uint16_t port = listener.port();
+
+  hydrology::DataFileReader reader(12, 10, 4, 31);
+  hydrology::Flow2d flow2d;
+  ASSERT_TRUE(reader.attach(url).is_ok());
+  ASSERT_TRUE(flow2d.attach(url).is_ok());
+
+  Status reader_status, flow_status;
+  std::vector<std::vector<std::uint8_t>> produced;
+
+  std::thread producer([&] {
+    auto channel = net::Channel::connect(port);
+    if (!channel.is_ok()) {
+      reader_status = channel.status();
+      return;
+    }
+    reader_status = reader.run(channel.value());
+  });
+
+  auto upstream = listener.accept().value();
+  // flow2d's output lands on a local pipe we drain inline.
+  auto [flow_out_tx, flow_out_rx] = net::Channel::pipe().value();
+  std::thread transformer([&, tx = std::move(flow_out_tx)]() mutable {
+    flow_status = flow2d.run(upstream, tx);
+  });
+
+  int fields = 0;
+  pbio::FormatRegistry drain_registry;
+  toolkit::Xmit drain(drain_registry);
+  ASSERT_TRUE(drain.load(url).is_ok());
+  pbio::Decoder decoder(drain_registry);
+  Arena arena;
+  for (;;) {
+    auto bytes = flow_out_rx.receive(5000);
+    if (!bytes.is_ok()) break;
+    auto info = decoder.inspect(bytes.value());
+    ASSERT_TRUE(info.is_ok());
+    if (info.value().sender_format->name() == "FlowField") ++fields;
+  }
+  producer.join();
+  transformer.join();
+
+  EXPECT_TRUE(reader_status.is_ok()) << reader_status.to_string();
+  EXPECT_TRUE(flow_status.is_ok()) << flow_status.to_string();
+  EXPECT_EQ(reader.frames_sent(), 4);
+  EXPECT_EQ(fields, 4);
+}
+
+TEST(Distributed, SessionOverTcp) {
+  // Self-describing session across a TCP connection: the receiver's
+  // registry starts empty and is populated entirely in-band.
+  pbio::FormatRegistry sender_registry, receiver_registry;
+  auto listener = net::ChannelListener::listen().value();
+
+  struct Sample {
+    std::int32_t id;
+    double value;
+  };
+  auto format = sender_registry
+                    .register_format("Sample",
+                                     {{"id", "integer", 4, offsetof(Sample, id)},
+                                      {"value", "float", 8, offsetof(Sample, value)}},
+                                     sizeof(Sample))
+                    .value();
+  auto encoder = pbio::Encoder::make(format).value();
+
+  std::thread producer([&, port = listener.port()] {
+    auto channel = net::Channel::connect(port);
+    if (!channel.is_ok()) return;
+    session::MessageSession session(std::move(channel).value(),
+                                    sender_registry);
+    for (int i = 0; i < 8; ++i) {
+      Sample sample{i, i * 0.5};
+      if (!session.send(encoder, &sample).is_ok()) return;
+    }
+    session.close();
+  });
+
+  auto accepted = listener.accept().value();
+  session::MessageSession session(std::move(accepted), receiver_registry);
+  pbio::Decoder decoder(receiver_registry);
+  Arena arena;
+  int received = 0;
+  for (;;) {
+    auto incoming = session.receive(5000);
+    if (!incoming.is_ok()) break;
+    Sample out{};
+    arena.reset();
+    ASSERT_TRUE(decoder
+                    .decode(incoming.value().bytes,
+                            *incoming.value().sender_format, &out, arena)
+                    .is_ok());
+    EXPECT_EQ(out.value, out.id * 0.5);
+    ++received;
+  }
+  producer.join();
+  EXPECT_EQ(received, 8);
+  EXPECT_EQ(receiver_registry.size(), 1u);
+}
+
+// --- HTTP server robustness against hostile/broken clients ---------------
+
+int connect_loopback(std::uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+TEST(Distributed, HttpServerSurvivesHostileClients) {
+  auto server = net::HttpServer::start().value();
+  server->put_document("/ok", "fine");
+
+  // Garbage request line.
+  {
+    int fd = connect_loopback(server->port());
+    ASSERT_GE(fd, 0);
+    const char* junk = "\x01\x02garbage\r\n\r\n";
+    (void)!::send(fd, junk, 14, MSG_NOSIGNAL);
+    char buffer[256];
+    (void)!::recv(fd, buffer, sizeof(buffer), 0);  // server answers 400/close
+    ::close(fd);
+  }
+  // Client that connects and immediately disconnects.
+  {
+    int fd = connect_loopback(server->port());
+    ASSERT_GE(fd, 0);
+    ::close(fd);
+  }
+  // Unsupported method.
+  {
+    int fd = connect_loopback(server->port());
+    ASSERT_GE(fd, 0);
+    const char* request = "DELETE /ok HTTP/1.1\r\n\r\n";
+    (void)!::send(fd, request, 23, MSG_NOSIGNAL);
+    char buffer[256];
+    ssize_t n = ::recv(fd, buffer, sizeof(buffer) - 1, 0);
+    ASSERT_GT(n, 0);
+    buffer[n] = '\0';
+    EXPECT_NE(std::string(buffer).find("405"), std::string::npos);
+    ::close(fd);
+  }
+
+  // The server still works for well-behaved clients afterwards.
+  auto response = net::HttpClient::get("127.0.0.1", server->port(), "/ok");
+  ASSERT_TRUE(response.is_ok());
+  EXPECT_EQ(response.value().body, "fine");
+}
+
+}  // namespace
+}  // namespace xmit

@@ -1,0 +1,210 @@
+// Hydrology application tests: the numerical substrate, individual
+// components over channels, and the full Figure 5 pipeline end-to-end
+// with HTTP-discovered metadata.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hydrology/components.hpp"
+#include "hydrology/pipeline.hpp"
+#include "hydrology/solver.hpp"
+#include "xsd/parse.hpp"
+
+namespace xmit::hydrology {
+namespace {
+
+TEST(Solver, DeterministicForSeed) {
+  ShallowWaterModel a(16, 12, 7);
+  ShallowWaterModel b(16, 12, 7);
+  ShallowWaterModel c(16, 12, 8);
+  for (int i = 0; i < 5; ++i) {
+    a.step();
+    b.step();
+    c.step();
+  }
+  EXPECT_EQ(a.checksum(), b.checksum());
+  EXPECT_NE(a.checksum(), c.checksum());
+}
+
+TEST(Solver, FieldStaysBoundedAndActive) {
+  ShallowWaterModel model(24, 24, 3);
+  for (int i = 0; i < 50; ++i) model.step();
+  float lo = 1e9f, hi = -1e9f;
+  for (float v : model.depth()) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+    EXPECT_TRUE(std::isfinite(v));
+  }
+  // Damped waves around the rest depth of 1.0: still moving, not exploded.
+  EXPECT_GT(hi, lo);
+  EXPECT_GT(hi, 0.5f);
+  EXPECT_LT(hi, 3.0f);
+}
+
+TEST(Solver, VelocitiesMatchGradients) {
+  ShallowWaterModel model(8, 8, 1);
+  model.step();
+  std::vector<float> u, v;
+  model.velocities(u, v);
+  ASSERT_EQ(u.size(), model.depth().size());
+  // Spot-check an interior cell against the central-difference definition.
+  int x = 4, y = 4, nx = model.nx();
+  const auto& depth = model.depth();
+  float expected_u =
+      -(depth[y * nx + x + 1] - depth[y * nx + x - 1]) * 0.5f;
+  EXPECT_FLOAT_EQ(u[y * nx + x], expected_u);
+}
+
+TEST(Schema, HydrologyDocumentIsValid) {
+  auto schema = xsd::parse_schema_text(hydrology_schema_xml());
+  ASSERT_TRUE(schema.is_ok()) << schema.status().to_string();
+  EXPECT_EQ(schema.value().types().size(), 8u);
+  EXPECT_NE(schema.value().type_named("SimpleData"), nullptr);
+  EXPECT_NE(schema.value().type_named("FlowField"), nullptr);
+}
+
+TEST(Pipeline, EndToEndRunsAndConserves) {
+  PipelineConfig config;
+  config.nx = 24;
+  config.ny = 18;
+  config.timesteps = 6;
+  config.presend_stride = 2;
+  config.sink_count = 2;
+
+  auto report = run_pipeline(config);
+  ASSERT_TRUE(report.is_ok()) << report.status().to_string();
+  const PipelineReport& r = report.value();
+
+  EXPECT_EQ(r.frames_sent, 6);
+  EXPECT_EQ(r.frames_forwarded, 6);
+  EXPECT_EQ(r.fields_produced, 6);
+  EXPECT_EQ(r.fields_routed, 6);
+  ASSERT_EQ(r.frames_rendered.size(), 2u);
+  EXPECT_EQ(r.frames_rendered[0], 6);
+  EXPECT_EQ(r.frames_rendered[1], 6);
+
+  // Both sinks consumed identical streams: identical summaries.
+  ASSERT_EQ(r.final_summaries.size(), 2u);
+  const StatSummary& s0 = r.final_summaries[0];
+  const StatSummary& s1 = r.final_summaries[1];
+  EXPECT_EQ(s0.timestep, 6);
+  EXPECT_EQ(s0.timestep, s1.timestep);
+  EXPECT_EQ(s0.mean, s1.mean);
+  EXPECT_EQ(s0.total, s1.total);
+
+  // Subsampled grid: 12x9 cells.
+  EXPECT_EQ(s0.cells, 12 * 9);
+  // A wave field has motion: statistics are non-degenerate and finite.
+  EXPECT_GT(s0.max, 0.0f);
+  EXPECT_GE(s0.max, s0.min);
+  EXPECT_TRUE(std::isfinite(s0.mean));
+  EXPECT_GT(s0.total, 0.0f);
+
+  // One HTTP schema fetch per component: reader, presend, flow2d,
+  // coupler, 2 sinks.
+  EXPECT_EQ(r.schema_requests, 6u);
+}
+
+TEST(Pipeline, SingleSinkAndNoSubsampling) {
+  PipelineConfig config;
+  config.nx = 10;
+  config.ny = 10;
+  config.timesteps = 3;
+  config.presend_stride = 1;
+  config.sink_count = 1;
+  auto report = run_pipeline(config);
+  ASSERT_TRUE(report.is_ok()) << report.status().to_string();
+  EXPECT_EQ(report.value().final_summaries[0].cells, 100);
+  EXPECT_EQ(report.value().frames_rendered[0], 3);
+}
+
+TEST(Pipeline, DeterministicAcrossRuns) {
+  PipelineConfig config;
+  config.nx = 12;
+  config.ny = 12;
+  config.timesteps = 4;
+  auto first = run_pipeline(config);
+  auto second = run_pipeline(config);
+  ASSERT_TRUE(first.is_ok());
+  ASSERT_TRUE(second.is_ok());
+  EXPECT_EQ(first.value().source_checksum, second.value().source_checksum);
+  EXPECT_EQ(first.value().final_summaries[0].mean,
+            second.value().final_summaries[0].mean);
+}
+
+
+TEST(Pipeline, ReplayFromDatasetFileMatchesSynthetic) {
+  // Figure 5's "data is read from a file": write a dataset, replay it
+  // through the pipeline, and compare against the synthesizing run.
+  std::string path = ::testing::TempDir() + "hydrology_dataset.pbio";
+  auto checksum = write_dataset_file(path, 16, 12, 5, 99);
+  ASSERT_TRUE(checksum.is_ok()) << checksum.status().to_string();
+
+  PipelineConfig synthetic;
+  synthetic.nx = 16;
+  synthetic.ny = 12;
+  synthetic.timesteps = 5;
+  synthetic.seed = 99;
+  synthetic.sink_count = 1;
+  auto direct = run_pipeline(synthetic);
+  ASSERT_TRUE(direct.is_ok()) << direct.status().to_string();
+
+  PipelineConfig replay = synthetic;
+  replay.dataset_path = path;
+  auto from_file = run_pipeline(replay);
+  ASSERT_TRUE(from_file.is_ok()) << from_file.status().to_string();
+
+  EXPECT_EQ(from_file.value().frames_sent, 5);
+  EXPECT_EQ(from_file.value().fields_routed, 5);
+  // Identical data -> identical rendered statistics.
+  EXPECT_EQ(from_file.value().final_summaries[0].mean,
+            direct.value().final_summaries[0].mean);
+  EXPECT_EQ(from_file.value().final_summaries[0].total,
+            direct.value().final_summaries[0].total);
+  std::remove(path.c_str());
+}
+
+TEST(Pipeline, ReplayMissingFileFails) {
+  PipelineConfig config;
+  config.dataset_path = "/nonexistent/data.pbio";
+  EXPECT_FALSE(run_pipeline(config).is_ok());
+}
+
+
+TEST(Pipeline, XmlWireModeProducesSameResults) {
+  // The §4 application experiment's correctness precondition: the XML
+  // text arm computes the same physics, just slower and bigger.
+  PipelineConfig config;
+  config.nx = 16;
+  config.ny = 12;
+  config.timesteps = 4;
+  config.sink_count = 1;
+
+  auto binary = run_pipeline(config);
+  ASSERT_TRUE(binary.is_ok()) << binary.status().to_string();
+
+  config.wire_mode = WireMode::kXmlText;
+  auto text = run_pipeline(config);
+  ASSERT_TRUE(text.is_ok()) << text.status().to_string();
+
+  EXPECT_EQ(text.value().frames_sent, binary.value().frames_sent);
+  EXPECT_EQ(text.value().fields_routed, binary.value().fields_routed);
+  EXPECT_EQ(text.value().final_summaries[0].timestep,
+            binary.value().final_summaries[0].timestep);
+  EXPECT_EQ(text.value().final_summaries[0].cells,
+            binary.value().final_summaries[0].cells);
+  // Float values survive the text round trip exactly (%.9g printing).
+  EXPECT_EQ(text.value().final_summaries[0].mean,
+            binary.value().final_summaries[0].mean);
+  EXPECT_EQ(text.value().final_summaries[0].total,
+            binary.value().final_summaries[0].total);
+}
+
+TEST(Pipeline, RejectsZeroSinks) {
+  PipelineConfig config;
+  config.sink_count = 0;
+  EXPECT_FALSE(run_pipeline(config).is_ok());
+}
+
+}  // namespace
+}  // namespace xmit::hydrology

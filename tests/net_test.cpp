@@ -1,0 +1,209 @@
+// Discovery substrate tests: URLs, the HTTP server/client pair, scheme
+// dispatch, and the framed message channel.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "net/channel.hpp"
+#include "net/fetch.hpp"
+#include "net/http.hpp"
+#include "net/url.hpp"
+
+namespace xmit::net {
+namespace {
+
+TEST(Url, ParsesHttpForms) {
+  auto url = parse_url("http://example.com/path/doc.xsd").value();
+  EXPECT_EQ(url.scheme, "http");
+  EXPECT_EQ(url.host, "example.com");
+  EXPECT_EQ(url.port, 80);
+  EXPECT_EQ(url.path, "/path/doc.xsd");
+
+  url = parse_url("http://127.0.0.1:8080/x").value();
+  EXPECT_EQ(url.host, "127.0.0.1");
+  EXPECT_EQ(url.port, 8080);
+
+  url = parse_url("http://host:90").value();
+  EXPECT_EQ(url.path, "/");
+}
+
+TEST(Url, ParsesFileForm) {
+  auto url = parse_url("file:///tmp/doc.xsd").value();
+  EXPECT_EQ(url.scheme, "file");
+  EXPECT_EQ(url.path, "/tmp/doc.xsd");
+}
+
+TEST(Url, RoundTripsToString) {
+  for (const char* text :
+       {"http://h/p", "http://h:99/p", "file:///a/b"}) {
+    auto url = parse_url(text).value();
+    EXPECT_EQ(parse_url(url.to_string()).value().to_string(),
+              url.to_string());
+  }
+}
+
+TEST(Url, Rejections) {
+  EXPECT_FALSE(parse_url("no-scheme").is_ok());
+  EXPECT_FALSE(parse_url("ftp://host/x").is_ok());
+  EXPECT_FALSE(parse_url("http:///nohost").is_ok());
+  EXPECT_FALSE(parse_url("http://host:0/x").is_ok());
+  EXPECT_FALSE(parse_url("http://host:99999/x").is_ok());
+  EXPECT_FALSE(parse_url("http://host:abc/x").is_ok());
+  EXPECT_FALSE(parse_url("file://relative").is_ok());
+}
+
+TEST(Http, ServeAndGet) {
+  auto server = HttpServer::start().value();
+  server->put_document("/doc.xml", "<hello/>", "text/xml");
+
+  auto response = HttpClient::get("127.0.0.1", server->port(), "/doc.xml").value();
+  EXPECT_EQ(response.status_code, 200);
+  EXPECT_EQ(response.body, "<hello/>");
+  EXPECT_EQ(response.content_type, "text/xml");
+  EXPECT_EQ(server->request_count(), 1u);
+}
+
+TEST(Http, NotFound) {
+  auto server = HttpServer::start().value();
+  auto response = HttpClient::get("127.0.0.1", server->port(), "/missing").value();
+  EXPECT_EQ(response.status_code, 404);
+}
+
+TEST(Http, DocumentReplacement) {
+  auto server = HttpServer::start().value();
+  server->put_document("/d", "v1");
+  EXPECT_EQ(HttpClient::get("127.0.0.1", server->port(), "/d").value().body, "v1");
+  server->put_document("/d", "v2");
+  EXPECT_EQ(HttpClient::get("127.0.0.1", server->port(), "/d").value().body, "v2");
+  server->remove_document("/d");
+  EXPECT_EQ(HttpClient::get("127.0.0.1", server->port(), "/d").value().status_code,
+            404);
+}
+
+TEST(Http, LargeBody) {
+  auto server = HttpServer::start().value();
+  std::string big(1 << 20, 'x');
+  server->put_document("/big", big);
+  auto response = HttpClient::get("127.0.0.1", server->port(), "/big").value();
+  EXPECT_EQ(response.body.size(), big.size());
+}
+
+TEST(Http, ConcurrentClients) {
+  auto server = HttpServer::start().value();
+  server->put_document("/d", "shared");
+  std::vector<std::thread> threads;
+  std::atomic<int> ok{0};
+  for (int i = 0; i < 8; ++i) {
+    threads.emplace_back([&] {
+      auto response = HttpClient::get("127.0.0.1", server->port(), "/d");
+      if (response.is_ok() && response.value().body == "shared") ok.fetch_add(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(ok.load(), 8);
+}
+
+TEST(Http, ConnectToClosedPortFails) {
+  auto server = HttpServer::start().value();
+  std::uint16_t port = server->port();
+  server->stop();
+  auto response = HttpClient::get("127.0.0.1", port, "/x");
+  EXPECT_FALSE(response.is_ok());
+}
+
+TEST(Fetch, HttpScheme) {
+  auto server = HttpServer::start().value();
+  server->put_document("/formats/a.xsd", "<schema/>");
+  auto body = fetch(server->url_for("/formats/a.xsd"));
+  ASSERT_TRUE(body.is_ok()) << body.status().to_string();
+  EXPECT_EQ(body.value(), "<schema/>");
+
+  auto missing = fetch(server->url_for("/nope"));
+  EXPECT_FALSE(missing.is_ok());
+  EXPECT_EQ(missing.code(), ErrorCode::kNotFound);
+}
+
+TEST(Fetch, FileScheme) {
+  std::string path = ::testing::TempDir() + "xmit_fetch_test.txt";
+  ASSERT_TRUE(write_file(path, "file contents").is_ok());
+  auto body = fetch("file://" + path);
+  ASSERT_TRUE(body.is_ok());
+  EXPECT_EQ(body.value(), "file contents");
+  std::remove(path.c_str());
+  EXPECT_FALSE(fetch("file://" + path).is_ok());
+}
+
+TEST(Channel, PipeSendReceive) {
+  auto [a, b] = Channel::pipe().value();
+  std::vector<std::uint8_t> message = {1, 2, 3, 4, 5};
+  ASSERT_TRUE(a.send(message).is_ok());
+  auto received = b.receive().value();
+  EXPECT_EQ(received, message);
+  EXPECT_EQ(a.messages_sent(), 1u);
+}
+
+TEST(Channel, EmptyMessage) {
+  auto [a, b] = Channel::pipe().value();
+  ASSERT_TRUE(a.send(std::vector<std::uint8_t>{}).is_ok());
+  EXPECT_TRUE(b.receive().value().empty());
+}
+
+TEST(Channel, ManyMessagesInOrder) {
+  auto [a, b] = Channel::pipe().value();
+  for (std::uint8_t i = 0; i < 50; ++i) {
+    std::vector<std::uint8_t> m(i + 1, i);
+    ASSERT_TRUE(a.send(m).is_ok());
+  }
+  for (std::uint8_t i = 0; i < 50; ++i) {
+    auto m = b.receive().value();
+    ASSERT_EQ(m.size(), static_cast<std::size_t>(i + 1));
+    EXPECT_EQ(m[0], i);
+  }
+}
+
+TEST(Channel, CleanEofIsNotFound) {
+  auto [a, b] = Channel::pipe().value();
+  a.close();
+  auto result = b.receive(200);
+  EXPECT_FALSE(result.is_ok());
+  EXPECT_EQ(result.code(), ErrorCode::kNotFound);
+}
+
+TEST(Channel, ReceiveTimeout) {
+  auto [a, b] = Channel::pipe().value();
+  auto result = b.receive(50);
+  EXPECT_FALSE(result.is_ok());
+  EXPECT_EQ(result.code(), ErrorCode::kIoError);
+}
+
+TEST(Channel, TcpListenerAcceptConnect) {
+  auto listener = ChannelListener::listen().value();
+  Channel client;
+  std::thread connector([&] {
+    auto connected = Channel::connect(listener.port());
+    if (connected.is_ok()) client = std::move(connected).value();
+  });
+  auto served = listener.accept().value();
+  connector.join();
+  ASSERT_TRUE(client.is_open());
+
+  std::vector<std::uint8_t> ping = {9, 9, 9};
+  ASSERT_TRUE(client.send(ping).is_ok());
+  EXPECT_EQ(served.receive().value(), ping);
+  ASSERT_TRUE(served.send(ping).is_ok());
+  EXPECT_EQ(client.receive().value(), ping);
+}
+
+TEST(Channel, LargeMessage) {
+  auto [a, b] = Channel::pipe().value();
+  std::vector<std::uint8_t> big(3 * 1024 * 1024);
+  for (std::size_t i = 0; i < big.size(); ++i)
+    big[i] = static_cast<std::uint8_t>(i * 31);
+  std::thread sender([&] { (void)a.send(big); });
+  auto received = b.receive(10000).value();
+  sender.join();
+  EXPECT_EQ(received, big);
+}
+
+}  // namespace
+}  // namespace xmit::net

@@ -1,0 +1,383 @@
+// "Reader makes right" conversion tests: records forged under foreign
+// architectures (big-endian, 4-byte pointers, ILP32 longs) decode
+// correctly on the host, and evolved formats (fields added / removed /
+// reordered / widened) follow PBIO's restricted-evolution contract.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "pbio/decode.hpp"
+#include "pbio/dynrecord.hpp"
+#include "pbio/encode.hpp"
+#include "pbio/registry.hpp"
+
+namespace xmit::pbio {
+namespace {
+
+// Host-side receiver struct used throughout.
+struct Sample {
+  std::int32_t id;
+  double value;
+  char* label;
+  std::int32_t n;
+  float* series;
+};
+
+std::vector<IOField> sample_fields_host() {
+  return {
+      {"id", "integer", 4, offsetof(Sample, id)},
+      {"value", "float", 8, offsetof(Sample, value)},
+      {"label", "string", sizeof(char*), offsetof(Sample, label)},
+      {"n", "integer", 4, offsetof(Sample, n)},
+      {"series", "float[n]", 4, offsetof(Sample, series)},
+  };
+}
+
+class Convert : public ::testing::Test {
+ protected:
+  FormatRegistry registry_;
+  Decoder decoder_{registry_};
+  Arena arena_;
+
+  FormatPtr host_format() {
+    return registry_
+        .register_format("Sample", sample_fields_host(), sizeof(Sample))
+        .value();
+  }
+};
+
+TEST_F(Convert, BigEndianRecordDecodesOnHost) {
+  // Sender: big-endian, same pointer width as an LP64 SPARC.
+  ArchInfo sparc = ArchInfo::big_endian_64();
+  auto sender = Format::make("Sample",
+                             {
+                                 {"id", "integer", 4, 0},
+                                 {"value", "float", 8, 8},
+                                 {"label", "string", 8, 16},
+                                 {"n", "integer", 4, 24},
+                                 {"series", "float[n]", 4, 32},
+                             },
+                             40, sparc)
+                    .value();
+  registry_.adopt(sender).value();
+  auto receiver = host_format();
+
+  RecordBuilder builder(sender);
+  ASSERT_TRUE(builder.set_int("id", -12).is_ok());
+  ASSERT_TRUE(builder.set_float("value", 6.25).is_ok());
+  ASSERT_TRUE(builder.set_string("label", "sparc").is_ok());
+  std::vector<double> series = {1.5, 2.5, -3.5};
+  ASSERT_TRUE(builder.set_float_array("series", series).is_ok());
+  auto bytes = builder.build().value();
+
+  Sample out{};
+  auto status = decoder_.decode(bytes, *receiver, &out, arena_);
+  ASSERT_TRUE(status.is_ok()) << status.to_string();
+  EXPECT_EQ(out.id, -12);
+  EXPECT_EQ(out.value, 6.25);
+  EXPECT_STREQ(out.label, "sparc");
+  ASSERT_EQ(out.n, 3);
+  EXPECT_EQ(out.series[0], 1.5f);
+  EXPECT_EQ(out.series[2], -3.5f);
+}
+
+TEST_F(Convert, ThirtyTwoBitPointerSenderDecodesOnHost) {
+  ArchInfo ia32 = ArchInfo::little_endian_32();
+  // ILP32 with max_align 4: double aligns to 4.
+  auto sender = Format::make("Sample",
+                             {
+                                 {"id", "integer", 4, 0},
+                                 {"value", "float", 8, 4},
+                                 {"label", "string", 4, 12},
+                                 {"n", "integer", 4, 16},
+                                 {"series", "float[n]", 4, 20},
+                             },
+                             24, ia32)
+                    .value();
+  registry_.adopt(sender).value();
+  auto receiver = host_format();
+
+  RecordBuilder builder(sender);
+  ASSERT_TRUE(builder.set_int("id", 7).is_ok());
+  ASSERT_TRUE(builder.set_float("value", -0.5).is_ok());
+  ASSERT_TRUE(builder.set_string("label", "ia32").is_ok());
+  std::vector<double> series = {9.0};
+  ASSERT_TRUE(builder.set_float_array("series", series).is_ok());
+  auto bytes = builder.build().value();
+
+  Sample out{};
+  ASSERT_TRUE(decoder_.decode(bytes, *receiver, &out, arena_).is_ok());
+  EXPECT_EQ(out.id, 7);
+  EXPECT_EQ(out.value, -0.5);
+  EXPECT_STREQ(out.label, "ia32");
+  ASSERT_EQ(out.n, 1);
+  EXPECT_EQ(out.series[0], 9.0f);
+}
+
+TEST_F(Convert, InPlaceDecodeRefusesForeignRecords) {
+  auto sender = Format::make("Sample",
+                             {
+                                 {"id", "integer", 4, 0},
+                                 {"value", "float", 8, 8},
+                                 {"label", "string", 8, 16},
+                                 {"n", "integer", 4, 24},
+                                 {"series", "float[n]", 4, 32},
+                             },
+                             40, ArchInfo::big_endian_64())
+                    .value();
+  registry_.adopt(sender).value();
+  auto receiver = host_format();
+  RecordBuilder builder(sender);
+  ASSERT_TRUE(builder.set_int("id", 1).is_ok());
+  auto bytes = builder.build().value();
+  auto result = decoder_.decode_in_place(bytes, *receiver);
+  EXPECT_FALSE(result.is_ok());
+  EXPECT_EQ(result.code(), ErrorCode::kUnsupported);
+}
+
+// --- Evolution -----------------------------------------------------------
+
+struct V1 {
+  std::int32_t a;
+  float b;
+};
+
+struct V2 {
+  std::int32_t a;
+  float b;
+  double extra;   // added field
+  char* comment;  // added field
+};
+
+TEST_F(Convert, ReceiverWithExtraFieldsZeroFillsThem) {
+  auto v1 = registry_
+                .register_format("Msg",
+                                 {{"a", "integer", 4, offsetof(V1, a)},
+                                  {"b", "float", 4, offsetof(V1, b)}},
+                                 sizeof(V1))
+                .value();
+  auto encoder = Encoder::make(v1).value();
+  V1 in{3, 1.5f};
+  auto bytes = encoder.encode_to_vector(&in).value();
+
+  // The receiver binds the *evolved* format (new name registration keeps
+  // the old id reachable so the record still resolves).
+  auto v2 = registry_
+                .register_format("Msg",
+                                 {{"a", "integer", 4, offsetof(V2, a)},
+                                  {"b", "float", 4, offsetof(V2, b)},
+                                  {"extra", "float", 8, offsetof(V2, extra)},
+                                  {"comment", "string", sizeof(char*),
+                                   offsetof(V2, comment)}},
+                                 sizeof(V2))
+                .value();
+  V2 out{9, 9.0f, 9.0, reinterpret_cast<char*>(0x1)};
+  ASSERT_TRUE(decoder_.decode(bytes, *v2, &out, arena_).is_ok());
+  EXPECT_EQ(out.a, 3);
+  EXPECT_EQ(out.b, 1.5f);
+  EXPECT_EQ(out.extra, 0.0);       // missing on the wire -> zero
+  EXPECT_EQ(out.comment, nullptr); // missing string -> null
+}
+
+TEST_F(Convert, ReceiverMissingFieldsSkipsThem) {
+  auto v2 = registry_
+                .register_format("Msg",
+                                 {{"a", "integer", 4, offsetof(V2, a)},
+                                  {"b", "float", 4, offsetof(V2, b)},
+                                  {"extra", "float", 8, offsetof(V2, extra)},
+                                  {"comment", "string", sizeof(char*),
+                                   offsetof(V2, comment)}},
+                                 sizeof(V2))
+                .value();
+  auto encoder = Encoder::make(v2).value();
+  char note[] = "ignored";
+  V2 in{4, 2.5f, 7.25, note};
+  auto bytes = encoder.encode_to_vector(&in).value();
+
+  auto v1 = registry_
+                .register_format("Msg",
+                                 {{"a", "integer", 4, offsetof(V1, a)},
+                                  {"b", "float", 4, offsetof(V1, b)}},
+                                 sizeof(V1))
+                .value();
+  V1 out{};
+  ASSERT_TRUE(decoder_.decode(bytes, *v1, &out, arena_).is_ok());
+  EXPECT_EQ(out.a, 4);
+  EXPECT_EQ(out.b, 2.5f);
+}
+
+TEST_F(Convert, ReorderedFieldsMatchByName) {
+  struct Swapped {
+    float b;
+    std::int32_t a;
+  };
+  auto original = registry_
+                      .register_format("Msg",
+                                       {{"a", "integer", 4, offsetof(V1, a)},
+                                        {"b", "float", 4, offsetof(V1, b)}},
+                                       sizeof(V1))
+                      .value();
+  auto encoder = Encoder::make(original).value();
+  V1 in{11, -2.25f};
+  auto bytes = encoder.encode_to_vector(&in).value();
+
+  auto swapped = registry_
+                     .register_format("Msg",
+                                      {{"b", "float", 4, offsetof(Swapped, b)},
+                                       {"a", "integer", 4, offsetof(Swapped, a)}},
+                                      sizeof(Swapped))
+                     .value();
+  Swapped out{};
+  ASSERT_TRUE(decoder_.decode(bytes, *swapped, &out, arena_).is_ok());
+  EXPECT_EQ(out.a, 11);
+  EXPECT_EQ(out.b, -2.25f);
+}
+
+TEST_F(Convert, IntegerWidening) {
+  struct Narrow {
+    std::int16_t x;
+  };
+  struct Wide {
+    std::int64_t x;
+  };
+  auto narrow = registry_
+                    .register_format("N", {{"x", "integer", 2, 0}},
+                                     sizeof(Narrow))
+                    .value();
+  auto encoder = Encoder::make(narrow).value();
+  Narrow in{-321};
+  auto bytes = encoder.encode_to_vector(&in).value();
+
+  auto wide =
+      registry_.register_format("N", {{"x", "integer", 8, 0}}, sizeof(Wide))
+          .value();
+  Wide out{};
+  ASSERT_TRUE(decoder_.decode(bytes, *wide, &out, arena_).is_ok());
+  EXPECT_EQ(out.x, -321);  // sign-extended
+}
+
+TEST_F(Convert, FloatToDoublePromotion) {
+  struct F {
+    float x;
+  };
+  struct D {
+    double x;
+  };
+  auto narrow =
+      registry_.register_format("F", {{"x", "float", 4, 0}}, sizeof(F)).value();
+  auto encoder = Encoder::make(narrow).value();
+  F in{2.5f};
+  auto bytes = encoder.encode_to_vector(&in).value();
+  auto wide =
+      registry_.register_format("F", {{"x", "float", 8, 0}}, sizeof(D)).value();
+  D out{};
+  ASSERT_TRUE(decoder_.decode(bytes, *wide, &out, arena_).is_ok());
+  EXPECT_EQ(out.x, 2.5);
+}
+
+TEST_F(Convert, ShapeChangeIsRejected) {
+  // string -> integer is not evolution, it is a type error.
+  struct A {
+    char* x;
+  };
+  struct B {
+    std::int64_t x;
+  };
+  auto sender = registry_
+                    .register_format("S", {{"x", "string", sizeof(char*), 0}},
+                                     sizeof(A))
+                    .value();
+  auto encoder = Encoder::make(sender).value();
+  char text[] = "v";
+  A in{text};
+  auto bytes = encoder.encode_to_vector(&in).value();
+  auto receiver =
+      registry_.register_format("S", {{"x", "integer", 8, 0}}, sizeof(B))
+          .value();
+  B out{};
+  auto status = decoder_.decode(bytes, *receiver, &out, arena_);
+  EXPECT_FALSE(status.is_ok());
+  EXPECT_EQ(status.code(), ErrorCode::kUnsupported);
+}
+
+TEST_F(Convert, FixedArrayTruncatesAndPads) {
+  struct Three {
+    std::int32_t v[3];
+  };
+  struct Five {
+    std::int32_t v[5];
+  };
+  auto three = registry_
+                   .register_format("A", {{"v", "integer[3]", 4, 0}},
+                                    sizeof(Three))
+                   .value();
+  auto encoder = Encoder::make(three).value();
+  Three in{{1, 2, 3}};
+  auto bytes = encoder.encode_to_vector(&in).value();
+  auto five =
+      registry_.register_format("A", {{"v", "integer[5]", 4, 0}}, sizeof(Five))
+          .value();
+  Five out{{9, 9, 9, 9, 9}};
+  ASSERT_TRUE(decoder_.decode(bytes, *five, &out, arena_).is_ok());
+  EXPECT_EQ(out.v[0], 1);
+  EXPECT_EQ(out.v[2], 3);
+  EXPECT_EQ(out.v[3], 0);  // zero-padded (struct memset)
+  EXPECT_EQ(out.v[4], 0);
+}
+
+TEST_F(Convert, PlanCacheIsReused) {
+  auto v1 = registry_
+                .register_format("Msg",
+                                 {{"a", "integer", 4, offsetof(V1, a)},
+                                  {"b", "float", 4, offsetof(V1, b)}},
+                                 sizeof(V1))
+                .value();
+  auto encoder = Encoder::make(v1).value();
+  V1 in{1, 2.0f};
+  auto bytes = encoder.encode_to_vector(&in).value();
+  V1 out{};
+  ASSERT_TRUE(decoder_.decode(bytes, *v1, &out, arena_).is_ok());
+  std::size_t after_first = decoder_.plan_cache_size();
+  for (int i = 0; i < 10; ++i)
+    ASSERT_TRUE(decoder_.decode(bytes, *v1, &out, arena_).is_ok());
+  EXPECT_EQ(decoder_.plan_cache_size(), after_first);
+}
+
+TEST_F(Convert, BooleanNormalizesOnConversion) {
+  // A sender writing boolean as a 4-byte int with value 42 arrives as 1 in
+  // a 1-byte receiver field.
+  auto sender = Format::make("B", {{"flag", "boolean", 4, 0}}, 4,
+                             ArchInfo::big_endian_64())
+                    .value();
+  registry_.adopt(sender).value();
+  struct Host {
+    std::uint8_t flag;
+  };
+  auto receiver =
+      registry_.register_format("B", {{"flag", "boolean", 1, 0}}, sizeof(Host))
+          .value();
+  RecordBuilder builder(sender);
+  ASSERT_TRUE(builder.set_bool("flag", true).is_ok());
+  auto bytes = builder.build().value();
+  Host out{};
+  ASSERT_TRUE(decoder_.decode(bytes, *receiver, &out, arena_).is_ok());
+  EXPECT_EQ(out.flag, 1);
+}
+
+TEST_F(Convert, LayoutsIdenticalPredicate) {
+  auto a = registry_
+               .register_format("Msg",
+                                {{"a", "integer", 4, offsetof(V1, a)},
+                                 {"b", "float", 4, offsetof(V1, b)}},
+                                sizeof(V1))
+               .value();
+  EXPECT_TRUE(decoder_.layouts_identical(*a, *a).value());
+  auto foreign = Format::make("Msg",
+                              {{"a", "integer", 4, 0}, {"b", "float", 4, 4}},
+                              8, ArchInfo::big_endian_64())
+                     .value();
+  EXPECT_FALSE(decoder_.layouts_identical(*foreign, *a).value());
+}
+
+}  // namespace
+}  // namespace xmit::pbio

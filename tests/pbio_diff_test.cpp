@@ -1,0 +1,120 @@
+// Format diff tests: the report must agree with what the Decoder actually
+// does (convertible <=> decode succeeds).
+#include <gtest/gtest.h>
+
+#include "common/arena.hpp"
+#include "pbio/decode.hpp"
+#include "pbio/diff.hpp"
+#include "pbio/encode.hpp"
+#include "pbio/registry.hpp"
+
+namespace xmit::pbio {
+namespace {
+
+FormatPtr make_format(const char* name, std::vector<IOField> fields,
+                      std::uint32_t size) {
+  return Format::make(name, std::move(fields), size, ArchInfo::host()).value();
+}
+
+TEST(FormatDiff, IdenticalFormats) {
+  auto a = make_format("T", {{"x", "integer", 4, 0}, {"y", "float", 4, 4}}, 8);
+  auto b = make_format("T", {{"x", "integer", 4, 0}, {"y", "float", 4, 4}}, 8);
+  auto diff = diff_formats(*a, *b);
+  EXPECT_TRUE(diff.identical_layout);
+  EXPECT_TRUE(diff.convertible);
+  EXPECT_TRUE(diff.changes.empty());
+  EXPECT_NE(diff.to_string().find("identical"), std::string::npos);
+}
+
+TEST(FormatDiff, AddedAndRemovedFields) {
+  auto from = make_format("T", {{"x", "integer", 4, 0}, {"old", "float", 4, 4}}, 8);
+  auto to = make_format("T", {{"x", "integer", 4, 0}, {"fresh", "float", 8, 8}}, 16);
+  auto diff = diff_formats(*from, *to);
+  EXPECT_FALSE(diff.identical_layout);
+  EXPECT_TRUE(diff.convertible);
+  ASSERT_EQ(diff.changes.size(), 2u);
+  EXPECT_EQ(diff.changes[0].kind, FieldChange::Kind::kAdded);
+  EXPECT_EQ(diff.changes[0].path, "fresh");
+  EXPECT_EQ(diff.changes[1].kind, FieldChange::Kind::kRemoved);
+  EXPECT_EQ(diff.changes[1].path, "old");
+}
+
+TEST(FormatDiff, ResizeRetypeMove) {
+  auto from = make_format(
+      "T", {{"a", "integer", 4, 0}, {"b", "integer", 4, 4}, {"c", "float", 4, 8}},
+      12);
+  auto to = make_format(
+      "T",
+      {{"b", "integer", 4, 0}, {"a", "integer", 8, 8}, {"c", "integer", 4, 16}},
+      24);
+  auto diff = diff_formats(*from, *to);
+  EXPECT_TRUE(diff.convertible);
+  ASSERT_EQ(diff.changes.size(), 3u);
+  // `to` order: b moved, a resized, c retyped.
+  EXPECT_EQ(diff.changes[0].kind, FieldChange::Kind::kMoved);
+  EXPECT_EQ(diff.changes[1].kind, FieldChange::Kind::kResized);
+  EXPECT_EQ(diff.changes[2].kind, FieldChange::Kind::kRetyped);
+}
+
+TEST(FormatDiff, ShapeChangeIsNotConvertible) {
+  auto from = make_format("T", {{"x", "string", 8, 0}}, 8);
+  auto to = make_format("T", {{"x", "integer", 8, 0}}, 8);
+  auto diff = diff_formats(*from, *to);
+  EXPECT_FALSE(diff.convertible);
+  ASSERT_EQ(diff.changes.size(), 1u);
+  EXPECT_EQ(diff.changes[0].kind, FieldChange::Kind::kShapeChanged);
+  EXPECT_NE(diff.to_string().find("NOT convertible"), std::string::npos);
+}
+
+TEST(FormatDiff, VerdictMatchesDecoderBehaviour) {
+  // For a batch of (from, to) pairs, diff.convertible must equal whether
+  // Decoder::decode succeeds on a real record.
+  struct Case {
+    FormatPtr from, to;
+  };
+  std::vector<Case> cases;
+  cases.push_back({make_format("M", {{"a", "integer", 4, 0}}, 4),
+                   make_format("M", {{"a", "integer", 8, 0}}, 8)});
+  cases.push_back({make_format("M", {{"a", "integer", 4, 0}}, 4),
+                   make_format("M", {{"a", "string", 8, 0}}, 8)});
+  cases.push_back(
+      {make_format("M", {{"a", "integer[3]", 4, 0}}, 12),
+       make_format("M", {{"n", "integer", 4, 0}, {"a", "integer[n]", 4, 8}},
+                   16)});
+  cases.push_back({make_format("M", {{"a", "float", 4, 0}}, 4),
+                   make_format("M", {{"a", "float", 8, 0}, {"b", "float", 8, 8}},
+                               16)});
+
+  for (std::size_t i = 0; i < cases.size(); ++i) {
+    const auto& test_case = cases[i];
+    FormatRegistry registry;
+    ASSERT_TRUE(registry.adopt(test_case.from).is_ok());
+    ASSERT_TRUE(registry.adopt(test_case.to).is_ok());
+    auto encoder = Encoder::make(test_case.from).value();
+    // A zero record of the source layout is enough to exercise the plan.
+    std::vector<std::uint8_t> record(test_case.from->struct_size(), 0);
+    auto bytes = encoder.encode_to_vector(record.data()).value();
+
+    Decoder decoder(registry);
+    Arena arena;
+    std::vector<std::uint8_t> out(test_case.to->struct_size());
+    bool decoded =
+        decoder.decode(bytes, *test_case.to, out.data(), arena).is_ok();
+    bool predicted = diff_formats(*test_case.from, *test_case.to).convertible;
+    EXPECT_EQ(decoded, predicted) << "case " << i;
+  }
+}
+
+TEST(FormatDiff, ArchOnlyDifferenceHasNoFieldChanges) {
+  auto host = make_format("T", {{"a", "integer", 4, 0}}, 4);
+  auto foreign =
+      Format::make("T", {{"a", "integer", 4, 0}}, 4, ArchInfo::big_endian_64())
+          .value();
+  auto diff = diff_formats(*foreign, *host);
+  EXPECT_TRUE(diff.changes.empty());
+  EXPECT_FALSE(diff.identical_layout);
+  EXPECT_TRUE(diff.convertible);
+}
+
+}  // namespace
+}  // namespace xmit::pbio

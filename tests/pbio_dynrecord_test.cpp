@@ -1,0 +1,209 @@
+// RecordBuilder / RecordReader: the value-level (schema-driven, no
+// compiled struct) API, including round-trips against the struct-level
+// encoder/decoder and format metadata serialization.
+#include <gtest/gtest.h>
+
+#include "pbio/decode.hpp"
+#include "pbio/dynrecord.hpp"
+#include "pbio/encode.hpp"
+#include "pbio/format_wire.hpp"
+#include "pbio/registry.hpp"
+
+namespace xmit::pbio {
+namespace {
+
+struct Mixed {
+  std::int32_t id;
+  double ratio;
+  char* tag;
+  std::int32_t n;
+  std::int64_t* values;
+};
+
+class DynRecord : public ::testing::Test {
+ protected:
+  FormatRegistry registry_;
+  Decoder decoder_{registry_};
+  Arena arena_;
+
+  FormatPtr mixed_format() {
+    return registry_
+        .register_format("Mixed",
+                         {{"id", "integer", 4, offsetof(Mixed, id)},
+                          {"ratio", "float", 8, offsetof(Mixed, ratio)},
+                          {"tag", "string", sizeof(char*), offsetof(Mixed, tag)},
+                          {"n", "integer", 4, offsetof(Mixed, n)},
+                          {"values", "integer[n]", 8, offsetof(Mixed, values)}},
+                         sizeof(Mixed))
+        .value();
+  }
+};
+
+TEST_F(DynRecord, BuilderProducesDecodableRecord) {
+  auto format = mixed_format();
+  RecordBuilder builder(format);
+  ASSERT_TRUE(builder.set_int("id", 99).is_ok());
+  ASSERT_TRUE(builder.set_float("ratio", 0.75).is_ok());
+  ASSERT_TRUE(builder.set_string("tag", "built").is_ok());
+  std::vector<std::int64_t> values = {10, -20, 30};
+  ASSERT_TRUE(builder.set_int_array("values", values).is_ok());
+  auto bytes = builder.build().value();
+
+  Mixed out{};
+  auto status = decoder_.decode(bytes, *format, &out, arena_);
+  ASSERT_TRUE(status.is_ok()) << status.to_string();
+  EXPECT_EQ(out.id, 99);
+  EXPECT_EQ(out.ratio, 0.75);
+  EXPECT_STREQ(out.tag, "built");
+  ASSERT_EQ(out.n, 3);
+  EXPECT_EQ(out.values[1], -20);
+}
+
+TEST_F(DynRecord, ReaderReadsEncoderOutput) {
+  auto format = mixed_format();
+  auto encoder = Encoder::make(format).value();
+  char tag[] = "direct";
+  std::vector<std::int64_t> values = {5, 6};
+  Mixed in{7, 1.5, tag, 2, values.data()};
+  auto bytes = encoder.encode_to_vector(&in).value();
+
+  auto reader = RecordReader::make(bytes, format).value();
+  EXPECT_EQ(reader.get_int("id").value(), 7);
+  EXPECT_EQ(reader.get_float("ratio").value(), 1.5);
+  EXPECT_EQ(reader.get_string("tag").value(), "direct");
+  EXPECT_EQ(reader.array_length("values").value(), 2u);
+  auto read_values = reader.get_int_array("values").value();
+  ASSERT_EQ(read_values.size(), 2u);
+  EXPECT_EQ(read_values[1], 6);
+}
+
+TEST_F(DynRecord, BuilderReaderRoundTripWithoutStructs) {
+  auto format = mixed_format();
+  RecordBuilder builder(format);
+  ASSERT_TRUE(builder.set_int("id", 1).is_ok());
+  ASSERT_TRUE(builder.set_float("ratio", -2.5).is_ok());
+  std::vector<std::int64_t> values = {42};
+  ASSERT_TRUE(builder.set_int_array("values", values).is_ok());
+  auto bytes = builder.build().value();
+
+  auto reader = RecordReader::make(bytes, format).value();
+  EXPECT_EQ(reader.get_int("id").value(), 1);
+  EXPECT_EQ(reader.get_float("ratio").value(), -2.5);
+  EXPECT_EQ(reader.get_string("tag").value(), "");  // unset -> null -> ""
+  EXPECT_EQ(reader.get_int_array("values").value()[0], 42);
+}
+
+TEST_F(DynRecord, ForeignArchRoundTrip) {
+  // Build and read back a record under a big-endian 32-bit profile.
+  auto format = Format::make("Mixed",
+                             {{"id", "integer", 4, 0},
+                              {"ratio", "float", 8, 8},
+                              {"tag", "string", 4, 16},
+                              {"n", "integer", 4, 20},
+                              {"values", "integer[n]", 8, 24}},
+                             28, ArchInfo::big_endian_32())
+                    .value();
+  RecordBuilder builder(format);
+  ASSERT_TRUE(builder.set_int("id", 3).is_ok());
+  ASSERT_TRUE(builder.set_float("ratio", 9.5).is_ok());
+  ASSERT_TRUE(builder.set_string("tag", "be32").is_ok());
+  std::vector<std::int64_t> values = {-1, 1};
+  ASSERT_TRUE(builder.set_int_array("values", values).is_ok());
+  auto bytes = builder.build().value();
+
+  auto header = parse_record(bytes).value();
+  EXPECT_EQ(header.byte_order, ByteOrder::kBig);
+  EXPECT_EQ(header.pointer_size, 4);
+  EXPECT_EQ(header.fixed_length, 28u);
+
+  auto reader = RecordReader::make(bytes, format).value();
+  EXPECT_EQ(reader.get_int("id").value(), 3);
+  EXPECT_EQ(reader.get_float("ratio").value(), 9.5);
+  EXPECT_EQ(reader.get_string("tag").value(), "be32");
+  EXPECT_EQ(reader.get_int_array("values").value()[0], -1);
+}
+
+TEST_F(DynRecord, BuilderValidatesFieldUse) {
+  auto format = mixed_format();
+  RecordBuilder builder(format);
+  EXPECT_FALSE(builder.set_int("missing", 1).is_ok());
+  EXPECT_FALSE(builder.set_string("id", "not-a-string").is_ok());
+  EXPECT_FALSE(builder.set_int("tag", 1).is_ok());
+  EXPECT_FALSE(builder.set_int("values", 1).is_ok());         // array
+  std::vector<double> wrong_type = {1.0};
+  EXPECT_FALSE(builder.set_float_array("values", wrong_type).is_ok());
+}
+
+TEST_F(DynRecord, FixedArrayLengthsAreChecked) {
+  struct Fixed {
+    float triple[3];
+  };
+  auto format =
+      registry_.register_format("Fixed", {{"triple", "float[3]", 4, 0}},
+                                sizeof(Fixed))
+          .value();
+  RecordBuilder builder(format);
+  std::vector<double> two = {1.0, 2.0};
+  EXPECT_FALSE(builder.set_float_array("triple", two).is_ok());
+  std::vector<double> three = {1.0, 2.0, 3.0};
+  EXPECT_TRUE(builder.set_float_array("triple", three).is_ok());
+  auto bytes = builder.build().value();
+  auto reader = RecordReader::make(bytes, format).value();
+  auto values = reader.get_float_array("triple").value();
+  EXPECT_EQ(values[2], 3.0);
+}
+
+TEST_F(DynRecord, ReaderRejectsMismatchedFormat) {
+  auto format = mixed_format();
+  auto other =
+      registry_.register_format("Other", {{"x", "integer", 4, 0}}, 4).value();
+  RecordBuilder builder(format);
+  ASSERT_TRUE(builder.set_int("id", 1).is_ok());
+  auto bytes = builder.build().value();
+  EXPECT_FALSE(RecordReader::make(bytes, other).is_ok());
+}
+
+TEST_F(DynRecord, ReaderTypeChecks) {
+  auto format = mixed_format();
+  RecordBuilder builder(format);
+  auto bytes = builder.build().value();
+  auto reader = RecordReader::make(bytes, format).value();
+  EXPECT_FALSE(reader.get_string("id").is_ok());
+  EXPECT_FALSE(reader.get_int("values").is_ok());  // array, not scalar
+  EXPECT_FALSE(reader.get_int("nope").is_ok());
+  EXPECT_FALSE(reader.array_length("id").is_ok());
+}
+
+TEST(FormatWire, SerializationRoundTripsWithSameId) {
+  auto inner =
+      Format::make("Point", {{"x", "float", 4, 0}, {"y", "float", 4, 4}}, 8,
+                   ArchInfo::big_endian_32())
+          .value();
+  auto outer = Format::make("Shape",
+                            {{"kind", "integer", 4, 0},
+                             {"origin", "Point", 8, 4},
+                             {"label", "string", 4, 12}},
+                            16, ArchInfo::big_endian_32(), {inner})
+                   .value();
+  auto blob = serialize_format(*outer);
+  auto restored = deserialize_format(blob);
+  ASSERT_TRUE(restored.is_ok()) << restored.status().to_string();
+  EXPECT_EQ(restored.value()->id(), outer->id());
+  EXPECT_EQ(restored.value()->canonical_description(),
+            outer->canonical_description());
+  EXPECT_EQ(restored.value()->nested_formats().size(), 1u);
+}
+
+TEST(FormatWire, TruncatedMetadataFails) {
+  auto format =
+      Format::make("T", {{"a", "integer", 4, 0}}, 4, ArchInfo::host()).value();
+  auto blob = serialize_format(*format);
+  for (std::size_t cut : {std::size_t{0}, std::size_t{3}, blob.size() - 1}) {
+    auto restored = deserialize_format(
+        std::span<const std::uint8_t>(blob.data(), cut));
+    EXPECT_FALSE(restored.is_ok()) << "cut at " << cut;
+  }
+}
+
+}  // namespace
+}  // namespace xmit::pbio

@@ -1,0 +1,240 @@
+// Format model tests: type-string parsing, flattening, canonical ids,
+// registry semantics.
+#include <gtest/gtest.h>
+
+#include "pbio/format.hpp"
+#include "pbio/registry.hpp"
+
+namespace xmit::pbio {
+namespace {
+
+TEST(FieldType, ParsesScalars) {
+  auto t = parse_field_type("integer");
+  ASSERT_TRUE(t.is_ok());
+  EXPECT_EQ(t.value().kind, FieldKind::kInteger);
+  EXPECT_EQ(t.value().array.mode, ArrayMode::kNone);
+
+  EXPECT_EQ(parse_field_type("unsigned integer").value().kind,
+            FieldKind::kUnsigned);
+  EXPECT_EQ(parse_field_type("float").value().kind, FieldKind::kFloat);
+  EXPECT_EQ(parse_field_type("double").value().kind, FieldKind::kFloat);
+  EXPECT_EQ(parse_field_type("string").value().kind, FieldKind::kString);
+  EXPECT_EQ(parse_field_type("char").value().kind, FieldKind::kChar);
+  EXPECT_EQ(parse_field_type("boolean").value().kind, FieldKind::kBoolean);
+}
+
+TEST(FieldType, ParsesArrays) {
+  auto fixed = parse_field_type("float[8]").value();
+  EXPECT_EQ(fixed.array.mode, ArrayMode::kFixed);
+  EXPECT_EQ(fixed.array.fixed_count, 8u);
+
+  auto dynamic = parse_field_type("float[size]").value();
+  EXPECT_EQ(dynamic.array.mode, ArrayMode::kDynamic);
+  EXPECT_EQ(dynamic.array.size_field, "size");
+
+  auto nested = parse_field_type("Point[4]").value();
+  EXPECT_EQ(nested.kind, FieldKind::kNested);
+  EXPECT_EQ(nested.nested_format, "Point");
+  EXPECT_EQ(nested.array.fixed_count, 4u);
+}
+
+TEST(FieldType, RejectsBadSpecs) {
+  EXPECT_FALSE(parse_field_type("").is_ok());
+  EXPECT_FALSE(parse_field_type("float[]").is_ok());
+  EXPECT_FALSE(parse_field_type("float[0]").is_ok());
+  EXPECT_FALSE(parse_field_type("[3]").is_ok());
+}
+
+TEST(FieldType, RoundTripsThroughFormatting) {
+  for (const char* text :
+       {"integer", "unsigned integer", "float[7]", "float[count]", "Point",
+        "string", "boolean"}) {
+    auto parsed = parse_field_type(text);
+    ASSERT_TRUE(parsed.is_ok()) << text;
+    EXPECT_EQ(format_field_type(parsed.value()), text);
+  }
+}
+
+TEST(Format, FlattensScalars) {
+  auto format = Format::make(
+      "Pair",
+      {{"a", "integer", 4, 0}, {"b", "float", 8, 8}},
+      16, ArchInfo::host());
+  ASSERT_TRUE(format.is_ok()) << format.status().to_string();
+  const auto& flat = format.value()->flat_fields();
+  ASSERT_EQ(flat.size(), 2u);
+  EXPECT_EQ(flat[0].path, "a");
+  EXPECT_EQ(flat[1].path, "b");
+  EXPECT_EQ(flat[1].size, 8u);
+  EXPECT_TRUE(format.value()->is_contiguous());
+}
+
+TEST(Format, FlattensNestedTypes) {
+  auto point = Format::make("Point", {{"x", "float", 4, 0}, {"y", "float", 4, 4}},
+                            8, ArchInfo::host())
+                   .value();
+  auto line = Format::make(
+      "Line", {{"start", "Point", 8, 0}, {"end", "Point", 8, 8}}, 16,
+      ArchInfo::host(), {point});
+  ASSERT_TRUE(line.is_ok()) << line.status().to_string();
+  const auto& flat = line.value()->flat_fields();
+  ASSERT_EQ(flat.size(), 4u);
+  EXPECT_EQ(flat[0].path, "start.x");
+  EXPECT_EQ(flat[3].path, "end.y");
+  EXPECT_EQ(flat[3].offset, 12u);
+}
+
+TEST(Format, UnrollsFixedArraysOfNestedTypes) {
+  auto point = Format::make("Point", {{"x", "float", 4, 0}, {"y", "float", 4, 4}},
+                            8, ArchInfo::host())
+                   .value();
+  auto poly = Format::make("Poly", {{"pts", "Point[3]", 8, 0}}, 24,
+                           ArchInfo::host(), {point});
+  ASSERT_TRUE(poly.is_ok());
+  const auto& flat = poly.value()->flat_fields();
+  ASSERT_EQ(flat.size(), 6u);
+  EXPECT_EQ(flat[2].path, "pts[1].x");
+  EXPECT_EQ(flat[2].offset, 8u);
+}
+
+TEST(Format, DynamicArrayResolvesCountField) {
+  auto format = Format::make(
+      "Simple",
+      {{"timestep", "integer", 4, 0},
+       {"size", "integer", 4, 4},
+       {"data", "float[size]", 4, 8}},
+      16, ArchInfo::host());
+  ASSERT_TRUE(format.is_ok());
+  const FlatField* data = format.value()->flat_field("data");
+  ASSERT_NE(data, nullptr);
+  EXPECT_EQ(data->array_mode, ArrayMode::kDynamic);
+  EXPECT_EQ(data->count_offset, 4u);
+  EXPECT_EQ(data->count_size, 4u);
+  EXPECT_FALSE(format.value()->is_contiguous());
+}
+
+TEST(Format, RejectsMissingCountField) {
+  auto format = Format::make("Bad", {{"data", "float[n]", 4, 0}}, 8,
+                             ArchInfo::host());
+  EXPECT_FALSE(format.is_ok());
+  EXPECT_EQ(format.code(), ErrorCode::kNotFound);
+}
+
+TEST(Format, RejectsNonIntegerCountField) {
+  auto format = Format::make(
+      "Bad", {{"n", "float", 4, 0}, {"data", "float[n]", 4, 8}}, 16,
+      ArchInfo::host());
+  EXPECT_FALSE(format.is_ok());
+}
+
+TEST(Format, RejectsFieldPastStructEnd) {
+  auto format = Format::make("Bad", {{"a", "integer", 4, 6}}, 8,
+                             ArchInfo::host());
+  EXPECT_FALSE(format.is_ok());
+  EXPECT_EQ(format.code(), ErrorCode::kOutOfRange);
+}
+
+TEST(Format, RejectsDuplicateFieldNames) {
+  auto format = Format::make(
+      "Bad", {{"a", "integer", 4, 0}, {"a", "integer", 4, 4}}, 8,
+      ArchInfo::host());
+  EXPECT_FALSE(format.is_ok());
+}
+
+TEST(Format, RejectsBadSizeForKind) {
+  auto format = Format::make("Bad", {{"f", "float", 3, 0}}, 8,
+                             ArchInfo::host());
+  EXPECT_FALSE(format.is_ok());
+}
+
+TEST(Format, IdIsStableAndDescriptionSensitive) {
+  auto make = [](std::uint32_t offset_b) {
+    return Format::make(
+               "T", {{"a", "integer", 4, 0}, {"b", "integer", 4, offset_b}},
+               12, ArchInfo::host())
+        .value();
+  };
+  auto f1 = make(4);
+  auto f2 = make(4);
+  auto f3 = make(8);
+  EXPECT_EQ(f1->id(), f2->id());
+  EXPECT_NE(f1->id(), f3->id());
+}
+
+TEST(Format, IdDependsOnArch) {
+  std::vector<IOField> fields = {{"a", "integer", 4, 0}};
+  auto host = Format::make("T", fields, 4, ArchInfo::host()).value();
+  auto sparc = Format::make("T", fields, 4, ArchInfo::big_endian_32()).value();
+  EXPECT_NE(host->id(), sparc->id());
+}
+
+TEST(Format, IdDependsOnNestedLayout) {
+  auto inner_a =
+      Format::make("I", {{"x", "integer", 4, 0}}, 4, ArchInfo::host()).value();
+  auto inner_b =
+      Format::make("I", {{"x", "integer", 8, 0}}, 8, ArchInfo::host()).value();
+  auto outer_a = Format::make("O", {{"i", "I", 4, 0}}, 4, ArchInfo::host(),
+                              {inner_a})
+                     .value();
+  auto outer_b = Format::make("O", {{"i", "I", 8, 0}}, 8, ArchInfo::host(),
+                              {inner_b})
+                     .value();
+  EXPECT_NE(outer_a->id(), outer_b->id());
+}
+
+TEST(Registry, RegisterAndLookup) {
+  FormatRegistry registry;
+  auto format = registry.register_format(
+      "T", {{"a", "integer", 4, 0}}, 4);
+  ASSERT_TRUE(format.is_ok());
+  EXPECT_EQ(registry.size(), 1u);
+  EXPECT_TRUE(registry.by_id(format.value()->id()).is_ok());
+  EXPECT_TRUE(registry.by_name("T").is_ok());
+  EXPECT_FALSE(registry.by_name("U").is_ok());
+  EXPECT_FALSE(registry.by_id(12345).is_ok());
+}
+
+TEST(Registry, ReRegisteringIdenticalFormatIsIdempotent) {
+  FormatRegistry registry;
+  auto a = registry.register_format("T", {{"a", "integer", 4, 0}}, 4).value();
+  auto b = registry.register_format("T", {{"a", "integer", 4, 0}}, 4).value();
+  EXPECT_EQ(a->id(), b->id());
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(Registry, EvolvedFormatKeepsOldVersionReachable) {
+  FormatRegistry registry;
+  auto v1 = registry.register_format("T", {{"a", "integer", 4, 0}}, 4).value();
+  auto v2 = registry
+                .register_format(
+                    "T", {{"a", "integer", 4, 0}, {"b", "integer", 4, 4}}, 8)
+                .value();
+  EXPECT_NE(v1->id(), v2->id());
+  EXPECT_EQ(registry.size(), 2u);
+  // by_name returns the newest version; by_id still finds the old one.
+  EXPECT_EQ(registry.by_name("T").value()->id(), v2->id());
+  EXPECT_TRUE(registry.by_id(v1->id()).is_ok());
+}
+
+TEST(Registry, NestedFormatsMustBeRegisteredFirst) {
+  FormatRegistry registry;
+  auto missing = registry.register_format("Outer", {{"p", "Point", 8, 0}}, 8);
+  EXPECT_FALSE(missing.is_ok());
+
+  ASSERT_TRUE(registry
+                  .register_format(
+                      "Point", {{"x", "float", 4, 0}, {"y", "float", 4, 4}}, 8)
+                  .is_ok());
+  auto outer = registry.register_format("Outer", {{"p", "Point", 8, 0}}, 8);
+  EXPECT_TRUE(outer.is_ok()) << outer.status().to_string();
+}
+
+TEST(Registry, AllReturnsEverything) {
+  FormatRegistry registry;
+  registry.register_format("A", {{"x", "integer", 4, 0}}, 4).value();
+  registry.register_format("B", {{"x", "integer", 4, 0}}, 4).value();
+  EXPECT_EQ(registry.all().size(), 2u);
+}
+
+}  // namespace
+}  // namespace xmit::pbio

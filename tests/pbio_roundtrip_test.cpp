@@ -1,0 +1,383 @@
+// Encode/decode round-trips through the PBIO wire format on the host
+// architecture: contiguous structs, strings, dynamic arrays, nested types,
+// zero-copy in-place decode.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "pbio/decode.hpp"
+#include "pbio/encode.hpp"
+#include "pbio/registry.hpp"
+
+namespace xmit::pbio {
+namespace {
+
+struct Plain {
+  std::int32_t a;
+  float b;
+  double c;
+  std::uint8_t flag;
+};
+
+std::vector<IOField> plain_fields() {
+  return {
+      {"a", "integer", 4, offsetof(Plain, a)},
+      {"b", "float", 4, offsetof(Plain, b)},
+      {"c", "float", 8, offsetof(Plain, c)},
+      {"flag", "boolean", 1, offsetof(Plain, flag)},
+  };
+}
+
+struct WithString {
+  char* name;
+  std::int32_t id;
+};
+
+struct SimpleData {
+  std::int32_t timestep;
+  std::int32_t size;
+  float* data;
+};
+
+std::vector<IOField> simple_fields() {
+  return {
+      {"timestep", "integer", 4, offsetof(SimpleData, timestep)},
+      {"size", "integer", 4, offsetof(SimpleData, size)},
+      {"data", "float[size]", 4, offsetof(SimpleData, data)},
+  };
+}
+
+class RoundTrip : public ::testing::Test {
+ protected:
+  FormatRegistry registry_;
+  Decoder decoder_{registry_};
+  Arena arena_;
+};
+
+TEST_F(RoundTrip, ContiguousStructIsOneCopy) {
+  auto format =
+      registry_.register_format("Plain", plain_fields(), sizeof(Plain)).value();
+  EXPECT_TRUE(format->is_contiguous());
+  auto encoder = Encoder::make(format).value();
+
+  Plain in{-7, 2.5f, 1e300, 1};
+  auto bytes = encoder.encode_to_vector(&in).value();
+  EXPECT_EQ(bytes.size(), WireHeader::kSize + sizeof(Plain));
+  EXPECT_EQ(encoder.encoded_size(&in).value(), bytes.size());
+
+  Plain out{};
+  ASSERT_TRUE(decoder_.decode(bytes, *format, &out, arena_).is_ok());
+  EXPECT_EQ(out.a, -7);
+  EXPECT_EQ(out.b, 2.5f);
+  EXPECT_EQ(out.c, 1e300);
+  EXPECT_EQ(out.flag, 1);
+}
+
+TEST_F(RoundTrip, HeaderDescribesRecord) {
+  auto format =
+      registry_.register_format("Plain", plain_fields(), sizeof(Plain)).value();
+  auto encoder = Encoder::make(format).value();
+  Plain in{1, 2, 3, 0};
+  auto bytes = encoder.encode_to_vector(&in).value();
+  auto info = decoder_.inspect(bytes).value();
+  EXPECT_EQ(info.header.format_id, format->id());
+  EXPECT_EQ(info.header.fixed_length, sizeof(Plain));
+  EXPECT_EQ(info.header.var_length, 0u);
+  EXPECT_EQ(info.sender_format->name(), "Plain");
+}
+
+TEST_F(RoundTrip, Strings) {
+  auto format = registry_
+                    .register_format(
+                        "WS",
+                        {{"name", "string", sizeof(char*), offsetof(WithString, name)},
+                         {"id", "integer", 4, offsetof(WithString, id)}},
+                        sizeof(WithString))
+                    .value();
+  auto encoder = Encoder::make(format).value();
+
+  char text[] = "hydrology";
+  WithString in{text, 42};
+  auto bytes = encoder.encode_to_vector(&in).value();
+
+  WithString out{};
+  ASSERT_TRUE(decoder_.decode(bytes, *format, &out, arena_).is_ok());
+  EXPECT_STREQ(out.name, "hydrology");
+  EXPECT_NE(out.name, in.name);  // decoded copy, not the original pointer
+  EXPECT_EQ(out.id, 42);
+}
+
+TEST_F(RoundTrip, NullAndEmptyStrings) {
+  auto format = registry_
+                    .register_format(
+                        "WS",
+                        {{"name", "string", sizeof(char*), offsetof(WithString, name)},
+                         {"id", "integer", 4, offsetof(WithString, id)}},
+                        sizeof(WithString))
+                    .value();
+  auto encoder = Encoder::make(format).value();
+
+  WithString null_name{nullptr, 1};
+  auto bytes = encoder.encode_to_vector(&null_name).value();
+  WithString out{};
+  ASSERT_TRUE(decoder_.decode(bytes, *format, &out, arena_).is_ok());
+  EXPECT_EQ(out.name, nullptr);
+
+  char empty[] = "";
+  WithString empty_name{empty, 2};
+  bytes = encoder.encode_to_vector(&empty_name).value();
+  ASSERT_TRUE(decoder_.decode(bytes, *format, &out, arena_).is_ok());
+  ASSERT_NE(out.name, nullptr);
+  EXPECT_STREQ(out.name, "");
+}
+
+TEST_F(RoundTrip, DynamicFloatArray) {
+  auto format =
+      registry_.register_format("SimpleData", simple_fields(), sizeof(SimpleData))
+          .value();
+  auto encoder = Encoder::make(format).value();
+
+  std::vector<float> payload(3355);
+  for (std::size_t i = 0; i < payload.size(); ++i)
+    payload[i] = static_cast<float>(i) * 0.25f;
+  SimpleData in{9999, static_cast<std::int32_t>(payload.size()), payload.data()};
+
+  auto bytes = encoder.encode_to_vector(&in).value();
+  EXPECT_GE(bytes.size(), WireHeader::kSize + sizeof(SimpleData) +
+                              payload.size() * sizeof(float));
+
+  SimpleData out{};
+  ASSERT_TRUE(decoder_.decode(bytes, *format, &out, arena_).is_ok());
+  EXPECT_EQ(out.timestep, 9999);
+  ASSERT_EQ(out.size, in.size);
+  EXPECT_EQ(std::memcmp(out.data, payload.data(),
+                        payload.size() * sizeof(float)),
+            0);
+}
+
+TEST_F(RoundTrip, EmptyDynamicArray) {
+  auto format =
+      registry_.register_format("SimpleData", simple_fields(), sizeof(SimpleData))
+          .value();
+  auto encoder = Encoder::make(format).value();
+  SimpleData in{1, 0, nullptr};
+  auto bytes = encoder.encode_to_vector(&in).value();
+  SimpleData out{1, 1, reinterpret_cast<float*>(0x1)};
+  ASSERT_TRUE(decoder_.decode(bytes, *format, &out, arena_).is_ok());
+  EXPECT_EQ(out.size, 0);
+  EXPECT_EQ(out.data, nullptr);
+}
+
+TEST_F(RoundTrip, NullArrayWithNonzeroCountFailsAtEncode) {
+  auto format =
+      registry_.register_format("SimpleData", simple_fields(), sizeof(SimpleData))
+          .value();
+  auto encoder = Encoder::make(format).value();
+  SimpleData bad{1, 5, nullptr};
+  ByteBuffer out;
+  EXPECT_FALSE(encoder.encode(&bad, out).is_ok());
+}
+
+TEST_F(RoundTrip, NegativeCountFailsAtEncode) {
+  auto format =
+      registry_.register_format("SimpleData", simple_fields(), sizeof(SimpleData))
+          .value();
+  auto encoder = Encoder::make(format).value();
+  float dummy = 0;
+  SimpleData bad{1, -3, &dummy};
+  ByteBuffer out;
+  EXPECT_FALSE(encoder.encode(&bad, out).is_ok());
+}
+
+TEST_F(RoundTrip, DynamicArrayPayloadIsAligned) {
+  // 12-byte fixed section (int,int,int) would misalign an 8-byte payload;
+  // the encoder must pad the variable section.
+  struct Odd {
+    std::int32_t n;
+    double* values;
+  };
+  auto format = registry_
+                    .register_format(
+                        "Odd",
+                        {{"n", "integer", 4, offsetof(Odd, n)},
+                         {"values", "float[n]", 8, offsetof(Odd, values)}},
+                        sizeof(Odd))
+                    .value();
+  auto encoder = Encoder::make(format).value();
+  std::vector<double> payload = {1.5, -2.5, 3.25};
+  Odd in{3, payload.data()};
+  auto bytes = encoder.encode_to_vector(&in).value();
+
+  // In-place decode points straight into the buffer: the pointer must be
+  // 8-aligned relative to the buffer start (buffer itself is new[]-aligned).
+  auto decoded = decoder_.decode_in_place(bytes, *format);
+  ASSERT_TRUE(decoded.is_ok()) << decoded.status().to_string();
+  const Odd* view = static_cast<const Odd*>(decoded.value());
+  EXPECT_EQ((reinterpret_cast<std::uintptr_t>(view->values) -
+             reinterpret_cast<std::uintptr_t>(bytes.data())) %
+                8,
+            0u);
+  EXPECT_EQ(view->values[2], 3.25);
+}
+
+TEST_F(RoundTrip, InPlaceDecodeIsZeroCopy) {
+  auto format =
+      registry_.register_format("SimpleData", simple_fields(), sizeof(SimpleData))
+          .value();
+  auto encoder = Encoder::make(format).value();
+  std::vector<float> payload = {1, 2, 3, 4};
+  SimpleData in{7, 4, payload.data()};
+  auto bytes = encoder.encode_to_vector(&in).value();
+
+  auto decoded = decoder_.decode_in_place(bytes, *format);
+  ASSERT_TRUE(decoded.is_ok());
+  const SimpleData* view = static_cast<const SimpleData*>(decoded.value());
+  EXPECT_EQ(view->timestep, 7);
+  EXPECT_EQ(view->size, 4);
+  // The data pointer lies inside the record buffer.
+  auto* begin = bytes.data();
+  auto* end = bytes.data() + bytes.size();
+  EXPECT_GE(reinterpret_cast<std::uint8_t*>(view->data), begin);
+  EXPECT_LT(reinterpret_cast<std::uint8_t*>(view->data), end);
+  EXPECT_EQ(view->data[3], 4.0f);
+}
+
+TEST_F(RoundTrip, NestedStructsWithStrings) {
+  struct Inner {
+    char* label;
+    std::int32_t value;
+  };
+  struct Outer {
+    std::int32_t id;
+    Inner first;
+    Inner second;
+  };
+  auto inner = registry_
+                   .register_format(
+                       "Inner",
+                       {{"label", "string", sizeof(char*), offsetof(Inner, label)},
+                        {"value", "integer", 4, offsetof(Inner, value)}},
+                       sizeof(Inner))
+                   .value();
+  (void)inner;
+  auto outer = registry_
+                   .register_format(
+                       "Outer",
+                       {{"id", "integer", 4, offsetof(Outer, id)},
+                        {"first", "Inner", sizeof(Inner), offsetof(Outer, first)},
+                        {"second", "Inner", sizeof(Inner), offsetof(Outer, second)}},
+                       sizeof(Outer))
+                   .value();
+  auto encoder = Encoder::make(outer).value();
+
+  char alpha[] = "alpha";
+  char beta[] = "beta";
+  Outer in{5, {alpha, 1}, {beta, 2}};
+  auto bytes = encoder.encode_to_vector(&in).value();
+
+  Outer out{};
+  ASSERT_TRUE(decoder_.decode(bytes, *outer, &out, arena_).is_ok());
+  EXPECT_EQ(out.id, 5);
+  EXPECT_STREQ(out.first.label, "alpha");
+  EXPECT_STREQ(out.second.label, "beta");
+  EXPECT_EQ(out.second.value, 2);
+}
+
+TEST_F(RoundTrip, FixedArrayOfStrings) {
+  struct Tags {
+    char* names[3];
+    std::int32_t count;
+  };
+  auto format = registry_
+                    .register_format(
+                        "Tags",
+                        {{"names", "string[3]", sizeof(char*), offsetof(Tags, names)},
+                         {"count", "integer", 4, offsetof(Tags, count)}},
+                        sizeof(Tags))
+                    .value();
+  auto encoder = Encoder::make(format).value();
+  char one[] = "one";
+  char three[] = "three";
+  Tags in{{one, nullptr, three}, 2};
+  auto bytes = encoder.encode_to_vector(&in).value();
+  Tags out{};
+  ASSERT_TRUE(decoder_.decode(bytes, *format, &out, arena_).is_ok());
+  EXPECT_STREQ(out.names[0], "one");
+  EXPECT_EQ(out.names[1], nullptr);
+  EXPECT_STREQ(out.names[2], "three");
+  EXPECT_EQ(out.count, 2);
+}
+
+TEST_F(RoundTrip, MultipleDynamicArrays) {
+  struct Flow {
+    std::int32_t timestep;
+    std::int32_t nu;
+    float* u;
+    std::int32_t nv;
+    float* v;
+  };
+  auto format = registry_
+                    .register_format(
+                        "Flow",
+                        {{"timestep", "integer", 4, offsetof(Flow, timestep)},
+                         {"nu", "integer", 4, offsetof(Flow, nu)},
+                         {"u", "float[nu]", 4, offsetof(Flow, u)},
+                         {"nv", "integer", 4, offsetof(Flow, nv)},
+                         {"v", "float[nv]", 4, offsetof(Flow, v)}},
+                        sizeof(Flow))
+                    .value();
+  auto encoder = Encoder::make(format).value();
+  std::vector<float> u = {1, 2, 3};
+  std::vector<float> v = {4, 5};
+  Flow in{10, 3, u.data(), 2, v.data()};
+  auto bytes = encoder.encode_to_vector(&in).value();
+  Flow out{};
+  ASSERT_TRUE(decoder_.decode(bytes, *format, &out, arena_).is_ok());
+  EXPECT_EQ(out.nu, 3);
+  EXPECT_EQ(out.nv, 2);
+  EXPECT_EQ(out.u[2], 3.0f);
+  EXPECT_EQ(out.v[1], 5.0f);
+}
+
+TEST_F(RoundTrip, BatchedRecordsInOneBuffer) {
+  auto format =
+      registry_.register_format("Plain", plain_fields(), sizeof(Plain)).value();
+  auto encoder = Encoder::make(format).value();
+  ByteBuffer buffer;
+  Plain first{1, 1.0f, 1.0, 0};
+  Plain second{2, 2.0f, 2.0, 1};
+  ASSERT_TRUE(encoder.encode(&first, buffer).is_ok());
+  std::size_t first_size = buffer.size();
+  ASSERT_TRUE(encoder.encode(&second, buffer).is_ok());
+
+  // Each record is independently parsable at its own offset.
+  Plain out{};
+  std::span<const std::uint8_t> all = buffer.span();
+  ASSERT_TRUE(
+      decoder_.decode(all.subspan(0, first_size), *format, &out, arena_).is_ok());
+  EXPECT_EQ(out.a, 1);
+  ASSERT_TRUE(
+      decoder_.decode(all.subspan(first_size), *format, &out, arena_).is_ok());
+  EXPECT_EQ(out.a, 2);
+}
+
+TEST_F(RoundTrip, EncoderRejectsForeignArchFormat) {
+  auto sparc = Format::make("T", {{"a", "integer", 4, 0}}, 4,
+                            ArchInfo::big_endian_32())
+                   .value();
+  EXPECT_FALSE(Encoder::make(sparc).is_ok());
+}
+
+TEST_F(RoundTrip, EncodedSizePredictionMatchesForVariableData) {
+  auto format =
+      registry_.register_format("SimpleData", simple_fields(), sizeof(SimpleData))
+          .value();
+  auto encoder = Encoder::make(format).value();
+  std::vector<float> payload(17, 1.0f);
+  SimpleData in{3, 17, payload.data()};
+  EXPECT_EQ(encoder.encoded_size(&in).value(),
+            encoder.encode_to_vector(&in).value().size());
+}
+
+}  // namespace
+}  // namespace xmit::pbio

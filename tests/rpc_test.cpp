@@ -1,0 +1,208 @@
+// XML-RPC tests: value model, spec-conformant wire documents, server
+// dispatch over live HTTP POST, fault propagation.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "rpc/xmlrpc.hpp"
+
+namespace xmit::rpc {
+namespace {
+
+TEST(XmlRpcValue, ScalarAccessors) {
+  EXPECT_EQ(Value::from_int(-42).as_int().value(), -42);
+  EXPECT_TRUE(Value::from_bool(true).as_bool().value());
+  EXPECT_EQ(Value::from_double(2.5).as_double().value(), 2.5);
+  EXPECT_EQ(Value::from_string("hi").as_string().value(), "hi");
+  // Int promotes to double on request (common in the wild).
+  EXPECT_EQ(Value::from_int(3).as_double().value(), 3.0);
+  // Wrong-kind access errors out.
+  EXPECT_FALSE(Value::from_int(1).as_string().is_ok());
+  EXPECT_FALSE(Value::from_string("x").as_int().is_ok());
+  EXPECT_FALSE(Value::from_string("x").as_array().is_ok());
+  EXPECT_FALSE(Value::from_string("x").member("a").is_ok());
+}
+
+TEST(XmlRpcValue, CompositeAccessors) {
+  Value array = Value::array({Value::from_int(1), Value::from_string("two")});
+  ASSERT_TRUE(array.as_array().is_ok());
+  EXPECT_EQ(array.items().size(), 2u);
+
+  Value record = Value::structure({{"a", Value::from_int(7)}});
+  EXPECT_EQ(record.member("a").value()->as_int().value(), 7);
+  EXPECT_FALSE(record.member("b").is_ok());
+}
+
+TEST(XmlRpcWire, MethodCallRoundTrip) {
+  MethodCall call;
+  call.method = "examples.getStateName";
+  call.params = {Value::from_int(41),
+                 Value::from_string("extra <&> text"),
+                 Value::from_double(0.125),
+                 Value::from_bool(false),
+                 Value::array({Value::from_int(1), Value::from_int(2)}),
+                 Value::structure({{"k", Value::from_string("v")}})};
+  std::string text = write_method_call(call);
+  EXPECT_NE(text.find("<methodCall>"), std::string::npos);
+  EXPECT_NE(text.find("<i4>41</i4>"), std::string::npos);
+
+  auto parsed = parse_method_call(text);
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
+  EXPECT_EQ(parsed.value().method, call.method);
+  ASSERT_EQ(parsed.value().params.size(), call.params.size());
+  for (std::size_t i = 0; i < call.params.size(); ++i)
+    EXPECT_TRUE(parsed.value().params[i] == call.params[i]) << "param " << i;
+}
+
+TEST(XmlRpcWire, ResponseRoundTrip) {
+  Value value = Value::structure({
+      {"total", Value::from_double(18.5)},
+      {"names", Value::array({Value::from_string("a"), Value::from_string("b")})},
+  });
+  auto parsed = parse_method_response(write_method_response(value));
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
+  EXPECT_FALSE(parsed.value().faulted);
+  EXPECT_TRUE(parsed.value().value == value);
+}
+
+TEST(XmlRpcWire, FaultRoundTrip) {
+  auto parsed = parse_method_response(write_fault(4, "Too many parameters."));
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
+  EXPECT_TRUE(parsed.value().faulted);
+  EXPECT_EQ(parsed.value().fault.code, 4);
+  EXPECT_EQ(parsed.value().fault.message, "Too many parameters.");
+}
+
+TEST(XmlRpcWire, SpecExampleParses) {
+  // The canonical example from the XML-RPC specification.
+  const char* spec = R"(<?xml version="1.0"?>
+<methodCall>
+  <methodName>examples.getStateName</methodName>
+  <params>
+    <param><value><i4>41</i4></value></param>
+  </params>
+</methodCall>)";
+  auto call = parse_method_call(spec);
+  ASSERT_TRUE(call.is_ok()) << call.status().to_string();
+  EXPECT_EQ(call.value().method, "examples.getStateName");
+  ASSERT_EQ(call.value().params.size(), 1u);
+  EXPECT_EQ(call.value().params[0].as_int().value(), 41);
+}
+
+TEST(XmlRpcWire, UntypedValueIsString) {
+  auto call = parse_method_call(
+      "<methodCall><methodName>m</methodName><params>"
+      "<param><value>bare text</value></param></params></methodCall>");
+  ASSERT_TRUE(call.is_ok());
+  EXPECT_EQ(call.value().params[0].as_string().value(), "bare text");
+}
+
+TEST(XmlRpcWire, Rejections) {
+  EXPECT_FALSE(parse_method_call("not xml").is_ok());
+  EXPECT_FALSE(parse_method_call("<other/>").is_ok());
+  EXPECT_FALSE(parse_method_call("<methodCall></methodCall>").is_ok());
+  EXPECT_FALSE(parse_method_response("<methodResponse></methodResponse>")
+                   .is_ok());
+  EXPECT_FALSE(parse_method_call(
+                   "<methodCall><methodName>m</methodName><params>"
+                   "<param><value><i4>xyz</i4></value></param></params>"
+                   "</methodCall>")
+                   .is_ok());
+}
+
+class XmlRpcLive : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    server_ = net::HttpServer::start().value();
+    rpc_ = std::make_unique<XmlRpcServer>(*server_);
+    rpc_->register_method("math.add", [](const std::vector<Value>& params)
+                                          -> Result<Value> {
+      if (params.size() != 2)
+        return Status(ErrorCode::kInvalidArgument, "add needs 2 params");
+      XMIT_ASSIGN_OR_RETURN(auto a, params[0].as_int());
+      XMIT_ASSIGN_OR_RETURN(auto b, params[1].as_int());
+      return Value::from_int(a + b);
+    });
+    rpc_->register_method("echo", [](const std::vector<Value>& params)
+                                      -> Result<Value> {
+      return Value::array(params);
+    });
+  }
+
+  std::unique_ptr<net::HttpServer> server_;
+  std::unique_ptr<XmlRpcServer> rpc_;
+};
+
+TEST_F(XmlRpcLive, CallOverHttp) {
+  XmlRpcClient client("127.0.0.1", server_->port());
+  auto result = client.call("math.add",
+                            {Value::from_int(19), Value::from_int(23)});
+  ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+  EXPECT_EQ(result.value().as_int().value(), 42);
+  EXPECT_EQ(rpc_->calls_served(), 1u);
+}
+
+TEST_F(XmlRpcLive, EchoPreservesStructure) {
+  XmlRpcClient client("127.0.0.1", server_->port());
+  std::vector<Value> params = {
+      Value::from_string("x"),
+      Value::structure({{"nested", Value::array({Value::from_double(1.5)})}})};
+  auto result = client.call("echo", params);
+  ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+  ASSERT_TRUE(result.value().is(Value::Kind::kArray));
+  EXPECT_TRUE(result.value().items()[1] == params[1]);
+}
+
+TEST_F(XmlRpcLive, UnknownMethodFaults) {
+  XmlRpcClient client("127.0.0.1", server_->port());
+  auto result = client.call("no.such.method", {});
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_NE(result.status().message().find("-32601"), std::string::npos);
+}
+
+TEST_F(XmlRpcLive, HandlerErrorBecomesFault) {
+  XmlRpcClient client("127.0.0.1", server_->port());
+  auto result = client.call("math.add", {Value::from_int(1)});
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_NE(result.status().message().find("add needs 2 params"),
+            std::string::npos);
+}
+
+TEST_F(XmlRpcLive, MalformedPostBodyFaults) {
+  auto http = net::HttpClient::post("127.0.0.1", server_->port(), "/RPC2",
+                                    "this is not xml-rpc");
+  ASSERT_TRUE(http.is_ok());
+  auto response = parse_method_response(http.value().body);
+  ASSERT_TRUE(response.is_ok());
+  EXPECT_TRUE(response.value().faulted);
+  EXPECT_EQ(response.value().fault.code, -32700);
+}
+
+TEST_F(XmlRpcLive, PostToWrongEndpointIs404) {
+  auto http = net::HttpClient::post("127.0.0.1", server_->port(), "/other",
+                                    "<methodCall/>");
+  ASSERT_TRUE(http.is_ok());
+  EXPECT_EQ(http.value().status_code, 404);
+}
+
+TEST_F(XmlRpcLive, ConcurrentClients) {
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 6; ++t) {
+    threads.emplace_back([&, t] {
+      XmlRpcClient client("127.0.0.1", server_->port());
+      for (int i = 0; i < 20; ++i) {
+        auto result = client.call(
+            "math.add", {Value::from_int(t), Value::from_int(i)});
+        if (!result.is_ok() || result.value().as_int().value() != t + i)
+          failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(rpc_->calls_served(), 120u);
+}
+
+}  // namespace
+}  // namespace xmit::rpc

@@ -1,0 +1,242 @@
+// MessageSession tests: self-describing connections — formats travel
+// in-band exactly once, receivers need no schema, evolution re-announces.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/arena.hpp"
+#include "session/session.hpp"
+
+namespace xmit::session {
+namespace {
+
+struct Reading {
+  std::int32_t id;
+  std::int32_t n;
+  float* series;
+  char* site;
+};
+
+pbio::FormatPtr reading_format(pbio::FormatRegistry& registry) {
+  return registry
+      .register_format(
+          "Reading",
+          {{"id", "integer", 4, offsetof(Reading, id)},
+           {"n", "integer", 4, offsetof(Reading, n)},
+           {"series", "float[n]", 4, offsetof(Reading, series)},
+           {"site", "string", sizeof(char*), offsetof(Reading, site)}},
+          sizeof(Reading))
+      .value();
+}
+
+TEST(Session, ReceiverNeedsNoPriorMetadata) {
+  pbio::FormatRegistry sender_registry, receiver_registry;
+  auto pair = make_session_pipe(sender_registry, receiver_registry).value();
+
+  auto format = reading_format(sender_registry);
+  auto encoder = pbio::Encoder::make(format).value();
+  std::vector<float> series = {1.5f, 2.5f};
+  char site[] = "upstream";
+  Reading in{4, 2, series.data(), site};
+  ASSERT_TRUE(pair.a.send(encoder, &in).is_ok());
+
+  EXPECT_EQ(receiver_registry.size(), 0u);  // nothing until receive()
+  auto incoming = pair.b.receive().value();
+  EXPECT_EQ(incoming.sender_format->name(), "Reading");
+  EXPECT_EQ(receiver_registry.size(), 1u);  // adopted in-band
+
+  // Decode with the announced metadata (identity layout).
+  pbio::Decoder decoder(receiver_registry);
+  Arena arena;
+  Reading out{};
+  ASSERT_TRUE(
+      decoder.decode(incoming.bytes, *incoming.sender_format, &out, arena)
+          .is_ok());
+  EXPECT_EQ(out.id, 4);
+  EXPECT_STREQ(out.site, "upstream");
+  EXPECT_EQ(out.series[1], 2.5f);
+}
+
+TEST(Session, FormatAnnouncedExactlyOnce) {
+  pbio::FormatRegistry sender_registry, receiver_registry;
+  auto pair = make_session_pipe(sender_registry, receiver_registry).value();
+  auto format = reading_format(sender_registry);
+  auto encoder = pbio::Encoder::make(format).value();
+  std::vector<float> series = {1};
+  Reading in{1, 1, series.data(), nullptr};
+  for (int i = 0; i < 20; ++i) {
+    in.id = i;
+    ASSERT_TRUE(pair.a.send(encoder, &in).is_ok());
+  }
+  EXPECT_EQ(pair.a.announcements_sent(), 1u);
+  EXPECT_EQ(pair.a.records_sent(), 20u);
+  for (int i = 0; i < 20; ++i) {
+    auto incoming = pair.b.receive().value();
+    EXPECT_EQ(incoming.sender_format->id(), format->id());
+  }
+  EXPECT_EQ(pair.b.announcements_received(), 1u);
+}
+
+TEST(Session, EvolvedFormatTriggersReannouncement) {
+  pbio::FormatRegistry sender_registry, receiver_registry;
+  auto pair = make_session_pipe(sender_registry, receiver_registry).value();
+
+  struct V1 {
+    std::int32_t a;
+  };
+  struct V2 {
+    std::int32_t a;
+    double b;
+  };
+  auto v1 = sender_registry
+                .register_format("Msg", {{"a", "integer", 4, 0}}, sizeof(V1))
+                .value();
+  auto v1_encoder = pbio::Encoder::make(v1).value();
+  V1 first{1};
+  ASSERT_TRUE(pair.a.send(v1_encoder, &first).is_ok());
+
+  auto v2 = sender_registry
+                .register_format(
+                    "Msg",
+                    {{"a", "integer", 4, offsetof(V2, a)},
+                     {"b", "float", 8, offsetof(V2, b)}},
+                    sizeof(V2))
+                .value();
+  auto v2_encoder = pbio::Encoder::make(v2).value();
+  V2 second{2, 0.5};
+  ASSERT_TRUE(pair.a.send(v2_encoder, &second).is_ok());
+  EXPECT_EQ(pair.a.announcements_sent(), 2u);  // structure modified
+
+  auto one = pair.b.receive().value();
+  auto two = pair.b.receive().value();
+  EXPECT_EQ(one.sender_format->id(), v1->id());
+  EXPECT_EQ(two.sender_format->id(), v2->id());
+  EXPECT_EQ(receiver_registry.size(), 2u);  // both versions known
+}
+
+TEST(Session, NestedFormatsTravelWithTheOuter) {
+  pbio::FormatRegistry sender_registry, receiver_registry;
+  auto pair = make_session_pipe(sender_registry, receiver_registry).value();
+
+  struct Point {
+    float x, y;
+  };
+  struct Line {
+    Point a, b;
+  };
+  ASSERT_TRUE(sender_registry
+                  .register_format("Point",
+                                   {{"x", "float", 4, offsetof(Point, x)},
+                                    {"y", "float", 4, offsetof(Point, y)}},
+                                   sizeof(Point))
+                  .is_ok());
+  auto line = sender_registry
+                  .register_format("Line",
+                                   {{"a", "Point", sizeof(Point), offsetof(Line, a)},
+                                    {"b", "Point", sizeof(Point), offsetof(Line, b)}},
+                                   sizeof(Line))
+                  .value();
+  auto encoder = pbio::Encoder::make(line).value();
+  Line in{{1, 2}, {3, 4}};
+  ASSERT_TRUE(pair.a.send(encoder, &in).is_ok());
+
+  auto incoming = pair.b.receive().value();
+  pbio::Decoder decoder(receiver_registry);
+  Arena arena;
+  Line out{};
+  ASSERT_TRUE(
+      decoder.decode(incoming.bytes, *incoming.sender_format, &out, arena)
+          .is_ok());
+  EXPECT_EQ(out.b.y, 4.0f);
+}
+
+TEST(Session, PreAnnounceLetsReceiverBindEarly) {
+  pbio::FormatRegistry sender_registry, receiver_registry;
+  auto pair = make_session_pipe(sender_registry, receiver_registry).value();
+  auto format = reading_format(sender_registry);
+  ASSERT_TRUE(pair.a.announce(*format).is_ok());
+  // Push one record so receive() has a data frame to stop at.
+  auto encoder = pbio::Encoder::make(format).value();
+  std::vector<float> series = {1};
+  Reading in{1, 1, series.data(), nullptr};
+  ASSERT_TRUE(pair.a.send(encoder, &in).is_ok());
+  EXPECT_EQ(pair.a.announcements_sent(), 1u);  // announce() + send() = once
+
+  auto incoming = pair.b.receive().value();
+  EXPECT_TRUE(receiver_registry.by_name("Reading").is_ok());
+  EXPECT_EQ(incoming.sender_format->name(), "Reading");
+}
+
+TEST(Session, CleanCloseSurfacesAsNotFound) {
+  pbio::FormatRegistry a_registry, b_registry;
+  auto pair = make_session_pipe(a_registry, b_registry).value();
+  pair.a.close();
+  auto incoming = pair.b.receive(200);
+  EXPECT_FALSE(incoming.is_ok());
+  EXPECT_EQ(incoming.code(), ErrorCode::kNotFound);
+}
+
+TEST(Session, GarbageFrameIsRejected) {
+  pbio::FormatRegistry a_registry, b_registry;
+  auto [raw_a, raw_b] = net::Channel::pipe().value();
+  MessageSession receiver(std::move(raw_b), b_registry);
+  std::vector<std::uint8_t> junk = {0x77, 1, 2, 3};
+  ASSERT_TRUE(raw_a.send(junk).is_ok());
+  auto incoming = receiver.receive(200);
+  EXPECT_FALSE(incoming.is_ok());
+  EXPECT_EQ(incoming.code(), ErrorCode::kParseError);
+}
+
+TEST(Session, BidirectionalTraffic) {
+  pbio::FormatRegistry a_registry, b_registry;
+  auto pair = make_session_pipe(a_registry, b_registry).value();
+
+  auto a_format = reading_format(a_registry);
+  auto a_encoder = pbio::Encoder::make(a_format).value();
+  struct Ack {
+    std::int32_t id;
+  };
+  auto b_format =
+      b_registry.register_format("Ack", {{"id", "integer", 4, 0}}, sizeof(Ack))
+          .value();
+  auto b_encoder = pbio::Encoder::make(b_format).value();
+
+  std::thread responder([&] {
+    pbio::Decoder decoder(b_registry);
+    Arena arena;
+    for (int i = 0; i < 5; ++i) {
+      auto incoming = pair.b.receive();
+      if (!incoming.is_ok()) return;
+      Reading reading{};
+      arena.reset();
+      if (!decoder
+               .decode(incoming.value().bytes, *incoming.value().sender_format,
+                       &reading, arena)
+               .is_ok())
+        return;
+      Ack ack{reading.id};
+      if (!pair.b.send(b_encoder, &ack).is_ok()) return;
+    }
+  });
+
+  pbio::Decoder decoder(a_registry);
+  Arena arena;
+  std::vector<float> series = {0.5f};
+  for (int i = 0; i < 5; ++i) {
+    Reading reading{i, 1, series.data(), nullptr};
+    ASSERT_TRUE(pair.a.send(a_encoder, &reading).is_ok());
+    auto ack_frame = pair.a.receive().value();
+    EXPECT_EQ(ack_frame.sender_format->name(), "Ack");
+    Ack ack{};
+    arena.reset();
+    ASSERT_TRUE(decoder
+                    .decode(ack_frame.bytes, *ack_frame.sender_format, &ack,
+                            arena)
+                    .is_ok());
+    EXPECT_EQ(ack.id, i);
+  }
+  responder.join();
+}
+
+}  // namespace
+}  // namespace xmit::session

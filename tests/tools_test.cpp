@@ -1,0 +1,163 @@
+// Smoke tests for the command-line tools: run the built binaries against
+// real inputs and check their exit codes and key output lines.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "net/fetch.hpp"
+#include "pbio/encode.hpp"
+#include "pbio/file.hpp"
+#include "pbio/registry.hpp"
+
+namespace xmit {
+namespace {
+
+#if defined(XMIT_BINARY_DIR)
+
+std::string tool(const char* name) {
+  return std::string(XMIT_BINARY_DIR) + "/tools/" + name;
+}
+
+// Runs a command, captures stdout, returns exit status.
+int run(const std::string& command, std::string* output) {
+  std::string full = command + " 2>&1";
+  FILE* pipe = ::popen(full.c_str(), "r");
+  if (pipe == nullptr) return -1;
+  char buffer[512];
+  output->clear();
+  while (std::fgets(buffer, sizeof(buffer), pipe) != nullptr) *output += buffer;
+  int status = ::pclose(pipe);
+  return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+}
+
+class Tools : public ::testing::Test {
+ protected:
+  std::string temp(const std::string& name) {
+    return ::testing::TempDir() + "tools_test_" + name;
+  }
+};
+
+TEST_F(Tools, InspectDumpsPbioFile) {
+  struct Reading {
+    std::int32_t id;
+    double value;
+    char* site;
+  };
+  std::string path = temp("readings.pbio");
+  {
+    pbio::FormatRegistry registry;
+    auto format =
+        registry
+            .register_format("Reading",
+                             {{"id", "integer", 4, offsetof(Reading, id)},
+                              {"value", "float", 8, offsetof(Reading, value)},
+                              {"site", "string", sizeof(char*),
+                               offsetof(Reading, site)}},
+                             sizeof(Reading))
+            .value();
+    auto encoder = pbio::Encoder::make(format).value();
+    auto sink = pbio::FileSink::create(path).value();
+    char site[] = "gauge-7";
+    Reading r{12, 3.5, site};
+    ASSERT_TRUE(sink.write(encoder, &r).is_ok());
+    ASSERT_TRUE(sink.flush().is_ok());
+  }
+
+  std::string output;
+  int status = run(tool("xmit_inspect") + " " + path, &output);
+  EXPECT_EQ(status, 0) << output;
+  EXPECT_NE(output.find("format \"Reading\""), std::string::npos) << output;
+  EXPECT_NE(output.find("id                   = 12"), std::string::npos);
+  EXPECT_NE(output.find("\"gauge-7\""), std::string::npos);
+
+  status = run(tool("xmit_inspect") + " --xml " + path, &output);
+  EXPECT_EQ(status, 0);
+  EXPECT_NE(output.find("<Reading><id>12</id>"), std::string::npos) << output;
+
+  std::remove(path.c_str());
+}
+
+TEST_F(Tools, InspectRejectsGarbage) {
+  std::string path = temp("garbage.bin");
+  ASSERT_TRUE(net::write_file(path, "not a pbio file").is_ok());
+  std::string output;
+  EXPECT_NE(run(tool("xmit_inspect") + " " + path, &output), 0);
+  std::remove(path.c_str());
+  EXPECT_NE(run(tool("xmit_inspect") + " /nonexistent.pbio", &output), 0);
+  EXPECT_EQ(run(tool("xmit_inspect"), &output), 2);  // usage
+}
+
+TEST_F(Tools, ValidateAcceptsAndRejects) {
+  std::string schema_path = temp("schema.xsd");
+  std::string good_path = temp("good.xml");
+  std::string bad_path = temp("bad.xml");
+  ASSERT_TRUE(net::write_file(schema_path, R"(
+    <xsd:complexType name="Point">
+      <xsd:element name="x" type="xsd:float" />
+      <xsd:element name="y" type="xsd:float" />
+    </xsd:complexType>)").is_ok());
+  ASSERT_TRUE(net::write_file(good_path, "<p><x>1.5</x><y>2</y></p>").is_ok());
+  ASSERT_TRUE(net::write_file(bad_path, "<p><x>oops</x><y>2</y></p>").is_ok());
+
+  std::string output;
+  EXPECT_EQ(run(tool("xmit_validate") + " " + schema_path + " " + good_path,
+                &output),
+            0);
+  EXPECT_NE(output.find("matches: Point"), std::string::npos) << output;
+
+  EXPECT_EQ(run(tool("xmit_validate") + " " + schema_path + " " + good_path +
+                    " Point",
+                &output),
+            0);
+  EXPECT_NE(output.find("VALID against Point"), std::string::npos);
+
+  EXPECT_NE(run(tool("xmit_validate") + " " + schema_path + " " + bad_path +
+                    " Point",
+                &output),
+            0);
+  EXPECT_NE(output.find("INVALID"), std::string::npos);
+
+  std::remove(schema_path.c_str());
+  std::remove(good_path.c_str());
+  std::remove(bad_path.c_str());
+}
+
+TEST_F(Tools, DiffReportsEvolution) {
+  std::string v1 = temp("v1.xsd");
+  std::string v2 = temp("v2.xsd");
+  std::string v3 = temp("v3.xsd");
+  ASSERT_TRUE(net::write_file(v1, R"(
+    <xsd:complexType name="Msg">
+      <xsd:element name="a" type="xsd:integer" />
+    </xsd:complexType>)").is_ok());
+  ASSERT_TRUE(net::write_file(v2, R"(
+    <xsd:complexType name="Msg">
+      <xsd:element name="a" type="xsd:integer" />
+      <xsd:element name="b" type="xsd:double" />
+    </xsd:complexType>)").is_ok());
+  ASSERT_TRUE(net::write_file(v3, R"(
+    <xsd:complexType name="Msg">
+      <xsd:element name="a" type="xsd:string" />
+    </xsd:complexType>)").is_ok());
+
+  std::string output;
+  // v1 -> v2: field added, convertible, exit 0.
+  EXPECT_EQ(run(tool("xmit_diff") + " " + v1 + " " + v2, &output), 0);
+  EXPECT_NE(output.find("added  b"), std::string::npos) << output;
+  EXPECT_NE(output.find("convertible"), std::string::npos);
+
+  // v1 -> v3: int -> string shape change, exit 1.
+  EXPECT_EQ(run(tool("xmit_diff") + " " + v1 + " " + v3, &output), 1);
+  EXPECT_NE(output.find("shape-changed"), std::string::npos) << output;
+
+  std::remove(v1.c_str());
+  std::remove(v2.c_str());
+  std::remove(v3.c_str());
+}
+
+#endif  // XMIT_BINARY_DIR
+
+}  // namespace
+}  // namespace xmit

@@ -1,0 +1,128 @@
+// Code generator tests: Java source and C header emission (§3.2 and the
+// Figure 2 round trip).
+#include <gtest/gtest.h>
+
+#include "xmit/codegen.hpp"
+#include "xmit/layout.hpp"
+#include "xsd/parse.hpp"
+
+namespace xmit::toolkit {
+namespace {
+
+constexpr const char* kSchema = R"(
+<s>
+  <xsd:complexType name="Point">
+    <xsd:element name="x" type="xsd:float" />
+    <xsd:element name="y" type="xsd:float" />
+  </xsd:complexType>
+  <xsd:complexType name="Track">
+    <xsd:element name="label" type="xsd:string" />
+    <xsd:element name="origin" type="Point" />
+    <xsd:element name="speeds" type="xsd:float" maxOccurs="*"
+                 dimensionName="nspeeds" dimensionPlacement="before" />
+    <xsd:element name="flags" type="xsd:integer" maxOccurs="4" />
+  </xsd:complexType>
+</s>)";
+
+TEST(JavaCodegen, EmitsOneClassPerType) {
+  auto schema = xsd::parse_schema_text(kSchema).value();
+  auto source = generate_java_source(schema).value();
+  EXPECT_NE(source.find("public class Point implements Serializable"),
+            std::string::npos);
+  EXPECT_NE(source.find("public class Track implements Serializable"),
+            std::string::npos);
+  // Dependency order: Point before Track.
+  EXPECT_LT(source.find("class Point"), source.find("class Track"));
+}
+
+TEST(JavaCodegen, FieldAndAccessorShapes) {
+  auto schema = xsd::parse_schema_text(kSchema).value();
+  auto source = generate_java_source(schema).value();
+  EXPECT_NE(source.find("public float x;"), std::string::npos);
+  EXPECT_NE(source.find("public String label;"), std::string::npos);
+  EXPECT_NE(source.find("public Point origin;"), std::string::npos);
+  EXPECT_NE(source.find("public float[] speeds;"), std::string::npos);
+  EXPECT_NE(source.find("public int[] flags;"), std::string::npos);
+  EXPECT_NE(source.find("public float[] getSpeeds()"), std::string::npos);
+  EXPECT_NE(source.find("public void setLabel(String value)"), std::string::npos);
+}
+
+TEST(JavaCodegen, PackageAndRmiOptions) {
+  auto schema = xsd::parse_schema_text(kSchema).value();
+  JavaCodegenOptions options;
+  options.package = "edu.gatech.xmit";
+  auto source = generate_java_source(schema, options).value();
+  EXPECT_NE(source.find("package edu.gatech.xmit;"), std::string::npos);
+  EXPECT_NE(source.find("java.rmi.RemoteException"), std::string::npos);
+
+  options.implement_remote = false;
+  source = generate_java_source(schema, options).value();
+  EXPECT_EQ(source.find("java.rmi"), std::string::npos);
+}
+
+TEST(JavaCodegen, UnsignedTypesWiden) {
+  auto schema = xsd::parse_schema_text(R"(
+    <xsd:complexType name="U">
+      <xsd:element name="a" type="xsd:unsignedShort" />
+      <xsd:element name="b" type="xsd:unsignedInt" />
+      <xsd:element name="c" type="xsd:unsignedLong" />
+    </xsd:complexType>)")
+                    .value();
+  auto source = generate_java_source(schema).value();
+  EXPECT_NE(source.find("public int a;"), std::string::npos);
+  EXPECT_NE(source.find("public long b;"), std::string::npos);
+  EXPECT_NE(source.find("public long c;"), std::string::npos);
+}
+
+TEST(CCodegen, EmitsStructAndFieldTable) {
+  auto schema = xsd::parse_schema_text(kSchema).value();
+  auto header = generate_c_header(schema, pbio::ArchInfo::host()).value();
+  EXPECT_NE(header.find("typedef struct {"), std::string::npos);
+  EXPECT_NE(header.find("} Point;"), std::string::npos);
+  EXPECT_NE(header.find("} Track;"), std::string::npos);
+  EXPECT_NE(header.find("static IOField TrackFields[]"), std::string::npos);
+  // Figure 2 shape: { "name", "type", size, offset } rows.
+  EXPECT_NE(header.find("{ \"label\", \"string\", 8, 0 }"), std::string::npos);
+  // Synthesized dimension field appears in the struct.
+  EXPECT_NE(header.find("int nspeeds;"), std::string::npos);
+  EXPECT_NE(header.find("float* speeds;"), std::string::npos);
+  EXPECT_NE(header.find("int flags[4];"), std::string::npos);
+  // Include guard lines.
+  EXPECT_NE(header.find("#ifndef XMIT_GENERATED_"), std::string::npos);
+  EXPECT_NE(header.find("#endif"), std::string::npos);
+}
+
+TEST(CCodegen, ArchAffectsEmittedTypes) {
+  auto schema = xsd::parse_schema_text(R"(
+    <xsd:complexType name="L">
+      <xsd:element name="v" type="xsd:unsignedLong" />
+    </xsd:complexType>)")
+                    .value();
+  auto lp64 = generate_c_header(schema, pbio::ArchInfo::host()).value();
+  EXPECT_NE(lp64.find("unsigned long v;"), std::string::npos);
+  auto ilp32 = generate_c_header(schema, pbio::ArchInfo::big_endian_32()).value();
+  EXPECT_NE(ilp32.find("unsigned int v;"), std::string::npos);
+}
+
+TEST(CCodegen, StructSizeConstantsMatchLayout) {
+  auto schema = xsd::parse_schema_text(kSchema).value();
+  auto header = generate_c_header(schema, pbio::ArchInfo::host()).value();
+  auto layouts = layout_schema(schema, pbio::ArchInfo::host()).value();
+  for (const auto& layout : layouts) {
+    std::string expected = layout.name + "StructSize = " +
+                           std::to_string(layout.struct_size);
+    EXPECT_NE(header.find(expected), std::string::npos) << expected;
+  }
+}
+
+TEST(CCodegen, FieldTablesCanBeDisabled) {
+  auto schema = xsd::parse_schema_text(kSchema).value();
+  CCodegenOptions options;
+  options.emit_field_tables = false;
+  auto header = generate_c_header(schema, pbio::ArchInfo::host(), options).value();
+  EXPECT_EQ(header.find("IOField"), std::string::npos);
+  EXPECT_NE(header.find("} Track;"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace xmit::toolkit

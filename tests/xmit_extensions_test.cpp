@@ -1,0 +1,311 @@
+// Extension features: format service (resolve-by-id), runtime type
+// subsetting (the paper's handheld scenario), and the C++ code generator
+// — including an end-to-end check that the generated header compiles and
+// registers layouts identical to XMIT's.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "hydrology/messages.hpp"
+#include "net/fetch.hpp"
+#include "net/http.hpp"
+#include "pbio/encode.hpp"
+#include "pbio/format_wire.hpp"
+#include "xmit/codegen.hpp"
+#include "xmit/format_service.hpp"
+#include "xmit/subset.hpp"
+#include "xmit/xmit.hpp"
+#include "xsd/parse.hpp"
+#include "xsd/write.hpp"
+
+namespace xmit::toolkit {
+namespace {
+
+struct Reading {
+  std::int32_t id;
+  double value;
+};
+
+TEST(FormatService, PublishAndResolveById) {
+  // Sender side: register + publish.
+  auto server = net::HttpServer::start().value();
+  pbio::FormatRegistry sender_registry;
+  auto format = sender_registry
+                    .register_format("Reading",
+                                     {{"id", "integer", 4, offsetof(Reading, id)},
+                                      {"value", "float", 8, offsetof(Reading, value)}},
+                                     sizeof(Reading))
+                    .value();
+  FormatPublisher publisher(*server);
+  publisher.publish(*format);
+
+  // Receiver side: empty registry, resolve by id.
+  pbio::FormatRegistry receiver_registry;
+  RemoteFormatResolver resolver(publisher.base_url(), receiver_registry);
+  auto resolved = resolver.resolve(format->id());
+  ASSERT_TRUE(resolved.is_ok()) << resolved.status().to_string();
+  EXPECT_EQ(resolved.value()->id(), format->id());
+  EXPECT_EQ(resolved.value()->canonical_description(),
+            format->canonical_description());
+  EXPECT_EQ(resolver.fetches_performed(), 1u);
+
+  // Second resolve hits the registry, no fetch.
+  ASSERT_TRUE(resolver.resolve(format->id()).is_ok());
+  EXPECT_EQ(resolver.fetches_performed(), 1u);
+}
+
+TEST(FormatService, ResolveUnknownIdFails) {
+  auto server = net::HttpServer::start().value();
+  pbio::FormatRegistry registry;
+  FormatPublisher publisher(*server);
+  RemoteFormatResolver resolver(publisher.base_url(), registry);
+  auto resolved = resolver.resolve(0xDEADBEEFull);
+  EXPECT_FALSE(resolved.is_ok());
+}
+
+TEST(FormatService, CorruptServerDocumentIsRejected) {
+  auto server = net::HttpServer::start().value();
+  pbio::FormatRegistry registry;
+  pbio::FormatId id = 0x1234;
+  server->put_document("/formats/by-id/" +
+                           FormatPublisher::id_to_path_component(id),
+                       "not a format blob");
+  RemoteFormatResolver resolver(server->url_for("/formats/by-id/"), registry);
+  EXPECT_FALSE(resolver.resolve(id).is_ok());
+}
+
+TEST(FormatService, MismatchedIdIsRejected) {
+  // The server returns valid metadata — but for a *different* format.
+  auto server = net::HttpServer::start().value();
+  pbio::FormatRegistry registry;
+  auto other = registry.register_format("Other", {{"x", "integer", 4, 0}}, 4)
+                   .value();
+  auto blob = pbio::serialize_format(*other);
+  pbio::FormatId requested = other->id() ^ 0xFF;
+  server->put_document(
+      "/formats/by-id/" + FormatPublisher::id_to_path_component(requested),
+      std::string(reinterpret_cast<const char*>(blob.data()), blob.size()));
+  pbio::FormatRegistry receiver_registry;
+  RemoteFormatResolver resolver(server->url_for("/formats/by-id/"),
+                                receiver_registry);
+  auto resolved = resolver.resolve(requested);
+  EXPECT_FALSE(resolved.is_ok());
+  EXPECT_EQ(resolved.code(), ErrorCode::kParseError);
+}
+
+TEST(FormatService, ResolvingDecoderHandlesUnknownSenders) {
+  auto server = net::HttpServer::start().value();
+
+  // Sender registers, publishes, encodes.
+  pbio::FormatRegistry sender_registry;
+  auto format = sender_registry
+                    .register_format("Reading",
+                                     {{"id", "integer", 4, offsetof(Reading, id)},
+                                      {"value", "float", 8, offsetof(Reading, value)}},
+                                     sizeof(Reading))
+                    .value();
+  FormatPublisher publisher(*server);
+  publisher.publish_all(sender_registry);
+  auto encoder = pbio::Encoder::make(format).value();
+  Reading in{5, 2.5};
+  auto bytes = encoder.encode_to_vector(&in).value();
+
+  // Receiver has its own (identical-layout) binding but has never seen
+  // the sender's format id... actually with identical descriptions the id
+  // matches; so evolve the receiver to prove the remote path: receiver
+  // registers a *newer* local version and the record's id is unknown.
+  pbio::FormatRegistry receiver_registry;
+  struct ReadingV2 {
+    std::int32_t id;
+    double value;
+    double extra;
+  };
+  auto receiver_format =
+      receiver_registry
+          .register_format("Reading",
+                           {{"id", "integer", 4, offsetof(ReadingV2, id)},
+                            {"value", "float", 8, offsetof(ReadingV2, value)},
+                            {"extra", "float", 8, offsetof(ReadingV2, extra)}},
+                           sizeof(ReadingV2))
+          .value();
+
+  ResolvingDecoder decoder(
+      receiver_registry,
+      RemoteFormatResolver(publisher.base_url(), receiver_registry));
+  Arena arena;
+  ReadingV2 out{};
+  auto status = decoder.decode(bytes, *receiver_format, &out, arena);
+  ASSERT_TRUE(status.is_ok()) << status.to_string();
+  EXPECT_EQ(out.id, 5);
+  EXPECT_EQ(out.value, 2.5);
+  EXPECT_EQ(out.extra, 0.0);
+  EXPECT_EQ(decoder.resolver().fetches_performed(), 1u);
+}
+
+// --- subsetting -----------------------------------------------------------
+
+TEST(Subset, KeepsRequestedFieldsInDeclarationOrder) {
+  auto schema =
+      xsd::parse_schema_text(hydrology::hydrology_schema_xml()).value();
+  const auto* original = schema.type_named("StatSummary");
+  std::vector<std::string> keep = {"max", "timestep"};
+  auto reduced = subset_type(*original, keep).value();
+  EXPECT_EQ(reduced.name, "StatSummary");
+  ASSERT_EQ(reduced.elements.size(), 2u);
+  EXPECT_EQ(reduced.elements[0].name, "timestep");  // declaration order
+  EXPECT_EQ(reduced.elements[1].name, "max");
+}
+
+TEST(Subset, PullsInDeclaredDimensionFields) {
+  auto schema = xsd::parse_schema_text(R"(
+    <xsd:complexType name="T">
+      <xsd:element name="count" type="xsd:integer" />
+      <xsd:element name="values" type="xsd:float" maxOccurs="count" />
+      <xsd:element name="junk" type="xsd:double" />
+    </xsd:complexType>)")
+                    .value();
+  std::vector<std::string> keep = {"values"};
+  auto reduced = subset_type(*schema.type_named("T"), keep).value();
+  ASSERT_EQ(reduced.elements.size(), 2u);
+  EXPECT_EQ(reduced.elements[0].name, "count");
+  EXPECT_EQ(reduced.elements[1].name, "values");
+}
+
+TEST(Subset, RejectsUnknownAndEmpty) {
+  auto schema =
+      xsd::parse_schema_text(hydrology::hydrology_schema_xml()).value();
+  const auto* original = schema.type_named("GridSpec");
+  std::vector<std::string> unknown = {"nonexistent"};
+  EXPECT_FALSE(subset_type(*original, unknown).is_ok());
+  std::vector<std::string> empty;
+  EXPECT_FALSE(subset_type(*original, empty).is_ok());
+}
+
+TEST(Subset, FullRecordsDecodeIntoHandheldView) {
+  // The paper's scenario end-to-end: a full producer, a reduced consumer.
+  auto schema =
+      xsd::parse_schema_text(hydrology::hydrology_schema_xml()).value();
+
+  // Producer binds the full StatSummary.
+  pbio::FormatRegistry registry;
+  Xmit full(registry);
+  ASSERT_TRUE(full.load_text(hydrology::hydrology_schema_xml(), "full").is_ok());
+  auto full_token = full.bind("StatSummary").value();
+
+  hydrology::StatSummary summary{};
+  summary.timestep = 31;
+  summary.cells = 100;
+  summary.min = 0.5f;
+  summary.max = 4.5f;
+  summary.mean = 1.5f;
+  auto bytes = full_token.encoder->encode_to_vector(&summary).value();
+
+  // Handheld derives a 3-field view and registers it under the same name.
+  std::vector<std::string> keep = {"timestep", "mean", "max"};
+  auto reduced_schema = subset_schema(schema, "StatSummary", keep).value();
+  Xmit handheld(registry);
+  ASSERT_TRUE(handheld
+                  .load_text(xsd::write_schema(reduced_schema), "handheld")
+                  .is_ok());
+  auto reduced_token = handheld.bind("StatSummary").value();
+  EXPECT_LT(reduced_token.format->struct_size(),
+            full_token.format->struct_size());
+
+  // Declaration order of StatSummary puts max before mean; the view
+  // struct must follow the schema's order, not the keep-list's.
+  struct HandheldSummary {
+    std::int32_t timestep;
+    float max;
+    float mean;
+  };
+  ASSERT_EQ(reduced_token.format->struct_size(), sizeof(HandheldSummary));
+
+  pbio::Decoder decoder(registry);
+  Arena arena;
+  HandheldSummary view{};
+  auto status = decoder.decode(bytes, *reduced_token.format, &view, arena);
+  ASSERT_TRUE(status.is_ok()) << status.to_string();
+  EXPECT_EQ(view.timestep, 31);
+  EXPECT_EQ(view.mean, 1.5f);
+  EXPECT_EQ(view.max, 4.5f);
+}
+
+// --- C++ codegen ----------------------------------------------------------
+
+TEST(CppCodegen, EmitsStructsAndRegistrationHelpers) {
+  auto schema =
+      xsd::parse_schema_text(hydrology::hydrology_schema_xml()).value();
+  auto header = generate_cpp_header(schema).value();
+  EXPECT_NE(header.find("struct SimpleData {"), std::string::npos);
+  EXPECT_NE(header.find("std::int32_t size;"), std::string::npos);
+  EXPECT_NE(header.find("float* data;"), std::string::npos);
+  EXPECT_NE(header.find("register_SimpleData"), std::string::npos);
+  EXPECT_NE(header.find("offsetof(SimpleData, data)"), std::string::npos);
+  EXPECT_NE(header.find("Status register_all"), std::string::npos);
+  EXPECT_NE(header.find("namespace xmit_generated"), std::string::npos);
+}
+
+#if defined(XMIT_SOURCE_DIR) && defined(XMIT_BINARY_DIR)
+TEST(CppCodegen, GeneratedHeaderCompilesAndMatchesXmitLayouts) {
+  // Full loop: generate -> compile with the system compiler -> run; the
+  // generated register_all() uses offsetof, so agreement with XMIT's
+  // layout engine is checked by the real C++ compiler.
+  auto schema =
+      xsd::parse_schema_text(hydrology::hydrology_schema_xml()).value();
+  auto header = generate_cpp_header(schema).value();
+
+  std::string dir = ::testing::TempDir();
+  std::string header_path = dir + "xmit_generated.hpp";
+  std::string main_path = dir + "xmit_codegen_main.cpp";
+  std::string binary_path = dir + "xmit_codegen_check";
+  ASSERT_TRUE(net::write_file(header_path, header).is_ok());
+
+  std::string main_source = R"(
+#include ")" + header_path + R"("
+#include "hydrology/messages.hpp"
+#include "xmit/xmit.hpp"
+#include <cstdio>
+int main() {
+  xmit::pbio::FormatRegistry generated;
+  if (!xmit_generated::register_all(generated).is_ok()) return 1;
+  xmit::pbio::FormatRegistry via_xmit;
+  xmit::toolkit::Xmit xmit(via_xmit);
+  if (!xmit.load_text(xmit::hydrology::hydrology_schema_xml(), "h").is_ok())
+    return 2;
+  if (generated.size() != via_xmit.size()) return 3;
+  for (const auto& format : generated.all()) {
+    auto other = via_xmit.by_name(format->name());
+    if (!other.is_ok()) return 4;
+    if (other.value()->id() != format->id()) {
+      std::fprintf(stderr, "layout mismatch for %s\n", format->name().c_str());
+      return 5;
+    }
+  }
+  std::printf("ok %zu formats\n", generated.size());
+  return 0;
+}
+)";
+  ASSERT_TRUE(net::write_file(main_path, main_source).is_ok());
+
+  std::string compile =
+      "c++ -std=c++20 -I " XMIT_SOURCE_DIR "/src -o " + binary_path + " " +
+      main_path + " " XMIT_BINARY_DIR "/src/hydrology/libxmit_hydrology.a " +
+      XMIT_BINARY_DIR "/src/xmit/libxmit_core.a " +
+      XMIT_BINARY_DIR "/src/xsd/libxmit_xsd.a " +
+      XMIT_BINARY_DIR "/src/net/libxmit_net.a " +
+      XMIT_BINARY_DIR "/src/xml/libxmit_xml.a " +
+      XMIT_BINARY_DIR "/src/pbio/libxmit_pbio.a " +
+      XMIT_BINARY_DIR "/src/common/libxmit_common.a -lpthread 2>&1";
+  int compile_status = std::system(compile.c_str());
+  ASSERT_EQ(compile_status, 0) << "compile failed: " << compile;
+  int run_status = std::system(binary_path.c_str());
+  EXPECT_EQ(run_status, 0);
+
+  std::remove(header_path.c_str());
+  std::remove(main_path.c_str());
+  std::remove(binary_path.c_str());
+}
+#endif
+
+}  // namespace
+}  // namespace xmit::toolkit

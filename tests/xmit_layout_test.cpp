@@ -1,0 +1,237 @@
+// LayoutEngine tests: schema-computed offsets must equal the C compiler's
+// offsetof() for every Hydrology struct, and foreign-architecture layouts
+// must follow that architecture's ABI rules.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+
+#include "hydrology/messages.hpp"
+#include "xmit/layout.hpp"
+#include "xsd/parse.hpp"
+
+namespace xmit::toolkit {
+namespace {
+
+using hydrology::ASDOffEvent;
+using hydrology::FlowField;
+using hydrology::JoinRequest;
+using hydrology::SimpleData;
+using pbio::ArchInfo;
+using pbio::FieldKind;
+
+const TypeLayout& layout_named(const std::vector<TypeLayout>& layouts,
+                               std::string_view name) {
+  for (const auto& layout : layouts)
+    if (layout.name == name) return layout;
+  ADD_FAILURE() << "no layout named " << name;
+  static TypeLayout empty;
+  return empty;
+}
+
+const pbio::IOField& field_named(const TypeLayout& layout,
+                                 std::string_view name) {
+  for (const auto& field : layout.fields)
+    if (field.name == name) return field;
+  ADD_FAILURE() << "no field named " << name;
+  static pbio::IOField empty;
+  return empty;
+}
+
+class HydrologyLayout : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto schema = xsd::parse_schema_text(hydrology::hydrology_schema_xml());
+    ASSERT_TRUE(schema.is_ok()) << schema.status().to_string();
+    auto layouts = layout_schema(schema.value(), ArchInfo::host());
+    ASSERT_TRUE(layouts.is_ok()) << layouts.status().to_string();
+    layouts_ = std::move(layouts).value();
+  }
+
+  std::vector<TypeLayout> layouts_;
+};
+
+TEST_F(HydrologyLayout, EveryLayoutMatchesCompiledMetadata) {
+  // The compiled-in IOField tables are built with offsetof(); XMIT must
+  // reproduce them exactly — this is what makes Figure 7's "identical
+  // marshaling cost" possible.
+  std::size_t count = 0;
+  const auto* compiled = hydrology::compiled_formats(&count);
+  ASSERT_GT(count, 0u);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto& expected = compiled[i];
+    const TypeLayout& actual = layout_named(layouts_, expected.name);
+    EXPECT_EQ(actual.struct_size, expected.struct_size) << expected.name;
+    ASSERT_EQ(actual.fields.size(), expected.row_count) << expected.name;
+    for (std::size_t f = 0; f < expected.row_count; ++f) {
+      EXPECT_EQ(actual.fields[f].name, expected.rows[f].name)
+          << expected.name << " field " << f;
+      EXPECT_EQ(actual.fields[f].type_name, expected.rows[f].type)
+          << expected.name << "." << expected.rows[f].name;
+      EXPECT_EQ(actual.fields[f].size, expected.rows[f].size)
+          << expected.name << "." << expected.rows[f].name;
+      EXPECT_EQ(actual.fields[f].offset, expected.rows[f].offset)
+          << expected.name << "." << expected.rows[f].name;
+    }
+  }
+}
+
+TEST_F(HydrologyLayout, SynthesizedDimensionFieldPlacedBefore) {
+  const TypeLayout& simple = layout_named(layouts_, "SimpleData");
+  // Schema declares timestep + data; layout must add `size` between them
+  // (dimensionPlacement="before"), matching the paper's C struct.
+  ASSERT_EQ(simple.fields.size(), 3u);
+  EXPECT_EQ(simple.fields[0].name, "timestep");
+  EXPECT_EQ(simple.fields[1].name, "size");
+  EXPECT_EQ(simple.fields[2].name, "data");
+  EXPECT_EQ(simple.fields[1].offset, offsetof(SimpleData, size));
+  EXPECT_EQ(simple.fields[2].offset, offsetof(SimpleData, data));
+  EXPECT_EQ(simple.struct_size, sizeof(SimpleData));
+}
+
+TEST_F(HydrologyLayout, PointersForceAlignmentPadding) {
+  const TypeLayout& join = layout_named(layouts_, "JoinRequest");
+  EXPECT_EQ(field_named(join, "name").offset, offsetof(JoinRequest, name));
+  EXPECT_EQ(field_named(join, "ip_addr").offset,
+            offsetof(JoinRequest, ip_addr));  // 4-byte server padded to 8
+  EXPECT_EQ(join.struct_size, sizeof(JoinRequest));
+}
+
+TEST(Layout, Figure2StructOnILP32) {
+  // The paper's testbed was 32-bit Solaris; the asdOff struct there is
+  //   char* centerId (4@0), char* airline (4@4), int flightNum (4@8),
+  //   unsigned long off (4@12) -> 16 bytes.
+  auto schema = xsd::parse_schema_text(R"(
+    <xsd:complexType name="ASDOffEvent">
+      <xsd:element name="centerID" type="xsd:string" />
+      <xsd:element name="airline" type="xsd:string" />
+      <xsd:element name="flightNum" type="xsd:integer" />
+      <xsd:element name="off" type="xsd:unsignedLong" />
+    </xsd:complexType>)")
+                    .value();
+  ArchInfo sparc32 = ArchInfo::big_endian_32();
+  auto layouts = layout_schema(schema, sparc32).value();
+  const TypeLayout& layout = layouts[0];
+  EXPECT_EQ(layout.fields[0].offset, 0u);
+  EXPECT_EQ(layout.fields[1].offset, 4u);
+  EXPECT_EQ(layout.fields[2].offset, 8u);
+  EXPECT_EQ(layout.fields[3].offset, 12u);
+  EXPECT_EQ(layout.fields[3].size, 4u);  // 32-bit long
+  EXPECT_EQ(layout.struct_size, 16u);
+}
+
+TEST(Layout, MaxAlignCapsDoubleAlignment) {
+  // ILP32 with max_align 4 (classic ia32): double after int sits at 4.
+  auto schema = xsd::parse_schema_text(R"(
+    <xsd:complexType name="T">
+      <xsd:element name="a" type="xsd:integer" />
+      <xsd:element name="d" type="xsd:double" />
+    </xsd:complexType>)")
+                    .value();
+  auto ia32 = ArchInfo::little_endian_32();
+  ASSERT_EQ(ia32.max_align, 4);
+  auto layout = layout_schema(schema, ia32).value()[0];
+  EXPECT_EQ(layout.fields[1].offset, 4u);
+  EXPECT_EQ(layout.struct_size, 12u);
+
+  // LP64: the double aligns to 8 and pads the struct.
+  auto lp64 = layout_schema(schema, ArchInfo::host()).value()[0];
+  EXPECT_EQ(lp64.fields[1].offset, 8u);
+  EXPECT_EQ(lp64.struct_size, 16u);
+}
+
+TEST(Layout, TailPaddingRoundsToStructAlignment) {
+  auto schema = xsd::parse_schema_text(R"(
+    <xsd:complexType name="T">
+      <xsd:element name="d" type="xsd:double" />
+      <xsd:element name="c" type="xsd:byte" />
+    </xsd:complexType>)")
+                    .value();
+  auto layout = layout_schema(schema, ArchInfo::host()).value()[0];
+  EXPECT_EQ(layout.struct_size, 16u);  // 9 rounded up to alignment 8
+  EXPECT_EQ(layout.alignment, 8u);
+}
+
+TEST(Layout, NestedTypesInDependencyOrder) {
+  auto schema = xsd::parse_schema_text(R"(
+    <s>
+      <xsd:complexType name="Outer">
+        <xsd:element name="p" type="Point" />
+        <xsd:element name="tag" type="xsd:byte" />
+      </xsd:complexType>
+      <xsd:complexType name="Point">
+        <xsd:element name="x" type="xsd:double" />
+        <xsd:element name="y" type="xsd:double" />
+      </xsd:complexType>
+    </s>)")
+                    .value();
+  auto layouts = layout_schema(schema, ArchInfo::host()).value();
+  EXPECT_EQ(layouts[0].name, "Point");
+  EXPECT_EQ(layouts[1].name, "Outer");
+  EXPECT_EQ(layouts[1].fields[0].size, 16u);     // nested struct size
+  EXPECT_EQ(layouts[1].struct_size, 24u);        // 16 + 1, padded to 8
+}
+
+TEST(Layout, FixedArrayOfNestedTypes) {
+  auto schema = xsd::parse_schema_text(R"(
+    <s>
+      <xsd:complexType name="P">
+        <xsd:element name="x" type="xsd:float" />
+      </xsd:complexType>
+      <xsd:complexType name="T">
+        <xsd:element name="ps" type="P" maxOccurs="5" />
+        <xsd:element name="n" type="xsd:integer" />
+      </xsd:complexType>
+    </s>)")
+                    .value();
+  auto layouts = layout_schema(schema, ArchInfo::host()).value();
+  const TypeLayout& t = layouts[1];
+  EXPECT_EQ(t.fields[0].type_name, "P[5]");
+  EXPECT_EQ(t.fields[1].offset, 20u);
+  EXPECT_EQ(t.struct_size, 24u);
+}
+
+TEST(Layout, DeclaredDimensionElementIsNotDuplicated) {
+  auto schema = xsd::parse_schema_text(R"(
+    <xsd:complexType name="T">
+      <xsd:element name="count" type="xsd:integer" />
+      <xsd:element name="values" type="xsd:float" maxOccurs="count" />
+    </xsd:complexType>)")
+                    .value();
+  auto layout = layout_schema(schema, ArchInfo::host()).value()[0];
+  ASSERT_EQ(layout.fields.size(), 2u);  // no synthesized extra count
+  EXPECT_EQ(layout.fields[0].name, "count");
+  EXPECT_EQ(layout.fields[1].type_name, "float[count]");
+}
+
+TEST(Layout, DimensionPlacementAfter) {
+  auto schema = xsd::parse_schema_text(R"(
+    <xsd:complexType name="T">
+      <xsd:element name="values" type="xsd:float" maxOccurs="*"
+                   dimensionName="n" dimensionPlacement="after" />
+    </xsd:complexType>)")
+                    .value();
+  auto layout = layout_schema(schema, ArchInfo::host()).value()[0];
+  ASSERT_EQ(layout.fields.size(), 2u);
+  EXPECT_EQ(layout.fields[0].name, "values");
+  EXPECT_EQ(layout.fields[1].name, "n");
+}
+
+TEST(Layout, PrimitiveMappingRespectsArchLongSize) {
+  auto lp64 = primitive_layout(xsd::Primitive::kUnsignedLong, ArchInfo::host());
+  EXPECT_EQ(lp64.size, sizeof(long));
+  auto ilp32 =
+      primitive_layout(xsd::Primitive::kUnsignedLong, ArchInfo::big_endian_32());
+  EXPECT_EQ(ilp32.size, 4u);
+  EXPECT_EQ(ilp32.kind, FieldKind::kUnsigned);
+}
+
+TEST(Layout, StringMapsToPointer) {
+  auto host = primitive_layout(xsd::Primitive::kString, ArchInfo::host());
+  EXPECT_EQ(host.kind, FieldKind::kString);
+  EXPECT_EQ(host.size, sizeof(char*));
+  auto be32 = primitive_layout(xsd::Primitive::kString, ArchInfo::big_endian_32());
+  EXPECT_EQ(be32.size, 4u);
+}
+
+}  // namespace
+}  // namespace xmit::toolkit

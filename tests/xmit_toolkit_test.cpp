@@ -1,0 +1,244 @@
+// End-to-end toolkit tests: discovery over live HTTP and file://, binding,
+// marshaling equivalence with compiled-in metadata, refresh-driven format
+// evolution, load statistics.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+
+#include "hydrology/messages.hpp"
+#include "net/fetch.hpp"
+#include "net/http.hpp"
+#include "pbio/decode.hpp"
+#include "pbio/encode.hpp"
+#include "xmit/xmit.hpp"
+
+namespace xmit::toolkit {
+namespace {
+
+constexpr const char* kSchema = R"(
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:complexType name="ASDOffEvent">
+    <xsd:element name="centerID" type="xsd:string" />
+    <xsd:element name="airline" type="xsd:string" />
+    <xsd:element name="flightNum" type="xsd:integer" />
+    <xsd:element name="off" type="xsd:unsignedLong" />
+  </xsd:complexType>
+</xsd:schema>)";
+
+struct ASDOff {
+  char* centerID;
+  char* airline;
+  std::int32_t flightNum;
+  std::uint64_t off;
+};
+
+TEST(Toolkit, LoadOverHttpAndMarshal) {
+  auto server = net::HttpServer::start().value();
+  server->put_document("/formats/asd.xsd", kSchema);
+
+  pbio::FormatRegistry registry;
+  Xmit xmit(registry);
+  auto status = xmit.load(server->url_for("/formats/asd.xsd"));
+  ASSERT_TRUE(status.is_ok()) << status.to_string();
+  EXPECT_EQ(xmit.loaded_types(), std::vector<std::string>{"ASDOffEvent"});
+
+  auto token = xmit.bind("ASDOffEvent");
+  ASSERT_TRUE(token.is_ok()) << token.status().to_string();
+  ASSERT_NE(token.value().encoder, nullptr);
+  EXPECT_EQ(token.value().format->struct_size(), sizeof(ASDOff));
+
+  char center[] = "ZID";
+  char airline[] = "DAL";
+  ASDOff event{center, airline, 1847, 987654321ull};
+  ByteBuffer buffer;
+  ASSERT_TRUE(token.value().encoder->encode(&event, buffer).is_ok());
+
+  pbio::Decoder decoder(registry);
+  Arena arena;
+  ASDOff out{};
+  ASSERT_TRUE(
+      decoder.decode(buffer.span(), *token.value().format, &out, arena).is_ok());
+  EXPECT_STREQ(out.centerID, "ZID");
+  EXPECT_STREQ(out.airline, "DAL");
+  EXPECT_EQ(out.flightNum, 1847);
+  EXPECT_EQ(out.off, 987654321ull);
+}
+
+TEST(Toolkit, XmitMetadataIsByteIdenticalToCompiledMetadata) {
+  // Figure 7's precondition: a record marshaled with XMIT-derived metadata
+  // is identical to one marshaled with compiled-in PBIO metadata.
+  auto server = net::HttpServer::start().value();
+  server->put_document("/h.xsd", hydrology::hydrology_schema_xml());
+
+  pbio::FormatRegistry xmit_registry;
+  Xmit xmit(xmit_registry);
+  ASSERT_TRUE(xmit.load(server->url_for("/h.xsd")).is_ok());
+
+  pbio::FormatRegistry compiled_registry;
+  std::size_t count = 0;
+  const auto* compiled = hydrology::compiled_formats(&count);
+  for (std::size_t i = 0; i < count; ++i) {
+    std::vector<pbio::IOField> fields;
+    for (std::size_t f = 0; f < compiled[i].row_count; ++f)
+      fields.push_back({compiled[i].rows[f].name, compiled[i].rows[f].type,
+                        compiled[i].rows[f].size, compiled[i].rows[f].offset});
+    ASSERT_TRUE(compiled_registry
+                    .register_format(compiled[i].name, fields,
+                                     compiled[i].struct_size)
+                    .is_ok());
+  }
+
+  hydrology::StatSummary summary{};
+  summary.timestep = 12;
+  summary.cells = 768;
+  summary.min = 0.25f;
+  summary.max = 8.5f;
+  summary.mean = 1.5f;
+  summary.stddev = 0.75f;
+  summary.total = 1152.0f;
+  summary.corners[0] = 1;
+  summary.corners[3] = 4;
+
+  auto xmit_token = xmit.bind("StatSummary").value();
+  auto compiled_format = compiled_registry.by_name("StatSummary").value();
+  auto compiled_encoder = pbio::Encoder::make(compiled_format).value();
+
+  auto via_xmit = xmit_token.encoder->encode_to_vector(&summary).value();
+  auto via_compiled = compiled_encoder.encode_to_vector(&summary).value();
+  EXPECT_EQ(via_xmit, via_compiled);
+  EXPECT_EQ(xmit_token.format->id(), compiled_format->id());
+}
+
+TEST(Toolkit, BindUnknownTypeFails) {
+  pbio::FormatRegistry registry;
+  Xmit xmit(registry);
+  auto token = xmit.bind("Nothing");
+  EXPECT_FALSE(token.is_ok());
+  EXPECT_EQ(token.code(), ErrorCode::kNotFound);
+}
+
+TEST(Toolkit, LoadFromFileScheme) {
+  std::string path = ::testing::TempDir() + "toolkit_schema.xsd";
+  ASSERT_TRUE(net::write_file(path, kSchema).is_ok());
+  pbio::FormatRegistry registry;
+  Xmit xmit(registry);
+  EXPECT_TRUE(xmit.load("file://" + path).is_ok());
+  EXPECT_TRUE(xmit.bind("ASDOffEvent").is_ok());
+  std::remove(path.c_str());
+}
+
+TEST(Toolkit, LoadTextWithoutNetwork) {
+  pbio::FormatRegistry registry;
+  Xmit xmit(registry);
+  ASSERT_TRUE(xmit.load_text(kSchema, "inline").is_ok());
+  EXPECT_TRUE(xmit.bind("ASDOffEvent").is_ok());
+  EXPECT_EQ(xmit.last_load_stats().fetch_ms, 0.0);
+  EXPECT_EQ(xmit.last_load_stats().types_loaded, 1u);
+}
+
+TEST(Toolkit, UnreachableUrlFails) {
+  pbio::FormatRegistry registry;
+  Xmit xmit(registry);
+  EXPECT_FALSE(xmit.load("http://127.0.0.1:1/never").is_ok());
+  EXPECT_FALSE(xmit.load("file:///nonexistent/x.xsd").is_ok());
+  EXPECT_FALSE(xmit.load("not a url").is_ok());
+}
+
+TEST(Toolkit, MalformedSchemaFailsCleanly) {
+  auto server = net::HttpServer::start().value();
+  server->put_document("/bad.xsd", "<xsd:complexType name='T'>");
+  pbio::FormatRegistry registry;
+  Xmit xmit(registry);
+  EXPECT_FALSE(xmit.load(server->url_for("/bad.xsd")).is_ok());
+}
+
+TEST(Toolkit, RefreshPicksUpFormatChanges) {
+  // The paper's centralized-evolution story: the document changes on the
+  // server; refresh() re-fetches, re-registers, and bind() now hands out
+  // the evolved format while the old id stays decodable.
+  auto server = net::HttpServer::start().value();
+  server->put_document("/f.xsd", R"(
+    <xsd:complexType name="Msg">
+      <xsd:element name="a" type="xsd:integer" />
+    </xsd:complexType>)");
+
+  pbio::FormatRegistry registry;
+  Xmit xmit(registry);
+  ASSERT_TRUE(xmit.load(server->url_for("/f.xsd")).is_ok());
+  auto v1 = xmit.bind("Msg").value();
+
+  // Unchanged document: refresh is a no-op.
+  EXPECT_FALSE(xmit.refresh().value());
+
+  server->put_document("/f.xsd", R"(
+    <xsd:complexType name="Msg">
+      <xsd:element name="a" type="xsd:integer" />
+      <xsd:element name="b" type="xsd:double" />
+    </xsd:complexType>)");
+  EXPECT_TRUE(xmit.refresh().value());
+
+  auto v2 = xmit.bind("Msg").value();
+  EXPECT_NE(v1.format->id(), v2.format->id());
+  EXPECT_EQ(v2.format->fields().size(), 2u);
+  // Old format still reachable for in-flight records.
+  EXPECT_TRUE(registry.by_id(v1.format->id()).is_ok());
+
+  // And records encoded under v1 decode into v2 structs (evolution).
+  struct V1 {
+    std::int32_t a;
+  };
+  struct V2 {
+    std::int32_t a;
+    double b;
+  };
+  V1 old_record{41};
+  auto bytes = v1.encoder->encode_to_vector(&old_record).value();
+  pbio::Decoder decoder(registry);
+  Arena arena;
+  V2 out{};
+  ASSERT_TRUE(decoder.decode(bytes, *v2.format, &out, arena).is_ok());
+  EXPECT_EQ(out.a, 41);
+  EXPECT_EQ(out.b, 0.0);
+}
+
+TEST(Toolkit, LoadStatsArePopulated) {
+  auto server = net::HttpServer::start().value();
+  server->put_document("/h.xsd", hydrology::hydrology_schema_xml());
+  pbio::FormatRegistry registry;
+  Xmit xmit(registry);
+  ASSERT_TRUE(xmit.load(server->url_for("/h.xsd")).is_ok());
+  const LoadStats& stats = xmit.last_load_stats();
+  EXPECT_GT(stats.fetch_ms, 0.0);
+  EXPECT_GT(stats.parse_ms, 0.0);
+  EXPECT_GT(stats.total_ms(), 0.0);
+  EXPECT_EQ(stats.types_loaded, 8u);
+}
+
+TEST(Toolkit, ForeignTargetArchProducesNoEncoder) {
+  pbio::FormatRegistry registry;
+  Xmit xmit(registry, pbio::ArchInfo::big_endian_32());
+  ASSERT_TRUE(xmit.load_text(kSchema, "inline").is_ok());
+  auto token = xmit.bind("ASDOffEvent").value();
+  EXPECT_EQ(token.encoder, nullptr);  // cannot encode host memory for BE32
+  EXPECT_EQ(token.format->arch(), pbio::ArchInfo::big_endian_32());
+  EXPECT_EQ(token.format->struct_size(), 16u);  // ILP32 layout
+}
+
+TEST(Toolkit, MultipleDocumentsCoexist) {
+  pbio::FormatRegistry registry;
+  Xmit xmit(registry);
+  ASSERT_TRUE(xmit.load_text(kSchema, "doc-a").is_ok());
+  ASSERT_TRUE(xmit.load_text(R"(
+    <xsd:complexType name="Other">
+      <xsd:element name="x" type="xsd:integer" />
+    </xsd:complexType>)",
+                             "doc-b")
+                  .is_ok());
+  EXPECT_TRUE(xmit.bind("ASDOffEvent").is_ok());
+  EXPECT_TRUE(xmit.bind("Other").is_ok());
+  EXPECT_NE(xmit.schema_for("Other"), nullptr);
+  EXPECT_EQ(xmit.schema_for("Missing"), nullptr);
+}
+
+}  // namespace
+}  // namespace xmit::toolkit

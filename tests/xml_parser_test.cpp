@@ -1,0 +1,179 @@
+// XML parser unit tests: well-formed documents, the schema dialect's
+// constructs, entities, CDATA, and a battery of malformed inputs.
+#include <gtest/gtest.h>
+
+#include "xml/find.hpp"
+#include "xml/parser.hpp"
+
+namespace xmit::xml {
+namespace {
+
+Document parse_ok(std::string_view text) {
+  auto result = parse_document(text);
+  EXPECT_TRUE(result.is_ok()) << result.status().to_string();
+  return std::move(result).value();
+}
+
+void expect_parse_error(std::string_view text) {
+  auto result = parse_document(text);
+  EXPECT_FALSE(result.is_ok()) << "expected failure for: " << text;
+}
+
+TEST(XmlParser, MinimalDocument) {
+  auto doc = parse_ok("<root/>");
+  EXPECT_EQ(doc.root->name(), "root");
+  EXPECT_TRUE(doc.root->children().empty());
+}
+
+TEST(XmlParser, DeclarationIsCaptured) {
+  auto doc = parse_ok("<?xml version=\"1.0\" encoding=\"UTF-8\"?><a/>");
+  EXPECT_EQ(doc.version, "1.0");
+  EXPECT_EQ(doc.encoding, "UTF-8");
+}
+
+TEST(XmlParser, AttributesSingleAndDoubleQuoted) {
+  auto doc = parse_ok("<a x=\"1\" y='two' ns:z='3'/>");
+  EXPECT_EQ(*doc.root->attribute("x"), "1");
+  EXPECT_EQ(*doc.root->attribute("y"), "two");
+  EXPECT_EQ(*doc.root->attribute("ns:z"), "3");
+  EXPECT_EQ(*doc.root->attribute_local("z"), "3");
+  EXPECT_EQ(doc.root->attribute("missing"), nullptr);
+}
+
+TEST(XmlParser, NestedElementsAndText) {
+  auto doc = parse_ok("<m><a>1</a><b><c>x</c></b></m>");
+  ASSERT_EQ(doc.root->child_elements().size(), 2u);
+  EXPECT_EQ(doc.root->first_child("a")->text(), "1");
+  EXPECT_EQ(doc.root->first_child("b")->first_child("c")->text(), "x");
+}
+
+TEST(XmlParser, PredefinedEntities) {
+  auto doc = parse_ok("<t>&lt;&amp;&gt;&quot;&apos;</t>");
+  EXPECT_EQ(doc.root->text(), "<&>\"'");
+}
+
+TEST(XmlParser, NumericCharacterReferences) {
+  auto doc = parse_ok("<t>&#65;&#x42;&#x20AC;</t>");
+  EXPECT_EQ(doc.root->text(), "AB\xE2\x82\xAC");  // A, B, euro sign
+}
+
+TEST(XmlParser, EntityInAttribute) {
+  auto doc = parse_ok("<t a=\"x&amp;y\"/>");
+  EXPECT_EQ(*doc.root->attribute("a"), "x&y");
+}
+
+TEST(XmlParser, CdataIsVerbatim) {
+  auto doc = parse_ok("<t><![CDATA[<not & parsed>]]></t>");
+  EXPECT_EQ(doc.root->text(), "<not & parsed>");
+}
+
+TEST(XmlParser, CommentsAreSkippedEverywhere) {
+  auto doc = parse_ok(
+      "<!-- before --><t><!-- inner -->v<!-- tail --></t><!-- after -->");
+  EXPECT_EQ(doc.root->text(), "v");
+}
+
+TEST(XmlParser, DoctypeIsSkipped) {
+  auto doc = parse_ok("<!DOCTYPE t [ <!ELEMENT t ANY> ]><t>x</t>");
+  EXPECT_EQ(doc.root->text(), "x");
+}
+
+TEST(XmlParser, ProcessingInstructionsAreSkipped) {
+  auto doc = parse_ok("<?pi data?><t><?pi2?>y</t>");
+  EXPECT_EQ(doc.root->text(), "y");
+}
+
+TEST(XmlParser, InterElementWhitespaceStrippedByDefault) {
+  auto doc = parse_ok("<t>\n  <a>1</a>\n  <b>2</b>\n</t>");
+  EXPECT_EQ(doc.root->child_count(), 2u);
+}
+
+TEST(XmlParser, WhitespaceKeptWhenRequested) {
+  ParseOptions options;
+  options.strip_inter_element_whitespace = false;
+  auto result = parse_document("<t> <a/> </t>", options);
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_EQ(result.value().root->child_count(), 3u);
+}
+
+TEST(XmlParser, MixedContentPreserved) {
+  auto doc = parse_ok("<t>pre<a/>post</t>");
+  EXPECT_EQ(doc.root->text(), "prepost");
+  EXPECT_EQ(doc.root->child_count(), 3u);
+}
+
+TEST(XmlParser, SelfClosingWithAttributes) {
+  auto doc = parse_ok("<xsd:element name=\"data\" type=\"xsd:float\" />");
+  EXPECT_EQ(doc.root->local_name(), "element");
+  EXPECT_EQ(doc.root->prefix(), "xsd");
+  EXPECT_EQ(*doc.root->attribute("type"), "xsd:float");
+}
+
+TEST(XmlParser, DeepNestingWithinLimit) {
+  std::string text;
+  for (int i = 0; i < 100; ++i) text += "<d>";
+  text += "x";
+  for (int i = 0; i < 100; ++i) text += "</d>";
+  EXPECT_TRUE(parse_document(text).is_ok());
+}
+
+TEST(XmlParser, NestingBeyondLimitRejected) {
+  std::string text;
+  for (int i = 0; i < 300; ++i) text += "<d>";
+  for (int i = 0; i < 300; ++i) text += "</d>";
+  expect_parse_error(text);
+}
+
+TEST(XmlParser, MalformedInputs) {
+  expect_parse_error("");
+  expect_parse_error("just text");
+  expect_parse_error("<a>");
+  expect_parse_error("<a></b>");
+  expect_parse_error("<a x=1/>");
+  expect_parse_error("<a x=\"1/>");
+  expect_parse_error("<a x=\"1\" x=\"2\"/>");
+  expect_parse_error("<a>&unknown;</a>");
+  expect_parse_error("<a>&#xGG;</a>");
+  expect_parse_error("<a><![CDATA[unterminated</a>");
+  expect_parse_error("<a/><b/>");       // two roots
+  expect_parse_error("<a></a>trailing"); // text after root
+  expect_parse_error("<a><!-- unterminated </a>");
+  expect_parse_error("<1bad/>");
+}
+
+TEST(XmlParser, ErrorMessagesCarryPosition) {
+  auto result = parse_document("<a>\n<b>\n</a>");
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_NE(result.status().message().find("line 3"), std::string::npos)
+      << result.status().message();
+}
+
+TEST(XmlFind, DescendantsAndCounts) {
+  auto doc = parse_ok(
+      "<s><t name='A'><e/><e/></t><t name='B'><u><e/></u></t></s>");
+  EXPECT_EQ(descendants_named(*doc.root, "e").size(), 3u);
+  EXPECT_EQ(descendants_named(*doc.root, "t").size(), 2u);
+  EXPECT_EQ(element_count(*doc.root), 7u);
+  EXPECT_NE(find_first(*doc.root, "u"), nullptr);
+  EXPECT_EQ(find_first(*doc.root, "zzz"), nullptr);
+}
+
+TEST(XmlFind, FindPath) {
+  auto doc = parse_ok("<a><b><c>deep</c></b></a>");
+  const Element* c = find_path(*doc.root, "b/c");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->text(), "deep");
+  EXPECT_EQ(find_path(*doc.root, "b/x"), nullptr);
+}
+
+TEST(XmlParser, QnameSplit) {
+  auto [prefix, local] = split_qname("xsd:complexType");
+  EXPECT_EQ(prefix, "xsd");
+  EXPECT_EQ(local, "complexType");
+  auto [no_prefix, bare] = split_qname("plain");
+  EXPECT_EQ(no_prefix, "");
+  EXPECT_EQ(bare, "plain");
+}
+
+}  // namespace
+}  // namespace xmit::xml

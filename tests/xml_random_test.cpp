@@ -1,0 +1,106 @@
+// Randomized XML robustness: generated DOM trees must survive
+// write -> parse -> write as a fix point, including hostile text content;
+// random byte mutations of valid documents must never crash the parser.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/rng.hpp"
+#include "common/strings.hpp"
+#include "xml/parser.hpp"
+#include "xml/writer.hpp"
+
+namespace xmit::xml {
+namespace {
+
+// Characters that exercise escaping, whitespace handling and UTF-8.
+std::string random_text(Rng& rng) {
+  static const char* kAtoms[] = {"a",  "Z",    "0",  " ",   "&",  "<",
+                                 ">",  "\"",   "'",  "\n",  "\t", "é",
+                                 "€",  "plain", "x1", "-",  ".",  "_"};
+  std::string out;
+  std::size_t atoms = 1 + rng.below(10);
+  for (std::size_t i = 0; i < atoms; ++i)
+    out += kAtoms[rng.below(sizeof(kAtoms) / sizeof(kAtoms[0]))];
+  return out;
+}
+
+void build_random_element(Rng& rng, Element& element, int depth) {
+  std::size_t attribute_count = rng.below(4);
+  for (std::size_t i = 0; i < attribute_count; ++i)
+    element.set_attribute("attr" + std::to_string(i), random_text(rng));
+
+  std::size_t child_count = depth >= 4 ? 0 : rng.below(5);
+  for (std::size_t i = 0; i < child_count; ++i) {
+    if (rng.chance(0.4)) {
+      // Non-whitespace text child (pure whitespace would be stripped on
+      // reparse and break the fix-point comparison).
+      std::string text = random_text(rng);
+      bool all_space = true;
+      for (char c : text)
+        if (!is_ascii_space(c)) all_space = false;
+      if (!all_space) element.add_text(text);
+    } else {
+      Element& child = element.add_element("el" + rng.identifier(4));
+      build_random_element(rng, child, depth + 1);
+    }
+  }
+}
+
+class XmlRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(XmlRandom, WriteParseWriteFixPoint) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 17);
+  Element root("root");
+  build_random_element(rng, root, 0);
+
+  std::string once = write_element(root);
+  auto parsed = parse_document(once);
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string() << "\n" << once;
+  std::string twice = write_element(*parsed.value().root);
+  EXPECT_EQ(twice, once);
+}
+
+TEST_P(XmlRandom, PrettyFormAlsoReparses) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729 + 3);
+  Element root("root");
+  build_random_element(rng, root, 0);
+  WriteOptions options;
+  options.pretty = true;
+  std::string pretty = write_element(root, options);
+  auto parsed = parse_document(pretty);
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string() << "\n" << pretty;
+}
+
+TEST_P(XmlRandom, MutatedDocumentsNeverCrash) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 31 + 5);
+  Element root("root");
+  build_random_element(rng, root, 0);
+  std::string document = write_element(root);
+
+  for (int round = 0; round < 50; ++round) {
+    std::string mutated = document;
+    std::size_t mutations = 1 + rng.below(4);
+    for (std::size_t m = 0; m < mutations; ++m) {
+      std::size_t at = rng.below(mutated.size());
+      switch (rng.below(3)) {
+        case 0: mutated[at] = static_cast<char>(rng.below(256)); break;
+        case 1: mutated.erase(at, 1); break;
+        default: mutated.insert(at, 1, static_cast<char>('<' + rng.below(4)));
+      }
+      if (mutated.empty()) mutated = "<x/>";
+    }
+    // Must either parse or fail cleanly; never crash or hang.
+    auto result = parse_document(mutated);
+    if (result.is_ok()) {
+      // Whatever parsed must serialize and reparse.
+      std::string rewritten = write_element(*result.value().root);
+      EXPECT_TRUE(parse_document(rewritten).is_ok()) << rewritten;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, XmlRandom, ::testing::Range(0, 16));
+
+}  // namespace
+}  // namespace xmit::xml

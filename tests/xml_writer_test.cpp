@@ -1,0 +1,112 @@
+// Serializer tests: escaping, pretty printing, parse/write fix-point.
+#include <gtest/gtest.h>
+
+#include "xml/parser.hpp"
+#include "xml/writer.hpp"
+
+namespace xmit::xml {
+namespace {
+
+TEST(XmlWriter, EscapeText) {
+  EXPECT_EQ(escape_text("a<b>&c"), "a&lt;b&gt;&amp;c");
+  EXPECT_EQ(escape_text("plain"), "plain");
+}
+
+TEST(XmlWriter, EscapeAttribute) {
+  EXPECT_EQ(escape_attribute("\"'<&"), "&quot;&apos;&lt;&amp;");
+}
+
+TEST(XmlWriter, EmptyElementForm) {
+  Element e("empty");
+  EXPECT_EQ(write_element(e), "<empty />");
+}
+
+TEST(XmlWriter, AttributesInOrder) {
+  Element e("t");
+  e.set_attribute("b", "2");
+  e.set_attribute("a", "1");
+  EXPECT_EQ(write_element(e), "<t b=\"2\" a=\"1\" />");
+}
+
+TEST(XmlWriter, SetAttributeReplaces) {
+  Element e("t");
+  e.set_attribute("a", "1");
+  e.set_attribute("a", "2");
+  EXPECT_EQ(write_element(e), "<t a=\"2\" />");
+}
+
+TEST(XmlWriter, TextIsEscaped) {
+  Element e("t");
+  e.add_text("1 < 2 & 3");
+  EXPECT_EQ(write_element(e), "<t>1 &lt; 2 &amp; 3</t>");
+}
+
+TEST(XmlWriter, PrettyIndentsElementOnlyContent) {
+  Element root("a");
+  root.add_element("b").add_text("x");
+  root.add_element("c");
+  WriteOptions options;
+  options.pretty = true;
+  EXPECT_EQ(write_element(root, options),
+            "<a>\n  <b>x</b>\n  <c />\n</a>");
+}
+
+TEST(XmlWriter, PrettyLeavesMixedContentAlone) {
+  Element root("a");
+  root.add_text("pre");
+  root.add_element("b");
+  WriteOptions options;
+  options.pretty = true;
+  EXPECT_EQ(write_element(root, options), "<a>pre<b /></a>");
+}
+
+TEST(XmlWriter, DocumentDeclaration) {
+  Document doc;
+  doc.encoding = "UTF-8";
+  doc.root = std::make_unique<Element>("r");
+  WriteOptions options;
+  options.declaration = true;
+  EXPECT_EQ(write_document(doc, options),
+            "<?xml version=\"1.0\" encoding=\"UTF-8\"?><r />");
+}
+
+TEST(XmlWriter, ParseWriteFixPoint) {
+  // write(parse(x)) must itself re-parse to an identical serialization.
+  const char* cases[] = {
+      "<a x=\"1\"><b>t&amp;t</b><c /></a>",
+      "<m><v>1.5</v><v>2.5</v><v>-3</v></m>",
+      "<o a=\"&quot;q&quot;\">mixed<e />tail</o>",
+  };
+  for (const char* text : cases) {
+    auto first = parse_document(text);
+    ASSERT_TRUE(first.is_ok());
+    std::string once = write_element(*first.value().root);
+    auto second = parse_document(once);
+    ASSERT_TRUE(second.is_ok());
+    EXPECT_EQ(write_element(*second.value().root), once) << text;
+  }
+}
+
+TEST(XmlStreamWriter, ProducesParsableOutput) {
+  std::string out;
+  StreamWriter writer(out);
+  writer.open("SimpleData");
+  writer.text_element("Timestep", "9999");
+  writer.text_element("Size", "2");
+  writer.text_element("Data", "12.345");
+  writer.text_element("Data", "12.345");
+  writer.close("SimpleData");
+  auto doc = parse_document(out);
+  ASSERT_TRUE(doc.is_ok());
+  EXPECT_EQ(doc.value().root->children_named("Data").size(), 2u);
+}
+
+TEST(XmlStreamWriter, EscapesValues) {
+  std::string out;
+  StreamWriter writer(out);
+  writer.text_element("f", "a<b");
+  EXPECT_EQ(out, "<f>a&lt;b</f>");
+}
+
+}  // namespace
+}  // namespace xmit::xml

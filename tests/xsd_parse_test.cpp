@@ -1,0 +1,263 @@
+// Schema parsing tests, including the paper's own Figure 2 and Figure 4
+// documents verbatim.
+#include <gtest/gtest.h>
+
+#include "xsd/parse.hpp"
+#include "xsd/write.hpp"
+
+namespace xmit::xsd {
+namespace {
+
+// Figure 2 of the paper: the ASDOffEvent metadata.
+constexpr const char* kFig2 = R"(
+<xsd:complexType name="ASDOffEvent">
+  <xsd:element name="centerID" type="xsd:string" />
+  <xsd:element name="airline" type="xsd:string" />
+  <xsd:element name="flightNum" type="xsd:integer" />
+  <xsd:element name="off" type="xsd:unsignedLong" />
+</xsd:complexType>
+)";
+
+// Figure 4 of the paper: JoinRequest and SimpleData.
+constexpr const char* kFig4 = R"(
+<formats>
+  <xsd:complexType name="JoinRequest">
+    <xsd:element name="name" type="xsd:string" />
+    <xsd:element name="server" type="xsd:unsignedLong" />
+    <xsd:element name="ip_addr" type="xsd:unsignedLong" />
+    <xsd:element name="pid" type="xsd:unsignedLong" />
+    <xsd:element name="ds_addr" type="xsd:unsignedLong" />
+  </xsd:complexType>
+  <xsd:complexType name="SimpleData">
+    <xsd:element name="timestep" type="xsd:integer" />
+    <xsd:element name="data" type="xsd:float"
+                 minOccurs="0" maxOccurs="*"
+                 dimensionPlacement="before"
+                 dimensionName="size" />
+  </xsd:complexType>
+</formats>
+)";
+
+TEST(SchemaParse, PaperFigure2) {
+  auto schema = parse_schema_text(kFig2);
+  ASSERT_TRUE(schema.is_ok()) << schema.status().to_string();
+  const ComplexType* type = schema.value().type_named("ASDOffEvent");
+  ASSERT_NE(type, nullptr);
+  ASSERT_EQ(type->elements.size(), 4u);
+  EXPECT_EQ(type->elements[0].name, "centerID");
+  EXPECT_EQ(type->elements[0].primitive, Primitive::kString);
+  EXPECT_EQ(type->elements[2].primitive, Primitive::kInt);
+  EXPECT_EQ(type->elements[3].primitive, Primitive::kUnsignedLong);
+}
+
+TEST(SchemaParse, PaperFigure4) {
+  auto schema = parse_schema_text(kFig4);
+  ASSERT_TRUE(schema.is_ok()) << schema.status().to_string();
+  EXPECT_EQ(schema.value().types().size(), 2u);
+
+  const ComplexType* simple = schema.value().type_named("SimpleData");
+  ASSERT_NE(simple, nullptr);
+  const ElementDecl& data = simple->elements[1];
+  EXPECT_EQ(data.occurs, OccursMode::kDynamic);
+  EXPECT_EQ(data.dimension_name, "size");
+  EXPECT_EQ(data.dimension_placement, DimensionPlacement::kBefore);
+  EXPECT_TRUE(data.min_occurs_zero);
+}
+
+TEST(SchemaParse, MaxOccursAsSizeFieldName) {
+  // §3.1: "if the value is a string, an element of type integer with an
+  // identical name attribute must be present in the structure definition".
+  auto schema = parse_schema_text(R"(
+    <xsd:complexType name="T">
+      <xsd:element name="count" type="xsd:integer" />
+      <xsd:element name="values" type="xsd:float" maxOccurs="count" />
+    </xsd:complexType>)");
+  ASSERT_TRUE(schema.is_ok()) << schema.status().to_string();
+  const ElementDecl& values = schema.value().types()[0].elements[1];
+  EXPECT_EQ(values.occurs, OccursMode::kDynamic);
+  EXPECT_EQ(values.dimension_name, "count");
+}
+
+TEST(SchemaParse, NumericMaxOccursIsFixedArray) {
+  auto schema = parse_schema_text(R"(
+    <xsd:complexType name="T">
+      <xsd:element name="m" type="xsd:double" maxOccurs="16" />
+    </xsd:complexType>)");
+  ASSERT_TRUE(schema.is_ok());
+  const ElementDecl& m = schema.value().types()[0].elements[0];
+  EXPECT_EQ(m.occurs, OccursMode::kFixed);
+  EXPECT_EQ(m.fixed_count, 16u);
+  EXPECT_EQ(m.primitive, Primitive::kDouble);
+}
+
+TEST(SchemaParse, NestedTypeComposition) {
+  auto schema = parse_schema_text(R"(
+    <s>
+      <xsd:complexType name="Point">
+        <xsd:element name="x" type="xsd:float" />
+        <xsd:element name="y" type="xsd:float" />
+      </xsd:complexType>
+      <xsd:complexType name="Segment">
+        <xsd:element name="a" type="Point" />
+        <xsd:element name="b" type="Point" />
+        <xsd:element name="id" type="xsd:integer" />
+      </xsd:complexType>
+    </s>)");
+  ASSERT_TRUE(schema.is_ok()) << schema.status().to_string();
+  const ComplexType* segment = schema.value().type_named("Segment");
+  ASSERT_NE(segment, nullptr);
+  EXPECT_TRUE(segment->elements[0].is_complex());
+  EXPECT_EQ(segment->elements[0].type_name, "Point");
+  auto order = schema.value().topological_order().value();
+  EXPECT_EQ(order.front()->name, "Point");
+  EXPECT_EQ(order.back()->name, "Segment");
+}
+
+TEST(SchemaParse, ForwardReferencesResolve) {
+  // Outer declared before Inner in the document.
+  auto schema = parse_schema_text(R"(
+    <s>
+      <xsd:complexType name="Outer">
+        <xsd:element name="inner" type="Inner" />
+      </xsd:complexType>
+      <xsd:complexType name="Inner">
+        <xsd:element name="x" type="xsd:integer" />
+      </xsd:complexType>
+    </s>)");
+  ASSERT_TRUE(schema.is_ok()) << schema.status().to_string();
+  auto order = schema.value().topological_order().value();
+  EXPECT_EQ(order.front()->name, "Inner");
+}
+
+TEST(SchemaParse, SequenceCompositorIsAccepted) {
+  auto schema = parse_schema_text(R"(
+    <xsd:complexType name="T">
+      <xsd:sequence>
+        <xsd:element name="a" type="xsd:integer" />
+        <xsd:element name="b" type="xsd:float" />
+      </xsd:sequence>
+    </xsd:complexType>)");
+  ASSERT_TRUE(schema.is_ok()) << schema.status().to_string();
+  EXPECT_EQ(schema.value().types()[0].elements.size(), 2u);
+}
+
+TEST(SchemaParse, Rejections) {
+  // Unknown complex reference.
+  EXPECT_FALSE(parse_schema_text(R"(
+    <xsd:complexType name="T">
+      <xsd:element name="x" type="Mystery" />
+    </xsd:complexType>)").is_ok());
+  // Reference cycle.
+  EXPECT_FALSE(parse_schema_text(R"(
+    <s>
+      <xsd:complexType name="A"><xsd:element name="b" type="B" /></xsd:complexType>
+      <xsd:complexType name="B"><xsd:element name="a" type="A" /></xsd:complexType>
+    </s>)").is_ok());
+  // Missing type attribute.
+  EXPECT_FALSE(parse_schema_text(R"(
+    <xsd:complexType name="T"><xsd:element name="x" /></xsd:complexType>)")
+                   .is_ok());
+  // Missing name.
+  EXPECT_FALSE(parse_schema_text(R"(
+    <xsd:complexType><xsd:element name="x" type="xsd:integer" /></xsd:complexType>)")
+                   .is_ok());
+  // Duplicate type names.
+  EXPECT_FALSE(parse_schema_text(R"(
+    <s>
+      <xsd:complexType name="T"><xsd:element name="x" type="xsd:integer" /></xsd:complexType>
+      <xsd:complexType name="T"><xsd:element name="y" type="xsd:integer" /></xsd:complexType>
+    </s>)").is_ok());
+  // Duplicate element names within a type.
+  EXPECT_FALSE(parse_schema_text(R"(
+    <xsd:complexType name="T">
+      <xsd:element name="x" type="xsd:integer" />
+      <xsd:element name="x" type="xsd:float" />
+    </xsd:complexType>)").is_ok());
+  // Dynamic array without a dimension name.
+  EXPECT_FALSE(parse_schema_text(R"(
+    <xsd:complexType name="T">
+      <xsd:element name="data" type="xsd:float" maxOccurs="*" />
+    </xsd:complexType>)").is_ok());
+  // Dynamic array of complex type.
+  EXPECT_FALSE(parse_schema_text(R"(
+    <s>
+      <xsd:complexType name="P"><xsd:element name="x" type="xsd:integer" /></xsd:complexType>
+      <xsd:complexType name="T">
+        <xsd:element name="n" type="xsd:integer" />
+        <xsd:element name="ps" type="P" maxOccurs="n" />
+      </xsd:complexType>
+    </s>)").is_ok());
+  // Declared dimension field that is not an integer.
+  EXPECT_FALSE(parse_schema_text(R"(
+    <xsd:complexType name="T">
+      <xsd:element name="size" type="xsd:float" />
+      <xsd:element name="data" type="xsd:float" maxOccurs="size" />
+    </xsd:complexType>)").is_ok());
+  // Zero array bound.
+  EXPECT_FALSE(parse_schema_text(R"(
+    <xsd:complexType name="T">
+      <xsd:element name="m" type="xsd:float" maxOccurs="0" />
+    </xsd:complexType>)").is_ok());
+  // Empty document.
+  EXPECT_FALSE(parse_schema_text("<empty/>").is_ok());
+}
+
+TEST(SchemaParse, PrimitiveCatalog) {
+  EXPECT_EQ(primitive_from_name("integer"), Primitive::kInt);
+  EXPECT_EQ(primitive_from_name("int"), Primitive::kInt);
+  EXPECT_EQ(primitive_from_name("unsignedLong"), Primitive::kUnsignedLong);
+  EXPECT_EQ(primitive_from_name("double"), Primitive::kDouble);
+  EXPECT_EQ(primitive_from_name("NotAType"), std::nullopt);
+}
+
+
+TEST(SchemaParse, AnnotationsAreRetained) {
+  auto schema = parse_schema_text(R"(
+    <xsd:complexType name="Doc">
+      <xsd:annotation>
+        <xsd:documentation>A documented format.</xsd:documentation>
+      </xsd:annotation>
+      <xsd:element name="x" type="xsd:integer">
+        <xsd:annotation>
+          <xsd:documentation>The X coordinate.</xsd:documentation>
+        </xsd:annotation>
+      </xsd:element>
+    </xsd:complexType>)");
+  ASSERT_TRUE(schema.is_ok()) << schema.status().to_string();
+  const ComplexType* type = schema.value().type_named("Doc");
+  EXPECT_EQ(type->documentation, "A documented format.");
+  EXPECT_EQ(type->elements[0].documentation, "The X coordinate.");
+
+  // Documentation survives a write/parse round trip.
+  auto reparsed = parse_schema_text(write_schema(schema.value()));
+  ASSERT_TRUE(reparsed.is_ok()) << reparsed.status().to_string();
+  EXPECT_EQ(reparsed.value().type_named("Doc")->documentation,
+            "A documented format.");
+  EXPECT_EQ(reparsed.value().type_named("Doc")->elements[0].documentation,
+            "The X coordinate.");
+}
+
+TEST(SchemaWrite, RoundTripsThroughParser) {
+  auto schema = parse_schema_text(kFig4).value();
+  std::string text = write_schema(schema);
+  auto reparsed = parse_schema_text(text);
+  ASSERT_TRUE(reparsed.is_ok()) << reparsed.status().to_string() << "\n" << text;
+  ASSERT_EQ(reparsed.value().types().size(), 2u);
+  const ComplexType* simple = reparsed.value().type_named("SimpleData");
+  ASSERT_NE(simple, nullptr);
+  EXPECT_EQ(simple->elements[1].occurs, OccursMode::kDynamic);
+  EXPECT_EQ(simple->elements[1].dimension_name, "size");
+}
+
+TEST(SchemaWrite, UnwrappedSingleType) {
+  auto schema = parse_schema_text(kFig2).value();
+  SchemaWriteOptions options;
+  options.wrap_in_schema_element = false;
+  std::string text = write_schema(schema, options);
+  EXPECT_NE(text.find("complexType"), std::string::npos);
+  auto reparsed = parse_schema_text(text);
+  ASSERT_TRUE(reparsed.is_ok());
+}
+
+}  // namespace
+}  // namespace xmit::xsd

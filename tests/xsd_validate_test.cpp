@@ -1,0 +1,178 @@
+// Instance validation against schemas — the "schema-checking tools applied
+// to live messages" use-case, including the paper's Figure 1 document.
+#include <gtest/gtest.h>
+
+#include "xml/parser.hpp"
+#include "xsd/parse.hpp"
+#include "xsd/validate.hpp"
+
+namespace xmit::xsd {
+namespace {
+
+Schema simple_data_schema() {
+  return parse_schema_text(R"(
+    <xsd:complexType name="SimpleData">
+      <xsd:element name="Timestep" type="xsd:integer" />
+      <xsd:element name="Size" type="xsd:integer" />
+      <xsd:element name="Data" type="xsd:float" maxOccurs="Size"
+                   minOccurs="0" />
+    </xsd:complexType>)")
+      .value();
+}
+
+xml::Document parse(const char* text) {
+  return xml::parse_document_strict(text).value();
+}
+
+TEST(Validate, PaperFigure1Document) {
+  Schema schema = simple_data_schema();
+  auto doc = parse(R"(
+    <SimpleData>
+      <Timestep>9999</Timestep>
+      <Size>3</Size>
+      <Data>12.345</Data>
+      <Data>12.345</Data>
+      <Data>12.345</Data>
+    </SimpleData>)");
+  auto status = validate_instance(schema, *schema.type_named("SimpleData"),
+                                  *doc.root);
+  EXPECT_TRUE(status.is_ok()) << status.to_string();
+}
+
+TEST(Validate, CountMismatchWithDimensionElement) {
+  Schema schema = simple_data_schema();
+  auto doc = parse(R"(
+    <SimpleData>
+      <Timestep>1</Timestep>
+      <Size>5</Size>
+      <Data>1.0</Data>
+    </SimpleData>)");
+  auto status = validate_instance(schema, *schema.type_named("SimpleData"),
+                                  *doc.root);
+  EXPECT_FALSE(status.is_ok());
+}
+
+TEST(Validate, MissingRequiredElement) {
+  Schema schema = simple_data_schema();
+  auto doc = parse("<SimpleData><Timestep>1</Timestep></SimpleData>");
+  EXPECT_FALSE(
+      validate_instance(schema, *schema.type_named("SimpleData"), *doc.root)
+          .is_ok());
+}
+
+TEST(Validate, UnknownElementRejected) {
+  Schema schema = simple_data_schema();
+  auto doc = parse(R"(
+    <SimpleData>
+      <Timestep>1</Timestep><Size>0</Size><Bogus>9</Bogus>
+    </SimpleData>)");
+  EXPECT_FALSE(
+      validate_instance(schema, *schema.type_named("SimpleData"), *doc.root)
+          .is_ok());
+}
+
+TEST(Validate, BadPrimitiveValue) {
+  Schema schema = simple_data_schema();
+  auto doc = parse(R"(
+    <SimpleData>
+      <Timestep>not-a-number</Timestep><Size>0</Size>
+    </SimpleData>)");
+  EXPECT_FALSE(
+      validate_instance(schema, *schema.type_named("SimpleData"), *doc.root)
+          .is_ok());
+}
+
+TEST(Validate, NestedTypesValidateRecursively) {
+  auto schema = parse_schema_text(R"(
+    <s>
+      <xsd:complexType name="Point">
+        <xsd:element name="x" type="xsd:float" />
+        <xsd:element name="y" type="xsd:float" />
+      </xsd:complexType>
+      <xsd:complexType name="Segment">
+        <xsd:element name="a" type="Point" />
+        <xsd:element name="b" type="Point" />
+      </xsd:complexType>
+    </s>)")
+                    .value();
+  auto good = parse(R"(
+    <Segment>
+      <a><x>0</x><y>1</y></a>
+      <b><x>2</x><y>3</y></b>
+    </Segment>)");
+  EXPECT_TRUE(
+      validate_instance(schema, *schema.type_named("Segment"), *good.root)
+          .is_ok());
+  auto bad = parse(R"(
+    <Segment>
+      <a><x>0</x></a>
+      <b><x>2</x><y>3</y></b>
+    </Segment>)");
+  EXPECT_FALSE(
+      validate_instance(schema, *schema.type_named("Segment"), *bad.root)
+          .is_ok());
+}
+
+TEST(Validate, FixedArrayCount) {
+  auto schema = parse_schema_text(R"(
+    <xsd:complexType name="M">
+      <xsd:element name="v" type="xsd:float" maxOccurs="3" />
+    </xsd:complexType>)")
+                    .value();
+  auto good = parse("<M><v>1</v><v>2</v><v>3</v></M>");
+  EXPECT_TRUE(
+      validate_instance(schema, *schema.type_named("M"), *good.root).is_ok());
+  auto bad = parse("<M><v>1</v><v>2</v></M>");
+  EXPECT_FALSE(
+      validate_instance(schema, *schema.type_named("M"), *bad.root).is_ok());
+}
+
+TEST(Validate, MatchingTypesFindsBestMatch) {
+  // The paper: "determine which of several structure definitions a message
+  // best matches".
+  auto schema = parse_schema_text(R"(
+    <s>
+      <xsd:complexType name="A">
+        <xsd:element name="x" type="xsd:integer" />
+      </xsd:complexType>
+      <xsd:complexType name="B">
+        <xsd:element name="x" type="xsd:integer" />
+        <xsd:element name="y" type="xsd:float" />
+      </xsd:complexType>
+    </s>)")
+                    .value();
+  auto doc = parse("<msg><x>1</x><y>2.5</y></msg>");
+  auto matches = matching_types(schema, *doc.root);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0], "B");
+
+  auto doc_a = parse("<msg><x>1</x></msg>");
+  matches = matching_types(schema, *doc_a.root);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0], "A");
+
+  auto doc_none = parse("<msg><z>1</z></msg>");
+  EXPECT_TRUE(matching_types(schema, *doc_none.root).empty());
+}
+
+TEST(Validate, PrimitiveRanges) {
+  EXPECT_TRUE(validate_primitive_text(Primitive::kByte, "-128").is_ok());
+  EXPECT_FALSE(validate_primitive_text(Primitive::kByte, "128").is_ok());
+  EXPECT_TRUE(validate_primitive_text(Primitive::kUnsignedByte, "255").is_ok());
+  EXPECT_FALSE(validate_primitive_text(Primitive::kUnsignedByte, "-1").is_ok());
+  EXPECT_TRUE(validate_primitive_text(Primitive::kShort, "32767").is_ok());
+  EXPECT_FALSE(validate_primitive_text(Primitive::kShort, "32768").is_ok());
+  EXPECT_TRUE(validate_primitive_text(Primitive::kInt, "-2147483648").is_ok());
+  EXPECT_FALSE(validate_primitive_text(Primitive::kInt, "2147483648").is_ok());
+  EXPECT_TRUE(
+      validate_primitive_text(Primitive::kUnsignedLong, "18446744073709551615")
+          .is_ok());
+  EXPECT_TRUE(validate_primitive_text(Primitive::kBoolean, "true").is_ok());
+  EXPECT_FALSE(validate_primitive_text(Primitive::kBoolean, "yes").is_ok());
+  EXPECT_TRUE(validate_primitive_text(Primitive::kFloat, "1e-5").is_ok());
+  EXPECT_FALSE(validate_primitive_text(Primitive::kFloat, "one").is_ok());
+  EXPECT_TRUE(validate_primitive_text(Primitive::kString, "anything").is_ok());
+}
+
+}  // namespace
+}  // namespace xmit::xsd

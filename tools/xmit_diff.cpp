@@ -1,0 +1,84 @@
+// xmit_diff: what does a schema edit do to deployed components?
+//
+// Compares two versions of a schema document (URLs or paths), laying both
+// out for the host architecture, and reports per-type field changes plus
+// the authoritative verdict: will records of the old format still decode
+// under the new one (PBIO restricted evolution)?
+//
+// Usage: xmit_diff <old-schema> <new-schema> [type-name]
+// Exit status: 0 all compared types convertible, 1 otherwise.
+#include <cstdio>
+#include <string>
+
+#include "net/fetch.hpp"
+#include "pbio/diff.hpp"
+#include "pbio/registry.hpp"
+#include "xmit/xmit.hpp"
+
+namespace {
+
+using namespace xmit;
+
+Result<std::string> read_source(const std::string& source) {
+  if (source.find("://") != std::string::npos) return net::fetch(source);
+  return net::read_file(source);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) {
+    std::fprintf(stderr, "usage: xmit_diff <old-schema> <new-schema> [type]\n");
+    return 2;
+  }
+
+  pbio::FormatRegistry old_registry, new_registry;
+  toolkit::Xmit old_xmit(old_registry), new_xmit(new_registry);
+  for (auto& [path, xmit_ptr] :
+       {std::pair<const char*, toolkit::Xmit*>{argv[1], &old_xmit},
+        std::pair<const char*, toolkit::Xmit*>{argv[2], &new_xmit}}) {
+    auto text = read_source(path);
+    if (!text.is_ok()) {
+      std::fprintf(stderr, "%s: %s\n", path, text.status().to_string().c_str());
+      return 2;
+    }
+    auto status = xmit_ptr->load_text(text.value(), path);
+    if (!status.is_ok()) {
+      std::fprintf(stderr, "%s: %s\n", path, status.to_string().c_str());
+      return 2;
+    }
+  }
+
+  bool all_convertible = true;
+  int compared = 0;
+  for (const auto& name : new_xmit.loaded_types()) {
+    if (argc >= 4 && name != argv[3]) continue;
+    auto new_token = new_xmit.bind(name);
+    if (!new_token.is_ok()) continue;
+    auto old_token = old_xmit.bind(name);
+    if (!old_token.is_ok()) {
+      std::printf("%s: NEW TYPE (no old counterpart)\n\n", name.c_str());
+      ++compared;
+      continue;
+    }
+    auto diff = pbio::diff_formats(*old_token.value().format,
+                                   *new_token.value().format);
+    std::printf("%s: %u -> %u bytes\n%s\n", name.c_str(),
+                old_token.value().format->struct_size(),
+                new_token.value().format->struct_size(),
+                diff.to_string().c_str());
+    all_convertible = all_convertible && diff.convertible;
+    ++compared;
+  }
+  for (const auto& name : old_xmit.loaded_types()) {
+    if (argc >= 4 && name != argv[3]) continue;
+    if (!new_xmit.bind(name).is_ok())
+      std::printf("%s: REMOVED TYPE (receivers binding it will fail)\n\n",
+                  name.c_str());
+  }
+  if (compared == 0) {
+    std::fprintf(stderr, "no matching types to compare\n");
+    return 2;
+  }
+  return all_convertible ? 0 : 1;
+}
