@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_rpc.dir/bench_ablation_rpc.cpp.o"
+  "CMakeFiles/bench_ablation_rpc.dir/bench_ablation_rpc.cpp.o.d"
+  "bench_ablation_rpc"
+  "bench_ablation_rpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_amortization.cpp" "bench/CMakeFiles/bench_amortization.dir/bench_amortization.cpp.o" "gcc" "bench/CMakeFiles/bench_amortization.dir/bench_amortization.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hydrology/CMakeFiles/xmit_hydrology.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/xmit_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/xmit/CMakeFiles/xmit_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/xmit_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/session/CMakeFiles/xmit_session.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/xmit_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/xsd/CMakeFiles/xmit_xsd.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/xmit_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/pbio/CMakeFiles/xmit_pbio.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/xmit_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

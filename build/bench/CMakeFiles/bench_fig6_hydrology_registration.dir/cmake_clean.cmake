@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_hydrology_registration.dir/bench_fig6_hydrology_registration.cpp.o"
+  "CMakeFiles/bench_fig6_hydrology_registration.dir/bench_fig6_hydrology_registration.cpp.o.d"
+  "bench_fig6_hydrology_registration"
+  "bench_fig6_hydrology_registration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_hydrology_registration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

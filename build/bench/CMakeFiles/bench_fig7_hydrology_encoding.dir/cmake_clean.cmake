@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_hydrology_encoding.dir/bench_fig7_hydrology_encoding.cpp.o"
+  "CMakeFiles/bench_fig7_hydrology_encoding.dir/bench_fig7_hydrology_encoding.cpp.o.d"
+  "bench_fig7_hydrology_encoding"
+  "bench_fig7_hydrology_encoding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_hydrology_encoding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_wire_formats.dir/bench_fig8_wire_formats.cpp.o"
+  "CMakeFiles/bench_fig8_wire_formats.dir/bench_fig8_wire_formats.cpp.o.d"
+  "bench_fig8_wire_formats"
+  "bench_fig8_wire_formats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_wire_formats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flight_events.dir/flight_events.cpp.o"
+  "CMakeFiles/flight_events.dir/flight_events.cpp.o.d"
+  "flight_events"
+  "flight_events.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flight_events.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/handheld_view.dir/handheld_view.cpp.o"
+  "CMakeFiles/handheld_view.dir/handheld_view.cpp.o.d"
+  "handheld_view"
+  "handheld_view.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/handheld_view.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hydrology_pipeline.dir/hydrology_pipeline.cpp.o"
+  "CMakeFiles/hydrology_pipeline.dir/hydrology_pipeline.cpp.o.d"
+  "hydrology_pipeline"
+  "hydrology_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hydrology_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schema_codegen.dir/schema_codegen.cpp.o"
+  "CMakeFiles/schema_codegen.dir/schema_codegen.cpp.o.d"
+  "schema_codegen"
+  "schema_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schema_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

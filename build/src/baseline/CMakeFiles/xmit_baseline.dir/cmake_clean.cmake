@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmit_baseline.dir/cdr.cpp.o"
+  "CMakeFiles/xmit_baseline.dir/cdr.cpp.o.d"
+  "CMakeFiles/xmit_baseline.dir/mpilite.cpp.o"
+  "CMakeFiles/xmit_baseline.dir/mpilite.cpp.o.d"
+  "CMakeFiles/xmit_baseline.dir/xmlwire.cpp.o"
+  "CMakeFiles/xmit_baseline.dir/xmlwire.cpp.o.d"
+  "libxmit_baseline.a"
+  "libxmit_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmit_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmit_common.dir/error.cpp.o"
+  "CMakeFiles/xmit_common.dir/error.cpp.o.d"
+  "CMakeFiles/xmit_common.dir/strings.cpp.o"
+  "CMakeFiles/xmit_common.dir/strings.cpp.o.d"
+  "libxmit_common.a"
+  "libxmit_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmit_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libxmit_common.a"
+)

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hydrology/components.cpp" "src/hydrology/CMakeFiles/xmit_hydrology.dir/components.cpp.o" "gcc" "src/hydrology/CMakeFiles/xmit_hydrology.dir/components.cpp.o.d"
+  "/root/repo/src/hydrology/messages.cpp" "src/hydrology/CMakeFiles/xmit_hydrology.dir/messages.cpp.o" "gcc" "src/hydrology/CMakeFiles/xmit_hydrology.dir/messages.cpp.o.d"
+  "/root/repo/src/hydrology/pipeline.cpp" "src/hydrology/CMakeFiles/xmit_hydrology.dir/pipeline.cpp.o" "gcc" "src/hydrology/CMakeFiles/xmit_hydrology.dir/pipeline.cpp.o.d"
+  "/root/repo/src/hydrology/solver.cpp" "src/hydrology/CMakeFiles/xmit_hydrology.dir/solver.cpp.o" "gcc" "src/hydrology/CMakeFiles/xmit_hydrology.dir/solver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/xmit/CMakeFiles/xmit_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/pbio/CMakeFiles/xmit_pbio.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/xmit_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/xmit_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/xsd/CMakeFiles/xmit_xsd.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/xmit_xml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmit_hydrology.dir/components.cpp.o"
+  "CMakeFiles/xmit_hydrology.dir/components.cpp.o.d"
+  "CMakeFiles/xmit_hydrology.dir/messages.cpp.o"
+  "CMakeFiles/xmit_hydrology.dir/messages.cpp.o.d"
+  "CMakeFiles/xmit_hydrology.dir/pipeline.cpp.o"
+  "CMakeFiles/xmit_hydrology.dir/pipeline.cpp.o.d"
+  "CMakeFiles/xmit_hydrology.dir/solver.cpp.o"
+  "CMakeFiles/xmit_hydrology.dir/solver.cpp.o.d"
+  "libxmit_hydrology.a"
+  "libxmit_hydrology.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmit_hydrology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

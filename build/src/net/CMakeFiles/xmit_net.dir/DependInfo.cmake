@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/channel.cpp" "src/net/CMakeFiles/xmit_net.dir/channel.cpp.o" "gcc" "src/net/CMakeFiles/xmit_net.dir/channel.cpp.o.d"
+  "/root/repo/src/net/fetch.cpp" "src/net/CMakeFiles/xmit_net.dir/fetch.cpp.o" "gcc" "src/net/CMakeFiles/xmit_net.dir/fetch.cpp.o.d"
+  "/root/repo/src/net/http.cpp" "src/net/CMakeFiles/xmit_net.dir/http.cpp.o" "gcc" "src/net/CMakeFiles/xmit_net.dir/http.cpp.o.d"
+  "/root/repo/src/net/url.cpp" "src/net/CMakeFiles/xmit_net.dir/url.cpp.o" "gcc" "src/net/CMakeFiles/xmit_net.dir/url.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/xmit_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

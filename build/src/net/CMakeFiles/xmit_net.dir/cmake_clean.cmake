@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmit_net.dir/channel.cpp.o"
+  "CMakeFiles/xmit_net.dir/channel.cpp.o.d"
+  "CMakeFiles/xmit_net.dir/fetch.cpp.o"
+  "CMakeFiles/xmit_net.dir/fetch.cpp.o.d"
+  "CMakeFiles/xmit_net.dir/http.cpp.o"
+  "CMakeFiles/xmit_net.dir/http.cpp.o.d"
+  "CMakeFiles/xmit_net.dir/url.cpp.o"
+  "CMakeFiles/xmit_net.dir/url.cpp.o.d"
+  "libxmit_net.a"
+  "libxmit_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmit_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

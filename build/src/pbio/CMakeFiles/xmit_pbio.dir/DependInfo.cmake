@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pbio/arch.cpp" "src/pbio/CMakeFiles/xmit_pbio.dir/arch.cpp.o" "gcc" "src/pbio/CMakeFiles/xmit_pbio.dir/arch.cpp.o.d"
+  "/root/repo/src/pbio/decode.cpp" "src/pbio/CMakeFiles/xmit_pbio.dir/decode.cpp.o" "gcc" "src/pbio/CMakeFiles/xmit_pbio.dir/decode.cpp.o.d"
+  "/root/repo/src/pbio/diff.cpp" "src/pbio/CMakeFiles/xmit_pbio.dir/diff.cpp.o" "gcc" "src/pbio/CMakeFiles/xmit_pbio.dir/diff.cpp.o.d"
+  "/root/repo/src/pbio/dynrecord.cpp" "src/pbio/CMakeFiles/xmit_pbio.dir/dynrecord.cpp.o" "gcc" "src/pbio/CMakeFiles/xmit_pbio.dir/dynrecord.cpp.o.d"
+  "/root/repo/src/pbio/encode.cpp" "src/pbio/CMakeFiles/xmit_pbio.dir/encode.cpp.o" "gcc" "src/pbio/CMakeFiles/xmit_pbio.dir/encode.cpp.o.d"
+  "/root/repo/src/pbio/field.cpp" "src/pbio/CMakeFiles/xmit_pbio.dir/field.cpp.o" "gcc" "src/pbio/CMakeFiles/xmit_pbio.dir/field.cpp.o.d"
+  "/root/repo/src/pbio/file.cpp" "src/pbio/CMakeFiles/xmit_pbio.dir/file.cpp.o" "gcc" "src/pbio/CMakeFiles/xmit_pbio.dir/file.cpp.o.d"
+  "/root/repo/src/pbio/format.cpp" "src/pbio/CMakeFiles/xmit_pbio.dir/format.cpp.o" "gcc" "src/pbio/CMakeFiles/xmit_pbio.dir/format.cpp.o.d"
+  "/root/repo/src/pbio/format_wire.cpp" "src/pbio/CMakeFiles/xmit_pbio.dir/format_wire.cpp.o" "gcc" "src/pbio/CMakeFiles/xmit_pbio.dir/format_wire.cpp.o.d"
+  "/root/repo/src/pbio/registry.cpp" "src/pbio/CMakeFiles/xmit_pbio.dir/registry.cpp.o" "gcc" "src/pbio/CMakeFiles/xmit_pbio.dir/registry.cpp.o.d"
+  "/root/repo/src/pbio/scalar.cpp" "src/pbio/CMakeFiles/xmit_pbio.dir/scalar.cpp.o" "gcc" "src/pbio/CMakeFiles/xmit_pbio.dir/scalar.cpp.o.d"
+  "/root/repo/src/pbio/wire.cpp" "src/pbio/CMakeFiles/xmit_pbio.dir/wire.cpp.o" "gcc" "src/pbio/CMakeFiles/xmit_pbio.dir/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/xmit_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmit_pbio.dir/arch.cpp.o"
+  "CMakeFiles/xmit_pbio.dir/arch.cpp.o.d"
+  "CMakeFiles/xmit_pbio.dir/decode.cpp.o"
+  "CMakeFiles/xmit_pbio.dir/decode.cpp.o.d"
+  "CMakeFiles/xmit_pbio.dir/diff.cpp.o"
+  "CMakeFiles/xmit_pbio.dir/diff.cpp.o.d"
+  "CMakeFiles/xmit_pbio.dir/dynrecord.cpp.o"
+  "CMakeFiles/xmit_pbio.dir/dynrecord.cpp.o.d"
+  "CMakeFiles/xmit_pbio.dir/encode.cpp.o"
+  "CMakeFiles/xmit_pbio.dir/encode.cpp.o.d"
+  "CMakeFiles/xmit_pbio.dir/field.cpp.o"
+  "CMakeFiles/xmit_pbio.dir/field.cpp.o.d"
+  "CMakeFiles/xmit_pbio.dir/file.cpp.o"
+  "CMakeFiles/xmit_pbio.dir/file.cpp.o.d"
+  "CMakeFiles/xmit_pbio.dir/format.cpp.o"
+  "CMakeFiles/xmit_pbio.dir/format.cpp.o.d"
+  "CMakeFiles/xmit_pbio.dir/format_wire.cpp.o"
+  "CMakeFiles/xmit_pbio.dir/format_wire.cpp.o.d"
+  "CMakeFiles/xmit_pbio.dir/registry.cpp.o"
+  "CMakeFiles/xmit_pbio.dir/registry.cpp.o.d"
+  "CMakeFiles/xmit_pbio.dir/scalar.cpp.o"
+  "CMakeFiles/xmit_pbio.dir/scalar.cpp.o.d"
+  "CMakeFiles/xmit_pbio.dir/wire.cpp.o"
+  "CMakeFiles/xmit_pbio.dir/wire.cpp.o.d"
+  "libxmit_pbio.a"
+  "libxmit_pbio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmit_pbio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rpc/giop.cpp" "src/rpc/CMakeFiles/xmit_rpc.dir/giop.cpp.o" "gcc" "src/rpc/CMakeFiles/xmit_rpc.dir/giop.cpp.o.d"
+  "/root/repo/src/rpc/xmlrpc.cpp" "src/rpc/CMakeFiles/xmit_rpc.dir/xmlrpc.cpp.o" "gcc" "src/rpc/CMakeFiles/xmit_rpc.dir/xmlrpc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/xmit_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/xmit_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/xmit_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

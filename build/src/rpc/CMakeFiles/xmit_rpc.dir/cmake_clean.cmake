@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmit_rpc.dir/giop.cpp.o"
+  "CMakeFiles/xmit_rpc.dir/giop.cpp.o.d"
+  "CMakeFiles/xmit_rpc.dir/xmlrpc.cpp.o"
+  "CMakeFiles/xmit_rpc.dir/xmlrpc.cpp.o.d"
+  "libxmit_rpc.a"
+  "libxmit_rpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmit_rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

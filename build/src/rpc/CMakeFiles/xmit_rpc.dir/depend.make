@@ -1,0 +1,2 @@
+# Empty dependencies file for xmit_rpc.
+# This may be replaced when dependencies are built.

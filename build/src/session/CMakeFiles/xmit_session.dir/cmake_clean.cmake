@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmit_session.dir/session.cpp.o"
+  "CMakeFiles/xmit_session.dir/session.cpp.o.d"
+  "libxmit_session.a"
+  "libxmit_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmit_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

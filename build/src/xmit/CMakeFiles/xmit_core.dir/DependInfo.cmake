@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xmit/codegen.cpp" "src/xmit/CMakeFiles/xmit_core.dir/codegen.cpp.o" "gcc" "src/xmit/CMakeFiles/xmit_core.dir/codegen.cpp.o.d"
+  "/root/repo/src/xmit/format_service.cpp" "src/xmit/CMakeFiles/xmit_core.dir/format_service.cpp.o" "gcc" "src/xmit/CMakeFiles/xmit_core.dir/format_service.cpp.o.d"
+  "/root/repo/src/xmit/layout.cpp" "src/xmit/CMakeFiles/xmit_core.dir/layout.cpp.o" "gcc" "src/xmit/CMakeFiles/xmit_core.dir/layout.cpp.o.d"
+  "/root/repo/src/xmit/subset.cpp" "src/xmit/CMakeFiles/xmit_core.dir/subset.cpp.o" "gcc" "src/xmit/CMakeFiles/xmit_core.dir/subset.cpp.o.d"
+  "/root/repo/src/xmit/xmit.cpp" "src/xmit/CMakeFiles/xmit_core.dir/xmit.cpp.o" "gcc" "src/xmit/CMakeFiles/xmit_core.dir/xmit.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/xsd/CMakeFiles/xmit_xsd.dir/DependInfo.cmake"
+  "/root/repo/build/src/pbio/CMakeFiles/xmit_pbio.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/xmit_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/xmit_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/xmit_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

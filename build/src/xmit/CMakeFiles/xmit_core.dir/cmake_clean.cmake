@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmit_core.dir/codegen.cpp.o"
+  "CMakeFiles/xmit_core.dir/codegen.cpp.o.d"
+  "CMakeFiles/xmit_core.dir/format_service.cpp.o"
+  "CMakeFiles/xmit_core.dir/format_service.cpp.o.d"
+  "CMakeFiles/xmit_core.dir/layout.cpp.o"
+  "CMakeFiles/xmit_core.dir/layout.cpp.o.d"
+  "CMakeFiles/xmit_core.dir/subset.cpp.o"
+  "CMakeFiles/xmit_core.dir/subset.cpp.o.d"
+  "CMakeFiles/xmit_core.dir/xmit.cpp.o"
+  "CMakeFiles/xmit_core.dir/xmit.cpp.o.d"
+  "libxmit_core.a"
+  "libxmit_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmit_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmit_xml.dir/dom.cpp.o"
+  "CMakeFiles/xmit_xml.dir/dom.cpp.o.d"
+  "CMakeFiles/xmit_xml.dir/find.cpp.o"
+  "CMakeFiles/xmit_xml.dir/find.cpp.o.d"
+  "CMakeFiles/xmit_xml.dir/parser.cpp.o"
+  "CMakeFiles/xmit_xml.dir/parser.cpp.o.d"
+  "CMakeFiles/xmit_xml.dir/writer.cpp.o"
+  "CMakeFiles/xmit_xml.dir/writer.cpp.o.d"
+  "libxmit_xml.a"
+  "libxmit_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmit_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xsd/parse.cpp" "src/xsd/CMakeFiles/xmit_xsd.dir/parse.cpp.o" "gcc" "src/xsd/CMakeFiles/xmit_xsd.dir/parse.cpp.o.d"
+  "/root/repo/src/xsd/types.cpp" "src/xsd/CMakeFiles/xmit_xsd.dir/types.cpp.o" "gcc" "src/xsd/CMakeFiles/xmit_xsd.dir/types.cpp.o.d"
+  "/root/repo/src/xsd/validate.cpp" "src/xsd/CMakeFiles/xmit_xsd.dir/validate.cpp.o" "gcc" "src/xsd/CMakeFiles/xmit_xsd.dir/validate.cpp.o.d"
+  "/root/repo/src/xsd/write.cpp" "src/xsd/CMakeFiles/xmit_xsd.dir/write.cpp.o" "gcc" "src/xsd/CMakeFiles/xmit_xsd.dir/write.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/xml/CMakeFiles/xmit_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/xmit_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

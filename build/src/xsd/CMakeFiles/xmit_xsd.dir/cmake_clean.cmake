@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmit_xsd.dir/parse.cpp.o"
+  "CMakeFiles/xmit_xsd.dir/parse.cpp.o.d"
+  "CMakeFiles/xmit_xsd.dir/types.cpp.o"
+  "CMakeFiles/xmit_xsd.dir/types.cpp.o.d"
+  "CMakeFiles/xmit_xsd.dir/validate.cpp.o"
+  "CMakeFiles/xmit_xsd.dir/validate.cpp.o.d"
+  "CMakeFiles/xmit_xsd.dir/write.cpp.o"
+  "CMakeFiles/xmit_xsd.dir/write.cpp.o.d"
+  "libxmit_xsd.a"
+  "libxmit_xsd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmit_xsd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

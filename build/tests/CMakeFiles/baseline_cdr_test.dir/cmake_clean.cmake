@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_cdr_test.dir/baseline_cdr_test.cpp.o"
+  "CMakeFiles/baseline_cdr_test.dir/baseline_cdr_test.cpp.o.d"
+  "baseline_cdr_test"
+  "baseline_cdr_test.pdb"
+  "baseline_cdr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_cdr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hydrology_test.dir/hydrology_test.cpp.o"
+  "CMakeFiles/hydrology_test.dir/hydrology_test.cpp.o.d"
+  "hydrology_test"
+  "hydrology_test.pdb"
+  "hydrology_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hydrology_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pbio_convert_test.dir/pbio_convert_test.cpp.o"
+  "CMakeFiles/pbio_convert_test.dir/pbio_convert_test.cpp.o.d"
+  "pbio_convert_test"
+  "pbio_convert_test.pdb"
+  "pbio_convert_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pbio_convert_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

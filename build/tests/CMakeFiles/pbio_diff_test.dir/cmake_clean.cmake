@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pbio_diff_test.dir/pbio_diff_test.cpp.o"
+  "CMakeFiles/pbio_diff_test.dir/pbio_diff_test.cpp.o.d"
+  "pbio_diff_test"
+  "pbio_diff_test.pdb"
+  "pbio_diff_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pbio_diff_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

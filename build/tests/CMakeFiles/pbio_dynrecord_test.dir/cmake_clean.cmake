@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pbio_dynrecord_test.dir/pbio_dynrecord_test.cpp.o"
+  "CMakeFiles/pbio_dynrecord_test.dir/pbio_dynrecord_test.cpp.o.d"
+  "pbio_dynrecord_test"
+  "pbio_dynrecord_test.pdb"
+  "pbio_dynrecord_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pbio_dynrecord_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

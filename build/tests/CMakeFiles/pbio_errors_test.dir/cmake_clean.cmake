@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pbio_errors_test.dir/pbio_errors_test.cpp.o"
+  "CMakeFiles/pbio_errors_test.dir/pbio_errors_test.cpp.o.d"
+  "pbio_errors_test"
+  "pbio_errors_test.pdb"
+  "pbio_errors_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pbio_errors_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pbio_file_test.dir/pbio_file_test.cpp.o"
+  "CMakeFiles/pbio_file_test.dir/pbio_file_test.cpp.o.d"
+  "pbio_file_test"
+  "pbio_file_test.pdb"
+  "pbio_file_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pbio_file_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pbio_format_test.dir/pbio_format_test.cpp.o"
+  "CMakeFiles/pbio_format_test.dir/pbio_format_test.cpp.o.d"
+  "pbio_format_test"
+  "pbio_format_test.pdb"
+  "pbio_format_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pbio_format_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pbio_roundtrip_test.dir/pbio_roundtrip_test.cpp.o"
+  "CMakeFiles/pbio_roundtrip_test.dir/pbio_roundtrip_test.cpp.o.d"
+  "pbio_roundtrip_test"
+  "pbio_roundtrip_test.pdb"
+  "pbio_roundtrip_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pbio_roundtrip_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmit_codegen_test.dir/xmit_codegen_test.cpp.o"
+  "CMakeFiles/xmit_codegen_test.dir/xmit_codegen_test.cpp.o.d"
+  "xmit_codegen_test"
+  "xmit_codegen_test.pdb"
+  "xmit_codegen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmit_codegen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmit_extensions_test.dir/xmit_extensions_test.cpp.o"
+  "CMakeFiles/xmit_extensions_test.dir/xmit_extensions_test.cpp.o.d"
+  "xmit_extensions_test"
+  "xmit_extensions_test.pdb"
+  "xmit_extensions_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmit_extensions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmit_layout_test.dir/xmit_layout_test.cpp.o"
+  "CMakeFiles/xmit_layout_test.dir/xmit_layout_test.cpp.o.d"
+  "xmit_layout_test"
+  "xmit_layout_test.pdb"
+  "xmit_layout_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmit_layout_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmit_toolkit_test.dir/xmit_toolkit_test.cpp.o"
+  "CMakeFiles/xmit_toolkit_test.dir/xmit_toolkit_test.cpp.o.d"
+  "xmit_toolkit_test"
+  "xmit_toolkit_test.pdb"
+  "xmit_toolkit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmit_toolkit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xml_random_test.dir/xml_random_test.cpp.o"
+  "CMakeFiles/xml_random_test.dir/xml_random_test.cpp.o.d"
+  "xml_random_test"
+  "xml_random_test.pdb"
+  "xml_random_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xml_random_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xsd_enum_test.dir/xsd_enum_test.cpp.o"
+  "CMakeFiles/xsd_enum_test.dir/xsd_enum_test.cpp.o.d"
+  "xsd_enum_test"
+  "xsd_enum_test.pdb"
+  "xsd_enum_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xsd_enum_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

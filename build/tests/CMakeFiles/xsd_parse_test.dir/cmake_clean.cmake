@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xsd_parse_test.dir/xsd_parse_test.cpp.o"
+  "CMakeFiles/xsd_parse_test.dir/xsd_parse_test.cpp.o.d"
+  "xsd_parse_test"
+  "xsd_parse_test.pdb"
+  "xsd_parse_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xsd_parse_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

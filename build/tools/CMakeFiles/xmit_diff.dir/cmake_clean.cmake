@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmit_diff.dir/xmit_diff.cpp.o"
+  "CMakeFiles/xmit_diff.dir/xmit_diff.cpp.o.d"
+  "xmit_diff"
+  "xmit_diff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmit_diff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

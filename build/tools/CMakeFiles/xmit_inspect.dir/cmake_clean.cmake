@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmit_inspect.dir/xmit_inspect.cpp.o"
+  "CMakeFiles/xmit_inspect.dir/xmit_inspect.cpp.o.d"
+  "xmit_inspect"
+  "xmit_inspect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmit_inspect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmit_validate.dir/xmit_validate.cpp.o"
+  "CMakeFiles/xmit_validate.dir/xmit_validate.cpp.o.d"
+  "xmit_validate"
+  "xmit_validate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmit_validate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
