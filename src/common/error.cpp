@@ -13,6 +13,7 @@ const char* error_code_name(ErrorCode code) {
     case ErrorCode::kUnsupported: return "unsupported";
     case ErrorCode::kIoError: return "io_error";
     case ErrorCode::kInternal: return "internal";
+    case ErrorCode::kTimeout: return "timeout";
   }
   return "unknown";
 }

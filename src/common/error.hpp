@@ -24,6 +24,7 @@ enum class ErrorCode : std::uint8_t {
   kUnsupported,       // feature outside the implemented dialect
   kIoError,           // socket / file failure
   kInternal,          // invariant violation (bug)
+  kTimeout,           // deadline elapsed (poll/connect/overall budget)
 };
 
 const char* error_code_name(ErrorCode code);

@@ -1,12 +1,14 @@
 #include "net/channel.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <cstring>
 
 #include "common/endian.hpp"
@@ -37,7 +39,7 @@ Status recv_exact(int fd, void* data, std::size_t size, int timeout_ms,
     struct pollfd pfd = {fd, POLLIN, 0};
     int ready = ::poll(&pfd, 1, timeout_ms);
     if (ready == 0)
-      return make_error(ErrorCode::kIoError, "channel receive timeout");
+      return make_error(ErrorCode::kTimeout, "channel receive timeout");
     if (ready < 0)
       return make_error(ErrorCode::kIoError, "channel poll failed");
     ssize_t n = ::recv(fd, p + got, size - got, 0);
@@ -87,18 +89,38 @@ Result<std::pair<Channel, Channel>> Channel::pipe() {
 }
 
 Result<Channel> Channel::connect(std::uint16_t port, int timeout_ms) {
-  (void)timeout_ms;  // loopback connects complete immediately or fail
-  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
   if (fd < 0) return Status(ErrorCode::kIoError, "socket() failed");
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port = htons(port);
   if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    ::close(fd);
-    return Status(ErrorCode::kIoError,
-                  "connect to 127.0.0.1:" + std::to_string(port) + " failed");
+    if (errno != EINPROGRESS) {
+      ::close(fd);
+      return Status(ErrorCode::kIoError,
+                    "connect to 127.0.0.1:" + std::to_string(port) + " failed");
+    }
+    struct pollfd pfd = {fd, POLLOUT, 0};
+    int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready == 0) {
+      ::close(fd);
+      return Status(ErrorCode::kTimeout,
+                    "connect to 127.0.0.1:" + std::to_string(port) +
+                        " timed out");
+    }
+    int so_error = 0;
+    socklen_t len = sizeof(so_error);
+    ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len);
+    if (ready < 0 || so_error != 0) {
+      ::close(fd);
+      return Status(ErrorCode::kIoError,
+                    "connect to 127.0.0.1:" + std::to_string(port) + " failed");
+    }
   }
+  // Back to blocking for the framed send/receive paths.
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags & ~O_NONBLOCK);
   int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   return Channel(fd);
@@ -179,8 +201,8 @@ Result<ChannelListener> ChannelListener::listen(std::uint16_t port) {
 Result<Channel> ChannelListener::accept(int timeout_ms) {
   struct pollfd pfd = {fd_, POLLIN, 0};
   int ready = ::poll(&pfd, 1, timeout_ms);
-  if (ready <= 0)
-    return Status(ErrorCode::kIoError, "accept timeout");
+  if (ready == 0) return Status(ErrorCode::kTimeout, "accept timeout");
+  if (ready < 0) return Status(ErrorCode::kIoError, "accept poll failed");
   int client = ::accept(fd_, nullptr, nullptr);
   if (client < 0) return Status(ErrorCode::kIoError, "accept failed");
   int one = 1;

@@ -29,7 +29,8 @@ class Channel {
   // Bidirectional in-process pair (AF_UNIX socketpair).
   static Result<std::pair<Channel, Channel>> pipe();
 
-  // TCP client connection to 127.0.0.1:`port`.
+  // TCP client connection to 127.0.0.1:`port`. A connect that does not
+  // complete within timeout_ms yields kTimeout; refusal is kIoError.
   static Result<Channel> connect(std::uint16_t port, int timeout_ms = 5000);
 
   bool is_open() const { return fd_ >= 0; }
@@ -40,8 +41,8 @@ class Channel {
   }
 
   // Blocks up to timeout_ms for the next complete frame. A cleanly closed
-  // peer yields kNotFound ("end of stream"), distinguishable from timeout
-  // (kIoError).
+  // peer yields kNotFound ("end of stream"), an expired deadline yields
+  // kTimeout, and every other socket failure is kIoError.
   Result<std::vector<std::uint8_t>> receive(int timeout_ms = 5000);
 
   void close();

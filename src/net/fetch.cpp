@@ -34,20 +34,41 @@ Status write_file(const std::string& path, std::string_view contents) {
   return Status::ok();
 }
 
-Result<std::string> fetch(std::string_view url_text, int timeout_ms) {
-  XMIT_ASSIGN_OR_RETURN(auto url, parse_url(url_text));
-  if (url.scheme == "file") return read_file(url.path);
+namespace {
 
+// One fetch attempt, with the HTTP status mapped so the retry classifier
+// can tell server trouble (5xx, retryable) from caller error (4xx, not).
+Result<std::string> fetch_once(const Url& url, std::string_view url_text,
+                               int timeout_ms) {
   XMIT_ASSIGN_OR_RETURN(
       auto response, HttpClient::get(url.host, url.port, url.path, timeout_ms));
+  if (response.status_code == 200) return std::move(response.body);
+  std::string detail = "HTTP " + std::to_string(response.status_code) +
+                       " fetching " + std::string(url_text);
   if (response.status_code == 404)
     return Status(ErrorCode::kNotFound,
                   "document not found: " + std::string(url_text));
-  if (response.status_code != 200)
-    return Status(ErrorCode::kIoError,
-                  "HTTP " + std::to_string(response.status_code) + " fetching " +
-                      std::string(url_text));
-  return std::move(response.body);
+  if (response.status_code >= 400 && response.status_code < 500)
+    return Status(ErrorCode::kInvalidArgument, detail);
+  return Status(ErrorCode::kIoError, detail);
+}
+
+}  // namespace
+
+Result<std::string> fetch(std::string_view url_text, const FetchOptions& options) {
+  XMIT_ASSIGN_OR_RETURN(auto url, parse_url(url_text));
+  if (url.scheme == "file") return read_file(url.path);
+  return with_retry<std::string>(
+      options.retry,
+      [&] { return fetch_once(url, url_text, options.timeout_ms); },
+      options.stats);
+}
+
+Result<std::string> fetch(std::string_view url_text, int timeout_ms) {
+  FetchOptions options;
+  options.timeout_ms = timeout_ms;
+  options.retry = RetryPolicy::none();
+  return fetch(url_text, options);
 }
 
 }  // namespace xmit::net

@@ -5,11 +5,22 @@
 #include <string_view>
 
 #include "common/error.hpp"
+#include "net/retry.hpp"
 
 namespace xmit::net {
 
+struct FetchOptions {
+  int timeout_ms = 5000;         // per-attempt HTTP/connect budget
+  RetryPolicy retry;             // transient failures retried per policy
+  RetryStats* stats = nullptr;   // optional attempt breakdown, out
+};
+
 // Fetch the document at `url` (http:// via HttpClient, file:// from the
-// local filesystem). HTTP non-200 responses are kNotFound/kIoError.
+// local filesystem). HTTP status mapping: 404 -> kNotFound, other 4xx ->
+// kInvalidArgument, 5xx -> kIoError (status code in the message); poll
+// timeouts -> kTimeout. Transient failures (kTimeout/kIoError — 5xx,
+// truncated bodies, resets) are retried under options.retry.
+Result<std::string> fetch(std::string_view url, const FetchOptions& options);
 Result<std::string> fetch(std::string_view url, int timeout_ms = 5000);
 
 // Read a whole local file (also used by examples and the bench harness).

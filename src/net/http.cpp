@@ -7,7 +7,9 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 #include "common/strings.hpp"
 
@@ -34,8 +36,8 @@ Result<std::string> read_http_message(int fd, int timeout_ms) {
   for (;;) {
     struct pollfd pfd = {fd, POLLIN, 0};
     int ready = ::poll(&pfd, 1, timeout_ms);
-    if (ready <= 0)
-      return Status(ErrorCode::kIoError, "HTTP read timeout");
+    if (ready == 0) return Status(ErrorCode::kTimeout, "HTTP read timeout");
+    if (ready < 0) return Status(ErrorCode::kIoError, "HTTP poll failed");
     ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
     if (n < 0) return Status(ErrorCode::kIoError, "HTTP recv failed");
     if (n == 0) {
@@ -77,6 +79,8 @@ std::string status_text(int code) {
     case 400: return "Bad Request";
     case 404: return "Not Found";
     case 405: return "Method Not Allowed";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
     default: return "Unknown";
   }
 }
@@ -149,6 +153,11 @@ void HttpServer::set_post_handler(std::string path, PostHandler handler) {
   post_handlers_[std::move(path)] = std::move(handler);
 }
 
+void HttpServer::set_fault_hook(FaultHook hook) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  fault_hook_ = std::move(hook);
+}
+
 void HttpServer::accept_loop() {
   for (;;) {
     int client = ::accept(listen_fd_, nullptr, nullptr);
@@ -173,6 +182,18 @@ void HttpServer::handle_connection(int client_fd) {
   std::string_view request_line =
       std::string_view(text).substr(0, line_end);
   auto parts = split(request_line, ' ');
+
+  FaultHook hook;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    hook = fault_hook_;
+  }
+  FaultAction fault;
+  if (hook)
+    fault = hook(parts.size() >= 2 ? std::string(parts[1]) : std::string());
+  if (fault.kind == FaultKind::kReset) return;  // drop without replying
+  if (fault.kind == FaultKind::kDelay)
+    std::this_thread::sleep_for(std::chrono::milliseconds(fault.delay_ms));
 
   HttpResponse response;
   if (parts.size() != 3 || (parts[2] != "HTTP/1.1" && parts[2] != "HTTP/1.0")) {
@@ -211,12 +232,27 @@ void HttpServer::handle_connection(int client_fd) {
   }
   if (response.content_type.empty()) response.content_type = "text/plain";
 
+  if (fault.kind == FaultKind::kHttpError) {
+    response.status_code = fault.http_status;
+    response.content_type = "text/plain";
+    response.body = "injected fault: HTTP " + std::to_string(fault.http_status);
+  } else if (fault.kind == FaultKind::kCorruptBody) {
+    for (std::size_t i = 0; i < response.body.size(); i += 3)
+      response.body[i] = static_cast<char>(~response.body[i]);
+  }
+
+  // For kTruncateBody the headers still promise the full body, then the
+  // connection closes early — the client sees a mid-message close.
+  std::size_t body_bytes = response.body.size();
+  if (fault.kind == FaultKind::kTruncateBody)
+    body_bytes = std::min(fault.truncate_at, body_bytes);
+
   std::string out = "HTTP/1.1 " + std::to_string(response.status_code) + " " +
                     status_text(response.status_code) + "\r\n";
   out += "Content-Type: " + response.content_type + "\r\n";
   out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
   out += "Connection: close\r\n\r\n";
-  out += response.body;
+  out += response.body.substr(0, body_bytes);
   write_all(client_fd, out);
 }
 

@@ -17,6 +17,7 @@
 #include <thread>
 
 #include "common/error.hpp"
+#include "net/faults.hpp"
 
 namespace xmit::net {
 
@@ -51,6 +52,12 @@ class HttpServer {
   // Install a POST endpoint (e.g. an XML-RPC dispatcher at "/RPC2").
   void set_post_handler(std::string path, PostHandler handler);
 
+  // Fault injection (net/faults.hpp): the hook is consulted once per
+  // request and its action applied to the response — injected HTTP
+  // errors, truncated/corrupted bodies, delays, or connection resets.
+  // Pass nullptr to serve normally again. Thread-safe.
+  void set_fault_hook(FaultHook hook);
+
   std::size_t request_count() const { return request_count_.load(); }
 
   void stop();
@@ -70,6 +77,7 @@ class HttpServer {
   mutable std::mutex mutex_;
   std::map<std::string, HttpResponse> documents_;
   std::map<std::string, PostHandler> post_handlers_;
+  FaultHook fault_hook_;
 };
 
 class HttpClient {

@@ -1,0 +1,108 @@
+#include "net/retry.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace xmit::net {
+
+bool is_transient(ErrorCode code) {
+  return code == ErrorCode::kTimeout || code == ErrorCode::kIoError;
+}
+
+double RetryPolicy::backoff_for(int retry_index, Rng& rng) const {
+  double base = initial_backoff_ms;
+  for (int i = 0; i < retry_index; ++i) base *= multiplier;
+  base = std::min(base, max_backoff_ms);
+  return base * (0.5 + rng.uniform());
+}
+
+bool retry_after_failure(const RetryPolicy& policy, const Status& failure,
+                         int attempts_made, double elapsed_ms, Rng& rng,
+                         double* backoff_ms) {
+  if (!is_transient(failure)) return false;
+  if (attempts_made >= policy.max_attempts) return false;
+  double backoff = policy.backoff_for(attempts_made - 1, rng);
+  if (policy.deadline_ms > 0 && elapsed_ms + backoff >= policy.deadline_ms)
+    return false;
+  *backoff_ms = backoff;
+  return true;
+}
+
+void retry_sleep(const RetryPolicy& policy, double ms) {
+  if (ms <= 0) return;
+  if (policy.sleep_fn) {
+    policy.sleep_fn(ms);
+    return;
+  }
+  std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+}
+
+CircuitBreaker::CircuitBreaker(Options options)
+    : options_(std::move(options)) {}
+
+double CircuitBreaker::now() const {
+  if (options_.now_ms) return options_.now_ms();
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+bool CircuitBreaker::allow() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  switch (state_) {
+    case State::kClosed:
+      return true;
+    case State::kOpen:
+      if (now() - opened_at_ms_ >= options_.cooldown_ms) {
+        state_ = State::kHalfOpen;
+        probe_in_flight_ = true;
+        return true;
+      }
+      ++rejected_;
+      return false;
+    case State::kHalfOpen:
+      if (!probe_in_flight_) {
+        probe_in_flight_ = true;
+        return true;
+      }
+      ++rejected_;
+      return false;
+  }
+  return true;
+}
+
+void CircuitBreaker::record_success() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  state_ = State::kClosed;
+  consecutive_failures_ = 0;
+  probe_in_flight_ = false;
+}
+
+void CircuitBreaker::record_failure() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++consecutive_failures_;
+  probe_in_flight_ = false;
+  if (state_ == State::kHalfOpen ||
+      consecutive_failures_ >= options_.failure_threshold) {
+    state_ = State::kOpen;
+    opened_at_ms_ = now();
+  }
+}
+
+CircuitBreaker::State CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return state_;
+}
+
+int CircuitBreaker::consecutive_failures() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return consecutive_failures_;
+}
+
+std::size_t CircuitBreaker::rejected_calls() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return rejected_;
+}
+
+}  // namespace xmit::net

@@ -1,0 +1,162 @@
+// Retry policy and circuit breaker for the discovery plane.
+//
+// The paper's premise is that format metadata lives remotely — schema
+// documents and PBIO format blobs "fetched at run time, typically over
+// HTTP" — so the discovery path must survive a flaky or briefly-down
+// format server. This header provides the three fault-tolerance
+// primitives threaded through net::fetch, toolkit::Xmit and
+// toolkit::RemoteFormatResolver:
+//
+//  * an error classifier (is_transient): timeouts, socket failures and
+//    HTTP 5xx are worth retrying; 4xx, parse and integrity failures are
+//    permanent and fail fast,
+//  * RetryPolicy: bounded attempts with exponential backoff,
+//    deterministic seeded jitter (common/rng.hpp) and an overall
+//    deadline budget,
+//  * CircuitBreaker: after N consecutive failures the breaker opens and
+//    callers fail fast for a cooldown instead of stalling every
+//    ResolvingDecoder::decode on a dead publisher; the first call after
+//    the cooldown is a half-open probe.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace xmit::net {
+
+// True for failures a retry might cure: timeouts, socket errors,
+// truncated responses, HTTP 5xx (all surfaced as kTimeout/kIoError).
+// Permanent failures — 4xx (kNotFound/kInvalidArgument), kParseError,
+// integrity-check mismatches — return false and must fail fast.
+bool is_transient(ErrorCode code);
+inline bool is_transient(const Status& status) {
+  return is_transient(status.code());
+}
+
+// Where the attempts went during one retried operation.
+struct RetryStats {
+  int attempts = 0;        // total tries, >= 1 once the operation ran
+  int retries = 0;         // attempts after the first
+  double backoff_ms = 0;   // total backoff requested between attempts
+  Status last_error;       // last failure observed (OK if none)
+};
+
+struct RetryPolicy {
+  int max_attempts = 3;            // 1 = no retries
+  double initial_backoff_ms = 50;  // delay before the first retry
+  double multiplier = 2.0;         // exponential growth per retry
+  double max_backoff_ms = 2000;    // cap on a single delay
+  double deadline_ms = 30000;      // overall budget, sleeps included
+                                   // (<= 0 means no deadline)
+  std::uint64_t jitter_seed = 0;   // deterministic jitter stream
+  // Test seam: replaces the real sleep between attempts. The default
+  // (nullptr) sleeps on this thread.
+  std::function<void(double ms)> sleep_fn;
+
+  static RetryPolicy none() {
+    RetryPolicy policy;
+    policy.max_attempts = 1;
+    return policy;
+  }
+
+  // Backoff before retry `retry_index` (0-based): exponential with a
+  // jitter factor in [0.5, 1.5) drawn from `rng`.
+  double backoff_for(int retry_index, Rng& rng) const;
+};
+
+// Runs `op` under `policy`: retries transient failures with backoff,
+// fails fast on permanent ones, stops when attempts or the deadline
+// budget run out. `stats`, when given, receives the attempt breakdown
+// whether the call succeeds or fails.
+template <typename T>
+Result<T> with_retry(const RetryPolicy& policy,
+                     const std::function<Result<T>()>& op,
+                     RetryStats* stats = nullptr);
+
+// The non-template core: decides after a failed attempt whether to retry
+// and how long to sleep first. Returns false when the caller should give
+// up (permanent error, attempts exhausted, or deadline would be blown).
+bool retry_after_failure(const RetryPolicy& policy, const Status& failure,
+                         int attempts_made, double elapsed_ms, Rng& rng,
+                         double* backoff_ms);
+
+void retry_sleep(const RetryPolicy& policy, double ms);
+
+template <typename T>
+Result<T> with_retry(const RetryPolicy& policy,
+                     const std::function<Result<T>()>& op,
+                     RetryStats* stats) {
+  Rng rng(policy.jitter_seed);
+  RetryStats local;
+  double elapsed_ms = 0;  // deadline accounting counts backoff only; the
+                          // per-attempt timeout bounds the op itself
+  Status failure;
+  for (;;) {
+    auto result = op();
+    ++local.attempts;
+    local.retries = local.attempts - 1;
+    if (result.is_ok()) {
+      if (stats != nullptr) *stats = local;
+      return result;
+    }
+    failure = result.status();
+    local.last_error = failure;
+    double backoff = 0;
+    if (!retry_after_failure(policy, failure, local.attempts, elapsed_ms,
+                             rng, &backoff)) {
+      if (stats != nullptr) *stats = local;
+      return failure;
+    }
+    local.backoff_ms += backoff;
+    elapsed_ms += backoff;
+    retry_sleep(policy, backoff);
+  }
+}
+
+// Per-dependency circuit breaker. Closed: calls flow, consecutive
+// failures are counted. Open: calls are rejected without touching the
+// network until `cooldown_ms` passes. Half-open: exactly one probe call
+// is admitted; success closes the breaker, failure re-opens it for
+// another cooldown. Thread-safe — resolvers sit on the decode hot path.
+class CircuitBreaker {
+ public:
+  struct Options {
+    int failure_threshold = 3;    // consecutive failures before opening
+    double cooldown_ms = 5000;    // open duration before a probe
+    // Test seam: monotonic now() in ms. Default: steady_clock.
+    std::function<double()> now_ms;
+  };
+
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  CircuitBreaker() : CircuitBreaker(Options()) {}
+  explicit CircuitBreaker(Options options);
+
+  // True if the caller may attempt the protected operation. Claims the
+  // half-open probe slot when the cooldown has elapsed. A true return
+  // must be followed by record_success() or record_failure().
+  bool allow();
+  void record_success();
+  void record_failure();
+
+  State state() const;
+  int consecutive_failures() const;
+  std::size_t rejected_calls() const;  // denied while open
+
+ private:
+  double now() const;
+
+  Options options_;
+  mutable std::mutex mutex_;
+  State state_ = State::kClosed;
+  int consecutive_failures_ = 0;
+  double opened_at_ms_ = 0;
+  bool probe_in_flight_ = false;
+  std::size_t rejected_ = 0;
+};
+
+}  // namespace xmit::net

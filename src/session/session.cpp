@@ -55,13 +55,22 @@ Status MessageSession::send_encoded(const pbio::Format& format,
 Result<MessageSession::Incoming> MessageSession::receive(int timeout_ms) {
   for (;;) {
     XMIT_ASSIGN_OR_RETURN(auto frame, channel_.receive(timeout_ms));
-    if (frame.empty())
+    if (frame.empty()) {
+      ++malformed_frames_;
       return Status(ErrorCode::kParseError, "empty session frame");
+    }
     std::span<const std::uint8_t> payload(frame.data() + 1, frame.size() - 1);
     switch (frame[0]) {
       case kTagFormat: {
-        XMIT_ASSIGN_OR_RETURN(auto format, pbio::deserialize_format(payload));
-        XMIT_ASSIGN_OR_RETURN(auto adopted, registry_->adopt(std::move(format)));
+        auto format = pbio::deserialize_format(payload);
+        if (!format.is_ok()) {
+          // A truncated in-band announcement (peer died mid-write) must
+          // not poison the session — report and keep the stream usable.
+          ++malformed_frames_;
+          return format.status();
+        }
+        XMIT_ASSIGN_OR_RETURN(auto adopted,
+                              registry_->adopt(std::move(format).value()));
         // What the peer announced, we need not re-announce to them.
         announced_.insert(adopted->id());
         ++announcements_received_;
@@ -70,11 +79,16 @@ Result<MessageSession::Incoming> MessageSession::receive(int timeout_ms) {
       case kTagRecord: {
         Incoming incoming;
         incoming.bytes.assign(payload.begin(), payload.end());
-        XMIT_ASSIGN_OR_RETURN(auto info, decoder_->inspect(incoming.bytes));
-        incoming.sender_format = std::move(info.sender_format);
+        auto info = decoder_->inspect(incoming.bytes);
+        if (!info.is_ok()) {
+          ++malformed_frames_;
+          return info.status();
+        }
+        incoming.sender_format = std::move(info.value().sender_format);
         return incoming;
       }
       default:
+        ++malformed_frames_;
         return Status(ErrorCode::kParseError,
                       "unknown session frame tag " + std::to_string(frame[0]));
     }

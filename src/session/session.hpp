@@ -59,7 +59,10 @@ class MessageSession {
   };
 
   // Next data record; format announcements are consumed transparently.
-  // kNotFound = peer closed cleanly.
+  // kNotFound = peer closed cleanly, kTimeout = deadline elapsed.
+  // Truncated or corrupted frames (a peer dying mid-record) surface as
+  // clean kParseError/kOutOfRange statuses — the session object stays
+  // usable and counts them in malformed_frames().
   Result<Incoming> receive(int timeout_ms = 10000);
 
   void close() { channel_.close(); }
@@ -70,6 +73,7 @@ class MessageSession {
   std::size_t announcements_received() const { return announcements_received_; }
   std::size_t records_sent() const { return records_sent_; }
   std::size_t metadata_bytes_sent() const { return metadata_bytes_sent_; }
+  std::size_t malformed_frames() const { return malformed_frames_; }
 
  private:
   net::Channel channel_;
@@ -80,6 +84,7 @@ class MessageSession {
   std::size_t announcements_received_ = 0;
   std::size_t records_sent_ = 0;
   std::size_t metadata_bytes_sent_ = 0;
+  std::size_t malformed_frames_ = 0;
 };
 
 // Convenience: a connected session pair over a socketpair, sharing

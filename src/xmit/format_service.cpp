@@ -29,22 +29,48 @@ void FormatPublisher::publish_all(const pbio::FormatRegistry& registry) {
 }
 
 Result<pbio::FormatPtr> RemoteFormatResolver::resolve(pbio::FormatId id) {
+  // Cached formats resolve locally whatever the publisher's health.
   if (auto known = registry_.by_id(id); known.is_ok()) return known;
 
+  if (!breaker_->allow())
+    return Status(ErrorCode::kIoError,
+                  "format service circuit breaker is open; format " +
+                      FormatPublisher::id_to_path_component(id) +
+                      " is not cached");
+
   std::string url = base_url_ + FormatPublisher::id_to_path_component(id);
-  XMIT_ASSIGN_OR_RETURN(auto body, net::fetch(url));
-  ++fetches_;
-  XMIT_ASSIGN_OR_RETURN(
-      auto format,
-      pbio::deserialize_format(std::span<const std::uint8_t>(
-          reinterpret_cast<const std::uint8_t*>(body.data()), body.size())));
-  if (format->id() != id)
+  net::FetchOptions fetch_options;
+  fetch_options.timeout_ms = options_.fetch_timeout_ms;
+  fetch_options.retry = options_.retry;
+  net::RetryStats retry_stats;
+  fetch_options.stats = &retry_stats;
+  auto body = net::fetch(url, fetch_options);
+  // fetches_performed counts actual HTTP attempts — the quantity a
+  // breaker exists to bound.
+  fetches_ += static_cast<std::size_t>(retry_stats.attempts);
+  retries_ += static_cast<std::size_t>(retry_stats.retries);
+  if (!body.is_ok()) {
+    breaker_->record_failure();
+    return body.status();
+  }
+  auto format = pbio::deserialize_format(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(body.value().data()),
+      body.value().size()));
+  if (!format.is_ok()) {
+    // A server handing out garbage is as dead as one timing out.
+    breaker_->record_failure();
+    return format.status();
+  }
+  if (format.value()->id() != id) {
+    breaker_->record_failure();
     return Status(ErrorCode::kParseError,
                   "format service returned metadata with id " +
-                      FormatPublisher::id_to_path_component(format->id()) +
+                      FormatPublisher::id_to_path_component(format.value()->id()) +
                       " for requested id " +
                       FormatPublisher::id_to_path_component(id));
-  return registry_.adopt(std::move(format));
+  }
+  breaker_->record_success();
+  return registry_.adopt(std::move(format).value());
 }
 
 Result<pbio::RecordInfo> ResolvingDecoder::inspect(

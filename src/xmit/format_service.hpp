@@ -17,6 +17,7 @@
 #include "common/arena.hpp"
 #include "common/error.hpp"
 #include "net/http.hpp"
+#include "net/retry.hpp"
 #include "pbio/decode.hpp"
 #include "pbio/registry.hpp"
 
@@ -47,11 +48,29 @@ class FormatPublisher {
 };
 
 // Fetches format metadata by id from a publisher's base URL and adopts it
-// into a registry.
+// into a registry. Fault tolerance: transient fetch failures retry under
+// `retry`; consecutive failures open a circuit breaker so a dead
+// publisher makes every subsequent resolve fail fast (for the breaker's
+// cooldown) instead of stalling each decode on fresh network timeouts.
+// Formats already in the registry resolve locally regardless of breaker
+// state — a down publisher degrades service to cached formats, it does
+// not break it.
 class RemoteFormatResolver {
  public:
+  struct Options {
+    net::RetryPolicy retry;
+    net::CircuitBreaker::Options breaker;
+    int fetch_timeout_ms = 5000;
+  };
+
   RemoteFormatResolver(std::string base_url, pbio::FormatRegistry& registry)
-      : base_url_(std::move(base_url)), registry_(registry) {}
+      : RemoteFormatResolver(std::move(base_url), registry, Options()) {}
+  RemoteFormatResolver(std::string base_url, pbio::FormatRegistry& registry,
+                       Options options)
+      : base_url_(std::move(base_url)),
+        registry_(registry),
+        options_(std::move(options)),
+        breaker_(std::make_shared<net::CircuitBreaker>(options_.breaker)) {}
 
   // Registry lookup first; on miss, fetch + deserialize + adopt. The
   // fetched blob's recomputed id must equal the requested id (integrity
@@ -59,11 +78,18 @@ class RemoteFormatResolver {
   Result<pbio::FormatPtr> resolve(pbio::FormatId id);
 
   std::size_t fetches_performed() const { return fetches_; }
+  std::size_t retries_performed() const { return retries_; }
+  const net::CircuitBreaker& breaker() const { return *breaker_; }
 
  private:
   std::string base_url_;
   pbio::FormatRegistry& registry_;
+  Options options_;
+  // shared_ptr: the resolver is copied into ResolvingDecoder but breaker
+  // state (and these counters' home) must survive the move.
+  std::shared_ptr<net::CircuitBreaker> breaker_;
   std::size_t fetches_ = 0;
+  std::size_t retries_ = 0;
 };
 
 // Decoder wrapper that resolves unknown sender formats on demand.

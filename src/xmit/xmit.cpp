@@ -1,19 +1,94 @@
 #include "xmit/xmit.hpp"
 
+#include <cstdio>
+
 #include "common/clock.hpp"
 #include "net/fetch.hpp"
 #include "xsd/parse.hpp"
 
 namespace xmit::toolkit {
+namespace {
+
+// FNV-1a: a stable cache file name for a URL, identical across runs.
+std::string url_digest(const std::string& url) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (unsigned char c : url) {
+    h ^= c;
+    h *= 0x100000001b3ull;
+  }
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(h));
+  return buf;
+}
+
+}  // namespace
 
 Xmit::Xmit(pbio::FormatRegistry& registry, pbio::ArchInfo target)
     : registry_(registry), target_(target) {}
 
-Status Xmit::load(std::string_view url) {
+std::string Xmit::cache_path_for(const std::string& url) const {
+  return cache_dir_ + "/" + url_digest(url) + ".xsd";
+}
+
+void Xmit::mirror_to_cache(const std::string& url, std::string_view text) {
+  if (cache_dir_.empty()) return;
+  // Best-effort: a full disk must not fail the load that just succeeded.
+  (void)net::write_file(cache_path_for(url), text);
+}
+
+Result<std::string> Xmit::fetch_with_policy(const std::string& url,
+                                            net::RetryStats* stats) {
+  net::FetchOptions options;
+  options.timeout_ms = fetch_timeout_ms_;
+  options.retry = retry_policy_;
+  options.stats = stats;
+  return net::fetch(url, options);
+}
+
+Status Xmit::load(std::string_view url_view) {
+  std::string url(url_view);
   Stopwatch fetch_watch;
-  XMIT_ASSIGN_OR_RETURN(auto text, net::fetch(url));
+  net::RetryStats retry_stats;
+  auto text = fetch_with_policy(url, &retry_stats);
   double fetch_ms = fetch_watch.elapsed_ms();
-  return install(text, std::string(url), /*is_url=*/true, fetch_ms);
+  resilience_.fetch_retries += static_cast<std::size_t>(retry_stats.retries);
+
+  if (text.is_ok()) {
+    XMIT_RETURN_IF_ERROR(install(text.value(), url, /*is_url=*/true, fetch_ms));
+    last_stats_.retries = retry_stats.retries;
+    mirror_to_cache(url, text.value());
+    return Status::ok();
+  }
+  if (!net::is_transient(text.status())) return text.status();
+
+  // Transient failure: fall back to the last-good copy — in memory if
+  // this URL was loaded before, else the disk cache — and degrade.
+  for (auto& document : documents_) {
+    if (document.source != url) continue;
+    document.stale = true;
+    ++resilience_.stale_serves;
+    last_stats_ = LoadStats{};
+    last_stats_.fetch_ms = fetch_ms;
+    last_stats_.retries = retry_stats.retries;
+    last_stats_.served_stale = true;
+    last_stats_.types_loaded = 0;
+    return Status::ok();
+  }
+  if (!cache_dir_.empty()) {
+    auto cached = net::read_file(cache_path_for(url));
+    if (cached.is_ok()) {
+      XMIT_RETURN_IF_ERROR(
+          install(cached.value(), url, /*is_url=*/true, fetch_ms));
+      documents_.back().stale = true;
+      ++resilience_.disk_cache_hits;
+      ++resilience_.stale_serves;
+      last_stats_.retries = retry_stats.retries;
+      last_stats_.served_stale = true;
+      return Status::ok();
+    }
+  }
+  return text.status();
 }
 
 Status Xmit::load_text(std::string_view xml_text, std::string source_name) {
@@ -90,13 +165,39 @@ Result<bool> Xmit::refresh() {
 
   for (auto& [source, old_text] : to_check) {
     Stopwatch fetch_watch;
-    XMIT_ASSIGN_OR_RETURN(auto text, net::fetch(source));
-    if (text == old_text) continue;
-    XMIT_RETURN_IF_ERROR(
-        install(text, source, /*is_url=*/true, fetch_watch.elapsed_ms()));
+    net::RetryStats retry_stats;
+    auto text = fetch_with_policy(source, &retry_stats);
+    resilience_.fetch_retries += static_cast<std::size_t>(retry_stats.retries);
+    if (!text.is_ok()) {
+      // Stale-if-error: a transiently unreachable publisher must not
+      // take down a toolkit that already holds a good document.
+      if (!net::is_transient(text.status())) return text.status();
+      ++resilience_.refresh_failures;
+      for (auto& document : documents_)
+        if (document.source == source && !document.stale) {
+          document.stale = true;
+          ++resilience_.stale_serves;
+        }
+      continue;
+    }
+    if (text.value() == old_text) {
+      // Unchanged, but a successful fetch ends any degradation.
+      for (auto& document : documents_)
+        if (document.source == source) document.stale = false;
+      continue;
+    }
+    XMIT_RETURN_IF_ERROR(install(text.value(), source, /*is_url=*/true,
+                                 fetch_watch.elapsed_ms()));
+    mirror_to_cache(source, text.value());
     any_changed = true;
   }
   return any_changed;
+}
+
+bool Xmit::degraded() const {
+  for (const auto& document : documents_)
+    if (document.stale) return true;
+  return false;
 }
 
 std::vector<std::string> Xmit::loaded_types() const {

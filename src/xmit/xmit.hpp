@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "net/retry.hpp"
 #include "pbio/encode.hpp"
 #include "pbio/registry.hpp"
 #include "xmit/layout.hpp"
@@ -47,10 +48,21 @@ struct LoadStats {
   double translate_ms = 0;  // schema model -> layouts
   double register_ms = 0;   // layouts -> PBIO formats
   std::size_t types_loaded = 0;
+  int retries = 0;          // transient fetch failures absorbed by retry
+  bool served_stale = false;  // fetch failed; a cached copy was used
 
   double total_ms() const {
     return fetch_ms + parse_ms + translate_ms + register_ms;
   }
+};
+
+// Cumulative fault-tolerance counters across every load()/refresh() —
+// what the RDM benches report as the cost of resilience.
+struct ResilienceStats {
+  std::size_t fetch_retries = 0;    // retried attempts, all operations
+  std::size_t stale_serves = 0;     // failures absorbed by last-good docs
+  std::size_t disk_cache_hits = 0;  // loads satisfied from the disk cache
+  std::size_t refresh_failures = 0; // refresh() fetches that never recovered
 };
 
 class Xmit {
@@ -62,8 +74,27 @@ class Xmit {
                 pbio::ArchInfo target = pbio::ArchInfo::host());
 
   // Discovery: fetch the document at `url` (http:// or file://), parse,
-  // translate, register. Idempotent for unchanged documents.
+  // translate, register. Idempotent for unchanged documents. Transient
+  // fetch failures are retried under the configured RetryPolicy; if the
+  // fetch still fails and a cached copy exists (in memory from an earlier
+  // load, or in the disk cache), the cached copy is served and the load
+  // is reported degraded rather than failed.
   Status load(std::string_view url);
+
+  // Retry policy applied to every load()/refresh() fetch. Default: three
+  // attempts with exponential backoff.
+  void set_retry_policy(net::RetryPolicy policy) {
+    retry_policy_ = std::move(policy);
+  }
+  const net::RetryPolicy& retry_policy() const { return retry_policy_; }
+
+  // Per-attempt fetch timeout (passed through to the HTTP client).
+  void set_fetch_timeout_ms(int timeout_ms) { fetch_timeout_ms_ = timeout_ms; }
+
+  // Mirror successfully fetched documents into `dir` (created by the
+  // caller) so a later process can load() through a dead server. Empty
+  // string disables mirroring.
+  void set_cache_dir(std::string dir) { cache_dir_ = std::move(dir); }
 
   // Same pipeline minus the fetch, for documents already in hand;
   // `source_name` labels errors and refresh bookkeeping.
@@ -74,8 +105,17 @@ class Xmit {
 
   // Re-fetch every URL loaded so far; returns true if any document changed
   // (changed types are re-laid-out and re-registered — the paper's
-  // centralized format-change propagation).
+  // centralized format-change propagation). Stale-if-error: a document
+  // whose re-fetch fails transiently keeps serving its last-good copy and
+  // marks the toolkit degraded instead of erroring; permanent failures
+  // (e.g. the document was deleted, 404) still propagate.
   Result<bool> refresh();
+
+  // True while at least one document is serving a stale copy because its
+  // last fetch failed. Cleared when a refresh() succeeds for it again.
+  bool degraded() const;
+
+  const ResilienceStats& resilience_stats() const { return resilience_; }
 
   // All loaded types, in dependency order.
   std::vector<std::string> loaded_types() const;
@@ -90,10 +130,15 @@ class Xmit {
     bool is_url = false;
     std::string text;    // for change detection on refresh
     xsd::Schema schema;
+    bool stale = false;  // last fetch failed; serving the last-good copy
   };
 
   Status install(std::string_view xml_text, std::string source, bool is_url,
                  double fetch_ms);
+  Result<std::string> fetch_with_policy(const std::string& url,
+                                        net::RetryStats* stats);
+  std::string cache_path_for(const std::string& url) const;
+  void mirror_to_cache(const std::string& url, std::string_view text);
 
   pbio::FormatRegistry& registry_;
   pbio::ArchInfo target_;
@@ -102,6 +147,10 @@ class Xmit {
   std::map<std::string, std::pair<std::size_t, pbio::FormatPtr>, std::less<>>
       bound_types_;
   LoadStats last_stats_;
+  net::RetryPolicy retry_policy_;
+  int fetch_timeout_ms_ = 5000;
+  std::string cache_dir_;
+  ResilienceStats resilience_;
 };
 
 }  // namespace xmit::toolkit

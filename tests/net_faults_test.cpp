@@ -1,0 +1,631 @@
+// Fault-tolerance matrix for the discovery plane: retry/backoff
+// classification, deterministic fault injection, circuit breaking, and
+// stale-schema degradation. Everything here is hermetic — faults come
+// from net/faults.hpp schedules, never from a real flaky network — and
+// is meant to run under ASan/UBSan (-DXMIT_SANITIZE=ON).
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <filesystem>
+#include <memory>
+#include <vector>
+
+#include "net/channel.hpp"
+#include "net/faults.hpp"
+#include "net/fetch.hpp"
+#include "net/http.hpp"
+#include "net/retry.hpp"
+#include "pbio/decode.hpp"
+#include "pbio/encode.hpp"
+#include "pbio/registry.hpp"
+#include "session/session.hpp"
+#include "xmit/format_service.hpp"
+#include "xmit/xmit.hpp"
+
+namespace xmit {
+namespace {
+
+using net::CircuitBreaker;
+using net::FaultAction;
+using net::FaultPlan;
+using net::FetchOptions;
+using net::RetryPolicy;
+using net::RetryStats;
+
+// A policy that never really sleeps; backoffs are collected for
+// inspection instead.
+RetryPolicy fast_policy(int max_attempts,
+                        std::shared_ptr<std::vector<double>> sleeps = nullptr) {
+  RetryPolicy policy;
+  policy.max_attempts = max_attempts;
+  policy.initial_backoff_ms = 1;
+  policy.max_backoff_ms = 8;
+  policy.jitter_seed = 7;
+  policy.sleep_fn = [sleeps](double ms) {
+    if (sleeps) sleeps->push_back(ms);
+  };
+  return policy;
+}
+
+// ---------------------------------------------------------------------------
+// Classifier + with_retry units
+
+TEST(RetryClassifier, TransientVersusPermanent) {
+  EXPECT_TRUE(net::is_transient(ErrorCode::kTimeout));
+  EXPECT_TRUE(net::is_transient(ErrorCode::kIoError));
+  EXPECT_FALSE(net::is_transient(ErrorCode::kNotFound));
+  EXPECT_FALSE(net::is_transient(ErrorCode::kInvalidArgument));
+  EXPECT_FALSE(net::is_transient(ErrorCode::kParseError));
+  EXPECT_FALSE(net::is_transient(ErrorCode::kOutOfRange));
+}
+
+TEST(Retry, TransientFailuresRetryUntilSuccess) {
+  auto sleeps = std::make_shared<std::vector<double>>();
+  int calls = 0;
+  RetryStats stats;
+  auto result = net::with_retry<int>(
+      fast_policy(5, sleeps),
+      [&]() -> Result<int> {
+        if (++calls < 3) return Status(ErrorCode::kIoError, "flaky");
+        return 42;
+      },
+      &stats);
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_EQ(stats.attempts, 3);
+  EXPECT_EQ(stats.retries, 2);
+  EXPECT_EQ(sleeps->size(), 2u);
+  EXPECT_GT(stats.backoff_ms, 0.0);
+}
+
+TEST(Retry, PermanentErrorFailsFast) {
+  int calls = 0;
+  RetryStats stats;
+  auto result = net::with_retry<int>(
+      fast_policy(5),
+      [&]() -> Result<int> {
+        ++calls;
+        return Status(ErrorCode::kParseError, "never retry this");
+      },
+      &stats);
+  EXPECT_FALSE(result.is_ok());
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(stats.retries, 0);
+}
+
+TEST(Retry, AttemptsExhaust) {
+  int calls = 0;
+  auto result = net::with_retry<int>(fast_policy(3), [&]() -> Result<int> {
+    ++calls;
+    return Status(ErrorCode::kTimeout, "always down");
+  });
+  EXPECT_FALSE(result.is_ok());
+  EXPECT_EQ(result.code(), ErrorCode::kTimeout);
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(Retry, DeadlineBudgetStopsEarly) {
+  auto policy = fast_policy(100);
+  policy.initial_backoff_ms = 40;
+  policy.max_backoff_ms = 40;
+  policy.deadline_ms = 100;  // room for ~2-4 backoffs, nowhere near 100
+  int calls = 0;
+  auto result = net::with_retry<int>(policy, [&]() -> Result<int> {
+    ++calls;
+    return Status(ErrorCode::kIoError, "down");
+  });
+  EXPECT_FALSE(result.is_ok());
+  EXPECT_LT(calls, 10);
+  EXPECT_GE(calls, 2);
+}
+
+TEST(Retry, JitterIsDeterministicPerSeed) {
+  auto first = std::make_shared<std::vector<double>>();
+  auto second = std::make_shared<std::vector<double>>();
+  for (auto& sleeps : {first, second}) {
+    (void)net::with_retry<int>(fast_policy(4, sleeps), [&]() -> Result<int> {
+      return Status(ErrorCode::kIoError, "down");
+    });
+  }
+  ASSERT_EQ(first->size(), 3u);
+  EXPECT_EQ(*first, *second);
+}
+
+// ---------------------------------------------------------------------------
+// Circuit breaker unit (fake clock)
+
+TEST(Breaker, OpensHalfOpensAndRecloses) {
+  auto now = std::make_shared<double>(0.0);
+  CircuitBreaker::Options options;
+  options.failure_threshold = 3;
+  options.cooldown_ms = 1000;
+  options.now_ms = [now] { return *now; };
+  CircuitBreaker breaker(options);
+
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(breaker.allow());
+    breaker.record_failure();
+  }
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_FALSE(breaker.allow());
+  EXPECT_GE(breaker.rejected_calls(), 1u);
+
+  // Cooldown elapses: exactly one half-open probe is admitted.
+  *now = 1500;
+  EXPECT_TRUE(breaker.allow());
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+  EXPECT_FALSE(breaker.allow());  // probe in flight
+
+  breaker.record_success();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(breaker.allow());
+}
+
+TEST(Breaker, FailedProbeReopens) {
+  auto now = std::make_shared<double>(0.0);
+  CircuitBreaker::Options options;
+  options.failure_threshold = 1;
+  options.cooldown_ms = 100;
+  options.now_ms = [now] { return *now; };
+  CircuitBreaker breaker(options);
+
+  ASSERT_TRUE(breaker.allow());
+  breaker.record_failure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+
+  *now = 150;
+  ASSERT_TRUE(breaker.allow());  // probe
+  breaker.record_failure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  *now = 200;
+  EXPECT_FALSE(breaker.allow());  // new cooldown started at 150
+  *now = 260;
+  EXPECT_TRUE(breaker.allow());
+}
+
+// ---------------------------------------------------------------------------
+// Fault plans
+
+TEST(Faults, PlansAreDeterministic) {
+  auto menu = std::vector<FaultAction>{FaultAction::http_error(500),
+                                       FaultAction::reset()};
+  auto a = FaultPlan::random(42, 0.5, menu);
+  auto b = FaultPlan::random(42, 0.5, menu);
+  for (int i = 0; i < 64; ++i) {
+    auto fa = a->next();
+    auto fb = b->next();
+    EXPECT_EQ(static_cast<int>(fa.kind), static_cast<int>(fb.kind));
+    EXPECT_EQ(fa.http_status, fb.http_status);
+  }
+}
+
+TEST(Faults, FailNThenSucceedSchedule) {
+  auto plan = FaultPlan::fail_n_then_succeed(2, FaultAction::http_error(503));
+  EXPECT_EQ(plan->next().http_status, 503);
+  EXPECT_EQ(plan->next().kind, net::FaultKind::kHttpError);
+  EXPECT_EQ(plan->next().kind, net::FaultKind::kNone);
+  EXPECT_EQ(plan->requests_seen(), 3u);
+  EXPECT_EQ(plan->faults_injected(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// net::fetch — status mapping and behaviour under server faults
+
+class FetchFaults : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    server_ = net::HttpServer::start().value();
+    server_->put_document("/doc.xsd", "<schema/>");
+  }
+
+  void install(std::shared_ptr<FaultPlan> plan) {
+    plan_ = plan;
+    server_->set_fault_hook(FaultPlan::as_hook(plan));
+  }
+
+  Result<std::string> fetch_doc(int max_attempts = 1) {
+    FetchOptions options;
+    options.retry = fast_policy(max_attempts);
+    return net::fetch(server_->url_for("/doc.xsd"), options);
+  }
+
+  std::unique_ptr<net::HttpServer> server_;
+  std::shared_ptr<FaultPlan> plan_;
+};
+
+TEST_F(FetchFaults, StatusCodeMapping) {
+  // 404: the document genuinely is not there.
+  auto missing = net::fetch(server_->url_for("/nope"));
+  EXPECT_EQ(missing.code(), ErrorCode::kNotFound);
+
+  // Other 4xx: the caller's request is at fault — permanent.
+  install(FaultPlan::sequence({FaultAction::http_error(403)}));
+  auto forbidden = fetch_doc();
+  EXPECT_EQ(forbidden.code(), ErrorCode::kInvalidArgument);
+  EXPECT_NE(forbidden.message().find("403"), std::string::npos);
+
+  // 5xx: the server's problem — transient, and the code is in the message.
+  install(FaultPlan::sequence({FaultAction::http_error(500)}));
+  auto broken = fetch_doc();
+  EXPECT_EQ(broken.code(), ErrorCode::kIoError);
+  EXPECT_NE(broken.message().find("500"), std::string::npos);
+}
+
+TEST_F(FetchFaults, TruncatedBodyIsTransientIoError) {
+  install(FaultPlan::sequence({FaultAction::truncate(3)}));
+  auto result = fetch_doc();
+  EXPECT_FALSE(result.is_ok());
+  EXPECT_TRUE(net::is_transient(result.status()));
+}
+
+TEST_F(FetchFaults, ConnectionResetIsTransient) {
+  install(FaultPlan::sequence({FaultAction::reset()}));
+  auto result = fetch_doc();
+  EXPECT_FALSE(result.is_ok());
+  EXPECT_TRUE(net::is_transient(result.status()));
+}
+
+TEST_F(FetchFaults, DelayBelowTimeoutStillSucceeds) {
+  install(FaultPlan::sequence({FaultAction::delay(50)}));
+  EXPECT_TRUE(fetch_doc().is_ok());
+}
+
+TEST_F(FetchFaults, SilentServerYieldsTimeout) {
+  // A TCP listener that accepts but never answers.
+  auto listener = net::ChannelListener::listen().value();
+  FetchOptions options;
+  options.timeout_ms = 100;
+  auto result = net::fetch(
+      "http://127.0.0.1:" + std::to_string(listener.port()) + "/x", options);
+  EXPECT_EQ(result.code(), ErrorCode::kTimeout);
+  EXPECT_TRUE(net::is_transient(result.status()));
+}
+
+TEST_F(FetchFaults, FailTwiceThenSucceedResolves) {
+  install(FaultPlan::fail_n_then_succeed(2, FaultAction::http_error(500)));
+  FetchOptions options;
+  options.retry = fast_policy(5);
+  RetryStats stats;
+  options.stats = &stats;
+  auto result = net::fetch(server_->url_for("/doc.xsd"), options);
+  ASSERT_TRUE(result.is_ok()) << result.status().to_string();
+  EXPECT_EQ(result.value(), "<schema/>");
+  EXPECT_EQ(stats.attempts, 3);
+  EXPECT_EQ(stats.retries, 2);
+  EXPECT_EQ(plan_->requests_seen(), 3u);
+}
+
+TEST_F(FetchFaults, Permanent404FailsFastDespiteRetryBudget) {
+  auto result = net::fetch(server_->url_for("/gone"),
+                           FetchOptions{.timeout_ms = 5000,
+                                        .retry = fast_policy(5),
+                                        .stats = nullptr});
+  EXPECT_EQ(result.code(), ErrorCode::kNotFound);
+  // Exactly one request ever hit the wire.
+  EXPECT_EQ(server_->request_count(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Xmit: retried loads, stale-if-error refresh, disk-cache fallback
+
+constexpr const char* kSchema = R"(
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:complexType name="Reading">
+    <xsd:element name="id" type="xsd:integer" />
+    <xsd:element name="value" type="xsd:double" />
+  </xsd:complexType>
+</xsd:schema>)";
+
+class XmitFaults : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    server_ = net::HttpServer::start().value();
+    server_->put_document("/r.xsd", kSchema);
+  }
+
+  std::unique_ptr<net::HttpServer> server_;
+  pbio::FormatRegistry registry_;
+};
+
+TEST_F(XmitFaults, LoadRetriesThroughTwo500s) {
+  auto plan = FaultPlan::fail_n_then_succeed(2, FaultAction::http_error(500));
+  server_->set_fault_hook(FaultPlan::as_hook(plan));
+
+  toolkit::Xmit xmit(registry_);
+  xmit.set_retry_policy(fast_policy(5));
+  auto status = xmit.load(server_->url_for("/r.xsd"));
+  ASSERT_TRUE(status.is_ok()) << status.to_string();
+  EXPECT_EQ(xmit.last_load_stats().retries, 2);
+  EXPECT_FALSE(xmit.last_load_stats().served_stale);
+  EXPECT_EQ(xmit.resilience_stats().fetch_retries, 2u);
+  EXPECT_TRUE(xmit.bind("Reading").is_ok());
+  EXPECT_EQ(plan->requests_seen(), 3u);
+}
+
+TEST_F(XmitFaults, RefreshFailureServesStaleSchema) {
+  toolkit::Xmit xmit(registry_);
+  xmit.set_retry_policy(fast_policy(2));
+  ASSERT_TRUE(xmit.load(server_->url_for("/r.xsd")).is_ok());
+  auto before = xmit.bind("Reading");
+  ASSERT_TRUE(before.is_ok());
+
+  // Publisher melts down: refresh must degrade, not error.
+  server_->set_fault_hook(
+      FaultPlan::as_hook(FaultPlan::random(1, 1.0, {FaultAction::http_error(500)})));
+  auto refreshed = xmit.refresh();
+  ASSERT_TRUE(refreshed.is_ok()) << refreshed.status().to_string();
+  EXPECT_FALSE(refreshed.value());
+  EXPECT_TRUE(xmit.degraded());
+  EXPECT_EQ(xmit.resilience_stats().stale_serves, 1u);
+  EXPECT_GE(xmit.resilience_stats().refresh_failures, 1u);
+
+  // The last-good document still binds and encodes.
+  auto during = xmit.bind("Reading");
+  ASSERT_TRUE(during.is_ok());
+  EXPECT_EQ(during.value().format->id(), before.value().format->id());
+
+  // Publisher recovers: degradation clears.
+  server_->set_fault_hook(nullptr);
+  ASSERT_TRUE(xmit.refresh().is_ok());
+  EXPECT_FALSE(xmit.degraded());
+}
+
+TEST_F(XmitFaults, RepeatedLoadFallsBackToMemoryCopy) {
+  toolkit::Xmit xmit(registry_);
+  xmit.set_retry_policy(fast_policy(2));
+  ASSERT_TRUE(xmit.load(server_->url_for("/r.xsd")).is_ok());
+
+  server_->set_fault_hook(
+      FaultPlan::as_hook(FaultPlan::random(1, 1.0, {FaultAction::reset()})));
+  auto status = xmit.load(server_->url_for("/r.xsd"));
+  ASSERT_TRUE(status.is_ok()) << status.to_string();
+  EXPECT_TRUE(xmit.last_load_stats().served_stale);
+  EXPECT_TRUE(xmit.degraded());
+  EXPECT_TRUE(xmit.bind("Reading").is_ok());
+}
+
+TEST_F(XmitFaults, DiskCacheSurvivesDeadServer) {
+  std::string cache_dir = ::testing::TempDir() + "xmit_faults_cache";
+  std::filesystem::create_directories(cache_dir);
+
+  std::string url = server_->url_for("/r.xsd");
+  {
+    toolkit::Xmit warm(registry_);
+    warm.set_cache_dir(cache_dir);
+    ASSERT_TRUE(warm.load(url).is_ok());
+  }
+  server_->stop();  // the publisher is gone entirely
+
+  pbio::FormatRegistry cold_registry;
+  toolkit::Xmit cold(cold_registry);
+  cold.set_cache_dir(cache_dir);
+  cold.set_retry_policy(fast_policy(2));
+  auto status = cold.load(url);
+  ASSERT_TRUE(status.is_ok()) << status.to_string();
+  EXPECT_TRUE(cold.last_load_stats().served_stale);
+  EXPECT_EQ(cold.resilience_stats().disk_cache_hits, 1u);
+  EXPECT_TRUE(cold.degraded());
+  EXPECT_TRUE(cold.bind("Reading").is_ok());
+
+  std::filesystem::remove_all(cache_dir);
+}
+
+TEST_F(XmitFaults, PermanentFailureWithNoCacheStillFails) {
+  toolkit::Xmit xmit(registry_);
+  xmit.set_retry_policy(fast_policy(3));
+  auto status = xmit.load(server_->url_for("/never-existed.xsd"));
+  EXPECT_FALSE(status.is_ok());
+  EXPECT_EQ(status.code(), ErrorCode::kNotFound);
+  EXPECT_EQ(server_->request_count(), 1u);  // no retries on a 404
+}
+
+// ---------------------------------------------------------------------------
+// Format service: retried resolution, breaker-bounded fetch storms
+
+struct Reading {
+  std::int32_t id;
+  double value;
+};
+
+struct Extra {
+  std::int32_t a;
+  std::int32_t b;
+};
+
+class FormatServiceFaults : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    server_ = net::HttpServer::start().value();
+    reading_ =
+        sender_registry_
+            .register_format("Reading",
+                             {{"id", "integer", 4, offsetof(Reading, id)},
+                              {"value", "float", 8, offsetof(Reading, value)}},
+                             sizeof(Reading))
+            .value();
+    extra_ = sender_registry_
+                 .register_format("Extra",
+                                  {{"a", "integer", 4, offsetof(Extra, a)},
+                                   {"b", "integer", 4, offsetof(Extra, b)}},
+                                  sizeof(Extra))
+                 .value();
+    publisher_ = std::make_unique<toolkit::FormatPublisher>(*server_);
+    publisher_->publish(*reading_);
+    publisher_->publish(*extra_);
+  }
+
+  toolkit::RemoteFormatResolver::Options fast_resolver_options() {
+    toolkit::RemoteFormatResolver::Options options;
+    options.retry = fast_policy(3);
+    options.fetch_timeout_ms = 500;
+    options.breaker.failure_threshold = 2;
+    options.breaker.cooldown_ms = 60000;  // stays open for the whole test
+    return options;
+  }
+
+  std::unique_ptr<net::HttpServer> server_;
+  pbio::FormatRegistry sender_registry_;
+  pbio::FormatPtr reading_;
+  pbio::FormatPtr extra_;
+  std::unique_ptr<toolkit::FormatPublisher> publisher_;
+};
+
+TEST_F(FormatServiceFaults, ResolveRetriesThroughTransientFaults) {
+  auto plan = FaultPlan::fail_n_then_succeed(2, FaultAction::http_error(503));
+  server_->set_fault_hook(FaultPlan::as_hook(plan));
+
+  pbio::FormatRegistry receiver;
+  toolkit::RemoteFormatResolver resolver(publisher_->base_url(), receiver,
+                                         fast_resolver_options());
+  auto resolved = resolver.resolve(reading_->id());
+  ASSERT_TRUE(resolved.is_ok()) << resolved.status().to_string();
+  EXPECT_EQ(resolver.retries_performed(), 2u);
+  EXPECT_EQ(resolver.fetches_performed(), 3u);
+  EXPECT_EQ(resolver.breaker().state(), CircuitBreaker::State::kClosed);
+}
+
+TEST_F(FormatServiceFaults, CorruptedMetadataFailsFastWithoutRetry) {
+  auto plan = FaultPlan::random(3, 1.0, {FaultAction::corrupt()});
+  server_->set_fault_hook(FaultPlan::as_hook(plan));
+
+  pbio::FormatRegistry receiver;
+  toolkit::RemoteFormatResolver resolver(publisher_->base_url(), receiver,
+                                         fast_resolver_options());
+  auto resolved = resolver.resolve(reading_->id());
+  EXPECT_FALSE(resolved.is_ok());
+  // Corruption is an integrity failure, not a network blip: one attempt.
+  EXPECT_EQ(resolver.retries_performed(), 0u);
+}
+
+TEST_F(FormatServiceFaults, DeadPublisherDegradesToCachedFormats) {
+  // The receiver learns "Reading" while the publisher is healthy.
+  pbio::FormatRegistry receiver;
+  toolkit::ResolvingDecoder decoder(
+      receiver, toolkit::RemoteFormatResolver(publisher_->base_url(), receiver,
+                                              fast_resolver_options()));
+  auto reading_encoder = pbio::Encoder::make(reading_).value();
+  Reading r{7, 2.5};
+  auto reading_bytes = reading_encoder.encode_to_vector(&r).value();
+  ASSERT_TRUE(decoder.inspect(reading_bytes).is_ok());
+
+  // Publisher dies. Records in the cached format still decode — service
+  // is degraded, not broken.
+  server_->stop();
+  Arena arena;
+  Reading out{};
+  auto receiver_format = receiver.by_id(reading_->id()).value();
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(
+        decoder.decode(reading_bytes, *receiver_format, &out, arena).is_ok());
+  }
+  EXPECT_EQ(out.id, 7);
+
+  // Records in a format the receiver never saw keep failing — but the
+  // breaker opens after two failed resolutions and the remaining decodes
+  // fail fast instead of hammering the dead endpoint.
+  auto extra_encoder = pbio::Encoder::make(extra_).value();
+  Extra e{1, 2};
+  auto extra_bytes = extra_encoder.encode_to_vector(&e).value();
+  for (int i = 0; i < 10; ++i)
+    EXPECT_FALSE(decoder.inspect(extra_bytes).is_ok());
+
+  const auto& resolver = decoder.resolver();
+  EXPECT_EQ(resolver.breaker().state(), CircuitBreaker::State::kOpen);
+  // 1 healthy fetch for "Reading" at setup, then 2 resolution attempts
+  // before the breaker opened at 3 fetch tries each; the other 8 decodes
+  // performed no network activity at all.
+  EXPECT_EQ(resolver.fetches_performed(), 7u);
+  EXPECT_GE(resolver.breaker().rejected_calls(), 8u);
+
+  // Cached-format decodes still work with the breaker open.
+  ASSERT_TRUE(
+      decoder.decode(reading_bytes, *receiver_format, &out, arena).is_ok());
+}
+
+// ---------------------------------------------------------------------------
+// Truncation hardening: PBIO decode and sessions never crash on prefixes
+
+class Truncation : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    format_ = registry_
+                  .register_format(
+                      "Message",
+                      {{"id", "integer", 4, offsetof(Message, id)},
+                       {"n", "integer", 4, offsetof(Message, n)},
+                       {"data", "float[n]", 4, offsetof(Message, data)},
+                       {"note", "string", sizeof(char*), offsetof(Message, note)}},
+                      sizeof(Message))
+                  .value();
+    auto encoder = pbio::Encoder::make(format_).value();
+    payload_ = {1.5f, 2.5f, 3.5f};
+    char note[] = "fault-injection";
+    Message in{9, 3, payload_.data(), note};
+    bytes_ = encoder.encode_to_vector(&in).value();
+  }
+
+  struct Message {
+    std::int32_t id;
+    std::int32_t n;
+    float* data;
+    char* note;
+  };
+
+  pbio::FormatRegistry registry_;
+  pbio::FormatPtr format_;
+  std::vector<float> payload_;
+  std::vector<std::uint8_t> bytes_;
+};
+
+TEST_F(Truncation, EveryPrefixLengthFailsCleanly) {
+  pbio::Decoder decoder(registry_);
+  Arena arena;
+  // The full record decodes; every strict prefix must yield kOutOfRange —
+  // never a crash, never a garbage success (ASan guards the "never a
+  // crash" half when built with -DXMIT_SANITIZE=ON).
+  for (std::size_t keep = 0; keep < bytes_.size(); ++keep) {
+    Message out{};
+    arena.reset();
+    auto status = decoder.decode(
+        std::span<const std::uint8_t>(bytes_.data(), keep), *format_, &out,
+        arena);
+    ASSERT_FALSE(status.is_ok()) << "prefix " << keep << " decoded";
+    EXPECT_EQ(status.code(), ErrorCode::kOutOfRange)
+        << "prefix " << keep << ": " << status.to_string();
+  }
+  Message out{};
+  arena.reset();
+  EXPECT_TRUE(decoder.decode(bytes_, *format_, &out, arena).is_ok());
+}
+
+TEST_F(Truncation, TruncatingChannelHardensSessions) {
+  auto pipe = net::Channel::pipe().value();
+  net::Channel sender_raw = std::move(pipe.first);
+  pbio::FormatRegistry receiver_registry;
+  ASSERT_TRUE(receiver_registry.adopt(format_).is_ok());
+  session::MessageSession receiver(std::move(pipe.second), receiver_registry);
+
+  // Frame = [tag 0x02 | record bytes]; keep the tag plus half the record.
+  std::vector<std::uint8_t> frame;
+  frame.push_back(0x02);
+  frame.insert(frame.end(), bytes_.begin(), bytes_.end());
+  auto plan = FaultPlan::sequence(
+      {net::FaultAction::truncate(1 + bytes_.size() / 2)});
+  net::TruncatingChannel flaky(sender_raw, plan);
+  ASSERT_TRUE(flaky.send(frame).is_ok());
+  EXPECT_EQ(flaky.frames_truncated(), 1u);
+
+  auto truncated = receiver.receive(500);
+  EXPECT_FALSE(truncated.is_ok());
+  EXPECT_EQ(truncated.code(), ErrorCode::kOutOfRange);
+  EXPECT_EQ(receiver.malformed_frames(), 1u);
+
+  // The session survives: an intact frame afterwards is received fine.
+  ASSERT_TRUE(flaky.send(frame).is_ok());
+  auto intact = receiver.receive(500);
+  ASSERT_TRUE(intact.is_ok()) << intact.status().to_string();
+  EXPECT_EQ(intact.value().sender_format->id(), format_->id());
+}
+
+}  // namespace
+}  // namespace xmit

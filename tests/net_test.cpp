@@ -173,7 +173,15 @@ TEST(Channel, ReceiveTimeout) {
   auto [a, b] = Channel::pipe().value();
   auto result = b.receive(50);
   EXPECT_FALSE(result.is_ok());
-  EXPECT_EQ(result.code(), ErrorCode::kIoError);
+  // Timeout is its own code, no longer conflated with kIoError.
+  EXPECT_EQ(result.code(), ErrorCode::kTimeout);
+}
+
+TEST(Channel, AcceptTimeout) {
+  auto listener = ChannelListener::listen().value();
+  auto result = listener.accept(50);
+  EXPECT_FALSE(result.is_ok());
+  EXPECT_EQ(result.code(), ErrorCode::kTimeout);
 }
 
 TEST(Channel, TcpListenerAcceptConnect) {

@@ -287,8 +287,16 @@ int main() {
 )";
   ASSERT_TRUE(net::write_file(main_path, main_source).is_ok());
 
+  // The build tree's static libs may be sanitizer-instrumented
+  // (-DXMIT_SANITIZE=ON); this out-of-band compile must match.
+#ifdef XMIT_SANITIZE_FLAGS
+  const char* sanitize_flags = XMIT_SANITIZE_FLAGS " ";
+#else
+  const char* sanitize_flags = "";
+#endif
   std::string compile =
-      "c++ -std=c++20 -I " XMIT_SOURCE_DIR "/src -o " + binary_path + " " +
+      "c++ -std=c++20 " + std::string(sanitize_flags) +
+      "-I " XMIT_SOURCE_DIR "/src -o " + binary_path + " " +
       main_path + " " XMIT_BINARY_DIR "/src/hydrology/libxmit_hydrology.a " +
       XMIT_BINARY_DIR "/src/xmit/libxmit_core.a " +
       XMIT_BINARY_DIR "/src/xsd/libxmit_xsd.a " +

@@ -5,12 +5,20 @@
 // data at rest. Each record is printed field-by-field via the dynamic
 // RecordReader; --xml re-encodes records as XML documents instead.
 //
-// Usage: xmit_inspect [--xml] [--formats-only] <file.pbio>
+// Usage:
+//   xmit_inspect [--xml] [--formats-only] [--retries N] [--timeout-ms N] \
+//       <file.pbio | http://...>
+// http:// sources are fetched (with retry/backoff per the flags) into a
+// temporary file first, so a flaky archive server doesn't fail the dump.
+#include <unistd.h>
+
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
 #include "baseline/xmlwire.hpp"
+#include "net/fetch.hpp"
 #include "pbio/decode.hpp"
 #include "pbio/dynrecord.hpp"
 #include "pbio/file.hpp"
@@ -85,27 +93,71 @@ int print_record_fields(const pbio::RecordReader& reader) {
   return 0;
 }
 
+bool parse_nonnegative(const char* text, int* out) {
+  char* end = nullptr;
+  long value = std::strtol(text, &end, 10);
+  if (end == text || *end != '\0' || value < 0 || value > 1000000) return false;
+  *out = static_cast<int>(value);
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool as_xml = false;
   bool formats_only = false;
+  net::FetchOptions fetch_options;
+  fetch_options.retry = net::RetryPolicy::none();
   const char* path = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--xml") == 0)
       as_xml = true;
     else if (std::strcmp(argv[i], "--formats-only") == 0)
       formats_only = true;
-    else
+    else if (std::strcmp(argv[i], "--retries") == 0 && i + 1 < argc) {
+      int value = 0;
+      if (!parse_nonnegative(argv[++i], &value)) {
+        std::fprintf(stderr, "--retries wants a non-negative count, got '%s'\n",
+                     argv[i]);
+        return 2;
+      }
+      fetch_options.retry.max_attempts = value + 1;
+    } else if (std::strcmp(argv[i], "--timeout-ms") == 0 && i + 1 < argc) {
+      int value = 0;
+      if (!parse_nonnegative(argv[++i], &value)) {
+        std::fprintf(stderr,
+                     "--timeout-ms wants a non-negative duration, got '%s'\n",
+                     argv[i]);
+        return 2;
+      }
+      fetch_options.timeout_ms = value;
+    } else
       path = argv[i];
   }
   if (path == nullptr) {
-    std::fprintf(stderr, "usage: xmit_inspect [--xml] [--formats-only] <file.pbio>\n");
+    std::fprintf(stderr,
+                 "usage: xmit_inspect [--xml] [--formats-only] [--retries N] "
+                 "[--timeout-ms N] <file.pbio | http://...>\n");
     return 2;
   }
 
+  std::string local_path = path;
+  if (local_path.find("://") != std::string::npos) {
+    auto body = net::fetch(local_path, fetch_options);
+    if (!body.is_ok()) {
+      std::fprintf(stderr, "%s: %s\n", path, body.status().to_string().c_str());
+      return 1;
+    }
+    local_path = "/tmp/xmit_inspect_" + std::to_string(::getpid()) + ".pbio";
+    auto written = net::write_file(local_path, body.value());
+    if (!written.is_ok()) {
+      std::fprintf(stderr, "%s\n", written.to_string().c_str());
+      return 1;
+    }
+  }
+
   pbio::FormatRegistry registry;
-  auto source = pbio::FileSource::open(path, registry);
+  auto source = pbio::FileSource::open(local_path, registry);
   if (!source.is_ok()) {
     std::fprintf(stderr, "%s: %s\n", path, source.status().to_string().c_str());
     return 1;

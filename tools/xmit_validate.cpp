@@ -4,11 +4,17 @@
 // structure definitions a message best matches".
 //
 // Usage:
-//   xmit_validate <schema-url-or-path> <instance-path> [type-name]
+//   xmit_validate [--retries N] [--timeout-ms N] \
+//       <schema-url-or-path> <instance-path> [type-name]
 // With a type name: validates against that type (exit 0 on success).
 // Without: reports every type the instance matches.
+// --retries/--timeout-ms make remote schema fetches resilient: transient
+// failures (timeouts, 5xx, truncated responses) retry with backoff.
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
+#include <vector>
 
 #include "net/fetch.hpp"
 #include "xml/parser.hpp"
@@ -17,22 +23,56 @@
 
 namespace {
 
-xmit::Result<std::string> read_source(const std::string& source) {
-  if (source.find("://") != std::string::npos) return xmit::net::fetch(source);
+xmit::Result<std::string> read_source(const std::string& source,
+                                      const xmit::net::FetchOptions& options) {
+  if (source.find("://") != std::string::npos)
+    return xmit::net::fetch(source, options);
   return xmit::net::read_file(source);
+}
+
+bool parse_nonnegative(const char* text, int* out) {
+  char* end = nullptr;
+  long value = std::strtol(text, &end, 10);
+  if (end == text || *end != '\0' || value < 0 || value > 1000000) return false;
+  *out = static_cast<int>(value);
+  return true;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 3) {
+  xmit::net::FetchOptions fetch_options;
+  fetch_options.retry = xmit::net::RetryPolicy::none();
+  std::vector<const char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    int value = 0;
+    if (std::strcmp(argv[i], "--retries") == 0 && i + 1 < argc) {
+      if (!parse_nonnegative(argv[++i], &value)) {
+        std::fprintf(stderr, "--retries wants a non-negative count, got '%s'\n",
+                     argv[i]);
+        return 2;
+      }
+      fetch_options.retry.max_attempts = value + 1;
+    } else if (std::strcmp(argv[i], "--timeout-ms") == 0 && i + 1 < argc) {
+      if (!parse_nonnegative(argv[++i], &value)) {
+        std::fprintf(stderr,
+                     "--timeout-ms wants a non-negative duration, got '%s'\n",
+                     argv[i]);
+        return 2;
+      }
+      fetch_options.timeout_ms = value;
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  if (positional.size() < 2) {
     std::fprintf(stderr,
-                 "usage: xmit_validate <schema-url-or-path> <instance-path> "
-                 "[type-name]\n");
+                 "usage: xmit_validate [--retries N] [--timeout-ms N] "
+                 "<schema-url-or-path> <instance-path> [type-name]\n");
     return 2;
   }
 
-  auto schema_text = read_source(argv[1]);
+  auto schema_text = read_source(positional[0], fetch_options);
   if (!schema_text.is_ok()) {
     std::fprintf(stderr, "schema: %s\n",
                  schema_text.status().to_string().c_str());
@@ -44,7 +84,7 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  auto instance_text = xmit::net::read_file(argv[2]);
+  auto instance_text = xmit::net::read_file(positional[1]);
   if (!instance_text.is_ok()) {
     std::fprintf(stderr, "instance: %s\n",
                  instance_text.status().to_string().c_str());
@@ -57,20 +97,21 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  if (argc >= 4) {
-    const xmit::xsd::ComplexType* type = schema.value().type_named(argv[3]);
+  if (positional.size() >= 3) {
+    const char* type_name = positional[2];
+    const xmit::xsd::ComplexType* type = schema.value().type_named(type_name);
     if (type == nullptr) {
-      std::fprintf(stderr, "schema has no type '%s'\n", argv[3]);
+      std::fprintf(stderr, "schema has no type '%s'\n", type_name);
       return 1;
     }
     auto status = xmit::xsd::validate_instance(schema.value(), *type,
                                                instance.value().root_element());
     if (!status.is_ok()) {
-      std::printf("INVALID against %s: %s\n", argv[3],
+      std::printf("INVALID against %s: %s\n", type_name,
                   status.to_string().c_str());
       return 1;
     }
-    std::printf("VALID against %s\n", argv[3]);
+    std::printf("VALID against %s\n", type_name);
     return 0;
   }
 
