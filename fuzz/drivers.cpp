@@ -1,0 +1,522 @@
+#include "fuzz/drivers.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <string_view>
+
+#include "common/arena.hpp"
+#include "common/limits.hpp"
+#include "net/channel.hpp"
+#include "pbio/decode.hpp"
+#include "pbio/dynrecord.hpp"
+#include "pbio/encode.hpp"
+#include "pbio/format_wire.hpp"
+#include "pbio/registry.hpp"
+#include "rpc/giop.hpp"
+#include "rpc/xmlrpc.hpp"
+#include "session/session.hpp"
+#include "xml/parser.hpp"
+#include "xsd/parse.hpp"
+
+namespace xmit::fuzz {
+namespace {
+
+std::string_view as_text(std::span<const std::uint8_t> input) {
+  return {reinterpret_cast<const char*>(input.data()), input.size()};
+}
+
+std::vector<std::uint8_t> as_bytes(std::string_view text) {
+  return {text.begin(), text.end()};
+}
+
+// Budgets for fuzzing: tight enough that a blown budget costs microseconds,
+// loose enough that every valid seed decodes cleanly.
+DecodeLimits fuzz_limits() {
+  DecodeLimits limits;
+  limits.max_depth = 64;
+  limits.max_elements = 1u << 12;
+  limits.max_string_bytes = 1u << 16;
+  limits.max_entity_expansions = 1u << 12;
+  limits.max_total_alloc = 1u << 20;
+  limits.max_array_elements = 1u << 12;
+  limits.max_message_bytes = 1u << 20;
+  return limits;
+}
+
+// --- xml -------------------------------------------------------------------
+
+std::vector<std::vector<std::uint8_t>> xml_seeds() {
+  return {
+      as_bytes("<?xml version=\"1.0\"?><root a=\"1\" b=\"&amp;x\">"
+               "<child><grand>text &#65; &#x42;</grand></child>"
+               "<!-- comment --><![CDATA[raw <bytes>]]></root>"),
+      as_bytes("<m><n x=\"&lt;&gt;&quot;&apos;\"/><n x=\"2\"/>tail</m>"),
+  };
+}
+
+Status run_xml(std::span<const std::uint8_t> input) {
+  xml::ParseOptions options;
+  options.limits = fuzz_limits();
+  return xml::parse_document(as_text(input), options).status();
+}
+
+// --- xsd -------------------------------------------------------------------
+
+std::vector<std::vector<std::uint8_t>> xsd_seeds() {
+  return {
+      as_bytes("<xsd:schema xmlns:xsd=\"http://www.w3.org/2001/XMLSchema\">"
+               "<xsd:complexType name=\"Grid\"><xsd:sequence>"
+               "<xsd:element name=\"rows\" type=\"xsd:int\"/>"
+               "<xsd:element name=\"cells\" type=\"xsd:double\" "
+               "maxOccurs=\"rows\"/>"
+               "<xsd:element name=\"label\" type=\"xsd:string\"/>"
+               "<xsd:element name=\"corners\" type=\"xsd:float\" "
+               "maxOccurs=\"4\"/>"
+               "</xsd:sequence></xsd:complexType></xsd:schema>"),
+      as_bytes("<xsd:complexType name=\"P\" "
+               "xmlns:xsd=\"http://www.w3.org/2001/XMLSchema\">"
+               "<xsd:element name=\"x\" type=\"xsd:int\" minOccurs=\"0\"/>"
+               "</xsd:complexType>"),
+  };
+}
+
+Status run_xsd(std::span<const std::uint8_t> input) {
+  return xsd::parse_schema_text(as_text(input), fuzz_limits()).status();
+}
+
+// --- pbio records ----------------------------------------------------------
+
+struct FuzzMessage {
+  std::int32_t id;
+  std::int32_t n;
+  float* data;
+  char* note;
+};
+
+struct PbioState {
+  pbio::FormatRegistry registry;
+  pbio::Decoder decoder{registry};
+  pbio::FormatPtr host_format;
+  pbio::FormatPtr foreign_format;
+  std::vector<std::vector<std::uint8_t>> seeds;
+
+  PbioState() {
+    host_format =
+        registry
+            .register_format(
+                "FuzzMessage",
+                {{"id", "integer", 4, offsetof(FuzzMessage, id)},
+                 {"n", "integer", 4, offsetof(FuzzMessage, n)},
+                 {"data", "float[n]", 4, offsetof(FuzzMessage, data)},
+                 {"note", "string", sizeof(char*),
+                  offsetof(FuzzMessage, note)}},
+                sizeof(FuzzMessage))
+            .value();
+    // A big-endian 4-byte-pointer sender: records built against this
+    // format drive the conversion path, not just identity.
+    pbio::ArchInfo foreign;
+    foreign.byte_order = ByteOrder::kBig;
+    foreign.pointer_size = 4;
+    foreign.long_size = 4;
+    foreign.max_align = 8;
+    foreign_format = registry
+                         .adopt(pbio::Format::make("FuzzMessage",
+                                                   {{"id", "integer", 4, 0},
+                                                    {"n", "integer", 4, 4},
+                                                    {"data", "float[n]", 4, 8},
+                                                    {"note", "string", 4, 12}},
+                                                   16, foreign)
+                                    .value())
+                         .value();
+    decoder.set_limits(fuzz_limits());
+
+    std::vector<float> payload = {1.5f, -2.5f, 3.5f};
+    char note[] = "fuzz-note";
+    FuzzMessage host_record{7, 3, payload.data(), note};
+    auto encoder = pbio::Encoder::make(host_format).value();
+    seeds.push_back(encoder.encode_to_vector(&host_record).value());
+
+    pbio::RecordBuilder builder(foreign_format);
+    (void)builder.set_int("id", 9);
+    const std::int64_t ints[] = {4, 5};
+    (void)builder.set_int_array("data", ints);
+    (void)builder.set_string("note", "foreign");
+    seeds.push_back(builder.build().value());
+  }
+};
+
+PbioState& pbio_state() {
+  static PbioState state;
+  return state;
+}
+
+std::vector<std::vector<std::uint8_t>> pbio_seeds() {
+  return pbio_state().seeds;
+}
+
+Status run_pbio(std::span<const std::uint8_t> input) {
+  PbioState& state = pbio_state();
+  auto info = state.decoder.inspect(input);
+
+  Arena arena;
+  FuzzMessage out{};
+  Status verdict =
+      state.decoder.decode(input, *state.host_format, &out, arena);
+
+  std::vector<std::uint8_t> mutable_copy(input.begin(), input.end());
+  (void)state.decoder.decode_in_place(mutable_copy, *state.host_format);
+
+  if (info.is_ok()) {
+    auto reader =
+        pbio::RecordReader::make(input, info.value().sender_format);
+    if (reader.is_ok()) {
+      (void)reader.value().get_int("n");
+      (void)reader.value().get_float_array("data");
+      (void)reader.value().get_string("note");
+    }
+  }
+  return verdict;
+}
+
+// --- format metadata -------------------------------------------------------
+
+std::vector<std::vector<std::uint8_t>> format_wire_seeds() {
+  pbio::ArchInfo arch = pbio::ArchInfo::host();
+  auto inner = pbio::Format::make("Point",
+                                  {{"x", "float", 8, 0}, {"y", "float", 8, 8}},
+                                  16, arch)
+                   .value();
+  auto outer =
+      pbio::Format::make("Track",
+                         {{"count", "integer", 4, 0},
+                          {"points", "Point[4]", 16, 8},
+                          {"name", "string", sizeof(char*), 72}},
+                         80, arch, {inner})
+          .value();
+  return {pbio::serialize_format(*outer), pbio::serialize_format(*inner)};
+}
+
+Status run_format_wire(std::span<const std::uint8_t> input) {
+  return pbio::deserialize_format(input, fuzz_limits()).status();
+}
+
+// --- giop ------------------------------------------------------------------
+
+std::vector<std::vector<std::uint8_t>> giop_seeds() {
+  rpc::GiopRequest request;
+  request.request_id = 42;
+  request.object_key = "sensor/7";
+  request.operation = "read";
+  request.body = {1, 0, 0, 0, 0, 0, 0, 0, 9, 9};
+  rpc::GiopReply reply;
+  reply.request_id = 42;
+  reply.body = {1, 0, 0, 0, 7, 7};
+  return {
+      rpc::encode_giop_request(request, ByteOrder::kLittle),
+      rpc::encode_giop_request(request, ByteOrder::kBig),
+      rpc::encode_giop_reply(reply, ByteOrder::kLittle),
+  };
+}
+
+Status run_giop(std::span<const std::uint8_t> input) {
+  return rpc::parse_giop_message(input, fuzz_limits()).status();
+}
+
+// --- xmlrpc ----------------------------------------------------------------
+
+std::vector<std::vector<std::uint8_t>> xmlrpc_seeds() {
+  rpc::MethodCall call;
+  call.method = "grid.update";
+  call.params.push_back(rpc::Value::from_int(17));
+  call.params.push_back(rpc::Value::array({
+      rpc::Value::from_double(2.5),
+      rpc::Value::from_string("cell<7>"),
+  }));
+  call.params.push_back(rpc::Value::structure({
+      {"name", rpc::Value::from_string("a")},
+      {"on", rpc::Value::from_bool(true)},
+  }));
+  return {
+      as_bytes(rpc::write_method_call(call)),
+      as_bytes(rpc::write_method_response(rpc::Value::from_int(1))),
+      as_bytes(rpc::write_fault(-3, "boom")),
+  };
+}
+
+Status run_xmlrpc(std::span<const std::uint8_t> input) {
+  auto call = rpc::parse_method_call(as_text(input), fuzz_limits());
+  auto response = rpc::parse_method_response(as_text(input), fuzz_limits());
+  return call.is_ok() ? call.status() : response.status();
+}
+
+// --- session ---------------------------------------------------------------
+
+// The session driver's input is a tiny container: repeated
+// [u16 LE length | frame bytes] sub-frames, each delivered to the
+// receiving MessageSession as one channel message. Mutations therefore
+// reorder, corrupt, and truncate whole frames as well as their interiors.
+constexpr std::size_t kMaxSessionFrames = 32;
+constexpr std::size_t kMaxSessionBytes = 60000;  // stay under socket buffers
+
+std::vector<std::uint8_t> pack_frames(
+    const std::vector<std::vector<std::uint8_t>>& frames) {
+  std::vector<std::uint8_t> out;
+  for (const auto& frame : frames) {
+    out.push_back(static_cast<std::uint8_t>(frame.size() & 0xFF));
+    out.push_back(static_cast<std::uint8_t>((frame.size() >> 8) & 0xFF));
+    out.insert(out.end(), frame.begin(), frame.end());
+  }
+  return out;
+}
+
+std::vector<std::vector<std::uint8_t>> session_seeds() {
+  PbioState& state = pbio_state();
+  std::vector<std::uint8_t> announce;
+  announce.push_back(0x01);
+  auto meta = pbio::serialize_format(*state.host_format);
+  announce.insert(announce.end(), meta.begin(), meta.end());
+
+  std::vector<std::uint8_t> record;
+  record.push_back(0x02);
+  record.insert(record.end(), state.seeds[0].begin(), state.seeds[0].end());
+
+  std::vector<std::uint8_t> foreign_record;
+  foreign_record.push_back(0x02);
+  foreign_record.insert(foreign_record.end(), state.seeds[1].begin(),
+                        state.seeds[1].end());
+
+  std::vector<std::uint8_t> foreign_announce;
+  foreign_announce.push_back(0x01);
+  auto foreign_meta = pbio::serialize_format(*state.foreign_format);
+  foreign_announce.insert(foreign_announce.end(), foreign_meta.begin(),
+                          foreign_meta.end());
+
+  return {
+      pack_frames({announce, record}),
+      pack_frames({announce, foreign_announce, foreign_record, record}),
+  };
+}
+
+Status run_session(std::span<const std::uint8_t> input) {
+  pbio::FormatRegistry receiver_registry;
+  auto pipe = net::Channel::pipe();
+  if (!pipe.is_ok()) return pipe.status();
+  net::Channel sender = std::move(pipe.value().first);
+  session::MessageSession receiver(std::move(pipe.value().second),
+                                   receiver_registry);
+  DecodeLimits limits = fuzz_limits();
+  limits.max_malformed_frames = 8;
+  receiver.set_limits(limits);
+
+  std::size_t at = 0;
+  std::size_t frames = 0;
+  std::size_t total = 0;
+  while (at + 2 <= input.size() && frames < kMaxSessionFrames &&
+         total < kMaxSessionBytes) {
+    std::size_t length = input[at] | (std::size_t(input[at + 1]) << 8);
+    at += 2;
+    length = std::min(length, input.size() - at);
+    if (!sender.send(std::span(input.data() + at, length)).is_ok()) break;
+    at += length;
+    total += length;
+    ++frames;
+  }
+  sender.close();
+
+  Status last = Status::ok();
+  for (std::size_t i = 0; i < frames + 2; ++i) {
+    auto incoming = receiver.receive(1000);
+    if (incoming.is_ok()) continue;
+    if (incoming.code() == ErrorCode::kNotFound) break;  // clean EOF
+    last = incoming.status();
+    if (last.code() == ErrorCode::kTimeout || receiver.poisoned()) break;
+  }
+  return last;
+}
+
+constexpr Driver kDrivers[] = {
+    {"xml", "xml::parse_document over mutated documents", xml_seeds, run_xml},
+    {"xsd", "xsd::parse_schema_text over mutated schemas", xsd_seeds, run_xsd},
+    {"pbio_record", "pbio::Decoder (decode, in-place, dynamic reader)",
+     pbio_seeds, run_pbio},
+    {"format_wire", "pbio::deserialize_format over mutated metadata",
+     format_wire_seeds, run_format_wire},
+    {"giop", "rpc::parse_giop_message over mutated GIOP frames", giop_seeds,
+     run_giop},
+    {"xmlrpc", "rpc XML-RPC call/response parsing", xmlrpc_seeds, run_xmlrpc},
+    {"session", "MessageSession::receive over mutated frame streams",
+     session_seeds, run_session},
+};
+
+// --- canonical hostile corpus ----------------------------------------------
+
+std::vector<std::uint8_t> patched(std::vector<std::uint8_t> bytes,
+                                  std::size_t offset,
+                                  std::initializer_list<std::uint8_t> value) {
+  std::copy(value.begin(), value.end(), bytes.begin() + offset);
+  return bytes;
+}
+
+// Hand-built format metadata: a chain of nested formats where level k is a
+// [16]-array of level k-1, so the flattened field count multiplies to
+// 16^depth. Serialized bottom-up exactly as serialize_format() would —
+// except no honest sender could produce it, because Format::make rejects
+// the flatten once the field budget blows.
+void append_flatten_bomb_level(ByteBuffer& out, int level) {
+  auto put_str = [&](std::string_view s) {
+    out.append_u16(static_cast<std::uint16_t>(s.size()), ByteOrder::kLittle);
+    out.append(s);
+  };
+  std::uint32_t struct_size = 4;
+  for (int i = 0; i < level; ++i) struct_size *= 16;
+  out.append_byte(1);  // metadata version
+  out.append_byte(0);  // little-endian sender
+  out.append_byte(8);  // pointer size
+  out.append_byte(8);  // long size
+  out.append_byte(8);  // max align
+  put_str("B" + std::to_string(level));
+  out.append_u32(struct_size, ByteOrder::kLittle);
+  out.append_u16(1, ByteOrder::kLittle);
+  if (level == 0) {
+    put_str("x");
+    put_str("integer");
+    out.append_u32(4, ByteOrder::kLittle);
+    out.append_u32(0, ByteOrder::kLittle);
+    out.append_u16(0, ByteOrder::kLittle);
+  } else {
+    put_str("a");
+    put_str("B" + std::to_string(level - 1) + "[16]");
+    out.append_u32(struct_size / 16, ByteOrder::kLittle);
+    out.append_u32(0, ByteOrder::kLittle);
+    out.append_u16(1, ByteOrder::kLittle);
+    append_flatten_bomb_level(out, level - 1);
+  }
+}
+
+}  // namespace
+
+std::vector<CorpusAttack> canonical_attacks() {
+  std::vector<CorpusAttack> attacks;
+  PbioState& state = pbio_state();
+  const std::vector<std::uint8_t>& host_record = state.seeds[0];
+
+  // 1. Dynamic-array count patched to INT32_MAX: count * elem_size used to
+  //    be summed into the bounds check in 32 bits, wrapping past it and
+  //    sending memcpy into wild memory. Offset 36 = header(32) + n(@4).
+  attacks.push_back({"pbio_record-count-mul-overflow.bin",
+                     "array count*size product overflow past bounds check",
+                     patched(host_record, 36, {0xFF, 0xFF, 0xFF, 0x7F})});
+
+  // 2. Pointer slot patched to ~0: offset-1 + payload wrapped the u64 sum
+  //    so `at + payload > var_length` passed with at far out of range.
+  //    Offset 40 = header(32) + data slot(@8), 8-byte little-endian slot.
+  attacks.push_back(
+      {"pbio_record-slot-offset-wrap.bin",
+       "pointer slot of ~0 wraps offset+payload past the range check",
+       patched(host_record, 40,
+               {0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF})});
+
+  // 3. Header flags bit1 cleared: the header claims a 4-byte-pointer
+  //    sender while the registered format metadata says 8. Slot reads used
+  //    the header's stride against the format's layout, running an 8-byte
+  //    field's slot read past where 4-byte slots were laid out.
+  attacks.push_back({"pbio_record-arch-contradiction.bin",
+                     "header pointer-size flag contradicts format metadata",
+                     patched(host_record, 5, {0x00})});
+
+  // 4. Field count of an honest Point metadata blob patched to 65535:
+  //    drove a 65535-slot reserve and a long doomed parse loop before the
+  //    declared-count-vs-bytes-present check existed. Offset 16 =
+  //    version(1) + arch(4) + name(2+5) + struct_size(4).
+  attacks.push_back(
+      {"format_wire-field-count-lie.bin",
+       "declared field count far exceeds the bytes that follow",
+       patched(format_wire_seeds()[1], 16, {0xFF, 0xFF})});
+
+  // 5. Six nested [16]-array levels: 16^6 ≈ 16.7M flattened fields from a
+  //    ~200-byte announcement — an amplification bomb that exhausted
+  //    memory before flatten enforced a field budget.
+  {
+    ByteBuffer bomb;
+    append_flatten_bomb_level(bomb, 6);
+    attacks.push_back({"format_wire-flatten-bomb.bin",
+                       "nested fixed arrays multiply to 16.7M flat fields",
+                       bomb.take()});
+  }
+
+  // 6. Character reference 0x100000041 used to be truncated to u32 and
+  //    accepted as 'A' — a wrong-accept that let distinct documents
+  //    collide. Now rejected as out of Unicode range.
+  attacks.push_back({"xml-charref-overflow.bin",
+                     "character reference wraps u32 to a valid code point",
+                     as_bytes("<a>&#x100000041;</a>")});
+
+  // 7. 80 levels of nesting: recursion depth tracked nothing, so a small
+  //    document could exhaust the stack. Bounded by max_depth (64 here).
+  {
+    std::string deep;
+    for (int i = 0; i < 80; ++i) deep += "<d>";
+    deep += "x";
+    for (int i = 0; i < 80; ++i) deep += "</d>";
+    attacks.push_back({"xml-depth-bomb.bin",
+                       "80-deep element nesting exhausts bounded depth",
+                       as_bytes(deep)});
+  }
+
+  // 8. maxOccurs just past UINT32_MAX was silently truncated u64→u32 to 1
+  //    — a wrong-accept that changed the declared wire layout.
+  attacks.push_back(
+      {"xsd-maxoccurs-overflow.bin",
+       "maxOccurs of 2^32+1 silently truncated to 1 before the bound",
+       as_bytes("<xsd:schema xmlns:xsd=\"http://www.w3.org/2001/XMLSchema\">"
+                "<xsd:complexType name=\"Bomb\"><xsd:sequence>"
+                "<xsd:element name=\"v\" type=\"xsd:int\" "
+                "maxOccurs=\"4294967297\"/>"
+                "</xsd:sequence></xsd:complexType></xsd:schema>")});
+
+  // 9. Object-key octet count patched to 0x7FFFFFFF in an otherwise valid
+  //    request: a length lie that drove an oversized allocation before the
+  //    count was compared to the bytes actually present. Offset 24 =
+  //    GIOP header(12) + contexts(4) + request_id(4) + bool(1) + pad(3).
+  attacks.push_back({"giop-octet-length-lie.bin",
+                     "octet-sequence count far exceeds message remainder",
+                     patched(giop_seeds()[0], 24, {0xFF, 0xFF, 0xFF, 0x7F})});
+
+  // 10. XML-RPC value nested 80 arrays deep: same stack-exhaustion class
+  //     as the raw XML bomb, reached through the RPC entry point.
+  {
+    std::string call = "<?xml version=\"1.0\"?><methodCall>"
+                       "<methodName>m</methodName><params><param>";
+    for (int i = 0; i < 80; ++i) call += "<value><array><data>";
+    call += "<value><int>1</int></value>";
+    for (int i = 0; i < 80; ++i) call += "</data></array></value>";
+    call += "</param></params></methodCall>";
+    attacks.push_back({"xmlrpc-depth-bomb.bin",
+                       "80-deep array nesting through the RPC parser",
+                       as_bytes(call)});
+  }
+
+  // 11. Twelve garbage record frames in one stream: every frame fails to
+  //     parse, and nothing used to bound the tolerance — a peer could
+  //     spin a receiver on malformed frames forever. The malformed-frame
+  //     budget (8 in the fuzz limits) now poisons the session.
+  {
+    std::vector<std::vector<std::uint8_t>> frames(
+        12, std::vector<std::uint8_t>{0x02, 0xFF});
+    attacks.push_back({"session-malformed-flood.bin",
+                       "malformed-frame flood exceeds the session budget",
+                       pack_frames(frames)});
+  }
+
+  return attacks;
+}
+
+std::span<const Driver> all_drivers() { return kDrivers; }
+
+const Driver* find_driver(std::string_view name) {
+  for (const Driver& driver : kDrivers)
+    if (name == driver.name) return &driver;
+  return nullptr;
+}
+
+}  // namespace xmit::fuzz

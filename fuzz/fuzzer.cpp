@@ -1,0 +1,125 @@
+#include "fuzz/fuzzer.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace xmit::fuzz {
+namespace {
+
+// Values that live on the edges of length/count/offset arithmetic.
+constexpr std::uint64_t kBoundaryValues[] = {
+    0,
+    1,
+    0x7F,
+    0x80,
+    0xFF,
+    0x7FFF,
+    0x8000,
+    0xFFFF,
+    0x7FFFFFFFull,
+    0x80000000ull,
+    0xFFFFFFFFull,
+    0xFFFFFFFEull,
+    0x100000000ull,
+    0x7FFFFFFFFFFFFFFFull,
+    0x8000000000000000ull,
+    0xFFFFFFFFFFFFFFFFull,
+};
+
+}  // namespace
+
+std::vector<std::uint8_t> Mutator::next(
+    const std::vector<std::vector<std::uint8_t>>& corpus) {
+  const auto& base = corpus[rng_.below(corpus.size())];
+  return mutate(base, corpus);
+}
+
+std::vector<std::uint8_t> Mutator::mutate(
+    std::span<const std::uint8_t> input,
+    const std::vector<std::vector<std::uint8_t>>& corpus) {
+  std::vector<std::uint8_t> data(input.begin(), input.end());
+  const int rounds = 1 + static_cast<int>(rng_.below(4));
+  for (int i = 0; i < rounds; ++i) mutate_once(data, corpus);
+  return data;
+}
+
+void Mutator::mutate_once(
+    std::vector<std::uint8_t>& data,
+    const std::vector<std::vector<std::uint8_t>>& corpus) {
+  if (data.empty()) {
+    data.push_back(static_cast<std::uint8_t>(rng_.next_u64()));
+    return;
+  }
+  switch (rng_.below(8)) {
+    case 0: {  // single bit flip
+      std::size_t at = rng_.below(data.size());
+      data[at] ^= static_cast<std::uint8_t>(1u << rng_.below(8));
+      break;
+    }
+    case 1: {  // byte overwrite, random or boundary
+      std::size_t at = rng_.below(data.size());
+      data[at] = rng_.chance(0.5)
+                     ? static_cast<std::uint8_t>(rng_.next_u64())
+                     : static_cast<std::uint8_t>(
+                           kBoundaryValues[rng_.below(std::size(kBoundaryValues))]);
+      break;
+    }
+    case 2: {  // truncate
+      data.resize(1 + rng_.below(data.size()));
+      break;
+    }
+    case 3: {  // erase a chunk
+      std::size_t at = rng_.below(data.size());
+      std::size_t len = 1 + rng_.below(data.size() - at);
+      data.erase(data.begin() + at, data.begin() + at + len);
+      if (data.empty()) data.push_back(0);
+      break;
+    }
+    case 4: {  // duplicate a chunk in place
+      std::size_t at = rng_.below(data.size());
+      std::size_t len = 1 + rng_.below(std::min<std::size_t>(64, data.size() - at));
+      std::vector<std::uint8_t> chunk(data.begin() + at, data.begin() + at + len);
+      data.insert(data.begin() + at, chunk.begin(), chunk.end());
+      break;
+    }
+    case 5: {  // insert random bytes
+      std::size_t at = rng_.below(data.size() + 1);
+      std::size_t len = 1 + rng_.below(16);
+      std::vector<std::uint8_t> noise(len);
+      for (auto& b : noise) b = static_cast<std::uint8_t>(rng_.next_u64());
+      data.insert(data.begin() + at, noise.begin(), noise.end());
+      break;
+    }
+    case 6: {  // splice: our prefix + a corpus entry's suffix
+      const auto& other = corpus[rng_.below(corpus.size())];
+      if (other.empty()) break;
+      std::size_t keep = rng_.below(data.size() + 1);
+      std::size_t from = rng_.below(other.size());
+      data.resize(keep);
+      data.insert(data.end(), other.begin() + from, other.end());
+      if (data.empty()) data.push_back(0);
+      break;
+    }
+    case 7:
+      smash_length_field(data);
+      break;
+  }
+}
+
+void Mutator::smash_length_field(std::vector<std::uint8_t>& data) {
+  static constexpr std::size_t kWidths[] = {2, 4, 8};
+  const std::size_t width = kWidths[rng_.below(std::size(kWidths))];
+  if (data.size() < width) return;
+  // Aligned positions are where real length fields live in fixed layouts.
+  std::size_t slots = data.size() / width;
+  std::size_t at = rng_.below(slots) * width;
+  std::uint64_t value = kBoundaryValues[rng_.below(std::size(kBoundaryValues))];
+  if (rng_.chance(0.25)) value = data.size() + rng_.below(64);  // near-size
+  std::uint8_t bytes[8];
+  for (std::size_t i = 0; i < 8; ++i)
+    bytes[i] = static_cast<std::uint8_t>(value >> (8 * i));
+  if (rng_.chance(0.5)) std::reverse(bytes, bytes + width);  // both endians
+  std::memcpy(data.data() + at, bytes, width);
+}
+
+}  // namespace xmit::fuzz

@@ -1,0 +1,79 @@
+// Deterministic mutation fuzzer for the untrusted-byte decode surface.
+//
+// No external fuzzing engine: a seeded xoshiro PRNG (common/rng.hpp)
+// drives a small stack of structure-blind mutations — bit and byte
+// flips, truncation, chunk duplication and erasure, cross-input splices —
+// plus one structure-aware pass that overwrites aligned 2/4/8-byte words
+// with boundary integers (0, 1, INT_MAX, size-of-buffer, 2^32-1, ...),
+// which is what shakes out length-field arithmetic bugs in fixed layouts
+// like the PBIO header. Identical (seed, iteration) pairs always produce
+// identical inputs, so any finding is replayable from two integers.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace xmit::fuzz {
+
+class Mutator {
+ public:
+  explicit Mutator(std::uint64_t seed) : rng_(seed) {}
+
+  // One mutated input derived from a random corpus entry. `corpus` must
+  // be non-empty; entries are never modified.
+  std::vector<std::uint8_t> next(
+      const std::vector<std::vector<std::uint8_t>>& corpus);
+
+  // Applies 1..4 stacked mutations to a copy of `input`.
+  std::vector<std::uint8_t> mutate(
+      std::span<const std::uint8_t> input,
+      const std::vector<std::vector<std::uint8_t>>& corpus);
+
+  Rng& rng() { return rng_; }
+
+ private:
+  void mutate_once(std::vector<std::uint8_t>& data,
+                   const std::vector<std::vector<std::uint8_t>>& corpus);
+  void smash_length_field(std::vector<std::uint8_t>& data);
+
+  Rng rng_;
+};
+
+// Greedy crash-input minimizer: repeatedly tries dropping chunks and
+// simplifying bytes while `still_fails(candidate)` holds. Deterministic;
+// used by the xmit_fuzz CLI before a finding is written to the corpus.
+template <typename Predicate>
+std::vector<std::uint8_t> minimize(std::vector<std::uint8_t> input,
+                                   Predicate still_fails) {
+  // Chunk removal, halving window sizes.
+  for (std::size_t window = input.size() / 2; window >= 1; window /= 2) {
+    bool removed = true;
+    while (removed && input.size() > 1) {
+      removed = false;
+      for (std::size_t at = 0; at + window <= input.size();) {
+        std::vector<std::uint8_t> candidate = input;
+        candidate.erase(candidate.begin() + at, candidate.begin() + at + window);
+        if (!candidate.empty() && still_fails(candidate)) {
+          input = std::move(candidate);
+          removed = true;
+        } else {
+          at += window;
+        }
+      }
+    }
+    if (window == 1) break;
+  }
+  // Byte simplification toward zero.
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    if (input[i] == 0) continue;
+    std::vector<std::uint8_t> candidate = input;
+    candidate[i] = 0;
+    if (still_fails(candidate)) input = std::move(candidate);
+  }
+  return input;
+}
+
+}  // namespace xmit::fuzz

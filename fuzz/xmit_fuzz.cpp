@@ -1,0 +1,256 @@
+// xmit_fuzz: deterministic mutation fuzzer over the decode surfaces.
+//
+// Usage:
+//   xmit_fuzz [--driver NAME|all] [--iters N] [--seed S]
+//             [--corpus DIR] [--crash-dir DIR] [--no-fork] [--replay FILE]
+//
+// Each iteration mutates a corpus entry and feeds it to the driver. In
+// the default fork mode every input runs in a child process, so a crash
+// (signal, sanitizer abort) is observed by the parent, minimized to the
+// smallest still-crashing input, and written to --crash-dir as
+// <driver>-<seed>-<iteration>.bin — ready to commit to tests/corpus/.
+// Identical --seed runs are byte-identical: a finding is reproducible
+// from the (driver, seed, iteration) triple alone.
+//
+// --replay FILE skips fuzzing and feeds one file to the driver in
+// process — the loop the corpus regression test automates.
+//
+// --emit-corpus DIR writes the canonical hostile corpus (the minimized
+// findings from the hardening pass, rebuilt from the attack constructors
+// in drivers.cpp) into DIR — how tests/corpus/ is (re)generated.
+#include <dirent.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "fuzz/drivers.hpp"
+#include "fuzz/fuzzer.hpp"
+
+namespace {
+
+using xmit::fuzz::Driver;
+
+bool parse_nonnegative(const char* text, long long* out) {
+  char* end = nullptr;
+  long long value = std::strtoll(text, &end, 10);
+  if (end == text || *end != '\0' || value < 0) return false;
+  *out = value;
+  return true;
+}
+
+std::vector<std::uint8_t> read_file(const std::string& path, bool* ok) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    *ok = false;
+    return {};
+  }
+  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                                  std::istreambuf_iterator<char>());
+  *ok = true;
+  return bytes;
+}
+
+bool write_file(const std::string& path,
+                const std::vector<std::uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  return static_cast<bool>(out);
+}
+
+// Runs `input` through `driver` in a forked child. Returns true when the
+// child exits cleanly (any Status is fine), false when it dies by signal
+// or a nonzero exit (sanitizer reports exit nonzero).
+bool survives_in_child(const Driver& driver,
+                       const std::vector<std::uint8_t>& input) {
+  pid_t pid = fork();
+  if (pid < 0) {
+    std::perror("fork");
+    std::exit(2);
+  }
+  if (pid == 0) {
+    // Child: silence the driver's own stderr chatter is unnecessary —
+    // drivers don't print; sanitizers do, and that output is wanted.
+    (void)driver.run(input);
+    _exit(0);
+  }
+  int status = 0;
+  if (waitpid(pid, &status, 0) < 0) {
+    std::perror("waitpid");
+    std::exit(2);
+  }
+  return WIFEXITED(status) && WEXITSTATUS(status) == 0;
+}
+
+struct Options {
+  std::string driver_name = "all";
+  long long iters = 100000;
+  std::uint64_t seed = 1;
+  std::string corpus_dir;
+  std::string crash_dir = ".";
+  bool use_fork = true;
+  std::string replay_path;
+  std::string emit_corpus_dir;
+};
+
+int fuzz_driver(const Driver& driver, const Options& options) {
+  std::vector<std::vector<std::uint8_t>> corpus = driver.seeds();
+  if (!options.corpus_dir.empty()) {
+    // Extra seeds: every file in the directory named <driver>-*.
+    if (DIR* dir = opendir(options.corpus_dir.c_str())) {
+      const std::string prefix = std::string(driver.name) + "-";
+      while (dirent* entry = readdir(dir)) {
+        std::string name = entry->d_name;
+        if (name.rfind(prefix, 0) != 0) continue;
+        bool ok = false;
+        auto bytes = read_file(options.corpus_dir + "/" + name, &ok);
+        if (ok && !bytes.empty()) corpus.push_back(std::move(bytes));
+      }
+      closedir(dir);
+    } else {
+      std::fprintf(stderr, "cannot open corpus dir %s\n",
+                   options.corpus_dir.c_str());
+      return 2;
+    }
+  }
+  if (corpus.empty()) {
+    std::fprintf(stderr, "%s: driver has no seeds\n", driver.name);
+    return 2;
+  }
+
+  xmit::fuzz::Mutator mutator(options.seed);
+  long long crashes = 0;
+  for (long long i = 0; i < options.iters; ++i) {
+    std::vector<std::uint8_t> input = mutator.next(corpus);
+    bool survived = options.use_fork ? survives_in_child(driver, input)
+                                     : (driver.run(input), true);
+    if (survived) continue;
+
+    ++crashes;
+    std::fprintf(stderr, "%s: CRASH at iteration %lld (seed %llu), %zu bytes\n",
+                 driver.name, i,
+                 static_cast<unsigned long long>(options.seed), input.size());
+    auto minimized = xmit::fuzz::minimize(
+        input, [&](const std::vector<std::uint8_t>& candidate) {
+          return !survives_in_child(driver, candidate);
+        });
+    std::string path = options.crash_dir + "/" + driver.name + "-" +
+                       std::to_string(options.seed) + "-" + std::to_string(i) +
+                       ".bin";
+    if (write_file(path, minimized))
+      std::fprintf(stderr, "%s: minimized to %zu bytes -> %s\n", driver.name,
+                   minimized.size(), path.c_str());
+    else
+      std::fprintf(stderr, "%s: could not write %s\n", driver.name,
+                   path.c_str());
+  }
+  std::printf("%s: %lld iterations, %lld crashes\n", driver.name,
+              options.iters, crashes);
+  return crashes == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    long long value = 0;
+    if (std::strcmp(argv[i], "--driver") == 0 && i + 1 < argc) {
+      options.driver_name = argv[++i];
+    } else if (std::strcmp(argv[i], "--iters") == 0 && i + 1 < argc) {
+      if (!parse_nonnegative(argv[++i], &value)) {
+        std::fprintf(stderr, "--iters wants a non-negative count\n");
+        return 2;
+      }
+      options.iters = value;
+    } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
+      if (!parse_nonnegative(argv[++i], &value)) {
+        std::fprintf(stderr, "--seed wants a non-negative integer\n");
+        return 2;
+      }
+      options.seed = static_cast<std::uint64_t>(value);
+    } else if (std::strcmp(argv[i], "--corpus") == 0 && i + 1 < argc) {
+      options.corpus_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--crash-dir") == 0 && i + 1 < argc) {
+      options.crash_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--no-fork") == 0) {
+      options.use_fork = false;
+    } else if (std::strcmp(argv[i], "--replay") == 0 && i + 1 < argc) {
+      options.replay_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--emit-corpus") == 0 && i + 1 < argc) {
+      options.emit_corpus_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--list") == 0) {
+      for (const Driver& driver : xmit::fuzz::all_drivers())
+        std::printf("%-12s %s\n", driver.name, driver.description);
+      return 0;
+    } else {
+      std::fprintf(stderr,
+                   "usage: xmit_fuzz [--driver NAME|all] [--iters N] "
+                   "[--seed S] [--crash-dir DIR] [--no-fork] "
+                   "[--replay FILE] [--emit-corpus DIR] [--list]\n");
+      return 2;
+    }
+  }
+
+  if (!options.emit_corpus_dir.empty()) {
+    int failures = 0;
+    for (const auto& attack : xmit::fuzz::canonical_attacks()) {
+      std::string path = options.emit_corpus_dir + "/" + attack.file;
+      if (!write_file(path, attack.bytes)) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        ++failures;
+        continue;
+      }
+      std::printf("%-40s %5zu bytes  %s\n", attack.file, attack.bytes.size(),
+                  attack.summary);
+    }
+    return failures == 0 ? 0 : 2;
+  }
+
+  if (!options.replay_path.empty()) {
+    if (options.driver_name == "all") {
+      std::fprintf(stderr, "--replay needs an explicit --driver\n");
+      return 2;
+    }
+    const Driver* driver = xmit::fuzz::find_driver(options.driver_name);
+    if (driver == nullptr) {
+      std::fprintf(stderr, "no driver named '%s'\n",
+                   options.driver_name.c_str());
+      return 2;
+    }
+    bool ok = false;
+    auto bytes = read_file(options.replay_path, &ok);
+    if (!ok) {
+      std::fprintf(stderr, "cannot read %s\n", options.replay_path.c_str());
+      return 2;
+    }
+    auto status = driver->run(bytes);
+    std::printf("%s: %s\n", options.driver_name.c_str(),
+                status.is_ok() ? "ok" : status.to_string().c_str());
+    return 0;
+  }
+
+  if (options.driver_name == "all") {
+    int worst = 0;
+    for (const Driver& driver : xmit::fuzz::all_drivers())
+      worst = std::max(worst, fuzz_driver(driver, options));
+    return worst;
+  }
+  const Driver* driver = xmit::fuzz::find_driver(options.driver_name);
+  if (driver == nullptr) {
+    std::fprintf(stderr, "no driver named '%s' (try --list)\n",
+                 options.driver_name.c_str());
+    return 2;
+  }
+  return fuzz_driver(*driver, options);
+}

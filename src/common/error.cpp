@@ -14,6 +14,8 @@ const char* error_code_name(ErrorCode code) {
     case ErrorCode::kIoError: return "io_error";
     case ErrorCode::kInternal: return "internal";
     case ErrorCode::kTimeout: return "timeout";
+    case ErrorCode::kResourceExhausted: return "resource_exhausted";
+    case ErrorCode::kMalformedInput: return "malformed_input";
   }
   return "unknown";
 }

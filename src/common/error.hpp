@@ -25,6 +25,8 @@ enum class ErrorCode : std::uint8_t {
   kIoError,           // socket / file failure
   kInternal,          // invariant violation (bug)
   kTimeout,           // deadline elapsed (poll/connect/overall budget)
+  kResourceExhausted, // untrusted input blew a DecodeLimits budget
+  kMalformedInput,    // hostile/corrupt bytes (inconsistent lengths, wraps)
 };
 
 const char* error_code_name(ErrorCode code);

@@ -1,0 +1,113 @@
+// DecodeLimits: the shared resource budget for every decoder that faces
+// untrusted bytes (xml::Parser, xsd schema loading, pbio record/format
+// decoding, rpc framing, session frames).
+//
+// XMIT's premise is that peers exchange self-describing formats discovered
+// at run time, so every decoder consumes input from machines we do not
+// control. A hostile or corrupt peer must never be able to trigger a
+// crash, a hang, or an unbounded allocation — only a typed Status
+// (kResourceExhausted for a blown budget, kMalformedInput /
+// kParseError for structurally bad bytes). DecodeLimits is the single
+// knob callers tune; the defaults are generous for every legitimate
+// workload in this repository but small enough that a malicious input
+// cannot monopolize memory or CPU.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace xmit {
+
+struct DecodeLimits {
+  // Maximum element / structure nesting depth (XML elements, nested
+  // format metadata, XSD type graphs). Guards recursive descent stacks.
+  int max_depth = 128;
+
+  // Maximum number of XML elements in one document, and of attributes on
+  // one element. Guards O(n) DOM blowup from tiny inputs.
+  std::size_t max_elements = 1u << 20;
+  std::size_t max_attributes = 256;
+
+  // Maximum length of any single decoded string / text run / blob, in
+  // bytes (XML text and attribute values, wire strings, octet sequences).
+  std::size_t max_string_bytes = 16u << 20;
+
+  // Maximum number of entity-reference expansions while parsing one XML
+  // document (billion-laughs guard).
+  std::size_t max_entity_expansions = 1u << 20;
+
+  // Maximum bytes of out-of-line memory one decode may allocate (arena
+  // strings, dynamic arrays, decoded vectors).
+  std::uint64_t max_total_alloc = 64u << 20;
+
+  // Maximum product of fixed-array bounds: caps both a single declared
+  // bound (XSD maxOccurs, PBIO "type[n]") and the total number of
+  // flattened leaf fields a format may expand to.
+  std::uint64_t max_array_elements = 1u << 20;
+  std::size_t max_flat_fields = 1u << 16;
+
+  // Maximum size of one wire message / frame a decoder will look at.
+  std::size_t max_message_bytes = 256u << 20;
+
+  // Session budget: after this many malformed frames from one peer the
+  // session refuses further traffic (kResourceExhausted).
+  std::size_t max_malformed_frames = 64;
+
+  static DecodeLimits defaults() { return DecodeLimits{}; }
+};
+
+// Overflow-checked size arithmetic for length-field sanity checks.
+// Untrusted length * element-size products and offset + length sums must
+// never wrap: a wrapped value passes a naive bounds check and turns into
+// a wild read. These helpers return false on overflow and leave *out
+// untouched, so call sites read as `if (!checked_mul(...)) return error`.
+inline bool checked_add(std::uint64_t a, std::uint64_t b, std::uint64_t* out) {
+  std::uint64_t sum = a + b;
+  if (sum < a) return false;
+  *out = sum;
+  return true;
+}
+
+inline bool checked_mul(std::uint64_t a, std::uint64_t b, std::uint64_t* out) {
+  if (a != 0 && b > UINT64_MAX / a) return false;
+  *out = a * b;
+  return true;
+}
+
+// `offset + length <= bound`, overflow-safe. The form every
+// length-field-vs-remaining-buffer check in the decoders takes.
+inline bool fits_within(std::uint64_t offset, std::uint64_t length,
+                        std::uint64_t bound) {
+  std::uint64_t end;
+  return checked_add(offset, length, &end) && end <= bound;
+}
+
+// AllocBudget: a running charge against DecodeLimits::max_total_alloc for
+// one decode call. Cheap to carry by value; charge() fails with
+// kResourceExhausted once the budget is gone.
+class AllocBudget {
+ public:
+  explicit AllocBudget(std::uint64_t total) : remaining_(total) {}
+  static AllocBudget from(const DecodeLimits& limits) {
+    return AllocBudget(limits.max_total_alloc);
+  }
+
+  Status charge(std::uint64_t bytes, const char* what) {
+    if (bytes > remaining_)
+      return make_error(ErrorCode::kResourceExhausted,
+                        std::string(what) + " exceeds decode allocation budget (" +
+                            std::to_string(bytes) + " bytes requested)");
+    remaining_ -= bytes;
+    return Status::ok();
+  }
+
+  std::uint64_t remaining() const { return remaining_; }
+
+ private:
+  std::uint64_t remaining_;
+};
+
+}  // namespace xmit

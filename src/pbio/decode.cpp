@@ -50,6 +50,16 @@ Result<RecordInfo> Decoder::inspect(
                   "record fixed length " + std::to_string(header.fixed_length) +
                       " does not match format '" + format->name() + "' (" +
                       std::to_string(format->struct_size()) + " bytes)");
+  // The header's flags and the format's architecture both claim the
+  // sender's pointer size / byte order. They must agree: pointer slots are
+  // read at the *header's* stride but validated against the *format's*
+  // layout, so a contradiction lets an 8-byte slot read run past a field
+  // the format laid out for 4-byte pointers.
+  if (format->arch().pointer_size != header.pointer_size ||
+      format->arch().byte_order != header.byte_order)
+    return Status(ErrorCode::kMalformedInput,
+                  "record header architecture contradicts format '" +
+                      format->name() + "' metadata");
   return RecordInfo{header, std::move(format)};
 }
 
@@ -128,15 +138,16 @@ Status Decoder::decode(std::span<const std::uint8_t> bytes,
     return Status(ErrorCode::kInvalidArgument,
                   "receiver format must describe the host architecture");
   XMIT_ASSIGN_OR_RETURN(auto plan, plan_for(info.sender_format, receiver));
+  AllocBudget budget = AllocBudget::from(limits_);
   if (plan->identity)
-    return run_identity(info.header, bytes, receiver, out, arena);
-  return run_conversion(*plan, info.header, bytes, out, arena);
+    return run_identity(info.header, bytes, receiver, out, arena, budget);
+  return run_conversion(*plan, info.header, bytes, out, arena, budget);
 }
 
 Status Decoder::run_identity(const WireHeader& header,
                              std::span<const std::uint8_t> bytes,
-                             const Format& receiver, void* out,
-                             Arena& arena) const {
+                             const Format& receiver, void* out, Arena& arena,
+                             AllocBudget& budget) const {
   const std::uint8_t* fixed = bytes.data() + WireHeader::kSize;
   const std::uint8_t* var = fixed + header.fixed_length;
   auto* dst = static_cast<std::uint8_t*>(out);
@@ -162,6 +173,7 @@ Status Decoder::run_identity(const WireHeader& header,
             return make_error(ErrorCode::kParseError,
                               "unterminated string in '" + field.path + "'");
           std::size_t len = static_cast<const std::uint8_t*>(nul) - (var + at);
+          XMIT_RETURN_IF_ERROR(budget.charge(len + 1, "decoded string"));
           value = arena.duplicate_string(
               reinterpret_cast<const char*>(var + at), len);
         }
@@ -187,11 +199,16 @@ Status Decoder::run_identity(const WireHeader& header,
       if (count < 0)
         return make_error(ErrorCode::kParseError,
                           "negative array count in '" + field.path + "'");
+      // slot and count are attacker bytes: the offset + count*size sum
+      // must be computed overflow-checked, or a wrapped value sails past
+      // the bounds test and the copy below reads wild memory.
       std::uint64_t at = slot - 1;
-      std::uint64_t payload = static_cast<std::uint64_t>(count) * field.size;
-      if (at + payload > header.var_length)
-        return make_error(ErrorCode::kOutOfRange,
+      std::uint64_t payload = 0;
+      if (!checked_mul(static_cast<std::uint64_t>(count), field.size, &payload) ||
+          !fits_within(at, payload, header.var_length))
+        return make_error(ErrorCode::kMalformedInput,
                           "array payload out of range in '" + field.path + "'");
+      XMIT_RETURN_IF_ERROR(budget.charge(payload, "decoded array"));
       value = reinterpret_cast<std::uint8_t*>(
           arena.duplicate(var + at, payload, field.size > 8 ? 8 : field.size));
     }
@@ -202,7 +219,7 @@ Status Decoder::run_identity(const WireHeader& header,
 
 Status Decoder::run_conversion(const Plan& plan, const WireHeader& header,
                                std::span<const std::uint8_t> bytes, void* out,
-                               Arena& arena) const {
+                               Arena& arena, AllocBudget& budget) const {
   const std::uint8_t* fixed = bytes.data() + WireHeader::kSize;
   const std::uint8_t* var = fixed + header.fixed_length;
   auto* dst_base = static_cast<std::uint8_t*>(out);
@@ -213,7 +230,9 @@ Status Decoder::run_conversion(const Plan& plan, const WireHeader& header,
     const FlatField& src = move.src;
     const FlatField& dst = move.dst;
 
-    if (src.offset + src.size > header.fixed_length)
+    // u64 on purpose: offset + size are u32s from peer-announced format
+    // metadata and a 32-bit sum can wrap past this check.
+    if (!fits_within(src.offset, src.size, header.fixed_length))
       return make_error(ErrorCode::kOutOfRange,
                         "source field '" + src.path + "' outside fixed section");
 
@@ -223,6 +242,12 @@ Status Decoder::run_conversion(const Plan& plan, const WireHeader& header,
       const std::uint32_t dst_elems =
           dst.array_mode == ArrayMode::kFixed ? dst.fixed_count : 1;
       const std::uint32_t elems = src_elems < dst_elems ? src_elems : dst_elems;
+      if (!fits_within(src.offset,
+                       std::uint64_t(elems) * header.pointer_size,
+                       header.fixed_length))
+        return make_error(ErrorCode::kMalformedInput,
+                          "string slots outside fixed section in '" +
+                              src.path + "'");
       for (std::uint32_t i = 0; i < elems; ++i) {
         std::size_t src_slot = src.offset + std::size_t(i) * header.pointer_size;
         std::size_t dst_slot = dst.offset + std::size_t(i) * sizeof(void*);
@@ -239,6 +264,7 @@ Status Decoder::run_conversion(const Plan& plan, const WireHeader& header,
             return make_error(ErrorCode::kParseError,
                               "unterminated string in '" + src.path + "'");
           std::size_t len = static_cast<const std::uint8_t*>(nul) - (var + at);
+          XMIT_RETURN_IF_ERROR(budget.charge(len + 1, "decoded string"));
           value = arena.duplicate_string(
               reinterpret_cast<const char*>(var + at), len);
         }
@@ -249,7 +275,7 @@ Status Decoder::run_conversion(const Plan& plan, const WireHeader& header,
 
     if (src.array_mode == ArrayMode::kDynamic) {
       // Element count lives in the sender's fixed section.
-      if (src.count_offset + src.count_size > header.fixed_length)
+      if (!fits_within(src.count_offset, src.count_size, header.fixed_length))
         return make_error(ErrorCode::kOutOfRange,
                           "count field outside fixed section for '" +
                               src.path + "'");
@@ -267,13 +293,20 @@ Status Decoder::run_conversion(const Plan& plan, const WireHeader& header,
           read_slot_value(fixed, src.offset, header.pointer_size, src_order);
       std::uint8_t* value = nullptr;
       if (slot != 0 && count > 0) {
+        // count and slot are attacker bytes; the count*size product and
+        // offset+payload sum must not wrap past the bounds check, and the
+        // receiver-side allocation is charged against the decode budget.
         std::uint64_t at = slot - 1;
-        std::uint64_t payload = static_cast<std::uint64_t>(count) * src.size;
-        if (at + payload > header.var_length)
-          return make_error(ErrorCode::kOutOfRange,
+        std::uint64_t payload = 0;
+        std::uint64_t dst_bytes = 0;
+        if (!checked_mul(static_cast<std::uint64_t>(count), src.size, &payload) ||
+            !fits_within(at, payload, header.var_length) ||
+            !checked_mul(static_cast<std::uint64_t>(count), dst.size, &dst_bytes))
+          return make_error(ErrorCode::kMalformedInput,
                             "array payload out of range in '" + src.path + "'");
+        XMIT_RETURN_IF_ERROR(budget.charge(dst_bytes, "decoded array"));
         value = static_cast<std::uint8_t*>(arena.allocate(
-            static_cast<std::size_t>(count) * dst.size,
+            static_cast<std::size_t>(dst_bytes),
             dst.size > 8 ? 8 : dst.size));
         for (std::int64_t i = 0; i < count; ++i) {
           XMIT_ASSIGN_OR_RETURN(
@@ -295,7 +328,8 @@ Status Decoder::run_conversion(const Plan& plan, const WireHeader& header,
     const std::uint32_t dst_count =
         dst.array_mode == ArrayMode::kFixed ? dst.fixed_count : 1;
     const std::uint32_t count = src_count < dst_count ? src_count : dst_count;
-    if (src.offset + std::uint64_t(src_count) * src.size > header.fixed_length)
+    if (!fits_within(src.offset, std::uint64_t(src_count) * src.size,
+                     header.fixed_length))
       return make_error(ErrorCode::kOutOfRange,
                         "source array '" + src.path + "' outside fixed section");
     if (move.bitwise_compatible) {
@@ -344,6 +378,23 @@ Result<const void*> Decoder::decode_in_place(std::span<std::uint8_t> bytes,
         if (at >= header.var_length)
           return Status(ErrorCode::kOutOfRange,
                         "pointer slot out of range in '" + field.path + "'");
+        if (is_dynamic) {
+          // The caller will read count * size bytes through the patched
+          // pointer; validate that whole extent now (overflow-checked),
+          // not just the first byte.
+          XMIT_ASSIGN_OR_RETURN(
+              auto scalar,
+              load_scalar(fixed + field.count_offset, field.count_kind,
+                          field.count_size, header.byte_order));
+          std::int64_t count = scalar.as_signed();
+          std::uint64_t payload = 0;
+          if (count < 0 ||
+              !checked_mul(static_cast<std::uint64_t>(count), field.size,
+                           &payload) ||
+              !fits_within(at, payload, header.var_length))
+            return Status(ErrorCode::kMalformedInput,
+                          "array payload out of range in '" + field.path + "'");
+        }
         value = var + at;
       }
       store_raw(fixed + slot_offset, value);

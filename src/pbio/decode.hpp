@@ -23,6 +23,7 @@
 
 #include "common/arena.hpp"
 #include "common/error.hpp"
+#include "common/limits.hpp"
 #include "pbio/format.hpp"
 #include "pbio/registry.hpp"
 #include "pbio/wire.hpp"
@@ -41,6 +42,12 @@ class Decoder {
 
   Decoder(const Decoder&) = delete;
   Decoder& operator=(const Decoder&) = delete;
+
+  // Resource budgets applied to every decode of untrusted bytes (out-of-
+  // line allocation total, length-field sanity). Defaults are generous;
+  // sessions tighten them per peer.
+  void set_limits(const DecodeLimits& limits) { limits_ = limits; }
+  const DecodeLimits& limits() const { return limits_; }
 
   // Parse the header and resolve the sender's format metadata.
   Result<RecordInfo> inspect(std::span<const std::uint8_t> bytes) const;
@@ -77,12 +84,14 @@ class Decoder {
 
   Status run_identity(const WireHeader& header,
                       std::span<const std::uint8_t> bytes,
-                      const Format& receiver, void* out, Arena& arena) const;
+                      const Format& receiver, void* out, Arena& arena,
+                      AllocBudget& budget) const;
   Status run_conversion(const Plan& plan, const WireHeader& header,
                         std::span<const std::uint8_t> bytes, void* out,
-                        Arena& arena) const;
+                        Arena& arena, AllocBudget& budget) const;
 
   const FormatRegistry& registry_;
+  DecodeLimits limits_ = DecodeLimits::defaults();
   mutable std::mutex mutex_;
   mutable std::map<std::pair<FormatId, FormatId>, std::shared_ptr<const Plan>>
       plans_;

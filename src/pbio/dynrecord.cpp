@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "common/bytes.hpp"
+#include "common/limits.hpp"
 #include "pbio/scalar.hpp"
 
 namespace xmit::pbio {
@@ -241,6 +242,11 @@ Result<RecordReader> RecordReader::make(std::span<const std::uint8_t> bytes,
                   "record format id does not match '" + format->name() + "'");
   if (header.fixed_length != format->struct_size())
     return Status(ErrorCode::kParseError, "fixed section length mismatch");
+  if (format->arch().pointer_size != header.pointer_size ||
+      format->arch().byte_order != header.byte_order)
+    return Status(ErrorCode::kMalformedInput,
+                  "record header architecture contradicts format '" +
+                      format->name() + "' metadata");
   return RecordReader(bytes, std::move(format), header);
 }
 
@@ -270,9 +276,10 @@ Result<std::uint64_t> RecordReader::payload_offset(
                                        header_.pointer_size, header_.byte_order);
   if (slot == 0)
     return Status(ErrorCode::kNotFound, "field '" + field.path + "' is null");
+  // slot is attacker bytes: at + payload_size must not wrap past the check.
   std::uint64_t at = slot - 1;
-  if (at + payload_size > header_.var_length)
-    return Status(ErrorCode::kOutOfRange,
+  if (!fits_within(at, payload_size, header_.var_length))
+    return Status(ErrorCode::kMalformedInput,
                   "payload out of range in '" + field.path + "'");
   return at;
 }
@@ -353,7 +360,11 @@ Result<std::vector<std::int64_t>> RecordReader::get_int_array(
     base = fixed() + field->offset;
   } else {
     if (count == 0) return std::vector<std::int64_t>{};
-    XMIT_ASSIGN_OR_RETURN(auto at, payload_offset(*field, count * field->size));
+    std::uint64_t payload = 0;
+    if (!checked_mul(count, field->size, &payload))
+      return Status(ErrorCode::kMalformedInput,
+                    "array size overflow in '" + field->path + "'");
+    XMIT_ASSIGN_OR_RETURN(auto at, payload_offset(*field, payload));
     base = var() + at;
   }
   std::vector<std::int64_t> out;
@@ -379,7 +390,11 @@ Result<std::vector<double>> RecordReader::get_float_array(
     base = fixed() + field->offset;
   } else {
     if (count == 0) return std::vector<double>{};
-    XMIT_ASSIGN_OR_RETURN(auto at, payload_offset(*field, count * field->size));
+    std::uint64_t payload = 0;
+    if (!checked_mul(count, field->size, &payload))
+      return Status(ErrorCode::kMalformedInput,
+                    "array size overflow in '" + field->path + "'");
+    XMIT_ASSIGN_OR_RETURN(auto at, payload_offset(*field, payload));
     base = var() + at;
   }
   std::vector<double> out;

@@ -109,7 +109,7 @@ Result<std::optional<std::vector<std::uint8_t>>> FileSource::next_record() {
 
     switch (frame[0]) {
       case kBlockFormat: {
-        XMIT_ASSIGN_OR_RETURN(auto format, deserialize_format(payload));
+        XMIT_ASSIGN_OR_RETURN(auto format, deserialize_format(payload, limits_));
         XMIT_ASSIGN_OR_RETURN(auto adopted, registry_->adopt(std::move(format)));
         (void)adopted;
         ++formats_read_;

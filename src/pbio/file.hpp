@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/limits.hpp"
 #include "pbio/encode.hpp"
 #include "pbio/registry.hpp"
 
@@ -64,6 +65,10 @@ class FileSource {
   // at end of file.
   Result<std::optional<std::vector<std::uint8_t>>> next_record();
 
+  // Budget applied when decoding the file's embedded format metadata —
+  // a data file is untrusted input like any wire peer.
+  void set_limits(const DecodeLimits& limits) { limits_ = limits; }
+
   std::size_t records_read() const { return records_read_; }
   std::size_t formats_read() const { return formats_read_; }
 
@@ -73,6 +78,7 @@ class FileSource {
 
   std::unique_ptr<std::FILE, int (*)(std::FILE*)> file_;
   FormatRegistry* registry_;
+  DecodeLimits limits_ = DecodeLimits::defaults();
   std::size_t records_read_ = 0;
   std::size_t formats_read_ = 0;
 };

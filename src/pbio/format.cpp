@@ -6,6 +6,12 @@ namespace xmit::pbio {
 
 namespace {
 constexpr int kMaxNestingDepth = 16;
+// Cap on the flattened leaf-field count. Fixed-size arrays of nested
+// types unroll per element, so a peer-supplied format metadata blob a few
+// hundred bytes long can otherwise request maxOccurs^depth leaves — an
+// unbounded-memory / infinite-loop bomb at adoption time. Matches
+// DecodeLimits::max_flat_fields.
+constexpr std::size_t kMaxFlatFields = 1u << 16;
 }
 
 FormatId hash_format_description(std::string_view description) {
@@ -144,8 +150,18 @@ Status Format::flatten_into(const std::string& prefix,
     return make_error(ErrorCode::kInvalidArgument,
                       "format nesting too deep in '" + name_ + "'");
   for (const auto& field : format.fields_) {
+    if (flat_.size() >= kMaxFlatFields)
+      return make_error(ErrorCode::kResourceExhausted,
+                        "format '" + name_ + "' flattens to more than " +
+                            std::to_string(kMaxFlatFields) + " fields");
     XMIT_ASSIGN_OR_RETURN(auto type, parse_field_type(field.type_name));
     std::string path = prefix.empty() ? field.name : prefix + "." + field.name;
+    // Offsets are u32 on the wire; rebasing must not wrap into a small
+    // (bounds-check-passing) value.
+    const std::uint64_t rebased = std::uint64_t(base_offset) + field.offset;
+    if (rebased > UINT32_MAX)
+      return make_error(ErrorCode::kMalformedInput,
+                        "field offset overflow at '" + path + "'");
 
     if (type.kind == FieldKind::kNested) {
       const FormatPtr* nested = format.nested_named(type.nested_format);
@@ -155,8 +171,8 @@ Status Format::flatten_into(const std::string& prefix,
                               "' for field '" + path + "'");
       switch (type.array.mode) {
         case ArrayMode::kNone:
-          XMIT_RETURN_IF_ERROR(flatten_into(path, base_offset + field.offset,
-                                            **nested, depth + 1));
+          XMIT_RETURN_IF_ERROR(flatten_into(
+              path, static_cast<std::uint32_t>(rebased), **nested, depth + 1));
           break;
         case ArrayMode::kFixed:
           // Unroll: rows[0].x, rows[1].x, ... Element stride is the
@@ -168,10 +184,19 @@ Status Format::flatten_into(const std::string& prefix,
                                   " != nested struct size " +
                                   std::to_string((*nested)->struct_size()));
           for (std::uint32_t i = 0; i < type.array.fixed_count; ++i) {
+            if (flat_.size() >= kMaxFlatFields)
+              return make_error(ErrorCode::kResourceExhausted,
+                                "format '" + name_ +
+                                    "' flattens to more than " +
+                                    std::to_string(kMaxFlatFields) + " fields");
+            const std::uint64_t elem_offset =
+                rebased + std::uint64_t(i) * field.size;
+            if (elem_offset > UINT32_MAX)
+              return make_error(ErrorCode::kMalformedInput,
+                                "field offset overflow at '" + path + "'");
             XMIT_RETURN_IF_ERROR(flatten_into(
                 path + "[" + std::to_string(i) + "]",
-                base_offset + field.offset + i * field.size, **nested,
-                depth + 1));
+                static_cast<std::uint32_t>(elem_offset), **nested, depth + 1));
           }
           break;
         case ArrayMode::kDynamic:
@@ -194,7 +219,7 @@ Status Format::flatten_into(const std::string& prefix,
     flat.path = std::move(path);
     flat.kind = type.kind;
     flat.size = field.size;
-    flat.offset = base_offset + field.offset;
+    flat.offset = static_cast<std::uint32_t>(rebased);
     flat.array_mode = type.array.mode;
     flat.fixed_count = type.array.fixed_count;
 
@@ -216,7 +241,11 @@ Status Format::flatten_into(const std::string& prefix,
                           "size field '" + type.array.size_field +
                               "' for array '" + flat.path +
                               "' must be a scalar integer");
-      flat.count_offset = base_offset + count->offset;
+      const std::uint64_t count_at = std::uint64_t(base_offset) + count->offset;
+      if (count_at > UINT32_MAX)
+        return make_error(ErrorCode::kMalformedInput,
+                          "count field offset overflow at '" + flat.path + "'");
+      flat.count_offset = static_cast<std::uint32_t>(count_at);
       flat.count_size = count->size;
       flat.count_kind = count_type.kind;
     }

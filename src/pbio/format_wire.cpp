@@ -12,8 +12,12 @@ void put_string(ByteBuffer& out, std::string_view s) {
   out.append(s);
 }
 
-Result<std::string> get_string(ByteReader& reader) {
+Result<std::string> get_string(ByteReader& reader,
+                               const DecodeLimits& limits) {
   XMIT_ASSIGN_OR_RETURN(auto length, reader.read_u16(kMetaOrder));
+  if (length > limits.max_string_bytes)
+    return Status(ErrorCode::kResourceExhausted,
+                  "format metadata string exceeds limit");
   return reader.read_string(length);
 }
 
@@ -39,9 +43,18 @@ void serialize_into(const Format& format, ByteBuffer& out) {
     serialize_into(*nested, out);
 }
 
-Result<FormatPtr> deserialize_from(ByteReader& reader, int depth) {
-  if (depth > kMaxMetaNesting)
-    return Status(ErrorCode::kParseError, "format metadata nesting too deep");
+// Smallest possible encodings, used to reject declared counts that could
+// never fit in the bytes remaining (so a hostile u16 count can't drive
+// oversized reserve() calls or long parse loops before hitting the end).
+constexpr std::size_t kMinFieldEncoding = 2 + 2 + 4 + 4;  // 2 empty strings
+constexpr std::size_t kMinFormatEncoding = 5 + 2 + 4 + 2 + 2;
+
+Result<FormatPtr> deserialize_from(ByteReader& reader, int depth,
+                                   const DecodeLimits& limits,
+                                   std::size_t& total_fields) {
+  if (depth > kMaxMetaNesting || depth > limits.max_depth)
+    return Status(ErrorCode::kResourceExhausted,
+                  "format metadata nesting too deep");
   XMIT_ASSIGN_OR_RETURN(auto version, reader.read_u8());
   if (version != kMetaVersion)
     return Status(ErrorCode::kUnsupported,
@@ -52,24 +65,35 @@ Result<FormatPtr> deserialize_from(ByteReader& reader, int depth) {
   XMIT_ASSIGN_OR_RETURN(arch.pointer_size, reader.read_u8());
   XMIT_ASSIGN_OR_RETURN(arch.long_size, reader.read_u8());
   XMIT_ASSIGN_OR_RETURN(arch.max_align, reader.read_u8());
-  XMIT_ASSIGN_OR_RETURN(auto name, get_string(reader));
+  XMIT_ASSIGN_OR_RETURN(auto name, get_string(reader, limits));
   XMIT_ASSIGN_OR_RETURN(auto struct_size, reader.read_u32(kMetaOrder));
   XMIT_ASSIGN_OR_RETURN(auto field_count, reader.read_u16(kMetaOrder));
+  if (std::size_t(field_count) * kMinFieldEncoding > reader.remaining())
+    return Status(ErrorCode::kMalformedInput,
+                  "format metadata declares more fields than bytes present");
+  total_fields += field_count;
+  if (total_fields > limits.max_flat_fields)
+    return Status(ErrorCode::kResourceExhausted,
+                  "format metadata field count exceeds limit");
   std::vector<IOField> fields;
   fields.reserve(field_count);
   for (std::uint16_t i = 0; i < field_count; ++i) {
     IOField field;
-    XMIT_ASSIGN_OR_RETURN(field.name, get_string(reader));
-    XMIT_ASSIGN_OR_RETURN(field.type_name, get_string(reader));
+    XMIT_ASSIGN_OR_RETURN(field.name, get_string(reader, limits));
+    XMIT_ASSIGN_OR_RETURN(field.type_name, get_string(reader, limits));
     XMIT_ASSIGN_OR_RETURN(field.size, reader.read_u32(kMetaOrder));
     XMIT_ASSIGN_OR_RETURN(field.offset, reader.read_u32(kMetaOrder));
     fields.push_back(std::move(field));
   }
   XMIT_ASSIGN_OR_RETURN(auto nested_count, reader.read_u16(kMetaOrder));
+  if (std::size_t(nested_count) * kMinFormatEncoding > reader.remaining())
+    return Status(ErrorCode::kMalformedInput,
+                  "format metadata declares more subformats than bytes present");
   std::vector<FormatPtr> nested;
   nested.reserve(nested_count);
   for (std::uint16_t i = 0; i < nested_count; ++i) {
-    XMIT_ASSIGN_OR_RETURN(auto sub, deserialize_from(reader, depth + 1));
+    XMIT_ASSIGN_OR_RETURN(
+        auto sub, deserialize_from(reader, depth + 1, limits, total_fields));
     nested.push_back(std::move(sub));
   }
   return Format::make(std::move(name), std::move(fields), struct_size, arch,
@@ -88,13 +112,17 @@ std::vector<std::uint8_t> serialize_format(const Format& format) {
   return out.take();
 }
 
-Result<FormatPtr> deserialize_format(ByteReader& reader) {
-  return deserialize_from(reader, 0);
+Result<FormatPtr> deserialize_format(ByteReader& reader,
+                                     const DecodeLimits& limits) {
+  std::size_t total_fields = 0;
+  return deserialize_from(reader, 0, limits, total_fields);
 }
 
-Result<FormatPtr> deserialize_format(std::span<const std::uint8_t> bytes) {
+Result<FormatPtr> deserialize_format(std::span<const std::uint8_t> bytes,
+                                     const DecodeLimits& limits) {
   ByteReader reader(bytes);
-  return deserialize_from(reader, 0);
+  std::size_t total_fields = 0;
+  return deserialize_from(reader, 0, limits, total_fields);
 }
 
 }  // namespace xmit::pbio

@@ -13,6 +13,7 @@
 
 #include "common/bytes.hpp"
 #include "common/error.hpp"
+#include "common/limits.hpp"
 #include "pbio/format.hpp"
 
 namespace xmit::pbio {
@@ -25,8 +26,15 @@ std::vector<std::uint8_t> serialize_format(const Format& format);
 
 // Reconstructs a Format (validated and flattened) from `reader`.
 // Round-trips exactly: the deserialized format has the same FormatId.
-Result<FormatPtr> deserialize_format(ByteReader& reader);
+// Metadata blobs arrive from peers, so declared counts are cross-checked
+// against the bytes actually present and against `limits` before any
+// allocation sized from them.
+Result<FormatPtr> deserialize_format(ByteReader& reader,
+                                     const DecodeLimits& limits =
+                                         DecodeLimits::defaults());
 
-Result<FormatPtr> deserialize_format(std::span<const std::uint8_t> bytes);
+Result<FormatPtr> deserialize_format(std::span<const std::uint8_t> bytes,
+                                     const DecodeLimits& limits =
+                                         DecodeLimits::defaults());
 
 }  // namespace xmit::pbio

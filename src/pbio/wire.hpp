@@ -42,8 +42,10 @@ struct WireHeader {
   std::uint32_t fixed_length = 0;
   std::uint32_t var_length = 0;
 
-  std::size_t record_length() const {
-    return kSize + fixed_length + var_length;
+  // 64-bit on purpose: fixed_length + var_length are attacker-controlled
+  // u32s and their sum must not wrap on 32-bit size_t targets.
+  std::uint64_t record_length() const {
+    return kSize + std::uint64_t(fixed_length) + std::uint64_t(var_length);
   }
 };
 

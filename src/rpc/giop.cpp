@@ -48,8 +48,8 @@ class CdrWriter {
 
 class CdrParser {
  public:
-  CdrParser(ByteReader& reader, ByteOrder order)
-      : reader_(reader), order_(order) {}
+  CdrParser(ByteReader& reader, ByteOrder order, const DecodeLimits& limits)
+      : reader_(reader), order_(order), limits_(limits) {}
 
   Status align(std::size_t alignment) {
     std::size_t body = reader_.position() - kHeaderSize;
@@ -67,6 +67,9 @@ class CdrParser {
     XMIT_ASSIGN_OR_RETURN(auto length, get_u32());
     if (length == 0)
       return Status(ErrorCode::kParseError, "CORBA string with zero length");
+    if (length > limits_.max_string_bytes)
+      return Status(ErrorCode::kResourceExhausted,
+                    "CORBA string length exceeds limit");
     XMIT_ASSIGN_OR_RETURN(auto raw, reader_.read_string(length));
     if (raw.back() != '\0')
       return Status(ErrorCode::kParseError, "CORBA string missing NUL");
@@ -77,7 +80,10 @@ class CdrParser {
   Result<std::vector<std::uint8_t>> get_octets() {
     XMIT_ASSIGN_OR_RETURN(auto count, get_u32());
     if (count > reader_.remaining())
-      return Status(ErrorCode::kOutOfRange, "octet sequence truncated");
+      return Status(ErrorCode::kMalformedInput, "octet sequence truncated");
+    if (count > limits_.max_string_bytes)
+      return Status(ErrorCode::kResourceExhausted,
+                    "octet sequence length exceeds limit");
     std::vector<std::uint8_t> out(count);
     XMIT_RETURN_IF_ERROR(reader_.read_bytes(out.data(), count));
     return out;
@@ -86,6 +92,7 @@ class CdrParser {
  private:
   ByteReader& reader_;
   ByteOrder order_;
+  const DecodeLimits& limits_;
 };
 
 void write_header(ByteBuffer& out, GiopMessageType type, ByteOrder order) {
@@ -138,9 +145,13 @@ std::vector<std::uint8_t> encode_giop_reply(const GiopReply& reply,
   return out.take();
 }
 
-Result<GiopMessage> parse_giop_message(std::span<const std::uint8_t> bytes) {
+Result<GiopMessage> parse_giop_message(std::span<const std::uint8_t> bytes,
+                                       const DecodeLimits& limits) {
   if (bytes.size() < kHeaderSize)
     return Status(ErrorCode::kOutOfRange, "GIOP message shorter than header");
+  if (bytes.size() > limits.max_message_bytes)
+    return Status(ErrorCode::kResourceExhausted,
+                  "GIOP message exceeds size limit");
   if (std::memcmp(bytes.data(), kMagic, 4) != 0)
     return Status(ErrorCode::kParseError, "bad GIOP magic");
   if (bytes[4] != kVersionMajor || bytes[5] != kVersionMinor)
@@ -158,7 +169,7 @@ Result<GiopMessage> parse_giop_message(std::span<const std::uint8_t> bytes) {
 
   ByteReader reader(bytes.data(), bytes.size());
   XMIT_RETURN_IF_ERROR(reader.skip(kHeaderSize));
-  CdrParser parser(reader, order);
+  CdrParser parser(reader, order, limits);
 
   GiopMessage message;
   message.type = type;

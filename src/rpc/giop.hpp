@@ -22,6 +22,7 @@
 
 #include "common/bytes.hpp"
 #include "common/error.hpp"
+#include "common/limits.hpp"
 #include "net/channel.hpp"
 
 namespace xmit::rpc {
@@ -66,7 +67,12 @@ struct GiopMessage {
   GiopReply reply;
 };
 
-Result<GiopMessage> parse_giop_message(std::span<const std::uint8_t> bytes);
+// Messages come off the network; declared lengths (message size, string
+// and octet-sequence counts) are capped by `limits` before any allocation
+// sized from them.
+Result<GiopMessage> parse_giop_message(std::span<const std::uint8_t> bytes,
+                                       const DecodeLimits& limits =
+                                           DecodeLimits::defaults());
 
 // Client half of a connection: correlates replies by request id.
 class GiopClient {

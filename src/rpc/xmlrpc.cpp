@@ -242,8 +242,12 @@ std::string write_fault(int code, const std::string& message) {
   return out;
 }
 
-Result<MethodCall> parse_method_call(std::string_view text) {
-  XMIT_ASSIGN_OR_RETURN(auto document, xml::parse_document_strict(text));
+Result<MethodCall> parse_method_call(std::string_view text,
+                                     const DecodeLimits& limits) {
+  xml::ParseOptions options;
+  options.limits = limits;
+  XMIT_ASSIGN_OR_RETURN(auto document,
+                        xml::parse_document_strict(text, options));
   const xml::Element& root = document.root_element();
   if (root.local_name() != "methodCall")
     return Status(ErrorCode::kParseError, "not a <methodCall> document");
@@ -266,8 +270,12 @@ Result<MethodCall> parse_method_call(std::string_view text) {
   return call;
 }
 
-Result<MethodResponse> parse_method_response(std::string_view text) {
-  XMIT_ASSIGN_OR_RETURN(auto document, xml::parse_document_strict(text));
+Result<MethodResponse> parse_method_response(std::string_view text,
+                                             const DecodeLimits& limits) {
+  xml::ParseOptions options;
+  options.limits = limits;
+  XMIT_ASSIGN_OR_RETURN(auto document,
+                        xml::parse_document_strict(text, options));
   const xml::Element& root = document.root_element();
   if (root.local_name() != "methodResponse")
     return Status(ErrorCode::kParseError, "not a <methodResponse> document");

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/limits.hpp"
 #include "net/http.hpp"
 
 namespace xmit::rpc {
@@ -89,8 +90,15 @@ std::string write_method_call(const MethodCall& call);
 std::string write_method_response(const Value& value);
 std::string write_fault(int code, const std::string& message);
 
-Result<MethodCall> parse_method_call(std::string_view text);
-Result<MethodResponse> parse_method_response(std::string_view text);
+// Documents arrive over HTTP from untrusted peers; `limits` bounds the
+// underlying XML parse (depth, element count, text size, entity
+// expansion) and the recursion depth of the value tree.
+Result<MethodCall> parse_method_call(std::string_view text,
+                                     const DecodeLimits& limits =
+                                         DecodeLimits::defaults());
+Result<MethodResponse> parse_method_response(std::string_view text,
+                                             const DecodeLimits& limits =
+                                                 DecodeLimits::defaults());
 
 // Server: dispatches POSTs on an HttpServer endpoint to named handlers.
 class XmlRpcServer {

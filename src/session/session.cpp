@@ -16,6 +16,24 @@ MessageSession::MessageSession(net::Channel channel,
       registry_(&registry),
       decoder_(std::make_unique<pbio::Decoder>(registry)) {}
 
+void MessageSession::set_limits(const DecodeLimits& limits) {
+  limits_ = limits;
+  decoder_->set_limits(limits);
+}
+
+Status MessageSession::note_malformed(Status status) {
+  ++malformed_frames_;
+  if (malformed_frames_ > limits_.max_malformed_frames) {
+    poisoned_ = true;
+    return Status(ErrorCode::kResourceExhausted,
+                  "session poisoned: peer exceeded the malformed-frame "
+                  "budget (" +
+                      std::to_string(limits_.max_malformed_frames) +
+                      "); last error: " + status.message());
+  }
+  return status;
+}
+
 Status MessageSession::announce(const pbio::Format& format) {
   if (announced_.contains(format.id())) return Status::ok();
   // Announce nested formats first so the peer can resolve references on
@@ -53,44 +71,67 @@ Status MessageSession::send_encoded(const pbio::Format& format,
 }
 
 Result<MessageSession::Incoming> MessageSession::receive(int timeout_ms) {
+  if (poisoned_)
+    return Status(ErrorCode::kResourceExhausted,
+                  "session poisoned: peer exceeded the malformed-frame budget");
   for (;;) {
     XMIT_ASSIGN_OR_RETURN(auto frame, channel_.receive(timeout_ms));
-    if (frame.empty()) {
-      ++malformed_frames_;
-      return Status(ErrorCode::kParseError, "empty session frame");
-    }
+    if (frame.empty())
+      return note_malformed(
+          Status(ErrorCode::kParseError, "empty session frame"));
+    if (frame.size() > limits_.max_message_bytes)
+      return note_malformed(Status(ErrorCode::kResourceExhausted,
+                                   "session frame exceeds size limit"));
     std::span<const std::uint8_t> payload(frame.data() + 1, frame.size() - 1);
     switch (frame[0]) {
       case kTagFormat: {
-        auto format = pbio::deserialize_format(payload);
+        auto format = pbio::deserialize_format(payload, limits_);
         if (!format.is_ok()) {
           // A truncated in-band announcement (peer died mid-write) must
           // not poison the session — report and keep the stream usable.
-          ++malformed_frames_;
-          return format.status();
+          return note_malformed(format.status());
         }
         XMIT_ASSIGN_OR_RETURN(auto adopted,
                               registry_->adopt(std::move(format).value()));
         // What the peer announced, we need not re-announce to them.
         announced_.insert(adopted->id());
+        // A fresh, well-formed announcement vouches for the format again.
+        quarantined_.erase(adopted->id());
         ++announcements_received_;
         continue;
       }
       case kTagRecord: {
         Incoming incoming;
         incoming.bytes.assign(payload.begin(), payload.end());
+        // Quarantine check runs on the raw header, before the (costlier)
+        // structural inspection a hostile record would fail anyway.
+        auto header = pbio::parse_header(incoming.bytes);
+        if (header.is_ok() &&
+            quarantined_.contains(header.value().format_id)) {
+          return note_malformed(Status(
+              ErrorCode::kMalformedInput,
+              "record claims quarantined format id; re-announce to clear"));
+        }
         auto info = decoder_->inspect(incoming.bytes);
         if (!info.is_ok()) {
-          ++malformed_frames_;
-          return info.status();
+          // Affirmatively hostile bytes (internal contradictions, blown
+          // budgets) poison trust in that format id until the peer
+          // re-announces it. Mere truncation — a peer dying mid-write, a
+          // lossy channel — does not: the next intact record must decode.
+          if (header.is_ok() &&
+              (info.code() == ErrorCode::kMalformedInput ||
+               info.code() == ErrorCode::kResourceExhausted)) {
+            quarantined_.insert(header.value().format_id);
+          }
+          return note_malformed(info.status());
         }
         incoming.sender_format = std::move(info.value().sender_format);
         return incoming;
       }
       default:
-        ++malformed_frames_;
-        return Status(ErrorCode::kParseError,
-                      "unknown session frame tag " + std::to_string(frame[0]));
+        return note_malformed(
+            Status(ErrorCode::kParseError, "unknown session frame tag " +
+                                               std::to_string(frame[0])));
     }
   }
 }

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/limits.hpp"
 #include "net/channel.hpp"
 #include "pbio/decode.hpp"
 #include "pbio/encode.hpp"
@@ -63,7 +64,20 @@ class MessageSession {
   // Truncated or corrupted frames (a peer dying mid-record) surface as
   // clean kParseError/kOutOfRange statuses — the session object stays
   // usable and counts them in malformed_frames().
+  //
+  // Two defenses against a *hostile* peer, not just a dying one:
+  //  - A format whose records fail structural inspection is quarantined:
+  //    further records claiming that format id fail fast (kMalformedInput)
+  //    without re-parsing, until a fresh announcement of the id clears it.
+  //  - Each malformed frame draws down a per-peer budget
+  //    (limits().max_malformed_frames); once exhausted the session is
+  //    poisoned and every later receive() fails with kResourceExhausted.
   Result<Incoming> receive(int timeout_ms = 10000);
+
+  // Per-peer decode budgets; forwarded to the record decoder and applied
+  // to announcement parsing and frame sizes.
+  void set_limits(const DecodeLimits& limits);
+  const DecodeLimits& limits() const { return limits_; }
 
   void close() { channel_.close(); }
 
@@ -74,12 +88,23 @@ class MessageSession {
   std::size_t records_sent() const { return records_sent_; }
   std::size_t metadata_bytes_sent() const { return metadata_bytes_sent_; }
   std::size_t malformed_frames() const { return malformed_frames_; }
+  bool poisoned() const { return poisoned_; }
+  bool is_quarantined(pbio::FormatId id) const {
+    return quarantined_.contains(id);
+  }
 
  private:
+  // Counts a hostile/corrupt frame against the per-peer budget; returns
+  // the (possibly upgraded) status to hand the caller.
+  Status note_malformed(Status status);
+
   net::Channel channel_;
   pbio::FormatRegistry* registry_;
   std::unique_ptr<pbio::Decoder> decoder_;  // Decoder holds a mutex: heap-pin it
+  DecodeLimits limits_ = DecodeLimits::defaults();
   std::set<pbio::FormatId> announced_;
+  std::set<pbio::FormatId> quarantined_;
+  bool poisoned_ = false;
   std::size_t announcements_sent_ = 0;
   std::size_t announcements_received_ = 0;
   std::size_t records_sent_ = 0;

@@ -1,6 +1,7 @@
 #include "xmit/layout.hpp"
 
 #include <algorithm>
+#include <cstdint>
 
 namespace xmit::toolkit {
 namespace {
@@ -78,16 +79,26 @@ Result<TypeLayout> layout_type(const xsd::ComplexType& type,
   layout.name = type.name;
   std::uint32_t offset = 0;
 
-  auto place = [&](IOField field, std::uint32_t footprint,
-                   std::uint32_t alignment) {
-    offset = static_cast<std::uint32_t>(align_up(offset, alignment));
-    field.offset = offset;
-    offset += footprint;
+  // Footprints are taken as u64 and the running offset is checked against
+  // the u32 wire representation: a schema (possibly peer-supplied) whose
+  // fixed arrays multiply out past 4 GiB must fail here, not wrap into a
+  // small struct_size that later bounds checks would wave through.
+  auto place = [&](IOField field, std::uint64_t footprint,
+                   std::uint32_t alignment) -> Status {
+    const std::uint64_t at = align_up(std::uint64_t(offset), alignment);
+    const std::uint64_t end = at + footprint;
+    if (end > UINT32_MAX)
+      return make_error(ErrorCode::kResourceExhausted,
+                        "layout of '" + layout.name + "' exceeds the 32-bit " +
+                            "struct size at field '" + field.name + "'");
+    field.offset = static_cast<std::uint32_t>(at);
+    offset = static_cast<std::uint32_t>(end);
     layout.alignment = std::max(layout.alignment, alignment);
     layout.fields.push_back(std::move(field));
+    return Status::ok();
   };
 
-  auto place_count_field = [&](const std::string& name) {
+  auto place_count_field = [&](const std::string& name) -> Status {
     // Synthesized run-time dimension: plain C int (paper: "an element of
     // type integer ... the value of this variable will be used at
     // run-time to indicate the size of the array").
@@ -96,7 +107,7 @@ Result<TypeLayout> layout_type(const xsd::ComplexType& type,
     field.name = name;
     field.type_name = pbio_base_name(prim.kind);
     field.size = prim.size;
-    place(std::move(field), prim.size, prim.alignment);
+    return place(std::move(field), prim.size, prim.alignment);
   };
 
   for (const auto& decl : type.elements) {
@@ -104,7 +115,7 @@ Result<TypeLayout> layout_type(const xsd::ComplexType& type,
     if (decl.occurs == xsd::OccursMode::kDynamic &&
         type.element_named(decl.dimension_name) == nullptr &&
         decl.dimension_placement == xsd::DimensionPlacement::kBefore) {
-      place_count_field(decl.dimension_name);
+      XMIT_RETURN_IF_ERROR(place_count_field(decl.dimension_name));
     }
 
     if (decl.is_complex()) {
@@ -117,13 +128,16 @@ Result<TypeLayout> layout_type(const xsd::ComplexType& type,
         switch (decl.occurs) {
           case xsd::OccursMode::kOne:
             field.type_name = "integer";
-            place(std::move(field), prim.size, prim.alignment);
+            XMIT_RETURN_IF_ERROR(
+                place(std::move(field), prim.size, prim.alignment));
             break;
           case xsd::OccursMode::kFixed:
             field.type_name =
                 "integer[" + std::to_string(decl.fixed_count) + "]";
-            place(std::move(field), prim.size * decl.fixed_count,
-                  prim.alignment);
+            XMIT_RETURN_IF_ERROR(
+                place(std::move(field),
+                      std::uint64_t(prim.size) * decl.fixed_count,
+                      prim.alignment));
             break;
           case xsd::OccursMode::kDynamic:
             return Status(ErrorCode::kUnsupported,
@@ -143,12 +157,15 @@ Result<TypeLayout> layout_type(const xsd::ComplexType& type,
       field.size = nested->struct_size;
       switch (decl.occurs) {
         case xsd::OccursMode::kOne:
-          place(std::move(field), nested->struct_size, nested->alignment);
+          XMIT_RETURN_IF_ERROR(
+              place(std::move(field), nested->struct_size, nested->alignment));
           break;
         case xsd::OccursMode::kFixed:
           field.type_name += "[" + std::to_string(decl.fixed_count) + "]";
-          place(std::move(field), nested->struct_size * decl.fixed_count,
-                nested->alignment);
+          XMIT_RETURN_IF_ERROR(
+              place(std::move(field),
+                    std::uint64_t(nested->struct_size) * decl.fixed_count,
+                    nested->alignment));
           break;
         case xsd::OccursMode::kDynamic:
           return Status(ErrorCode::kUnsupported,
@@ -163,13 +180,17 @@ Result<TypeLayout> layout_type(const xsd::ComplexType& type,
         case xsd::OccursMode::kOne:
           field.type_name = pbio_base_name(prim.kind);
           field.size = prim.size;
-          place(std::move(field), prim.size, prim.alignment);
+          XMIT_RETURN_IF_ERROR(
+              place(std::move(field), prim.size, prim.alignment));
           break;
         case xsd::OccursMode::kFixed:
           field.type_name = pbio_base_name(prim.kind) + "[" +
                             std::to_string(decl.fixed_count) + "]";
           field.size = prim.size;
-          place(std::move(field), prim.size * decl.fixed_count, prim.alignment);
+          XMIT_RETURN_IF_ERROR(
+              place(std::move(field),
+                    std::uint64_t(prim.size) * decl.fixed_count,
+                    prim.alignment));
           break;
         case xsd::OccursMode::kDynamic: {
           if (*decl.primitive == xsd::Primitive::kString)
@@ -180,8 +201,9 @@ Result<TypeLayout> layout_type(const xsd::ComplexType& type,
                             decl.dimension_name + "]";
           field.size = prim.size;
           // In memory the field is a pointer.
-          place(std::move(field), arch.pointer_size,
-                capped_alignment(arch.pointer_size, arch));
+          XMIT_RETURN_IF_ERROR(
+              place(std::move(field), arch.pointer_size,
+                    capped_alignment(arch.pointer_size, arch)));
           break;
         }
       }
@@ -190,12 +212,16 @@ Result<TypeLayout> layout_type(const xsd::ComplexType& type,
     if (decl.occurs == xsd::OccursMode::kDynamic &&
         type.element_named(decl.dimension_name) == nullptr &&
         decl.dimension_placement == xsd::DimensionPlacement::kAfter) {
-      place_count_field(decl.dimension_name);
+      XMIT_RETURN_IF_ERROR(place_count_field(decl.dimension_name));
     }
   }
 
-  layout.struct_size =
-      static_cast<std::uint32_t>(align_up(offset, layout.alignment));
+  const std::uint64_t padded = align_up(std::uint64_t(offset), layout.alignment);
+  if (padded > UINT32_MAX)
+    return make_error(ErrorCode::kResourceExhausted,
+                      "layout of '" + layout.name +
+                          "' exceeds the 32-bit struct size after padding");
+  layout.struct_size = static_cast<std::uint32_t>(padded);
   if (layout.struct_size == 0)
     return Status(ErrorCode::kInvalidArgument,
                   "type '" + type.name + "' laid out to zero size");

@@ -101,7 +101,7 @@ Status Xmit::install(std::string_view xml_text, std::string source,
   stats.fetch_ms = fetch_ms;
 
   Stopwatch parse_watch;
-  XMIT_ASSIGN_OR_RETURN(auto schema, xsd::parse_schema_text(xml_text));
+  XMIT_ASSIGN_OR_RETURN(auto schema, xsd::parse_schema_text(xml_text, limits_));
   stats.parse_ms = parse_watch.elapsed_ms();
 
   Stopwatch translate_watch;

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/limits.hpp"
 #include "net/retry.hpp"
 #include "pbio/encode.hpp"
 #include "pbio/registry.hpp"
@@ -96,6 +97,11 @@ class Xmit {
   // string disables mirroring.
   void set_cache_dir(std::string dir) { cache_dir_ = std::move(dir); }
 
+  // Resource budget applied when parsing fetched schema documents —
+  // discovery consumes bytes from servers we do not control.
+  void set_limits(const DecodeLimits& limits) { limits_ = limits; }
+  const DecodeLimits& limits() const { return limits_; }
+
   // Same pipeline minus the fetch, for documents already in hand;
   // `source_name` labels errors and refresh bookkeeping.
   Status load_text(std::string_view xml_text, std::string source_name);
@@ -150,6 +156,7 @@ class Xmit {
   net::RetryPolicy retry_policy_;
   int fetch_timeout_ms_ = 5000;
   std::string cache_dir_;
+  DecodeLimits limits_ = DecodeLimits::defaults();
   ResilienceStats resilience_;
 };
 

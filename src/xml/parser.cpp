@@ -65,9 +65,12 @@ class Cursor {
   }
 
   Status error(std::string what) const {
-    return make_error(ErrorCode::kParseError,
-                      what + " at line " + std::to_string(line_) + ", column " +
-                          std::to_string(column_));
+    return error(ErrorCode::kParseError, std::move(what));
+  }
+
+  Status error(ErrorCode code, std::string what) const {
+    return make_error(code, what + " at line " + std::to_string(line_) +
+                                ", column " + std::to_string(column_));
   }
 
  private:
@@ -80,7 +83,11 @@ class Cursor {
 class Parser {
  public:
   Parser(std::string_view text, const ParseOptions& options)
-      : cursor_(text), options_(options) {}
+      : cursor_(text),
+        options_(options),
+        max_depth_(options.max_depth < options.limits.max_depth
+                       ? options.max_depth
+                       : options.limits.max_depth) {}
 
   Result<Document> parse() {
     Document doc;
@@ -191,6 +198,9 @@ class Parser {
     char quote = cursor_.advance();
     std::string out;
     while (!cursor_.at_end()) {
+      if (out.size() > options_.limits.max_string_bytes)
+        return cursor_.error(ErrorCode::kResourceExhausted,
+                             "attribute value too long");
       char c = cursor_.peek();
       if (c == quote) {
         cursor_.advance();
@@ -210,6 +220,9 @@ class Parser {
   // Decodes one &...; reference, cursor at '&'. Returns a UTF-8 string
   // because numeric references can encode any code point.
   Result<std::string> parse_entity() {
+    if (++entity_expansions_ > options_.limits.max_entity_expansions)
+      return cursor_.error(ErrorCode::kResourceExhausted,
+                           "too many entity expansions");
     cursor_.advance();  // '&'
     std::size_t start = cursor_.position();
     while (!cursor_.at_end() && cursor_.peek() != ';' &&
@@ -225,7 +238,9 @@ class Parser {
     if (name == "quot") return std::string("\"");
     if (name == "apos") return std::string("'");
     if (!name.empty() && name[0] == '#') {
-      std::uint32_t code = 0;
+      // Accumulate in 64 bits: a 10+-digit reference must not wrap a
+      // 32-bit accumulator back into the valid code-point range.
+      std::uint64_t code = 0;
       bool ok = false;
       if (name.size() > 2 && (name[1] == 'x' || name[1] == 'X')) {
         for (char c : name.substr(2)) {
@@ -234,20 +249,24 @@ class Parser {
           else if (c >= 'a' && c <= 'f') digit = c - 'a' + 10;
           else if (c >= 'A' && c <= 'F') digit = c - 'A' + 10;
           else return cursor_.error("bad hex character reference");
-          code = code * 16 + static_cast<std::uint32_t>(digit);
+          code = code * 16 + static_cast<std::uint64_t>(digit);
+          if (code > 0x10FFFF)
+            return cursor_.error("character reference out of range");
           ok = true;
         }
       } else {
         for (char c : name.substr(1)) {
           if (!is_ascii_digit(c))
             return cursor_.error("bad character reference");
-          code = code * 10 + static_cast<std::uint32_t>(c - '0');
+          code = code * 10 + static_cast<std::uint64_t>(c - '0');
+          if (code > 0x10FFFF)
+            return cursor_.error("character reference out of range");
           ok = true;
         }
       }
       if (!ok || code > 0x10FFFF)
         return cursor_.error("character reference out of range");
-      return encode_utf8(code);
+      return encode_utf8(static_cast<std::uint32_t>(code));
     }
     return cursor_.error("unknown entity '&" + std::string(name) + ";'");
   }
@@ -274,12 +293,17 @@ class Parser {
 
   // Cursor sits at '<' of a start tag. Fills `element` in place.
   Status parse_element(Element& element, int depth) {
-    if (depth > options_.max_depth)
-      return cursor_.error("element nesting too deep");
+    if (depth > max_depth_)
+      return cursor_.error(ErrorCode::kResourceExhausted,
+                           "element nesting too deep");
+    if (++element_count_ > options_.limits.max_elements)
+      return cursor_.error(ErrorCode::kResourceExhausted,
+                           "too many elements in document");
     cursor_.advance();  // '<'
     XMIT_ASSIGN_OR_RETURN(auto name, parse_name());
     element.set_name(std::move(name));
     // Attributes.
+    std::size_t attribute_count = 0;
     for (;;) {
       bool had_space = !cursor_.at_end() && is_ascii_space(cursor_.peek());
       cursor_.skip_whitespace();
@@ -287,6 +311,9 @@ class Parser {
       if (cursor_.consume_literal("/>")) return Status::ok();
       if (cursor_.consume('>')) break;
       if (!had_space) return cursor_.error("expected whitespace before attribute");
+      if (++attribute_count > options_.limits.max_attributes)
+        return cursor_.error(ErrorCode::kResourceExhausted,
+                             "too many attributes on one element");
       XMIT_ASSIGN_OR_RETURN(auto attr_name, parse_name());
       if (element.attribute(attr_name) != nullptr)
         return cursor_.error("duplicate attribute '" + attr_name + "'");
@@ -312,6 +339,9 @@ class Parser {
     };
 
     while (!cursor_.at_end()) {
+      if (text_run.size() > options_.limits.max_string_bytes)
+        return cursor_.error(ErrorCode::kResourceExhausted,
+                             "text content too long");
       char c = cursor_.peek();
       if (c == '<') {
         if (cursor_.lookahead("</")) {
@@ -371,6 +401,9 @@ class Parser {
 
   Cursor cursor_;
   ParseOptions options_;
+  int max_depth_;
+  std::size_t element_count_ = 0;
+  std::size_t entity_expansions_ = 0;
 };
 
 }  // namespace
@@ -380,8 +413,9 @@ Result<Document> parse_document(std::string_view text,
   return Parser(text, options).parse();
 }
 
-Result<Document> parse_document_strict(std::string_view text) {
-  XMIT_ASSIGN_OR_RETURN(auto doc, parse_document(text));
+Result<Document> parse_document_strict(std::string_view text,
+                                       const ParseOptions& options) {
+  XMIT_ASSIGN_OR_RETURN(auto doc, parse_document(text, options));
   if (!doc.root)
     return Status(ErrorCode::kParseError, "document has no root element");
   return doc;

@@ -10,6 +10,7 @@
 #include <string_view>
 
 #include "common/error.hpp"
+#include "common/limits.hpp"
 #include "xml/dom.hpp"
 
 namespace xmit::xml {
@@ -20,7 +21,12 @@ struct ParseOptions {
   // codec parses with it too since field values are never all-whitespace.
   bool strip_inter_element_whitespace = true;
   // Maximum element nesting depth (stack guard against hostile input).
+  // The effective depth cap is min(max_depth, limits.max_depth).
   int max_depth = 256;
+  // Resource budgets for hostile input: element/attribute counts, text
+  // and attribute-value lengths, entity-expansion count. Violations are
+  // reported as kResourceExhausted with line:column context.
+  DecodeLimits limits = DecodeLimits::defaults();
 };
 
 Result<Document> parse_document(std::string_view text,
@@ -28,6 +34,7 @@ Result<Document> parse_document(std::string_view text,
 
 // Convenience: parse and hand back just the root element's document.
 // Fails if the document has no root (empty input).
-Result<Document> parse_document_strict(std::string_view text);
+Result<Document> parse_document_strict(std::string_view text,
+                                       const ParseOptions& options = {});
 
 }  // namespace xmit::xml

@@ -1,5 +1,7 @@
 #include "xsd/parse.hpp"
 
+#include <cstdint>
+
 #include "common/strings.hpp"
 #include "xml/find.hpp"
 #include "xml/parser.hpp"
@@ -17,7 +19,8 @@ std::string documentation_of(const xml::Element& node) {
 }
 
 Result<ElementDecl> parse_element_decl(const xml::Element& node,
-                                       const std::string& owner) {
+                                       const std::string& owner,
+                                       const DecodeLimits& limits) {
   ElementDecl decl;
   decl.documentation = documentation_of(node);
   const std::string* name = node.attribute_local("name");
@@ -83,6 +86,16 @@ Result<ElementDecl> parse_element_decl(const xml::Element& node,
     if (!is_ascii_digit(c)) numeric = false;
   if (numeric) {
     XMIT_ASSIGN_OR_RETURN(auto count, parse_uint(bound));
+    // parse_uint yields u64; fixed_count is u32. A silent truncation here
+    // would turn maxOccurs="4294967297" into 1 — a wrong-accept that lies
+    // about the wire layout. Reject anything over the array budget.
+    if (count > limits.max_array_elements || count > UINT32_MAX)
+      return Status(ErrorCode::kResourceExhausted,
+                    "maxOccurs=" + std::string(bound) + " on '" + decl.name +
+                        "' exceeds the array element limit");
+    if (count == 0)
+      return Status(ErrorCode::kParseError,
+                    "maxOccurs='0' on '" + decl.name + "'");
     decl.occurs = OccursMode::kFixed;
     decl.fixed_count = static_cast<std::uint32_t>(count);
     if (dimension != nullptr)
@@ -104,14 +117,16 @@ Result<ElementDecl> parse_element_decl(const xml::Element& node,
 // Collects <element> declarations from a complexType body, looking through
 // the optional <sequence>/<all> compositor level.
 Status collect_elements(const xml::Element& node, const std::string& owner,
+                        const DecodeLimits& limits,
                         std::vector<ElementDecl>& out) {
   for (const auto* child : node.child_elements()) {
     std::string_view local = child->local_name();
     if (local == "element") {
-      XMIT_ASSIGN_OR_RETURN(auto decl, parse_element_decl(*child, owner));
+      XMIT_ASSIGN_OR_RETURN(auto decl,
+                            parse_element_decl(*child, owner, limits));
       out.push_back(std::move(decl));
     } else if (local == "sequence" || local == "all") {
-      XMIT_RETURN_IF_ERROR(collect_elements(*child, owner, out));
+      XMIT_RETURN_IF_ERROR(collect_elements(*child, owner, limits, out));
     } else if (local == "annotation" || local == "documentation") {
       continue;  // handled by documentation_of() on the owning node
     } else {
@@ -126,14 +141,16 @@ Status collect_elements(const xml::Element& node, const std::string& owner,
 
 }  // namespace
 
-Result<ComplexType> parse_complex_type(const xml::Element& element) {
+Result<ComplexType> parse_complex_type(const xml::Element& element,
+                                       const DecodeLimits& limits) {
   const std::string* name = element.attribute_local("name");
   if (name == nullptr || name->empty())
     return Status(ErrorCode::kParseError, "complexType without a name");
   ComplexType type;
   type.name = *name;
   type.documentation = documentation_of(element);
-  XMIT_RETURN_IF_ERROR(collect_elements(element, type.name, type.elements));
+  XMIT_RETURN_IF_ERROR(
+      collect_elements(element, type.name, limits, type.elements));
   if (type.elements.empty())
     return Status(ErrorCode::kParseError,
                   "complexType '" + type.name + "' declares no elements");
@@ -165,7 +182,8 @@ Result<EnumType> parse_simple_type(const xml::Element& element) {
   return type;
 }
 
-Result<Schema> parse_schema(const xml::Document& document) {
+Result<Schema> parse_schema(const xml::Document& document,
+                            const DecodeLimits& limits) {
   if (!document.root)
     return Status(ErrorCode::kParseError, "empty schema document");
   Schema schema;
@@ -176,7 +194,7 @@ Result<Schema> parse_schema(const xml::Document& document) {
   }
   for (const auto* node :
        xml::descendants_named(*document.root, "complexType")) {
-    XMIT_ASSIGN_OR_RETURN(auto type, parse_complex_type(*node));
+    XMIT_ASSIGN_OR_RETURN(auto type, parse_complex_type(*node, limits));
     XMIT_RETURN_IF_ERROR(schema.add_type(std::move(type)));
   }
   if (schema.types().empty())
@@ -185,9 +203,13 @@ Result<Schema> parse_schema(const xml::Document& document) {
   return schema;
 }
 
-Result<Schema> parse_schema_text(std::string_view text) {
-  XMIT_ASSIGN_OR_RETURN(auto document, xml::parse_document_strict(text));
-  XMIT_ASSIGN_OR_RETURN(auto schema, parse_schema(document));
+Result<Schema> parse_schema_text(std::string_view text,
+                                 const DecodeLimits& limits) {
+  xml::ParseOptions options;
+  options.limits = limits;
+  XMIT_ASSIGN_OR_RETURN(auto document,
+                        xml::parse_document_strict(text, options));
+  XMIT_ASSIGN_OR_RETURN(auto schema, parse_schema(document, limits));
   XMIT_RETURN_IF_ERROR(schema.validate_references());
   return schema;
 }

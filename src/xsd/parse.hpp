@@ -9,6 +9,7 @@
 #include <string_view>
 
 #include "common/error.hpp"
+#include "common/limits.hpp"
 #include "xml/dom.hpp"
 #include "xsd/types.hpp"
 
@@ -16,13 +17,22 @@ namespace xmit::xsd {
 
 // Parses a schema document: the root may be an <xsd:schema> wrapper or a
 // bare <xsd:complexType>; every complexType in the tree becomes a type.
-Result<Schema> parse_schema(const xml::Document& document);
+// Schemas travel from peers (metadata discovery), so declared array
+// bounds (maxOccurs) are capped by `limits` rather than trusted.
+Result<Schema> parse_schema(const xml::Document& document,
+                            const DecodeLimits& limits =
+                                DecodeLimits::defaults());
 
 // Convenience: XML text -> Schema (parse + extract + validate_references).
-Result<Schema> parse_schema_text(std::string_view text);
+// `limits` bounds both the XML parse and the schema model.
+Result<Schema> parse_schema_text(std::string_view text,
+                                 const DecodeLimits& limits =
+                                     DecodeLimits::defaults());
 
 // Parses a single complexType element into the model (exposed for tools).
-Result<ComplexType> parse_complex_type(const xml::Element& element);
+Result<ComplexType> parse_complex_type(const xml::Element& element,
+                                       const DecodeLimits& limits =
+                                           DecodeLimits::defaults());
 
 // Parses a single simpleType enumeration element.
 Result<EnumType> parse_simple_type(const xml::Element& element);

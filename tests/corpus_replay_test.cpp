@@ -1,0 +1,81 @@
+// Forever-replay of fuzzer findings.
+//
+// Every file in tests/corpus/ is an input that once crashed (or blew an
+// unbounded allocation in) a decoder, minimized by xmit_fuzz and
+// committed when the underlying bug was fixed. The filename prefix up to
+// the first '-' names the driver. Replaying them on every ctest run
+// keeps the fixes from regressing silently; new findings are added by
+// dropping the minimized .bin here — no code change needed.
+#include <gtest/gtest.h>
+
+#include <dirent.h>
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "fuzz/drivers.hpp"
+
+#ifndef XMIT_SOURCE_DIR
+#define XMIT_SOURCE_DIR "."
+#endif
+
+namespace xmit::fuzz {
+namespace {
+
+struct CorpusEntry {
+  std::string file;
+  const Driver* driver;
+  std::vector<std::uint8_t> bytes;
+};
+
+std::vector<CorpusEntry> load_corpus() {
+  std::vector<CorpusEntry> entries;
+  const std::string dir_path = std::string(XMIT_SOURCE_DIR) + "/tests/corpus";
+  DIR* dir = opendir(dir_path.c_str());
+  if (dir == nullptr) return entries;
+  while (dirent* entry = readdir(dir)) {
+    std::string name = entry->d_name;
+    if (name == "." || name == ".." || name == "README.md") continue;
+    auto dash = name.find('-');
+    if (dash == std::string::npos) continue;
+    CorpusEntry item;
+    item.file = name;
+    item.driver = find_driver(name.substr(0, dash));
+    std::ifstream in(dir_path + "/" + name, std::ios::binary);
+    item.bytes.assign((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    entries.push_back(std::move(item));
+  }
+  closedir(dir);
+  return entries;
+}
+
+TEST(CorpusReplay, EveryFindingStaysFixed) {
+  auto entries = load_corpus();
+  ASSERT_FALSE(entries.empty())
+      << "tests/corpus/ is empty — fuzzer findings should live there";
+  for (const auto& entry : entries) {
+    ASSERT_NE(entry.driver, nullptr)
+        << entry.file << " names no known driver (prefix before '-')";
+    // Survival is the property; these inputs are hostile by construction,
+    // so a typed error status is the expected (and correct) outcome.
+    auto status = entry.driver->run(entry.bytes);
+    SUCCEED() << entry.file << ": " << status.to_string();
+  }
+}
+
+TEST(CorpusReplay, HostileInputsAreRejectedWithTypedErrors) {
+  // The corpus entries are minimized *attacks*; none of them should ever
+  // decode successfully, and the failure must be a typed Status — which
+  // run() returning non-ok demonstrates (a crash would kill the binary).
+  for (const auto& entry : load_corpus()) {
+    if (entry.driver == nullptr) continue;
+    auto status = entry.driver->run(entry.bytes);
+    EXPECT_FALSE(status.is_ok())
+        << entry.file << " unexpectedly decoded cleanly";
+  }
+}
+
+}  // namespace
+}  // namespace xmit::fuzz

@@ -151,7 +151,7 @@ TEST_F(WireErrors, HostileHugeCount) {
   store_raw<std::int32_t>(corrupted.data() + count_at, 1 << 28);
   auto status = decode_bytes(corrupted);
   EXPECT_FALSE(status.is_ok());
-  EXPECT_EQ(status.code(), ErrorCode::kOutOfRange);
+  EXPECT_EQ(status.code(), ErrorCode::kMalformedInput);
 }
 
 TEST_F(WireErrors, UnterminatedString) {
@@ -179,6 +179,101 @@ TEST_F(WireErrors, InPlaceHostileSlotIsRejected) {
 TEST_F(WireErrors, InspectReportsSenderFormat) {
   auto info = decoder_.inspect(bytes_).value();
   EXPECT_EQ(info.sender_format->id(), format_->id());
+}
+
+TEST_F(WireErrors, SlotOffsetWrapRejected) {
+  // A slot of ~0 makes offset-1 + payload wrap the 64-bit sum; a naive
+  // `at + payload > var_length` passes and the copy reads wild memory.
+  auto corrupted = bytes_;
+  std::size_t slot = WireHeader::kSize + offsetof(Message, data);
+  store_raw<std::uint64_t>(corrupted.data() + slot, ~0ull);
+  auto status = decode_bytes(corrupted);
+  EXPECT_FALSE(status.is_ok());
+  EXPECT_EQ(status.code(), ErrorCode::kMalformedInput);
+}
+
+TEST_F(WireErrors, ArchContradictionRejected) {
+  // Header flags claim a 4-byte-pointer sender while the format metadata
+  // says 8: slot reads would use the header's stride against the format's
+  // layout. The contradiction must be rejected at inspect time.
+  auto corrupted = bytes_;
+  corrupted[5] &= ~std::uint8_t(0x02);  // clear the 8-byte-pointer flag
+  auto info = decoder_.inspect(corrupted);
+  ASSERT_FALSE(info.is_ok());
+  EXPECT_EQ(info.code(), ErrorCode::kMalformedInput);
+  EXPECT_FALSE(decode_bytes(corrupted).is_ok());
+}
+
+TEST_F(WireErrors, AllocBudgetBoundsDecode) {
+  // The record is valid; the receiver's budget just refuses to pay for
+  // its out-of-line data.
+  DecodeLimits tiny;
+  tiny.max_total_alloc = 4;  // smaller than the 12-byte float array
+  decoder_.set_limits(tiny);
+  auto status = decode_bytes(bytes_);
+  EXPECT_FALSE(status.is_ok());
+  EXPECT_EQ(status.code(), ErrorCode::kResourceExhausted);
+  decoder_.set_limits(DecodeLimits::defaults());
+  EXPECT_TRUE(decode_bytes(bytes_).is_ok());
+}
+
+// Boundary coverage for the overflow-checked arithmetic every length
+// check in the decoders leans on.
+TEST(CheckedArithmetic, AddDetectsWrap) {
+  std::uint64_t out = 0;
+  EXPECT_TRUE(checked_add(UINT64_MAX - 1, 1, &out));
+  EXPECT_EQ(out, UINT64_MAX);
+  out = 7;
+  EXPECT_FALSE(checked_add(UINT64_MAX, 1, &out));
+  EXPECT_EQ(out, 7u);  // untouched on failure
+  EXPECT_TRUE(checked_add(0, 0, &out));
+  EXPECT_EQ(out, 0u);
+}
+
+TEST(CheckedArithmetic, MulDetectsWrap) {
+  std::uint64_t out = 0;
+  EXPECT_TRUE(checked_mul(UINT32_MAX, UINT32_MAX, &out));
+  EXPECT_EQ(out, 0xFFFFFFFE00000001ull);
+  out = 7;
+  EXPECT_FALSE(checked_mul(UINT64_MAX, 2, &out));
+  EXPECT_EQ(out, 7u);
+  EXPECT_TRUE(checked_mul(0, UINT64_MAX, &out));
+  EXPECT_EQ(out, 0u);
+  EXPECT_TRUE(checked_mul(UINT64_MAX, 1, &out));
+  EXPECT_EQ(out, UINT64_MAX);
+}
+
+TEST(CheckedArithmetic, FitsWithinBoundaries) {
+  EXPECT_TRUE(fits_within(0, 10, 10));    // exactly fills the bound
+  EXPECT_FALSE(fits_within(1, 10, 10));   // one past
+  EXPECT_TRUE(fits_within(10, 0, 10));    // empty extent at the end
+  EXPECT_FALSE(fits_within(11, 0, 10));   // offset itself out of range
+  EXPECT_FALSE(fits_within(UINT64_MAX, 2, UINT64_MAX));  // wrapped sum
+  EXPECT_FALSE(fits_within(2, UINT64_MAX, UINT64_MAX));
+}
+
+TEST(FlattenLimits, NestedFixedArraysCannotAmplify) {
+  // Each level multiplies the flattened field count by 16; an honest
+  // Format::make must refuse the chain long before 16^6 leaf fields.
+  ArchInfo arch = ArchInfo::host();
+  auto level = Format::make("B0", {{"x", "integer", 4, 0}}, 4, arch);
+  ASSERT_TRUE(level.is_ok());
+  std::uint32_t struct_size = 4;
+  Status failure = Status::ok();
+  for (int depth = 1; depth <= 6; ++depth) {
+    auto next = Format::make(
+        "B" + std::to_string(depth),
+        {{"a", "B" + std::to_string(depth - 1) + "[16]", struct_size, 0}},
+        struct_size * 16, arch, {level.value()});
+    if (!next.is_ok()) {
+      failure = next.status();
+      break;
+    }
+    level = std::move(next);
+    struct_size *= 16;
+  }
+  EXPECT_FALSE(failure.is_ok()) << "16^6 flat fields was accepted";
+  EXPECT_EQ(failure.code(), ErrorCode::kResourceExhausted);
 }
 
 }  // namespace

@@ -2,9 +2,11 @@
 // in-band exactly once, receivers need no schema, evolution re-announces.
 #include <gtest/gtest.h>
 
+#include <span>
 #include <thread>
 
 #include "common/arena.hpp"
+#include "pbio/format_wire.hpp"
 #include "session/session.hpp"
 
 namespace xmit::session {
@@ -185,6 +187,132 @@ TEST(Session, GarbageFrameIsRejected) {
   auto incoming = receiver.receive(200);
   EXPECT_FALSE(incoming.is_ok());
   EXPECT_EQ(incoming.code(), ErrorCode::kParseError);
+}
+
+TEST(Session, HostileRecordQuarantinesFormatUntilReannounce) {
+  // Drive the receiver over a raw channel so the test controls every
+  // frame, including the re-announcement a real sender would skip.
+  pbio::FormatRegistry a_registry, b_registry;
+  auto [raw_a, raw_b] = net::Channel::pipe().value();
+  MessageSession receiver(std::move(raw_b), b_registry);
+
+  auto format = reading_format(a_registry);
+  auto encoder = pbio::Encoder::make(format).value();
+  std::vector<float> series = {1.0f};
+  char site[] = "x";
+  Reading in{1, 1, series.data(), site};
+  std::vector<std::uint8_t> record = encoder.encode_to_vector(&in).value();
+
+  auto send_frame = [&raw_a](std::uint8_t tag,
+                             std::span<const std::uint8_t> body) {
+    std::vector<std::uint8_t> frame;
+    frame.push_back(tag);
+    frame.insert(frame.end(), body.begin(), body.end());
+    return raw_a.send(frame);
+  };
+  auto announce = pbio::serialize_format(*format);
+
+  ASSERT_TRUE(send_frame(0x01, announce).is_ok());
+  ASSERT_TRUE(send_frame(0x02, record).is_ok());
+  ASSERT_TRUE(receiver.receive(200).is_ok());
+
+  // A record whose header contradicts the announced architecture
+  // (4-byte-pointer flag cleared) — affirmatively hostile, not truncated.
+  auto hostile = record;
+  hostile[5] &= ~std::uint8_t(0x02);
+  ASSERT_TRUE(send_frame(0x02, hostile).is_ok());
+  auto hostile_read = receiver.receive(200);
+  ASSERT_FALSE(hostile_read.is_ok());
+  EXPECT_EQ(hostile_read.code(), ErrorCode::kMalformedInput);
+  EXPECT_TRUE(receiver.is_quarantined(format->id()));
+
+  // An intact record under the quarantined id is refused fail-fast.
+  ASSERT_TRUE(send_frame(0x02, record).is_ok());
+  auto refused = receiver.receive(200);
+  ASSERT_FALSE(refused.is_ok());
+  EXPECT_NE(refused.status().message().find("quarantined"), std::string::npos)
+      << refused.status().message();
+
+  // A fresh, well-formed announcement vouches for the format again.
+  ASSERT_TRUE(send_frame(0x01, announce).is_ok());
+  ASSERT_TRUE(send_frame(0x02, record).is_ok());
+  auto healed = receiver.receive(200);
+  ASSERT_TRUE(healed.is_ok()) << healed.status().to_string();
+  EXPECT_FALSE(receiver.is_quarantined(format->id()));
+}
+
+TEST(Session, TruncatedRecordDoesNotQuarantine) {
+  pbio::FormatRegistry a_registry, b_registry;
+  auto pair = make_session_pipe(a_registry, b_registry).value();
+
+  auto format = reading_format(a_registry);
+  auto encoder = pbio::Encoder::make(format).value();
+  std::vector<float> series = {1.0f};
+  char site[] = "x";
+  Reading in{1, 1, series.data(), site};
+  std::vector<std::uint8_t> record = encoder.encode_to_vector(&in).value();
+
+  ASSERT_TRUE(pair.a.send(encoder, &in).is_ok());
+  ASSERT_TRUE(pair.b.receive().is_ok());
+
+  // A peer dying mid-write is not an attack: the short record errors but
+  // the format stays trusted and the next intact record decodes.
+  std::vector<std::uint8_t> truncated(record.begin(),
+                                      record.begin() + record.size() / 2);
+  ASSERT_TRUE(pair.a.send_encoded(*format, truncated).is_ok());
+  auto failed = pair.b.receive(200);
+  ASSERT_FALSE(failed.is_ok());
+  EXPECT_FALSE(pair.b.is_quarantined(format->id()));
+
+  ASSERT_TRUE(pair.a.send_encoded(*format, record).is_ok());
+  EXPECT_TRUE(pair.b.receive(200).is_ok());
+}
+
+TEST(Session, MalformedFrameFloodPoisonsSession) {
+  pbio::FormatRegistry a_registry, b_registry;
+  auto [raw_a, raw_b] = net::Channel::pipe().value();
+  MessageSession receiver(std::move(raw_b), b_registry);
+  DecodeLimits limits;
+  limits.max_malformed_frames = 3;
+  receiver.set_limits(limits);
+
+  std::vector<std::uint8_t> junk = {0x02, 0xFF};  // record tag, garbage body
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(raw_a.send(junk).is_ok());
+
+  for (int i = 0; i < 3; ++i) {
+    auto failed = receiver.receive(200);
+    ASSERT_FALSE(failed.is_ok());
+    EXPECT_FALSE(receiver.poisoned());
+  }
+  auto over_budget = receiver.receive(200);
+  ASSERT_FALSE(over_budget.is_ok());
+  EXPECT_EQ(over_budget.code(), ErrorCode::kResourceExhausted);
+  EXPECT_TRUE(receiver.poisoned());
+
+  // Once poisoned, even a well-formed frame is refused fail-fast.
+  auto format = reading_format(a_registry);
+  ByteBuffer frame;
+  frame.append_byte(0x01);
+  pbio::serialize_format(*format, frame);
+  ASSERT_TRUE(raw_a.send(frame.span()).is_ok());
+  auto refused = receiver.receive(200);
+  ASSERT_FALSE(refused.is_ok());
+  EXPECT_EQ(refused.code(), ErrorCode::kResourceExhausted);
+}
+
+TEST(Session, OversizedFrameIsRejected) {
+  pbio::FormatRegistry a_registry, b_registry;
+  auto [raw_a, raw_b] = net::Channel::pipe().value();
+  MessageSession receiver(std::move(raw_b), b_registry);
+  DecodeLimits limits;
+  limits.max_message_bytes = 64;
+  receiver.set_limits(limits);
+
+  std::vector<std::uint8_t> big(65, 0x02);
+  ASSERT_TRUE(raw_a.send(big).is_ok());
+  auto failed = receiver.receive(200);
+  ASSERT_FALSE(failed.is_ok());
+  EXPECT_EQ(failed.code(), ErrorCode::kResourceExhausted);
 }
 
 TEST(Session, BidirectionalTraffic) {

@@ -141,6 +141,65 @@ TEST(XmlParser, MalformedInputs) {
   expect_parse_error("<1bad/>");
 }
 
+TEST(XmlParser, CharacterReferenceOverflowRejected) {
+  // 0x100000041 wraps a u32 to 'A'; accepting it made two distinct
+  // documents collide. Out-of-range references must be parse errors.
+  expect_parse_error("<a>&#x100000041;</a>");
+  expect_parse_error("<a>&#4294967361;</a>");
+  expect_parse_error("<a>&#x110000;</a>");  // beyond U+10FFFF
+  auto doc = parse_ok("<a>&#x41;</a>");
+  EXPECT_EQ(doc.root->text(), "A");
+}
+
+TEST(XmlParser, EntityExpansionBudget) {
+  ParseOptions options;
+  options.limits.max_entity_expansions = 4;
+  EXPECT_TRUE(parse_document("<a>&amp;&lt;&gt;&quot;</a>", options).is_ok());
+  auto result = parse_document("<a>&amp;&lt;&gt;&quot;&apos;</a>", options);
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_EQ(result.code(), ErrorCode::kResourceExhausted);
+}
+
+TEST(XmlParser, ElementCountBudget) {
+  ParseOptions options;
+  options.limits.max_elements = 3;
+  EXPECT_TRUE(parse_document("<a><b/><c/></a>", options).is_ok());
+  auto result = parse_document("<a><b/><c/><d/></a>", options);
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_EQ(result.code(), ErrorCode::kResourceExhausted);
+}
+
+TEST(XmlParser, AttributeCountBudget) {
+  ParseOptions options;
+  options.limits.max_attributes = 2;
+  EXPECT_TRUE(parse_document("<a x=\"1\" y=\"2\"/>", options).is_ok());
+  auto result = parse_document("<a x=\"1\" y=\"2\" z=\"3\"/>", options);
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_EQ(result.code(), ErrorCode::kResourceExhausted);
+}
+
+TEST(XmlParser, StringBytesBudget) {
+  ParseOptions options;
+  options.limits.max_string_bytes = 8;
+  EXPECT_TRUE(parse_document("<a>12345678</a>", options).is_ok());
+  auto result = parse_document("<a>123456789</a>", options);
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_EQ(result.code(), ErrorCode::kResourceExhausted);
+}
+
+TEST(XmlParser, DepthBudgetFromLimits) {
+  // The root element sits at depth 0, so max_depth = 4 admits five
+  // levels of nesting and rejects the sixth.
+  ParseOptions options;
+  options.limits.max_depth = 4;
+  EXPECT_TRUE(
+      parse_document("<a><b><c><d><e/></d></c></b></a>", options).is_ok());
+  auto result =
+      parse_document("<a><b><c><d><e><f/></e></d></c></b></a>", options);
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_EQ(result.code(), ErrorCode::kResourceExhausted);
+}
+
 TEST(XmlParser, ErrorMessagesCarryPosition) {
   auto result = parse_document("<a>\n<b>\n</a>");
   ASSERT_FALSE(result.is_ok());

@@ -1,0 +1,40 @@
+#!/bin/sh
+# run_fuzz.sh: drive the deterministic mutation fuzzer against every
+# decode surface, seeded from the committed regression corpus.
+#
+# Usage:
+#   tools/run_fuzz.sh [BUILD_DIR] [ITERS] [SEED]
+#
+# Defaults: BUILD_DIR=build, ITERS=20000, SEED=current epoch seconds (so
+# successive runs explore different mutation streams; pass an explicit
+# SEED to reproduce a finding — a crash is fully determined by the
+# (driver, seed, iteration) triple).
+#
+# Crashing inputs are minimized automatically and written to
+# BUILD_DIR/fuzz-findings/; commit them to tests/corpus/ once the bug is
+# fixed so the replay test guards the fix forever.
+set -eu
+
+BUILD_DIR="${1:-build}"
+ITERS="${2:-20000}"
+SEED="${3:-$(date +%s)}"
+
+REPO_DIR="$(cd "$(dirname "$0")/.." && pwd)"
+FUZZER="$BUILD_DIR/fuzz/xmit_fuzz"
+
+if [ ! -x "$FUZZER" ]; then
+  echo "error: $FUZZER not built (run: cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j)" >&2
+  exit 2
+fi
+
+FINDINGS="$BUILD_DIR/fuzz-findings"
+mkdir -p "$FINDINGS"
+
+echo "== xmit_fuzz: all drivers, $ITERS iterations each, seed $SEED"
+echo "== findings (if any) -> $FINDINGS"
+if ! "$FUZZER" --driver all --iters "$ITERS" --seed "$SEED" \
+    --corpus "$REPO_DIR/tests/corpus" --crash-dir "$FINDINGS"; then
+  echo "== crashes found; minimized inputs are in $FINDINGS" >&2
+  echo "== reproduce one with: $FUZZER --driver NAME --replay FILE" >&2
+  exit 1
+fi

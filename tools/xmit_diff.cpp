@@ -5,10 +5,16 @@
 // the authoritative verdict: will records of the old format still decode
 // under the new one (PBIO restricted evolution)?
 //
-// Usage: xmit_diff <old-schema> <new-schema> [type-name]
+// Usage: xmit_diff [--max-depth N] [--max-bytes N] [--max-alloc N] \
+//            <old-schema> <new-schema> [type-name]
 // Exit status: 0 all compared types convertible, 1 otherwise.
+// --max-depth/--max-bytes/--max-alloc bound what parsing the (possibly
+// remote, untrusted) schema documents may consume.
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
+#include <vector>
 
 #include "net/fetch.hpp"
 #include "pbio/diff.hpp"
@@ -24,19 +30,61 @@ Result<std::string> read_source(const std::string& source) {
   return net::read_file(source);
 }
 
+bool parse_positive(const char* text, long long* out) {
+  char* end = nullptr;
+  long long value = std::strtoll(text, &end, 10);
+  if (end == text || *end != '\0' || value <= 0) return false;
+  *out = value;
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 3) {
-    std::fprintf(stderr, "usage: xmit_diff <old-schema> <new-schema> [type]\n");
+  DecodeLimits limits = DecodeLimits::defaults();
+  std::vector<const char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    long long bound = 0;
+    if (std::strcmp(argv[i], "--max-depth") == 0 && i + 1 < argc) {
+      if (!parse_positive(argv[++i], &bound) || bound > 1000000) {
+        std::fprintf(stderr, "--max-depth wants a positive count, got '%s'\n",
+                     argv[i]);
+        return 2;
+      }
+      limits.max_depth = static_cast<int>(bound);
+    } else if (std::strcmp(argv[i], "--max-bytes") == 0 && i + 1 < argc) {
+      if (!parse_positive(argv[++i], &bound)) {
+        std::fprintf(stderr, "--max-bytes wants a positive byte count, got '%s'\n",
+                     argv[i]);
+        return 2;
+      }
+      limits.max_string_bytes = static_cast<std::size_t>(bound);
+      limits.max_message_bytes = static_cast<std::size_t>(bound);
+    } else if (std::strcmp(argv[i], "--max-alloc") == 0 && i + 1 < argc) {
+      if (!parse_positive(argv[++i], &bound)) {
+        std::fprintf(stderr, "--max-alloc wants a positive byte count, got '%s'\n",
+                     argv[i]);
+        return 2;
+      }
+      limits.max_total_alloc = static_cast<std::uint64_t>(bound);
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  if (positional.size() < 2) {
+    std::fprintf(stderr,
+                 "usage: xmit_diff [--max-depth N] [--max-bytes N] "
+                 "[--max-alloc N] <old-schema> <new-schema> [type]\n");
     return 2;
   }
 
   pbio::FormatRegistry old_registry, new_registry;
   toolkit::Xmit old_xmit(old_registry), new_xmit(new_registry);
+  old_xmit.set_limits(limits);
+  new_xmit.set_limits(limits);
   for (auto& [path, xmit_ptr] :
-       {std::pair<const char*, toolkit::Xmit*>{argv[1], &old_xmit},
-        std::pair<const char*, toolkit::Xmit*>{argv[2], &new_xmit}}) {
+       {std::pair<const char*, toolkit::Xmit*>{positional[0], &old_xmit},
+        std::pair<const char*, toolkit::Xmit*>{positional[1], &new_xmit}}) {
     auto text = read_source(path);
     if (!text.is_ok()) {
       std::fprintf(stderr, "%s: %s\n", path, text.status().to_string().c_str());
@@ -49,10 +97,11 @@ int main(int argc, char** argv) {
     }
   }
 
+  const char* type_filter = positional.size() >= 3 ? positional[2] : nullptr;
   bool all_convertible = true;
   int compared = 0;
   for (const auto& name : new_xmit.loaded_types()) {
-    if (argc >= 4 && name != argv[3]) continue;
+    if (type_filter != nullptr && name != type_filter) continue;
     auto new_token = new_xmit.bind(name);
     if (!new_token.is_ok()) continue;
     auto old_token = old_xmit.bind(name);
@@ -71,7 +120,7 @@ int main(int argc, char** argv) {
     ++compared;
   }
   for (const auto& name : old_xmit.loaded_types()) {
-    if (argc >= 4 && name != argv[3]) continue;
+    if (type_filter != nullptr && name != type_filter) continue;
     if (!new_xmit.bind(name).is_ok())
       std::printf("%s: REMOVED TYPE (receivers binding it will fail)\n\n",
                   name.c_str());

@@ -7,9 +7,12 @@
 //
 // Usage:
 //   xmit_inspect [--xml] [--formats-only] [--retries N] [--timeout-ms N] \
+//       [--max-depth N] [--max-bytes N] [--max-alloc N] \
 //       <file.pbio | http://...>
 // http:// sources are fetched (with retry/backoff per the flags) into a
 // temporary file first, so a flaky archive server doesn't fail the dump.
+// --max-depth/--max-bytes/--max-alloc bound what decoding the (untrusted)
+// file contents may consume; defaults are DecodeLimits::defaults().
 #include <unistd.h>
 
 #include <cstdio>
@@ -101,6 +104,14 @@ bool parse_nonnegative(const char* text, int* out) {
   return true;
 }
 
+bool parse_positive(const char* text, long long* out) {
+  char* end = nullptr;
+  long long value = std::strtoll(text, &end, 10);
+  if (end == text || *end != '\0' || value <= 0) return false;
+  *out = value;
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -108,13 +119,39 @@ int main(int argc, char** argv) {
   bool formats_only = false;
   net::FetchOptions fetch_options;
   fetch_options.retry = net::RetryPolicy::none();
+  DecodeLimits limits = DecodeLimits::defaults();
   const char* path = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--xml") == 0)
       as_xml = true;
     else if (std::strcmp(argv[i], "--formats-only") == 0)
       formats_only = true;
-    else if (std::strcmp(argv[i], "--retries") == 0 && i + 1 < argc) {
+    else if (std::strcmp(argv[i], "--max-depth") == 0 && i + 1 < argc) {
+      long long bound = 0;
+      if (!parse_positive(argv[++i], &bound) || bound > 1000000) {
+        std::fprintf(stderr, "--max-depth wants a positive count, got '%s'\n",
+                     argv[i]);
+        return 2;
+      }
+      limits.max_depth = static_cast<int>(bound);
+    } else if (std::strcmp(argv[i], "--max-bytes") == 0 && i + 1 < argc) {
+      long long bound = 0;
+      if (!parse_positive(argv[++i], &bound)) {
+        std::fprintf(stderr, "--max-bytes wants a positive byte count, got '%s'\n",
+                     argv[i]);
+        return 2;
+      }
+      limits.max_string_bytes = static_cast<std::size_t>(bound);
+      limits.max_message_bytes = static_cast<std::size_t>(bound);
+    } else if (std::strcmp(argv[i], "--max-alloc") == 0 && i + 1 < argc) {
+      long long bound = 0;
+      if (!parse_positive(argv[++i], &bound)) {
+        std::fprintf(stderr, "--max-alloc wants a positive byte count, got '%s'\n",
+                     argv[i]);
+        return 2;
+      }
+      limits.max_total_alloc = static_cast<std::uint64_t>(bound);
+    } else if (std::strcmp(argv[i], "--retries") == 0 && i + 1 < argc) {
       int value = 0;
       if (!parse_nonnegative(argv[++i], &value)) {
         std::fprintf(stderr, "--retries wants a non-negative count, got '%s'\n",
@@ -137,7 +174,8 @@ int main(int argc, char** argv) {
   if (path == nullptr) {
     std::fprintf(stderr,
                  "usage: xmit_inspect [--xml] [--formats-only] [--retries N] "
-                 "[--timeout-ms N] <file.pbio | http://...>\n");
+                 "[--timeout-ms N] [--max-depth N] [--max-bytes N] "
+                 "[--max-alloc N] <file.pbio | http://...>\n");
     return 2;
   }
 
@@ -162,8 +200,10 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s: %s\n", path, source.status().to_string().c_str());
     return 1;
   }
+  source.value().set_limits(limits);
 
   pbio::Decoder decoder(registry);
+  decoder.set_limits(limits);
   std::size_t printed_formats = 0;
   Arena arena;
   int index = 0;
@@ -200,8 +240,13 @@ int main(int argc, char** argv) {
       arena.reset();
       auto status = decoder.decode(*record.value(), *format, scratch.data(),
                                    arena);
+      if (!status.is_ok()) {
+        std::fprintf(stderr, "record %d: %s\n", index,
+                     status.to_string().c_str());
+        return 1;
+      }
       auto codec = baseline::XmlWireCodec::make(format);
-      if (status.is_ok() && codec.is_ok()) {
+      if (codec.is_ok()) {
         auto text = codec.value().encode(scratch.data());
         if (text.is_ok()) std::printf("%s\n", text.value().c_str());
       }

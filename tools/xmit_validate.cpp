@@ -10,6 +10,9 @@
 // Without: reports every type the instance matches.
 // --retries/--timeout-ms make remote schema fetches resilient: transient
 // failures (timeouts, 5xx, truncated responses) retry with backoff.
+// --max-depth/--max-bytes/--max-alloc bound what parsing an untrusted
+// document may consume (nesting levels, bytes per string/message, total
+// decode allocation) — defaults are DecodeLimits::defaults().
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -38,15 +41,47 @@ bool parse_nonnegative(const char* text, int* out) {
   return true;
 }
 
+bool parse_positive(const char* text, long long* out) {
+  char* end = nullptr;
+  long long value = std::strtoll(text, &end, 10);
+  if (end == text || *end != '\0' || value <= 0) return false;
+  *out = value;
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   xmit::net::FetchOptions fetch_options;
   fetch_options.retry = xmit::net::RetryPolicy::none();
+  xmit::DecodeLimits limits = xmit::DecodeLimits::defaults();
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
     int value = 0;
-    if (std::strcmp(argv[i], "--retries") == 0 && i + 1 < argc) {
+    long long bound = 0;
+    if (std::strcmp(argv[i], "--max-depth") == 0 && i + 1 < argc) {
+      if (!parse_positive(argv[++i], &bound) || bound > 1000000) {
+        std::fprintf(stderr, "--max-depth wants a positive count, got '%s'\n",
+                     argv[i]);
+        return 2;
+      }
+      limits.max_depth = static_cast<int>(bound);
+    } else if (std::strcmp(argv[i], "--max-bytes") == 0 && i + 1 < argc) {
+      if (!parse_positive(argv[++i], &bound)) {
+        std::fprintf(stderr, "--max-bytes wants a positive byte count, got '%s'\n",
+                     argv[i]);
+        return 2;
+      }
+      limits.max_string_bytes = static_cast<std::size_t>(bound);
+      limits.max_message_bytes = static_cast<std::size_t>(bound);
+    } else if (std::strcmp(argv[i], "--max-alloc") == 0 && i + 1 < argc) {
+      if (!parse_positive(argv[++i], &bound)) {
+        std::fprintf(stderr, "--max-alloc wants a positive byte count, got '%s'\n",
+                     argv[i]);
+        return 2;
+      }
+      limits.max_total_alloc = static_cast<std::uint64_t>(bound);
+    } else if (std::strcmp(argv[i], "--retries") == 0 && i + 1 < argc) {
       if (!parse_nonnegative(argv[++i], &value)) {
         std::fprintf(stderr, "--retries wants a non-negative count, got '%s'\n",
                      argv[i]);
@@ -68,6 +103,7 @@ int main(int argc, char** argv) {
   if (positional.size() < 2) {
     std::fprintf(stderr,
                  "usage: xmit_validate [--retries N] [--timeout-ms N] "
+                 "[--max-depth N] [--max-bytes N] [--max-alloc N] "
                  "<schema-url-or-path> <instance-path> [type-name]\n");
     return 2;
   }
@@ -78,7 +114,7 @@ int main(int argc, char** argv) {
                  schema_text.status().to_string().c_str());
     return 1;
   }
-  auto schema = xmit::xsd::parse_schema_text(schema_text.value());
+  auto schema = xmit::xsd::parse_schema_text(schema_text.value(), limits);
   if (!schema.is_ok()) {
     std::fprintf(stderr, "schema: %s\n", schema.status().to_string().c_str());
     return 1;
@@ -90,7 +126,10 @@ int main(int argc, char** argv) {
                  instance_text.status().to_string().c_str());
     return 1;
   }
-  auto instance = xmit::xml::parse_document_strict(instance_text.value());
+  xmit::xml::ParseOptions instance_options;
+  instance_options.limits = limits;
+  auto instance = xmit::xml::parse_document_strict(instance_text.value(),
+                                                   instance_options);
   if (!instance.is_ok()) {
     std::fprintf(stderr, "instance: %s\n",
                  instance.status().to_string().c_str());
