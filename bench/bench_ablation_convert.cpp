@@ -1,0 +1,154 @@
+// Ablation A7 (DESIGN.md §5d): compiled marshal plans vs the reference
+// field interpreter on the conversion path.
+//
+// The record is Figure 7's hydrology SimpleData (timestep, size, float
+// payload), sent by a foreign big-endian peer so every float must be
+// byte-reversed — the expensive rung of "receiver makes right". Both
+// decoders run the same Plan; `decode` executes the flat op program
+// (typed swap kernels over coalesced spans), `decode_reference` walks
+// the field list making per-element ScalarValue conversions. Outputs
+// must match bit-for-bit at every size; the acceptance bar for the plan
+// compiler is >=3x at the large sizes where conversion dominates.
+#include <cstring>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/arena.hpp"
+#include "hydrology/messages.hpp"
+#include "pbio/decode.hpp"
+#include "pbio/dynrecord.hpp"
+#include "pbio/registry.hpp"
+#include "xmit/layout.hpp"
+#include "xsd/parse.hpp"
+
+namespace {
+
+using namespace xmit;
+using bench::check;
+using bench::expect;
+
+using hydrology::SimpleData;
+
+// Register SimpleData as laid out by `arch`, from the application schema
+// (the same metadata path a live component uses).
+pbio::FormatPtr register_simple_data(pbio::FormatRegistry& registry,
+                                     const pbio::ArchInfo& arch) {
+  auto schema = expect(xsd::parse_schema_text(hydrology::hydrology_schema_xml()),
+                       "hydrology schema");
+  auto layouts = expect(toolkit::layout_schema(schema, arch), "layout");
+  for (const auto& layout : layouts) {
+    if (layout.name != "SimpleData") continue;
+    auto format = expect(pbio::Format::make(layout.name, layout.fields,
+                                            layout.struct_size, arch),
+                         "format");
+    return expect(registry.adopt(format), "adopt");
+  }
+  std::fprintf(stderr, "FATAL: SimpleData not in hydrology schema\n");
+  std::abort();
+}
+
+std::vector<std::uint8_t> forge_record(const pbio::FormatPtr& format, int n) {
+  pbio::RecordBuilder builder(format);
+  check(builder.set_int("timestep", 117), "set timestep");
+  std::vector<double> data(n);
+  for (int i = 0; i < n; ++i) data[i] = 0.125 * i - 3.0;
+  check(builder.set_float_array("data", data), "set data");
+  return expect(builder.build(), "build");
+}
+
+bool outputs_identical(const SimpleData& a, const SimpleData& b) {
+  if (a.timestep != b.timestep || a.size != b.size) return false;
+  return std::memcmp(a.data, b.data, sizeof(float) * a.size) == 0;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Ablation A7 — compiled marshal plan vs reference interpreter",
+      "cross-endian SimpleData decode (ms) by payload element count;\n"
+      "outputs verified bit-identical, acceptance: >=3x at large sizes");
+
+  pbio::FormatRegistry registry;
+  auto receiver = register_simple_data(registry, pbio::ArchInfo::host());
+  auto sender = register_simple_data(registry, pbio::ArchInfo::big_endian_64());
+  pbio::Decoder decoder(registry);
+
+  // Show what the compiler produced for this pairing.
+  {
+    auto sample = forge_record(sender, 4);
+    Arena arena;
+    SimpleData out{};
+    check(decoder.decode(sample, *receiver, &out, arena), "warm plan");
+    std::printf("\nplan for big-endian SimpleData -> host:\n%s\n",
+                expect(decoder.plan_disassembly(sender, *receiver),
+                       "disassembly")
+                    .c_str());
+  }
+
+  bench::Reporter reporter("ablation_convert");
+  std::printf("%-12s %14s %14s %10s %12s %10s\n", "elements", "compiled (ms)",
+              "reference (ms)", "speedup", "MB/s (comp)", "outputs");
+
+  std::vector<int> sizes = {100, 1000, 10000, 100000, 1000000};
+  if (bench::smoke()) sizes = {100, 1000};
+
+  bool all_identical = true;
+  double large_speedup = 0;
+  for (int n : sizes) {
+    auto record = forge_record(sender, n);
+    Arena arena;
+    SimpleData compiled_out{};
+    SimpleData reference_out{};
+
+    // Differential proof first: the same bytes through both executors.
+    check(decoder.decode(record, *receiver, &compiled_out, arena), "compiled");
+    check(decoder.decode_reference(record, *receiver, &reference_out, arena),
+          "reference");
+    bool identical = outputs_identical(compiled_out, reference_out);
+    all_identical = all_identical && identical;
+
+    int iters = n >= 100000 ? 16 : 128;
+    double compiled_ms = bench::encode_ms(
+        [&] {
+          arena.reset();
+          check(decoder.decode(record, *receiver, &compiled_out, arena), "d");
+        },
+        iters);
+    double reference_ms = bench::encode_ms(
+        [&] {
+          arena.reset();
+          check(decoder.decode_reference(record, *receiver, &reference_out,
+                                         arena),
+                "r");
+        },
+        iters);
+
+    double payload_mb = sizeof(float) * n / 1e6;
+    double speedup = reference_ms / compiled_ms;
+    if (n >= 100000) large_speedup = std::max(large_speedup, speedup);
+    char label[24];
+    std::snprintf(label, sizeof(label), "%d", n);
+    std::printf("%-12s %14.6f %14.6f %9.2fx %12.1f %10s\n", label, compiled_ms,
+                reference_ms, speedup, payload_mb / (compiled_ms / 1000.0),
+                identical ? "identical" : "DIFFER!");
+    reporter.add("compiled", label, compiled_ms);
+    reporter.add("reference", label, reference_ms);
+    reporter.add("speedup", label, speedup, "x");
+  }
+
+  if (!all_identical) {
+    std::fprintf(stderr, "FATAL: compiled and reference outputs diverged\n");
+    return 1;
+  }
+  if (!bench::smoke() && large_speedup < 3.0) {
+    std::printf("\nWARNING: large-payload speedup %.2fx below the 3x bar\n",
+                large_speedup);
+  }
+  std::printf(
+      "\ninterpretation: the interpreter pays a Result-carrying virtual\n"
+      "dance per element; the compiled plan runs one typed bswap32 kernel\n"
+      "over the whole coalesced payload span. Same plan, same bytes out —\n"
+      "the speedup is pure execution-strategy, not semantics.\n");
+  return 0;
+}

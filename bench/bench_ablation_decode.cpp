@@ -79,6 +79,7 @@ int main() {
 
   pbio::Decoder decoder(registry);
 
+  bench::Reporter reporter("ablation_decode");
   std::printf("\n%-10s %12s %12s %12s %12s\n", "payload", "in-place",
               "identity", "byte-swap", "relayout");
 
@@ -118,6 +119,10 @@ int main() {
     std::snprintf(label, sizeof(label), "%d floats", n);
     std::printf("%-10s %12.6f %12.6f %12.6f %12.6f\n", label, in_place_ms,
                 identity_ms, swap_ms, relayout_ms);
+    reporter.add("in-place", label, in_place_ms);
+    reporter.add("identity", label, identity_ms);
+    reporter.add("byte-swap", label, swap_ms);
+    reporter.add("relayout", label, relayout_ms);
   }
 
   std::printf(

@@ -40,7 +40,7 @@ struct PhaseTotals {
   }
   double total() const { return fetch + parse + translate + register_; }
 
-  void print(const char* label) const {
+  void print(bench::Reporter& reporter, const char* label) const {
     double scale = 1.0 / runs;
     double sum = total() * scale;
     std::printf("%-22s %9.4f %9.4f %9.4f %9.4f %9.4f\n", label, fetch * scale,
@@ -48,6 +48,11 @@ struct PhaseTotals {
     std::printf("%-22s %8.1f%% %8.1f%% %8.1f%% %8.1f%%\n", "", 100 * fetch / total(),
                 100 * parse / total(), 100 * translate / total(),
                 100 * register_ / total());
+    reporter.add(label, "fetch", fetch * scale);
+    reporter.add(label, "parse", parse * scale);
+    reporter.add(label, "translate", translate * scale);
+    reporter.add(label, "register", register_ * scale);
+    reporter.add(label, "total", sum);
   }
 };
 
@@ -73,13 +78,14 @@ int main() {
   server->put_document("/small.xsd", kSmallSchema);
   server->put_document("/hydrology.xsd", hydrology::hydrology_schema_xml());
 
-  constexpr int kRuns = 200;
+  bench::Reporter reporter("ablation_registration");
+  const int kRuns = bench::smoke() ? 3 : 200;
   std::printf("\n%-22s %9s %9s %9s %9s %9s\n", "document", "fetch", "parse",
               "translate", "register", "total");
   auto small = run_loads(server->url_for("/small.xsd"), kRuns);
-  small.print("small (1 type)");
+  small.print(reporter, "small (1 type)");
   auto full = run_loads(server->url_for("/hydrology.xsd"), kRuns);
-  full.print("hydrology (8 types)");
+  full.print(reporter, "hydrology (8 types)");
 
   // RDM with and without fetch, against compiled-in registration of the
   // same single format.
@@ -103,6 +109,9 @@ int main() {
               processing_ms, processing_ms / pbio_ms);
   std::printf("  XMIT including HTTP fetch     : %9.4f ms  (RDM %.2f)\n",
               with_fetch_ms, with_fetch_ms / pbio_ms);
+  reporter.add("rdm", "pbio compiled-in", pbio_ms);
+  reporter.add("rdm", "xmit processing", processing_ms);
+  reporter.add("rdm", "xmit with fetch", with_fetch_ms);
   std::printf(
       "\ninterpretation: the paper amortizes this one-time cost over the\n"
       "message stream; per-message marshal cost is unchanged (Figure 7).\n");

@@ -151,6 +151,10 @@ int main() {
   std::printf("%-24s %12.4f %10.1fx\n", "PBIO over TCP channel", tcp_ms,
               tcp_ms / pipe_ms);
   std::printf("%-24s %12.4f %10.1fx\n", "PBIO over socketpair", pipe_ms, 1.0);
+  bench::Reporter reporter("ablation_rpc");
+  reporter.add("exchange", "xml-rpc over http", rpc_ms);
+  reporter.add("exchange", "pbio over tcp", tcp_ms);
+  reporter.add("exchange", "pbio over socketpair", pipe_ms);
   std::printf(
       "\ninterpretation: per-call connection setup + XML envelopes cost\n"
       "several times a persistent binary channel even on loopback; on a\n"

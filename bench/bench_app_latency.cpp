@@ -38,6 +38,7 @@ int main() {
       "§4 application experiment — Hydrology pipeline, binary vs XML wire",
       "full pipeline wall time (ms, best of 5), identical physics per arm");
 
+  bench::Reporter reporter("app_latency");
   std::printf("\n%-18s %8s %14s %14s %8s\n", "grid", "frames",
               "XMIT/PBIO (ms)", "XML text (ms)", "ratio");
 
@@ -45,21 +46,25 @@ int main() {
     int nx, ny, timesteps;
   } cases[] = {{16, 12, 6}, {32, 24, 6}, {64, 48, 6}};
 
+  const int repeats = bench::smoke() ? 1 : 5;
   for (const auto& c : cases) {
     hydrology::PipelineConfig config;
     config.nx = c.nx;
     config.ny = c.ny;
-    config.timesteps = c.timesteps;
+    config.timesteps = bench::smoke() ? 2 : c.timesteps;
     config.sink_count = 2;
     config.wire_mode = hydrology::WireMode::kBinary;
-    double binary_ms = best_of(config, 5);
+    double binary_ms = best_of(config, repeats);
     config.wire_mode = hydrology::WireMode::kXmlText;
-    double text_ms = best_of(config, 5);
+    double text_ms = best_of(config, repeats);
 
     char label[32];
     std::snprintf(label, sizeof(label), "%dx%d", c.nx, c.ny);
-    std::printf("%-18s %8d %14.2f %14.2f %8.2f\n", label, c.timesteps,
+    std::printf("%-18s %8d %14.2f %14.2f %8.2f\n", label, config.timesteps,
                 binary_ms, text_ms, text_ms / binary_ms);
+    reporter.add("binary", label, binary_ms);
+    reporter.add("xml-text", label, text_ms);
+    reporter.add("ratio", label, text_ms / binary_ms, "x");
   }
 
   std::printf(

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -14,6 +15,17 @@
 #include "common/error.hpp"
 
 namespace xmit::bench {
+
+// Smoke tier: XMIT_BENCH_SMOKE=1 shrinks every timing loop to a handful of
+// iterations so the whole harness doubles as a ctest (`ctest -L bench`)
+// that proves the benches still run, not that the numbers are stable.
+inline bool smoke() {
+  static const bool value = [] {
+    const char* env = std::getenv("XMIT_BENCH_SMOKE");
+    return env != nullptr && env[0] != '\0' && env[0] != '0';
+  }();
+  return value;
+}
 
 // Abort the bench with a diagnostic on any setup failure — benches have no
 // error channel worth threading.
@@ -47,6 +59,10 @@ inline void print_note(const char* note) { std::printf("note: %s\n", note); }
 // Registration includes allocation; we time the full user-visible call.
 template <typename Fn>
 double registration_ms(Fn&& fn) {
+  if (smoke()) {
+    fn();
+    return time_call_ms_best(fn, /*iters=*/2, /*repeats=*/1);
+  }
   // Warm up allocators and caches.
   for (int i = 0; i < 16; ++i) fn();
   return time_call_ms_best(fn, /*iters=*/64, /*repeats=*/16);
@@ -55,8 +71,96 @@ double registration_ms(Fn&& fn) {
 // Encode timing: tight loop over a hot marshal path.
 template <typename Fn>
 double encode_ms(Fn&& fn, int iters = 256) {
+  if (smoke()) {
+    fn();
+    return time_call_ms_best(fn, /*iters=*/2, /*repeats=*/1);
+  }
   for (int i = 0; i < 16; ++i) fn();
   return time_call_ms_best(fn, iters, /*repeats=*/12);
 }
+
+// Machine-readable results: every harness routes the numbers it prints
+// through a Reporter, which writes BENCH_<name>.json on destruction.
+// tools/bench_compare.py diffs two such files (or directories of them).
+// Schema: {"bench": ..., "smoke": bool, "results":
+//          [{"series": ..., "point": ..., "value": ..., "unit": ...}]}
+// (series, point) is the stable row key; `value` is the measurement.
+class Reporter {
+ public:
+  explicit Reporter(std::string bench_name) : name_(std::move(bench_name)) {}
+
+  Reporter(const Reporter&) = delete;
+  Reporter& operator=(const Reporter&) = delete;
+
+  void add(const std::string& series, const std::string& point, double value,
+           const std::string& unit = "ms") {
+    rows_.push_back({series, point, unit, value});
+  }
+
+  ~Reporter() { write(); }
+
+ private:
+  struct Row {
+    std::string series;
+    std::string point;
+    std::string unit;
+    double value;
+  };
+
+  static void append_escaped(std::string& out, const std::string& text) {
+    for (char c : text) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default: out += c;
+      }
+    }
+  }
+
+  void write() const {
+    std::string json = "{\n  \"bench\": \"";
+    append_escaped(json, name_);
+    json += "\",\n  \"smoke\": ";
+    json += smoke() ? "true" : "false";
+    json += ",\n  \"results\": [";
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      json += i == 0 ? "\n" : ",\n";
+      json += "    {\"series\": \"";
+      append_escaped(json, rows_[i].series);
+      json += "\", \"point\": \"";
+      append_escaped(json, rows_[i].point);
+      json += "\", \"value\": ";
+      char buffer[64];
+      std::snprintf(buffer, sizeof(buffer), "%.9g", rows_[i].value);
+      json += buffer;
+      json += ", \"unit\": \"";
+      append_escaped(json, rows_[i].unit);
+      json += "\"}";
+    }
+    json += "\n  ]\n}\n";
+
+    // XMIT_BENCH_OUT redirects the JSON (ctest runs write into the build
+    // tree); default is the working directory.
+    std::string path;
+    if (const char* dir = std::getenv("XMIT_BENCH_OUT");
+        dir != nullptr && dir[0] != '\0') {
+      path = std::string(dir) + "/";
+    }
+    path += "BENCH_" + name_ + ".json";
+    std::FILE* file = std::fopen(path.c_str(), "w");
+    if (file == nullptr) {
+      std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+      return;
+    }
+    std::fwrite(json.data(), 1, json.size(), file);
+    std::fclose(file);
+    std::printf("\n[bench] wrote %s\n", path.c_str());
+  }
+
+  std::string name_;
+  std::vector<Row> rows_;
+};
 
 }  // namespace xmit::bench

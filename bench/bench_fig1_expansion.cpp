@@ -64,6 +64,7 @@ int main() {
       "Figure 1 / §4 — XML expansion factor and latency impact",
       "XML text size vs PBIO binary size; round-trip latency XML vs XMIT");
 
+  bench::Reporter reporter("fig1_expansion");
   pbio::FormatRegistry registry;
   auto format = simple_format(registry);
   auto binary_encoder = expect(pbio::Encoder::make(format), "encoder");
@@ -79,6 +80,11 @@ int main() {
   std::printf("  XML document  : %8zu bytes\n", xml_size);
   std::printf("  expansion     : %8.2fx   (paper: ~3x)\n",
               static_cast<double>(xml_size) / binary_size);
+  reporter.add("figure1", "binary bytes", static_cast<double>(binary_size),
+               "bytes");
+  reporter.add("figure1", "xml bytes", static_cast<double>(xml_size), "bytes");
+  reporter.add("figure1", "expansion",
+               static_cast<double>(xml_size) / binary_size, "x");
 
   // --- Part 2: expansion factors across payload types ----------------
   std::printf("\nexpansion factor sweep (paper §5: 6-8x not unusual):\n");
@@ -88,6 +94,7 @@ int main() {
                     std::size_t xml) {
     std::printf("  %-34s %10zu %10zu %8.2f\n", label, binary, xml,
                 static_cast<double>(xml) / binary);
+    reporter.add("expansion", label, static_cast<double>(xml) / binary, "x");
   };
 
   {
@@ -208,6 +215,9 @@ int main() {
   std::printf("  ratio                  : %9.2fx  (paper: ~2x; driven by\n"
               "                              the message-size expansion)\n",
               xml_ms / pbio_ms);
+  reporter.add("latency", "pbio round-trip", pbio_ms);
+  reporter.add("latency", "xml round-trip", xml_ms);
+  reporter.add("latency", "xml/pbio ratio", xml_ms / pbio_ms, "x");
   std::printf(
       "\nnote: if the XML arm also had to convert (the common case), add\n"
       "its Figure 8 encode/decode cost — orders of magnitude, not 2x.\n");

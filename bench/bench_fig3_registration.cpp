@@ -177,6 +177,7 @@ int main() {
       "PBIO, matching the paper's definition; document fetch is excluded\n"
       "here and measured in bench_ablation_registration)");
 
+  bench::Reporter reporter("fig3_registration");
   std::vector<Row> rows;
 
   // -- Small ------------------------------------------------------------
@@ -248,6 +249,9 @@ int main() {
     std::printf("%-8s %10zu %14zu %8zu %12.4f %12.4f %7.2f\n", row.name,
                 row.struct_size, row.encoded_size, row.field_count,
                 row.pbio_ms, row.xmit_ms, row.xmit_ms / row.pbio_ms);
+    reporter.add("pbio", row.name, row.pbio_ms);
+    reporter.add("xmit", row.name, row.xmit_ms);
+    reporter.add("rdm", row.name, row.xmit_ms / row.pbio_ms, "x");
   }
   std::printf(
       "\npaper reference: 32 [72] B -> RDM 2.05; 52 [104] B -> RDM 1.87;\n"

@@ -64,6 +64,7 @@ int main() {
   const char* kTypes[] = {"ControlEvent", "GridSpec", "StatSummary",
                           "Vis5dFrame"};
 
+  bench::Reporter reporter("fig6_hydrology_registration");
   std::printf("\n%-14s %10s %8s %12s %12s %7s\n", "format", "size (B)",
               "fields", "PBIO (ms)", "XMIT (ms)", "RDM");
 
@@ -88,6 +89,9 @@ int main() {
     std::printf("%-14s %10u %8zu %12.4f %12.4f %7.2f\n", name,
                 compiled.struct_size, compiled.row_count, pbio_ms, xmit_ms,
                 xmit_ms / pbio_ms);
+    reporter.add("pbio", name, pbio_ms);
+    reporter.add("xmit", name, xmit_ms);
+    reporter.add("rdm", name, xmit_ms / pbio_ms, "x");
   }
 
   // Whole-document registration: all 8 Hydrology formats in one load, the
@@ -112,6 +116,9 @@ int main() {
     });
     std::printf("%-14s %10s %8zu %12.4f %12.4f %7.2f\n", "(all 8 types)", "-",
                 count, pbio_ms, xmit_ms, xmit_ms / pbio_ms);
+    reporter.add("pbio", "all types", pbio_ms);
+    reporter.add("xmit", "all types", xmit_ms);
+    reporter.add("rdm", "all types", xmit_ms / pbio_ms, "x");
   }
 
   std::printf(

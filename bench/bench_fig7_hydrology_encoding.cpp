@@ -34,8 +34,8 @@ struct Arm {
   std::map<std::string, pbio::Encoder> encoders;
 };
 
-void measure(const char* label, const void* record, Arm& native, Arm& xmit_arm,
-             const std::string& type) {
+void measure(bench::Reporter& reporter, const char* label, const void* record,
+             Arm& native, Arm& xmit_arm, const std::string& type) {
   auto& native_encoder = native.encoders.at(type);
   auto& xmit_encoder = xmit_arm.encoders.at(type);
 
@@ -58,6 +58,9 @@ void measure(const char* label, const void* record, Arm& native, Arm& xmit_arm,
   std::printf("%-14s %14zu %14.6f %14.6f %8.3f %10s\n", label,
               via_native.size(), native_ms, xmit_ms, xmit_ms / native_ms,
               identical ? "identical" : "DIFFER!");
+  reporter.add("native", label, native_ms);
+  reporter.add("xmit", label, xmit_ms);
+  reporter.add("ratio", label, xmit_ms / native_ms, "x");
 }
 
 }  // namespace
@@ -66,6 +69,8 @@ int main() {
   bench::print_header(
       "Figure 7 — Structure encoding times, PBIO vs XMIT metadata",
       "per-encode wall time (ms); the two metadata sources must coincide");
+
+  bench::Reporter reporter("fig7_hydrology_encoding");
 
   // Native arm: compiled-in IOField tables.
   Arm native;
@@ -98,21 +103,21 @@ int main() {
 
   // Row 1: small control event (paper's 48-byte point).
   hydrology::ControlEvent control{3, 0.5f, 1};
-  measure("ControlEvent", &control, native, xmit_arm, "ControlEvent");
+  measure(reporter, "ControlEvent", &control, native, xmit_arm, "ControlEvent");
 
   // Row 2: statistics record (~70-byte point).
   hydrology::StatSummary stats{};
   stats.timestep = 9;
   stats.cells = 768;
   stats.mean = 1.25f;
-  measure("StatSummary", &stats, native, xmit_arm, "StatSummary");
+  measure(reporter, "StatSummary", &stats, native, xmit_arm, "StatSummary");
 
   // Row 3: frame header (~200-byte point).
   hydrology::Vis5dFrame frame{};
   frame.timestep = 9;
   frame.levels_used = 36;
   for (int i = 0; i < 36; ++i) frame.levels[i] = static_cast<float>(i);
-  measure("Vis5dFrame", &frame, native, xmit_arm, "Vis5dFrame");
+  measure(reporter, "Vis5dFrame", &frame, native, xmit_arm, "Vis5dFrame");
 
   // Row 4: the big one — SimpleData with a 256 KiB float payload
   // (matches the paper's 262176-byte encoded buffer).
@@ -121,7 +126,7 @@ int main() {
     payload[i] = static_cast<float>(i) * 0.001f;
   hydrology::SimpleData data{117, static_cast<std::int32_t>(payload.size()),
                              payload.data()};
-  measure("SimpleData64k", &data, native, xmit_arm, "SimpleData");
+  measure(reporter, "SimpleData64k", &data, native, xmit_arm, "SimpleData");
 
   std::printf(
       "\npaper reference: the PBIO and XMIT curves are indistinguishable at\n"

@@ -35,6 +35,7 @@ int main() {
       "Figure 8 — Send-side encode times across wire formats",
       "per-encode wall time (ms, log-scale in the paper); ratios vs PBIO");
 
+  bench::Reporter reporter("fig8_wire_formats");
   pbio::FormatRegistry registry;
   auto format = expect(
       registry.register_format(
@@ -120,6 +121,10 @@ int main() {
     std::printf("%-10s %12.6f %12.6f %12.6f %12.6f | %9.1f %9.2f %9.2f\n",
                 size.label, xml_ms, mpi_ms, cdr_ms, pbio_ms, xml_ms / pbio_ms,
                 mpi_ms / pbio_ms, cdr_ms / pbio_ms);
+    reporter.add("encode-xml", size.label, xml_ms);
+    reporter.add("encode-mpi", size.label, mpi_ms);
+    reporter.add("encode-cdr", size.label, cdr_ms);
+    reporter.add("encode-pbio", size.label, pbio_ms);
   }
 
   // Receive side (§4.1: "XML suffers from the necessity of performing
@@ -187,6 +192,10 @@ int main() {
         iters);
     std::printf("%-10s %12.6f %12.6f %12.6f %12.6f | %9.1f\n", size.label,
                 xml_ms, mpi_ms, cdr_ms, pbio_ms, xml_ms / pbio_ms);
+    reporter.add("decode-xml", size.label, xml_ms);
+    reporter.add("decode-mpi", size.label, mpi_ms);
+    reporter.add("decode-cdr", size.label, cdr_ms);
+    reporter.add("decode-pbio", size.label, pbio_ms);
   }
   std::printf("(receive side; PBIO decode here copies out — in-place decode"
               " is cheaper still, see bench_ablation_decode)\n");

@@ -55,6 +55,26 @@ class Arena {
     allocation_count_ = 0;
   }
 
+  // Forget every allocation but keep the backing memory, so the next use
+  // of the arena allocates from the warm chunk instead of the heap.
+  // Multiple chunks collapse into one sized for their sum — repeated
+  // same-shaped workloads converge on a single chunk and then rewind
+  // touches the heap zero times (the pooling contract in DESIGN.md §5d).
+  // Pointers handed out before rewind() are invalidated just as with
+  // reset().
+  void rewind() {
+    if (chunks_.size() > 1) {
+      std::size_t total = 0;
+      for (const auto& chunk : chunks_) total += chunk.capacity;
+      chunks_.clear();
+      chunks_.push_back({std::make_unique<char[]>(total), total});
+      current_ = chunks_.back().data.get();
+      capacity_ = total;
+    }
+    used_ = 0;
+    allocation_count_ = 0;
+  }
+
   std::size_t allocation_count() const { return allocation_count_; }
   std::size_t bytes_in_use() const {
     std::size_t total = 0;

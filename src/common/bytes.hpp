@@ -14,6 +14,15 @@
 
 namespace xmit {
 
+// One span of a gather-encoded record (writev-style). A slice borrows the
+// memory it points at — typically the caller's live struct, an encoder
+// scratch buffer, or a static padding block — and stays valid only while
+// that memory does. The record is the concatenation of the slices.
+struct IoSlice {
+  const void* data = nullptr;
+  std::size_t size = 0;
+};
+
 // ByteBuffer: append-only builder for encoded records. Encoders write
 // primitives in a chosen byte order; positions can be reserved and patched
 // later (e.g. the record-length slot in a PBIO header).

@@ -29,6 +29,30 @@ Status send_all(int fd, const void* data, std::size_t size) {
   return Status::ok();
 }
 
+// Drains a gather list with sendmsg, advancing past partial writes. The
+// iovec array is caller-owned scratch and is consumed destructively.
+Status sendmsg_all(int fd, struct iovec* iov, std::size_t count) {
+  while (count > 0) {
+    struct msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = count;
+    ssize_t n = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return make_error(ErrorCode::kIoError, "channel send failed");
+    auto left = static_cast<std::size_t>(n);
+    while (count > 0 && left >= iov[0].iov_len) {
+      left -= iov[0].iov_len;
+      ++iov;
+      --count;
+    }
+    if (count > 0) {
+      iov[0].iov_base = static_cast<char*>(iov[0].iov_base) + left;
+      iov[0].iov_len -= left;
+    }
+  }
+  return Status::ok();
+}
+
 // Reads exactly `size` bytes or reports why it could not.
 Status recv_exact(int fd, void* data, std::size_t size, int timeout_ms,
                   bool& clean_eof) {
@@ -141,7 +165,49 @@ Status Channel::send(std::span<const std::uint8_t> message) {
   return Status::ok();
 }
 
+Status Channel::send_gather(std::span<const IoSlice> slices) {
+  if (fd_ < 0) return make_error(ErrorCode::kIoError, "channel is closed");
+  std::uint64_t total = 0;
+  for (const IoSlice& s : slices) total += s.size;
+  if (total > kMaxFrameBytes)
+    return make_error(ErrorCode::kInvalidArgument, "message too large");
+  std::uint8_t frame[4];
+  store_with_order<std::uint32_t>(frame, static_cast<std::uint32_t>(total),
+                                  ByteOrder::kLittle);
+
+  // Batch through a stack iovec array: the frame header rides in the first
+  // batch, and records with more out-of-line fields than kIovBatch fall
+  // back to additional sendmsg calls rather than a heap allocation.
+  constexpr std::size_t kIovBatch = 64;
+  struct iovec iov[kIovBatch + 1];
+  std::size_t used = 0;
+  iov[used].iov_base = frame;
+  iov[used].iov_len = sizeof(frame);
+  ++used;
+  for (const IoSlice& s : slices) {
+    if (s.size == 0) continue;
+    if (used == kIovBatch + 1) {
+      XMIT_RETURN_IF_ERROR(sendmsg_all(fd_, iov, used));
+      used = 0;
+    }
+    iov[used].iov_base = const_cast<void*>(s.data);
+    iov[used].iov_len = s.size;
+    ++used;
+  }
+  if (used > 0) XMIT_RETURN_IF_ERROR(sendmsg_all(fd_, iov, used));
+  ++sent_;
+  bytes_sent_ += static_cast<std::size_t>(total) + sizeof(frame);
+  return Status::ok();
+}
+
 Result<std::vector<std::uint8_t>> Channel::receive(int timeout_ms) {
+  std::vector<std::uint8_t> message;
+  XMIT_RETURN_IF_ERROR(receive_into(message, timeout_ms));
+  return message;
+}
+
+Status Channel::receive_into(std::vector<std::uint8_t>& out, int timeout_ms) {
+  out.clear();
   if (fd_ < 0) return Status(ErrorCode::kIoError, "channel is closed");
   std::uint8_t frame[4];
   bool clean_eof = false;
@@ -150,11 +216,11 @@ Result<std::vector<std::uint8_t>> Channel::receive(int timeout_ms) {
   std::uint32_t length = load_with_order<std::uint32_t>(frame, ByteOrder::kLittle);
   if (length > kMaxFrameBytes)
     return Status(ErrorCode::kParseError, "frame length is implausible");
-  std::vector<std::uint8_t> message(length);
+  out.resize(length);
   if (length > 0)
     XMIT_RETURN_IF_ERROR(
-        recv_exact(fd_, message.data(), length, timeout_ms, clean_eof));
-  return message;
+        recv_exact(fd_, out.data(), length, timeout_ms, clean_eof));
+  return Status::ok();
 }
 
 ChannelListener::~ChannelListener() {

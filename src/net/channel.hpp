@@ -13,6 +13,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/bytes.hpp"
 #include "common/error.hpp"
 
 namespace xmit::net {
@@ -40,10 +41,20 @@ class Channel {
     return send(std::span<const std::uint8_t>(message));
   }
 
+  // Sends one frame whose payload is the concatenation of `slices`
+  // (sendmsg gather I/O) — the wire bytes are identical to send() of the
+  // flattened message, but nothing is copied into an intermediate buffer
+  // and nothing is heap-allocated, for any slice count.
+  Status send_gather(std::span<const IoSlice> slices);
+
   // Blocks up to timeout_ms for the next complete frame. A cleanly closed
   // peer yields kNotFound ("end of stream"), an expired deadline yields
   // kTimeout, and every other socket failure is kIoError.
   Result<std::vector<std::uint8_t>> receive(int timeout_ms = 5000);
+
+  // receive() into a caller-owned buffer: once `out`'s capacity has grown
+  // to the session's largest frame, further receives allocate nothing.
+  Status receive_into(std::vector<std::uint8_t>& out, int timeout_ms = 5000);
 
   void close();
 

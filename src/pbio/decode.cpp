@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "pbio/kernels.hpp"
 #include "pbio/scalar.hpp"
 
 namespace xmit::pbio {
@@ -22,9 +23,55 @@ bool flat_fields_identical(const std::vector<FlatField>& a,
   return true;
 }
 
+bool int_like(FieldKind k) {
+  return k == FieldKind::kInteger || k == FieldKind::kUnsigned;
+}
+
+// How the kernel layer transfers one element pair.
+enum class ElemMode : std::uint8_t { kCopy, kSwap, kConvert };
+
+// Picks the cheapest kernel whose output is bit-identical to what the
+// reference interpreter produces for this (src, dst) pair:
+//   - equal-width integer<->unsigned moves are raw bytes (sign extension
+//     and re-masking cancel), so they copy / byte-swap;
+//   - floats of equal width copy or byte-reverse (the interpreter's
+//     float->double->float round trip is exact for every non-signaling
+//     value; plans prefer the bit-preserving kernel);
+//   - width-1 fields are order-free and copy, except booleans, which the
+//     interpreter normalizes to 0/1 on every element-wise move;
+//   - booleans memcpy only where the reference path memcpys them too:
+//     same-order fixed-section moves (`bool_memcpy_ok`), never dynamic
+//     arrays, which the interpreter always element-converts.
+ElemMode classify(FieldKind sk, std::uint32_t ssize, FieldKind dk,
+                  std::uint32_t dsize, bool same_order, bool bool_memcpy_ok) {
+  if (ssize != dsize) return ElemMode::kConvert;
+  const bool kinds_bitwise =
+      (int_like(sk) && int_like(dk)) ||
+      (sk == dk && (sk == FieldKind::kFloat || sk == FieldKind::kChar)) ||
+      (sk == dk && sk == FieldKind::kBoolean && bool_memcpy_ok && same_order);
+  if (!kinds_bitwise) return ElemMode::kConvert;
+  if (same_order) return ElemMode::kCopy;
+  if (ssize == 1) return ElemMode::kCopy;  // no byte order at width 1
+  return ElemMode::kSwap;
+}
+
+char kind_letter(FieldKind kind) {
+  switch (kind) {
+    case FieldKind::kInteger: return 'i';
+    case FieldKind::kUnsigned: return 'u';
+    case FieldKind::kFloat: return 'f';
+    case FieldKind::kChar: return 'c';
+    case FieldKind::kBoolean: return 'b';
+    case FieldKind::kString: return 's';
+    case FieldKind::kNested: return 'n';
+  }
+  return '?';
+}
+
 }  // namespace
 
-// One field-to-field transfer in a conversion plan.
+// One field-to-field transfer in a conversion plan — the reference
+// interpreter's unit of work, and the input the op compiler lowers.
 struct Decoder::Move {
   FlatField src;
   FlatField dst;
@@ -34,11 +81,51 @@ struct Decoder::Move {
   bool bitwise_compatible = false;
 };
 
+// One instruction of the compiled marshal program. Fixed-section extents
+// (src_offset/dst_offset plus the op's span) are validated against both
+// struct sizes when the plan is built, so executing an op performs no
+// bounds checks on the fixed section — only var-section offsets and
+// counts, which are data-dependent, are checked per record.
+struct Decoder::Op {
+  enum class Kind : std::uint8_t {
+    kCopy,        // memcpy `count` bytes
+    kSwap,        // byte-reverse `count` elements of width src_size
+    kConvert,     // widen/narrow/normalize `count` elements
+    kString,      // `count` pointer slots -> arena strings
+    kDynCopy,     // dynamic array, payload memcpy
+    kDynSwap,     // dynamic array, bulk byte-reverse
+    kDynConvert,  // dynamic array, element conversion
+  };
+  Kind kind = Kind::kCopy;
+  FieldKind src_kind = FieldKind::kInteger;
+  FieldKind dst_kind = FieldKind::kInteger;
+  FieldKind count_kind = FieldKind::kInteger;  // kDyn*
+  std::uint32_t src_size = 0;
+  std::uint32_t dst_size = 0;
+  std::uint32_t count_size = 0;    // kDyn*
+  std::uint32_t src_offset = 0;
+  std::uint32_t dst_offset = 0;
+  std::uint32_t count = 0;         // kCopy: bytes; others: elements/slots
+  std::uint32_t count_offset = 0;  // kDyn*
+  std::uint32_t path = 0;          // index into Plan::paths (diagnostics)
+};
+
 struct Decoder::Plan {
   bool identity = false;
+  bool zero_fill = false;  // conversion plans memset the receiver struct
+  ByteOrder src_order = ByteOrder::kLittle;
+  std::uint8_t src_pointer_size = sizeof(void*);
+  std::uint32_t receiver_struct_size = 0;
+  std::vector<Op> ops;             // compiled program (decode())
+  std::vector<std::string> paths;  // op -> field path, for diagnostics
+  // Reference interpreter state (decode_reference()).
   std::vector<Move> moves;
   std::vector<FlatField> zero_fills;  // receiver fields absent on the wire
-  std::uint32_t receiver_struct_size = 0;
+
+  std::uint32_t add_path(std::string path) {
+    paths.push_back(std::move(path));
+    return static_cast<std::uint32_t>(paths.size() - 1);
+  }
 };
 
 Result<RecordInfo> Decoder::inspect(
@@ -70,15 +157,223 @@ Result<bool> Decoder::layouts_identical(const Format& sender,
   return flat_fields_identical(sender.flat_fields(), receiver.flat_fields());
 }
 
+void Decoder::compile_identity(const Format& receiver, Plan& plan) {
+  // One span for the whole fixed section, then slot fix-ups. The copy
+  // carries the raw wire slot values into the struct; the string/array
+  // ops overwrite them with arena pointers.
+  Op copy;
+  copy.kind = Op::Kind::kCopy;
+  copy.count = receiver.struct_size();
+  copy.path = plan.add_path("<fixed section>");
+  plan.ops.push_back(copy);
+
+  for (const auto& field : receiver.flat_fields()) {
+    if (field.kind == FieldKind::kString) {
+      Op op;
+      op.kind = Op::Kind::kString;
+      op.src_kind = op.dst_kind = FieldKind::kString;
+      op.src_size = op.dst_size = field.size;
+      op.src_offset = op.dst_offset = field.offset;
+      op.count =
+          field.array_mode == ArrayMode::kFixed ? field.fixed_count : 1;
+      op.path = plan.add_path(field.path);
+      plan.ops.push_back(op);
+      continue;
+    }
+    if (field.array_mode != ArrayMode::kDynamic) continue;
+    Op op;
+    op.kind = Op::Kind::kDynCopy;
+    op.src_kind = op.dst_kind = field.kind;
+    op.src_size = op.dst_size = field.size;
+    op.src_offset = op.dst_offset = field.offset;
+    op.count_offset = field.count_offset;
+    op.count_size = field.count_size;
+    op.count_kind = field.count_kind;
+    op.path = plan.add_path(field.path);
+    plan.ops.push_back(op);
+  }
+}
+
+Status Decoder::compile_conversion(const Format& sender,
+                                   const Format& receiver, Plan& plan) {
+  const bool same_order =
+      sender.arch().byte_order == receiver.arch().byte_order;
+  const std::uint32_t src_fixed = sender.struct_size();
+  const std::uint32_t dst_fixed = receiver.struct_size();
+  const std::uint8_t src_ptr = sender.arch().pointer_size;
+
+  // inspect() pins the wire fixed length to sender.struct_size(), and
+  // Format::make validated every field extent against it — re-check here
+  // once so the executed ops can skip fixed-section bounds tests entirely.
+  auto fixed_extent_ok = [](std::uint64_t offset, std::uint64_t bytes,
+                            std::uint32_t limit) {
+    return fits_within(offset, bytes, limit);
+  };
+
+  // Coalescer state: the src/dst byte positions where the previous fused
+  // op ended. A candidate fuses only when it starts exactly there on BOTH
+  // sides — never across padding, so receiver padding bytes stay at the
+  // memset's zeros exactly as the reference interpreter leaves them.
+  std::uint64_t src_end = UINT64_MAX;
+  std::uint64_t dst_end = UINT64_MAX;
+  auto push_fused = [&](const Op& op, std::uint64_t src_span,
+                        std::uint64_t dst_span) {
+    bool fused = false;
+    if (!plan.ops.empty() && op.src_offset == src_end &&
+        op.dst_offset == dst_end) {
+      Op& prev = plan.ops.back();
+      if (prev.kind == op.kind) {
+        switch (op.kind) {
+          case Op::Kind::kCopy:
+            prev.count += op.count;
+            fused = true;
+            break;
+          case Op::Kind::kSwap:
+            if (prev.src_size == op.src_size) {
+              prev.count += op.count;
+              fused = true;
+            }
+            break;
+          case Op::Kind::kConvert:
+            if (prev.src_kind == op.src_kind &&
+                prev.dst_kind == op.dst_kind &&
+                prev.src_size == op.src_size &&
+                prev.dst_size == op.dst_size) {
+              prev.count += op.count;
+              fused = true;
+            }
+            break;
+          default:
+            break;
+        }
+      }
+    }
+    if (!fused) plan.ops.push_back(op);
+    src_end = op.src_offset + src_span;
+    dst_end = op.dst_offset + dst_span;
+  };
+  auto push_barrier = [&](const Op& op) {
+    plan.ops.push_back(op);
+    src_end = dst_end = UINT64_MAX;
+  };
+
+  for (const auto& move : plan.moves) {
+    const FlatField& src = move.src;
+    const FlatField& dst = move.dst;
+
+    if (src.kind == FieldKind::kString) {
+      const std::uint32_t src_elems =
+          src.array_mode == ArrayMode::kFixed ? src.fixed_count : 1;
+      const std::uint32_t dst_elems =
+          dst.array_mode == ArrayMode::kFixed ? dst.fixed_count : 1;
+      const std::uint32_t elems =
+          src_elems < dst_elems ? src_elems : dst_elems;
+      if (!fixed_extent_ok(src.offset, std::uint64_t(elems) * src_ptr,
+                           src_fixed) ||
+          !fixed_extent_ok(dst.offset, std::uint64_t(elems) * sizeof(void*),
+                           dst_fixed))
+        return Status(ErrorCode::kInternal,
+                      "string slots outside fixed section in '" + src.path +
+                          "'");
+      Op op;
+      op.kind = Op::Kind::kString;
+      op.src_kind = op.dst_kind = FieldKind::kString;
+      op.src_size = src.size;
+      op.dst_size = dst.size;
+      op.src_offset = src.offset;
+      op.dst_offset = dst.offset;
+      op.count = elems;
+      op.path = plan.add_path(dst.path);
+      push_barrier(op);
+      continue;
+    }
+
+    if (src.array_mode == ArrayMode::kDynamic) {
+      if (!fixed_extent_ok(src.count_offset, src.count_size, src_fixed) ||
+          !fixed_extent_ok(src.offset, src_ptr, src_fixed) ||
+          !fixed_extent_ok(dst.offset, sizeof(void*), dst_fixed))
+        return Status(ErrorCode::kInternal,
+                      "dynamic array metadata outside fixed section for '" +
+                          src.path + "'");
+      ElemMode mode = classify(src.kind, src.size, dst.kind, dst.size,
+                               same_order, /*bool_memcpy_ok=*/false);
+      Op op;
+      op.kind = mode == ElemMode::kCopy    ? Op::Kind::kDynCopy
+                : mode == ElemMode::kSwap  ? Op::Kind::kDynSwap
+                                           : Op::Kind::kDynConvert;
+      op.src_kind = src.kind;
+      op.dst_kind = dst.kind;
+      op.src_size = src.size;
+      op.dst_size = dst.size;
+      op.src_offset = src.offset;
+      op.dst_offset = dst.offset;
+      op.count_offset = src.count_offset;
+      op.count_size = src.count_size;
+      op.count_kind = src.count_kind;
+      op.path = plan.add_path(dst.path);
+      push_barrier(op);
+      continue;
+    }
+
+    // Scalars and fixed arrays.
+    const std::uint32_t src_count =
+        src.array_mode == ArrayMode::kFixed ? src.fixed_count : 1;
+    const std::uint32_t dst_count =
+        dst.array_mode == ArrayMode::kFixed ? dst.fixed_count : 1;
+    const std::uint32_t count = src_count < dst_count ? src_count : dst_count;
+    if (!fixed_extent_ok(src.offset, std::uint64_t(src_count) * src.size,
+                         src_fixed) ||
+        !fixed_extent_ok(dst.offset, std::uint64_t(dst_count) * dst.size,
+                         dst_fixed))
+      return Status(ErrorCode::kInternal,
+                    "field '" + src.path + "' outside fixed section");
+    ElemMode mode = classify(src.kind, src.size, dst.kind, dst.size,
+                             same_order, /*bool_memcpy_ok=*/true);
+    Op op;
+    op.src_kind = src.kind;
+    op.dst_kind = dst.kind;
+    op.src_size = src.size;
+    op.dst_size = dst.size;
+    op.src_offset = src.offset;
+    op.dst_offset = dst.offset;
+    op.path = plan.add_path(dst.path);
+    switch (mode) {
+      case ElemMode::kCopy:
+        op.kind = Op::Kind::kCopy;
+        op.count = count * src.size;  // bytes
+        push_fused(op, op.count, op.count);
+        break;
+      case ElemMode::kSwap:
+        op.kind = Op::Kind::kSwap;
+        op.count = count;
+        push_fused(op, std::uint64_t(count) * src.size,
+                   std::uint64_t(count) * dst.size);
+        break;
+      case ElemMode::kConvert:
+        op.kind = Op::Kind::kConvert;
+        op.count = count;
+        push_fused(op, std::uint64_t(count) * src.size,
+                   std::uint64_t(count) * dst.size);
+        break;
+    }
+  }
+  return Status::ok();
+}
+
 Result<std::shared_ptr<const Decoder::Plan>> Decoder::build_plan(
     const Format& sender, const Format& receiver) {
   auto plan = std::make_shared<Plan>();
   plan->receiver_struct_size = receiver.struct_size();
+  plan->src_order = sender.arch().byte_order;
+  plan->src_pointer_size = sender.arch().pointer_size;
   plan->identity = sender.arch() == receiver.arch() &&
                    sender.struct_size() == receiver.struct_size() &&
                    flat_fields_identical(sender.flat_fields(),
                                          receiver.flat_fields());
-  if (plan->identity) return std::shared_ptr<const Plan>(plan);
+  if (plan->identity) {
+    compile_identity(receiver, *plan);
+    return std::shared_ptr<const Plan>(plan);
+  }
 
   const bool same_order = sender.arch().byte_order == receiver.arch().byte_order;
   for (const auto& dst : receiver.flat_fields()) {
@@ -109,6 +404,8 @@ Result<std::shared_ptr<const Decoder::Plan>> Decoder::build_plan(
                               src->array_mode != ArrayMode::kDynamic;
     plan->moves.push_back(std::move(move));
   }
+  plan->zero_fill = true;
+  XMIT_RETURN_IF_ERROR(compile_conversion(sender, receiver, *plan));
   return std::shared_ptr<const Plan>(plan);
 }
 
@@ -131,6 +428,73 @@ std::size_t Decoder::plan_cache_size() const {
   return plans_.size();
 }
 
+Result<Decoder::PlanStats> Decoder::plan_stats(const FormatPtr& sender,
+                                               const Format& receiver) const {
+  if (!sender) return Status(ErrorCode::kInvalidArgument, "null format");
+  XMIT_ASSIGN_OR_RETURN(auto plan, plan_for(sender, receiver));
+  PlanStats stats;
+  stats.identity = plan->identity;
+  for (const Op& op : plan->ops) {
+    switch (op.kind) {
+      case Op::Kind::kCopy: ++stats.copy_ops; break;
+      case Op::Kind::kSwap: ++stats.swap_ops; break;
+      case Op::Kind::kConvert: ++stats.convert_ops; break;
+      case Op::Kind::kString: ++stats.string_ops; break;
+      case Op::Kind::kDynCopy:
+      case Op::Kind::kDynSwap:
+      case Op::Kind::kDynConvert: ++stats.dynamic_ops; break;
+    }
+  }
+  return stats;
+}
+
+Result<std::string> Decoder::plan_disassembly(const FormatPtr& sender,
+                                              const Format& receiver) const {
+  if (!sender) return Status(ErrorCode::kInvalidArgument, "null format");
+  XMIT_ASSIGN_OR_RETURN(auto plan, plan_for(sender, receiver));
+  std::string out;
+  if (plan->identity) out += "identity\n";
+  for (const Op& op : plan->ops) {
+    char line[160];
+    switch (op.kind) {
+      case Op::Kind::kCopy:
+        std::snprintf(line, sizeof(line), "copy src@%u dst@%u len=%u\n",
+                      op.src_offset, op.dst_offset, op.count);
+        break;
+      case Op::Kind::kSwap:
+        std::snprintf(line, sizeof(line), "swap%u src@%u dst@%u n=%u\n",
+                      op.src_size, op.src_offset, op.dst_offset, op.count);
+        break;
+      case Op::Kind::kConvert:
+        std::snprintf(line, sizeof(line),
+                      "conv %c%u->%c%u src@%u dst@%u n=%u\n",
+                      kind_letter(op.src_kind), op.src_size,
+                      kind_letter(op.dst_kind), op.dst_size, op.src_offset,
+                      op.dst_offset, op.count);
+        break;
+      case Op::Kind::kString:
+        std::snprintf(line, sizeof(line), "str src@%u dst@%u slots=%u\n",
+                      op.src_offset, op.dst_offset, op.count);
+        break;
+      case Op::Kind::kDynCopy:
+      case Op::Kind::kDynSwap:
+      case Op::Kind::kDynConvert: {
+        const char* verb = op.kind == Op::Kind::kDynCopy   ? "dyn-copy"
+                           : op.kind == Op::Kind::kDynSwap ? "dyn-swap"
+                                                           : "dyn-conv";
+        std::snprintf(line, sizeof(line),
+                      "%s %c%u->%c%u src@%u dst@%u count@%u\n", verb,
+                      kind_letter(op.src_kind), op.src_size,
+                      kind_letter(op.dst_kind), op.dst_size, op.src_offset,
+                      op.dst_offset, op.count_offset);
+        break;
+      }
+    }
+    out += line;
+  }
+  return out;
+}
+
 Status Decoder::decode(std::span<const std::uint8_t> bytes,
                        const Format& receiver, void* out, Arena& arena) const {
   XMIT_ASSIGN_OR_RETURN(auto info, inspect(bytes));
@@ -139,15 +503,131 @@ Status Decoder::decode(std::span<const std::uint8_t> bytes,
                   "receiver format must describe the host architecture");
   XMIT_ASSIGN_OR_RETURN(auto plan, plan_for(info.sender_format, receiver));
   AllocBudget budget = AllocBudget::from(limits_);
-  if (plan->identity)
-    return run_identity(info.header, bytes, receiver, out, arena, budget);
-  return run_conversion(*plan, info.header, bytes, out, arena, budget);
+  return run_program(*plan, info.header, bytes, out, arena, budget);
 }
 
-Status Decoder::run_identity(const WireHeader& header,
-                             std::span<const std::uint8_t> bytes,
-                             const Format& receiver, void* out, Arena& arena,
-                             AllocBudget& budget) const {
+Status Decoder::decode_reference(std::span<const std::uint8_t> bytes,
+                                 const Format& receiver, void* out,
+                                 Arena& arena) const {
+  XMIT_ASSIGN_OR_RETURN(auto info, inspect(bytes));
+  if (!(receiver.arch() == ArchInfo::host()))
+    return Status(ErrorCode::kInvalidArgument,
+                  "receiver format must describe the host architecture");
+  XMIT_ASSIGN_OR_RETURN(auto plan, plan_for(info.sender_format, receiver));
+  AllocBudget budget = AllocBudget::from(limits_);
+  if (plan->identity)
+    return run_identity_reference(info.header, bytes, receiver, out, arena,
+                                  budget);
+  return run_conversion_reference(*plan, info.header, bytes, out, arena,
+                                  budget);
+}
+
+Status Decoder::run_program(const Plan& plan, const WireHeader& header,
+                            std::span<const std::uint8_t> bytes, void* out,
+                            Arena& arena, AllocBudget& budget) const {
+  const std::uint8_t* fixed = bytes.data() + WireHeader::kSize;
+  const std::uint8_t* var = fixed + header.fixed_length;
+  auto* dst_base = static_cast<std::uint8_t*>(out);
+  if (plan.zero_fill) std::memset(dst_base, 0, plan.receiver_struct_size);
+  const ByteOrder src_order = plan.src_order;
+  const std::uint8_t src_ptr = plan.src_pointer_size;
+
+  for (const Op& op : plan.ops) {
+    switch (op.kind) {
+      case Op::Kind::kCopy:
+        std::memcpy(dst_base + op.dst_offset, fixed + op.src_offset,
+                    op.count);
+        break;
+      case Op::Kind::kSwap:
+        swap_elements(dst_base + op.dst_offset, fixed + op.src_offset,
+                      op.count, op.src_size);
+        break;
+      case Op::Kind::kConvert:
+        convert_elements(dst_base + op.dst_offset, op.dst_kind, op.dst_size,
+                         fixed + op.src_offset, op.src_kind, op.src_size,
+                         op.count, src_order);
+        break;
+      case Op::Kind::kString: {
+        for (std::uint32_t i = 0; i < op.count; ++i) {
+          std::size_t src_slot = op.src_offset + std::size_t(i) * src_ptr;
+          std::size_t dst_slot =
+              op.dst_offset + std::size_t(i) * sizeof(void*);
+          std::uint64_t slot =
+              read_slot_value(fixed, src_slot, src_ptr, src_order);
+          char* value = nullptr;
+          if (slot != 0) {
+            std::uint64_t at = slot - 1;
+            if (at >= header.var_length)
+              return make_error(ErrorCode::kOutOfRange,
+                                "string offset out of range in '" +
+                                    plan.paths[op.path] + "'");
+            const void* nul = std::memchr(var + at, 0, header.var_length - at);
+            if (nul == nullptr)
+              return make_error(ErrorCode::kParseError,
+                                "unterminated string in '" +
+                                    plan.paths[op.path] + "'");
+            std::size_t len =
+                static_cast<const std::uint8_t*>(nul) - (var + at);
+            XMIT_RETURN_IF_ERROR(budget.charge(len + 1, "decoded string"));
+            value = arena.duplicate_string(
+                reinterpret_cast<const char*>(var + at), len);
+          }
+          store_raw(dst_base + dst_slot, value);
+        }
+        break;
+      }
+      case Op::Kind::kDynCopy:
+      case Op::Kind::kDynSwap:
+      case Op::Kind::kDynConvert: {
+        XMIT_ASSIGN_OR_RETURN(
+            auto count,
+            read_count_field(fixed, op.count_offset, op.count_size,
+                             op.count_kind, src_order, plan.paths[op.path],
+                             ErrorCode::kParseError));
+        std::uint64_t slot =
+            read_slot_value(fixed, op.src_offset, src_ptr, src_order);
+        std::uint8_t* value = nullptr;
+        if (slot != 0 && count > 0) {
+          // count and slot are attacker bytes; the count*size product and
+          // offset+payload sum must not wrap past the bounds check, and
+          // the receiver-side allocation is charged against the budget.
+          std::uint64_t at = slot - 1;
+          std::uint64_t payload = 0;
+          std::uint64_t dst_bytes = 0;
+          if (!checked_mul(count, op.src_size, &payload) ||
+              !fits_within(at, payload, header.var_length) ||
+              !checked_mul(count, op.dst_size, &dst_bytes))
+            return make_error(ErrorCode::kMalformedInput,
+                              "array payload out of range in '" +
+                                  plan.paths[op.path] + "'");
+          XMIT_RETURN_IF_ERROR(budget.charge(dst_bytes, "decoded array"));
+          value = static_cast<std::uint8_t*>(
+              arena.allocate(static_cast<std::size_t>(dst_bytes),
+                             op.dst_size > 8 ? 8 : op.dst_size));
+          const std::size_t n = static_cast<std::size_t>(count);
+          if (op.kind == Op::Kind::kDynCopy)
+            std::memcpy(value, var + at, static_cast<std::size_t>(payload));
+          else if (op.kind == Op::Kind::kDynSwap)
+            swap_elements(value, var + at, n, op.src_size);
+          else
+            convert_elements(value, op.dst_kind, op.dst_size, var + at,
+                             op.src_kind, op.src_size, n, src_order);
+        } else if (slot != 0) {
+          value = static_cast<std::uint8_t*>(arena.allocate(1));
+        }
+        store_raw(dst_base + op.dst_offset, value);
+        break;
+      }
+    }
+  }
+  return Status::ok();
+}
+
+Status Decoder::run_identity_reference(const WireHeader& header,
+                                       std::span<const std::uint8_t> bytes,
+                                       const Format& receiver, void* out,
+                                       Arena& arena,
+                                       AllocBudget& budget) const {
   const std::uint8_t* fixed = bytes.data() + WireHeader::kSize;
   const std::uint8_t* var = fixed + header.fixed_length;
   auto* dst = static_cast<std::uint8_t*>(out);
@@ -187,24 +667,19 @@ Status Decoder::run_identity(const WireHeader& header,
                                          header.byte_order);
     std::uint8_t* value = nullptr;
     if (slot != 0) {
-      // Identity plan: count field layout matches, read from our own copy.
-      std::int64_t count = 0;
-      switch (field.count_size) {
-        case 1: count = *reinterpret_cast<const std::int8_t*>(dst + field.count_offset); break;
-        case 2: count = load_raw<std::int16_t>(dst + field.count_offset); break;
-        case 4: count = load_raw<std::int32_t>(dst + field.count_offset); break;
-        case 8: count = load_raw<std::int64_t>(dst + field.count_offset); break;
-        default: return make_error(ErrorCode::kInternal, "bad count size");
-      }
-      if (count < 0)
-        return make_error(ErrorCode::kParseError,
-                          "negative array count in '" + field.path + "'");
+      // Identity plan: count field layout matches; read it through the
+      // shared helper at the sender's (== host's) order.
+      XMIT_ASSIGN_OR_RETURN(
+          auto count,
+          read_count_field(fixed, field.count_offset, field.count_size,
+                           field.count_kind, header.byte_order, field.path,
+                           ErrorCode::kParseError));
       // slot and count are attacker bytes: the offset + count*size sum
       // must be computed overflow-checked, or a wrapped value sails past
       // the bounds test and the copy below reads wild memory.
       std::uint64_t at = slot - 1;
       std::uint64_t payload = 0;
-      if (!checked_mul(static_cast<std::uint64_t>(count), field.size, &payload) ||
+      if (!checked_mul(count, field.size, &payload) ||
           !fits_within(at, payload, header.var_length))
         return make_error(ErrorCode::kMalformedInput,
                           "array payload out of range in '" + field.path + "'");
@@ -217,9 +692,11 @@ Status Decoder::run_identity(const WireHeader& header,
   return Status::ok();
 }
 
-Status Decoder::run_conversion(const Plan& plan, const WireHeader& header,
-                               std::span<const std::uint8_t> bytes, void* out,
-                               Arena& arena, AllocBudget& budget) const {
+Status Decoder::run_conversion_reference(const Plan& plan,
+                                         const WireHeader& header,
+                                         std::span<const std::uint8_t> bytes,
+                                         void* out, Arena& arena,
+                                         AllocBudget& budget) const {
   const std::uint8_t* fixed = bytes.data() + WireHeader::kSize;
   const std::uint8_t* var = fixed + header.fixed_length;
   auto* dst_base = static_cast<std::uint8_t*>(out);
@@ -280,15 +757,10 @@ Status Decoder::run_conversion(const Plan& plan, const WireHeader& header,
                           "count field outside fixed section for '" +
                               src.path + "'");
       XMIT_ASSIGN_OR_RETURN(
-          auto count_value,
-          load_scalar(fixed + src.count_offset, src.count_kind, src.count_size,
-                      src_order));
-      std::int64_t count = count_value.cls == ScalarValue::Class::kUnsigned
-                               ? static_cast<std::int64_t>(count_value.u)
-                               : count_value.i;
-      if (count < 0)
-        return make_error(ErrorCode::kParseError,
-                          "negative array count in '" + src.path + "'");
+          auto count,
+          read_count_field(fixed, src.count_offset, src.count_size,
+                           src.count_kind, src_order, src.path,
+                           ErrorCode::kParseError));
       std::uint64_t slot =
           read_slot_value(fixed, src.offset, header.pointer_size, src_order);
       std::uint8_t* value = nullptr;
@@ -299,20 +771,20 @@ Status Decoder::run_conversion(const Plan& plan, const WireHeader& header,
         std::uint64_t at = slot - 1;
         std::uint64_t payload = 0;
         std::uint64_t dst_bytes = 0;
-        if (!checked_mul(static_cast<std::uint64_t>(count), src.size, &payload) ||
+        if (!checked_mul(count, src.size, &payload) ||
             !fits_within(at, payload, header.var_length) ||
-            !checked_mul(static_cast<std::uint64_t>(count), dst.size, &dst_bytes))
+            !checked_mul(count, dst.size, &dst_bytes))
           return make_error(ErrorCode::kMalformedInput,
                             "array payload out of range in '" + src.path + "'");
         XMIT_RETURN_IF_ERROR(budget.charge(dst_bytes, "decoded array"));
         value = static_cast<std::uint8_t*>(arena.allocate(
             static_cast<std::size_t>(dst_bytes),
             dst.size > 8 ? 8 : dst.size));
-        for (std::int64_t i = 0; i < count; ++i) {
+        for (std::uint64_t i = 0; i < count; ++i) {
           XMIT_ASSIGN_OR_RETURN(
-              auto scalar, load_scalar(var + at + std::uint64_t(i) * src.size,
+              auto scalar, load_scalar(var + at + i * src.size,
                                        src.kind, src.size, src_order));
-          store_scalar(value + std::uint64_t(i) * dst.size, dst.kind, dst.size,
+          store_scalar(value + i * dst.size, dst.kind, dst.size,
                        scalar, host_byte_order());
         }
       } else if (slot != 0 && count == 0) {
@@ -383,14 +855,12 @@ Result<const void*> Decoder::decode_in_place(std::span<std::uint8_t> bytes,
           // pointer; validate that whole extent now (overflow-checked),
           // not just the first byte.
           XMIT_ASSIGN_OR_RETURN(
-              auto scalar,
-              load_scalar(fixed + field.count_offset, field.count_kind,
-                          field.count_size, header.byte_order));
-          std::int64_t count = scalar.as_signed();
+              auto count,
+              read_count_field(fixed, field.count_offset, field.count_size,
+                               field.count_kind, header.byte_order,
+                               field.path, ErrorCode::kMalformedInput));
           std::uint64_t payload = 0;
-          if (count < 0 ||
-              !checked_mul(static_cast<std::uint64_t>(count), field.size,
-                           &payload) ||
+          if (!checked_mul(count, field.size, &payload) ||
               !fits_within(at, payload, header.var_length))
             return Status(ErrorCode::kMalformedInput,
                           "array payload out of range in '" + field.path + "'");

@@ -7,11 +7,20 @@
 //   2. identity   — identical layout & architecture but the caller wants
 //                   an owned struct: one memcpy + variable-data copies.
 //   3. conversion — anything else (foreign byte order, foreign pointer
-//                   size, evolved field list): per-field moves with
-//                   byte-swapping, width changes, and name matching;
-//                   receiver fields missing from the wire are zero-filled
-//                   (PBIO's "restricted evolution"), sender fields unknown
-//                   to the receiver are skipped.
+//                   size, evolved field list): byte-swapping, width
+//                   changes, and name matching; receiver fields missing
+//                   from the wire are zero-filled (PBIO's "restricted
+//                   evolution"), sender fields unknown to the receiver are
+//                   skipped.
+//
+// Every cached Plan is *compiled* at build time into a flat program of
+// fused ops (DESIGN.md §5d): source extents are validated once against
+// the sender's fixed length (which inspect() pins to struct_size()), runs
+// of adjacent bitwise-compatible fields coalesce into single memcpy
+// spans, and the remaining moves lower to typed kernels (bulk byte-swap,
+// widen/narrow loops) with no per-element Result dispatch. The original
+// per-field scalar interpreter survives as decode_reference(), the oracle
+// the differential tests compare the compiled program against.
 #pragma once
 
 #include <cstdint>
@@ -19,6 +28,7 @@
 #include <memory>
 #include <mutex>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "common/arena.hpp"
@@ -55,8 +65,17 @@ class Decoder {
   // Decode into the caller's struct described by `receiver` (a host-arch
   // format). Out-of-line data (strings, dynamic arrays) is allocated from
   // `arena`; the decoded struct is valid for the arena's lifetime.
+  // Executes the compiled op program for the cached plan.
   Status decode(std::span<const std::uint8_t> bytes, const Format& receiver,
                 void* out, Arena& arena) const;
+
+  // Reference decode: runs the per-field scalar interpreter (load_scalar /
+  // store_scalar) instead of the compiled program. Semantically identical
+  // to decode() — kept as the oracle for the differential tests and as
+  // the readable specification of conversion semantics. Not a hot path.
+  Status decode_reference(std::span<const std::uint8_t> bytes,
+                          const Format& receiver, void* out,
+                          Arena& arena) const;
 
   // Zero-copy decode: patches pointer slots inside `bytes` and returns a
   // pointer to the fixed section, valid for the buffer's lifetime. Fails
@@ -70,25 +89,57 @@ class Decoder {
   Result<bool> layouts_identical(const Format& sender,
                                  const Format& receiver) const;
 
+  // Compiled-program shape for a (sender, receiver) pair — what the
+  // coalescer produced. Benches assert copy-span counts with this, and
+  // the XMIT-equivalence tests compare schema-derived formats against
+  // compiled-in ones op for op.
+  struct PlanStats {
+    bool identity = false;
+    std::size_t copy_ops = 0;     // coalesced memcpy spans
+    std::size_t swap_ops = 0;     // bulk byte-reverse kernels
+    std::size_t convert_ops = 0;  // widen/narrow/normalize kernels
+    std::size_t string_ops = 0;
+    std::size_t dynamic_ops = 0;  // dynamic arrays (any element mode)
+    std::size_t total() const {
+      return copy_ops + swap_ops + convert_ops + string_ops + dynamic_ops;
+    }
+  };
+  Result<PlanStats> plan_stats(const FormatPtr& sender,
+                               const Format& receiver) const;
+
+  // One line per op ("copy src@0 dst@0 len=16"), in execution order.
+  // Stable across runs for identical layouts — the marshaling-equivalence
+  // tests compare these listings textually.
+  Result<std::string> plan_disassembly(const FormatPtr& sender,
+                                       const Format& receiver) const;
+
   // Diagnostics: conversion plans built so far (cache size).
   std::size_t plan_cache_size() const;
 
  private:
   struct Move;
+  struct Op;
   struct Plan;
 
   Result<std::shared_ptr<const Plan>> plan_for(const FormatPtr& sender,
                                                const Format& receiver) const;
   static Result<std::shared_ptr<const Plan>> build_plan(
       const Format& sender, const Format& receiver);
+  static void compile_identity(const Format& receiver, Plan& plan);
+  static Status compile_conversion(const Format& sender,
+                                   const Format& receiver, Plan& plan);
 
-  Status run_identity(const WireHeader& header,
-                      std::span<const std::uint8_t> bytes,
-                      const Format& receiver, void* out, Arena& arena,
-                      AllocBudget& budget) const;
-  Status run_conversion(const Plan& plan, const WireHeader& header,
-                        std::span<const std::uint8_t> bytes, void* out,
-                        Arena& arena, AllocBudget& budget) const;
+  Status run_program(const Plan& plan, const WireHeader& header,
+                     std::span<const std::uint8_t> bytes, void* out,
+                     Arena& arena, AllocBudget& budget) const;
+  Status run_identity_reference(const WireHeader& header,
+                                std::span<const std::uint8_t> bytes,
+                                const Format& receiver, void* out,
+                                Arena& arena, AllocBudget& budget) const;
+  Status run_conversion_reference(const Plan& plan, const WireHeader& header,
+                                  std::span<const std::uint8_t> bytes,
+                                  void* out, Arena& arena,
+                                  AllocBudget& budget) const;
 
   const FormatRegistry& registry_;
   DecodeLimits limits_ = DecodeLimits::defaults();

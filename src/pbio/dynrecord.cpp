@@ -260,14 +260,11 @@ Result<const FlatField*> RecordReader::lookup(std::string_view path) const {
 }
 
 Result<std::uint64_t> RecordReader::dynamic_count(const FlatField& field) const {
-  XMIT_ASSIGN_OR_RETURN(
-      auto scalar, load_scalar(fixed() + field.count_offset, field.count_kind,
-                               field.count_size, header_.byte_order));
-  std::int64_t count = scalar.as_signed();
-  if (count < 0)
-    return Status(ErrorCode::kParseError,
-                  "negative array count in '" + field.path + "'");
-  return static_cast<std::uint64_t>(count);
+  // Shared helper so every count-field consumer (encoder, decoder paths,
+  // reader) agrees on signed/unsigned semantics.
+  return read_count_field(fixed(), field.count_offset, field.count_size,
+                          field.count_kind, header_.byte_order, field.path,
+                          ErrorCode::kParseError);
 }
 
 Result<std::uint64_t> RecordReader::payload_offset(

@@ -8,20 +8,50 @@ namespace {
 // Variable-section payloads are aligned so that in-place decode hands out
 // naturally-aligned array pointers (record buffers are allocated with
 // at-least-8 alignment by vector/new).
-std::size_t var_alignment(const FlatField& field) {
-  std::size_t align = field.size;
+std::uint32_t var_alignment(const FlatField& field) {
+  std::uint32_t align = field.size;
   if (align > 8) align = 8;
   if (align == 0) align = 1;
   return align;
 }
 
+// Padding slices in a gather list point here instead of growing the
+// scratch buffer (which would invalidate slices already taken).
+constexpr std::uint8_t kZeroPadding[8] = {};
+
+WireHeader host_header(const Format& format, std::size_t fixed_size,
+                       std::size_t var_size) {
+  WireHeader header;
+  header.format_id = format.id();
+  header.byte_order = host_byte_order();
+  header.pointer_size = static_cast<std::uint8_t>(sizeof(void*));
+  header.fixed_length = static_cast<std::uint32_t>(fixed_size);
+  header.var_length = static_cast<std::uint32_t>(var_size);
+  return header;
+}
+
 }  // namespace
 
 Encoder::Encoder(FormatPtr format) : format_(std::move(format)) {
-  for (const auto& flat : format_->flat_fields())
-    if (flat.kind == FieldKind::kString ||
-        flat.array_mode == ArrayMode::kDynamic)
-      var_fields_.push_back(flat);
+  for (const auto& flat : format_->flat_fields()) {
+    if (flat.kind != FieldKind::kString &&
+        flat.array_mode != ArrayMode::kDynamic)
+      continue;
+    VarOp op;
+    op.is_string = flat.kind == FieldKind::kString;
+    op.offset = flat.offset;
+    op.slot_count =
+        (op.is_string && flat.array_mode == ArrayMode::kFixed)
+            ? flat.fixed_count
+            : 1;
+    op.elem_size = flat.size;
+    op.align = var_alignment(flat);
+    op.count_offset = flat.count_offset;
+    op.count_size = flat.count_size;
+    op.count_kind = flat.count_kind;
+    op.path = flat.path;
+    program_.push_back(std::move(op));
+  }
 }
 
 Result<Encoder> Encoder::make(FormatPtr format) {
@@ -33,28 +63,13 @@ Result<Encoder> Encoder::make(FormatPtr format) {
   return Encoder(std::move(format));
 }
 
-Result<std::uint64_t> Encoder::read_count(const std::uint8_t* record,
-                                          const FlatField& field) {
-  std::int64_t count = 0;
-  switch (field.count_size) {
-    case 1: count = *reinterpret_cast<const std::int8_t*>(record + field.count_offset); break;
-    case 2: count = load_raw<std::int16_t>(record + field.count_offset); break;
-    case 4: count = load_raw<std::int32_t>(record + field.count_offset); break;
-    case 8: count = load_raw<std::int64_t>(record + field.count_offset); break;
-    default:
-      return Status(ErrorCode::kInternal, "bad count field size");
-  }
-  if (field.count_kind == FieldKind::kUnsigned) {
-    // Reinterpret the loaded bits as unsigned of the same width.
-    std::uint64_t mask = field.count_size == 8
-                             ? ~0ull
-                             : ((1ull << (field.count_size * 8)) - 1);
-    return static_cast<std::uint64_t>(count) & mask;
-  }
-  if (count < 0)
-    return Status(ErrorCode::kInvalidArgument,
-                  "negative element count in field '" + field.path + "'");
-  return static_cast<std::uint64_t>(count);
+Result<std::uint64_t> Encoder::read_var_count(const std::uint8_t* record,
+                                              const VarOp& op) const {
+  // The struct is live host memory, so the count is read at host order;
+  // a negative signed count is a caller bug, not hostile input.
+  return read_count_field(record, op.count_offset, op.count_size,
+                          op.count_kind, host_byte_order(), op.path,
+                          ErrorCode::kInvalidArgument);
 }
 
 Status Encoder::encode(const void* record, ByteBuffer& out) const {
@@ -68,7 +83,6 @@ Status Encoder::encode(const void* record, ByteBuffer& out) const {
 
   // Variable section. Slots hold var-relative offset + 1; 0 means null.
   std::size_t var_size = 0;
-  const std::size_t var_start = out.size();
   const std::size_t ptr_size = sizeof(void*);
 
   auto patch_slot = [&](std::size_t slot_offset, std::uint64_t value) {
@@ -80,14 +94,11 @@ Status Encoder::encode(const void* record, ByteBuffer& out) const {
                                static_cast<std::uint32_t>(value));
   };
 
-  for (const auto& field : var_fields_) {
-    const std::uint32_t elem_count =
-        field.array_mode == ArrayMode::kFixed ? field.fixed_count : 1;
-
-    if (field.kind == FieldKind::kString) {
+  for (const auto& op : program_) {
+    if (op.is_string) {
       // Scalar string or fixed array of strings: one slot per element.
-      for (std::uint32_t i = 0; i < elem_count; ++i) {
-        std::size_t slot_offset = field.offset + std::size_t(i) * ptr_size;
+      for (std::uint32_t i = 0; i < op.slot_count; ++i) {
+        std::size_t slot_offset = op.offset + std::size_t(i) * ptr_size;
         const char* str = load_raw<const char*>(bytes + slot_offset);
         if (str == nullptr) {
           patch_slot(slot_offset, 0);
@@ -102,37 +113,108 @@ Status Encoder::encode(const void* record, ByteBuffer& out) const {
     }
 
     // Dynamic primitive array.
-    XMIT_ASSIGN_OR_RETURN(auto count, read_count(bytes, field));
-    const std::uint8_t* data = load_raw<const std::uint8_t*>(bytes + field.offset);
+    XMIT_ASSIGN_OR_RETURN(auto count, read_var_count(bytes, op));
+    const std::uint8_t* data = load_raw<const std::uint8_t*>(bytes + op.offset);
     if (data == nullptr) {
       if (count != 0)
         return make_error(ErrorCode::kInvalidArgument,
-                          "field '" + field.path + "' is null but its count is " +
+                          "field '" + op.path + "' is null but its count is " +
                               std::to_string(count));
-      patch_slot(field.offset, 0);
+      patch_slot(op.offset, 0);
       continue;
     }
     // Pad so the payload lands naturally aligned in the record.
-    std::size_t align = var_alignment(field);
-    std::size_t aligned = align_up(WireHeader::kSize + fixed_size + var_size,
-                                   align) -
-                          (WireHeader::kSize + fixed_size);
+    std::size_t aligned =
+        align_up(WireHeader::kSize + fixed_size + var_size, op.align) -
+        (WireHeader::kSize + fixed_size);
     out.append_zeros(aligned - var_size);
     var_size = aligned;
-    std::size_t payload = std::size_t(count) * field.size;
-    patch_slot(field.offset, var_size + 1);
+    std::size_t payload = std::size_t(count) * op.elem_size;
+    patch_slot(op.offset, var_size + 1);
     out.append(data, payload);
     var_size += payload;
   }
-  (void)var_start;
 
-  WireHeader header;
-  header.format_id = format_->id();
-  header.byte_order = host_byte_order();
-  header.pointer_size = static_cast<std::uint8_t>(ptr_size);
-  header.fixed_length = static_cast<std::uint32_t>(fixed_size);
-  header.var_length = static_cast<std::uint32_t>(var_size);
-  patch_header(out, record_start, header);
+  patch_header(out, record_start, host_header(*format_, fixed_size, var_size));
+  return Status::ok();
+}
+
+Status Encoder::encode_iov(const void* record, ByteBuffer& scratch,
+                           std::vector<IoSlice>& slices) const {
+  const auto* bytes = static_cast<const std::uint8_t*>(record);
+  const std::size_t fixed_size = format_->struct_size();
+  scratch.clear();
+  slices.clear();
+
+  if (program_.empty()) {
+    // Contiguous struct: no slots to patch, so the fixed section ships
+    // straight from the caller's memory. Scratch holds only the header.
+    append_header(scratch, host_header(*format_, fixed_size, 0));
+    slices.push_back({scratch.data(), WireHeader::kSize});
+    slices.push_back({bytes, fixed_size});
+    return Status::ok();
+  }
+
+  // Var-bearing format: the fixed section needs its pointer slots patched,
+  // so it is copied into scratch once. Var payloads are still referenced
+  // from the caller's memory. Scratch reaches its final size here, before
+  // any slice takes a pointer into it — later writes only patch in place.
+  scratch.reserve(WireHeader::kSize + fixed_size);
+  scratch.reserve_slot(WireHeader::kSize);
+  scratch.append(bytes, fixed_size);
+  slices.push_back({scratch.data(), WireHeader::kSize + fixed_size});
+
+  std::size_t var_size = 0;
+  const std::size_t ptr_size = sizeof(void*);
+  auto patch_slot = [&](std::size_t slot_offset, std::uint64_t value) {
+    std::uint8_t* slot = scratch.data() + WireHeader::kSize + slot_offset;
+    if (ptr_size == 8)
+      store_raw<std::uint64_t>(slot, value);
+    else
+      store_raw<std::uint32_t>(slot, static_cast<std::uint32_t>(value));
+  };
+
+  for (const auto& op : program_) {
+    if (op.is_string) {
+      for (std::uint32_t i = 0; i < op.slot_count; ++i) {
+        std::size_t slot_offset = op.offset + std::size_t(i) * ptr_size;
+        const char* str = load_raw<const char*>(bytes + slot_offset);
+        if (str == nullptr) {
+          patch_slot(slot_offset, 0);
+          continue;
+        }
+        std::size_t len = std::strlen(str);
+        patch_slot(slot_offset, var_size + 1);
+        slices.push_back({str, len + 1});  // includes the NUL
+        var_size += len + 1;
+      }
+      continue;
+    }
+
+    XMIT_ASSIGN_OR_RETURN(auto count, read_var_count(bytes, op));
+    const std::uint8_t* data = load_raw<const std::uint8_t*>(bytes + op.offset);
+    if (data == nullptr) {
+      if (count != 0)
+        return make_error(ErrorCode::kInvalidArgument,
+                          "field '" + op.path + "' is null but its count is " +
+                              std::to_string(count));
+      patch_slot(op.offset, 0);
+      continue;
+    }
+    std::size_t aligned =
+        align_up(WireHeader::kSize + fixed_size + var_size, op.align) -
+        (WireHeader::kSize + fixed_size);
+    if (aligned != var_size) {
+      slices.push_back({kZeroPadding, aligned - var_size});
+      var_size = aligned;
+    }
+    std::size_t payload = std::size_t(count) * op.elem_size;
+    patch_slot(op.offset, var_size + 1);
+    slices.push_back({data, payload});
+    var_size += payload;
+  }
+
+  patch_header(scratch, 0, host_header(*format_, fixed_size, var_size));
   return Status::ok();
 }
 
@@ -147,23 +229,20 @@ Result<std::size_t> Encoder::encoded_size(const void* record) const {
   const auto* bytes = static_cast<const std::uint8_t*>(record);
   std::size_t var_size = 0;
   const std::size_t fixed_size = format_->struct_size();
-  for (const auto& field : var_fields_) {
-    if (field.kind == FieldKind::kString) {
-      const std::uint32_t elems =
-          field.array_mode == ArrayMode::kFixed ? field.fixed_count : 1;
-      for (std::uint32_t i = 0; i < elems; ++i) {
+  for (const auto& op : program_) {
+    if (op.is_string) {
+      for (std::uint32_t i = 0; i < op.slot_count; ++i) {
         const char* str = load_raw<const char*>(
-            bytes + field.offset + std::size_t(i) * sizeof(void*));
+            bytes + op.offset + std::size_t(i) * sizeof(void*));
         if (str != nullptr) var_size += std::strlen(str) + 1;
       }
       continue;
     }
-    XMIT_ASSIGN_OR_RETURN(auto count, read_count(bytes, field));
+    XMIT_ASSIGN_OR_RETURN(auto count, read_var_count(bytes, op));
     if (count == 0) continue;
-    std::size_t align = var_alignment(field);
-    var_size = align_up(WireHeader::kSize + fixed_size + var_size, align) -
+    var_size = align_up(WireHeader::kSize + fixed_size + var_size, op.align) -
                (WireHeader::kSize + fixed_size);
-    var_size += std::size_t(count) * field.size;
+    var_size += std::size_t(count) * op.elem_size;
   }
   return WireHeader::kSize + fixed_size + var_size;
 }

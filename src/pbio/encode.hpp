@@ -1,9 +1,16 @@
 // Encoder: in-memory struct -> PBIO wire record.
 //
-// Construction compiles the format into a plan once; encode() is then a
-// header write, one memcpy of the fixed section, and one append + slot
-// patch per out-of-line field. Contiguous formats (no strings, no dynamic
-// arrays) encode as a single memcpy — the property Figure 7/8 depend on.
+// Construction compiles the format into a var-field program once; encode()
+// is then a header write, one memcpy of the fixed section, and one append +
+// slot patch per out-of-line field. Contiguous formats (no strings, no
+// dynamic arrays) encode as a single memcpy — the property Figure 7/8
+// depend on.
+//
+// encode_iov() goes one step further: instead of copying payload bytes into
+// a buffer it emits a writev-style gather list. The fixed section of a
+// contiguous format is transmitted straight from the caller's struct; only
+// the 32-byte header (and, for var-bearing formats, the slot-patched fixed
+// section) lives in the caller-supplied scratch buffer.
 #pragma once
 
 #include <span>
@@ -28,6 +35,16 @@ class Encoder {
   // Appends one complete wire record for the struct at `record` to `out`.
   Status encode(const void* record, ByteBuffer& out) const;
 
+  // Gather-list encode: fills `slices` with spans whose concatenation is
+  // the wire record, copying as little as possible. `scratch` and `slices`
+  // are cleared first and may be reused across calls (steady-state calls
+  // allocate nothing once their capacity has grown). The slices borrow
+  // from `scratch`, from the caller's struct, and from static padding —
+  // they are valid until the next encode_iov() on the same scratch, and
+  // only while `record` is alive and unmodified.
+  Status encode_iov(const void* record, ByteBuffer& scratch,
+                    std::vector<IoSlice>& slices) const;
+
   // Convenience: encode into a fresh buffer.
   Result<std::vector<std::uint8_t>> encode_to_vector(const void* record) const;
 
@@ -37,15 +54,27 @@ class Encoder {
   Result<std::size_t> encoded_size(const void* record) const;
 
  private:
+  // One out-of-line field, with everything encode needs precomputed so the
+  // hot loop never consults the Format.
+  struct VarOp {
+    bool is_string = false;
+    std::uint32_t offset = 0;      // first pointer slot in the struct
+    std::uint32_t slot_count = 1;  // strings: slots in a fixed array
+    std::uint32_t elem_size = 0;   // dynamic arrays: element size
+    std::uint32_t align = 1;       // dynamic arrays: payload alignment
+    std::uint32_t count_offset = 0;
+    std::uint32_t count_size = 0;
+    FieldKind count_kind = FieldKind::kInteger;
+    std::string path;  // diagnostics only
+  };
+
   explicit Encoder(FormatPtr format);
 
-  // Reads the runtime element count of a dynamic array field from the
-  // struct image; negative counts are rejected.
-  static Result<std::uint64_t> read_count(const std::uint8_t* record,
-                                          const FlatField& field);
+  Result<std::uint64_t> read_var_count(const std::uint8_t* record,
+                                       const VarOp& op) const;
 
   FormatPtr format_;
-  std::vector<FlatField> var_fields_;  // strings + dynamic arrays only
+  std::vector<VarOp> program_;  // strings + dynamic arrays only
 };
 
 }  // namespace xmit::pbio

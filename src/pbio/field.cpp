@@ -92,6 +92,39 @@ std::string format_field_type(const FieldType& type) {
   return out;
 }
 
+Result<std::uint64_t> read_count_field(const std::uint8_t* image,
+                                       std::uint32_t offset,
+                                       std::uint32_t size, FieldKind kind,
+                                       ByteOrder order, std::string_view path,
+                                       ErrorCode negative_error) {
+  const std::uint8_t* p = image + offset;
+  std::uint64_t raw;
+  switch (size) {
+    case 1: raw = p[0]; break;
+    case 2: raw = load_with_order<std::uint16_t>(p, order); break;
+    case 4: raw = load_with_order<std::uint32_t>(p, order); break;
+    case 8: raw = load_with_order<std::uint64_t>(p, order); break;
+    default:
+      return Status(ErrorCode::kInternal,
+                    "bad count field size in '" + std::string(path) + "'");
+  }
+  if (kind == FieldKind::kUnsigned || kind == FieldKind::kBoolean ||
+      kind == FieldKind::kChar)
+    return raw;
+  // Signed count: sign-extend from the field's width, reject negatives.
+  std::int64_t value;
+  switch (size) {
+    case 1: value = static_cast<std::int8_t>(raw); break;
+    case 2: value = static_cast<std::int16_t>(raw); break;
+    case 4: value = static_cast<std::int32_t>(raw); break;
+    default: value = static_cast<std::int64_t>(raw); break;
+  }
+  if (value < 0)
+    return Status(negative_error,
+                  "negative array count in '" + std::string(path) + "'");
+  return static_cast<std::uint64_t>(value);
+}
+
 bool valid_size_for_kind(FieldKind kind, std::uint32_t size) {
   switch (kind) {
     case FieldKind::kInteger:

@@ -20,6 +20,7 @@
 #include <string>
 #include <string_view>
 
+#include "common/endian.hpp"
 #include "common/error.hpp"
 
 namespace xmit::pbio {
@@ -76,5 +77,21 @@ std::string format_field_type(const FieldType& type);
 
 // True if `size` is legal for the kind (e.g. floats must be 4 or 8).
 bool valid_size_for_kind(FieldKind kind, std::uint32_t size);
+
+// Reads the run-time element count of a dynamic array from a structure
+// image laid out in `order` (a live host struct for the encoder, a wire
+// record's fixed section for the decoders). One definition of the count
+// contract for every path:
+//   - signed count fields: negative values fail with `negative_error`
+//   - unsigned count fields: the full unsigned value of the field's width
+//     (the top bit is not a sign bit — callers bounds-check the count
+//     against the payload they actually have)
+// `offset`/`size`/`kind` come from FlatField::count_*; sizes other than
+// 1/2/4/8 are a planner bug and fail kInternal.
+Result<std::uint64_t> read_count_field(const std::uint8_t* image,
+                                       std::uint32_t offset,
+                                       std::uint32_t size, FieldKind kind,
+                                       ByteOrder order, std::string_view path,
+                                       ErrorCode negative_error);
 
 }  // namespace xmit::pbio

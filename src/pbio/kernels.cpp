@@ -1,0 +1,215 @@
+#include "pbio/kernels.hpp"
+
+#include <cstring>
+
+namespace xmit::pbio {
+namespace {
+
+template <typename U>
+inline U load_u(const std::uint8_t* p, bool swap) {
+  U v = load_raw<U>(p);
+  return swap ? bswap(v) : v;
+}
+
+// Invokes `fn` with a loader lambda `const std::uint8_t* -> Interm`, where
+// Interm (int64/uint64/double) is picked by the source kind — the same
+// normalization ScalarValue performs, minus the variant and the Result.
+template <typename Fn>
+inline void with_loader(FieldKind kind, std::uint32_t size, bool swap,
+                        Fn&& fn) {
+  switch (kind) {
+    case FieldKind::kFloat:
+      if (size == 4)
+        fn([swap](const std::uint8_t* p) -> double {
+          return bits_to_float(load_u<std::uint32_t>(p, swap));
+        });
+      else
+        fn([swap](const std::uint8_t* p) -> double {
+          return bits_to_double(load_u<std::uint64_t>(p, swap));
+        });
+      return;
+    case FieldKind::kInteger:
+      switch (size) {
+        case 1:
+          fn([](const std::uint8_t* p) -> std::int64_t {
+            return static_cast<std::int8_t>(p[0]);
+          });
+          return;
+        case 2:
+          fn([swap](const std::uint8_t* p) -> std::int64_t {
+            return static_cast<std::int16_t>(load_u<std::uint16_t>(p, swap));
+          });
+          return;
+        case 4:
+          fn([swap](const std::uint8_t* p) -> std::int64_t {
+            return static_cast<std::int32_t>(load_u<std::uint32_t>(p, swap));
+          });
+          return;
+        default:
+          fn([swap](const std::uint8_t* p) -> std::int64_t {
+            return static_cast<std::int64_t>(load_u<std::uint64_t>(p, swap));
+          });
+          return;
+      }
+    case FieldKind::kUnsigned:
+    case FieldKind::kBoolean: {
+      const bool normalize = kind == FieldKind::kBoolean;
+      switch (size) {
+        case 1:
+          fn([normalize](const std::uint8_t* p) -> std::uint64_t {
+            std::uint64_t v = p[0];
+            return normalize ? (v ? 1 : 0) : v;
+          });
+          return;
+        case 2:
+          fn([swap, normalize](const std::uint8_t* p) -> std::uint64_t {
+            std::uint64_t v = load_u<std::uint16_t>(p, swap);
+            return normalize ? (v ? 1 : 0) : v;
+          });
+          return;
+        case 4:
+          fn([swap, normalize](const std::uint8_t* p) -> std::uint64_t {
+            std::uint64_t v = load_u<std::uint32_t>(p, swap);
+            return normalize ? (v ? 1 : 0) : v;
+          });
+          return;
+        default:
+          fn([swap, normalize](const std::uint8_t* p) -> std::uint64_t {
+            std::uint64_t v = load_u<std::uint64_t>(p, swap);
+            return normalize ? (v ? 1 : 0) : v;
+          });
+          return;
+      }
+    }
+    case FieldKind::kChar:
+    default:
+      fn([](const std::uint8_t* p) -> std::uint64_t { return p[0]; });
+      return;
+  }
+}
+
+// Invokes `fn` with a storer lambda `(std::uint8_t*, Interm)`. The casts
+// inside replicate ScalarValue::as_signed/as_unsigned/as_real for
+// whichever intermediate type the loader produced.
+template <typename Fn>
+inline void with_storer(FieldKind kind, std::uint32_t size, Fn&& fn) {
+  switch (kind) {
+    case FieldKind::kFloat:
+      if (size == 4)
+        fn([](std::uint8_t* p, auto v) {
+          store_raw(p, float_bits(static_cast<float>(static_cast<double>(v))));
+        });
+      else
+        fn([](std::uint8_t* p, auto v) {
+          store_raw(p, double_bits(static_cast<double>(v)));
+        });
+      return;
+    case FieldKind::kInteger:
+      switch (size) {
+        case 1:
+          fn([](std::uint8_t* p, auto v) {
+            p[0] = static_cast<std::uint8_t>(
+                static_cast<std::uint64_t>(static_cast<std::int64_t>(v)));
+          });
+          return;
+        case 2:
+          fn([](std::uint8_t* p, auto v) {
+            store_raw(p, static_cast<std::uint16_t>(static_cast<std::uint64_t>(
+                             static_cast<std::int64_t>(v))));
+          });
+          return;
+        case 4:
+          fn([](std::uint8_t* p, auto v) {
+            store_raw(p, static_cast<std::uint32_t>(static_cast<std::uint64_t>(
+                             static_cast<std::int64_t>(v))));
+          });
+          return;
+        default:
+          fn([](std::uint8_t* p, auto v) {
+            store_raw(p,
+                      static_cast<std::uint64_t>(static_cast<std::int64_t>(v)));
+          });
+          return;
+      }
+    case FieldKind::kUnsigned:
+    case FieldKind::kBoolean: {
+      const bool normalize = kind == FieldKind::kBoolean;
+      switch (size) {
+        case 1:
+          fn([normalize](std::uint8_t* p, auto v) {
+            std::uint64_t bits = static_cast<std::uint64_t>(v);
+            if (normalize) bits = bits ? 1 : 0;
+            p[0] = static_cast<std::uint8_t>(bits);
+          });
+          return;
+        case 2:
+          fn([normalize](std::uint8_t* p, auto v) {
+            std::uint64_t bits = static_cast<std::uint64_t>(v);
+            if (normalize) bits = bits ? 1 : 0;
+            store_raw(p, static_cast<std::uint16_t>(bits));
+          });
+          return;
+        case 4:
+          fn([normalize](std::uint8_t* p, auto v) {
+            std::uint64_t bits = static_cast<std::uint64_t>(v);
+            if (normalize) bits = bits ? 1 : 0;
+            store_raw(p, static_cast<std::uint32_t>(bits));
+          });
+          return;
+        default:
+          fn([normalize](std::uint8_t* p, auto v) {
+            std::uint64_t bits = static_cast<std::uint64_t>(v);
+            if (normalize) bits = bits ? 1 : 0;
+            store_raw(p, bits);
+          });
+          return;
+      }
+    }
+    case FieldKind::kChar:
+    default:
+      fn([](std::uint8_t* p, auto v) {
+        p[0] = static_cast<std::uint8_t>(static_cast<std::uint64_t>(v));
+      });
+      return;
+  }
+}
+
+}  // namespace
+
+void swap_elements(std::uint8_t* dst, const std::uint8_t* src,
+                   std::size_t count, std::uint32_t width) {
+  switch (width) {
+    case 2:
+      for (std::size_t i = 0; i < count; ++i)
+        store_raw(dst + i * 2, bswap16(load_raw<std::uint16_t>(src + i * 2)));
+      return;
+    case 4:
+      for (std::size_t i = 0; i < count; ++i)
+        store_raw(dst + i * 4, bswap32(load_raw<std::uint32_t>(src + i * 4)));
+      return;
+    case 8:
+      for (std::size_t i = 0; i < count; ++i)
+        store_raw(dst + i * 8, bswap64(load_raw<std::uint64_t>(src + i * 8)));
+      return;
+    default:
+      // width 1 never reaches a swap op; other widths are planner bugs.
+      std::memcpy(dst, src, std::size_t(width) * count);
+      return;
+  }
+}
+
+void convert_elements(std::uint8_t* dst, FieldKind dst_kind,
+                      std::uint32_t dst_size, const std::uint8_t* src,
+                      FieldKind src_kind, std::uint32_t src_size,
+                      std::size_t count, ByteOrder src_order) {
+  const bool swap = src_order != host_byte_order();
+  with_loader(src_kind, src_size, swap, [&](auto load) {
+    with_storer(dst_kind, dst_size, [&](auto store) {
+      for (std::size_t i = 0; i < count; ++i)
+        store(dst + i * std::size_t(dst_size),
+              load(src + i * std::size_t(src_size)));
+    });
+  });
+}
+
+}  // namespace xmit::pbio

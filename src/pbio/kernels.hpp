@@ -1,0 +1,42 @@
+// Bulk marshal kernels: the element-transfer primitives a compiled
+// conversion plan executes. Unlike the load_scalar/store_scalar reference
+// interpreter (pbio/scalar.hpp), these are infallible by contract — every
+// (kind, size) pair is validated once at plan-build time, so the inner
+// loops carry no Result plumbing and no per-element dispatch: each
+// (source type, destination type) combination instantiates one fully-typed
+// loop the compiler can unroll and vectorize.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/endian.hpp"
+#include "pbio/field.hpp"
+
+namespace xmit::pbio {
+
+// Byte-reverses `count` elements of `width` bytes (2, 4 or 8) from `src`
+// to `dst`. Bit-preserving: NaN payloads and non-canonical booleans pass
+// through untouched, which is why the planner only emits swap ops for
+// integer/unsigned/float fields of equal width (booleans must normalize
+// and go through convert_elements instead).
+void swap_elements(std::uint8_t* dst, const std::uint8_t* src,
+                   std::size_t count, std::uint32_t width);
+
+// General element conversion: width changes (sign/zero-extending or
+// truncating per the source kind), float<->double, boolean normalization,
+// and byte-order correction, for `count` elements. Semantics match the
+// scalar reference interpreter exactly: each element is normalized to a
+// 64-bit signed / 64-bit unsigned / double intermediate chosen by the
+// source kind and re-materialized at the destination (kind, size).
+// Destination bytes are written in host order.
+//
+// Preconditions (enforced by the plan builder, not here): both (kind,
+// size) pairs satisfy valid_size_for_kind and neither kind is kString or
+// kNested.
+void convert_elements(std::uint8_t* dst, FieldKind dst_kind,
+                      std::uint32_t dst_size, const std::uint8_t* src,
+                      FieldKind src_kind, std::uint32_t src_size,
+                      std::size_t count, ByteOrder src_order);
+
+}  // namespace xmit::pbio

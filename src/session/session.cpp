@@ -51,10 +51,13 @@ Status MessageSession::announce(const pbio::Format& format) {
 
 Status MessageSession::send(const pbio::Encoder& encoder, const void* record) {
   XMIT_RETURN_IF_ERROR(announce(encoder.format()));
-  ByteBuffer frame;
-  frame.append_byte(kTagRecord);
-  XMIT_RETURN_IF_ERROR(encoder.encode(record, frame));
-  XMIT_RETURN_IF_ERROR(channel_.send(frame.span()));
+  // Gather path: the encoder emits slices over pooled scratch, the record
+  // tag rides as the first slice, and the channel writes the lot with one
+  // sendmsg — no flattened frame copy, no allocation once pools are warm.
+  XMIT_RETURN_IF_ERROR(
+      encoder.encode_iov(record, send_scratch_, send_slices_));
+  send_slices_.insert(send_slices_.begin(), IoSlice{&kTagRecord, 1});
+  XMIT_RETURN_IF_ERROR(channel_.send_gather(send_slices_));
   ++records_sent_;
   return Status::ok();
 }
@@ -71,19 +74,29 @@ Status MessageSession::send_encoded(const pbio::Format& format,
 }
 
 Result<MessageSession::Incoming> MessageSession::receive(int timeout_ms) {
+  XMIT_ASSIGN_OR_RETURN(auto view, receive_view(timeout_ms));
+  Incoming incoming;
+  incoming.bytes.assign(view.bytes.begin(), view.bytes.end());
+  incoming.sender_format = std::move(view.sender_format);
+  return incoming;
+}
+
+Result<MessageSession::IncomingView> MessageSession::receive_view(
+    int timeout_ms) {
   if (poisoned_)
     return Status(ErrorCode::kResourceExhausted,
                   "session poisoned: peer exceeded the malformed-frame budget");
   for (;;) {
-    XMIT_ASSIGN_OR_RETURN(auto frame, channel_.receive(timeout_ms));
-    if (frame.empty())
+    XMIT_RETURN_IF_ERROR(channel_.receive_into(recv_frame_, timeout_ms));
+    if (recv_frame_.empty())
       return note_malformed(
           Status(ErrorCode::kParseError, "empty session frame"));
-    if (frame.size() > limits_.max_message_bytes)
+    if (recv_frame_.size() > limits_.max_message_bytes)
       return note_malformed(Status(ErrorCode::kResourceExhausted,
                                    "session frame exceeds size limit"));
-    std::span<const std::uint8_t> payload(frame.data() + 1, frame.size() - 1);
-    switch (frame[0]) {
+    std::span<const std::uint8_t> payload(recv_frame_.data() + 1,
+                                          recv_frame_.size() - 1);
+    switch (recv_frame_[0]) {
       case kTagFormat: {
         auto format = pbio::deserialize_format(payload, limits_);
         if (!format.is_ok()) {
@@ -101,18 +114,16 @@ Result<MessageSession::Incoming> MessageSession::receive(int timeout_ms) {
         continue;
       }
       case kTagRecord: {
-        Incoming incoming;
-        incoming.bytes.assign(payload.begin(), payload.end());
         // Quarantine check runs on the raw header, before the (costlier)
         // structural inspection a hostile record would fail anyway.
-        auto header = pbio::parse_header(incoming.bytes);
+        auto header = pbio::parse_header(payload);
         if (header.is_ok() &&
             quarantined_.contains(header.value().format_id)) {
           return note_malformed(Status(
               ErrorCode::kMalformedInput,
               "record claims quarantined format id; re-announce to clear"));
         }
-        auto info = decoder_->inspect(incoming.bytes);
+        auto info = decoder_->inspect(payload);
         if (!info.is_ok()) {
           // Affirmatively hostile bytes (internal contradictions, blown
           // budgets) poison trust in that format id until the peer
@@ -125,13 +136,12 @@ Result<MessageSession::Incoming> MessageSession::receive(int timeout_ms) {
           }
           return note_malformed(info.status());
         }
-        incoming.sender_format = std::move(info.value().sender_format);
-        return incoming;
+        return IncomingView{payload, std::move(info.value().sender_format)};
       }
       default:
         return note_malformed(
             Status(ErrorCode::kParseError, "unknown session frame tag " +
-                                               std::to_string(frame[0])));
+                                               std::to_string(recv_frame_[0])));
     }
   }
 }

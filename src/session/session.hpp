@@ -25,6 +25,7 @@
 #include <set>
 #include <vector>
 
+#include "common/bytes.hpp"
 #include "common/error.hpp"
 #include "common/limits.hpp"
 #include "net/channel.hpp"
@@ -43,7 +44,10 @@ class MessageSession {
   MessageSession(MessageSession&&) = default;
 
   // Marshals `record` and sends it, announcing the encoder's format first
-  // if this session has not carried it yet.
+  // if this session has not carried it yet. Gather I/O over pooled scratch:
+  // after the first few sends of a format the steady state copies only the
+  // header (plus the slot-patched fixed section for var-bearing formats)
+  // and performs no heap allocation.
   Status send(const pbio::Encoder& encoder, const void* record);
 
   // Sends an already-encoded record belonging to `format`.
@@ -56,6 +60,15 @@ class MessageSession {
 
   struct Incoming {
     std::vector<std::uint8_t> bytes;  // a complete PBIO wire record
+    pbio::FormatPtr sender_format;
+  };
+
+  // Borrowed variant of Incoming: the record stays in the session's pooled
+  // frame buffer, valid until the next receive/receive_view call. Pair
+  // with an Arena the caller rewind()s between records for allocation-free
+  // steady-state decode.
+  struct IncomingView {
+    std::span<const std::uint8_t> bytes;  // a complete PBIO wire record
     pbio::FormatPtr sender_format;
   };
 
@@ -73,6 +86,11 @@ class MessageSession {
   //    (limits().max_malformed_frames); once exhausted the session is
   //    poisoned and every later receive() fails with kResourceExhausted.
   Result<Incoming> receive(int timeout_ms = 10000);
+
+  // receive() without the copy into a fresh vector: frames land in a
+  // pooled buffer whose capacity persists across calls, so once warmed the
+  // receive path allocates nothing. Same quarantine/poisoning semantics.
+  Result<IncomingView> receive_view(int timeout_ms = 10000);
 
   // Per-peer decode budgets; forwarded to the record decoder and applied
   // to announcement parsing and frame sizes.
@@ -104,6 +122,11 @@ class MessageSession {
   DecodeLimits limits_ = DecodeLimits::defaults();
   std::set<pbio::FormatId> announced_;
   std::set<pbio::FormatId> quarantined_;
+  // Pooled I/O state: capacity persists across messages (zero steady-state
+  // allocations), contents are per-call.
+  ByteBuffer send_scratch_;
+  std::vector<IoSlice> send_slices_;
+  std::vector<std::uint8_t> recv_frame_;
   bool poisoned_ = false;
   std::size_t announcements_sent_ = 0;
   std::size_t announcements_received_ = 0;

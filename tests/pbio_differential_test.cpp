@@ -1,0 +1,368 @@
+// Differential test: the compiled marshal program (Decoder::decode) must
+// be byte-identical to the scalar reference interpreter
+// (Decoder::decode_reference) over randomized layouts, sender byte orders,
+// and field evolutions. Values are builder-generated and finite, so both
+// paths are deterministic; decoded structs are compared field by field
+// (out-of-line data by content — pointer slots differ between arenas).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "pbio/decode.hpp"
+#include "pbio/dynrecord.hpp"
+#include "pbio/registry.hpp"
+
+namespace xmit::pbio {
+namespace {
+
+struct FieldSpec {
+  std::string name;
+  FieldKind kind = FieldKind::kInteger;
+  std::uint32_t size = 4;
+  ArrayMode mode = ArrayMode::kNone;
+  std::uint32_t fixed_count = 0;
+  std::string count_name;  // dynamic arrays
+};
+
+std::uint32_t pick_int_size(Rng& rng) {
+  static const std::uint32_t sizes[] = {1, 2, 4, 8};
+  return sizes[rng.below(4)];
+}
+
+// Random schema: scalars of every kind, fixed and dynamic arrays of the
+// kinds RecordBuilder can populate, each dynamic array preceded by its own
+// count field.
+std::vector<FieldSpec> random_specs(Rng& rng) {
+  std::vector<FieldSpec> specs;
+  const std::size_t fields = 3 + rng.below(6);
+  for (std::size_t i = 0; i < fields; ++i) {
+    FieldSpec spec;
+    spec.name = "f" + std::to_string(i);
+    switch (rng.below(8)) {
+      case 0:
+        spec.kind = FieldKind::kUnsigned;
+        spec.size = pick_int_size(rng);
+        break;
+      case 1:
+        spec.kind = FieldKind::kFloat;
+        spec.size = rng.below(2) ? 8 : 4;
+        break;
+      case 2:
+        spec.kind = FieldKind::kChar;
+        spec.size = 1;
+        break;
+      case 3:
+        spec.kind = FieldKind::kBoolean;
+        spec.size = pick_int_size(rng);
+        break;
+      case 4:
+        spec.kind = FieldKind::kString;
+        spec.size = 0;  // filled per arch
+        break;
+      case 5: {  // fixed array of int or float
+        spec.mode = ArrayMode::kFixed;
+        spec.fixed_count = 2 + rng.below(4);
+        if (rng.below(2)) {
+          spec.kind = FieldKind::kInteger;
+          spec.size = pick_int_size(rng);
+        } else {
+          spec.kind = FieldKind::kFloat;
+          spec.size = rng.below(2) ? 8 : 4;
+        }
+        break;
+      }
+      case 6: {  // dynamic array with its own count field
+        FieldSpec count;
+        count.name = spec.name + "_n";
+        count.kind = FieldKind::kInteger;
+        count.size = pick_int_size(rng);
+        specs.push_back(count);
+        spec.mode = ArrayMode::kDynamic;
+        spec.count_name = count.name;
+        if (rng.below(2)) {
+          spec.kind = FieldKind::kInteger;
+          spec.size = pick_int_size(rng);
+        } else {
+          spec.kind = FieldKind::kFloat;
+          spec.size = rng.below(2) ? 8 : 4;
+        }
+        break;
+      }
+      default:
+        spec.kind = FieldKind::kInteger;
+        spec.size = pick_int_size(rng);
+        break;
+    }
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+const char* type_name(FieldKind kind) {
+  switch (kind) {
+    case FieldKind::kInteger: return "integer";
+    case FieldKind::kUnsigned: return "unsigned";
+    case FieldKind::kFloat: return "float";
+    case FieldKind::kChar: return "char";
+    case FieldKind::kBoolean: return "boolean";
+    case FieldKind::kString: return "string";
+    case FieldKind::kNested: return "nested";
+  }
+  return "integer";
+}
+
+// Natural-alignment layout for `arch`, mirroring the C ABI rules the
+// LayoutEngine applies: alignment = min(size, max_align), struct size
+// rounded up to the widest member alignment.
+struct Laid {
+  std::vector<IOField> fields;
+  std::uint32_t struct_size = 0;
+};
+
+Laid lay_out(const std::vector<FieldSpec>& specs, const ArchInfo& arch) {
+  Laid laid;
+  std::uint32_t cursor = 0;
+  std::uint32_t max_align = 1;
+  for (const auto& spec : specs) {
+    const bool pointer_slot =
+        spec.kind == FieldKind::kString || spec.mode == ArrayMode::kDynamic;
+    std::uint32_t elem = pointer_slot ? arch.pointer_size : spec.size;
+    std::uint32_t align = elem > arch.max_align ? arch.max_align : elem;
+    if (align == 0) align = 1;
+    cursor = static_cast<std::uint32_t>(align_up(cursor, align));
+    std::string type = type_name(spec.kind);
+    if (spec.mode == ArrayMode::kFixed)
+      type += "[" + std::to_string(spec.fixed_count) + "]";
+    else if (spec.mode == ArrayMode::kDynamic)
+      type += "[" + spec.count_name + "]";
+    laid.fields.push_back({spec.name, type, elem, cursor});
+    std::uint32_t total =
+        spec.mode == ArrayMode::kFixed ? elem * spec.fixed_count : elem;
+    cursor += total;
+    if (align > max_align) max_align = align;
+  }
+  laid.struct_size = static_cast<std::uint32_t>(align_up(cursor, max_align));
+  return laid;
+}
+
+// Evolution: reorder, width-change, drop, add — keeping each field's kind
+// stable (kind changes with out-of-range values are UB in *both* paths and
+// not part of the evolution contract under test).
+std::vector<FieldSpec> evolve(const std::vector<FieldSpec>& sender, Rng& rng) {
+  std::vector<FieldSpec> out = sender;
+  // Width changes (ints, floats, and count fields; never strings/chars).
+  for (auto& spec : out) {
+    if (rng.below(10) >= 3) continue;
+    if (spec.kind == FieldKind::kInteger || spec.kind == FieldKind::kUnsigned ||
+        spec.kind == FieldKind::kBoolean)
+      spec.size = pick_int_size(rng);
+    else if (spec.kind == FieldKind::kFloat)
+      spec.size = rng.below(2) ? 8 : 4;
+  }
+  // Drop ~20% of fields, but never a count field something still uses.
+  std::vector<FieldSpec> kept;
+  for (const auto& spec : out) {
+    bool is_count = false;
+    for (const auto& other : out)
+      if (other.count_name == spec.name) is_count = true;
+    if (!is_count && rng.below(5) == 0) continue;
+    kept.push_back(spec);
+  }
+  if (kept.empty()) kept.push_back(sender.front());
+  // Add a couple of receiver-only fields (decode must zero-fill them).
+  const std::size_t adds = rng.below(3);
+  for (std::size_t i = 0; i < adds; ++i) {
+    FieldSpec spec;
+    spec.name = "new" + std::to_string(i);
+    spec.kind = rng.below(2) ? FieldKind::kInteger : FieldKind::kFloat;
+    spec.size = spec.kind == FieldKind::kFloat ? (rng.below(2) ? 8 : 4)
+                                               : pick_int_size(rng);
+    kept.push_back(std::move(spec));
+  }
+  // Shuffle.
+  for (std::size_t i = kept.size(); i > 1; --i)
+    std::swap(kept[i - 1], kept[rng.below(i)]);
+  return kept;
+}
+
+// Populate a record for `specs` with deterministic finite values. Some
+// fields are left unset on purpose (builder encodes zero/null).
+Status populate(RecordBuilder& builder, const std::vector<FieldSpec>& specs,
+                Rng& rng) {
+  for (const auto& spec : specs) {
+    if (!spec.count_name.empty() || spec.mode == ArrayMode::kDynamic) {
+      // Dynamic arrays (and their counts) are set via the array setter.
+    }
+    bool is_count = false;
+    for (const auto& other : specs)
+      if (other.count_name == spec.name) is_count = true;
+    if (is_count) continue;  // set implicitly by the array setter
+    if (rng.below(8) == 0) continue;  // leave unset sometimes
+
+    switch (spec.mode) {
+      case ArrayMode::kNone:
+        switch (spec.kind) {
+          case FieldKind::kInteger: {
+            std::int64_t v = static_cast<std::int64_t>(rng.below(200)) - 100;
+            XMIT_RETURN_IF_ERROR(builder.set_int(spec.name, v));
+            break;
+          }
+          case FieldKind::kUnsigned:
+            XMIT_RETURN_IF_ERROR(
+                builder.set_uint(spec.name, rng.below(200)));
+            break;
+          case FieldKind::kFloat:
+            XMIT_RETURN_IF_ERROR(builder.set_float(
+                spec.name,
+                (static_cast<double>(rng.below(4096)) - 2048.0) / 8.0));
+            break;
+          case FieldKind::kChar:
+            XMIT_RETURN_IF_ERROR(builder.set_char(
+                spec.name, static_cast<char>('a' + rng.below(26))));
+            break;
+          case FieldKind::kBoolean:
+            XMIT_RETURN_IF_ERROR(
+                builder.set_bool(spec.name, rng.below(2) != 0));
+            break;
+          case FieldKind::kString: {
+            std::string s(1 + rng.below(12),
+                          static_cast<char>('A' + rng.below(26)));
+            XMIT_RETURN_IF_ERROR(builder.set_string(spec.name, s));
+            break;
+          }
+          default:
+            break;
+        }
+        break;
+      case ArrayMode::kFixed:
+      case ArrayMode::kDynamic: {
+        std::size_t n = spec.mode == ArrayMode::kFixed
+                            ? spec.fixed_count
+                            : 1 + rng.below(20);
+        if (spec.kind == FieldKind::kFloat) {
+          std::vector<double> values(n);
+          for (auto& v : values)
+            v = (static_cast<double>(rng.below(4096)) - 2048.0) / 8.0;
+          XMIT_RETURN_IF_ERROR(builder.set_float_array(spec.name, values));
+        } else {
+          std::vector<std::int64_t> values(n);
+          for (auto& v : values)
+            v = static_cast<std::int64_t>(rng.below(200)) - 100;
+          XMIT_RETURN_IF_ERROR(builder.set_int_array(spec.name, values));
+        }
+        break;
+      }
+    }
+  }
+  return Status::ok();
+}
+
+// Field-by-field comparison of two decoded receiver structs. Pointer slots
+// hold arena addresses that legitimately differ; everything else must be
+// bit-identical.
+void expect_identical(const Format& receiver, const std::uint8_t* a,
+                      const std::uint8_t* b, std::size_t trial) {
+  for (const auto& field : receiver.flat_fields()) {
+    SCOPED_TRACE("trial " + std::to_string(trial) + " field " + field.path);
+    if (field.kind == FieldKind::kString) {
+      const std::uint32_t elems =
+          field.array_mode == ArrayMode::kFixed ? field.fixed_count : 1;
+      for (std::uint32_t i = 0; i < elems; ++i) {
+        const char* sa =
+            load_raw<const char*>(a + field.offset + i * sizeof(char*));
+        const char* sb =
+            load_raw<const char*>(b + field.offset + i * sizeof(char*));
+        ASSERT_EQ(sa == nullptr, sb == nullptr);
+        if (sa != nullptr) {
+          EXPECT_STREQ(sa, sb);
+        }
+      }
+      continue;
+    }
+    if (field.array_mode == ArrayMode::kDynamic) {
+      auto count = read_count_field(a, field.count_offset, field.count_size,
+                                    field.count_kind, host_byte_order(),
+                                    field.path, ErrorCode::kInternal);
+      ASSERT_TRUE(count.is_ok());
+      const auto* pa = load_raw<const std::uint8_t*>(a + field.offset);
+      const auto* pb = load_raw<const std::uint8_t*>(b + field.offset);
+      ASSERT_EQ(pa == nullptr, pb == nullptr);
+      if (pa != nullptr) {
+        EXPECT_EQ(0, std::memcmp(pa, pb, count.value() * field.size));
+      }
+      continue;
+    }
+    const std::size_t count =
+        field.array_mode == ArrayMode::kFixed ? field.fixed_count : 1;
+    EXPECT_EQ(0,
+              std::memcmp(a + field.offset, b + field.offset,
+                          count * field.size))
+        << "scalar bytes differ";
+  }
+}
+
+TEST(Differential, CompiledDecodeMatchesReferenceInterpreter) {
+  const ArchInfo arches[] = {
+      ArchInfo::host(),
+      ArchInfo::big_endian_64(),
+      ArchInfo::little_endian_32(),
+      ArchInfo::big_endian_32(),
+  };
+  Rng rng(0xd1ffe7e57ull);
+  const std::size_t kTrials = 150;
+  for (std::size_t trial = 0; trial < kTrials; ++trial) {
+    FormatRegistry registry;
+    Decoder decoder(registry);
+    const ArchInfo& sender_arch = arches[trial % 4];
+
+    auto sender_specs = random_specs(rng);
+    auto receiver_specs =
+        trial % 3 == 0 ? sender_specs : evolve(sender_specs, rng);
+    Laid sender_laid = lay_out(sender_specs, sender_arch);
+    Laid receiver_laid = lay_out(receiver_specs, ArchInfo::host());
+
+    auto sender_made = Format::make("Diff", sender_laid.fields,
+                                    sender_laid.struct_size, sender_arch);
+    ASSERT_TRUE(sender_made.is_ok())
+        << "trial " << trial << ": " << sender_made.status().to_string();
+    auto sender = registry.adopt(std::move(sender_made).value()).value();
+    auto receiver_made = registry.register_format(
+        "Diff", receiver_laid.fields, receiver_laid.struct_size);
+    ASSERT_TRUE(receiver_made.is_ok())
+        << "trial " << trial << ": " << receiver_made.status().to_string();
+    auto receiver = std::move(receiver_made).value();
+
+    RecordBuilder builder(sender);
+    auto filled = populate(builder, sender_specs, rng);
+    ASSERT_TRUE(filled.is_ok()) << "trial " << trial << ": "
+                                << filled.to_string();
+    auto built = builder.build();
+    ASSERT_TRUE(built.is_ok()) << "trial " << trial << ": "
+                               << built.status().to_string();
+    const auto& bytes = built.value();
+
+    // Over-aligned output buffers: the receiver struct may hold pointers.
+    std::vector<std::max_align_t> buf_a(
+        (receiver_laid.struct_size + sizeof(std::max_align_t) - 1) /
+        sizeof(std::max_align_t));
+    std::vector<std::max_align_t> buf_b(buf_a.size());
+    auto* out_a = reinterpret_cast<std::uint8_t*>(buf_a.data());
+    auto* out_b = reinterpret_cast<std::uint8_t*>(buf_b.data());
+    Arena arena_a;
+    Arena arena_b;
+    auto status_a = decoder.decode(bytes, *receiver, out_a, arena_a);
+    auto status_b =
+        decoder.decode_reference(bytes, *receiver, out_b, arena_b);
+    ASSERT_EQ(status_a.is_ok(), status_b.is_ok())
+        << "trial " << trial << " compiled: " << status_a.to_string()
+        << " reference: " << status_b.to_string();
+    if (!status_a.is_ok()) continue;
+    expect_identical(*receiver, out_a, out_b, trial);
+  }
+}
+
+}  // namespace
+}  // namespace xmit::pbio

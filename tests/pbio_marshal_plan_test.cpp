@@ -1,0 +1,364 @@
+// Compiled marshal-plan tests: op compilation, span coalescing, kernel
+// selection, plan introspection, and the count-field/string-slot regression
+// cases that motivated unifying slot access behind read_count_field.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "hydrology/messages.hpp"
+#include "pbio/decode.hpp"
+#include "pbio/dynrecord.hpp"
+#include "pbio/encode.hpp"
+#include "pbio/registry.hpp"
+#include "xmit/layout.hpp"
+#include "xsd/parse.hpp"
+
+namespace xmit::pbio {
+namespace {
+
+class MarshalPlan : public ::testing::Test {
+ protected:
+  FormatRegistry registry_;
+  Decoder decoder_{registry_};
+  Arena arena_;
+};
+
+// The Figure-7 struct: same-order sender with the two leading ints
+// reordered. The acceptance bar: at most 4 coalesced copy spans, no
+// element-wise kernels.
+TEST_F(MarshalPlan, ReorderedSimpleDataCompilesToFewCopies) {
+  auto receiver =
+      registry_
+          .register_format("SimpleData",
+                           {
+                               {"timestep", "integer", 4,
+                                offsetof(hydrology::SimpleData, timestep)},
+                               {"size", "integer", 4,
+                                offsetof(hydrology::SimpleData, size)},
+                               {"data", "float[size]", 4,
+                                offsetof(hydrology::SimpleData, data)},
+                           },
+                           sizeof(hydrology::SimpleData))
+          .value();
+  // Same arch, fields swapped: size at 0, timestep at 4.
+  auto sender = Format::make("SimpleData",
+                             {
+                                 {"size", "integer", 4, 0},
+                                 {"timestep", "integer", 4, 4},
+                                 {"data", "float[size]", 4, 8},
+                             },
+                             16, ArchInfo::host())
+                    .value();
+  auto adopted = registry_.adopt(sender).value();
+
+  auto stats = decoder_.plan_stats(adopted, *receiver).value();
+  EXPECT_FALSE(stats.identity);
+  EXPECT_LE(stats.copy_ops, 4u);
+  EXPECT_EQ(stats.swap_ops, 0u);
+  EXPECT_EQ(stats.convert_ops, 0u);
+  EXPECT_EQ(stats.dynamic_ops, 1u);
+
+  // And the compiled program decodes the reordered record correctly.
+  RecordBuilder builder(adopted);
+  ASSERT_TRUE(builder.set_int("timestep", 42).is_ok());
+  std::vector<double> grid = {1.0, 2.5, -3.25, 4.0};
+  ASSERT_TRUE(builder.set_float_array("data", grid).is_ok());
+  auto bytes = builder.build().value();
+  hydrology::SimpleData out{};
+  ASSERT_TRUE(decoder_.decode(bytes, *receiver, &out, arena_).is_ok());
+  EXPECT_EQ(out.timestep, 42);
+  ASSERT_EQ(out.size, 4);
+  EXPECT_EQ(out.data[2], -3.25f);
+}
+
+// Adjacent same-offset fields of one byte order fuse into a single copy
+// span even across kind boundaries (int/uint/float bytes are bytes), and a
+// cross-endian sender fuses equal-width runs into bulk swap ops.
+TEST_F(MarshalPlan, AdjacentRunsCoalesce) {
+  std::vector<IOField> rows = {
+      {"a", "integer", 4, 0},  {"b", "unsigned", 4, 4},
+      {"c", "float", 4, 8},    {"d", "integer", 4, 12},
+      {"e", "float", 8, 16},
+  };
+  auto receiver = registry_.register_format("Packed", rows, 24).value();
+
+  auto same_order =
+      registry_.adopt(Format::make("Packed", rows, 24, ArchInfo::host())
+                          .value())
+          .value();
+  // Identical field list but a distinct format instance/id: layouts match,
+  // so this is an identity plan — one whole-struct copy.
+  auto identity_stats = decoder_.plan_stats(same_order, *receiver).value();
+  EXPECT_TRUE(identity_stats.identity);
+  EXPECT_EQ(identity_stats.copy_ops, 1u);
+
+  ArchInfo big = ArchInfo::big_endian_64();
+  auto foreign =
+      registry_.adopt(Format::make("Packed", rows, 24, big).value()).value();
+  auto stats = decoder_.plan_stats(foreign, *receiver).value();
+  EXPECT_FALSE(stats.identity);
+  // a..d are four adjacent 4-byte fields -> one swap4 op; e is 8-byte ->
+  // its own swap8 op.
+  EXPECT_EQ(stats.swap_ops, 2u);
+  EXPECT_EQ(stats.copy_ops, 0u);
+  EXPECT_EQ(stats.convert_ops, 0u);
+
+  auto listing = decoder_.plan_disassembly(foreign, *receiver).value();
+  EXPECT_NE(listing.find("swap4 src@0 dst@0 n=4"), std::string::npos)
+      << listing;
+  EXPECT_NE(listing.find("swap8 src@16 dst@16 n=1"), std::string::npos)
+      << listing;
+}
+
+// Booleans may memcpy only where the reference interpreter memcpys them:
+// same-order fixed-section moves. Cross-order they must normalize, so the
+// planner emits convert ops and non-canonical values decode to 1.
+TEST_F(MarshalPlan, CrossOrderBooleansNormalize) {
+  std::vector<IOField> rows = {
+      {"flag", "boolean", 4, 0},
+      {"pad", "integer", 4, 4},
+  };
+  auto receiver = registry_.register_format("Flags", rows, 8).value();
+  auto foreign =
+      registry_
+          .adopt(Format::make("Flags", rows, 8, ArchInfo::big_endian_64())
+                     .value())
+          .value();
+  auto stats = decoder_.plan_stats(foreign, *receiver).value();
+  EXPECT_EQ(stats.convert_ops, 1u);  // the boolean
+  EXPECT_EQ(stats.swap_ops, 1u);     // the int
+
+  RecordBuilder builder(foreign);
+  ASSERT_TRUE(builder.set_bool("flag", true).is_ok());
+  ASSERT_TRUE(builder.set_int("pad", 7).is_ok());
+  auto bytes = builder.build().value();
+  struct Out {
+    std::uint32_t flag;
+    std::int32_t pad;
+  } out{};
+  ASSERT_TRUE(decoder_.decode(bytes, *receiver, &out, arena_).is_ok());
+  EXPECT_EQ(out.flag, 1u);
+  EXPECT_EQ(out.pad, 7);
+}
+
+// Regression (previously the identity path loaded every count as signed):
+// an unsigned 8-bit count of 200 has its top bit set and must read as 200,
+// not -56.
+TEST_F(MarshalPlan, LargeUnsignedCountDecodes) {
+  struct Rec {
+    std::uint8_t n;
+    std::uint8_t pad[7];
+    std::int8_t* data;
+  };
+  auto format = registry_
+                    .register_format("Counts",
+                                     {
+                                         {"n", "unsigned", 1, offsetof(Rec, n)},
+                                         {"data", "integer[n]", 1,
+                                          offsetof(Rec, data)},
+                                     },
+                                     sizeof(Rec))
+                    .value();
+  auto encoder = Encoder::make(format).value();
+  std::vector<std::int8_t> payload(200);
+  for (std::size_t i = 0; i < payload.size(); ++i)
+    payload[i] = static_cast<std::int8_t>(i);
+  Rec rec{};
+  rec.n = 200;
+  rec.data = payload.data();
+  auto bytes = encoder.encode_to_vector(&rec).value();
+
+  Rec out{};
+  auto status = decoder_.decode(bytes, *format, &out, arena_);
+  ASSERT_TRUE(status.is_ok()) << status.to_string();
+  EXPECT_EQ(out.n, 200u);
+  EXPECT_EQ(out.data[199], static_cast<std::int8_t>(199));
+
+  Rec ref{};
+  Arena ref_arena;
+  ASSERT_TRUE(decoder_.decode_reference(bytes, *format, &ref, ref_arena)
+                  .is_ok());
+  EXPECT_EQ(ref.n, 200u);
+  EXPECT_EQ(0, std::memcmp(ref.data, out.data, 200));
+}
+
+// Regression for unified slot access: a fixed-count string array whose
+// middle element is null must round-trip null in the middle — on the
+// identity path and on a conversion (reordered receiver) path.
+TEST_F(MarshalPlan, NullMiddleStringArrayRoundTrips) {
+  struct Rec {
+    std::int32_t id;
+    std::int32_t pad;
+    char* names[3];
+  };
+  std::vector<IOField> rows = {
+      {"id", "integer", 4, offsetof(Rec, id)},
+      {"pad", "integer", 4, offsetof(Rec, pad)},
+      {"names", "string[3]", sizeof(char*), offsetof(Rec, names)},
+  };
+  auto format = registry_.register_format("Named", rows, sizeof(Rec)).value();
+  auto encoder = Encoder::make(format).value();
+  char first[] = "alpha";
+  char last[] = "gamma";
+  Rec rec{};
+  rec.id = 5;
+  rec.names[0] = first;
+  rec.names[1] = nullptr;
+  rec.names[2] = last;
+  auto bytes = encoder.encode_to_vector(&rec).value();
+
+  Rec out{};
+  ASSERT_TRUE(decoder_.decode(bytes, *format, &out, arena_).is_ok());
+  EXPECT_STREQ(out.names[0], "alpha");
+  EXPECT_EQ(out.names[1], nullptr);
+  EXPECT_STREQ(out.names[2], "gamma");
+
+  // Conversion path: receiver with the string array first.
+  struct Moved {
+    char* names[3];
+    std::int32_t id;
+    std::int32_t pad;
+  };
+  auto moved = registry_
+                   .register_format("Named",
+                                    {
+                                        {"names", "string[3]", sizeof(char*),
+                                         offsetof(Moved, names)},
+                                        {"id", "integer", 4,
+                                         offsetof(Moved, id)},
+                                        {"pad", "integer", 4,
+                                         offsetof(Moved, pad)},
+                                    },
+                                    sizeof(Moved))
+                   .value();
+  Moved conv{};
+  ASSERT_TRUE(decoder_.decode(bytes, *moved, &conv, arena_).is_ok());
+  EXPECT_EQ(conv.id, 5);
+  EXPECT_STREQ(conv.names[0], "alpha");
+  EXPECT_EQ(conv.names[1], nullptr);
+  EXPECT_STREQ(conv.names[2], "gamma");
+}
+
+// Acceptance: a format laid out by XMIT from the XML schema compiles to
+// the same marshal program as the equivalent compiled-in format.
+TEST_F(MarshalPlan, XmitLayoutsCompileToSamePlansAsCompiledIn) {
+  auto schema =
+      xsd::parse_schema_text(hydrology::hydrology_schema_xml()).value();
+  ArchInfo big = ArchInfo::big_endian_64();
+  auto host_layouts = toolkit::layout_schema(schema, ArchInfo::host()).value();
+  auto big_layouts = toolkit::layout_schema(schema, big).value();
+  auto layout_for = [](const std::vector<toolkit::TypeLayout>& layouts,
+                       const std::string& name) {
+    for (const auto& l : layouts)
+      if (l.name == name) return l;
+    ADD_FAILURE() << "no layout for " << name;
+    return layouts.front();
+  };
+
+  std::size_t count = 0;
+  const hydrology::CompiledFormat* compiled =
+      hydrology::compiled_formats(&count);
+  const hydrology::CompiledFormat* simple = nullptr;
+  for (std::size_t i = 0; i < count; ++i)
+    if (std::string_view(compiled[i].name) == "SimpleData")
+      simple = &compiled[i];
+  ASSERT_NE(simple, nullptr);
+  std::vector<IOField> rows;
+  for (std::size_t i = 0; i < simple->row_count; ++i)
+    rows.push_back({simple->rows[i].name, simple->rows[i].type,
+                    simple->rows[i].size, simple->rows[i].offset});
+
+  // Compiled-in pair: big-endian sender -> host receiver.
+  auto compiled_recv =
+      registry_.register_format("SimpleData", rows, simple->struct_size)
+          .value();
+  auto compiled_send =
+      registry_.adopt(Format::make("SimpleData", rows, simple->struct_size,
+                                   big)
+                          .value())
+          .value();
+  auto compiled_plan =
+      decoder_.plan_disassembly(compiled_send, *compiled_recv).value();
+
+  // XMIT pair: same schema laid out for both architectures.
+  FormatRegistry xmit_registry;
+  Decoder xmit_decoder(xmit_registry);
+  auto host_layout = layout_for(host_layouts, "SimpleData");
+  auto big_layout = layout_for(big_layouts, "SimpleData");
+  auto xmit_recv = xmit_registry
+                       .register_format("SimpleData", host_layout.fields,
+                                        host_layout.struct_size)
+                       .value();
+  auto xmit_send =
+      xmit_registry
+          .adopt(Format::make("SimpleData", big_layout.fields,
+                              big_layout.struct_size, big)
+                     .value())
+          .value();
+  auto xmit_plan = xmit_decoder.plan_disassembly(xmit_send, *xmit_recv).value();
+
+  EXPECT_EQ(compiled_plan, xmit_plan) << "compiled-in:\n"
+                                      << compiled_plan << "xmit:\n"
+                                      << xmit_plan;
+  EXPECT_FALSE(xmit_plan.empty());
+}
+
+// Width evolution lowers to convert kernels and matches the reference
+// interpreter bit for bit.
+TEST_F(MarshalPlan, WidthEvolutionMatchesReference) {
+  struct Old {
+    std::int16_t a;
+    std::uint16_t b;
+    float c;
+  };
+  struct New {
+    std::int64_t a;
+    std::uint32_t b;
+    double c;
+  };
+  auto sender = registry_
+                    .adopt(Format::make("Evolve",
+                                        {
+                                            {"a", "integer", 2, 0},
+                                            {"b", "unsigned", 2, 2},
+                                            {"c", "float", 4, 4},
+                                        },
+                                        8, ArchInfo::big_endian_64())
+                               .value())
+                    .value();
+  auto receiver = registry_
+                      .register_format("Evolve",
+                                       {
+                                           {"a", "integer", 8,
+                                            offsetof(New, a)},
+                                           {"b", "unsigned", 4,
+                                            offsetof(New, b)},
+                                           {"c", "float", 8,
+                                            offsetof(New, c)},
+                                       },
+                                       sizeof(New))
+                      .value();
+  RecordBuilder builder(sender);
+  ASSERT_TRUE(builder.set_int("a", -123).is_ok());
+  ASSERT_TRUE(builder.set_uint("b", 54321).is_ok());
+  ASSERT_TRUE(builder.set_float("c", -2.75).is_ok());
+  auto bytes = builder.build().value();
+
+  New compiled{};
+  New reference{};
+  Arena ref_arena;
+  ASSERT_TRUE(decoder_.decode(bytes, *receiver, &compiled, arena_).is_ok());
+  ASSERT_TRUE(
+      decoder_.decode_reference(bytes, *receiver, &reference, ref_arena)
+          .is_ok());
+  EXPECT_EQ(0, std::memcmp(&compiled, &reference, sizeof(New)));
+  EXPECT_EQ(compiled.a, -123);
+  EXPECT_EQ(compiled.b, 54321u);
+  EXPECT_EQ(compiled.c, -2.75);
+
+  auto stats = decoder_.plan_stats(sender, *receiver).value();
+  EXPECT_GE(stats.convert_ops, 1u);
+}
+
+}  // namespace
+}  // namespace xmit::pbio

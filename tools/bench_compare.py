@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Compare two bench runs.
+
+Each harness in bench/ writes a BENCH_<name>.json (see
+bench::Reporter in bench/bench_common.hpp). Point this script at two
+such files — or two directories of them — and it prints per-row
+before/after/ratio, flagging rows that moved more than the threshold.
+
+Usage:
+  tools/bench_compare.py baseline/BENCH_fig8_wire_formats.json \
+      current/BENCH_fig8_wire_formats.json
+  tools/bench_compare.py baseline_dir/ current_dir/ --threshold 1.10
+
+Exit status is 1 if any time-like row regressed past the threshold
+(ratio rows and byte counts are reported but never fail the run).
+"""
+
+import argparse
+import json
+import os
+import sys
+
+# Units where "bigger is worse" and a regression should fail the run.
+TIME_UNITS = {"ms", "us", "s", "ns"}
+
+
+def load_file(path):
+    with open(path) as handle:
+        doc = json.load(handle)
+    rows = {}
+    for row in doc.get("results", []):
+        key = (doc.get("bench", "?"), row["series"], row["point"])
+        rows[key] = (row["value"], row.get("unit", ""))
+    return doc.get("bench", os.path.basename(path)), doc.get("smoke", False), rows
+
+
+def collect(path):
+    """Returns (smoke_seen, {key: (value, unit)}) for a file or directory."""
+    rows = {}
+    smoke = False
+    if os.path.isdir(path):
+        names = sorted(
+            n for n in os.listdir(path)
+            if n.startswith("BENCH_") and n.endswith(".json"))
+        if not names:
+            sys.exit(f"error: no BENCH_*.json files in {path}")
+        for name in names:
+            _, file_smoke, file_rows = load_file(os.path.join(path, name))
+            smoke = smoke or file_smoke
+            rows.update(file_rows)
+    else:
+        _, smoke, rows = load_file(path)
+    return smoke, rows
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="BENCH_*.json file or directory")
+    parser.add_argument("current", help="BENCH_*.json file or directory")
+    parser.add_argument(
+        "--threshold", type=float, default=1.15,
+        help="fail when current/baseline exceeds this for time rows "
+             "(default 1.15)")
+    args = parser.parse_args()
+
+    base_smoke, baseline = collect(args.baseline)
+    cur_smoke, current = collect(args.current)
+    if base_smoke or cur_smoke:
+        print("warning: one of the runs was recorded in smoke mode; "
+              "numbers are not meaningful\n")
+
+    shared = sorted(set(baseline) & set(current))
+    if not shared:
+        sys.exit("error: the two runs share no (bench, series, point) rows")
+
+    width = max(len(f"{b}/{s}/{p}") for b, s, p in shared)
+    print(f"{'row'.ljust(width)} {'baseline':>12} {'current':>12} "
+          f"{'ratio':>8}")
+    regressions = []
+    for key in shared:
+        bench, series, point = key
+        base_value, unit = baseline[key]
+        cur_value, _ = current[key]
+        ratio = cur_value / base_value if base_value else float("inf")
+        flag = ""
+        if unit in TIME_UNITS and ratio > args.threshold:
+            flag = "  <-- regression"
+            regressions.append(key)
+        elif unit in TIME_UNITS and ratio < 1.0 / args.threshold:
+            flag = "  (improved)"
+        label = f"{bench}/{series}/{point}"
+        print(f"{label.ljust(width)} {base_value:>12.6g} {cur_value:>12.6g} "
+              f"{ratio:>7.2f}x{flag}")
+
+    only_base = sorted(set(baseline) - set(current))
+    only_cur = sorted(set(current) - set(baseline))
+    for key in only_base:
+        print(f"only in baseline: {'/'.join(key)}")
+    for key in only_cur:
+        print(f"only in current:  {'/'.join(key)}")
+
+    if regressions:
+        print(f"\n{len(regressions)} row(s) regressed past "
+              f"{args.threshold:.2f}x")
+        return 1
+    print("\nno regressions past threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
