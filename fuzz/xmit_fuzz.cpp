@@ -132,8 +132,15 @@ int fuzz_driver(const Driver& driver, const Options& options) {
   long long crashes = 0;
   for (long long i = 0; i < options.iters; ++i) {
     std::vector<std::uint8_t> input = mutator.next(corpus);
-    bool survived = options.use_fork ? survives_in_child(driver, input)
-                                     : (driver.run(input), true);
+    bool survived;
+    if (options.use_fork) {
+      survived = survives_in_child(driver, input);
+    } else {
+      // In-process mode: a returned error Status is a handled (non-crash)
+      // outcome by definition; only a signal/abort counts as a finding.
+      (void)driver.run(input);
+      survived = true;
+    }
     if (survived) continue;
 
     ++crashes;

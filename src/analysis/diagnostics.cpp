@@ -1,0 +1,78 @@
+#include "analysis/diagnostics.hpp"
+
+namespace xmit::analysis {
+
+const char* severity_name(Severity severity) {
+  switch (severity) {
+    case Severity::kNote: return "note";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "?";
+}
+
+std::string Diagnostic::to_string() const {
+  std::string out = location;
+  out += ": ";
+  out += severity_name(severity);
+  out += ' ';
+  out += code;
+  out += ": ";
+  out += message;
+  if (!hint.empty()) {
+    out += " (hint: ";
+    out += hint;
+    out += ')';
+  }
+  return out;
+}
+
+void DiagnosticSink::add(std::string code, Severity severity,
+                         std::string location, std::string message,
+                         std::string hint) {
+  if (severity == Severity::kError) ++errors_;
+  if (severity == Severity::kWarning) ++warnings_;
+  items_.push_back(Diagnostic{std::move(code), severity, std::move(location),
+                              std::move(message), std::move(hint)});
+}
+
+std::string DiagnosticSink::render() const {
+  std::string out;
+  for (const Diagnostic& diagnostic : items_) {
+    out += diagnostic.to_string();
+    out += '\n';
+  }
+  return out;
+}
+
+Status DiagnosticSink::as_status(ErrorCode code) const {
+  if (!has_errors()) return Status::ok();
+  std::string message =
+      std::to_string(errors_) + " static-analysis error(s)";
+  std::size_t shown = 0;
+  for (const Diagnostic& diagnostic : items_) {
+    if (diagnostic.severity != Severity::kError) continue;
+    message += "; ";
+    message += diagnostic.to_string();
+    if (++shown == 3) break;
+  }
+  if (errors_ > shown) message += "; ...";
+  return Status(code, std::move(message));
+}
+
+bool has_errors(const std::vector<Diagnostic>& diagnostics) {
+  for (const Diagnostic& diagnostic : diagnostics)
+    if (diagnostic.severity == Severity::kError) return true;
+  return false;
+}
+
+std::string render(const std::vector<Diagnostic>& diagnostics) {
+  std::string out;
+  for (const Diagnostic& diagnostic : diagnostics) {
+    out += diagnostic.to_string();
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace xmit::analysis

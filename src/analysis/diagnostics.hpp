@@ -1,0 +1,64 @@
+// Diagnostic engine for the static verification layer (DESIGN.md §5e).
+//
+// Every finding the linter or the plan verifier produces is a Diagnostic:
+// a stable code (XLnnn for schema/format lint rules, PVnnn for plan
+// verifier rules — the golden tests compare codes, never prose), a
+// severity, the source location in metadata terms ("Type.field", "op #3
+// (path)"), the message, and an optional fix-it hint. Diagnostics are
+// collected in order of discovery; only kError findings fail a deny-mode
+// load or a plan admission.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace xmit::analysis {
+
+enum class Severity : std::uint8_t { kNote, kWarning, kError };
+
+const char* severity_name(Severity severity);  // "note" / "warning" / "error"
+
+struct Diagnostic {
+  std::string code;      // "XL001" / "PV003" — stable, documented
+  Severity severity = Severity::kWarning;
+  std::string location;  // "Type.field", "Type", "op #2 (grid.data)"
+  std::string message;
+  std::string hint;      // fix-it suggestion; empty when none applies
+
+  // "Type.field: warning XL001: 4-byte padding hole ... (hint: ...)"
+  std::string to_string() const;
+};
+
+// Ordered collector with the summary queries every consumer needs.
+class DiagnosticSink {
+ public:
+  void add(std::string code, Severity severity, std::string location,
+           std::string message, std::string hint = "");
+
+  const std::vector<Diagnostic>& items() const { return items_; }
+  bool empty() const { return items_.empty(); }
+  std::size_t error_count() const { return errors_; }
+  std::size_t warning_count() const { return warnings_; }
+  bool has_errors() const { return errors_ > 0; }
+
+  // One diagnostic per line, in discovery order.
+  std::string render() const;
+
+  // OK when no kError findings; otherwise an error Status carrying the
+  // first few error lines (`code` is the ErrorCode to wrap them in).
+  Status as_status(ErrorCode code = ErrorCode::kInvalidArgument) const;
+
+ private:
+  std::vector<Diagnostic> items_;
+  std::size_t errors_ = 0;
+  std::size_t warnings_ = 0;
+};
+
+// Free-function conveniences for callers holding a plain vector.
+bool has_errors(const std::vector<Diagnostic>& diagnostics);
+std::string render(const std::vector<Diagnostic>& diagnostics);
+
+}  // namespace xmit::analysis

@@ -1,0 +1,421 @@
+#include "analysis/lint.hpp"
+
+#include <algorithm>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "pbio/field.hpp"
+
+namespace xmit::analysis {
+namespace {
+
+using pbio::ArchInfo;
+using pbio::FieldKind;
+using toolkit::TypeLayout;
+using xsd::ElementDecl;
+using xsd::OccursMode;
+
+std::uint32_t capped_alignment(std::uint32_t natural, const ArchInfo& arch) {
+  return std::min<std::uint32_t>(natural, arch.max_align);
+}
+
+const TypeLayout* layout_named(const std::vector<TypeLayout>& layouts,
+                               std::string_view name) {
+  for (const TypeLayout& layout : layouts)
+    if (layout.name == name) return &layout;
+  return nullptr;
+}
+
+// In-memory footprint and required alignment of one laid-out field, per
+// the same rules layout_type places with. Nested sizes come from
+// `layouts`; a dangling nested reference yields a zero footprint (the
+// layout engine would have rejected it — lint just skips).
+struct Extent {
+  std::uint64_t bytes = 0;
+  std::uint32_t alignment = 1;
+  FieldKind kind = FieldKind::kInteger;
+  std::uint32_t element_size = 0;
+  bool known = false;
+};
+
+Extent field_extent(const pbio::IOField& field,
+                    const std::vector<TypeLayout>& layouts,
+                    const ArchInfo& arch) {
+  Extent extent;
+  auto parsed = pbio::parse_field_type(field.type_name);
+  if (!parsed.is_ok()) return extent;
+  const pbio::FieldType& type = parsed.value();
+  extent.kind = type.kind;
+  extent.element_size = field.size;
+  extent.known = true;
+  switch (type.array.mode) {
+    case pbio::ArrayMode::kDynamic:
+      // A pointer in the struct regardless of element type.
+      extent.bytes = arch.pointer_size;
+      extent.alignment = capped_alignment(arch.pointer_size, arch);
+      return extent;
+    case pbio::ArrayMode::kFixed:
+    case pbio::ArrayMode::kNone: {
+      const std::uint64_t count =
+          type.array.mode == pbio::ArrayMode::kFixed ? type.array.fixed_count
+                                                     : 1;
+      if (type.kind == FieldKind::kNested) {
+        const TypeLayout* nested = layout_named(layouts, type.nested_format);
+        if (nested == nullptr) {
+          extent.known = false;
+          return extent;
+        }
+        extent.bytes = std::uint64_t(nested->struct_size) * count;
+        extent.alignment = nested->alignment;
+        return extent;
+      }
+      if (type.kind == FieldKind::kString) {
+        extent.bytes = std::uint64_t(arch.pointer_size) * count;
+        extent.alignment = capped_alignment(arch.pointer_size, arch);
+        return extent;
+      }
+      extent.bytes = std::uint64_t(field.size) * count;
+      extent.alignment = capped_alignment(field.size, arch);
+      return extent;
+    }
+  }
+  return extent;
+}
+
+// XL001 / XL002 over one laid-out type. `swap_bytes` accumulates the
+// cross-endian swap volume for XL007 (nested types add their own volume,
+// already computed because layouts arrive in dependency order).
+void lint_layout(const TypeLayout& layout,
+                 const std::vector<TypeLayout>& layouts,
+                 const LintOptions& options,
+                 std::map<std::string, std::uint64_t>& swap_bytes,
+                 DiagnosticSink& sink) {
+  std::uint64_t cursor = 0;
+  std::uint64_t swappable = 0;
+  for (const pbio::IOField& field : layout.fields) {
+    const Extent extent = field_extent(field, layouts, options.arch);
+    if (!extent.known) continue;
+    const std::string location = layout.name + "." + field.name;
+    if (field.offset > cursor)
+      sink.add("XL001", Severity::kWarning, location,
+               std::to_string(field.offset - cursor) +
+                   "-byte padding hole before this field",
+               "reorder fields largest-alignment-first to pack the struct");
+    if (extent.alignment != 0 && field.offset % extent.alignment != 0)
+      sink.add("XL002", Severity::kWarning, location,
+               "offset " + std::to_string(field.offset) +
+                   " is not aligned to " + std::to_string(extent.alignment) +
+                   " bytes for this element on the target architecture",
+               "misaligned access is slow or faulting on strict-alignment "
+               "machines");
+    cursor = std::max(cursor, std::uint64_t(field.offset) + extent.bytes);
+
+    auto parsed = pbio::parse_field_type(field.type_name);
+    if (parsed.is_ok() && parsed.value().array.mode != pbio::ArrayMode::kDynamic) {
+      const std::uint64_t count =
+          parsed.value().array.mode == pbio::ArrayMode::kFixed
+              ? parsed.value().array.fixed_count
+              : 1;
+      if (extent.kind == FieldKind::kNested) {
+        auto nested = swap_bytes.find(parsed.value().nested_format);
+        if (nested != swap_bytes.end()) swappable += nested->second * count;
+      } else if (extent.element_size > 1 &&
+                 (extent.kind == FieldKind::kInteger ||
+                  extent.kind == FieldKind::kUnsigned ||
+                  extent.kind == FieldKind::kFloat ||
+                  extent.kind == FieldKind::kBoolean)) {
+        swappable += std::uint64_t(extent.element_size) * count;
+      }
+    }
+  }
+  if (layout.struct_size > cursor)
+    sink.add("XL001", Severity::kWarning, layout.name,
+             std::to_string(layout.struct_size - cursor) +
+                 " bytes of trailing padding",
+             "a smaller trailing field is widening the whole struct");
+  swap_bytes[layout.name] = swappable;
+  if (options.swap_hotspot_bytes != 0 &&
+      swappable >= options.swap_hotspot_bytes)
+    sink.add("XL007", Severity::kWarning, layout.name,
+             "cross-endian decode byte-swaps " + std::to_string(swappable) +
+                 " bytes per record",
+             "large fixed numeric arrays dominate mixed-endian decode cost");
+}
+
+// Widest value a count field of this shape can carry.
+std::uint64_t count_ceiling(xsd::Primitive primitive, const ArchInfo& arch) {
+  const toolkit::PrimitiveLayout prim =
+      toolkit::primitive_layout(primitive, arch);
+  const bool is_signed = prim.kind == FieldKind::kInteger;
+  const std::uint32_t bits = prim.size * 8 - (is_signed ? 1 : 0);
+  if (bits >= 64) return UINT64_MAX;
+  return (std::uint64_t(1) << bits) - 1;
+}
+
+// XL003 / XL004 / XL005 over one type's declarations.
+void lint_dimensions(const xsd::ComplexType& type, const LintOptions& options,
+                     DiagnosticSink& sink) {
+  for (std::size_t i = 0; i < type.elements.size(); ++i) {
+    const ElementDecl& decl = type.elements[i];
+    if (decl.occurs != OccursMode::kDynamic) continue;
+    const std::string location = type.name + "." + decl.name;
+
+    std::size_t sibling_index = type.elements.size();
+    for (std::size_t j = 0; j < type.elements.size(); ++j)
+      if (type.elements[j].name == decl.dimension_name) sibling_index = j;
+    const bool declared = sibling_index != type.elements.size();
+
+    if (!declared) {
+      if (decl.dimension_from_max_occurs)
+        sink.add("XL003", Severity::kError, location,
+                 "maxOccurs=\"" + decl.dimension_name +
+                     "\" references an element this type never declares",
+                 "declare an integer element named '" + decl.dimension_name +
+                     "', or use maxOccurs=\"*\" with dimensionName to have "
+                     "the count field synthesized");
+      continue;
+    }
+
+    const ElementDecl& sibling = type.elements[sibling_index];
+    if (sibling_index > i)
+      sink.add("XL004", Severity::kWarning, location,
+               "count field '" + decl.dimension_name +
+                   "' is declared after the array it sizes",
+               "move the count field before the array so decoders read the "
+               "count before the payload");
+    if (sibling.primitive.has_value() &&
+        sibling.occurs == OccursMode::kOne) {
+      const std::uint64_t ceiling =
+          count_ceiling(*sibling.primitive, options.arch);
+      // xsd:int (2^31-1) is the baseline the dialect synthesizes; only
+      // narrower count fields are worth flagging.
+      if (ceiling < (std::uint64_t(1) << 31) - 1)
+        sink.add("XL005", Severity::kWarning, location,
+                 "count field '" + decl.dimension_name + "' ("
+                     + xsd::primitive_name(*sibling.primitive) +
+                     ") caps the array at " + std::to_string(ceiling) +
+                     " elements",
+                 "widen the count field to xsd:int or larger");
+    }
+  }
+}
+
+// Coarse type classes for evolution compatibility: a change within a
+// class is a narrowing/widening, a change across classes re-interprets
+// the bytes.
+enum class TypeClass { kIntegral, kFloat, kString, kComplex };
+
+TypeClass class_of(const ElementDecl& decl) {
+  if (decl.is_complex()) return TypeClass::kComplex;
+  switch (*decl.primitive) {
+    case xsd::Primitive::kString: return TypeClass::kString;
+    case xsd::Primitive::kFloat:
+    case xsd::Primitive::kDouble: return TypeClass::kFloat;
+    default: return TypeClass::kIntegral;
+  }
+}
+
+std::uint32_t primitive_width(xsd::Primitive primitive) {
+  return toolkit::primitive_layout(primitive, ArchInfo::host()).size;
+}
+
+void lint_type_evolution(const xsd::ComplexType& old_type,
+                         const xsd::ComplexType& new_type,
+                         DiagnosticSink& sink) {
+  for (const ElementDecl& old_decl : old_type.elements) {
+    const std::string location = old_type.name + "." + old_decl.name;
+    const ElementDecl* new_decl = new_type.element_named(old_decl.name);
+    if (new_decl == nullptr) {
+      sink.add("XL011", Severity::kError, location,
+               "field removed in the new version",
+               "receivers on either version see this field zero-filled or "
+               "dropped; keep it and deprecate instead");
+      continue;
+    }
+    if (class_of(old_decl) != class_of(*new_decl) ||
+        (class_of(old_decl) == TypeClass::kComplex &&
+         old_decl.type_name != new_decl->type_name)) {
+      sink.add("XL012", Severity::kError, location,
+               "field changed type from '" + old_decl.type_name + "' to '" +
+                   new_decl->type_name + "'",
+               "cross-version conversion re-interprets the value; add a new "
+               "field instead");
+    } else if (!old_decl.is_complex() && !new_decl->is_complex() &&
+               primitive_width(*new_decl->primitive) <
+                   primitive_width(*old_decl.primitive)) {
+      sink.add("XL013", Severity::kWarning, location,
+               "field narrowed from '" + old_decl.type_name + "' to '" +
+                   new_decl->type_name + "'",
+               "values from old senders are truncated on conversion");
+    }
+    if (old_decl.occurs != new_decl->occurs) {
+      sink.add("XL014", Severity::kError, location,
+               "array shape changed between versions",
+               "scalar/fixed/dynamic shape is part of the wire contract");
+    } else if (old_decl.occurs == OccursMode::kDynamic &&
+               old_decl.dimension_name != new_decl->dimension_name) {
+      sink.add("XL014", Severity::kError, location,
+               "dynamic array count field renamed from '" +
+                   old_decl.dimension_name + "' to '" +
+                   new_decl->dimension_name + "'",
+               "old receivers read the count from a field new senders no "
+               "longer populate");
+    } else if (old_decl.occurs == OccursMode::kFixed &&
+               old_decl.fixed_count != new_decl->fixed_count) {
+      sink.add("XL015", Severity::kWarning, location,
+               "fixed array bound changed from " +
+                   std::to_string(old_decl.fixed_count) + " to " +
+                   std::to_string(new_decl->fixed_count),
+               "elements beyond the smaller bound are dropped or zero-filled "
+               "in cross-version conversion");
+    }
+  }
+}
+
+void lint_enum_evolution(const xsd::EnumType& old_enum,
+                         const xsd::EnumType& new_enum,
+                         DiagnosticSink& sink) {
+  for (std::size_t i = 0; i < old_enum.values.size(); ++i) {
+    const bool removed = new_enum.index_of(old_enum.values[i]) < 0;
+    const bool moved =
+        !removed && new_enum.index_of(old_enum.values[i]) != int(i);
+    if (removed || moved) {
+      sink.add("XL016", Severity::kError,
+               old_enum.name + "." + old_enum.values[i],
+               removed ? "enumeration value removed in the new version"
+                       : "enumeration value reordered in the new version",
+               "ordinals travel on the wire; only appending values is "
+               "compatible");
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Diagnostic> lint_schema(const xsd::Schema& schema,
+                                    const std::vector<TypeLayout>& layouts,
+                                    const LintOptions& options) {
+  DiagnosticSink sink;
+  std::map<std::string, std::uint64_t> swap_bytes;
+  // Walk in layout (dependency) order so nested swap volumes exist before
+  // their containers; types without a layout still get dimension lint.
+  for (const TypeLayout& layout : layouts)
+    if (schema.type_named(layout.name) != nullptr)
+      lint_layout(layout, layouts, options, swap_bytes, sink);
+  for (const xsd::ComplexType& type : schema.types())
+    lint_dimensions(type, options, sink);
+  return sink.items();
+}
+
+Result<std::vector<Diagnostic>> lint_schema(const xsd::Schema& schema,
+                                            const LintOptions& options) {
+  XMIT_ASSIGN_OR_RETURN(auto layouts,
+                        toolkit::layout_schema(schema, options.arch));
+  return lint_schema(schema, layouts, options);
+}
+
+std::vector<Diagnostic> lint_format(const pbio::Format& format) {
+  DiagnosticSink sink;
+  const ArchInfo& arch = format.arch();
+  std::uint64_t cursor = 0;
+  for (const pbio::FlatField& field : format.flat_fields()) {
+    const std::string location = format.name() + "." + field.path;
+    std::uint64_t bytes = 0;
+    std::uint32_t alignment = 1;
+    switch (field.array_mode) {
+      case pbio::ArrayMode::kNone:
+      case pbio::ArrayMode::kFixed: {
+        const std::uint64_t count =
+            field.array_mode == pbio::ArrayMode::kFixed ? field.fixed_count
+                                                        : 1;
+        if (field.kind == FieldKind::kString) {
+          bytes = std::uint64_t(arch.pointer_size) * count;
+          alignment = capped_alignment(arch.pointer_size, arch);
+        } else {
+          bytes = std::uint64_t(field.size) * count;
+          alignment = capped_alignment(field.size, arch);
+        }
+        break;
+      }
+      case pbio::ArrayMode::kDynamic:
+        bytes = arch.pointer_size;
+        alignment = capped_alignment(arch.pointer_size, arch);
+        break;
+    }
+    if (field.offset > cursor)
+      sink.add("XL001", Severity::kWarning, location,
+               std::to_string(field.offset - cursor) +
+                   "-byte padding hole before this field",
+               "reorder fields largest-alignment-first to pack the struct");
+    if (alignment != 0 && field.offset % alignment != 0)
+      sink.add("XL002", Severity::kWarning, location,
+               "offset " + std::to_string(field.offset) +
+                   " is not aligned to " + std::to_string(alignment) +
+                   " bytes for this element",
+               "misaligned access is slow or faulting on strict-alignment "
+               "machines");
+    cursor = std::max(cursor, std::uint64_t(field.offset) + bytes);
+  }
+  if (format.struct_size() > cursor)
+    sink.add("XL001", Severity::kWarning, format.name(),
+             std::to_string(format.struct_size() - cursor) +
+                 " bytes of trailing padding",
+             "a smaller trailing field is widening the whole struct");
+  return sink.items();
+}
+
+std::vector<Diagnostic> lint_evolution(const xsd::Schema& old_schema,
+                                       const xsd::Schema& new_schema) {
+  DiagnosticSink sink;
+  for (const xsd::ComplexType& old_type : old_schema.types()) {
+    const xsd::ComplexType* new_type = new_schema.type_named(old_type.name);
+    if (new_type == nullptr) {
+      sink.add("XL010", Severity::kWarning, old_type.name,
+               "complexType removed in the new version",
+               "peers still publishing the old version cannot interoperate");
+      continue;
+    }
+    lint_type_evolution(old_type, *new_type, sink);
+  }
+  for (const xsd::EnumType& old_enum : old_schema.enums()) {
+    const xsd::EnumType* new_enum = new_schema.enum_named(old_enum.name);
+    if (new_enum == nullptr) {
+      sink.add("XL010", Severity::kWarning, old_enum.name,
+               "enumeration removed in the new version",
+               "peers still publishing the old version cannot interoperate");
+      continue;
+    }
+    lint_enum_evolution(old_enum, *new_enum, sink);
+  }
+  return sink.items();
+}
+
+void attach_lint(toolkit::Xmit& xmit, LintPolicy policy, LintOptions options,
+                 std::ostream* out) {
+  options.arch = xmit.target_arch();
+  xmit.set_schema_lint_hook(
+      [policy, options, out](const xsd::Schema& schema,
+                             const std::vector<TypeLayout>& layouts,
+                             std::string_view source) -> Status {
+        std::vector<Diagnostic> findings =
+            lint_schema(schema, layouts, options);
+        if (!findings.empty()) {
+          std::ostream& stream = out != nullptr ? *out : std::cerr;
+          for (const Diagnostic& diagnostic : findings)
+            stream << source << ": " << diagnostic.to_string() << '\n';
+        }
+        if (policy == LintPolicy::kDeny && has_errors(findings)) {
+          DiagnosticSink sink;
+          for (Diagnostic& diagnostic : findings)
+            sink.add(std::move(diagnostic.code), diagnostic.severity,
+                     std::move(diagnostic.location),
+                     std::move(diagnostic.message),
+                     std::move(diagnostic.hint));
+          return sink.as_status(ErrorCode::kInvalidArgument);
+        }
+        return Status::ok();
+      });
+}
+
+}  // namespace xmit::analysis

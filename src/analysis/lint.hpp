@@ -1,0 +1,86 @@
+// Schema / format linter (DESIGN.md §5e) — the metadata-quality half of
+// the static verification layer. Where the plan verifier proves a compiled
+// op program safe, the linter warns about metadata that is *legal* but
+// costly, fragile, or probably not what the author meant.
+//
+// Rule catalog (codes are stable; golden tests compare codes, not prose):
+//
+//   XL001 warning  padding hole between fields / trailing struct padding
+//   XL002 warning  field offset not aligned for its element on the target
+//   XL003 error    maxOccurs="name" references a sibling that is never
+//                  declared (the layout engine would silently synthesize
+//                  a count field — almost certainly a typo)
+//   XL004 warning  declared count field appears after the array it sizes
+//   XL005 warning  count field narrower than 32 bits caps the array length
+//   XL007 warning  byte-swap hotspot: cross-endian decode of one record
+//                  swaps more than `swap_hotspot_bytes` bytes
+//
+// Evolution rules (lint_evolution, old schema -> new schema):
+//
+//   XL010 warning  complexType removed
+//   XL011 error    field removed from a surviving type
+//   XL012 error    field changed type class (int/float/string/complex)
+//   XL013 warning  field narrowed within its type class
+//   XL014 error    array shape changed (occurs mode, or dynamic count
+//                  field renamed)
+//   XL015 warning  fixed array bound changed
+//   XL016 error    enumeration values removed or reordered
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "analysis/diagnostics.hpp"
+#include "common/error.hpp"
+#include "pbio/arch.hpp"
+#include "pbio/format.hpp"
+#include "xmit/layout.hpp"
+#include "xmit/xmit.hpp"
+#include "xsd/types.hpp"
+
+namespace xmit::analysis {
+
+struct LintOptions {
+  // Target machine the layout rules judge against.
+  pbio::ArchInfo arch = pbio::ArchInfo::host();
+
+  // XL007: warn when one record's cross-endian fixed-section swap exceeds
+  // this many bytes. 0 disables the rule.
+  std::uint64_t swap_hotspot_bytes = 4096;
+};
+
+// Lints `schema` against its laid-out form. `layouts` must come from
+// toolkit::layout_schema(schema, options.arch) (any superset is fine —
+// types are matched by name).
+std::vector<Diagnostic> lint_schema(const xsd::Schema& schema,
+                                    const std::vector<toolkit::TypeLayout>& layouts,
+                                    const LintOptions& options = {});
+
+// Convenience: runs layout_schema itself. Fails only when the schema does
+// not lay out at all (that error is the diagnostic then).
+Result<std::vector<Diagnostic>> lint_schema(const xsd::Schema& schema,
+                                            const LintOptions& options = {});
+
+// Lints one registered wire format's flattened layout (XL001 / XL002 over
+// hand-written IOField tables that never went through the layout engine).
+std::vector<Diagnostic> lint_format(const pbio::Format& format);
+
+// Cross-version compatibility: diagnostics about decoding `new_schema`
+// senders with `old_schema` receivers and vice versa (XL010-XL016).
+std::vector<Diagnostic> lint_evolution(const xsd::Schema& old_schema,
+                                       const xsd::Schema& new_schema);
+
+// Lint-on-register policy for toolkit::Xmit::load.
+enum class LintPolicy {
+  kWarn,  // report diagnostics, never fail the load
+  kDeny,  // error-severity diagnostics abort the load
+};
+
+// Installs a schema lint hook on `xmit`: every document it installs is
+// linted post-layout against the toolkit's target architecture.
+// Diagnostics are streamed to `out` (nullptr -> std::cerr).
+void attach_lint(toolkit::Xmit& xmit, LintPolicy policy,
+                 LintOptions options = {}, std::ostream* out = nullptr);
+
+}  // namespace xmit::analysis

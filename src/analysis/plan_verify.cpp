@@ -1,0 +1,304 @@
+#include "analysis/plan_verify.hpp"
+
+#include <cstring>
+
+#include "common/limits.hpp"
+#include "pbio/field.hpp"
+
+namespace xmit::analysis {
+namespace {
+
+using pbio::FieldKind;
+using pbio::PlanOp;
+using pbio::PlanView;
+
+bool int_like(FieldKind kind) {
+  return kind == FieldKind::kInteger || kind == FieldKind::kUnsigned;
+}
+
+bool element_kind(FieldKind kind) {
+  return kind != FieldKind::kString && kind != FieldKind::kNested;
+}
+
+std::string op_location(std::size_t index, const PlanOp& op) {
+  return "op #" + std::to_string(index) + " (" + op.path + ")";
+}
+
+std::string span_text(std::uint64_t offset, std::uint64_t bytes) {
+  return "[" + std::to_string(offset) + ", " +
+         std::to_string(offset + bytes) + ")";
+}
+
+// Destination-byte ownership for the overlap/hole analysis.
+enum : std::uint8_t {
+  kUntouched = 0,
+  kBaseCopy = 1,   // identity plans: the whole-struct memcpy
+  kOpWritten = 2,  // any other op
+};
+
+class Verifier {
+ public:
+  Verifier(const PlanView& plan, const pbio::Format& sender,
+           const pbio::Format& receiver)
+      : plan_(plan), sender_(sender), receiver_(receiver) {}
+
+  std::vector<Diagnostic> run() {
+    check_shape();
+    coverage_.assign(plan_.receiver_struct_size, kUntouched);
+    for (std::size_t i = 0; i < plan_.ops.size(); ++i) check_op(i);
+    check_holes();
+    return sink_.items();
+  }
+
+ private:
+  void error(std::string code, std::string location, std::string message,
+             std::string hint = "") {
+    sink_.add(std::move(code), Severity::kError, std::move(location),
+              std::move(message), std::move(hint));
+  }
+
+  // PV011 / PV012: the plan header must agree with the two formats it
+  // claims to mediate; everything later keys off these sizes.
+  void check_shape() {
+    if (plan_.sender_struct_size != sender_.struct_size())
+      error("PV011", "plan",
+            "plan records sender struct size " +
+                std::to_string(plan_.sender_struct_size) + " but format '" +
+                sender_.name() + "' is " +
+                std::to_string(sender_.struct_size()) + " bytes");
+    if (plan_.receiver_struct_size != receiver_.struct_size())
+      error("PV011", "plan",
+            "plan records receiver struct size " +
+                std::to_string(plan_.receiver_struct_size) +
+                " but format '" + receiver_.name() + "' is " +
+                std::to_string(receiver_.struct_size()) + " bytes");
+    if (plan_.src_pointer_size != 4 && plan_.src_pointer_size != 8)
+      error("PV012", "plan",
+            "sender pointer size " + std::to_string(plan_.src_pointer_size) +
+                " is not 4 or 8");
+  }
+
+  // True when the source interval fits the sender fixed section. `code`
+  // distinguishes scalar reads (PV001) from pointer-slot reads (PV010).
+  bool check_read(const char* code, std::size_t index, const PlanOp& op,
+                  std::uint64_t offset, std::uint64_t bytes) {
+    if (fits_within(offset, bytes, plan_.sender_struct_size)) return true;
+    error(code, op_location(index, op),
+          "reads source bytes " + span_text(offset, bytes) +
+              " outside the sender fixed section of " +
+              std::to_string(plan_.sender_struct_size) + " bytes");
+    return false;
+  }
+
+  // Marks [offset, offset+bytes) written; reports PV002 out-of-bounds and
+  // PV003 double-writes. `fixup` marks identity-plan slot fix-ups, which
+  // may overwrite the base copy (and only the base copy).
+  void write_span(std::size_t index, const PlanOp& op, std::uint64_t offset,
+                  std::uint64_t bytes, bool fixup) {
+    if (!fits_within(offset, bytes, plan_.receiver_struct_size)) {
+      error("PV002", op_location(index, op),
+            "writes destination bytes " + span_text(offset, bytes) +
+                " outside the receiver struct of " +
+                std::to_string(plan_.receiver_struct_size) + " bytes");
+      return;
+    }
+    const bool base =
+        plan_.identity && index == 0 && op.kind == PlanOp::Kind::kCopy;
+    bool reported = false;
+    for (std::uint64_t at = offset; at < offset + bytes; ++at) {
+      std::uint8_t& state = coverage_[static_cast<std::size_t>(at)];
+      if (state == kOpWritten || (state == kBaseCopy && !fixup)) {
+        if (!reported)
+          error("PV003", op_location(index, op),
+                "writes destination byte " + std::to_string(at) +
+                    " already written by an earlier op",
+                "coalesced spans must not overlap");
+        reported = true;
+      }
+      state = base ? kBaseCopy : kOpWritten;
+    }
+  }
+
+  // PV005/PV006/PV007: the run-time count of a dyn op must be read from a
+  // real, declared, integer-shaped sender field before the payload moves.
+  void check_count_field(std::size_t index, const PlanOp& op) {
+    if (!fits_within(op.count_offset, op.count_size,
+                     plan_.sender_struct_size)) {
+      error("PV005", op_location(index, op),
+            "count field " + span_text(op.count_offset, op.count_size) +
+                " lies outside the sender fixed section");
+      return;
+    }
+    if ((op.count_size != 1 && op.count_size != 2 && op.count_size != 4 &&
+         op.count_size != 8) ||
+        !int_like(op.count_kind)) {
+      error("PV006", op_location(index, op),
+            "count field has no machine-representable integer shape (kind " +
+                std::string(pbio::field_kind_name(op.count_kind)) +
+                ", size " + std::to_string(op.count_size) + ")");
+      return;
+    }
+    for (const pbio::FlatField& field : sender_.flat_fields()) {
+      if (field.offset == op.count_offset && field.size == op.count_size &&
+          int_like(field.kind) && field.array_mode == pbio::ArrayMode::kNone)
+        return;
+    }
+    error("PV007", op_location(index, op),
+          "count field at offset " + std::to_string(op.count_offset) +
+              " does not correspond to any scalar integer field the sender "
+              "declared",
+          "the op would read bytes of an unrelated field as an array count");
+  }
+
+  void check_op(std::size_t index) {
+    const PlanOp& op = plan_.ops[index];
+    std::uint64_t bytes = 0;
+    switch (op.kind) {
+      case PlanOp::Kind::kCopy:
+        if (check_read("PV001", index, op, op.src_offset, op.count))
+          write_span(index, op, op.dst_offset, op.count, /*fixup=*/false);
+        break;
+      case PlanOp::Kind::kSwap:
+        if (op.src_size != op.dst_size ||
+            (op.src_size != 2 && op.src_size != 4 && op.src_size != 8)) {
+          error("PV008", op_location(index, op),
+                "byte-swap of " + std::to_string(op.src_size) + "->" +
+                    std::to_string(op.dst_size) +
+                    "-byte elements has no kernel");
+          break;
+        }
+        if (!checked_mul(op.count, op.src_size, &bytes)) {
+          error("PV009", op_location(index, op), "element span overflows");
+          break;
+        }
+        if (check_read("PV001", index, op, op.src_offset, bytes))
+          write_span(index, op, op.dst_offset, bytes, /*fixup=*/false);
+        break;
+      case PlanOp::Kind::kConvert: {
+        if (!element_kind(op.src_kind) || !element_kind(op.dst_kind) ||
+            !pbio::valid_size_for_kind(op.src_kind, op.src_size) ||
+            !pbio::valid_size_for_kind(op.dst_kind, op.dst_size)) {
+          error("PV008", op_location(index, op),
+                "conversion between illegal element shapes (" +
+                    std::string(pbio::field_kind_name(op.src_kind)) + ":" +
+                    std::to_string(op.src_size) + " -> " +
+                    pbio::field_kind_name(op.dst_kind) + ":" +
+                    std::to_string(op.dst_size) + ")");
+          break;
+        }
+        std::uint64_t src_bytes = 0;
+        std::uint64_t dst_bytes = 0;
+        if (!checked_mul(op.count, op.src_size, &src_bytes) ||
+            !checked_mul(op.count, op.dst_size, &dst_bytes)) {
+          error("PV009", op_location(index, op), "element span overflows");
+          break;
+        }
+        if (check_read("PV001", index, op, op.src_offset, src_bytes))
+          write_span(index, op, op.dst_offset, dst_bytes, /*fixup=*/false);
+        break;
+      }
+      case PlanOp::Kind::kString: {
+        std::uint64_t src_bytes = 0;
+        std::uint64_t dst_bytes = 0;
+        if (!checked_mul(op.count, plan_.src_pointer_size, &src_bytes) ||
+            !checked_mul(op.count, sizeof(void*), &dst_bytes)) {
+          error("PV009", op_location(index, op), "slot span overflows");
+          break;
+        }
+        if (check_read("PV010", index, op, op.src_offset, src_bytes))
+          write_span(index, op, op.dst_offset, dst_bytes,
+                     /*fixup=*/plan_.identity);
+        break;
+      }
+      case PlanOp::Kind::kDynCopy:
+      case PlanOp::Kind::kDynSwap:
+      case PlanOp::Kind::kDynConvert: {
+        check_count_field(index, op);
+        if (op.kind == PlanOp::Kind::kDynSwap &&
+            (op.src_size != op.dst_size ||
+             (op.src_size != 2 && op.src_size != 4 && op.src_size != 8)))
+          error("PV008", op_location(index, op),
+                "dynamic byte-swap of " + std::to_string(op.src_size) +
+                    "->" + std::to_string(op.dst_size) +
+                    "-byte elements has no kernel");
+        if (op.kind == PlanOp::Kind::kDynCopy && op.src_size != op.dst_size)
+          error("PV008", op_location(index, op),
+                "dynamic memcpy with differing element widths (" +
+                    std::to_string(op.src_size) + " -> " +
+                    std::to_string(op.dst_size) + ")");
+        if (op.kind == PlanOp::Kind::kDynConvert &&
+            (!element_kind(op.src_kind) || !element_kind(op.dst_kind) ||
+             !pbio::valid_size_for_kind(op.src_kind, op.src_size) ||
+             !pbio::valid_size_for_kind(op.dst_kind, op.dst_size)))
+          error("PV008", op_location(index, op),
+                "dynamic conversion between illegal element shapes");
+        // The payload lives in the var section, bounds-checked per record
+        // against data-dependent counts; statically only the pointer slot
+        // reads/writes in the fixed sections are provable.
+        if (check_read("PV010", index, op, op.src_offset,
+                       plan_.src_pointer_size))
+          write_span(index, op, op.dst_offset, sizeof(void*),
+                     /*fixup=*/plan_.identity);
+        break;
+      }
+    }
+  }
+
+  // PV004: a conversion plan memsets the struct first (zero_fill), so
+  // uncovered bytes are defined zeros; any other plan must cover every
+  // byte or the receiver reads stack garbage.
+  void check_holes() {
+    if (plan_.zero_fill) return;
+    std::uint64_t begin = 0;
+    bool in_hole = false;
+    for (std::size_t at = 0; at <= coverage_.size(); ++at) {
+      const bool hole = at < coverage_.size() && coverage_[at] == kUntouched;
+      if (hole && !in_hole) {
+        begin = at;
+        in_hole = true;
+      } else if (!hole && in_hole) {
+        error("PV004", "plan",
+              "destination bytes " + span_text(begin, at - begin) +
+                  " are never written and the plan does not zero-fill",
+              "receiver would read uninitialized memory");
+        in_hole = false;
+      }
+    }
+  }
+
+  const PlanView& plan_;
+  const pbio::Format& sender_;
+  const pbio::Format& receiver_;
+  std::vector<std::uint8_t> coverage_;
+  DiagnosticSink sink_;
+};
+
+}  // namespace
+
+std::vector<Diagnostic> verify_plan(const PlanView& plan,
+                                    const pbio::Format& sender,
+                                    const pbio::Format& receiver) {
+  return Verifier(plan, sender, receiver).run();
+}
+
+Status verify_plan_status(const PlanView& plan, const pbio::Format& sender,
+                          const pbio::Format& receiver) {
+  std::vector<Diagnostic> findings = verify_plan(plan, sender, receiver);
+  if (!has_errors(findings)) return Status::ok();
+  DiagnosticSink sink;
+  for (Diagnostic& diagnostic : findings)
+    sink.add(std::move(diagnostic.code), diagnostic.severity,
+             std::move(diagnostic.location), std::move(diagnostic.message),
+             std::move(diagnostic.hint));
+  return sink.as_status(ErrorCode::kMalformedInput);
+}
+
+void register_plan_verifier() {
+  pbio::set_global_plan_verifier(
+      [](const PlanView& plan, const pbio::Format& sender,
+         const pbio::Format& receiver) {
+        return verify_plan_status(plan, sender, receiver);
+      });
+}
+
+}  // namespace xmit::analysis

@@ -1,0 +1,58 @@
+// Static verifier for compiled marshal plans (DESIGN.md §5e).
+//
+// Abstract-interprets a pbio::PlanView — the flat op program the decoder
+// compiled for one (sender, receiver) format pair — without executing a
+// single op. The abstract domain is byte intervals: every op is reduced
+// to the source interval it reads inside the sender's fixed section and
+// the destination interval it writes inside the receiver struct, plus,
+// for str/dyn ops, the count-field interval it reads before use. The
+// verifier proves:
+//
+//   - every read stays inside [0, sender_struct_size)          (PV001)
+//   - every write stays inside [0, receiver_struct_size)       (PV002)
+//   - no destination byte is written twice (conversion plans;
+//     identity fix-ups may only overwrite the base copy)        (PV003)
+//   - no destination byte is left uninitialized when the plan
+//     does not zero-fill                                       (PV004)
+//   - str/dyn count fields live inside the fixed section       (PV005),
+//     have a machine-representable integer shape               (PV006),
+//     and name a field the sender actually declared            (PV007)
+//   - element widths are legal for their kernels               (PV008)
+//   - no span computation overflows 64-bit arithmetic          (PV009)
+//   - pointer-slot spans are in bounds                         (PV010)
+//   - the plan's recorded struct sizes match the formats       (PV011)
+//   - the sender pointer size is 4 or 8                        (PV012)
+//
+// Registered into pbio::Decoder via register_plan_verifier() so plans
+// built from hostile or buggy metadata are rejected at admission, not at
+// segfault time. MessageSession verifies unconditionally; elsewhere the
+// XMIT_VERIFY_PLANS environment toggle turns it on.
+#pragma once
+
+#include <vector>
+
+#include "analysis/diagnostics.hpp"
+#include "common/error.hpp"
+#include "pbio/decode.hpp"
+#include "pbio/format.hpp"
+
+namespace xmit::analysis {
+
+// Full findings, in op order. Empty means the plan is provably safe
+// under the abstract domain above.
+std::vector<Diagnostic> verify_plan(const pbio::PlanView& plan,
+                                    const pbio::Format& sender,
+                                    const pbio::Format& receiver);
+
+// OK / first errors wrapped in kMalformedInput — the shape plan_for()
+// wants from a PlanVerifier.
+Status verify_plan_status(const pbio::PlanView& plan,
+                          const pbio::Format& sender,
+                          const pbio::Format& receiver);
+
+// Installs verify_plan_status as the process-wide pbio plan verifier.
+// Idempotent; cheap enough to call from every entry point that decodes
+// peer-supplied metadata.
+void register_plan_verifier();
+
+}  // namespace xmit::analysis

@@ -1,0 +1,33 @@
+// Clang thread-safety annotations (-Wthread-safety), compiled away on
+// GCC and other compilers without the attribute. Annotating the mutex
+// that guards each field lets clang statically verify lock discipline in
+// src/session and src/net; TSan (-DXMIT_SANITIZE=thread) checks the same
+// discipline dynamically.
+//
+// Usage:
+//   std::mutex mu_;
+//   int hits_ XMIT_GUARDED_BY(mu_);
+//   void touch() XMIT_REQUIRES(mu_);
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define XMIT_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef XMIT_THREAD_ANNOTATION
+#define XMIT_THREAD_ANNOTATION(x)
+#endif
+
+#define XMIT_CAPABILITY(x) XMIT_THREAD_ANNOTATION(capability(x))
+#define XMIT_GUARDED_BY(x) XMIT_THREAD_ANNOTATION(guarded_by(x))
+#define XMIT_PT_GUARDED_BY(x) XMIT_THREAD_ANNOTATION(pt_guarded_by(x))
+#define XMIT_REQUIRES(...) \
+  XMIT_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define XMIT_ACQUIRE(...) \
+  XMIT_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define XMIT_RELEASE(...) \
+  XMIT_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define XMIT_EXCLUDES(...) XMIT_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define XMIT_NO_THREAD_SAFETY_ANALYSIS \
+  XMIT_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/thread_annotations.hpp"
 #include "common/rng.hpp"
 #include "net/channel.hpp"
 
@@ -108,14 +109,15 @@ class FaultPlan {
   FaultPlan() = default;
 
   mutable std::mutex mutex_;
-  std::vector<FaultAction> schedule_;  // consumed front to back
-  std::size_t cursor_ = 0;
-  bool randomized_ = false;
-  double fault_probability_ = 0;
-  std::vector<FaultAction> menu_;
-  std::unique_ptr<Rng> rng_;
-  std::size_t requests_ = 0;
-  std::size_t faults_ = 0;
+  // consumed front to back
+  std::vector<FaultAction> schedule_ XMIT_GUARDED_BY(mutex_);
+  std::size_t cursor_ XMIT_GUARDED_BY(mutex_) = 0;
+  bool randomized_ XMIT_GUARDED_BY(mutex_) = false;
+  double fault_probability_ XMIT_GUARDED_BY(mutex_) = 0;
+  std::vector<FaultAction> menu_ XMIT_GUARDED_BY(mutex_);
+  std::unique_ptr<Rng> rng_ XMIT_GUARDED_BY(mutex_);
+  std::size_t requests_ XMIT_GUARDED_BY(mutex_) = 0;
+  std::size_t faults_ XMIT_GUARDED_BY(mutex_) = 0;
 };
 
 // Wraps a Channel and delivers only a prefix of each outgoing frame's

@@ -17,6 +17,7 @@
 #include <thread>
 
 #include "common/error.hpp"
+#include "common/thread_annotations.hpp"
 #include "net/faults.hpp"
 
 namespace xmit::net {
@@ -75,9 +76,9 @@ class HttpServer {
   std::atomic<std::size_t> request_count_{0};
 
   mutable std::mutex mutex_;
-  std::map<std::string, HttpResponse> documents_;
-  std::map<std::string, PostHandler> post_handlers_;
-  FaultHook fault_hook_;
+  std::map<std::string, HttpResponse> documents_ XMIT_GUARDED_BY(mutex_);
+  std::map<std::string, PostHandler> post_handlers_ XMIT_GUARDED_BY(mutex_);
+  FaultHook fault_hook_ XMIT_GUARDED_BY(mutex_);
 };
 
 class HttpClient {

@@ -24,6 +24,7 @@
 #include <mutex>
 
 #include "common/error.hpp"
+#include "common/thread_annotations.hpp"
 #include "common/rng.hpp"
 
 namespace xmit::net {
@@ -152,11 +153,11 @@ class CircuitBreaker {
 
   Options options_;
   mutable std::mutex mutex_;
-  State state_ = State::kClosed;
-  int consecutive_failures_ = 0;
-  double opened_at_ms_ = 0;
-  bool probe_in_flight_ = false;
-  std::size_t rejected_ = 0;
+  State state_ XMIT_GUARDED_BY(mutex_) = State::kClosed;
+  int consecutive_failures_ XMIT_GUARDED_BY(mutex_) = 0;
+  double opened_at_ms_ XMIT_GUARDED_BY(mutex_) = 0;
+  bool probe_in_flight_ XMIT_GUARDED_BY(mutex_) = false;
+  std::size_t rejected_ XMIT_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace xmit::net

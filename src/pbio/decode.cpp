@@ -1,11 +1,42 @@
 #include "pbio/decode.hpp"
 
+#include <cstdlib>
 #include <cstring>
 
 #include "pbio/kernels.hpp"
 #include "pbio/scalar.hpp"
 
 namespace xmit::pbio {
+namespace {
+
+// Process-wide plan verifier hook (set by analysis::register_plan_verifier).
+// Copied out under the lock so a long-running verification never holds it.
+std::mutex g_verifier_mutex;
+PlanVerifier g_plan_verifier;  // guarded by g_verifier_mutex
+
+PlanVerifier current_plan_verifier() {
+  std::lock_guard<std::mutex> lock(g_verifier_mutex);
+  return g_plan_verifier;
+}
+
+}  // namespace
+
+void set_global_plan_verifier(PlanVerifier verifier) {
+  std::lock_guard<std::mutex> lock(g_verifier_mutex);
+  g_plan_verifier = std::move(verifier);
+}
+
+bool has_global_plan_verifier() {
+  std::lock_guard<std::mutex> lock(g_verifier_mutex);
+  return static_cast<bool>(g_plan_verifier);
+}
+
+bool Decoder::verify_plans_env_default() {
+  const char* value = std::getenv("XMIT_VERIFY_PLANS");
+  return value != nullptr && value[0] != '\0' &&
+         !(value[0] == '0' && value[1] == '\0');
+}
+
 namespace {
 
 bool flat_fields_identical(const std::vector<FlatField>& a,
@@ -115,6 +146,7 @@ struct Decoder::Plan {
   bool zero_fill = false;  // conversion plans memset the receiver struct
   ByteOrder src_order = ByteOrder::kLittle;
   std::uint8_t src_pointer_size = sizeof(void*);
+  std::uint32_t sender_struct_size = 0;
   std::uint32_t receiver_struct_size = 0;
   std::vector<Op> ops;             // compiled program (decode())
   std::vector<std::string> paths;  // op -> field path, for diagnostics
@@ -363,6 +395,7 @@ Status Decoder::compile_conversion(const Format& sender,
 Result<std::shared_ptr<const Decoder::Plan>> Decoder::build_plan(
     const Format& sender, const Format& receiver) {
   auto plan = std::make_shared<Plan>();
+  plan->sender_struct_size = sender.struct_size();
   plan->receiver_struct_size = receiver.struct_size();
   plan->src_order = sender.arch().byte_order;
   plan->src_pointer_size = sender.arch().pointer_size;
@@ -409,6 +442,46 @@ Result<std::shared_ptr<const Decoder::Plan>> Decoder::build_plan(
   return std::shared_ptr<const Plan>(plan);
 }
 
+PlanView Decoder::view_of(const Plan& plan) {
+  // The cast below relies on the two Kind enums staying in lockstep.
+  static_assert(static_cast<int>(Op::Kind::kCopy) ==
+                static_cast<int>(PlanOp::Kind::kCopy));
+  static_assert(static_cast<int>(Op::Kind::kDynConvert) ==
+                static_cast<int>(PlanOp::Kind::kDynConvert));
+  PlanView view;
+  view.identity = plan.identity;
+  view.zero_fill = plan.zero_fill;
+  view.src_order = plan.src_order;
+  view.src_pointer_size = plan.src_pointer_size;
+  view.sender_struct_size = plan.sender_struct_size;
+  view.receiver_struct_size = plan.receiver_struct_size;
+  view.ops.reserve(plan.ops.size());
+  for (const Op& op : plan.ops) {
+    PlanOp out;
+    out.kind = static_cast<PlanOp::Kind>(op.kind);
+    out.src_kind = op.src_kind;
+    out.dst_kind = op.dst_kind;
+    out.count_kind = op.count_kind;
+    out.src_size = op.src_size;
+    out.dst_size = op.dst_size;
+    out.count_size = op.count_size;
+    out.src_offset = op.src_offset;
+    out.dst_offset = op.dst_offset;
+    out.count = op.count;
+    out.count_offset = op.count_offset;
+    out.path = plan.paths[op.path];
+    view.ops.push_back(std::move(out));
+  }
+  return view;
+}
+
+Result<PlanView> Decoder::plan_view(const FormatPtr& sender,
+                                    const Format& receiver) const {
+  if (!sender) return Status(ErrorCode::kInvalidArgument, "null format");
+  XMIT_ASSIGN_OR_RETURN(auto plan, plan_for(sender, receiver));
+  return view_of(*plan);
+}
+
 Result<std::shared_ptr<const Decoder::Plan>> Decoder::plan_for(
     const FormatPtr& sender, const Format& receiver) const {
   std::pair<FormatId, FormatId> key{sender->id(), receiver.id()};
@@ -418,6 +491,12 @@ Result<std::shared_ptr<const Decoder::Plan>> Decoder::plan_for(
     if (it != plans_.end()) return it->second;
   }
   XMIT_ASSIGN_OR_RETURN(auto plan, build_plan(*sender, receiver));
+  if (verify_plans_) {
+    // A plan never enters the cache unverified; a rejected plan fails the
+    // decode here, at bind time, instead of executing wild ops later.
+    if (PlanVerifier verifier = current_plan_verifier())
+      XMIT_RETURN_IF_ERROR(verifier(view_of(*plan), *sender, receiver));
+  }
   std::lock_guard<std::mutex> lock(mutex_);
   auto [it, inserted] = plans_.emplace(key, std::move(plan));
   return it->second;

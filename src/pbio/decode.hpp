@@ -24,6 +24,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -33,6 +34,7 @@
 
 #include "common/arena.hpp"
 #include "common/error.hpp"
+#include "common/thread_annotations.hpp"
 #include "common/limits.hpp"
 #include "pbio/format.hpp"
 #include "pbio/registry.hpp"
@@ -45,6 +47,58 @@ struct RecordInfo {
   WireHeader header;
   FormatPtr sender_format;  // looked up in the registry by id
 };
+
+// Public mirror of one compiled-plan instruction, for introspection and
+// static verification (src/analysis). Field meanings match the internal
+// Op exactly; `path` is the receiver field the op serves (diagnostics).
+struct PlanOp {
+  enum class Kind : std::uint8_t {
+    kCopy,        // memcpy `count` bytes
+    kSwap,        // byte-reverse `count` elements of width src_size
+    kConvert,     // widen/narrow/normalize `count` elements
+    kString,      // `count` pointer slots -> arena strings
+    kDynCopy,     // dynamic array, payload memcpy
+    kDynSwap,     // dynamic array, bulk byte-reverse
+    kDynConvert,  // dynamic array, element conversion
+  };
+  Kind kind = Kind::kCopy;
+  FieldKind src_kind = FieldKind::kInteger;
+  FieldKind dst_kind = FieldKind::kInteger;
+  FieldKind count_kind = FieldKind::kInteger;  // kDyn*
+  std::uint32_t src_size = 0;
+  std::uint32_t dst_size = 0;
+  std::uint32_t count_size = 0;    // kDyn*
+  std::uint32_t src_offset = 0;
+  std::uint32_t dst_offset = 0;
+  std::uint32_t count = 0;         // kCopy: bytes; others: elements/slots
+  std::uint32_t count_offset = 0;  // kDyn*
+  std::string path;                // receiver field path (diagnostics)
+};
+
+// The whole compiled program for one (sender, receiver) pair, as plain
+// data. What the plan verifier abstract-interprets: executing the ops
+// must stay inside [0, sender_struct_size) on the source fixed section
+// and [0, receiver_struct_size) on the destination struct.
+struct PlanView {
+  bool identity = false;
+  bool zero_fill = false;
+  ByteOrder src_order = ByteOrder::kLittle;
+  std::uint8_t src_pointer_size = sizeof(void*);
+  std::uint32_t sender_struct_size = 0;
+  std::uint32_t receiver_struct_size = 0;
+  std::vector<PlanOp> ops;
+};
+
+// Static check over a compiled program before it is admitted to the plan
+// cache. Registered by analysis::register_plan_verifier(); pbio itself
+// stays free of the analysis dependency.
+using PlanVerifier =
+    std::function<Status(const PlanView&, const Format& sender,
+                         const Format& receiver)>;
+
+// Process-wide verifier hook. A null function clears it. Thread-safe.
+void set_global_plan_verifier(PlanVerifier verifier);
+bool has_global_plan_verifier();
 
 class Decoder {
  public:
@@ -113,6 +167,20 @@ class Decoder {
   Result<std::string> plan_disassembly(const FormatPtr& sender,
                                        const Format& receiver) const;
 
+  // The full compiled program as plain data — the input of the static
+  // plan verifier and of tools that render plans.
+  Result<PlanView> plan_view(const FormatPtr& sender,
+                             const Format& receiver) const;
+
+  // When true, every freshly compiled plan is handed to the global
+  // PlanVerifier (if one is registered) before it is cached; a rejected
+  // plan fails the decode with the verifier's status instead of running.
+  // Default: the XMIT_VERIFY_PLANS environment variable (any non-empty
+  // value except "0"). MessageSession turns it on unconditionally —
+  // plans built from peer-announced metadata are the hostile case.
+  void set_verify_plans(bool verify) { verify_plans_ = verify; }
+  bool verify_plans() const { return verify_plans_; }
+
   // Diagnostics: conversion plans built so far (cache size).
   std::size_t plan_cache_size() const;
 
@@ -125,6 +193,7 @@ class Decoder {
                                                const Format& receiver) const;
   static Result<std::shared_ptr<const Plan>> build_plan(
       const Format& sender, const Format& receiver);
+  static PlanView view_of(const Plan& plan);
   static void compile_identity(const Format& receiver, Plan& plan);
   static Status compile_conversion(const Format& sender,
                                    const Format& receiver, Plan& plan);
@@ -143,9 +212,11 @@ class Decoder {
 
   const FormatRegistry& registry_;
   DecodeLimits limits_ = DecodeLimits::defaults();
+  bool verify_plans_ = verify_plans_env_default();
+  static bool verify_plans_env_default();
   mutable std::mutex mutex_;
   mutable std::map<std::pair<FormatId, FormatId>, std::shared_ptr<const Plan>>
-      plans_;
+      plans_ XMIT_GUARDED_BY(mutex_);
 };
 
 }  // namespace xmit::pbio

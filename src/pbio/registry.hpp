@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/thread_annotations.hpp"
 #include "pbio/format.hpp"
 
 namespace xmit::pbio {
@@ -48,8 +49,8 @@ class FormatRegistry {
 
  private:
   mutable std::mutex mutex_;
-  std::unordered_map<FormatId, FormatPtr> by_id_;
-  std::unordered_map<std::string, FormatPtr> by_name_;
+  std::unordered_map<FormatId, FormatPtr> by_id_ XMIT_GUARDED_BY(mutex_);
+  std::unordered_map<std::string, FormatPtr> by_name_ XMIT_GUARDED_BY(mutex_);
 };
 
 }  // namespace xmit::pbio

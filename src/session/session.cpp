@@ -1,5 +1,6 @@
 #include "session/session.hpp"
 
+#include "analysis/plan_verify.hpp"
 #include "pbio/format_wire.hpp"
 
 namespace xmit::session {
@@ -14,7 +15,12 @@ MessageSession::MessageSession(net::Channel channel,
                                pbio::FormatRegistry& registry)
     : channel_(std::move(channel)),
       registry_(&registry),
-      decoder_(std::make_unique<pbio::Decoder>(registry)) {}
+      decoder_(std::make_unique<pbio::Decoder>(registry)) {
+  // Sessions decode against formats a remote peer described; every plan
+  // compiled from that metadata is statically verified before first use.
+  analysis::register_plan_verifier();
+  decoder_->set_verify_plans(true);
+}
 
 void MessageSession::set_limits(const DecodeLimits& limits) {
   limits_ = limits;

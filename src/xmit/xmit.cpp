@@ -108,6 +108,8 @@ Status Xmit::install(std::string_view xml_text, std::string source,
   XMIT_ASSIGN_OR_RETURN(auto layouts, layout_schema(schema, target_));
   stats.translate_ms = translate_watch.elapsed_ms();
 
+  if (lint_hook_) XMIT_RETURN_IF_ERROR(lint_hook_(schema, layouts, source));
+
   // Replace any earlier load from the same source.
   std::size_t doc_index = documents_.size();
   for (std::size_t i = 0; i < documents_.size(); ++i)

@@ -18,6 +18,7 @@
 // LoadStats, which is what the Remote Discovery Multiplier benches report.
 #pragma once
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -106,6 +107,19 @@ class Xmit {
   // `source_name` labels errors and refresh bookkeeping.
   Status load_text(std::string_view xml_text, std::string source_name);
 
+  // Lint-on-register: called for every installed document after layout
+  // and before formats are registered. A non-OK return aborts the load —
+  // the deny policy; a warn-policy hook reports and returns OK. Installed
+  // by analysis::attach_lint (a plain std::function so xmit_core does not
+  // depend on the analysis library).
+  using SchemaLintHook = std::function<Status(
+      const xsd::Schema& schema, const std::vector<TypeLayout>& layouts,
+      std::string_view source)>;
+  void set_schema_lint_hook(SchemaLintHook hook) {
+    lint_hook_ = std::move(hook);
+  }
+  bool has_schema_lint_hook() const { return static_cast<bool>(lint_hook_); }
+
   // Binding: token for a loaded complexType.
   Result<BindingToken> bind(std::string_view type_name);
 
@@ -158,6 +172,7 @@ class Xmit {
   std::string cache_dir_;
   DecodeLimits limits_ = DecodeLimits::defaults();
   ResilienceStats resilience_;
+  SchemaLintHook lint_hook_;
 };
 
 }  // namespace xmit::toolkit

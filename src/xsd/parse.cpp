@@ -108,6 +108,7 @@ Result<ElementDecl> parse_element_decl(const xml::Element& node,
   // run-time size.
   decl.occurs = OccursMode::kDynamic;
   decl.dimension_name = std::string(bound);
+  decl.dimension_from_max_occurs = true;
   if (dimension != nullptr && *dimension != decl.dimension_name)
     return Status(ErrorCode::kParseError,
                   "conflicting dimension names on '" + decl.name + "'");

@@ -63,6 +63,11 @@ struct ElementDecl {
   std::string dimension_name;         // when kDynamic: count field name
   DimensionPlacement dimension_placement = DimensionPlacement::kBefore;
   bool min_occurs_zero = false;       // minOccurs="0" (validation only)
+  // True when dimension_name came from maxOccurs="fieldname" syntax (which
+  // references a sibling the author must declare) rather than maxOccurs="*"
+  // + dimensionName (where the layout engine synthesizes the count field).
+  // The linter keys dangling-dimension diagnostics off this.
+  bool dimension_from_max_occurs = false;
 
   bool is_complex() const { return !primitive.has_value(); }
 };

@@ -1,0 +1,425 @@
+// Static verification layer tests (DESIGN.md §5e): the plan verifier
+// must accept every plan the suite's real format pairs compile to —
+// host-identity and cross-endian — and reject a battery of mutated op
+// programs with the documented PV codes; the linter must produce its
+// stable XL codes; and the Xmit lint-on-register hook must deny or warn
+// per policy.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <sstream>
+
+#include "analysis/lint.hpp"
+#include "analysis/plan_verify.hpp"
+#include "common/arena.hpp"
+#include "hydrology/messages.hpp"
+#include "pbio/decode.hpp"
+#include "pbio/encode.hpp"
+#include "pbio/registry.hpp"
+#include "xmit/layout.hpp"
+#include "xmit/xmit.hpp"
+#include "xsd/parse.hpp"
+
+namespace xmit {
+namespace {
+
+using analysis::Diagnostic;
+using pbio::ArchInfo;
+using pbio::FieldKind;
+using pbio::PlanOp;
+using pbio::PlanView;
+
+std::vector<pbio::IOField> rows_to_fields(const hydrology::CompiledFormat& f) {
+  std::vector<pbio::IOField> fields;
+  for (std::size_t i = 0; i < f.row_count; ++i)
+    fields.push_back({f.rows[i].name, f.rows[i].type, f.rows[i].size,
+                      f.rows[i].offset});
+  return fields;
+}
+
+// Registers every hydrology compiled format (host layout) into `registry`.
+void register_hydrology(pbio::FormatRegistry& registry) {
+  std::size_t count = 0;
+  const hydrology::CompiledFormat* formats = hydrology::compiled_formats(&count);
+  for (std::size_t i = 0; i < count; ++i) {
+    auto format = registry.register_format(
+        formats[i].name, rows_to_fields(formats[i]), formats[i].struct_size,
+        ArchInfo::host());
+    ASSERT_TRUE(format.is_ok()) << format.status().to_string();
+  }
+}
+
+std::string codes_of(const std::vector<Diagnostic>& findings) {
+  std::ostringstream out;
+  for (const Diagnostic& diagnostic : findings)
+    out << diagnostic.code << " ";
+  return out.str();
+}
+
+bool has_code(const std::vector<Diagnostic>& findings,
+              std::string_view code) {
+  for (const Diagnostic& diagnostic : findings)
+    if (diagnostic.code == code) return true;
+  return false;
+}
+
+xsd::Schema parse_schema(const std::string& text) {
+  auto schema = xsd::parse_schema_text(text, DecodeLimits::defaults());
+  EXPECT_TRUE(schema.is_ok()) << schema.status().to_string();
+  return std::move(schema).value();
+}
+
+// ---------------------------------------------------------------------
+// Acceptance: every plan the suite's real format pairs compile to.
+
+TEST(PlanVerifier, AcceptsEveryHostIdentityPlan) {
+  pbio::FormatRegistry registry;
+  register_hydrology(registry);
+  pbio::Decoder decoder(registry);
+  for (const auto& format : registry.all()) {
+    auto plan = decoder.plan_view(format, *format);
+    ASSERT_TRUE(plan.is_ok()) << plan.status().to_string();
+    auto findings =
+        analysis::verify_plan(plan.value(), *format, *format);
+    EXPECT_TRUE(findings.empty())
+        << format->name() << ": " << analysis::render(findings);
+  }
+}
+
+TEST(PlanVerifier, AcceptsEveryCrossEndianPlan) {
+  // Sender: every hydrology type laid out for the paper's big-endian
+  // testbed; receiver: the host layout. These are the conversion plans
+  // the heterogeneity benches run.
+  auto schema = parse_schema(hydrology::hydrology_schema_xml());
+  auto sender_layouts =
+      toolkit::layout_schema(schema, ArchInfo::big_endian_64());
+  auto receiver_layouts = toolkit::layout_schema(schema, ArchInfo::host());
+  ASSERT_TRUE(sender_layouts.is_ok());
+  ASSERT_TRUE(receiver_layouts.is_ok());
+
+  pbio::FormatRegistry senders;
+  pbio::FormatRegistry receivers;
+  pbio::Decoder decoder(senders);
+  for (std::size_t i = 0; i < sender_layouts.value().size(); ++i) {
+    const auto& sl = sender_layouts.value()[i];
+    const auto& rl = receiver_layouts.value()[i];
+    auto sender = senders.register_format(sl.name, sl.fields, sl.struct_size,
+                                          ArchInfo::big_endian_64());
+    auto receiver = receivers.register_format(rl.name, rl.fields,
+                                              rl.struct_size,
+                                              ArchInfo::host());
+    ASSERT_TRUE(sender.is_ok()) << sender.status().to_string();
+    ASSERT_TRUE(receiver.is_ok()) << receiver.status().to_string();
+    auto plan = decoder.plan_view(sender.value(), *receiver.value());
+    ASSERT_TRUE(plan.is_ok()) << plan.status().to_string();
+    auto findings = analysis::verify_plan(plan.value(), *sender.value(),
+                                          *receiver.value());
+    EXPECT_TRUE(findings.empty())
+        << sl.name << ": " << analysis::render(findings);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Rejection: mutated op programs. Each mutation corrupts one aspect of a
+// real, verified plan and must trip the documented PV code.
+
+struct PlanFixture {
+  pbio::FormatRegistry registry;
+  std::unique_ptr<pbio::Decoder> decoder;
+  pbio::FormatPtr format;  // SimpleData: int timestep, int size, float* data
+  PlanView plan;
+
+  PlanFixture() {
+    register_hydrology(registry);
+    decoder = std::make_unique<pbio::Decoder>(registry);
+    auto found = registry.by_name("SimpleData");
+    EXPECT_TRUE(found.is_ok());
+    format = found.value();
+    auto view = decoder->plan_view(format, *format);
+    EXPECT_TRUE(view.is_ok());
+    plan = std::move(view).value();
+    EXPECT_TRUE(analysis::verify_plan(plan, *format, *format).empty());
+  }
+
+  std::vector<Diagnostic> verify() const {
+    return analysis::verify_plan(plan, *format, *format);
+  }
+
+  // Index of the first op of `kind`, or -1.
+  int first(PlanOp::Kind kind) const {
+    for (std::size_t i = 0; i < plan.ops.size(); ++i)
+      if (plan.ops[i].kind == kind) return static_cast<int>(i);
+    return -1;
+  }
+};
+
+TEST(PlanVerifier, RejectsSourceReadPastFixedSection) {
+  PlanFixture fx;
+  fx.plan.ops[0].src_offset = fx.plan.sender_struct_size;  // one past end
+  EXPECT_TRUE(has_code(fx.verify(), "PV001")) << codes_of(fx.verify());
+}
+
+TEST(PlanVerifier, RejectsDestinationWritePastStruct) {
+  PlanFixture fx;
+  fx.plan.ops[0].dst_offset = fx.plan.receiver_struct_size - 1;
+  EXPECT_TRUE(has_code(fx.verify(), "PV002")) << codes_of(fx.verify());
+}
+
+TEST(PlanVerifier, RejectsOverlappingWrites) {
+  PlanFixture fx;
+  // Duplicate the base copy: the second pass rewrites op-written bytes.
+  fx.plan.ops.push_back(fx.plan.ops[0]);
+  EXPECT_TRUE(has_code(fx.verify(), "PV003")) << codes_of(fx.verify());
+}
+
+TEST(PlanVerifier, RejectsUninitializedHole) {
+  PlanFixture fx;
+  ASSERT_FALSE(fx.plan.zero_fill);
+  // Shrink the base copy to the first scalar only. The trailing pointer
+  // slot is still re-written by the kDynCopy fix-up, but the count field
+  // in between is now never initialized.
+  ASSERT_EQ(fx.plan.ops[0].kind, PlanOp::Kind::kCopy);
+  fx.plan.ops[0].count = 4;
+  EXPECT_TRUE(has_code(fx.verify(), "PV004")) << codes_of(fx.verify());
+}
+
+TEST(PlanVerifier, RejectsCountFieldOutsideFixedSection) {
+  PlanFixture fx;
+  int dyn = fx.first(PlanOp::Kind::kDynCopy);
+  ASSERT_GE(dyn, 0);
+  fx.plan.ops[dyn].count_offset = fx.plan.sender_struct_size;
+  EXPECT_TRUE(has_code(fx.verify(), "PV005")) << codes_of(fx.verify());
+}
+
+TEST(PlanVerifier, RejectsUnrepresentableCountShape) {
+  PlanFixture fx;
+  int dyn = fx.first(PlanOp::Kind::kDynCopy);
+  ASSERT_GE(dyn, 0);
+  fx.plan.ops[dyn].count_size = 3;  // no machine integer is 3 bytes
+  EXPECT_TRUE(has_code(fx.verify(), "PV006")) << codes_of(fx.verify());
+}
+
+TEST(PlanVerifier, RejectsCountFieldNobodyDeclared) {
+  PlanFixture fx;
+  int dyn = fx.first(PlanOp::Kind::kDynCopy);
+  ASSERT_GE(dyn, 0);
+  // Shift the count read two bytes into the field: no declared sender
+  // field lives at that offset.
+  fx.plan.ops[dyn].count_offset += 2;
+  EXPECT_TRUE(has_code(fx.verify(), "PV007")) << codes_of(fx.verify());
+}
+
+TEST(PlanVerifier, RejectsIllegalSwapWidth) {
+  PlanFixture fx;
+  // Repurpose the base copy as a 3-byte-element swap.
+  fx.plan.ops[0].kind = PlanOp::Kind::kSwap;
+  fx.plan.ops[0].src_size = 3;
+  fx.plan.ops[0].dst_size = 3;
+  EXPECT_TRUE(has_code(fx.verify(), "PV008")) << codes_of(fx.verify());
+}
+
+TEST(PlanVerifier, RejectsIllegalDynElementShape) {
+  PlanFixture fx;
+  int dyn = fx.first(PlanOp::Kind::kDynCopy);
+  ASSERT_GE(dyn, 0);
+  fx.plan.ops[dyn].dst_size = fx.plan.ops[dyn].src_size + 1;
+  EXPECT_TRUE(has_code(fx.verify(), "PV008")) << codes_of(fx.verify());
+}
+
+TEST(PlanVerifier, RejectsStringSlotSpanPastFixedSection) {
+  pbio::FormatRegistry registry;
+  register_hydrology(registry);
+  pbio::Decoder decoder(registry);
+  auto found = registry.by_name("JoinRequest");  // has a string field
+  ASSERT_TRUE(found.is_ok());
+  pbio::FormatPtr format = found.value();
+  auto view = decoder.plan_view(format, *format);
+  ASSERT_TRUE(view.is_ok());
+  PlanView plan = std::move(view).value();
+  int slot = -1;
+  for (std::size_t i = 0; i < plan.ops.size(); ++i)
+    if (plan.ops[i].kind == PlanOp::Kind::kString) slot = static_cast<int>(i);
+  ASSERT_GE(slot, 0);
+  plan.ops[slot].count = 1u << 30;  // slot span far past the fixed section
+  EXPECT_TRUE(has_code(analysis::verify_plan(plan, *format, *format),
+                       "PV010"));
+}
+
+TEST(PlanVerifier, RejectsStructSizeMismatch) {
+  PlanFixture fx;
+  fx.plan.sender_struct_size += 8;
+  EXPECT_TRUE(has_code(fx.verify(), "PV011")) << codes_of(fx.verify());
+}
+
+TEST(PlanVerifier, RejectsBogusPointerSize) {
+  PlanFixture fx;
+  fx.plan.src_pointer_size = 3;
+  EXPECT_TRUE(has_code(fx.verify(), "PV012")) << codes_of(fx.verify());
+}
+
+TEST(PlanVerifier, StatusWrapsErrorsAsMalformedInput) {
+  PlanFixture fx;
+  fx.plan.ops[0].src_offset = fx.plan.sender_struct_size;
+  Status status =
+      analysis::verify_plan_status(fx.plan, *fx.format, *fx.format);
+  EXPECT_EQ(status.code(), ErrorCode::kMalformedInput);
+}
+
+// ---------------------------------------------------------------------
+// Decoder admission: a rejecting verifier blocks decode when (and only
+// when) plan verification is enabled.
+
+TEST(PlanVerifier, DecoderConsultsVerifierAtAdmission) {
+  pbio::FormatRegistry registry;
+  register_hydrology(registry);
+  auto found = registry.by_name("ControlEvent");
+  ASSERT_TRUE(found.is_ok());
+  pbio::FormatPtr format = found.value();
+
+  hydrology::ControlEvent msg{3, 2.5f, 1};
+  auto encoder = pbio::Encoder::make(format);
+  ASSERT_TRUE(encoder.is_ok());
+  auto bytes = encoder.value().encode_to_vector(&msg);
+  ASSERT_TRUE(bytes.is_ok());
+
+  pbio::set_global_plan_verifier(
+      [](const PlanView&, const pbio::Format&, const pbio::Format&) {
+        return Status(ErrorCode::kMalformedInput, "rejected by test");
+      });
+
+  hydrology::ControlEvent out{};
+  Arena arena;
+  {
+    pbio::Decoder decoder(registry);
+    decoder.set_verify_plans(true);
+    Status status = decoder.decode(bytes.value(), *format, &out, arena);
+    EXPECT_EQ(status.code(), ErrorCode::kMalformedInput)
+        << status.to_string();
+  }
+  {
+    pbio::Decoder decoder(registry);
+    decoder.set_verify_plans(false);
+    Status status = decoder.decode(bytes.value(), *format, &out, arena);
+    EXPECT_TRUE(status.is_ok()) << status.to_string();
+    EXPECT_EQ(out.flag, 1);
+  }
+
+  // Restore the real verifier for the rest of the process.
+  analysis::register_plan_verifier();
+  {
+    pbio::Decoder decoder(registry);
+    decoder.set_verify_plans(true);
+    Status status = decoder.decode(bytes.value(), *format, &out, arena);
+    EXPECT_TRUE(status.is_ok()) << status.to_string();
+  }
+}
+
+TEST(PlanVerifier, EnvironmentToggleSetsDefault) {
+  pbio::FormatRegistry registry;
+  ::setenv("XMIT_VERIFY_PLANS", "1", 1);
+  EXPECT_TRUE(pbio::Decoder(registry).verify_plans());
+  ::setenv("XMIT_VERIFY_PLANS", "0", 1);
+  EXPECT_FALSE(pbio::Decoder(registry).verify_plans());
+  ::unsetenv("XMIT_VERIFY_PLANS");
+  EXPECT_FALSE(pbio::Decoder(registry).verify_plans());
+}
+
+// ---------------------------------------------------------------------
+// Linter unit coverage.
+
+TEST(Lint, FlagsPaddingHoleAndTrailingPad) {
+  auto schema = parse_schema(R"(<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:complexType name="Sample">
+    <xsd:element name="id" type="xsd:int" />
+    <xsd:element name="value" type="xsd:double" />
+    <xsd:element name="tag" type="xsd:int" />
+  </xsd:complexType>
+</xsd:schema>)");
+  auto findings = analysis::lint_schema(schema);
+  ASSERT_TRUE(findings.is_ok());
+  EXPECT_TRUE(has_code(findings.value(), "XL001"))
+      << codes_of(findings.value());
+}
+
+TEST(Lint, FlagsMisalignedHandWrittenFormat) {
+  // A hand-written IOField table (never produced by the layout engine)
+  // with a 4-byte int at offset 2.
+  auto format = pbio::Format::make(
+      "Crooked",
+      {{"a", "integer", 2, 0}, {"b", "integer", 4, 2}}, 6, ArchInfo::host());
+  ASSERT_TRUE(format.is_ok()) << format.status().to_string();
+  auto findings = analysis::lint_format(*format.value());
+  EXPECT_TRUE(has_code(findings, "XL002")) << codes_of(findings);
+}
+
+TEST(Lint, CleanSchemaProducesNoDiagnostics) {
+  auto schema = parse_schema(R"(<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:complexType name="Tight">
+    <xsd:element name="a" type="xsd:double" />
+    <xsd:element name="b" type="xsd:int" />
+    <xsd:element name="c" type="xsd:int" />
+  </xsd:complexType>
+</xsd:schema>)");
+  auto findings = analysis::lint_schema(schema);
+  ASSERT_TRUE(findings.is_ok());
+  EXPECT_TRUE(findings.value().empty()) << codes_of(findings.value());
+}
+
+TEST(Lint, SynthesizedDimensionIsNotDangling) {
+  // maxOccurs="*" + dimensionName is the dialect's normal synthesized-
+  // count pattern; XL003 must not fire on it.
+  auto schema = parse_schema(hydrology::hydrology_schema_xml());
+  auto findings = analysis::lint_schema(schema);
+  ASSERT_TRUE(findings.is_ok());
+  EXPECT_FALSE(has_code(findings.value(), "XL003"))
+      << codes_of(findings.value());
+}
+
+// ---------------------------------------------------------------------
+// Lint-on-register policies.
+
+constexpr const char* kTypoSchema = R"(<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:complexType name="Trace">
+    <xsd:element name="count" type="xsd:int" />
+    <xsd:element name="samples" type="xsd:double" maxOccurs="cuont" />
+  </xsd:complexType>
+</xsd:schema>)";
+
+TEST(LintHook, DenyPolicyBlocksLoad) {
+  pbio::FormatRegistry registry;
+  toolkit::Xmit xmit(registry);
+  std::ostringstream log;
+  analysis::attach_lint(xmit, analysis::LintPolicy::kDeny, {}, &log);
+  Status status = xmit.load_text(kTypoSchema, "typo.xsd");
+  EXPECT_FALSE(status.is_ok());
+  EXPECT_NE(status.to_string().find("XL003"), std::string::npos)
+      << status.to_string();
+  EXPECT_NE(log.str().find("XL003"), std::string::npos) << log.str();
+}
+
+TEST(LintHook, WarnPolicyReportsButLoads) {
+  pbio::FormatRegistry registry;
+  toolkit::Xmit xmit(registry);
+  std::ostringstream log;
+  analysis::attach_lint(xmit, analysis::LintPolicy::kWarn, {}, &log);
+  Status status = xmit.load_text(kTypoSchema, "typo.xsd");
+  EXPECT_TRUE(status.is_ok()) << status.to_string();
+  EXPECT_NE(log.str().find("XL003"), std::string::npos) << log.str();
+  EXPECT_TRUE(xmit.bind("Trace").is_ok());
+}
+
+TEST(LintHook, CleanLoadIsUnaffectedByDeny) {
+  pbio::FormatRegistry registry;
+  toolkit::Xmit xmit(registry);
+  std::ostringstream log;
+  analysis::attach_lint(xmit, analysis::LintPolicy::kDeny, {}, &log);
+  Status status =
+      xmit.load_text(hydrology::hydrology_schema_xml(), "hydrology.xsd");
+  EXPECT_TRUE(status.is_ok()) << status.to_string();
+}
+
+}  // namespace
+}  // namespace xmit

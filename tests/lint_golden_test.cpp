@@ -1,0 +1,97 @@
+// Golden-diagnostic tests: every schema in tests/lint_corpus/ is linted
+// and the emitted "CODE location" lines must match its .expected file
+// exactly (codes are a stable contract; see src/analysis/lint.hpp).
+// evolution_old/evolution_new are a pair checked with lint_evolution
+// against evolution.expected.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "analysis/lint.hpp"
+#include "xsd/parse.hpp"
+
+#ifndef XMIT_SOURCE_DIR
+#error "XMIT_SOURCE_DIR must be defined for the lint golden tests"
+#endif
+
+namespace xmit {
+namespace {
+
+namespace fs = std::filesystem;
+
+fs::path corpus_dir() {
+  return fs::path(XMIT_SOURCE_DIR) / "tests" / "lint_corpus";
+}
+
+std::string read_file_or_die(const fs::path& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+// "CODE location" per diagnostic, one per line, in emission order.
+std::string summarize(const std::vector<analysis::Diagnostic>& findings) {
+  std::ostringstream out;
+  for (const auto& diagnostic : findings)
+    out << diagnostic.code << " " << diagnostic.location << "\n";
+  return out.str();
+}
+
+xsd::Schema parse_or_die(const fs::path& path) {
+  auto schema =
+      xsd::parse_schema_text(read_file_or_die(path), DecodeLimits::defaults());
+  EXPECT_TRUE(schema.is_ok()) << path << ": " << schema.status().to_string();
+  return std::move(schema).value();
+}
+
+TEST(LintGolden, EveryCorpusSchemaMatchesExpected) {
+  std::vector<fs::path> schemas;
+  for (const auto& entry : fs::directory_iterator(corpus_dir()))
+    if (entry.path().extension() == ".xsd" &&
+        entry.path().stem().string().rfind("evolution", 0) != 0)
+      schemas.push_back(entry.path());
+  std::sort(schemas.begin(), schemas.end());
+  ASSERT_GE(schemas.size(), 5u) << "corpus went missing";
+
+  for (const auto& path : schemas) {
+    SCOPED_TRACE(path.filename().string());
+    auto findings = analysis::lint_schema(parse_or_die(path));
+    ASSERT_TRUE(findings.is_ok()) << findings.status().to_string();
+    fs::path expected = path;
+    expected.replace_extension(".expected");
+    EXPECT_EQ(summarize(findings.value()), read_file_or_die(expected));
+  }
+}
+
+TEST(LintGolden, EvolutionPairMatchesExpected) {
+  auto old_schema = parse_or_die(corpus_dir() / "evolution_old.xsd");
+  auto new_schema = parse_or_die(corpus_dir() / "evolution_new.xsd");
+  auto findings = analysis::lint_evolution(old_schema, new_schema);
+  EXPECT_EQ(summarize(findings),
+            read_file_or_die(corpus_dir() / "evolution.expected"));
+}
+
+TEST(LintGolden, ExampleSchemasLintWithoutErrors) {
+  // Acceptance: xmit_lint exits 0 over examples/schemas (warnings only).
+  fs::path dir = fs::path(XMIT_SOURCE_DIR) / "examples" / "schemas";
+  std::size_t checked = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().extension() != ".xsd") continue;
+    SCOPED_TRACE(entry.path().filename().string());
+    auto findings = analysis::lint_schema(parse_or_die(entry.path()));
+    ASSERT_TRUE(findings.is_ok()) << findings.status().to_string();
+    EXPECT_FALSE(analysis::has_errors(findings.value()))
+        << analysis::render(findings.value());
+    ++checked;
+  }
+  EXPECT_GE(checked, 3u);
+}
+
+}  // namespace
+}  // namespace xmit

@@ -157,6 +157,84 @@ TEST_F(Tools, DiffReportsEvolution) {
   std::remove(v3.c_str());
 }
 
+#if defined(XMIT_SOURCE_DIR)
+
+std::string source_path(const char* relative) {
+  return std::string(XMIT_SOURCE_DIR) + "/" + relative;
+}
+
+TEST_F(Tools, LintPassesExampleSchemas) {
+  // Acceptance: known padding holes in the hydrology types are warnings,
+  // so the examples lint clean (exit 0) unless --deny promotes them.
+  std::string output;
+  std::string schemas = source_path("examples/schemas/hydrology.xsd") + " " +
+                        source_path("examples/schemas/flight_v1.xsd") + " " +
+                        source_path("examples/schemas/flight_v2.xsd");
+  EXPECT_EQ(run(tool("xmit_lint") + " " + schemas, &output), 0) << output;
+  EXPECT_NE(output.find("0 error(s)"), std::string::npos) << output;
+
+  EXPECT_EQ(run(tool("xmit_lint") + " --deny " + schemas, &output), 1);
+}
+
+TEST_F(Tools, LintFlagsCorpusSchemasWithStableCodes) {
+  std::string output;
+  EXPECT_EQ(run(tool("xmit_lint") + " " +
+                    source_path("tests/lint_corpus/dangling_dimension.xsd"),
+                &output),
+            1);
+  EXPECT_NE(output.find("XL003"), std::string::npos) << output;
+
+  EXPECT_EQ(run(tool("xmit_lint") + " " +
+                    source_path("tests/lint_corpus/swap_hotspot.xsd"),
+                &output),
+            0);
+  EXPECT_NE(output.find("XL007"), std::string::npos) << output;
+}
+
+TEST_F(Tools, LintVerifiesCrossEndianPlans) {
+  std::string output;
+  EXPECT_EQ(run(tool("xmit_lint") + " --verify-plans --arch big64 " +
+                    source_path("examples/schemas/hydrology.xsd"),
+                &output),
+            0)
+      << output;
+  EXPECT_NE(output.find("0 error(s)"), std::string::npos) << output;
+}
+
+TEST_F(Tools, LintChecksEvolutionPairs) {
+  std::string output;
+  EXPECT_EQ(run(tool("xmit_lint") + " --evolve " +
+                    source_path("examples/schemas/flight_v1.xsd") + " " +
+                    source_path("examples/schemas/flight_v2.xsd"),
+                &output),
+            0)
+      << output;
+
+  EXPECT_EQ(run(tool("xmit_lint") + " --evolve " +
+                    source_path("tests/lint_corpus/evolution_old.xsd") + " " +
+                    source_path("tests/lint_corpus/evolution_new.xsd"),
+                &output),
+            1);
+  EXPECT_NE(output.find("XL011"), std::string::npos) << output;
+
+  EXPECT_EQ(run(tool("xmit_lint"), &output), 2);  // usage
+}
+
+TEST_F(Tools, ValidateLintsSchemas) {
+  std::string good = temp("lint_good.xml");
+  ASSERT_TRUE(net::write_file(good, "<t><count>1</count></t>").is_ok());
+  std::string output;
+  EXPECT_EQ(run(tool("xmit_validate") + " --lint " +
+                    source_path("tests/lint_corpus/dangling_dimension.xsd") +
+                    " " + good,
+                &output),
+            1);
+  EXPECT_NE(output.find("XL003"), std::string::npos) << output;
+  std::remove(good.c_str());
+}
+
+#endif  // XMIT_SOURCE_DIR
+
 #endif  // XMIT_BINARY_DIR
 
 }  // namespace

@@ -20,6 +20,8 @@
 #include <cstring>
 #include <string>
 
+#include "analysis/lint.hpp"
+#include "analysis/plan_verify.hpp"
 #include "baseline/xmlwire.hpp"
 #include "net/fetch.hpp"
 #include "pbio/decode.hpp"
@@ -117,6 +119,7 @@ bool parse_positive(const char* text, long long* out) {
 int main(int argc, char** argv) {
   bool as_xml = false;
   bool formats_only = false;
+  bool lint = false;
   net::FetchOptions fetch_options;
   fetch_options.retry = net::RetryPolicy::none();
   DecodeLimits limits = DecodeLimits::defaults();
@@ -126,6 +129,8 @@ int main(int argc, char** argv) {
       as_xml = true;
     else if (std::strcmp(argv[i], "--formats-only") == 0)
       formats_only = true;
+    else if (std::strcmp(argv[i], "--lint") == 0)
+      lint = true;
     else if (std::strcmp(argv[i], "--max-depth") == 0 && i + 1 < argc) {
       long long bound = 0;
       if (!parse_positive(argv[++i], &bound) || bound > 1000000) {
@@ -173,9 +178,9 @@ int main(int argc, char** argv) {
   }
   if (path == nullptr) {
     std::fprintf(stderr,
-                 "usage: xmit_inspect [--xml] [--formats-only] [--retries N] "
-                 "[--timeout-ms N] [--max-depth N] [--max-bytes N] "
-                 "[--max-alloc N] <file.pbio | http://...>\n");
+                 "usage: xmit_inspect [--xml] [--formats-only] [--lint] "
+                 "[--retries N] [--timeout-ms N] [--max-depth N] "
+                 "[--max-bytes N] [--max-alloc N] <file.pbio | http://...>\n");
     return 2;
   }
 
@@ -204,6 +209,13 @@ int main(int argc, char** argv) {
 
   pbio::Decoder decoder(registry);
   decoder.set_limits(limits);
+  if (lint) {
+    // Formats embedded in the file are as untrusted as its records: lint
+    // each one as it streams in, and statically verify every decode plan
+    // before it runs.
+    analysis::register_plan_verifier();
+    decoder.set_verify_plans(true);
+  }
   std::size_t printed_formats = 0;
   Arena arena;
   int index = 0;
@@ -219,7 +231,12 @@ int main(int argc, char** argv) {
     // Print any formats that streamed in before this record.
     auto all = registry.all();
     if (all.size() > printed_formats) {
-      for (const auto& format : all) print_format(*format);
+      for (const auto& format : all) {
+        print_format(*format);
+        if (lint)
+          for (const auto& diagnostic : analysis::lint_format(*format))
+            std::printf("  %s\n", diagnostic.to_string().c_str());
+      }
       printed_formats = all.size();
     }
     if (formats_only) continue;

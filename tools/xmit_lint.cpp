@@ -1,0 +1,212 @@
+// xmit_lint: schema / format linter and marshal-plan verifier CLI —
+// front end of the static verification layer (DESIGN.md 5e).
+//
+// Usage:
+//   xmit_lint [--deny] [--arch host|big64|big32|little32]
+//             [--swap-bytes N] [--verify-plans] <schema-url-or-path>...
+//   xmit_lint --evolve <old.xsd> <new.xsd>
+//
+// Default mode lints every schema document: padding holes (XL001),
+// misalignment (XL002), dangling / later-declared / narrow dimension
+// fields (XL003-XL005), byte-swap hotspots (XL007). --arch selects the
+// machine the layout rules judge against. --verify-plans additionally
+// lays every type out for the chosen sender architecture, compiles the
+// decode plan against the host layout, and runs the static plan verifier
+// over the op program (PV001-PV012).
+//
+// --evolve compares two versions of a schema and reports cross-version
+// compatibility breaks (XL010-XL016).
+//
+// Exit status: 0 when no error-severity diagnostics fired (warnings are
+// reported but pass); 1 on errors, or on any diagnostic under --deny;
+// 2 on usage problems.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "analysis/lint.hpp"
+#include "analysis/plan_verify.hpp"
+#include "net/fetch.hpp"
+#include "pbio/decode.hpp"
+#include "pbio/registry.hpp"
+#include "xmit/xmit.hpp"
+#include "xsd/parse.hpp"
+
+namespace {
+
+using xmit::analysis::Diagnostic;
+
+xmit::Result<std::string> read_source(const std::string& source) {
+  if (source.find("://") != std::string::npos)
+    return xmit::net::fetch(source, {});
+  return xmit::net::read_file(source);
+}
+
+bool parse_arch(const char* name, xmit::pbio::ArchInfo* out) {
+  if (std::strcmp(name, "host") == 0) *out = xmit::pbio::ArchInfo::host();
+  else if (std::strcmp(name, "big64") == 0)
+    *out = xmit::pbio::ArchInfo::big_endian_64();
+  else if (std::strcmp(name, "big32") == 0)
+    *out = xmit::pbio::ArchInfo::big_endian_32();
+  else if (std::strcmp(name, "little32") == 0)
+    *out = xmit::pbio::ArchInfo::little_endian_32();
+  else
+    return false;
+  return true;
+}
+
+struct Tally {
+  std::size_t errors = 0;
+  std::size_t warnings = 0;
+
+  void report(const std::string& source,
+              const std::vector<Diagnostic>& findings) {
+    for (const Diagnostic& diagnostic : findings) {
+      std::printf("%s: %s\n", source.c_str(),
+                  diagnostic.to_string().c_str());
+      if (diagnostic.severity == xmit::analysis::Severity::kError) ++errors;
+      if (diagnostic.severity == xmit::analysis::Severity::kWarning)
+        ++warnings;
+    }
+  }
+};
+
+xmit::Result<xmit::xsd::Schema> load_schema(const std::string& source) {
+  XMIT_ASSIGN_OR_RETURN(auto text, read_source(source));
+  return xmit::xsd::parse_schema_text(text, xmit::DecodeLimits::defaults());
+}
+
+// --verify-plans: register each type for the sender arch and for the
+// host, compile the (sender, host-receiver) decode plan, verify it.
+int verify_plans(const std::string& source, const xmit::xsd::Schema& schema,
+                 const xmit::pbio::ArchInfo& sender_arch, Tally& tally) {
+  auto sender_layouts = xmit::toolkit::layout_schema(schema, sender_arch);
+  auto receiver_layouts =
+      xmit::toolkit::layout_schema(schema, xmit::pbio::ArchInfo::host());
+  if (!sender_layouts.is_ok() || !receiver_layouts.is_ok()) {
+    const xmit::Status& status = sender_layouts.is_ok()
+                                     ? receiver_layouts.status()
+                                     : sender_layouts.status();
+    std::fprintf(stderr, "%s: layout failed: %s\n", source.c_str(),
+                 status.to_string().c_str());
+    return 1;
+  }
+
+  xmit::pbio::FormatRegistry senders;
+  xmit::pbio::FormatRegistry receivers;
+  xmit::pbio::Decoder decoder(senders);
+  for (std::size_t i = 0; i < receiver_layouts.value().size(); ++i) {
+    const auto& sl = sender_layouts.value()[i];
+    const auto& rl = receiver_layouts.value()[i];
+    auto sent = senders.register_format(sl.name, sl.fields, sl.struct_size,
+                                        sender_arch);
+    auto received = receivers.register_format(rl.name, rl.fields,
+                                              rl.struct_size,
+                                              xmit::pbio::ArchInfo::host());
+    if (!sent.is_ok() || !received.is_ok()) {
+      const xmit::Status& status =
+          sent.is_ok() ? received.status() : sent.status();
+      std::fprintf(stderr, "%s: register '%s' failed: %s\n", source.c_str(),
+                   sl.name.c_str(), status.to_string().c_str());
+      return 1;
+    }
+    auto plan = decoder.plan_view(sent.value(), *received.value());
+    if (!plan.is_ok()) {
+      std::fprintf(stderr, "%s: plan for '%s' failed: %s\n", source.c_str(),
+                   sl.name.c_str(), plan.status().to_string().c_str());
+      return 1;
+    }
+    tally.report(source + " [plan " + sl.name + "]",
+                 xmit::analysis::verify_plan(plan.value(), *sent.value(),
+                                             *received.value()));
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool deny = false;
+  bool want_plans = false;
+  const char* evolve_old = nullptr;
+  const char* evolve_new = nullptr;
+  xmit::analysis::LintOptions options;
+  std::vector<std::string> sources;
+
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--deny") == 0) {
+      deny = true;
+    } else if (std::strcmp(argv[i], "--verify-plans") == 0) {
+      want_plans = true;
+    } else if (std::strcmp(argv[i], "--arch") == 0 && i + 1 < argc) {
+      if (!parse_arch(argv[++i], &options.arch)) {
+        std::fprintf(stderr,
+                     "--arch wants host|big64|big32|little32, got '%s'\n",
+                     argv[i]);
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--swap-bytes") == 0 && i + 1 < argc) {
+      options.swap_hotspot_bytes =
+          static_cast<std::uint64_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--evolve") == 0 && i + 2 < argc) {
+      evolve_old = argv[++i];
+      evolve_new = argv[++i];
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr, "unknown option '%s'\n", argv[i]);
+      return 2;
+    } else {
+      sources.emplace_back(argv[i]);
+    }
+  }
+
+  Tally tally;
+
+  if (evolve_old != nullptr) {
+    auto old_schema = load_schema(evolve_old);
+    auto new_schema = load_schema(evolve_new);
+    if (!old_schema.is_ok() || !new_schema.is_ok()) {
+      const xmit::Status& status = old_schema.is_ok() ? new_schema.status()
+                                                      : old_schema.status();
+      std::fprintf(stderr, "%s\n", status.to_string().c_str());
+      return 1;
+    }
+    tally.report(std::string(evolve_old) + " -> " + evolve_new,
+                 xmit::analysis::lint_evolution(old_schema.value(),
+                                                new_schema.value()));
+  } else if (sources.empty()) {
+    std::fprintf(stderr,
+                 "usage: xmit_lint [--deny] [--arch host|big64|big32|little32]"
+                 " [--swap-bytes N] [--verify-plans] <schema>...\n"
+                 "       xmit_lint --evolve <old.xsd> <new.xsd>\n");
+    return 2;
+  }
+
+  for (const std::string& source : sources) {
+    auto schema = load_schema(source);
+    if (!schema.is_ok()) {
+      std::fprintf(stderr, "%s: %s\n", source.c_str(),
+                   schema.status().to_string().c_str());
+      return 1;
+    }
+    auto findings = xmit::analysis::lint_schema(schema.value(), options);
+    if (!findings.is_ok()) {
+      std::fprintf(stderr, "%s: layout failed: %s\n", source.c_str(),
+                   findings.status().to_string().c_str());
+      return 1;
+    }
+    tally.report(source, findings.value());
+    if (want_plans) {
+      const int failed =
+          verify_plans(source, schema.value(), options.arch, tally);
+      if (failed != 0) return failed;
+    }
+  }
+
+  if (tally.errors + tally.warnings > 0)
+    std::printf("%zu error(s), %zu warning(s)\n", tally.errors,
+                tally.warnings);
+  if (tally.errors > 0) return 1;
+  if (deny && tally.warnings > 0) return 1;
+  return 0;
+}

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/lint.hpp"
 #include "net/fetch.hpp"
 #include "xml/parser.hpp"
 #include "xsd/parse.hpp"
@@ -55,11 +56,14 @@ int main(int argc, char** argv) {
   xmit::net::FetchOptions fetch_options;
   fetch_options.retry = xmit::net::RetryPolicy::none();
   xmit::DecodeLimits limits = xmit::DecodeLimits::defaults();
+  bool lint = false;
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
     int value = 0;
     long long bound = 0;
-    if (std::strcmp(argv[i], "--max-depth") == 0 && i + 1 < argc) {
+    if (std::strcmp(argv[i], "--lint") == 0) {
+      lint = true;
+    } else if (std::strcmp(argv[i], "--max-depth") == 0 && i + 1 < argc) {
       if (!parse_positive(argv[++i], &bound) || bound > 1000000) {
         std::fprintf(stderr, "--max-depth wants a positive count, got '%s'\n",
                      argv[i]);
@@ -102,7 +106,7 @@ int main(int argc, char** argv) {
   }
   if (positional.size() < 2) {
     std::fprintf(stderr,
-                 "usage: xmit_validate [--retries N] [--timeout-ms N] "
+                 "usage: xmit_validate [--lint] [--retries N] [--timeout-ms N] "
                  "[--max-depth N] [--max-bytes N] [--max-alloc N] "
                  "<schema-url-or-path> <instance-path> [type-name]\n");
     return 2;
@@ -118,6 +122,17 @@ int main(int argc, char** argv) {
   if (!schema.is_ok()) {
     std::fprintf(stderr, "schema: %s\n", schema.status().to_string().c_str());
     return 1;
+  }
+  if (lint) {
+    auto findings = xmit::analysis::lint_schema(schema.value());
+    if (!findings.is_ok()) {
+      std::fprintf(stderr, "schema: lint layout failed: %s\n",
+                   findings.status().to_string().c_str());
+      return 1;
+    }
+    for (const auto& diagnostic : findings.value())
+      std::fprintf(stderr, "schema: %s\n", diagnostic.to_string().c_str());
+    if (xmit::analysis::has_errors(findings.value())) return 1;
   }
 
   auto instance_text = xmit::net::read_file(positional[1]);
