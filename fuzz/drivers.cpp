@@ -269,21 +269,23 @@ std::vector<std::uint8_t> pack_frames(
   return out;
 }
 
+// A tag-0x02 data frame: [0x02 | u64 LE seq | record bytes].
+std::vector<std::uint8_t> record_frame(std::uint64_t seq,
+                                       std::span<const std::uint8_t> record) {
+  std::vector<std::uint8_t> frame;
+  frame.push_back(0x02);
+  for (int shift = 0; shift < 64; shift += 8)
+    frame.push_back(static_cast<std::uint8_t>(seq >> shift));
+  frame.insert(frame.end(), record.begin(), record.end());
+  return frame;
+}
+
 std::vector<std::vector<std::uint8_t>> session_seeds() {
   PbioState& state = pbio_state();
   std::vector<std::uint8_t> announce;
   announce.push_back(0x01);
   auto meta = pbio::serialize_format(*state.host_format);
   announce.insert(announce.end(), meta.begin(), meta.end());
-
-  std::vector<std::uint8_t> record;
-  record.push_back(0x02);
-  record.insert(record.end(), state.seeds[0].begin(), state.seeds[0].end());
-
-  std::vector<std::uint8_t> foreign_record;
-  foreign_record.push_back(0x02);
-  foreign_record.insert(foreign_record.end(), state.seeds[1].begin(),
-                        state.seeds[1].end());
 
   std::vector<std::uint8_t> foreign_announce;
   foreign_announce.push_back(0x01);
@@ -292,8 +294,10 @@ std::vector<std::vector<std::uint8_t>> session_seeds() {
                           foreign_meta.end());
 
   return {
-      pack_frames({announce, record}),
-      pack_frames({announce, foreign_announce, foreign_record, record}),
+      pack_frames({announce, record_frame(1, state.seeds[0])}),
+      pack_frames({announce, foreign_announce,
+                   record_frame(1, state.seeds[1]),
+                   record_frame(2, state.seeds[0])}),
   };
 }
 
@@ -334,6 +338,96 @@ Status run_session(std::span<const std::uint8_t> input) {
   return last;
 }
 
+// --- session handshake -----------------------------------------------------
+
+// The resumption control plane: tag-0x03 handshakes plus tag-0x04/0x05
+// ping/pong acks. The driver establishes a live session identity with an
+// honest initiate, then feeds the (mutated) input as follow-up frames —
+// so mutations attack epoch rules, session-id pinning and ack bounds on
+// a session that already has state to corrupt.
+constexpr std::uint64_t kHandshakeSid = 0x5E55102D;
+
+std::vector<std::uint8_t> handshake_frame(std::uint8_t flags,
+                                          std::uint64_t sid,
+                                          std::uint32_t epoch,
+                                          std::uint64_t last_seq) {
+  std::vector<std::uint8_t> frame;
+  frame.push_back(0x03);
+  frame.push_back(flags);
+  for (int shift = 0; shift < 64; shift += 8)
+    frame.push_back(static_cast<std::uint8_t>(sid >> shift));
+  for (int shift = 0; shift < 32; shift += 8)
+    frame.push_back(static_cast<std::uint8_t>(epoch >> shift));
+  for (int shift = 0; shift < 64; shift += 8)
+    frame.push_back(static_cast<std::uint8_t>(last_seq >> shift));
+  return frame;
+}
+
+std::vector<std::uint8_t> ack_frame(std::uint8_t tag, std::uint64_t last_seq) {
+  std::vector<std::uint8_t> frame;
+  frame.push_back(tag);
+  for (int shift = 0; shift < 64; shift += 8)
+    frame.push_back(static_cast<std::uint8_t>(last_seq >> shift));
+  return frame;
+}
+
+std::vector<std::vector<std::uint8_t>> session_handshake_seeds() {
+  PbioState& state = pbio_state();
+  std::vector<std::uint8_t> announce;
+  announce.push_back(0x01);
+  auto meta = pbio::serialize_format(*state.host_format);
+  announce.insert(announce.end(), meta.begin(), meta.end());
+  return {
+      // A legitimate resume: higher-epoch initiate, then data.
+      pack_frames({handshake_frame(0x01, kHandshakeSid, 6, 0), announce,
+                   record_frame(1, state.seeds[0])}),
+      // A reply at the current epoch, plus ping/pong chatter.
+      pack_frames({handshake_frame(0x00, kHandshakeSid, 5, 0),
+                   ack_frame(0x04, 0), ack_frame(0x05, 0)}),
+  };
+}
+
+Status run_session_handshake(std::span<const std::uint8_t> input) {
+  pbio::FormatRegistry receiver_registry;
+  auto pipe = net::Channel::pipe();
+  if (!pipe.is_ok()) return pipe.status();
+  net::Channel sender = std::move(pipe.value().first);
+  session::MessageSession receiver(std::move(pipe.value().second),
+                                   receiver_registry);
+  DecodeLimits limits = fuzz_limits();
+  limits.max_malformed_frames = 8;
+  receiver.set_limits(limits);
+
+  // Honest preamble: the session adopts this id and epoch 5.
+  if (!sender.send(handshake_frame(0x01, kHandshakeSid, 5, 0)).is_ok())
+    return Status::ok();
+
+  std::size_t at = 0;
+  std::size_t frames = 0;
+  std::size_t total = 0;
+  while (at + 2 <= input.size() && frames < kMaxSessionFrames &&
+         total < kMaxSessionBytes) {
+    std::size_t length = input[at] | (std::size_t(input[at + 1]) << 8);
+    at += 2;
+    length = std::min(length, input.size() - at);
+    if (!sender.send(std::span(input.data() + at, length)).is_ok()) break;
+    at += length;
+    total += length;
+    ++frames;
+  }
+  sender.close();
+
+  Status last = Status::ok();
+  for (std::size_t i = 0; i < frames + 3; ++i) {
+    auto incoming = receiver.receive(200);
+    if (incoming.is_ok()) continue;
+    if (incoming.code() == ErrorCode::kNotFound) break;  // clean EOF
+    last = incoming.status();
+    if (last.code() == ErrorCode::kTimeout || receiver.poisoned()) break;
+  }
+  return last;
+}
+
 constexpr Driver kDrivers[] = {
     {"xml", "xml::parse_document over mutated documents", xml_seeds, run_xml},
     {"xsd", "xsd::parse_schema_text over mutated schemas", xsd_seeds, run_xsd},
@@ -346,6 +440,9 @@ constexpr Driver kDrivers[] = {
     {"xmlrpc", "rpc XML-RPC call/response parsing", xmlrpc_seeds, run_xmlrpc},
     {"session", "MessageSession::receive over mutated frame streams",
      session_seeds, run_session},
+    {"session_handshake",
+     "resumption control frames: handshake/ping/pong over a live session",
+     session_handshake_seeds, run_session_handshake},
 };
 
 // --- canonical hostile corpus ----------------------------------------------
@@ -507,6 +604,36 @@ std::vector<CorpusAttack> canonical_attacks() {
                        "malformed-frame flood exceeds the session budget",
                        pack_frames(frames)});
   }
+
+  // 12. Epoch rollback: the driver's preamble establishes epoch 5; a
+  //     replayed (or forged) initiate at epoch 3 must not rewind the
+  //     session's delivery state — it is refused as kMalformedInput.
+  attacks.push_back(
+      {"session_handshake-epoch-rollback.bin",
+       "replayed initiate handshake with a lower epoch",
+       pack_frames({handshake_frame(0x01, kHandshakeSid, 3, 0)})});
+
+  // 13. Foreign session id at a higher epoch: a handshake that names a
+  //     different session must not be spliced into this one.
+  attacks.push_back(
+      {"session_handshake-foreign-session.bin",
+       "handshake names a different session id on a live transport",
+       pack_frames({handshake_frame(0x01, kHandshakeSid + 1, 6, 0)})});
+
+  // 14. Absurd ack: last-seq-received of ~0 acknowledges records that were
+  //     never sent; absorbing it would trim the whole replay buffer and
+  //     fake delivery. Rejected before any state changes.
+  attacks.push_back({"session_handshake-absurd-ack.bin",
+                     "handshake acks 2^64-1 records that were never sent",
+                     pack_frames({handshake_frame(0x01, kHandshakeSid, 6,
+                                                  ~std::uint64_t(0))})});
+
+  // 15. Truncated handshake: 3 payload bytes where the fixed 21 are
+  //     required — the length check must run before any field loads.
+  attacks.push_back(
+      {"session_handshake-short-frame.bin",
+       "handshake frame truncated mid-session-id",
+       pack_frames({std::vector<std::uint8_t>{0x03, 0x01, 0x5E}})});
 
   return attacks;
 }

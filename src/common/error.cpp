@@ -16,6 +16,7 @@ const char* error_code_name(ErrorCode code) {
     case ErrorCode::kTimeout: return "timeout";
     case ErrorCode::kResourceExhausted: return "resource_exhausted";
     case ErrorCode::kMalformedInput: return "malformed_input";
+    case ErrorCode::kDataLoss: return "data_loss";
   }
   return "unknown";
 }

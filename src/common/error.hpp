@@ -27,6 +27,7 @@ enum class ErrorCode : std::uint8_t {
   kTimeout,           // deadline elapsed (poll/connect/overall budget)
   kResourceExhausted, // untrusted input blew a DecodeLimits budget
   kMalformedInput,    // hostile/corrupt bytes (inconsistent lengths, wraps)
+  kDataLoss,          // a sequence gap the replay buffer could not cover
 };
 
 const char* error_code_name(ErrorCode code);

@@ -2,6 +2,7 @@
 
 #include <arpa/inet.h>
 #include <fcntl.h>
+#include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <poll.h>
@@ -23,7 +24,11 @@ Status send_all(int fd, const void* data, std::size_t size) {
   std::size_t sent = 0;
   while (sent < size) {
     ssize_t n = ::send(fd, p + sent, size - sent, MSG_NOSIGNAL);
-    if (n <= 0) return make_error(ErrorCode::kIoError, "channel send failed");
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0)
+      return make_error(ErrorCode::kIoError,
+                        std::string("channel send failed: ") +
+                            std::strerror(errno));
     sent += static_cast<std::size_t>(n);
   }
   return Status::ok();
@@ -38,7 +43,10 @@ Status sendmsg_all(int fd, struct iovec* iov, std::size_t count) {
     msg.msg_iovlen = count;
     ssize_t n = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
     if (n < 0 && errno == EINTR) continue;
-    if (n <= 0) return make_error(ErrorCode::kIoError, "channel send failed");
+    if (n <= 0)
+      return make_error(ErrorCode::kIoError,
+                        std::string("channel send failed: ") +
+                            std::strerror(errno));
     auto left = static_cast<std::size_t>(n);
     while (count > 0 && left >= iov[0].iov_len) {
       left -= iov[0].iov_len;
@@ -83,7 +91,11 @@ Status recv_exact(int fd, void* data, std::size_t size, int timeout_ms,
 Channel::~Channel() { close(); }
 
 Channel::Channel(Channel&& other) noexcept
-    : fd_(other.fd_), sent_(other.sent_), bytes_sent_(other.bytes_sent_) {
+    : fd_(other.fd_),
+      sent_(other.sent_),
+      bytes_sent_(other.bytes_sent_),
+      failure_(other.failure_),
+      failure_budget_(other.failure_budget_) {
   other.fd_ = -1;
 }
 
@@ -93,6 +105,8 @@ Channel& Channel::operator=(Channel&& other) noexcept {
     fd_ = other.fd_;
     sent_ = other.sent_;
     bytes_sent_ = other.bytes_sent_;
+    failure_ = other.failure_;
+    failure_budget_ = other.failure_budget_;
     other.fd_ = -1;
   }
   return *this;
@@ -112,34 +126,43 @@ Result<std::pair<Channel, Channel>> Channel::pipe() {
   return std::make_pair(Channel(fds[0]), Channel(fds[1]));
 }
 
-Result<Channel> Channel::connect(std::uint16_t port, int timeout_ms) {
-  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
-  if (fd < 0) return Status(ErrorCode::kIoError, "socket() failed");
+Result<Channel> Channel::connect(const std::string& host, std::uint16_t port,
+                                 int timeout_ms) {
+  const std::string where = host + ":" + std::to_string(port);
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    // Not a dotted quad: resolve the name (IPv4).
+    struct addrinfo hints{};
+    hints.ai_family = AF_INET;
+    hints.ai_socktype = SOCK_STREAM;
+    struct addrinfo* found = nullptr;
+    if (::getaddrinfo(host.c_str(), nullptr, &hints, &found) != 0 ||
+        found == nullptr)
+      return Status(ErrorCode::kNotFound, "cannot resolve host " + host);
+    addr.sin_addr = reinterpret_cast<sockaddr_in*>(found->ai_addr)->sin_addr;
+    ::freeaddrinfo(found);
+  }
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
+  if (fd < 0) return Status(ErrorCode::kIoError, "socket() failed");
   if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
     if (errno != EINPROGRESS) {
       ::close(fd);
-      return Status(ErrorCode::kIoError,
-                    "connect to 127.0.0.1:" + std::to_string(port) + " failed");
+      return Status(ErrorCode::kIoError, "connect to " + where + " failed");
     }
     struct pollfd pfd = {fd, POLLOUT, 0};
     int ready = ::poll(&pfd, 1, timeout_ms);
     if (ready == 0) {
       ::close(fd);
-      return Status(ErrorCode::kTimeout,
-                    "connect to 127.0.0.1:" + std::to_string(port) +
-                        " timed out");
+      return Status(ErrorCode::kTimeout, "connect to " + where + " timed out");
     }
     int so_error = 0;
     socklen_t len = sizeof(so_error);
     ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len);
     if (ready < 0 || so_error != 0) {
       ::close(fd);
-      return Status(ErrorCode::kIoError,
-                    "connect to 127.0.0.1:" + std::to_string(port) + " failed");
+      return Status(ErrorCode::kIoError, "connect to " + where + " failed");
     }
   }
   // Back to blocking for the framed send/receive paths.
@@ -150,6 +173,30 @@ Result<Channel> Channel::connect(std::uint16_t port, int timeout_ms) {
   return Channel(fd);
 }
 
+Status Channel::write_bytes(const void* data, std::size_t size) {
+  if (failure_ == InjectedFailure::kNone) return send_all(fd_, data, size);
+  if (size < failure_budget_) {
+    failure_budget_ -= size;
+    return send_all(fd_, data, size);
+  }
+  // Budget exhausted mid-write: emit the prefix the wire would have seen,
+  // then die. For a kill the prefix stays in the kernel buffer and reaches
+  // the peer before EOF; for a reset SO_LINGER{1,0} makes close() abortive.
+  if (failure_budget_ > 0) {
+    Status prefix = send_all(fd_, data, failure_budget_);
+    (void)prefix;  // the connection is going down either way
+  }
+  if (failure_ == InjectedFailure::kResetAfterBytes) {
+    struct linger lg = {1, 0};
+    ::setsockopt(fd_, SOL_SOCKET, SO_LINGER, &lg, sizeof(lg));
+  }
+  failure_ = InjectedFailure::kNone;
+  failure_budget_ = 0;
+  close();
+  return make_error(ErrorCode::kIoError,
+                    "injected connection kill/reset mid-stream");
+}
+
 Status Channel::send(std::span<const std::uint8_t> message) {
   if (fd_ < 0) return make_error(ErrorCode::kIoError, "channel is closed");
   if (message.size() > kMaxFrameBytes)
@@ -158,8 +205,8 @@ Status Channel::send(std::span<const std::uint8_t> message) {
   store_with_order<std::uint32_t>(frame,
                                   static_cast<std::uint32_t>(message.size()),
                                   ByteOrder::kLittle);
-  XMIT_RETURN_IF_ERROR(send_all(fd_, frame, sizeof(frame)));
-  XMIT_RETURN_IF_ERROR(send_all(fd_, message.data(), message.size()));
+  XMIT_RETURN_IF_ERROR(write_bytes(frame, sizeof(frame)));
+  XMIT_RETURN_IF_ERROR(write_bytes(message.data(), message.size()));
   ++sent_;
   bytes_sent_ += message.size() + sizeof(frame);
   return Status::ok();
@@ -174,6 +221,22 @@ Status Channel::send_gather(std::span<const IoSlice> slices) {
   std::uint8_t frame[4];
   store_with_order<std::uint32_t>(frame, static_cast<std::uint32_t>(total),
                                   ByteOrder::kLittle);
+
+  if (failure_ != InjectedFailure::kNone) {
+    // Armed channels flatten the gather list so the byte budget is applied
+    // to one contiguous wire image (test-only path; the alloc is fine).
+    std::vector<std::uint8_t> flat;
+    flat.reserve(sizeof(frame) + static_cast<std::size_t>(total));
+    flat.insert(flat.end(), frame, frame + sizeof(frame));
+    for (const IoSlice& s : slices) {
+      const auto* p = static_cast<const std::uint8_t*>(s.data);
+      flat.insert(flat.end(), p, p + s.size);
+    }
+    XMIT_RETURN_IF_ERROR(write_bytes(flat.data(), flat.size()));
+    ++sent_;
+    bytes_sent_ += static_cast<std::size_t>(total) + sizeof(frame);
+    return Status::ok();
+  }
 
   // Batch through a stack iovec array: the frame header rides in the first
   // batch, and records with more out-of-line fields than kIovBatch fall

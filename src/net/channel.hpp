@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <span>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -17,6 +18,17 @@
 #include "common/error.hpp"
 
 namespace xmit::net {
+
+// Test seam for the chaos harness: a channel can be armed to die after a
+// byte budget, modelling a peer crash (kill: already-written bytes stay in
+// the kernel buffer and drain to the receiver before EOF) or an abortive
+// close (reset: SO_LINGER{1,0} turns close() into an RST that may destroy
+// in-flight data too). kNone is the production state.
+enum class InjectedFailure : std::uint8_t {
+  kNone = 0,
+  kKillAfterBytes,   // send budget bytes (headers included), then close
+  kResetAfterBytes,  // as above, but close abortively (TCP RST)
+};
 
 class Channel {
  public:
@@ -30,9 +42,16 @@ class Channel {
   // Bidirectional in-process pair (AF_UNIX socketpair).
   static Result<std::pair<Channel, Channel>> pipe();
 
-  // TCP client connection to 127.0.0.1:`port`. A connect that does not
-  // complete within timeout_ms yields kTimeout; refusal is kIoError.
-  static Result<Channel> connect(std::uint16_t port, int timeout_ms = 5000);
+  // TCP client connection to `host`:`port` (numeric address or name,
+  // resolved IPv4). A connect that does not complete within timeout_ms
+  // yields kTimeout; refusal is kIoError.
+  static Result<Channel> connect(const std::string& host, std::uint16_t port,
+                                 int timeout_ms = 5000);
+
+  // Back-compat convenience: loopback connect.
+  static Result<Channel> connect(std::uint16_t port, int timeout_ms = 5000) {
+    return connect("127.0.0.1", port, timeout_ms);
+  }
 
   bool is_open() const { return fd_ >= 0; }
 
@@ -58,6 +77,16 @@ class Channel {
 
   void close();
 
+  // Arms a deterministic failure: after `byte_budget` more outgoing bytes
+  // (frame headers count — they are wire bytes) the channel sends the
+  // prefix that fits, dies per `mode`, and the pending send returns
+  // kIoError. Exactly how a peer crash at that byte looks from both ends.
+  void arm_failure(InjectedFailure mode, std::size_t byte_budget) {
+    failure_ = mode;
+    failure_budget_ = byte_budget;
+  }
+  InjectedFailure armed_failure() const { return failure_; }
+
   std::size_t messages_sent() const { return sent_; }
   std::size_t bytes_sent() const { return bytes_sent_; }
 
@@ -65,9 +94,15 @@ class Channel {
   explicit Channel(int fd) : fd_(fd) {}
   friend class ChannelListener;
 
+  // send_all that honours an armed failure; all send paths route their
+  // wire bytes through here so byte budgets are exact.
+  Status write_bytes(const void* data, std::size_t size);
+
   int fd_ = -1;
   std::size_t sent_ = 0;
   std::size_t bytes_sent_ = 0;
+  InjectedFailure failure_ = InjectedFailure::kNone;
+  std::size_t failure_budget_ = 0;
 };
 
 class ChannelListener {

@@ -1,0 +1,13 @@
+#include "net/endpoint.hpp"
+
+namespace xmit::net {
+
+Result<Channel> Endpoint::dial(const RetryPolicy& policy,
+                               RetryStats* stats) const {
+  if (!dial_)
+    return Status(ErrorCode::kUnsupported,
+                  "endpoint cannot dial: no dial function configured");
+  return with_retry<Channel>(policy, dial_, stats);
+}
+
+}  // namespace xmit::net

@@ -1,0 +1,65 @@
+// Endpoint: a redialable address for the session data plane.
+//
+// A Channel is one live connection; an Endpoint is the *ability to get
+// another one*. Resumable sessions hold an Endpoint so that when the
+// transport dies mid-stream they can re-dial — under the same
+// RetryPolicy machinery the discovery plane uses (net/retry.hpp) — and
+// splice a fresh Channel under the session without the caller noticing.
+//
+// Two constructors cover every test and deployment shape:
+//  * tcp(host, port): the production dialer, Channel::connect each time,
+//  * custom(label, fn): an arbitrary dial function — chaos harnesses use
+//    this to hand out pre-armed socketpair ends deterministically.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "common/error.hpp"
+#include "net/channel.hpp"
+#include "net/retry.hpp"
+
+namespace xmit::net {
+
+class Endpoint {
+ public:
+  using DialFn = std::function<Result<Channel>()>;
+
+  // Non-dialable endpoint: dial() always fails. What a session built
+  // directly on a Channel (make_session_pipe) carries.
+  Endpoint() = default;
+
+  static Endpoint tcp(std::string host, std::uint16_t port,
+                      int timeout_ms = 5000) {
+    Endpoint e;
+    e.label_ = host + ":" + std::to_string(port);
+    e.dial_ = [host = std::move(host), port, timeout_ms]() {
+      return Channel::connect(host, port, timeout_ms);
+    };
+    return e;
+  }
+
+  static Endpoint custom(std::string label, DialFn fn) {
+    Endpoint e;
+    e.label_ = std::move(label);
+    e.dial_ = std::move(fn);
+    return e;
+  }
+
+  bool can_dial() const { return static_cast<bool>(dial_); }
+  const std::string& label() const { return label_; }
+
+  // One dial attempt per retry-policy attempt; transient failures
+  // (refused, timed out) back off and re-dial until the policy's
+  // attempts or deadline budget runs out.
+  Result<Channel> dial(const RetryPolicy& policy = RetryPolicy(),
+                       RetryStats* stats = nullptr) const;
+
+ private:
+  std::string label_;
+  DialFn dial_;
+};
+
+}  // namespace xmit::net

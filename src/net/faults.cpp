@@ -74,4 +74,30 @@ Status TruncatingChannel::send(std::span<const std::uint8_t> message) {
   return inner_.send(message);
 }
 
+void arm_channel(Channel& channel, const FaultAction& action) {
+  switch (action.kind) {
+    case FaultKind::kKillAfterBytes:
+      channel.arm_failure(InjectedFailure::kKillAfterBytes,
+                          action.byte_budget);
+      break;
+    case FaultKind::kRstMidFrame:
+      channel.arm_failure(InjectedFailure::kResetAfterBytes,
+                          action.byte_budget);
+      break;
+    default:
+      break;
+  }
+}
+
+Result<HangingAcceptor> HangingAcceptor::listen(std::uint16_t port) {
+  XMIT_ASSIGN_OR_RETURN(auto listener, ChannelListener::listen(port));
+  return HangingAcceptor(std::move(listener));
+}
+
+Status HangingAcceptor::accept_and_hang(int timeout_ms) {
+  XMIT_ASSIGN_OR_RETURN(auto channel, listener_.accept(timeout_ms));
+  parked_.push_back(std::move(channel));
+  return Status::ok();
+}
+
 }  // namespace xmit::net

@@ -29,12 +29,15 @@
 namespace xmit::net {
 
 enum class FaultKind : std::uint8_t {
-  kNone = 0,      // serve normally
-  kHttpError,     // replace the response with `http_status` and no body
-  kTruncateBody,  // full Content-Length header, body cut at truncate_at
-  kCorruptBody,   // body bytes flipped, length preserved
-  kReset,         // close the connection without writing a response
-  kDelay,         // sleep delay_ms, then serve normally
+  kNone = 0,        // serve normally
+  kHttpError,       // replace the response with `http_status` and no body
+  kTruncateBody,    // full Content-Length header, body cut at truncate_at
+  kCorruptBody,     // body bytes flipped, length preserved
+  kReset,           // close the connection without writing a response
+  kDelay,           // sleep delay_ms, then serve normally
+  kKillAfterBytes,  // channel dies after byte_budget outgoing wire bytes
+  kRstMidFrame,     // as kKillAfterBytes but abortive (TCP RST)
+  kAcceptThenHang,  // accept the connection, then never speak (liveness)
 };
 
 struct FaultAction {
@@ -42,6 +45,7 @@ struct FaultAction {
   int http_status = 500;        // for kHttpError
   std::size_t truncate_at = 0;  // body bytes kept for kTruncateBody
   int delay_ms = 0;             // for kDelay
+  std::size_t byte_budget = 0;  // for kKillAfterBytes / kRstMidFrame
 
   static FaultAction none() { return {}; }
   static FaultAction http_error(int status) {
@@ -72,7 +76,28 @@ struct FaultAction {
     a.delay_ms = ms;
     return a;
   }
+  static FaultAction kill_after(std::size_t bytes) {
+    FaultAction a;
+    a.kind = FaultKind::kKillAfterBytes;
+    a.byte_budget = bytes;
+    return a;
+  }
+  static FaultAction reset_after(std::size_t bytes) {
+    FaultAction a;
+    a.kind = FaultKind::kRstMidFrame;
+    a.byte_budget = bytes;
+    return a;
+  }
+  static FaultAction accept_then_hang() {
+    FaultAction a;
+    a.kind = FaultKind::kAcceptThenHang;
+    return a;
+  }
 };
+
+// Translates a byte-budget FaultAction into the channel's injected-failure
+// seam. Non-budget kinds leave the channel untouched.
+void arm_channel(Channel& channel, const FaultAction& action);
 
 // Consulted by HttpServer once per request, on the server thread, with
 // the request path. The returned action is applied to that response.
@@ -141,6 +166,30 @@ class TruncatingChannel {
   Channel& inner_;
   std::shared_ptr<FaultPlan> plan_;
   std::size_t truncated_ = 0;
+};
+
+// A listener persona that accepts connections and then never sends a
+// byte — the "process alive, application wedged" failure the liveness
+// deadline exists to detect. Accepted channels are parked (fds held
+// open) so the dialer sees a healthy connection that just goes silent.
+class HangingAcceptor {
+ public:
+  static Result<HangingAcceptor> listen(std::uint16_t port = 0);
+
+  std::uint16_t port() const { return listener_.port(); }
+
+  // Accepts one connection and parks it. The parked fd stays open until
+  // this object is destroyed, so the peer never sees EOF either.
+  Status accept_and_hang(int timeout_ms = 5000);
+
+  std::size_t parked() const { return parked_.size(); }
+
+ private:
+  explicit HangingAcceptor(ChannelListener listener)
+      : listener_(std::move(listener)) {}
+
+  ChannelListener listener_;
+  std::vector<Channel> parked_;
 };
 
 }  // namespace xmit::net

@@ -1,6 +1,12 @@
 #include "session/session.hpp"
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <thread>
+
 #include "analysis/plan_verify.hpp"
+#include "common/endian.hpp"
 #include "pbio/format_wire.hpp"
 
 namespace xmit::session {
@@ -8,18 +14,60 @@ namespace {
 
 constexpr std::uint8_t kTagFormat = 0x01;
 constexpr std::uint8_t kTagRecord = 0x02;
+constexpr std::uint8_t kTagHandshake = 0x03;
+constexpr std::uint8_t kTagPing = 0x04;
+constexpr std::uint8_t kTagPong = 0x05;
+
+// [u8 flags | u64 session id | u32 epoch | u64 last-seq-received]
+constexpr std::size_t kHandshakePayloadBytes = 21;
+constexpr std::uint8_t kHandshakeInitiate = 0x01;
+constexpr std::size_t kSeqBytes = 8;
+
+std::uint64_t generate_session_id() {
+  // Distinct per session within the process, never zero (the multiplier
+  // is odd, so k * m mod 2^64 == 0 only for k == 0).
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1) * 0x9E3779B97F4A7C15ull;
+}
 
 }  // namespace
 
 MessageSession::MessageSession(net::Channel channel,
                                pbio::FormatRegistry& registry)
+    : MessageSession(std::move(channel), registry, SessionOptions{}) {}
+
+MessageSession::MessageSession(net::Channel channel,
+                               pbio::FormatRegistry& registry,
+                               SessionOptions options)
     : channel_(std::move(channel)),
       registry_(&registry),
-      decoder_(std::make_unique<pbio::Decoder>(registry)) {
+      decoder_(std::make_unique<pbio::Decoder>(registry)),
+      attach_slot_(std::make_unique<AttachSlot>()),
+      options_(options),
+      resumable_(options.resumable),
+      session_id_(options.session_id) {
   // Sessions decode against formats a remote peer described; every plan
   // compiled from that metadata is statically verified before first use.
   analysis::register_plan_verifier();
   decoder_->set_verify_plans(true);
+  last_inbound_ms_ = clock_.elapsed_ms();
+}
+
+MessageSession::MessageSession(net::Endpoint endpoint,
+                               pbio::FormatRegistry& registry,
+                               SessionOptions options)
+    : endpoint_(std::move(endpoint)),
+      registry_(&registry),
+      decoder_(std::make_unique<pbio::Decoder>(registry)),
+      attach_slot_(std::make_unique<AttachSlot>()),
+      options_(options),
+      resumable_(true),
+      session_id_(options.session_id != 0 ? options.session_id
+                                          : generate_session_id()) {
+  options_.resumable = true;
+  analysis::register_plan_verifier();
+  decoder_->set_verify_plans(true);
+  last_inbound_ms_ = clock_.elapsed_ms();
 }
 
 void MessageSession::set_limits(const DecodeLimits& limits) {
@@ -40,43 +88,343 @@ Status MessageSession::note_malformed(Status status) {
   return status;
 }
 
+Status MessageSession::connect_now() {
+  if (!active())
+    return Status(ErrorCode::kUnsupported,
+                  "connect_now requires an endpoint-backed session");
+  if (channel_.is_open()) return Status::ok();
+  return reconnect(options_.liveness_deadline_ms);
+}
+
+void MessageSession::attach(net::Channel replacement) {
+  std::lock_guard<std::mutex> lock(attach_slot_->mutex);
+  attach_slot_->pending = std::move(replacement);
+}
+
+void MessageSession::install_pending_attach() {
+  std::optional<net::Channel> pending;
+  {
+    std::lock_guard<std::mutex> lock(attach_slot_->mutex);
+    if (attach_slot_->pending.has_value()) {
+      pending.emplace(std::move(*attach_slot_->pending));
+      attach_slot_->pending.reset();
+    }
+  }
+  if (!pending.has_value()) return;
+  channel_ = std::move(*pending);
+  ++reconnects_;
+  last_inbound_ms_ = clock_.elapsed_ms();
+  transport_lost_ms_ = -1;
+}
+
+void MessageSession::note_transport_lost() {
+  channel_.close();
+  ++transport_losses_;
+  transport_lost_ms_ = clock_.elapsed_ms();
+}
+
+Status MessageSession::ready_to_send() {
+  if (closed_) return Status(ErrorCode::kIoError, "session closed");
+  if (!resumable_) return Status::ok();
+  install_pending_attach();
+  if (channel_.is_open()) return Status::ok();
+  if (active()) return reconnect(options_.liveness_deadline_ms);
+  // Passive and disconnected: sends buffer into the replay queue and go
+  // out when the peer resumes.
+  return Status::ok();
+}
+
+Status MessageSession::await_transport(int budget_ms) {
+  const double start = clock_.elapsed_ms();
+  for (;;) {
+    install_pending_attach();
+    if (channel_.is_open()) return Status::ok();
+    if (closed_) return Status(ErrorCode::kIoError, "session closed");
+    if (active()) {
+      const int used = static_cast<int>(clock_.elapsed_ms() - start);
+      return reconnect(std::max(budget_ms - used, 0));
+    }
+    const double since_lost =
+        transport_lost_ms_ < 0 ? 0 : clock_.elapsed_ms() - transport_lost_ms_;
+    if (since_lost >= options_.liveness_deadline_ms)
+      return Status(ErrorCode::kTimeout,
+                    "peer never resumed within the liveness deadline");
+    if (clock_.elapsed_ms() - start >= budget_ms)
+      return Status(ErrorCode::kTimeout, "session receive timeout");
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+}
+
+Status MessageSession::reconnect(int budget_ms) {
+  if (closed_) return Status(ErrorCode::kIoError, "session closed");
+  if (!active())
+    return Status(ErrorCode::kUnsupported,
+                  "session has no endpoint to redial");
+  const double start = clock_.elapsed_ms();
+  for (;;) {
+    const double since_lost =
+        transport_lost_ms_ < 0 ? 0 : clock_.elapsed_ms() - transport_lost_ms_;
+    const double liveness_left = options_.liveness_deadline_ms - since_lost;
+    const double budget_left = budget_ms - (clock_.elapsed_ms() - start);
+    const double window = std::min(liveness_left, budget_left);
+    if (window <= 0)
+      return Status(ErrorCode::kTimeout,
+                    "peer unreachable: could not resume the session within "
+                    "the liveness deadline");
+    net::RetryPolicy policy = options_.reconnect_backoff;
+    policy.deadline_ms = window;
+    auto dialed = endpoint_.dial(policy);
+    if (!dialed.is_ok()) {
+      if (!net::is_transient(dialed.status().code()) &&
+          dialed.status().code() != ErrorCode::kNotFound)
+        return Status(ErrorCode::kTimeout,
+                      "peer unreachable: could not resume the session "
+                      "within the liveness deadline: " +
+                          dialed.status().to_string());
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      continue;  // the window check above bounds this loop
+    }
+    channel_ = std::move(dialed).value();
+    ++epoch_;
+    if (epoch_ > 1) ++reconnects_;
+    last_inbound_ms_ = clock_.elapsed_ms();
+    Status resumed = send_handshake(/*initiate=*/true);
+    if (resumed.is_ok()) resumed = replay_unacked();
+    if (resumed.is_ok()) {
+      transport_lost_ms_ = -1;
+      return Status::ok();
+    }
+    if (channel_.is_open()) {
+      // The write side died instantly but the read side is still open: a
+      // peer that spoke first and half-closed, its final frames still
+      // buffered inbound. Hand the channel to the receive path to drain;
+      // EOF there marks the loss and triggers the next redial. The loss
+      // clock keeps running so this cannot defeat the liveness deadline.
+      if (transport_lost_ms_ < 0) transport_lost_ms_ = clock_.elapsed_ms();
+      return Status::ok();
+    }
+    // The fresh transport died mid-handshake or mid-replay (another
+    // injected kill, a racing peer crash): dial again.
+    note_transport_lost();
+  }
+}
+
+Status MessageSession::send_handshake(bool initiate) {
+  std::uint8_t frame[1 + kHandshakePayloadBytes];
+  frame[0] = kTagHandshake;
+  frame[1] = initiate ? kHandshakeInitiate : 0;
+  store_with_order<std::uint64_t>(frame + 2, session_id_, ByteOrder::kLittle);
+  store_with_order<std::uint32_t>(frame + 10, epoch_, ByteOrder::kLittle);
+  store_with_order<std::uint64_t>(frame + 14, last_seq_received_,
+                                  ByteOrder::kLittle);
+  return channel_.send(std::span<const std::uint8_t>(frame, sizeof(frame)));
+}
+
+Status MessageSession::absorb_ack(std::uint64_t last_seq) {
+  if (last_seq >= next_seq_)
+    return Status(ErrorCode::kMalformedInput,
+                  "peer acknowledges records that were never sent");
+  if (last_seq > peer_acked_seq_) peer_acked_seq_ = last_seq;
+  while (!replay_.empty() && replay_.front().seq <= peer_acked_seq_) {
+    replay_bytes_ -= replay_.front().frame.size();
+    replay_.pop_front();
+  }
+  return Status::ok();
+}
+
+Status MessageSession::process_handshake(
+    std::span<const std::uint8_t> payload) {
+  if (payload.size() != kHandshakePayloadBytes)
+    return Status(ErrorCode::kMalformedInput,
+                  "handshake frame must carry exactly 21 payload bytes");
+  const std::uint8_t flags = payload[0];
+  if ((flags & ~kHandshakeInitiate) != 0)
+    return Status(ErrorCode::kMalformedInput, "unknown handshake flag bits");
+  const std::uint64_t sid =
+      load_with_order<std::uint64_t>(payload.data() + 1, ByteOrder::kLittle);
+  const std::uint32_t epoch =
+      load_with_order<std::uint32_t>(payload.data() + 9, ByteOrder::kLittle);
+  const std::uint64_t last =
+      load_with_order<std::uint64_t>(payload.data() + 13, ByteOrder::kLittle);
+  if (sid == 0)
+    return Status(ErrorCode::kMalformedInput, "handshake session id is zero");
+  if (session_id_ != 0 && sid != session_id_)
+    return Status(ErrorCode::kMalformedInput,
+                  "handshake names a foreign session id");
+  const bool initiate = (flags & kHandshakeInitiate) != 0;
+  if (initiate) {
+    // A resumed epoch must move forward; equal or lower is a replayed or
+    // forged handshake and must not rewind delivery state.
+    if (epoch <= epoch_)
+      return Status(ErrorCode::kMalformedInput, "handshake epoch rollback");
+  } else if (epoch != epoch_) {
+    return Status(ErrorCode::kMalformedInput,
+                  "handshake reply epoch does not match this session");
+  }
+  XMIT_RETURN_IF_ERROR(absorb_ack(last));
+  if (session_id_ == 0) session_id_ = sid;
+  if (initiate) {
+    epoch_ = epoch;
+    XMIT_RETURN_IF_ERROR(send_handshake(/*initiate=*/false));
+    // The drop cut both directions: replay our own unacked frames too.
+    XMIT_RETURN_IF_ERROR(replay_unacked());
+  }
+  return Status::ok();
+}
+
+Status MessageSession::replay_unacked() {
+  // Announcements the peer's ack does not cover may never have arrived;
+  // un-mark them so they go out again ahead of the frames that need them.
+  // Formats the *peer* announced have no announce_seq_ entry and stay.
+  for (const auto& [fid, seq] : announce_seq_)
+    if (seq > peer_acked_seq_) announced_.erase(fid);
+  for (const ReplayEntry& entry : replay_) {
+    if (entry.seq <= peer_acked_seq_) continue;
+    if (entry.format_id != 0 && !announced_.contains(entry.format_id)) {
+      auto format = registry_->by_id(entry.format_id);
+      if (format.is_ok()) {
+        ByteBuffer frame;
+        frame.append_byte(kTagFormat);
+        serialize_format(*format.value(), frame);
+        XMIT_RETURN_IF_ERROR(channel_.send(frame.span()));
+        announced_.insert(entry.format_id);
+        announce_seq_[entry.format_id] = entry.seq;
+        ++announcements_sent_;
+        metadata_bytes_sent_ += frame.size();
+      }
+    }
+    XMIT_RETURN_IF_ERROR(channel_.send(entry.frame));
+    ++replayed_records_;
+  }
+  return Status::ok();
+}
+
+void MessageSession::maybe_ping() {
+  if (!resumable_ || !channel_.is_open()) return;
+  const double now = clock_.elapsed_ms();
+  if (now - last_ping_ms_ < options_.heartbeat_interval_ms) return;
+  last_ping_ms_ = now;
+  std::uint8_t frame[1 + kSeqBytes];
+  frame[0] = kTagPing;
+  store_with_order<std::uint64_t>(frame + 1, last_seq_received_,
+                                  ByteOrder::kLittle);
+  Status sent = channel_.send(std::span<const std::uint8_t>(frame, sizeof(frame)));
+  if (!sent.is_ok() && !channel_.is_open()) note_transport_lost();
+}
+
+void MessageSession::buffer_for_replay(std::uint64_t seq,
+                                       pbio::FormatId format_id,
+                                       std::span<const IoSlice> slices) {
+  ReplayEntry entry;
+  entry.seq = seq;
+  entry.format_id = format_id;
+  std::size_t total = 0;
+  for (const IoSlice& s : slices) total += s.size;
+  entry.frame.reserve(total);
+  for (const IoSlice& s : slices) {
+    const auto* p = static_cast<const std::uint8_t*>(s.data);
+    entry.frame.insert(entry.frame.end(), p, p + s.size);
+  }
+  replay_bytes_ += entry.frame.size();
+  replay_.push_back(std::move(entry));
+  // Bounded window: evicted frames are simply no longer replayable — a
+  // resume past them surfaces kDataLoss at the receiver, once.
+  while (!replay_.empty() &&
+         (replay_.size() > options_.replay_buffer_records ||
+          replay_bytes_ > options_.replay_buffer_bytes)) {
+    replay_bytes_ -= replay_.front().frame.size();
+    replay_.pop_front();
+  }
+}
+
 Status MessageSession::announce(const pbio::Format& format) {
-  if (announced_.contains(format.id())) return Status::ok();
-  // Announce nested formats first so the peer can resolve references on
-  // adoption (serialize_format embeds them, but separate announcements
-  // keep the per-frame parsing simple and idempotent).
-  ByteBuffer frame;
-  frame.append_byte(kTagFormat);
-  serialize_format(format, frame);
-  XMIT_RETURN_IF_ERROR(channel_.send(frame.span()));
-  announced_.insert(format.id());
-  ++announcements_sent_;
-  metadata_bytes_sent_ += frame.size();
+  for (;;) {
+    if (announced_.contains(format.id())) return Status::ok();
+    XMIT_RETURN_IF_ERROR(ready_to_send());
+    ByteBuffer frame;
+    frame.append_byte(kTagFormat);
+    serialize_format(format, frame);
+    if (!channel_.is_open()) {
+      // Passive and disconnected: the resume path re-announces anything
+      // past the peer's ack, so just record intent.
+      announced_.insert(format.id());
+      announce_seq_[format.id()] = next_seq_;
+      return Status::ok();
+    }
+    Status sent = channel_.send(frame.span());
+    if (sent.is_ok()) {
+      announced_.insert(format.id());
+      if (resumable_) announce_seq_[format.id()] = next_seq_;
+      ++announcements_sent_;
+      metadata_bytes_sent_ += frame.size();
+      return Status::ok();
+    }
+    if (!resumable_) return sent;
+    note_transport_lost();
+    if (!active()) {
+      announced_.insert(format.id());
+      announce_seq_[format.id()] = next_seq_;
+      return Status::ok();
+    }
+    // Active: loop — ready_to_send reconnects, then the announcement is
+    // retried on the fresh transport.
+  }
+}
+
+Status MessageSession::transmit_record(std::span<const IoSlice> slices) {
+  if (!channel_.is_open()) {
+    if (resumable_ && !active()) {
+      ++records_sent_;  // buffered; the resume path owes its delivery
+      return Status::ok();
+    }
+    return Status(ErrorCode::kIoError, "channel is closed");
+  }
+  Status sent = channel_.send_gather(slices);
+  if (sent.is_ok()) {
+    ++records_sent_;
+    return Status::ok();
+  }
+  if (!resumable_) return sent;
+  note_transport_lost();
+  ++records_sent_;  // already in the replay buffer
+  if (active()) return reconnect(options_.liveness_deadline_ms);
   return Status::ok();
 }
 
 Status MessageSession::send(const pbio::Encoder& encoder, const void* record) {
+  XMIT_RETURN_IF_ERROR(ready_to_send());
   XMIT_RETURN_IF_ERROR(announce(encoder.format()));
-  // Gather path: the encoder emits slices over pooled scratch, the record
-  // tag rides as the first slice, and the channel writes the lot with one
-  // sendmsg — no flattened frame copy, no allocation once pools are warm.
+  // Gather path: the encoder emits slices over pooled scratch, the
+  // tag+sequence header rides as the first slice, and the channel writes
+  // the lot with one sendmsg — no flattened frame copy, no allocation
+  // once pools are warm (replay buffering copies, but only when the
+  // session is resumable).
   XMIT_RETURN_IF_ERROR(
       encoder.encode_iov(record, send_scratch_, send_slices_));
-  send_slices_.insert(send_slices_.begin(), IoSlice{&kTagRecord, 1});
-  XMIT_RETURN_IF_ERROR(channel_.send_gather(send_slices_));
-  ++records_sent_;
-  return Status::ok();
+  const std::uint64_t seq = next_seq_++;
+  record_head_[0] = kTagRecord;
+  store_with_order<std::uint64_t>(record_head_.data() + 1, seq,
+                                  ByteOrder::kLittle);
+  send_slices_.insert(send_slices_.begin(),
+                      IoSlice{record_head_.data(), record_head_.size()});
+  if (resumable_)
+    buffer_for_replay(seq, encoder.format().id(), send_slices_);
+  return transmit_record(send_slices_);
 }
 
 Status MessageSession::send_encoded(const pbio::Format& format,
                                     std::span<const std::uint8_t> record) {
+  XMIT_RETURN_IF_ERROR(ready_to_send());
   XMIT_RETURN_IF_ERROR(announce(format));
-  ByteBuffer frame;
-  frame.append_byte(kTagRecord);
-  frame.append(record.data(), record.size());
-  XMIT_RETURN_IF_ERROR(channel_.send(frame.span()));
-  ++records_sent_;
-  return Status::ok();
+  const std::uint64_t seq = next_seq_++;
+  record_head_[0] = kTagRecord;
+  store_with_order<std::uint64_t>(record_head_.data() + 1, seq,
+                                  ByteOrder::kLittle);
+  const IoSlice slices[2] = {{record_head_.data(), record_head_.size()},
+                             {record.data(), record.size()}};
+  const auto span2 = std::span<const IoSlice>(slices, 2);
+  if (resumable_) buffer_for_replay(seq, format.id(), span2);
+  return transmit_record(span2);
 }
 
 Result<MessageSession::Incoming> MessageSession::receive(int timeout_ms) {
@@ -92,8 +440,50 @@ Result<MessageSession::IncomingView> MessageSession::receive_view(
   if (poisoned_)
     return Status(ErrorCode::kResourceExhausted,
                   "session poisoned: peer exceeded the malformed-frame budget");
+  if (closed_) return Status(ErrorCode::kIoError, "session closed");
+  Stopwatch budget;
   for (;;) {
-    XMIT_RETURN_IF_ERROR(channel_.receive_into(recv_frame_, timeout_ms));
+    if (resumable_) install_pending_attach();
+    if (!channel_.is_open()) {
+      if (!resumable_)
+        return Status(ErrorCode::kIoError, "channel is closed");
+      const int remaining =
+          timeout_ms - static_cast<int>(budget.elapsed_ms());
+      XMIT_RETURN_IF_ERROR(await_transport(std::max(remaining, 0)));
+      continue;
+    }
+    int slice = std::max(
+        timeout_ms - static_cast<int>(budget.elapsed_ms()), 0);
+    if (resumable_) {
+      // Wake often enough to heartbeat and to notice a blown liveness
+      // deadline even when the caller's budget is generous.
+      slice = std::min(slice, options_.heartbeat_interval_ms);
+      const double live_left =
+          options_.liveness_deadline_ms -
+          (clock_.elapsed_ms() - last_inbound_ms_);
+      slice = std::min(slice, std::max(static_cast<int>(live_left), 0));
+    }
+    Status got = channel_.receive_into(recv_frame_, slice);
+    if (!got.is_ok()) {
+      if (got.code() == ErrorCode::kTimeout) {
+        if (resumable_ && clock_.elapsed_ms() - last_inbound_ms_ >=
+                              options_.liveness_deadline_ms)
+          return Status(ErrorCode::kTimeout,
+                        "peer silent past the liveness deadline");
+        if (budget.elapsed_ms() >= timeout_ms) return got;
+        maybe_ping();
+        continue;
+      }
+      if (resumable_ && (got.code() == ErrorCode::kNotFound ||
+                         got.code() == ErrorCode::kIoError)) {
+        // Clean close and death mid-frame are both just a transport loss
+        // for a resumable session: reconnect/await and keep receiving.
+        note_transport_lost();
+        continue;
+      }
+      return got;
+    }
+    last_inbound_ms_ = clock_.elapsed_ms();
     if (recv_frame_.empty())
       return note_malformed(
           Status(ErrorCode::kParseError, "empty session frame"));
@@ -120,16 +510,38 @@ Result<MessageSession::IncomingView> MessageSession::receive_view(
         continue;
       }
       case kTagRecord: {
+        if (payload.size() < kSeqBytes)
+          return note_malformed(
+              Status(ErrorCode::kParseError,
+                     "record frame too short for its sequence number"));
+        const std::uint64_t seq = load_with_order<std::uint64_t>(
+            payload.data(), ByteOrder::kLittle);
+        const std::span<const std::uint8_t> record =
+            payload.subspan(kSeqBytes);
+        if (seq <= last_seq_received_) {
+          // An at-least-once replay we already delivered: drop silently.
+          ++duplicates_discarded_;
+          continue;
+        }
+        if (seq > last_seq_received_ + 1) {
+          const std::uint64_t lost = seq - last_seq_received_ - 1;
+          last_seq_received_ = seq;  // adopt: report each gap exactly once
+          return Status(ErrorCode::kDataLoss,
+                        std::to_string(lost) +
+                            " record(s) lost in a sequence gap the peer's "
+                            "replay buffer could not cover");
+        }
+        last_seq_received_ = seq;
         // Quarantine check runs on the raw header, before the (costlier)
         // structural inspection a hostile record would fail anyway.
-        auto header = pbio::parse_header(payload);
+        auto header = pbio::parse_header(record);
         if (header.is_ok() &&
             quarantined_.contains(header.value().format_id)) {
           return note_malformed(Status(
               ErrorCode::kMalformedInput,
               "record claims quarantined format id; re-announce to clear"));
         }
-        auto info = decoder_->inspect(payload);
+        auto info = decoder_->inspect(record);
         if (!info.is_ok()) {
           // Affirmatively hostile bytes (internal contradictions, blown
           // budgets) poison trust in that format id until the peer
@@ -142,7 +554,45 @@ Result<MessageSession::IncomingView> MessageSession::receive_view(
           }
           return note_malformed(info.status());
         }
-        return IncomingView{payload, std::move(info.value().sender_format)};
+        ++records_received_;
+        return IncomingView{record, std::move(info.value().sender_format)};
+      }
+      case kTagHandshake: {
+        Status st = process_handshake(payload);
+        if (st.is_ok()) continue;
+        if (st.code() == ErrorCode::kIoError ||
+            st.code() == ErrorCode::kNotFound) {
+          // Our *reply or replay* write failed: transport trouble, not
+          // peer hostility. A still-open channel means the peer
+          // half-closed with frames in flight — keep draining it.
+          if (resumable_) {
+            if (!channel_.is_open()) note_transport_lost();
+            continue;
+          }
+          if (!channel_.is_open()) return st;
+          continue;
+        }
+        return note_malformed(st);
+      }
+      case kTagPing:
+      case kTagPong: {
+        if (payload.size() != kSeqBytes)
+          return note_malformed(
+              Status(ErrorCode::kParseError, "bad ping/pong frame length"));
+        Status st = absorb_ack(load_with_order<std::uint64_t>(
+            payload.data(), ByteOrder::kLittle));
+        if (!st.is_ok()) return note_malformed(st);
+        if (recv_frame_[0] == kTagPing && channel_.is_open()) {
+          std::uint8_t pong[1 + kSeqBytes];
+          pong[0] = kTagPong;
+          store_with_order<std::uint64_t>(pong + 1, last_seq_received_,
+                                          ByteOrder::kLittle);
+          Status sent =
+              channel_.send(std::span<const std::uint8_t>(pong, sizeof(pong)));
+          if (!sent.is_ok() && resumable_ && !channel_.is_open())
+            note_transport_lost();
+        }
+        continue;
       }
       default:
         return note_malformed(
@@ -157,6 +607,19 @@ Result<SessionPair> make_session_pipe(pbio::FormatRegistry& registry_a,
   XMIT_ASSIGN_OR_RETURN(auto pipe, net::Channel::pipe());
   return SessionPair{MessageSession(std::move(pipe.first), registry_a),
                      MessageSession(std::move(pipe.second), registry_b)};
+}
+
+Result<TcpSessionPair> make_session_tcp(pbio::FormatRegistry& registry_a,
+                                        pbio::FormatRegistry& registry_b,
+                                        SessionOptions options) {
+  options.resumable = true;
+  XMIT_ASSIGN_OR_RETURN(auto listener, net::ChannelListener::listen(0));
+  MessageSession a(net::Endpoint::tcp("127.0.0.1", listener.port()),
+                   registry_a, options);
+  XMIT_RETURN_IF_ERROR(a.connect_now());
+  XMIT_ASSIGN_OR_RETURN(auto accepted, listener.accept(5000));
+  MessageSession b(std::move(accepted), registry_b, options);
+  return TcpSessionPair{std::move(listener), std::move(a), std::move(b)};
 }
 
 }  // namespace xmit::session

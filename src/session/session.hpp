@@ -15,25 +15,61 @@
 // no compiled-in tables — the connection is self-describing, like a PBIO
 // data file but live.
 //
+// Resumable sessions extend the same cost discipline to *recovery*: when
+// the transport dies, a session holding a net::Endpoint re-dials (with
+// retry/backoff), proves continuity with a handshake frame, and replays
+// only the frames the receiver never acknowledged — including the format
+// announcements the receiver lost, and nothing more. Delivery is
+// at-least-once on the wire; receiver-side sequence dedup makes it
+// effectively exactly-once for the caller. Quarantine, poison and limits
+// state all survive a reconnect: a hostile peer cannot launder its
+// reputation by dropping the connection.
+//
 // Frame format: [1-byte tag | payload]
 //   tag 0x01  format announcement (pbio/format_wire serialization)
-//   tag 0x02  data record (PBIO wire record)
+//   tag 0x02  data record: [u64 LE sequence number | PBIO wire record]
+//   tag 0x03  handshake: [u8 flags | u64 session id | u32 epoch |
+//             u64 last-seq-received]; flags bit0 = initiate (a reply is
+//             requested); all other flag bits must be zero
+//   tag 0x04  ping: [u64 last-seq-received]   (liveness probe + ack)
+//   tag 0x05  pong: [u64 last-seq-received]   (probe answer + ack)
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <deque>
+#include <map>
 #include <memory>
+#include <mutex>
+#include <optional>
 #include <set>
 #include <vector>
 
 #include "common/bytes.hpp"
+#include "common/clock.hpp"
 #include "common/error.hpp"
 #include "common/limits.hpp"
 #include "net/channel.hpp"
+#include "net/endpoint.hpp"
+#include "net/retry.hpp"
 #include "pbio/decode.hpp"
 #include "pbio/encode.hpp"
 #include "pbio/registry.hpp"
 
 namespace xmit::session {
+
+// Knobs for the resumption layer. The defaults suit tests and LAN use;
+// production deployments tune the replay-buffer bound to their record
+// rate times the longest outage they intend to ride out.
+struct SessionOptions {
+  bool resumable = false;       // keep a replay buffer; survive reconnects
+  std::uint64_t session_id = 0; // 0 = generated (active) / adopted (passive)
+  std::size_t replay_buffer_records = 256;          // unacked frames kept
+  std::size_t replay_buffer_bytes = 4u << 20;       // and their byte bound
+  int heartbeat_interval_ms = 500;   // ping cadence while receive is idle
+  int liveness_deadline_ms = 5000;   // silent/unreachable peer => kTimeout
+  net::RetryPolicy reconnect_backoff;  // dial policy for each reconnect
+};
 
 class MessageSession {
  public:
@@ -41,13 +77,35 @@ class MessageSession {
   // adopted into it; outgoing formats are announced from it.
   MessageSession(net::Channel channel, pbio::FormatRegistry& registry);
 
+  // Passive resumable flavour: runs over `channel` until it dies, then
+  // waits (bounded by the liveness deadline) for a replacement to arrive
+  // via attach() — the acceptor side of a reconnecting pair.
+  MessageSession(net::Channel channel, pbio::FormatRegistry& registry,
+                 SessionOptions options);
+
+  // Active resumable flavour: dials `endpoint` on first use and re-dials
+  // it whenever the transport dies. Always resumable.
+  MessageSession(net::Endpoint endpoint, pbio::FormatRegistry& registry,
+                 SessionOptions options = {});
+
   MessageSession(MessageSession&&) = default;
+
+  // Active sessions: dial now instead of lazily on first send/receive.
+  // Sends the initiate handshake; the peer's acceptor should accept and
+  // wrap (or attach) the resulting channel.
+  Status connect_now();
+
+  // Hands a passive resumable session its replacement transport after a
+  // drop. Thread-safe: listener/accept loops call this from any thread;
+  // the session installs the channel at its next send/receive.
+  void attach(net::Channel replacement);
 
   // Marshals `record` and sends it, announcing the encoder's format first
   // if this session has not carried it yet. Gather I/O over pooled scratch:
   // after the first few sends of a format the steady state copies only the
   // header (plus the slot-patched fixed section for var-bearing formats)
-  // and performs no heap allocation.
+  // and performs no heap allocation. Resumable sessions additionally copy
+  // the frame into the bounded replay buffer until the peer acks it.
   Status send(const pbio::Encoder& encoder, const void* record);
 
   // Sends an already-encoded record belonging to `format`.
@@ -72,11 +130,18 @@ class MessageSession {
     pbio::FormatPtr sender_format;
   };
 
-  // Next data record; format announcements are consumed transparently.
-  // kNotFound = peer closed cleanly, kTimeout = deadline elapsed.
+  // Next data record; format announcements, handshakes and ping/pong are
+  // consumed transparently. kNotFound = peer closed cleanly (non-resumable
+  // only), kTimeout = deadline elapsed, kDataLoss = a sequence gap the
+  // peer's replay buffer could not cover (reported once per gap).
   // Truncated or corrupted frames (a peer dying mid-record) surface as
   // clean kParseError/kOutOfRange statuses — the session object stays
   // usable and counts them in malformed_frames().
+  //
+  // Resumable sessions do not surface transport deaths at all: the loop
+  // reconnects (active) or waits for attach() (passive) and keeps
+  // receiving; only a peer silent/unreachable past the liveness deadline
+  // surfaces, as kTimeout.
   //
   // Two defenses against a *hostile* peer, not just a dying one:
   //  - A format whose records fail structural inspection is quarantined:
@@ -97,42 +162,132 @@ class MessageSession {
   void set_limits(const DecodeLimits& limits);
   const DecodeLimits& limits() const { return limits_; }
 
-  void close() { channel_.close(); }
+  void close() {
+    closed_ = true;
+    channel_.close();
+  }
+
+  // The live transport (test seam: chaos harnesses arm failures on it).
+  net::Channel& channel() { return channel_; }
+  const net::Channel& channel() const { return channel_; }
 
   // Diagnostics for the amortization bench: how many metadata frames this
-  // session sent/received versus data records.
+  // session sent/received versus data records — and, for resumable
+  // sessions, how much recovery work the resumption layer performed.
   std::size_t announcements_sent() const { return announcements_sent_; }
   std::size_t announcements_received() const { return announcements_received_; }
   std::size_t records_sent() const { return records_sent_; }
+  std::size_t records_received() const { return records_received_; }
   std::size_t metadata_bytes_sent() const { return metadata_bytes_sent_; }
   std::size_t malformed_frames() const { return malformed_frames_; }
+  std::size_t reconnects() const { return reconnects_; }
+  std::size_t replayed_records() const { return replayed_records_; }
+  std::size_t duplicates_discarded() const { return duplicates_discarded_; }
+  std::size_t transport_losses() const { return transport_losses_; }
+  std::uint64_t session_id() const { return session_id_; }
+  std::uint32_t epoch() const { return epoch_; }
   bool poisoned() const { return poisoned_; }
   bool is_quarantined(pbio::FormatId id) const {
     return quarantined_.contains(id);
   }
 
  private:
+  // One unacknowledged outgoing frame, kept until the peer's ack covers
+  // its sequence number (or the bounded buffer evicts it).
+  struct ReplayEntry {
+    std::uint64_t seq = 0;
+    pbio::FormatId format_id = 0;  // 0 for frames with no format owner
+    std::vector<std::uint8_t> frame;  // complete wire frame (tag included)
+  };
+
+  // Replacement transports arrive from other threads; heap-pinned so the
+  // session object itself stays movable.
+  struct AttachSlot {
+    std::mutex mutex;
+    std::optional<net::Channel> pending;
+  };
+
   // Counts a hostile/corrupt frame against the per-peer budget; returns
   // the (possibly upgraded) status to hand the caller.
   Status note_malformed(Status status);
 
+  // --- resumption machinery -------------------------------------------
+  bool active() const { return endpoint_.can_dial(); }
+  void install_pending_attach();
+  void note_transport_lost();
+  // Installs any attached channel; active sessions with a dead transport
+  // reconnect here. Passive sessions return OK even when disconnected —
+  // their sends buffer into the replay queue until the peer resumes.
+  Status ready_to_send();
+  // Blocks (bounded by budget_ms and the liveness deadline) until a
+  // transport is live again: redials for active sessions, waits for
+  // attach() for passive ones.
+  Status await_transport(int budget_ms);
+  Status reconnect(int budget_ms);
+  Status send_handshake(bool initiate);
+  Status process_handshake(std::span<const std::uint8_t> payload);
+  // Validates and absorbs a peer ack (their last-seq-received): trims the
+  // replay buffer and advances peer_acked_seq_.
+  Status absorb_ack(std::uint64_t last_seq);
+  // Re-sends every buffered frame past peer_acked_seq_, lazily
+  // re-announcing each format whose announcement the peer may have lost.
+  Status replay_unacked();
+  void maybe_ping();
+  // Appends a full wire frame to the replay buffer (resumable only) and
+  // evicts from the front to stay within the configured bounds.
+  void buffer_for_replay(std::uint64_t seq, pbio::FormatId format_id,
+                         std::span<const IoSlice> slices);
+  // Wire-writes one already-sequenced record frame, applying the
+  // resumable failure policy (buffered passively / reconnect actively).
+  Status transmit_record(std::span<const IoSlice> slices);
+
   net::Channel channel_;
+  net::Endpoint endpoint_;  // non-dialable for passive/plain sessions
   pbio::FormatRegistry* registry_;
   std::unique_ptr<pbio::Decoder> decoder_;  // Decoder holds a mutex: heap-pin it
+  std::unique_ptr<AttachSlot> attach_slot_;
+  SessionOptions options_;
+  bool resumable_ = false;
+  bool closed_ = false;
   DecodeLimits limits_ = DecodeLimits::defaults();
   std::set<pbio::FormatId> announced_;
   std::set<pbio::FormatId> quarantined_;
+  // next_seq_ at the moment each format was announced by *us*: if the
+  // peer's ack is below this, the announcement itself may be lost and the
+  // format must be re-announced on resume. Peer-announced formats never
+  // appear here and are never un-announced.
+  std::map<pbio::FormatId, std::uint64_t> announce_seq_;
   // Pooled I/O state: capacity persists across messages (zero steady-state
   // allocations), contents are per-call.
   ByteBuffer send_scratch_;
   std::vector<IoSlice> send_slices_;
   std::vector<std::uint8_t> recv_frame_;
+  std::array<std::uint8_t, 9> record_head_{};  // [tag | u64 LE seq]
+  // Send-side sequencing and the bounded replay window.
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t peer_acked_seq_ = 0;
+  std::deque<ReplayEntry> replay_;
+  std::size_t replay_bytes_ = 0;
+  // Receive-side dedup state.
+  std::uint64_t last_seq_received_ = 0;
+  // Identity and liveness.
+  std::uint64_t session_id_ = 0;
+  std::uint32_t epoch_ = 0;
+  Stopwatch clock_;
+  double last_inbound_ms_ = 0;
+  double last_ping_ms_ = -1e18;
+  double transport_lost_ms_ = -1;  // <0: transport never lost yet
   bool poisoned_ = false;
   std::size_t announcements_sent_ = 0;
   std::size_t announcements_received_ = 0;
   std::size_t records_sent_ = 0;
+  std::size_t records_received_ = 0;
   std::size_t metadata_bytes_sent_ = 0;
   std::size_t malformed_frames_ = 0;
+  std::size_t reconnects_ = 0;
+  std::size_t replayed_records_ = 0;
+  std::size_t duplicates_discarded_ = 0;
+  std::size_t transport_losses_ = 0;
 };
 
 // Convenience: a connected session pair over a socketpair, sharing
@@ -143,5 +298,18 @@ struct SessionPair {
 };
 Result<SessionPair> make_session_pipe(pbio::FormatRegistry& registry_a,
                                       pbio::FormatRegistry& registry_b);
+
+// Convenience: a connected resumable session pair over real TCP —
+// `a` actively dials the bundled listener, `b` is the accepted passive
+// side. The listener rides along so recovery tests can re-accept after a
+// kill and attach() the replacement to `b`.
+struct TcpSessionPair {
+  net::ChannelListener listener;
+  MessageSession a;
+  MessageSession b;
+};
+Result<TcpSessionPair> make_session_tcp(pbio::FormatRegistry& registry_a,
+                                        pbio::FormatRegistry& registry_b,
+                                        SessionOptions options = {});
 
 }  // namespace xmit::session

@@ -208,6 +208,31 @@ TEST(Faults, FailNThenSucceedSchedule) {
   EXPECT_EQ(plan->faults_injected(), 2u);
 }
 
+TEST(Faults, ArmChannelMapsByteBudgetKinds) {
+  auto [a, b] = net::Channel::pipe().value();
+  net::arm_channel(a, FaultAction::kill_after(0));
+  EXPECT_EQ(a.armed_failure(), net::InjectedFailure::kKillAfterBytes);
+  net::arm_channel(b, FaultAction::reset_after(4));
+  EXPECT_EQ(b.armed_failure(), net::InjectedFailure::kResetAfterBytes);
+  // Non-budget kinds leave the channel untouched.
+  auto [c, d] = net::Channel::pipe().value();
+  net::arm_channel(c, FaultAction::http_error(503));
+  EXPECT_EQ(c.armed_failure(), net::InjectedFailure::kNone);
+  (void)d;
+}
+
+TEST(Faults, HangingAcceptorAcceptsThenStaysSilent) {
+  auto hang = net::HangingAcceptor::listen().value();
+  auto client = net::Channel::connect(hang.port(), 2000);
+  ASSERT_TRUE(client.is_ok()) << client.status().to_string();
+  ASSERT_TRUE(hang.accept_and_hang(2000).is_ok());
+  EXPECT_EQ(hang.parked(), 1u);
+  // The dialer sees a healthy connection that simply never speaks.
+  auto received = client.value().receive(100);
+  ASSERT_FALSE(received.is_ok());
+  EXPECT_EQ(received.code(), ErrorCode::kTimeout);
+}
+
 // ---------------------------------------------------------------------------
 // net::fetch — status mapping and behaviour under server faults
 
@@ -605,14 +630,20 @@ TEST_F(Truncation, TruncatingChannelHardensSessions) {
   ASSERT_TRUE(receiver_registry.adopt(format_).is_ok());
   session::MessageSession receiver(std::move(pipe.second), receiver_registry);
 
-  // Frame = [tag 0x02 | record bytes]; keep the tag plus half the record.
-  std::vector<std::uint8_t> frame;
-  frame.push_back(0x02);
-  frame.insert(frame.end(), bytes_.begin(), bytes_.end());
+  // Frame = [tag 0x02 | u64 seq LE | record bytes]; keep the header plus
+  // half the record. Distinct seqs, or the second frame is a duplicate.
+  auto frame = [&](std::uint64_t seq) {
+    std::vector<std::uint8_t> f;
+    f.push_back(0x02);
+    for (int i = 0; i < 8; ++i)
+      f.push_back(static_cast<std::uint8_t>(seq >> (8 * i)));
+    f.insert(f.end(), bytes_.begin(), bytes_.end());
+    return f;
+  };
   auto plan = FaultPlan::sequence(
-      {net::FaultAction::truncate(1 + bytes_.size() / 2)});
+      {net::FaultAction::truncate(9 + bytes_.size() / 2)});
   net::TruncatingChannel flaky(sender_raw, plan);
-  ASSERT_TRUE(flaky.send(frame).is_ok());
+  ASSERT_TRUE(flaky.send(frame(1)).is_ok());
   EXPECT_EQ(flaky.frames_truncated(), 1u);
 
   auto truncated = receiver.receive(500);
@@ -621,7 +652,7 @@ TEST_F(Truncation, TruncatingChannelHardensSessions) {
   EXPECT_EQ(receiver.malformed_frames(), 1u);
 
   // The session survives: an intact frame afterwards is received fine.
-  ASSERT_TRUE(flaky.send(frame).is_ok());
+  ASSERT_TRUE(flaky.send(frame(2)).is_ok());
   auto intact = receiver.receive(500);
   ASSERT_TRUE(intact.is_ok()) << intact.status().to_string();
   EXPECT_EQ(intact.value().sender_format->id(), format_->id());

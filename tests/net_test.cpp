@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "net/channel.hpp"
+#include "net/endpoint.hpp"
 #include "net/fetch.hpp"
 #include "net/http.hpp"
 #include "net/url.hpp"
@@ -200,6 +201,111 @@ TEST(Channel, TcpListenerAcceptConnect) {
   EXPECT_EQ(served.receive().value(), ping);
   ASSERT_TRUE(served.send(ping).is_ok());
   EXPECT_EQ(client.receive().value(), ping);
+}
+
+TEST(Channel, ConnectByHostname) {
+  auto listener = ChannelListener::listen().value();
+  Channel client;
+  std::thread connector([&] {
+    auto connected = Channel::connect("localhost", listener.port());
+    if (connected.is_ok()) client = std::move(connected).value();
+  });
+  auto served = listener.accept().value();
+  connector.join();
+  ASSERT_TRUE(client.is_open());
+  std::vector<std::uint8_t> ping = {1, 2, 3};
+  ASSERT_TRUE(client.send(ping).is_ok());
+  EXPECT_EQ(served.receive().value(), ping);
+}
+
+TEST(Channel, ConnectUnresolvableHostIsNotFound) {
+  auto connected =
+      Channel::connect("no-such-host.invalid.xmit.test", 1, 200);
+  ASSERT_FALSE(connected.is_ok());
+  EXPECT_EQ(connected.code(), ErrorCode::kNotFound);
+}
+
+TEST(Channel, ArmedKillDropsConnectionAtExactByte) {
+  auto [a, b] = Channel::pipe().value();
+  // Frame = 4-byte length header + payload. Allow one full frame (9
+  // bytes) through, then die 3 bytes into the second frame's header.
+  a.arm_failure(InjectedFailure::kKillAfterBytes, 12);
+  std::vector<std::uint8_t> msg = {7, 7, 7, 7, 7};
+  ASSERT_TRUE(a.send(msg).is_ok());
+  auto second = a.send(msg);
+  ASSERT_FALSE(second.is_ok());
+  EXPECT_EQ(second.code(), ErrorCode::kIoError);
+  EXPECT_FALSE(a.is_open());  // the injected fault closes the channel
+
+  // Bytes written before the budget survive: the first frame is intact,
+  // the second is a truncated header = kIoError mid-frame for the reader.
+  EXPECT_EQ(b.receive(500).value(), msg);
+  auto truncated = b.receive(500);
+  ASSERT_FALSE(truncated.is_ok());
+  EXPECT_EQ(truncated.code(), ErrorCode::kIoError);
+}
+
+TEST(Channel, ArmedResetAbortsTcpConnection) {
+  auto listener = ChannelListener::listen().value();
+  Channel client;
+  std::thread connector([&] {
+    auto connected = Channel::connect(listener.port());
+    if (connected.is_ok()) client = std::move(connected).value();
+  });
+  auto served = listener.accept().value();
+  connector.join();
+  ASSERT_TRUE(client.is_open());
+
+  client.arm_failure(InjectedFailure::kResetAfterBytes, 0);
+  std::vector<std::uint8_t> msg = {5};
+  auto sent = client.send(msg);
+  ASSERT_FALSE(sent.is_ok());
+  EXPECT_EQ(sent.code(), ErrorCode::kIoError);
+  auto received = served.receive(500);
+  EXPECT_FALSE(received.is_ok());  // RST or bare EOF, never a frame
+}
+
+TEST(Endpoint, TcpDialReachesListener) {
+  auto listener = ChannelListener::listen().value();
+  Endpoint endpoint = Endpoint::tcp("127.0.0.1", listener.port());
+  ASSERT_TRUE(endpoint.can_dial());
+  Channel client;
+  std::thread dialer([&] {
+    auto dialed = endpoint.dial();
+    if (dialed.is_ok()) client = std::move(dialed).value();
+  });
+  auto served = listener.accept().value();
+  dialer.join();
+  ASSERT_TRUE(client.is_open());
+  std::vector<std::uint8_t> ping = {4, 2};
+  ASSERT_TRUE(served.send(ping).is_ok());
+  EXPECT_EQ(client.receive().value(), ping);
+}
+
+TEST(Endpoint, CustomDialRetriesTransientFailures) {
+  int attempts = 0;
+  Endpoint endpoint = Endpoint::custom("flaky", [&]() -> Result<Channel> {
+    if (++attempts < 3) return make_error(ErrorCode::kIoError, "warming up");
+    auto pipe = Channel::pipe();
+    if (!pipe.is_ok()) return pipe.status();
+    return std::move(pipe.value().first);
+  });
+  RetryPolicy policy;
+  policy.initial_backoff_ms = 1;
+  policy.max_backoff_ms = 2;
+  RetryStats stats;
+  auto dialed = endpoint.dial(policy, &stats);
+  ASSERT_TRUE(dialed.is_ok());
+  EXPECT_EQ(attempts, 3);
+  EXPECT_EQ(stats.attempts, 3);
+}
+
+TEST(Endpoint, DefaultEndpointCannotDial) {
+  Endpoint endpoint;
+  EXPECT_FALSE(endpoint.can_dial());
+  auto dialed = endpoint.dial();
+  ASSERT_FALSE(dialed.is_ok());
+  EXPECT_EQ(dialed.code(), ErrorCode::kUnsupported);
 }
 
 TEST(Channel, LargeMessage) {

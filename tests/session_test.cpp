@@ -210,24 +210,34 @@ TEST(Session, HostileRecordQuarantinesFormatUntilReannounce) {
     frame.insert(frame.end(), body.begin(), body.end());
     return raw_a.send(frame);
   };
+  // Data frames carry a u64 LE sequence number between tag and record.
+  auto send_record = [&raw_a](std::uint64_t seq,
+                              std::span<const std::uint8_t> body) {
+    std::vector<std::uint8_t> frame;
+    frame.push_back(0x02);
+    for (int shift = 0; shift < 64; shift += 8)
+      frame.push_back(static_cast<std::uint8_t>(seq >> shift));
+    frame.insert(frame.end(), body.begin(), body.end());
+    return raw_a.send(frame);
+  };
   auto announce = pbio::serialize_format(*format);
 
   ASSERT_TRUE(send_frame(0x01, announce).is_ok());
-  ASSERT_TRUE(send_frame(0x02, record).is_ok());
+  ASSERT_TRUE(send_record(1, record).is_ok());
   ASSERT_TRUE(receiver.receive(200).is_ok());
 
   // A record whose header contradicts the announced architecture
   // (4-byte-pointer flag cleared) — affirmatively hostile, not truncated.
   auto hostile = record;
   hostile[5] &= ~std::uint8_t(0x02);
-  ASSERT_TRUE(send_frame(0x02, hostile).is_ok());
+  ASSERT_TRUE(send_record(2, hostile).is_ok());
   auto hostile_read = receiver.receive(200);
   ASSERT_FALSE(hostile_read.is_ok());
   EXPECT_EQ(hostile_read.code(), ErrorCode::kMalformedInput);
   EXPECT_TRUE(receiver.is_quarantined(format->id()));
 
   // An intact record under the quarantined id is refused fail-fast.
-  ASSERT_TRUE(send_frame(0x02, record).is_ok());
+  ASSERT_TRUE(send_record(3, record).is_ok());
   auto refused = receiver.receive(200);
   ASSERT_FALSE(refused.is_ok());
   EXPECT_NE(refused.status().message().find("quarantined"), std::string::npos)
@@ -235,7 +245,7 @@ TEST(Session, HostileRecordQuarantinesFormatUntilReannounce) {
 
   // A fresh, well-formed announcement vouches for the format again.
   ASSERT_TRUE(send_frame(0x01, announce).is_ok());
-  ASSERT_TRUE(send_frame(0x02, record).is_ok());
+  ASSERT_TRUE(send_record(4, record).is_ok());
   auto healed = receiver.receive(200);
   ASSERT_TRUE(healed.is_ok()) << healed.status().to_string();
   EXPECT_FALSE(receiver.is_quarantined(format->id()));
@@ -364,6 +374,172 @@ TEST(Session, BidirectionalTraffic) {
     EXPECT_EQ(ack.id, i);
   }
   responder.join();
+}
+
+// ---- resumption-layer semantics over hand-built frames -----------------
+
+namespace {
+
+// Raw-frame helpers mirroring the session wire protocol v2.
+Status send_raw_record(net::Channel& channel, std::uint64_t seq,
+                       std::span<const std::uint8_t> body) {
+  std::vector<std::uint8_t> frame;
+  frame.push_back(0x02);
+  for (int shift = 0; shift < 64; shift += 8)
+    frame.push_back(static_cast<std::uint8_t>(seq >> shift));
+  frame.insert(frame.end(), body.begin(), body.end());
+  return channel.send(frame);
+}
+
+Status send_raw_handshake(net::Channel& channel, std::uint8_t flags,
+                          std::uint64_t sid, std::uint32_t epoch,
+                          std::uint64_t last_seq) {
+  std::vector<std::uint8_t> frame;
+  frame.push_back(0x03);
+  frame.push_back(flags);
+  for (int shift = 0; shift < 64; shift += 8)
+    frame.push_back(static_cast<std::uint8_t>(sid >> shift));
+  for (int shift = 0; shift < 32; shift += 8)
+    frame.push_back(static_cast<std::uint8_t>(epoch >> shift));
+  for (int shift = 0; shift < 64; shift += 8)
+    frame.push_back(static_cast<std::uint8_t>(last_seq >> shift));
+  return channel.send(frame);
+}
+
+}  // namespace
+
+TEST(Session, RecordsReceivedCounterTracksDeliveries) {
+  pbio::FormatRegistry a_registry, b_registry;
+  auto pair = make_session_pipe(a_registry, b_registry).value();
+  auto format = reading_format(a_registry);
+  auto encoder = pbio::Encoder::make(format).value();
+  std::vector<float> series = {1};
+  Reading in{1, 1, series.data(), nullptr};
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(pair.a.send(encoder, &in).is_ok());
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(pair.b.receive().is_ok());
+  EXPECT_EQ(pair.b.records_received(), 3u);
+  EXPECT_EQ(pair.b.duplicates_discarded(), 0u);
+  EXPECT_EQ(pair.b.reconnects(), 0u);
+  EXPECT_EQ(pair.a.replayed_records(), 0u);
+}
+
+TEST(Session, DuplicateRecordsAreDiscarded) {
+  pbio::FormatRegistry a_registry, b_registry;
+  auto [raw_a, raw_b] = net::Channel::pipe().value();
+  MessageSession receiver(std::move(raw_b), b_registry);
+
+  auto format = reading_format(a_registry);
+  auto encoder = pbio::Encoder::make(format).value();
+  std::vector<float> series = {1.0f};
+  Reading in{1, 1, series.data(), nullptr};
+  auto record = encoder.encode_to_vector(&in).value();
+  ByteBuffer announce;
+  announce.append_byte(0x01);
+  pbio::serialize_format(*format, announce);
+  ASSERT_TRUE(raw_a.send(announce.span()).is_ok());
+
+  // An at-least-once sender replays: seq 1 twice, then seq 2.
+  ASSERT_TRUE(send_raw_record(raw_a, 1, record).is_ok());
+  ASSERT_TRUE(send_raw_record(raw_a, 1, record).is_ok());
+  ASSERT_TRUE(send_raw_record(raw_a, 2, record).is_ok());
+
+  ASSERT_TRUE(receiver.receive(500).is_ok());
+  auto second = receiver.receive(500);  // skips the duplicate silently
+  ASSERT_TRUE(second.is_ok()) << second.status().to_string();
+  EXPECT_EQ(receiver.records_received(), 2u);
+  EXPECT_EQ(receiver.duplicates_discarded(), 1u);
+}
+
+TEST(Session, SequenceGapSurfacesDataLossOnce) {
+  pbio::FormatRegistry a_registry, b_registry;
+  auto [raw_a, raw_b] = net::Channel::pipe().value();
+  MessageSession receiver(std::move(raw_b), b_registry);
+
+  auto format = reading_format(a_registry);
+  auto encoder = pbio::Encoder::make(format).value();
+  std::vector<float> series = {1.0f};
+  Reading in{1, 1, series.data(), nullptr};
+  auto record = encoder.encode_to_vector(&in).value();
+  ByteBuffer announce;
+  announce.append_byte(0x01);
+  pbio::serialize_format(*format, announce);
+  ASSERT_TRUE(raw_a.send(announce.span()).is_ok());
+
+  ASSERT_TRUE(send_raw_record(raw_a, 1, record).is_ok());
+  ASSERT_TRUE(send_raw_record(raw_a, 4, record).is_ok());  // 2 and 3 gone
+  ASSERT_TRUE(send_raw_record(raw_a, 5, record).is_ok());
+
+  ASSERT_TRUE(receiver.receive(500).is_ok());
+  auto gap = receiver.receive(500);
+  ASSERT_FALSE(gap.is_ok());
+  EXPECT_EQ(gap.code(), ErrorCode::kDataLoss);
+  // Reported once; the stream then continues in order.
+  auto after = receiver.receive(500);
+  ASSERT_TRUE(after.is_ok()) << after.status().to_string();
+  EXPECT_EQ(receiver.records_received(), 2u);
+}
+
+TEST(Session, HandshakeEpochRollbackIsRejected) {
+  pbio::FormatRegistry a_registry, b_registry;
+  auto [raw_a, raw_b] = net::Channel::pipe().value();
+  MessageSession receiver(std::move(raw_b), b_registry);
+
+  const std::uint64_t sid = 0xABCDEF01;
+  ASSERT_TRUE(send_raw_handshake(raw_a, 0x01, sid, 2, 0).is_ok());
+  ASSERT_TRUE(send_raw_handshake(raw_a, 0x01, sid, 1, 0).is_ok());
+  auto rollback = receiver.receive(500);  // first handshake consumed quietly
+  ASSERT_FALSE(rollback.is_ok());
+  EXPECT_EQ(rollback.code(), ErrorCode::kMalformedInput);
+  EXPECT_NE(rollback.status().message().find("rollback"), std::string::npos)
+      << rollback.status().message();
+  // The rollback must not have disturbed adopted identity.
+  EXPECT_EQ(receiver.session_id(), sid);
+  EXPECT_EQ(receiver.epoch(), 2u);
+}
+
+TEST(Session, HandshakeForeignSessionAndAbsurdAckRejected) {
+  pbio::FormatRegistry a_registry, b_registry;
+  auto [raw_a, raw_b] = net::Channel::pipe().value();
+  MessageSession receiver(std::move(raw_b), b_registry);
+
+  ASSERT_TRUE(send_raw_handshake(raw_a, 0x01, 7, 1, 0).is_ok());
+  // Acks a record the receiver never sent.
+  ASSERT_TRUE(send_raw_handshake(raw_a, 0x01, 7, 2, 50).is_ok());
+  auto absurd = receiver.receive(500);
+  ASSERT_FALSE(absurd.is_ok());
+  EXPECT_EQ(absurd.code(), ErrorCode::kMalformedInput);
+
+  // A different session id on the same transport is refused.
+  ASSERT_TRUE(send_raw_handshake(raw_a, 0x01, 8, 3, 0).is_ok());
+  auto foreign = receiver.receive(500);
+  ASSERT_FALSE(foreign.is_ok());
+  EXPECT_EQ(foreign.code(), ErrorCode::kMalformedInput);
+  EXPECT_NE(foreign.status().message().find("foreign"), std::string::npos)
+      << foreign.status().message();
+
+  // Zero session ids never identify a session.
+  ASSERT_TRUE(send_raw_handshake(raw_a, 0x01, 0, 4, 0).is_ok());
+  auto zero = receiver.receive(500);
+  ASSERT_FALSE(zero.is_ok());
+  EXPECT_EQ(zero.code(), ErrorCode::kMalformedInput);
+}
+
+TEST(Session, TcpPairRoundTripsRecords) {
+  pbio::FormatRegistry a_registry, b_registry;
+  auto tcp = make_session_tcp(a_registry, b_registry).value();
+  auto format = reading_format(a_registry);
+  auto encoder = pbio::Encoder::make(format).value();
+  std::vector<float> series = {2.5f};
+  char site[] = "tcp";
+  Reading in{9, 1, series.data(), site};
+  ASSERT_TRUE(tcp.a.send(encoder, &in).is_ok());
+  auto incoming = tcp.b.receive(2000);
+  ASSERT_TRUE(incoming.is_ok()) << incoming.status().to_string();
+  EXPECT_EQ(incoming.value().sender_format->name(), "Reading");
+  EXPECT_EQ(tcp.b.session_id(), tcp.a.session_id());
+  EXPECT_EQ(tcp.b.epoch(), 1u);
+  tcp.a.close();
+  tcp.b.close();
 }
 
 }  // namespace

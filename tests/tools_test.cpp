@@ -5,11 +5,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
 
 #include "net/fetch.hpp"
 #include "pbio/encode.hpp"
 #include "pbio/file.hpp"
 #include "pbio/registry.hpp"
+#include "session/session.hpp"
 
 namespace xmit {
 namespace {
@@ -77,6 +79,53 @@ TEST_F(Tools, InspectDumpsPbioFile) {
   EXPECT_NE(output.find("<Reading><id>12</id>"), std::string::npos) << output;
 
   std::remove(path.c_str());
+}
+
+TEST_F(Tools, InspectConnectsToLiveSession) {
+  struct Reading {
+    std::int32_t id;
+    double value;
+  };
+  auto listener = net::ChannelListener::listen().value();
+  const std::uint16_t port = listener.port();
+
+  // Server thread: accept the tool's dial, speak PBIO session frames at
+  // it (in-band announcement + three records), then close.
+  std::thread server([&] {
+    auto accepted = listener.accept(10000);
+    if (!accepted.is_ok()) return;
+    pbio::FormatRegistry registry;
+    session::MessageSession sender(std::move(accepted).value(), registry);
+    auto format =
+        registry
+            .register_format("Reading",
+                             {{"id", "integer", 4, offsetof(Reading, id)},
+                              {"value", "float", 8, offsetof(Reading, value)}},
+                             sizeof(Reading))
+            .value();
+    auto encoder = pbio::Encoder::make(format).value();
+    for (std::int32_t i = 0; i < 3; ++i) {
+      Reading r{i, i * 1.5};
+      if (!sender.send(encoder, &r).is_ok()) return;
+    }
+    sender.close();
+  });
+
+  std::string output;
+  int status = run(tool("xmit_inspect") + " --connect 127.0.0.1:" +
+                       std::to_string(port) + " --count 3 --timeout-ms 10000",
+                   &output);
+  server.join();
+  EXPECT_EQ(status, 0) << output;
+  EXPECT_NE(output.find("format \"Reading\""), std::string::npos) << output;
+  EXPECT_NE(output.find("record 2: Reading"), std::string::npos) << output;
+  EXPECT_NE(output.find("session: 3 record(s) received, 1 announcement(s), "
+                        "0 reconnect(s)"),
+            std::string::npos)
+      << output;
+
+  std::string bad;
+  EXPECT_EQ(run(tool("xmit_inspect") + " --connect nonsense", &bad), 2);
 }
 
 TEST_F(Tools, InspectRejectsGarbage) {

@@ -9,16 +9,25 @@
 //   xmit_inspect [--xml] [--formats-only] [--retries N] [--timeout-ms N] \
 //       [--max-depth N] [--max-bytes N] [--max-alloc N] \
 //       <file.pbio | http://...>
+//   xmit_inspect --connect HOST:PORT [--resume] [--count N] \
+//       [--timeout-ms N] [--max-depth N] [--max-bytes N] [--max-alloc N]
 // http:// sources are fetched (with retry/backoff per the flags) into a
 // temporary file first, so a flaky archive server doesn't fail the dump.
 // --max-depth/--max-bytes/--max-alloc bound what decoding the (untrusted)
 // file contents may consume; defaults are DecodeLimits::defaults().
+//
+// --connect dials a live PBIO session and dumps records as they arrive,
+// finishing with a session-stats line (records, announcements,
+// reconnects, replayed and duplicate counts). With --resume the session
+// is resumable: transport deaths redial transparently and only a peer
+// silent past the liveness deadline (--timeout-ms) ends the dump.
 #include <unistd.h>
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <unordered_set>
 
 #include "analysis/lint.hpp"
 #include "analysis/plan_verify.hpp"
@@ -27,6 +36,7 @@
 #include "pbio/decode.hpp"
 #include "pbio/dynrecord.hpp"
 #include "pbio/file.hpp"
+#include "session/session.hpp"
 
 namespace {
 
@@ -98,6 +108,76 @@ int print_record_fields(const pbio::RecordReader& reader) {
   return 0;
 }
 
+// Dial HOST:PORT and dump records until the peer closes (or, with
+// --resume, until it stays silent past the liveness deadline).
+int run_connect(const std::string& spec, bool resume, int timeout_ms,
+                const DecodeLimits& limits, long long max_records) {
+  const std::size_t colon = spec.rfind(':');
+  if (colon == 0 || colon == std::string::npos || colon + 1 == spec.size()) {
+    std::fprintf(stderr, "--connect wants HOST:PORT, got '%s'\n",
+                 spec.c_str());
+    return 2;
+  }
+  const std::string host = spec.substr(0, colon);
+  const long port = std::strtol(spec.c_str() + colon + 1, nullptr, 10);
+  if (port <= 0 || port > 65535) {
+    std::fprintf(stderr, "--connect wants a port in 1..65535, got '%s'\n",
+                 spec.c_str() + colon + 1);
+    return 2;
+  }
+
+  pbio::FormatRegistry registry;
+  session::SessionOptions options;
+  options.resumable = resume;
+  options.liveness_deadline_ms = timeout_ms;
+  session::MessageSession session(
+      net::Endpoint::tcp(host, static_cast<std::uint16_t>(port), timeout_ms),
+      registry, options);
+  session.set_limits(limits);
+  auto connected = session.connect_now();
+  if (!connected.is_ok()) {
+    std::fprintf(stderr, "%s: %s\n", spec.c_str(),
+                 connected.to_string().c_str());
+    return 1;
+  }
+
+  std::unordered_set<pbio::FormatId> printed;
+  int index = 0;
+  int exit_code = 0;
+  while (max_records == 0 || index < max_records) {
+    auto incoming = session.receive(timeout_ms);
+    if (!incoming.is_ok()) {
+      const ErrorCode code = incoming.code();
+      if (code == ErrorCode::kNotFound || code == ErrorCode::kTimeout) break;
+      std::fprintf(stderr, "record %d: %s\n", index,
+                   incoming.status().to_string().c_str());
+      if (session.poisoned()) {
+        exit_code = 1;
+        break;
+      }
+      continue;  // malformed frame; the session stays usable
+    }
+    for (const auto& format : registry.all())
+      if (printed.insert(format->id()).second) print_format(*format);
+    std::printf("record %d: %s (%zu bytes)\n", index,
+                incoming.value().sender_format->name().c_str(),
+                incoming.value().bytes.size());
+    auto reader = pbio::RecordReader::make(incoming.value().bytes,
+                                           incoming.value().sender_format);
+    if (reader.is_ok()) print_record_fields(reader.value());
+    ++index;
+  }
+  std::printf(
+      "session: %zu record(s) received, %zu announcement(s), "
+      "%zu reconnect(s), %zu replayed, %zu duplicate(s) discarded, "
+      "%zu malformed\n",
+      session.records_received(), session.announcements_received(),
+      session.reconnects(), session.replayed_records(),
+      session.duplicates_discarded(), session.malformed_frames());
+  session.close();
+  return exit_code;
+}
+
 bool parse_nonnegative(const char* text, int* out) {
   char* end = nullptr;
   long value = std::strtol(text, &end, 10);
@@ -120,6 +200,10 @@ int main(int argc, char** argv) {
   bool as_xml = false;
   bool formats_only = false;
   bool lint = false;
+  bool resume = false;
+  std::string connect_spec;
+  long long max_records = 0;
+  int timeout_ms = 5000;
   net::FetchOptions fetch_options;
   fetch_options.retry = net::RetryPolicy::none();
   DecodeLimits limits = DecodeLimits::defaults();
@@ -131,7 +215,17 @@ int main(int argc, char** argv) {
       formats_only = true;
     else if (std::strcmp(argv[i], "--lint") == 0)
       lint = true;
-    else if (std::strcmp(argv[i], "--max-depth") == 0 && i + 1 < argc) {
+    else if (std::strcmp(argv[i], "--resume") == 0)
+      resume = true;
+    else if (std::strcmp(argv[i], "--connect") == 0 && i + 1 < argc)
+      connect_spec = argv[++i];
+    else if (std::strcmp(argv[i], "--count") == 0 && i + 1 < argc) {
+      if (!parse_positive(argv[++i], &max_records)) {
+        std::fprintf(stderr, "--count wants a positive count, got '%s'\n",
+                     argv[i]);
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--max-depth") == 0 && i + 1 < argc) {
       long long bound = 0;
       if (!parse_positive(argv[++i], &bound) || bound > 1000000) {
         std::fprintf(stderr, "--max-depth wants a positive count, got '%s'\n",
@@ -173,14 +267,19 @@ int main(int argc, char** argv) {
         return 2;
       }
       fetch_options.timeout_ms = value;
+      timeout_ms = value;
     } else
       path = argv[i];
   }
+  if (!connect_spec.empty())
+    return run_connect(connect_spec, resume, timeout_ms, limits, max_records);
   if (path == nullptr) {
     std::fprintf(stderr,
                  "usage: xmit_inspect [--xml] [--formats-only] [--lint] "
                  "[--retries N] [--timeout-ms N] [--max-depth N] "
-                 "[--max-bytes N] [--max-alloc N] <file.pbio | http://...>\n");
+                 "[--max-bytes N] [--max-alloc N] <file.pbio | http://...>\n"
+                 "       xmit_inspect --connect HOST:PORT [--resume] "
+                 "[--count N] [--timeout-ms N]\n");
     return 2;
   }
 
