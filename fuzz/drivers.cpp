@@ -15,6 +15,7 @@
 #include "rpc/giop.hpp"
 #include "rpc/xmlrpc.hpp"
 #include "session/session.hpp"
+#include "storage/framing.hpp"
 #include "xml/parser.hpp"
 #include "xsd/parse.hpp"
 
@@ -428,6 +429,101 @@ Status run_session_handshake(std::span<const std::uint8_t> input) {
   return last;
 }
 
+// --- log segment -----------------------------------------------------------
+
+// The durable log's read-back surface: segment scanning plus the advisory
+// sidecar index. Input is a tiny container — [u32 LE segment_len |
+// segment bytes | index bytes] — so mutations attack both files and, via
+// the length prefix, their agreement with each other.
+std::vector<std::uint8_t> pack_log_input(
+    std::span<const std::uint8_t> segment,
+    std::span<const std::uint8_t> index) {
+  std::vector<std::uint8_t> out;
+  const std::uint32_t seg_len = static_cast<std::uint32_t>(segment.size());
+  for (int shift = 0; shift < 32; shift += 8)
+    out.push_back(static_cast<std::uint8_t>(seg_len >> shift));
+  out.insert(out.end(), segment.begin(), segment.end());
+  out.insert(out.end(), index.begin(), index.end());
+  return out;
+}
+
+// A well-formed 3-frame segment plus its honest index, for seeding and
+// for the canonical attacks to deface.
+void build_log_seed(std::vector<std::uint8_t>* segment,
+                    std::vector<std::uint8_t>* index,
+                    std::vector<std::size_t>* frame_offsets) {
+  ByteBuffer seg;
+  storage::append_file_header(seg, storage::kSegmentMagic, 1);
+  ByteBuffer idx;
+  storage::append_file_header(idx, storage::kIndexMagic, 1);
+  for (std::uint64_t seq = 1; seq <= 3; ++seq) {
+    if (frame_offsets != nullptr) frame_offsets->push_back(seg.size());
+    storage::append_index_entry(idx, {seq, seg.size()});
+    std::vector<std::uint8_t> payload(6 + seq * 5);
+    for (std::size_t i = 0; i < payload.size(); ++i)
+      payload[i] = static_cast<std::uint8_t>(seq * 41 + i);
+    storage::append_frame(seg, seq, seq % 2 + 1,
+                          std::span<const std::uint8_t>(payload.data(),
+                                                        payload.size()));
+  }
+  *segment = seg.take();
+  if (index != nullptr) *index = idx.take();
+}
+
+std::vector<std::vector<std::uint8_t>> log_segment_seeds() {
+  std::vector<std::uint8_t> segment, index;
+  build_log_seed(&segment, &index, nullptr);
+  return {
+      pack_log_input(segment, index),
+      pack_log_input(segment, {}),  // no sidecar: pure scan path
+  };
+}
+
+Status run_log_segment(std::span<const std::uint8_t> input) {
+  if (input.size() < 4) return Status::ok();
+  std::size_t seg_len = 0;
+  for (int i = 0; i < 4; ++i)
+    seg_len |= std::size_t(input[i]) << (8 * i);
+  seg_len = std::min(seg_len, input.size() - 4);
+  auto segment = input.subspan(4, seg_len);
+  auto index = input.subspan(4 + seg_len);
+
+  DecodeLimits limits = fuzz_limits();
+  std::size_t payload_bytes = 0;
+  auto scan = storage::scan_segment(
+      segment, limits,
+      [&](std::uint64_t, std::uint64_t,
+          std::span<const std::uint8_t> payload, std::size_t) {
+        payload_bytes += payload.size();
+        return payload_bytes < std::size_t(1) << 24;
+      });
+  const std::uint64_t base = scan.frames != 0 ? scan.first_seq : 1;
+  auto entries = storage::parse_index(index, segment, base, limits);
+  // parse_index vouches for every entry it returns: each must point at a
+  // fully parseable frame carrying exactly the indexed sequence number.
+  // A lie surviving here is the bug class this driver exists to catch.
+  for (const auto& entry : entries) {
+    auto frame = storage::parse_frame(segment, entry.offset, limits);
+    if (!frame.is_ok() || frame.value().seq != entry.seq) std::abort();
+  }
+  if (!scan.error.is_ok()) return scan.error;
+  if (scan.stop == storage::ScanStop::kTornTail)
+    return Status(ErrorCode::kOutOfRange,
+                  "segment ends in a torn tail at offset " +
+                      std::to_string(scan.valid_bytes));
+  const std::size_t declared =
+      index.size() > storage::kSegmentHeaderBytes
+          ? (index.size() - storage::kSegmentHeaderBytes) /
+                storage::kIndexEntryBytes
+          : 0;
+  if (entries.size() < declared)
+    return Status(ErrorCode::kMalformedInput,
+                  "index declares " + std::to_string(declared) +
+                      " entries but only " + std::to_string(entries.size()) +
+                      " survived verification");
+  return Status::ok();
+}
+
 constexpr Driver kDrivers[] = {
     {"xml", "xml::parse_document over mutated documents", xml_seeds, run_xml},
     {"xsd", "xsd::parse_schema_text over mutated schemas", xsd_seeds, run_xsd},
@@ -443,6 +539,9 @@ constexpr Driver kDrivers[] = {
     {"session_handshake",
      "resumption control frames: handshake/ping/pong over a live session",
      session_handshake_seeds, run_session_handshake},
+    {"log_segment",
+     "durable-log segment scan + sidecar index over mutated images",
+     log_segment_seeds, run_log_segment},
 };
 
 // --- canonical hostile corpus ----------------------------------------------
@@ -634,6 +733,47 @@ std::vector<CorpusAttack> canonical_attacks() {
       {"session_handshake-short-frame.bin",
        "handshake frame truncated mid-session-id",
        pack_frames({std::vector<std::uint8_t>{0x03, 0x01, 0x5E}})});
+
+  {
+    std::vector<std::uint8_t> segment, index;
+    std::vector<std::size_t> offsets;
+    build_log_seed(&segment, &index, &offsets);
+
+    // 16. First frame's payload_len patched to 0x7FFFFFFF: a length lie
+    //     that must be bounded against the budget and the bytes present
+    //     before anything is allocated — and since payload_len is inside
+    //     the CRC, even a liar who also fixes the checksum cannot make
+    //     the frame both huge and valid.
+    attacks.push_back(
+        {"log_segment-length-lie.bin",
+         "frame payload length claims 2 GiB against a 100-byte segment",
+         pack_log_input(patched(segment, offsets[0] + 4,
+                                {0xFF, 0xFF, 0xFF, 0x7F}),
+                        index)});
+
+    // 17. Segment cut mid-payload of the last frame: the canonical crash
+    //     artifact. The scan must classify it as a torn tail after the
+    //     two whole frames, never surface the partial record.
+    std::vector<std::uint8_t> torn(segment.begin(),
+                                   segment.begin() + (offsets[2] +
+                                                      storage::kFrameHeaderBytes +
+                                                      3));
+    attacks.push_back({"log_segment-torn-tail.bin",
+                       "segment truncated mid-payload of its final frame",
+                       pack_log_input(torn, index)});
+
+    // 18. Index entry whose CRC is self-consistent but whose seq lies
+    //     about the frame it points at: entry verification against the
+    //     pointed-at frame (not just the entry checksum) must reject it,
+    //     or a seek would alias record 99 onto record 2's bytes.
+    ByteBuffer lying;
+    storage::append_file_header(lying, storage::kIndexMagic, 1);
+    storage::append_index_entry(lying, {1, offsets[0]});
+    storage::append_index_entry(lying, {99, offsets[1]});
+    attacks.push_back({"log_segment-index-mismatch.bin",
+                       "well-formed index entry names the wrong sequence",
+                       pack_log_input(segment, lying.take())});
+  }
 
   return attacks;
 }

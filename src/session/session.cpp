@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cinttypes>
+#include <cstdio>
 #include <thread>
 
 #include "analysis/plan_verify.hpp"
@@ -17,6 +19,11 @@ constexpr std::uint8_t kTagRecord = 0x02;
 constexpr std::uint8_t kTagHandshake = 0x03;
 constexpr std::uint8_t kTagPing = 0x04;
 constexpr std::uint8_t kTagPong = 0x05;
+constexpr std::uint8_t kTagDurableRange = 0x06;
+constexpr std::uint8_t kTagReplayRequest = 0x07;
+
+// [u64 first-seq | u64 last-seq]
+constexpr std::size_t kDurableRangePayloadBytes = 16;
 
 // [u8 flags | u64 session id | u32 epoch | u64 last-seq-received]
 constexpr std::size_t kHandshakePayloadBytes = 21;
@@ -51,6 +58,7 @@ MessageSession::MessageSession(net::Channel channel,
   analysis::register_plan_verifier();
   decoder_->set_verify_plans(true);
   last_inbound_ms_ = clock_.elapsed_ms();
+  init_durability();
 }
 
 MessageSession::MessageSession(net::Endpoint endpoint,
@@ -68,6 +76,138 @@ MessageSession::MessageSession(net::Endpoint endpoint,
   analysis::register_plan_verifier();
   decoder_->set_verify_plans(true);
   last_inbound_ms_ = clock_.elapsed_ms();
+  init_durability();
+}
+
+void MessageSession::init_durability() {
+  if (options_.durable_dir.empty()) return;
+  durable_ = true;
+  resumable_ = true;
+  options_.resumable = true;
+  storage::LogOptions log_options;
+  log_options.segment_bytes = options_.durable_segment_bytes;
+  log_options.fsync = options_.durable_fsync;
+  log_options.retention_segments = options_.durable_retention_segments;
+  auto log = storage::RecordLog::open(options_.durable_dir, log_options,
+                                      limits_);
+  if (!log.is_ok()) {
+    durable_error_ = log.status();
+    return;
+  }
+  log_ = std::make_unique<storage::RecordLog>(std::move(log).value());
+  auto catalog = storage::FormatCatalog::open(
+      options_.durable_dir + "/catalog.cat", limits_);
+  if (!catalog.is_ok()) {
+    durable_error_ = catalog.status();
+    return;
+  }
+  catalog_ =
+      std::make_unique<storage::FormatCatalog>(std::move(catalog).value());
+  // Recover identity: a stored meta names the session this directory
+  // belongs to. An explicit, different options_.session_id wins (the
+  // caller is deliberately rebinding the directory).
+  if (auto meta = storage::load_session_meta(
+          options_.durable_dir + "/session.meta", limits_)) {
+    if (options_.session_id == 0 || options_.session_id == meta->session_id) {
+      session_id_ = meta->session_id;
+      epoch_ = meta->epoch;
+    }
+  }
+  if (session_id_ == 0 && active()) session_id_ = generate_session_id();
+  // Resume send-side sequencing past what the log already holds, and
+  // bring the persisted formats back so replay can re-announce them.
+  if (!log_->empty()) next_seq_ = log_->last_seq() + 1;
+  Status loaded = catalog_->load_into(*registry_);
+  if (!loaded.is_ok()) durable_error_ = loaded;
+}
+
+Status MessageSession::persist_meta() {
+  if (!durable_ || session_id_ == 0) return Status::ok();
+  return storage::store_session_meta(
+      options_.durable_dir + "/session.meta",
+      storage::SessionMeta{session_id_, epoch_});
+}
+
+Status MessageSession::append_durable(std::uint64_t seq,
+                                      pbio::FormatId format_id,
+                                      std::span<const IoSlice> slices) {
+  if (!durable_) return Status::ok();
+  if (!durable_error_.is_ok()) return durable_error_;
+  Status appended = log_->append(seq, format_id, slices);
+  if (!appended.is_ok()) durable_error_ = appended;
+  return appended;
+}
+
+Status MessageSession::catalog_put(const pbio::Format& format) {
+  if (!durable_) return Status::ok();
+  if (!durable_error_.is_ok()) return durable_error_;
+  if (catalog_->contains(format.id())) return Status::ok();
+  auto ptr = registry_->by_id(format.id());
+  if (!ptr.is_ok()) return Status::ok();  // not registry-owned: skip
+  Status put = catalog_->put(ptr.value());
+  if (!put.is_ok()) durable_error_ = put;
+  return put;
+}
+
+Status MessageSession::send_durable_advert() {
+  if (!durable_ || log_ == nullptr || log_->empty() || !channel_.is_open())
+    return Status::ok();
+  std::uint8_t frame[1 + kDurableRangePayloadBytes];
+  frame[0] = kTagDurableRange;
+  store_with_order<std::uint64_t>(frame + 1, log_->first_seq(),
+                                  ByteOrder::kLittle);
+  store_with_order<std::uint64_t>(frame + 9, log_->last_seq(),
+                                  ByteOrder::kLittle);
+  return channel_.send(std::span<const std::uint8_t>(frame, sizeof(frame)));
+}
+
+Status MessageSession::stream_from_log(std::uint64_t from, std::uint64_t to) {
+  if (log_ == nullptr || log_->empty() || from > to) return Status::ok();
+  auto cursor = log_->read_from(from);
+  storage::RecordLog::Item item;
+  for (;;) {
+    auto more = cursor.next(&item);
+    if (!more.is_ok()) return more.status();
+    if (!more.value() || item.seq > to) return Status::ok();
+    if (item.format_id != 0 && !announced_.contains(item.format_id)) {
+      auto format = registry_->by_id(item.format_id);
+      if (format.is_ok()) {
+        ByteBuffer frame;
+        frame.append_byte(kTagFormat);
+        serialize_format(*format.value(), frame);
+        XMIT_RETURN_IF_ERROR(channel_.send(frame.span()));
+        announced_.insert(item.format_id);
+        announce_seq_[item.format_id] = item.seq;
+        ++announcements_sent_;
+        metadata_bytes_sent_ += frame.size();
+      }
+    }
+    std::uint8_t head[1 + kSeqBytes];
+    head[0] = kTagRecord;
+    store_with_order<std::uint64_t>(head + 1, item.seq, ByteOrder::kLittle);
+    const IoSlice slices[2] = {{head, sizeof(head)},
+                               {item.payload.data(), item.payload.size()}};
+    XMIT_RETURN_IF_ERROR(
+        channel_.send_gather(std::span<const IoSlice>(slices, 2)));
+    ++replayed_records_;
+  }
+}
+
+Status MessageSession::request_replay(std::uint64_t from_seq) {
+  if (from_seq == 0)
+    return Status(ErrorCode::kInvalidArgument,
+                  "replay cannot start at sequence 0");
+  XMIT_RETURN_IF_ERROR(ready_to_send());
+  if (!channel_.is_open())
+    return Status(ErrorCode::kIoError,
+                  "no transport to request a replay on");
+  // Rewind the dedup window so the historical records are delivered
+  // instead of being reported as an already-seen range or a gap.
+  if (last_seq_received_ >= from_seq) last_seq_received_ = from_seq - 1;
+  std::uint8_t frame[1 + kSeqBytes];
+  frame[0] = kTagReplayRequest;
+  store_with_order<std::uint64_t>(frame + 1, from_seq, ByteOrder::kLittle);
+  return channel_.send(std::span<const std::uint8_t>(frame, sizeof(frame)));
 }
 
 void MessageSession::set_limits(const DecodeLimits& limits) {
@@ -125,6 +265,10 @@ void MessageSession::note_transport_lost() {
 
 Status MessageSession::ready_to_send() {
   if (closed_) return Status(ErrorCode::kIoError, "session closed");
+  if (durable_ && !durable_error_.is_ok())
+    return Status(durable_error_.code(),
+                  "durable session cannot accept sends: " +
+                      durable_error_.message());
   if (!resumable_) return Status::ok();
   install_pending_attach();
   if (channel_.is_open()) return Status::ok();
@@ -188,7 +332,13 @@ Status MessageSession::reconnect(int budget_ms) {
     ++epoch_;
     if (epoch_ > 1) ++reconnects_;
     last_inbound_ms_ = clock_.elapsed_ms();
+    // Identity-ahead-of-wire: the bumped epoch must hit the disk before
+    // any peer hears it, or a crash between handshake and persist would
+    // resurrect us with a stale epoch the peer rejects as rollback.
+    Status persisted = persist_meta();
+    if (!persisted.is_ok()) return persisted;  // disk trouble, not transport
     Status resumed = send_handshake(/*initiate=*/true);
+    if (resumed.is_ok()) resumed = send_durable_advert();
     if (resumed.is_ok()) resumed = replay_unacked();
     if (resumed.is_ok()) {
       transport_lost_ms_ = -1;
@@ -262,10 +412,14 @@ Status MessageSession::process_handshake(
                   "handshake reply epoch does not match this session");
   }
   XMIT_RETURN_IF_ERROR(absorb_ack(last));
+  const bool identity_changed = session_id_ != sid || (initiate && epoch_ != epoch);
   if (session_id_ == 0) session_id_ = sid;
   if (initiate) {
     epoch_ = epoch;
+    // Adopted identity hits the disk before we answer for it.
+    if (identity_changed) XMIT_RETURN_IF_ERROR(persist_meta());
     XMIT_RETURN_IF_ERROR(send_handshake(/*initiate=*/false));
+    XMIT_RETURN_IF_ERROR(send_durable_advert());
     // The drop cut both directions: replay our own unacked frames too.
     XMIT_RETURN_IF_ERROR(replay_unacked());
   }
@@ -278,6 +432,17 @@ Status MessageSession::replay_unacked() {
   // Formats the *peer* announced have no announce_seq_ entry and stay.
   for (const auto& [fid, seq] : announce_seq_)
     if (seq > peer_acked_seq_) announced_.erase(fid);
+  // Durable reach-back: after a restart (or a deep eviction) the oldest
+  // unacked records live only on disk. Stream the stretch the in-memory
+  // buffer no longer covers before the buffered frames go out.
+  if (durable_ && log_ != nullptr && !log_->empty()) {
+    const std::uint64_t need = peer_acked_seq_ + 1;
+    const std::uint64_t mem_first =
+        replay_.empty() ? next_seq_ : replay_.front().seq;
+    if (need < mem_first && need <= log_->last_seq())
+      XMIT_RETURN_IF_ERROR(
+          stream_from_log(need, std::min(mem_first - 1, log_->last_seq())));
+  }
   for (const ReplayEntry& entry : replay_) {
     if (entry.seq <= peer_acked_seq_) continue;
     if (entry.format_id != 0 && !announced_.contains(entry.format_id)) {
@@ -328,11 +493,30 @@ void MessageSession::buffer_for_replay(std::uint64_t seq,
   replay_bytes_ += entry.frame.size();
   replay_.push_back(std::move(entry));
   // Bounded window: evicted frames are simply no longer replayable — a
-  // resume past them surfaces kDataLoss at the receiver, once.
+  // resume past them surfaces kDataLoss at the receiver, once. With a
+  // durable log the eviction is harmless (the disk covers the seq); an
+  // eviction *without* that cover is silent data-at-risk, so it is
+  // counted and warned about once per session.
   while (!replay_.empty() &&
          (replay_.size() > options_.replay_buffer_records ||
           replay_bytes_ > options_.replay_buffer_bytes)) {
-    replay_bytes_ -= replay_.front().frame.size();
+    const ReplayEntry& victim = replay_.front();
+    const bool covered = durable_ && log_ != nullptr &&
+                         victim.seq >= log_->first_seq() &&
+                         victim.seq <= log_->last_seq();
+    if (victim.seq > peer_acked_seq_ && !covered) {
+      ++evicted_records_;
+      if (!eviction_logged_) {
+        eviction_logged_ = true;
+        std::fprintf(stderr,
+                     "xmit session %" PRIu64
+                     ": replay buffer evicted unacked record seq %" PRIu64
+                     " with no durable log to recover it; a resume past "
+                     "this point will surface kDataLoss\n",
+                     session_id_, victim.seq);
+      }
+    }
+    replay_bytes_ -= victim.frame.size();
     replay_.pop_front();
   }
 }
@@ -341,6 +525,10 @@ Status MessageSession::announce(const pbio::Format& format) {
   for (;;) {
     if (announced_.contains(format.id())) return Status::ok();
     XMIT_RETURN_IF_ERROR(ready_to_send());
+    // Schema-ahead-of-data: the catalog entry is fsynced before any
+    // record encoded with the format can reach the log or the wire, so
+    // a restart can always re-announce what it replays.
+    XMIT_RETURN_IF_ERROR(catalog_put(format));
     ByteBuffer frame;
     frame.append_byte(kTagFormat);
     serialize_format(format, frame);
@@ -409,6 +597,11 @@ Status MessageSession::send(const pbio::Encoder& encoder, const void* record) {
                       IoSlice{record_head_.data(), record_head_.size()});
   if (resumable_)
     buffer_for_replay(seq, encoder.format().id(), send_slices_);
+  // Write-ahead: the record must be durable before it is transmitted —
+  // a send the log refused never reaches the wire.
+  XMIT_RETURN_IF_ERROR(
+      append_durable(seq, encoder.format().id(),
+                     std::span<const IoSlice>(send_slices_).subspan(1)));
   return transmit_record(send_slices_);
 }
 
@@ -424,6 +617,8 @@ Status MessageSession::send_encoded(const pbio::Format& format,
                              {record.data(), record.size()}};
   const auto span2 = std::span<const IoSlice>(slices, 2);
   if (resumable_) buffer_for_replay(seq, format.id(), span2);
+  XMIT_RETURN_IF_ERROR(
+      append_durable(seq, format.id(), span2.subspan(1)));
   return transmit_record(span2);
 }
 
@@ -591,6 +786,55 @@ Result<MessageSession::IncomingView> MessageSession::receive_view(
               channel_.send(std::span<const std::uint8_t>(pong, sizeof(pong)));
           if (!sent.is_ok() && resumable_ && !channel_.is_open())
             note_transport_lost();
+        }
+        continue;
+      }
+      case kTagDurableRange: {
+        if (payload.size() != kDurableRangePayloadBytes)
+          return note_malformed(Status(ErrorCode::kParseError,
+                                       "bad durable-range frame length"));
+        const std::uint64_t first = load_with_order<std::uint64_t>(
+            payload.data(), ByteOrder::kLittle);
+        const std::uint64_t last = load_with_order<std::uint64_t>(
+            payload.data() + 8, ByteOrder::kLittle);
+        if (first == 0 || last < first)
+          return note_malformed(Status(
+              ErrorCode::kMalformedInput,
+              "durable-range advert [" + std::to_string(first) + ", " +
+                  std::to_string(last) + "] is not a valid range"));
+        peer_durable_first_ = first;
+        peer_durable_last_ = last;
+        continue;
+      }
+      case kTagReplayRequest: {
+        if (payload.size() != kSeqBytes)
+          return note_malformed(Status(ErrorCode::kParseError,
+                                       "bad replay-request frame length"));
+        const std::uint64_t from = load_with_order<std::uint64_t>(
+            payload.data(), ByteOrder::kLittle);
+        if (from == 0)
+          return note_malformed(Status(ErrorCode::kMalformedInput,
+                                       "replay request from sequence 0"));
+        // Only a durable sender can honor history; anyone else ignores
+        // the request (the requester learns nothing arrived and moves
+        // on) rather than guessing at records it no longer has.
+        if (!durable_ || log_ == nullptr || log_->empty()) continue;
+        // The requester may be a brand-new subscriber that never saw
+        // our format announcements: forget what *we* announced so the
+        // stream re-sends every schema ahead of its data. Re-announcing
+        // to a peer that already knows a format is an idempotent no-op
+        // on its side.
+        for (const auto& [fid, seq] : announce_seq_) announced_.erase(fid);
+        Status streamed =
+            stream_from_log(std::max(from, log_->first_seq()),
+                            log_->last_seq());
+        if (!streamed.is_ok()) {
+          if (resumable_ && (streamed.code() == ErrorCode::kIoError ||
+                             streamed.code() == ErrorCode::kNotFound)) {
+            if (!channel_.is_open()) note_transport_lost();
+            continue;
+          }
+          return streamed;
         }
         continue;
       }

@@ -33,6 +33,22 @@
 //             requested); all other flag bits must be zero
 //   tag 0x04  ping: [u64 last-seq-received]   (liveness probe + ack)
 //   tag 0x05  pong: [u64 last-seq-received]   (probe answer + ack)
+//   tag 0x06  durable range advert: [u64 first-seq | u64 last-seq] — a
+//             durable sender, after each handshake, names the inclusive
+//             range its on-disk log can replay on request
+//   tag 0x07  replay request: [u64 from-seq] — ask a durable peer to
+//             re-send history from `from-seq` (clamped to its log) as
+//             ordinary tag-0x02 frames with their original sequence
+//             numbers; a non-durable peer ignores the request
+//
+// Durable sessions (SessionOptions::durable_dir) extend resumability
+// past process death: every outgoing record is appended to an fsynced
+// write-ahead RecordLog *before* transmission, every announced format is
+// persisted to a FormatCatalog, and the (session id, epoch) identity
+// lives in an atomically-replaced meta file. A restarted sender reopens
+// the directory, recovers its identity, formats and full send history,
+// and resumes the same session — the receiver sees a normal epoch bump
+// followed by an at-least-once replay its dedup already handles.
 #pragma once
 
 #include <array>
@@ -55,6 +71,8 @@
 #include "pbio/decode.hpp"
 #include "pbio/encode.hpp"
 #include "pbio/registry.hpp"
+#include "storage/catalog.hpp"
+#include "storage/log.hpp"
 
 namespace xmit::session {
 
@@ -69,6 +87,16 @@ struct SessionOptions {
   int heartbeat_interval_ms = 500;   // ping cadence while receive is idle
   int liveness_deadline_ms = 5000;   // silent/unreachable peer => kTimeout
   net::RetryPolicy reconnect_backoff;  // dial policy for each reconnect
+
+  // Durability: a non-empty directory turns the session durable (which
+  // implies resumable). Outgoing records are write-ahead logged there —
+  // appended and fsynced per `durable_fsync` *before* transmission — and
+  // announced formats plus the session identity persist beside them, so
+  // a restarted process resumes the same session from disk.
+  std::string durable_dir;
+  storage::FsyncPolicy durable_fsync = storage::FsyncPolicy::kAlways;
+  std::uint64_t durable_segment_bytes = 8u << 20;
+  std::size_t durable_retention_segments = 0;  // 0 = keep everything
 };
 
 class MessageSession {
@@ -157,6 +185,13 @@ class MessageSession {
   // receive path allocates nothing. Same quarantine/poisoning semantics.
   Result<IncomingView> receive_view(int timeout_ms = 10000);
 
+  // Asks a durable peer to re-send its logged history from `from_seq`
+  // (inclusive; clamped to the peer's durable range). The replayed
+  // records arrive through receive() in order with their original
+  // sequence numbers; the local dedup window is rewound so they are not
+  // mistaken for a gap. A non-durable peer silently ignores the request.
+  Status request_replay(std::uint64_t from_seq);
+
   // Per-peer decode budgets; forwarded to the record decoder and applied
   // to announcement parsing and frame sizes.
   void set_limits(const DecodeLimits& limits);
@@ -187,6 +222,24 @@ class MessageSession {
   std::uint64_t session_id() const { return session_id_; }
   std::uint32_t epoch() const { return epoch_; }
   bool poisoned() const { return poisoned_; }
+  // Unacked records silently pushed out of the bounded replay buffer
+  // with no durable-log copy to fall back on — each one is a record a
+  // future resume cannot recover.
+  std::size_t evicted_records() const { return evicted_records_; }
+  bool durable() const { return durable_; }
+  // Why durability is unavailable (open/append/fsync failure); OK while
+  // the write-ahead path is healthy.
+  Status durable_status() const { return durable_error_; }
+  // The local log's replayable range; 0/0 when empty or not durable.
+  std::uint64_t durable_first_seq() const {
+    return log_ ? log_->first_seq() : 0;
+  }
+  std::uint64_t durable_last_seq() const {
+    return log_ ? log_->last_seq() : 0;
+  }
+  // The peer's advertised durable range (tag 0x06); 0/0 until heard.
+  std::uint64_t peer_durable_first() const { return peer_durable_first_; }
+  std::uint64_t peer_durable_last() const { return peer_durable_last_; }
   bool is_quarantined(pbio::FormatId id) const {
     return quarantined_.contains(id);
   }
@@ -241,6 +294,27 @@ class MessageSession {
   // resumable failure policy (buffered passively / reconnect actively).
   Status transmit_record(std::span<const IoSlice> slices);
 
+  // --- durability machinery -------------------------------------------
+  // Opens log + catalog + meta under options_.durable_dir; failures land
+  // in durable_error_ (constructors cannot fail) and surface on first
+  // send/announce/connect.
+  void init_durability();
+  // Atomically persists (session id, epoch); called before any handshake
+  // that presents a changed identity.
+  Status persist_meta();
+  // Write-ahead step of send: appends the record to the log (slices
+  // exclude the 9-byte tag+seq head — seq and format id live in the
+  // frame header). Fails, and keeps failing, once the log is poisoned.
+  Status append_durable(std::uint64_t seq, pbio::FormatId format_id,
+                        std::span<const IoSlice> slices);
+  // Persists a format to the catalog (no-op when not durable / known).
+  Status catalog_put(const pbio::Format& format);
+  // Advertises [first, last] of the local log after a handshake.
+  Status send_durable_advert();
+  // Re-sends logged records in [from, to] as tag-0x02 frames with their
+  // original seqs, re-announcing formats the peer may not know.
+  Status stream_from_log(std::uint64_t from, std::uint64_t to);
+
   net::Channel channel_;
   net::Endpoint endpoint_;  // non-dialable for passive/plain sessions
   pbio::FormatRegistry* registry_;
@@ -278,6 +352,16 @@ class MessageSession {
   double last_ping_ms_ = -1e18;
   double transport_lost_ms_ = -1;  // <0: transport never lost yet
   bool poisoned_ = false;
+  // Durability state. The log and catalog are heap-pinned (like the
+  // decoder) so the session object stays movable.
+  bool durable_ = false;
+  std::unique_ptr<storage::RecordLog> log_;
+  std::unique_ptr<storage::FormatCatalog> catalog_;
+  Status durable_error_;
+  std::size_t evicted_records_ = 0;
+  bool eviction_logged_ = false;
+  std::uint64_t peer_durable_first_ = 0;
+  std::uint64_t peer_durable_last_ = 0;
   std::size_t announcements_sent_ = 0;
   std::size_t announcements_received_ = 0;
   std::size_t records_sent_ = 0;

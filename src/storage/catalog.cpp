@@ -1,0 +1,151 @@
+#include "storage/catalog.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "pbio/format_wire.hpp"
+#include "storage/framing.hpp"
+
+namespace xmit::storage {
+namespace {
+
+Status errno_error(const std::string& what) {
+  return Status(ErrorCode::kIoError, what + ": " + std::strerror(errno));
+}
+
+bool file_exists(const std::string& path) {
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+}  // namespace
+
+Result<FormatCatalog> FormatCatalog::open(const std::string& path,
+                                          const DecodeLimits& limits) {
+  FormatCatalog catalog;
+  catalog.path_ = path;
+  catalog.limits_ = limits;
+
+  if (!file_exists(path)) {
+    ByteBuffer header;
+    append_file_header(header, kCatalogMagic, 0);
+    XMIT_RETURN_IF_ERROR(write_file_atomic(path, header.span()));
+  } else {
+    XMIT_ASSIGN_OR_RETURN(auto bytes,
+                          read_file_bytes(path, limits.max_total_alloc));
+    const std::span<const std::uint8_t> image(bytes.data(), bytes.size());
+    Status entry_error;
+    ScanResult scan = scan_segment(
+        image, limits,
+        [&](std::uint64_t, std::uint64_t format_id,
+            std::span<const std::uint8_t> payload, std::size_t) {
+          auto format = pbio::deserialize_format(payload, catalog.limits_);
+          if (!format.is_ok()) {
+            // The CRC passed, so these are the bytes the writer meant —
+            // an unparseable entry is corruption, not a crash artifact.
+            entry_error = format.status();
+            return false;
+          }
+          if (format.value()->id() != format_id) {
+            entry_error =
+                Status(ErrorCode::kMalformedInput,
+                       "catalog entry claims format id " +
+                           std::to_string(format_id) +
+                           " but its metadata hashes to " +
+                           std::to_string(format.value()->id()));
+            return false;
+          }
+          if (!catalog.contains(format_id)) {
+            catalog.by_id_[format_id] = catalog.formats_.size();
+            catalog.formats_.push_back(std::move(format).value());
+          }
+          return true;
+        },
+        kCatalogMagic);
+    if (!entry_error.is_ok()) return entry_error;
+    if (scan.stop == ScanStop::kCorrupt || scan.stop == ScanStop::kLimit)
+      return scan.error;
+    if (scan.stop == ScanStop::kTornTail) {
+      catalog.torn_bytes_ = bytes.size() - scan.valid_bytes;
+      if (scan.valid_bytes < kSegmentHeaderBytes) {
+        // Even the header write was torn: start the file over.
+        ByteBuffer header;
+        append_file_header(header, kCatalogMagic, 0);
+        XMIT_RETURN_IF_ERROR(write_file_atomic(path, header.span()));
+      } else {
+        UniqueFd fd(::open(path.c_str(), O_WRONLY | O_CLOEXEC));
+        if (!fd.valid()) return errno_error("open " + path);
+        if (::ftruncate(fd.get(), static_cast<off_t>(scan.valid_bytes)) != 0)
+          return errno_error("ftruncate " + path);
+      }
+    }
+  }
+
+  catalog.fd_.reset(::open(path.c_str(), O_WRONLY | O_APPEND | O_CLOEXEC));
+  if (!catalog.fd_.valid()) return errno_error("open " + path);
+  return catalog;
+}
+
+Status FormatCatalog::put(const pbio::FormatPtr& format) {
+  if (format == nullptr)
+    return Status(ErrorCode::kInvalidArgument, "null format");
+  if (contains(format->id())) return Status::ok();
+  const std::vector<std::uint8_t> payload = pbio::serialize_format(*format);
+  ByteBuffer frame;
+  append_frame(frame, formats_.size() + 1, format->id(),
+               std::span<const std::uint8_t>(payload.data(), payload.size()));
+  XMIT_RETURN_IF_ERROR(write_all(fd_.get(), frame.span(), nullptr));
+  // Schemas are the decode key for every durable record; a catalog entry
+  // is always fsynced, whatever the data log's policy.
+  XMIT_RETURN_IF_ERROR(sync_fd(fd_.get(), nullptr));
+  by_id_[format->id()] = formats_.size();
+  formats_.push_back(format);
+  return Status::ok();
+}
+
+pbio::FormatPtr FormatCatalog::get(pbio::FormatId id) const {
+  auto it = by_id_.find(id);
+  if (it == by_id_.end()) return nullptr;
+  return formats_[it->second];
+}
+
+Status FormatCatalog::load_into(pbio::FormatRegistry& registry) const {
+  for (const pbio::FormatPtr& format : formats_) {
+    auto adopted = registry.adopt(format);
+    if (!adopted.is_ok()) return adopted.status();
+  }
+  return Status::ok();
+}
+
+Status store_session_meta(const std::string& path, const SessionMeta& meta) {
+  if (meta.session_id == 0)
+    return Status(ErrorCode::kInvalidArgument,
+                  "session id 0 cannot be persisted");
+  ByteBuffer out;
+  append_file_header(out, kMetaMagic, 0);
+  append_frame(out, meta.session_id, meta.epoch,
+               std::span<const std::uint8_t>());
+  return write_file_atomic(path, out.span());
+}
+
+std::optional<SessionMeta> load_session_meta(const std::string& path,
+                                             const DecodeLimits& limits) {
+  auto bytes = read_file_bytes(path, 4096);
+  if (!bytes.is_ok()) return std::nullopt;
+  const auto& raw = bytes.value();
+  const std::span<const std::uint8_t> image(raw.data(), raw.size());
+  auto base = parse_file_header(image, kMetaMagic);
+  if (!base.is_ok() || base.value() != 0) return std::nullopt;
+  auto frame = parse_frame(image, kSegmentHeaderBytes, limits);
+  if (!frame.is_ok()) return std::nullopt;
+  const FrameView& view = frame.value();
+  if (view.seq == 0 || view.format_id > UINT32_MAX || !view.payload.empty())
+    return std::nullopt;
+  return SessionMeta{view.seq, static_cast<std::uint32_t>(view.format_id)};
+}
+
+}  // namespace xmit::storage

@@ -1,0 +1,85 @@
+// FormatCatalog: a persistent table of wire formats keyed by format id,
+// and SessionMeta: the tiny durable identity of a resumable session.
+//
+// The catalog solves re-discovery after restart: a durable session that
+// replays records from its log must also be able to re-announce the
+// formats those records were encoded with, even though the process that
+// originally registered them is dead. The catalog is an append-only file
+// of serialized format metadata (pbio/format_wire blobs) framed exactly
+// like log segments — CRC per entry, torn tail truncated at open — so
+// schemas survive restarts with the same crash-safety story as data.
+//
+// SessionMeta persists the (session_id, epoch) pair a resumable sender
+// presents at handshake. It is written atomically (tmp + fsync + rename)
+// because it is tiny and must never be half-updated; a missing or
+// corrupt meta file simply means "new identity", which is safe — a
+// receiver refuses a foreign session id, it never conflates two.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/limits.hpp"
+#include "pbio/format.hpp"
+#include "pbio/registry.hpp"
+#include "storage/io.hpp"
+
+namespace xmit::storage {
+
+class FormatCatalog {
+ public:
+  // Opens (creating if needed) the catalog file, replaying every intact
+  // entry. A torn tail is truncated; a fully-present entry that fails to
+  // deserialize is corruption and refuses the open.
+  static Result<FormatCatalog> open(const std::string& path,
+                                    const DecodeLimits& limits);
+
+  FormatCatalog(FormatCatalog&&) = default;
+  FormatCatalog& operator=(FormatCatalog&&) = default;
+
+  // Persists `format` (no-op if its id is already present). Durable —
+  // fsynced — when this returns OK.
+  Status put(const pbio::FormatPtr& format);
+
+  bool contains(pbio::FormatId id) const {
+    return by_id_.find(id) != by_id_.end();
+  }
+  // nullptr when absent.
+  pbio::FormatPtr get(pbio::FormatId id) const;
+
+  // Registers every cataloged format, oldest first (subformats were
+  // serialized self-contained, so order only affects by-name currency).
+  Status load_into(pbio::FormatRegistry& registry) const;
+
+  std::size_t size() const { return formats_.size(); }
+  std::uint64_t torn_bytes_recovered() const { return torn_bytes_; }
+
+ private:
+  FormatCatalog() = default;
+
+  std::string path_;
+  DecodeLimits limits_;
+  UniqueFd fd_;
+  std::vector<pbio::FormatPtr> formats_;  // insertion order
+  std::unordered_map<pbio::FormatId, std::size_t> by_id_;
+  std::uint64_t torn_bytes_ = 0;
+};
+
+struct SessionMeta {
+  std::uint64_t session_id = 0;
+  std::uint32_t epoch = 0;
+};
+
+// Atomically replaces the meta file. session_id must be nonzero.
+Status store_session_meta(const std::string& path, const SessionMeta& meta);
+
+// Loads the meta file; nullopt when absent, torn, or corrupt (all of
+// which safely mean "start a fresh identity").
+std::optional<SessionMeta> load_session_meta(const std::string& path,
+                                             const DecodeLimits& limits);
+
+}  // namespace xmit::storage

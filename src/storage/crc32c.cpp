@@ -1,0 +1,58 @@
+#include "storage/crc32c.hpp"
+
+#include <array>
+
+namespace xmit::storage {
+namespace {
+
+// Castagnoli polynomial, reflected.
+constexpr std::uint32_t kPoly = 0x82F63B78u;
+
+struct Tables {
+  // tables[k][b]: CRC contribution of byte b seen k positions before the
+  // end of an 8-byte group (slice-by-8).
+  std::array<std::array<std::uint32_t, 256>, 8> t{};
+
+  constexpr Tables() {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit)
+        crc = (crc >> 1) ^ ((crc & 1u) ? kPoly : 0u);
+      t[0][i] = crc;
+    }
+    for (std::uint32_t i = 0; i < 256; ++i)
+      for (std::size_t k = 1; k < 8; ++k)
+        t[k][i] = (t[k - 1][i] >> 8) ^ t[0][t[k - 1][i] & 0xFFu];
+  }
+};
+
+constexpr Tables kTables{};
+
+}  // namespace
+
+std::uint32_t crc32c_extend(std::uint32_t crc,
+                            std::span<const std::uint8_t> bytes) {
+  crc = ~crc;
+  const std::uint8_t* p = bytes.data();
+  std::size_t n = bytes.size();
+  const auto& t = kTables.t;
+  while (n >= 8) {
+    // Bytewise loads keep this alignment-agnostic and endian-correct.
+    const std::uint32_t lo = crc ^ (std::uint32_t(p[0]) |
+                                    std::uint32_t(p[1]) << 8 |
+                                    std::uint32_t(p[2]) << 16 |
+                                    std::uint32_t(p[3]) << 24);
+    crc = t[7][lo & 0xFF] ^ t[6][(lo >> 8) & 0xFF] ^ t[5][(lo >> 16) & 0xFF] ^
+          t[4][lo >> 24] ^ t[3][p[4]] ^ t[2][p[5]] ^ t[1][p[6]] ^ t[0][p[7]];
+    p += 8;
+    n -= 8;
+  }
+  while (n-- > 0) crc = (crc >> 8) ^ t[0][(crc ^ *p++) & 0xFF];
+  return ~crc;
+}
+
+std::uint32_t crc32c(std::span<const std::uint8_t> bytes) {
+  return crc32c_extend(kCrc32cSeed, bytes);
+}
+
+}  // namespace xmit::storage

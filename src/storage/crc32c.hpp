@@ -1,0 +1,32 @@
+// CRC32C (Castagnoli) for on-disk record framing.
+//
+// Every frame the durable log writes is covered by a CRC32C over its
+// header fields and payload, so recovery can distinguish "the process
+// died mid-write" (a torn tail, truncated at the last valid frame) from
+// "the bytes rotted or lied" (corruption, surfaced as a typed error).
+// Castagnoli rather than the zlib polynomial because its error-detection
+// properties are better for short records and it is what comparable
+// record stores (and the Lemon encapsulation this layout follows) use.
+//
+// Implementation is portable slice-by-8 table lookup — fast enough that
+// framing never dominates an fsync-bound append path, with no ISA
+// dependence to gate.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace xmit::storage {
+
+// One-shot CRC32C of `bytes` (initial/final XOR handled internally).
+std::uint32_t crc32c(std::span<const std::uint8_t> bytes);
+
+// Streaming form: feed `extend` the previous return value (or
+// kCrc32cSeed to start) and the next chunk; the final value equals the
+// one-shot CRC of the concatenation.
+inline constexpr std::uint32_t kCrc32cSeed = 0;
+std::uint32_t crc32c_extend(std::uint32_t crc,
+                            std::span<const std::uint8_t> bytes);
+
+}  // namespace xmit::storage

@@ -1,6 +1,8 @@
 // Smoke tests for the command-line tools: run the built binaries against
 // real inputs and check their exit codes and key output lines.
 #include <gtest/gtest.h>
+#include <sys/stat.h>
+#include <unistd.h>
 
 #include <cstdio>
 #include <cstdlib>
@@ -12,6 +14,7 @@
 #include "pbio/file.hpp"
 #include "pbio/registry.hpp"
 #include "session/session.hpp"
+#include "storage/log.hpp"
 
 namespace xmit {
 namespace {
@@ -126,6 +129,70 @@ TEST_F(Tools, InspectConnectsToLiveSession) {
 
   std::string bad;
   EXPECT_EQ(run(tool("xmit_inspect") + " --connect nonsense", &bad), 2);
+}
+
+TEST_F(Tools, InspectVerifiesDurableLogDirectory) {
+  const std::string dir = temp("durable_log");
+  {
+    auto log = storage::RecordLog::open(dir, storage::LogOptions{},
+                                        DecodeLimits::defaults());
+    ASSERT_TRUE(log.is_ok()) << log.status().to_string();
+    for (std::uint64_t seq = 1; seq <= 9; ++seq) {
+      std::uint8_t payload[24];
+      for (std::size_t i = 0; i < sizeof payload; ++i)
+        payload[i] = static_cast<std::uint8_t>(seq * 7 + i);
+      ASSERT_TRUE(log.value()
+                      .append(seq, seq % 2 + 1,
+                              std::span<const std::uint8_t>(payload,
+                                                            8 + seq))
+                      .is_ok());
+    }
+  }
+  const std::string segment = dir + "/seg-0000000000000001.log";
+
+  // Intact directory: clean scan, exit 0.
+  std::string output;
+  EXPECT_EQ(run(tool("xmit_inspect") + " --log " + dir, &output), 0)
+      << output;
+  EXPECT_NE(output.find("9 frame(s), seq [1, 9]"), std::string::npos)
+      << output;
+  EXPECT_NE(output.find("stop=clean"), std::string::npos) << output;
+  EXPECT_NE(output.find("log: 1 segment(s), 9 frame(s)"), std::string::npos)
+      << output;
+
+  // Torn tail (crash artifact): diagnosed, but still exit 0 — and the
+  // directory is left untouched for the owning process to heal.
+  struct ::stat before {};
+  ASSERT_EQ(::stat(segment.c_str(), &before), 0);
+  ASSERT_EQ(::truncate(segment.c_str(), before.st_size - 5), 0);
+  EXPECT_EQ(run(tool("xmit_inspect") + " --log " + dir, &output), 0)
+      << output;
+  EXPECT_NE(output.find("stop=torn-tail"), std::string::npos) << output;
+  // Frame 9 is 28 + 17 = 45 bytes; cutting 5 leaves 40 torn bytes (the
+  // partial frame), all diagnosed as tail.
+  EXPECT_NE(output.find("torn tail: 40 byte(s)"), std::string::npos)
+      << output;
+  EXPECT_NE(output.find("8 frame(s), seq [1, 8]"), std::string::npos)
+      << output;
+  struct ::stat after {};
+  ASSERT_EQ(::stat(segment.c_str(), &after), 0);
+  EXPECT_EQ(after.st_size, before.st_size - 5);  // read-only verification
+
+  // Bit rot inside an interior frame: corruption, exit 1.
+  {
+    std::FILE* file = std::fopen(segment.c_str(), "r+b");
+    ASSERT_NE(file, nullptr);
+    ASSERT_EQ(std::fseek(file, 24 + 28 + 3, SEEK_SET), 0);
+    std::fputc(0xA5, file);
+    std::fclose(file);
+  }
+  EXPECT_EQ(run(tool("xmit_inspect") + " --log " + dir, &output), 1)
+      << output;
+  EXPECT_NE(output.find("stop=corrupt"), std::string::npos) << output;
+  EXPECT_NE(output.find("CRC mismatch"), std::string::npos) << output;
+
+  std::string cleanup = "rm -rf '" + dir + "'";
+  ASSERT_EQ(std::system(cleanup.c_str()), 0);
 }
 
 TEST_F(Tools, InspectRejectsGarbage) {

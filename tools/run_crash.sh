@@ -1,0 +1,31 @@
+#!/bin/sh
+# run_crash.sh: build and run the crash-labelled tests (the per-byte kill
+# matrix over the durable record log, the injected-fault sweeps, and the
+# sender death-and-rebirth exactly-once scenario) under both
+# AddressSanitizer and ThreadSanitizer.
+#
+# Usage:
+#   tools/run_crash.sh [BUILD_ROOT]
+#
+# Defaults: BUILD_ROOT=build-crash; each sanitizer gets its own build tree
+# (BUILD_ROOT-address, BUILD_ROOT-thread) so the two instrumentations never
+# share object files. A clean exit means the full durability matrix — every
+# byte-boundary kill, every fault kind, and process rebirth — is green
+# under both sanitizers.
+set -eu
+
+BUILD_ROOT="${1:-build-crash}"
+REPO_DIR="$(cd "$(dirname "$0")/.." && pwd)"
+
+for SAN in address thread; do
+  BUILD_DIR="$BUILD_ROOT-$SAN"
+  echo "== crash [$SAN]: configuring $BUILD_DIR"
+  cmake -B "$BUILD_DIR" -S "$REPO_DIR" -DXMIT_SANITIZE="$SAN" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+  echo "== crash [$SAN]: building storage_crash_test"
+  cmake --build "$BUILD_DIR" --target storage_crash_test -j >/dev/null
+  echo "== crash [$SAN]: ctest -L crash"
+  (cd "$BUILD_DIR" && ctest -L crash --output-on-failure -j)
+done
+
+echo "== crash matrix green under address and thread sanitizers"

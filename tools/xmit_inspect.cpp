@@ -18,11 +18,21 @@
 //
 // --connect dials a live PBIO session and dumps records as they arrive,
 // finishing with a session-stats line (records, announcements,
-// reconnects, replayed and duplicate counts). With --resume the session
-// is resumable: transport deaths redial transparently and only a peer
-// silent past the liveness deadline (--timeout-ms) ends the dump.
+// reconnects, replayed, duplicate and evicted counts). With --resume the
+// session is resumable: transport deaths redial transparently and only a
+// peer silent past the liveness deadline (--timeout-ms) ends the dump.
+//
+// --log DIR verifies a durable record-log directory offline and without
+// mutating it (unlike opening it, which heals torn tails): per segment it
+// reports the frame count, sequence range, how the scan stopped (clean
+// end, torn tail, corruption, over-limit frame) and how much of the
+// sidecar index survives verification; the format catalog is summarized
+// the same way. Exit 1 on corruption; a torn tail alone is the expected
+// crash artifact and exits 0.
+#include <dirent.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -36,7 +46,10 @@
 #include "pbio/decode.hpp"
 #include "pbio/dynrecord.hpp"
 #include "pbio/file.hpp"
+#include "pbio/format_wire.hpp"
 #include "session/session.hpp"
+#include "storage/framing.hpp"
+#include "storage/io.hpp"
 
 namespace {
 
@@ -170,11 +183,125 @@ int run_connect(const std::string& spec, bool resume, int timeout_ms,
   std::printf(
       "session: %zu record(s) received, %zu announcement(s), "
       "%zu reconnect(s), %zu replayed, %zu duplicate(s) discarded, "
-      "%zu malformed\n",
+      "%zu malformed, %zu evicted\n",
       session.records_received(), session.announcements_received(),
       session.reconnects(), session.replayed_records(),
-      session.duplicates_discarded(), session.malformed_frames());
+      session.duplicates_discarded(), session.malformed_frames(),
+      session.evicted_records());
   session.close();
+  return exit_code;
+}
+
+// Offline, read-only verification of a durable log directory: every
+// segment and its sidecar index, plus the format catalog, scanned with
+// the same framing code the log itself recovers with — but without the
+// healing truncation, so the tool can be pointed at a directory that is
+// still owned by a live writer or preserved for forensics.
+int run_log_dump(const std::string& dir, const DecodeLimits& limits) {
+  DIR* handle = ::opendir(dir.c_str());
+  if (handle == nullptr) {
+    std::fprintf(stderr, "%s: cannot open directory\n", dir.c_str());
+    return 1;
+  }
+  std::vector<std::string> segments;
+  bool has_catalog = false;
+  while (dirent* entry = ::readdir(handle)) {
+    const std::string name = entry->d_name;
+    if (name.size() == 24 && name.rfind("seg-", 0) == 0 &&
+        name.substr(20) == ".log")
+      segments.push_back(name);
+    else if (name == "catalog.cat")
+      has_catalog = true;
+  }
+  ::closedir(handle);
+  std::sort(segments.begin(), segments.end());
+
+  constexpr std::size_t kReadBudget = std::size_t(1) << 30;
+  int exit_code = 0;
+  std::size_t total_frames = 0;
+  std::uint64_t first_seq = 0, last_seq = 0;
+  for (const std::string& name : segments) {
+    auto bytes = storage::read_file_bytes(dir + "/" + name, kReadBudget);
+    if (!bytes.is_ok()) {
+      std::printf("segment %s: unreadable: %s\n", name.c_str(),
+                  bytes.status().to_string().c_str());
+      exit_code = 1;
+      continue;
+    }
+    auto scan = storage::scan_segment(bytes.value(), limits, nullptr);
+    std::printf("segment %s: %zu frame(s), seq [%llu, %llu], "
+                "%zu/%zu byte(s) valid, stop=%s\n",
+                name.c_str(), scan.frames,
+                static_cast<unsigned long long>(scan.first_seq),
+                static_cast<unsigned long long>(scan.last_seq),
+                scan.valid_bytes, bytes.value().size(),
+                storage::scan_stop_name(scan.stop));
+    if (scan.stop == storage::ScanStop::kTornTail) {
+      std::printf("  torn tail: %zu byte(s) past the last whole frame "
+                  "(crash artifact; the next open truncates them)\n",
+                  bytes.value().size() - scan.valid_bytes);
+    } else if (!scan.error.is_ok()) {
+      std::printf("  %s\n", scan.error.to_string().c_str());
+      exit_code = 1;
+    }
+    if (scan.frames != 0) {
+      if (total_frames == 0) first_seq = scan.first_seq;
+      last_seq = scan.last_seq;
+      total_frames += scan.frames;
+    }
+    const std::string index_path =
+        dir + "/" + name.substr(0, 20) + ".idx";
+    auto index_bytes = storage::read_file_bytes(index_path, kReadBudget);
+    if (index_bytes.is_ok()) {
+      const std::size_t declared =
+          index_bytes.value().size() > storage::kSegmentHeaderBytes
+              ? (index_bytes.value().size() - storage::kSegmentHeaderBytes) /
+                    storage::kIndexEntryBytes
+              : 0;
+      auto entries = storage::parse_index(
+          index_bytes.value(), bytes.value(),
+          scan.frames != 0 ? scan.first_seq : 0, limits);
+      std::printf("  index: %zu/%zu entr%s verified\n", entries.size(),
+                  declared, declared == 1 ? "y" : "ies");
+    }
+  }
+  if (has_catalog) {
+    auto bytes = storage::read_file_bytes(dir + "/catalog.cat", kReadBudget);
+    if (bytes.is_ok()) {
+      std::size_t formats = 0;
+      auto scan = storage::scan_segment(
+          bytes.value(), limits,
+          [&](std::uint64_t, std::uint64_t format_id,
+              std::span<const std::uint8_t> payload, std::size_t) {
+            auto format = pbio::deserialize_format(payload, limits);
+            if (format.is_ok() && format.value()->id() == format_id) {
+              ++formats;
+              std::printf("  format \"%s\" id=%016llx\n",
+                          format.value()->name().c_str(),
+                          static_cast<unsigned long long>(format_id));
+            } else {
+              std::printf("  format id=%016llx: undecodable entry\n",
+                          static_cast<unsigned long long>(format_id));
+            }
+            return true;
+          },
+          storage::kCatalogMagic);
+      std::printf("catalog: %zu format(s), stop=%s\n", formats,
+                  storage::scan_stop_name(scan.stop));
+      if (!scan.error.is_ok()) {
+        std::printf("  %s\n", scan.error.to_string().c_str());
+        exit_code = 1;
+      }
+    } else {
+      std::printf("catalog: unreadable: %s\n",
+                  bytes.status().to_string().c_str());
+      exit_code = 1;
+    }
+  }
+  std::printf("log: %zu segment(s), %zu frame(s), seq [%llu, %llu]\n",
+              segments.size(), total_frames,
+              static_cast<unsigned long long>(first_seq),
+              static_cast<unsigned long long>(last_seq));
   return exit_code;
 }
 
@@ -202,6 +329,7 @@ int main(int argc, char** argv) {
   bool lint = false;
   bool resume = false;
   std::string connect_spec;
+  std::string log_dir;
   long long max_records = 0;
   int timeout_ms = 5000;
   net::FetchOptions fetch_options;
@@ -219,6 +347,8 @@ int main(int argc, char** argv) {
       resume = true;
     else if (std::strcmp(argv[i], "--connect") == 0 && i + 1 < argc)
       connect_spec = argv[++i];
+    else if (std::strcmp(argv[i], "--log") == 0 && i + 1 < argc)
+      log_dir = argv[++i];
     else if (std::strcmp(argv[i], "--count") == 0 && i + 1 < argc) {
       if (!parse_positive(argv[++i], &max_records)) {
         std::fprintf(stderr, "--count wants a positive count, got '%s'\n",
@@ -273,13 +403,15 @@ int main(int argc, char** argv) {
   }
   if (!connect_spec.empty())
     return run_connect(connect_spec, resume, timeout_ms, limits, max_records);
+  if (!log_dir.empty()) return run_log_dump(log_dir, limits);
   if (path == nullptr) {
     std::fprintf(stderr,
                  "usage: xmit_inspect [--xml] [--formats-only] [--lint] "
                  "[--retries N] [--timeout-ms N] [--max-depth N] "
                  "[--max-bytes N] [--max-alloc N] <file.pbio | http://...>\n"
                  "       xmit_inspect --connect HOST:PORT [--resume] "
-                 "[--count N] [--timeout-ms N]\n");
+                 "[--count N] [--timeout-ms N]\n"
+                 "       xmit_inspect --log DIR\n");
     return 2;
   }
 
