@@ -1,0 +1,270 @@
+// Backpressure harness for the flow-controlled session.
+//
+// A fast sender pushes records through a flow-controlled socketpair
+// session at a receiver that drains at a controlled rate. The receiver's
+// credit grants (tag 0x08) gate the sender's bounded queue, so a slow
+// drain turns into sender-side overload and the configured
+// SlowConsumerPolicy fires. The harness prices the outcome per policy:
+//
+//   throughput     sender-side records/s (time until the last send call
+//                  returns) per policy x receiver drain rate — the cost a
+//                  producer pays for a consumer that cannot keep up
+//   queue-cost     the spill-to-log overhead: in-memory queue (block
+//                  policy) vs durable spill (kSpillToLog) under the same
+//                  overload — what keeping the producer unblocked costs
+//                  when the overflow is paid to disk instead of to time
+//   counters       records spilled/shed, time blocked, queue high-water —
+//                  the bounded-memory evidence behind the rates
+//
+// Two threads (producer and drainer), deterministic policies; durable
+// directories live under /tmp and are removed on exit. Spill runs use
+// FsyncPolicy::kNone so the number prices the spill path, not the disk.
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "session/session.hpp"
+
+namespace {
+
+using namespace xmit;
+using bench::check;
+using bench::expect;
+
+struct Sample {
+  std::int32_t id;
+  std::int32_t n;
+  float* series;
+};
+
+constexpr std::size_t kSeriesLength = 32;
+
+pbio::FormatPtr sample_format(pbio::FormatRegistry& registry) {
+  return registry
+      .register_format(
+          "Sample",
+          {{"id", "integer", 4, offsetof(Sample, id)},
+           {"n", "integer", 4, offsetof(Sample, n)},
+           {"series", "float[n]", 4, offsetof(Sample, series)}},
+          sizeof(Sample))
+      .value();
+}
+
+class TempDir {
+ public:
+  TempDir() {
+    char tmpl[] = "/tmp/xmit_bench_bp_XXXXXX";
+    path_ = ::mkdtemp(tmpl);
+  }
+  ~TempDir() {
+    const std::string cmd = "rm -rf '" + path_ + "'";
+    [[maybe_unused]] int rc = std::system(cmd.c_str());
+  }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+const char* policy_name(session::SlowConsumerPolicy policy) {
+  switch (policy) {
+    case session::SlowConsumerPolicy::kBlockWithDeadline: return "block";
+    case session::SlowConsumerPolicy::kSpillToLog: return "spill";
+    case session::SlowConsumerPolicy::kShedOldest: return "shed";
+    case session::SlowConsumerPolicy::kDisconnect: return "disconnect";
+  }
+  return "?";
+}
+
+struct RunResult {
+  double sender_records_per_s = 0;
+  std::size_t accepted = 0;
+  std::size_t rejected = 0;
+  std::size_t received = 0;
+  std::size_t spilled = 0;
+  std::size_t shed = 0;
+  double block_ms = 0;
+  std::size_t queue_peak_records = 0;
+  std::size_t queue_peak_bytes = 0;
+};
+
+// One overload run: `count` sends against a receiver that sleeps
+// `drain_delay_us` per record. Throughput is sender-side — the clock
+// stops when the last send() returns, not when the last record lands.
+RunResult run_overload(session::SlowConsumerPolicy policy,
+                       int drain_delay_us, std::uint64_t count) {
+  pbio::FormatRegistry sender_registry, receiver_registry;
+  auto pipe = expect(net::Channel::pipe(), "socketpair");
+
+  TempDir dir;
+  session::SessionOptions sender_options;
+  sender_options.flow_control = true;
+  sender_options.slow_consumer = policy;
+  sender_options.send_queue_records = 64;
+  sender_options.send_queue_bytes = 1u << 20;
+  sender_options.send_block_deadline_ms = 2000;
+  if (policy == session::SlowConsumerPolicy::kSpillToLog) {
+    sender_options.durable_dir = dir.path();
+    sender_options.durable_fsync = storage::FsyncPolicy::kNone;
+  }
+  session::SessionOptions receiver_options;
+  receiver_options.flow_control = true;
+  receiver_options.receive_window_records = 32;
+
+  session::MessageSession sender(std::move(pipe.first), sender_registry,
+                                 sender_options);
+  session::MessageSession receiver(std::move(pipe.second), receiver_registry,
+                                   receiver_options);
+
+  std::atomic<std::size_t> received{0};
+  std::atomic<bool> producer_done{false};
+  std::thread drainer([&] {
+    for (;;) {
+      auto incoming = receiver.receive_view(200);
+      if (incoming.is_ok()) {
+        received.fetch_add(1, std::memory_order_relaxed);
+        if (drain_delay_us > 0)
+          std::this_thread::sleep_for(
+              std::chrono::microseconds(drain_delay_us));
+        continue;
+      }
+      const ErrorCode code = incoming.code();
+      if (code == ErrorCode::kNotFound) break;  // producer closed
+      if (code == ErrorCode::kDataLoss) continue;  // shed gap, reported once
+      if (code == ErrorCode::kTimeout && producer_done.load()) break;
+      if (code != ErrorCode::kTimeout) break;  // poisoned / transport error
+    }
+  });
+
+  auto format = sample_format(sender_registry);
+  auto encoder = expect(pbio::Encoder::make(format), "encoder");
+  std::vector<float> series(kSeriesLength, 1.0f);
+  Sample record{0, static_cast<std::int32_t>(kSeriesLength), series.data()};
+
+  RunResult result;
+  Stopwatch watch;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    record.id = static_cast<std::int32_t>(i);
+    auto sent = sender.send(encoder, &record);
+    if (sent.is_ok()) {
+      ++result.accepted;
+    } else {
+      ++result.rejected;
+      // kDisconnect severed the transport: nothing more will be accepted.
+      if (policy == session::SlowConsumerPolicy::kDisconnect) break;
+    }
+  }
+  result.sender_records_per_s =
+      static_cast<double>(result.accepted) / watch.elapsed_s();
+
+  // Drain phase: sends are queued/spilled, and only the sender's own
+  // calls pump the queue — poll until the receiver's count plateaus.
+  std::size_t plateau = received.load();
+  int stable_rounds = 0;
+  for (int i = 0; i < 500 && stable_rounds < 10; ++i) {
+    [[maybe_unused]] auto pumped = sender.receive_view(20);
+    const std::size_t now = received.load();
+    stable_rounds = (now == plateau && sender.send_queue_depth() == 0)
+                        ? stable_rounds + 1
+                        : 0;
+    plateau = now;
+  }
+  producer_done.store(true);
+  sender.close();
+  drainer.join();
+
+  result.received = received.load();
+  result.spilled = sender.records_spilled();
+  result.shed = sender.records_shed();
+  result.block_ms = sender.send_block_ms();
+  result.queue_peak_records = sender.send_queue_depth_peak();
+  result.queue_peak_bytes = sender.send_queue_bytes_peak();
+  receiver.close();
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Backpressure: sender throughput under a slow consumer",
+      "Flow-controlled session, per SlowConsumerPolicy: what overload "
+      "costs the producer, and what spilling to the log buys");
+
+  const bool smoke = bench::smoke();
+  const std::uint64_t fast_count = smoke ? 48 : 4000;
+  const std::uint64_t slow_count = smoke ? 32 : 1200;
+  const int slow_delay_us = smoke ? 200 : 500;
+
+  bench::Reporter reporter("backpressure");
+
+  const session::SlowConsumerPolicy policies[] = {
+      session::SlowConsumerPolicy::kBlockWithDeadline,
+      session::SlowConsumerPolicy::kSpillToLog,
+      session::SlowConsumerPolicy::kShedOldest,
+      session::SlowConsumerPolicy::kDisconnect,
+  };
+  double in_memory_slow = 0, spill_slow = 0;
+  for (const auto policy : policies) {
+    struct DrainPoint {
+      const char* name;
+      int delay_us;
+      std::uint64_t count;
+    };
+    const DrainPoint points[] = {
+        {"fast-drain", 0, fast_count},
+        {"slow-drain", slow_delay_us, slow_count},
+    };
+    for (const DrainPoint& point : points) {
+      const RunResult run = run_overload(policy, point.delay_us, point.count);
+      std::printf(
+          "%-10s %-10s %10.0f records/s  accepted=%zu rejected=%zu "
+          "received=%zu spilled=%zu shed=%zu blocked=%.1fms "
+          "queue-peak=%zu/%zuB\n",
+          policy_name(policy), point.name, run.sender_records_per_s,
+          run.accepted, run.rejected, run.received, run.spilled, run.shed,
+          run.block_ms, run.queue_peak_records, run.queue_peak_bytes);
+      const std::string series = policy_name(policy);
+      reporter.add(series, std::string(point.name) + "_records_per_s",
+                   run.sender_records_per_s, "records/s");
+      reporter.add(series, std::string(point.name) + "_blocked_ms",
+                   run.block_ms);
+      if (policy == session::SlowConsumerPolicy::kSpillToLog)
+        reporter.add(series, std::string(point.name) + "_spilled",
+                     static_cast<double>(run.spilled), "records");
+      if (policy == session::SlowConsumerPolicy::kShedOldest)
+        reporter.add(series, std::string(point.name) + "_shed",
+                     static_cast<double>(run.shed), "records");
+      if (policy == session::SlowConsumerPolicy::kBlockWithDeadline &&
+          point.delay_us > 0)
+        in_memory_slow = run.sender_records_per_s;
+      if (policy == session::SlowConsumerPolicy::kSpillToLog &&
+          point.delay_us > 0)
+        spill_slow = run.sender_records_per_s;
+    }
+  }
+
+  // The queue-cost pair reads the two slow-drain runs side by side: the
+  // in-memory queue makes the producer wait for credit, the durable spill
+  // keeps it running and pays the overflow to disk.
+  reporter.add("queue-cost", "in_memory_records_per_s", in_memory_slow,
+               "records/s");
+  reporter.add("queue-cost", "spill_to_log_records_per_s", spill_slow,
+               "records/s");
+  if (in_memory_slow > 0)
+    std::printf("queue-cost: in-memory %0.f records/s vs spill-to-log "
+                "%0.f records/s (x%.2f)\n",
+                in_memory_slow, spill_slow,
+                spill_slow / in_memory_slow);
+  bench::print_note(
+      "throughput is sender-side (until the last send returns); spill "
+      "runs fsync=none so the delta prices the spill path, not the disk");
+  return 0;
+}

@@ -429,6 +429,101 @@ Status run_session_handshake(std::span<const std::uint8_t> input) {
   return last;
 }
 
+// --- session credit --------------------------------------------------------
+
+// The flow-control plane: tag-0x08 credit grants and tag-0x09 shed
+// notices against a flow-controlled receiver. The driver feeds mutated
+// control frames to a session that accounts credit, so mutations attack
+// the window arithmetic (zero grants, u64 reach wrap, rollback) and the
+// shed-range dedup rules.
+std::vector<std::uint8_t> credit_frame(std::uint64_t ack,
+                                       std::uint64_t window_records,
+                                       std::uint64_t window_bytes) {
+  std::vector<std::uint8_t> frame;
+  frame.push_back(0x08);
+  for (int shift = 0; shift < 64; shift += 8)
+    frame.push_back(static_cast<std::uint8_t>(ack >> shift));
+  for (int shift = 0; shift < 64; shift += 8)
+    frame.push_back(static_cast<std::uint8_t>(window_records >> shift));
+  for (int shift = 0; shift < 64; shift += 8)
+    frame.push_back(static_cast<std::uint8_t>(window_bytes >> shift));
+  return frame;
+}
+
+std::vector<std::uint8_t> shed_frame(std::uint64_t first,
+                                     std::uint64_t last) {
+  std::vector<std::uint8_t> frame;
+  frame.push_back(0x09);
+  for (int shift = 0; shift < 64; shift += 8)
+    frame.push_back(static_cast<std::uint8_t>(first >> shift));
+  for (int shift = 0; shift < 64; shift += 8)
+    frame.push_back(static_cast<std::uint8_t>(last >> shift));
+  return frame;
+}
+
+std::vector<std::vector<std::uint8_t>> session_credit_seeds() {
+  PbioState& state = pbio_state();
+  std::vector<std::uint8_t> announce;
+  announce.push_back(0x01);
+  auto meta = pbio::serialize_format(*state.host_format);
+  announce.insert(announce.end(), meta.begin(), meta.end());
+  return {
+      // An honest grant, then data the window covers.
+      pack_frames({credit_frame(0, 64, 1u << 16), announce,
+                   record_frame(1, state.seeds[0])}),
+      // A shed notice advancing the dedup window, then the next record.
+      pack_frames({credit_frame(0, 32, 1u << 15), shed_frame(1, 4),
+                   announce, record_frame(5, state.seeds[0]),
+                   ack_frame(0x04, 0)}),
+  };
+}
+
+Status run_session_credit(std::span<const std::uint8_t> input) {
+  pbio::FormatRegistry receiver_registry;
+  auto pipe = net::Channel::pipe();
+  if (!pipe.is_ok()) return pipe.status();
+  net::Channel sender = std::move(pipe.value().first);
+  session::SessionOptions options;
+  options.flow_control = true;
+  session::MessageSession receiver(std::move(pipe.value().second),
+                                   receiver_registry, options);
+  DecodeLimits limits = fuzz_limits();
+  limits.max_malformed_frames = 8;
+  receiver.set_limits(limits);
+
+  std::size_t at = 0;
+  std::size_t frames = 0;
+  std::size_t total = 0;
+  while (at + 2 <= input.size() && frames < kMaxSessionFrames &&
+         total < kMaxSessionBytes) {
+    std::size_t length = input[at] | (std::size_t(input[at + 1]) << 8);
+    at += 2;
+    length = std::min(length, input.size() - at);
+    if (!sender.send(std::span(input.data() + at, length)).is_ok()) break;
+    at += length;
+    total += length;
+    ++frames;
+  }
+
+  // The sender end stays open: a flow-controlled receiver writes grants
+  // and pongs back, and a closed peer would turn every one of those into
+  // a transport loss before the inbound frames were even processed. The
+  // timeout-break below ends the loop instead of an EOF — and since every
+  // frame is already in the socketpair buffer, only the terminal receive
+  // ever waits the timeout out, so it can be tiny.
+  Status last = Status::ok();
+  for (std::size_t i = 0; i < frames + 3; ++i) {
+    auto incoming = receiver.receive(2);
+    if (incoming.is_ok()) continue;
+    if (incoming.code() == ErrorCode::kNotFound) break;   // clean EOF
+    if (incoming.code() == ErrorCode::kTimeout) break;    // input drained
+    last = incoming.status();
+    if (receiver.poisoned()) break;
+  }
+  sender.close();
+  return last;
+}
+
 // --- log segment -----------------------------------------------------------
 
 // The durable log's read-back surface: segment scanning plus the advisory
@@ -539,6 +634,10 @@ constexpr Driver kDrivers[] = {
     {"session_handshake",
      "resumption control frames: handshake/ping/pong over a live session",
      session_handshake_seeds, run_session_handshake},
+    {"session_credit",
+     "flow-control frames: credit grants and shed notices over a "
+     "flow-controlled session",
+     session_credit_seeds, run_session_credit},
     {"log_segment",
      "durable-log segment scan + sidecar index over mutated images",
      log_segment_seeds, run_log_segment},
@@ -733,6 +832,42 @@ std::vector<CorpusAttack> canonical_attacks() {
       {"session_handshake-short-frame.bin",
        "handshake frame truncated mid-session-id",
        pack_frames({std::vector<std::uint8_t>{0x03, 0x01, 0x5E}})});
+
+  // 19. Zero-credit flood: twelve grants of window 0. An honest receiver
+  //     pauses a sender by *withholding* grants; granting zero is a
+  //     wedge-forever attack, so each one draws down the malformed budget
+  //     (8 here) until the session is poisoned.
+  {
+    std::vector<std::vector<std::uint8_t>> frames(12, credit_frame(0, 0, 0));
+    attacks.push_back({"session_credit-zero-grant-flood.bin",
+                       "zero-window credit grants flood past the budget",
+                       pack_frames(frames)});
+  }
+
+  // 20. Credit reach wrap: ack near 2^64 plus a 2^40 window wraps the
+  //     cumulative transmit allowance to a tiny value. The checked add
+  //     must reject it before any credit state moves.
+  attacks.push_back(
+      {"session_credit-credit-wrap.bin",
+       "ack + window wraps u64 into a rolled-back allowance",
+       pack_frames({credit_frame(~std::uint64_t(0) - 100,
+                                 std::uint64_t(1) << 40, 1u << 16)})});
+
+  // 21. Shed-range rollback: a notice for [1, 9] advances the dedup
+  //     window, then a second notice claims [3, 4] — inside the range
+  //     already delivered-or-shed. Accepting it would rewind dedup and
+  //     re-deliver duplicates as fresh records.
+  attacks.push_back({"session_credit-shed-rollback.bin",
+                     "second shed notice rewinds over an already-shed range",
+                     pack_frames({shed_frame(1, 9), shed_frame(3, 4)})});
+
+  // 22. Absurd grant: a 2^63-record window is not a plausible drain
+  //     budget on any hardware — it is an attack on the credit
+  //     arithmetic's headroom, rejected by the 2^48 ceiling.
+  attacks.push_back(
+      {"session_credit-absurd-grant.bin",
+       "credit window of 2^63 records exceeds any plausible budget",
+       pack_frames({credit_frame(0, std::uint64_t(1) << 63, 1u << 16)})});
 
   {
     std::vector<std::uint8_t> segment, index;

@@ -17,6 +17,7 @@ const char* error_code_name(ErrorCode code) {
     case ErrorCode::kResourceExhausted: return "resource_exhausted";
     case ErrorCode::kMalformedInput: return "malformed_input";
     case ErrorCode::kDataLoss: return "data_loss";
+    case ErrorCode::kUnavailable: return "unavailable";
   }
   return "unknown";
 }

@@ -28,6 +28,7 @@ enum class ErrorCode : std::uint8_t {
   kResourceExhausted, // untrusted input blew a DecodeLimits budget
   kMalformedInput,    // hostile/corrupt bytes (inconsistent lengths, wraps)
   kDataLoss,          // a sequence gap the replay buffer could not cover
+  kUnavailable,       // would block right now (EAGAIN); retry when ready
 };
 
 const char* error_code_name(ErrorCode code);

@@ -9,7 +9,9 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 
 #include "common/endian.hpp"
@@ -19,12 +21,48 @@ namespace {
 
 constexpr std::uint32_t kMaxFrameBytes = 1u << 30;
 
-Status send_all(int fd, const void* data, std::size_t size) {
+// Waits for the socket to accept bytes, honouring an optional deadline.
+// Returns kTimeout once `deadline_ms` (measured from `start`) is spent.
+Status wait_writable(int fd, int deadline_ms,
+                     const std::chrono::steady_clock::time_point& start) {
+  int wait = -1;
+  if (deadline_ms >= 0) {
+    const auto spent = std::chrono::duration_cast<std::chrono::milliseconds>(
+                           std::chrono::steady_clock::now() - start)
+                           .count();
+    wait = static_cast<int>(std::max<long long>(deadline_ms - spent, 0));
+    if (wait == 0)
+      return make_error(ErrorCode::kTimeout,
+                        "channel send deadline elapsed (peer not reading)");
+  }
+  struct pollfd pfd = {fd, POLLOUT, 0};
+  int ready = ::poll(&pfd, 1, wait);
+  if (ready == 0)
+    return make_error(ErrorCode::kTimeout,
+                      "channel send deadline elapsed (peer not reading)");
+  if (ready < 0 && errno != EINTR)
+    return make_error(ErrorCode::kIoError, "channel poll failed");
+  return Status::ok();
+}
+
+// Blocking send loop. With deadline_ms >= 0 the socket is driven
+// nonblockingly and each stall waits in poll(POLLOUT) against the
+// remaining budget, so a peer that stopped reading turns into a bounded
+// kTimeout instead of a wedged sender.
+Status send_all(int fd, const void* data, std::size_t size, int deadline_ms) {
   const auto* p = static_cast<const std::uint8_t*>(data);
+  const auto start = std::chrono::steady_clock::now();
+  const int flags =
+      MSG_NOSIGNAL | (deadline_ms >= 0 ? MSG_DONTWAIT : 0);
   std::size_t sent = 0;
   while (sent < size) {
-    ssize_t n = ::send(fd, p + sent, size - sent, MSG_NOSIGNAL);
+    ssize_t n = ::send(fd, p + sent, size - sent, flags);
     if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && deadline_ms >= 0 &&
+        (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      XMIT_RETURN_IF_ERROR(wait_writable(fd, deadline_ms, start));
+      continue;
+    }
     if (n <= 0)
       return make_error(ErrorCode::kIoError,
                         std::string("channel send failed: ") +
@@ -36,13 +74,22 @@ Status send_all(int fd, const void* data, std::size_t size) {
 
 // Drains a gather list with sendmsg, advancing past partial writes. The
 // iovec array is caller-owned scratch and is consumed destructively.
-Status sendmsg_all(int fd, struct iovec* iov, std::size_t count) {
+Status sendmsg_all(int fd, struct iovec* iov, std::size_t count,
+                   int deadline_ms) {
+  const auto start = std::chrono::steady_clock::now();
+  const int flags =
+      MSG_NOSIGNAL | (deadline_ms >= 0 ? MSG_DONTWAIT : 0);
   while (count > 0) {
     struct msghdr msg{};
     msg.msg_iov = iov;
     msg.msg_iovlen = count;
-    ssize_t n = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
+    ssize_t n = ::sendmsg(fd, &msg, flags);
     if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && deadline_ms >= 0 &&
+        (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      XMIT_RETURN_IF_ERROR(wait_writable(fd, deadline_ms, start));
+      continue;
+    }
     if (n <= 0)
       return make_error(ErrorCode::kIoError,
                         std::string("channel send failed: ") +
@@ -94,6 +141,7 @@ Channel::Channel(Channel&& other) noexcept
     : fd_(other.fd_),
       sent_(other.sent_),
       bytes_sent_(other.bytes_sent_),
+      send_deadline_ms_(other.send_deadline_ms_),
       failure_(other.failure_),
       failure_budget_(other.failure_budget_) {
   other.fd_ = -1;
@@ -105,6 +153,7 @@ Channel& Channel::operator=(Channel&& other) noexcept {
     fd_ = other.fd_;
     sent_ = other.sent_;
     bytes_sent_ = other.bytes_sent_;
+    send_deadline_ms_ = other.send_deadline_ms_;
     failure_ = other.failure_;
     failure_budget_ = other.failure_budget_;
     other.fd_ = -1;
@@ -174,16 +223,22 @@ Result<Channel> Channel::connect(const std::string& host, std::uint16_t port,
 }
 
 Status Channel::write_bytes(const void* data, std::size_t size) {
-  if (failure_ == InjectedFailure::kNone) return send_all(fd_, data, size);
+  if (failure_ == InjectedFailure::kNone) {
+    Status sent = send_all(fd_, data, size, send_deadline_ms_);
+    // A blown send deadline leaves a partial frame on the wire: the
+    // stream cannot be re-synchronized, so the transport is dead.
+    if (sent.code() == ErrorCode::kTimeout) close();
+    return sent;
+  }
   if (size < failure_budget_) {
     failure_budget_ -= size;
-    return send_all(fd_, data, size);
+    return send_all(fd_, data, size, send_deadline_ms_);
   }
   // Budget exhausted mid-write: emit the prefix the wire would have seen,
   // then die. For a kill the prefix stays in the kernel buffer and reaches
   // the peer before EOF; for a reset SO_LINGER{1,0} makes close() abortive.
   if (failure_budget_ > 0) {
-    Status prefix = send_all(fd_, data, failure_budget_);
+    Status prefix = send_all(fd_, data, failure_budget_, send_deadline_ms_);
     (void)prefix;  // the connection is going down either way
   }
   if (failure_ == InjectedFailure::kResetAfterBytes) {
@@ -250,17 +305,97 @@ Status Channel::send_gather(std::span<const IoSlice> slices) {
   for (const IoSlice& s : slices) {
     if (s.size == 0) continue;
     if (used == kIovBatch + 1) {
-      XMIT_RETURN_IF_ERROR(sendmsg_all(fd_, iov, used));
+      Status batch = sendmsg_all(fd_, iov, used, send_deadline_ms_);
+      if (batch.code() == ErrorCode::kTimeout) close();
+      XMIT_RETURN_IF_ERROR(batch);
       used = 0;
     }
     iov[used].iov_base = const_cast<void*>(s.data);
     iov[used].iov_len = s.size;
     ++used;
   }
-  if (used > 0) XMIT_RETURN_IF_ERROR(sendmsg_all(fd_, iov, used));
+  if (used > 0) {
+    Status batch = sendmsg_all(fd_, iov, used, send_deadline_ms_);
+    if (batch.code() == ErrorCode::kTimeout) close();
+    XMIT_RETURN_IF_ERROR(batch);
+  }
   ++sent_;
   bytes_sent_ += static_cast<std::size_t>(total) + sizeof(frame);
   return Status::ok();
+}
+
+Status Channel::send_some(std::span<const std::uint8_t> message,
+                          std::size_t& cursor) {
+  if (fd_ < 0) return make_error(ErrorCode::kIoError, "channel is closed");
+  if (message.size() > kMaxFrameBytes)
+    return make_error(ErrorCode::kInvalidArgument, "message too large");
+  if (failure_ != InjectedFailure::kNone && cursor == 0) {
+    // Armed channels route through the blocking seam so injected byte
+    // budgets stay exact (test-only path).
+    XMIT_RETURN_IF_ERROR(send(message));
+    cursor = message.size() + 4;
+    return Status::ok();
+  }
+  std::uint8_t header[4];
+  store_with_order<std::uint32_t>(header,
+                                  static_cast<std::uint32_t>(message.size()),
+                                  ByteOrder::kLittle);
+  const std::size_t total = message.size() + sizeof(header);
+  while (cursor < total) {
+    const std::uint8_t* p;
+    std::size_t n;
+    if (cursor < sizeof(header)) {
+      p = header + cursor;
+      n = sizeof(header) - cursor;
+    } else {
+      p = message.data() + (cursor - sizeof(header));
+      n = total - cursor;
+    }
+    ssize_t w = ::send(fd_, p, n, MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (w < 0 && errno == EINTR) continue;
+    if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK))
+      return make_error(ErrorCode::kUnavailable, "channel send would block");
+    if (w <= 0)
+      return make_error(ErrorCode::kIoError,
+                        std::string("channel send failed: ") +
+                            std::strerror(errno));
+    cursor += static_cast<std::size_t>(w);
+  }
+  ++sent_;
+  bytes_sent_ += total;
+  return Status::ok();
+}
+
+bool Channel::poll_writable(int timeout_ms) {
+  if (fd_ < 0) return false;
+  struct pollfd pfd = {fd_, POLLOUT, 0};
+  return ::poll(&pfd, 1, timeout_ms) > 0;
+}
+
+Status Channel::recv_some(std::vector<std::uint8_t>& buf,
+                          std::size_t max_bytes) {
+  if (fd_ < 0) return make_error(ErrorCode::kIoError, "channel is closed");
+  const std::size_t old = buf.size();
+  buf.resize(old + max_bytes);
+  ssize_t n;
+  do {
+    n = ::recv(fd_, buf.data() + old, max_bytes, MSG_DONTWAIT);
+  } while (n < 0 && errno == EINTR);
+  if (n < 0) {
+    buf.resize(old);
+    if (errno == EAGAIN || errno == EWOULDBLOCK)
+      return make_error(ErrorCode::kUnavailable, "nothing to receive yet");
+    return make_error(ErrorCode::kIoError, "channel recv failed");
+  }
+  buf.resize(old + static_cast<std::size_t>(n));
+  if (n == 0) return make_error(ErrorCode::kNotFound, "end of stream");
+  return Status::ok();
+}
+
+bool Channel::poll_readable(int timeout_ms) {
+  if (fd_ < 0) return false;
+  struct pollfd pfd = {fd_, POLLIN, 0};
+  return ::poll(&pfd, 1, timeout_ms) > 0;
 }
 
 Result<std::vector<std::uint8_t>> Channel::receive(int timeout_ms) {

@@ -60,6 +60,28 @@ class Channel {
     return send(std::span<const std::uint8_t>(message));
   }
 
+  // Nonblocking framed send with partial-write resumption. `cursor` tracks
+  // progress through the wire image ([4-byte header | message]); callers
+  // start it at 0 and pass the same variable back until the frame
+  // completes. Returns OK when the whole frame is on the wire,
+  // kUnavailable when the socket would block (EAGAIN — call again when
+  // writable, with the cursor untouched in between), and kIoError /
+  // kTimeout on a dead transport. A frame abandoned mid-cursor leaves the
+  // stream unframeable: the only safe next step is close().
+  Status send_some(std::span<const std::uint8_t> message, std::size_t& cursor);
+
+  // True when a send of at least one byte would not block (POLLOUT within
+  // timeout_ms; 0 = poll-and-return).
+  bool poll_writable(int timeout_ms);
+
+  // Bounds every blocking send path: a send that cannot place its bytes
+  // within `deadline_ms` fails with kTimeout and closes the channel (the
+  // frame is partially written — the stream cannot be re-synchronized).
+  // Negative restores the unbounded default. This is the liveness fix for
+  // senders wedged in send_all toward a peer that stopped reading.
+  void set_send_deadline(int deadline_ms) { send_deadline_ms_ = deadline_ms; }
+  int send_deadline_ms() const { return send_deadline_ms_; }
+
   // Sends one frame whose payload is the concatenation of `slices`
   // (sendmsg gather I/O) — the wire bytes are identical to send() of the
   // flattened message, but nothing is copied into an intermediate buffer
@@ -74,6 +96,18 @@ class Channel {
   // receive() into a caller-owned buffer: once `out`'s capacity has grown
   // to the session's largest frame, further receives allocate nothing.
   Status receive_into(std::vector<std::uint8_t>& out, int timeout_ms = 5000);
+
+  // Nonblocking raw receive: appends whatever bytes the socket currently
+  // holds (up to max_bytes) to `buf`. Returns kUnavailable when nothing
+  // is waiting (EAGAIN), kNotFound on EOF, kIoError otherwise. Callers
+  // own the re-framing — this is the readiness-model primitive the
+  // flow-controlled session (and the future reactor) drain from, and it
+  // must not be mixed with receive_into on the same stream.
+  Status recv_some(std::vector<std::uint8_t>& buf,
+                   std::size_t max_bytes = 64 * 1024);
+
+  // True when a recv of at least one byte (or EOF) would not block.
+  bool poll_readable(int timeout_ms);
 
   void close();
 
@@ -101,6 +135,7 @@ class Channel {
   int fd_ = -1;
   std::size_t sent_ = 0;
   std::size_t bytes_sent_ = 0;
+  int send_deadline_ms_ = -1;  // <0: block indefinitely (legacy behaviour)
   InjectedFailure failure_ = InjectedFailure::kNone;
   std::size_t failure_budget_ = 0;
 };

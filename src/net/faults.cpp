@@ -89,6 +89,22 @@ void arm_channel(Channel& channel, const FaultAction& action) {
   }
 }
 
+Result<std::size_t> StallingReader::consume_then_stall(
+    const FaultAction& action, int timeout_ms) {
+  if (action.kind != FaultKind::kStallReadsAfterBytes)
+    return Status(ErrorCode::kInvalidArgument,
+                  "StallingReader needs a stall_reads_after action");
+  std::size_t frames = 0;
+  std::vector<std::uint8_t> scratch;
+  while (consumed_ < action.byte_budget) {
+    Status got = channel_.receive_into(scratch, timeout_ms);
+    if (!got.is_ok()) return got;
+    consumed_ += scratch.size() + 4;  // the u32 frame header is wire bytes
+    ++frames;
+  }
+  return frames;  // park: the caller keeps this object (and the fd) alive
+}
+
 Result<HangingAcceptor> HangingAcceptor::listen(std::uint16_t port) {
   XMIT_ASSIGN_OR_RETURN(auto listener, ChannelListener::listen(port));
   return HangingAcceptor(std::move(listener));

@@ -38,6 +38,11 @@ enum class FaultKind : std::uint8_t {
   kKillAfterBytes,  // channel dies after byte_budget outgoing wire bytes
   kRstMidFrame,     // as kKillAfterBytes but abortive (TCP RST)
   kAcceptThenHang,  // accept the connection, then never speak (liveness)
+  kStallReadsAfterBytes,  // peer reads byte_budget wire bytes, then stalls
+                          // (fd open, never read again) — overload persona
+  kZeroCreditPeer,        // peer drains frames but never grants 0x08 credit
+                          // (a flow-control-unaware receiver) — overload
+                          // persona; consumed by harnesses, not arm_channel
 };
 
 struct FaultAction {
@@ -91,6 +96,17 @@ struct FaultAction {
   static FaultAction accept_then_hang() {
     FaultAction a;
     a.kind = FaultKind::kAcceptThenHang;
+    return a;
+  }
+  static FaultAction stall_reads_after(std::size_t bytes) {
+    FaultAction a;
+    a.kind = FaultKind::kStallReadsAfterBytes;
+    a.byte_budget = bytes;
+    return a;
+  }
+  static FaultAction zero_credit_peer() {
+    FaultAction a;
+    a.kind = FaultKind::kZeroCreditPeer;
     return a;
   }
 };
@@ -166,6 +182,32 @@ class TruncatingChannel {
   Channel& inner_;
   std::shared_ptr<FaultPlan> plan_;
   std::size_t truncated_ = 0;
+};
+
+// The stalled-reader persona behind FaultKind::kStallReadsAfterBytes: a
+// peer that consumes whole frames until `byte_budget` wire bytes have
+// been read, then wedges — the fd stays open (no EOF, no RST) but the
+// kernel receive buffer fills and the sender's socket stops accepting
+// bytes. This is the overload failure that a blocking send_all cannot
+// survive and that the channel send deadline + session flow control
+// exist to bound.
+class StallingReader {
+ public:
+  // Takes ownership of the peer-facing channel.
+  explicit StallingReader(Channel channel) : channel_(std::move(channel)) {}
+
+  // Reads frames until at least `action.byte_budget` wire bytes (headers
+  // included) have been consumed or `timeout_ms` elapses, then parks the
+  // channel open. Returns the number of complete frames drained.
+  Result<std::size_t> consume_then_stall(const FaultAction& action,
+                                         int timeout_ms = 5000);
+
+  std::size_t bytes_consumed() const { return consumed_; }
+  Channel& channel() { return channel_; }
+
+ private:
+  Channel channel_;
+  std::size_t consumed_ = 0;
 };
 
 // A listener persona that accepts connections and then never sends a

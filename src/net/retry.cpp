@@ -7,7 +7,8 @@
 namespace xmit::net {
 
 bool is_transient(ErrorCode code) {
-  return code == ErrorCode::kTimeout || code == ErrorCode::kIoError;
+  return code == ErrorCode::kTimeout || code == ErrorCode::kIoError ||
+         code == ErrorCode::kUnavailable;
 }
 
 double RetryPolicy::backoff_for(int retry_index, Rng& rng) const {

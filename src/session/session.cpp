@@ -21,9 +21,22 @@ constexpr std::uint8_t kTagPing = 0x04;
 constexpr std::uint8_t kTagPong = 0x05;
 constexpr std::uint8_t kTagDurableRange = 0x06;
 constexpr std::uint8_t kTagReplayRequest = 0x07;
+constexpr std::uint8_t kTagCredit = 0x08;
+constexpr std::uint8_t kTagShed = 0x09;
 
 // [u64 first-seq | u64 last-seq]
 constexpr std::size_t kDurableRangePayloadBytes = 16;
+// [u64 last-seq-received | u64 window-records | u64 window-bytes]
+constexpr std::size_t kCreditPayloadBytes = 24;
+// [u64 first-seq | u64 last-seq]
+constexpr std::size_t kShedPayloadBytes = 16;
+// A window (records or bytes) or shed span past this is not a plausible
+// drain budget on any hardware this decade — it is an attack on the
+// credit arithmetic.
+constexpr std::uint64_t kMaxCreditWindow = 1ull << 48;
+// Control frames waiting to go out; droppable ones (heartbeats, grants)
+// are skipped past this depth because a fresher copy always follows.
+constexpr std::size_t kControlQueueCap = 64;
 
 // [u8 flags | u64 session id | u32 epoch | u64 last-seq-received]
 constexpr std::size_t kHandshakePayloadBytes = 21;
@@ -59,6 +72,7 @@ MessageSession::MessageSession(net::Channel channel,
   decoder_->set_verify_plans(true);
   last_inbound_ms_ = clock_.elapsed_ms();
   init_durability();
+  configure_transport();
 }
 
 MessageSession::MessageSession(net::Endpoint endpoint,
@@ -163,6 +177,9 @@ Status MessageSession::send_durable_advert() {
 
 Status MessageSession::stream_from_log(std::uint64_t from, std::uint64_t to) {
   if (log_ == nullptr || log_->empty() || from > to) return Status::ok();
+  // Direct writes: a partial frame mid-wire must complete first.
+  if (options_.flow_control)
+    XMIT_RETURN_IF_ERROR(flush_partials(options_.liveness_deadline_ms));
   auto cursor = log_->read_from(from);
   storage::RecordLog::Item item;
   for (;;) {
@@ -201,6 +218,8 @@ Status MessageSession::request_replay(std::uint64_t from_seq) {
   if (!channel_.is_open())
     return Status(ErrorCode::kIoError,
                   "no transport to request a replay on");
+  if (options_.flow_control)
+    XMIT_RETURN_IF_ERROR(flush_partials(options_.liveness_deadline_ms));
   // Rewind the dedup window so the historical records are delivered
   // instead of being reported as an already-seen range or a gap.
   if (last_seq_received_ >= from_seq) last_seq_received_ = from_seq - 1;
@@ -252,15 +271,42 @@ void MessageSession::install_pending_attach() {
   }
   if (!pending.has_value()) return;
   channel_ = std::move(*pending);
+  configure_transport();
+  reset_partial_cursors();
   ++reconnects_;
   last_inbound_ms_ = clock_.elapsed_ms();
   transport_lost_ms_ = -1;
 }
 
 void MessageSession::note_transport_lost() {
+  // Idempotent per outage: losing an already-lost transport (e.g. a pump
+  // failure racing a receive failure on the same death) is one loss.
+  if (!channel_.is_open() && transport_lost_ms_ >= 0) return;
   channel_.close();
+  reset_partial_cursors();
   ++transport_losses_;
   transport_lost_ms_ = clock_.elapsed_ms();
+}
+
+void MessageSession::configure_transport() {
+  // Bounded sends are the liveness fix: a sender wedged in a blocking
+  // write toward a peer that stopped reading must observe kTimeout within
+  // the liveness window instead of suppressing its own heartbeats forever.
+  if (resumable_ || options_.flow_control)
+    channel_.set_send_deadline(options_.liveness_deadline_ms);
+}
+
+void MessageSession::reset_partial_cursors() {
+  // Partially written frames died with the transport; they retransmit in
+  // full (and re-frame cleanly) on whatever channel comes next.
+  if (!control_queue_.empty()) control_queue_.front().cursor = 0;
+  if (!send_queue_.empty()) send_queue_.front().cursor = 0;
+  spill_cursor_ = 0;
+  spill_seq_ = 0;
+  spill_frame_.clear();
+  // Half-assembled inbound bytes died with the transport too.
+  inbound_buf_.clear();
+  inbound_pos_ = 0;
 }
 
 Status MessageSession::ready_to_send() {
@@ -329,6 +375,8 @@ Status MessageSession::reconnect(int budget_ms) {
       continue;  // the window check above bounds this loop
     }
     channel_ = std::move(dialed).value();
+    configure_transport();
+    reset_partial_cursors();
     ++epoch_;
     if (epoch_ > 1) ++reconnects_;
     last_inbound_ms_ = clock_.elapsed_ms();
@@ -379,6 +427,10 @@ Status MessageSession::absorb_ack(std::uint64_t last_seq) {
     replay_bytes_ -= replay_.front().frame.size();
     replay_.pop_front();
   }
+  while (!inflight_.empty() && inflight_.front().first <= peer_acked_seq_) {
+    inflight_bytes_ -= inflight_.front().second;
+    inflight_.pop_front();
+  }
   return Status::ok();
 }
 
@@ -418,15 +470,45 @@ Status MessageSession::process_handshake(
     epoch_ = epoch;
     // Adopted identity hits the disk before we answer for it.
     if (identity_changed) XMIT_RETURN_IF_ERROR(persist_meta());
+    // The reply is a direct write: clear any half-sent frame first.
+    if (options_.flow_control)
+      XMIT_RETURN_IF_ERROR(flush_partials(options_.liveness_deadline_ms));
     XMIT_RETURN_IF_ERROR(send_handshake(/*initiate=*/false));
     XMIT_RETURN_IF_ERROR(send_durable_advert());
     // The drop cut both directions: replay our own unacked frames too.
     XMIT_RETURN_IF_ERROR(replay_unacked());
+    // A resumed sender restarts against our current windows immediately.
+    maybe_grant(/*force=*/true);
   }
   return Status::ok();
 }
 
 Status MessageSession::replay_unacked() {
+  // Direct writes below; nothing may interleave with a half-sent frame.
+  if (options_.flow_control)
+    XMIT_RETURN_IF_ERROR(flush_partials(options_.liveness_deadline_ms));
+  // Queued-but-unsent shed notices must replay too, in sequence position,
+  // or the records they scrubbed from the replay buffer read as silent
+  // loss at the receiver.
+  std::vector<std::pair<std::uint64_t, std::vector<std::uint8_t>>> notices;
+  if (options_.flow_control) {
+    for (const QueuedFrame& frame : send_queue_)
+      if (frame.control && !frame.frame.empty() &&
+          frame.frame[0] == kTagShed)
+        notices.emplace_back(
+            load_with_order<std::uint64_t>(frame.frame.data() + 1,
+                                           ByteOrder::kLittle),
+            frame.frame);
+    std::sort(notices.begin(), notices.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+  }
+  std::size_t next_notice = 0;
+  const auto notices_before = [&](std::uint64_t seq) -> Status {
+    for (; next_notice < notices.size() && notices[next_notice].first < seq;
+         ++next_notice)
+      XMIT_RETURN_IF_ERROR(channel_.send(notices[next_notice].second));
+    return Status::ok();
+  };
   // Announcements the peer's ack does not cover may never have arrived;
   // un-mark them so they go out again ahead of the frames that need them.
   // Formats the *peer* announced have no announce_seq_ entry and stay.
@@ -445,6 +527,7 @@ Status MessageSession::replay_unacked() {
   }
   for (const ReplayEntry& entry : replay_) {
     if (entry.seq <= peer_acked_seq_) continue;
+    XMIT_RETURN_IF_ERROR(notices_before(entry.seq));
     if (entry.format_id != 0 && !announced_.contains(entry.format_id)) {
       auto format = registry_->by_id(entry.format_id);
       if (format.is_ok()) {
@@ -461,11 +544,27 @@ Status MessageSession::replay_unacked() {
     XMIT_RETURN_IF_ERROR(channel_.send(entry.frame));
     ++replayed_records_;
   }
+  XMIT_RETURN_IF_ERROR(notices_before(next_seq_));
+  if (options_.flow_control) {
+    // The replay just re-sent (directly) everything the queue still owed
+    // the wire: the queued copies are now redundant and the in-flight
+    // ledger restarts clean. Control frames (grants, heartbeats) keep
+    // their place — a stale grant is monotone and therefore harmless.
+    send_queue_.clear();
+    data_queue_records_ = 0;
+    data_queue_bytes_ = 0;
+    next_transmit_seq_ = next_seq_;
+    inflight_.clear();
+    inflight_bytes_ = 0;
+    spill_seq_ = 0;
+    spill_cursor_ = 0;
+    spill_frame_.clear();
+  }
   return Status::ok();
 }
 
 void MessageSession::maybe_ping() {
-  if (!resumable_ || !channel_.is_open()) return;
+  if (!(resumable_ || options_.flow_control) || !channel_.is_open()) return;
   const double now = clock_.elapsed_ms();
   if (now - last_ping_ms_ < options_.heartbeat_interval_ms) return;
   last_ping_ms_ = now;
@@ -473,6 +572,14 @@ void MessageSession::maybe_ping() {
   frame[0] = kTagPing;
   store_with_order<std::uint64_t>(frame + 1, last_seq_received_,
                                   ByteOrder::kLittle);
+  if (options_.flow_control) {
+    // The control queue keeps heartbeats flowing even while a data frame
+    // is parked mid-wire; a full queue drops the ping (a fresher one
+    // always follows next interval).
+    enqueue_control(std::span<const std::uint8_t>(frame, sizeof(frame)),
+                    /*droppable=*/true);
+    return;
+  }
   Status sent = channel_.send(std::span<const std::uint8_t>(frame, sizeof(frame)));
   if (!sent.is_ok() && !channel_.is_open()) note_transport_lost();
 }
@@ -521,6 +628,650 @@ void MessageSession::buffer_for_replay(std::uint64_t seq,
   }
 }
 
+// --- flow control ------------------------------------------------------
+
+Status MessageSession::process_credit(std::span<const std::uint8_t> payload) {
+  if (payload.size() != kCreditPayloadBytes)
+    return Status(ErrorCode::kParseError, "bad credit-grant frame length");
+  const std::uint64_t ack =
+      load_with_order<std::uint64_t>(payload.data(), ByteOrder::kLittle);
+  const std::uint64_t window_records =
+      load_with_order<std::uint64_t>(payload.data() + 8, ByteOrder::kLittle);
+  const std::uint64_t window_bytes =
+      load_with_order<std::uint64_t>(payload.data() + 16, ByteOrder::kLittle);
+  // Every hostile shape is rejected before any of it touches credit
+  // state: a poisonous grant must not move the windows *and* cost budget.
+  if (window_records == 0 || window_bytes == 0)
+    return Status(ErrorCode::kMalformedInput,
+                  "zero credit window: an honest receiver pauses a sender "
+                  "by withholding grants, never by granting zero");
+  if (window_records > kMaxCreditWindow || window_bytes > kMaxCreditWindow)
+    return Status(ErrorCode::kMalformedInput,
+                  "credit window is implausibly large");
+  std::uint64_t reach = 0;
+  if (!checked_add(ack, window_records, &reach))
+    return Status(ErrorCode::kMalformedInput, "credit reach wraps u64");
+  if (reach < credit_seq_limit_)
+    return Status(ErrorCode::kMalformedInput,
+                  "credit rollback: grant reach regressed below an "
+                  "allowance already extended");
+  XMIT_RETURN_IF_ERROR(absorb_ack(ack));
+  credit_seq_limit_ = reach;
+  credit_bytes_window_ = window_bytes;
+  ++credit_grants_received_;
+  return Status::ok();
+}
+
+Status MessageSession::process_shed(std::span<const std::uint8_t> payload) {
+  if (payload.size() != kShedPayloadBytes)
+    return Status(ErrorCode::kParseError, "bad shed-notice frame length");
+  const std::uint64_t first =
+      load_with_order<std::uint64_t>(payload.data(), ByteOrder::kLittle);
+  const std::uint64_t last =
+      load_with_order<std::uint64_t>(payload.data() + 8, ByteOrder::kLittle);
+  if (first == 0)
+    return Status(ErrorCode::kMalformedInput,
+                  "shed notice cannot start at sequence 0");
+  if (last < first)
+    return Status(ErrorCode::kMalformedInput,
+                  "shed notice range is inverted");
+  if (last - first + 1 > kMaxCreditWindow)
+    return Status(ErrorCode::kMalformedInput,
+                  "shed notice span is implausibly large");
+  if (first <= last_seq_received_)
+    return Status(ErrorCode::kMalformedInput,
+                  "shed notice rewinds over already-delivered records");
+  // Records missing *before* the announced range were lost silently —
+  // that is still a real gap, reported once, distinct from the honest
+  // shed which is accounted and not an error.
+  Status gap = Status::ok();
+  if (first > last_seq_received_ + 1) {
+    const std::uint64_t lost = first - last_seq_received_ - 1;
+    gap = Status(ErrorCode::kDataLoss,
+                 std::to_string(lost) +
+                     " record(s) lost in a sequence gap before a shed "
+                     "notice the peer did not account for");
+  }
+  peer_shed_records_ += last - first + 1;
+  last_seq_received_ = last;
+  return gap;
+}
+
+void MessageSession::maybe_grant(bool force) {
+  if (!options_.flow_control || !channel_.is_open()) return;
+  // request_replay rewinds the dedup window; grants stay monotone on the
+  // high-water mark so an honest replay never reads as credit rollback.
+  const std::uint64_t ack = std::max(last_seq_received_, last_grant_ack_);
+  const std::uint64_t drained = ack - last_grant_ack_;
+  if (!force && drained * 2 < options_.receive_window_records) return;
+  std::uint8_t frame[1 + kCreditPayloadBytes];
+  frame[0] = kTagCredit;
+  store_with_order<std::uint64_t>(frame + 1, ack, ByteOrder::kLittle);
+  store_with_order<std::uint64_t>(
+      frame + 9, static_cast<std::uint64_t>(options_.receive_window_records),
+      ByteOrder::kLittle);
+  store_with_order<std::uint64_t>(
+      frame + 17, static_cast<std::uint64_t>(options_.receive_window_bytes),
+      ByteOrder::kLittle);
+  if (enqueue_control(std::span<const std::uint8_t>(frame, sizeof(frame)),
+                      /*droppable=*/true)) {
+    ++credit_grants_sent_;
+    last_grant_ack_ = ack;
+  }
+}
+
+bool MessageSession::enqueue_control(std::span<const std::uint8_t> frame,
+                                     bool droppable) {
+  // Droppable frames (heartbeats, grants) are always superseded by a
+  // fresher copy, so a full control queue simply skips them; must-deliver
+  // frames (announcements) ride past the cap — they are few and bounded
+  // by the format population.
+  if (droppable && control_queue_.size() >= kControlQueueCap) return false;
+  QueuedFrame queued;
+  queued.control = true;
+  queued.frame.assign(frame.begin(), frame.end());
+  control_queue_.push_back(std::move(queued));
+  pump_send_queue();
+  return true;
+}
+
+Status MessageSession::load_spill_frame(std::uint64_t seq) {
+  if (log_ == nullptr)
+    return Status(ErrorCode::kNotFound, "no durable log to spill from");
+  auto cursor = log_->read_from(seq);
+  storage::RecordLog::Item item;
+  auto more = cursor.next(&item);
+  if (!more.is_ok()) {
+    durable_error_ = more.status();
+    return more.status();
+  }
+  if (!more.value() || item.seq != seq)
+    return Status(ErrorCode::kNotFound,
+                  "durable log does not hold spilled record " +
+                      std::to_string(seq));
+  // Schema-ahead-of-data still holds on the spill path. No partial can be
+  // mid-wire here (the pump only loads between whole frames), so a direct
+  // write is frame-safe.
+  if (item.format_id != 0 && !announced_.contains(item.format_id)) {
+    auto format = registry_->by_id(item.format_id);
+    if (format.is_ok()) {
+      ByteBuffer frame;
+      frame.append_byte(kTagFormat);
+      serialize_format(*format.value(), frame);
+      XMIT_RETURN_IF_ERROR(channel_.send(frame.span()));
+      announced_.insert(item.format_id);
+      announce_seq_[item.format_id] = item.seq;
+      ++announcements_sent_;
+      metadata_bytes_sent_ += frame.size();
+    }
+  }
+  spill_frame_.clear();
+  spill_frame_.reserve(1 + kSeqBytes + item.payload.size());
+  spill_frame_.push_back(kTagRecord);
+  std::uint8_t seq_le[kSeqBytes];
+  store_with_order<std::uint64_t>(seq_le, seq, ByteOrder::kLittle);
+  spill_frame_.insert(spill_frame_.end(), seq_le, seq_le + kSeqBytes);
+  spill_frame_.insert(spill_frame_.end(), item.payload.begin(),
+                      item.payload.end());
+  spill_cursor_ = 0;
+  spill_seq_ = seq;
+  return Status::ok();
+}
+
+Status MessageSession::extract_inbound_frame(std::vector<std::uint8_t>& out) {
+  const std::size_t avail = inbound_buf_.size() - inbound_pos_;
+  if (avail >= 4) {
+    const std::uint32_t length = load_with_order<std::uint32_t>(
+        inbound_buf_.data() + inbound_pos_, ByteOrder::kLittle);
+    if (length > limits_.max_message_bytes)
+      return Status(ErrorCode::kResourceExhausted,
+                    "inbound frame exceeds the session size limit");
+    if (avail >= 4ull + length) {
+      const std::uint8_t* body = inbound_buf_.data() + inbound_pos_ + 4;
+      out.assign(body, body + length);
+      inbound_pos_ += 4 + length;
+      if (inbound_pos_ == inbound_buf_.size()) {
+        inbound_buf_.clear();
+        inbound_pos_ = 0;
+      } else if (inbound_pos_ >= 64 * 1024) {
+        inbound_buf_.erase(inbound_buf_.begin(),
+                           inbound_buf_.begin() +
+                               static_cast<std::ptrdiff_t>(inbound_pos_));
+        inbound_pos_ = 0;
+      }
+      return Status::ok();
+    }
+  }
+  return Status(ErrorCode::kUnavailable, "frame incomplete");
+}
+
+Status MessageSession::fc_receive_frame(std::vector<std::uint8_t>& out,
+                                        int timeout_ms) {
+  Stopwatch budget;
+  for (;;) {
+    Status framed = extract_inbound_frame(out);
+    if (framed.code() != ErrorCode::kUnavailable) return framed;
+    if (!channel_.is_open())
+      return Status(ErrorCode::kIoError, "channel is closed");
+    Status pulled = channel_.recv_some(inbound_buf_);
+    if (pulled.is_ok()) continue;
+    if (pulled.code() != ErrorCode::kUnavailable) return pulled;
+    // Idle inbound: keep our own queue moving while we wait.
+    pump_send_queue();
+    if (!channel_.is_open())
+      return Status(ErrorCode::kIoError, "channel is closed");
+    const int remaining = timeout_ms - static_cast<int>(budget.elapsed_ms());
+    if (remaining <= 0)
+      return Status(ErrorCode::kTimeout, "session receive timeout");
+    channel_.poll_readable(std::min(remaining, 20));
+  }
+}
+
+void MessageSession::pump_send_queue() {
+  if (!options_.flow_control) return;
+  const auto on_failure = [this](const Status&) { note_transport_lost(); };
+  for (;;) {
+    if (!channel_.is_open()) return;  // queues wait for resume
+    // 1. A spill frame in flight (or freshly loaded) owns the wire.
+    if (spill_seq_ != 0) {
+      if (spill_cursor_ == 0 && inflight_bytes_ > 0 &&
+          inflight_bytes_ + 4 + spill_frame_.size() > credit_bytes_window_)
+        return;  // byte-starved; one frame rides a quiet wire
+      Status sent = channel_.send_some(spill_frame_, spill_cursor_);
+      if (sent.code() == ErrorCode::kUnavailable) return;
+      if (!sent.is_ok()) {
+        on_failure(sent);
+        return;
+      }
+      const std::size_t wire = 4 + spill_frame_.size();
+      inflight_.emplace_back(spill_seq_, static_cast<std::uint32_t>(wire));
+      inflight_bytes_ += wire;
+      next_transmit_seq_ = spill_seq_ + 1;
+      spill_seq_ = 0;
+      spill_cursor_ = 0;
+      spill_frame_.clear();
+      continue;
+    }
+    // 2. A partially written data-queue front must finish next: any other
+    // byte on the wire before its tail corrupts the framing.
+    if (!send_queue_.empty() && send_queue_.front().cursor > 0) {
+      QueuedFrame& front = send_queue_.front();
+      Status sent = channel_.send_some(front.frame, front.cursor);
+      if (sent.code() == ErrorCode::kUnavailable) return;
+      if (!sent.is_ok()) {
+        on_failure(sent);
+        return;
+      }
+      if (front.control) {
+        next_transmit_seq_ = std::max(next_transmit_seq_, front.seq + 1);
+      } else {
+        const std::size_t wire = 4 + front.frame.size();
+        inflight_.emplace_back(front.seq, static_cast<std::uint32_t>(wire));
+        inflight_bytes_ += wire;
+        next_transmit_seq_ = front.seq + 1;
+        --data_queue_records_;
+        data_queue_bytes_ -= front.frame.size();
+      }
+      send_queue_.pop_front();
+      continue;
+    }
+    // 3. Credit-exempt control traffic: grants, heartbeats, announcements.
+    if (!control_queue_.empty()) {
+      QueuedFrame& front = control_queue_.front();
+      Status sent = channel_.send_some(front.frame, front.cursor);
+      if (sent.code() == ErrorCode::kUnavailable) return;
+      if (!sent.is_ok()) {
+        on_failure(sent);
+        return;
+      }
+      control_queue_.pop_front();
+      continue;
+    }
+    // 4. Fresh data, gated on the peer's credit.
+    if (send_queue_.empty()) {
+      // Spilled tail: everything still owed to the wire lives only in
+      // the durable log. Stream it back under the same credit gates.
+      if (next_transmit_seq_ >= next_seq_) return;  // drained
+      if (options_.slow_consumer != SlowConsumerPolicy::kSpillToLog ||
+          !durable_ || log_ == nullptr || log_->empty() ||
+          next_transmit_seq_ < log_->first_seq() ||
+          next_transmit_seq_ > log_->last_seq())
+        return;
+      if (next_transmit_seq_ > credit_seq_limit_) return;
+      Status loaded = load_spill_frame(next_transmit_seq_);
+      if (!loaded.is_ok()) {
+        if (!channel_.is_open()) on_failure(loaded);
+        return;
+      }
+      continue;
+    }
+    QueuedFrame& front = send_queue_.front();
+    if (!front.control && front.seq > next_transmit_seq_) {
+      // A gap before the front: records spilled to the log come back
+      // from disk first; records shed (their notice already completed)
+      // are skipped for good.
+      if (options_.slow_consumer == SlowConsumerPolicy::kSpillToLog &&
+          durable_ && log_ != nullptr && !log_->empty() &&
+          next_transmit_seq_ >= log_->first_seq() &&
+          next_transmit_seq_ <= log_->last_seq()) {
+        if (next_transmit_seq_ > credit_seq_limit_) return;
+        Status loaded = load_spill_frame(next_transmit_seq_);
+        if (!loaded.is_ok()) {
+          if (!channel_.is_open()) on_failure(loaded);
+          return;
+        }
+        continue;
+      }
+      next_transmit_seq_ = front.seq;
+    }
+    if (!front.control) {
+      if (front.seq > credit_seq_limit_) return;  // starved
+      if (inflight_bytes_ > 0 &&
+          inflight_bytes_ + 4 + front.frame.size() > credit_bytes_window_)
+        return;
+    }
+    Status sent = channel_.send_some(front.frame, front.cursor);
+    if (sent.code() == ErrorCode::kUnavailable) return;
+    if (!sent.is_ok()) {
+      on_failure(sent);
+      return;
+    }
+    if (front.control) {
+      next_transmit_seq_ = std::max(next_transmit_seq_, front.seq + 1);
+    } else {
+      const std::size_t wire = 4 + front.frame.size();
+      inflight_.emplace_back(front.seq, static_cast<std::uint32_t>(wire));
+      inflight_bytes_ += wire;
+      next_transmit_seq_ = front.seq + 1;
+      --data_queue_records_;
+      data_queue_bytes_ -= front.frame.size();
+    }
+    send_queue_.pop_front();
+  }
+}
+
+void MessageSession::poll_control() {
+  if (!options_.flow_control || !channel_.is_open()) return;
+  // Parked frames are bounded: past this the caller must receive() before
+  // we pull more off the wire, or a flooding peer grows us without limit.
+  constexpr std::size_t kPendingFramesCap = 256;
+  for (;;) {
+    if (pending_frames_.size() >= kPendingFramesCap) return;
+    Status framed = extract_inbound_frame(poll_frame_);
+    if (framed.code() == ErrorCode::kUnavailable) {
+      Status pulled = channel_.recv_some(inbound_buf_);
+      if (pulled.is_ok()) continue;
+      if (pulled.code() == ErrorCode::kUnavailable) return;
+      if (resumable_)
+        note_transport_lost();
+      else
+        channel_.close();
+      return;
+    }
+    if (!framed.is_ok()) {
+      (void)note_malformed(framed);
+      return;
+    }
+    last_inbound_ms_ = clock_.elapsed_ms();
+    if (poll_frame_.empty()) {
+      (void)note_malformed(
+          Status(ErrorCode::kParseError, "empty session frame"));
+      continue;
+    }
+    std::span<const std::uint8_t> payload(poll_frame_.data() + 1,
+                                          poll_frame_.size() - 1);
+    switch (poll_frame_[0]) {
+      case kTagPong:
+      case kTagPing: {
+        if (payload.size() != kSeqBytes) {
+          (void)note_malformed(
+              Status(ErrorCode::kParseError, "bad ping/pong frame length"));
+          continue;
+        }
+        Status st = absorb_ack(load_with_order<std::uint64_t>(
+            payload.data(), ByteOrder::kLittle));
+        if (!st.is_ok()) {
+          (void)note_malformed(st);
+          continue;
+        }
+        if (poll_frame_[0] == kTagPing) {
+          std::uint8_t pong[1 + kSeqBytes];
+          pong[0] = kTagPong;
+          store_with_order<std::uint64_t>(pong + 1, last_seq_received_,
+                                          ByteOrder::kLittle);
+          enqueue_control(std::span<const std::uint8_t>(pong, sizeof(pong)),
+                          /*droppable=*/true);
+          maybe_grant(/*force=*/true);
+        }
+        continue;
+      }
+      case kTagCredit: {
+        Status st = process_credit(payload);
+        if (!st.is_ok()) {
+          (void)note_malformed(st);
+          continue;
+        }
+        pump_send_queue();  // fresh credit may unblock the queue now
+        continue;
+      }
+      default:
+        // Data, announcements, handshakes, shed notices: the receive path
+        // owns their semantics; park them in arrival order.
+        pending_frames_.push_back(poll_frame_);
+        continue;
+    }
+  }
+}
+
+bool MessageSession::queue_over_watermark(std::size_t incoming_bytes) const {
+  const double watermark =
+      std::clamp(options_.send_queue_watermark, 0.01, 1.0);
+  const auto record_limit = static_cast<std::size_t>(
+      static_cast<double>(options_.send_queue_records) * watermark);
+  const auto byte_limit = static_cast<std::size_t>(
+      static_cast<double>(options_.send_queue_bytes) * watermark);
+  return data_queue_records_ + 1 > std::max<std::size_t>(record_limit, 1) ||
+         data_queue_bytes_ + incoming_bytes >
+             std::max<std::size_t>(byte_limit, 1);
+}
+
+Status MessageSession::admit_record(std::size_t frame_bytes) {
+  if (!options_.flow_control) return Status::ok();
+  poll_control();
+  pump_send_queue();
+  if (!queue_over_watermark(frame_bytes)) return Status::ok();
+  switch (options_.slow_consumer) {
+    case SlowConsumerPolicy::kBlockWithDeadline: {
+      Stopwatch wait;
+      for (;;) {
+        poll_control();
+        pump_send_queue();
+        if (!queue_over_watermark(frame_bytes)) {
+          send_block_ms_ += wait.elapsed_ms();
+          return Status::ok();
+        }
+        if (closed_) return Status(ErrorCode::kIoError, "session closed");
+        if (resumable_) {
+          install_pending_attach();
+          if (!channel_.is_open() && active()) {
+            Status ready = ready_to_send();
+            if (!ready.is_ok()) {
+              send_block_ms_ += wait.elapsed_ms();
+              return ready;
+            }
+          }
+        }
+        maybe_ping();
+        if (liveness_stale()) {
+          // Dead, not slow: nothing inbound for a whole liveness window
+          // while we were starved for credit.
+          send_block_ms_ += wait.elapsed_ms();
+          return Status(ErrorCode::kTimeout,
+                        "peer silent past the liveness deadline");
+        }
+        if (wait.elapsed_ms() >= options_.send_block_deadline_ms) {
+          send_block_ms_ += wait.elapsed_ms();
+          return Status(ErrorCode::kResourceExhausted,
+                        "send queue full: peer credit could not drain it "
+                        "within the block deadline (slow consumer)");
+        }
+        if (channel_.is_open())
+          channel_.poll_readable(1);
+        else
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }
+    case SlowConsumerPolicy::kSpillToLog: {
+      if (!durable_ || !durable_error_.is_ok())
+        return Status(ErrorCode::kResourceExhausted,
+                      "send queue full and kSpillToLog has no healthy "
+                      "durable log to fall back on");
+      spill_queue();
+      pump_send_queue();
+      return Status::ok();
+    }
+    case SlowConsumerPolicy::kShedOldest: {
+      XMIT_RETURN_IF_ERROR(shed_queue());
+      pump_send_queue();
+      return Status::ok();
+    }
+    case SlowConsumerPolicy::kDisconnect: {
+      note_transport_lost();
+      send_queue_.clear();
+      data_queue_records_ = 0;
+      data_queue_bytes_ = 0;
+      next_transmit_seq_ = next_seq_;
+      inflight_.clear();
+      inflight_bytes_ = 0;
+      return Status(ErrorCode::kResourceExhausted,
+                    "send queue hit its watermark; policy kDisconnect "
+                    "dropped the transport");
+    }
+  }
+  return Status::ok();
+}
+
+void MessageSession::spill_queue() {
+  // Every unstarted data frame is covered by the write-ahead log, so
+  // memory can let go of all of them: the ring is a cache, the log is the
+  // truth. The pump streams the gap back from disk as credit returns.
+  std::deque<QueuedFrame> kept;
+  bool at_front = true;
+  for (QueuedFrame& frame : send_queue_) {
+    const bool started = at_front && frame.cursor > 0;
+    at_front = false;
+    if (frame.control || started) {
+      kept.push_back(std::move(frame));
+      continue;
+    }
+    ++records_spilled_;
+    --data_queue_records_;
+    data_queue_bytes_ -= frame.frame.size();
+  }
+  send_queue_ = std::move(kept);
+}
+
+Status MessageSession::shed_queue() {
+  // Oldest-first: freshest data wins (the telemetry shape). Drop down to
+  // half the watermark so the policy does not re-fire on every send, and
+  // name every dropped range to the peer in an in-position 0x09 notice.
+  const double watermark =
+      std::clamp(options_.send_queue_watermark, 0.01, 1.0);
+  const auto record_target = static_cast<std::size_t>(
+      static_cast<double>(options_.send_queue_records) * watermark / 2);
+  const auto byte_target = static_cast<std::size_t>(
+      static_cast<double>(options_.send_queue_bytes) * watermark / 2);
+  std::size_t i = 0;
+  while ((data_queue_records_ > record_target ||
+          data_queue_bytes_ > byte_target) &&
+         i < send_queue_.size()) {
+    QueuedFrame& candidate = send_queue_[i];
+    if (candidate.control || candidate.cursor > 0) {
+      ++i;
+      continue;
+    }
+    const std::uint64_t first = candidate.seq;
+    std::uint64_t last = first;
+    while ((data_queue_records_ > record_target ||
+            data_queue_bytes_ > byte_target) &&
+           i < send_queue_.size()) {
+      QueuedFrame& victim = send_queue_[i];
+      if (victim.control || victim.cursor > 0) break;
+      if (victim.seq != last && victim.seq != last + 1) break;
+      last = victim.seq;
+      ++records_shed_;
+      --data_queue_records_;
+      data_queue_bytes_ -= victim.frame.size();
+      send_queue_.erase(send_queue_.begin() + static_cast<std::ptrdiff_t>(i));
+    }
+    // Shed records must not resurrect on a resume: scrub them from the
+    // replay buffer (the notice, replayed in position, owns their story).
+    for (auto it = replay_.begin(); it != replay_.end();) {
+      if (it->seq >= first && it->seq <= last) {
+        replay_bytes_ -= it->frame.size();
+        it = replay_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    append_shed_sidecar(first, last);
+    i = splice_shed_notice(i, first, last);
+  }
+  return Status::ok();
+}
+
+std::size_t MessageSession::splice_shed_notice(std::size_t index,
+                                               std::uint64_t first,
+                                               std::uint64_t last) {
+  QueuedFrame notice;
+  notice.seq = last;  // completion advances next_transmit_seq_ past it
+  notice.control = true;
+  notice.frame.resize(1 + kShedPayloadBytes);
+  notice.frame[0] = kTagShed;
+  store_with_order<std::uint64_t>(notice.frame.data() + 1, first,
+                                  ByteOrder::kLittle);
+  store_with_order<std::uint64_t>(notice.frame.data() + 9, last,
+                                  ByteOrder::kLittle);
+  send_queue_.insert(send_queue_.begin() + static_cast<std::ptrdiff_t>(index),
+                     std::move(notice));
+  return index + 1;
+}
+
+void MessageSession::append_shed_sidecar(std::uint64_t first,
+                                         std::uint64_t last) {
+  if (!durable_) return;
+  std::FILE* sidecar =
+      std::fopen((options_.durable_dir + "/shed.log").c_str(), "ae");
+  if (sidecar == nullptr) return;
+  std::fprintf(sidecar, "%" PRIu64 " %" PRIu64 "\n", first, last);
+  std::fclose(sidecar);
+}
+
+bool MessageSession::partial_in_flight() const {
+  return spill_cursor_ > 0 ||
+         (!control_queue_.empty() && control_queue_.front().cursor > 0) ||
+         (!send_queue_.empty() && send_queue_.front().cursor > 0);
+}
+
+Status MessageSession::flush_partials(int budget_ms) {
+  if (!options_.flow_control) return Status::ok();
+  Stopwatch budget;
+  for (;;) {
+    pump_send_queue();
+    if (!partial_in_flight()) return Status::ok();
+    if (!channel_.is_open()) return Status::ok();  // cursors were reset
+    const int remaining = budget_ms - static_cast<int>(budget.elapsed_ms());
+    if (remaining <= 0)
+      return Status(ErrorCode::kTimeout,
+                    "a partial frame could not be flushed within its "
+                    "budget (peer not reading)");
+    channel_.poll_writable(std::min(remaining, 20));
+  }
+}
+
+void MessageSession::note_queue_peaks() {
+  send_queue_depth_peak_ = std::max(send_queue_depth_peak_,
+                                    data_queue_records_);
+  send_queue_bytes_peak_ = std::max(send_queue_bytes_peak_,
+                                    data_queue_bytes_);
+}
+
+Status MessageSession::queue_record(pbio::FormatId format_id,
+                                    std::span<const IoSlice> payload) {
+  if (!resumable_ && !channel_.is_open())
+    return Status(ErrorCode::kIoError, "channel is closed");
+  std::size_t payload_bytes = 0;
+  for (const IoSlice& slice : payload) payload_bytes += slice.size;
+  // Admission precedes sequencing and the WAL: a rejected send consumes
+  // no sequence number and leaves no log hole to misread as loss.
+  XMIT_RETURN_IF_ERROR(admit_record(1 + kSeqBytes + payload_bytes));
+  const std::uint64_t seq = next_seq_++;
+  QueuedFrame queued;
+  queued.seq = seq;
+  queued.format_id = format_id;
+  queued.frame.reserve(1 + kSeqBytes + payload_bytes);
+  queued.frame.push_back(kTagRecord);
+  std::uint8_t seq_le[kSeqBytes];
+  store_with_order<std::uint64_t>(seq_le, seq, ByteOrder::kLittle);
+  queued.frame.insert(queued.frame.end(), seq_le, seq_le + kSeqBytes);
+  for (const IoSlice& slice : payload) {
+    const auto* bytes = static_cast<const std::uint8_t*>(slice.data);
+    queued.frame.insert(queued.frame.end(), bytes, bytes + slice.size);
+  }
+  if (resumable_) {
+    const IoSlice whole = {queued.frame.data(), queued.frame.size()};
+    buffer_for_replay(seq, format_id, std::span<const IoSlice>(&whole, 1));
+  }
+  XMIT_RETURN_IF_ERROR(append_durable(seq, format_id, payload));
+  ++data_queue_records_;
+  data_queue_bytes_ += queued.frame.size();
+  send_queue_.push_back(std::move(queued));
+  note_queue_peaks();
+  ++records_sent_;
+  pump_send_queue();
+  return Status::ok();
+}
+
 Status MessageSession::announce(const pbio::Format& format) {
   for (;;) {
     if (announced_.contains(format.id())) return Status::ok();
@@ -537,6 +1288,17 @@ Status MessageSession::announce(const pbio::Format& format) {
       // past the peer's ack, so just record intent.
       announced_.insert(format.id());
       announce_seq_[format.id()] = next_seq_;
+      return Status::ok();
+    }
+    if (options_.flow_control) {
+      // Queued, never dropped: the announcement rides the control queue
+      // ahead of the data that needs it (data waits on credit; control
+      // does not), without disturbing any partial frame mid-wire.
+      enqueue_control(frame.span(), /*droppable=*/false);
+      announced_.insert(format.id());
+      if (resumable_) announce_seq_[format.id()] = next_seq_;
+      ++announcements_sent_;
+      metadata_bytes_sent_ += frame.size();
       return Status::ok();
     }
     Status sent = channel_.send(frame.span());
@@ -575,6 +1337,14 @@ Status MessageSession::transmit_record(std::span<const IoSlice> slices) {
   if (!resumable_) return sent;
   note_transport_lost();
   ++records_sent_;  // already in the replay buffer
+  // Liveness blind spot, closed: a send that blew the channel's bounded
+  // send deadline means the peer stopped reading for a whole liveness
+  // window. If nothing arrived inbound either, the peer is dead, not
+  // slow — surface the same verdict a silent receive would have.
+  if (sent.code() == ErrorCode::kTimeout && liveness_stale())
+    return Status(ErrorCode::kTimeout,
+                  "peer silent past the liveness deadline (send blocked "
+                  "past it with nothing inbound)");
   if (active()) return reconnect(options_.liveness_deadline_ms);
   return Status::ok();
 }
@@ -589,6 +1359,8 @@ Status MessageSession::send(const pbio::Encoder& encoder, const void* record) {
   // session is resumable).
   XMIT_RETURN_IF_ERROR(
       encoder.encode_iov(record, send_scratch_, send_slices_));
+  if (options_.flow_control)
+    return queue_record(encoder.format().id(), send_slices_);
   const std::uint64_t seq = next_seq_++;
   record_head_[0] = kTagRecord;
   store_with_order<std::uint64_t>(record_head_.data() + 1, seq,
@@ -609,6 +1381,10 @@ Status MessageSession::send_encoded(const pbio::Format& format,
                                     std::span<const std::uint8_t> record) {
   XMIT_RETURN_IF_ERROR(ready_to_send());
   XMIT_RETURN_IF_ERROR(announce(format));
+  if (options_.flow_control) {
+    const IoSlice slice = {record.data(), record.size()};
+    return queue_record(format.id(), std::span<const IoSlice>(&slice, 1));
+  }
   const std::uint64_t seq = next_seq_++;
   record_head_[0] = kTagRecord;
   store_with_order<std::uint64_t>(record_head_.data() + 1, seq,
@@ -639,7 +1415,15 @@ Result<MessageSession::IncomingView> MessageSession::receive_view(
   Stopwatch budget;
   for (;;) {
     if (resumable_) install_pending_attach();
-    if (!channel_.is_open()) {
+    // Frames poll_control() parked while a send path drained the wire are
+    // consumed first, in arrival order.
+    bool have_frame = false;
+    if (options_.flow_control && !pending_frames_.empty()) {
+      recv_frame_ = std::move(pending_frames_.front());
+      pending_frames_.pop_front();
+      have_frame = true;
+    }
+    if (!have_frame && !channel_.is_open()) {
       if (!resumable_)
         return Status(ErrorCode::kIoError, "channel is closed");
       const int remaining =
@@ -647,38 +1431,53 @@ Result<MessageSession::IncomingView> MessageSession::receive_view(
       XMIT_RETURN_IF_ERROR(await_transport(std::max(remaining, 0)));
       continue;
     }
-    int slice = std::max(
-        timeout_ms - static_cast<int>(budget.elapsed_ms()), 0);
-    if (resumable_) {
-      // Wake often enough to heartbeat and to notice a blown liveness
-      // deadline even when the caller's budget is generous.
-      slice = std::min(slice, options_.heartbeat_interval_ms);
-      const double live_left =
-          options_.liveness_deadline_ms -
-          (clock_.elapsed_ms() - last_inbound_ms_);
-      slice = std::min(slice, std::max(static_cast<int>(live_left), 0));
-    }
-    Status got = channel_.receive_into(recv_frame_, slice);
-    if (!got.is_ok()) {
-      if (got.code() == ErrorCode::kTimeout) {
-        if (resumable_ && clock_.elapsed_ms() - last_inbound_ms_ >=
-                              options_.liveness_deadline_ms)
-          return Status(ErrorCode::kTimeout,
-                        "peer silent past the liveness deadline");
-        if (budget.elapsed_ms() >= timeout_ms) return got;
-        maybe_ping();
-        continue;
+    if (!have_frame) {
+      if (options_.flow_control) {
+        // A fresh receiver seeds the peer's credit before anything else
+        // can arrive — without this first grant a flow-controlled sender
+        // with no handshake in its life would starve forever.
+        if (credit_grants_sent_ == 0) maybe_grant(/*force=*/true);
+        pump_send_queue();
       }
-      if (resumable_ && (got.code() == ErrorCode::kNotFound ||
-                         got.code() == ErrorCode::kIoError)) {
-        // Clean close and death mid-frame are both just a transport loss
-        // for a resumable session: reconnect/await and keep receiving.
-        note_transport_lost();
-        continue;
+      int slice = std::max(
+          timeout_ms - static_cast<int>(budget.elapsed_ms()), 0);
+      if (resumable_ || options_.flow_control) {
+        // Wake often enough to heartbeat and to notice a blown liveness
+        // deadline even when the caller's budget is generous.
+        slice = std::min(slice, options_.heartbeat_interval_ms);
+        const double live_left =
+            options_.liveness_deadline_ms -
+            (clock_.elapsed_ms() - last_inbound_ms_);
+        slice = std::min(slice, std::max(static_cast<int>(live_left), 0));
       }
-      return got;
+      Status got = options_.flow_control
+                       ? fc_receive_frame(recv_frame_, slice)
+                       : channel_.receive_into(recv_frame_, slice);
+      if (!got.is_ok()) {
+        if (got.code() == ErrorCode::kTimeout) {
+          if ((resumable_ || options_.flow_control) &&
+              clock_.elapsed_ms() - last_inbound_ms_ >=
+                  options_.liveness_deadline_ms)
+            return Status(ErrorCode::kTimeout,
+                          "peer silent past the liveness deadline");
+          if (budget.elapsed_ms() >= timeout_ms) return got;
+          maybe_ping();
+          continue;
+        }
+        if (resumable_ && (got.code() == ErrorCode::kNotFound ||
+                           got.code() == ErrorCode::kIoError)) {
+          // Clean close and death mid-frame are both just a transport loss
+          // for a resumable session: reconnect/await and keep receiving.
+          note_transport_lost();
+          continue;
+        }
+        if (options_.flow_control &&
+            got.code() == ErrorCode::kResourceExhausted)
+          return note_malformed(got);  // oversized inbound frame
+        return got;
+      }
+      last_inbound_ms_ = clock_.elapsed_ms();
     }
-    last_inbound_ms_ = clock_.elapsed_ms();
     if (recv_frame_.empty())
       return note_malformed(
           Status(ErrorCode::kParseError, "empty session frame"));
@@ -750,6 +1549,7 @@ Result<MessageSession::IncomingView> MessageSession::receive_view(
           return note_malformed(info.status());
         }
         ++records_received_;
+        maybe_grant(/*force=*/false);  // drained half a window? re-arm it
         return IncomingView{record, std::move(info.value().sender_format)};
       }
       case kTagHandshake: {
@@ -782,10 +1582,18 @@ Result<MessageSession::IncomingView> MessageSession::receive_view(
           pong[0] = kTagPong;
           store_with_order<std::uint64_t>(pong + 1, last_seq_received_,
                                           ByteOrder::kLittle);
-          Status sent =
-              channel_.send(std::span<const std::uint8_t>(pong, sizeof(pong)));
-          if (!sent.is_ok() && resumable_ && !channel_.is_open())
-            note_transport_lost();
+          if (options_.flow_control) {
+            // Queue-safe pong; and a ping doubles as a credit probe.
+            enqueue_control(
+                std::span<const std::uint8_t>(pong, sizeof(pong)),
+                /*droppable=*/true);
+            maybe_grant(/*force=*/true);
+          } else {
+            Status sent = channel_.send(
+                std::span<const std::uint8_t>(pong, sizeof(pong)));
+            if (!sent.is_ok() && resumable_ && !channel_.is_open())
+              note_transport_lost();
+          }
         }
         continue;
       }
@@ -838,6 +1646,22 @@ Result<MessageSession::IncomingView> MessageSession::receive_view(
         }
         continue;
       }
+      case kTagCredit: {
+        Status st = process_credit(payload);
+        if (!st.is_ok()) return note_malformed(st);
+        pump_send_queue();  // fresh credit may unblock queued data now
+        continue;
+      }
+      case kTagShed: {
+        Status st = process_shed(payload);
+        if (st.is_ok()) {
+          // The dedup window jumped; the drained count may owe a grant.
+          maybe_grant(/*force=*/false);
+          continue;
+        }
+        if (st.code() == ErrorCode::kDataLoss) return st;
+        return note_malformed(st);
+      }
       default:
         return note_malformed(
             Status(ErrorCode::kParseError, "unknown session frame tag " +
@@ -851,6 +1675,15 @@ Result<SessionPair> make_session_pipe(pbio::FormatRegistry& registry_a,
   XMIT_ASSIGN_OR_RETURN(auto pipe, net::Channel::pipe());
   return SessionPair{MessageSession(std::move(pipe.first), registry_a),
                      MessageSession(std::move(pipe.second), registry_b)};
+}
+
+Result<SessionPair> make_session_pipe(pbio::FormatRegistry& registry_a,
+                                      pbio::FormatRegistry& registry_b,
+                                      SessionOptions options) {
+  XMIT_ASSIGN_OR_RETURN(auto pipe, net::Channel::pipe());
+  return SessionPair{
+      MessageSession(std::move(pipe.first), registry_a, options),
+      MessageSession(std::move(pipe.second), registry_b, options)};
 }
 
 Result<TcpSessionPair> make_session_tcp(pbio::FormatRegistry& registry_a,

@@ -40,6 +40,21 @@
 //             re-send history from `from-seq` (clamped to its log) as
 //             ordinary tag-0x02 frames with their original sequence
 //             numbers; a non-durable peer ignores the request
+//   tag 0x08  credit grant: [u64 last-seq-received | u64 window-records |
+//             u64 window-bytes] — a flow-controlled receiver's drain
+//             budget. The ack piggybacks replay trimming; the windows
+//             extend the sender's transmit allowance to
+//             ack + window-records (cumulative, monotone) and cap unacked
+//             in-flight payload bytes. Zero windows, absurd windows
+//             (> 2^48), wrapping reach and reach rollback are hostile and
+//             draw down the malformed-frame budget — an honest receiver
+//             pauses a sender by *withholding* grants, never by granting
+//             zero.
+//   tag 0x09  shed notice: [u64 first-seq | u64 last-seq] — an overloaded
+//             sender running SlowConsumerPolicy::kShedOldest names the
+//             inclusive seq range it dropped, in-stream and in order, so
+//             the receiver's dedup window advances without a phantom
+//             kDataLoss gap and shed accounting stays exact on both ends.
 //
 // Durable sessions (SessionOptions::durable_dir) extend resumability
 // past process death: every outgoing record is appended to an fsynced
@@ -76,6 +91,28 @@
 
 namespace xmit::session {
 
+// What an overloaded sender does when its bounded send queue reaches the
+// soft watermark and the peer's credit cannot drain it.
+enum class SlowConsumerPolicy : std::uint8_t {
+  // Wait (pumping the queue and processing inbound credit) up to
+  // send_block_deadline_ms, then fail the send with kResourceExhausted.
+  // A peer silent past the liveness deadline fails with kTimeout instead:
+  // slow-but-alive and dead are distinct verdicts.
+  kBlockWithDeadline = 0,
+  // Durable sessions only: drop queued records from memory — the
+  // write-ahead log already holds them ("the ring is a cache, the log is
+  // the truth") — and stream them back from disk when credit returns.
+  // Sender memory stays bounded; no acked or logged record is ever lost.
+  kSpillToLog,
+  // Drop the oldest untransmitted queued records and tell the receiver
+  // exactly which seq range died via a tag-0x09 shed notice, so gap
+  // reporting stays truthful. Freshest data wins (telemetry shape).
+  kShedOldest,
+  // Drop the transport. The resumption machinery (replay buffer, durable
+  // log) owns recovery if the peer ever comes back.
+  kDisconnect,
+};
+
 // Knobs for the resumption layer. The defaults suit tests and LAN use;
 // production deployments tune the replay-buffer bound to their record
 // rate times the longest outage they intend to ride out.
@@ -97,6 +134,21 @@ struct SessionOptions {
   storage::FsyncPolicy durable_fsync = storage::FsyncPolicy::kAlways;
   std::uint64_t durable_segment_bytes = 8u << 20;
   std::size_t durable_retention_segments = 0;  // 0 = keep everything
+  // Flow control: sends enqueue into a bounded per-session queue drained
+  // against tag-0x08 credit via nonblocking writes — a send never blocks
+  // indefinitely on a slow peer. Both ends of a session should enable it
+  // (a flow-controlled sender facing a peer that never grants credit is,
+  // by definition, facing the zero-credit persona and applies its
+  // SlowConsumerPolicy).
+  bool flow_control = false;
+  SlowConsumerPolicy slow_consumer = SlowConsumerPolicy::kBlockWithDeadline;
+  std::size_t send_queue_records = 256;      // hard queue bound (records)
+  std::size_t send_queue_bytes = 4u << 20;   // and its byte bound
+  double send_queue_watermark = 0.75;        // policy fires at this fill
+  int send_block_deadline_ms = 2000;         // kBlockWithDeadline wait
+  // Receiver side: the drain budget each 0x08 grant advertises.
+  std::size_t receive_window_records = 128;
+  std::size_t receive_window_bytes = 2u << 20;
 };
 
 class MessageSession {
@@ -244,6 +296,36 @@ class MessageSession {
     return quarantined_.contains(id);
   }
 
+  // --- flow-control diagnostics ---------------------------------------
+  bool flow_controlled() const { return options_.flow_control; }
+  // Credit grants this end sent (receiver role) / absorbed (sender role).
+  std::size_t credit_grants_sent() const { return credit_grants_sent_; }
+  std::size_t credit_grants_received() const {
+    return credit_grants_received_;
+  }
+  // Records the peer's cumulative credit still lets us put on the wire.
+  std::uint64_t credit_records_available() const {
+    return credit_seq_limit_ >= next_transmit_seq_
+               ? credit_seq_limit_ - next_transmit_seq_ + 1
+               : 0;
+  }
+  std::uint64_t credit_seq_limit() const { return credit_seq_limit_; }
+  std::size_t send_queue_depth() const { return data_queue_records_; }
+  std::size_t send_queue_bytes_now() const { return data_queue_bytes_; }
+  // High-water marks since the session started: the bounded-memory proof.
+  std::size_t send_queue_depth_peak() const { return send_queue_depth_peak_; }
+  std::size_t send_queue_bytes_peak() const { return send_queue_bytes_peak_; }
+  // Queued records dropped from memory in favour of the durable log
+  // (kSpillToLog) — none of them is lost; the log streams them back.
+  std::size_t records_spilled() const { return records_spilled_; }
+  // Records dropped for good under kShedOldest, each one named to the
+  // peer in a tag-0x09 notice.
+  std::size_t records_shed() const { return records_shed_; }
+  // Records the *peer* told us it shed (sum of 0x09 ranges received).
+  std::uint64_t peer_shed_records() const { return peer_shed_records_; }
+  // Total time sends spent blocked waiting for queue room or credit.
+  double send_block_ms() const { return send_block_ms_; }
+
  private:
   // One unacknowledged outgoing frame, kept until the peer's ack covers
   // its sequence number (or the bounded buffer evicts it).
@@ -293,6 +375,91 @@ class MessageSession {
   // Wire-writes one already-sequenced record frame, applying the
   // resumable failure policy (buffered passively / reconnect actively).
   Status transmit_record(std::span<const IoSlice> slices);
+  // Flow-controlled send tail: admission control, sequencing, WAL, then
+  // the bounded queue — the pump owns the wire from here.
+  Status queue_record(pbio::FormatId format_id,
+                      std::span<const IoSlice> payload);
+
+  // --- flow-control machinery -----------------------------------------
+  // One queued outgoing frame. Control frames (announcements, heartbeats,
+  // grants, shed notices) are credit-exempt; droppable ones (heartbeats,
+  // grants) may be skipped when the control queue is full, because a
+  // fresher copy always follows. `cursor` is the nonblocking
+  // partial-write resumption offset into the wire image.
+  struct QueuedFrame {
+    std::uint64_t seq = 0;  // data seq; for a shed notice, the range end
+    pbio::FormatId format_id = 0;
+    bool control = false;
+    std::size_t cursor = 0;
+    std::vector<std::uint8_t> frame;  // complete frame payload, tag first
+  };
+
+  // Validates and applies a peer 0x08 credit grant. Order: length, zero
+  // windows, absurd windows, u64 reach wrap, reach rollback, then the
+  // ack itself — hostile values never touch credit state.
+  Status process_credit(std::span<const std::uint8_t> payload);
+  // Validates a peer 0x09 shed notice and advances the dedup window.
+  // Returns kDataLoss only for records lost *silently* before the range.
+  Status process_shed(std::span<const std::uint8_t> payload);
+  // Receiver role: advertise [last_seq_received_, windows] when forced
+  // (handshake, ping) or when half the window has drained since the last
+  // grant.
+  void maybe_grant(bool force);
+  // Queues a control frame and lets the pump try to flush it. Returns
+  // false when a droppable frame was skipped (control queue full).
+  bool enqueue_control(std::span<const std::uint8_t> frame, bool droppable);
+  // Rebuilds the tag-0x02 frame for `seq` from the durable log into
+  // spill_frame_ (kSpillToLog streaming).
+  Status load_spill_frame(std::uint64_t seq);
+  // Flow-controlled inbound path: frames are re-assembled from a raw
+  // nonblocking byte stream (Channel::recv_some), so the send paths can
+  // drain acks/credit without ever blocking mid-frame. Blocking
+  // receive_into and this assembler must never mix on one transport.
+  Status fc_receive_frame(std::vector<std::uint8_t>& out, int timeout_ms);
+  // Pops the next complete frame out of inbound_buf_ if one is ready.
+  // Returns kUnavailable when more bytes are needed.
+  Status extract_inbound_frame(std::vector<std::uint8_t>& out);
+  // Drains control then data queues as far as the socket and the peer's
+  // credit allow. Nonblocking: a would-block socket parks the frame at
+  // its cursor. Starvation is not an error; transport deaths follow the
+  // resumable policy (so the pump has no status to return).
+  void pump_send_queue();
+  // Nonblocking inbound sweep used by send paths and the block-wait loop:
+  // absorbs acks/credit/pings in place, parks everything else for the
+  // next receive_view. Keeps last_inbound_ms_ honest while sending.
+  void poll_control();
+  // Admission control, run BEFORE a sequence number is assigned or the
+  // WAL appends: applies the SlowConsumerPolicy at the soft watermark so
+  // a rejected send consumes no seq and leaves no log hole.
+  Status admit_record(std::size_t frame_bytes);
+  bool queue_over_watermark(std::size_t incoming_bytes) const;
+  // kSpillToLog: drop queued, unstarted data frames — the WAL holds them;
+  // the pump streams them back from disk when credit returns.
+  void spill_queue();
+  // kShedOldest: drop the oldest unstarted data frames, splice tag-0x09
+  // notices in their place, scrub them from the replay buffer, count.
+  Status shed_queue();
+  // Inserts a 0x09 notice for [first, last] at `index` in the data queue
+  // (so it precedes every surviving later record); returns the index just
+  // past the notice.
+  std::size_t splice_shed_notice(std::size_t index, std::uint64_t first,
+                                 std::uint64_t last);
+  // Durable sheds leave an auditable trace beside the log segments.
+  void append_shed_sidecar(std::uint64_t first, std::uint64_t last);
+  // True when a partial frame is mid-wire (no other bytes may interleave).
+  bool partial_in_flight() const;
+  // Drives any partial frame to completion (bounded); direct writes
+  // (handshake replies, replay) are only legal once this succeeds.
+  Status flush_partials(int budget_ms);
+  void reset_partial_cursors();
+  bool liveness_stale() const {
+    return clock_.elapsed_ms() - last_inbound_ms_ >=
+           options_.liveness_deadline_ms;
+  }
+  void note_queue_peaks();
+  // Arms the channel-level send deadline on every transport this session
+  // adopts, so a blocked send can never outlive the liveness deadline.
+  void configure_transport();
 
   // --- durability machinery -------------------------------------------
   // Opens log + catalog + meta under options_.durable_dir; failures land
@@ -362,6 +529,39 @@ class MessageSession {
   bool eviction_logged_ = false;
   std::uint64_t peer_durable_first_ = 0;
   std::uint64_t peer_durable_last_ = 0;
+  // Flow-control state. The data queue holds sequenced records (plus
+  // in-position shed notices); the control queue holds credit-exempt
+  // frames that may safely go out earlier than anything queued behind
+  // them. At most one frame across both queues (or the spill stream) is
+  // partially written at any time.
+  std::deque<QueuedFrame> control_queue_;
+  std::deque<QueuedFrame> send_queue_;
+  std::size_t data_queue_records_ = 0;
+  std::size_t data_queue_bytes_ = 0;
+  std::vector<std::uint8_t> spill_frame_;  // record re-read from the log
+  std::size_t spill_cursor_ = 0;
+  std::uint64_t spill_seq_ = 0;  // 0 = no spill frame in flight
+  std::uint64_t next_transmit_seq_ = 1;  // next data seq owed to the wire
+  std::uint64_t credit_seq_limit_ = 0;   // cumulative transmit allowance
+  std::uint64_t credit_bytes_window_ = 0;
+  // Transmitted-but-unacked (seq, wire bytes): the byte-window ledger.
+  std::deque<std::pair<std::uint64_t, std::uint32_t>> inflight_;
+  std::uint64_t inflight_bytes_ = 0;
+  std::uint64_t last_grant_ack_ = 0;  // receiver: ack in our last grant
+  // Data/announce frames poll_control() pulled off the wire while a send
+  // path was draining acks; receive_view consumes these first.
+  std::deque<std::vector<std::uint8_t>> pending_frames_;
+  std::vector<std::uint8_t> poll_frame_;
+  std::vector<std::uint8_t> inbound_buf_;  // raw bytes awaiting re-framing
+  std::size_t inbound_pos_ = 0;
+  std::size_t credit_grants_sent_ = 0;
+  std::size_t credit_grants_received_ = 0;
+  std::size_t send_queue_depth_peak_ = 0;
+  std::size_t send_queue_bytes_peak_ = 0;
+  std::size_t records_spilled_ = 0;
+  std::size_t records_shed_ = 0;
+  std::uint64_t peer_shed_records_ = 0;
+  double send_block_ms_ = 0;
   std::size_t announcements_sent_ = 0;
   std::size_t announcements_received_ = 0;
   std::size_t records_sent_ = 0;
@@ -382,6 +582,10 @@ struct SessionPair {
 };
 Result<SessionPair> make_session_pipe(pbio::FormatRegistry& registry_a,
                                       pbio::FormatRegistry& registry_b);
+// Same, with options applied to both ends (e.g. a flow-controlled pair).
+Result<SessionPair> make_session_pipe(pbio::FormatRegistry& registry_a,
+                                      pbio::FormatRegistry& registry_b,
+                                      SessionOptions options);
 
 // Convenience: a connected resumable session pair over real TCP —
 // `a` actively dials the bundled listener, `b` is the accepted passive

@@ -1,0 +1,32 @@
+#!/bin/sh
+# run_overload.sh: build and run the overload-labelled tests (the
+# slow-consumer soak matrix — every SlowConsumerPolicy against the slow,
+# bursty, stalled and zero-credit personas — plus the blocked-send
+# liveness regression) under both AddressSanitizer and ThreadSanitizer.
+#
+# Usage:
+#   tools/run_overload.sh [BUILD_ROOT]
+#
+# Defaults: BUILD_ROOT=build-overload; each sanitizer gets its own build
+# tree (BUILD_ROOT-address, BUILD_ROOT-thread) so the two
+# instrumentations never share object files. A clean exit means every
+# policy bounds sender memory, sheds with exact accounting, spills
+# without losing an accepted record, and keeps liveness honest while
+# sends are blocked — under both sanitizers.
+set -eu
+
+BUILD_ROOT="${1:-build-overload}"
+REPO_DIR="$(cd "$(dirname "$0")/.." && pwd)"
+
+for SAN in address thread; do
+  BUILD_DIR="$BUILD_ROOT-$SAN"
+  echo "== overload [$SAN]: configuring $BUILD_DIR"
+  cmake -B "$BUILD_DIR" -S "$REPO_DIR" -DXMIT_SANITIZE="$SAN" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+  echo "== overload [$SAN]: building session_overload_test"
+  cmake --build "$BUILD_DIR" --target session_overload_test -j >/dev/null
+  echo "== overload [$SAN]: ctest -L overload"
+  (cd "$BUILD_DIR" && ctest -L overload --output-on-failure -j)
+done
+
+echo "== overload matrix green under address and thread sanitizers"

@@ -9,7 +9,7 @@
 //   xmit_inspect [--xml] [--formats-only] [--retries N] [--timeout-ms N] \
 //       [--max-depth N] [--max-bytes N] [--max-alloc N] \
 //       <file.pbio | http://...>
-//   xmit_inspect --connect HOST:PORT [--resume] [--count N] \
+//   xmit_inspect --connect HOST:PORT [--resume] [--flow-control] [--count N] \
 //       [--timeout-ms N] [--max-depth N] [--max-bytes N] [--max-alloc N]
 // http:// sources are fetched (with retry/backoff per the flags) into a
 // temporary file first, so a flaky archive server doesn't fail the dump.
@@ -21,14 +21,21 @@
 // reconnects, replayed, duplicate and evicted counts). With --resume the
 // session is resumable: transport deaths redial transparently and only a
 // peer silent past the liveness deadline (--timeout-ms) ends the dump.
+// With --flow-control the session grants the peer credit (tag 0x08) and
+// a second stats line reports the flow-control picture: grants exchanged,
+// credit still outstanding, send-queue high-water marks, records spilled
+// to the log or shed (and the peer's shed count), and time spent blocked.
 //
 // --log DIR verifies a durable record-log directory offline and without
 // mutating it (unlike opening it, which heals torn tails): per segment it
 // reports the frame count, sequence range, how the scan stopped (clean
 // end, torn tail, corruption, over-limit frame) and how much of the
 // sidecar index survives verification; the format catalog is summarized
-// the same way. Exit 1 on corruption; a torn tail alone is the expected
-// crash artifact and exits 0.
+// the same way, and any shed.log sidecar (sequence ranges dropped under
+// the kShedOldest overload policy) is listed so an operator sees exactly
+// which records the durable history is honestly missing. Exit 1 on
+// corruption; a torn tail alone is the expected crash artifact and
+// exits 0.
 #include <dirent.h>
 #include <unistd.h>
 
@@ -123,8 +130,9 @@ int print_record_fields(const pbio::RecordReader& reader) {
 
 // Dial HOST:PORT and dump records until the peer closes (or, with
 // --resume, until it stays silent past the liveness deadline).
-int run_connect(const std::string& spec, bool resume, int timeout_ms,
-                const DecodeLimits& limits, long long max_records) {
+int run_connect(const std::string& spec, bool resume, bool flow_control,
+                int timeout_ms, const DecodeLimits& limits,
+                long long max_records) {
   const std::size_t colon = spec.rfind(':');
   if (colon == 0 || colon == std::string::npos || colon + 1 == spec.size()) {
     std::fprintf(stderr, "--connect wants HOST:PORT, got '%s'\n",
@@ -142,6 +150,7 @@ int run_connect(const std::string& spec, bool resume, int timeout_ms,
   pbio::FormatRegistry registry;
   session::SessionOptions options;
   options.resumable = resume;
+  options.flow_control = flow_control;
   options.liveness_deadline_ms = timeout_ms;
   session::MessageSession session(
       net::Endpoint::tcp(host, static_cast<std::uint16_t>(port), timeout_ms),
@@ -188,6 +197,19 @@ int run_connect(const std::string& spec, bool resume, int timeout_ms,
       session.reconnects(), session.replayed_records(),
       session.duplicates_discarded(), session.malformed_frames(),
       session.evicted_records());
+  if (session.flow_controlled()) {
+    std::printf(
+        "flow control: %zu grant(s) sent, %zu received, "
+        "%llu record(s) of credit outstanding, queue high-water "
+        "%zu record(s) / %zu byte(s), %zu spilled, %zu shed, "
+        "%llu peer-shed, %.1f ms blocked\n",
+        session.credit_grants_sent(), session.credit_grants_received(),
+        static_cast<unsigned long long>(session.credit_records_available()),
+        session.send_queue_depth_peak(), session.send_queue_bytes_peak(),
+        session.records_spilled(), session.records_shed(),
+        static_cast<unsigned long long>(session.peer_shed_records()),
+        session.send_block_ms());
+  }
   session.close();
   return exit_code;
 }
@@ -205,6 +227,7 @@ int run_log_dump(const std::string& dir, const DecodeLimits& limits) {
   }
   std::vector<std::string> segments;
   bool has_catalog = false;
+  bool has_shed_log = false;
   while (dirent* entry = ::readdir(handle)) {
     const std::string name = entry->d_name;
     if (name.size() == 24 && name.rfind("seg-", 0) == 0 &&
@@ -212,6 +235,8 @@ int run_log_dump(const std::string& dir, const DecodeLimits& limits) {
       segments.push_back(name);
     else if (name == "catalog.cat")
       has_catalog = true;
+    else if (name == "shed.log")
+      has_shed_log = true;
   }
   ::closedir(handle);
   std::sort(segments.begin(), segments.end());
@@ -298,6 +323,29 @@ int run_log_dump(const std::string& dir, const DecodeLimits& limits) {
       exit_code = 1;
     }
   }
+  if (has_shed_log) {
+    // shed.log is an append-only text sidecar: one "first last" line per
+    // range the overload policy dropped. Gaps it names in the segment
+    // history are honest losses, not corruption.
+    std::FILE* shed = std::fopen((dir + "/shed.log").c_str(), "re");
+    if (shed != nullptr) {
+      std::size_t ranges = 0;
+      unsigned long long total_dropped = 0;
+      unsigned long long first = 0, last = 0;
+      while (std::fscanf(shed, "%llu %llu", &first, &last) == 2) {
+        if (last < first) continue;
+        std::printf("  shed range [%llu, %llu]: %llu record(s) dropped "
+                    "under overload\n",
+                    first, last, last - first + 1);
+        ++ranges;
+        total_dropped += last - first + 1;
+      }
+      std::fclose(shed);
+      std::printf("shed log: %zu range(s), %llu record(s) dropped "
+                  "(named to the peer in 0x09 notices)\n",
+                  ranges, total_dropped);
+    }
+  }
   std::printf("log: %zu segment(s), %zu frame(s), seq [%llu, %llu]\n",
               segments.size(), total_frames,
               static_cast<unsigned long long>(first_seq),
@@ -328,6 +376,7 @@ int main(int argc, char** argv) {
   bool formats_only = false;
   bool lint = false;
   bool resume = false;
+  bool flow_control = false;
   std::string connect_spec;
   std::string log_dir;
   long long max_records = 0;
@@ -345,6 +394,8 @@ int main(int argc, char** argv) {
       lint = true;
     else if (std::strcmp(argv[i], "--resume") == 0)
       resume = true;
+    else if (std::strcmp(argv[i], "--flow-control") == 0)
+      flow_control = true;
     else if (std::strcmp(argv[i], "--connect") == 0 && i + 1 < argc)
       connect_spec = argv[++i];
     else if (std::strcmp(argv[i], "--log") == 0 && i + 1 < argc)
@@ -402,7 +453,8 @@ int main(int argc, char** argv) {
       path = argv[i];
   }
   if (!connect_spec.empty())
-    return run_connect(connect_spec, resume, timeout_ms, limits, max_records);
+    return run_connect(connect_spec, resume, flow_control, timeout_ms, limits,
+                       max_records);
   if (!log_dir.empty()) return run_log_dump(log_dir, limits);
   if (path == nullptr) {
     std::fprintf(stderr,
@@ -410,7 +462,7 @@ int main(int argc, char** argv) {
                  "[--retries N] [--timeout-ms N] [--max-depth N] "
                  "[--max-bytes N] [--max-alloc N] <file.pbio | http://...>\n"
                  "       xmit_inspect --connect HOST:PORT [--resume] "
-                 "[--count N] [--timeout-ms N]\n"
+                 "[--flow-control] [--count N] [--timeout-ms N]\n"
                  "       xmit_inspect --log DIR\n");
     return 2;
   }
