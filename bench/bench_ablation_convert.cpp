@@ -17,6 +17,7 @@
 #include "hydrology/messages.hpp"
 #include "pbio/decode.hpp"
 #include "pbio/dynrecord.hpp"
+#include "pbio/simd.hpp"
 #include "pbio/registry.hpp"
 #include "xmit/layout.hpp"
 #include "xsd/parse.hpp"
@@ -87,8 +88,12 @@ int main() {
   }
 
   bench::Reporter reporter("ablation_convert");
-  std::printf("%-12s %14s %14s %10s %12s %10s\n", "elements", "compiled (ms)",
-              "reference (ms)", "speedup", "MB/s (comp)", "outputs");
+  const bool simd_was_enabled = pbio::simd::enabled();
+  std::printf("simd backend: %s (%s)\n\n", pbio::simd::backend(),
+              simd_was_enabled ? "enabled" : "disabled");
+  std::printf("%-12s %14s %14s %14s %10s %12s %10s\n", "elements",
+              "compiled (ms)", "scalar (ms)", "reference (ms)", "speedup",
+              "MB/s (comp)", "outputs");
 
   std::vector<int> sizes = {100, 1000, 10000, 100000, 1000000};
   if (bench::smoke()) sizes = {100, 1000};
@@ -115,6 +120,21 @@ int main() {
           check(decoder.decode(record, *receiver, &compiled_out, arena), "d");
         },
         iters);
+    // Same compiled plan with the vector kernels switched off: the
+    // pre-SIMD baseline, isolating kernel strategy from plan strategy.
+    pbio::simd::set_enabled(false);
+    SimpleData scalar_out{};
+    check(decoder.decode(record, *receiver, &scalar_out, arena), "scalar");
+    bool scalar_identical = outputs_identical(compiled_out, scalar_out);
+    all_identical = all_identical && scalar_identical;
+    double scalar_ms = bench::encode_ms(
+        [&] {
+          arena.reset();
+          check(decoder.decode(record, *receiver, &scalar_out, arena), "s");
+        },
+        iters);
+    pbio::simd::set_enabled(simd_was_enabled);
+
     double reference_ms = bench::encode_ms(
         [&] {
           arena.reset();
@@ -129,12 +149,15 @@ int main() {
     if (n >= 100000) large_speedup = std::max(large_speedup, speedup);
     char label[24];
     std::snprintf(label, sizeof(label), "%d", n);
-    std::printf("%-12s %14.6f %14.6f %9.2fx %12.1f %10s\n", label, compiled_ms,
-                reference_ms, speedup, payload_mb / (compiled_ms / 1000.0),
-                identical ? "identical" : "DIFFER!");
+    std::printf("%-12s %14.6f %14.6f %14.6f %9.2fx %12.1f %10s\n", label,
+                compiled_ms, scalar_ms, reference_ms, speedup,
+                payload_mb / (compiled_ms / 1000.0),
+                identical && scalar_identical ? "identical" : "DIFFER!");
     reporter.add("compiled", label, compiled_ms);
+    reporter.add("compiled_scalar", label, scalar_ms);
     reporter.add("reference", label, reference_ms);
     reporter.add("speedup", label, speedup, "x");
+    reporter.add("simd_speedup", label, scalar_ms / compiled_ms, "x");
   }
 
   if (!all_identical) {

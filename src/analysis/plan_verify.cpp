@@ -4,6 +4,7 @@
 
 #include "common/limits.hpp"
 #include "pbio/field.hpp"
+#include "pbio/kernels.hpp"
 
 namespace xmit::analysis {
 namespace {
@@ -197,6 +198,55 @@ class Verifier {
           write_span(index, op, op.dst_offset, dst_bytes, /*fixup=*/false);
         break;
       }
+      case PlanOp::Kind::kFusedConvert: {
+        pbio::FusedKind fused;
+        if (!pbio::fused_shape(op.src_kind, op.src_size, op.dst_kind,
+                               op.dst_size, &fused)) {
+          error("PV013", op_location(index, op),
+                "fused conversion between shapes with no fused kernel (" +
+                    std::string(pbio::field_kind_name(op.src_kind)) + ":" +
+                    std::to_string(op.src_size) + " -> " +
+                    pbio::field_kind_name(op.dst_kind) + ":" +
+                    std::to_string(op.dst_size) + ")",
+                "fused kernels exist only for int32<->int64 and "
+                "float<->double moves");
+          break;
+        }
+        if (op.count == 0) {
+          error("PV015", op_location(index, op),
+                "fused op moves zero elements",
+                "the coalescer must emit exact element counts; an empty op "
+                "means a tail was dropped");
+          break;
+        }
+        std::uint64_t src_bytes = 0;
+        std::uint64_t dst_bytes = 0;
+        if (!checked_mul(op.count, op.src_size, &src_bytes) ||
+            !checked_mul(op.count, op.dst_size, &dst_bytes)) {
+          error("PV009", op_location(index, op), "element span overflows");
+          break;
+        }
+        if (!fits_within(op.src_offset, src_bytes,
+                         plan_.sender_struct_size)) {
+          error("PV014", op_location(index, op),
+                "fused op reads source bytes " +
+                    span_text(op.src_offset, src_bytes) +
+                    " outside the sender fixed section of " +
+                    std::to_string(plan_.sender_struct_size) + " bytes");
+          break;
+        }
+        if (!fits_within(op.dst_offset, dst_bytes,
+                         plan_.receiver_struct_size)) {
+          error("PV014", op_location(index, op),
+                "fused op writes destination bytes " +
+                    span_text(op.dst_offset, dst_bytes) +
+                    " outside the receiver struct of " +
+                    std::to_string(plan_.receiver_struct_size) + " bytes");
+          break;
+        }
+        write_span(index, op, op.dst_offset, dst_bytes, /*fixup=*/false);
+        break;
+      }
       case PlanOp::Kind::kString: {
         std::uint64_t src_bytes = 0;
         std::uint64_t dst_bytes = 0;
@@ -212,8 +262,19 @@ class Verifier {
       }
       case PlanOp::Kind::kDynCopy:
       case PlanOp::Kind::kDynSwap:
-      case PlanOp::Kind::kDynConvert: {
+      case PlanOp::Kind::kDynConvert:
+      case PlanOp::Kind::kDynFusedConvert: {
         check_count_field(index, op);
+        if (op.kind == PlanOp::Kind::kDynFusedConvert &&
+            !pbio::fused_shape(op.src_kind, op.src_size, op.dst_kind,
+                               op.dst_size, nullptr))
+          error("PV013", op_location(index, op),
+                "dynamic fused conversion between shapes with no fused "
+                "kernel (" +
+                    std::string(pbio::field_kind_name(op.src_kind)) + ":" +
+                    std::to_string(op.src_size) + " -> " +
+                    pbio::field_kind_name(op.dst_kind) + ":" +
+                    std::to_string(op.dst_size) + ")");
         if (op.kind == PlanOp::Kind::kDynSwap &&
             (op.src_size != op.dst_size ||
              (op.src_size != 2 && op.src_size != 4 && op.src_size != 8)))

@@ -22,6 +22,12 @@
 //   - pointer-slot spans are in bounds                         (PV010)
 //   - the plan's recorded struct sizes match the formats       (PV011)
 //   - the sender pointer size is 4 or 8                        (PV012)
+//   - fused ops name a shape the fused kernels implement
+//     (vector element width and kind class)                    (PV013)
+//   - fused-op source/destination extents are fully covered
+//     by both fixed sections                                   (PV014)
+//   - fixed fused ops move at least one element: an empty op
+//     means the coalescer dropped a tail                       (PV015)
 //
 // Registered into pbio::Decoder via register_plan_verifier() so plans
 // built from hostile or buggy metadata are rejected at admission, not at

@@ -1,0 +1,172 @@
+#include "pbio/batch.hpp"
+
+#include <limits>
+
+namespace xmit::pbio {
+
+BatchDecoder::BatchDecoder(const Decoder& decoder, std::size_t workers)
+    : decoder_(&decoder),
+      workers_(workers == 0 ? 1 : (workers > kMaxWorkers ? kMaxWorkers
+                                                         : workers)) {
+  arenas_.reserve(workers_);
+  for (std::size_t i = 0; i < workers_; ++i)
+    arenas_.push_back(std::make_unique<Arena>());
+  first_error_ = Status::ok();
+  if (workers_ == 1) return;  // single worker decodes on the caller thread
+  threads_.reserve(workers_);
+  for (std::size_t i = 0; i < workers_; ++i)
+    threads_.emplace_back([this, i] { worker_main(i); });
+}
+
+BatchDecoder::~BatchDecoder() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void BatchDecoder::record_error(std::size_t index, Status status) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (first_error_.ok() || index < first_error_index_) {
+    first_error_ = std::move(status);
+    first_error_index_ = index;
+  }
+}
+
+void BatchDecoder::run_worker(std::size_t worker_index) {
+  Arena& arena = *arenas_[worker_index];
+  for (;;) {
+    const std::size_t i = cursor_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= batch_count_) return;
+    Status status = decoder_->decode(batch_reqs_[i].bytes, *batch_receiver_,
+                                     batch_reqs_[i].out, arena);
+    if (!status.ok()) record_error(i, std::move(status));
+  }
+}
+
+void BatchDecoder::worker_main(std::size_t worker_index) {
+  std::unique_lock<std::mutex> lock(mu_);
+  std::uint64_t seen = 0;
+  for (;;) {
+    cv_work_.wait(lock, [&] { return stop_ || generation_ != seen; });
+    if (stop_) return;
+    seen = generation_;
+    lock.unlock();
+    run_worker(worker_index);
+    lock.lock();
+    if (++workers_done_ == workers_) cv_done_.notify_all();
+  }
+}
+
+Status BatchDecoder::decode_batch(std::span<const Request> requests,
+                                  const Format& receiver) {
+  for (auto& arena : arenas_) arena->rewind();
+  if (requests.empty()) return Status::ok();
+  ++batches_;
+  records_decoded_ += requests.size();
+
+  if (workers_ == 1 || requests.size() == 1) {
+    // Too little work to amortize a wake-up: decode on the caller thread.
+    Status first = Status::ok();
+    Arena& arena = *arenas_[0];
+    for (const Request& request : requests) {
+      Status status =
+          decoder_->decode(request.bytes, receiver, request.out, arena);
+      if (!status.ok() && first.ok()) first = std::move(status);
+    }
+    return first;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    batch_reqs_ = requests.data();
+    batch_count_ = requests.size();
+    batch_receiver_ = &receiver;
+    first_error_ = Status::ok();
+    first_error_index_ = std::numeric_limits<std::size_t>::max();
+    cursor_.store(0, std::memory_order_relaxed);
+    workers_done_ = 0;
+    ++generation_;
+  }
+  cv_work_.notify_all();
+
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_done_.wait(lock, [&] { return workers_done_ == workers_; });
+  batch_reqs_ = nullptr;
+  batch_receiver_ = nullptr;
+  return std::move(first_error_);
+}
+
+Status BatchDecoder::decode_batch(
+    std::span<const std::span<const std::uint8_t>> records,
+    const Format& receiver, void* out, std::size_t stride) {
+  if (out == nullptr && !records.empty())
+    return Status(ErrorCode::kInvalidArgument, "null batch output");
+  if (stride < receiver.struct_size())
+    return Status(ErrorCode::kInvalidArgument,
+                  "batch stride " + std::to_string(stride) +
+                      " smaller than receiver struct (" +
+                      std::to_string(receiver.struct_size()) + " bytes)");
+  stream_requests_.clear();
+  stream_requests_.reserve(records.size());
+  auto* base = static_cast<std::uint8_t*>(out);
+  for (std::size_t i = 0; i < records.size(); ++i)
+    stream_requests_.push_back({records[i], base + i * stride});
+  return decode_batch(
+      std::span<const Request>(stream_requests_.data(),
+                               stream_requests_.size()),
+      receiver);
+}
+
+Result<std::uint64_t> BatchDecoder::decode_stream(const NextRecord& next,
+                                                  const Format& receiver,
+                                                  const Deliver& deliver,
+                                                  std::size_t window) {
+  if (window == 0) window = workers_ * 4;
+  const std::size_t stride =
+      align_up(std::size_t(receiver.struct_size() == 0
+                               ? 1
+                               : receiver.struct_size()),
+               alignof(std::max_align_t));
+  if (stream_buffers_.size() < window) stream_buffers_.resize(window);
+  const std::size_t cells =
+      (window * stride + sizeof(std::max_align_t) - 1) /
+      sizeof(std::max_align_t);
+  if (stream_outs_.size() < cells) stream_outs_.resize(cells);
+  auto* out_base = reinterpret_cast<std::uint8_t*>(stream_outs_.data());
+
+  std::uint64_t delivered = 0;
+  bool end_of_stream = false;
+  while (!end_of_stream) {
+    stream_requests_.clear();
+    while (stream_requests_.size() < window) {
+      std::vector<std::uint8_t>& buffer =
+          stream_buffers_[stream_requests_.size()];
+      XMIT_ASSIGN_OR_RETURN(bool more, next(&buffer));
+      if (!more) {
+        end_of_stream = true;
+        break;
+      }
+      stream_requests_.push_back(
+          {std::span<const std::uint8_t>(buffer.data(), buffer.size()),
+           out_base + stream_requests_.size() * stride});
+    }
+    if (stream_requests_.empty()) break;
+    // decode_batch(Request...) reuses stream_requests_ only through the
+    // caller-facing stride overload, never here, so passing our own
+    // vector down is safe.
+    XMIT_RETURN_IF_ERROR(decode_batch(
+        std::span<const Request>(stream_requests_.data(),
+                                 stream_requests_.size()),
+        receiver));
+    for (std::size_t i = 0; i < stream_requests_.size(); ++i) {
+      XMIT_RETURN_IF_ERROR(deliver(delivered, stream_requests_[i].out));
+      ++delivered;
+    }
+  }
+  return delivered;
+}
+
+}  // namespace xmit::pbio

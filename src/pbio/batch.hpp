@@ -1,0 +1,125 @@
+// BatchDecoder: parallel decode of a stream of same-format records
+// (DESIGN.md §5i).
+//
+// The Lemon observation (PAPERS.md): framed record streams parallelize
+// trivially because every record is self-describing and independent — the
+// only serial work is discovering the frame boundaries, which the session
+// and the record log have already done by the time bytes reach us. A
+// BatchDecoder owns a fixed pool of worker threads, each with its own
+// Arena (out-of-line strings/arrays land there; the arena rewinds at
+// every batch, preserving the zero-steady-state-allocation contract), and
+// partitions each batch across them with an atomic cursor. Results are
+// order-preserving by construction: record i decodes into the caller's
+// i-th output slot no matter which worker picks it up, and
+// decode_stream() delivers slots strictly in sequence.
+//
+// Error semantics: every record is attempted; the returned Status is the
+// failure with the lowest record index (Status::ok() when all decode).
+// Output slots of failed records hold unspecified bytes.
+//
+// A BatchDecoder is NOT itself thread-safe: one batch at a time. The
+// underlying Decoder is shared and const — its plan cache carries its own
+// lock — so several BatchDecoders may share one Decoder.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "common/arena.hpp"
+#include "common/error.hpp"
+#include "pbio/decode.hpp"
+#include "pbio/format.hpp"
+
+namespace xmit::pbio {
+
+class BatchDecoder {
+ public:
+  // `workers` threads are spawned eagerly and live until destruction;
+  // clamped to [1, kMaxWorkers]. `decoder` must outlive the BatchDecoder.
+  explicit BatchDecoder(const Decoder& decoder, std::size_t workers);
+  ~BatchDecoder();
+
+  BatchDecoder(const BatchDecoder&) = delete;
+  BatchDecoder& operator=(const BatchDecoder&) = delete;
+
+  static constexpr std::size_t kMaxWorkers = 64;
+
+  // One record to decode: its complete wire bytes and the caller-owned
+  // output slot (at least receiver.struct_size() bytes, suitably aligned).
+  struct Request {
+    std::span<const std::uint8_t> bytes;
+    void* out = nullptr;
+  };
+
+  // Decodes every request against `receiver` (a host-arch format).
+  // Out-of-line data lives in the per-worker arenas and is valid until
+  // the next batch on this BatchDecoder (or destruction).
+  Status decode_batch(std::span<const Request> requests,
+                      const Format& receiver);
+
+  // Convenience: record i decodes into `out + i * stride`. `stride` must
+  // be at least receiver.struct_size().
+  Status decode_batch(std::span<const std::span<const std::uint8_t>> records,
+                      const Format& receiver, void* out, std::size_t stride);
+
+  // Pull-based pipeline for replay paths (RecordLog cursors, session
+  // drains): `next` fills one complete wire record and returns false at
+  // end of stream; records are decoded in windows of `window` (0 = 4 *
+  // workers) across the pool, and `deliver` observes every decoded struct
+  // strictly in stream order. The struct pointer handed to `deliver` is
+  // valid only during the call. Returns the number of records delivered.
+  using NextRecord = std::function<Result<bool>(std::vector<std::uint8_t>*)>;
+  using Deliver = std::function<Status(std::uint64_t index, const void*)>;
+  Result<std::uint64_t> decode_stream(const NextRecord& next,
+                                      const Format& receiver,
+                                      const Deliver& deliver,
+                                      std::size_t window = 0);
+
+  std::size_t workers() const { return workers_; }
+  std::uint64_t records_decoded() const { return records_decoded_; }
+  std::uint64_t batches() const { return batches_; }
+
+ private:
+  void worker_main(std::size_t worker_index);
+  void run_worker(std::size_t worker_index);
+  void record_error(std::size_t index, Status status);
+
+  const Decoder* decoder_;
+  std::size_t workers_;
+  std::vector<std::unique_ptr<Arena>> arenas_;  // one per worker
+  std::vector<std::thread> threads_;
+
+  // Batch hand-off. The pointers below are written under `mu_` before the
+  // generation bump and read by workers after they observe it, so the
+  // mutex carries the happens-before edge; only the index cursor is
+  // contended and it is a plain atomic.
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  bool stop_ = false;                       // guarded by mu_
+  std::uint64_t generation_ = 0;            // guarded by mu_
+  std::size_t workers_done_ = 0;            // guarded by mu_
+  const Request* batch_reqs_ = nullptr;     // guarded by mu_ (hand-off)
+  std::size_t batch_count_ = 0;             // guarded by mu_ (hand-off)
+  const Format* batch_receiver_ = nullptr;  // guarded by mu_ (hand-off)
+  Status first_error_;                      // guarded by mu_
+  std::size_t first_error_index_ = 0;       // guarded by mu_
+  std::atomic<std::size_t> cursor_{0};
+
+  // Stream state, reused across windows so steady-state windows allocate
+  // nothing once buffer capacities have grown.
+  std::vector<std::vector<std::uint8_t>> stream_buffers_;
+  std::vector<std::max_align_t> stream_outs_;
+  std::vector<Request> stream_requests_;
+
+  std::uint64_t records_decoded_ = 0;
+  std::uint64_t batches_ = 0;
+};
+
+}  // namespace xmit::pbio

@@ -119,15 +119,18 @@ struct Decoder::Move {
 // counts, which are data-dependent, are checked per record.
 struct Decoder::Op {
   enum class Kind : std::uint8_t {
-    kCopy,        // memcpy `count` bytes
-    kSwap,        // byte-reverse `count` elements of width src_size
-    kConvert,     // widen/narrow/normalize `count` elements
-    kString,      // `count` pointer slots -> arena strings
-    kDynCopy,     // dynamic array, payload memcpy
-    kDynSwap,     // dynamic array, bulk byte-reverse
-    kDynConvert,  // dynamic array, element conversion
+    kCopy,             // memcpy `count` bytes
+    kSwap,             // byte-reverse `count` elements of width src_size
+    kConvert,          // widen/narrow/normalize `count` elements
+    kString,           // `count` pointer slots -> arena strings
+    kDynCopy,          // dynamic array, payload memcpy
+    kDynSwap,          // dynamic array, bulk byte-reverse
+    kDynConvert,       // dynamic array, element conversion
+    kFusedConvert,     // fused swap+widen/narrow vector kernel
+    kDynFusedConvert,  // dynamic array through the fused kernel
   };
   Kind kind = Kind::kCopy;
+  FusedKind fused = FusedKind::kWidenI32ToI64;  // kFusedConvert / kDynFused*
   FieldKind src_kind = FieldKind::kInteger;
   FieldKind dst_kind = FieldKind::kInteger;
   FieldKind count_kind = FieldKind::kInteger;  // kDyn*
@@ -267,6 +270,9 @@ Status Decoder::compile_conversion(const Format& sender,
             }
             break;
           case Op::Kind::kConvert:
+          case Op::Kind::kFusedConvert:
+            // Same (kind, size) pairs imply the same FusedKind, so fused
+            // ops coalesce under the same test as generic conversions.
             if (prev.src_kind == op.src_kind &&
                 prev.dst_kind == op.dst_kind &&
                 prev.src_size == op.src_size &&
@@ -329,10 +335,17 @@ Status Decoder::compile_conversion(const Format& sender,
                           src.path + "'");
       ElemMode mode = classify(src.kind, src.size, dst.kind, dst.size,
                                same_order, /*bool_memcpy_ok=*/false);
+      if (mode == ElemMode::kSwap && !swap_width_supported(src.size))
+        return Status(ErrorCode::kInternal,
+                      "planner invariant violated: no swap kernel for width " +
+                          std::to_string(src.size) + " in '" + src.path + "'");
       Op op;
       op.kind = mode == ElemMode::kCopy    ? Op::Kind::kDynCopy
                 : mode == ElemMode::kSwap  ? Op::Kind::kDynSwap
                                            : Op::Kind::kDynConvert;
+      if (op.kind == Op::Kind::kDynConvert &&
+          fused_shape(src.kind, src.size, dst.kind, dst.size, &op.fused))
+        op.kind = Op::Kind::kDynFusedConvert;
       op.src_kind = src.kind;
       op.dst_kind = dst.kind;
       op.src_size = src.size;
@@ -361,6 +374,10 @@ Status Decoder::compile_conversion(const Format& sender,
                     "field '" + src.path + "' outside fixed section");
     ElemMode mode = classify(src.kind, src.size, dst.kind, dst.size,
                              same_order, /*bool_memcpy_ok=*/true);
+    if (mode == ElemMode::kSwap && !swap_width_supported(src.size))
+      return Status(ErrorCode::kInternal,
+                    "planner invariant violated: no swap kernel for width " +
+                        std::to_string(src.size) + " in '" + src.path + "'");
     Op op;
     op.src_kind = src.kind;
     op.dst_kind = dst.kind;
@@ -382,7 +399,10 @@ Status Decoder::compile_conversion(const Format& sender,
                    std::uint64_t(count) * dst.size);
         break;
       case ElemMode::kConvert:
-        op.kind = Op::Kind::kConvert;
+        op.kind = fused_shape(src.kind, src.size, dst.kind, dst.size,
+                              &op.fused)
+                      ? Op::Kind::kFusedConvert
+                      : Op::Kind::kConvert;
         op.count = count;
         push_fused(op, std::uint64_t(count) * src.size,
                    std::uint64_t(count) * dst.size);
@@ -448,6 +468,10 @@ PlanView Decoder::view_of(const Plan& plan) {
                 static_cast<int>(PlanOp::Kind::kCopy));
   static_assert(static_cast<int>(Op::Kind::kDynConvert) ==
                 static_cast<int>(PlanOp::Kind::kDynConvert));
+  static_assert(static_cast<int>(Op::Kind::kFusedConvert) ==
+                static_cast<int>(PlanOp::Kind::kFusedConvert));
+  static_assert(static_cast<int>(Op::Kind::kDynFusedConvert) ==
+                static_cast<int>(PlanOp::Kind::kDynFusedConvert));
   PlanView view;
   view.identity = plan.identity;
   view.zero_fill = plan.zero_fill;
@@ -518,10 +542,12 @@ Result<Decoder::PlanStats> Decoder::plan_stats(const FormatPtr& sender,
       case Op::Kind::kCopy: ++stats.copy_ops; break;
       case Op::Kind::kSwap: ++stats.swap_ops; break;
       case Op::Kind::kConvert: ++stats.convert_ops; break;
+      case Op::Kind::kFusedConvert: ++stats.fused_ops; break;
       case Op::Kind::kString: ++stats.string_ops; break;
       case Op::Kind::kDynCopy:
       case Op::Kind::kDynSwap:
-      case Op::Kind::kDynConvert: ++stats.dynamic_ops; break;
+      case Op::Kind::kDynConvert:
+      case Op::Kind::kDynFusedConvert: ++stats.dynamic_ops; break;
     }
   }
   return stats;
@@ -551,16 +577,26 @@ Result<std::string> Decoder::plan_disassembly(const FormatPtr& sender,
                       kind_letter(op.dst_kind), op.dst_size, op.src_offset,
                       op.dst_offset, op.count);
         break;
+      case Op::Kind::kFusedConvert:
+        std::snprintf(line, sizeof(line),
+                      "fuse %s %c%u->%c%u src@%u dst@%u n=%u\n",
+                      fused_kind_name(op.fused), kind_letter(op.src_kind),
+                      op.src_size, kind_letter(op.dst_kind), op.dst_size,
+                      op.src_offset, op.dst_offset, op.count);
+        break;
       case Op::Kind::kString:
         std::snprintf(line, sizeof(line), "str src@%u dst@%u slots=%u\n",
                       op.src_offset, op.dst_offset, op.count);
         break;
       case Op::Kind::kDynCopy:
       case Op::Kind::kDynSwap:
-      case Op::Kind::kDynConvert: {
+      case Op::Kind::kDynConvert:
+      case Op::Kind::kDynFusedConvert: {
         const char* verb = op.kind == Op::Kind::kDynCopy   ? "dyn-copy"
                            : op.kind == Op::Kind::kDynSwap ? "dyn-swap"
-                                                           : "dyn-conv";
+                           : op.kind == Op::Kind::kDynFusedConvert
+                               ? "dyn-fuse"
+                               : "dyn-conv";
         std::snprintf(line, sizeof(line),
                       "%s %c%u->%c%u src@%u dst@%u count@%u\n", verb,
                       kind_letter(op.src_kind), op.src_size,
@@ -626,6 +662,11 @@ Status Decoder::run_program(const Plan& plan, const WireHeader& header,
                          fixed + op.src_offset, op.src_kind, op.src_size,
                          op.count, src_order);
         break;
+      case Op::Kind::kFusedConvert:
+        convert_fused(dst_base + op.dst_offset, op.fused,
+                      fixed + op.src_offset, op.count,
+                      src_order != host_byte_order());
+        break;
       case Op::Kind::kString: {
         for (std::uint32_t i = 0; i < op.count; ++i) {
           std::size_t src_slot = op.src_offset + std::size_t(i) * src_ptr;
@@ -657,7 +698,8 @@ Status Decoder::run_program(const Plan& plan, const WireHeader& header,
       }
       case Op::Kind::kDynCopy:
       case Op::Kind::kDynSwap:
-      case Op::Kind::kDynConvert: {
+      case Op::Kind::kDynConvert:
+      case Op::Kind::kDynFusedConvert: {
         XMIT_ASSIGN_OR_RETURN(
             auto count,
             read_count_field(fixed, op.count_offset, op.count_size,
@@ -688,6 +730,9 @@ Status Decoder::run_program(const Plan& plan, const WireHeader& header,
             std::memcpy(value, var + at, static_cast<std::size_t>(payload));
           else if (op.kind == Op::Kind::kDynSwap)
             swap_elements(value, var + at, n, op.src_size);
+          else if (op.kind == Op::Kind::kDynFusedConvert)
+            convert_fused(value, op.fused, var + at, n,
+                          src_order != host_byte_order());
           else
             convert_elements(value, op.dst_kind, op.dst_size, var + at,
                              op.src_kind, op.src_size, n, src_order);

@@ -53,13 +53,15 @@ struct RecordInfo {
 // Op exactly; `path` is the receiver field the op serves (diagnostics).
 struct PlanOp {
   enum class Kind : std::uint8_t {
-    kCopy,        // memcpy `count` bytes
-    kSwap,        // byte-reverse `count` elements of width src_size
-    kConvert,     // widen/narrow/normalize `count` elements
-    kString,      // `count` pointer slots -> arena strings
-    kDynCopy,     // dynamic array, payload memcpy
-    kDynSwap,     // dynamic array, bulk byte-reverse
-    kDynConvert,  // dynamic array, element conversion
+    kCopy,             // memcpy `count` bytes
+    kSwap,             // byte-reverse `count` elements of width src_size
+    kConvert,          // widen/narrow/normalize `count` elements
+    kString,           // `count` pointer slots -> arena strings
+    kDynCopy,          // dynamic array, payload memcpy
+    kDynSwap,          // dynamic array, bulk byte-reverse
+    kDynConvert,       // dynamic array, element conversion
+    kFusedConvert,     // fused swap+widen/narrow vector kernel
+    kDynFusedConvert,  // dynamic array through the fused kernel
   };
   Kind kind = Kind::kCopy;
   FieldKind src_kind = FieldKind::kInteger;
@@ -152,10 +154,12 @@ class Decoder {
     std::size_t copy_ops = 0;     // coalesced memcpy spans
     std::size_t swap_ops = 0;     // bulk byte-reverse kernels
     std::size_t convert_ops = 0;  // widen/narrow/normalize kernels
+    std::size_t fused_ops = 0;    // fused swap+widen/narrow vector kernels
     std::size_t string_ops = 0;
     std::size_t dynamic_ops = 0;  // dynamic arrays (any element mode)
     std::size_t total() const {
-      return copy_ops + swap_ops + convert_ops + string_ops + dynamic_ops;
+      return copy_ops + swap_ops + convert_ops + fused_ops + string_ops +
+             dynamic_ops;
     }
   };
   Result<PlanStats> plan_stats(const FormatPtr& sender,

@@ -1,5 +1,7 @@
 #include "pbio/encode.hpp"
 
+#include <algorithm>
+#include <cstdio>
 #include <cstring>
 
 namespace xmit::pbio {
@@ -30,6 +32,14 @@ WireHeader host_header(const Format& format, std::size_t fixed_size,
   return header;
 }
 
+void store_slot(std::uint8_t* slot, std::uint64_t value) {
+  // Wire slots are sender-native, and we are the sender: plain stores.
+  if (sizeof(void*) == 8)
+    store_raw<std::uint64_t>(slot, value);
+  else
+    store_raw<std::uint32_t>(slot, static_cast<std::uint32_t>(value));
+}
+
 }  // namespace
 
 Encoder::Encoder(FormatPtr format) : format_(std::move(format)) {
@@ -52,6 +62,57 @@ Encoder::Encoder(FormatPtr format) : format_(std::move(format)) {
     op.path = flat.path;
     program_.push_back(std::move(op));
   }
+  compile_fixed_program();
+}
+
+// Lowers the fixed section to a flat program: the pointer-slot areas
+// (sorted by struct offset) become slot ops with positions in a compact
+// scratch slot block, and everything between them coalesces into copy
+// spans taken straight from the caller's struct. The spans tile
+// [0, struct_size) exactly; a format whose slot areas overlap or run past
+// the struct (impossible through Format::make, but encoders can be built
+// against hand-rolled metadata) drops to the reference walk instead.
+void Encoder::compile_fixed_program() {
+  struct Interval {
+    std::uint32_t offset = 0;
+    std::uint32_t bytes = 0;
+    std::size_t var_index = 0;
+  };
+  std::vector<Interval> slots;
+  slots.reserve(program_.size());
+  for (std::size_t i = 0; i < program_.size(); ++i)
+    slots.push_back({program_[i].offset,
+                     static_cast<std::uint32_t>(program_[i].slot_count *
+                                                sizeof(void*)),
+                     i});
+  std::sort(slots.begin(), slots.end(),
+            [](const Interval& a, const Interval& b) {
+              return a.offset < b.offset;
+            });
+
+  const std::uint32_t struct_size = format_->struct_size();
+  std::uint32_t cursor = 0;
+  std::uint32_t scratch = 0;
+  fixed_ops_.clear();
+  for (const Interval& slot : slots) {
+    if (slot.offset < cursor ||
+        std::uint64_t(slot.offset) + slot.bytes > struct_size) {
+      fixed_ops_.clear();
+      slot_bytes_ = 0;
+      spans_ok_ = false;
+      return;
+    }
+    if (slot.offset > cursor)
+      fixed_ops_.push_back({false, cursor, slot.offset - cursor, 0});
+    fixed_ops_.push_back({true, slot.offset, slot.bytes, scratch});
+    program_[slot.var_index].scratch_offset = scratch;
+    scratch += slot.bytes;
+    cursor = slot.offset + slot.bytes;
+  }
+  if (cursor < struct_size)
+    fixed_ops_.push_back({false, cursor, struct_size - cursor, 0});
+  slot_bytes_ = scratch;
+  spans_ok_ = true;
 }
 
 Result<Encoder> Encoder::make(FormatPtr format) {
@@ -72,41 +133,33 @@ Result<std::uint64_t> Encoder::read_var_count(const std::uint8_t* record,
                           ErrorCode::kInvalidArgument);
 }
 
-Status Encoder::encode(const void* record, ByteBuffer& out) const {
-  const auto* bytes = static_cast<const std::uint8_t*>(record);
-  const std::size_t record_start = out.size();
-  const std::size_t fixed_size = format_->struct_size();
-
-  out.reserve_slot(WireHeader::kSize);
-  const std::size_t fixed_start = out.size();
-  out.append(bytes, fixed_size);
-
-  // Variable section. Slots hold var-relative offset + 1; 0 means null.
-  std::size_t var_size = 0;
+// The var-field program, parameterized over where slot values land and
+// how payload/padding bytes are emitted — encode() appends them to the
+// output buffer, encode_iov() pushes gather slices. Both callers see the
+// exact same slot values and payload order, which is what keeps their
+// records byte-identical.
+template <typename PatchSlot, typename EmitPayload, typename EmitPadding>
+Status Encoder::run_var_program(const std::uint8_t* bytes,
+                                std::size_t fixed_size, std::size_t& var_size,
+                                PatchSlot&& patch_slot,
+                                EmitPayload&& emit_payload,
+                                EmitPadding&& emit_padding) const {
   const std::size_t ptr_size = sizeof(void*);
-
-  auto patch_slot = [&](std::size_t slot_offset, std::uint64_t value) {
-    // Wire slots are sender-native, and we are the sender: plain stores.
-    if (ptr_size == 8)
-      store_raw<std::uint64_t>(out.data() + fixed_start + slot_offset, value);
-    else
-      store_raw<std::uint32_t>(out.data() + fixed_start + slot_offset,
-                               static_cast<std::uint32_t>(value));
-  };
-
   for (const auto& op : program_) {
     if (op.is_string) {
       // Scalar string or fixed array of strings: one slot per element.
+      // Slots hold var-relative offset + 1; 0 means null.
       for (std::uint32_t i = 0; i < op.slot_count; ++i) {
         std::size_t slot_offset = op.offset + std::size_t(i) * ptr_size;
         const char* str = load_raw<const char*>(bytes + slot_offset);
         if (str == nullptr) {
-          patch_slot(slot_offset, 0);
+          patch_slot(op, i, 0);
           continue;
         }
         std::size_t len = std::strlen(str);
-        patch_slot(slot_offset, var_size + 1);
-        out.append(str, len + 1);  // keep the NUL: receiver re-points at it
+        patch_slot(op, i, var_size + 1);
+        emit_payload(reinterpret_cast<const std::uint8_t*>(str),
+                     len + 1);  // keep the NUL: receiver re-points at it
         var_size += len + 1;
       }
       continue;
@@ -120,20 +173,80 @@ Status Encoder::encode(const void* record, ByteBuffer& out) const {
         return make_error(ErrorCode::kInvalidArgument,
                           "field '" + op.path + "' is null but its count is " +
                               std::to_string(count));
-      patch_slot(op.offset, 0);
+      patch_slot(op, 0, 0);
       continue;
     }
     // Pad so the payload lands naturally aligned in the record.
     std::size_t aligned =
         align_up(WireHeader::kSize + fixed_size + var_size, op.align) -
         (WireHeader::kSize + fixed_size);
-    out.append_zeros(aligned - var_size);
-    var_size = aligned;
+    if (aligned != var_size) {
+      emit_padding(aligned - var_size);
+      var_size = aligned;
+    }
     std::size_t payload = std::size_t(count) * op.elem_size;
-    patch_slot(op.offset, var_size + 1);
-    out.append(data, payload);
+    patch_slot(op, 0, var_size + 1);
+    emit_payload(data, payload);
     var_size += payload;
   }
+  return Status::ok();
+}
+
+Status Encoder::encode(const void* record, ByteBuffer& out) const {
+  if (!spans_ok_) return encode_reference(record, out);
+  const auto* bytes = static_cast<const std::uint8_t*>(record);
+  const std::size_t record_start = out.size();
+  const std::size_t fixed_size = format_->struct_size();
+
+  out.reserve_slot(WireHeader::kSize);
+  const std::size_t fixed_start = out.size();
+  // Fixed-section program: copy spans from the caller's struct, zeros for
+  // slot areas (every slot byte is overwritten by a patch below).
+  for (const FixedOp& fop : fixed_ops_) {
+    if (fop.is_slot)
+      out.append_zeros(fop.bytes);
+    else
+      out.append(bytes + fop.offset, fop.bytes);
+  }
+
+  std::size_t var_size = 0;
+  auto patch = [&](const VarOp& op, std::uint32_t slot, std::uint64_t value) {
+    store_slot(out.data() + fixed_start + op.offset +
+                   std::size_t(slot) * sizeof(void*),
+               value);
+  };
+  auto payload = [&](const std::uint8_t* data, std::size_t n) {
+    out.append(data, n);
+  };
+  auto padding = [&](std::size_t n) { out.append_zeros(n); };
+  XMIT_RETURN_IF_ERROR(
+      run_var_program(bytes, fixed_size, var_size, patch, payload, padding));
+
+  patch_header(out, record_start, host_header(*format_, fixed_size, var_size));
+  return Status::ok();
+}
+
+Status Encoder::encode_reference(const void* record, ByteBuffer& out) const {
+  const auto* bytes = static_cast<const std::uint8_t*>(record);
+  const std::size_t record_start = out.size();
+  const std::size_t fixed_size = format_->struct_size();
+
+  out.reserve_slot(WireHeader::kSize);
+  const std::size_t fixed_start = out.size();
+  out.append(bytes, fixed_size);
+
+  std::size_t var_size = 0;
+  auto patch = [&](const VarOp& op, std::uint32_t slot, std::uint64_t value) {
+    store_slot(out.data() + fixed_start + op.offset +
+                   std::size_t(slot) * sizeof(void*),
+               value);
+  };
+  auto payload = [&](const std::uint8_t* data, std::size_t n) {
+    out.append(data, n);
+  };
+  auto padding = [&](std::size_t n) { out.append_zeros(n); };
+  XMIT_RETURN_IF_ERROR(
+      run_var_program(bytes, fixed_size, var_size, patch, payload, padding));
 
   patch_header(out, record_start, host_header(*format_, fixed_size, var_size));
   return Status::ok();
@@ -155,64 +268,75 @@ Status Encoder::encode_iov(const void* record, ByteBuffer& scratch,
     return Status::ok();
   }
 
-  // Var-bearing format: the fixed section needs its pointer slots patched,
-  // so it is copied into scratch once. Var payloads are still referenced
-  // from the caller's memory. Scratch reaches its final size here, before
-  // any slice takes a pointer into it — later writes only patch in place.
-  scratch.reserve(WireHeader::kSize + fixed_size);
-  scratch.reserve_slot(WireHeader::kSize);
-  scratch.append(bytes, fixed_size);
-  slices.push_back({scratch.data(), WireHeader::kSize + fixed_size});
+  if (!spans_ok_) {
+    // Reference gather: the whole fixed section is copied into scratch
+    // and patched there. Scratch reaches its final size before any slice
+    // takes a pointer into it — later writes only patch in place.
+    scratch.reserve(WireHeader::kSize + fixed_size);
+    scratch.reserve_slot(WireHeader::kSize);
+    scratch.append(bytes, fixed_size);
+    slices.push_back({scratch.data(), WireHeader::kSize + fixed_size});
 
-  std::size_t var_size = 0;
-  const std::size_t ptr_size = sizeof(void*);
-  auto patch_slot = [&](std::size_t slot_offset, std::uint64_t value) {
-    std::uint8_t* slot = scratch.data() + WireHeader::kSize + slot_offset;
-    if (ptr_size == 8)
-      store_raw<std::uint64_t>(slot, value);
-    else
-      store_raw<std::uint32_t>(slot, static_cast<std::uint32_t>(value));
+    std::size_t var_size = 0;
+    auto patch = [&](const VarOp& op, std::uint32_t slot,
+                     std::uint64_t value) {
+      store_slot(scratch.data() + WireHeader::kSize + op.offset +
+                     std::size_t(slot) * sizeof(void*),
+                 value);
+    };
+    auto payload = [&](const std::uint8_t* data, std::size_t n) {
+      slices.push_back({data, n});
+    };
+    auto padding = [&](std::size_t n) {
+      slices.push_back({kZeroPadding, n});
+    };
+    XMIT_RETURN_IF_ERROR(
+        run_var_program(bytes, fixed_size, var_size, patch, payload, padding));
+    patch_header(scratch, 0, host_header(*format_, fixed_size, var_size));
+    return Status::ok();
+  }
+
+  // Compiled gather: scratch holds only the header and the compact slot
+  // block; every copy span references the caller's struct directly.
+  // Scratch reaches its final size here, before any slice takes a pointer
+  // into it — the var walk below only patches slot values in place.
+  scratch.reserve(WireHeader::kSize + slot_bytes_);
+  scratch.reserve_slot(WireHeader::kSize);
+  scratch.append_zeros(slot_bytes_);
+
+  auto push_slice = [&](const std::uint8_t* data, std::size_t n) {
+    if (n == 0) return;
+    if (!slices.empty()) {
+      IoSlice& prev = slices.back();
+      if (static_cast<const std::uint8_t*>(prev.data) + prev.size == data) {
+        prev.size += n;  // adjacent in memory: one iovec entry
+        return;
+      }
+    }
+    slices.push_back({data, n});
   };
 
-  for (const auto& op : program_) {
-    if (op.is_string) {
-      for (std::uint32_t i = 0; i < op.slot_count; ++i) {
-        std::size_t slot_offset = op.offset + std::size_t(i) * ptr_size;
-        const char* str = load_raw<const char*>(bytes + slot_offset);
-        if (str == nullptr) {
-          patch_slot(slot_offset, 0);
-          continue;
-        }
-        std::size_t len = std::strlen(str);
-        patch_slot(slot_offset, var_size + 1);
-        slices.push_back({str, len + 1});  // includes the NUL
-        var_size += len + 1;
-      }
-      continue;
-    }
-
-    XMIT_ASSIGN_OR_RETURN(auto count, read_var_count(bytes, op));
-    const std::uint8_t* data = load_raw<const std::uint8_t*>(bytes + op.offset);
-    if (data == nullptr) {
-      if (count != 0)
-        return make_error(ErrorCode::kInvalidArgument,
-                          "field '" + op.path + "' is null but its count is " +
-                              std::to_string(count));
-      patch_slot(op.offset, 0);
-      continue;
-    }
-    std::size_t aligned =
-        align_up(WireHeader::kSize + fixed_size + var_size, op.align) -
-        (WireHeader::kSize + fixed_size);
-    if (aligned != var_size) {
-      slices.push_back({kZeroPadding, aligned - var_size});
-      var_size = aligned;
-    }
-    std::size_t payload = std::size_t(count) * op.elem_size;
-    patch_slot(op.offset, var_size + 1);
-    slices.push_back({data, payload});
-    var_size += payload;
+  push_slice(scratch.data(), WireHeader::kSize);
+  for (const FixedOp& fop : fixed_ops_) {
+    if (fop.is_slot)
+      push_slice(scratch.data() + WireHeader::kSize + fop.scratch_offset,
+                 fop.bytes);
+    else
+      push_slice(bytes + fop.offset, fop.bytes);
   }
+
+  std::size_t var_size = 0;
+  auto patch = [&](const VarOp& op, std::uint32_t slot, std::uint64_t value) {
+    store_slot(scratch.data() + WireHeader::kSize + op.scratch_offset +
+                   std::size_t(slot) * sizeof(void*),
+               value);
+  };
+  auto payload = [&](const std::uint8_t* data, std::size_t n) {
+    push_slice(data, n);
+  };
+  auto padding = [&](std::size_t n) { push_slice(kZeroPadding, n); };
+  XMIT_RETURN_IF_ERROR(
+      run_var_program(bytes, fixed_size, var_size, patch, payload, padding));
 
   patch_header(scratch, 0, host_header(*format_, fixed_size, var_size));
   return Status::ok();
@@ -245,6 +369,42 @@ Result<std::size_t> Encoder::encoded_size(const void* record) const {
     var_size += std::size_t(count) * op.elem_size;
   }
   return WireHeader::kSize + fixed_size + var_size;
+}
+
+Encoder::PlanStats Encoder::plan_stats() const {
+  PlanStats stats;
+  stats.contiguous = program_.empty();
+  for (const FixedOp& fop : fixed_ops_)
+    fop.is_slot ? ++stats.slot_ops : ++stats.copy_ops;
+  for (const VarOp& op : program_)
+    op.is_string ? ++stats.string_ops : ++stats.dynamic_ops;
+  return stats;
+}
+
+std::string Encoder::plan_disassembly() const {
+  std::string out;
+  if (!spans_ok_) out += "reference-walk\n";
+  for (const FixedOp& fop : fixed_ops_) {
+    char line[96];
+    if (fop.is_slot)
+      std::snprintf(line, sizeof(line), "slots struct@%u len=%u scratch@%u\n",
+                    fop.offset, fop.bytes, fop.scratch_offset);
+    else
+      std::snprintf(line, sizeof(line), "copy struct@%u len=%u\n", fop.offset,
+                    fop.bytes);
+    out += line;
+  }
+  for (const VarOp& op : program_) {
+    char line[96];
+    if (op.is_string)
+      std::snprintf(line, sizeof(line), "str slot@%u slots=%u\n", op.offset,
+                    op.slot_count);
+    else
+      std::snprintf(line, sizeof(line), "dyn slot@%u elem=%u count@%u\n",
+                    op.offset, op.elem_size, op.count_offset);
+    out += line;
+  }
+  return out;
 }
 
 }  // namespace xmit::pbio

@@ -1,19 +1,24 @@
 // Encoder: in-memory struct -> PBIO wire record.
 //
-// Construction compiles the format into a var-field program once; encode()
-// is then a header write, one memcpy of the fixed section, and one append +
-// slot patch per out-of-line field. Contiguous formats (no strings, no
-// dynamic arrays) encode as a single memcpy — the property Figure 7/8
-// depend on.
+// Construction *compiles* the format, the same way the decoder compiles
+// marshal plans (DESIGN.md §5d/§5i): the fixed section becomes a flat
+// program of ops in struct-offset order — coalesced copy spans taken
+// straight from the caller's struct, and pointer-slot areas that the
+// variable-field walk patches — plus the var-field program (strings and
+// dynamic arrays, in flat-field order, which fixes the variable-section
+// byte layout). encode() executes the program into a ByteBuffer;
+// encode_iov() executes it as a writev-style gather list in which copy
+// spans reference the caller's memory directly, so only the header and
+// the pointer slots are ever copied into scratch — the fixed section of
+// a wide struct ships with zero copies.
 //
-// encode_iov() goes one step further: instead of copying payload bytes into
-// a buffer it emits a writev-style gather list. The fixed section of a
-// contiguous format is transmitted straight from the caller's struct; only
-// the 32-byte header (and, for var-bearing formats, the slot-patched fixed
-// section) lives in the caller-supplied scratch buffer.
+// The original per-field walk survives as encode_reference(), the oracle
+// the differential tests compare the compiled program against; both
+// produce byte-identical records.
 #pragma once
 
 #include <span>
+#include <string>
 #include <vector>
 
 #include "common/bytes.hpp"
@@ -33,7 +38,14 @@ class Encoder {
   const Format& format() const { return *format_; }
 
   // Appends one complete wire record for the struct at `record` to `out`.
+  // Executes the compiled fixed-section program.
   Status encode(const void* record, ByteBuffer& out) const;
+
+  // Reference encode: the original per-field walk (one memcpy of the whole
+  // fixed section, then per-var-op slot patches). Byte-identical to
+  // encode() by contract — kept as the oracle for the differential tests
+  // and as the readable specification. Not a hot path.
+  Status encode_reference(const void* record, ByteBuffer& out) const;
 
   // Gather-list encode: fills `slices` with spans whose concatenation is
   // the wire record, copying as little as possible. `scratch` and `slices`
@@ -53,6 +65,25 @@ class Encoder {
   // paper's "Encoded Size" column.
   Result<std::size_t> encoded_size(const void* record) const;
 
+  // Shape of the compiled fixed-section program, mirroring
+  // Decoder::PlanStats: how many coalesced copy spans and slot areas the
+  // compiler produced, and how many var ops execute per record.
+  struct PlanStats {
+    bool contiguous = false;    // no slots: single span from caller memory
+    std::size_t copy_ops = 0;   // coalesced fixed-section spans
+    std::size_t slot_ops = 0;   // pointer-slot areas (patched per record)
+    std::size_t string_ops = 0;
+    std::size_t dynamic_ops = 0;
+    std::size_t total() const {
+      return copy_ops + slot_ops + string_ops + dynamic_ops;
+    }
+  };
+  PlanStats plan_stats() const;
+
+  // One line per op ("copy struct@0 len=16"), fixed-section program first,
+  // then the var program, in execution order.
+  std::string plan_disassembly() const;
+
  private:
   // One out-of-line field, with everything encode needs precomputed so the
   // hot loop never consults the Format.
@@ -65,16 +96,40 @@ class Encoder {
     std::uint32_t count_offset = 0;
     std::uint32_t count_size = 0;
     FieldKind count_kind = FieldKind::kInteger;
+    std::uint32_t scratch_offset = 0;  // slot area in the iov slot block
     std::string path;  // diagnostics only
+  };
+
+  // One instruction of the compiled fixed-section program, in struct-
+  // offset order; the spans tile [0, struct_size) exactly.
+  struct FixedOp {
+    bool is_slot = false;           // pointer-slot area vs raw copy span
+    std::uint32_t offset = 0;       // struct offset
+    std::uint32_t bytes = 0;
+    std::uint32_t scratch_offset = 0;  // slots: position in the slot block
   };
 
   explicit Encoder(FormatPtr format);
 
+  void compile_fixed_program();
+
   Result<std::uint64_t> read_var_count(const std::uint8_t* record,
                                        const VarOp& op) const;
 
+  template <typename PatchSlot, typename EmitPayload, typename EmitPadding>
+  Status run_var_program(const std::uint8_t* bytes, std::size_t fixed_size,
+                         std::size_t& var_size, PatchSlot&& patch_slot,
+                         EmitPayload&& emit_payload,
+                         EmitPadding&& emit_padding) const;
+
   FormatPtr format_;
-  std::vector<VarOp> program_;  // strings + dynamic arrays only
+  std::vector<VarOp> program_;     // strings + dynamic arrays only
+  std::vector<FixedOp> fixed_ops_;  // tiles the fixed section
+  std::uint32_t slot_bytes_ = 0;    // total pointer-slot bytes
+  bool spans_ok_ = false;  // fixed_ops_ tiles the struct exactly; when a
+                           // format defeats the span builder (overlapping
+                           // or unordered slots) every path falls back to
+                           // the reference walk
 };
 
 }  // namespace xmit::pbio

@@ -1,8 +1,52 @@
 #include "pbio/kernels.hpp"
 
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
+#include "pbio/simd.hpp"
+
 namespace xmit::pbio {
+namespace simd {
+namespace {
+
+bool env_default() {
+  const char* value = std::getenv("XMIT_SIMD");
+  if (value == nullptr) return true;
+  return !(std::strcmp(value, "0") == 0 || std::strcmp(value, "off") == 0 ||
+           std::strcmp(value, "OFF") == 0 ||
+           std::strcmp(value, "false") == 0 ||
+           std::strcmp(value, "no") == 0);
+}
+
+std::atomic<bool>& runtime_flag() {
+  static std::atomic<bool> flag{env_default()};
+  return flag;
+}
+
+}  // namespace
+
+const char* backend() {
+#if XMIT_SIMD_SSE2
+  return "sse2";
+#elif XMIT_SIMD_NEON
+  return "neon";
+#else
+  return "scalar";
+#endif
+}
+
+bool enabled() {
+  return compiled_in() && runtime_flag().load(std::memory_order_relaxed);
+}
+
+void set_enabled(bool on) {
+  runtime_flag().store(on, std::memory_order_relaxed);
+}
+
+}  // namespace simd
+
 namespace {
 
 template <typename U>
@@ -180,20 +224,167 @@ void swap_elements(std::uint8_t* dst, const std::uint8_t* src,
                    std::size_t count, std::uint32_t width) {
   switch (width) {
     case 2:
+#if XMIT_SIMD_HAVE
+      if (simd::enabled()) {
+        // 4 blocks per iteration: the shift/or swap chains are
+        // latency-bound, so independent blocks in flight hide them.
+        for (; count >= 32; count -= 32, src += 64, dst += 64) {
+          simd::swap16_block(dst, src);
+          simd::swap16_block(dst + 16, src + 16);
+          simd::swap16_block(dst + 32, src + 32);
+          simd::swap16_block(dst + 48, src + 48);
+        }
+        for (; count >= 8; count -= 8, src += 16, dst += 16)
+          simd::swap16_block(dst, src);
+      }
+#endif
       for (std::size_t i = 0; i < count; ++i)
         store_raw(dst + i * 2, bswap16(load_raw<std::uint16_t>(src + i * 2)));
       return;
     case 4:
+#if XMIT_SIMD_HAVE
+      if (simd::enabled()) {
+        for (; count >= 16; count -= 16, src += 64, dst += 64) {
+          simd::swap32_block(dst, src);
+          simd::swap32_block(dst + 16, src + 16);
+          simd::swap32_block(dst + 32, src + 32);
+          simd::swap32_block(dst + 48, src + 48);
+        }
+        for (; count >= 4; count -= 4, src += 16, dst += 16)
+          simd::swap32_block(dst, src);
+      }
+#endif
       for (std::size_t i = 0; i < count; ++i)
         store_raw(dst + i * 4, bswap32(load_raw<std::uint32_t>(src + i * 4)));
       return;
     case 8:
+#if XMIT_SIMD_HAVE
+      if (simd::enabled()) {
+        for (; count >= 8; count -= 8, src += 64, dst += 64) {
+          simd::swap64_block(dst, src);
+          simd::swap64_block(dst + 16, src + 16);
+          simd::swap64_block(dst + 32, src + 32);
+          simd::swap64_block(dst + 48, src + 48);
+        }
+        for (; count >= 2; count -= 2, src += 16, dst += 16)
+          simd::swap64_block(dst, src);
+      }
+#endif
       for (std::size_t i = 0; i < count; ++i)
         store_raw(dst + i * 8, bswap64(load_raw<std::uint64_t>(src + i * 8)));
       return;
     default:
-      // width 1 never reaches a swap op; other widths are planner bugs.
-      std::memcpy(dst, src, std::size_t(width) * count);
+      // Unreachable through a verified plan: the plan builder rejects any
+      // swap whose width fails swap_width_supported() before the op is
+      // admitted. Ending up here means memory corruption or a planner bug
+      // — silently copying (the old behavior) would emit garbage records,
+      // so die loudly instead.
+      std::fprintf(stderr,
+                   "xmit/pbio: swap_elements called with unsupported width "
+                   "%u (planner invariant violated)\n",
+                   width);
+      std::abort();
+  }
+}
+
+const char* fused_kind_name(FusedKind kind) {
+  switch (kind) {
+    case FusedKind::kWidenI32ToI64: return "widen-i32";
+    case FusedKind::kWidenU32ToU64: return "widen-u32";
+    case FusedKind::kNarrow64To32: return "narrow-64";
+    case FusedKind::kWidenF32ToF64: return "widen-f32";
+    case FusedKind::kNarrowF64ToF32: return "narrow-f64";
+  }
+  return "?";
+}
+
+bool fused_shape(FieldKind src_kind, std::uint32_t src_size,
+                 FieldKind dst_kind, std::uint32_t dst_size,
+                 FusedKind* kind) {
+  const bool src_int =
+      src_kind == FieldKind::kInteger || src_kind == FieldKind::kUnsigned;
+  const bool dst_int =
+      dst_kind == FieldKind::kInteger || dst_kind == FieldKind::kUnsigned;
+  FusedKind picked;
+  if (src_int && dst_int && src_size == 4 && dst_size == 8) {
+    picked = src_kind == FieldKind::kInteger ? FusedKind::kWidenI32ToI64
+                                             : FusedKind::kWidenU32ToU64;
+  } else if (src_int && dst_int && src_size == 8 && dst_size == 4) {
+    picked = FusedKind::kNarrow64To32;
+  } else if (src_kind == FieldKind::kFloat && dst_kind == FieldKind::kFloat &&
+             src_size == 4 && dst_size == 8) {
+    picked = FusedKind::kWidenF32ToF64;
+  } else if (src_kind == FieldKind::kFloat && dst_kind == FieldKind::kFloat &&
+             src_size == 8 && dst_size == 4) {
+    picked = FusedKind::kNarrowF64ToF32;
+  } else {
+    return false;
+  }
+  if (kind != nullptr) *kind = picked;
+  return true;
+}
+
+void convert_fused(std::uint8_t* dst, FusedKind kind,
+                   const std::uint8_t* src, std::size_t count,
+                   bool swap_src) {
+  // Each case: SIMD main loop over whole 128-bit blocks, then a scalar
+  // tail that mirrors the reference interpreter element for element.
+  switch (kind) {
+    case FusedKind::kWidenI32ToI64:
+#if XMIT_SIMD_HAVE
+      if (simd::enabled())
+        for (; count >= 4; count -= 4, src += 16, dst += 32)
+          simd::widen_i32_block(dst, src, swap_src);
+#endif
+      for (; count > 0; --count, src += 4, dst += 8) {
+        std::uint32_t u = load_u<std::uint32_t>(src, swap_src);
+        store_raw(dst, static_cast<std::uint64_t>(static_cast<std::int64_t>(
+                           static_cast<std::int32_t>(u))));
+      }
+      return;
+    case FusedKind::kWidenU32ToU64:
+#if XMIT_SIMD_HAVE
+      if (simd::enabled())
+        for (; count >= 4; count -= 4, src += 16, dst += 32)
+          simd::widen_u32_block(dst, src, swap_src);
+#endif
+      for (; count > 0; --count, src += 4, dst += 8) {
+        store_raw(dst,
+                  static_cast<std::uint64_t>(load_u<std::uint32_t>(src, swap_src)));
+      }
+      return;
+    case FusedKind::kNarrow64To32:
+#if XMIT_SIMD_HAVE
+      if (simd::enabled())
+        for (; count >= 4; count -= 4, src += 32, dst += 16)
+          simd::narrow_64_block(dst, src, swap_src);
+#endif
+      for (; count > 0; --count, src += 8, dst += 4) {
+        store_raw(dst, static_cast<std::uint32_t>(
+                           load_u<std::uint64_t>(src, swap_src)));
+      }
+      return;
+    case FusedKind::kWidenF32ToF64:
+#if XMIT_SIMD_HAVE
+      if (simd::enabled())
+        for (; count >= 4; count -= 4, src += 16, dst += 32)
+          simd::widen_f32_block(dst, src, swap_src);
+#endif
+      for (; count > 0; --count, src += 4, dst += 8) {
+        const double v = bits_to_float(load_u<std::uint32_t>(src, swap_src));
+        store_raw(dst, double_bits(v));
+      }
+      return;
+    case FusedKind::kNarrowF64ToF32:
+#if XMIT_SIMD_HAVE
+      if (simd::enabled())
+        for (; count >= 4; count -= 4, src += 32, dst += 16)
+          simd::narrow_f64_block(dst, src, swap_src);
+#endif
+      for (; count > 0; --count, src += 8, dst += 4) {
+        const double v = bits_to_double(load_u<std::uint64_t>(src, swap_src));
+        store_raw(dst, float_bits(static_cast<float>(v)));
+      }
       return;
   }
 }
@@ -203,6 +394,14 @@ void convert_elements(std::uint8_t* dst, FieldKind dst_kind,
                       FieldKind src_kind, std::uint32_t src_size,
                       std::size_t count, ByteOrder src_order) {
   const bool swap = src_order != host_byte_order();
+  // Shapes with a fused kernel take it even when the caller did not go
+  // through a fused plan op (e.g. reference-built tools): the fused path
+  // is bit-identical by contract.
+  FusedKind fused;
+  if (fused_shape(src_kind, src_size, dst_kind, dst_size, &fused)) {
+    convert_fused(dst, fused, src, count, swap);
+    return;
+  }
   with_loader(src_kind, src_size, swap, [&](auto load) {
     with_storer(dst_kind, dst_size, [&](auto store) {
       for (std::size_t i = 0; i < count; ++i)

@@ -5,6 +5,13 @@
 // loops carry no Result plumbing and no per-element dispatch: each
 // (source type, destination type) combination instantiates one fully-typed
 // loop the compiler can unroll and vectorize.
+//
+// The swap and fused-conversion kernels additionally carry hand-written
+// 128-bit SIMD main loops (pbio/simd.hpp: SSE2 / NEON, scalar fallback at
+// build and run time); their scalar tails replicate the reference
+// interpreter exactly, so every variant is bit-identical to
+// decode_reference() — the differential tests prove it with the toggle in
+// both positions.
 #pragma once
 
 #include <cstddef>
@@ -15,13 +22,53 @@
 
 namespace xmit::pbio {
 
+// The widths the byte-swap kernel implements. The plan builder checks
+// this before it emits a swap op and fails the plan with a typed error
+// otherwise; swap_elements() itself aborts on an unsupported width —
+// reaching it with one is a planner bug, never a data-dependent state.
+inline bool swap_width_supported(std::uint32_t width) {
+  return width == 2 || width == 4 || width == 8;
+}
+
 // Byte-reverses `count` elements of `width` bytes (2, 4 or 8) from `src`
 // to `dst`. Bit-preserving: NaN payloads and non-canonical booleans pass
 // through untouched, which is why the planner only emits swap ops for
 // integer/unsigned/float fields of equal width (booleans must normalize
-// and go through convert_elements instead).
+// and go through convert_elements instead). Widths outside
+// swap_width_supported() abort the process.
 void swap_elements(std::uint8_t* dst, const std::uint8_t* src,
                    std::size_t count, std::uint32_t width);
+
+// The conversions common enough to earn a fused kernel: one pass that
+// byte-swaps (optionally) and widens/narrows in vector registers instead
+// of round-tripping every element through the generic 64-bit
+// intermediate. Selected by the *source* kind: sign- vs zero-extension
+// follows the sender's declaration, truncation is sign-agnostic.
+enum class FusedKind : std::uint8_t {
+  kWidenI32ToI64,   // sign-extend int32 -> 64-bit integer
+  kWidenU32ToU64,   // zero-extend uint32 -> 64-bit integer
+  kNarrow64To32,    // truncate 64-bit integer -> 32-bit integer
+  kWidenF32ToF64,   // float -> double (exact)
+  kNarrowF64ToF32,  // double -> float (round to nearest-even)
+};
+
+const char* fused_kind_name(FusedKind kind);
+
+// True when the (kind, size) pair has a fused kernel, i.e. when
+// convert_fused(dst, *kind, ...) is bit-identical to convert_elements()
+// for this shape. Booleans never qualify (they normalize to 0/1), nor do
+// int<->float changes or width-preserving moves (those are swap/copy).
+bool fused_shape(FieldKind src_kind, std::uint32_t src_size,
+                 FieldKind dst_kind, std::uint32_t dst_size,
+                 FusedKind* kind);
+
+// Runs one fused conversion over `count` elements. `swap_src` byte-
+// reverses each source element (at the source width) before converting —
+// the cross-endian case the plan coalescer targets. Destination bytes
+// are written in host order.
+void convert_fused(std::uint8_t* dst, FusedKind kind,
+                   const std::uint8_t* src, std::size_t count,
+                   bool swap_src);
 
 // General element conversion: width changes (sign/zero-extending or
 // truncating per the source kind), float<->double, boolean normalization,

@@ -1,0 +1,231 @@
+// Portable SIMD layer for the marshal kernels (DESIGN.md §5i).
+//
+// One backend is selected at compile time — SSE2 on x86-64, NEON on
+// AArch64, scalar everywhere else (and everywhere when the build forces
+// XMIT_SIMD_FORCE_SCALAR via -DXMIT_SIMD=OFF). The vector backends are
+// additionally gated on a little-endian host: the fused widen/narrow
+// block kernels lay 64-bit lanes out with unpack instructions whose
+// low/high halves only line up with memory order on LE machines.
+//
+// On top of the compile-time gate sits a runtime toggle: simd::enabled()
+// consults an atomic flag seeded from the XMIT_SIMD environment variable
+// ("off"/"0"/"false"/"no" disable) and overridable per process with
+// simd::set_enabled(). Every kernel in kernels.cpp keeps its scalar loop
+// as the tail handler, so flipping the toggle mid-run is always safe —
+// the differential tests run both settings and require bit-identical
+// output.
+//
+// The primitives here each transform exactly one 128-bit block (16
+// source bytes for the swaps and widens, 32 for the narrows); callers
+// own the loop structure and the scalar tails.
+#pragma once
+
+#include <cstdint>
+
+#if !defined(XMIT_SIMD_FORCE_SCALAR) && \
+    defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+#if defined(__SSE2__) || (defined(_M_X64) && !defined(__clang__))
+#define XMIT_SIMD_SSE2 1
+#include <emmintrin.h>
+#elif defined(__aarch64__) && defined(__ARM_NEON)
+#define XMIT_SIMD_NEON 1
+#include <arm_neon.h>
+#endif
+#endif
+
+#if defined(XMIT_SIMD_SSE2) || defined(XMIT_SIMD_NEON)
+#define XMIT_SIMD_HAVE 1
+#else
+#define XMIT_SIMD_HAVE 0
+#endif
+
+namespace xmit::pbio::simd {
+
+// Compile-time: was a vector backend built in at all?
+constexpr bool compiled_in() { return XMIT_SIMD_HAVE != 0; }
+
+// The backend this binary was compiled with: "sse2", "neon" or "scalar".
+const char* backend();
+
+// compiled_in() && the runtime toggle. Kernels consult this once per call.
+bool enabled();
+
+// Runtime toggle (test seam and XMIT_SIMD env override). Thread-safe.
+void set_enabled(bool on);
+
+#if XMIT_SIMD_SSE2
+
+inline __m128i load128(const std::uint8_t* p) {
+  return _mm_loadu_si128(reinterpret_cast<const __m128i*>(p));
+}
+inline void store128(std::uint8_t* p, __m128i v) {
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(p), v);
+}
+
+// Byte-reverse every 16-bit lane. SSE2 has no pshufb, so the swaps are
+// built from 16-bit shifts and word shuffles.
+inline __m128i bswap16_lanes(__m128i v) {
+  return _mm_or_si128(_mm_slli_epi16(v, 8), _mm_srli_epi16(v, 8));
+}
+inline __m128i bswap32_lanes(__m128i v) {
+  v = bswap16_lanes(v);
+  // Swap the 16-bit halves of each 32-bit lane with word shuffles —
+  // one op fewer than the shift/shift/or rotate, and on the shuffle
+  // port instead of the (already busy) shift port.
+  v = _mm_shufflelo_epi16(v, _MM_SHUFFLE(2, 3, 0, 1));
+  return _mm_shufflehi_epi16(v, _MM_SHUFFLE(2, 3, 0, 1));
+}
+inline __m128i bswap64_lanes(__m128i v) {
+  v = bswap16_lanes(v);
+  v = _mm_shufflelo_epi16(v, _MM_SHUFFLE(0, 1, 2, 3));
+  return _mm_shufflehi_epi16(v, _MM_SHUFFLE(0, 1, 2, 3));
+}
+
+// 8 x u16 byte-swap: 16 bytes in, 16 bytes out.
+inline void swap16_block(std::uint8_t* dst, const std::uint8_t* src) {
+  store128(dst, bswap16_lanes(load128(src)));
+}
+// 4 x u32 byte-swap.
+inline void swap32_block(std::uint8_t* dst, const std::uint8_t* src) {
+  store128(dst, bswap32_lanes(load128(src)));
+}
+// 2 x u64 byte-swap.
+inline void swap64_block(std::uint8_t* dst, const std::uint8_t* src) {
+  store128(dst, bswap64_lanes(load128(src)));
+}
+
+// 4 x int32 -> 4 x int64 sign-extend: 16 bytes in, 32 bytes out.
+inline void widen_i32_block(std::uint8_t* dst, const std::uint8_t* src,
+                            bool swap_src) {
+  __m128i v = load128(src);
+  if (swap_src) v = bswap32_lanes(v);
+  const __m128i sign = _mm_srai_epi32(v, 31);
+  store128(dst, _mm_unpacklo_epi32(v, sign));
+  store128(dst + 16, _mm_unpackhi_epi32(v, sign));
+}
+
+// 4 x uint32 -> 4 x uint64 zero-extend.
+inline void widen_u32_block(std::uint8_t* dst, const std::uint8_t* src,
+                            bool swap_src) {
+  __m128i v = load128(src);
+  if (swap_src) v = bswap32_lanes(v);
+  const __m128i zero = _mm_setzero_si128();
+  store128(dst, _mm_unpacklo_epi32(v, zero));
+  store128(dst + 16, _mm_unpackhi_epi32(v, zero));
+}
+
+// 4 x u64 -> 4 x u32 truncate: 32 bytes in, 16 bytes out.
+inline void narrow_64_block(std::uint8_t* dst, const std::uint8_t* src,
+                            bool swap_src) {
+  __m128i a = load128(src);
+  __m128i b = load128(src + 16);
+  if (swap_src) {
+    a = bswap64_lanes(a);
+    b = bswap64_lanes(b);
+  }
+  a = _mm_shuffle_epi32(a, _MM_SHUFFLE(3, 1, 2, 0));
+  b = _mm_shuffle_epi32(b, _MM_SHUFFLE(3, 1, 2, 0));
+  store128(dst, _mm_unpacklo_epi64(a, b));
+}
+
+// 4 x float -> 4 x double: 16 bytes in, 32 bytes out.
+inline void widen_f32_block(std::uint8_t* dst, const std::uint8_t* src,
+                            bool swap_src) {
+  __m128i vi = load128(src);
+  if (swap_src) vi = bswap32_lanes(vi);
+  const __m128 v = _mm_castsi128_ps(vi);
+  _mm_storeu_pd(reinterpret_cast<double*>(dst), _mm_cvtps_pd(v));
+  _mm_storeu_pd(reinterpret_cast<double*>(dst + 16),
+                _mm_cvtps_pd(_mm_movehl_ps(v, v)));
+}
+
+// 4 x double -> 4 x float: 32 bytes in, 16 bytes out. cvtpd2ps rounds to
+// nearest-even, exactly like the reference interpreter's static_cast.
+inline void narrow_f64_block(std::uint8_t* dst, const std::uint8_t* src,
+                             bool swap_src) {
+  __m128i ai = load128(src);
+  __m128i bi = load128(src + 16);
+  if (swap_src) {
+    ai = bswap64_lanes(ai);
+    bi = bswap64_lanes(bi);
+  }
+  const __m128 lo = _mm_cvtpd_ps(_mm_castsi128_pd(ai));
+  const __m128 hi = _mm_cvtpd_ps(_mm_castsi128_pd(bi));
+  store128(dst, _mm_castps_si128(_mm_movelh_ps(lo, hi)));
+}
+
+#elif XMIT_SIMD_NEON
+
+inline uint8x16_t load128(const std::uint8_t* p) { return vld1q_u8(p); }
+inline void store128(std::uint8_t* p, uint8x16_t v) { vst1q_u8(p, v); }
+
+inline void swap16_block(std::uint8_t* dst, const std::uint8_t* src) {
+  store128(dst, vrev16q_u8(load128(src)));
+}
+inline void swap32_block(std::uint8_t* dst, const std::uint8_t* src) {
+  store128(dst, vrev32q_u8(load128(src)));
+}
+inline void swap64_block(std::uint8_t* dst, const std::uint8_t* src) {
+  store128(dst, vrev64q_u8(load128(src)));
+}
+
+inline void widen_i32_block(std::uint8_t* dst, const std::uint8_t* src,
+                            bool swap_src) {
+  uint8x16_t raw = load128(src);
+  if (swap_src) raw = vrev32q_u8(raw);
+  const int32x4_t v = vreinterpretq_s32_u8(raw);
+  vst1q_s64(reinterpret_cast<std::int64_t*>(dst), vmovl_s32(vget_low_s32(v)));
+  vst1q_s64(reinterpret_cast<std::int64_t*>(dst + 16),
+            vmovl_s32(vget_high_s32(v)));
+}
+
+inline void widen_u32_block(std::uint8_t* dst, const std::uint8_t* src,
+                            bool swap_src) {
+  uint8x16_t raw = load128(src);
+  if (swap_src) raw = vrev32q_u8(raw);
+  const uint32x4_t v = vreinterpretq_u32_u8(raw);
+  vst1q_u64(reinterpret_cast<std::uint64_t*>(dst),
+            vmovl_u32(vget_low_u32(v)));
+  vst1q_u64(reinterpret_cast<std::uint64_t*>(dst + 16),
+            vmovl_u32(vget_high_u32(v)));
+}
+
+inline void narrow_64_block(std::uint8_t* dst, const std::uint8_t* src,
+                            bool swap_src) {
+  uint8x16_t ra = load128(src);
+  uint8x16_t rb = load128(src + 16);
+  if (swap_src) {
+    ra = vrev64q_u8(ra);
+    rb = vrev64q_u8(rb);
+  }
+  const uint32x2_t lo = vmovn_u64(vreinterpretq_u64_u8(ra));
+  const uint32x2_t hi = vmovn_u64(vreinterpretq_u64_u8(rb));
+  vst1q_u32(reinterpret_cast<std::uint32_t*>(dst), vcombine_u32(lo, hi));
+}
+
+inline void widen_f32_block(std::uint8_t* dst, const std::uint8_t* src,
+                            bool swap_src) {
+  uint8x16_t raw = load128(src);
+  if (swap_src) raw = vrev32q_u8(raw);
+  const float32x4_t v = vreinterpretq_f32_u8(raw);
+  vst1q_f64(reinterpret_cast<double*>(dst), vcvt_f64_f32(vget_low_f32(v)));
+  vst1q_f64(reinterpret_cast<double*>(dst + 16),
+            vcvt_f64_f32(vget_high_f32(v)));
+}
+
+inline void narrow_f64_block(std::uint8_t* dst, const std::uint8_t* src,
+                             bool swap_src) {
+  uint8x16_t ra = load128(src);
+  uint8x16_t rb = load128(src + 16);
+  if (swap_src) {
+    ra = vrev64q_u8(ra);
+    rb = vrev64q_u8(rb);
+  }
+  const float32x2_t lo = vcvt_f32_f64(vreinterpretq_f64_u8(ra));
+  const float32x2_t hi = vcvt_f32_f64(vreinterpretq_f64_u8(rb));
+  vst1q_f32(reinterpret_cast<float*>(dst), vcombine_f32(lo, hi));
+}
+
+#endif  // backend
+
+}  // namespace xmit::pbio::simd

@@ -1670,6 +1670,50 @@ Result<MessageSession::IncomingView> MessageSession::receive_view(
   }
 }
 
+Result<std::size_t> MessageSession::receive_batch(const pbio::Format& receiver,
+                                                  void* out, std::size_t stride,
+                                                  std::size_t max_records,
+                                                  int timeout_ms) {
+  if (max_records == 0)
+    return Status(ErrorCode::kInvalidArgument, "receive_batch of 0 records");
+  if (!batch_decoder_) {
+    batch_decoder_ = std::make_unique<pbio::BatchDecoder>(
+        *decoder_, options_.batch_decode_workers == 0
+                       ? 1
+                       : options_.batch_decode_workers);
+  }
+  if (batch_records_.size() < max_records) batch_records_.resize(max_records);
+  batch_spans_.clear();
+
+  // The first record is worth the caller's whole budget; everything after
+  // it is pure drain — take only what the transport already holds.
+  XMIT_ASSIGN_OR_RETURN(auto first, receive_view(timeout_ms));
+  batch_records_[0].assign(first.bytes.begin(), first.bytes.end());
+  batch_spans_.emplace_back(batch_records_[0].data(),
+                            batch_records_[0].size());
+  while (batch_spans_.size() < max_records) {
+    auto more = receive_view(0);
+    if (!more.is_ok()) {
+      const ErrorCode code = more.status().code();
+      // Drain exhausted (or the peer went away mid-drain): decode what we
+      // have; a close/liveness condition resurfaces on the next call.
+      if (code == ErrorCode::kTimeout || code == ErrorCode::kNotFound ||
+          code == ErrorCode::kIoError)
+        break;
+      return more.status();
+    }
+    std::vector<std::uint8_t>& slot = batch_records_[batch_spans_.size()];
+    slot.assign(more.value().bytes.begin(), more.value().bytes.end());
+    batch_spans_.emplace_back(slot.data(), slot.size());
+  }
+
+  XMIT_RETURN_IF_ERROR(batch_decoder_->decode_batch(
+      std::span<const std::span<const std::uint8_t>>(batch_spans_.data(),
+                                                     batch_spans_.size()),
+      receiver, out, stride));
+  return batch_spans_.size();
+}
+
 Result<SessionPair> make_session_pipe(pbio::FormatRegistry& registry_a,
                                       pbio::FormatRegistry& registry_b) {
   XMIT_ASSIGN_OR_RETURN(auto pipe, net::Channel::pipe());

@@ -83,6 +83,7 @@
 #include "net/channel.hpp"
 #include "net/endpoint.hpp"
 #include "net/retry.hpp"
+#include "pbio/batch.hpp"
 #include "pbio/decode.hpp"
 #include "pbio/encode.hpp"
 #include "pbio/registry.hpp"
@@ -149,6 +150,10 @@ struct SessionOptions {
   // Receiver side: the drain budget each 0x08 grant advertises.
   std::size_t receive_window_records = 128;
   std::size_t receive_window_bytes = 2u << 20;
+  // receive_batch(): worker threads for parallel decode of the drained
+  // records (DESIGN.md §5i). 0 or 1 decodes inline on the caller thread;
+  // the pool is spawned lazily on the first receive_batch() call.
+  std::size_t batch_decode_workers = 0;
 };
 
 class MessageSession {
@@ -236,6 +241,22 @@ class MessageSession {
   // pooled buffer whose capacity persists across calls, so once warmed the
   // receive path allocates nothing. Same quarantine/poisoning semantics.
   Result<IncomingView> receive_view(int timeout_ms = 10000);
+
+  // Batched receive-and-decode (DESIGN.md §5i): waits up to `timeout_ms`
+  // for the first data record, then greedily drains records the transport
+  // already has queued — without further waiting — up to `max_records`,
+  // and decodes the whole batch against `receiver` across the
+  // options_.batch_decode_workers pool. Record i lands at
+  // `out + i * stride` (stride >= receiver.struct_size()); out-of-line
+  // strings/arrays live in the batch arenas and stay valid until the next
+  // receive_batch() call. Returns the number of records decoded (>= 1; a
+  // timeout before the first record surfaces as kTimeout). A peer close
+  // or liveness failure mid-drain stops the drain and delivers what
+  // already arrived; the next call reports the condition.
+  Result<std::size_t> receive_batch(const pbio::Format& receiver, void* out,
+                                    std::size_t stride,
+                                    std::size_t max_records,
+                                    int timeout_ms = 10000);
 
   // Asks a durable peer to re-send its logged history from `from_seq`
   // (inclusive; clamped to the peer's durable range). The replayed
@@ -486,6 +507,11 @@ class MessageSession {
   net::Endpoint endpoint_;  // non-dialable for passive/plain sessions
   pbio::FormatRegistry* registry_;
   std::unique_ptr<pbio::Decoder> decoder_;  // Decoder holds a mutex: heap-pin it
+  std::unique_ptr<pbio::BatchDecoder> batch_decoder_;  // lazy; receive_batch
+  // receive_batch() staging, reused so steady-state batches allocate
+  // nothing once buffer capacities have grown.
+  std::vector<std::vector<std::uint8_t>> batch_records_;
+  std::vector<std::span<const std::uint8_t>> batch_spans_;
   std::unique_ptr<AttachSlot> attach_slot_;
   SessionOptions options_;
   bool resumable_ = false;

@@ -257,6 +257,110 @@ TEST(PlanVerifier, RejectsBogusPointerSize) {
   EXPECT_TRUE(has_code(fx.verify(), "PV012")) << codes_of(fx.verify());
 }
 
+// ---------------------------------------------------------------------
+// Fused-op checks (PV013–PV015): a real cross-endian widening pair whose
+// plan carries fixed and dynamic fused ops, verified clean, then mutated.
+
+struct FusedPlanFixture {
+  pbio::FormatRegistry registry;
+  std::unique_ptr<pbio::Decoder> decoder;
+  pbio::FormatPtr sender;
+  pbio::FormatPtr receiver;
+  PlanView plan;
+
+  FusedPlanFixture() {
+    decoder = std::make_unique<pbio::Decoder>(registry);
+    // Sender: big-endian int32 count + float payload. Receiver: the same
+    // fields widened to int64/double — every element move is a fused op.
+    auto s = registry.adopt(
+        pbio::Format::make("Widen",
+                           {
+                               {"n", "integer", 4, 0},
+                               {"data", "float[n]", 4, 8},
+                           },
+                           16, ArchInfo::big_endian_64())
+            .value());
+    EXPECT_TRUE(s.is_ok());
+    sender = s.value();
+    auto r = registry.register_format(
+        "Widen",
+        {
+            {"n", "integer", 8, 0},
+            {"data", "float[n]", 8, 8},
+        },
+        16, ArchInfo::host());
+    EXPECT_TRUE(r.is_ok());
+    receiver = r.value();
+    auto view = decoder->plan_view(sender, *receiver);
+    EXPECT_TRUE(view.is_ok());
+    plan = std::move(view).value();
+    EXPECT_TRUE(analysis::verify_plan(plan, *sender, *receiver).empty())
+        << codes_of(analysis::verify_plan(plan, *sender, *receiver));
+  }
+
+  std::vector<Diagnostic> verify() const {
+    return analysis::verify_plan(plan, *sender, *receiver);
+  }
+
+  int first(PlanOp::Kind kind) const {
+    for (std::size_t i = 0; i < plan.ops.size(); ++i)
+      if (plan.ops[i].kind == kind) return static_cast<int>(i);
+    return -1;
+  }
+};
+
+TEST(PlanVerifier, AcceptsFusedWideningPlan) {
+  FusedPlanFixture fx;
+  ASSERT_GE(fx.first(PlanOp::Kind::kFusedConvert), 0);
+  ASSERT_GE(fx.first(PlanOp::Kind::kDynFusedConvert), 0);
+  EXPECT_TRUE(fx.verify().empty()) << codes_of(fx.verify());
+}
+
+TEST(PlanVerifier, RejectsFusedOpWithNoKernel) {
+  FusedPlanFixture fx;
+  int fused = fx.first(PlanOp::Kind::kFusedConvert);
+  ASSERT_GE(fused, 0);
+  // int16 -> int64 has no fused kernel: only 4<->8 moves do.
+  fx.plan.ops[fused].src_size = 2;
+  EXPECT_TRUE(has_code(fx.verify(), "PV013")) << codes_of(fx.verify());
+}
+
+TEST(PlanVerifier, RejectsDynFusedOpWithNoKernel) {
+  FusedPlanFixture fx;
+  int fused = fx.first(PlanOp::Kind::kDynFusedConvert);
+  ASSERT_GE(fused, 0);
+  // Boolean sources never fuse: they must normalize to 0/1.
+  fx.plan.ops[fused].src_kind = FieldKind::kBoolean;
+  fx.plan.ops[fused].dst_kind = FieldKind::kBoolean;
+  EXPECT_TRUE(has_code(fx.verify(), "PV013")) << codes_of(fx.verify());
+}
+
+TEST(PlanVerifier, RejectsFusedSourceReadOutsideFixedSection) {
+  FusedPlanFixture fx;
+  int fused = fx.first(PlanOp::Kind::kFusedConvert);
+  ASSERT_GE(fused, 0);
+  fx.plan.ops[fused].src_offset = fx.plan.sender_struct_size;
+  EXPECT_TRUE(has_code(fx.verify(), "PV014")) << codes_of(fx.verify());
+}
+
+TEST(PlanVerifier, RejectsFusedDestinationWriteOutsideStruct) {
+  FusedPlanFixture fx;
+  int fused = fx.first(PlanOp::Kind::kFusedConvert);
+  ASSERT_GE(fused, 0);
+  fx.plan.ops[fused].dst_offset = fx.plan.receiver_struct_size - 1;
+  EXPECT_TRUE(has_code(fx.verify(), "PV014")) << codes_of(fx.verify());
+}
+
+TEST(PlanVerifier, RejectsFusedOpMovingZeroElements) {
+  FusedPlanFixture fx;
+  int fused = fx.first(PlanOp::Kind::kFusedConvert);
+  ASSERT_GE(fused, 0);
+  // A zero-element fused op is a dropped tail: the coalescer claimed the
+  // span but the kernel would never touch it.
+  fx.plan.ops[fused].count = 0;
+  EXPECT_TRUE(has_code(fx.verify(), "PV015")) << codes_of(fx.verify());
+}
+
 TEST(PlanVerifier, StatusWrapsErrorsAsMalformedInput) {
   PlanFixture fx;
   fx.plan.ops[0].src_offset = fx.plan.sender_struct_size;

@@ -11,12 +11,29 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "pbio/batch.hpp"
 #include "pbio/decode.hpp"
 #include "pbio/dynrecord.hpp"
+#include "pbio/encode.hpp"
 #include "pbio/registry.hpp"
+#include "pbio/simd.hpp"
 
 namespace xmit::pbio {
 namespace {
+
+// Force the vector kernels on or off for one test body; every
+// differential below runs under both settings so the scalar fallback is
+// exercised even on hardware where SIMD is the default.
+class ScopedSimd {
+ public:
+  explicit ScopedSimd(bool on) : was_(simd::enabled()) {
+    simd::set_enabled(on);
+  }
+  ~ScopedSimd() { simd::set_enabled(was_); }
+
+ private:
+  bool was_;
+};
 
 struct FieldSpec {
   std::string name;
@@ -304,15 +321,14 @@ void expect_identical(const Format& receiver, const std::uint8_t* a,
   }
 }
 
-TEST(Differential, CompiledDecodeMatchesReferenceInterpreter) {
+void run_decode_differential(std::uint64_t seed, std::size_t kTrials) {
   const ArchInfo arches[] = {
       ArchInfo::host(),
       ArchInfo::big_endian_64(),
       ArchInfo::little_endian_32(),
       ArchInfo::big_endian_32(),
   };
-  Rng rng(0xd1ffe7e57ull);
-  const std::size_t kTrials = 150;
+  Rng rng(seed);
   for (std::size_t trial = 0; trial < kTrials; ++trial) {
     FormatRegistry registry;
     Decoder decoder(registry);
@@ -362,6 +378,207 @@ TEST(Differential, CompiledDecodeMatchesReferenceInterpreter) {
     if (!status_a.is_ok()) continue;
     expect_identical(*receiver, out_a, out_b, trial);
   }
+}
+
+TEST(Differential, CompiledDecodeMatchesReferenceInterpreter) {
+  ScopedSimd simd(true);
+  run_decode_differential(0xd1ffe7e57ull, 150);
+}
+
+TEST(Differential, CompiledDecodeMatchesReferenceScalarOnly) {
+  ScopedSimd simd(false);
+  run_decode_differential(0xd1ffe7e57ull, 150);
+}
+
+// Batch decode vs the sequential scalar oracle: every record of a batch,
+// decoded across the worker pool, must match decode_reference run one
+// record at a time on the caller thread — same layouts/endian/evolution
+// space as the single-record differential.
+void run_batch_differential(std::size_t workers, std::uint64_t seed,
+                            std::size_t kTrials) {
+  const ArchInfo arches[] = {
+      ArchInfo::host(),
+      ArchInfo::big_endian_64(),
+      ArchInfo::big_endian_32(),
+  };
+  Rng rng(seed);
+  for (std::size_t trial = 0; trial < kTrials; ++trial) {
+    FormatRegistry registry;
+    Decoder decoder(registry);
+    const ArchInfo& sender_arch = arches[trial % 3];
+
+    auto sender_specs = random_specs(rng);
+    auto receiver_specs =
+        trial % 2 == 0 ? sender_specs : evolve(sender_specs, rng);
+    Laid sender_laid = lay_out(sender_specs, sender_arch);
+    Laid receiver_laid = lay_out(receiver_specs, ArchInfo::host());
+
+    auto sender =
+        registry
+            .adopt(Format::make("Diff", sender_laid.fields,
+                                sender_laid.struct_size, sender_arch)
+                       .value())
+            .value();
+    auto receiver = registry
+                        .register_format("Diff", receiver_laid.fields,
+                                         receiver_laid.struct_size)
+                        .value();
+
+    const std::size_t kBatch = 1 + rng.below(13);
+    std::vector<std::vector<std::uint8_t>> records;
+    std::vector<std::span<const std::uint8_t>> spans;
+    for (std::size_t r = 0; r < kBatch; ++r) {
+      RecordBuilder builder(sender);
+      ASSERT_TRUE(populate(builder, sender_specs, rng).is_ok());
+      auto built = builder.build();
+      ASSERT_TRUE(built.is_ok()) << built.status().to_string();
+      records.push_back(std::move(built).value());
+      spans.emplace_back(records.back().data(), records.back().size());
+    }
+
+    const std::size_t stride =
+        align_up(std::size_t(receiver_laid.struct_size == 0
+                                 ? 1
+                                 : receiver_laid.struct_size),
+                 alignof(std::max_align_t));
+    const std::size_t cells = (kBatch * stride + sizeof(std::max_align_t) - 1) /
+                              sizeof(std::max_align_t);
+    std::vector<std::max_align_t> batch_buf(cells);
+    std::vector<std::max_align_t> oracle_buf(cells);
+    auto* batch_base = reinterpret_cast<std::uint8_t*>(batch_buf.data());
+    auto* oracle_base = reinterpret_cast<std::uint8_t*>(oracle_buf.data());
+
+    Arena oracle_arena;
+    bool oracle_ok = true;
+    for (std::size_t r = 0; r < kBatch; ++r) {
+      auto st = decoder.decode_reference(spans[r], *receiver,
+                                         oracle_base + r * stride,
+                                         oracle_arena);
+      if (!st.is_ok()) oracle_ok = false;
+    }
+
+    BatchDecoder pool(decoder, workers);
+    auto batch_status =
+        pool.decode_batch(spans, *receiver, batch_base, stride);
+    ASSERT_EQ(batch_status.is_ok(), oracle_ok)
+        << "trial " << trial << ": " << batch_status.to_string();
+    if (!batch_status.is_ok()) continue;
+    for (std::size_t r = 0; r < kBatch; ++r) {
+      SCOPED_TRACE("record " + std::to_string(r));
+      expect_identical(*receiver, batch_base + r * stride,
+                       oracle_base + r * stride, trial);
+    }
+
+    // The pull pipeline must deliver the same structs strictly in order.
+    std::size_t fed = 0;
+    std::size_t delivered_checked = 0;
+    auto streamed = pool.decode_stream(
+        [&](std::vector<std::uint8_t>* out) -> Result<bool> {
+          if (fed == kBatch) return false;
+          out->assign(records[fed].begin(), records[fed].end());
+          ++fed;
+          return true;
+        },
+        *receiver,
+        [&](std::uint64_t index, const void* decoded) -> Status {
+          EXPECT_EQ(index, delivered_checked);
+          expect_identical(*receiver,
+                           static_cast<const std::uint8_t*>(decoded),
+                           oracle_base + index * stride, trial);
+          ++delivered_checked;
+          return Status::ok();
+        },
+        /*window=*/1 + rng.below(5));
+    ASSERT_TRUE(streamed.is_ok()) << streamed.status().to_string();
+    EXPECT_EQ(streamed.value(), kBatch);
+    EXPECT_EQ(delivered_checked, kBatch);
+  }
+}
+
+TEST(Differential, BatchDecodeMatchesSequentialOracle) {
+  ScopedSimd simd(true);
+  run_batch_differential(/*workers=*/4, 0xba7c4ull, 25);
+}
+
+TEST(Differential, BatchDecodeMatchesOracleScalarOnly) {
+  ScopedSimd simd(false);
+  run_batch_differential(/*workers=*/3, 0xba7c4ull, 25);
+}
+
+TEST(Differential, BatchDecodeSingleWorkerInline) {
+  run_batch_differential(/*workers=*/1, 0x1111ull, 10);
+}
+
+// Compiled encoder vs the per-field reference walk: a populated host
+// struct (obtained by decoding a builder record, so pointer fields hold
+// real arena data) must encode byte-identically through encode(),
+// encode_reference(), and the flattened encode_iov() gather list.
+void run_encoder_differential(std::uint64_t seed, std::size_t kTrials) {
+  Rng rng(seed);
+  for (std::size_t trial = 0; trial < kTrials; ++trial) {
+    FormatRegistry registry;
+    Decoder decoder(registry);
+    auto specs = random_specs(rng);
+    Laid laid = lay_out(specs, ArchInfo::host());
+    auto format =
+        registry.register_format("Enc", laid.fields, laid.struct_size)
+            .value();
+
+    RecordBuilder builder(format);
+    ASSERT_TRUE(populate(builder, specs, rng).is_ok());
+    auto built = builder.build();
+    ASSERT_TRUE(built.is_ok()) << built.status().to_string();
+
+    std::vector<std::max_align_t> buf(
+        (laid.struct_size + sizeof(std::max_align_t) - 1) /
+        sizeof(std::max_align_t));
+    auto* record = reinterpret_cast<std::uint8_t*>(buf.data());
+    Arena arena;
+    ASSERT_TRUE(
+        decoder.decode(built.value(), *format, record, arena).is_ok());
+
+    auto encoder_made = Encoder::make(format);
+    ASSERT_TRUE(encoder_made.is_ok())
+        << encoder_made.status().to_string();
+    const Encoder& encoder = encoder_made.value();
+
+    ByteBuffer compiled;
+    ByteBuffer reference;
+    auto compiled_st = encoder.encode(record, compiled);
+    auto reference_st = encoder.encode_reference(record, reference);
+    ASSERT_EQ(compiled_st.is_ok(), reference_st.is_ok())
+        << "trial " << trial << " compiled: " << compiled_st.to_string()
+        << " reference: " << reference_st.to_string();
+    if (!compiled_st.is_ok()) continue;
+    ASSERT_EQ(compiled.size(), reference.size()) << "trial " << trial;
+    EXPECT_EQ(0,
+              std::memcmp(compiled.data(), reference.data(), compiled.size()))
+        << "trial " << trial << "\n"
+        << encoder.plan_disassembly();
+
+    auto size = encoder.encoded_size(record);
+    ASSERT_TRUE(size.is_ok());
+    EXPECT_EQ(size.value(), compiled.size());
+
+    ByteBuffer scratch;
+    std::vector<IoSlice> slices;
+    ASSERT_TRUE(encoder.encode_iov(record, scratch, slices).is_ok());
+    std::vector<std::uint8_t> flattened;
+    for (const IoSlice& slice : slices)
+      flattened.insert(flattened.end(),
+                       static_cast<const std::uint8_t*>(slice.data),
+                       static_cast<const std::uint8_t*>(slice.data) +
+                           slice.size);
+    ASSERT_EQ(flattened.size(), compiled.size()) << "trial " << trial;
+    EXPECT_EQ(0,
+              std::memcmp(flattened.data(), compiled.data(), compiled.size()))
+        << "trial " << trial << "\n"
+        << encoder.plan_disassembly();
+  }
+}
+
+TEST(Differential, CompiledEncoderMatchesReferenceWalk) {
+  run_encoder_differential(0xe4c0deull, 100);
 }
 
 }  // namespace

@@ -9,6 +9,7 @@
 #include "pbio/decode.hpp"
 #include "pbio/dynrecord.hpp"
 #include "pbio/encode.hpp"
+#include "pbio/kernels.hpp"
 #include "pbio/registry.hpp"
 #include "xmit/layout.hpp"
 #include "xsd/parse.hpp"
@@ -358,6 +359,177 @@ TEST_F(MarshalPlan, WidthEvolutionMatchesReference) {
 
   auto stats = decoder_.plan_stats(sender, *receiver).value();
   EXPECT_GE(stats.convert_ops, 1u);
+}
+
+// The kernel contract: only widths 2/4/8 have swap kernels, and the
+// planner must never emit a swap op outside them. An unsupported width
+// reaching swap_elements at runtime is a hard process abort, not a silent
+// memcpy of misordered bytes (the old default-branch bug).
+TEST_F(MarshalPlan, SwapWidthContract) {
+  EXPECT_FALSE(swap_width_supported(1));
+  EXPECT_TRUE(swap_width_supported(2));
+  EXPECT_FALSE(swap_width_supported(3));
+  EXPECT_TRUE(swap_width_supported(4));
+  EXPECT_FALSE(swap_width_supported(5));
+  EXPECT_TRUE(swap_width_supported(8));
+  EXPECT_FALSE(swap_width_supported(16));
+}
+
+#if defined(GTEST_HAS_DEATH_TEST) && !defined(__SANITIZE_THREAD__)
+TEST(SwapElementsDeathTest, UnsupportedWidthAborts) {
+  std::uint8_t src[6] = {1, 2, 3, 4, 5, 6};
+  std::uint8_t dst[6] = {};
+  EXPECT_DEATH(swap_elements(dst, src, 2, 3), "unsupported width 3");
+}
+#endif
+
+// int32 -> int64 across endianness lowers to one fused op, visible in
+// plan_stats and the disassembly, and decodes with correct sign/zero
+// extension.
+TEST_F(MarshalPlan, CrossEndianWideningLowersToFusedOps) {
+  struct Out {
+    std::int64_t a;
+    std::uint64_t b;
+    double c;
+  };
+  auto receiver =
+      registry_
+          .register_format("Fused",
+                           {
+                               {"a", "integer", 8, offsetof(Out, a)},
+                               {"b", "unsigned", 8, offsetof(Out, b)},
+                               {"c", "float", 8, offsetof(Out, c)},
+                           },
+                           sizeof(Out))
+          .value();
+  auto sender = registry_
+                    .adopt(Format::make("Fused",
+                                        {
+                                            {"a", "integer", 4, 0},
+                                            {"b", "unsigned", 4, 4},
+                                            {"c", "float", 4, 8},
+                                        },
+                                        12, ArchInfo::big_endian_64())
+                               .value())
+                    .value();
+
+  auto stats = decoder_.plan_stats(sender, *receiver).value();
+  EXPECT_EQ(stats.fused_ops, 3u) << decoder_.plan_disassembly(sender,
+                                                              *receiver)
+                                        .value();
+  EXPECT_EQ(stats.convert_ops, 0u);
+
+  auto listing = decoder_.plan_disassembly(sender, *receiver).value();
+  EXPECT_NE(listing.find("fuse widen-i32 i4->i8"), std::string::npos)
+      << listing;
+  EXPECT_NE(listing.find("fuse widen-u32 u4->u8"), std::string::npos)
+      << listing;
+  EXPECT_NE(listing.find("fuse widen-f32 f4->f8"), std::string::npos)
+      << listing;
+
+  RecordBuilder builder(sender);
+  ASSERT_TRUE(builder.set_int("a", -7).is_ok());
+  ASSERT_TRUE(builder.set_uint("b", 0xfedcba98u).is_ok());
+  ASSERT_TRUE(builder.set_float("c", -0.3125).is_ok());
+  auto bytes = builder.build().value();
+  Out out{};
+  ASSERT_TRUE(decoder_.decode(bytes, *receiver, &out, arena_).is_ok());
+  EXPECT_EQ(out.a, -7);                      // sign-extended
+  EXPECT_EQ(out.b, 0xfedcba98ull);           // zero-extended
+  EXPECT_EQ(out.c, -0.3125);                 // exact widening
+}
+
+// Every swap op any random plan emits stays inside the supported widths —
+// the planner-side half of the SwapWidthContract.
+TEST_F(MarshalPlan, PlansOnlyEmitSupportedSwapWidths) {
+  struct Out {
+    std::int16_t a;
+    std::int32_t b;
+    std::int64_t c;
+    double d;
+  };
+  auto receiver =
+      registry_
+          .register_format("Widths",
+                           {
+                               {"a", "integer", 2, offsetof(Out, a)},
+                               {"b", "integer", 4, offsetof(Out, b)},
+                               {"c", "integer", 8, offsetof(Out, c)},
+                               {"d", "float", 8, offsetof(Out, d)},
+                           },
+                           sizeof(Out))
+          .value();
+  auto sender =
+      registry_
+          .adopt(Format::make("Widths",
+                              {
+                                  {"a", "integer", 2, 0},
+                                  {"b", "integer", 4, 4},
+                                  {"c", "integer", 8, 8},
+                                  {"d", "float", 8, 16},
+                              },
+                              24, ArchInfo::big_endian_64())
+                     .value())
+          .value();
+  auto plan = decoder_.plan_view(sender, *receiver).value();
+  for (const auto& op : plan.ops) {
+    if (op.kind != PlanOp::Kind::kSwap && op.kind != PlanOp::Kind::kDynSwap)
+      continue;
+    EXPECT_TRUE(swap_width_supported(op.src_size))
+        << "swap op of width " << op.src_size;
+  }
+}
+
+// The compiled encoder's fixed-section program: a var-free struct is one
+// contiguous span; pointer slots split the tiling and show up as slot ops.
+TEST_F(MarshalPlan, EncoderPlanStatsAndDisassembly) {
+  struct Flat {
+    std::int32_t a;
+    float b;
+  };
+  auto flat = registry_
+                  .register_format("Flat",
+                                   {
+                                       {"a", "integer", 4, 0},
+                                       {"b", "float", 4, 4},
+                                   },
+                                   sizeof(Flat))
+                  .value();
+  auto flat_enc = Encoder::make(flat);
+  ASSERT_TRUE(flat_enc.is_ok());
+  auto flat_stats = flat_enc.value().plan_stats();
+  EXPECT_TRUE(flat_stats.contiguous);
+  EXPECT_EQ(flat_stats.copy_ops, 1u);
+  EXPECT_EQ(flat_stats.slot_ops, 0u);
+
+  struct Mixed {
+    std::int32_t n;
+    double* data;
+    char* name;
+  };
+  auto mixed =
+      registry_
+          .register_format("Mixed",
+                           {
+                               {"n", "integer", 4, offsetof(Mixed, n)},
+                               {"data", "float[n]", 8, offsetof(Mixed, data)},
+                               {"name", "string", sizeof(char*),
+                                offsetof(Mixed, name)},
+                           },
+                           sizeof(Mixed))
+          .value();
+  auto mixed_enc = Encoder::make(mixed);
+  ASSERT_TRUE(mixed_enc.is_ok());
+  auto stats = mixed_enc.value().plan_stats();
+  EXPECT_FALSE(stats.contiguous);
+  EXPECT_GE(stats.copy_ops, 1u);   // the count field (plus padding)
+  EXPECT_EQ(stats.slot_ops, 2u);   // data + name pointer areas
+  EXPECT_EQ(stats.string_ops, 1u);
+  EXPECT_EQ(stats.dynamic_ops, 1u);
+
+  auto listing = mixed_enc.value().plan_disassembly();
+  EXPECT_NE(listing.find("copy struct@"), std::string::npos) << listing;
+  EXPECT_NE(listing.find("slots struct@"), std::string::npos) << listing;
 }
 
 }  // namespace

@@ -542,5 +542,56 @@ TEST(Session, TcpPairRoundTripsRecords) {
   tcp.b.close();
 }
 
+// receive_batch: one call drains everything the transport already holds
+// and decodes it across the worker pool; what it does not take stays
+// queued for the next receive.
+TEST(Session, ReceiveBatchDrainsAndDecodesInOrder) {
+  pbio::FormatRegistry sender_registry, receiver_registry;
+  SessionOptions options;
+  options.batch_decode_workers = 4;
+  auto pair =
+      make_session_pipe(sender_registry, receiver_registry, options).value();
+
+  auto format = reading_format(sender_registry);
+  auto encoder = pbio::Encoder::make(format).value();
+  const int kRecords = 7;
+  for (int i = 0; i < kRecords; ++i) {
+    std::vector<float> series = {0.5f * i, 0.5f * i + 0.25f};
+    char site[] = "batch";
+    Reading in{i, 2, series.data(), site};
+    ASSERT_TRUE(pair.a.send(encoder, &in).is_ok());
+  }
+
+  // The receiver decodes against its own registration of the layout.
+  auto receiver = reading_format(receiver_registry);
+  const std::size_t stride = sizeof(Reading);
+  alignas(std::max_align_t) Reading out[kRecords] = {};
+
+  // First call takes fewer than available: the rest must stay queued.
+  auto took =
+      pair.b.receive_batch(*receiver, out, stride, /*max_records=*/4, 2000);
+  ASSERT_TRUE(took.is_ok()) << took.status().to_string();
+  EXPECT_EQ(took.value(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(out[i].id, i);
+    ASSERT_EQ(out[i].n, 2);
+    EXPECT_EQ(out[i].series[1], 0.5f * i + 0.25f);
+    EXPECT_STREQ(out[i].site, "batch");
+  }
+
+  // Second call drains the remaining three (max_records larger than what
+  // is left) without waiting for more.
+  auto rest =
+      pair.b.receive_batch(*receiver, out, stride, /*max_records=*/16, 2000);
+  ASSERT_TRUE(rest.is_ok()) << rest.status().to_string();
+  EXPECT_EQ(rest.value(), 3u);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(out[i].id, i + 4);
+
+  // Nothing queued and nothing arriving: the first-record wait times out.
+  auto empty = pair.b.receive_batch(*receiver, out, stride, 4, 50);
+  ASSERT_FALSE(empty.is_ok());
+  EXPECT_EQ(empty.status().code(), ErrorCode::kTimeout);
+}
+
 }  // namespace
 }  // namespace xmit::session

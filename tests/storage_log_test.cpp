@@ -10,6 +10,10 @@
 #include <string>
 #include <vector>
 
+#include "common/arena.hpp"
+#include "pbio/batch.hpp"
+#include "pbio/decode.hpp"
+#include "pbio/dynrecord.hpp"
 #include "pbio/registry.hpp"
 #include "storage/catalog.hpp"
 #include "storage/crc32c.hpp"
@@ -451,6 +455,78 @@ TEST(SessionMeta, RoundTripAndCorruptionSafety) {
                                                       mutated.size()))
                   .is_ok());
   EXPECT_FALSE(load_session_meta(path, DecodeLimits::defaults()).has_value());
+}
+
+// Historical replay through the parallel decoder (DESIGN.md §5i): PBIO
+// wire records appended to a RecordLog stream back through a cursor into
+// BatchDecoder::decode_stream, which must deliver every decoded struct in
+// sequence order and byte-identical to a one-at-a-time decode.
+TEST(RecordLog, ReplayDecodesThroughBatchDecoder) {
+  struct Sample {
+    std::int32_t id;
+    std::int32_t n;
+    double* values;
+  };
+  pbio::FormatRegistry registry;
+  auto format =
+      registry
+          .register_format("Sample",
+                           {
+                               {"id", "integer", 4, offsetof(Sample, id)},
+                               {"n", "integer", 4, offsetof(Sample, n)},
+                               {"values", "float[n]", 8,
+                                offsetof(Sample, values)},
+                           },
+                           sizeof(Sample))
+          .value();
+  pbio::Decoder decoder(registry);
+
+  TempDir dir;
+  auto log = must_open(dir.path());
+  const std::uint64_t kRecords = 23;
+  for (std::uint64_t seq = 1; seq <= kRecords; ++seq) {
+    pbio::RecordBuilder builder(format);
+    ASSERT_TRUE(
+        builder.set_int("id", static_cast<std::int64_t>(seq)).is_ok());
+    std::vector<double> values(1 + seq % 5);
+    for (std::size_t i = 0; i < values.size(); ++i)
+      values[i] = 0.5 * static_cast<double>(seq) + i;
+    ASSERT_TRUE(builder.set_float_array("values", values).is_ok());
+    auto bytes = builder.build().value();
+    ASSERT_TRUE(log.append(seq, format->id(),
+                           std::span<const std::uint8_t>(bytes.data(),
+                                                         bytes.size()))
+                    .is_ok());
+  }
+
+  pbio::BatchDecoder pool(decoder, /*workers=*/4);
+  auto cursor = log.read_from(1);
+  RecordLog::Item item;
+  std::uint64_t expected_id = 1;
+  auto delivered = pool.decode_stream(
+      [&](std::vector<std::uint8_t>* out) -> Result<bool> {
+        // Item payloads live in the cursor's segment buffer only until
+        // the following next(): copy into the stream's reusable buffer.
+        XMIT_ASSIGN_OR_RETURN(bool more, cursor.next(&item));
+        if (!more) return false;
+        out->assign(item.payload.begin(), item.payload.end());
+        return true;
+      },
+      *format,
+      [&](std::uint64_t index, const void* decoded) -> Status {
+        const auto* sample = static_cast<const Sample*>(decoded);
+        EXPECT_EQ(sample->id, static_cast<std::int32_t>(index + 1));
+        EXPECT_EQ(static_cast<std::uint64_t>(sample->id), expected_id);
+        EXPECT_EQ(sample->n, static_cast<std::int32_t>(1 + (index + 1) % 5));
+        EXPECT_EQ(sample->values[0], 0.5 * static_cast<double>(index + 1));
+        ++expected_id;
+        return Status::ok();
+      },
+      /*window=*/6);
+  ASSERT_TRUE(delivered.is_ok()) << delivered.status().to_string();
+  EXPECT_EQ(delivered.value(), kRecords);
+  EXPECT_EQ(expected_id, kRecords + 1);
+  EXPECT_EQ(pool.records_decoded(), kRecords);
 }
 
 }  // namespace

@@ -81,6 +81,15 @@ TEST_F(Tools, InspectDumpsPbioFile) {
   EXPECT_EQ(status, 0);
   EXPECT_NE(output.find("<Reading><id>12</id>"), std::string::npos) << output;
 
+  // --plan renders the compiled decode plan and the op mix, naming the
+  // kernel backend that would execute it.
+  status = run(tool("xmit_inspect") + " --plan " + path, &output);
+  EXPECT_EQ(status, 0) << output;
+  EXPECT_NE(output.find("decode plan -> host ("), std::string::npos)
+      << output;
+  EXPECT_NE(output.find("op mix:"), std::string::npos) << output;
+  EXPECT_NE(output.find("fused"), std::string::npos) << output;
+
   std::remove(path.c_str());
 }
 

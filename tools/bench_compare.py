@@ -10,12 +10,24 @@ Usage:
   tools/bench_compare.py baseline/BENCH_fig8_wire_formats.json \
       current/BENCH_fig8_wire_formats.json
   tools/bench_compare.py baseline_dir/ current_dir/ --threshold 1.10
+  tools/bench_compare.py base/ cur/ --check 'simd/kernel_speedup/*'
 
 Exit status is 1 if any time-like row regressed past the threshold
 (ratio rows and byte counts are reported but never fail the run).
+
+--check PATTERN (repeatable) turns the named rows into regression
+gates too: PATTERN is an fnmatch glob over "bench/series/point", and
+the failure direction follows the unit — time-like rows fail when they
+grow past the threshold, everything else (x, MB/s, records/s) fails
+when it shrinks below 1/threshold. This is how CI pins throughput and
+speedup curves, not just raw times:
+
+  tools/bench_compare.py base/ cur/ \
+      --check 'simd/kernel_speedup/*' --check 'ablation_convert/speedup/*'
 """
 
 import argparse
+import fnmatch
 import json
 import os
 import sys
@@ -61,6 +73,10 @@ def main():
         "--threshold", type=float, default=1.15,
         help="fail when current/baseline exceeds this for time rows "
              "(default 1.15)")
+    parser.add_argument(
+        "--check", action="append", default=[], metavar="PATTERN",
+        help="fnmatch glob over bench/series/point; matching rows gate "
+             "the run in their unit's failure direction (repeatable)")
     args = parser.parse_args()
 
     base_smoke, baseline = collect(args.baseline)
@@ -77,20 +93,34 @@ def main():
     print(f"{'row'.ljust(width)} {'baseline':>12} {'current':>12} "
           f"{'ratio':>8}")
     regressions = []
+    checked = 0
     for key in shared:
         bench, series, point = key
         base_value, unit = baseline[key]
         cur_value, _ = current[key]
         ratio = cur_value / base_value if base_value else float("inf")
-        flag = ""
-        if unit in TIME_UNITS and ratio > args.threshold:
-            flag = "  <-- regression"
-            regressions.append(key)
-        elif unit in TIME_UNITS and ratio < 1.0 / args.threshold:
-            flag = "  (improved)"
         label = f"{bench}/{series}/{point}"
+        explicit = any(fnmatch.fnmatch(label, p) for p in args.check)
+        if explicit:
+            checked += 1
+        flag = ""
+        if unit in TIME_UNITS:
+            if ratio > args.threshold:
+                flag = "  <-- regression"
+                regressions.append(key)
+            elif ratio < 1.0 / args.threshold:
+                flag = "  (improved)"
+        elif explicit:
+            # Bigger-is-better rows (x, MB/s, ...): fail when they shrink.
+            if ratio < 1.0 / args.threshold:
+                flag = "  <-- regression"
+                regressions.append(key)
+            elif ratio > args.threshold:
+                flag = "  (improved)"
         print(f"{label.ljust(width)} {base_value:>12.6g} {cur_value:>12.6g} "
               f"{ratio:>7.2f}x{flag}")
+    if args.check and checked == 0:
+        sys.exit("error: no rows matched any --check pattern")
 
     only_base = sorted(set(baseline) - set(current))
     only_cur = sorted(set(current) - set(baseline))

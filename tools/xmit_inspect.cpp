@@ -6,9 +6,14 @@
 // RecordReader; --xml re-encodes records as XML documents instead.
 //
 // Usage:
-//   xmit_inspect [--xml] [--formats-only] [--retries N] [--timeout-ms N] \
-//       [--max-depth N] [--max-bytes N] [--max-alloc N] \
+//   xmit_inspect [--xml] [--formats-only] [--plan] [--retries N] \
+//       [--timeout-ms N] [--max-depth N] [--max-bytes N] [--max-alloc N] \
 //       <file.pbio | http://...>
+//
+// --plan prints, for every format in the file, the compiled decode plan
+// to the equivalent host-layout struct — one line per op, including the
+// vector "fuse" ops — plus the op mix (copy/swap/convert/fused counts)
+// and which kernel backend (sse2/neon/scalar) would execute it.
 //   xmit_inspect --connect HOST:PORT [--resume] [--flow-control] [--count N] \
 //       [--timeout-ms N] [--max-depth N] [--max-bytes N] [--max-alloc N]
 // http:// sources are fetched (with retry/backoff per the flags) into a
@@ -54,6 +59,7 @@
 #include "pbio/dynrecord.hpp"
 #include "pbio/file.hpp"
 #include "pbio/format_wire.hpp"
+#include "pbio/simd.hpp"
 #include "session/session.hpp"
 #include "storage/framing.hpp"
 #include "storage/io.hpp"
@@ -70,6 +76,50 @@ void print_format(const pbio::Format& format) {
   for (const auto& field : format.fields())
     std::printf("  %-16s %-24s size=%-3u offset=%u\n", field.name.c_str(),
                 field.type_name.c_str(), field.size, field.offset);
+}
+
+// --plan: the compiled decode plan from `format` (as found in the file,
+// possibly foreign-endian) to the same field list laid out for the host,
+// plus the op mix and the kernel backend that would run it.
+void print_plan(const pbio::Decoder& decoder, const pbio::FormatPtr& format) {
+  std::vector<pbio::IOField> rows;
+  for (const auto& field : format->fields())
+    rows.push_back({field.name, field.type_name, field.size, field.offset});
+  auto receiver = pbio::Format::make(format->name(), rows,
+                                     format->struct_size(),
+                                     pbio::ArchInfo::host());
+  if (!receiver.is_ok()) {
+    std::printf("  decode plan: not derivable for this arch (%s)\n",
+                receiver.status().to_string().c_str());
+    return;
+  }
+  auto stats = decoder.plan_stats(format, *receiver.value());
+  auto listing = decoder.plan_disassembly(format, *receiver.value());
+  if (!stats.is_ok() || !listing.is_ok()) {
+    std::printf("  decode plan: %s\n",
+                (stats.is_ok() ? listing.status() : stats.status())
+                    .to_string()
+                    .c_str());
+    return;
+  }
+  std::printf("  decode plan -> host (%s kernels%s):\n",
+              pbio::simd::backend(),
+              pbio::simd::enabled() ? "" : ", runtime-disabled");
+  std::string line;
+  for (char c : listing.value()) {
+    if (c == '\n') {
+      std::printf("    %s\n", line.c_str());
+      line.clear();
+    } else {
+      line += c;
+    }
+  }
+  if (!line.empty()) std::printf("    %s\n", line.c_str());
+  const auto& s = stats.value();
+  std::printf("  op mix: %s%zu copy, %zu swap, %zu convert, %zu fused, "
+              "%zu string, %zu dynamic\n",
+              s.identity ? "identity, " : "", s.copy_ops, s.swap_ops,
+              s.convert_ops, s.fused_ops, s.string_ops, s.dynamic_ops);
 }
 
 int print_record_fields(const pbio::RecordReader& reader) {
@@ -375,6 +425,7 @@ int main(int argc, char** argv) {
   bool as_xml = false;
   bool formats_only = false;
   bool lint = false;
+  bool show_plan = false;
   bool resume = false;
   bool flow_control = false;
   std::string connect_spec;
@@ -392,6 +443,8 @@ int main(int argc, char** argv) {
       formats_only = true;
     else if (std::strcmp(argv[i], "--lint") == 0)
       lint = true;
+    else if (std::strcmp(argv[i], "--plan") == 0)
+      show_plan = true;
     else if (std::strcmp(argv[i], "--resume") == 0)
       resume = true;
     else if (std::strcmp(argv[i], "--flow-control") == 0)
@@ -459,7 +512,7 @@ int main(int argc, char** argv) {
   if (path == nullptr) {
     std::fprintf(stderr,
                  "usage: xmit_inspect [--xml] [--formats-only] [--lint] "
-                 "[--retries N] [--timeout-ms N] [--max-depth N] "
+                 "[--plan] [--retries N] [--timeout-ms N] [--max-depth N] "
                  "[--max-bytes N] [--max-alloc N] <file.pbio | http://...>\n"
                  "       xmit_inspect --connect HOST:PORT [--resume] "
                  "[--flow-control] [--count N] [--timeout-ms N]\n"
@@ -519,6 +572,7 @@ int main(int argc, char** argv) {
         if (lint)
           for (const auto& diagnostic : analysis::lint_format(*format))
             std::printf("  %s\n", diagnostic.to_string().c_str());
+        if (show_plan) print_plan(decoder, format);
       }
       printed_formats = all.size();
     }
