@@ -1,0 +1,128 @@
+// bench_setlint: whole-set analyzer at corpus scale (DESIGN.md 5j).
+//
+// Generates a synthetic schema corpus (5000 files full tier, ~60 smoke),
+// then measures:
+//   cold   lint_schema_set with a fresh cache directory (every file and
+//          family analyzed, every matrix pair compiled + verified)
+//   warm   the same call again (all results served from the cache)
+//   touch1 one family's last version rewritten, then re-lint (the
+//          incremental case: one file + one family re-analyzed)
+//
+// Reported: cold/warm/touch1 wall time, warm-over-cold speedup, matrix
+// pairs verified per second (cold), and cache hit rate (warm).
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "analysis/schema_corpus.hpp"
+#include "analysis/setlint.hpp"
+#include "bench_common.hpp"
+#include "common/clock.hpp"
+#include "net/fetch.hpp"
+
+using xmit::analysis::CorpusOptions;
+using xmit::analysis::SetLintOptions;
+using xmit::analysis::SetLintReport;
+
+namespace {
+
+SetLintReport run(const std::string& dir, const std::string& cache_dir) {
+  SetLintOptions options;
+  options.cache_dir = cache_dir;
+  options.matrix = true;
+  options.matrix_sender_arch = xmit::pbio::ArchInfo::big_endian_64();
+  options.lint.arch = xmit::pbio::ArchInfo::big_endian_64();
+  return xmit::bench::expect(xmit::analysis::lint_schema_set(dir, options),
+                             "lint_schema_set");
+}
+
+}  // namespace
+
+int main() {
+  namespace fs = std::filesystem;
+  const bool smoke = xmit::bench::smoke();
+
+  CorpusOptions corpus;
+  corpus.families = smoke ? 12 : 1000;
+  corpus.versions = 5;
+  corpus.defect_every = 10;
+
+  const std::string root =
+      fs::temp_directory_path() / ("xmit_bench_setlint_" +
+                                   std::to_string(::getpid()));
+  const std::string corpus_dir = root + "/corpus";
+  const std::string cache_dir = root + "/cache";
+
+  xmit::bench::print_header(
+      "bench_setlint",
+      "whole-set lint + plan matrix: cold vs warm vs one-file touch");
+
+  xmit::Stopwatch generate_timer;
+  auto manifest = xmit::bench::expect(
+      xmit::analysis::generate_schema_corpus(corpus_dir, corpus),
+      "generate corpus");
+  const double generate_ms = generate_timer.elapsed_ms();
+  std::printf("corpus: %zu files, %zu defect families (%.0f ms to emit)\n",
+              manifest.files, manifest.defects, generate_ms);
+
+  xmit::Stopwatch cold_timer;
+  SetLintReport cold = run(corpus_dir, cache_dir);
+  const double cold_ms = cold_timer.elapsed_ms();
+
+  xmit::Stopwatch warm_timer;
+  SetLintReport warm = run(corpus_dir, cache_dir);
+  const double warm_ms = warm_timer.elapsed_ms();
+
+  // Touch one family: rewrite the last version of family 0 with different
+  // content (an extra comment changes the digest, nothing else).
+  const std::string touched =
+      corpus_dir + "/fam_0000/rec_v" + std::to_string(corpus.versions) +
+      ".xsd";
+  auto text = xmit::bench::expect(xmit::net::read_file(touched), "read");
+  xmit::bench::check(
+      xmit::net::write_file(touched, text + "<!-- touched -->\n"), "write");
+  xmit::Stopwatch touch_timer;
+  SetLintReport touch = run(corpus_dir, cache_dir);
+  const double touch_ms = touch_timer.elapsed_ms();
+
+  const double speedup = warm_ms > 0 ? cold_ms / warm_ms : 0;
+  const double pairs_per_s =
+      cold_ms > 0 ? 1000.0 * static_cast<double>(cold.stats.pairs_verified +
+                                                 cold.stats.pairs_rejected) /
+                        cold_ms
+                  : 0;
+  const double warm_hit_rate =
+      warm.stats.cache_hits + warm.stats.cache_misses > 0
+          ? static_cast<double>(warm.stats.cache_hits) /
+                static_cast<double>(warm.stats.cache_hits +
+                                    warm.stats.cache_misses)
+          : 0;
+
+  std::printf("cold:   %8.1f ms  (%zu findings, %zu pairs verified,"
+              " %zu rejected)\n",
+              cold_ms, cold.findings.size(), cold.stats.pairs_verified,
+              cold.stats.pairs_rejected);
+  std::printf("warm:   %8.1f ms  (%.1fx speedup, %.1f%% cache hits)\n",
+              warm_ms, speedup, 100.0 * warm_hit_rate);
+  std::printf("touch1: %8.1f ms  (%zu misses re-analyzed)\n", touch_ms,
+              touch.stats.cache_misses);
+  std::printf("matrix: %.0f pairs/s cold\n", pairs_per_s);
+
+  xmit::bench::Reporter reporter("setlint");
+  reporter.add("lint", "corpus_files", static_cast<double>(cold.stats.files),
+               "files");
+  reporter.add("lint", "cold", cold_ms);
+  reporter.add("lint", "warm", warm_ms);
+  reporter.add("lint", "touch1", touch_ms);
+  reporter.add("lint", "warm_speedup", speedup, "x");
+  reporter.add("lint", "warm_cache_hit_rate", warm_hit_rate, "ratio");
+  reporter.add("matrix", "pairs_per_s_cold", pairs_per_s, "pairs/s");
+  reporter.add("matrix", "pairs_verified",
+               static_cast<double>(cold.stats.pairs_verified), "pairs");
+
+  std::error_code ec;
+  fs::remove_all(root, ec);
+  return 0;
+}

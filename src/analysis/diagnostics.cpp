@@ -1,5 +1,7 @@
 #include "analysis/diagnostics.hpp"
 
+#include <cstdio>
+
 namespace xmit::analysis {
 
 const char* severity_name(Severity severity) {
@@ -72,6 +74,44 @@ std::string render(const std::vector<Diagnostic>& diagnostics) {
     out += diagnostic.to_string();
     out += '\n';
   }
+  return out;
+}
+
+void append_json_escaped(std::string& out, std::string_view text) {
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+std::string to_json(const Diagnostic& diagnostic, std::string_view file) {
+  std::string out = "{\"code\":\"";
+  append_json_escaped(out, diagnostic.code);
+  out += "\",\"severity\":\"";
+  out += severity_name(diagnostic.severity);
+  out += "\",\"file\":\"";
+  append_json_escaped(out, file);
+  out += "\",\"location\":\"";
+  append_json_escaped(out, diagnostic.location);
+  out += "\",\"message\":\"";
+  append_json_escaped(out, diagnostic.message);
+  out += "\",\"hint\":\"";
+  append_json_escaped(out, diagnostic.hint);
+  out += "\"}";
   return out;
 }
 

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/error.hpp"
@@ -60,5 +61,16 @@ class DiagnosticSink {
 // Free-function conveniences for callers holding a plain vector.
 bool has_errors(const std::vector<Diagnostic>& diagnostics);
 std::string render(const std::vector<Diagnostic>& diagnostics);
+
+// JSON escape `text` (quotes, backslashes, control chars) onto `out` —
+// shared by every tool's --format=json path.
+void append_json_escaped(std::string& out, std::string_view text);
+
+// One finding as a JSON object:
+//   {"code":"XL001","severity":"warning","file":"...","location":"...",
+//    "message":"...","hint":"..."}
+// `file` is whatever set member the caller attributes the finding to
+// (may be empty for single-document lints).
+std::string to_json(const Diagnostic& diagnostic, std::string_view file);
 
 }  // namespace xmit::analysis

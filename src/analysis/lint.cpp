@@ -83,16 +83,14 @@ Extent field_extent(const pbio::IOField& field,
   return extent;
 }
 
-// XL001 / XL002 over one laid-out type. `swap_bytes` accumulates the
-// cross-endian swap volume for XL007 (nested types add their own volume,
-// already computed because layouts arrive in dependency order).
+// XL001 / XL002 over one laid-out type; XL007 from the precomputed
+// per-type swap volumes (swap_volumes below).
 void lint_layout(const TypeLayout& layout,
                  const std::vector<TypeLayout>& layouts,
                  const LintOptions& options,
-                 std::map<std::string, std::uint64_t>& swap_bytes,
+                 const std::map<std::string, std::uint64_t>& swap_bytes,
                  DiagnosticSink& sink) {
   std::uint64_t cursor = 0;
-  std::uint64_t swappable = 0;
   for (const pbio::IOField& field : layout.fields) {
     const Extent extent = field_extent(field, layouts, options.arch);
     if (!extent.known) continue;
@@ -110,36 +108,18 @@ void lint_layout(const TypeLayout& layout,
                "misaligned access is slow or faulting on strict-alignment "
                "machines");
     cursor = std::max(cursor, std::uint64_t(field.offset) + extent.bytes);
-
-    auto parsed = pbio::parse_field_type(field.type_name);
-    if (parsed.is_ok() && parsed.value().array.mode != pbio::ArrayMode::kDynamic) {
-      const std::uint64_t count =
-          parsed.value().array.mode == pbio::ArrayMode::kFixed
-              ? parsed.value().array.fixed_count
-              : 1;
-      if (extent.kind == FieldKind::kNested) {
-        auto nested = swap_bytes.find(parsed.value().nested_format);
-        if (nested != swap_bytes.end()) swappable += nested->second * count;
-      } else if (extent.element_size > 1 &&
-                 (extent.kind == FieldKind::kInteger ||
-                  extent.kind == FieldKind::kUnsigned ||
-                  extent.kind == FieldKind::kFloat ||
-                  extent.kind == FieldKind::kBoolean)) {
-        swappable += std::uint64_t(extent.element_size) * count;
-      }
-    }
   }
   if (layout.struct_size > cursor)
     sink.add("XL001", Severity::kWarning, layout.name,
              std::to_string(layout.struct_size - cursor) +
                  " bytes of trailing padding",
              "a smaller trailing field is widening the whole struct");
-  swap_bytes[layout.name] = swappable;
-  if (options.swap_hotspot_bytes != 0 &&
-      swappable >= options.swap_hotspot_bytes)
+  const auto swappable = swap_bytes.find(layout.name);
+  if (options.swap_hotspot_bytes != 0 && swappable != swap_bytes.end() &&
+      swappable->second >= options.swap_hotspot_bytes)
     sink.add("XL007", Severity::kWarning, layout.name,
-             "cross-endian decode byte-swaps " + std::to_string(swappable) +
-                 " bytes per record",
+             "cross-endian decode byte-swaps " +
+                 std::to_string(swappable->second) + " bytes per record",
              "large fixed numeric arrays dominate mixed-endian decode cost");
 }
 
@@ -293,13 +273,43 @@ void lint_enum_evolution(const xsd::EnumType& old_enum,
 
 }  // namespace
 
+std::map<std::string, std::uint64_t> swap_volumes(
+    const std::vector<TypeLayout>& layouts) {
+  std::map<std::string, std::uint64_t> volumes;
+  // Layout (dependency) order: nested volumes exist before containers.
+  for (const TypeLayout& layout : layouts) {
+    std::uint64_t swappable = 0;
+    for (const pbio::IOField& field : layout.fields) {
+      auto parsed = pbio::parse_field_type(field.type_name);
+      if (!parsed.is_ok() ||
+          parsed.value().array.mode == pbio::ArrayMode::kDynamic)
+        continue;
+      const std::uint64_t count =
+          parsed.value().array.mode == pbio::ArrayMode::kFixed
+              ? parsed.value().array.fixed_count
+              : 1;
+      const FieldKind kind = parsed.value().kind;
+      if (kind == FieldKind::kNested) {
+        auto nested = volumes.find(parsed.value().nested_format);
+        if (nested != volumes.end()) swappable += nested->second * count;
+      } else if (field.size > 1 &&
+                 (kind == FieldKind::kInteger || kind == FieldKind::kUnsigned ||
+                  kind == FieldKind::kFloat || kind == FieldKind::kBoolean)) {
+        swappable += std::uint64_t(field.size) * count;
+      }
+    }
+    volumes[layout.name] = swappable;
+  }
+  return volumes;
+}
+
 std::vector<Diagnostic> lint_schema(const xsd::Schema& schema,
                                     const std::vector<TypeLayout>& layouts,
                                     const LintOptions& options) {
   DiagnosticSink sink;
-  std::map<std::string, std::uint64_t> swap_bytes;
-  // Walk in layout (dependency) order so nested swap volumes exist before
-  // their containers; types without a layout still get dimension lint.
+  const std::map<std::string, std::uint64_t> swap_bytes =
+      swap_volumes(layouts);
+  // Types without a layout still get dimension lint.
   for (const TypeLayout& layout : layouts)
     if (schema.type_named(layout.name) != nullptr)
       lint_layout(layout, layouts, options, swap_bytes, sink);

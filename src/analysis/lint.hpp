@@ -29,6 +29,7 @@
 
 #include <cstdint>
 #include <iosfwd>
+#include <map>
 #include <vector>
 
 #include "analysis/diagnostics.hpp"
@@ -65,6 +66,14 @@ Result<std::vector<Diagnostic>> lint_schema(const xsd::Schema& schema,
 // Lints one registered wire format's flattened layout (XL001 / XL002 over
 // hand-written IOField tables that never went through the layout engine).
 std::vector<Diagnostic> lint_format(const pbio::Format& format);
+
+// Cross-endian swap volume per record, keyed by type name: the bytes a
+// foreign-endian decode byte-swaps for one record of each laid-out type
+// (nested volumes included; `layouts` must be in dependency order, as
+// layout_schema returns them). Feeds XL007 here and the set-wide XS006
+// total in setlint.hpp.
+std::map<std::string, std::uint64_t> swap_volumes(
+    const std::vector<toolkit::TypeLayout>& layouts);
 
 // Cross-version compatibility: diagnostics about decoding `new_schema`
 // senders with `old_schema` receivers and vice versa (XL010-XL016).

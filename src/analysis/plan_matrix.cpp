@@ -1,0 +1,137 @@
+#include "analysis/plan_matrix.hpp"
+
+#include <utility>
+
+#include "analysis/plan_verify.hpp"
+#include "pbio/decode.hpp"
+#include "pbio/registry.hpp"
+
+namespace xmit::analysis {
+namespace {
+
+using pbio::FormatPtr;
+using toolkit::TypeLayout;
+
+// One version's layouts registered as live formats, sender and receiver
+// side. Registration happens in layout order (dependencies first), so
+// nested type references resolve within the same version.
+struct RegisteredVersion {
+  const VersionLayouts* layouts = nullptr;
+  pbio::FormatRegistry senders;
+  pbio::FormatRegistry receivers;
+  // Parallel to layouts->sender / ->receiver; null where registration
+  // failed (already reported).
+  std::vector<FormatPtr> sender_formats;
+  std::vector<FormatPtr> receiver_formats;
+};
+
+const TypeLayout* layout_named(const std::vector<TypeLayout>& layouts,
+                               std::string_view name) {
+  for (const TypeLayout& layout : layouts)
+    if (layout.name == name) return &layout;
+  return nullptr;
+}
+
+void register_side(const std::vector<TypeLayout>& layouts,
+                   const pbio::ArchInfo& arch, const std::string& label,
+                   pbio::FormatRegistry& registry,
+                   std::vector<FormatPtr>& formats, DiagnosticSink& sink) {
+  formats.reserve(layouts.size());
+  for (const TypeLayout& layout : layouts) {
+    auto registered = registry.register_format(layout.name, layout.fields,
+                                               layout.struct_size, arch);
+    if (!registered.is_ok()) {
+      sink.add("XS008", Severity::kError, label + " " + layout.name,
+               "format registration failed: " +
+                   registered.status().to_string(),
+               "the layout cannot become a live wire format at all");
+      formats.push_back(nullptr);
+      continue;
+    }
+    formats.push_back(std::move(registered).value());
+  }
+}
+
+}  // namespace
+
+Result<VersionLayouts> layout_version(std::string label,
+                                      const xsd::Schema& schema,
+                                      const MatrixOptions& options) {
+  VersionLayouts version;
+  version.label = std::move(label);
+  XMIT_ASSIGN_OR_RETURN(
+      version.sender, toolkit::layout_schema(schema, options.sender_arch));
+  XMIT_ASSIGN_OR_RETURN(
+      version.receiver,
+      toolkit::layout_schema(schema, pbio::ArchInfo::host()));
+  return version;
+}
+
+MatrixResult verify_plan_matrix(const std::vector<VersionLayouts>& versions,
+                                const MatrixOptions& options) {
+  MatrixResult result;
+  DiagnosticSink sink;
+
+  std::vector<RegisteredVersion> registered(versions.size());
+  for (std::size_t i = 0; i < versions.size(); ++i) {
+    registered[i].layouts = &versions[i];
+    register_side(versions[i].sender, options.sender_arch, versions[i].label,
+                  registered[i].senders, registered[i].sender_formats, sink);
+    register_side(versions[i].receiver, pbio::ArchInfo::host(),
+                  versions[i].label, registered[i].receivers,
+                  registered[i].receiver_formats, sink);
+  }
+
+  for (std::size_t i = 0; i < registered.size(); ++i) {
+    // One decoder per sender version: its plan cache is keyed by
+    // (sender id, receiver id), so every receiver version below reuses it.
+    pbio::Decoder decoder(registered[i].senders);
+    decoder.set_verify_plans(false);  // the matrix *is* the verifier
+    for (std::size_t s = 0; s < registered[i].sender_formats.size(); ++s) {
+      const FormatPtr& sender = registered[i].sender_formats[s];
+      if (sender == nullptr) continue;
+      const std::string& type = registered[i].layouts->sender[s].name;
+      for (std::size_t j = 0; j < registered.size(); ++j) {
+        const TypeLayout* receiver_layout =
+            layout_named(registered[j].layouts->receiver, type);
+        if (receiver_layout == nullptr) continue;  // type absent in j
+        FormatPtr receiver;
+        for (std::size_t r = 0; r < registered[j].receiver_formats.size();
+             ++r) {
+          if (registered[j].layouts->receiver[r].name == type)
+            receiver = registered[j].receiver_formats[r];
+        }
+        if (receiver == nullptr) continue;  // registration already reported
+
+        const std::string pair = registered[i].layouts->label + " -> " +
+                                 registered[j].layouts->label;
+        auto plan = decoder.plan_view(sender, *receiver);
+        if (!plan.is_ok()) {
+          sink.add("XS008", Severity::kError, pair + " " + type,
+                   "decode plan does not compile: " +
+                       plan.status().to_string(),
+                   "records sent by one version cannot be decoded by the "
+                   "other; this pair cannot interoperate");
+          ++result.pairs_rejected;
+          continue;
+        }
+        std::vector<Diagnostic> findings =
+            verify_plan(plan.value(), *sender, *receiver);
+        if (findings.empty()) {
+          ++result.pairs_verified;
+          continue;
+        }
+        ++result.pairs_rejected;
+        for (Diagnostic& diagnostic : findings)
+          sink.add(std::move(diagnostic.code), diagnostic.severity,
+                   pair + " " + type + " " + diagnostic.location,
+                   std::move(diagnostic.message), std::move(diagnostic.hint));
+      }
+    }
+  }
+
+  result.findings = sink.items();
+  return result;
+}
+
+}  // namespace xmit::analysis

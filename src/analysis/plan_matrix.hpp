@@ -1,0 +1,69 @@
+// Offline pairwise plan pre-verification (DESIGN.md §5j).
+//
+// The plan verifier (plan_verify.hpp) proves one compiled (sender,
+// receiver) op program safe at plan-admission time. The plan matrix moves
+// that proof *offline*: given every version of a schema family, it
+// compiles the decode plan for every ordered (sender version, receiver
+// version) pair of every type name the two versions share — including
+// self pairs — and runs the static verifier over each program. A set that
+// passes the matrix cannot produce a plan-admission failure at runtime
+// for any cross-version combination of its members, which is what makes
+// a 10k-live-format registry safe to operate.
+//
+// Findings keep their PV codes; a pair whose plan does not even compile
+// (e.g. a field changed between string and non-string across versions)
+// is reported as XS008 — the set-level "this pair cannot interoperate"
+// diagnostic.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostics.hpp"
+#include "common/error.hpp"
+#include "pbio/arch.hpp"
+#include "xmit/layout.hpp"
+#include "xsd/types.hpp"
+
+namespace xmit::analysis {
+
+// One version of a schema family, laid out for both ends of the wire:
+// sender layouts at the matrix's sender architecture, receiver layouts
+// at the host (the architecture decode plans are compiled against).
+struct VersionLayouts {
+  std::string label;  // file name, used in pair diagnostics
+  std::vector<toolkit::TypeLayout> sender;
+  std::vector<toolkit::TypeLayout> receiver;
+};
+
+struct MatrixOptions {
+  // Architecture the sender side of every pair is laid out for. The
+  // receiver side is always the host. Running the matrix twice (host and
+  // a foreign profile) covers both the homogeneous and the cross-endian
+  // plan shapes.
+  pbio::ArchInfo sender_arch = pbio::ArchInfo::host();
+};
+
+struct MatrixResult {
+  // PV findings (location-prefixed with "old -> new") plus XS008 for
+  // pairs whose plan fails to compile. Empty means every pair verified.
+  std::vector<Diagnostic> findings;
+  std::size_t pairs_verified = 0;  // plans compiled and verified clean
+  std::size_t pairs_rejected = 0;  // compile failures + verifier rejections
+};
+
+// Lays one schema version out for the matrix. Fails only when the schema
+// does not lay out at all (reported upstream as XS000).
+Result<VersionLayouts> layout_version(std::string label,
+                                      const xsd::Schema& schema,
+                                      const MatrixOptions& options);
+
+// Verifies every ordered (sender version, receiver version) pair of every
+// shared type name across `versions` (a version family in ascending
+// order). Diagnostics carry "senderlabel -> receiverlabel" in the
+// location so a 5k-corpus report stays attributable.
+MatrixResult verify_plan_matrix(const std::vector<VersionLayouts>& versions,
+                                const MatrixOptions& options);
+
+}  // namespace xmit::analysis

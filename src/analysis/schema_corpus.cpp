@@ -1,0 +1,166 @@
+#include "analysis/schema_corpus.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "net/fetch.hpp"
+
+namespace xmit::analysis {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Injected defect kinds, cycled over defect families in this order.
+constexpr const char* kDefectCycle[] = {"XL003", "XS003", "XS004", "XS005",
+                                        "XS001", "XL011", "XS008"};
+
+// Extras stay 8-byte so clean families lay out without padding noise.
+constexpr const char* kExtraTypes[] = {"unsignedLong", "long", "double"};
+
+std::string pad4(std::size_t value) {
+  char buffer[16];
+  std::snprintf(buffer, sizeof(buffer), "%04zu", value);
+  return buffer;
+}
+
+void element(std::string& out, std::string_view name, std::string_view type,
+             std::string_view occurs = "") {
+  out += "  <xsd:element name=\"";
+  out += name;
+  out += "\" type=\"xsd:";
+  out += type;
+  out += "\"";
+  if (!occurs.empty()) {
+    out += " maxOccurs=\"";
+    out += occurs;
+    out += "\"";
+  }
+  out += " />\n";
+}
+
+// One version file of one family. `defect` is the family's injected
+// defect code (empty = clean); most kinds only distort the last version.
+std::string render_version(std::size_t family, std::size_t version,
+                           std::size_t versions, std::string_view defect,
+                           std::size_t defect_occurrence, Rng& family_rng) {
+  const bool last = version == versions;
+  std::string out = "<?xml version=\"1.0\"?>\n";
+  out += "<xsd:schema xmlns:xsd=\"http://www.w3.org/2001/XMLSchema\">\n";
+
+  // Header shared verbatim by every family: exercises the XS001
+  // linked-lineage suppression at corpus scale.
+  out += "<xsd:complexType name=\"SharedHeader\">\n";
+  element(out, "seq", "unsignedLong");
+  element(out, "stamp", "unsignedLong");
+  out += "</xsd:complexType>\n";
+
+  out += "<xsd:complexType name=\"Rec" + pad4(family) + "\">\n";
+  element(out, "id", "unsignedLong");
+  if (defect == "XS004" && last) {
+    element(out, "style", "int");  // `kind` renamed in place
+  } else if (!(defect == "XL011" && last)) {
+    element(out, "kind", "int");
+  }
+  element(out, "n", defect == "XS005" && last ? "short" : "int");
+  for (std::size_t u = 2; u <= version; ++u) {
+    // The extra's type depends only on the family stream + index, so the
+    // same field keeps its type in every later version.
+    const std::size_t pick =
+        (family_rng.next_u64() + u) % (sizeof(kExtraTypes) / sizeof(char*));
+    element(out, "extra" + std::to_string(u), kExtraTypes[pick]);
+  }
+  element(out, "tag", defect == "XS008" && last ? "unsignedLong" : "string");
+  element(out, "samples", "double", "n");
+  if (defect == "XL003" && last)
+    element(out, "ghost", "double", "missing");
+  out += "</xsd:complexType>\n";
+
+  // XS003: a side type exists in v1, vanishes mid-chain (a warning per
+  // step), and returns at the end with a field dropped — every adjacent
+  // step passes, the v1 -> vN hop does not.
+  if (defect == "XS003" && (version == 1 || last)) {
+    out += "<xsd:complexType name=\"Side" + pad4(family) + "\">\n";
+    element(out, "a", "unsignedLong");
+    if (version == 1) element(out, "b", "unsignedLong");
+    out += "</xsd:complexType>\n";
+  }
+
+  // XS001: the same type name with alternating layouts across otherwise
+  // unrelated defect families.
+  if (defect == "XS001") {
+    out += "<xsd:complexType name=\"CommonBlob\">\n";
+    if (defect_occurrence % 2 == 0) {
+      element(out, "x", "unsignedLong");
+      element(out, "y", "unsignedLong");
+    } else {
+      element(out, "x", "double");
+      element(out, "y", "double");
+      element(out, "z", "double");
+    }
+    out += "</xsd:complexType>\n";
+  }
+
+  out += "</xsd:schema>\n";
+  return out;
+}
+
+}  // namespace
+
+Result<CorpusManifest> generate_schema_corpus(const std::string& dir,
+                                              const CorpusOptions& options) {
+  if (options.families == 0 || options.versions == 0)
+    return Status(ErrorCode::kInvalidArgument,
+                  "corpus needs at least one family and one version");
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec)
+    return Status(ErrorCode::kIoError, "mkdir " + dir + ": " + ec.message());
+
+  CorpusManifest manifest;
+  std::string manifest_text;
+  std::map<std::string, std::size_t> occurrences;  // defect code -> seen
+
+  for (std::size_t f = 0; f < options.families; ++f) {
+    std::string defect;
+    std::size_t occurrence = 0;
+    if (options.defect_every != 0 &&
+        (f + 1) % options.defect_every == 0) {
+      std::size_t kind = (f / options.defect_every) %
+                         (sizeof(kDefectCycle) / sizeof(char*));
+      defect = kDefectCycle[kind];
+      // XS003 needs a gap version for the type to vanish into.
+      if (defect == "XS003" && options.versions < 3) defect = "XL011";
+      occurrence = occurrences[defect]++;
+      ++manifest.defects;
+      ++manifest.defect_counts[defect];
+    }
+
+    const std::string family_dir = dir + "/fam_" + pad4(f);
+    fs::create_directories(family_dir, ec);
+    if (ec)
+      return Status(ErrorCode::kIoError,
+                    "mkdir " + family_dir + ": " + ec.message());
+    manifest_text +=
+        "fam_" + pad4(f) + " " + (defect.empty() ? "clean" : defect) + "\n";
+
+    for (std::size_t v = 1; v <= options.versions; ++v) {
+      // Reseed per file so a version's content never depends on how many
+      // earlier versions were rendered.
+      Rng rng(options.seed * 0x9E3779B97F4A7C15ull + f);
+      const std::string path =
+          family_dir + "/rec_v" + std::to_string(v) + ".xsd";
+      XMIT_RETURN_IF_ERROR(net::write_file(
+          path,
+          render_version(f, v, options.versions, defect, occurrence, rng)));
+      ++manifest.files;
+    }
+  }
+  XMIT_RETURN_IF_ERROR(
+      net::write_file(dir + "/MANIFEST.txt", manifest_text));
+  return manifest;
+}
+
+}  // namespace xmit::analysis

@@ -1,0 +1,54 @@
+// Synthetic schema-corpus generator for set-lint scale and defect tests
+// (DESIGN.md §5j). Emits N version families of .xsd files shaped like real
+// deployments — versioned evolution chains, a header type shared by every
+// family, dynamic arrays with declared count fields — plus a controllable
+// sprinkle of injected defects, each keyed to the diagnostic code the set
+// analyzer must raise for it:
+//
+//   XL003  dangling dimension reference in the last version
+//   XS003  type removed mid-chain and re-added incompatibly at the end
+//   XS004  field renamed in place (removed + re-added at the same offset)
+//   XS005  dynamic count field narrowed across versions
+//   XS001  shared type name declared with conflicting layouts (pairs of
+//          injected families conflict with each other)
+//   XL011  field removed in the last version
+//   XS008  field changed type class (string -> integer): the cross-version
+//          decode plan does not compile
+//
+// Generation is deterministic in (seed, families, versions): the same
+// options always produce byte-identical files, so cold/warm cache
+// benchmarks and golden assertions are stable.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace xmit::analysis {
+
+struct CorpusOptions {
+  std::size_t families = 1000;
+  std::size_t versions = 5;  // files per family (v1..vN)
+  std::uint64_t seed = 1;
+
+  // Every `defect_every`-th family carries one injected defect, cycling
+  // through the kinds above. 0 = a fully clean corpus.
+  std::size_t defect_every = 10;
+};
+
+struct CorpusManifest {
+  std::size_t files = 0;
+  std::size_t defects = 0;  // families carrying an injected defect
+  // defect code -> number of families injected with it
+  std::map<std::string, std::size_t> defect_counts;
+};
+
+// Writes the corpus under `dir` (created if missing) as
+// fam_<0000>/..._v<N>.xsd plus a MANIFEST.txt listing each family's
+// injected defect ("clean" when none).
+Result<CorpusManifest> generate_schema_corpus(const std::string& dir,
+                                              const CorpusOptions& options = {});
+
+}  // namespace xmit::analysis

@@ -1,0 +1,1031 @@
+#include "analysis/setlint.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <functional>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "analysis/plan_matrix.hpp"
+#include "net/fetch.hpp"
+#include "pbio/field.hpp"
+#include "pbio/registry.hpp"
+#include "xsd/parse.hpp"
+
+namespace xmit::analysis {
+namespace {
+
+namespace fs = std::filesystem;
+using toolkit::TypeLayout;
+
+constexpr char kCacheMagic[] = "XMITSETLINT1";
+constexpr char kToolVersion[] = "setlint-1";
+
+std::uint64_t fnv64(std::string_view bytes) {
+  std::uint64_t hash = 1469598103934665603ull;
+  for (char c : bytes) {
+    hash ^= static_cast<std::uint8_t>(c);
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+std::string hex64(std::uint64_t value) {
+  char buffer[17];
+  std::snprintf(buffer, sizeof(buffer), "%016llx",
+                static_cast<unsigned long long>(value));
+  return buffer;
+}
+
+// Cache lines are tab-separated; escape the separators and newlines.
+std::string escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\t': out += "\\t"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string unescape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] != '\\' || i + 1 == text.size()) {
+      out += text[i];
+      continue;
+    }
+    switch (text[++i]) {
+      case 't': out += '\t'; break;
+      case 'n': out += '\n'; break;
+      case 'r': out += '\r'; break;
+      default: out += text[i];
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> split(std::string_view line, char separator) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= line.size(); ++i) {
+    if (i == line.size() || line[i] == separator) {
+      parts.emplace_back(line.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return parts;
+}
+
+bool parse_severity(std::string_view name, Severity* out) {
+  if (name == "note") *out = Severity::kNote;
+  else if (name == "warning") *out = Severity::kWarning;
+  else if (name == "error") *out = Severity::kError;
+  else return false;
+  return true;
+}
+
+std::string arch_token(const pbio::ArchInfo& arch) {
+  std::string token =
+      arch.byte_order == ByteOrder::kLittle ? "le" : "be";
+  token += std::to_string(arch.pointer_size);
+  token += "l" + std::to_string(arch.long_size);
+  token += "a" + std::to_string(arch.max_align);
+  return token;
+}
+
+// Everything that changes analysis results is part of every cache key, so
+// flipping an option can never serve a stale entry.
+std::string options_fingerprint(const SetLintOptions& options) {
+  std::string fp = kToolVersion;
+  fp += "|arch=" + arch_token(options.lint.arch);
+  fp += "|swap=" + std::to_string(options.lint.swap_hotspot_bytes);
+  std::vector<std::string> disabled = options.disabled_codes;
+  std::sort(disabled.begin(), disabled.end());
+  fp += "|off=";
+  for (const std::string& code : disabled) fp += code + ",";
+  fp += options.matrix ? "|matrix=" + arch_token(options.matrix_sender_arch)
+                       : "|matrix=off";
+  return fp;
+}
+
+class CodeFilter {
+ public:
+  explicit CodeFilter(const std::vector<std::string>& disabled)
+      : disabled_(disabled.begin(), disabled.end()) {}
+
+  bool disabled(const std::string& code) const {
+    return disabled_.count(code) > 0;
+  }
+
+  void keep_enabled(std::vector<Diagnostic>& findings) const {
+    if (disabled_.empty()) return;
+    std::erase_if(findings, [this](const Diagnostic& diagnostic) {
+      return disabled(diagnostic.code);
+    });
+  }
+
+ private:
+  std::set<std::string> disabled_;
+};
+
+void parallel_for(std::size_t count, std::size_t jobs,
+                  const std::function<void(std::size_t)>& body) {
+  if (jobs == 0) jobs = std::thread::hardware_concurrency();
+  jobs = std::min<std::size_t>(std::max<std::size_t>(jobs, 1), 64);
+  jobs = std::min(jobs, count);
+  if (jobs <= 1) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  std::vector<std::thread> workers;
+  workers.reserve(jobs);
+  for (std::size_t w = 0; w < jobs; ++w) {
+    workers.emplace_back([&] {
+      for (std::size_t i = next.fetch_add(1); i < count;
+           i = next.fetch_add(1))
+        body(i);
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+}
+
+struct FileState {
+  std::string path;  // as opened
+  std::string rel;   // label in findings
+  FamilyKey key;
+  std::string text;
+  std::uint64_t digest = 0;
+  bool usable = false;       // text read + parse + layout all succeeded
+  bool have_text = false;
+  bool cache_hit = false;
+  bool parsed = false;
+  xsd::Schema schema;
+  std::vector<TypeLayout> layouts;  // at options.lint.arch
+  std::vector<Diagnostic> diags;    // per-file findings (XS000 + XL)
+  std::vector<TypeSig> sigs;
+};
+
+struct FamilyState {
+  std::string name;
+  std::vector<std::size_t> members;  // indices, ascending (version, rel)
+  bool cache_hit = false;
+  std::vector<FileFinding> findings;
+  std::size_t pairs_verified = 0;
+  std::size_t pairs_rejected = 0;
+};
+
+// Registers `layouts` into a throwaway registry to obtain the canonical
+// wire identity (FormatId + description) of every type. file/family/
+// version are stamped by the caller — they are run-local, never cached.
+std::vector<TypeSig> signatures_for(const xsd::Schema& schema,
+                                    const std::vector<TypeLayout>& layouts,
+                                    const pbio::ArchInfo& arch) {
+  std::vector<TypeSig> sigs;
+  const std::map<std::string, std::uint64_t> volumes = swap_volumes(layouts);
+  pbio::FormatRegistry registry;
+  for (const TypeLayout& layout : layouts) {
+    auto format = registry.register_format(layout.name, layout.fields,
+                                           layout.struct_size, arch);
+    if (!format.is_ok()) continue;  // layout engine output; cannot happen
+    if (schema.type_named(layout.name) == nullptr) continue;
+    TypeSig sig;
+    sig.type = layout.name;
+    sig.id = format.value()->id();
+    sig.description = format.value()->canonical_description();
+    sig.struct_size = layout.struct_size;
+    const auto volume = volumes.find(layout.name);
+    sig.swap_bytes = volume != volumes.end() ? volume->second : 0;
+    sigs.push_back(std::move(sig));
+  }
+  return sigs;
+}
+
+// ---------------------------------------------------------------------
+// On-disk cache: one entry per file and one per family, keyed by content
+// digests + the options fingerprint. The key is stored verbatim in the
+// entry header, so a filename collision or torn write reads as a miss.
+
+class Cache {
+ public:
+  Cache(std::string dir, std::string fingerprint)
+      : dir_(std::move(dir)), fingerprint_(std::move(fingerprint)) {
+    if (enabled()) {
+      std::error_code ec;
+      fs::create_directories(dir_, ec);
+    }
+  }
+
+  bool enabled() const { return !dir_.empty(); }
+
+  std::string file_key(const FileState& file) const {
+    return fingerprint_ + "|file|" + hex64(file.digest);
+  }
+
+  std::string family_key(const FamilyState& family,
+                         const std::vector<FileState>& files) const {
+    std::string key = fingerprint_ + "|family|" + family.name;
+    for (std::size_t index : family.members)
+      key += "|" + files[index].rel + ":" + hex64(files[index].digest);
+    return key;
+  }
+
+  bool load(const std::string& key, std::vector<std::string>* lines) const {
+    std::ifstream in(path_for(key));
+    if (!in.good()) return false;
+    std::string line;
+    if (!std::getline(in, line) || line != std::string(kCacheMagic) + " " + key)
+      return false;
+    lines->clear();
+    while (std::getline(in, line)) lines->push_back(line);
+    if (lines->empty() || lines->back() != "END") return false;
+    lines->pop_back();
+    return true;
+  }
+
+  void store(const std::string& key,
+             const std::vector<std::string>& lines) const {
+    const std::string path = path_for(key);
+    const std::string tmp = path + ".tmp";
+    {
+      std::ofstream out(tmp, std::ios::trunc);
+      if (!out.good()) return;
+      out << kCacheMagic << " " << key << "\n";
+      for (const std::string& line : lines) out << line << "\n";
+      out << "END\n";
+    }
+    std::error_code ec;
+    fs::rename(tmp, path, ec);
+    if (ec) fs::remove(tmp, ec);
+  }
+
+ private:
+  std::string path_for(const std::string& key) const {
+    return dir_ + "/" + hex64(fnv64(key)) + ".lint";
+  }
+
+  std::string dir_;
+  std::string fingerprint_;
+};
+
+std::string diag_line(const Diagnostic& diagnostic) {
+  return std::string("D\t") + escape(diagnostic.code) + "\t" +
+         severity_name(diagnostic.severity) + "\t" +
+         escape(diagnostic.location) + "\t" + escape(diagnostic.message) +
+         "\t" + escape(diagnostic.hint);
+}
+
+bool parse_diag_line(const std::vector<std::string>& parts, std::size_t base,
+                     Diagnostic* out) {
+  if (parts.size() < base + 5) return false;
+  out->code = unescape(parts[base]);
+  if (!parse_severity(parts[base + 1], &out->severity)) return false;
+  out->location = unescape(parts[base + 2]);
+  out->message = unescape(parts[base + 3]);
+  out->hint = unescape(parts[base + 4]);
+  return true;
+}
+
+std::vector<std::string> encode_file_entry(const FileState& file) {
+  std::vector<std::string> lines;
+  for (const Diagnostic& diagnostic : file.diags)
+    lines.push_back(diag_line(diagnostic));
+  for (const TypeSig& sig : file.sigs)
+    lines.push_back("T\t" + escape(sig.type) + "\t" + hex64(sig.id) + "\t" +
+                    std::to_string(sig.struct_size) + "\t" +
+                    std::to_string(sig.swap_bytes) + "\t" +
+                    escape(sig.description));
+  return lines;
+}
+
+bool decode_file_entry(const std::vector<std::string>& lines,
+                       FileState* file) {
+  file->diags.clear();
+  file->sigs.clear();
+  for (const std::string& line : lines) {
+    const std::vector<std::string> parts = split(line, '\t');
+    if (parts.empty()) return false;
+    if (parts[0] == "D") {
+      Diagnostic diagnostic;
+      if (!parse_diag_line(parts, 1, &diagnostic)) return false;
+      file->diags.push_back(std::move(diagnostic));
+    } else if (parts[0] == "T") {
+      if (parts.size() < 6) return false;
+      TypeSig sig;
+      sig.type = unescape(parts[1]);
+      sig.id = std::strtoull(parts[2].c_str(), nullptr, 16);
+      sig.struct_size = static_cast<std::uint32_t>(
+          std::strtoul(parts[3].c_str(), nullptr, 10));
+      sig.swap_bytes = std::strtoull(parts[4].c_str(), nullptr, 10);
+      sig.description = unescape(parts[5]);
+      file->sigs.push_back(std::move(sig));
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::vector<std::string> encode_family_entry(const FamilyState& family) {
+  std::vector<std::string> lines;
+  for (const FileFinding& finding : family.findings)
+    lines.push_back("F\t" + escape(finding.file) + "\t" +
+                    diag_line(finding.diagnostic).substr(2));
+  lines.push_back("P\t" + std::to_string(family.pairs_verified) + "\t" +
+                  std::to_string(family.pairs_rejected));
+  return lines;
+}
+
+bool decode_family_entry(const std::vector<std::string>& lines,
+                         FamilyState* family) {
+  family->findings.clear();
+  for (const std::string& line : lines) {
+    const std::vector<std::string> parts = split(line, '\t');
+    if (parts.empty()) return false;
+    if (parts[0] == "F") {
+      if (parts.size() < 7) return false;
+      FileFinding finding;
+      finding.file = unescape(parts[1]);
+      if (!parse_diag_line(parts, 2, &finding.diagnostic)) return false;
+      family->findings.push_back(std::move(finding));
+    } else if (parts[0] == "P") {
+      if (parts.size() < 3) return false;
+      family->pairs_verified = std::strtoull(parts[1].c_str(), nullptr, 10);
+      family->pairs_rejected = std::strtoull(parts[2].c_str(), nullptr, 10);
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------
+// Per-file analysis: parse, lay out, lint, sign.
+
+void analyze_file(FileState& file, const SetLintOptions& options,
+                  const CodeFilter& filter) {
+  auto schema = xsd::parse_schema_text(file.text, DecodeLimits::defaults());
+  if (!schema.is_ok()) {
+    if (!filter.disabled("XS000"))
+      file.diags.push_back({"XS000", Severity::kError, file.rel,
+                            "schema does not parse: " +
+                                schema.status().to_string(),
+                            "fix or remove the file; the rest of the set "
+                            "was still analyzed"});
+    return;
+  }
+  file.schema = std::move(schema).value();
+  auto layouts = toolkit::layout_schema(file.schema, options.lint.arch);
+  if (!layouts.is_ok()) {
+    if (!filter.disabled("XS000"))
+      file.diags.push_back({"XS000", Severity::kError, file.rel,
+                            "schema does not lay out: " +
+                                layouts.status().to_string(),
+                            "fix or remove the file; the rest of the set "
+                            "was still analyzed"});
+    return;
+  }
+  file.layouts = std::move(layouts).value();
+  file.parsed = true;
+  file.usable = true;
+
+  std::vector<Diagnostic> findings =
+      lint_schema(file.schema, file.layouts, options.lint);
+  filter.keep_enabled(findings);
+  for (Diagnostic& diagnostic : findings)
+    file.diags.push_back(std::move(diagnostic));
+  file.sigs = signatures_for(file.schema, file.layouts, options.lint.arch);
+}
+
+// Re-parse a cache-hit file because its family has dirty pairs. Diags and
+// sigs stay as the cache delivered them.
+void reparse_file(FileState& file, const SetLintOptions& options) {
+  auto schema = xsd::parse_schema_text(file.text, DecodeLimits::defaults());
+  if (!schema.is_ok()) return;
+  file.schema = std::move(schema).value();
+  auto layouts = toolkit::layout_schema(file.schema, options.lint.arch);
+  if (!layouts.is_ok()) return;
+  file.layouts = std::move(layouts).value();
+  file.parsed = true;
+}
+
+const pbio::IOField* field_named(const std::vector<pbio::IOField>& fields,
+                                 std::string_view name) {
+  for (const pbio::IOField& field : fields)
+    if (field.name == name) return &field;
+  return nullptr;
+}
+
+const TypeLayout* layout_named(const std::vector<TypeLayout>& layouts,
+                               std::string_view name) {
+  for (const TypeLayout& layout : layouts)
+    if (layout.name == name) return &layout;
+  return nullptr;
+}
+
+// XS004: one version step removed field `r` and added field `a` at the
+// identical offset and size — bytes silently change meaning.
+void check_renamed_in_place(const FileState& old_file,
+                            const FileState& new_file, DiagnosticSink& sink) {
+  for (const xsd::ComplexType& old_type : old_file.schema.types()) {
+    const xsd::ComplexType* new_type =
+        new_file.schema.type_named(old_type.name);
+    if (new_type == nullptr) continue;
+    const TypeLayout* old_layout =
+        layout_named(old_file.layouts, old_type.name);
+    const TypeLayout* new_layout =
+        layout_named(new_file.layouts, old_type.name);
+    if (old_layout == nullptr || new_layout == nullptr) continue;
+    for (const xsd::ElementDecl& removed : old_type.elements) {
+      if (new_type->element_named(removed.name) != nullptr) continue;
+      const pbio::IOField* old_field =
+          field_named(old_layout->fields, removed.name);
+      if (old_field == nullptr) continue;
+      for (const xsd::ElementDecl& added : new_type->elements) {
+        if (old_type.element_named(added.name) != nullptr) continue;
+        const pbio::IOField* new_field =
+            field_named(new_layout->fields, added.name);
+        if (new_field == nullptr) continue;
+        if (new_field->offset == old_field->offset &&
+            new_field->size == old_field->size) {
+          sink.add("XS004", Severity::kWarning,
+                   old_type.name + "." + removed.name,
+                   "field removed and '" + added.name +
+                       "' added at the identical offset " +
+                       std::to_string(old_field->offset) + " and size " +
+                       std::to_string(old_field->size) +
+                       " — looks renamed in place",
+                   "receivers match fields by name: the bytes silently "
+                   "change meaning; keep the old name or add the new field "
+                   "at a new offset");
+        }
+      }
+    }
+  }
+}
+
+// XS005: a dynamic array keeps its dimension name across versions but the
+// count field it resolves to changed width or integer kind.
+void check_count_resolution(const FileState& old_file,
+                            const FileState& new_file, DiagnosticSink& sink) {
+  for (const xsd::ComplexType& old_type : old_file.schema.types()) {
+    const xsd::ComplexType* new_type =
+        new_file.schema.type_named(old_type.name);
+    if (new_type == nullptr) continue;
+    const TypeLayout* old_layout =
+        layout_named(old_file.layouts, old_type.name);
+    const TypeLayout* new_layout =
+        layout_named(new_file.layouts, old_type.name);
+    if (old_layout == nullptr || new_layout == nullptr) continue;
+    for (const xsd::ElementDecl& old_decl : old_type.elements) {
+      if (old_decl.occurs != xsd::OccursMode::kDynamic) continue;
+      const xsd::ElementDecl* new_decl =
+          new_type->element_named(old_decl.name);
+      if (new_decl == nullptr ||
+          new_decl->occurs != xsd::OccursMode::kDynamic ||
+          new_decl->dimension_name != old_decl.dimension_name)
+        continue;  // rename is XL014's business
+      const pbio::IOField* old_count =
+          field_named(old_layout->fields, old_decl.dimension_name);
+      const pbio::IOField* new_count =
+          field_named(new_layout->fields, old_decl.dimension_name);
+      if (old_count == nullptr || new_count == nullptr) continue;
+      auto old_type_parsed = pbio::parse_field_type(old_count->type_name);
+      auto new_type_parsed = pbio::parse_field_type(new_count->type_name);
+      const bool kind_changed =
+          old_type_parsed.is_ok() && new_type_parsed.is_ok() &&
+          old_type_parsed.value().kind != new_type_parsed.value().kind;
+      if (old_count->size != new_count->size || kind_changed) {
+        sink.add("XS005", Severity::kError,
+                 old_type.name + "." + old_decl.name,
+                 "count field '" + old_decl.dimension_name +
+                     "' resolves differently across versions (" +
+                     old_count->type_name + ":" +
+                     std::to_string(old_count->size) + " -> " +
+                     new_count->type_name + ":" +
+                     std::to_string(new_count->size) + ")",
+                 "the count's shape is part of the wire contract; widen or "
+                 "change it only by introducing a new dimension field");
+      }
+    }
+  }
+}
+
+// Family analysis: adjacent evolution lint + XS004/XS005, chain
+// transitivity (XS003), and the pairwise plan matrix.
+void analyze_family(FamilyState& family, std::vector<FileState>& files,
+                    const SetLintOptions& options, const CodeFilter& filter) {
+  std::vector<std::size_t> chain;
+  for (std::size_t index : family.members)
+    if (files[index].parsed) chain.push_back(index);
+
+  // Adjacent steps: full evolution lint, reported; remember error'ness
+  // for the chain check below.
+  std::vector<bool> adjacent_clean(chain.size() > 0 ? chain.size() - 1 : 0,
+                                   true);
+  for (std::size_t k = 0; k + 1 < chain.size(); ++k) {
+    const FileState& old_file = files[chain[k]];
+    const FileState& new_file = files[chain[k + 1]];
+    const std::string pair = old_file.rel + " -> " + new_file.rel;
+    std::vector<Diagnostic> findings =
+        lint_evolution(old_file.schema, new_file.schema);
+    adjacent_clean[k] = !has_errors(findings);
+    DiagnosticSink extra;
+    if (!filter.disabled("XS004"))
+      check_renamed_in_place(old_file, new_file, extra);
+    if (!filter.disabled("XS005"))
+      check_count_resolution(old_file, new_file, extra);
+    for (const Diagnostic& diagnostic : extra.items())
+      findings.push_back(diagnostic);
+    if (has_errors(extra.items())) adjacent_clean[k] = false;
+    filter.keep_enabled(findings);
+    for (Diagnostic& diagnostic : findings)
+      family.findings.push_back({pair, std::move(diagnostic)});
+  }
+
+  // XS003: every adjacent step between v_i and v_j is clean, yet the
+  // direct hop breaks — the classic remove-then-readd-incompatibly.
+  if (!filter.disabled("XS003")) {
+    for (std::size_t i = 0; i + 2 < chain.size(); ++i) {
+      for (std::size_t j = i + 2; j < chain.size(); ++j) {
+        bool steps_clean = true;
+        for (std::size_t k = i; k < j; ++k)
+          if (!adjacent_clean[k]) steps_clean = false;
+        if (!steps_clean) continue;
+        std::vector<Diagnostic> hop =
+            lint_evolution(files[chain[i]].schema, files[chain[j]].schema);
+        if (!has_errors(hop)) continue;
+        std::string first_code = "?";
+        std::string first_location;
+        for (const Diagnostic& diagnostic : hop) {
+          if (diagnostic.severity != Severity::kError) continue;
+          first_code = diagnostic.code;
+          first_location = diagnostic.location;
+          break;
+        }
+        family.findings.push_back(
+            {files[chain[i]].rel + " -> " + files[chain[j]].rel,
+             {"XS003", Severity::kError, first_location,
+              "evolution chain break: every adjacent step is compatible "
+              "but this hop fails (" +
+                  first_code + ")",
+              "peers more than one version apart still interoperate "
+              "directly; an intermediate version hid an incompatible "
+              "change (e.g. a type removed and re-added differently)"}});
+      }
+    }
+  }
+
+  if (options.matrix) {
+    MatrixOptions matrix_options;
+    matrix_options.sender_arch = options.matrix_sender_arch;
+    std::vector<VersionLayouts> versions;
+    for (std::size_t index : chain) {
+      auto version = layout_version(files[index].rel, files[index].schema,
+                                    matrix_options);
+      if (!version.is_ok()) {
+        if (!filter.disabled("XS008"))
+          family.findings.push_back(
+              {files[index].rel,
+               {"XS008", Severity::kError, files[index].rel,
+                "matrix layout failed: " + version.status().to_string(),
+                ""}});
+        continue;
+      }
+      versions.push_back(std::move(version).value());
+    }
+    MatrixResult matrix = verify_plan_matrix(versions, matrix_options);
+    family.pairs_verified = matrix.pairs_verified;
+    family.pairs_rejected = matrix.pairs_rejected;
+    filter.keep_enabled(matrix.findings);
+    for (Diagnostic& diagnostic : matrix.findings)
+      family.findings.push_back({family.name, std::move(diagnostic)});
+  }
+}
+
+Result<SetLintReport> run_set_lint(std::vector<FileState> files,
+                                   const SetLintOptions& options) {
+  const CodeFilter filter(options.disabled_codes);
+  Cache cache(options.cache_dir, options_fingerprint(options));
+  SetLintReport report;
+  report.stats.files = files.size();
+
+  std::sort(files.begin(), files.end(),
+            [](const FileState& a, const FileState& b) { return a.rel < b.rel; });
+
+  // Stage 1 — per-file: read, digest, probe cache, analyze on miss.
+  std::atomic<std::size_t> hits{0};
+  std::atomic<std::size_t> misses{0};
+  parallel_for(files.size(), options.jobs, [&](std::size_t i) {
+    FileState& file = files[i];
+    auto text = net::read_file(file.path);
+    if (!text.is_ok()) {
+      if (!filter.disabled("XS000"))
+        file.diags.push_back({"XS000", Severity::kError, file.rel,
+                              "unreadable: " + text.status().to_string(),
+                              ""});
+      return;
+    }
+    file.text = std::move(text).value();
+    file.have_text = true;
+    file.digest = fnv64(file.text);
+    if (cache.enabled()) {
+      std::vector<std::string> lines;
+      if (cache.load(cache.file_key(file), &lines) &&
+          decode_file_entry(lines, &file)) {
+        file.cache_hit = true;
+        file.usable = true;  // entries are only written for loadable files
+        hits.fetch_add(1);
+        return;
+      }
+    }
+    analyze_file(file, options, filter);
+    if (cache.enabled() && file.usable) {
+      misses.fetch_add(1);
+      cache.store(cache.file_key(file), encode_file_entry(file));
+    }
+  });
+
+  // Group families; members ascend by (version, rel).
+  std::map<std::string, FamilyState> families;
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    FamilyState& family = families[files[i].key.family];
+    family.name = files[i].key.family;
+    family.members.push_back(i);
+  }
+  for (auto& [name, family] : families) {
+    std::sort(family.members.begin(), family.members.end(),
+              [&](std::size_t a, std::size_t b) {
+                if (files[a].key.version != files[b].key.version)
+                  return files[a].key.version < files[b].key.version;
+                return files[a].rel < files[b].rel;
+              });
+  }
+  report.stats.families = families.size();
+
+  // Stage 2 — family cache probe; a miss requires every member parsed.
+  std::vector<FamilyState*> family_list;
+  family_list.reserve(families.size());
+  for (auto& [name, family] : families) family_list.push_back(&family);
+
+  std::vector<std::size_t> need_parse;
+  for (FamilyState* family : family_list) {
+    bool all_usable = true;
+    for (std::size_t index : family->members)
+      if (!files[index].usable) all_usable = false;
+    if (cache.enabled() && all_usable) {
+      std::vector<std::string> lines;
+      if (cache.load(cache.family_key(*family, files), &lines) &&
+          decode_family_entry(lines, family)) {
+        family->cache_hit = true;
+        hits.fetch_add(1);
+        continue;
+      }
+      misses.fetch_add(1);
+    }
+    for (std::size_t index : family->members)
+      if (files[index].usable && !files[index].parsed)
+        need_parse.push_back(index);
+  }
+  parallel_for(need_parse.size(), options.jobs, [&](std::size_t i) {
+    reparse_file(files[need_parse[i]], options);
+  });
+
+  // Stage 3 — family analysis for cache misses.
+  parallel_for(family_list.size(), options.jobs, [&](std::size_t i) {
+    FamilyState* family = family_list[i];
+    if (family->cache_hit) return;
+    analyze_family(*family, files, options, filter);
+    if (cache.enabled()) {
+      bool all_usable = true;
+      for (std::size_t index : family->members)
+        if (!files[index].usable) all_usable = false;
+      if (all_usable)
+        cache.store(cache.family_key(*family, files),
+                    encode_family_entry(*family));
+    }
+  });
+  report.stats.cache_hits = hits.load();
+  report.stats.cache_misses = misses.load();
+
+  // Stage 4 — assemble deterministically: files, families, set-wide.
+  for (const FileState& file : files)
+    for (const Diagnostic& diagnostic : file.diags)
+      report.findings.push_back({file.rel, diagnostic});
+  for (const FamilyState* family : family_list) {
+    report.stats.pairs_verified += family->pairs_verified;
+    report.stats.pairs_rejected += family->pairs_rejected;
+    for (const FileFinding& finding : family->findings)
+      report.findings.push_back(finding);
+  }
+
+  std::vector<TypeSig> sigs;
+  for (FileState& file : files) {
+    for (TypeSig& sig : file.sigs) {
+      sig.file = file.rel;
+      sig.family = file.key.family;
+      sig.version = file.key.version;
+      sigs.push_back(sig);
+    }
+  }
+  report.stats.types = sigs.size();
+  for (const Diagnostic& diagnostic :
+       cross_check_signatures(sigs, options.disabled_codes))
+    report.findings.push_back({"<set>", diagnostic});
+
+  for (const TypeSig& sig : sigs) {
+    report.stats.set_swap_bytes += sig.swap_bytes;
+    if (sig.struct_size > report.stats.widest_struct ||
+        (sig.struct_size == report.stats.widest_struct &&
+         report.stats.widest_type.empty())) {
+      report.stats.widest_struct = sig.struct_size;
+      report.stats.widest_type = sig.type + " (" + sig.file + ")";
+    }
+  }
+  if (!sigs.empty() && !filter.disabled("XS006"))
+    report.findings.push_back(
+        {"<set>",
+         {"XS006", Severity::kNote, "<set>",
+          "cross-endian decode swaps " +
+              std::to_string(report.stats.set_swap_bytes) +
+              " bytes across " + std::to_string(sigs.size()) +
+              " record types",
+          ""}});
+  if (!sigs.empty() && !filter.disabled("XS007"))
+    report.findings.push_back(
+        {"<set>",
+         {"XS007", Severity::kNote, "<set>",
+          "widest record: " + report.stats.widest_type + ", " +
+              std::to_string(report.stats.widest_struct) + " bytes",
+          ""}});
+  return report;
+}
+
+FileState make_file_state(std::string path, std::string rel) {
+  FileState file;
+  file.key = family_of(fs::path(rel).stem().string());
+  // Distinguish same-stem files in different sub-directories.
+  const std::string parent = fs::path(rel).parent_path().string();
+  if (!parent.empty()) file.key.family = parent + "/" + file.key.family;
+  file.path = std::move(path);
+  file.rel = std::move(rel);
+  return file;
+}
+
+}  // namespace
+
+std::size_t SetLintReport::error_count() const {
+  std::size_t count = 0;
+  for (const FileFinding& finding : findings)
+    if (finding.diagnostic.severity == Severity::kError) ++count;
+  return count;
+}
+
+std::size_t SetLintReport::warning_count() const {
+  std::size_t count = 0;
+  for (const FileFinding& finding : findings)
+    if (finding.diagnostic.severity == Severity::kWarning) ++count;
+  return count;
+}
+
+FamilyKey family_of(std::string_view stem) {
+  FamilyKey key;
+  key.family = std::string(stem);
+  const std::size_t at = stem.rfind("_v");
+  if (at == std::string_view::npos || at + 2 >= stem.size()) return key;
+  std::uint64_t version = 0;
+  for (std::size_t i = at + 2; i < stem.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(stem[i]))) return key;
+    version = version * 10 + static_cast<std::uint64_t>(stem[i] - '0');
+    if (version > UINT32_MAX) return key;
+  }
+  key.family = std::string(stem.substr(0, at));
+  key.version = static_cast<std::uint32_t>(version);
+  key.versioned = true;
+  return key;
+}
+
+Result<SetLintReport> lint_schema_set(const std::string& dir,
+                                      const SetLintOptions& options) {
+  std::error_code ec;
+  if (!fs::is_directory(dir, ec))
+    return Status(ErrorCode::kNotFound, "not a directory: " + dir);
+  std::vector<FileState> files;
+  for (fs::recursive_directory_iterator it(dir, ec), end;
+       it != end && !ec; it.increment(ec)) {
+    if (!it->is_regular_file() || it->path().extension() != ".xsd") continue;
+    files.push_back(make_file_state(
+        it->path().string(),
+        it->path().lexically_relative(dir).generic_string()));
+  }
+  if (ec)
+    return Status(ErrorCode::kIoError,
+                  "scanning " + dir + ": " + ec.message());
+  return run_set_lint(std::move(files), options);
+}
+
+Result<SetLintReport> lint_schema_files(const std::vector<std::string>& paths,
+                                        const SetLintOptions& options) {
+  std::vector<FileState> files;
+  files.reserve(paths.size());
+  for (const std::string& path : paths)
+    files.push_back(make_file_state(path, path));
+  return run_set_lint(std::move(files), options);
+}
+
+std::vector<Diagnostic> cross_check_signatures(
+    const std::vector<TypeSig>& sigs,
+    const std::vector<std::string>& disabled_codes) {
+  const CodeFilter filter(disabled_codes);
+  DiagnosticSink sink;
+
+  // XS001 — same type name, conflicting layouts, in families that share
+  // no identical version of the type (sharing one means the declarations
+  // are a single evolution lineage spread over files, not a collision).
+  if (!filter.disabled("XS001")) {
+    std::map<std::string, std::map<std::string, std::set<pbio::FormatId>>>
+        by_type;
+    std::map<std::string, std::map<std::string, std::string>> first_file;
+    for (const TypeSig& sig : sigs) {
+      by_type[sig.type][sig.family].insert(sig.id);
+      first_file[sig.type].emplace(sig.family, sig.file);
+    }
+    for (const auto& [type, families] : by_type) {
+      if (families.size() < 2) continue;
+      std::set<std::string> conflicting;
+      for (auto a = families.begin(); a != families.end(); ++a) {
+        for (auto b = std::next(a); b != families.end(); ++b) {
+          bool linked = false;
+          for (pbio::FormatId id : a->second)
+            if (b->second.count(id) > 0) linked = true;
+          if (!linked && !(a->second == b->second)) {
+            conflicting.insert(a->first);
+            conflicting.insert(b->first);
+          }
+        }
+      }
+      if (conflicting.empty()) continue;
+      std::string message =
+          "declared with conflicting layouts in unrelated schema families:";
+      std::size_t listed = 0;
+      for (const std::string& family : conflicting) {
+        if (listed == 4) {
+          message += " ... +" + std::to_string(conflicting.size() - listed);
+          break;
+        }
+        message += std::string(listed == 0 ? " " : ", ") + family + " (" +
+                   first_file[type][family] + ")";
+        ++listed;
+      }
+      sink.add("XS001", Severity::kError, type, message,
+               "whichever file a process loads last silently wins the "
+               "registry's current-format slot for this name; rename one "
+               "type or align the layouts");
+    }
+  }
+
+  // XS002 — two different canonical layouts hash to the same FormatId.
+  if (!filter.disabled("XS002")) {
+    std::map<pbio::FormatId, std::map<std::string, const TypeSig*>> by_id;
+    for (const TypeSig& sig : sigs)
+      by_id[sig.id].emplace(sig.description, &sig);
+    for (const auto& [id, descriptions] : by_id) {
+      if (descriptions.size() < 2) continue;
+      const TypeSig* a = descriptions.begin()->second;
+      const TypeSig* b = std::next(descriptions.begin())->second;
+      sink.add("XS002", Severity::kError,
+               a->type + " / " + b->type,
+               "wire format-ID collision: 0x" + hex64(id) + " identifies " +
+                   a->type + " (" + a->file + ") and " + b->type + " (" +
+                   b->file + ") with different layouts",
+               "a by-id metadata lookup is ambiguous; rename a type or "
+               "field to re-roll the hash");
+    }
+  }
+  return sink.items();
+}
+
+void attach_set_lint(toolkit::Xmit& xmit, LintPolicy policy,
+                     SetLintOptions options, std::ostream* out) {
+  options.lint.arch = xmit.target_arch();
+
+  struct AcceptedDoc {
+    xsd::Schema schema;
+    std::vector<TypeLayout> layouts;
+    std::vector<TypeSig> sigs;
+  };
+  struct State {
+    std::mutex mutex;
+    std::map<std::string, AcceptedDoc> docs;
+    std::set<std::string> reported;  // cross-check findings already shown
+  };
+  auto state = std::make_shared<State>();
+
+  xmit.set_schema_lint_hook(
+      [state, policy, options, out](
+          const xsd::Schema& schema, const std::vector<TypeLayout>& layouts,
+          std::string_view source) -> Status {
+        const CodeFilter filter(options.disabled_codes);
+        const std::string name(source);
+        const FamilyKey key = family_of(fs::path(name).stem().string());
+
+        std::vector<Diagnostic> findings =
+            lint_schema(schema, layouts, options.lint);
+        filter.keep_enabled(findings);
+
+        AcceptedDoc doc;
+        doc.schema = schema;
+        doc.layouts = layouts;
+        doc.sigs = signatures_for(schema, layouts, options.lint.arch);
+        for (TypeSig& sig : doc.sigs) {
+          sig.file = name;
+          sig.family = key.family;
+          sig.version = key.version;
+        }
+
+        std::lock_guard<std::mutex> lock(state->mutex);
+
+        // Re-install of a known source: evolution-check old vs new.
+        auto previous = state->docs.find(name);
+        if (previous != state->docs.end()) {
+          std::vector<Diagnostic> evolution =
+              lint_evolution(previous->second.schema, schema);
+          DiagnosticSink extra;
+          // check_* helpers want FileStates; inline equivalents here.
+          FileState old_state;
+          old_state.rel = name + " (previous)";
+          old_state.schema = previous->second.schema;
+          old_state.layouts = previous->second.layouts;
+          FileState new_state;
+          new_state.rel = name;
+          new_state.schema = schema;
+          new_state.layouts = layouts;
+          if (!filter.disabled("XS004"))
+            check_renamed_in_place(old_state, new_state, extra);
+          if (!filter.disabled("XS005"))
+            check_count_resolution(old_state, new_state, extra);
+          for (const Diagnostic& diagnostic : extra.items())
+            evolution.push_back(diagnostic);
+          filter.keep_enabled(evolution);
+          for (Diagnostic& diagnostic : evolution)
+            findings.push_back(std::move(diagnostic));
+        }
+
+        // Cross-document checks over the accepted set plus this document.
+        std::vector<TypeSig> sigs;
+        for (const auto& [doc_name, accepted] : state->docs) {
+          if (doc_name == name) continue;
+          for (const TypeSig& sig : accepted.sigs) sigs.push_back(sig);
+        }
+        for (const TypeSig& sig : doc.sigs) sigs.push_back(sig);
+        std::vector<std::string> fresh;
+        for (Diagnostic& diagnostic :
+             cross_check_signatures(sigs, options.disabled_codes)) {
+          std::string fingerprint = diagnostic.to_string();
+          if (state->reported.count(fingerprint) > 0) continue;
+          fresh.push_back(fingerprint);
+          findings.push_back(std::move(diagnostic));
+        }
+
+        if (!findings.empty()) {
+          std::ostream& stream = out != nullptr ? *out : std::cerr;
+          for (const Diagnostic& diagnostic : findings)
+            stream << source << ": " << diagnostic.to_string() << '\n';
+        }
+
+        if (policy == LintPolicy::kDeny && has_errors(findings)) {
+          DiagnosticSink sink;
+          for (Diagnostic& diagnostic : findings)
+            sink.add(std::move(diagnostic.code), diagnostic.severity,
+                     std::move(diagnostic.location),
+                     std::move(diagnostic.message),
+                     std::move(diagnostic.hint));
+          return sink.as_status(ErrorCode::kInvalidArgument);
+        }
+
+        state->docs[name] = std::move(doc);
+        for (std::string& fingerprint : fresh)
+          state->reported.insert(std::move(fingerprint));
+        return Status::ok();
+      });
+}
+
+}  // namespace xmit::analysis

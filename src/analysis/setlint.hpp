@@ -1,0 +1,162 @@
+// Whole-set static analysis (DESIGN.md §5j) — cross-schema, cross-version
+// reasoning over a *directory* of schemas, the layer above the single-file
+// linter in lint.hpp.
+//
+// Real deployments carry schema sets far bigger than one file: versioned
+// families (sensor_v1.xsd .. sensor_v9.xsd), types shared across files,
+// thousands of live formats. Facts that are only provable across the set
+// get the XS0xx code family:
+//
+//   XS000 error    a file in the set does not parse / lay out at all
+//   XS001 error    the same type name is declared with conflicting layouts
+//                  in unrelated families (no version of either family
+//                  matches any version of the other — a registry loading
+//                  both has an ambiguous "current" format for that name)
+//   XS002 error    wire format-ID collision: two *different* canonical
+//                  layouts hash to the same 64-bit FormatId (a by-id
+//                  lookup would be ambiguous; astronomically unlikely and
+//                  not expressible as a schema fixture — unit-tested via
+//                  cross_check_signatures)
+//   XS003 error    evolution chain break: every adjacent version step is
+//                  compatible but a longer hop (v_i -> v_j, j > i+1) has
+//                  error-severity evolution findings — e.g. a type removed
+//                  in one step (warning) and re-added incompatibly later
+//   XS004 warning  field renamed in place: one version step removes a
+//                  field and adds another at the identical offset & size —
+//                  receivers silently reinterpret the bytes
+//   XS005 error    a dynamic array's count field resolves differently
+//                  across versions: same dimension name, but its width or
+//                  integer kind changed
+//   XS006 note     set-wide swap-hotspot total: bytes a cross-endian
+//                  decode would swap across every record type in the set
+//   XS007 note     widest record in the set (struct size high-water mark)
+//   XS008 error    a (sender version, receiver version) pair's decode
+//                  plan does not compile (see plan_matrix.hpp)
+//
+// Version families are derived from file names: "<family>_v<N>.xsd" forms
+// the chain of family "<family>" ordered by N; any other stem is a
+// single-version family. The analyzer also runs the per-file linter
+// (XL codes) on every schema and — with `matrix` enabled — the offline
+// pairwise plan pre-verification matrix (PV codes / XS008).
+//
+// Incremental cache: with `cache_dir` set, per-file results are keyed by
+// (tool version, options fingerprint, file content digest) and per-family
+// pair results by the digests of every member, so a warm re-lint of a
+// 5-10k corpus re-analyzes only what changed. Analysis fans out over a
+// worker pool (`jobs`); output order is deterministic regardless of
+// worker count.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostics.hpp"
+#include "analysis/lint.hpp"
+#include "common/error.hpp"
+#include "pbio/arch.hpp"
+#include "pbio/format.hpp"
+#include "xmit/xmit.hpp"
+
+namespace xmit::analysis {
+
+// Identity of one type declaration inside the set — everything the
+// cross-file checks (XS001/XS002/XS006/XS007) need, cheap enough to cache
+// so a warm run never re-parses unchanged files.
+struct TypeSig {
+  std::string type;         // complexType name
+  std::string family;       // version-family stem ("sensor" for sensor_v3)
+  std::uint32_t version = 0;
+  std::string file;         // path relative to the set root
+  pbio::FormatId id = 0;    // canonical-description hash at the lint arch
+  std::string description;  // canonical description (XS002 cross-check)
+  std::uint32_t struct_size = 0;
+  std::uint64_t swap_bytes = 0;  // cross-endian swap volume per record
+};
+
+struct SetLintOptions {
+  LintOptions lint;  // per-schema rules; lint.arch also keys the TypeSigs
+
+  // Diagnostic codes ("XS004", "XL011", ...) to suppress entirely. The
+  // mutation tests flip each XS check off this way and assert the defect
+  // corpus is then accepted.
+  std::vector<std::string> disabled_codes;
+
+  std::size_t jobs = 0;   // worker threads; 0 = hardware concurrency
+  std::string cache_dir;  // empty = no cache
+
+  bool matrix = false;  // run the pairwise plan pre-verification matrix
+  pbio::ArchInfo matrix_sender_arch = pbio::ArchInfo::host();
+};
+
+// One finding plus the set member(s) it belongs to. `file` is a relative
+// path for per-file findings, "old.xsd -> new.xsd" for pair findings and
+// "<set>" for set-wide findings.
+struct FileFinding {
+  std::string file;
+  Diagnostic diagnostic;
+};
+
+struct SetLintStats {
+  std::size_t files = 0;
+  std::size_t families = 0;
+  std::size_t types = 0;           // type declarations across the set
+  std::size_t pairs_verified = 0;  // matrix pairs that verified clean
+  std::size_t pairs_rejected = 0;
+  std::size_t cache_hits = 0;
+  std::size_t cache_misses = 0;
+  std::uint64_t set_swap_bytes = 0;  // XS006 total
+  std::uint32_t widest_struct = 0;   // XS007
+  std::string widest_type;
+};
+
+struct SetLintReport {
+  std::vector<FileFinding> findings;  // deterministic order
+  SetLintStats stats;
+
+  std::size_t error_count() const;
+  std::size_t warning_count() const;
+  bool has_errors() const { return error_count() > 0; }
+};
+
+// Lints every *.xsd under `dir` (recursive). Fails only when the
+// directory itself is unreadable; unusable member files become XS000
+// findings instead, so one broken schema cannot hide the rest of a
+// 5k-file report.
+Result<SetLintReport> lint_schema_set(const std::string& dir,
+                                      const SetLintOptions& options = {});
+
+// Same analysis over an explicit file list (labels = the paths as given).
+Result<SetLintReport> lint_schema_files(const std::vector<std::string>& files,
+                                        const SetLintOptions& options = {});
+
+// The pure cross-file half (XS001/XS002) over per-type signatures —
+// exposed so registry-shaped callers and the unit tests can run it
+// without any files on disk.
+std::vector<Diagnostic> cross_check_signatures(
+    const std::vector<TypeSig>& sigs,
+    const std::vector<std::string>& disabled_codes = {});
+
+// "<family>_v<N>" decomposition of a file stem; versioned == false means
+// the stem had no _v<N> suffix and forms a single-version family.
+struct FamilyKey {
+  std::string family;
+  std::uint32_t version = 0;
+  bool versioned = false;
+};
+FamilyKey family_of(std::string_view stem);
+
+// Lint-on-register *set* hook for toolkit::Xmit: every installed document
+// is linted individually (lint.hpp rules), checked against every document
+// the process accepted before it (XS001/XS002), and — when a document is
+// re-installed under the same source, e.g. by refresh() — evolution-
+// checked against its previous version (XL010-XL016, XS004, XS005).
+// Under LintPolicy::kDeny a document with error-severity findings is
+// refused and does not join the accepted set. Diagnostics stream to
+// `out` (nullptr -> std::cerr). Supersedes attach_lint.
+void attach_set_lint(toolkit::Xmit& xmit, LintPolicy policy,
+                     SetLintOptions options = {},
+                     std::ostream* out = nullptr);
+
+}  // namespace xmit::analysis

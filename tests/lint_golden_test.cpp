@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "analysis/lint.hpp"
+#include "analysis/setlint.hpp"
 #include "xsd/parse.hpp"
 
 #ifndef XMIT_SOURCE_DIR
@@ -75,6 +76,36 @@ TEST(LintGolden, EvolutionPairMatchesExpected) {
   auto findings = analysis::lint_evolution(old_schema, new_schema);
   EXPECT_EQ(summarize(findings),
             read_file_or_die(corpus_dir() / "evolution.expected"));
+}
+
+// "CODE file location" per set finding, one per line, report order.
+std::string summarize_set(const analysis::SetLintReport& report) {
+  std::ostringstream out;
+  for (const auto& finding : report.findings)
+    out << finding.diagnostic.code << " " << finding.file << " "
+        << finding.diagnostic.location << "\n";
+  return out.str();
+}
+
+TEST(LintGolden, EverySetCorpusDirMatchesExpected) {
+  // Each set_* sub-directory is a multi-file fixture for one XS code;
+  // its `expected` golden pins the whole-set report (matrix included).
+  std::vector<fs::path> dirs;
+  for (const auto& entry : fs::directory_iterator(corpus_dir()))
+    if (entry.is_directory() &&
+        entry.path().filename().string().rfind("set_", 0) == 0)
+      dirs.push_back(entry.path());
+  std::sort(dirs.begin(), dirs.end());
+  ASSERT_GE(dirs.size(), 7u) << "set corpus went missing";
+
+  for (const auto& dir : dirs) {
+    SCOPED_TRACE(dir.filename().string());
+    analysis::SetLintOptions options;
+    options.matrix = true;
+    auto report = analysis::lint_schema_set(dir.string(), options);
+    ASSERT_TRUE(report.is_ok()) << report.status().to_string();
+    EXPECT_EQ(summarize_set(report.value()), read_file_or_die(dir / "expected"));
+  }
 }
 
 TEST(LintGolden, ExampleSchemasLintWithoutErrors) {

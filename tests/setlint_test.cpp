@@ -1,0 +1,414 @@
+// Whole-set analyzer tests (src/analysis/setlint.*): family grouping,
+// cross-file checks (XS001/XS002 incl. the linked-lineage exemption),
+// mutation tests flipping each XS check off over its defect fixture,
+// incremental cache behavior, corpus generation, and the lint-on-register
+// set hook on toolkit::Xmit.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/schema_corpus.hpp"
+#include "analysis/setlint.hpp"
+#include "net/fetch.hpp"
+#include "pbio/registry.hpp"
+#include "xmit/xmit.hpp"
+
+#ifndef XMIT_SOURCE_DIR
+#error "XMIT_SOURCE_DIR must be defined for the set-lint tests"
+#endif
+
+namespace xmit {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string corpus_dir(const char* name) {
+  return std::string(XMIT_SOURCE_DIR) + "/tests/lint_corpus/" + name;
+}
+
+std::string scratch_dir(const char* name) {
+  return ::testing::TempDir() + "setlint_" + name + "_" +
+         std::to_string(::getpid());
+}
+
+bool set_has_code(const analysis::SetLintReport& report, const char* code) {
+  for (const auto& finding : report.findings)
+    if (finding.diagnostic.code == code) return true;
+  return false;
+}
+
+std::string set_codes(const analysis::SetLintReport& report) {
+  std::string out;
+  for (const auto& finding : report.findings)
+    out += finding.diagnostic.code + " ";
+  return out;
+}
+
+TEST(FamilyOf, ParsesVersionedStems) {
+  auto key = analysis::family_of("sensor_v12");
+  EXPECT_EQ(key.family, "sensor");
+  EXPECT_EQ(key.version, 12u);
+  EXPECT_TRUE(key.versioned);
+
+  key = analysis::family_of("sensor");
+  EXPECT_EQ(key.family, "sensor");
+  EXPECT_FALSE(key.versioned);
+
+  // Not a version suffix: no digits, trailing junk, or lone "_v".
+  EXPECT_FALSE(analysis::family_of("sensor_v").versioned);
+  EXPECT_FALSE(analysis::family_of("sensor_vx1").versioned);
+  EXPECT_FALSE(analysis::family_of("sensor_v1x").versioned);
+  // _v parses from the right: "a_v1_v2" is family "a_v1", version 2.
+  key = analysis::family_of("a_v1_v2");
+  EXPECT_EQ(key.family, "a_v1");
+  EXPECT_EQ(key.version, 2u);
+}
+
+// ---------------------------------------------------------------------
+// cross_check_signatures: the pure XS001/XS002 half, no files needed.
+
+analysis::TypeSig sig(const char* type, const char* family,
+                      std::uint32_t version, const char* file,
+                      pbio::FormatId id, const char* description) {
+  analysis::TypeSig s;
+  s.type = type;
+  s.family = family;
+  s.version = version;
+  s.file = file;
+  s.id = id;
+  s.description = description;
+  return s;
+}
+
+TEST(CrossCheck, ConflictingUnrelatedFamiliesRaiseXS001) {
+  auto findings = analysis::cross_check_signatures({
+      sig("Header", "alpha", 1, "alpha_v1.xsd", 0x10, "desc-a"),
+      sig("Header", "beta", 1, "beta_v1.xsd", 0x20, "desc-b"),
+  });
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].code, "XS001");
+  EXPECT_EQ(findings[0].location, "Header");
+  EXPECT_NE(findings[0].message.find("alpha"), std::string::npos);
+  EXPECT_NE(findings[0].message.find("beta"), std::string::npos);
+}
+
+TEST(CrossCheck, SharedLineageSuppressesXS001) {
+  // beta's v1 matches alpha's v1 exactly (same id): the two families
+  // carry one evolution lineage of Header, not a collision — even though
+  // beta's v2 has since diverged.
+  auto findings = analysis::cross_check_signatures({
+      sig("Header", "alpha", 1, "alpha_v1.xsd", 0x10, "desc-a"),
+      sig("Header", "beta", 1, "beta_v1.xsd", 0x10, "desc-a"),
+      sig("Header", "beta", 2, "beta_v2.xsd", 0x30, "desc-b2"),
+  });
+  EXPECT_TRUE(findings.empty()) << findings[0].message;
+}
+
+TEST(CrossCheck, FormatIdCollisionRaisesXS002) {
+  // Not expressible as a schema fixture (it needs an FNV-1a collision),
+  // so the check is pinned here with synthetic signatures.
+  auto findings = analysis::cross_check_signatures({
+      sig("A", "a", 1, "a_v1.xsd", 0xDEAD, "layout-one"),
+      sig("B", "b", 1, "b_v1.xsd", 0xDEAD, "layout-two"),
+  });
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].code, "XS002");
+  EXPECT_NE(findings[0].message.find("collision"), std::string::npos);
+
+  // Same id, same description: one type registered twice — no collision.
+  findings = analysis::cross_check_signatures({
+      sig("A", "a", 1, "a_v1.xsd", 0xDEAD, "layout-one"),
+      sig("A", "b", 1, "b_v1.xsd", 0xDEAD, "layout-one"),
+  });
+  EXPECT_TRUE(findings.empty());
+
+  // Disabled code: the defect is ignored.
+  findings = analysis::cross_check_signatures(
+      {sig("A", "a", 1, "a_v1.xsd", 0xDEAD, "layout-one"),
+       sig("B", "b", 1, "b_v1.xsd", 0xDEAD, "layout-two")},
+      {"XS002"});
+  EXPECT_TRUE(findings.empty());
+}
+
+// ---------------------------------------------------------------------
+// Mutation tests: each set_* fixture trips its XS code; disabling every
+// code the fixture emits turns the defect corpus into an accepted one.
+
+struct Mutation {
+  const char* dir;
+  const char* code;  // the XS code the fixture exists for
+};
+
+TEST(SetLintMutation, DisablingEachCheckAcceptsItsDefectCorpus) {
+  const Mutation mutations[] = {
+      {"set_xs000", "XS000"}, {"set_xs001", "XS001"}, {"set_xs003", "XS003"},
+      {"set_xs004", "XS004"}, {"set_xs005", "XS005"}, {"set_xs008", "XS008"},
+  };
+  for (const Mutation& mutation : mutations) {
+    SCOPED_TRACE(mutation.dir);
+    analysis::SetLintOptions options;
+    options.matrix = true;
+    auto baseline =
+        analysis::lint_schema_set(corpus_dir(mutation.dir), options);
+    ASSERT_TRUE(baseline.is_ok()) << baseline.status().to_string();
+    EXPECT_TRUE(set_has_code(baseline.value(), mutation.code))
+        << set_codes(baseline.value());
+
+    // Flip off everything the fixture emits: the corpus is now accepted.
+    std::set<std::string> codes;
+    for (const auto& finding : baseline.value().findings)
+      codes.insert(finding.diagnostic.code);
+    options.disabled_codes.assign(codes.begin(), codes.end());
+    auto mutated =
+        analysis::lint_schema_set(corpus_dir(mutation.dir), options);
+    ASSERT_TRUE(mutated.is_ok());
+    EXPECT_TRUE(mutated.value().findings.empty())
+        << set_codes(mutated.value());
+    EXPECT_FALSE(mutated.value().has_errors());
+
+    // Flipping off only the fixture's own code removes exactly it.
+    options.disabled_codes = {mutation.code};
+    auto partial =
+        analysis::lint_schema_set(corpus_dir(mutation.dir), options);
+    ASSERT_TRUE(partial.is_ok());
+    EXPECT_FALSE(set_has_code(partial.value(), mutation.code))
+        << set_codes(partial.value());
+  }
+}
+
+// ---------------------------------------------------------------------
+// Incremental cache.
+
+void copy_fixture(const char* name, const std::string& to) {
+  fs::copy(corpus_dir(name), to, fs::copy_options::recursive);
+  fs::remove(fs::path(to) / "expected");
+}
+
+TEST(SetLintCache, WarmRunServesEverythingFromCache) {
+  const std::string dir = scratch_dir("warm");
+  const std::string cache = dir + "_cache";
+  copy_fixture("set_clean", dir);
+
+  analysis::SetLintOptions options;
+  options.matrix = true;
+  options.cache_dir = cache;
+  auto cold = analysis::lint_schema_set(dir, options);
+  ASSERT_TRUE(cold.is_ok());
+  EXPECT_EQ(cold.value().stats.cache_hits, 0u);
+  EXPECT_EQ(cold.value().stats.cache_misses, 3u);  // 2 files + 1 family
+
+  auto warm = analysis::lint_schema_set(dir, options);
+  ASSERT_TRUE(warm.is_ok());
+  EXPECT_EQ(warm.value().stats.cache_misses, 0u);
+  EXPECT_EQ(warm.value().stats.cache_hits, 3u);
+  EXPECT_EQ(set_codes(warm.value()), set_codes(cold.value()));
+  EXPECT_EQ(warm.value().stats.pairs_verified,
+            cold.value().stats.pairs_verified);
+
+  fs::remove_all(dir);
+  fs::remove_all(cache);
+}
+
+TEST(SetLintCache, TouchingOneFileReanalyzesOneFileAndItsFamily) {
+  const std::string dir = scratch_dir("touch");
+  const std::string cache = dir + "_cache";
+  copy_fixture("set_clean", dir);
+
+  analysis::SetLintOptions options;
+  options.matrix = true;
+  options.cache_dir = cache;
+  ASSERT_TRUE(analysis::lint_schema_set(dir, options).is_ok());
+
+  {
+    std::ofstream out(dir + "/sensor_v2.xsd", std::ios::app);
+    out << "<!-- touched -->\n";
+  }
+  auto touched = analysis::lint_schema_set(dir, options);
+  ASSERT_TRUE(touched.is_ok());
+  EXPECT_EQ(touched.value().stats.cache_misses, 2u)  // the file + its family
+      << "hits=" << touched.value().stats.cache_hits;
+  EXPECT_EQ(touched.value().stats.cache_hits, 1u);  // sensor_v1 untouched
+
+  // Changing an option that affects results misses the whole cache.
+  options.lint.swap_hotspot_bytes = 1;
+  auto reopt = analysis::lint_schema_set(dir, options);
+  ASSERT_TRUE(reopt.is_ok());
+  EXPECT_EQ(reopt.value().stats.cache_hits, 0u);
+
+  fs::remove_all(dir);
+  fs::remove_all(cache);
+}
+
+TEST(SetLintCache, CorruptCacheEntryIsAMissNotACrash) {
+  const std::string dir = scratch_dir("corrupt");
+  const std::string cache = dir + "_cache";
+  copy_fixture("set_clean", dir);
+
+  analysis::SetLintOptions options;
+  options.cache_dir = cache;
+  auto cold = analysis::lint_schema_set(dir, options);
+  ASSERT_TRUE(cold.is_ok());
+
+  for (const auto& entry : fs::directory_iterator(cache)) {
+    std::ofstream out(entry.path(), std::ios::trunc);
+    out << "garbage\n";  // torn write / wrong tool version
+  }
+  auto rerun = analysis::lint_schema_set(dir, options);
+  ASSERT_TRUE(rerun.is_ok());
+  EXPECT_EQ(rerun.value().stats.cache_hits, 0u);
+  EXPECT_EQ(set_codes(rerun.value()), set_codes(cold.value()));
+
+  fs::remove_all(dir);
+  fs::remove_all(cache);
+}
+
+// ---------------------------------------------------------------------
+// Corpus generator.
+
+TEST(SchemaCorpus, GeneratesDeterministicDefectCorpus) {
+  const std::string dir = scratch_dir("gen");
+  analysis::CorpusOptions options;
+  options.families = 14;
+  options.versions = 4;
+  options.defect_every = 1;  // every family defective, kinds cycle
+  auto manifest = analysis::generate_schema_corpus(dir, options);
+  ASSERT_TRUE(manifest.is_ok()) << manifest.status().to_string();
+  EXPECT_EQ(manifest.value().files, 14u * 4u);
+  EXPECT_EQ(manifest.value().defects, 14u);
+  EXPECT_EQ(manifest.value().defect_counts.at("XS001"), 2u);
+
+  analysis::SetLintOptions lint;
+  lint.matrix = true;
+  auto report = analysis::lint_schema_set(dir, lint);
+  ASSERT_TRUE(report.is_ok());
+  for (const char* code : {"XS001", "XS003", "XS004", "XS005", "XS008",
+                           "XL003", "XL011"})
+    EXPECT_TRUE(set_has_code(report.value(), code))
+        << code << " missing: " << set_codes(report.value());
+  EXPECT_TRUE(report.value().has_errors());
+  EXPECT_EQ(report.value().stats.families, 14u);
+
+  // Same options -> byte-identical corpus (digest the whole tree).
+  const std::string again = scratch_dir("gen2");
+  ASSERT_TRUE(analysis::generate_schema_corpus(again, options).is_ok());
+  for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    const auto rel = fs::path(entry.path()).lexically_relative(dir);
+    auto a = net::read_file(entry.path().string());
+    auto b = net::read_file((fs::path(again) / rel).string());
+    ASSERT_TRUE(a.is_ok() && b.is_ok()) << rel;
+    EXPECT_EQ(a.value(), b.value()) << rel;
+  }
+
+  fs::remove_all(dir);
+  fs::remove_all(again);
+}
+
+TEST(SchemaCorpus, CleanCorpusHasNoErrors) {
+  const std::string dir = scratch_dir("clean");
+  analysis::CorpusOptions options;
+  options.families = 6;
+  options.versions = 3;
+  options.defect_every = 0;
+  ASSERT_TRUE(analysis::generate_schema_corpus(dir, options).is_ok());
+
+  analysis::SetLintOptions lint;
+  lint.matrix = true;
+  auto report = analysis::lint_schema_set(dir, lint);
+  ASSERT_TRUE(report.is_ok());
+  EXPECT_FALSE(report.value().has_errors()) << set_codes(report.value());
+  EXPECT_EQ(report.value().stats.pairs_rejected, 0u);
+  EXPECT_GT(report.value().stats.pairs_verified, 0u);
+
+  fs::remove_all(dir);
+}
+
+// ---------------------------------------------------------------------
+// Lint-on-register set hook.
+
+constexpr const char* kHeaderA = R"(<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:complexType name="Header">
+    <xsd:element name="a" type="xsd:unsignedLong" />
+    <xsd:element name="b" type="xsd:unsignedLong" />
+  </xsd:complexType>
+</xsd:schema>)";
+
+constexpr const char* kHeaderB = R"(<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:complexType name="Header">
+    <xsd:element name="a" type="xsd:double" />
+    <xsd:element name="b" type="xsd:double" />
+    <xsd:element name="c" type="xsd:double" />
+  </xsd:complexType>
+</xsd:schema>)";
+
+TEST(SetLintHook, DenyRefusesConflictingSet) {
+  pbio::FormatRegistry registry;
+  toolkit::Xmit xmit(registry);
+  std::ostringstream log;
+  analysis::attach_set_lint(xmit, analysis::LintPolicy::kDeny, {}, &log);
+
+  ASSERT_TRUE(xmit.load_text(kHeaderA, "alpha_v1.xsd").is_ok());
+  Status status = xmit.load_text(kHeaderB, "beta_v1.xsd");
+  EXPECT_FALSE(status.is_ok());
+  EXPECT_NE(status.to_string().find("XS001"), std::string::npos)
+      << status.to_string();
+  EXPECT_NE(log.str().find("XS001"), std::string::npos) << log.str();
+}
+
+TEST(SetLintHook, WarnReportsConflictButLoads) {
+  pbio::FormatRegistry registry;
+  toolkit::Xmit xmit(registry);
+  std::ostringstream log;
+  analysis::attach_set_lint(xmit, analysis::LintPolicy::kWarn, {}, &log);
+
+  ASSERT_TRUE(xmit.load_text(kHeaderA, "alpha_v1.xsd").is_ok());
+  EXPECT_TRUE(xmit.load_text(kHeaderB, "beta_v1.xsd").is_ok());
+  EXPECT_NE(log.str().find("XS001"), std::string::npos) << log.str();
+}
+
+TEST(SetLintHook, ReinstallEvolutionChecksAgainstPreviousVersion) {
+  pbio::FormatRegistry registry;
+  toolkit::Xmit xmit(registry);
+  std::ostringstream log;
+  analysis::attach_set_lint(xmit, analysis::LintPolicy::kDeny, {}, &log);
+
+  ASSERT_TRUE(xmit.load_text(kHeaderA, "header.xsd").is_ok());
+  // Same source re-installed with a field dropped: XL011, refused.
+  Status status = xmit.load_text(R"(<?xml version="1.0"?>
+<xsd:schema xmlns:xsd="http://www.w3.org/2001/XMLSchema">
+  <xsd:complexType name="Header">
+    <xsd:element name="a" type="xsd:unsignedLong" />
+  </xsd:complexType>
+</xsd:schema>)",
+                                 "header.xsd");
+  EXPECT_FALSE(status.is_ok());
+  EXPECT_NE(log.str().find("XL011"), std::string::npos) << log.str();
+
+  // The refused document did not replace the accepted one: re-loading
+  // the original verbatim is a no-op evolution and succeeds.
+  EXPECT_TRUE(xmit.load_text(kHeaderA, "header.xsd").is_ok());
+}
+
+TEST(SetLintHook, DisabledCodesPassTheHook) {
+  pbio::FormatRegistry registry;
+  toolkit::Xmit xmit(registry);
+  std::ostringstream log;
+  analysis::SetLintOptions options;
+  options.disabled_codes = {"XS001"};
+  analysis::attach_set_lint(xmit, analysis::LintPolicy::kDeny, options, &log);
+
+  ASSERT_TRUE(xmit.load_text(kHeaderA, "alpha_v1.xsd").is_ok());
+  EXPECT_TRUE(xmit.load_text(kHeaderB, "beta_v1.xsd").is_ok())
+      << log.str();
+}
+
+}  // namespace
+}  // namespace xmit

@@ -290,7 +290,8 @@ std::string source_path(const char* relative) {
 
 TEST_F(Tools, LintPassesExampleSchemas) {
   // Acceptance: known padding holes in the hydrology types are warnings,
-  // so the examples lint clean (exit 0) unless --deny promotes them.
+  // and warnings never fail a lint — with or without --deny (--deny only
+  // turns *error* findings from exit 1 into the distinct exit 4).
   std::string output;
   std::string schemas = source_path("examples/schemas/hydrology.xsd") + " " +
                         source_path("examples/schemas/flight_v1.xsd") + " " +
@@ -298,7 +299,96 @@ TEST_F(Tools, LintPassesExampleSchemas) {
   EXPECT_EQ(run(tool("xmit_lint") + " " + schemas, &output), 0) << output;
   EXPECT_NE(output.find("0 error(s)"), std::string::npos) << output;
 
-  EXPECT_EQ(run(tool("xmit_lint") + " --deny " + schemas, &output), 1);
+  EXPECT_EQ(run(tool("xmit_lint") + " --deny " + schemas, &output), 0)
+      << output;
+}
+
+// Every documented exit path, one probe each: 0 clean, 1 error findings,
+// 2 usage, 3 unreadable input, 4 error findings under --deny.
+TEST_F(Tools, LintExitCodesAreDistinct) {
+  std::string output;
+  const std::string clean = source_path("examples/schemas/flight_v1.xsd");
+  const std::string broken =
+      source_path("tests/lint_corpus/dangling_dimension.xsd");
+  EXPECT_EQ(run(tool("xmit_lint") + " " + clean, &output), 0) << output;
+  EXPECT_EQ(run(tool("xmit_lint") + " " + broken, &output), 1) << output;
+  EXPECT_EQ(run(tool("xmit_lint") + " --no-such-flag", &output), 2) << output;
+  EXPECT_EQ(run(tool("xmit_lint") + " /definitely/not/there.xsd", &output), 3)
+      << output;
+  EXPECT_EQ(run(tool("xmit_lint") + " --deny " + broken, &output), 4)
+      << output;
+  // Unparseable XML is an input failure (3), not a finding.
+  std::string garbage = temp("garbage.xsd");
+  ASSERT_TRUE(net::write_file(garbage, "<xsd:schema").is_ok());
+  EXPECT_EQ(run(tool("xmit_lint") + " " + garbage, &output), 3) << output;
+  std::remove(garbage.c_str());
+}
+
+TEST_F(Tools, LintEmitsJson) {
+  std::string output;
+  EXPECT_EQ(run(tool("xmit_lint") + " --format=json " +
+                    source_path("tests/lint_corpus/narrow_count.xsd"),
+                &output),
+            0)
+      << output;
+  EXPECT_NE(output.find("\"tool\":\"xmit_lint\""), std::string::npos);
+  EXPECT_NE(output.find("\"code\":\"XL005\""), std::string::npos) << output;
+  EXPECT_NE(output.find("\"severity\":\"warning\""), std::string::npos);
+  EXPECT_NE(output.find("\"hint\":\""), std::string::npos);
+}
+
+TEST_F(Tools, LintDirAnalyzesSetWithCache) {
+  // --dir over the examples: exits clean under --deny --matrix (zero
+  // false matrix rejections), reports set-wide notes, and a second run
+  // against the same cache is all hits.
+  std::string cache = temp("lint_cache");
+  std::string output;
+  const std::string cmd = tool("xmit_lint") + " --dir " +
+                          source_path("examples/schemas") + " --deny" +
+                          " --matrix --jobs 2 --cache " + cache;
+  EXPECT_EQ(run(cmd, &output), 0) << output;
+  EXPECT_NE(output.find("XS006"), std::string::npos) << output;
+  EXPECT_NE(output.find("XS007"), std::string::npos) << output;
+  EXPECT_NE(output.find("0 rejected"), std::string::npos) << output;
+  EXPECT_NE(output.find("0 hit(s)"), std::string::npos) << output;
+
+  EXPECT_EQ(run(cmd, &output), 0) << output;
+  EXPECT_NE(output.find("0 miss(es)"), std::string::npos) << output;
+
+  EXPECT_EQ(run(cmd + " --format=json", &output), 0) << output;
+  EXPECT_NE(output.find("\"pairs_rejected\":0"), std::string::npos) << output;
+  std::string rm = "rm -rf " + cache;
+  std::system(rm.c_str());
+}
+
+TEST_F(Tools, GenCorpusFeedsLintDir) {
+  // Generated defect corpus must fail set lint with the expected XS
+  // codes; --disable flips the checks off again.
+  std::string dir = temp("gen_corpus");
+  std::string output;
+  ASSERT_EQ(run(tool("xmit_gen_corpus") + " --out " + dir +
+                    " --families 14 --versions 4 --defect-every 1",
+                &output),
+            0)
+      << output;
+  EXPECT_NE(output.find("XS001: 2"), std::string::npos) << output;
+
+  EXPECT_EQ(run(tool("xmit_lint") + " --dir " + dir + " --matrix --deny",
+                &output),
+            4)
+      << output;
+  for (const char* code :
+       {"XS001", "XS003", "XS004", "XS005", "XS008", "XL003", "XL011"})
+    EXPECT_NE(output.find(code), std::string::npos) << code << "\n" << output;
+
+  EXPECT_EQ(run(tool("xmit_lint") + " --dir " + dir + " --matrix --deny" +
+                    " --disable XS000,XS001,XS003,XS005,XS008,XL003,XL011," +
+                    "XL012",
+                &output),
+            0)
+      << output;
+  std::string rm = "rm -rf " + dir;
+  std::system(rm.c_str());
 }
 
 TEST_F(Tools, LintFlagsCorpusSchemasWithStableCodes) {

@@ -1,0 +1,32 @@
+#!/bin/sh
+# run_analysis.sh: build and run the analysis-labelled tests (plan-verifier
+# acceptance, lint goldens, the whole-set analyzer with its parallel worker
+# pool and on-disk cache, and the CLI acceptance over examples/ plus a
+# generated defect corpus) under both AddressSanitizer and ThreadSanitizer.
+#
+# Usage:
+#   tools/run_analysis.sh [BUILD_ROOT]
+#
+# Defaults: BUILD_ROOT=build-analysis; each sanitizer gets its own build
+# tree (BUILD_ROOT-address, BUILD_ROOT-thread) so the two instrumentations
+# never share object files. A clean exit means the set analyzer — including
+# its multi-threaded file/family stages — is green under both sanitizers.
+set -eu
+
+BUILD_ROOT="${1:-build-analysis}"
+REPO_DIR="$(cd "$(dirname "$0")/.." && pwd)"
+
+for SAN in address thread; do
+  BUILD_DIR="$BUILD_ROOT-$SAN"
+  echo "== analysis [$SAN]: configuring $BUILD_DIR"
+  cmake -B "$BUILD_DIR" -S "$REPO_DIR" -DXMIT_SANITIZE="$SAN" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+  echo "== analysis [$SAN]: building analysis tests and tools"
+  cmake --build "$BUILD_DIR" --target \
+    analysis_test lint_golden_test setlint_test \
+    xmit_lint xmit_gen_corpus -j >/dev/null
+  echo "== analysis [$SAN]: ctest -L analysis"
+  (cd "$BUILD_DIR" && ctest -L analysis --output-on-failure -j)
+done
+
+echo "== analysis suite green under address and thread sanitizers"

@@ -425,6 +425,7 @@ int main(int argc, char** argv) {
   bool as_xml = false;
   bool formats_only = false;
   bool lint = false;
+  bool lint_json = false;
   bool show_plan = false;
   bool resume = false;
   bool flow_control = false;
@@ -443,6 +444,8 @@ int main(int argc, char** argv) {
       formats_only = true;
     else if (std::strcmp(argv[i], "--lint") == 0)
       lint = true;
+    else if (std::strcmp(argv[i], "--format=json") == 0)
+      lint_json = true;
     else if (std::strcmp(argv[i], "--plan") == 0)
       show_plan = true;
     else if (std::strcmp(argv[i], "--resume") == 0)
@@ -512,6 +515,7 @@ int main(int argc, char** argv) {
   if (path == nullptr) {
     std::fprintf(stderr,
                  "usage: xmit_inspect [--xml] [--formats-only] [--lint] "
+                 "[--format=json] "
                  "[--plan] [--retries N] [--timeout-ms N] [--max-depth N] "
                  "[--max-bytes N] [--max-alloc N] <file.pbio | http://...>\n"
                  "       xmit_inspect --connect HOST:PORT [--resume] "
@@ -553,6 +557,7 @@ int main(int argc, char** argv) {
     decoder.set_verify_plans(true);
   }
   std::size_t printed_formats = 0;
+  std::vector<std::string> lint_findings;  // JSON objects, --format=json
   Arena arena;
   int index = 0;
   for (;;) {
@@ -569,9 +574,15 @@ int main(int argc, char** argv) {
     if (all.size() > printed_formats) {
       for (const auto& format : all) {
         print_format(*format);
-        if (lint)
-          for (const auto& diagnostic : analysis::lint_format(*format))
-            std::printf("  %s\n", diagnostic.to_string().c_str());
+        if (lint) {
+          for (const auto& diagnostic : analysis::lint_format(*format)) {
+            if (lint_json)
+              lint_findings.push_back(
+                  analysis::to_json(diagnostic, format->name()));
+            else
+              std::printf("  %s\n", diagnostic.to_string().c_str());
+          }
+        }
         if (show_plan) print_plan(decoder, format);
       }
       printed_formats = all.size();
@@ -612,5 +623,14 @@ int main(int argc, char** argv) {
     ++index;
   }
   std::printf("%zu format(s), %d record(s)\n", printed_formats, index);
+  if (lint && lint_json) {
+    std::string out = "{\"tool\":\"xmit_inspect\",\"findings\":[";
+    for (std::size_t i = 0; i < lint_findings.size(); ++i) {
+      if (i != 0) out += ",";
+      out += lint_findings[i];
+    }
+    out += "]}\n";
+    std::fputs(out.c_str(), stdout);
+  }
   return 0;
 }

@@ -1,25 +1,31 @@
 // xmit_lint: schema / format linter and marshal-plan verifier CLI —
-// front end of the static verification layer (DESIGN.md 5e).
+// front end of the static verification layer (DESIGN.md 5e, 5j).
 //
 // Usage:
-//   xmit_lint [--deny] [--arch host|big64|big32|little32]
-//             [--swap-bytes N] [--verify-plans] <schema-url-or-path>...
-//   xmit_lint --evolve <old.xsd> <new.xsd>
+//   xmit_lint [common flags] <schema-url-or-path>...
+//   xmit_lint [common flags] --dir DIR [--jobs N] [--cache DIR] [--matrix]
+//   xmit_lint [common flags] --evolve <old.xsd> <new.xsd>
 //
-// Default mode lints every schema document: padding holes (XL001),
-// misalignment (XL002), dangling / later-declared / narrow dimension
-// fields (XL003-XL005), byte-swap hotspots (XL007). --arch selects the
-// machine the layout rules judge against. --verify-plans additionally
-// lays every type out for the chosen sender architecture, compiles the
-// decode plan against the host layout, and runs the static plan verifier
-// over the op program (PV001-PV012).
+// Common flags: [--deny] [--format=json] [--arch host|big64|big32|little32]
+//               [--swap-bytes N] [--disable CODE[,CODE...]] [--verify-plans]
 //
-// --evolve compares two versions of a schema and reports cross-version
-// compatibility breaks (XL010-XL016).
+// Default mode lints every schema document (XL001-XL007); --verify-plans
+// additionally compiles each type's (sender-arch -> host) decode plan and
+// runs the static plan verifier (PV codes). --evolve compares two schema
+// versions (XL010-XL016). --dir runs the whole-set analyzer over every
+// .xsd under DIR: per-file lint, per-family evolution chains, cross-file
+// checks (XS codes), and with --matrix the full pairwise plan
+// pre-verification matrix, fanned out over --jobs workers and
+// incrementally cached under --cache.
 //
-// Exit status: 0 when no error-severity diagnostics fired (warnings are
-// reported but pass); 1 on errors, or on any diagnostic under --deny;
-// 2 on usage problems.
+// Exit status (each path is distinct and tested):
+//   0  clean — no error-severity findings (warnings / notes tolerated)
+//   1  error-severity findings, report mode
+//   2  usage problem
+//   3  input failure: unreadable / unparseable / un-layoutable input
+//      (in --dir mode only an unreadable DIR itself; broken member files
+//      become XS000 findings instead)
+//   4  error-severity findings under --deny (the load/set was refused)
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -27,6 +33,7 @@
 
 #include "analysis/lint.hpp"
 #include "analysis/plan_verify.hpp"
+#include "analysis/setlint.hpp"
 #include "net/fetch.hpp"
 #include "pbio/decode.hpp"
 #include "pbio/registry.hpp"
@@ -36,6 +43,14 @@
 namespace {
 
 using xmit::analysis::Diagnostic;
+using xmit::analysis::FileFinding;
+using xmit::analysis::Severity;
+
+constexpr int kExitClean = 0;
+constexpr int kExitFindings = 1;
+constexpr int kExitUsage = 2;
+constexpr int kExitInput = 3;
+constexpr int kExitDenied = 4;
 
 xmit::Result<std::string> read_source(const std::string& source) {
   if (source.find("://") != std::string::npos)
@@ -56,19 +71,69 @@ bool parse_arch(const char* name, xmit::pbio::ArchInfo* out) {
   return true;
 }
 
-struct Tally {
+// Findings accumulate here so --format=json can emit one document at the
+// end; text mode still streams line by line.
+struct Report {
+  bool json = false;
+  std::vector<FileFinding> findings;
   std::size_t errors = 0;
   std::size_t warnings = 0;
+  std::size_t notes = 0;
+  const xmit::analysis::SetLintStats* stats = nullptr;
 
-  void report(const std::string& source,
-              const std::vector<Diagnostic>& findings) {
-    for (const Diagnostic& diagnostic : findings) {
-      std::printf("%s: %s\n", source.c_str(),
-                  diagnostic.to_string().c_str());
-      if (diagnostic.severity == xmit::analysis::Severity::kError) ++errors;
-      if (diagnostic.severity == xmit::analysis::Severity::kWarning)
-        ++warnings;
+  void add(const std::string& file, const Diagnostic& diagnostic) {
+    switch (diagnostic.severity) {
+      case Severity::kError: ++errors; break;
+      case Severity::kWarning: ++warnings; break;
+      case Severity::kNote: ++notes; break;
     }
+    if (!json)
+      std::printf("%s: %s\n", file.c_str(), diagnostic.to_string().c_str());
+    else
+      findings.push_back({file, diagnostic});
+  }
+
+  void add(const std::string& file,
+           const std::vector<Diagnostic>& diagnostics) {
+    for (const Diagnostic& diagnostic : diagnostics) add(file, diagnostic);
+  }
+
+  void finish(bool denied) const {
+    if (json) {
+      std::string out = "{\"tool\":\"xmit_lint\",\"findings\":[";
+      for (std::size_t i = 0; i < findings.size(); ++i) {
+        if (i != 0) out += ",";
+        out += to_json(findings[i].diagnostic, findings[i].file);
+      }
+      out += "],\"errors\":" + std::to_string(errors);
+      out += ",\"warnings\":" + std::to_string(warnings);
+      out += ",\"notes\":" + std::to_string(notes);
+      out += ",\"denied\":";
+      out += denied ? "true" : "false";
+      if (stats != nullptr) {
+        out += ",\"stats\":{\"files\":" + std::to_string(stats->files);
+        out += ",\"families\":" + std::to_string(stats->families);
+        out += ",\"types\":" + std::to_string(stats->types);
+        out += ",\"pairs_verified\":" + std::to_string(stats->pairs_verified);
+        out += ",\"pairs_rejected\":" + std::to_string(stats->pairs_rejected);
+        out += ",\"cache_hits\":" + std::to_string(stats->cache_hits);
+        out += ",\"cache_misses\":" + std::to_string(stats->cache_misses);
+        out += ",\"set_swap_bytes\":" + std::to_string(stats->set_swap_bytes);
+        out += ",\"widest_struct\":" + std::to_string(stats->widest_struct);
+        out += ",\"widest_type\":\"";
+        xmit::analysis::append_json_escaped(out, stats->widest_type);
+        out += "\"}";
+      }
+      out += "}\n";
+      std::fputs(out.c_str(), stdout);
+    } else if (errors + warnings > 0) {
+      std::printf("%zu error(s), %zu warning(s)\n", errors, warnings);
+    }
+  }
+
+  int exit_code(bool deny) const {
+    if (errors == 0) return kExitClean;
+    return deny ? kExitDenied : kExitFindings;
   }
 };
 
@@ -78,9 +143,10 @@ xmit::Result<xmit::xsd::Schema> load_schema(const std::string& source) {
 }
 
 // --verify-plans: register each type for the sender arch and for the
-// host, compile the (sender, host-receiver) decode plan, verify it.
+// host, compile the (sender, host-receiver) decode plan, verify it. A
+// plan that does not compile is an XS008 finding, not an input failure.
 int verify_plans(const std::string& source, const xmit::xsd::Schema& schema,
-                 const xmit::pbio::ArchInfo& sender_arch, Tally& tally) {
+                 const xmit::pbio::ArchInfo& sender_arch, Report& report) {
   auto sender_layouts = xmit::toolkit::layout_schema(schema, sender_arch);
   auto receiver_layouts =
       xmit::toolkit::layout_schema(schema, xmit::pbio::ArchInfo::host());
@@ -90,7 +156,7 @@ int verify_plans(const std::string& source, const xmit::xsd::Schema& schema,
                                      : sender_layouts.status();
     std::fprintf(stderr, "%s: layout failed: %s\n", source.c_str(),
                  status.to_string().c_str());
-    return 1;
+    return kExitInput;
   }
 
   xmit::pbio::FormatRegistry senders;
@@ -109,19 +175,49 @@ int verify_plans(const std::string& source, const xmit::xsd::Schema& schema,
           sent.is_ok() ? received.status() : sent.status();
       std::fprintf(stderr, "%s: register '%s' failed: %s\n", source.c_str(),
                    sl.name.c_str(), status.to_string().c_str());
-      return 1;
+      return kExitInput;
     }
     auto plan = decoder.plan_view(sent.value(), *received.value());
     if (!plan.is_ok()) {
-      std::fprintf(stderr, "%s: plan for '%s' failed: %s\n", source.c_str(),
-                   sl.name.c_str(), plan.status().to_string().c_str());
-      return 1;
+      report.add(source,
+                 Diagnostic{"XS008", Severity::kError, sl.name,
+                            "decode plan does not compile: " +
+                                plan.status().to_string(),
+                            ""});
+      continue;
     }
-    tally.report(source + " [plan " + sl.name + "]",
-                 xmit::analysis::verify_plan(plan.value(), *sent.value(),
-                                             *received.value()));
+    report.add(source + " [plan " + sl.name + "]",
+               xmit::analysis::verify_plan(plan.value(), *sent.value(),
+                                           *received.value()));
   }
-  return 0;
+  return kExitClean;
+}
+
+void split_codes(const char* list, std::vector<std::string>* out) {
+  std::string current;
+  for (const char* p = list;; ++p) {
+    if (*p == ',' || *p == '\0') {
+      if (!current.empty()) out->push_back(current);
+      current.clear();
+      if (*p == '\0') break;
+    } else {
+      current += *p;
+    }
+  }
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: xmit_lint [flags] <schema>...\n"
+      "       xmit_lint [flags] --dir DIR [--jobs N] [--cache DIR]"
+      " [--matrix]\n"
+      "       xmit_lint [flags] --evolve <old.xsd> <new.xsd>\n"
+      "flags: [--deny] [--format=json] [--arch host|big64|big32|little32]\n"
+      "       [--swap-bytes N] [--disable CODE[,CODE...]] [--verify-plans]\n"
+      "exit:  0 clean  1 error findings  2 usage  3 unreadable input\n"
+      "       4 error findings under --deny\n");
+  return kExitUsage;
 }
 
 }  // namespace
@@ -131,7 +227,9 @@ int main(int argc, char** argv) {
   bool want_plans = false;
   const char* evolve_old = nullptr;
   const char* evolve_new = nullptr;
-  xmit::analysis::LintOptions options;
+  const char* dir = nullptr;
+  Report report;
+  xmit::analysis::SetLintOptions set_options;
   std::vector<std::string> sources;
 
   for (int i = 1; i < argc; ++i) {
@@ -139,74 +237,105 @@ int main(int argc, char** argv) {
       deny = true;
     } else if (std::strcmp(argv[i], "--verify-plans") == 0) {
       want_plans = true;
+    } else if (std::strcmp(argv[i], "--matrix") == 0) {
+      set_options.matrix = true;
+    } else if (std::strcmp(argv[i], "--format=json") == 0) {
+      report.json = true;
+    } else if (std::strcmp(argv[i], "--dir") == 0 && i + 1 < argc) {
+      dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      set_options.jobs =
+          static_cast<std::size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--cache") == 0 && i + 1 < argc) {
+      set_options.cache_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--disable") == 0 && i + 1 < argc) {
+      split_codes(argv[++i], &set_options.disabled_codes);
     } else if (std::strcmp(argv[i], "--arch") == 0 && i + 1 < argc) {
-      if (!parse_arch(argv[++i], &options.arch)) {
+      if (!parse_arch(argv[++i], &set_options.lint.arch)) {
         std::fprintf(stderr,
                      "--arch wants host|big64|big32|little32, got '%s'\n",
                      argv[i]);
-        return 2;
+        return kExitUsage;
       }
     } else if (std::strcmp(argv[i], "--swap-bytes") == 0 && i + 1 < argc) {
-      options.swap_hotspot_bytes =
+      set_options.lint.swap_hotspot_bytes =
           static_cast<std::uint64_t>(std::strtoull(argv[++i], nullptr, 10));
     } else if (std::strcmp(argv[i], "--evolve") == 0 && i + 2 < argc) {
       evolve_old = argv[++i];
       evolve_new = argv[++i];
     } else if (argv[i][0] == '-') {
       std::fprintf(stderr, "unknown option '%s'\n", argv[i]);
-      return 2;
+      return kExitUsage;
     } else {
       sources.emplace_back(argv[i]);
     }
   }
+  set_options.matrix_sender_arch = set_options.lint.arch;
+  const xmit::analysis::LintOptions& options = set_options.lint;
 
-  Tally tally;
+  if (dir != nullptr) {
+    if (!sources.empty() || evolve_old != nullptr) return usage();
+    auto set_report = xmit::analysis::lint_schema_set(dir, set_options);
+    if (!set_report.is_ok()) {
+      std::fprintf(stderr, "%s: %s\n", dir,
+                   set_report.status().to_string().c_str());
+      return kExitInput;
+    }
+    for (const FileFinding& finding : set_report.value().findings)
+      report.add(finding.file, finding.diagnostic);
+    report.stats = &set_report.value().stats;
+    report.finish(deny && report.errors > 0);
+    if (!report.json) {
+      const xmit::analysis::SetLintStats& stats = set_report.value().stats;
+      std::printf(
+          "%zu file(s), %zu family(ies), %zu type(s); matrix: %zu pair(s)"
+          " verified, %zu rejected; cache: %zu hit(s), %zu miss(es)\n",
+          stats.files, stats.families, stats.types, stats.pairs_verified,
+          stats.pairs_rejected, stats.cache_hits, stats.cache_misses);
+    }
+    return report.exit_code(deny);
+  }
 
   if (evolve_old != nullptr) {
+    if (!sources.empty()) return usage();
     auto old_schema = load_schema(evolve_old);
     auto new_schema = load_schema(evolve_new);
     if (!old_schema.is_ok() || !new_schema.is_ok()) {
       const xmit::Status& status = old_schema.is_ok() ? new_schema.status()
                                                       : old_schema.status();
       std::fprintf(stderr, "%s\n", status.to_string().c_str());
-      return 1;
+      return kExitInput;
     }
-    tally.report(std::string(evolve_old) + " -> " + evolve_new,
-                 xmit::analysis::lint_evolution(old_schema.value(),
-                                                new_schema.value()));
-  } else if (sources.empty()) {
-    std::fprintf(stderr,
-                 "usage: xmit_lint [--deny] [--arch host|big64|big32|little32]"
-                 " [--swap-bytes N] [--verify-plans] <schema>...\n"
-                 "       xmit_lint --evolve <old.xsd> <new.xsd>\n");
-    return 2;
+    report.add(std::string(evolve_old) + " -> " + evolve_new,
+               xmit::analysis::lint_evolution(old_schema.value(),
+                                              new_schema.value()));
+    report.finish(deny && report.errors > 0);
+    return report.exit_code(deny);
   }
+
+  if (sources.empty()) return usage();
 
   for (const std::string& source : sources) {
     auto schema = load_schema(source);
     if (!schema.is_ok()) {
       std::fprintf(stderr, "%s: %s\n", source.c_str(),
                    schema.status().to_string().c_str());
-      return 1;
+      return kExitInput;
     }
     auto findings = xmit::analysis::lint_schema(schema.value(), options);
     if (!findings.is_ok()) {
       std::fprintf(stderr, "%s: layout failed: %s\n", source.c_str(),
                    findings.status().to_string().c_str());
-      return 1;
+      return kExitInput;
     }
-    tally.report(source, findings.value());
+    report.add(source, findings.value());
     if (want_plans) {
       const int failed =
-          verify_plans(source, schema.value(), options.arch, tally);
-      if (failed != 0) return failed;
+          verify_plans(source, schema.value(), options.arch, report);
+      if (failed != kExitClean) return failed;
     }
   }
 
-  if (tally.errors + tally.warnings > 0)
-    std::printf("%zu error(s), %zu warning(s)\n", tally.errors,
-                tally.warnings);
-  if (tally.errors > 0) return 1;
-  if (deny && tally.warnings > 0) return 1;
-  return 0;
+  report.finish(deny && report.errors > 0);
+  return report.exit_code(deny);
 }

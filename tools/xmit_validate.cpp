@@ -57,12 +57,15 @@ int main(int argc, char** argv) {
   fetch_options.retry = xmit::net::RetryPolicy::none();
   xmit::DecodeLimits limits = xmit::DecodeLimits::defaults();
   bool lint = false;
+  bool json = false;
   std::vector<const char*> positional;
   for (int i = 1; i < argc; ++i) {
     int value = 0;
     long long bound = 0;
     if (std::strcmp(argv[i], "--lint") == 0) {
       lint = true;
+    } else if (std::strcmp(argv[i], "--format=json") == 0) {
+      json = true;
     } else if (std::strcmp(argv[i], "--max-depth") == 0 && i + 1 < argc) {
       if (!parse_positive(argv[++i], &bound) || bound > 1000000) {
         std::fprintf(stderr, "--max-depth wants a positive count, got '%s'\n",
@@ -106,7 +109,8 @@ int main(int argc, char** argv) {
   }
   if (positional.size() < 2) {
     std::fprintf(stderr,
-                 "usage: xmit_validate [--lint] [--retries N] [--timeout-ms N] "
+                 "usage: xmit_validate [--lint] [--format=json] "
+                 "[--retries N] [--timeout-ms N] "
                  "[--max-depth N] [--max-bytes N] [--max-alloc N] "
                  "<schema-url-or-path> <instance-path> [type-name]\n");
     return 2;
@@ -130,8 +134,18 @@ int main(int argc, char** argv) {
                    findings.status().to_string().c_str());
       return 1;
     }
-    for (const auto& diagnostic : findings.value())
-      std::fprintf(stderr, "schema: %s\n", diagnostic.to_string().c_str());
+    if (json) {
+      std::string out = "{\"tool\":\"xmit_validate\",\"findings\":[";
+      for (std::size_t i = 0; i < findings.value().size(); ++i) {
+        if (i != 0) out += ",";
+        out += xmit::analysis::to_json(findings.value()[i], positional[0]);
+      }
+      out += "]}\n";
+      std::fputs(out.c_str(), stdout);
+    } else {
+      for (const auto& diagnostic : findings.value())
+        std::fprintf(stderr, "schema: %s\n", diagnostic.to_string().c_str());
+    }
     if (xmit::analysis::has_errors(findings.value())) return 1;
   }
 
