@@ -16,6 +16,7 @@
 #include "rpc/xmlrpc.hpp"
 #include "session/session.hpp"
 #include "storage/framing.hpp"
+#include "xmit/format_set.hpp"
 #include "xml/parser.hpp"
 #include "xsd/parse.hpp"
 
@@ -199,6 +200,28 @@ std::vector<std::vector<std::uint8_t>> format_wire_seeds() {
 
 Status run_format_wire(std::span<const std::uint8_t> input) {
   return pbio::deserialize_format(input, fuzz_limits()).status();
+}
+
+// --- format set ------------------------------------------------------------
+
+std::vector<std::vector<std::uint8_t>> format_set_seeds() {
+  std::vector<toolkit::SetEntry> mixed;
+  mixed.push_back(
+      {toolkit::SetEntryKind::kSchemaDocument, "grid.xsd",
+       as_bytes("<xsd:schema xmlns:xsd=\"http://www.w3.org/2001/XMLSchema\">"
+                "<xsd:complexType name=\"Cell\"><xsd:sequence>"
+                "<xsd:element name=\"v\" type=\"xsd:double\"/>"
+                "</xsd:sequence></xsd:complexType></xsd:schema>")});
+  mixed.push_back({toolkit::SetEntryKind::kFormatBlob, "00000000deadbeef",
+                   format_wire_seeds()[1]});
+  std::vector<toolkit::SetEntry> blobs;
+  blobs.push_back({toolkit::SetEntryKind::kFormatBlob, "0000000000000001",
+                   format_wire_seeds()[0]});
+  return {toolkit::build_format_set(mixed), toolkit::build_format_set(blobs)};
+}
+
+Status run_format_set(std::span<const std::uint8_t> input) {
+  return toolkit::parse_format_set(input, fuzz_limits()).status();
 }
 
 // --- giop ------------------------------------------------------------------
@@ -626,6 +649,9 @@ constexpr Driver kDrivers[] = {
      pbio_seeds, run_pbio},
     {"format_wire", "pbio::deserialize_format over mutated metadata",
      format_wire_seeds, run_format_wire},
+    {"format_set",
+     "toolkit::parse_format_set over mutated batched-discovery responses",
+     format_set_seeds, run_format_set},
     {"giop", "rpc::parse_giop_message over mutated GIOP frames", giop_seeds,
      run_giop},
     {"xmlrpc", "rpc XML-RPC call/response parsing", xmlrpc_seeds, run_xmlrpc},
@@ -868,6 +894,35 @@ std::vector<CorpusAttack> canonical_attacks() {
       {"session_credit-absurd-grant.bin",
        "credit window of 2^63 records exceeds any plausible budget",
        pack_frames({credit_frame(0, std::uint64_t(1) << 63, 1u << 16)})});
+
+  {
+    const std::vector<std::uint8_t> honest = format_set_seeds()[0];
+
+    // 23. Set cut mid-entry: the first entry's header survives but its
+    //     payload does not. The parser must report which entry the set
+    //     died at, never read past the end.
+    attacks.push_back({"format_set-truncated-set.bin",
+                       "set document truncated inside an entry payload",
+                       std::vector<std::uint8_t>(honest.begin(),
+                                                 honest.begin() + 40)});
+
+    // 24. Two entries carrying the same name: a server answering a batch
+    //     request must name each format once; a duplicate would let the
+    //     second entry silently shadow the first after adoption.
+    std::vector<toolkit::SetEntry> duplicated(
+        2, {toolkit::SetEntryKind::kFormatBlob, "00000000deadbeef",
+            format_wire_seeds()[1]});
+    attacks.push_back({"format_set-duplicate-ids.bin",
+                       "set names the same format id in two entries",
+                       toolkit::build_format_set(duplicated)});
+
+    // 25. Count field patched to 4000 over a 2-entry body: the 9-byte
+    //     per-entry floor must reject the lie before any per-entry
+    //     allocation, not loop 4000 times discovering it.
+    attacks.push_back({"format_set-lying-count.bin",
+                       "declared entry count far exceeds the bytes present",
+                       patched(honest, 8, {0xA0, 0x0F, 0x00, 0x00})});
+  }
 
   {
     std::vector<std::uint8_t> segment, index;

@@ -1,0 +1,296 @@
+// CacheBudget + LruCache: the bounded-memory substrate for every runtime
+// cache on the format path (decoder plan cache, XMIT binding cache,
+// schema disk cache).
+//
+// The paper's registry grows monotonically — fine for a hydrology suite,
+// fatal for the 10k-format schema sets the ROADMAP targets. Every cache
+// here gets the same contract:
+//   * a CacheBudget caps entries and bytes (0 = unbounded, the default);
+//   * least-recently-used UNPINNED entries are evicted to make room;
+//   * pinned entries are never evicted — a pin is how a session, an
+//     in-flight replay, or a long-lived binding says "this one is load-
+//     bearing";
+//   * when the pinned set alone fills the budget, the cache degrades in a
+//     typed way instead of OOMing: new unpinned inserts are simply not
+//     cached (the caller keeps its value; the next lookup rebuilds), and
+//     pin attempts fail with kResourceExhausted;
+//   * eviction never invalidates a value a caller already holds — values
+//     are handed out by copy (in practice shared_ptr), so an entry
+//     evicted mid-use completes safely and the next lookup rebuilds it.
+#pragma once
+
+#include <cstddef>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/thread_annotations.hpp"
+
+namespace xmit {
+
+struct CacheBudget {
+  std::size_t max_entries = 0;  // 0 = unbounded
+  std::size_t max_bytes = 0;    // 0 = unbounded
+
+  bool bounded() const { return max_entries != 0 || max_bytes != 0; }
+  static CacheBudget unlimited() { return {}; }
+  static CacheBudget of(std::size_t entries, std::size_t bytes) {
+    return {entries, bytes};
+  }
+};
+
+// One snapshot of a cache's occupancy and traffic. `uncacheable` counts
+// inserts that were skipped because the pinned set already filled the
+// budget — the graceful-degradation path the pin contract promises.
+struct CacheStats {
+  std::size_t entries = 0;
+  std::size_t bytes = 0;
+  std::size_t pinned_entries = 0;
+  std::size_t pinned_bytes = 0;
+  std::size_t hits = 0;
+  std::size_t misses = 0;
+  std::size_t evictions = 0;
+  std::size_t uncacheable = 0;
+  std::size_t max_entries = 0;  // budget echo, for display
+  std::size_t max_bytes = 0;
+};
+
+template <typename Key, typename Value, typename Hash = std::hash<Key>>
+class LruCache {
+ public:
+  explicit LruCache(CacheBudget budget = {}) : budget_(budget) {}
+
+  LruCache(const LruCache&) = delete;
+  LruCache& operator=(const LruCache&) = delete;
+
+  // Shrinking the budget evicts unpinned LRU entries immediately; the
+  // pinned set is never touched (it may leave the cache over budget —
+  // pin() and put() report that state in the typed ways below).
+  void set_budget(CacheBudget budget) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    budget_ = budget;
+    evict_to_fit_locked(/*incoming_bytes=*/0);
+  }
+
+  CacheBudget budget() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return budget_;
+  }
+
+  // Lookup. A hit refreshes recency.
+  std::optional<Value> get(const Key& key) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = index_.find(key);
+    if (it == index_.end()) {
+      ++misses_;
+      return std::nullopt;
+    }
+    ++hits_;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return it->second->value;
+  }
+
+  // Insert (replacing nothing: if the key is already resident the
+  // RESIDENT value wins and is returned — so a losing thread in a build
+  // race adopts the winner's value and pin counts are never orphaned).
+  // Unpinned LRU entries are evicted to make room; when the pinned set
+  // alone fills the budget the value is returned uncached.
+  Value put(const Key& key, Value value, std::size_t bytes) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return it->second->value;
+    }
+    if (!fits_after_eviction_locked(bytes)) {
+      ++uncacheable_;
+      return value;
+    }
+    lru_.push_front(Entry{key, value, bytes, 0});
+    index_.emplace(key, lru_.begin());
+    bytes_ += bytes;
+    return value;
+  }
+
+  // put() + pin() as one atomic step: insert if absent, then pin the
+  // resident entry. Fails with kResourceExhausted when the pinned set
+  // (including this entry) would exceed the budget — the typed answer to
+  // "everything is pinned and something wants more".
+  Status put_pinned(const Key& key, Value value, std::size_t bytes) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = index_.find(key);
+    if (it != index_.end()) return pin_locked(*it->second);
+    if (!fits_after_eviction_locked(bytes)) {
+      ++uncacheable_;
+      return pinned_set_exhausted(bytes);
+    }
+    lru_.push_front(Entry{key, std::move(value), bytes, 0});
+    index_.emplace(key, lru_.begin());
+    bytes_ += bytes;
+    return pin_locked(lru_.front());
+  }
+
+  // Pin a resident entry (kNotFound if it is not resident — it may have
+  // been evicted; re-insert via put_pinned). Pinned entries survive any
+  // eviction pressure; each pin() needs a matching unpin().
+  Status pin(const Key& key) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = index_.find(key);
+    if (it == index_.end())
+      return Status(ErrorCode::kNotFound, "cache entry not resident");
+    return pin_locked(*it->second);
+  }
+
+  void unpin(const Key& key) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = index_.find(key);
+    if (it == index_.end()) return;
+    Entry& entry = *it->second;
+    if (entry.pins == 0) return;
+    if (--entry.pins == 0) {
+      pinned_bytes_ -= entry.bytes;
+      --pinned_entries_;
+    }
+  }
+
+  bool contains(const Key& key) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return index_.find(key) != index_.end();
+  }
+
+  // Drop an entry regardless of recency. A pinned entry is NOT dropped
+  // (returns false): pins mark in-use values, and invalidation of those
+  // must be coordinated by the pin holder, not forced from outside.
+  bool erase(const Key& key) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = index_.find(key);
+    if (it == index_.end()) return false;
+    if (it->second->pins != 0) return false;
+    bytes_ -= it->second->bytes;
+    lru_.erase(it->second);
+    index_.erase(it);
+    return true;
+  }
+
+  // Drops every unpinned entry; pinned entries stay resident.
+  void clear() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto it = lru_.begin(); it != lru_.end();) {
+      if (it->pins != 0) {
+        ++it;
+        continue;
+      }
+      bytes_ -= it->bytes;
+      index_.erase(it->key);
+      it = lru_.erase(it);
+    }
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return index_.size();
+  }
+
+  CacheStats stats() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    CacheStats out;
+    out.entries = index_.size();
+    out.bytes = bytes_;
+    out.pinned_entries = pinned_entries_;
+    out.pinned_bytes = pinned_bytes_;
+    out.hits = hits_;
+    out.misses = misses_;
+    out.evictions = evictions_;
+    out.uncacheable = uncacheable_;
+    out.max_entries = budget_.max_entries;
+    out.max_bytes = budget_.max_bytes;
+    return out;
+  }
+
+ private:
+  struct Entry {
+    Key key;
+    Value value;
+    std::size_t bytes = 0;
+    std::size_t pins = 0;
+  };
+  using List = std::list<Entry>;
+
+  Status pin_locked(Entry& entry) XMIT_REQUIRES(mutex_) {
+    if (entry.pins == 0) {
+      // First pin: the entry joins the pinned set — check that the
+      // pinned set alone still fits the budget.
+      if ((budget_.max_entries != 0 &&
+           pinned_entries_ + 1 > budget_.max_entries) ||
+          (budget_.max_bytes != 0 &&
+           pinned_bytes_ + entry.bytes > budget_.max_bytes))
+        return pinned_set_exhausted(entry.bytes);
+      pinned_bytes_ += entry.bytes;
+      ++pinned_entries_;
+    }
+    ++entry.pins;
+    return Status::ok();
+  }
+
+  Status pinned_set_exhausted(std::size_t bytes) const XMIT_REQUIRES(mutex_) {
+    return Status(ErrorCode::kResourceExhausted,
+                  "cache pinned set alone exceeds its budget (" +
+                      std::to_string(pinned_entries_) + " entries / " +
+                      std::to_string(pinned_bytes_) + " bytes pinned, +" +
+                      std::to_string(bytes) + " requested against " +
+                      std::to_string(budget_.max_entries) + " entries / " +
+                      std::to_string(budget_.max_bytes) + " bytes)");
+  }
+
+  // Evict unpinned LRU entries until `incoming_bytes` more would fit.
+  // Returns false when even an empty unpinned set leaves no room — i.e.
+  // the pinned set alone fills the budget.
+  bool fits_after_eviction_locked(std::size_t incoming_bytes)
+      XMIT_REQUIRES(mutex_) {
+    if ((budget_.max_entries != 0 &&
+         pinned_entries_ + 1 > budget_.max_entries) ||
+        (budget_.max_bytes != 0 &&
+         pinned_bytes_ + incoming_bytes > budget_.max_bytes))
+      return false;
+    evict_to_fit_locked(incoming_bytes);
+    return !over_budget_locked(incoming_bytes);
+  }
+
+  bool over_budget_locked(std::size_t incoming_bytes) const
+      XMIT_REQUIRES(mutex_) {
+    return (budget_.max_entries != 0 &&
+            index_.size() + 1 > budget_.max_entries) ||
+           (budget_.max_bytes != 0 &&
+            bytes_ + incoming_bytes > budget_.max_bytes);
+  }
+
+  void evict_to_fit_locked(std::size_t incoming_bytes) XMIT_REQUIRES(mutex_) {
+    auto it = lru_.end();
+    while (over_budget_locked(incoming_bytes) && it != lru_.begin()) {
+      --it;
+      if (it->pins != 0) continue;  // pinned: skip, never evicted
+      bytes_ -= it->bytes;
+      index_.erase(it->key);
+      it = lru_.erase(it);
+      ++evictions_;
+    }
+  }
+
+  mutable std::mutex mutex_;
+  List lru_ XMIT_GUARDED_BY(mutex_);  // front = most recently used
+  std::unordered_map<Key, typename List::iterator, Hash> index_
+      XMIT_GUARDED_BY(mutex_);
+  CacheBudget budget_ XMIT_GUARDED_BY(mutex_);
+  std::size_t bytes_ XMIT_GUARDED_BY(mutex_) = 0;
+  std::size_t pinned_entries_ XMIT_GUARDED_BY(mutex_) = 0;
+  std::size_t pinned_bytes_ XMIT_GUARDED_BY(mutex_) = 0;
+  std::size_t hits_ XMIT_GUARDED_BY(mutex_) = 0;
+  std::size_t misses_ XMIT_GUARDED_BY(mutex_) = 0;
+  std::size_t evictions_ XMIT_GUARDED_BY(mutex_) = 0;
+  std::size_t uncacheable_ XMIT_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace xmit

@@ -33,6 +33,9 @@ enum class FaultKind : std::uint8_t {
   kHttpError,       // replace the response with `http_status` and no body
   kTruncateBody,    // full Content-Length header, body cut at truncate_at
   kCorruptBody,     // body bytes flipped, length preserved
+  kPartialBody,     // body cut at truncate_at, Content-Length matching —
+                    // the transport succeeds, only the application-level
+                    // parse (e.g. a format-set envelope) can notice
   kReset,           // close the connection without writing a response
   kDelay,           // sleep delay_ms, then serve normally
   kKillAfterBytes,  // channel dies after byte_budget outgoing wire bytes
@@ -62,6 +65,12 @@ struct FaultAction {
   static FaultAction truncate(std::size_t keep_bytes) {
     FaultAction a;
     a.kind = FaultKind::kTruncateBody;
+    a.truncate_at = keep_bytes;
+    return a;
+  }
+  static FaultAction partial_body(std::size_t keep_bytes) {
+    FaultAction a;
+    a.kind = FaultKind::kPartialBody;
     a.truncate_at = keep_bytes;
     return a;
   }

@@ -153,6 +153,11 @@ void HttpServer::set_post_handler(std::string path, PostHandler handler) {
   post_handlers_[std::move(path)] = std::move(handler);
 }
 
+void HttpServer::set_get_handler(std::string path, GetHandler handler) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  get_handlers_[std::move(path)] = std::move(handler);
+}
+
 void HttpServer::set_fault_hook(FaultHook hook) {
   std::lock_guard<std::mutex> lock(mutex_);
   fault_hook_ = std::move(hook);
@@ -201,13 +206,26 @@ void HttpServer::handle_connection(int client_fd) {
     response.body = "malformed request line";
   } else if (parts[0] == "GET") {
     std::string path(parts[1]);
-    std::lock_guard<std::mutex> lock(mutex_);
-    auto it = documents_.find(path);
-    if (it == documents_.end()) {
+    GetHandler handler;
+    bool found = false;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      auto it = documents_.find(path);
+      if (it != documents_.end()) {
+        response = it->second;
+        found = true;
+      } else if (auto dyn = get_handlers_.find(path);
+                 dyn != get_handlers_.end()) {
+        handler = dyn->second;
+      }
+    }
+    if (handler) {
+      // Outside the lock: a handler may itself take locks (registry
+      // stats) and must not order them under the server mutex.
+      response = handler(path);
+    } else if (!found) {
       response.status_code = 404;
       response.body = "no such document: " + path;
-    } else {
-      response = it->second;
     }
   } else if (parts[0] == "POST") {
     std::string path(parts[1]);
@@ -239,6 +257,12 @@ void HttpServer::handle_connection(int client_fd) {
   } else if (fault.kind == FaultKind::kCorruptBody) {
     for (std::size_t i = 0; i < response.body.size(); i += 3)
       response.body[i] = static_cast<char>(~response.body[i]);
+  } else if (fault.kind == FaultKind::kPartialBody) {
+    // Unlike kTruncateBody, the headers match the bytes actually sent:
+    // the transport exchange completes cleanly and only an application-
+    // level parse of the shortened body can detect the loss.
+    if (fault.truncate_at < response.body.size())
+      response.body.resize(fault.truncate_at);
   }
 
   // For kTruncateBody the headers still promise the full body, then the

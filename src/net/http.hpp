@@ -31,6 +31,10 @@ struct HttpResponse {
 // POST handler: request body in, response out. Runs on the server thread.
 using PostHandler = std::function<HttpResponse(const std::string& body)>;
 
+// GET handler: renders the response at request time (live stats pages and
+// other documents that cannot be pre-published). Runs on the server thread.
+using GetHandler = std::function<HttpResponse(const std::string& path)>;
+
 class HttpServer {
  public:
   // Binds 127.0.0.1:`port` (0 picks a free port) and starts the accept
@@ -52,6 +56,10 @@ class HttpServer {
 
   // Install a POST endpoint (e.g. an XML-RPC dispatcher at "/RPC2").
   void set_post_handler(std::string path, PostHandler handler);
+
+  // Install a dynamic GET endpoint; consulted when no published document
+  // matches the path (documents win, so put_document can shadow it).
+  void set_get_handler(std::string path, GetHandler handler);
 
   // Fault injection (net/faults.hpp): the hook is consulted once per
   // request and its action applied to the response — injected HTTP
@@ -78,6 +86,7 @@ class HttpServer {
   mutable std::mutex mutex_;
   std::map<std::string, HttpResponse> documents_ XMIT_GUARDED_BY(mutex_);
   std::map<std::string, PostHandler> post_handlers_ XMIT_GUARDED_BY(mutex_);
+  std::map<std::string, GetHandler> get_handlers_ XMIT_GUARDED_BY(mutex_);
   FaultHook fault_hook_ XMIT_GUARDED_BY(mutex_);
 };
 

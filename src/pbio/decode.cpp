@@ -506,14 +506,25 @@ Result<PlanView> Decoder::plan_view(const FormatPtr& sender,
   return view_of(*plan);
 }
 
+// Rough resident footprint of one compiled plan, charged against the
+// cache's byte budget. Exactness does not matter; monotonicity with plan
+// complexity does.
+std::size_t Decoder::plan_bytes(const Plan& plan) {
+  std::size_t bytes = sizeof(Plan);
+  bytes += plan.ops.capacity() * sizeof(Op);
+  bytes += plan.moves.capacity() * sizeof(Move);
+  bytes += plan.zero_fills.capacity() * sizeof(FlatField);
+  for (const auto& path : plan.paths)
+    bytes += sizeof(std::string) + path.capacity();
+  for (const auto& move : plan.moves)
+    bytes += move.src.path.capacity() + move.dst.path.capacity();
+  return bytes;
+}
+
 Result<std::shared_ptr<const Decoder::Plan>> Decoder::plan_for(
     const FormatPtr& sender, const Format& receiver) const {
   std::pair<FormatId, FormatId> key{sender->id(), receiver.id()};
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    auto it = plans_.find(key);
-    if (it != plans_.end()) return it->second;
-  }
+  if (auto hit = plans_.get(key)) return *hit;
   XMIT_ASSIGN_OR_RETURN(auto plan, build_plan(*sender, receiver));
   if (verify_plans_) {
     // A plan never enters the cache unverified; a rejected plan fails the
@@ -521,14 +532,32 @@ Result<std::shared_ptr<const Decoder::Plan>> Decoder::plan_for(
     if (PlanVerifier verifier = current_plan_verifier())
       XMIT_RETURN_IF_ERROR(verifier(view_of(*plan), *sender, receiver));
   }
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto [it, inserted] = plans_.emplace(key, std::move(plan));
-  return it->second;
+  // put() resolves a build race in favour of the resident plan (both are
+  // equivalent programs), and silently declines to cache when the pinned
+  // set fills the budget — the caller still gets its plan and an evicted
+  // or uncached plan is simply rebuilt on the next lookup.
+  std::size_t bytes = plan_bytes(*plan);
+  return plans_.put(key, std::move(plan), bytes);
 }
 
-std::size_t Decoder::plan_cache_size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return plans_.size();
+std::size_t Decoder::plan_cache_size() const { return plans_.size(); }
+
+void Decoder::PlanPin::release() {
+  if (decoder_ == nullptr) return;
+  decoder_->plans_.unpin(key_);
+  decoder_ = nullptr;
+}
+
+Result<Decoder::PlanPin> Decoder::pin_plan(const FormatPtr& sender,
+                                           const Format& receiver) const {
+  if (!sender) return Status(ErrorCode::kInvalidArgument, "null format");
+  std::pair<FormatId, FormatId> key{sender->id(), receiver.id()};
+  // Build (and verify) through the normal path, then pin atomically.
+  // put_pinned re-inserts if the entry was evicted between the two steps.
+  XMIT_ASSIGN_OR_RETURN(auto plan, plan_for(sender, receiver));
+  std::size_t bytes = plan_bytes(*plan);
+  XMIT_RETURN_IF_ERROR(plans_.put_pinned(key, std::move(plan), bytes));
+  return PlanPin(this, key);
 }
 
 Result<Decoder::PlanStats> Decoder::plan_stats(const FormatPtr& sender,

@@ -25,14 +25,14 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/arena.hpp"
+#include "common/cache.hpp"
 #include "common/error.hpp"
 #include "common/thread_annotations.hpp"
 #include "common/limits.hpp"
@@ -185,13 +185,70 @@ class Decoder {
   void set_verify_plans(bool verify) { verify_plans_ = verify; }
   bool verify_plans() const { return verify_plans_; }
 
-  // Diagnostics: conversion plans built so far (cache size).
+  // Diagnostics: conversion plans currently resident (cache size).
   std::size_t plan_cache_size() const;
+
+  // Bounded plan cache (DESIGN.md §5k). Default: unbounded, matching the
+  // historical behaviour. With a budget set, least-recently-used unpinned
+  // plans are evicted and rebuilt transparently on their next lookup; a
+  // plan held by an in-flight decode is a shared_ptr copy and completes
+  // safely even if its cache entry is evicted mid-run.
+  void set_plan_cache_budget(CacheBudget budget) {
+    plans_.set_budget(budget);
+  }
+  CacheStats plan_cache_stats() const { return plans_.stats(); }
+
+  // RAII pin on one (sender, receiver) plan: while held, the plan cannot
+  // be evicted whatever the budget pressure. Sessions pin the plans of
+  // their negotiated format pairs so a registration storm elsewhere never
+  // churns a live session's decode path. Fails with kResourceExhausted
+  // when the pinned set alone would exceed the budget — the typed answer
+  // the cache gives instead of growing without bound.
+  class PlanPin {
+   public:
+    PlanPin() = default;
+    PlanPin(PlanPin&& other) noexcept
+        : decoder_(std::exchange(other.decoder_, nullptr)), key_(other.key_) {}
+    PlanPin& operator=(PlanPin&& other) noexcept {
+      if (this != &other) {
+        release();
+        decoder_ = std::exchange(other.decoder_, nullptr);
+        key_ = other.key_;
+      }
+      return *this;
+    }
+    PlanPin(const PlanPin&) = delete;
+    PlanPin& operator=(const PlanPin&) = delete;
+    ~PlanPin() { release(); }
+
+    bool holds() const { return decoder_ != nullptr; }
+    void release();
+
+   private:
+    friend class Decoder;
+    PlanPin(const Decoder* decoder, std::pair<FormatId, FormatId> key)
+        : decoder_(decoder), key_(key) {}
+    const Decoder* decoder_ = nullptr;
+    std::pair<FormatId, FormatId> key_{};
+  };
+
+  // Builds (or fetches) the plan for the pair and pins it. The pin holds
+  // a reference to this Decoder, which must outlive it.
+  Result<PlanPin> pin_plan(const FormatPtr& sender,
+                           const Format& receiver) const;
 
  private:
   struct Move;
   struct Op;
   struct Plan;
+
+  struct PlanKeyHash {
+    std::size_t operator()(const std::pair<FormatId, FormatId>& key) const {
+      // FormatIds are FNV-1a hashes already; one multiply mixes the pair.
+      return static_cast<std::size_t>(key.first * 0x9e3779b97f4a7c15ull ^
+                                      key.second);
+    }
+  };
 
   Result<std::shared_ptr<const Plan>> plan_for(const FormatPtr& sender,
                                                const Format& receiver) const;
@@ -214,13 +271,16 @@ class Decoder {
                                   void* out, Arena& arena,
                                   AllocBudget& budget) const;
 
+  static std::size_t plan_bytes(const Plan& plan);
+
   const FormatRegistry& registry_;
   DecodeLimits limits_ = DecodeLimits::defaults();
   bool verify_plans_ = verify_plans_env_default();
   static bool verify_plans_env_default();
-  mutable std::mutex mutex_;
-  mutable std::map<std::pair<FormatId, FormatId>, std::shared_ptr<const Plan>>
-      plans_ XMIT_GUARDED_BY(mutex_);
+  // LRU plan cache (internally synchronized; see common/cache.hpp).
+  mutable LruCache<std::pair<FormatId, FormatId>, std::shared_ptr<const Plan>,
+                   PlanKeyHash>
+      plans_;
 };
 
 }  // namespace xmit::pbio

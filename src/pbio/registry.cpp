@@ -2,6 +2,16 @@
 
 namespace xmit::pbio {
 
+std::size_t FormatRegistry::shard_of_name(std::string_view name) {
+  // FNV-1a 64, same dispersion the FormatId itself uses.
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (unsigned char c : name) {
+    h ^= c;
+    h *= 0x100000001b3ull;
+  }
+  return static_cast<std::size_t>((h ^ (h >> 32)) & (kShardCount - 1));
+}
+
 Result<FormatPtr> FormatRegistry::register_format(std::string name,
                                                   std::vector<IOField> fields,
                                                   std::uint32_t struct_size,
@@ -24,47 +34,126 @@ Result<FormatPtr> FormatRegistry::register_format(std::string name,
   return adopt(std::move(format));
 }
 
+void FormatRegistry::publish_locked(IdShard& shard) const {
+  auto current = shard.snapshot.load(std::memory_order_relaxed);
+  auto merged = current ? std::make_shared<IdTable>(*current)
+                        : std::make_shared<IdTable>();
+  merged->reserve(merged->size() + shard.delta.size());
+  for (auto& [id, format] : shard.delta) merged->emplace(id, format);
+  shard.delta.clear();
+  shard.snapshot.store(std::move(merged), std::memory_order_release);
+  publishes_.fetch_add(1, std::memory_order_relaxed);
+}
+
 Result<FormatPtr> FormatRegistry::adopt(FormatPtr format) {
   if (!format)
     return Status(ErrorCode::kInvalidArgument, "null format");
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto [it, inserted] = by_id_.try_emplace(format->id(), format);
-  if (!inserted) {
+  const FormatId id = format->id();
+  IdShard& shard = id_shards_[shard_of(id)];
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
     // Same id means same canonical description: idempotent re-register.
-    return it->second;
+    if (auto snapshot = shard.snapshot.load(std::memory_order_relaxed)) {
+      auto it = snapshot->find(id);
+      if (it != snapshot->end()) return it->second;
+    }
+    if (auto it = shard.delta.find(id); it != shard.delta.end())
+      return it->second;
+    shard.delta.emplace(id, format);
+    shard.count.fetch_add(1, std::memory_order_relaxed);
+    if (shard.delta.size() >= kPublishThreshold) publish_locked(shard);
   }
-  by_name_[format->name()] = format;
+  NameShard& names = name_shards_[shard_of_name(format->name())];
+  {
+    std::lock_guard<std::mutex> lock(names.mutex);
+    names.names[format->name()] = format;
+  }
   return format;
 }
 
 Result<FormatPtr> FormatRegistry::by_id(FormatId id) const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = by_id_.find(id);
-  if (it == by_id_.end())
-    return Status(ErrorCode::kNotFound,
-                  "no format with id " + std::to_string(id));
-  return it->second;
+  const IdShard& shard = id_shards_[shard_of(id)];
+  // Fast path: the published snapshot, no lock. Steady-state decodes —
+  // everything registered more than kPublishThreshold inserts ago — are
+  // served here whatever the writers are doing.
+  if (auto snapshot = shard.snapshot.load(std::memory_order_acquire)) {
+    auto it = snapshot->find(id);
+    if (it != snapshot->end()) {
+      snapshot_hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+  }
+  // Slow path: formats registered in the last instant sit in the delta.
+  // Under the writer lock the snapshot is stable, so re-checking it here
+  // closes the race where a publish moved the id from delta to a fresh
+  // snapshot between our lock-free load and this lock.
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    if (auto it = shard.delta.find(id); it != shard.delta.end()) {
+      delta_hits_.fetch_add(1, std::memory_order_relaxed);
+      return it->second;
+    }
+    if (auto current = shard.snapshot.load(std::memory_order_relaxed)) {
+      if (auto it = current->find(id); it != current->end()) {
+        delta_hits_.fetch_add(1, std::memory_order_relaxed);
+        return it->second;
+      }
+    }
+  }
+  return Status(ErrorCode::kNotFound,
+                "no format with id " + std::to_string(id));
 }
 
 Result<FormatPtr> FormatRegistry::by_name(std::string_view name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = by_name_.find(std::string(name));
-  if (it == by_name_.end())
+  const NameShard& shard = name_shards_[shard_of_name(name)];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.names.find(std::string(name));
+  if (it == shard.names.end())
     return Status(ErrorCode::kNotFound,
                   "no format named '" + std::string(name) + "'");
   return it->second;
 }
 
 std::size_t FormatRegistry::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return by_id_.size();
+  std::size_t total = 0;
+  for (const IdShard& shard : id_shards_)
+    total += shard.count.load(std::memory_order_relaxed);
+  return total;
 }
 
 std::vector<FormatPtr> FormatRegistry::all() const {
-  std::lock_guard<std::mutex> lock(mutex_);
   std::vector<FormatPtr> out;
-  out.reserve(by_id_.size());
-  for (const auto& [id, format] : by_id_) out.push_back(format);
+  out.reserve(size());
+  for (const IdShard& shard : id_shards_) {
+    // Snapshot and delta must be read under the shard's writer lock so a
+    // concurrent publish cannot move entries between them mid-read
+    // (dropping or duplicating formats). The lock is held only for the
+    // copy and never blocks the lock-free snapshot readers a live decode
+    // uses — only a registration into this shard waits.
+    std::shared_ptr<const IdTable> snapshot;
+    std::vector<FormatPtr> delta;
+    {
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      snapshot = shard.snapshot.load(std::memory_order_relaxed);
+      delta.reserve(shard.delta.size());
+      for (const auto& [id, format] : shard.delta) delta.push_back(format);
+    }
+    if (snapshot)
+      for (const auto& [id, format] : *snapshot) out.push_back(format);
+    for (auto& format : delta) out.push_back(std::move(format));
+  }
+  return out;
+}
+
+FormatRegistry::Stats FormatRegistry::stats() const {
+  Stats out;
+  for (std::size_t i = 0; i < kShardCount; ++i) {
+    out.shard_sizes[i] = id_shards_[i].count.load(std::memory_order_relaxed);
+    out.formats += out.shard_sizes[i];
+  }
+  out.snapshot_publishes = publishes_.load(std::memory_order_relaxed);
+  out.snapshot_hits = snapshot_hits_.load(std::memory_order_relaxed);
+  out.delta_hits = delta_hits_.load(std::memory_order_relaxed);
   return out;
 }
 

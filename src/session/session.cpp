@@ -70,6 +70,7 @@ MessageSession::MessageSession(net::Channel channel,
   // compiled from that metadata is statically verified before first use.
   analysis::register_plan_verifier();
   decoder_->set_verify_plans(true);
+  decoder_->set_plan_cache_budget(options_.plan_cache_budget);
   last_inbound_ms_ = clock_.elapsed_ms();
   init_durability();
   configure_transport();
@@ -89,6 +90,7 @@ MessageSession::MessageSession(net::Endpoint endpoint,
   options_.resumable = true;
   analysis::register_plan_verifier();
   decoder_->set_verify_plans(true);
+  decoder_->set_plan_cache_budget(options_.plan_cache_budget);
   last_inbound_ms_ = clock_.elapsed_ms();
   init_durability();
 }
@@ -1545,6 +1547,7 @@ Result<MessageSession::IncomingView> MessageSession::receive_view(
               (info.code() == ErrorCode::kMalformedInput ||
                info.code() == ErrorCode::kResourceExhausted)) {
             quarantined_.insert(header.value().format_id);
+            drop_plan_pins_for(header.value().format_id);
           }
           return note_malformed(info.status());
         }
@@ -1670,6 +1673,27 @@ Result<MessageSession::IncomingView> MessageSession::receive_view(
   }
 }
 
+void MessageSession::pin_batch_plan(const pbio::FormatPtr& sender,
+                                    const pbio::Format& receiver) {
+  if (!sender) return;
+  auto key = std::make_pair(sender->id(), receiver.id());
+  if (plan_pins_.contains(key)) return;
+  auto pin = decoder_->pin_plan(sender, receiver);
+  if (pin.is_ok())
+    plan_pins_.emplace(key, std::move(pin).value());
+  else
+    ++plan_pin_failures_;  // degraded, not broken: the plan rebuilds
+}
+
+void MessageSession::drop_plan_pins_for(pbio::FormatId sender_id) {
+  for (auto it = plan_pins_.begin(); it != plan_pins_.end();) {
+    if (it->first.first == sender_id)
+      it = plan_pins_.erase(it);
+    else
+      ++it;
+  }
+}
+
 Result<std::size_t> MessageSession::receive_batch(const pbio::Format& receiver,
                                                   void* out, std::size_t stride,
                                                   std::size_t max_records,
@@ -1688,6 +1712,7 @@ Result<std::size_t> MessageSession::receive_batch(const pbio::Format& receiver,
   // The first record is worth the caller's whole budget; everything after
   // it is pure drain — take only what the transport already holds.
   XMIT_ASSIGN_OR_RETURN(auto first, receive_view(timeout_ms));
+  pin_batch_plan(first.sender_format, receiver);
   batch_records_[0].assign(first.bytes.begin(), first.bytes.end());
   batch_spans_.emplace_back(batch_records_[0].data(),
                             batch_records_[0].size());
@@ -1702,6 +1727,7 @@ Result<std::size_t> MessageSession::receive_batch(const pbio::Format& receiver,
         break;
       return more.status();
     }
+    pin_batch_plan(more.value().sender_format, receiver);
     std::vector<std::uint8_t>& slot = batch_records_[batch_spans_.size()];
     slot.assign(more.value().bytes.begin(), more.value().bytes.end());
     batch_spans_.emplace_back(slot.data(), slot.size());

@@ -77,6 +77,7 @@
 #include <vector>
 
 #include "common/bytes.hpp"
+#include "common/cache.hpp"
 #include "common/clock.hpp"
 #include "common/error.hpp"
 #include "common/limits.hpp"
@@ -154,6 +155,13 @@ struct SessionOptions {
   // records (DESIGN.md §5i). 0 or 1 decodes inline on the caller thread;
   // the pool is spawned lazily on the first receive_batch() call.
   std::size_t batch_decode_workers = 0;
+  // Budget for the decoder's conversion-plan cache (DESIGN.md §5k).
+  // Default unbounded. The session pins the plan of every (sender,
+  // receiver) pair it batch-decodes, so a registration storm elsewhere in
+  // the process can never evict a live session's decode path; a pin the
+  // budget cannot honour is counted (plan_pin_failures()) and the pair
+  // simply rebuilds its plan under pressure instead.
+  CacheBudget plan_cache_budget;
 };
 
 class MessageSession {
@@ -316,6 +324,13 @@ class MessageSession {
   bool is_quarantined(pbio::FormatId id) const {
     return quarantined_.contains(id);
   }
+  // Conversion plans pinned on behalf of this session's live (sender,
+  // receiver) pairs; pins survive resume/replay and drop on quarantine.
+  std::size_t plan_pins_held() const { return plan_pins_.size(); }
+  // Pin attempts the plan-cache budget refused (kResourceExhausted).
+  // Non-fatal: the pair still decodes, rebuilding its plan on demand.
+  std::size_t plan_pin_failures() const { return plan_pin_failures_; }
+  CacheStats plan_cache_stats() const { return decoder_->plan_cache_stats(); }
 
   // --- flow-control diagnostics ---------------------------------------
   bool flow_controlled() const { return options_.flow_control; }
@@ -366,6 +381,15 @@ class MessageSession {
   // Counts a hostile/corrupt frame against the per-peer budget; returns
   // the (possibly upgraded) status to hand the caller.
   Status note_malformed(Status status);
+
+  // Pin the (sender, receiver) conversion plan on first batch use so
+  // cache pressure cannot evict a live pair mid-session; budget refusals
+  // are counted, never fatal.
+  void pin_batch_plan(const pbio::FormatPtr& sender,
+                      const pbio::Format& receiver);
+  // Quarantining a sender format releases its pins — a poisoned format's
+  // plans are fair game for eviction.
+  void drop_plan_pins_for(pbio::FormatId sender_id);
 
   // --- resumption machinery -------------------------------------------
   bool active() const { return endpoint_.can_dial(); }
@@ -519,6 +543,12 @@ class MessageSession {
   DecodeLimits limits_ = DecodeLimits::defaults();
   std::set<pbio::FormatId> announced_;
   std::set<pbio::FormatId> quarantined_;
+  // Held plan pins, keyed (sender id, receiver id). Declared after
+  // decoder_: pins release into the decoder's cache on destruction, so
+  // they must die first (members destroy in reverse declaration order).
+  std::map<std::pair<pbio::FormatId, pbio::FormatId>, pbio::Decoder::PlanPin>
+      plan_pins_;
+  std::size_t plan_pin_failures_ = 0;
   // next_seq_ at the moment each format was announced by *us*: if the
   // peer's ack is below this, the announcement itself may be lost and the
   // format must be re-announced on resume. Peer-announced formats never

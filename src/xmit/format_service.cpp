@@ -1,9 +1,13 @@
 #include "xmit/format_service.hpp"
 
 #include <cstdio>
+#include <unordered_set>
 
+#include "common/strings.hpp"
 #include "net/fetch.hpp"
+#include "net/url.hpp"
 #include "pbio/format_wire.hpp"
+#include "xmit/format_set.hpp"
 
 namespace xmit::toolkit {
 
@@ -12,6 +16,30 @@ std::string FormatPublisher::id_to_path_component(pbio::FormatId id) {
   std::snprintf(buf, sizeof(buf), "%016llx",
                 static_cast<unsigned long long>(id));
   return buf;
+}
+
+Result<pbio::FormatId> FormatPublisher::id_from_path_component(
+    std::string_view text) {
+  if (text.size() != 16)
+    return Status(ErrorCode::kParseError,
+                  "format id '" + std::string(text) +
+                      "' is not 16 hex digits");
+  pbio::FormatId id = 0;
+  for (char c : text) {
+    int digit;
+    if (c >= '0' && c <= '9')
+      digit = c - '0';
+    else if (c >= 'a' && c <= 'f')
+      digit = c - 'a' + 10;
+    else if (c >= 'A' && c <= 'F')
+      digit = c - 'A' + 10;
+    else
+      return Status(ErrorCode::kParseError,
+                    "format id '" + std::string(text) +
+                        "' is not 16 hex digits");
+    id = (id << 4) | static_cast<pbio::FormatId>(digit);
+  }
+  return id;
 }
 
 std::string FormatPublisher::publish(const pbio::Format& format) {
@@ -26,6 +54,43 @@ std::string FormatPublisher::publish(const pbio::Format& format) {
 
 void FormatPublisher::publish_all(const pbio::FormatRegistry& registry) {
   for (const auto& format : registry.all()) publish(*format);
+}
+
+void FormatPublisher::serve_set_requests(const pbio::FormatRegistry& registry,
+                                         std::string path) {
+  set_path_ = std::move(path);
+  server_.set_post_handler(set_path_, [&registry](const std::string& body) {
+    net::HttpResponse response;
+    std::vector<SetEntry> entries;
+    std::unordered_set<pbio::FormatId> seen;
+    for (auto line : split(body, '\n')) {
+      auto trimmed = trim(line);
+      if (trimmed.empty()) continue;
+      auto id = id_from_path_component(trimmed);
+      if (!id.is_ok()) {
+        response.status_code = 400;
+        response.body = id.status().message();
+        return response;
+      }
+      if (!seen.insert(id.value()).second) continue;
+      // Unknown ids are omitted, not errors: the registry answers with
+      // what it has and the client's resolve_batch reports the rest as
+      // missing.
+      auto format = registry.by_id(id.value());
+      if (!format.is_ok()) continue;
+      SetEntry entry;
+      entry.kind = SetEntryKind::kFormatBlob;
+      entry.name = std::string(trimmed);
+      entry.payload = pbio::serialize_format(*format.value());
+      entries.push_back(std::move(entry));
+    }
+    auto blob = build_format_set(entries);
+    response.status_code = 200;
+    response.content_type = "application/x-xmit-format-set";
+    response.body.assign(reinterpret_cast<const char*>(blob.data()),
+                         blob.size());
+    return response;
+  });
 }
 
 Result<pbio::FormatPtr> RemoteFormatResolver::resolve(pbio::FormatId id) {
@@ -71,6 +136,99 @@ Result<pbio::FormatPtr> RemoteFormatResolver::resolve(pbio::FormatId id) {
   }
   breaker_->record_success();
   return registry_.adopt(std::move(format).value());
+}
+
+Result<RemoteFormatResolver::BatchResolution> RemoteFormatResolver::resolve_batch(
+    std::span<const pbio::FormatId> ids) {
+  BatchResolution out;
+  std::vector<pbio::FormatId> unknown;
+  std::unordered_set<pbio::FormatId> requested_once;
+  for (pbio::FormatId id : ids)
+    if (!registry_.by_id(id).is_ok() && requested_once.insert(id).second)
+      unknown.push_back(id);
+
+  if (!unknown.empty() && batch_url_.empty()) {
+    // No batch endpoint configured: per-id round trips, the paper's
+    // one-fetch-per-format baseline. kNotFound lands in `missing`;
+    // anything else (transport, breaker, garbage) fails the batch.
+    for (pbio::FormatId id : unknown) {
+      auto resolved = resolve(id);
+      out.fetched = true;
+      if (!resolved.is_ok() && resolved.code() != ErrorCode::kNotFound)
+        return resolved.status();
+    }
+  } else if (!unknown.empty()) {
+    if (!breaker_->allow())
+      return Status(ErrorCode::kIoError,
+                    "format service circuit breaker is open; " +
+                        std::to_string(unknown.size()) +
+                        " formats are not cached");
+    XMIT_ASSIGN_OR_RETURN(auto url, net::parse_url(batch_url_));
+    std::string request;
+    for (pbio::FormatId id : unknown)
+      request += FormatPublisher::id_to_path_component(id) + "\n";
+
+    net::RetryStats retry_stats;
+    auto response = net::with_retry<net::HttpResponse>(
+        options_.retry,
+        [&]() -> Result<net::HttpResponse> {
+          auto post = net::HttpClient::post(url.host, url.port, url.path,
+                                            request, "text/plain",
+                                            options_.fetch_timeout_ms);
+          if (!post.is_ok()) return post.status();
+          if (post.value().status_code != 200)
+            return Status(post.value().status_code >= 500
+                              ? ErrorCode::kIoError
+                              : ErrorCode::kInvalidArgument,
+                          "format set endpoint returned HTTP " +
+                              std::to_string(post.value().status_code));
+          return post;
+        },
+        &retry_stats);
+    fetches_ += static_cast<std::size_t>(retry_stats.attempts);
+    retries_ += static_cast<std::size_t>(retry_stats.retries);
+    if (!response.is_ok()) {
+      breaker_->record_failure();
+      return response.status();
+    }
+    out.fetched = true;
+
+    const std::string& body = response.value().body;
+    auto entries = parse_format_set(std::span<const std::uint8_t>(
+        reinterpret_cast<const std::uint8_t*>(body.data()), body.size()));
+    if (!entries.is_ok()) {
+      // A lying or truncated set is a garbage server, same as a bad blob.
+      breaker_->record_failure();
+      return entries.status();
+    }
+    for (const SetEntry& entry : entries.value()) {
+      if (entry.kind != SetEntryKind::kFormatBlob) continue;
+      auto claimed = FormatPublisher::id_from_path_component(entry.name);
+      auto format = pbio::deserialize_format(
+          std::span<const std::uint8_t>(entry.payload));
+      if (!claimed.is_ok() || !format.is_ok() ||
+          format.value()->id() != claimed.value() ||
+          !requested_once.count(claimed.value())) {
+        breaker_->record_failure();
+        return Status(ErrorCode::kParseError,
+                      "format set entry '" + entry.name +
+                          "' failed the id integrity check");
+      }
+      XMIT_RETURN_IF_ERROR(registry_.adopt(std::move(format).value()).status());
+    }
+    breaker_->record_success();
+  }
+
+  // Final pass in request order: everything resolvable is in the registry
+  // now, whatever path put it there.
+  std::unordered_set<pbio::FormatId> missing_once;
+  for (pbio::FormatId id : ids) {
+    if (auto resolved = registry_.by_id(id); resolved.is_ok())
+      out.resolved.push_back(std::move(resolved).value());
+    else if (missing_once.insert(id).second)
+      out.missing.push_back(id);
+  }
+  return out;
 }
 
 Result<pbio::RecordInfo> ResolvingDecoder::inspect(

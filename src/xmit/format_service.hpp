@@ -12,7 +12,10 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "common/arena.hpp"
 #include "common/error.hpp"
@@ -37,14 +40,28 @@ class FormatPublisher {
   // Publish every format currently in `registry`.
   void publish_all(const pbio::FormatRegistry& registry);
 
+  // Install a POST endpoint answering batched lookups (DESIGN.md §5k):
+  // the request body is newline-separated 16-hex format ids, the
+  // response an XMITSET1 format-set of the serialized formats `registry`
+  // holds *at request time* (no pre-publishing). Ids the registry does
+  // not know are silently omitted — the partial-set response that
+  // RemoteFormatResolver::resolve_batch reports as `missing` rather than
+  // failing the whole batch. `registry` must outlive the server.
+  void serve_set_requests(const pbio::FormatRegistry& registry,
+                          std::string path = "/formats/set");
+
   // URL prefix clients should resolve against.
   std::string base_url() const { return server_.url_for(prefix_); }
+  // Full URL of the batched endpoint installed by serve_set_requests().
+  std::string set_url() const { return server_.url_for(set_path_); }
 
   static std::string id_to_path_component(pbio::FormatId id);
+  static Result<pbio::FormatId> id_from_path_component(std::string_view text);
 
  private:
   net::HttpServer& server_;
   std::string prefix_;
+  std::string set_path_ = "/formats/set";
 };
 
 // Fetches format metadata by id from a publisher's base URL and adopts it
@@ -77,12 +94,34 @@ class RemoteFormatResolver {
   // check against a confused or malicious server).
   Result<pbio::FormatPtr> resolve(pbio::FormatId id);
 
+  // Point batched resolution at a FormatPublisher::set_url(). Without
+  // one, resolve_batch falls back to per-id resolve() round trips — the
+  // baseline the RDM-amortization bench compares against.
+  void set_batch_url(std::string url) { batch_url_ = std::move(url); }
+  const std::string& batch_url() const { return batch_url_; }
+
+  struct BatchResolution {
+    std::vector<pbio::FormatPtr> resolved;  // request order, misses dropped
+    std::vector<pbio::FormatId> missing;    // ids the service did not have
+    bool fetched = false;                   // any network round trip made
+  };
+
+  // Resolves every id in `ids` with at most ONE network round trip when a
+  // batch URL is configured: locally-known ids never leave the process,
+  // the rest go out in a single POST and the returned set is adopted
+  // wholesale. Ids the server omits (the partial-set response) come back
+  // in `missing` — a data answer, not an error. Transport failures,
+  // garbage envelopes, and integrity mismatches are errors and feed the
+  // same circuit breaker as resolve().
+  Result<BatchResolution> resolve_batch(std::span<const pbio::FormatId> ids);
+
   std::size_t fetches_performed() const { return fetches_; }
   std::size_t retries_performed() const { return retries_; }
   const net::CircuitBreaker& breaker() const { return *breaker_; }
 
  private:
   std::string base_url_;
+  std::string batch_url_;
   pbio::FormatRegistry& registry_;
   Options options_;
   // shared_ptr: the resolver is copied into ResolvingDecoder but breaker

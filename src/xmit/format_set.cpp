@@ -1,0 +1,111 @@
+#include "xmit/format_set.hpp"
+
+#include <cstring>
+#include <unordered_set>
+
+#include "common/bytes.hpp"
+
+namespace xmit::toolkit {
+
+std::vector<std::uint8_t> build_format_set(std::span<const SetEntry> entries) {
+  ByteBuffer out;
+  out.append(kFormatSetMagic, sizeof(kFormatSetMagic));
+  out.append_u32(static_cast<std::uint32_t>(entries.size()),
+                 ByteOrder::kLittle);
+  for (const SetEntry& entry : entries) {
+    out.append_byte(static_cast<std::uint8_t>(entry.kind));
+    out.append_u16(static_cast<std::uint16_t>(entry.name.size()),
+                   ByteOrder::kLittle);
+    out.append(entry.name);
+    out.append_u32(static_cast<std::uint32_t>(entry.payload.size()),
+                   ByteOrder::kLittle);
+    out.append(entry.payload.data(), entry.payload.size());
+  }
+  return out.take();
+}
+
+Result<std::vector<SetEntry>> parse_format_set(
+    std::span<const std::uint8_t> bytes, const DecodeLimits& limits) {
+  if (bytes.size() > limits.max_message_bytes)
+    return Status(ErrorCode::kResourceExhausted,
+                  "format set of " + std::to_string(bytes.size()) +
+                      " bytes exceeds the message budget");
+  ByteReader reader(bytes);
+  char magic[sizeof(kFormatSetMagic)];
+  if (!reader.read_bytes(magic, sizeof(magic)).is_ok() ||
+      std::memcmp(magic, kFormatSetMagic, sizeof(magic)) != 0)
+    return Status(ErrorCode::kParseError,
+                  "not a format set: bad or truncated magic");
+  XMIT_ASSIGN_OR_RETURN(auto count, reader.read_u32(ByteOrder::kLittle));
+  if (count > limits.max_elements)
+    return Status(ErrorCode::kResourceExhausted,
+                  "format set declares " + std::to_string(count) +
+                      " entries, over the element budget");
+  // A 9-byte floor per entry (kind + name_len + payload_len) caps what a
+  // lying count can make us reserve before the per-entry parses run.
+  if (count > 0 && reader.remaining() / 9 < count)
+    return Status(ErrorCode::kMalformedInput,
+                  "format set declares " + std::to_string(count) +
+                      " entries but only " +
+                      std::to_string(reader.remaining()) +
+                      " payload bytes follow (truncated set or lying count)");
+
+  std::vector<SetEntry> entries;
+  entries.reserve(count);
+  std::unordered_set<std::string> seen;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    SetEntry entry;
+    auto kind = reader.read_u8();
+    if (!kind.is_ok())
+      return Status(ErrorCode::kMalformedInput,
+                    "format set truncated at entry " + std::to_string(i) +
+                        " of " + std::to_string(count));
+    if (kind.value() >
+        static_cast<std::uint8_t>(SetEntryKind::kFormatBlob))
+      return Status(ErrorCode::kMalformedInput,
+                    "format set entry " + std::to_string(i) +
+                        " has unknown kind " + std::to_string(kind.value()));
+    entry.kind = static_cast<SetEntryKind>(kind.value());
+
+    auto name_len = reader.read_u16(ByteOrder::kLittle);
+    if (!name_len.is_ok() || name_len.value() == 0 ||
+        name_len.value() > reader.remaining())
+      return Status(ErrorCode::kMalformedInput,
+                    "format set entry " + std::to_string(i) +
+                        " has a missing or truncated name");
+    XMIT_ASSIGN_OR_RETURN(entry.name, reader.read_string(name_len.value()));
+    if (!seen.insert(entry.name).second)
+      return Status(ErrorCode::kMalformedInput,
+                    "format set names '" + entry.name +
+                        "' twice (duplicate entry)");
+
+    auto payload_len = reader.read_u32(ByteOrder::kLittle);
+    if (!payload_len.is_ok())
+      return Status(ErrorCode::kMalformedInput,
+                    "format set entry '" + entry.name +
+                        "' is truncated before its payload length");
+    if (payload_len.value() > limits.max_string_bytes)
+      return Status(ErrorCode::kResourceExhausted,
+                    "format set entry '" + entry.name + "' declares " +
+                        std::to_string(payload_len.value()) +
+                        " payload bytes, over the string budget");
+    if (payload_len.value() > reader.remaining())
+      return Status(ErrorCode::kMalformedInput,
+                    "format set entry '" + entry.name + "' declares " +
+                        std::to_string(payload_len.value()) +
+                        " payload bytes but only " +
+                        std::to_string(reader.remaining()) + " remain");
+    entry.payload.resize(payload_len.value());
+    XMIT_RETURN_IF_ERROR(
+        reader.read_bytes(entry.payload.data(), entry.payload.size()));
+    entries.push_back(std::move(entry));
+  }
+  if (!reader.at_end())
+    return Status(ErrorCode::kMalformedInput,
+                  "format set carries " + std::to_string(reader.remaining()) +
+                      " bytes past its declared " + std::to_string(count) +
+                      " entries (lying count)");
+  return entries;
+}
+
+}  // namespace xmit::toolkit

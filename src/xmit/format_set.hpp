@@ -1,0 +1,64 @@
+// Format-set envelope: one HTTP document carrying a whole schema set.
+//
+// The paper prices remote metadata discovery per schema document (the
+// RDM of Figure 6); deployments with thousands of formats cannot afford
+// one round trip each. A format set bundles many schema documents (or
+// serialized PBIO format blobs) into a single fetch, so the RDM is paid
+// once and amortized across the set (DESIGN.md §5k).
+//
+// Layout (all integers little-endian, the container convention of
+// pbio/format_wire.hpp):
+//
+//   "XMITSET1"                        8-byte magic
+//   u32 count                        number of entries
+//   count x entry:
+//     u8  kind                       0 = XML schema document
+//                                    1 = serialized PBIO format blob
+//     u16 name_len | name            schema source name / 16-hex format id
+//     u32 payload_len | payload      document text / format blob
+//
+// Set responses arrive from servers we do not control, so the parser is
+// strict and fully budgeted: a count that lies about the entry total, a
+// set truncated mid-entry, a duplicate name, or an oversized payload all
+// surface as typed statuses (kMalformedInput / kResourceExhausted),
+// never as a crash or an unbounded allocation — the contract the
+// format_set fuzz driver enforces.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/limits.hpp"
+
+namespace xmit::toolkit {
+
+inline constexpr char kFormatSetMagic[8] = {'X', 'M', 'I', 'T',
+                                            'S', 'E', 'T', '1'};
+
+enum class SetEntryKind : std::uint8_t {
+  kSchemaDocument = 0,
+  kFormatBlob = 1,
+};
+
+struct SetEntry {
+  SetEntryKind kind = SetEntryKind::kSchemaDocument;
+  std::string name;
+  std::vector<std::uint8_t> payload;
+};
+
+// Serializes `entries` into one set document.
+std::vector<std::uint8_t> build_format_set(std::span<const SetEntry> entries);
+
+// Strict parse of an untrusted set document. Structural lies — bad magic,
+// count/entry mismatch (both directions: truncated set and trailing
+// garbage), duplicate names, zero-length names — are typed errors; sizes
+// are charged against `limits` (entry count vs max_elements, name/payload
+// length vs max_string_bytes/max_message_bytes) before any allocation.
+Result<std::vector<SetEntry>> parse_format_set(
+    std::span<const std::uint8_t> bytes,
+    const DecodeLimits& limits = DecodeLimits::defaults());
+
+}  // namespace xmit::toolkit

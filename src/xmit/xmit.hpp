@@ -25,6 +25,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/cache.hpp"
 #include "common/error.hpp"
 #include "common/limits.hpp"
 #include "net/retry.hpp"
@@ -58,6 +59,18 @@ struct LoadStats {
   }
 };
 
+// Outcome of one load_set(): per-entry accounting for a batched fetch.
+// A set is loaded best-effort — entries that fail to parse, lint, or
+// register land in `failures` with the reason while the rest install, so
+// one bad schema in a 10k-format set does not waste the round trip.
+struct SetLoadReport {
+  std::size_t entries = 0;              // entries in the fetched set
+  std::size_t documents_installed = 0;  // schema documents installed
+  std::size_t formats_adopted = 0;      // serialized format blobs adopted
+  bool served_stale = false;            // fetch failed; a cached set used
+  std::vector<std::pair<std::string, Status>> failures;  // entry -> why
+};
+
 // Cumulative fault-tolerance counters across every load()/refresh() —
 // what the RDM benches report as the cost of resilience.
 struct ResilienceStats {
@@ -83,6 +96,16 @@ class Xmit {
   // is reported degraded rather than failed.
   Status load(std::string_view url);
 
+  // Batched discovery (DESIGN.md §5k): fetch ONE format-set document
+  // (xmit/format_set.hpp) and install every entry — schema documents go
+  // through the normal parse/lint/layout/register pipeline under source
+  // name "url#entry", serialized format blobs are adopted directly. The
+  // paper's remote-discovery multiplier is paid once for the whole set
+  // instead of once per schema. Same resilience as load(): retries under
+  // the policy, and a transient fetch failure falls back to the last-good
+  // copy (memory, then disk cache) and reports served_stale.
+  Result<SetLoadReport> load_set(std::string_view url);
+
   // Retry policy applied to every load()/refresh() fetch. Default: three
   // attempts with exponential backoff.
   void set_retry_policy(net::RetryPolicy policy) {
@@ -97,6 +120,30 @@ class Xmit {
   // caller) so a later process can load() through a dead server. Empty
   // string disables mirroring.
   void set_cache_dir(std::string dir) { cache_dir_ = std::move(dir); }
+
+  // Bound the disk mirror: after each write, oldest-mtime cached files
+  // are deleted until the directory fits `budget` (entries and/or bytes).
+  // Files backing currently-loaded URLs and sets are pinned and never
+  // deleted — stale-if-error still works for everything live. Default:
+  // unbounded (the historical behaviour).
+  void set_disk_cache_budget(CacheBudget budget) { disk_budget_ = budget; }
+  std::size_t disk_cache_evictions() const { return disk_evictions_; }
+
+  // Bound the in-memory binding cache that bind() serves tokens from.
+  // Evicted bindings are rebuilt transparently on the next bind() — the
+  // registry remains the source of truth — so the budget trades repeat-
+  // bind latency for memory, never correctness.
+  void set_format_cache_budget(CacheBudget budget) {
+    format_cache_.set_budget(budget);
+  }
+  CacheStats format_cache_stats() const { return format_cache_.stats(); }
+
+  // Pin a type's binding so cache pressure can never evict it (sessions
+  // pin the types they negotiated). Builds the binding if needed. Fails
+  // with kResourceExhausted when the pinned set alone would exceed the
+  // budget, kNotFound when the type was never loaded.
+  Status pin_type(std::string_view type_name);
+  void unpin_type(std::string_view type_name);
 
   // Resource budget applied when parsing fetched schema documents —
   // discovery consumes bytes from servers we do not control.
@@ -153,23 +200,44 @@ class Xmit {
     bool stale = false;  // last fetch failed; serving the last-good copy
   };
 
+  // One batched set loaded via load_set(); member documents carry source
+  // "url#entry" with is_url=false so refresh() re-fetches the SET, not
+  // each member.
+  struct LoadedSet {
+    std::string url;
+    std::string blob;    // for change detection on refresh
+    bool stale = false;
+  };
+
   Status install(std::string_view xml_text, std::string source, bool is_url,
                  double fetch_ms);
+  SetLoadReport install_set_entries(const std::string& url,
+                                    const std::string& blob);
   Result<std::string> fetch_with_policy(const std::string& url,
                                         net::RetryStats* stats);
   std::string cache_path_for(const std::string& url) const;
-  void mirror_to_cache(const std::string& url, std::string_view text);
+  std::string set_cache_path_for(const std::string& url) const;
+  void mirror_to_cache(const std::string& path, std::string_view text);
+  void enforce_disk_budget();
+  static std::size_t binding_bytes(const std::string& name,
+                                   const BindingToken& token);
 
   pbio::FormatRegistry& registry_;
   pbio::ArchInfo target_;
   std::vector<LoadedDocument> documents_;
-  // type name -> (document index, registered format)
-  std::map<std::string, std::pair<std::size_t, pbio::FormatPtr>, std::less<>>
-      bound_types_;
+  std::vector<LoadedSet> sets_;
+  // type name -> owning document index. Tiny and permanent: the index is
+  // what makes an evicted binding rebuildable.
+  std::map<std::string, std::size_t, std::less<>> type_index_;
+  // bind() results, LRU under the format-cache budget. The registry keeps
+  // every format; this only caches the (format, encoder) pairing.
+  mutable LruCache<std::string, BindingToken> format_cache_;
   LoadStats last_stats_;
   net::RetryPolicy retry_policy_;
   int fetch_timeout_ms_ = 5000;
   std::string cache_dir_;
+  CacheBudget disk_budget_;
+  std::size_t disk_evictions_ = 0;
   DecodeLimits limits_ = DecodeLimits::defaults();
   ResilienceStats resilience_;
   SchemaLintHook lint_hook_;

@@ -31,6 +31,13 @@
 // credit still outstanding, send-queue high-water marks, records spilled
 // to the log or shed (and the peer's shed count), and time spent blocked.
 //
+// --registry URL fetches the JSON document served by a live process's
+// RegistryStatsService endpoint (src/xmit/registry_stats.hpp) and prints
+// the registry picture an operator wants at 10k formats: per-shard
+// occupancy, lock-free vs delta by_id hit counters, and for every bounded
+// cache its residency, pinned set, hit/miss/eviction/uncacheable counters
+// and budget. --format=json dumps the raw document instead.
+//
 // --log DIR verifies a durable record-log directory offline and without
 // mutating it (unlike opening it, which heals torn tails): per segment it
 // reports the frame count, sequence range, how the scan stopped (clean
@@ -403,6 +410,119 @@ int run_log_dump(const std::string& dir, const DecodeLimits& limits) {
   return exit_code;
 }
 
+// --registry: fetch and summarize the stats document a
+// RegistryStatsService serves. The document shape is owned by this repo
+// (src/xmit/registry_stats.cpp), so a hand-rolled scan is enough — the
+// toolchain has no JSON library and does not need one.
+
+// Finds `"key":<digits>` at or after `from`; npos on miss.
+std::size_t scan_counter(const std::string& body, const char* key,
+                         std::size_t from, unsigned long long* out) {
+  const std::string needle = std::string("\"") + key + "\":";
+  const std::size_t at = body.find(needle, from);
+  if (at == std::string::npos) return std::string::npos;
+  *out = std::strtoull(body.c_str() + at + needle.size(), nullptr, 10);
+  return at + needle.size();
+}
+
+void print_budget_part(unsigned long long max_entries,
+                       unsigned long long max_bytes) {
+  if (max_entries == 0 && max_bytes == 0) {
+    std::printf("unbounded");
+    return;
+  }
+  if (max_entries != 0) std::printf("%llu entr%s", max_entries,
+                                    max_entries == 1 ? "y" : "ies");
+  if (max_entries != 0 && max_bytes != 0) std::printf(" / ");
+  if (max_bytes != 0) std::printf("%llu byte(s)", max_bytes);
+}
+
+int run_registry(const std::string& url, const net::FetchOptions& options,
+                 bool raw_json) {
+  auto body = net::fetch(url, options);
+  if (!body.is_ok()) {
+    std::fprintf(stderr, "%s: %s\n", url.c_str(),
+                 body.status().to_string().c_str());
+    return 1;
+  }
+  const std::string& text = body.value();
+  if (raw_json) {
+    std::printf("%s\n", text.c_str());
+    return 0;
+  }
+  unsigned long long formats = 0;
+  if (scan_counter(text, "formats", 0, &formats) == std::string::npos) {
+    std::fprintf(stderr, "%s: not a registry stats document\n", url.c_str());
+    return 1;
+  }
+  unsigned long long publishes = 0, snapshot_hits = 0, delta_hits = 0;
+  scan_counter(text, "snapshot_publishes", 0, &publishes);
+  scan_counter(text, "snapshot_hits", 0, &snapshot_hits);
+  scan_counter(text, "delta_hits", 0, &delta_hits);
+
+  std::vector<unsigned long long> shards;
+  std::size_t at = text.find("\"shards\":[");
+  if (at != std::string::npos) {
+    at += std::strlen("\"shards\":[");
+    while (at < text.size() && text[at] != ']') {
+      char* end = nullptr;
+      shards.push_back(std::strtoull(text.c_str() + at, &end, 10));
+      at = static_cast<std::size_t>(end - text.c_str());
+      if (at < text.size() && text[at] == ',') ++at;
+    }
+  }
+  std::printf("registry: %llu format(s) across %zu shard(s)\n", formats,
+              shards.size());
+  if (!shards.empty()) {
+    unsigned long long low = shards[0], high = shards[0];
+    std::printf("  shard sizes:");
+    for (unsigned long long size : shards) {
+      std::printf(" %llu", size);
+      low = std::min(low, size);
+      high = std::max(high, size);
+    }
+    std::printf("  (min %llu, max %llu)\n", low, high);
+  }
+  std::printf("  by_id: %llu lock-free snapshot hit(s), %llu delta hit(s), "
+              "%llu snapshot publish(es)\n",
+              snapshot_hits, delta_hits, publishes);
+
+  std::size_t cursor = text.find("\"caches\":{");
+  if (cursor == std::string::npos) return 0;
+  cursor += std::strlen("\"caches\":{");
+  while (cursor < text.size() && text[cursor] == '"') {
+    const std::size_t name_end = text.find('"', cursor + 1);
+    if (name_end == std::string::npos) break;
+    const std::string name = text.substr(cursor + 1, name_end - cursor - 1);
+    const std::size_t object_end = text.find('}', name_end);
+    if (object_end == std::string::npos) break;
+    unsigned long long entries = 0, bytes = 0, pinned_entries = 0,
+                       pinned_bytes = 0, hits = 0, misses = 0, evictions = 0,
+                       uncacheable = 0, max_entries = 0, max_bytes = 0;
+    scan_counter(text, "entries", name_end, &entries);
+    scan_counter(text, "bytes", name_end, &bytes);
+    scan_counter(text, "pinned_entries", name_end, &pinned_entries);
+    scan_counter(text, "pinned_bytes", name_end, &pinned_bytes);
+    scan_counter(text, "hits", name_end, &hits);
+    scan_counter(text, "misses", name_end, &misses);
+    scan_counter(text, "evictions", name_end, &evictions);
+    scan_counter(text, "uncacheable", name_end, &uncacheable);
+    scan_counter(text, "max_entries", name_end, &max_entries);
+    scan_counter(text, "max_bytes", name_end, &max_bytes);
+    std::printf("cache \"%s\": %llu entr%s / %llu byte(s) resident "
+                "(%llu pinned / %llu byte(s)), budget ",
+                name.c_str(), entries, entries == 1 ? "y" : "ies", bytes,
+                pinned_entries, pinned_bytes);
+    print_budget_part(max_entries, max_bytes);
+    std::printf("\n  %llu hit(s), %llu miss(es), %llu eviction(s), "
+                "%llu uncacheable\n",
+                hits, misses, evictions, uncacheable);
+    cursor = object_end + 1;
+    if (cursor < text.size() && text[cursor] == ',') ++cursor;
+  }
+  return 0;
+}
+
 bool parse_nonnegative(const char* text, int* out) {
   char* end = nullptr;
   long value = std::strtol(text, &end, 10);
@@ -431,6 +551,7 @@ int main(int argc, char** argv) {
   bool flow_control = false;
   std::string connect_spec;
   std::string log_dir;
+  std::string registry_url;
   long long max_records = 0;
   int timeout_ms = 5000;
   net::FetchOptions fetch_options;
@@ -456,6 +577,8 @@ int main(int argc, char** argv) {
       connect_spec = argv[++i];
     else if (std::strcmp(argv[i], "--log") == 0 && i + 1 < argc)
       log_dir = argv[++i];
+    else if (std::strcmp(argv[i], "--registry") == 0 && i + 1 < argc)
+      registry_url = argv[++i];
     else if (std::strcmp(argv[i], "--count") == 0 && i + 1 < argc) {
       if (!parse_positive(argv[++i], &max_records)) {
         std::fprintf(stderr, "--count wants a positive count, got '%s'\n",
@@ -512,6 +635,8 @@ int main(int argc, char** argv) {
     return run_connect(connect_spec, resume, flow_control, timeout_ms, limits,
                        max_records);
   if (!log_dir.empty()) return run_log_dump(log_dir, limits);
+  if (!registry_url.empty())
+    return run_registry(registry_url, fetch_options, lint_json);
   if (path == nullptr) {
     std::fprintf(stderr,
                  "usage: xmit_inspect [--xml] [--formats-only] [--lint] "
@@ -520,7 +645,9 @@ int main(int argc, char** argv) {
                  "[--max-bytes N] [--max-alloc N] <file.pbio | http://...>\n"
                  "       xmit_inspect --connect HOST:PORT [--resume] "
                  "[--flow-control] [--count N] [--timeout-ms N]\n"
-                 "       xmit_inspect --log DIR\n");
+                 "       xmit_inspect --log DIR\n"
+                 "       xmit_inspect --registry URL [--format=json] "
+                 "[--retries N] [--timeout-ms N]\n");
     return 2;
   }
 
